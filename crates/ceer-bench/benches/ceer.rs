@@ -1,0 +1,82 @@
+//! Benchmarks for Ceer itself: fitting cost, prediction latency (the price
+//! of one "what if" query) and full-catalog recommendation.
+
+use ceer_cloud::{Catalog, Pricing};
+use ceer_core::recommend::{Objective, Workload};
+use ceer_core::{Ceer, CeerModel, EstimateOptions, FitConfig};
+use ceer_gpusim::GpuModel;
+use ceer_graph::models::{Cnn, CnnId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn small_config() -> FitConfig {
+    FitConfig {
+        cnns: vec![CnnId::Vgg11, CnnId::InceptionV1, CnnId::ResNet50],
+        iterations: 4,
+        parallel_degrees: vec![1, 2],
+        seed: 11,
+        ..FitConfig::default()
+    }
+}
+
+fn fitted() -> CeerModel {
+    Ceer::fit(&small_config())
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let config = small_config();
+    let mut group = c.benchmark_group("ceer_fit");
+    group.sample_size(10);
+    group.bench_function("3_cnns_4_iters", |b| b.iter(|| Ceer::fit(black_box(&config))));
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let model = fitted();
+    let options = EstimateOptions::default();
+    let mut group = c.benchmark_group("predict_iteration");
+    for &id in &[CnnId::AlexNet, CnnId::InceptionV3, CnnId::Vgg19] {
+        let cnn = Cnn::build(id, 32);
+        let graph = cnn.training_graph();
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &graph, |b, graph| {
+            b.iter(|| model.predict_iteration(black_box(graph), GpuModel::T4, 2, &options))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recommend(c: &mut Criterion) {
+    let model = fitted();
+    let catalog = Catalog::new(Pricing::OnDemand);
+    let cnn = Cnn::build(CnnId::ResNet101, 32);
+    let workload = Workload::new(1_200_000, 4);
+    let mut group = c.benchmark_group("recommend");
+    group.sample_size(20);
+    group.bench_function("full_catalog_16_candidates", |b| {
+        b.iter(|| {
+            model
+                .recommend(
+                    black_box(&cnn),
+                    &catalog,
+                    &workload,
+                    &Objective::MinimizeCost,
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_model_persistence(c: &mut Criterion) {
+    let model = fitted();
+    let json = serde_json::to_string(&model).unwrap();
+    c.bench_function("model_to_json", |b| {
+        b.iter(|| serde_json::to_string(black_box(&model)).unwrap())
+    });
+    c.bench_function("model_from_json", |b| {
+        b.iter(|| serde_json::from_str::<CeerModel>(black_box(&json)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_predict, bench_recommend, bench_model_persistence);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmarks for CNN graph construction and training-graph expansion —
+//! the per-CNN setup cost every prediction and profiling run pays once.
+
+use ceer_graph::models::{Cnn, CnnId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_forward_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_build");
+    for &id in &[CnnId::AlexNet, CnnId::Vgg19, CnnId::InceptionV3, CnnId::ResNet152] {
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, &id| {
+            b.iter(|| Cnn::build(black_box(id), 32))
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_graph_expansion");
+    for &id in &[CnnId::AlexNet, CnnId::InceptionV3, CnnId::ResNet152] {
+        let cnn = Cnn::build(id, 32);
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &cnn, |b, cnn| {
+            b.iter(|| cnn.training_graph())
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_queries(c: &mut Criterion) {
+    let cnn = Cnn::build(CnnId::InceptionV4, 32);
+    let graph = cnn.training_graph();
+    c.bench_function("op_histogram_inception_v4", |b| {
+        b.iter(|| black_box(&graph).op_histogram())
+    });
+    c.bench_function("parameter_count_inception_v4", |b| {
+        b.iter(|| black_box(&graph).parameter_count())
+    });
+    c.bench_function("validate_inception_v4", |b| b.iter(|| black_box(&graph).validate()));
+}
+
+criterion_group!(benches, bench_forward_build, bench_training_expansion, bench_graph_queries);
+criterion_main!(benches);

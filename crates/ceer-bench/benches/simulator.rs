@@ -1,0 +1,92 @@
+//! Benchmarks for the GPU simulator and the training-loop profiler — the
+//! machinery behind every "observed" number in the evaluation.
+
+use ceer_gpusim::{workload::workload, GpuModel, OpTimer};
+use ceer_graph::models::{Cnn, CnnId};
+use ceer_trainer::Trainer;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_workload_lowering(c: &mut Criterion) {
+    let cnn = Cnn::build(CnnId::InceptionV3, 32);
+    let graph = cnn.training_graph();
+    let mut group = c.benchmark_group("workload_lowering");
+    group.throughput(Throughput::Elements(graph.len() as u64));
+    group.bench_function("inception_v3_all_ops", |b| {
+        b.iter(|| {
+            graph
+                .nodes()
+                .iter()
+                .map(|n| workload(black_box(n), &graph).flops)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_expected_durations(c: &mut Criterion) {
+    let cnn = Cnn::build(CnnId::ResNet50, 32);
+    let graph = cnn.training_graph();
+    let mut group = c.benchmark_group("expected_durations");
+    group.throughput(Throughput::Elements(graph.len() as u64));
+    for &gpu in GpuModel::all() {
+        let timer = OpTimer::new(gpu);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gpu.aws_family()),
+            &timer,
+            |b, timer| {
+                b.iter(|| {
+                    graph
+                        .nodes()
+                        .iter()
+                        .map(|n| timer.expected_duration_us(n, &graph))
+                        .sum::<f64>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_10_iterations");
+    group.sample_size(10);
+    for &id in &[CnnId::AlexNet, CnnId::InceptionV3] {
+        let cnn = Cnn::build(id, 32);
+        let graph = cnn.training_graph();
+        group.bench_with_input(BenchmarkId::from_parameter(id.name()), &cnn, |b, cnn| {
+            b.iter(|| {
+                Trainer::new(GpuModel::T4, 1)
+                    .with_seed(1)
+                    .profile_graph(black_box(cnn), &graph, 10)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_gpu_profiling(c: &mut Criterion) {
+    let cnn = Cnn::build(CnnId::InceptionV1, 32);
+    let graph = cnn.training_graph();
+    let mut group = c.benchmark_group("profile_by_gpu_count");
+    group.sample_size(10);
+    for k in [1u32, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                Trainer::new(GpuModel::V100, k)
+                    .with_seed(2)
+                    .profile_graph(&cnn, &graph, 10)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_workload_lowering,
+    bench_expected_durations,
+    bench_profiling,
+    bench_multi_gpu_profiling
+);
+criterion_main!(benches);

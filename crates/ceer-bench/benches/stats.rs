@@ -1,0 +1,83 @@
+//! Benchmarks for the statistics substrate: the regression fits Ceer runs
+//! once per (operation kind, GPU model) and the summary statistics the
+//! profiler aggregates millions of times.
+
+use ceer_stats::regression::{MultipleOls, PolynomialOls, SimpleOls};
+use ceer_stats::rng::DeterministicRng;
+use ceer_stats::summary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn synthetic_xy(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = DeterministicRng::from_seed(42);
+    let xs: Vec<f64> = (0..n).map(|i| i as f64 * 3.7 + rng.uniform()).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 5.0 + rng.normal(0.0, 0.3)).collect();
+    (xs, ys)
+}
+
+fn bench_simple_ols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simple_ols_fit");
+    for n in [100usize, 1000, 10_000] {
+        let (xs, ys) = synthetic_xy(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| SimpleOls::fit(black_box(&xs), black_box(&ys)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiple_ols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiple_ols_fit");
+    for features in [2usize, 4, 8] {
+        let mut rng = DeterministicRng::from_seed(7);
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|_| (0..features).map(|_| rng.uniform_in(0.0, 100.0)).collect())
+            .collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .map(|r| r.iter().enumerate().map(|(i, v)| (i + 1) as f64 * v).sum::<f64>() + 3.0)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(features), &features, |b, _| {
+            b.iter(|| MultipleOls::fit(black_box(&rows), black_box(&ys)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_polynomial_selection(c: &mut Criterion) {
+    let (xs, ys) = synthetic_xy(1000);
+    c.bench_function("polynomial_fit_deg2", |b| {
+        b.iter(|| PolynomialOls::fit(black_box(&xs), black_box(&ys), 2).unwrap())
+    });
+}
+
+fn bench_summary(c: &mut Criterion) {
+    let (_, ys) = synthetic_xy(10_000);
+    c.bench_function("median_10k", |b| b.iter(|| summary::median(black_box(&ys)).unwrap()));
+    c.bench_function("summary_10k", |b| {
+        b.iter(|| ceer_stats::Summary::of(black_box(&ys)).unwrap())
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("noise_factor_1m", |b| {
+        b.iter(|| {
+            let mut rng = DeterministicRng::from_seed(1);
+            let mut acc = 0.0;
+            for _ in 0..1_000_000 {
+                acc += rng.noise_factor(0.05);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simple_ols,
+    bench_multiple_ols,
+    bench_polynomial_selection,
+    bench_summary,
+    bench_rng
+);
+criterion_main!(benches);

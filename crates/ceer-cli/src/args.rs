@@ -1,0 +1,176 @@
+//! A small, dependency-free argument parser.
+//!
+//! Supports `--flag`, `--option value`, `--option=value` and trailing
+//! positionals, with typed accessors and an unused-argument check so typos
+//! fail loudly instead of being ignored.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::str::FromStr;
+
+/// Parsed arguments for one subcommand.
+#[derive(Debug)]
+pub struct Args {
+    tokens: Vec<String>,
+    consumed: RefCell<HashSet<usize>>,
+}
+
+impl Args {
+    /// Wraps raw argv tokens (without the program and subcommand names).
+    pub fn new(tokens: Vec<String>) -> Self {
+        Args { tokens, consumed: RefCell::new(HashSet::new()) }
+    }
+
+    /// Whether `--help`/`-h` was requested.
+    pub fn wants_help(&self) -> bool {
+        self.tokens.iter().any(|t| t == "--help" || t == "-h")
+    }
+
+    /// Consumes a boolean flag; returns whether it was present.
+    pub fn flag(&self, name: &str) -> bool {
+        for (i, token) in self.tokens.iter().enumerate() {
+            if token == name {
+                self.consumed.borrow_mut().insert(i);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes `--name value` or `--name=value`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the option is present but has no value.
+    pub fn opt(&self, name: &str) -> Result<Option<String>, String> {
+        for (i, token) in self.tokens.iter().enumerate() {
+            if let Some(value) = token.strip_prefix(&format!("{name}=")) {
+                self.consumed.borrow_mut().insert(i);
+                return Ok(Some(value.to_string()));
+            }
+            if token == name {
+                self.consumed.borrow_mut().insert(i);
+                let Some(value) = self.tokens.get(i + 1) else {
+                    return Err(format!("option {name} is missing its value"));
+                };
+                if value.starts_with("--") {
+                    return Err(format!("option {name} is missing its value"));
+                }
+                self.consumed.borrow_mut().insert(i + 1);
+                return Ok(Some(value.clone()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Consumes a typed option, using `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Errors on a missing value or a parse failure.
+    pub fn opt_parse<T: FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.opt(name)? {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("option {name} has invalid value {raw:?}")),
+        }
+    }
+
+    /// Consumes a required option.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the option is absent, valueless, or unparsable.
+    pub fn require(&self, name: &str) -> Result<String, String> {
+        self.opt(name)?.ok_or_else(|| format!("missing required option {name}"))
+    }
+
+    /// Verifies every token was consumed; call after all accessors.
+    ///
+    /// # Errors
+    ///
+    /// Errors listing any unrecognized tokens.
+    pub fn finish(&self) -> Result<(), String> {
+        let consumed = self.consumed.borrow();
+        let stray: Vec<&str> = self
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| !consumed.contains(i) && *t != "--help" && *t != "-h")
+            .map(|(_, t)| t.as_str())
+            .collect();
+        if stray.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {}", stray.join(" ")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::new(tokens.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn flags_and_options() {
+        let a = args(&["--market", "--gpus", "3", "--cnn=vgg16"]);
+        assert!(a.flag("--market"));
+        assert!(!a.flag("--memory-fit"));
+        assert_eq!(a.opt("--gpus").unwrap(), Some("3".into()));
+        assert_eq!(a.opt("--cnn").unwrap(), Some("vgg16".into()));
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn typed_options_with_defaults() {
+        let a = args(&["--iterations", "25"]);
+        assert_eq!(a.opt_parse("--iterations", 40usize).unwrap(), 25);
+        assert_eq!(a.opt_parse("--seed", 7u64).unwrap(), 7);
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn parse_failure_is_reported() {
+        let a = args(&["--gpus", "banana"]);
+        let err = a.opt_parse("--gpus", 1u32).unwrap_err();
+        assert!(err.contains("--gpus"));
+        assert!(err.contains("banana"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let a = args(&["--out"]);
+        assert!(a.opt("--out").is_err());
+        let b = args(&["--out", "--market"]);
+        assert!(b.opt("--out").is_err());
+    }
+
+    #[test]
+    fn require_errors_when_absent() {
+        let a = args(&[]);
+        let err = a.require("--model").unwrap_err();
+        assert!(err.contains("--model"));
+    }
+
+    #[test]
+    fn finish_catches_typos() {
+        let a = args(&["--mraket"]);
+        assert!(!a.flag("--market"));
+        let err = a.finish().unwrap_err();
+        assert!(err.contains("--mraket"));
+    }
+
+    #[test]
+    fn help_detection() {
+        assert!(args(&["--help"]).wants_help());
+        assert!(args(&["-h"]).wants_help());
+        assert!(!args(&["--verbose"]).wants_help());
+        // --help never counts as stray.
+        assert!(args(&["--help"]).finish().is_ok());
+    }
+}

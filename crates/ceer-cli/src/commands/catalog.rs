@@ -1,0 +1,67 @@
+//! `ceer catalog` — the AWS GPU instance catalog.
+
+use ceer_cloud::{Catalog, Pricing, OFFERINGS};
+use ceer_gpusim::GpuModel;
+
+use crate::args::Args;
+
+const HELP: &str = "\
+ceer catalog — list the AWS GPU instances the paper evaluates
+
+OPTIONS:
+    --market     show §V commodity market prices instead of AWS list prices
+    --max-gpus K also show derived (proxy-priced) sizes up to K GPUs";
+
+pub fn run(args: Args) -> Result<(), String> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let market = args.flag("--market");
+    let max_gpus = args.opt_parse("--max-gpus", 0u32)?;
+    args.finish()?;
+
+    if market {
+        println!("commodity market prices (§V; P3 anchored at its AWS price):");
+        let catalog = Catalog::new(Pricing::MarketRatio);
+        for &gpu in GpuModel::all() {
+            println!(
+                "  {:24} ${:>5.2}/hr per GPU",
+                gpu.to_string(),
+                catalog.instance(gpu, 1).hourly_usd()
+            );
+        }
+        return Ok(());
+    }
+
+    println!(
+        "{:16} {:22} {:>5} {:>10} {:>11} {:>9}",
+        "instance", "GPU", "GPUs", "$/hr", "CUDA cores", "mem"
+    );
+    for o in &OFFERINGS {
+        let spec = o.gpu.spec();
+        println!(
+            "{:16} {:22} {:>5} {:>10.3} {:>11} {:>6}GiB",
+            o.name,
+            o.gpu.name(),
+            o.gpu_count,
+            o.hourly_usd,
+            spec.cuda_cores,
+            spec.memory_gib
+        );
+    }
+
+    if max_gpus > 0 {
+        println!("\nderived sizes (paper's proxy rule — k/N of the N-GPU instance):");
+        let catalog = Catalog::new(Pricing::OnDemand);
+        for &gpu in GpuModel::all() {
+            for k in 1..=max_gpus {
+                let i = catalog.instance(gpu, k);
+                if i.is_proxy() {
+                    println!("  {:24} ${:>6.3}/hr", i.name(), i.hourly_usd());
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! `ceer collect` — run the profiling phase and save a profile archive.
+//!
+//! Mirrors the paper's workflow split: profiling (renting GPUs) is the
+//! expensive phase; fitting from saved profiles is cheap and repeatable.
+//! Pair with `ceer fit --profiles FILE`.
+
+use ceer_core::{FitConfig, ProfileArchive};
+
+use crate::args::Args;
+
+const HELP: &str = "\
+ceer collect — profile the training CNNs and save the raw profiles
+
+OPTIONS:
+    --iterations N   profiling iterations per run (default 200)
+    --seed S         base RNG seed (default 0)
+    --batch B        per-GPU batch size (default 32)
+    --out FILE       archive path (default ceer-profiles.json)";
+
+pub fn run(args: Args) -> Result<(), String> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let iterations = args.opt_parse("--iterations", 200usize)?;
+    let seed = args.opt_parse("--seed", 0u64)?;
+    let batch = args.opt_parse("--batch", 32u64)?;
+    let out = args.opt("--out")?.unwrap_or_else(|| "ceer-profiles.json".to_string());
+    args.finish()?;
+    if iterations == 0 || batch == 0 {
+        return Err("--iterations and --batch must be positive".into());
+    }
+
+    let config = FitConfig { iterations, seed, batch, ..FitConfig::default() };
+    eprintln!(
+        "profiling {} CNNs x {} GPUs x {:?} degrees ({} iterations each) ...",
+        config.cnns.len(),
+        config.gpus.len(),
+        config.parallel_degrees,
+        config.iterations
+    );
+    let started = std::time::Instant::now();
+    let archive = ProfileArchive::collect(&config);
+    eprintln!("collected {} profiles in {:.1?}", archive.profile_count(), started.elapsed());
+    archive.save(&out).map_err(|e| e.to_string())?;
+    println!("wrote {out} ({} profiles, batch {batch})", archive.profile_count());
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! `ceer fit` — profile the paper's training CNNs and fit a Ceer model.
+
+use std::fs;
+
+use ceer_core::{Ceer, FitConfig, ProfileArchive};
+
+use crate::args::Args;
+
+const HELP: &str = "\
+ceer fit — profile the 8 training CNNs on all four GPU models and fit Ceer
+
+OPTIONS:
+    --iterations N   profiling iterations per run (default 200; paper: 1000)
+    --seed S         base RNG seed for the simulated profiling (default 0)
+    --batch B        per-GPU batch size (default 32)
+    --linear-only    disable quadratic heavy-op models (ablation)
+    --profiles FILE  fit from a saved archive (see `ceer collect`) instead of
+                     profiling; --iterations/--seed/--batch are then ignored
+    --out FILE       where to write the model JSON (default ceer-model.json)";
+
+pub fn run(args: Args) -> Result<(), String> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let iterations = args.opt_parse("--iterations", 200usize)?;
+    let seed = args.opt_parse("--seed", 0u64)?;
+    let batch = args.opt_parse("--batch", 32u64)?;
+    let linear_only = args.flag("--linear-only");
+    let profiles = args.opt("--profiles")?;
+    let out = args.opt("--out")?.unwrap_or_else(|| "ceer-model.json".to_string());
+    args.finish()?;
+    if iterations == 0 {
+        return Err("--iterations must be at least 1".into());
+    }
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+
+    let config = FitConfig {
+        iterations,
+        seed,
+        batch,
+        allow_quadratic: !linear_only,
+        ..FitConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let model = match profiles {
+        Some(path) => {
+            eprintln!("fitting from saved profiles in {path} ...");
+            let archive = ProfileArchive::load(&path).map_err(|e| e.to_string())?;
+            archive.fit(&config).map_err(|e| e.to_string())?
+        }
+        None => {
+            eprintln!(
+                "fitting on {} CNNs x {} GPU models x {:?} GPUs, {} iterations each ...",
+                config.cnns.len(),
+                config.gpus.len(),
+                config.parallel_degrees,
+                config.iterations
+            );
+            Ceer::fit(&config)
+        }
+    };
+    eprintln!("fit done in {:.1?}", started.elapsed());
+
+    let json = serde_json::to_string_pretty(&model)
+        .map_err(|e| format!("cannot serialize model: {e}"))?;
+    fs::write(&out, json).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+    println!(
+        "wrote {out} ({} heavy kinds, light median {:.1} us, cpu median {:.1} us)",
+        model.classification().heavy_kinds().len(),
+        model.light_median_us(),
+        model.cpu_median_us()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::new(tokens.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn rejects_zero_iterations_and_batch() {
+        assert!(run(args(&["--iterations", "0"])).unwrap_err().contains("--iterations"));
+        assert!(run(args(&["--batch", "0"])).unwrap_err().contains("--batch"));
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = run(args(&["--iteratoins", "5"])).unwrap_err();
+        assert!(err.contains("--iteratoins"));
+    }
+
+    #[test]
+    fn missing_profile_archive_is_reported() {
+        let err = run(args(&["--profiles", "/nonexistent/archive.json"])).unwrap_err();
+        assert!(err.contains("archive"), "{err}");
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(run(args(&["--help"])).is_ok());
+    }
+}

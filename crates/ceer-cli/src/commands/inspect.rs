@@ -1,0 +1,52 @@
+//! `ceer inspect` — fitted-model diagnostics and coverage.
+
+use ceer_graph::models::Cnn;
+
+use crate::args::Args;
+use crate::commands::load_model;
+use crate::output::parse_cnn;
+
+const HELP: &str = "\
+ceer inspect — print a fitted model's diagnostics
+
+OPTIONS:
+    --model FILE   fitted model from `ceer fit` (required)
+    --cnn NAME     also check operation coverage for this CNN
+    --batch B      batch size for the coverage check (default 32)";
+
+pub fn run(args: Args) -> Result<(), String> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let model = load_model(&args.require("--model")?)?;
+    let cnn_name = args.opt("--cnn")?;
+    let batch = args.opt_parse("--batch", 32u64)?;
+    args.finish()?;
+
+    print!("{}", model.report());
+
+    if let Some(name) = cnn_name {
+        let id = parse_cnn(&name)?;
+        let graph = Cnn::build(id, batch).training_graph();
+        let coverage = model.coverage(&graph);
+        println!("\ncoverage for {}:", id.name());
+        println!("  covered heavy kinds: {}", coverage.covered_heavy.len());
+        if coverage.is_fully_covered() {
+            println!("  fully covered — predictions need no retraining");
+        } else {
+            println!(
+                "  UNCOVERED heavy kinds: {:?} — the paper recommends retraining \
+                 with profiles that include them (§IV-D)",
+                coverage.uncovered_heavy
+            );
+        }
+        if !coverage.unseen_light_or_cpu.is_empty() {
+            println!(
+                "  unseen light/CPU kinds (covered by the op-oblivious medians): {:?}",
+                coverage.unseen_light_or_cpu
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! CLI subcommands.
+
+pub mod catalog;
+pub mod collect;
+pub mod fit;
+pub mod inspect;
+pub mod predict;
+pub mod profile;
+pub mod recommend;
+pub mod roofline;
+pub mod zoo;
+
+use std::fs;
+use std::path::Path;
+
+use ceer_core::CeerModel;
+
+/// Loads a fitted model from a JSON file written by `ceer fit`.
+pub fn load_model(path: &str) -> Result<CeerModel, String> {
+    let bytes = fs::read(Path::new(path))
+        .map_err(|e| format!("cannot read model file {path:?}: {e}"))?;
+    serde_json::from_slice(&bytes)
+        .map_err(|e| format!("{path:?} is not a valid Ceer model file: {e}"))
+}

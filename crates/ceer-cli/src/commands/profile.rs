@@ -1,0 +1,93 @@
+//! `ceer profile` — run the training simulator and show where time goes.
+
+use std::collections::HashMap;
+use std::fs;
+
+use ceer_gpusim::GpuModel;
+use ceer_graph::models::Cnn;
+use ceer_graph::OpKind;
+use ceer_trainer::{trace, Trainer};
+
+use crate::args::Args;
+use crate::output::{fmt_duration_us, parse_cnn, parse_gpu};
+
+const HELP: &str = "\
+ceer profile — simulate training iterations and report per-operation time
+
+OPTIONS:
+    --cnn NAME        CNN to profile (required)
+    --gpu NAME        GPU model (default P3)
+    --gpus K          data-parallel GPU count (default 1)
+    --batch B         per-GPU batch size (default 32)
+    --iterations N    iterations to simulate (default 50)
+    --seed S          RNG seed (default 0)
+    --top N           rows in the per-kind table (default 12)
+    --trace FILE      also write one iteration as a Chrome trace JSON";
+
+pub fn run(args: Args) -> Result<(), String> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let id = parse_cnn(&args.require("--cnn")?)?;
+    let gpu = match args.opt("--gpu")? {
+        Some(g) => parse_gpu(&g)?,
+        None => GpuModel::V100,
+    };
+    let gpus = args.opt_parse("--gpus", 1u32)?;
+    let batch = args.opt_parse("--batch", 32u64)?;
+    let iterations = args.opt_parse("--iterations", 50usize)?;
+    let seed = args.opt_parse("--seed", 0u64)?;
+    let top = args.opt_parse("--top", 12usize)?;
+    let trace_out = args.opt("--trace")?;
+    args.finish()?;
+    if gpus == 0 || batch == 0 || iterations == 0 {
+        return Err("--gpus, --batch and --iterations must be positive".into());
+    }
+
+    let cnn = Cnn::build(id, batch);
+    let graph = cnn.training_graph();
+    let profile =
+        Trainer::new(gpu, gpus).with_seed(seed).profile_graph(&cnn, &graph, iterations);
+
+    println!(
+        "{} on {gpus}x {} — {} iterations, batch {batch}/GPU",
+        id.name(),
+        gpu,
+        iterations
+    );
+    println!(
+        "iteration {} (compute {} + sync {}), std {}\n",
+        fmt_duration_us(profile.iteration_mean_us()),
+        fmt_duration_us(profile.compute_mean_us()),
+        fmt_duration_us(profile.sync_mean_us()),
+        fmt_duration_us(profile.iteration_std_us()),
+    );
+
+    let mut by_kind: HashMap<OpKind, (f64, usize)> = HashMap::new();
+    for stat in profile.op_stats() {
+        let e = by_kind.entry(stat.kind).or_insert((0.0, 0));
+        e.0 += stat.mean_us;
+        e.1 += 1;
+    }
+    let total: f64 = by_kind.values().map(|(t, _)| t).sum();
+    let mut rows: Vec<_> = by_kind.into_iter().collect();
+    rows.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).expect("finite"));
+    println!("{:30} {:>12} {:>7} {:>10}", "operation kind", "total", "share", "instances");
+    for (kind, (time, count)) in rows.into_iter().take(top) {
+        println!(
+            "{:30} {:>12} {:>6.1}% {:>10}",
+            kind.to_string(),
+            fmt_duration_us(time),
+            100.0 * time / total,
+            count
+        );
+    }
+
+    if let Some(path) = trace_out {
+        let json = trace::chrome_trace(&cnn, &graph, gpu, gpus, seed);
+        fs::write(&path, json).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("\nwrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+    }
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! `ceer zoo` — the CNN model zoo.
+
+use ceer_graph::analysis;
+use ceer_graph::models::{Cnn, CnnId};
+
+use crate::args::Args;
+use crate::output::{fmt_bytes, parse_cnn};
+
+const HELP: &str = "\
+ceer zoo — list the 12-CNN model zoo, or inspect one model
+
+OPTIONS:
+    --cnn NAME   show a per-scope breakdown of one CNN
+    --batch B    batch size for the breakdown (default 32)
+    --dot FILE   write the (forward+backward) graph in Graphviz DOT format
+    --export FILE  write the training graph as JSON (see `ceer predict --graph`)";
+
+pub fn run(args: Args) -> Result<(), String> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let cnn_name = args.opt("--cnn")?;
+    let batch = args.opt_parse("--batch", 32u64)?;
+    let dot = args.opt("--dot")?;
+    let export = args.opt("--export")?;
+    args.finish()?;
+    if batch == 0 {
+        return Err("--batch must be positive".into());
+    }
+
+    match cnn_name {
+        None => {
+            println!(
+                "{:22} {:>10} {:>8} {:>9} {:>12} {:>6}",
+                "CNN", "params", "ops", "input", "train mem", "split"
+            );
+            for &id in CnnId::all() {
+                let cnn = Cnn::build(id, batch);
+                let graph = cnn.training_graph();
+                let memory = analysis::estimate_memory(&graph);
+                let split = if CnnId::training_set().contains(&id) { "train" } else { "test" };
+                println!(
+                    "{:22} {:>9.1}M {:>8} {:>6}px {:>12} {:>6}",
+                    id.name(),
+                    graph.parameter_count() as f64 / 1e6,
+                    graph.len(),
+                    id.input_resolution(),
+                    fmt_bytes(memory.total_bytes()),
+                    split
+                );
+            }
+            println!("\n(train mem = weights + grads + momentum + activations at batch {batch})");
+        }
+        Some(name) => {
+            let id = parse_cnn(&name)?;
+            let cnn = Cnn::build(id, batch);
+            let graph = cnn.training_graph();
+            let summary = analysis::summarize(&graph);
+            println!(
+                "{} — {:.1}M parameters, {} ops ({} GPU, {} CPU)",
+                id.name(),
+                summary.parameters as f64 / 1e6,
+                summary.ops,
+                summary.gpu_ops,
+                summary.cpu_ops
+            );
+            let m = &summary.memory;
+            println!(
+                "training memory: {} (weights {} + grads {} + momentum {} + activations {} + workspace {})\n",
+                fmt_bytes(m.total_bytes()),
+                fmt_bytes(m.weights_bytes),
+                fmt_bytes(m.gradients_bytes),
+                fmt_bytes(m.optimizer_bytes),
+                fmt_bytes(m.activations_bytes),
+                fmt_bytes(m.workspace_bytes),
+            );
+            println!("{:18} {:>6} {:>12} {:>14}", "scope", "ops", "params", "activations");
+            for row in analysis::scope_breakdown(&graph) {
+                println!(
+                    "{:18} {:>6} {:>11.2}M {:>14}",
+                    row.scope,
+                    row.ops,
+                    row.parameters as f64 / 1e6,
+                    fmt_bytes(row.activation_bytes)
+                );
+            }
+            if let Some(path) = dot {
+                std::fs::write(&path, analysis::to_dot(&graph, 0))
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                println!("\nwrote DOT graph to {path}");
+            }
+            if let Some(path) = export {
+                let json =
+                    graph.to_json().map_err(|e| format!("cannot serialize graph: {e}"))?;
+                std::fs::write(&path, json)
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                println!("wrote training graph JSON to {path}");
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! Output helpers shared by the CLI commands.
+
+use ceer_gpusim::GpuModel;
+use ceer_graph::models::CnnId;
+
+/// Resolves a user-supplied CNN name (`vgg16`, `VGG-16`, `resnet101`, …).
+///
+/// # Errors
+///
+/// Errors with the list of valid names on failure.
+pub fn parse_cnn(name: &str) -> Result<CnnId, String> {
+    let normalized: String = name
+        .to_lowercase()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect();
+    for &id in CnnId::all() {
+        let canonical: String = id
+            .name()
+            .to_lowercase()
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect();
+        if canonical == normalized {
+            return Ok(id);
+        }
+    }
+    // Aliases the canonical filter misses.
+    match normalized.as_str() {
+        "googlenet" => Ok(CnnId::InceptionV1),
+        "irv2" | "inceptionresnet" => Ok(CnnId::InceptionResNetV2),
+        _ => Err(format!(
+            "unknown CNN {name:?}; valid names: {}",
+            CnnId::all().iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
+        )),
+    }
+}
+
+/// Resolves a GPU family/marketing name (`P3`, `v100`, `t4`, …).
+///
+/// # Errors
+///
+/// Errors with the list of valid names on failure.
+pub fn parse_gpu(name: &str) -> Result<GpuModel, String> {
+    let lower = name.to_lowercase();
+    for &gpu in GpuModel::all() {
+        if gpu.aws_family().to_lowercase() == lower
+            || gpu.name().to_lowercase().replace(' ', "") == lower.replace(' ', "")
+        {
+            return Ok(gpu);
+        }
+    }
+    match lower.as_str() {
+        "v100" => Ok(GpuModel::V100),
+        "k80" => Ok(GpuModel::K80),
+        "t4" => Ok(GpuModel::T4),
+        "m60" => Ok(GpuModel::M60),
+        _ => Err(format!("unknown GPU {name:?}; valid: P3/V100, P2/K80, G4/T4, G3/M60")),
+    }
+}
+
+/// Formats microseconds adaptively (µs / ms / s / h).
+pub fn fmt_duration_us(us: f64) -> String {
+    if us < 1e3 {
+        format!("{us:.0} us")
+    } else if us < 1e6 {
+        format!("{:.1} ms", us / 1e3)
+    } else if us < 3.6e9 {
+        format!("{:.1} s", us / 1e6)
+    } else {
+        format!("{:.2} h", us / 3.6e9)
+    }
+}
+
+/// Formats a byte count adaptively (B / KiB / MiB / GiB).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnn_names_parse_flexibly() {
+        assert_eq!(parse_cnn("VGG-16").unwrap(), CnnId::Vgg16);
+        assert_eq!(parse_cnn("vgg16").unwrap(), CnnId::Vgg16);
+        assert_eq!(parse_cnn("resnet101").unwrap(), CnnId::ResNet101);
+        assert_eq!(parse_cnn("Inception-v3").unwrap(), CnnId::InceptionV3);
+        assert_eq!(parse_cnn("googlenet").unwrap(), CnnId::InceptionV1);
+        assert!(parse_cnn("mobilenet").is_err());
+    }
+
+    #[test]
+    fn gpu_names_parse_flexibly() {
+        assert_eq!(parse_gpu("P3").unwrap(), GpuModel::V100);
+        assert_eq!(parse_gpu("v100").unwrap(), GpuModel::V100);
+        assert_eq!(parse_gpu("g4").unwrap(), GpuModel::T4);
+        assert_eq!(parse_gpu("t4").unwrap(), GpuModel::T4);
+        assert!(parse_gpu("a100").is_err());
+    }
+
+    #[test]
+    fn durations_format_adaptively() {
+        assert_eq!(fmt_duration_us(500.0), "500 us");
+        assert_eq!(fmt_duration_us(2500.0), "2.5 ms");
+        assert_eq!(fmt_duration_us(3.2e6), "3.2 s");
+        assert_eq!(fmt_duration_us(7.2e9), "2.00 h");
+    }
+
+    #[test]
+    fn bytes_format_adaptively() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.0 MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
+    }
+}

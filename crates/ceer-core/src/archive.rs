@@ -1,0 +1,250 @@
+//! Profile archives: persist profiling runs and fit from them later.
+//!
+//! In the paper's workflow the expensive part is renting GPU instances to
+//! profile the training CNNs; fitting the models afterwards is cheap and
+//! local. [`ProfileArchive`] separates the two phases: collect once, save
+//! to JSON, refit as often as needed (e.g. with different estimator or
+//! model-form choices) without re-profiling.
+
+use std::fs;
+use std::path::Path;
+
+use ceer_graph::models::{Cnn, CnnId};
+use ceer_trainer::TrainingProfile;
+use serde::{Deserialize, Serialize};
+
+use crate::estimate::CeerModel;
+use crate::fit::{Ceer, FitConfig};
+
+/// A saved set of profiling runs, sufficient to refit Ceer.
+///
+/// Graphs are *not* stored: they are a pure function of `(CnnId, batch)`
+/// and are rebuilt on load, which keeps archives small and guarantees the
+/// features used at refit time match the profiles.
+///
+/// ```no_run
+/// use ceer_core::{FitConfig, ProfileArchive};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Expensive phase (in the paper: renting GPUs) — do it once.
+/// let archive = ProfileArchive::collect(&FitConfig::default());
+/// archive.save("profiles.json")?;
+/// // Cheap phase — refit as often as needed, e.g. for ablations.
+/// let restored = ProfileArchive::load("profiles.json")?;
+/// let linear_only =
+///     restored.fit(&FitConfig { allow_quadratic: false, ..FitConfig::default() })?;
+/// # let _ = linear_only;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileArchive {
+    /// Per-GPU batch size every profile was taken at.
+    batch: u64,
+    /// The profiling runs, grouped by CNN.
+    runs: Vec<ArchivedRun>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ArchivedRun {
+    cnn: CnnId,
+    profiles: Vec<TrainingProfile>,
+}
+
+/// Errors from archive I/O.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file exists but is not a valid archive.
+    Format(serde_json::Error),
+    /// The archive's contents contradict themselves or the request.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::Io(e) => write!(f, "archive I/O error: {e}"),
+            ArchiveError::Format(e) => write!(f, "archive format error: {e}"),
+            ArchiveError::Inconsistent(m) => write!(f, "inconsistent archive: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl ProfileArchive {
+    /// Collects profiles per `config` into an archive.
+    pub fn collect(config: &FitConfig) -> Self {
+        let runs = Ceer::collect_profiles(config)
+            .into_iter()
+            .map(|(cnn, _, profiles)| ArchivedRun { cnn: cnn.id(), profiles })
+            .collect();
+        ProfileArchive { batch: config.batch, runs }
+    }
+
+    /// The batch size the archive was profiled at.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// The CNNs in the archive.
+    pub fn cnns(&self) -> Vec<CnnId> {
+        self.runs.iter().map(|r| r.cnn).collect()
+    }
+
+    /// Total stored profiles.
+    pub fn profile_count(&self) -> usize {
+        self.runs.iter().map(|r| r.profiles.len()).sum()
+    }
+
+    /// Writes the archive as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialization failures.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArchiveError> {
+        let json = serde_json::to_vec(self).map_err(ArchiveError::Format)?;
+        fs::write(path, json).map_err(ArchiveError::Io)
+    }
+
+    /// Reads an archive from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, malformed JSON, or an internally inconsistent
+    /// archive (profile batch disagreeing with the archive batch).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArchiveError> {
+        let bytes = fs::read(path).map_err(ArchiveError::Io)?;
+        let archive: ProfileArchive =
+            serde_json::from_slice(&bytes).map_err(ArchiveError::Format)?;
+        for run in &archive.runs {
+            for profile in &run.profiles {
+                if profile.batch() != archive.batch {
+                    return Err(ArchiveError::Inconsistent(format!(
+                        "profile of {} has batch {}, archive says {}",
+                        run.cnn,
+                        profile.batch(),
+                        archive.batch
+                    )));
+                }
+                if profile.cnn() != run.cnn {
+                    return Err(ArchiveError::Inconsistent(format!(
+                        "profile of {} filed under {}",
+                        profile.cnn(),
+                        run.cnn
+                    )));
+                }
+            }
+        }
+        Ok(archive)
+    }
+
+    /// Fits a Ceer model from the archived profiles. `config` supplies the
+    /// fitting choices (e.g. `allow_quadratic`); its CNN list and batch are
+    /// overridden by the archive's contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the archive is missing single-GPU profiles or the K80
+    /// reference GPU.
+    pub fn fit(&self, config: &FitConfig) -> Result<CeerModel, ArchiveError> {
+        let runs: Vec<_> = self
+            .runs
+            .iter()
+            .map(|run| {
+                let cnn = Cnn::build(run.cnn, self.batch);
+                let graph = cnn.training_graph();
+                (cnn, graph, run.profiles.clone())
+            })
+            .collect();
+        let has_reference = runs.iter().any(|(_, _, ps)| {
+            ps.iter().any(|p| p.gpu() == ceer_gpusim::GpuModel::K80 && p.gpus() == 1)
+        });
+        if !has_reference {
+            return Err(ArchiveError::Inconsistent(
+                "archive lacks single-GPU K80 (P2) profiles; the classification \
+                 threshold is defined on P2"
+                    .to_string(),
+            ));
+        }
+        let fit_config = FitConfig {
+            cnns: self.cnns(),
+            batch: self.batch,
+            ..config.clone()
+        };
+        Ok(Ceer::fit_from_profiles(&fit_config, &runs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceer_gpusim::GpuModel;
+
+    fn tiny_config() -> FitConfig {
+        FitConfig {
+            cnns: vec![CnnId::Vgg11, CnnId::InceptionV1, CnnId::ResNet50],
+            iterations: 3,
+            parallel_degrees: vec![1, 2],
+            seed: 61,
+            ..FitConfig::default()
+        }
+    }
+
+    #[test]
+    fn archive_round_trips_and_refits_identically() {
+        let config = tiny_config();
+        let archive = ProfileArchive::collect(&config);
+        assert_eq!(archive.cnns(), config.cnns);
+        assert_eq!(archive.profile_count(), 3 * 4 * 2);
+
+        let dir = std::env::temp_dir().join("ceer-archive-test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("profiles.json");
+        archive.save(&path).expect("saves");
+        let restored = ProfileArchive::load(&path).expect("loads");
+        assert_eq!(archive, restored);
+
+        // Fitting from the archive matches fitting live.
+        let live = Ceer::fit(&config);
+        let from_archive = restored.fit(&config).expect("fits");
+        assert_eq!(live, from_archive);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("ceer-archive-test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("garbage.json");
+        fs::write(&path, b"{not json").expect("writes");
+        assert!(matches!(ProfileArchive::load(&path), Err(ArchiveError::Format(_))));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fit_requires_reference_gpu() {
+        let config = FitConfig {
+            gpus: vec![GpuModel::V100, GpuModel::K80],
+            ..tiny_config()
+        };
+        let mut archive = ProfileArchive::collect(&config);
+        // Strip the K80 profiles.
+        for run in &mut archive.runs {
+            run.profiles.retain(|p| p.gpu() != GpuModel::K80);
+        }
+        let err = archive.fit(&config).expect_err("must fail");
+        assert!(matches!(err, ArchiveError::Inconsistent(_)));
+        assert!(err.to_string().contains("K80"));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            ProfileArchive::load("/nonexistent/ceer-profiles.json"),
+            Err(ArchiveError::Io(_))
+        ));
+    }
+}

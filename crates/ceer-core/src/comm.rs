@@ -1,0 +1,280 @@
+//! The CNN-oblivious communication-overhead model.
+//!
+//! §IV-C of the paper: the per-iteration communication overhead —
+//! CPU↔GPU staging for a single GPU, plus gradient synchronization under
+//! data parallelism — is nearly linear in the CNN's number of model
+//! parameters, for every GPU model and GPU count (Figure 7). Ceer learns one
+//! simple linear regression per `(GPU model, GPU count)`:
+//!
+//! - for `k = 1`, the target is the communication time observed in GPU logs
+//!   (our profiles expose it as `sync_mean_us`);
+//! - for `k > 1`, the target is the paper's measurable proxy — the
+//!   difference between the mean per-iteration time on `k` GPUs and on one
+//!   GPU, with the per-GPU batch held constant.
+//!
+//! At prediction time the total overhead for `k` GPUs is the `k = 1`
+//! estimate plus (for `k > 1`) the fitted difference.
+
+use std::collections::BTreeMap;
+
+use ceer_gpusim::GpuModel;
+use ceer_stats::regression::SimpleOls;
+use serde::{Deserialize, Serialize};
+
+/// One training observation for the communication model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommSample {
+    /// GPU model.
+    pub gpu: GpuModel,
+    /// GPU count the observation was taken at.
+    pub gpus: u32,
+    /// Trainable parameters of the CNN.
+    pub params: u64,
+    /// Observed overhead, µs (sync time for k = 1; iteration-time difference
+    /// for k > 1).
+    pub overhead_us: f64,
+}
+
+/// The fitted communication model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    #[serde(with = "fits_serde")]
+    fits: BTreeMap<(GpuModel, u32), SimpleOls>,
+}
+
+/// Serializes the tuple-keyed fit map as a sequence of tagged entries
+/// (JSON maps require string keys).
+mod fits_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct Entry {
+        gpu: GpuModel,
+        gpus: u32,
+        ols: SimpleOls,
+    }
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<(GpuModel, u32), SimpleOls>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        serializer.collect_seq(
+            map.iter().map(|(&(gpu, gpus), ols)| Entry { gpu, gpus, ols: *ols }),
+        )
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<BTreeMap<(GpuModel, u32), SimpleOls>, D::Error> {
+        let entries = Vec::<Entry>::deserialize(deserializer)?;
+        Ok(entries.into_iter().map(|e| ((e.gpu, e.gpus), e.ols)).collect())
+    }
+}
+
+impl CommModel {
+    /// Fits one regression per `(gpu, gpus)` group present in `samples`.
+    ///
+    /// Groups with fewer than two distinct parameter counts are skipped (no
+    /// line can be fitted); prediction then falls back as described on
+    /// [`predict_us`](Self::predict_us).
+    pub fn fit(samples: &[CommSample]) -> Self {
+        let mut grouped: BTreeMap<(GpuModel, u32), (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+        for s in samples {
+            let entry = grouped.entry((s.gpu, s.gpus)).or_default();
+            entry.0.push(s.params as f64);
+            entry.1.push(s.overhead_us);
+        }
+        let mut fits = BTreeMap::new();
+        for ((gpu, gpus), (xs, ys)) in grouped {
+            if let Ok(ols) = SimpleOls::fit(&xs, &ys) {
+                fits.insert((gpu, gpus), ols);
+            }
+        }
+        CommModel { fits }
+    }
+
+    /// The fitted regression for a `(gpu, gpus)` group, if any.
+    pub fn fit_for(&self, gpu: GpuModel, gpus: u32) -> Option<&SimpleOls> {
+        self.fits.get(&(gpu, gpus))
+    }
+
+    /// Predicts the total per-iteration communication overhead (µs) for
+    /// `params` parameters on `gpus` GPUs of `gpu`.
+    ///
+    /// For GPU counts never profiled, the per-extra-GPU increment is
+    /// extrapolated linearly from the largest two profiled counts. Returns
+    /// `None` when no fit exists for the GPU model at all.
+    pub fn predict_us(&self, gpu: GpuModel, gpus: u32, params: u64) -> Option<f64> {
+        assert!(gpus > 0, "at least one GPU required");
+        let p = params as f64;
+        let base = self.fits.get(&(gpu, 1))?.predict(p).max(0.0);
+        if gpus == 1 {
+            return Some(base);
+        }
+        if let Some(diff_fit) = self.fits.get(&(gpu, gpus)) {
+            return Some((base + diff_fit.predict(p).max(0.0)).max(base));
+        }
+        // Extrapolate: overhead difference grows ~linearly in k (§III-D).
+        let mut ks: Vec<u32> =
+            self.fits.keys().filter(|(g, k)| *g == gpu && *k > 1).map(|(_, k)| *k).collect();
+        ks.sort_unstable();
+        match ks.len() {
+            0 => Some(base), // no multi-GPU data: optimistic lower bound
+            1 => {
+                let k0 = ks[0];
+                let d0 = self.fits[&(gpu, k0)].predict(p).max(0.0);
+                Some(base + d0 * (gpus - 1) as f64 / (k0 - 1) as f64)
+            }
+            _ => {
+                // Interpolate/extrapolate from the two nearest fitted
+                // counts (below for interior gaps, the top two otherwise).
+                let below = ks.iter().rev().find(|&&k| k < gpus).copied();
+                let (ka, kb) = match below {
+                    Some(b) if b != *ks.last().expect("non-empty") => {
+                        let above = ks.iter().find(|&&k| k > gpus).copied();
+                        (b, above.unwrap_or(*ks.last().expect("non-empty")))
+                    }
+                    _ => (ks[ks.len() - 2], ks[ks.len() - 1]),
+                };
+                let da = self.fits[&(gpu, ka)].predict(p).max(0.0);
+                let db = self.fits[&(gpu, kb)].predict(p).max(0.0);
+                let slope = (db - da) / (kb as f64 - ka as f64);
+                let diff = db + slope * (gpus as f64 - kb as f64);
+                Some(base + diff.max(0.0))
+            }
+        }
+    }
+
+    /// One-sigma uncertainty (µs) of the overhead prediction for a
+    /// configuration: the residual scatter of the contributing fits,
+    /// combined in quadrature.
+    pub fn residual_std_us(&self, gpu: GpuModel, gpus: u32) -> f64 {
+        let base = self.fits.get(&(gpu, 1)).map(|f| f.residual_std()).unwrap_or(0.0);
+        if gpus == 1 {
+            return base;
+        }
+        let diff = self.fits.get(&(gpu, gpus)).map(|f| f.residual_std()).unwrap_or(base);
+        (base * base + diff * diff).sqrt()
+    }
+
+    /// R² of every group fit, for reporting (the paper quotes 0.88–0.98).
+    pub fn r_squared_by_group(&self) -> Vec<(GpuModel, u32, f64)> {
+        self.fits.iter().map(|(&(g, k), f)| (g, k, f.r_squared())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_samples() -> Vec<CommSample> {
+        // Ground truth: base 100 + 2 us per Mparam at k=1; diff = (k-1) *
+        // (50 + 1 us per Mparam).
+        let mut out = Vec::new();
+        for &params in &[5_000_000u64, 25_000_000, 60_000_000, 140_000_000] {
+            let mp = params as f64 / 1e6;
+            out.push(CommSample {
+                gpu: GpuModel::T4,
+                gpus: 1,
+                params,
+                overhead_us: 100.0 + 2.0 * mp,
+            });
+            for k in 2..=4u32 {
+                out.push(CommSample {
+                    gpu: GpuModel::T4,
+                    gpus: k,
+                    params,
+                    overhead_us: (k - 1) as f64 * (50.0 + mp),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_linear_ground_truth() {
+        let model = CommModel::fit(&synthetic_samples());
+        let p = 40_000_000u64;
+        let expected_k1 = 100.0 + 2.0 * 40.0;
+        assert!((model.predict_us(GpuModel::T4, 1, p).unwrap() - expected_k1).abs() < 1e-6);
+        let expected_k3 = expected_k1 + 2.0 * (50.0 + 40.0);
+        assert!((model.predict_us(GpuModel::T4, 3, p).unwrap() - expected_k3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r_squared_is_high_for_linear_data() {
+        let model = CommModel::fit(&synthetic_samples());
+        for (_, _, r2) in model.r_squared_by_group() {
+            assert!(r2 > 0.99);
+        }
+    }
+
+    #[test]
+    fn extrapolates_beyond_profiled_counts() {
+        let model = CommModel::fit(&synthetic_samples());
+        let p = 40_000_000u64;
+        // True k=8 diff would be 7 * 90 = 630.
+        let k8 = model.predict_us(GpuModel::T4, 8, p).unwrap();
+        let k1 = model.predict_us(GpuModel::T4, 1, p).unwrap();
+        assert!(((k8 - k1) - 630.0).abs() < 1.0, "extrapolated diff {}", k8 - k1);
+    }
+
+    #[test]
+    fn unknown_gpu_returns_none() {
+        let model = CommModel::fit(&synthetic_samples());
+        assert!(model.predict_us(GpuModel::V100, 1, 1_000_000).is_none());
+    }
+
+    #[test]
+    fn skips_degenerate_groups() {
+        // Only one parameter count: no line.
+        let samples = vec![CommSample {
+            gpu: GpuModel::M60,
+            gpus: 1,
+            params: 10_000_000,
+            overhead_us: 500.0,
+        }];
+        let model = CommModel::fit(&samples);
+        assert!(model.fit_for(GpuModel::M60, 1).is_none());
+    }
+
+    #[test]
+    fn never_negative() {
+        // Decreasing data could give a negative prediction at large params.
+        let samples = vec![
+            CommSample { gpu: GpuModel::K80, gpus: 1, params: 1_000_000, overhead_us: 100.0 },
+            CommSample { gpu: GpuModel::K80, gpus: 1, params: 2_000_000, overhead_us: 10.0 },
+        ];
+        let model = CommModel::fit(&samples);
+        assert!(model.predict_us(GpuModel::K80, 1, 50_000_000).unwrap() >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod interpolation_tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_interior_gpu_counts() {
+        // Fits at k = 1, 2, 4; ask for k = 3 (this underflowed once).
+        let mut samples = Vec::new();
+        for &params in &[5_000_000u64, 50_000_000, 150_000_000] {
+            let mp = params as f64 / 1e6;
+            for k in [1u32, 2, 4] {
+                let overhead =
+                    if k == 1 { 100.0 + mp } else { (k - 1) as f64 * (40.0 + 2.0 * mp) };
+                samples.push(CommSample { gpu: GpuModel::V100, gpus: k, params, overhead_us: overhead });
+            }
+        }
+        let model = CommModel::fit(&samples);
+        let p = 50_000_000u64;
+        let k3 = model.predict_us(GpuModel::V100, 3, p).unwrap();
+        let k2 = model.predict_us(GpuModel::V100, 2, p).unwrap();
+        let k4 = model.predict_us(GpuModel::V100, 4, p).unwrap();
+        assert!(k2 < k3 && k3 < k4, "interpolation must be monotone: {k2} {k3} {k4}");
+        // Exact for this linear ground truth: diff(3) = 2*(40+100) = 280.
+        let expected = model.predict_us(GpuModel::V100, 1, p).unwrap() + 280.0;
+        assert!((k3 - expected).abs() < 1e-6, "k3 {k3} vs expected {expected}");
+    }
+}

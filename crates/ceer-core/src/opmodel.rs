@@ -1,0 +1,261 @@
+//! Per-(operation kind, GPU model) compute-time regression.
+//!
+//! §IV-B of the paper: heavy operations get a regression of compute time on
+//! their input-size features, one model per operation kind per GPU model.
+//! "Linear regression works well for most heavy operations … for a few
+//! operations, e.g. Conv2DBackpropFilter, a quadratic fit is much better
+//! suited." [`OpModel::fit`] reproduces that choice: it fits both forms and
+//! keeps the quadratic one only when it clearly wins on adjusted R².
+
+use ceer_gpusim::GpuModel;
+use ceer_graph::OpKind;
+use ceer_stats::regression::{adjusted_r_squared, MultipleOls};
+use serde::{Deserialize, Serialize};
+
+use crate::features::Features;
+
+/// Which functional form the selection kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelForm {
+    /// Multiple linear regression on the linear features.
+    Linear,
+    /// Linear regression augmented with product/squared features.
+    Quadratic,
+    /// Too little data or a singular design: predict the sample mean.
+    MeanFallback,
+}
+
+/// Minimum adjusted-R² gain for the quadratic form to displace the linear
+/// one (guards against the quadratic's mechanical in-sample advantage).
+const QUADRATIC_GAIN: f64 = 0.01;
+
+/// A fitted compute-time model for one (operation kind, GPU model) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpModel {
+    kind: OpKind,
+    gpu: GpuModel,
+    form: ModelForm,
+    ols: Option<MultipleOls>,
+    mean_us: f64,
+    r_squared: f64,
+    samples: usize,
+    #[serde(default)]
+    sample_std_us: f64,
+}
+
+impl OpModel {
+    /// Fits the model from `(features, mean compute time µs)` samples of all
+    /// instances of `kind` observed on `gpu` across the training CNNs.
+    ///
+    /// Falls back to the sample mean when there are too few samples or the
+    /// design is singular (e.g. every instance has identical input sizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn fit(kind: OpKind, gpu: GpuModel, samples: &[(Features, f64)]) -> Self {
+        Self::fit_with_forms(kind, gpu, samples, true)
+    }
+
+    /// Like [`fit`](Self::fit), but with the quadratic form disabled when
+    /// `allow_quadratic` is false — the paper's linear-only ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn fit_with_forms(
+        kind: OpKind,
+        gpu: GpuModel,
+        samples: &[(Features, f64)],
+        allow_quadratic: bool,
+    ) -> Self {
+        assert!(!samples.is_empty(), "cannot fit an op model without samples");
+        let ys: Vec<f64> = samples.iter().map(|(_, y)| *y).collect();
+        let mean_us = ys.iter().sum::<f64>() / ys.len() as f64;
+        let sample_std_us = if ys.len() > 1 {
+            let ss: f64 = ys.iter().map(|y| (y - mean_us) * (y - mean_us)).sum();
+            (ss / (ys.len() - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+
+        let linear_rows: Vec<Vec<f64>> =
+            samples.iter().map(|(f, _)| f.linear.clone()).collect();
+        let quad_rows: Vec<Vec<f64>> = samples.iter().map(|(f, _)| f.quadratic()).collect();
+
+        let evaluate = |ols: &MultipleOls, rows: &[Vec<f64>]| -> Option<f64> {
+            let predicted: Vec<f64> = rows.iter().map(|r| ols.predict(r)).collect();
+            adjusted_r_squared(&ys, &predicted, ols.feature_count()).ok()
+        };
+
+        let linear_fit = MultipleOls::fit(&linear_rows, &ys).ok();
+        let quad_fit =
+            if allow_quadratic { MultipleOls::fit(&quad_rows, &ys).ok() } else { None };
+        let linear = linear_fit
+            .clone()
+            .and_then(|m| evaluate(&m, &linear_rows).map(|adj| (m, adj)));
+        let quadratic =
+            quad_fit.clone().and_then(|m| evaluate(&m, &quad_rows).map(|adj| (m, adj)));
+
+        let (form, ols, r_squared) = match (linear, quadratic) {
+            (Some((lm, ladj)), Some((qm, qadj))) => {
+                if qadj > ladj + QUADRATIC_GAIN {
+                    (ModelForm::Quadratic, Some(qm), qadj)
+                } else {
+                    (ModelForm::Linear, Some(lm), ladj)
+                }
+            }
+            (Some((lm, ladj)), None) => (ModelForm::Linear, Some(lm), ladj),
+            (None, Some((qm, qadj))) => (ModelForm::Quadratic, Some(qm), qadj),
+            // Too few samples for adjusted R² (e.g. an op kind with only a
+            // couple of instances in the training CNNs): still prefer an
+            // exact/interpolating linear fit over the mean — extrapolating
+            // along input size beats ignoring input size entirely.
+            (None, None) => match linear_fit {
+                Some(lm) => {
+                    let r2 = lm.r_squared();
+                    (ModelForm::Linear, Some(lm), r2)
+                }
+                None => (ModelForm::MeanFallback, None, 0.0),
+            },
+        };
+        OpModel { kind, gpu, form, ols, mean_us, r_squared, samples: samples.len(), sample_std_us }
+    }
+
+    /// Predicted compute time (µs) for an instance with `features`. Never
+    /// negative: regression extrapolation is clamped at zero.
+    pub fn predict_us(&self, features: &Features) -> f64 {
+        let raw = match (&self.form, &self.ols) {
+            (ModelForm::Linear, Some(ols)) => ols.predict(&features.linear),
+            (ModelForm::Quadratic, Some(ols)) => ols.predict(&features.quadratic()),
+            _ => self.mean_us,
+        };
+        raw.max(0.0)
+    }
+
+    /// Operation kind this model covers.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// GPU model this model covers.
+    pub fn gpu(&self) -> GpuModel {
+        self.gpu
+    }
+
+    /// The selected functional form.
+    pub fn form(&self) -> ModelForm {
+        self.form
+    }
+
+    /// Adjusted R² of the selected fit (0 for the mean fallback).
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Number of training samples.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Mean training compute time (the fallback prediction), µs.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_us
+    }
+
+    /// One-sigma prediction uncertainty for a single instance, µs: the
+    /// regression's residual standard error, or the sample standard
+    /// deviation for the mean fallback.
+    pub fn residual_std_us(&self) -> f64 {
+        match (&self.form, &self.ols) {
+            (ModelForm::MeanFallback, _) | (_, None) => self.sample_std_us,
+            (_, Some(ols)) => ols.residual_std(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(primary: f64) -> Features {
+        Features { linear: vec![primary], quadratic_extra: vec![primary * primary] }
+    }
+
+    #[test]
+    fn linear_data_selects_linear_form() {
+        let samples: Vec<(Features, f64)> =
+            (1..40).map(|i| (feat(i as f64), 3.0 * i as f64 + 10.0)).collect();
+        let m = OpModel::fit(OpKind::Relu, GpuModel::V100, &samples);
+        assert_eq!(m.form(), ModelForm::Linear);
+        assert!(m.r_squared() > 0.999);
+        assert!((m.predict_us(&feat(50.0)) - 160.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quadratic_data_selects_quadratic_form() {
+        let samples: Vec<(Features, f64)> = (1..40)
+            .map(|i| {
+                let x = i as f64;
+                (feat(x), 0.5 * x * x + 3.0 * x + 10.0)
+            })
+            .collect();
+        let m = OpModel::fit(OpKind::Conv2DBackpropFilter, GpuModel::K80, &samples);
+        assert_eq!(m.form(), ModelForm::Quadratic);
+        let expected = 0.5 * 2500.0 + 150.0 + 10.0;
+        assert!((m.predict_us(&feat(50.0)) - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn degenerate_design_falls_back_to_mean() {
+        // All instances identical -> singular design.
+        let samples: Vec<(Features, f64)> = (0..10).map(|_| (feat(5.0), 100.0)).collect();
+        let m = OpModel::fit(OpKind::Mean, GpuModel::T4, &samples);
+        assert_eq!(m.form(), ModelForm::MeanFallback);
+        assert_eq!(m.predict_us(&feat(123.0)), 100.0);
+    }
+
+    #[test]
+    fn two_samples_fit_an_exact_line() {
+        let samples = vec![(feat(1.0), 10.0), (feat(2.0), 20.0)];
+        let m = OpModel::fit(OpKind::Mul, GpuModel::M60, &samples);
+        // Two samples cannot support adjusted R², but an interpolating line
+        // still extrapolates along input size.
+        assert_eq!(m.form(), ModelForm::Linear);
+        assert!((m.predict_us(&feat(9.0)) - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_falls_back_to_mean() {
+        let samples = vec![(feat(3.0), 30.0)];
+        let m = OpModel::fit(OpKind::Mul, GpuModel::M60, &samples);
+        assert_eq!(m.form(), ModelForm::MeanFallback);
+        assert_eq!(m.predict_us(&feat(100.0)), 30.0);
+    }
+
+    #[test]
+    fn predictions_are_clamped_non_negative() {
+        // Steep negative intercept -> small inputs would predict < 0.
+        let samples: Vec<(Features, f64)> =
+            (10..50).map(|i| (feat(i as f64), 5.0 * i as f64 - 40.0)).collect();
+        let m = OpModel::fit(OpKind::AddV2, GpuModel::V100, &samples);
+        assert!(m.predict_us(&feat(0.0)) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without samples")]
+    fn rejects_empty_samples() {
+        OpModel::fit(OpKind::Relu, GpuModel::V100, &[]);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let samples: Vec<(Features, f64)> =
+            (1..20).map(|i| (feat(i as f64), i as f64)).collect();
+        let m = OpModel::fit(OpKind::BiasAdd, GpuModel::T4, &samples);
+        assert_eq!(m.kind(), OpKind::BiasAdd);
+        assert_eq!(m.gpu(), GpuModel::T4);
+        assert_eq!(m.samples(), 19);
+        assert!(m.mean_us() > 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Aggregates the check artifacts written by the other regenerators
+//! (run them with `CEER_RESULTS_DIR=results`, e.g. via
+//! `scripts/run_experiments.sh`) into one reproduction scorecard.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ceer_experiments::checks::Check;
+use ceer_experiments::Table;
+
+fn main() {
+    let dir = std::env::var("CEER_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let mut entries: Vec<(String, Vec<Check>)> = Vec::new();
+    let Ok(read_dir) = fs::read_dir(&dir) else {
+        eprintln!("no results directory at {dir:?}; run scripts/run_experiments.sh first");
+        std::process::exit(2);
+    };
+    let mut paths: Vec<PathBuf> = read_dir
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.to_string_lossy().ends_with(".checks.json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().replace(".checks.json", ""))
+            .unwrap_or_default();
+        match fs::read(&path).ok().and_then(|b| serde_json::from_slice::<Vec<Check>>(&b).ok()) {
+            Some(checks) => entries.push((name, checks)),
+            None => eprintln!("skipping unreadable artifact {}", path.display()),
+        }
+    }
+    if entries.is_empty() {
+        eprintln!("no *.checks.json artifacts in {dir:?}");
+        std::process::exit(2);
+    }
+
+    println!("== Reproduction scorecard ==\n");
+    let mut table = Table::new(vec!["experiment", "checks", "deviations"]);
+    let mut total = 0;
+    let mut passed = 0;
+    let mut deviations: Vec<(String, Check)> = Vec::new();
+    for (name, checks) in &entries {
+        let ok = checks.iter().filter(|c| c.pass).count();
+        table.row(vec![
+            name.clone(),
+            format!("{ok}/{}", checks.len()),
+            format!("{}", checks.len() - ok),
+        ]);
+        total += checks.len();
+        passed += ok;
+        for c in checks.iter().filter(|c| !c.pass) {
+            deviations.push((name.clone(), c.clone()));
+        }
+    }
+    table.print();
+    println!("\ntotal: {passed}/{total} paper-vs-measured checks match");
+    if !deviations.is_empty() {
+        println!("\ndocumented deviations (see EXPERIMENTS.md):");
+        for (name, c) in &deviations {
+            println!("  - [{name}] {}: paper {} | measured {}", c.name, c.paper, c.measured);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! §II's hardware table: the AWS GPU instances the paper evaluates, their
+//! GPU models, and both price books (AWS On-Demand and the §V market-ratio
+//! variant).
+
+use ceer_cloud::{Catalog, Pricing, OFFERINGS};
+use ceer_experiments::{CheckList, Table};
+use ceer_gpusim::GpuModel;
+
+fn main() {
+    println!("== AWS GPU instance catalog (paper §II / §V) ==\n");
+
+    let mut table = Table::new(vec![
+        "instance", "GPU", "GPUs", "$/hr (AWS)", "CUDA cores", "mem (GiB)",
+    ]);
+    for o in &OFFERINGS {
+        let spec = o.gpu.spec();
+        table.row(vec![
+            o.name.to_string(),
+            o.gpu.name().to_string(),
+            format!("{}", o.gpu_count),
+            format!("{:.3}", o.hourly_usd),
+            format!("{}", spec.cuda_cores),
+            format!("{}", spec.memory_gib),
+        ]);
+    }
+    table.print();
+
+    println!("\nmarket-ratio per-GPU prices (§V):");
+    let market = Catalog::new(Pricing::MarketRatio);
+    for &gpu in GpuModel::all() {
+        println!("  {}: ${:.2}/hr per GPU", gpu, market.instance(gpu, 1).hourly_usd());
+    }
+
+    let aws = Catalog::new(Pricing::OnDemand);
+    let mut checks = CheckList::new();
+    checks.add(
+        "single-GPU price range",
+        "$0.75 to $3.06 per hour",
+        format!(
+            "${:.2} to ${:.2}",
+            aws.instance(GpuModel::M60, 1).hourly_usd(),
+            aws.instance(GpuModel::V100, 1).hourly_usd()
+        ),
+        true,
+    );
+    checks.add(
+        "market price ratio P3:G4:G3:P2",
+        "1 : 0.31 : 0.18 : 0.05",
+        format!(
+            "1 : {:.2} : {:.2} : {:.2}",
+            0.95 / 3.06,
+            0.55 / 3.06,
+            0.15 / 3.06
+        ),
+        true,
+    );
+    checks.print();
+}

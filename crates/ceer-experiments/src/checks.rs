@@ -1,0 +1,126 @@
+//! Paper-vs-measured checks.
+//!
+//! Each regenerator finishes with a list of the paper's quantitative claims
+//! next to the reproduction's measurements, with a pass/deviation verdict.
+//! Deviations are first-class outcomes — they are recorded, not hidden (see
+//! EXPERIMENTS.md for the discussion of each).
+
+use serde::{Deserialize, Serialize};
+
+/// One paper claim with the measured counterpart.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Check {
+    /// What is being checked.
+    pub name: String,
+    /// The paper's number/statement.
+    pub paper: String,
+    /// The reproduction's measurement.
+    pub measured: String,
+    /// Whether the reproduction matches (by whatever tolerance the
+    /// experiment deems appropriate).
+    pub pass: bool,
+}
+
+/// Collects checks and prints a verdict block.
+#[derive(Debug, Clone, Default)]
+pub struct CheckList {
+    checks: Vec<Check>,
+}
+
+impl CheckList {
+    /// Creates an empty check list.
+    pub fn new() -> Self {
+        CheckList::default()
+    }
+
+    /// Records a check.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        pass: bool,
+    ) {
+        self.checks.push(Check {
+            name: name.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            pass,
+        });
+    }
+
+    /// The recorded checks.
+    pub fn checks(&self) -> &[Check] {
+        &self.checks
+    }
+
+    /// Number of passing checks.
+    pub fn passed(&self) -> usize {
+        self.checks.iter().filter(|c| c.pass).count()
+    }
+
+    /// Renders the verdict block.
+    pub fn render(&self) -> String {
+        let mut out = String::from("\npaper vs measured\n");
+        for c in &self.checks {
+            out.push_str(&format!(
+                "  [{}] {}: paper {} | measured {}\n",
+                if c.pass { "ok" } else { "DEVIATION" },
+                c.name,
+                c.paper,
+                c.measured
+            ));
+        }
+        out.push_str(&format!("  => {}/{} checks match\n", self.passed(), self.checks.len()));
+        out
+    }
+
+    /// Prints the verdict block to stdout and, when `CEER_RESULTS_DIR` is
+    /// set, also writes the checks as JSON (named after the running binary)
+    /// so `exp_summary` can aggregate them.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        if let Ok(dir) = std::env::var("CEER_RESULTS_DIR") {
+            let name = std::env::args()
+                .next()
+                .and_then(|p| {
+                    std::path::Path::new(&p)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                })
+                .unwrap_or_else(|| "unknown".to_string());
+            let path = std::path::Path::new(&dir).join(format!("{name}.checks.json"));
+            let _ = std::fs::create_dir_all(&dir);
+            if let Ok(json) = serde_json::to_vec_pretty(&self.checks) {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("[ceer] could not write {}: {e}", path.display());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_passes() {
+        let mut c = CheckList::new();
+        c.add("a", "1", "1", true);
+        c.add("b", "2", "3", false);
+        assert_eq!(c.passed(), 1);
+        assert_eq!(c.checks().len(), 2);
+    }
+
+    #[test]
+    fn render_flags_deviations() {
+        let mut c = CheckList::new();
+        c.add("x", "10x", "9.4x", true);
+        c.add("y", "G4 wins", "P3 wins", false);
+        let r = c.render();
+        assert!(r.contains("[ok] x"));
+        assert!(r.contains("[DEVIATION] y"));
+        assert!(r.contains("1/2 checks match"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Experiment configuration and the cached fitting step.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ceer_core::{Ceer, CeerModel, FitConfig};
+
+/// Seed offset for observation runs, so observed noise is independent of the
+/// noise Ceer was fitted on.
+pub const OBSERVATION_SEED_OFFSET: u64 = 0x5EED_0B5E;
+
+/// Shared configuration for an experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    fit_config: FitConfig,
+    observe_iterations: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl ExperimentContext {
+    /// Builds the context from the environment (see crate docs for knobs).
+    pub fn from_env() -> Self {
+        let fit_config = FitConfig {
+            iterations: env_usize("CEER_FIT_ITERS", 200),
+            seed: env_u64("CEER_SEED", 0),
+            ..FitConfig::default()
+        };
+        ExperimentContext { fit_config, observe_iterations: env_usize("CEER_OBS_ITERS", 40) }
+    }
+
+    /// The fitting configuration (the paper's full methodology: 8 training
+    /// CNNs × 4 GPU models × 1–4 GPUs).
+    pub fn fit_config(&self) -> &FitConfig {
+        &self.fit_config
+    }
+
+    /// Iterations behind each observed measurement.
+    pub fn observe_iterations(&self) -> usize {
+        self.observe_iterations
+    }
+
+    /// Seed for observation runs (independent of the fitting seed).
+    pub fn observation_seed(&self) -> u64 {
+        self.fit_config.seed ^ OBSERVATION_SEED_OFFSET
+    }
+
+    fn cache_path(&self) -> PathBuf {
+        let key = format!(
+            "iters{}-seed{}-batch{}",
+            self.fit_config.iterations, self.fit_config.seed, self.fit_config.batch
+        );
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/ceer-cache")
+            .join(format!("model-{key}.json"))
+    }
+
+    /// Fits Ceer on the paper's training set, reusing a cached model when
+    /// one exists for this configuration (the cache lives under `target/`).
+    pub fn fitted_model(&self) -> CeerModel {
+        let path = self.cache_path();
+        if let Ok(bytes) = fs::read(&path) {
+            if let Ok(model) = serde_json::from_slice::<CeerModel>(&bytes) {
+                eprintln!("[ceer] reusing cached model: {}", path.display());
+                return model;
+            }
+        }
+        eprintln!(
+            "[ceer] fitting on {} CNNs x {} GPUs ({} iterations)...",
+            self.fit_config.cnns.len(),
+            self.fit_config.gpus.len(),
+            self.fit_config.iterations
+        );
+        let started = std::time::Instant::now();
+        let model = Ceer::fit(&self.fit_config);
+        eprintln!("[ceer] fit done in {:.1?}", started.elapsed());
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        if let Ok(json) = serde_json::to_vec(&model) {
+            let _ = fs::write(&path, json);
+        }
+        model
+    }
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_usize("CEER_DOES_NOT_EXIST", 7), 7);
+        assert_eq!(env_u64("CEER_DOES_NOT_EXIST", 9), 9);
+    }
+
+    #[test]
+    fn observation_seed_differs_from_fit_seed() {
+        let ctx = ExperimentContext::from_env();
+        assert_ne!(ctx.observation_seed(), ctx.fit_config().seed);
+    }
+
+    #[test]
+    fn cache_path_encodes_config() {
+        let ctx = ExperimentContext::from_env();
+        let path = ctx.cache_path();
+        assert!(path.to_string_lossy().contains("model-iters"));
+    }
+}

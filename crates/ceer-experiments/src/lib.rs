@@ -1,0 +1,31 @@
+//! Shared harness for the experiment regenerators.
+//!
+//! Every table and figure in the paper's evaluation has a binary in
+//! `src/bin/` (see DESIGN.md §5 for the index). This library holds what they
+//! share: the experiment configuration (environment-overridable), a cached
+//! Ceer fitting step, observation helpers that run the training simulator,
+//! plain-text table rendering, and the paper-vs-measured check list each
+//! regenerator prints at the end.
+//!
+//! Environment knobs:
+//!
+//! - `CEER_FIT_ITERS`: profiling iterations per training run during fitting
+//!   (default 200; the paper uses 1,000 — set it for maximum fidelity).
+//! - `CEER_OBS_ITERS`: iterations behind each "observed" measurement
+//!   (default 40).
+//! - `CEER_SEED`: base seed for the fitting profiles (default 0). Observed
+//!   runs always use an independent seed so Ceer is never graded against
+//!   noise it has seen.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod context;
+pub mod observe;
+pub mod table;
+
+pub use checks::CheckList;
+pub use context::ExperimentContext;
+pub use observe::Observatory;
+pub use table::Table;

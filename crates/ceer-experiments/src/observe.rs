@@ -1,0 +1,99 @@
+//! Observation helpers: ground-truth measurements from the simulator.
+//!
+//! "Observed" values in every figure come from running the training
+//! simulator with a seed independent of the one Ceer was fitted on, exactly
+//! as the paper measures real runs on EC2.
+
+use std::collections::HashMap;
+
+use ceer_gpusim::GpuModel;
+use ceer_graph::models::{Cnn, CnnId};
+use ceer_graph::Graph;
+use ceer_trainer::{Trainer, TrainingProfile};
+
+use crate::context::ExperimentContext;
+
+/// Runs and caches observation profiles and training graphs.
+pub struct Observatory {
+    seed: u64,
+    iterations: usize,
+    batch: u64,
+    graphs: HashMap<CnnId, (Cnn, Graph)>,
+    profiles: HashMap<(CnnId, GpuModel, u32), TrainingProfile>,
+}
+
+impl Observatory {
+    /// Creates an observatory for the context's observation settings.
+    pub fn new(ctx: &ExperimentContext) -> Self {
+        Observatory {
+            seed: ctx.observation_seed(),
+            iterations: ctx.observe_iterations(),
+            batch: ctx.fit_config().batch,
+            graphs: HashMap::new(),
+            profiles: HashMap::new(),
+        }
+    }
+
+    /// The CNN and its (cached) training graph.
+    pub fn cnn_and_graph(&mut self, id: CnnId) -> &(Cnn, Graph) {
+        let batch = self.batch;
+        self.graphs.entry(id).or_insert_with(|| {
+            let cnn = Cnn::build(id, batch);
+            let graph = cnn.training_graph();
+            (cnn, graph)
+        })
+    }
+
+    /// The observed profile of `id` on `gpus`×`gpu` (cached).
+    pub fn profile(&mut self, id: CnnId, gpu: GpuModel, gpus: u32) -> &TrainingProfile {
+        if !self.profiles.contains_key(&(id, gpu, gpus)) {
+            let (seed, iterations) = (self.seed, self.iterations);
+            self.cnn_and_graph(id);
+            let (cnn, graph) = &self.graphs[&id];
+            let profile =
+                Trainer::new(gpu, gpus).with_seed(seed).profile_graph(cnn, graph, iterations);
+            self.profiles.insert((id, gpu, gpus), profile);
+        }
+        &self.profiles[&(id, gpu, gpus)]
+    }
+
+    /// Observed mean iteration time, µs.
+    pub fn iteration_us(&mut self, id: CnnId, gpu: GpuModel, gpus: u32) -> f64 {
+        self.profile(id, gpu, gpus).iteration_mean_us()
+    }
+
+    /// Observed time to train `total_samples` samples for one epoch, µs.
+    pub fn epoch_us(&mut self, id: CnnId, gpu: GpuModel, gpus: u32, total_samples: u64) -> f64 {
+        self.profile(id, gpu, gpus).epoch_time_us(total_samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> ExperimentContext {
+        // Uses env defaults; observation count shrunk via the env would be
+        // nicer, but constructing directly keeps the test hermetic.
+        ExperimentContext::from_env()
+    }
+
+    #[test]
+    fn caches_profiles() {
+        let mut obs = Observatory::new(&tiny_ctx());
+        obs.iterations = 2;
+        let a = obs.iteration_us(CnnId::AlexNet, GpuModel::V100, 1);
+        let b = obs.iteration_us(CnnId::AlexNet, GpuModel::V100, 1);
+        assert_eq!(a, b);
+        assert_eq!(obs.profiles.len(), 1);
+    }
+
+    #[test]
+    fn graph_is_reused() {
+        let mut obs = Observatory::new(&tiny_ctx());
+        obs.iterations = 2;
+        let _ = obs.iteration_us(CnnId::AlexNet, GpuModel::V100, 1);
+        let _ = obs.iteration_us(CnnId::AlexNet, GpuModel::K80, 1);
+        assert_eq!(obs.graphs.len(), 1);
+    }
+}

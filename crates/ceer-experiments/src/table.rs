@@ -1,0 +1,165 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt::Display;
+
+/// A simple right-aligned text table.
+///
+/// ```
+/// use ceer_experiments::Table;
+///
+/// let mut t = Table::new(vec!["op", "P3 (us)", "P2 (us)"]);
+/// t.row(vec!["Conv2D".to_string(), "120.0".to_string(), "1180.4".to_string()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("Conv2D"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Display>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(|h| h.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: first column left-aligned, the rest right-aligned.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats microseconds as milliseconds with one decimal.
+pub fn ms(us: f64) -> String {
+    format!("{:.1}", us / 1000.0)
+}
+
+/// Formats microseconds as hours with two decimals.
+pub fn hours(us: f64) -> String {
+    format!("{:.2}", us / 3.6e9)
+}
+
+/// Formats a dollar amount.
+pub fn usd(v: f64) -> String {
+    format!("${v:.2}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(1500.0), "1.5");
+        assert_eq!(usd(2.5), "$2.50");
+        assert_eq!(pct(0.358), "35.8%");
+        assert_eq!(hours(3.6e9), "1.00");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x".into(), "1".into()]);
+        let md = t.render_markdown();
+        assert!(md.starts_with("| a | b |\n|---|---|\n"));
+        assert!(md.contains("| x | 1 |"));
+    }
+
+    #[test]
+    fn len_tracks_rows() {
+        let mut t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["r".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! GPU hardware descriptors.
+//!
+//! One descriptor per AWS-offered GPU model (§II of the paper). Peak numbers
+//! are the vendors' datasheet values; the *efficiency* factors are this
+//! reproduction's calibration constants. The calibration reconciles two
+//! facts the paper reports side by side: per-operation averages show P3
+//! ≈ 10× faster than P2 and ≈ 4× faster than G4 (Figure 2), while
+//! end-to-end training is only ≈ 3.6× / ≈ 2.3× faster (Figure 8). Both
+//! hold when the *compute-bound* ops (convolutions, matmuls — which
+//! dominate training time) have modest cross-GPU ratios (T4 ≈ 2×,
+//! M60 ≈ 3×, K80 ≈ 3.6× vs V100) and the numerous *memory-bound* ops
+//! (pooling, activations, batch-norm) have large ones (T4 ≈ 4.5×,
+//! M60 ≈ 7×, K80 ≈ 9.5×): the unweighted mean over op kinds is then
+//! dominated by the memory-bound majority, the time-weighted end-to-end
+//! ratio by the compute-bound minority.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The four GPU models offered by AWS GPU instances (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// NVIDIA Tesla V100 (P3 instances): 5,120 CUDA cores, 640 tensor cores,
+    /// 16 GB HBM2.
+    V100,
+    /// NVIDIA K80 (P2 instances): 2,496 cores, 12 GB (per logical GPU).
+    K80,
+    /// NVIDIA T4 Tensor Core (G4 instances): 2,560 cores, 16 GB.
+    T4,
+    /// NVIDIA Tesla M60 (G3 instances): 2,048 cores, 8 GB.
+    M60,
+}
+
+impl GpuModel {
+    /// All four models, newest first.
+    pub fn all() -> &'static [GpuModel] {
+        &[GpuModel::V100, GpuModel::K80, GpuModel::T4, GpuModel::M60]
+    }
+
+    /// The AWS instance family carrying this GPU (`P3`, `P2`, `G4`, `G3`).
+    pub fn aws_family(self) -> &'static str {
+        match self {
+            GpuModel::V100 => "P3",
+            GpuModel::K80 => "P2",
+            GpuModel::T4 => "G4",
+            GpuModel::M60 => "G3",
+        }
+    }
+
+    /// Marketing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuModel::V100 => "Tesla V100",
+            GpuModel::K80 => "K80",
+            GpuModel::T4 => "T4 Tensor Core",
+            GpuModel::M60 => "Tesla M60",
+        }
+    }
+
+    /// The hardware descriptor for this model.
+    pub fn spec(self) -> &'static GpuSpec {
+        match self {
+            GpuModel::V100 => &V100_SPEC,
+            GpuModel::K80 => &K80_SPEC,
+            GpuModel::T4 => &T4_SPEC,
+            GpuModel::M60 => &M60_SPEC,
+        }
+    }
+}
+
+impl fmt::Display for GpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.aws_family())
+    }
+}
+
+/// Hardware characteristics of one GPU model.
+///
+/// `effective_*` throughputs (peak × efficiency) are what the roofline model
+/// actually uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// CUDA cores (datasheet).
+    pub cuda_cores: u32,
+    /// GPU memory in GiB (datasheet, AWS default configuration).
+    pub memory_gib: u32,
+    /// Peak single-precision throughput in TFLOP/s (datasheet).
+    pub peak_tflops: f64,
+    /// Achievable fraction of peak compute on CNN kernels (calibration).
+    pub compute_efficiency: f64,
+    /// Peak memory bandwidth in GB/s (datasheet).
+    pub peak_bandwidth_gbps: f64,
+    /// Achievable fraction of peak bandwidth (calibration).
+    pub bandwidth_efficiency: f64,
+    /// Fixed kernel-launch overhead per operation, µs.
+    pub launch_overhead_us: f64,
+    /// Effective per-iteration CPU↔GPU transfer rate for single-GPU training
+    /// (input staging plus amortized weight traffic), GB/s. This is what
+    /// makes the k=1 communication overhead linear in the parameter count.
+    pub host_sync_gbps: f64,
+    /// Effective per-extra-GPU gradient-synchronization rate under data
+    /// parallelism (all-reduce plus straggler waits folded in), GB/s.
+    pub peer_sync_gbps: f64,
+    /// Fixed synchronization latency per iteration, µs.
+    pub sync_base_us: f64,
+    /// Fixed straggler/coordination delay per *extra* GPU in the
+    /// data-parallel synchronization phase, µs. (A further, smaller
+    /// straggler component proportional to the replica compute time lives
+    /// in the sync model itself.)
+    pub straggler_us: f64,
+    /// Cache re-read penalty for windowed operations (pooling, LRN): how
+    /// many times the input neighbourhood is effectively re-fetched from
+    /// DRAM. Modern GPUs with large caches keep this near 1; older parts
+    /// re-read aggressively — which is exactly why the paper finds the P3
+    /// cost-efficient for pooling ops despite its price (§III-B).
+    pub windowed_reread_factor: f64,
+}
+
+impl GpuSpec {
+    /// Effective compute throughput in FLOP/s.
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_tflops * 1e12 * self.compute_efficiency
+    }
+
+    /// Effective memory bandwidth in bytes/s.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.peak_bandwidth_gbps * 1e9 * self.bandwidth_efficiency
+    }
+}
+
+/// Tesla V100 (Volta): the paper's latest-generation GPU, with HBM2 memory
+/// whose bandwidth is what makes P3 the cost-efficient choice for
+/// memory-bound pooling ops.
+static V100_SPEC: GpuSpec = GpuSpec {
+    cuda_cores: 5120,
+    memory_gib: 16,
+    peak_tflops: 14.0,
+    compute_efficiency: 0.75,
+    peak_bandwidth_gbps: 900.0,
+    bandwidth_efficiency: 0.8,
+    launch_overhead_us: 4.0,
+    host_sync_gbps: 38.0,
+    peer_sync_gbps: 25.0,
+    sync_base_us: 3000.0,
+    straggler_us: 11100.0,
+    windowed_reread_factor: 1.15
+};
+
+/// K80 (Kepler, one GK210 die at boost clocks as AWS exposes it): oldest
+/// generation; worst memory system by far (the calibration gives it the
+/// lowest effective bandwidth, which is what drags its Figure-2 average to
+/// ~10× behind the V100).
+static K80_SPEC: GpuSpec = GpuSpec {
+    cuda_cores: 2496,
+    memory_gib: 12,
+    peak_tflops: 4.37, // GK210 at boost clocks
+    compute_efficiency: 0.67,
+    peak_bandwidth_gbps: 240.0,
+    bandwidth_efficiency: 0.32,
+    launch_overhead_us: 10.0,
+    host_sync_gbps: 7.0,
+    peer_sync_gbps: 4.0,
+    sync_base_us: 9000.0,
+    straggler_us: 60000.0,
+    windowed_reread_factor: 3.5
+};
+
+/// T4 (Turing): modern architecture on a small power budget — decent compute
+/// efficiency, modest bandwidth; the paper's cost-efficiency winner for
+/// moderately compute-intensive ops.
+static T4_SPEC: GpuSpec = GpuSpec {
+    cuda_cores: 2560,
+    memory_gib: 16,
+    peak_tflops: 8.1,
+    compute_efficiency: 0.65,
+    peak_bandwidth_gbps: 320.0,
+    bandwidth_efficiency: 0.59,
+    launch_overhead_us: 5.0,
+    host_sync_gbps: 14.0,
+    peer_sync_gbps: 10.0,
+    sync_base_us: 5000.0,
+    straggler_us: 29000.0,
+    windowed_reread_factor: 2.5
+};
+
+/// Tesla M60 (Maxwell): sits between K80 and T4 on both resources. Its
+/// higher per-op launch overhead is what makes some small operations slower
+/// on G3 than on P2 (the paper: "for some operations, G3 has higher compute
+/// times than P2").
+static M60_SPEC: GpuSpec = GpuSpec {
+    cuda_cores: 2048,
+    memory_gib: 8,
+    peak_tflops: 4.8,
+    compute_efficiency: 0.72,
+    peak_bandwidth_gbps: 160.0,
+    bandwidth_efficiency: 0.7,
+    launch_overhead_us: 12.0,
+    host_sync_gbps: 8.0,
+    peer_sync_gbps: 6.0,
+    sync_base_us: 7000.0,
+    straggler_us: 47000.0,
+    windowed_reread_factor: 3.0
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_models() {
+        assert_eq!(GpuModel::all().len(), 4);
+    }
+
+    #[test]
+    fn families_match_paper() {
+        assert_eq!(GpuModel::V100.aws_family(), "P3");
+        assert_eq!(GpuModel::K80.aws_family(), "P2");
+        assert_eq!(GpuModel::T4.aws_family(), "G4");
+        assert_eq!(GpuModel::M60.aws_family(), "G3");
+    }
+
+    #[test]
+    fn v100_dominates_effective_throughput() {
+        let v = GpuModel::V100.spec();
+        for &m in &[GpuModel::K80, GpuModel::T4, GpuModel::M60] {
+            assert!(v.effective_flops() > m.spec().effective_flops());
+            assert!(v.effective_bandwidth() > m.spec().effective_bandwidth());
+        }
+    }
+
+    #[test]
+    fn cross_gpu_ratios_match_calibration_targets() {
+        // Compute-bound ratios are modest (end-to-end reality, Fig. 8);
+        // memory-bound ratios are large (per-op averages, Fig. 2).
+        let v = GpuModel::V100.spec();
+        let flops_ratio = |m: GpuModel| v.effective_flops() / m.spec().effective_flops();
+        let bw_ratio = |m: GpuModel| v.effective_bandwidth() / m.spec().effective_bandwidth();
+        assert!((1.8..2.4).contains(&flops_ratio(GpuModel::T4)));
+        assert!((2.7..3.4).contains(&flops_ratio(GpuModel::M60)));
+        assert!((3.2..4.0).contains(&flops_ratio(GpuModel::K80)));
+        assert!((3.5..4.2).contains(&bw_ratio(GpuModel::T4)));
+        assert!((6.0..7.0).contains(&bw_ratio(GpuModel::M60)));
+        assert!((9.0..10.0).contains(&bw_ratio(GpuModel::K80)));
+    }
+
+    #[test]
+    fn m60_launch_overhead_exceeds_k80() {
+        // Reproduces "for some operations, G3 has higher compute times than
+        // P2": the smallest kernels pay more on the M60.
+        assert!(
+            GpuModel::M60.spec().launch_overhead_us > GpuModel::K80.spec().launch_overhead_us
+        );
+    }
+
+    #[test]
+    fn newer_gpus_have_lower_launch_overhead() {
+        assert!(
+            GpuModel::V100.spec().launch_overhead_us < GpuModel::K80.spec().launch_overhead_us
+        );
+    }
+
+    #[test]
+    fn sync_rates_ordered_by_generation() {
+        let rates: Vec<f64> = [GpuModel::V100, GpuModel::T4, GpuModel::M60, GpuModel::K80]
+            .iter()
+            .map(|m| m.spec().peer_sync_gbps)
+            .collect();
+        for pair in rates.windows(2) {
+            assert!(pair[0] > pair[1], "peer sync rates should decrease with age");
+        }
+        // Fixed straggler exposure grows with GPU age, like everything else
+        // in the sync path.
+        assert!(GpuModel::K80.spec().straggler_us > GpuModel::V100.spec().straggler_us);
+        // Cache re-read penalties for windowed ops shrink with newer caches.
+        assert!(GpuModel::V100.spec().windowed_reread_factor < 1.5);
+        assert!(GpuModel::K80.spec().windowed_reread_factor > 3.0);
+    }
+
+    #[test]
+    fn display_mentions_family() {
+        assert_eq!(GpuModel::V100.to_string(), "Tesla V100 (P3)");
+    }
+}

@@ -1,0 +1,48 @@
+//! Analytical GPU device simulator.
+//!
+//! The paper's empirical data comes from four real GPU models rented on AWS
+//! (NVIDIA V100/P3, K80/P2, T4/G4, M60/G3). This crate is the synthetic
+//! stand-in: an analytical *roofline* execution model that maps each graph
+//! operation to a `(flops, bytes)` workload and each GPU model to effective
+//! compute/memory throughputs, plus the stochastic noise and interconnect
+//! models the paper's findings depend on. The calibration targets (§6 of
+//! DESIGN.md) are the paper's *relationships*, not its absolute numbers:
+//!
+//! - P3 ≈ 10× lower heavy-op compute time than P2, ≈ 4× lower than G4, and
+//!   P2 ≈ 1.5× higher than G3 on average (§III-A);
+//! - pooling ops are memory-bound, making the high-bandwidth V100 the
+//!   cost-efficient choice for them, while moderately compute-bound ops are
+//!   cheapest on the T4 (§III-B);
+//! - per-(op, input size) compute times are stable for heavy GPU ops
+//!   (95% of normalized std devs < 0.1) and volatile for light GPU and CPU
+//!   ops (§III-C, Figure 5);
+//! - per-iteration communication overhead is (nearly) linear in the number
+//!   of model parameters for every GPU model and GPU count (§IV-C, Figure 7).
+//!
+//! # Example
+//!
+//! ```
+//! use ceer_gpusim::{GpuModel, OpTimer};
+//! use ceer_graph::models::{Cnn, CnnId};
+//!
+//! let cnn = Cnn::build(CnnId::AlexNet, 32);
+//! let graph = cnn.training_graph();
+//! let timer = OpTimer::new(GpuModel::V100);
+//! let conv = graph.node_by_name("conv1/Conv2D").unwrap();
+//! let us = timer.expected_duration_us(conv, &graph);
+//! assert!(us > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod hardware;
+pub mod roofline;
+pub mod timing;
+pub mod workload;
+
+pub use comm::SyncModel;
+pub use hardware::{GpuModel, GpuSpec};
+pub use timing::OpTimer;
+pub use workload::Workload;

@@ -1,0 +1,252 @@
+//! Roofline analysis: which resource bounds each operation, and how much of
+//! the GPU's paper-spec throughput a workload actually attains.
+//!
+//! This is the quantitative form of the paper's §III-B reasoning ("the GPU
+//! model supported by P3 instances has high compute power and memory
+//! bandwidth, and is thus well suited for the memory-intensive pooling
+//! operations"): every operation lands on one side of the roofline's ridge,
+//! and the side it lands on decides which GPU wins it.
+
+use ceer_graph::{DeviceClass, Graph, OpKind};
+
+use crate::hardware::GpuModel;
+use crate::timing::OpTimer;
+use crate::workload::workload;
+
+/// Which roofline regime an operation falls in on a given GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Limited by arithmetic throughput.
+    Compute,
+    /// Limited by memory bandwidth.
+    Memory,
+    /// Dominated by the fixed kernel-launch overhead.
+    Launch,
+}
+
+/// Roofline summary of one operation kind within a graph on one GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindRoofline {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Instances in the graph.
+    pub instances: usize,
+    /// Total expected time, µs.
+    pub total_us: f64,
+    /// Dominant regime (by time-weighted majority).
+    pub bound: Bound,
+    /// Mean arithmetic intensity (FLOPs/byte) across instances.
+    pub intensity: f64,
+    /// Attained fraction of the GPU's *peak* (not effective) compute
+    /// throughput, time-weighted.
+    pub attained_compute_frac: f64,
+    /// Attained fraction of peak memory bandwidth, time-weighted.
+    pub attained_bandwidth_frac: f64,
+}
+
+/// Full roofline report for a graph on a GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflineReport {
+    /// The GPU analyzed.
+    pub gpu: GpuModel,
+    /// The ridge point: FLOPs/byte above which kernels are compute-bound
+    /// (effective FLOPs / effective bandwidth).
+    pub ridge_intensity: f64,
+    /// Per-kind summaries, heaviest first.
+    pub kinds: Vec<KindRoofline>,
+}
+
+impl RooflineReport {
+    /// Total GPU time in the report, µs.
+    pub fn total_us(&self) -> f64 {
+        self.kinds.iter().map(|k| k.total_us).sum()
+    }
+
+    /// Fraction of total time spent in memory-bound kinds.
+    pub fn memory_bound_share(&self) -> f64 {
+        let memory: f64 = self
+            .kinds
+            .iter()
+            .filter(|k| k.bound == Bound::Memory)
+            .map(|k| k.total_us)
+            .sum();
+        memory / self.total_us().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Analyzes every GPU operation of `graph` on `gpu`.
+///
+/// ```
+/// use ceer_gpusim::{roofline, GpuModel};
+/// use ceer_graph::models::{Cnn, CnnId};
+///
+/// let graph = Cnn::build(CnnId::ResNet50, 32).training_graph();
+/// let report = roofline::analyze(&graph, GpuModel::V100);
+/// // Convolutions dominate and sit right of the ridge (compute-bound).
+/// let conv = report.kinds.iter().find(|k| k.kind == ceer_graph::OpKind::Conv2D).unwrap();
+/// assert!(conv.intensity > report.ridge_intensity);
+/// ```
+pub fn analyze(graph: &Graph, gpu: GpuModel) -> RooflineReport {
+    let spec = gpu.spec();
+    let timer = OpTimer::new(gpu);
+    let ridge_intensity = spec.effective_flops() / spec.effective_bandwidth();
+
+    use std::collections::BTreeMap;
+    struct Acc {
+        instances: usize,
+        total_us: f64,
+        bound_us: BTreeMap<u8, f64>,
+        intensity_sum: f64,
+        compute_frac_weighted: f64,
+        bandwidth_frac_weighted: f64,
+    }
+    let mut accs: BTreeMap<OpKind, Acc> = BTreeMap::new();
+
+    for node in graph.nodes() {
+        if node.kind().device_class() != DeviceClass::Gpu {
+            continue;
+        }
+        let w = workload(node, graph);
+        let t_us = timer.expected_duration_us(node, graph);
+        let t_s = t_us / 1e6;
+        let compute_s = w.flops / spec.effective_flops();
+        let memory_s = w.bytes / spec.effective_bandwidth();
+        let launch_s = spec.launch_overhead_us / 1e6;
+        let bound = if launch_s >= compute_s.max(memory_s) {
+            Bound::Launch
+        } else if compute_s >= memory_s {
+            Bound::Compute
+        } else {
+            Bound::Memory
+        };
+        let acc = accs.entry(node.kind()).or_insert(Acc {
+            instances: 0,
+            total_us: 0.0,
+            bound_us: BTreeMap::new(),
+            intensity_sum: 0.0,
+            compute_frac_weighted: 0.0,
+            bandwidth_frac_weighted: 0.0,
+        });
+        acc.instances += 1;
+        acc.total_us += t_us;
+        *acc.bound_us.entry(bound as u8).or_insert(0.0) += t_us;
+        acc.intensity_sum += w.intensity().unwrap_or(0.0);
+        // Attained = work done over the op's wall time, vs *peak* specs.
+        acc.compute_frac_weighted += (w.flops / t_s) / (spec.peak_tflops * 1e12) * t_us;
+        acc.bandwidth_frac_weighted += (w.bytes / t_s) / (spec.peak_bandwidth_gbps * 1e9) * t_us;
+    }
+
+    let mut kinds: Vec<KindRoofline> = accs
+        .into_iter()
+        .map(|(kind, acc)| {
+            let dominant = acc
+                .bound_us
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(&b, _)| b)
+                .unwrap_or(Bound::Launch as u8);
+            let bound = match dominant {
+                x if x == Bound::Compute as u8 => Bound::Compute,
+                x if x == Bound::Memory as u8 => Bound::Memory,
+                _ => Bound::Launch,
+            };
+            KindRoofline {
+                kind,
+                instances: acc.instances,
+                total_us: acc.total_us,
+                bound,
+                intensity: acc.intensity_sum / acc.instances as f64,
+                attained_compute_frac: acc.compute_frac_weighted / acc.total_us,
+                attained_bandwidth_frac: acc.bandwidth_frac_weighted / acc.total_us,
+            }
+        })
+        .collect();
+    kinds.sort_by(|a, b| b.total_us.partial_cmp(&a.total_us).expect("finite"));
+    RooflineReport { gpu, ridge_intensity, kinds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceer_graph::models::{Cnn, CnnId};
+
+    fn report(id: CnnId, gpu: GpuModel) -> RooflineReport {
+        let graph = Cnn::build(id, 32).training_graph();
+        analyze(&graph, gpu)
+    }
+
+    #[test]
+    fn convs_are_compute_bound_pools_memory_bound() {
+        let r = report(CnnId::InceptionV3, GpuModel::V100);
+        let find = |kind: OpKind| r.kinds.iter().find(|k| k.kind == kind).expect("present");
+        assert_eq!(find(OpKind::Conv2D).bound, Bound::Compute);
+        assert_eq!(find(OpKind::MaxPool).bound, Bound::Memory);
+        assert_eq!(find(OpKind::Relu).bound, Bound::Memory);
+        // Tiny bookkeeping ops never beat the launch overhead.
+        assert_eq!(find(OpKind::Shape).bound, Bound::Launch);
+    }
+
+    #[test]
+    fn intensity_straddles_the_ridge() {
+        let r = report(CnnId::ResNet50, GpuModel::V100);
+        let conv = r.kinds.iter().find(|k| k.kind == OpKind::Conv2D).expect("present");
+        let relu = r.kinds.iter().find(|k| k.kind == OpKind::Relu).expect("present");
+        assert!(conv.intensity > r.ridge_intensity, "convs sit right of the ridge");
+        assert!(relu.intensity < r.ridge_intensity, "relu sits left of the ridge");
+    }
+
+    #[test]
+    fn attained_fractions_are_physical() {
+        for &gpu in GpuModel::all() {
+            let r = report(CnnId::AlexNet, gpu);
+            for k in &r.kinds {
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&k.attained_compute_frac),
+                    "{}: compute frac {}",
+                    k.kind,
+                    k.attained_compute_frac
+                );
+                assert!(
+                    k.attained_bandwidth_frac <= 1.0 + 1e-9,
+                    "{}: bandwidth frac {}",
+                    k.kind,
+                    k.attained_bandwidth_frac
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compute_bound_ops_attain_their_efficiency() {
+        // A compute-bound op should attain ~compute_efficiency of peak.
+        let r = report(CnnId::Vgg16, GpuModel::V100);
+        let conv = r.kinds.iter().find(|k| k.kind == OpKind::Conv2D).expect("present");
+        let eff = GpuModel::V100.spec().compute_efficiency;
+        assert!(
+            (conv.attained_compute_frac - eff).abs() < 0.1,
+            "conv attains {} vs efficiency {}",
+            conv.attained_compute_frac,
+            eff
+        );
+    }
+
+    #[test]
+    fn memory_bound_share_is_higher_for_inception_than_alexnet() {
+        // The paper's fig9 reasoning: pooling/normalization-rich CNNs spend
+        // more of their time memory-bound.
+        let inception = report(CnnId::InceptionV3, GpuModel::T4).memory_bound_share();
+        let alexnet = report(CnnId::AlexNet, GpuModel::T4).memory_bound_share();
+        assert!(
+            inception > alexnet,
+            "inception {inception:.3} should exceed alexnet {alexnet:.3}"
+        );
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let r = report(CnnId::ResNet50, GpuModel::M60);
+        let sum: f64 = r.kinds.iter().map(|k| k.total_us).sum();
+        assert!((r.total_us() - sum).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&r.memory_bound_share()));
+    }
+}

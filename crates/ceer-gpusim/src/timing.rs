@@ -1,0 +1,324 @@
+//! The roofline timing engine.
+//!
+//! An operation's expected duration on a GPU model is
+//!
+//! ```text
+//! t = launch_overhead + max(flops / effective_flops,
+//!                           bytes / effective_bandwidth)   [+ quad term]
+//! ```
+//!
+//! — the classic roofline: compute-bound kernels are limited by arithmetic
+//! throughput, memory-bound kernels by bandwidth. `Conv2DBackpropFilter`
+//! additionally pays a workspace/reduction penalty that grows with the
+//! square of its activation volume, which is why the paper needs a quadratic
+//! regression for it (§IV-B). Sampled durations perturb the expectation with
+//! class-dependent noise: tight for heavy GPU kernels (Figure 5: 95% of
+//! normalized std devs < 0.1), loose for light GPU ops, heavy-tailed for CPU
+//! ops.
+
+use ceer_graph::{DeviceClass, Graph, Node, OpKind};
+use ceer_stats::rng::DeterministicRng;
+
+use crate::hardware::GpuModel;
+use crate::workload::workload;
+
+/// Activation-volume scale (bytes) at which `Conv2DBackpropFilter`'s
+/// quadratic term equals its linear memory term.
+const BACKPROP_FILTER_QUAD_SCALE: f64 = 3.0e8;
+
+/// Whether an op kind reads sliding windows over its input (pooling, LRN)
+/// and therefore pays the GPU-specific cache re-read penalty.
+fn is_windowed(kind: OpKind) -> bool {
+    kind.is_pooling() || matches!(kind, OpKind::LRN | OpKind::LRNGrad)
+}
+
+/// Times operations on one GPU model.
+///
+/// ```
+/// use ceer_gpusim::{GpuModel, OpTimer};
+/// use ceer_graph::{GraphBuilder, Padding};
+///
+/// let mut b = GraphBuilder::new("t");
+/// let (x, _) = b.input(32, 224, 224, 3);
+/// let c = b.conv2d(&x, 64, (3, 3), (1, 1), Padding::Same, false);
+/// let g = b.finish();
+/// let fast = OpTimer::new(GpuModel::V100);
+/// let slow = OpTimer::new(GpuModel::K80);
+/// let node = g.node(c.id());
+/// assert!(slow.expected_duration_us(node, &g) > fast.expected_duration_us(node, &g));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTimer {
+    model: GpuModel,
+}
+
+impl OpTimer {
+    /// Creates a timer for `model`.
+    pub fn new(model: GpuModel) -> Self {
+        OpTimer { model }
+    }
+
+    /// The GPU model this timer simulates.
+    pub fn model(&self) -> GpuModel {
+        self.model
+    }
+
+    /// Noise level (coefficient of variation) for an operation kind. Heavy
+    /// GPU kernels are stable; light GPU ops and CPU ops are volatile
+    /// (§III-C of the paper).
+    pub fn noise_cv(kind: OpKind) -> f64 {
+        if kind.device_class() == DeviceClass::Cpu {
+            return 0.45;
+        }
+        if OpKind::reference_heavy_set().contains(&kind) {
+            // Spread heavy-op CVs over 0.02..0.09 deterministically by kind
+            // so Figure 5's CDF has structure rather than a step.
+            let idx = OpKind::reference_heavy_set().iter().position(|&k| k == kind).unwrap();
+            0.02 + 0.07 * (idx as f64 / 19.0)
+        } else {
+            0.35
+        }
+    }
+
+    /// Expected (noise-free) duration of `node` in microseconds.
+    pub fn expected_duration_us(&self, node: &Node, graph: &Graph) -> f64 {
+        match node.kind().device_class() {
+            DeviceClass::Cpu => self.expected_cpu_us(node, graph),
+            DeviceClass::Gpu => self.expected_gpu_us(node, graph),
+        }
+    }
+
+    fn expected_gpu_us(&self, node: &Node, graph: &Graph) -> f64 {
+        let spec = self.model.spec();
+        let w = workload(node, graph);
+        let compute_s = w.flops / spec.effective_flops();
+        let mut memory_s = w.bytes / spec.effective_bandwidth();
+        if is_windowed(node.kind()) {
+            // Windowed kernels re-fetch each input neighbourhood; how often
+            // depends on the GPU's cache hierarchy. Roughly half the traffic
+            // of these ops is the window reads, so the penalty applies to
+            // half the byte volume.
+            memory_s *= (spec.windowed_reread_factor + 1.0) / 2.0;
+        }
+        let mut kernel_s = compute_s.max(memory_s);
+        if node.kind() == OpKind::Conv2DBackpropFilter {
+            // Workspace/reduction penalty: the whole kernel slows down as
+            // the activation volume grows (atomics contention, im2col
+            // workspace spills), making the op's time superlinear — i.e.
+            // quadratic — in its input size.
+            kernel_s *= 1.0 + w.bytes / BACKPROP_FILTER_QUAD_SCALE;
+        }
+        spec.launch_overhead_us + kernel_s * 1e6
+    }
+
+    /// CPU operations: the host is the same across GPU instance families
+    /// (all are Xeon-based VMs), so the expectation is model-independent.
+    fn expected_cpu_us(&self, node: &Node, graph: &Graph) -> f64 {
+        let w = workload(node, graph);
+        // ~30 µs dispatch cost plus ~0.5 ns per element touched.
+        30.0 + w.flops * 5e-4
+    }
+
+    /// Samples a noisy duration for one execution of `node`.
+    ///
+    /// Heavy GPU ops get tight multiplicative Gaussian noise; light GPU ops
+    /// get loose Gaussian noise; CPU ops get right-skewed lognormal noise
+    /// (scheduler interference is heavy-tailed).
+    pub fn sample_duration_us(
+        &self,
+        node: &Node,
+        graph: &Graph,
+        rng: &mut DeterministicRng,
+    ) -> f64 {
+        let expected = self.expected_duration_us(node, graph);
+        let kind = node.kind();
+        if kind.device_class() == DeviceClass::Cpu {
+            // Lognormal with median = expected; sigma chosen so the CV is
+            // roughly `noise_cv`.
+            let sigma = Self::noise_cv(kind);
+            return expected * rng.lognormal(0.0, sigma);
+        }
+        expected * rng.noise_factor(Self::noise_cv(kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceer_graph::{GraphBuilder, Padding};
+    use ceer_stats::summary;
+
+    fn conv_graph() -> (ceer_graph::Graph, ceer_graph::NodeId, ceer_graph::NodeId) {
+        let mut b = GraphBuilder::new("t");
+        let (x, _) = b.input(32, 56, 56, 64);
+        let c = b.conv2d(&x, 128, (3, 3), (1, 1), Padding::Same, false);
+        let p = b.max_pool(&x, (3, 3), (2, 2), Padding::Valid);
+        let (cid, pid) = (c.id(), p.id());
+        (b.finish(), cid, pid)
+    }
+
+    #[test]
+    fn gpu_ranking_is_consistent() {
+        let (g, conv, _) = conv_graph();
+        let node = g.node(conv);
+        let times: Vec<f64> = [GpuModel::V100, GpuModel::T4, GpuModel::M60, GpuModel::K80]
+            .iter()
+            .map(|&m| OpTimer::new(m).expected_duration_us(node, &g))
+            .collect();
+        for pair in times.windows(2) {
+            assert!(pair[0] < pair[1], "compute times should rise with GPU age: {times:?}");
+        }
+    }
+
+    #[test]
+    fn conv_ratio_v100_k80_matches_compute_calibration() {
+        // Convolutions are compute-bound: the end-to-end-style modest ratio
+        // (§ Fig. 8: ~3.6x), not the Figure-2 per-op average (~10x).
+        let (g, conv, _) = conv_graph();
+        let node = g.node(conv);
+        let fast = OpTimer::new(GpuModel::V100).expected_duration_us(node, &g);
+        let slow = OpTimer::new(GpuModel::K80).expected_duration_us(node, &g);
+        let ratio = slow / fast;
+        assert!((3.2..4.2).contains(&ratio), "conv ratio {ratio}");
+    }
+
+    #[test]
+    fn pooling_is_memory_limited() {
+        // On the V100 a pool's time must track the bandwidth term (with the
+        // window re-read weight applied).
+        let (g, _, pool) = conv_graph();
+        let node = g.node(pool);
+        let spec = GpuModel::V100.spec();
+        let w = workload(node, &g);
+        let t = OpTimer::new(GpuModel::V100).expected_duration_us(node, &g);
+        let mem_us = w.bytes / spec.effective_bandwidth() * 1e6
+            * (spec.windowed_reread_factor + 1.0)
+            / 2.0;
+        assert!((t - spec.launch_overhead_us - mem_us).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pooling_ratio_exceeds_cost_crossover_on_t4() {
+        // §III-B: P3 is the cost-efficient GPU for pooling. With prices
+        // 3.06 vs 0.752 $/hr that needs a pooling time ratio above ~4.07.
+        let (g, _, pool) = conv_graph();
+        let node = g.node(pool);
+        let p3 = OpTimer::new(GpuModel::V100).expected_duration_us(node, &g);
+        let g4 = OpTimer::new(GpuModel::T4).expected_duration_us(node, &g);
+        assert!(g4 / p3 > 4.07, "pooling ratio {} too small", g4 / p3);
+        // ... while a plain element-wise op stays below the crossover, so
+        // G4 remains the cost winner for non-windowed memory-bound ops.
+        let mut b = GraphBuilder::new("relu");
+        let (x, _) = b.input(32, 56, 56, 64);
+        let r = b.relu(&x);
+        let g2 = b.finish();
+        let node = g2.node(r.id());
+        let p3 = OpTimer::new(GpuModel::V100).expected_duration_us(node, &g2);
+        let g4 = OpTimer::new(GpuModel::T4).expected_duration_us(node, &g2);
+        assert!(g4 / p3 < 4.07, "relu ratio {} too large", g4 / p3);
+    }
+
+    #[test]
+    fn m60_slower_than_k80_on_tiny_ops() {
+        // The paper: "for some operations, G3 has higher compute times than
+        // P2" — true for launch-overhead-dominated ops under our
+        // calibration.
+        let mut b = GraphBuilder::new("tiny");
+        let (x, _) = b.input(1, 2, 2, 2);
+        let r = b.relu(&x);
+        let g = b.finish();
+        let node = g.node(r.id());
+        let m60 = OpTimer::new(GpuModel::M60).expected_duration_us(node, &g);
+        let k80 = OpTimer::new(GpuModel::K80).expected_duration_us(node, &g);
+        assert!(m60 > k80, "M60 {m60} should exceed K80 {k80} on tiny kernels");
+    }
+
+    #[test]
+    fn k80_slower_than_m60_on_compute_bound_ops() {
+        let (g, conv, _) = conv_graph();
+        let node = g.node(conv);
+        let m60 = OpTimer::new(GpuModel::M60).expected_duration_us(node, &g);
+        let k80 = OpTimer::new(GpuModel::K80).expected_duration_us(node, &g);
+        assert!(k80 > m60, "K80 {k80} should exceed M60 {m60} on convolution");
+    }
+
+    #[test]
+    fn heavy_noise_is_tight() {
+        let (g, conv, _) = conv_graph();
+        let node = g.node(conv);
+        let timer = OpTimer::new(GpuModel::V100);
+        let mut rng = DeterministicRng::from_seed(11);
+        let samples: Vec<f64> =
+            (0..2000).map(|_| timer.sample_duration_us(node, &g, &mut rng)).collect();
+        let cv = summary::normalized_std_dev(&samples).unwrap();
+        assert!(cv < 0.1, "heavy-op CV {cv} must stay below 0.1 (Figure 5)");
+    }
+
+    #[test]
+    fn light_and_cpu_noise_is_loose() {
+        let mut b = GraphBuilder::new("noise");
+        let (x, _) = b.input(4, 8, 8, 3);
+        let f = b.flatten(&x);
+        let g = b.finish();
+        let reshape = g.node(f.id());
+        assert_eq!(reshape.kind(), OpKind::Reshape);
+        let timer = OpTimer::new(GpuModel::V100);
+        let mut rng = DeterministicRng::from_seed(12);
+        let light: Vec<f64> =
+            (0..2000).map(|_| timer.sample_duration_us(reshape, &g, &mut rng)).collect();
+        let cv = summary::normalized_std_dev(&light).unwrap();
+        assert!(cv > 0.15, "light-op CV {cv} must be visibly higher than heavy ops");
+    }
+
+    #[test]
+    fn cpu_time_is_model_independent() {
+        let mut b = GraphBuilder::new("cpu");
+        let (_, _) = b.input(8, 8, 8, 3);
+        let g = b.finish();
+        let node = g
+            .nodes()
+            .iter()
+            .find(|n| n.kind() == OpKind::SparseToDense)
+            .expect("input pipeline has SparseToDense");
+        let a = OpTimer::new(GpuModel::V100).expected_duration_us(node, &g);
+        let b2 = OpTimer::new(GpuModel::K80).expected_duration_us(node, &g);
+        assert_eq!(a, b2);
+    }
+
+    #[test]
+    fn backprop_filter_grows_superlinearly() {
+        use ceer_graph::backward::training_graph;
+        // Same op at 1x and 4x batch: expected time must grow by more than 4x.
+        let time_at_batch = |batch: u64| {
+            let mut b = GraphBuilder::new("q");
+            let (x, labels) = b.input(batch, 64, 64, 32);
+            let c = b.conv2d(&x, 64, (3, 3), (1, 1), Padding::Same, false);
+            let gap = b.global_avg_pool(&c);
+            let logits = b.dense(&gap, 1000, false);
+            let loss = b.softmax_loss(&logits, &labels);
+            let loss_id = loss.id();
+            let g = training_graph(b.finish(), loss_id);
+            let node = g
+                .nodes()
+                .iter()
+                .find(|n| n.kind() == OpKind::Conv2DBackpropFilter)
+                .unwrap();
+            OpTimer::new(GpuModel::K80).expected_duration_us(node, &g)
+        };
+        let t1 = time_at_batch(16);
+        let t4 = time_at_batch(64);
+        assert!(t4 > 4.05 * t1, "quadratic term should make growth superlinear: {t1} -> {t4}");
+    }
+
+    #[test]
+    fn sampled_durations_are_positive() {
+        let (g, conv, pool) = conv_graph();
+        let timer = OpTimer::new(GpuModel::K80);
+        let mut rng = DeterministicRng::from_seed(99);
+        for id in [conv, pool] {
+            for _ in 0..500 {
+                assert!(timer.sample_duration_us(g.node(id), &g, &mut rng) > 0.0);
+            }
+        }
+    }
+}

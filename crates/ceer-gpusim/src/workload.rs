@@ -1,0 +1,356 @@
+//! Operation → workload lowering.
+//!
+//! Each graph operation is reduced to a `(flops, bytes moved)` pair derived
+//! from its tensor shapes and attributes. The ratio of the two (arithmetic
+//! intensity) is what separates the paper's op classes: convolutions and
+//! matmuls are compute-bound, pooling/activation/bias/batch-norm ops are
+//! memory-bound (the paper's §III-B observation that pooling "involves more
+//! reads and writes to GPU memory"), and the shape-bookkeeping ops move
+//! almost nothing.
+
+use ceer_graph::{Graph, Node, OpAttrs, OpKind};
+
+/// Floating-point work and memory traffic of one operation instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes read + written against device memory.
+    pub bytes: f64,
+}
+
+impl Workload {
+    /// Arithmetic intensity in FLOPs per byte; `None` when no bytes move.
+    pub fn intensity(&self) -> Option<f64> {
+        if self.bytes > 0.0 {
+            Some(self.flops / self.bytes)
+        } else {
+            None
+        }
+    }
+}
+
+/// Window area helper for pooling attributes.
+fn pool_window_area(attrs: OpAttrs) -> f64 {
+    match attrs {
+        OpAttrs::Pool { window, .. } => (window.0 * window.1) as f64,
+        _ => 9.0, // defensive default: a 3x3 window
+    }
+}
+
+/// Kernel area × input channels for convolution attributes.
+fn conv_macs_per_output(attrs: OpAttrs, in_channels: u64) -> f64 {
+    match attrs {
+        OpAttrs::Conv { kernel, .. } => (kernel.0 * kernel.1 * in_channels) as f64,
+        _ => in_channels as f64,
+    }
+}
+
+/// Computes the workload of `node` within `graph`.
+///
+/// The lowering assumes graphs produced by
+/// [`GraphBuilder`](ceer_graph::GraphBuilder) and the backward expansion,
+/// whose input conventions it relies on (e.g. a `MaxPoolGrad`'s inputs are
+/// `[x, y, dy]`).
+pub fn workload(node: &Node, graph: &Graph) -> Workload {
+    let out_elems = node.output_shape().elements() as f64;
+    let out_bytes = node.output_shape().bytes() as f64;
+    let in_bytes: f64 = graph.input_shapes(node.id()).iter().map(|s| s.bytes() as f64).sum();
+    let in_elems: f64 = graph.input_shapes(node.id()).iter().map(|s| s.elements() as f64).sum();
+    let touched = in_bytes + out_bytes;
+
+    match node.kind() {
+        OpKind::Conv2D => {
+            let cin = graph.input_shapes(node.id())[0].channels();
+            let macs = out_elems * conv_macs_per_output(node.attrs(), cin);
+            // Filter weights are read from device memory too.
+            let filter_bytes = (node.params() * 4) as f64;
+            Workload { flops: 2.0 * macs, bytes: touched + filter_bytes }
+        }
+        OpKind::Conv2DBackpropInput => {
+            // Same MAC volume as the forward conv, transposed.
+            let cout = node.output_shape().channels();
+            let macs = in_elems * conv_macs_per_output(node.attrs(), cout);
+            Workload { flops: 2.0 * macs, bytes: touched }
+        }
+        OpKind::Conv2DBackpropFilter => {
+            // inputs = [x, dy]; MACs = dy.elements * kh*kw*cin. The weight-
+            // gradient kernel also pays reduction/workspace overhead that
+            // grows superlinearly with the activation volume (the paper
+            // models this op with a quadratic fit, §IV-B); timing.rs adds
+            // that term from the byte volume.
+            let shapes = graph.input_shapes(node.id());
+            let cin = shapes[0].channels();
+            let dy_elems = shapes[1].elements() as f64;
+            let macs = dy_elems * conv_macs_per_output(node.attrs(), cin);
+            Workload { flops: 2.0 * macs, bytes: touched }
+        }
+        OpKind::MatMul => {
+            // flops = 2 * (rows x inner of the first input) * output cols.
+            let cols = node.output_shape().channels() as f64;
+            let first = graph.input_shapes(node.id())[0].elements() as f64;
+            Workload { flops: 2.0 * first * cols, bytes: touched + (node.params() * 4) as f64 }
+        }
+        OpKind::MaxPool | OpKind::AvgPool => {
+            let window = pool_window_area(node.attrs());
+            Workload { flops: out_elems * window, bytes: touched }
+        }
+        OpKind::MaxPoolGrad => {
+            // inputs = [x, y, dy]; scatter back through the argmax.
+            Workload { flops: in_elems, bytes: touched }
+        }
+        OpKind::AvgPoolGrad => {
+            let window = pool_window_area(node.attrs());
+            Workload { flops: out_elems * window, bytes: touched }
+        }
+        OpKind::Relu => Workload { flops: out_elems, bytes: touched },
+        OpKind::ReluGrad => Workload { flops: out_elems * 2.0, bytes: touched },
+        OpKind::BiasAdd => Workload { flops: out_elems, bytes: touched },
+        OpKind::BiasAddGrad => Workload { flops: in_elems, bytes: in_bytes },
+        OpKind::FusedBatchNormV3 => {
+            // Two passes over the activations (statistics + normalize).
+            Workload { flops: 8.0 * out_elems, bytes: touched + out_bytes }
+        }
+        OpKind::FusedBatchNormGradV3 => {
+            Workload { flops: 11.0 * out_elems, bytes: touched + out_bytes }
+        }
+        OpKind::AddV2 | OpKind::Mul => Workload { flops: out_elems, bytes: touched },
+        OpKind::AddN => {
+            let n = node.inputs().len().max(1) as f64;
+            Workload { flops: (n - 1.0) * out_elems, bytes: touched }
+        }
+        OpKind::ConcatV2 => Workload { flops: 0.0, bytes: touched },
+        OpKind::Mean | OpKind::Sum => Workload { flops: in_elems, bytes: in_bytes + out_bytes },
+        OpKind::SoftmaxCrossEntropyWithLogits => {
+            // exp + log + reductions over the logits.
+            Workload { flops: 10.0 * in_elems, bytes: touched }
+        }
+        OpKind::Softmax => Workload { flops: 6.0 * out_elems, bytes: touched },
+        OpKind::LRN => Workload { flops: 15.0 * out_elems, bytes: touched },
+        OpKind::LRNGrad => Workload { flops: 25.0 * out_elems, bytes: touched },
+        // Data-movement ops: no math, full traffic.
+        OpKind::Pad | OpKind::Transpose | OpKind::Slice | OpKind::Tile | OpKind::Pack => {
+            Workload { flops: 0.0, bytes: touched }
+        }
+        OpKind::Cast => Workload { flops: 0.0, bytes: touched },
+        OpKind::Fill | OpKind::ZerosLike => Workload { flops: 0.0, bytes: out_bytes },
+        // Pure bookkeeping: a handful of scalar reads.
+        OpKind::Shape | OpKind::Reshape | OpKind::Identity | OpKind::Squeeze => {
+            Workload { flops: 0.0, bytes: 64.0 }
+        }
+        // ConcatOffset only inspects its inputs' *shapes* (it computes the
+        // slice offsets for a concat gradient), never the tensor data.
+        OpKind::ConcatOffset => Workload { flops: 16.0, bytes: 64.0 },
+        // Other CPU ops scale with their (small) element counts; the CPU
+        // executor in timing.rs owns the constants.
+        OpKind::SparseToDense
+        | OpKind::Range
+        | OpKind::Prod
+        | OpKind::ExpandDims
+        | OpKind::DynamicStitch => Workload { flops: in_elems + out_elems, bytes: touched },
+        // OpKind is non_exhaustive for forward compatibility; anything new
+        // defaults to a pure data-movement profile.
+        _ => Workload { flops: 0.0, bytes: touched },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceer_graph::{GraphBuilder, Padding};
+
+    #[test]
+    fn conv_flops_match_textbook_formula() {
+        let mut b = GraphBuilder::new("w");
+        let (x, _) = b.input(8, 32, 32, 3);
+        let c = b.conv2d(&x, 16, (3, 3), (1, 1), Padding::Same, false);
+        let g = b.finish();
+        let node = g.node(c.id());
+        let w = workload(node, &g);
+        // 2 * out_elems * kh*kw*cin = 2 * (8*32*32*16) * 27.
+        let expected = 2.0 * (8 * 32 * 32 * 16) as f64 * 27.0;
+        assert_eq!(w.flops, expected);
+    }
+
+    #[test]
+    fn matmul_flops_are_2bfu() {
+        let mut b = GraphBuilder::new("w");
+        let (x, _) = b.input(8, 8, 8, 4);
+        let f = b.flatten(&x); // [8, 256]
+        let d = b.dense(&f, 100, false);
+        let g = b.finish();
+        // dense adds MatMul then BiasAdd; find the MatMul.
+        let mm = g.node(g.node(d.id()).inputs()[0]);
+        assert_eq!(mm.kind(), OpKind::MatMul);
+        let w = workload(mm, &g);
+        assert_eq!(w.flops, 2.0 * (8 * 256) as f64 * 100.0);
+    }
+
+    #[test]
+    fn conv_is_compute_bound_pooling_memory_bound() {
+        let mut b = GraphBuilder::new("w");
+        let (x, _) = b.input(32, 56, 56, 64);
+        let c = b.conv2d(&x, 128, (3, 3), (1, 1), Padding::Same, false);
+        let p = b.max_pool(&x, (2, 2), (2, 2), Padding::Valid);
+        let g = b.finish();
+        let conv_intensity = workload(g.node(c.id()), &g).intensity().unwrap();
+        let pool_intensity = workload(g.node(p.id()), &g).intensity().unwrap();
+        assert!(
+            conv_intensity > 30.0 * pool_intensity,
+            "conv {conv_intensity} vs pool {pool_intensity}"
+        );
+    }
+
+    #[test]
+    fn relu_moves_two_tensors() {
+        let mut b = GraphBuilder::new("w");
+        let (x, _) = b.input(4, 16, 16, 8);
+        let r = b.relu(&x);
+        let g = b.finish();
+        let w = workload(g.node(r.id()), &g);
+        let tensor_bytes = (4 * 16 * 16 * 8 * 4) as f64;
+        assert_eq!(w.bytes, 2.0 * tensor_bytes);
+        assert_eq!(w.flops, tensor_bytes / 4.0);
+    }
+
+    #[test]
+    fn bookkeeping_ops_are_negligible() {
+        let mut b = GraphBuilder::new("w");
+        let (x, _) = b.input(32, 224, 224, 64);
+        let f = b.flatten(&x);
+        let g = b.finish();
+        // flatten = Shape + Reshape; the Reshape must not move the tensor.
+        let w = workload(g.node(f.id()), &g);
+        assert!(w.bytes < 100.0);
+    }
+
+    #[test]
+    fn addn_scales_with_fan_in() {
+        use ceer_graph::{OpAttrs, TensorShape};
+        let mut g = ceer_graph::Graph::new("addn");
+        let shape = TensorShape::nhwc(2, 4, 4, 8);
+        let a = g
+            .add_node("a", OpKind::Identity, OpAttrs::None, vec![], shape.clone(), 0)
+            .unwrap();
+        let b = g
+            .add_node("b", OpKind::Identity, OpAttrs::None, vec![], shape.clone(), 0)
+            .unwrap();
+        let c = g
+            .add_node("c", OpKind::Identity, OpAttrs::None, vec![], shape.clone(), 0)
+            .unwrap();
+        let s = g
+            .add_node("s", OpKind::AddN, OpAttrs::None, vec![a, b, c], shape.clone(), 0)
+            .unwrap();
+        let w = workload(g.node(s), &g);
+        assert_eq!(w.flops, 2.0 * shape.elements() as f64);
+        assert_eq!(w.bytes, 4.0 * shape.bytes() as f64);
+    }
+
+    #[test]
+    fn backprop_filter_flops_positive() {
+        use ceer_graph::backward::training_graph;
+        let mut b = GraphBuilder::new("w");
+        let (x, labels) = b.input(4, 32, 32, 3);
+        let c = b.conv2d(&x, 8, (3, 3), (1, 1), Padding::Same, true);
+        let r = b.relu(&c);
+        let f = b.flatten(&r);
+        let logits = b.dense(&f, 1000, false);
+        let loss = b.softmax_loss(&logits, &labels);
+        let loss_id = loss.id();
+        let g = training_graph(b.finish(), loss_id);
+        let node = g
+            .nodes()
+            .iter()
+            .find(|n| n.kind() == OpKind::Conv2DBackpropFilter)
+            .expect("filter grad exists");
+        let w = workload(node, &g);
+        assert!(w.flops > 0.0);
+        assert!(w.bytes > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod coverage_tests {
+    use super::*;
+    use ceer_graph::models::{Cnn, CnnId};
+    use ceer_graph::DeviceClass;
+
+    /// Every op kind that occurs anywhere in the zoo's training graphs must
+    /// lower to a physically sensible workload.
+    #[test]
+    fn every_zoo_op_kind_lowers_sensibly() {
+        use std::collections::BTreeSet;
+        let mut seen: BTreeSet<OpKind> = BTreeSet::new();
+        for &id in &[CnnId::AlexNet, CnnId::InceptionV3, CnnId::ResNet50] {
+            let graph = Cnn::build(id, 8).training_graph();
+            for node in graph.nodes() {
+                seen.insert(node.kind());
+                let w = workload(node, &graph);
+                assert!(w.flops.is_finite() && w.flops >= 0.0, "{}", node.name());
+                assert!(w.bytes.is_finite() && w.bytes >= 0.0, "{}", node.name());
+                // Everything except pure bookkeeping touches memory.
+                assert!(w.bytes > 0.0, "{} moves no bytes", node.name());
+            }
+        }
+        // These three CNNs exercise most of the vocabulary.
+        assert!(seen.len() >= 25, "only {} kinds exercised", seen.len());
+    }
+
+    #[test]
+    fn gpu_heavy_kinds_do_more_work_than_bookkeeping() {
+        let graph = Cnn::build(CnnId::ResNet50, 32).training_graph();
+        let mean_bytes = |kind: OpKind| -> f64 {
+            let (total, n) = graph
+                .nodes()
+                .iter()
+                .filter(|node| node.kind() == kind)
+                .map(|node| workload(node, &graph).bytes)
+                .fold((0.0, 0usize), |(t, n), b| (t + b, n + 1));
+            total / n.max(1) as f64
+        };
+        for heavy in [OpKind::Conv2D, OpKind::FusedBatchNormV3, OpKind::ReluGrad] {
+            assert!(
+                mean_bytes(heavy) > 1000.0 * mean_bytes(OpKind::Reshape),
+                "{heavy} should dwarf Reshape"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_gradients_cost_as_much_as_the_forward_pass() {
+        // Per instance, the filter/input gradients match the forward conv's
+        // FLOP volume to within a small factor.
+        let graph = Cnn::build(CnnId::Vgg11, 8).training_graph();
+        let total_flops = |kind: OpKind| -> f64 {
+            graph
+                .nodes()
+                .iter()
+                .filter(|node| node.kind() == kind)
+                .map(|node| workload(node, &graph).flops)
+                .sum()
+        };
+        let fwd = total_flops(OpKind::Conv2D);
+        let dfilter = total_flops(OpKind::Conv2DBackpropFilter);
+        let dinput = total_flops(OpKind::Conv2DBackpropInput);
+        assert!((0.5..2.0).contains(&(dfilter / fwd)), "filter/fwd = {}", dfilter / fwd);
+        assert!((0.3..2.0).contains(&(dinput / fwd)), "input/fwd = {}", dinput / fwd);
+    }
+
+    #[test]
+    fn cpu_ops_stay_small() {
+        // The host work per iteration must stay far below GPU work —
+        // otherwise the paper's "CPU ops are a small correction" premise
+        // breaks in the substrate itself.
+        let graph = Cnn::build(CnnId::InceptionV3, 32).training_graph();
+        let mut cpu = 0.0;
+        let mut gpu = 0.0;
+        for node in graph.nodes() {
+            let w = workload(node, &graph);
+            match node.kind().device_class() {
+                DeviceClass::Cpu => cpu += w.flops,
+                DeviceClass::Gpu => gpu += w.flops,
+            }
+        }
+        assert!(cpu < gpu / 1e4, "cpu flops {cpu} vs gpu {gpu}");
+    }
+}

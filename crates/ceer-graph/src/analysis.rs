@@ -1,0 +1,262 @@
+//! Graph analysis: structural summaries a practitioner wants before renting
+//! anything — parameter/activation memory, FLOP totals, per-scope
+//! breakdowns, and Graphviz export for inspection.
+//!
+//! The paper sizes its GPU choices partly by memory ("default of 16GB of
+//! GPU memory", §II); [`MemoryEstimate`] provides the standard back-of-
+//! envelope training-memory accounting (weights + gradients + optimizer
+//! state + live activations) that determines whether a CNN fits a GPU at a
+//! given batch size at all.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::graph::{Graph, Node};
+use crate::op::{DeviceClass, OpKind};
+
+/// Bytes of training memory a CNN needs on one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryEstimate {
+    /// Parameter storage (weights), bytes.
+    pub weights_bytes: u64,
+    /// Gradient storage (one slot per weight), bytes.
+    pub gradients_bytes: u64,
+    /// Optimizer state (momentum buffer; one slot per weight for SGD-M).
+    pub optimizer_bytes: u64,
+    /// Activations kept alive for the backward pass, bytes.
+    pub activations_bytes: u64,
+    /// Framework/workspace overhead (cuDNN workspaces, allocator slack).
+    pub workspace_bytes: u64,
+}
+
+impl MemoryEstimate {
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.weights_bytes
+            + self.gradients_bytes
+            + self.optimizer_bytes
+            + self.activations_bytes
+            + self.workspace_bytes
+    }
+
+    /// Total in GiB.
+    pub fn total_gib(&self) -> f64 {
+        self.total_bytes() as f64 / (1u64 << 30) as f64
+    }
+
+    /// Whether this fits a GPU with the given memory capacity, leaving the
+    /// customary ~6% headroom for the CUDA context.
+    pub fn fits_gib(&self, capacity_gib: u32) -> bool {
+        self.total_gib() <= capacity_gib as f64 * 0.94
+    }
+}
+
+/// Structural summary of a (training) graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Total operations.
+    pub ops: usize,
+    /// Operations per device class.
+    pub gpu_ops: usize,
+    /// CPU-only operations.
+    pub cpu_ops: usize,
+    /// Trainable parameters.
+    pub parameters: u64,
+    /// Per-kind operation counts.
+    pub histogram: BTreeMap<OpKind, usize>,
+    /// Estimated training memory per GPU.
+    pub memory: MemoryEstimate,
+}
+
+/// Summarizes a training graph.
+pub fn summarize(graph: &Graph) -> GraphSummary {
+    GraphSummary {
+        ops: graph.len(),
+        gpu_ops: graph.count_device_class(DeviceClass::Gpu),
+        cpu_ops: graph.count_device_class(DeviceClass::Cpu),
+        parameters: graph.parameter_count(),
+        histogram: graph.op_histogram().into_iter().collect(),
+        memory: estimate_memory(graph),
+    }
+}
+
+/// Estimates per-GPU training memory for a training graph.
+///
+/// Accounting: weights + gradients + one optimizer slot (SGD with momentum),
+/// plus the outputs of every *forward* operation (all must stay alive for
+/// the backward pass — the standard no-rematerialization assumption), plus a
+/// 10% workspace allowance.
+pub fn estimate_memory(graph: &Graph) -> MemoryEstimate {
+    let weights_bytes = graph.parameter_count() * 4;
+    // Forward activations: outputs of non-gradient GPU ops (gradient
+    // tensors are consumed quickly and reuse freed buffers).
+    let activations_bytes: u64 = graph
+        .nodes()
+        .iter()
+        .filter(|n| {
+            n.kind().device_class() == DeviceClass::Gpu
+                && !n.kind().is_gradient()
+                && !n.name().starts_with("gradients/")
+        })
+        .map(|n| n.output_shape().bytes())
+        .sum();
+    let subtotal = weights_bytes * 3 + activations_bytes;
+    MemoryEstimate {
+        weights_bytes,
+        gradients_bytes: weights_bytes,
+        optimizer_bytes: weights_bytes,
+        activations_bytes,
+        workspace_bytes: subtotal / 10,
+    }
+}
+
+/// One row of a per-scope breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeRow {
+    /// Top-level scope name (text before the first `/`).
+    pub scope: String,
+    /// Operations inside the scope.
+    pub ops: usize,
+    /// Parameters owned by the scope.
+    pub parameters: u64,
+    /// Activation bytes produced by the scope's forward ops.
+    pub activation_bytes: u64,
+}
+
+/// Groups a graph's operations by their top-level name scope, in first-seen
+/// order — a layer-ish table of the network.
+pub fn scope_breakdown(graph: &Graph) -> Vec<ScopeRow> {
+    let mut order: Vec<String> = Vec::new();
+    let mut rows: BTreeMap<String, ScopeRow> = BTreeMap::new();
+    for node in graph.nodes() {
+        let scope = node.name().split('/').next().unwrap_or("").to_string();
+        if !rows.contains_key(&scope) {
+            order.push(scope.clone());
+            rows.insert(
+                scope.clone(),
+                ScopeRow { scope: scope.clone(), ops: 0, parameters: 0, activation_bytes: 0 },
+            );
+        }
+        let row = rows.get_mut(&scope).expect("inserted above");
+        row.ops += 1;
+        row.parameters += node.params();
+        if node.kind().device_class() == DeviceClass::Gpu && !node.kind().is_gradient() {
+            row.activation_bytes += node.output_shape().bytes();
+        }
+    }
+    order.into_iter().map(|s| rows.remove(&s).expect("present")).collect()
+}
+
+fn dot_label(node: &Node) -> String {
+    format!("{}\\n{}", node.kind().name(), node.output_shape())
+}
+
+/// Renders the graph in Graphviz DOT format. Large training graphs produce
+/// large files; pass `max_nodes` to truncate (0 = no limit).
+pub fn to_dot(graph: &Graph, max_nodes: usize) -> String {
+    let limit = if max_nodes == 0 { graph.len() } else { max_nodes.min(graph.len()) };
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name());
+    let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontsize=10];");
+    for node in graph.nodes().iter().take(limit) {
+        let color = match node.kind().device_class() {
+            DeviceClass::Cpu => "lightsalmon",
+            DeviceClass::Gpu if node.kind().is_gradient() => "lightblue",
+            DeviceClass::Gpu => "lightgray",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", style=filled, fillcolor={}];",
+            node.id().index(),
+            dot_label(node),
+            color
+        );
+        for input in node.inputs() {
+            if input.index() < limit {
+                let _ = writeln!(out, "  n{} -> n{};", input.index(), node.id().index());
+            }
+        }
+    }
+    if limit < graph.len() {
+        let _ = writeln!(out, "  truncated [label=\"... {} more ops\"];", graph.len() - limit);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Cnn, CnnId};
+
+    fn alexnet_training() -> Graph {
+        Cnn::build(CnnId::AlexNet, 32).training_graph()
+    }
+
+    #[test]
+    fn summary_is_consistent_with_graph() {
+        let g = alexnet_training();
+        let s = summarize(&g);
+        assert_eq!(s.ops, g.len());
+        assert_eq!(s.gpu_ops + s.cpu_ops, s.ops);
+        assert_eq!(s.parameters, g.parameter_count());
+        assert_eq!(s.histogram.values().sum::<usize>(), s.ops);
+    }
+
+    #[test]
+    fn memory_estimate_is_sane_for_alexnet() {
+        // AlexNet at batch 32: ~62M params -> 750MB for weights+grads+
+        // momentum, plus ~1GB of activations.
+        let m = estimate_memory(&alexnet_training());
+        assert_eq!(m.weights_bytes, m.gradients_bytes);
+        assert_eq!(m.weights_bytes, m.optimizer_bytes);
+        let gib = m.total_gib();
+        assert!((1.0..4.0).contains(&gib), "AlexNet estimate {gib:.2} GiB out of range");
+        assert!(m.fits_gib(16));
+        assert!(!m.fits_gib(1));
+    }
+
+    #[test]
+    fn vgg_needs_more_activation_memory_than_alexnet() {
+        // VGG's 224x224 stages keep huge activations alive.
+        let vgg = estimate_memory(&Cnn::build(CnnId::Vgg16, 32).training_graph());
+        let alex = estimate_memory(&alexnet_training());
+        assert!(vgg.activations_bytes > 3 * alex.activations_bytes);
+    }
+
+    #[test]
+    fn memory_scales_with_batch() {
+        let small = estimate_memory(&Cnn::build(CnnId::ResNet50, 8).training_graph());
+        let large = estimate_memory(&Cnn::build(CnnId::ResNet50, 32).training_graph());
+        assert!(large.activations_bytes > 3 * small.activations_bytes);
+        assert_eq!(large.weights_bytes, small.weights_bytes);
+    }
+
+    #[test]
+    fn scope_breakdown_covers_all_ops_and_params() {
+        let g = alexnet_training();
+        let rows = scope_breakdown(&g);
+        assert_eq!(rows.iter().map(|r| r.ops).sum::<usize>(), g.len());
+        assert_eq!(rows.iter().map(|r| r.parameters).sum::<u64>(), g.parameter_count());
+        // Scopes appear in build order: input pipeline first.
+        assert_eq!(rows[0].scope, "input_pipeline");
+        assert!(rows.iter().any(|r| r.scope == "classifier"));
+        // AlexNet's classifier holds most parameters.
+        let classifier = rows.iter().find(|r| r.scope == "classifier").unwrap();
+        assert!(classifier.parameters as f64 > 0.9 * g.parameter_count() as f64 * 0.9);
+    }
+
+    #[test]
+    fn dot_export_is_valid_ish() {
+        let g = alexnet_training();
+        let dot = to_dot(&g, 25);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("Conv2D"));
+        assert!(dot.contains("truncated"));
+        // Full export has no truncation marker.
+        let full = to_dot(&g, 0);
+        assert!(!full.contains("truncated"));
+        assert!(full.matches(" -> ").count() > g.len());
+    }
+}

@@ -1,0 +1,493 @@
+//! Training-graph expansion (the backward pass).
+//!
+//! TensorFlow turns an inference graph into a training graph by appending
+//! gradient operations — and those are precisely the operations that dominate
+//! the paper's Figure 2 (`Conv2DBackpropFilter`, `Conv2DBackpropInput`,
+//! `MaxPoolGrad`, `FusedBatchNormGradV3`, …). [`training_graph`] reproduces
+//! that expansion: it walks the forward graph in reverse topological order,
+//! emits per-operation gradient rules, and inserts `AddN` accumulation nodes
+//! where a tensor feeds several consumers (residual trunks, inception block
+//! inputs) — exactly where `AddN` shows up in real TF graphs.
+//!
+//! The optimizer's parameter *update* and the CPU↔GPU weight synchronization
+//! are deliberately **not** graph operations: the paper models them as the
+//! per-iteration communication overhead `S_GPU(CNN)` (§IV-C), and the
+//! trainer crate accounts for them the same way.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, NodeId};
+use crate::op::{OpAttrs, OpKind};
+use crate::shape::TensorShape;
+
+/// Expands a forward graph (as produced by
+/// [`GraphBuilder`](crate::GraphBuilder)) into a full training graph by
+/// appending the backward pass for the scalar `loss` node.
+///
+/// # Panics
+///
+/// Panics if `loss` is not a scalar produced by the graph, or if the graph
+/// contains an op kind with no gradient rule in a position that requires one.
+pub fn training_graph(mut forward: Graph, loss: NodeId) -> Graph {
+    assert_eq!(
+        forward.node(loss).output_shape(),
+        &TensorShape::scalar(),
+        "loss must be a scalar"
+    );
+
+    // Pending gradient contributions per forward node.
+    let mut pending: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+
+    // Seed: d(loss)/d(loss) = 1, emitted as a Fill, as TF does.
+    let seed = forward
+        .add_node(
+            "gradients/Fill",
+            OpKind::Fill,
+            OpAttrs::None,
+            vec![],
+            TensorShape::scalar(),
+            0,
+        )
+        .expect("unique seed name");
+    pending.entry(loss).or_default().push(seed);
+
+    let forward_len = loss.index() + 1;
+    let mut addn_counter = 0usize;
+
+    // Reverse topological order over the forward prefix.
+    for index in (0..forward_len).rev() {
+        let id = NodeId(index as u32);
+        let Some(contributions) = pending.remove(&id) else {
+            continue; // not on the loss path (label pipeline, Shape ops, ...)
+        };
+
+        // Aggregate fan-out gradients with AddN, like TF.
+        let grad = if contributions.len() == 1 {
+            contributions[0]
+        } else {
+            addn_counter += 1;
+            let shape = forward.node(id).output_shape().clone();
+            forward
+                .add_node(
+                    format!("gradients/AddN_{addn_counter}"),
+                    OpKind::AddN,
+                    OpAttrs::None,
+                    contributions,
+                    shape,
+                    0,
+                )
+                .expect("unique AddN name")
+        };
+
+        emit_rule(&mut forward, id, grad, &mut pending);
+    }
+
+    forward
+}
+
+/// Emits the gradient rule for forward node `id` given its aggregated
+/// output-gradient `grad`, pushing input gradients into `pending`.
+fn emit_rule(
+    graph: &mut Graph,
+    id: NodeId,
+    grad: NodeId,
+    pending: &mut HashMap<NodeId, Vec<NodeId>>,
+) {
+    let node = graph.node(id).clone();
+    let fwd_name = node.name().to_string();
+    let inputs: Vec<NodeId> = node.inputs().to_vec();
+    let attrs = node.attrs();
+    let add = |graph: &mut Graph,
+                   suffix: &str,
+                   kind: OpKind,
+                   attrs: OpAttrs,
+                   op_inputs: Vec<NodeId>,
+                   shape: TensorShape|
+     -> NodeId {
+        graph
+            .add_node(
+                format!("gradients/{fwd_name}_grad/{suffix}"),
+                kind,
+                attrs,
+                op_inputs,
+                shape,
+                0,
+            )
+            .expect("forward names are unique, so gradient names are too")
+    };
+    let push = |pending: &mut HashMap<NodeId, Vec<NodeId>>, to: NodeId, g: NodeId| {
+        pending.entry(to).or_default().push(g);
+    };
+
+    match node.kind() {
+        OpKind::Conv2D => {
+            let x = inputs[0];
+            let x_shape = graph.node(x).output_shape().clone();
+            let (kh, kw) = match attrs {
+                OpAttrs::Conv { kernel, .. } => kernel,
+                _ => unreachable!("Conv2D always carries Conv attrs"),
+            };
+            let filter_shape = TensorShape::filter(
+                kh,
+                kw,
+                x_shape.channels(),
+                node.output_shape().channels(),
+            );
+            let _dfilter =
+                add(graph, "Conv2DBackpropFilter", OpKind::Conv2DBackpropFilter, attrs, vec![x, grad], filter_shape);
+            // TF skips the input gradient for the first convolution, whose
+            // input is the (non-trainable) data placeholder.
+            if !is_placeholder(graph, x) {
+                let dx = add(
+                    graph,
+                    "Conv2DBackpropInput",
+                    OpKind::Conv2DBackpropInput,
+                    attrs,
+                    vec![grad],
+                    x_shape,
+                );
+                push(pending, x, dx);
+            }
+        }
+        OpKind::MatMul => {
+            let x = inputs[0];
+            let x_shape = graph.node(x).output_shape().clone();
+            let (features, units) =
+                (x_shape.dims()[1], node.output_shape().dims()[1]);
+            let _dw = add(
+                graph,
+                "MatMul_weights",
+                OpKind::MatMul,
+                OpAttrs::None,
+                vec![x, grad],
+                TensorShape::matrix(features, units),
+            );
+            if !is_placeholder(graph, x) {
+                let dx = add(graph, "MatMul_input", OpKind::MatMul, OpAttrs::None, vec![grad], x_shape);
+                push(pending, x, dx);
+            }
+        }
+        OpKind::BiasAdd => {
+            let x = inputs[0];
+            let c = node.output_shape().channels();
+            let _db =
+                add(graph, "BiasAddGrad", OpKind::BiasAddGrad, OpAttrs::None, vec![grad], TensorShape::vector(c));
+            // d/dx of BiasAdd is the identity: reuse the gradient tensor.
+            push(pending, x, grad);
+        }
+        OpKind::Relu => {
+            let x = inputs[0];
+            let dx = add(
+                graph,
+                "ReluGrad",
+                OpKind::ReluGrad,
+                OpAttrs::None,
+                vec![grad, id],
+                graph.node(x).output_shape().clone(),
+            );
+            push(pending, x, dx);
+        }
+        OpKind::LRN => {
+            let x = inputs[0];
+            let dx = add(
+                graph,
+                "LRNGrad",
+                OpKind::LRNGrad,
+                OpAttrs::None,
+                vec![grad, x, id],
+                graph.node(x).output_shape().clone(),
+            );
+            push(pending, x, dx);
+        }
+        OpKind::MaxPool => {
+            let x = inputs[0];
+            let dx = add(
+                graph,
+                "MaxPoolGrad",
+                OpKind::MaxPoolGrad,
+                attrs,
+                vec![x, id, grad],
+                graph.node(x).output_shape().clone(),
+            );
+            push(pending, x, dx);
+        }
+        OpKind::AvgPool => {
+            let x = inputs[0];
+            let dx = add(
+                graph,
+                "AvgPoolGrad",
+                OpKind::AvgPoolGrad,
+                attrs,
+                vec![grad],
+                graph.node(x).output_shape().clone(),
+            );
+            push(pending, x, dx);
+        }
+        OpKind::FusedBatchNormV3 => {
+            let x = inputs[0];
+            let dx = add(
+                graph,
+                "FusedBatchNormGradV3",
+                OpKind::FusedBatchNormGradV3,
+                OpAttrs::None,
+                vec![grad, x],
+                graph.node(x).output_shape().clone(),
+            );
+            push(pending, x, dx);
+        }
+        OpKind::AddV2 => {
+            // Gradient distributes unchanged to both addends.
+            for &x in &inputs {
+                push(pending, x, grad);
+            }
+        }
+        OpKind::Mul => {
+            // Dropout-style mul: x * mask. The mask (a Fill) gets no grad.
+            let x = inputs[0];
+            if !is_placeholder(graph, x) {
+                let dx = add(
+                    graph,
+                    "Mul",
+                    OpKind::Mul,
+                    OpAttrs::None,
+                    vec![grad, inputs[1]],
+                    graph.node(x).output_shape().clone(),
+                );
+                push(pending, x, dx);
+            }
+        }
+        OpKind::ConcatV2 => {
+            // TF computes slice offsets on the CPU, then slices the gradient.
+            let _offsets = add(
+                graph,
+                "ConcatOffset",
+                OpKind::ConcatOffset,
+                OpAttrs::None,
+                vec![grad],
+                TensorShape::vector(inputs.len() as u64),
+            );
+            for (i, &x) in inputs.iter().enumerate() {
+                let dx = add(
+                    graph,
+                    &format!("Slice_{i}"),
+                    OpKind::Slice,
+                    OpAttrs::None,
+                    vec![grad],
+                    graph.node(x).output_shape().clone(),
+                );
+                push(pending, x, dx);
+            }
+        }
+        OpKind::Mean => {
+            let x = inputs[0];
+            let dx = add(
+                graph,
+                "Tile",
+                OpKind::Tile,
+                OpAttrs::None,
+                vec![grad],
+                graph.node(x).output_shape().clone(),
+            );
+            push(pending, x, dx);
+        }
+        OpKind::SoftmaxCrossEntropyWithLogits => {
+            let logits = inputs[0];
+            let expanded = add(
+                graph,
+                "ExpandDims",
+                OpKind::ExpandDims,
+                OpAttrs::None,
+                vec![grad],
+                TensorShape::matrix(node.output_shape().dims()[0], 1),
+            );
+            let dlogits = add(
+                graph,
+                "Mul",
+                OpKind::Mul,
+                OpAttrs::None,
+                vec![expanded, id],
+                graph.node(logits).output_shape().clone(),
+            );
+            push(pending, logits, dlogits);
+            // Labels receive no gradient.
+        }
+        OpKind::Reshape | OpKind::Squeeze => {
+            let x = inputs[0];
+            let dx = add(
+                graph,
+                "Reshape",
+                OpKind::Reshape,
+                OpAttrs::None,
+                vec![grad],
+                graph.node(x).output_shape().clone(),
+            );
+            push(pending, x, dx);
+        }
+        OpKind::Pad => {
+            let x = inputs[0];
+            let dx = add(
+                graph,
+                "Slice",
+                OpKind::Slice,
+                OpAttrs::None,
+                vec![grad],
+                graph.node(x).output_shape().clone(),
+            );
+            push(pending, x, dx);
+        }
+        OpKind::Identity | OpKind::Cast => {
+            if let Some(&x) = inputs.first() {
+                push(pending, x, grad);
+            }
+            // A placeholder (no inputs) terminates the chain.
+        }
+        other => {
+            // Ops without gradient rules must never sit on the loss path.
+            panic!("no gradient rule for {other} (node {fwd_name}) on the loss path")
+        }
+    }
+}
+
+/// True when the node is a data placeholder (an `Identity` with no inputs).
+fn is_placeholder(graph: &Graph, id: NodeId) -> bool {
+    let n = graph.node(id);
+    n.kind() == OpKind::Identity && n.inputs().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::Padding;
+
+    /// Builds a small convnet with a residual connection, dropout and concat
+    /// so that every gradient rule fires.
+    fn full_featured_forward() -> (Graph, NodeId) {
+        let mut b = GraphBuilder::new("test-net");
+        let (x, labels) = b.input(4, 32, 32, 3);
+        let c1 = b.conv2d(&x, 16, (3, 3), (1, 1), Padding::Same, true);
+        let n1 = b.batch_norm(&c1);
+        let r1 = b.relu(&n1);
+        let l1 = b.lrn(&r1);
+        let p1 = b.max_pool(&l1, (2, 2), (2, 2), Padding::Valid);
+        // Residual block.
+        let c2 = b.conv2d(&p1, 16, (3, 3), (1, 1), Padding::Same, false);
+        let n2 = b.batch_norm(&c2);
+        let res = b.add(&p1, &n2);
+        // Inception-style split.
+        let branch_a = b.conv2d(&res, 8, (1, 1), (1, 1), Padding::Same, false);
+        let branch_b = b.avg_pool(&res, (3, 3), (1, 1), Padding::Same);
+        let cat = b.concat(&[&branch_a, &branch_b]);
+        let gap = b.global_avg_pool(&cat);
+        let drop = b.dropout(&gap);
+        let logits = b.dense(&drop, 1000, false);
+        let loss = b.softmax_loss(&logits, &labels);
+        let loss_id = loss.id();
+        (b.finish(), loss_id)
+    }
+
+    #[test]
+    fn expansion_keeps_graph_valid() {
+        let (fwd, loss) = full_featured_forward();
+        let g = training_graph(fwd, loss);
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn expansion_adds_backward_ops() {
+        let (fwd, loss) = full_featured_forward();
+        let fwd_len = fwd.len();
+        let g = training_graph(fwd, loss);
+        assert!(g.len() > fwd_len, "backward pass must add nodes");
+        let h = g.op_histogram();
+        for kind in [
+            OpKind::Conv2DBackpropFilter,
+            OpKind::Conv2DBackpropInput,
+            OpKind::MaxPoolGrad,
+            OpKind::AvgPoolGrad,
+            OpKind::ReluGrad,
+            OpKind::BiasAddGrad,
+            OpKind::FusedBatchNormGradV3,
+            OpKind::LRNGrad,
+            OpKind::ConcatOffset,
+            OpKind::Tile,
+        ] {
+            assert!(h.contains_key(&kind), "expected {kind} in training graph");
+        }
+    }
+
+    #[test]
+    fn every_conv_gets_a_filter_gradient() {
+        let (fwd, loss) = full_featured_forward();
+        let convs = fwd.op_histogram()[&OpKind::Conv2D];
+        let g = training_graph(fwd, loss);
+        assert_eq!(g.op_histogram()[&OpKind::Conv2DBackpropFilter], convs);
+    }
+
+    #[test]
+    fn first_conv_skips_input_gradient() {
+        let (fwd, loss) = full_featured_forward();
+        let convs = fwd.op_histogram()[&OpKind::Conv2D];
+        let g = training_graph(fwd, loss);
+        // One conv reads the placeholder, so input grads = convs - 1.
+        assert_eq!(g.op_histogram()[&OpKind::Conv2DBackpropInput], convs - 1);
+    }
+
+    #[test]
+    fn fan_out_produces_addn() {
+        let (fwd, loss) = full_featured_forward();
+        let g = training_graph(fwd, loss);
+        // `res` feeds two branches and `p1` feeds conv + residual add, so at
+        // least one AddN accumulator must exist.
+        assert!(g.op_histogram()[&OpKind::AddN] >= 1);
+    }
+
+    #[test]
+    fn gradient_shapes_mirror_forward_shapes() {
+        let (fwd, loss) = full_featured_forward();
+        let relu_in_shape = {
+            let relu = fwd.nodes().iter().find(|n| n.kind() == OpKind::Relu).unwrap();
+            fwd.node(relu.inputs()[0]).output_shape().clone()
+        };
+        let g = training_graph(fwd, loss);
+        let relu_grad = g.nodes().iter().find(|n| n.kind() == OpKind::ReluGrad).unwrap();
+        assert_eq!(relu_grad.output_shape(), &relu_in_shape);
+    }
+
+    #[test]
+    fn conv_filter_grad_has_filter_shape() {
+        let (fwd, loss) = full_featured_forward();
+        let g = training_graph(fwd, loss);
+        // The first conv is named `Conv2D`: 3x3x3x16 filter.
+        let dfilter = g.node_by_name("gradients/Conv2D_grad/Conv2DBackpropFilter").unwrap();
+        assert_eq!(dfilter.output_shape(), &TensorShape::filter(3, 3, 3, 16));
+    }
+
+    #[test]
+    fn backward_adds_no_parameters() {
+        let (fwd, loss) = full_featured_forward();
+        let before = fwd.parameter_count();
+        let g = training_graph(fwd, loss);
+        assert_eq!(g.parameter_count(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a scalar")]
+    fn rejects_non_scalar_loss() {
+        let mut b = GraphBuilder::new("bad");
+        let (x, _) = b.input(2, 8, 8, 3);
+        let r = b.relu(&x);
+        let id = r.id();
+        training_graph(b.finish(), id);
+    }
+
+    #[test]
+    fn cpu_ops_appear_in_backward_pass() {
+        use crate::op::DeviceClass;
+        let (fwd, loss) = full_featured_forward();
+        let before = fwd.count_device_class(DeviceClass::Cpu);
+        let g = training_graph(fwd, loss);
+        // ConcatOffset and ExpandDims run on the CPU.
+        assert!(g.count_device_class(DeviceClass::Cpu) > before);
+    }
+}

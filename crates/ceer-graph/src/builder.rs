@@ -1,0 +1,516 @@
+//! Layer-level graph construction.
+//!
+//! Real CNNs are written in terms of layers (convolution, pooling, dense,
+//! batch-norm, inception blocks, residual units); TensorFlow lowers those to
+//! operations. [`GraphBuilder`] plays the same role here: the model zoo in
+//! [`crate::models`] is written against this API and never touches raw
+//! [`OpKind`]s.
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, NodeId};
+use crate::op::{OpAttrs, OpKind, Padding};
+use crate::shape::TensorShape;
+
+/// A handle to a tensor produced by a node, carrying its shape so layer code
+/// can do shape arithmetic without consulting the graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    id: NodeId,
+    shape: TensorShape,
+}
+
+impl Tensor {
+    /// The producing node.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &TensorShape {
+        &self.shape
+    }
+}
+
+/// Builds CNN computation graphs layer by layer.
+///
+/// Node names are auto-scoped and auto-unique (`conv1/Conv2D`,
+/// `conv1/BiasAdd`, …), so layer code never worries about collisions.
+///
+/// ```
+/// use ceer_graph::{GraphBuilder, Padding};
+///
+/// let mut b = GraphBuilder::new("lenet-ish");
+/// let (x, labels) = b.input(32, 28, 28, 1);
+/// let x = b.conv2d(&x, 6, (5, 5), (1, 1), Padding::Same, true);
+/// let x = b.relu(&x);
+/// let x = b.max_pool(&x, (2, 2), (2, 2), Padding::Valid);
+/// let x = b.flatten(&x);
+/// let logits = b.dense(&x, 10, false);
+/// let _loss = b.softmax_loss(&logits, &labels);
+/// let graph = b.finish();
+/// assert!(graph.parameter_count() > 0);
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+    scopes: Vec<String>,
+    counters: HashMap<String, usize>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a model with the given name.
+    pub fn new(model_name: impl Into<String>) -> Self {
+        GraphBuilder { graph: Graph::new(model_name), scopes: Vec::new(), counters: HashMap::new() }
+    }
+
+    /// Enters a named scope; nodes added until [`pop_scope`](Self::pop_scope)
+    /// get `name/` prefixed.
+    pub fn push_scope(&mut self, name: impl Into<String>) {
+        self.scopes.push(name.into());
+    }
+
+    /// Leaves the innermost scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no scope is active.
+    pub fn pop_scope(&mut self) {
+        self.scopes.pop().expect("pop_scope without matching push_scope");
+    }
+
+    fn scoped_name(&mut self, op: OpKind) -> String {
+        let mut path = self.scopes.join("/");
+        if !path.is_empty() {
+            path.push('/');
+        }
+        path.push_str(op.name());
+        let count = self.counters.entry(path.clone()).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            path
+        } else {
+            format!("{path}_{count}")
+        }
+    }
+
+    /// Adds a raw operation. Layer methods below are built on this.
+    pub fn add_op(
+        &mut self,
+        kind: OpKind,
+        attrs: OpAttrs,
+        inputs: &[&Tensor],
+        output_shape: TensorShape,
+        params: u64,
+    ) -> Tensor {
+        let name = self.scoped_name(kind);
+        let ids = inputs.iter().map(|t| t.id).collect();
+        let id = self
+            .graph
+            .add_node(name, kind, attrs, ids, output_shape.clone(), params)
+            .expect("builder generates unique names and valid edges");
+        Tensor { id, shape: output_shape }
+    }
+
+    /// Adds the input pipeline: an image placeholder plus the label-handling
+    /// CPU operations TensorFlow runs every iteration (`Range`,
+    /// `SparseToDense`, `Cast`, …). Returns `(images, labels)`.
+    pub fn input(&mut self, batch: u64, height: u64, width: u64, channels: u64) -> (Tensor, Tensor) {
+        self.push_scope("input_pipeline".to_string());
+        let images = self.add_op(
+            OpKind::Identity,
+            OpAttrs::None,
+            &[],
+            TensorShape::nhwc(batch, height, width, channels),
+            0,
+        );
+        // Label decode path: sparse labels -> dense one-hot, on the CPU.
+        let raw = self.add_op(OpKind::Range, OpAttrs::None, &[], TensorShape::vector(batch), 0);
+        let dense = self.add_op(
+            OpKind::SparseToDense,
+            OpAttrs::None,
+            &[&raw],
+            TensorShape::matrix(batch, 1000),
+            0,
+        );
+        let labels =
+            self.add_op(OpKind::Cast, OpAttrs::None, &[&dense], TensorShape::matrix(batch, 1000), 0);
+        // Shape bookkeeping ops that appear in every TF input pipeline.
+        let shape_op =
+            self.add_op(OpKind::Shape, OpAttrs::None, &[&images], TensorShape::vector(4), 0);
+        self.add_op(OpKind::Prod, OpAttrs::None, &[&shape_op], TensorShape::scalar(), 0);
+        self.add_op(OpKind::ExpandDims, OpAttrs::None, &[&raw], TensorShape::matrix(batch, 1), 0);
+        self.pop_scope();
+        (images, labels)
+    }
+
+    /// 2-D convolution. `bias` appends a `BiasAdd`. Parameters:
+    /// `kh·kw·Cin·Cout` for the filter (+`Cout` for the bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 4.
+    pub fn conv2d(
+        &mut self,
+        x: &Tensor,
+        out_channels: u64,
+        kernel: (u64, u64),
+        stride: (u64, u64),
+        padding: Padding,
+        bias: bool,
+    ) -> Tensor {
+        let in_shape = x.shape();
+        let (batch, h, w, cin) =
+            (in_shape.batch(), in_shape.height(), in_shape.width(), in_shape.channels());
+        let oh = padding.output_extent(h, kernel.0, stride.0);
+        let ow = padding.output_extent(w, kernel.1, stride.1);
+        let out_shape = TensorShape::nhwc(batch, oh, ow, out_channels);
+        let filter_params = kernel.0 * kernel.1 * cin * out_channels;
+        let conv = self.add_op(
+            OpKind::Conv2D,
+            OpAttrs::conv(kernel, stride, padding),
+            &[x],
+            out_shape.clone(),
+            filter_params,
+        );
+        if bias {
+            self.add_op(OpKind::BiasAdd, OpAttrs::None, &[&conv], out_shape, out_channels)
+        } else {
+            conv
+        }
+    }
+
+    /// Fused batch normalization; owns `2·C` trainable parameters (scale and
+    /// offset).
+    pub fn batch_norm(&mut self, x: &Tensor) -> Tensor {
+        let c = x.shape().channels();
+        self.add_op(OpKind::FusedBatchNormV3, OpAttrs::None, &[x], x.shape().clone(), 2 * c)
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, x: &Tensor) -> Tensor {
+        self.add_op(OpKind::Relu, OpAttrs::None, &[x], x.shape().clone(), 0)
+    }
+
+    /// Local response normalization (AlexNet, GoogLeNet).
+    pub fn lrn(&mut self, x: &Tensor) -> Tensor {
+        self.add_op(OpKind::LRN, OpAttrs::None, &[x], x.shape().clone(), 0)
+    }
+
+    fn pool(
+        &mut self,
+        kind: OpKind,
+        x: &Tensor,
+        window: (u64, u64),
+        stride: (u64, u64),
+        padding: Padding,
+    ) -> Tensor {
+        let s = x.shape();
+        let oh = padding.output_extent(s.height(), window.0, stride.0);
+        let ow = padding.output_extent(s.width(), window.1, stride.1);
+        let out = TensorShape::nhwc(s.batch(), oh, ow, s.channels());
+        self.add_op(kind, OpAttrs::pool(window, stride, padding), &[x], out, 0)
+    }
+
+    /// Max pooling.
+    pub fn max_pool(
+        &mut self,
+        x: &Tensor,
+        window: (u64, u64),
+        stride: (u64, u64),
+        padding: Padding,
+    ) -> Tensor {
+        self.pool(OpKind::MaxPool, x, window, stride, padding)
+    }
+
+    /// Average pooling.
+    pub fn avg_pool(
+        &mut self,
+        x: &Tensor,
+        window: (u64, u64),
+        stride: (u64, u64),
+        padding: Padding,
+    ) -> Tensor {
+        self.pool(OpKind::AvgPool, x, window, stride, padding)
+    }
+
+    /// Global average pooling: a `Mean` over the spatial dimensions followed
+    /// by a `Reshape` to `[batch, channels]`.
+    pub fn global_avg_pool(&mut self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        let mean = self.add_op(
+            OpKind::Mean,
+            OpAttrs::None,
+            &[x],
+            TensorShape::nhwc(s.batch(), 1, 1, s.channels()),
+            0,
+        );
+        self.add_op(
+            OpKind::Reshape,
+            OpAttrs::None,
+            &[&mean],
+            TensorShape::matrix(s.batch(), s.channels()),
+            0,
+        )
+    }
+
+    /// Channel-wise concatenation (inception blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics for fewer than two inputs or mismatched spatial dimensions.
+    pub fn concat(&mut self, xs: &[&Tensor]) -> Tensor {
+        assert!(xs.len() >= 2, "concat requires at least two inputs");
+        let first = xs[0].shape();
+        let (batch, h, w) = (first.batch(), first.height(), first.width());
+        let mut channels = 0;
+        for x in xs {
+            let s = x.shape();
+            assert_eq!(
+                (s.batch(), s.height(), s.width()),
+                (batch, h, w),
+                "concat inputs must agree on batch and spatial dims"
+            );
+            channels += s.channels();
+        }
+        self.add_op(
+            OpKind::ConcatV2,
+            OpAttrs::None,
+            xs,
+            TensorShape::nhwc(batch, h, w, channels),
+            0,
+        )
+    }
+
+    /// Element-wise addition (residual shortcut connections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&mut self, x: &Tensor, y: &Tensor) -> Tensor {
+        assert_eq!(x.shape(), y.shape(), "residual add requires matching shapes");
+        self.add_op(OpKind::AddV2, OpAttrs::None, &[x, y], x.shape().clone(), 0)
+    }
+
+    /// Flattens NHWC activations to `[batch, features]` (a `Shape` +
+    /// `Reshape` pair, as TF emits).
+    pub fn flatten(&mut self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        let features = s.elements() / s.batch();
+        let shape_op = self.add_op(OpKind::Shape, OpAttrs::None, &[x], TensorShape::vector(4), 0);
+        let _ = shape_op;
+        self.add_op(
+            OpKind::Reshape,
+            OpAttrs::None,
+            &[x],
+            TensorShape::matrix(s.batch(), features),
+            0,
+        )
+    }
+
+    /// Fully-connected layer: `MatMul` + `BiasAdd` (+ optional `Relu`).
+    /// Parameters: `in·units + units`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2.
+    pub fn dense(&mut self, x: &Tensor, units: u64, relu: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.rank(), 2, "dense expects flattened input, got {s}");
+        let (batch, features) = (s.dims()[0], s.dims()[1]);
+        let out = TensorShape::matrix(batch, units);
+        let mm = self.add_op(
+            OpKind::MatMul,
+            OpAttrs::None,
+            &[x],
+            out.clone(),
+            features * units,
+        );
+        let biased = self.add_op(OpKind::BiasAdd, OpAttrs::None, &[&mm], out.clone(), units);
+        if relu {
+            self.add_op(OpKind::Relu, OpAttrs::None, &[&biased], out, 0)
+        } else {
+            biased
+        }
+    }
+
+    /// Dropout, lowered the way TF does in training mode: a random mask
+    /// (`Fill` stand-in) and an element-wise `Mul`.
+    pub fn dropout(&mut self, x: &Tensor) -> Tensor {
+        let mask = self.add_op(OpKind::Fill, OpAttrs::None, &[], x.shape().clone(), 0);
+        self.add_op(OpKind::Mul, OpAttrs::None, &[x, &mask], x.shape().clone(), 0)
+    }
+
+    /// Softmax cross-entropy loss against `labels`, reduced to a scalar with
+    /// `Mean`. Returns the loss tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if logits and labels disagree on shape.
+    pub fn softmax_loss(&mut self, logits: &Tensor, labels: &Tensor) -> Tensor {
+        assert_eq!(
+            logits.shape().dims()[0],
+            labels.shape().dims()[0],
+            "logits and labels must share the batch dimension"
+        );
+        let batch = logits.shape().dims()[0];
+        let xent = self.add_op(
+            OpKind::SoftmaxCrossEntropyWithLogits,
+            OpAttrs::None,
+            &[logits, labels],
+            TensorShape::vector(batch),
+            0,
+        );
+        self.add_op(OpKind::Mean, OpAttrs::None, &[&xent], TensorShape::scalar(), 0)
+    }
+
+    /// Finishes construction, returning the forward graph.
+    pub fn finish(self) -> Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_builder() -> (GraphBuilder, Tensor, Tensor) {
+        let mut b = GraphBuilder::new("t");
+        let (x, labels) = b.input(8, 32, 32, 3);
+        (b, x, labels)
+    }
+
+    #[test]
+    fn conv_same_padding_shape() {
+        let (mut b, x, _) = simple_builder();
+        let y = b.conv2d(&x, 16, (3, 3), (1, 1), Padding::Same, true);
+        assert_eq!(y.shape(), &TensorShape::nhwc(8, 32, 32, 16));
+    }
+
+    #[test]
+    fn conv_valid_padding_and_stride() {
+        let (mut b, x, _) = simple_builder();
+        let y = b.conv2d(&x, 16, (5, 5), (2, 2), Padding::Valid, false);
+        assert_eq!(y.shape(), &TensorShape::nhwc(8, 14, 14, 16));
+    }
+
+    #[test]
+    fn conv_parameter_count() {
+        let (mut b, x, _) = simple_builder();
+        let _ = b.conv2d(&x, 16, (3, 3), (1, 1), Padding::Same, true);
+        let g = b.finish();
+        // 3*3*3*16 filter + 16 bias.
+        assert_eq!(g.parameter_count(), 3 * 3 * 3 * 16 + 16);
+    }
+
+    #[test]
+    fn dense_parameter_count_and_shape() {
+        let (mut b, x, _) = simple_builder();
+        let f = b.flatten(&x);
+        let y = b.dense(&f, 10, true);
+        assert_eq!(y.shape(), &TensorShape::matrix(8, 10));
+        let g = b.finish();
+        assert_eq!(g.parameter_count(), 32 * 32 * 3 * 10 + 10);
+    }
+
+    #[test]
+    fn batch_norm_owns_two_c_params() {
+        let (mut b, x, _) = simple_builder();
+        let c = b.conv2d(&x, 32, (3, 3), (1, 1), Padding::Same, false);
+        let _ = b.batch_norm(&c);
+        let g = b.finish();
+        assert_eq!(g.parameter_count(), 3 * 3 * 3 * 32 + 64);
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let (mut b, x, _) = simple_builder();
+        let a = b.conv2d(&x, 8, (1, 1), (1, 1), Padding::Same, false);
+        let c = b.conv2d(&x, 24, (3, 3), (1, 1), Padding::Same, false);
+        let y = b.concat(&[&a, &c]);
+        assert_eq!(y.shape().channels(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "concat inputs must agree")]
+    fn concat_rejects_mismatched_spatial() {
+        let (mut b, x, _) = simple_builder();
+        let a = b.conv2d(&x, 8, (1, 1), (1, 1), Padding::Same, false);
+        let c = b.conv2d(&x, 8, (3, 3), (2, 2), Padding::Same, false);
+        b.concat(&[&a, &c]);
+    }
+
+    #[test]
+    fn residual_add_requires_same_shape() {
+        let (mut b, x, _) = simple_builder();
+        let a = b.conv2d(&x, 8, (3, 3), (1, 1), Padding::Same, false);
+        let c = b.conv2d(&x, 8, (3, 3), (1, 1), Padding::Same, false);
+        let y = b.add(&a, &c);
+        assert_eq!(y.shape(), a.shape());
+    }
+
+    #[test]
+    fn global_avg_pool_collapses_spatial() {
+        let (mut b, x, _) = simple_builder();
+        let y = b.global_avg_pool(&x);
+        assert_eq!(y.shape(), &TensorShape::matrix(8, 3));
+    }
+
+    #[test]
+    fn pooling_shapes() {
+        let (mut b, x, _) = simple_builder();
+        let m = b.max_pool(&x, (2, 2), (2, 2), Padding::Valid);
+        assert_eq!(m.shape(), &TensorShape::nhwc(8, 16, 16, 3));
+        let a = b.avg_pool(&x, (3, 3), (1, 1), Padding::Same);
+        assert_eq!(a.shape(), &TensorShape::nhwc(8, 32, 32, 3));
+    }
+
+    #[test]
+    fn input_pipeline_contains_cpu_ops() {
+        let (b, _, _) = simple_builder();
+        let g = b.finish();
+        use crate::op::DeviceClass;
+        assert!(g.count_device_class(DeviceClass::Cpu) >= 3);
+    }
+
+    #[test]
+    fn names_are_scoped_and_unique() {
+        let mut b = GraphBuilder::new("t");
+        let (x, _) = b.input(1, 8, 8, 3);
+        b.push_scope("block1");
+        let _ = b.relu(&x);
+        let _ = b.relu(&x);
+        b.pop_scope();
+        let g = b.finish();
+        assert!(g.node_by_name("block1/Relu").is_some());
+        assert!(g.node_by_name("block1/Relu_2").is_some());
+    }
+
+    #[test]
+    fn loss_is_scalar() {
+        let (mut b, x, labels) = simple_builder();
+        let f = b.flatten(&x);
+        let logits = b.dense(&f, 1000, false);
+        let loss = b.softmax_loss(&logits, &labels);
+        assert_eq!(loss.shape(), &TensorShape::scalar());
+    }
+
+    #[test]
+    fn dropout_emits_mul() {
+        let (mut b, x, _) = simple_builder();
+        let _ = b.dropout(&x);
+        let g = b.finish();
+        assert!(g.op_histogram()[&OpKind::Mul] >= 1);
+    }
+
+    #[test]
+    fn finished_graph_validates() {
+        let (mut b, x, labels) = simple_builder();
+        let c = b.conv2d(&x, 4, (3, 3), (1, 1), Padding::Same, true);
+        let r = b.relu(&c);
+        let f = b.flatten(&r);
+        let logits = b.dense(&f, 1000, false);
+        let _ = b.softmax_loss(&logits, &labels);
+        assert_eq!(b.finish().validate(), Ok(()));
+    }
+}

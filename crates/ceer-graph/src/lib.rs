@@ -1,0 +1,53 @@
+//! CNN computation graphs for the Ceer reproduction.
+//!
+//! The Ceer paper consumes CNNs the way TensorFlow represents them: directed
+//! acyclic graphs whose nodes are *operations* (`Conv2D`, `MaxPool`,
+//! `ReluGrad`, …) and whose edges carry tensors. This crate provides that
+//! substrate from scratch:
+//!
+//! - [`shape::TensorShape`]: NHWC tensor shapes with element/byte accounting.
+//! - [`op::OpKind`]: the TensorFlow-named operation vocabulary, including
+//!   every heavy operation in Figure 2 of the paper, the light shape-juggling
+//!   ops, and the CPU-only ops (`SparseToDense`, …).
+//! - [`graph::Graph`]: the DAG itself, with validation, topological order and
+//!   per-kind statistics.
+//! - [`builder::GraphBuilder`]: a layer-level API (conv / pool / fc /
+//!   batch-norm / inception blocks / residual units) that lowers to
+//!   operations.
+//! - [`backward`]: training-graph expansion — walks a forward graph and emits
+//!   the gradient operations TensorFlow would run, so the simulated profiles
+//!   contain `Conv2DBackpropFilter`, `MaxPoolGrad`, `FusedBatchNormGradV3`
+//!   and friends with realistic shapes.
+//! - [`models`]: the paper's 12-CNN zoo (AlexNet, VGG-11/16/19,
+//!   Inception-v1/v3/v4, ResNet-v2-50/101/152/200, Inception-ResNet-v2) with
+//!   the paper's train/test split.
+//! - [`analysis`]: structural summaries — training-memory estimates,
+//!   per-scope breakdowns, Graphviz export.
+//!
+//! # Example
+//!
+//! ```
+//! use ceer_graph::models::{Cnn, CnnId};
+//!
+//! let graph = Cnn::build(CnnId::AlexNet, 32).training_graph();
+//! // AlexNet has ~61M parameters.
+//! let params = graph.parameter_count();
+//! assert!((55_000_000..68_000_000).contains(&params), "got {params}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod backward;
+pub mod builder;
+pub mod graph;
+pub mod models;
+pub mod op;
+pub mod shape;
+pub mod shapecheck;
+
+pub use builder::GraphBuilder;
+pub use graph::{Graph, GraphError, Node, NodeId};
+pub use op::{DeviceClass, OpAttrs, OpKind, Padding};
+pub use shape::TensorShape;

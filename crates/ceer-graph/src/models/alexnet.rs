@@ -1,0 +1,110 @@
+//! AlexNet (Krizhevsky, Sutskever & Hinton, 2012).
+//!
+//! Five convolutions (two with local response normalization), three max
+//! pools, and three enormous fully-connected layers that put ~58M of its
+//! ~62M parameters in the classifier — which is why the paper finds
+//! AlexNet's training time so sensitive to the CPU↔GPU communication
+//! overhead (§IV-A: ignoring it costs almost 30% accuracy on AlexNet).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::op::Padding;
+
+/// Builds the AlexNet forward graph. Returns the graph and its loss node.
+pub(crate) fn forward(batch: u64) -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new("AlexNet");
+    let (x, labels) = b.input(batch, 227, 227, 3);
+
+    b.push_scope("conv1");
+    let c1 = b.conv2d(&x, 96, (11, 11), (4, 4), Padding::Valid, true); // 55x55x96
+    let r1 = b.relu(&c1);
+    let n1 = b.lrn(&r1);
+    let p1 = b.max_pool(&n1, (3, 3), (2, 2), Padding::Valid); // 27x27x96
+    b.pop_scope();
+
+    b.push_scope("conv2");
+    let c2 = b.conv2d(&p1, 256, (5, 5), (1, 1), Padding::Same, true); // 27x27x256
+    let r2 = b.relu(&c2);
+    let n2 = b.lrn(&r2);
+    let p2 = b.max_pool(&n2, (3, 3), (2, 2), Padding::Valid); // 13x13x256
+    b.pop_scope();
+
+    b.push_scope("conv3");
+    let c3 = b.conv2d(&p2, 384, (3, 3), (1, 1), Padding::Same, true);
+    let r3 = b.relu(&c3);
+    b.pop_scope();
+
+    b.push_scope("conv4");
+    let c4 = b.conv2d(&r3, 384, (3, 3), (1, 1), Padding::Same, true);
+    let r4 = b.relu(&c4);
+    b.pop_scope();
+
+    b.push_scope("conv5");
+    let c5 = b.conv2d(&r4, 256, (3, 3), (1, 1), Padding::Same, true);
+    let r5 = b.relu(&c5);
+    let p5 = b.max_pool(&r5, (3, 3), (2, 2), Padding::Valid); // 6x6x256
+    b.pop_scope();
+
+    b.push_scope("classifier");
+    let flat = b.flatten(&p5); // 9216
+    let f6 = b.dense(&flat, 4096, true);
+    let d6 = b.dropout(&f6);
+    let f7 = b.dense(&d6, 4096, true);
+    let d7 = b.dropout(&f7);
+    let logits = b.dense(&d7, 1000, false);
+    b.pop_scope();
+
+    let loss = b.softmax_loss(&logits, &labels);
+    let loss_id = loss.id();
+    (b.finish(), loss_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn parameter_count_close_to_62m() {
+        let (g, _) = forward(32);
+        let params = g.parameter_count();
+        // Canonical AlexNet: ~62.4M (conv 3.7M + fc 58.6M).
+        assert!(
+            (61_000_000..64_000_000).contains(&params),
+            "AlexNet params {params} outside expected range"
+        );
+    }
+
+    #[test]
+    fn has_five_convs_and_three_pools() {
+        let (g, _) = forward(8);
+        let h = g.op_histogram();
+        assert_eq!(h[&OpKind::Conv2D], 5);
+        assert_eq!(h[&OpKind::MaxPool], 3);
+        assert_eq!(h[&OpKind::MatMul], 3);
+        assert_eq!(h[&OpKind::LRN], 2);
+    }
+
+    #[test]
+    fn conv1_output_is_55x55() {
+        let (g, _) = forward(8);
+        let c1 = g.node_by_name("conv1/Conv2D").unwrap();
+        assert_eq!(c1.output_shape().height(), 55);
+        assert_eq!(c1.output_shape().channels(), 96);
+    }
+
+    #[test]
+    fn training_graph_is_valid() {
+        let (g, loss) = forward(4);
+        let t = crate::backward::training_graph(g, loss);
+        assert_eq!(t.validate(), Ok(()));
+        assert!(t.op_histogram()[&OpKind::Conv2DBackpropFilter] == 5);
+    }
+
+    #[test]
+    fn batch_size_propagates() {
+        let (g, _) = forward(16);
+        let c1 = g.node_by_name("conv1/Conv2D").unwrap();
+        assert_eq!(c1.output_shape().batch(), 16);
+    }
+}

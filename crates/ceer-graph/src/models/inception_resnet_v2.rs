@@ -1,0 +1,196 @@
+//! Inception-ResNet-v2 (Szegedy et al., 2016).
+//!
+//! Inception-v3-style multi-branch blocks whose concatenated output is
+//! linearly projected and *added* back to the block input (shortcut
+//! connections), following the TF-slim implementation: a stem ending in a
+//! five-branch `Mixed_5b`, 10 × block35, a 17×17 reduction, 20 × block17,
+//! an 8×8 reduction, 10 × block8 and a final 1×1 expansion to 1536
+//! channels. ~55M parameters.
+
+use super::conv_bn_relu;
+use crate::builder::{GraphBuilder, Tensor};
+use crate::graph::{Graph, NodeId};
+use crate::op::Padding;
+
+use Padding::{Same, Valid};
+
+/// Residual wrapper: concat branches, 1×1 linear projection back to the
+/// trunk width, shortcut add, ReLU.
+fn residual_join(b: &mut GraphBuilder, trunk: &Tensor, branches: &[&Tensor]) -> Tensor {
+    let cat = b.concat(branches);
+    let proj = b.conv2d(&cat, trunk.shape().channels(), (1, 1), (1, 1), Same, true);
+    let sum = b.add(trunk, &proj);
+    b.relu(&sum)
+}
+
+/// block35 (Inception-ResNet-A), trunk 35×35×320.
+fn block35(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    let b1 = conv_bn_relu(b, x, 32, (1, 1), (1, 1), Same);
+    let b2 = {
+        let r = conv_bn_relu(b, x, 32, (1, 1), (1, 1), Same);
+        conv_bn_relu(b, &r, 32, (3, 3), (1, 1), Same)
+    };
+    let b3 = {
+        let r = conv_bn_relu(b, x, 32, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(b, &r, 48, (3, 3), (1, 1), Same);
+        conv_bn_relu(b, &m, 64, (3, 3), (1, 1), Same)
+    };
+    residual_join(b, x, &[&b1, &b2, &b3])
+}
+
+/// block17 (Inception-ResNet-B), trunk 17×17×1088.
+fn block17(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    let b1 = conv_bn_relu(b, x, 192, (1, 1), (1, 1), Same);
+    let b2 = {
+        let r = conv_bn_relu(b, x, 128, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(b, &r, 160, (1, 7), (1, 1), Same);
+        conv_bn_relu(b, &m, 192, (7, 1), (1, 1), Same)
+    };
+    residual_join(b, x, &[&b1, &b2])
+}
+
+/// block8 (Inception-ResNet-C), trunk 8×8×2080.
+fn block8(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    let b1 = conv_bn_relu(b, x, 192, (1, 1), (1, 1), Same);
+    let b2 = {
+        let r = conv_bn_relu(b, x, 192, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(b, &r, 224, (1, 3), (1, 1), Same);
+        conv_bn_relu(b, &m, 256, (3, 1), (1, 1), Same)
+    };
+    residual_join(b, x, &[&b1, &b2])
+}
+
+/// Builds the Inception-ResNet-v2 forward graph.
+pub(crate) fn forward(batch: u64) -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new("Inception-ResNet-v2");
+    let (x, labels) = b.input(batch, 299, 299, 3);
+
+    // Stem: the TF-slim variant (simple chain, then the Mixed_5b block).
+    b.push_scope("stem");
+    let s1 = conv_bn_relu(&mut b, &x, 32, (3, 3), (2, 2), Valid); // 149
+    let s2 = conv_bn_relu(&mut b, &s1, 32, (3, 3), (1, 1), Valid); // 147
+    let s3 = conv_bn_relu(&mut b, &s2, 64, (3, 3), (1, 1), Same); // 147
+    let p1 = b.max_pool(&s3, (3, 3), (2, 2), Valid); // 73
+    let s4 = conv_bn_relu(&mut b, &p1, 80, (1, 1), (1, 1), Same);
+    let s5 = conv_bn_relu(&mut b, &s4, 192, (3, 3), (1, 1), Valid); // 71
+    let p2 = b.max_pool(&s5, (3, 3), (2, 2), Valid); // 35x35x192
+    b.pop_scope();
+
+    // Mixed_5b: 35x35x192 -> 35x35x320.
+    b.push_scope("mixed_5b");
+    let m1 = conv_bn_relu(&mut b, &p2, 96, (1, 1), (1, 1), Same);
+    let m2 = {
+        let r = conv_bn_relu(&mut b, &p2, 48, (1, 1), (1, 1), Same);
+        conv_bn_relu(&mut b, &r, 64, (5, 5), (1, 1), Same)
+    };
+    let m3 = {
+        let r = conv_bn_relu(&mut b, &p2, 64, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(&mut b, &r, 96, (3, 3), (1, 1), Same);
+        conv_bn_relu(&mut b, &m, 96, (3, 3), (1, 1), Same)
+    };
+    let m4 = {
+        let p = b.avg_pool(&p2, (3, 3), (1, 1), Same);
+        conv_bn_relu(&mut b, &p, 64, (1, 1), (1, 1), Same)
+    };
+    let mut t = b.concat(&[&m1, &m2, &m3, &m4]); // 320
+    b.pop_scope();
+
+    b.push_scope("block35");
+    for _ in 0..10 {
+        t = block35(&mut b, &t);
+    }
+    b.pop_scope();
+
+    // Mixed_6a: 35x35x320 -> 17x17x1088.
+    b.push_scope("mixed_6a");
+    let r1 = conv_bn_relu(&mut b, &t, 384, (3, 3), (2, 2), Valid);
+    let r2 = {
+        let r = conv_bn_relu(&mut b, &t, 256, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(&mut b, &r, 256, (3, 3), (1, 1), Same);
+        conv_bn_relu(&mut b, &m, 384, (3, 3), (2, 2), Valid)
+    };
+    let r3 = b.max_pool(&t, (3, 3), (2, 2), Valid);
+    t = b.concat(&[&r1, &r2, &r3]); // 1088
+    b.pop_scope();
+
+    b.push_scope("block17");
+    for _ in 0..20 {
+        t = block17(&mut b, &t);
+    }
+    b.pop_scope();
+
+    // Mixed_7a: 17x17x1088 -> 8x8x2080.
+    b.push_scope("mixed_7a");
+    let q1 = {
+        let r = conv_bn_relu(&mut b, &t, 256, (1, 1), (1, 1), Same);
+        conv_bn_relu(&mut b, &r, 384, (3, 3), (2, 2), Valid)
+    };
+    let q2 = {
+        let r = conv_bn_relu(&mut b, &t, 256, (1, 1), (1, 1), Same);
+        conv_bn_relu(&mut b, &r, 288, (3, 3), (2, 2), Valid)
+    };
+    let q3 = {
+        let r = conv_bn_relu(&mut b, &t, 256, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(&mut b, &r, 288, (3, 3), (1, 1), Same);
+        conv_bn_relu(&mut b, &m, 320, (3, 3), (2, 2), Valid)
+    };
+    let q4 = b.max_pool(&t, (3, 3), (2, 2), Valid);
+    t = b.concat(&[&q1, &q2, &q3, &q4]); // 2080
+    b.pop_scope();
+
+    b.push_scope("block8");
+    for _ in 0..10 {
+        t = block8(&mut b, &t);
+    }
+    b.pop_scope();
+
+    b.push_scope("classifier");
+    let expanded = conv_bn_relu(&mut b, &t, 1536, (1, 1), (1, 1), Same);
+    let gap = b.global_avg_pool(&expanded); // [batch, 1536]
+    let drop = b.dropout(&gap);
+    let logits = b.dense(&drop, 1000, false);
+    b.pop_scope();
+
+    let loss = b.softmax_loss(&logits, &labels);
+    let loss_id = loss.id();
+    (b.finish(), loss_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn parameter_count_close_to_55m() {
+        let (g, _) = forward(32);
+        let params = g.parameter_count();
+        assert!(
+            (50_000_000..60_000_000).contains(&params),
+            "Inception-ResNet-v2 params {params} outside expected range"
+        );
+    }
+
+    #[test]
+    fn has_forty_residual_adds() {
+        let (g, _) = forward(4);
+        // 10 + 20 + 10 residual blocks.
+        assert_eq!(g.op_histogram()[&OpKind::AddV2], 40);
+    }
+
+    #[test]
+    fn trunk_widths_match_slim() {
+        let (g, _) = forward(4);
+        let adds: Vec<_> = g.nodes().iter().filter(|n| n.kind() == OpKind::AddV2).collect();
+        assert_eq!(adds[0].output_shape().channels(), 320);
+        assert_eq!(adds[10].output_shape().channels(), 1088);
+        assert_eq!(adds[30].output_shape().channels(), 2080);
+    }
+
+    #[test]
+    fn training_graph_valid() {
+        let (g, loss) = forward(2);
+        let t = crate::backward::training_graph(g, loss);
+        assert_eq!(t.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,144 @@
+//! Inception-v1 / GoogLeNet (Szegedy et al., 2014).
+//!
+//! Nine inception blocks — each a four-branch bundle of 1×1, 3×3 and 5×5
+//! convolutions plus a pooled projection, concatenated channel-wise — on top
+//! of a small stem, closed by global average pooling and a single small
+//! classifier. At ~6.6M parameters it is by far the lightest model in the
+//! zoo, which is why Figure 6 of the paper uses it for the data-parallel
+//! scaling study (little communication, compute-dominated).
+
+use crate::builder::{GraphBuilder, Tensor};
+use crate::graph::{Graph, NodeId};
+use crate::op::Padding;
+
+/// One GoogLeNet inception block.
+///
+/// `(b1, (b2r, b2), (b3r, b3), b4)` are the 1×1 channels, the 3×3
+/// reduce/output channels, the 5×5 reduce/output channels, and the pool
+/// projection channels.
+fn inception_block(
+    b: &mut GraphBuilder,
+    x: &Tensor,
+    cfg: (u64, (u64, u64), (u64, u64), u64),
+) -> Tensor {
+    let (b1, (b2r, b2), (b3r, b3), b4) = cfg;
+
+    let branch1 = {
+        let c = b.conv2d(x, b1, (1, 1), (1, 1), Padding::Same, true);
+        b.relu(&c)
+    };
+    let branch2 = {
+        let r = b.conv2d(x, b2r, (1, 1), (1, 1), Padding::Same, true);
+        let r = b.relu(&r);
+        let c = b.conv2d(&r, b2, (3, 3), (1, 1), Padding::Same, true);
+        b.relu(&c)
+    };
+    let branch3 = {
+        let r = b.conv2d(x, b3r, (1, 1), (1, 1), Padding::Same, true);
+        let r = b.relu(&r);
+        let c = b.conv2d(&r, b3, (5, 5), (1, 1), Padding::Same, true);
+        b.relu(&c)
+    };
+    let branch4 = {
+        let p = b.max_pool(x, (3, 3), (1, 1), Padding::Same);
+        let c = b.conv2d(&p, b4, (1, 1), (1, 1), Padding::Same, true);
+        b.relu(&c)
+    };
+    b.concat(&[&branch1, &branch2, &branch3, &branch4])
+}
+
+/// Builds the GoogLeNet forward graph. Returns the graph and its loss node.
+pub(crate) fn forward(batch: u64) -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new("Inception-v1");
+    let (x, labels) = b.input(batch, 224, 224, 3);
+
+    b.push_scope("stem");
+    let c1 = b.conv2d(&x, 64, (7, 7), (2, 2), Padding::Same, true); // 112x112x64
+    let r1 = b.relu(&c1);
+    let p1 = b.max_pool(&r1, (3, 3), (2, 2), Padding::Same); // 56x56x64
+    let n1 = b.lrn(&p1);
+    let c2 = b.conv2d(&n1, 64, (1, 1), (1, 1), Padding::Same, true);
+    let r2 = b.relu(&c2);
+    let c3 = b.conv2d(&r2, 192, (3, 3), (1, 1), Padding::Same, true);
+    let r3 = b.relu(&c3);
+    let n2 = b.lrn(&r3);
+    let p2 = b.max_pool(&n2, (3, 3), (2, 2), Padding::Same); // 28x28x192
+    b.pop_scope();
+
+    b.push_scope("inception3");
+    let i3a = inception_block(&mut b, &p2, (64, (96, 128), (16, 32), 32)); // 256
+    let i3b = inception_block(&mut b, &i3a, (128, (128, 192), (32, 96), 64)); // 480
+    let p3 = b.max_pool(&i3b, (3, 3), (2, 2), Padding::Same); // 14x14x480
+    b.pop_scope();
+
+    b.push_scope("inception4");
+    let i4a = inception_block(&mut b, &p3, (192, (96, 208), (16, 48), 64)); // 512
+    let i4b = inception_block(&mut b, &i4a, (160, (112, 224), (24, 64), 64));
+    let i4c = inception_block(&mut b, &i4b, (128, (128, 256), (24, 64), 64));
+    let i4d = inception_block(&mut b, &i4c, (112, (144, 288), (32, 64), 64)); // 528
+    let i4e = inception_block(&mut b, &i4d, (256, (160, 320), (32, 128), 128)); // 832
+    let p4 = b.max_pool(&i4e, (3, 3), (2, 2), Padding::Same); // 7x7x832
+    b.pop_scope();
+
+    b.push_scope("inception5");
+    let i5a = inception_block(&mut b, &p4, (256, (160, 320), (32, 128), 128)); // 832
+    let i5b = inception_block(&mut b, &i5a, (384, (192, 384), (48, 128), 128)); // 1024
+    b.pop_scope();
+
+    b.push_scope("classifier");
+    let gap = b.global_avg_pool(&i5b); // [batch, 1024]
+    let drop = b.dropout(&gap);
+    let logits = b.dense(&drop, 1000, false);
+    b.pop_scope();
+
+    let loss = b.softmax_loss(&logits, &labels);
+    let loss_id = loss.id();
+    (b.finish(), loss_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn parameter_count_close_to_6_6m() {
+        let (g, _) = forward(32);
+        let params = g.parameter_count();
+        assert!(
+            (5_500_000..7_500_000).contains(&params),
+            "Inception-v1 params {params} outside expected range"
+        );
+    }
+
+    #[test]
+    fn nine_inception_blocks_means_nine_concats() {
+        let (g, _) = forward(8);
+        assert_eq!(g.op_histogram()[&OpKind::ConcatV2], 9);
+    }
+
+    #[test]
+    fn final_block_has_1024_channels() {
+        let (g, _) = forward(8);
+        let concats: Vec<_> =
+            g.nodes().iter().filter(|n| n.kind() == OpKind::ConcatV2).collect();
+        assert_eq!(concats.last().unwrap().output_shape().channels(), 1024);
+    }
+
+    #[test]
+    fn conv_count_is_57() {
+        // 3 stem convs + 9 blocks x 6 convs = 57.
+        let (g, _) = forward(8);
+        assert_eq!(g.op_histogram()[&OpKind::Conv2D], 57);
+    }
+
+    #[test]
+    fn training_graph_valid() {
+        let (g, loss) = forward(2);
+        let t = crate::backward::training_graph(g, loss);
+        assert_eq!(t.validate(), Ok(()));
+        // Inception blocks fan the input into four branches, so the backward
+        // pass needs AddN accumulators.
+        assert!(t.op_histogram()[&OpKind::AddN] >= 9);
+    }
+}

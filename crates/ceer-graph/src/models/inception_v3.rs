@@ -1,0 +1,213 @@
+//! Inception-v3 (Szegedy et al., 2015).
+//!
+//! The 299×299 architecture with factorized convolutions: three 35×35
+//! blocks (5×5 branches), a grid reduction, four 17×17 blocks (7×1/1×7
+//! factorized branches), another reduction, and two 8×8 blocks (expanded
+//! 1×3/3×1 branches). Every convolution is conv+BN+ReLU without bias.
+//! Inception-v3 is in the paper's *test* set.
+
+use super::conv_bn_relu;
+use crate::builder::{GraphBuilder, Tensor};
+use crate::graph::{Graph, NodeId};
+use crate::op::Padding;
+
+use Padding::{Same, Valid};
+
+/// 35×35 block ("inception-A"). `pool_proj` is the avg-pool branch's 1×1
+/// projection width (32 for the first block, 64 afterwards).
+fn block_a(b: &mut GraphBuilder, x: &Tensor, pool_proj: u64) -> Tensor {
+    let b1 = conv_bn_relu(b, x, 64, (1, 1), (1, 1), Same);
+    let b2 = {
+        let r = conv_bn_relu(b, x, 48, (1, 1), (1, 1), Same);
+        conv_bn_relu(b, &r, 64, (5, 5), (1, 1), Same)
+    };
+    let b3 = {
+        let r = conv_bn_relu(b, x, 64, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(b, &r, 96, (3, 3), (1, 1), Same);
+        conv_bn_relu(b, &m, 96, (3, 3), (1, 1), Same)
+    };
+    let b4 = {
+        let p = b.avg_pool(x, (3, 3), (1, 1), Same);
+        conv_bn_relu(b, &p, pool_proj, (1, 1), (1, 1), Same)
+    };
+    b.concat(&[&b1, &b2, &b3, &b4])
+}
+
+/// Grid reduction 35→17 ("reduction-A").
+fn reduction_a(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    let b1 = conv_bn_relu(b, x, 384, (3, 3), (2, 2), Valid);
+    let b2 = {
+        let r = conv_bn_relu(b, x, 64, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(b, &r, 96, (3, 3), (1, 1), Same);
+        conv_bn_relu(b, &m, 96, (3, 3), (2, 2), Valid)
+    };
+    let b3 = b.max_pool(x, (3, 3), (2, 2), Valid);
+    b.concat(&[&b1, &b2, &b3])
+}
+
+/// 17×17 block ("inception-B") with 7×1/1×7 factorized convolutions;
+/// `mid` is the bottleneck width (128, 160 or 192).
+fn block_b(b: &mut GraphBuilder, x: &Tensor, mid: u64) -> Tensor {
+    let b1 = conv_bn_relu(b, x, 192, (1, 1), (1, 1), Same);
+    let b2 = {
+        let r = conv_bn_relu(b, x, mid, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(b, &r, mid, (1, 7), (1, 1), Same);
+        conv_bn_relu(b, &m, 192, (7, 1), (1, 1), Same)
+    };
+    let b3 = {
+        let r = conv_bn_relu(b, x, mid, (1, 1), (1, 1), Same);
+        let m1 = conv_bn_relu(b, &r, mid, (7, 1), (1, 1), Same);
+        let m2 = conv_bn_relu(b, &m1, mid, (1, 7), (1, 1), Same);
+        let m3 = conv_bn_relu(b, &m2, mid, (7, 1), (1, 1), Same);
+        conv_bn_relu(b, &m3, 192, (1, 7), (1, 1), Same)
+    };
+    let b4 = {
+        let p = b.avg_pool(x, (3, 3), (1, 1), Same);
+        conv_bn_relu(b, &p, 192, (1, 1), (1, 1), Same)
+    };
+    b.concat(&[&b1, &b2, &b3, &b4])
+}
+
+/// Grid reduction 17→8 ("reduction-B").
+fn reduction_b(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    let b1 = {
+        let r = conv_bn_relu(b, x, 192, (1, 1), (1, 1), Same);
+        conv_bn_relu(b, &r, 320, (3, 3), (2, 2), Valid)
+    };
+    let b2 = {
+        let r = conv_bn_relu(b, x, 192, (1, 1), (1, 1), Same);
+        let m1 = conv_bn_relu(b, &r, 192, (1, 7), (1, 1), Same);
+        let m2 = conv_bn_relu(b, &m1, 192, (7, 1), (1, 1), Same);
+        conv_bn_relu(b, &m2, 192, (3, 3), (2, 2), Valid)
+    };
+    let b3 = b.max_pool(x, (3, 3), (2, 2), Valid);
+    b.concat(&[&b1, &b2, &b3])
+}
+
+/// 8×8 block ("inception-C") with expanded 1×3/3×1 branch pairs.
+fn block_c(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    let b1 = conv_bn_relu(b, x, 320, (1, 1), (1, 1), Same);
+    let b2 = {
+        let r = conv_bn_relu(b, x, 384, (1, 1), (1, 1), Same);
+        let left = conv_bn_relu(b, &r, 384, (1, 3), (1, 1), Same);
+        let right = conv_bn_relu(b, &r, 384, (3, 1), (1, 1), Same);
+        b.concat(&[&left, &right])
+    };
+    let b3 = {
+        let r = conv_bn_relu(b, x, 448, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(b, &r, 384, (3, 3), (1, 1), Same);
+        let left = conv_bn_relu(b, &m, 384, (1, 3), (1, 1), Same);
+        let right = conv_bn_relu(b, &m, 384, (3, 1), (1, 1), Same);
+        b.concat(&[&left, &right])
+    };
+    let b4 = {
+        let p = b.avg_pool(x, (3, 3), (1, 1), Same);
+        conv_bn_relu(b, &p, 192, (1, 1), (1, 1), Same)
+    };
+    b.concat(&[&b1, &b2, &b3, &b4])
+}
+
+/// Builds the Inception-v3 forward graph. Returns the graph and its loss.
+pub(crate) fn forward(batch: u64) -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new("Inception-v3");
+    let (x, labels) = b.input(batch, 299, 299, 3);
+
+    b.push_scope("stem");
+    let s1 = conv_bn_relu(&mut b, &x, 32, (3, 3), (2, 2), Valid); // 149x149x32
+    let s2 = conv_bn_relu(&mut b, &s1, 32, (3, 3), (1, 1), Valid); // 147x147x32
+    let s3 = conv_bn_relu(&mut b, &s2, 64, (3, 3), (1, 1), Same); // 147x147x64
+    let p1 = b.max_pool(&s3, (3, 3), (2, 2), Valid); // 73x73x64
+    let s4 = conv_bn_relu(&mut b, &p1, 80, (1, 1), (1, 1), Same); // 73x73x80
+    let s5 = conv_bn_relu(&mut b, &s4, 192, (3, 3), (1, 1), Valid); // 71x71x192
+    let p2 = b.max_pool(&s5, (3, 3), (2, 2), Valid); // 35x35x192
+    b.pop_scope();
+
+    b.push_scope("mixed35");
+    let a1 = block_a(&mut b, &p2, 32); // 256
+    let a2 = block_a(&mut b, &a1, 64); // 288
+    let a3 = block_a(&mut b, &a2, 64); // 288
+    b.pop_scope();
+
+    b.push_scope("reduction_a");
+    let r1 = reduction_a(&mut b, &a3); // 17x17x768
+    b.pop_scope();
+
+    b.push_scope("mixed17");
+    let b1 = block_b(&mut b, &r1, 128);
+    let b2 = block_b(&mut b, &b1, 160);
+    let b3 = block_b(&mut b, &b2, 160);
+    let b4 = block_b(&mut b, &b3, 192);
+    b.pop_scope();
+
+    b.push_scope("reduction_b");
+    let r2 = reduction_b(&mut b, &b4); // 8x8x1280
+    b.pop_scope();
+
+    b.push_scope("mixed8");
+    let c1 = block_c(&mut b, &r2); // 2048
+    let c2 = block_c(&mut b, &c1); // 2048
+    b.pop_scope();
+
+    b.push_scope("classifier");
+    let gap = b.global_avg_pool(&c2); // [batch, 2048]
+    let drop = b.dropout(&gap);
+    let logits = b.dense(&drop, 1000, false);
+    b.pop_scope();
+
+    let loss = b.softmax_loss(&logits, &labels);
+    let loss_id = loss.id();
+    (b.finish(), loss_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn parameter_count_close_to_24m() {
+        let (g, _) = forward(32);
+        let params = g.parameter_count();
+        assert!(
+            (22_000_000..26_000_000).contains(&params),
+            "Inception-v3 params {params} outside expected range"
+        );
+    }
+
+    #[test]
+    fn grid_sizes_follow_the_paper_figure() {
+        let (g, _) = forward(8);
+        // 35x35x288 after mixed35, 17x17x768 after reduction-A,
+        // 8x8x2048 at the end.
+        let concats: Vec<_> =
+            g.nodes().iter().filter(|n| n.kind() == OpKind::ConcatV2).collect();
+        let last = concats.last().unwrap().output_shape();
+        assert_eq!((last.height(), last.channels()), (8, 2048));
+    }
+
+    #[test]
+    fn has_avg_and_max_pools() {
+        let (g, _) = forward(8);
+        let h = g.op_histogram();
+        // The paper notes Inception-v3 has "several pooling operations"
+        // (why P3 is cost-optimal for it in Fig. 9).
+        assert!(h[&OpKind::AvgPool] >= 9);
+        assert!(h[&OpKind::MaxPool] >= 4);
+    }
+
+    #[test]
+    fn uses_batch_norm_everywhere() {
+        let (g, _) = forward(8);
+        let h = g.op_histogram();
+        assert_eq!(h[&OpKind::Conv2D], h[&OpKind::FusedBatchNormV3]);
+        assert!(h[&OpKind::Conv2D] > 90, "Inception-v3 should have ~94 convs");
+    }
+
+    #[test]
+    fn training_graph_valid() {
+        let (g, loss) = forward(2);
+        let t = crate::backward::training_graph(g, loss);
+        assert_eq!(t.validate(), Ok(()));
+        assert!(t.op_histogram().contains_key(&OpKind::AvgPoolGrad));
+    }
+}

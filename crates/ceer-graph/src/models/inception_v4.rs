@@ -1,0 +1,235 @@
+//! Inception-v4 (Szegedy et al., 2016).
+//!
+//! A deeper, more uniform inception architecture: a heavier stem with
+//! concatenated downsampling branches, then 4 × inception-A (35×35),
+//! 7 × inception-B (17×17) and 3 × inception-C (8×8) blocks separated by
+//! dedicated reduction blocks. ~42M parameters.
+
+use super::conv_bn_relu;
+use crate::builder::{GraphBuilder, Tensor};
+use crate::graph::{Graph, NodeId};
+use crate::op::Padding;
+
+use Padding::{Same, Valid};
+
+/// The Inception-v4 stem (shared with Inception-ResNet-v2 up to the final
+/// concatenation): 299×299×3 → 35×35×384.
+pub(super) fn stem(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    b.push_scope("stem");
+    let s1 = conv_bn_relu(b, x, 32, (3, 3), (2, 2), Valid); // 149x149x32
+    let s2 = conv_bn_relu(b, &s1, 32, (3, 3), (1, 1), Valid); // 147x147x32
+    let s3 = conv_bn_relu(b, &s2, 64, (3, 3), (1, 1), Same); // 147x147x64
+
+    // Mixed 3a: parallel max-pool and strided conv.
+    let p1 = b.max_pool(&s3, (3, 3), (2, 2), Valid); // 73x73x64
+    let c1 = conv_bn_relu(b, &s3, 96, (3, 3), (2, 2), Valid); // 73x73x96
+    let m1 = b.concat(&[&p1, &c1]); // 73x73x160
+
+    // Mixed 4a: two factorized branches.
+    let left = {
+        let r = conv_bn_relu(b, &m1, 64, (1, 1), (1, 1), Same);
+        conv_bn_relu(b, &r, 96, (3, 3), (1, 1), Valid) // 71x71x96
+    };
+    let right = {
+        let r = conv_bn_relu(b, &m1, 64, (1, 1), (1, 1), Same);
+        let f1 = conv_bn_relu(b, &r, 64, (7, 1), (1, 1), Same);
+        let f2 = conv_bn_relu(b, &f1, 64, (1, 7), (1, 1), Same);
+        conv_bn_relu(b, &f2, 96, (3, 3), (1, 1), Valid) // 71x71x96
+    };
+    let m2 = b.concat(&[&left, &right]); // 71x71x192
+
+    // Mixed 5a: strided conv and max-pool.
+    let c2 = conv_bn_relu(b, &m2, 192, (3, 3), (2, 2), Valid); // 35x35x192
+    let p2 = b.max_pool(&m2, (3, 3), (2, 2), Valid); // 35x35x192
+    let out = b.concat(&[&c2, &p2]); // 35x35x384
+    b.pop_scope();
+    out
+}
+
+/// Inception-A block: 35×35×384 → 35×35×384.
+fn block_a(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    let b1 = conv_bn_relu(b, x, 96, (1, 1), (1, 1), Same);
+    let b2 = {
+        let r = conv_bn_relu(b, x, 64, (1, 1), (1, 1), Same);
+        conv_bn_relu(b, &r, 96, (3, 3), (1, 1), Same)
+    };
+    let b3 = {
+        let r = conv_bn_relu(b, x, 64, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(b, &r, 96, (3, 3), (1, 1), Same);
+        conv_bn_relu(b, &m, 96, (3, 3), (1, 1), Same)
+    };
+    let b4 = {
+        let p = b.avg_pool(x, (3, 3), (1, 1), Same);
+        conv_bn_relu(b, &p, 96, (1, 1), (1, 1), Same)
+    };
+    b.concat(&[&b1, &b2, &b3, &b4])
+}
+
+/// Reduction-A: 35×35×384 → 17×17×1024.
+fn reduction_a(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    let b1 = conv_bn_relu(b, x, 384, (3, 3), (2, 2), Valid);
+    let b2 = {
+        let r = conv_bn_relu(b, x, 192, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(b, &r, 224, (3, 3), (1, 1), Same);
+        conv_bn_relu(b, &m, 256, (3, 3), (2, 2), Valid)
+    };
+    let b3 = b.max_pool(x, (3, 3), (2, 2), Valid);
+    b.concat(&[&b1, &b2, &b3])
+}
+
+/// Inception-B block: 17×17×1024 → 17×17×1024.
+fn block_b(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    let b1 = conv_bn_relu(b, x, 384, (1, 1), (1, 1), Same);
+    let b2 = {
+        let r = conv_bn_relu(b, x, 192, (1, 1), (1, 1), Same);
+        let m = conv_bn_relu(b, &r, 224, (1, 7), (1, 1), Same);
+        conv_bn_relu(b, &m, 256, (7, 1), (1, 1), Same)
+    };
+    let b3 = {
+        let r = conv_bn_relu(b, x, 192, (1, 1), (1, 1), Same);
+        let m1 = conv_bn_relu(b, &r, 192, (7, 1), (1, 1), Same);
+        let m2 = conv_bn_relu(b, &m1, 224, (1, 7), (1, 1), Same);
+        let m3 = conv_bn_relu(b, &m2, 224, (7, 1), (1, 1), Same);
+        conv_bn_relu(b, &m3, 256, (1, 7), (1, 1), Same)
+    };
+    let b4 = {
+        let p = b.avg_pool(x, (3, 3), (1, 1), Same);
+        conv_bn_relu(b, &p, 128, (1, 1), (1, 1), Same)
+    };
+    b.concat(&[&b1, &b2, &b3, &b4])
+}
+
+/// Reduction-B: 17×17×1024 → 8×8×1536.
+fn reduction_b(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    let b1 = {
+        let r = conv_bn_relu(b, x, 192, (1, 1), (1, 1), Same);
+        conv_bn_relu(b, &r, 192, (3, 3), (2, 2), Valid)
+    };
+    let b2 = {
+        let r = conv_bn_relu(b, x, 256, (1, 1), (1, 1), Same);
+        let m1 = conv_bn_relu(b, &r, 256, (1, 7), (1, 1), Same);
+        let m2 = conv_bn_relu(b, &m1, 320, (7, 1), (1, 1), Same);
+        conv_bn_relu(b, &m2, 320, (3, 3), (2, 2), Valid)
+    };
+    let b3 = b.max_pool(x, (3, 3), (2, 2), Valid);
+    b.concat(&[&b1, &b2, &b3])
+}
+
+/// Inception-C block: 8×8×1536 → 8×8×1536.
+fn block_c(b: &mut GraphBuilder, x: &Tensor) -> Tensor {
+    let b1 = conv_bn_relu(b, x, 256, (1, 1), (1, 1), Same);
+    let b2 = {
+        let r = conv_bn_relu(b, x, 384, (1, 1), (1, 1), Same);
+        let left = conv_bn_relu(b, &r, 256, (1, 3), (1, 1), Same);
+        let right = conv_bn_relu(b, &r, 256, (3, 1), (1, 1), Same);
+        b.concat(&[&left, &right])
+    };
+    let b3 = {
+        let r = conv_bn_relu(b, x, 384, (1, 1), (1, 1), Same);
+        let m1 = conv_bn_relu(b, &r, 448, (3, 1), (1, 1), Same);
+        let m2 = conv_bn_relu(b, &m1, 512, (1, 3), (1, 1), Same);
+        let left = conv_bn_relu(b, &m2, 256, (1, 3), (1, 1), Same);
+        let right = conv_bn_relu(b, &m2, 256, (3, 1), (1, 1), Same);
+        b.concat(&[&left, &right])
+    };
+    let b4 = {
+        let p = b.avg_pool(x, (3, 3), (1, 1), Same);
+        conv_bn_relu(b, &p, 256, (1, 1), (1, 1), Same)
+    };
+    b.concat(&[&b1, &b2, &b3, &b4])
+}
+
+/// Builds the Inception-v4 forward graph. Returns the graph and its loss.
+pub(crate) fn forward(batch: u64) -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new("Inception-v4");
+    let (x, labels) = b.input(batch, 299, 299, 3);
+
+    let mut t = stem(&mut b, &x); // 35x35x384
+
+    b.push_scope("inception_a");
+    for _ in 0..4 {
+        t = block_a(&mut b, &t);
+    }
+    b.pop_scope();
+
+    b.push_scope("reduction_a");
+    t = reduction_a(&mut b, &t); // 17x17x1024
+    b.pop_scope();
+
+    b.push_scope("inception_b");
+    for _ in 0..7 {
+        t = block_b(&mut b, &t);
+    }
+    b.pop_scope();
+
+    b.push_scope("reduction_b");
+    t = reduction_b(&mut b, &t); // 8x8x1536
+    b.pop_scope();
+
+    b.push_scope("inception_c");
+    for _ in 0..3 {
+        t = block_c(&mut b, &t);
+    }
+    b.pop_scope();
+
+    b.push_scope("classifier");
+    let gap = b.global_avg_pool(&t); // [batch, 1536]
+    let drop = b.dropout(&gap);
+    let logits = b.dense(&drop, 1000, false);
+    b.pop_scope();
+
+    let loss = b.softmax_loss(&logits, &labels);
+    let loss_id = loss.id();
+    (b.finish(), loss_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn parameter_count_close_to_42m() {
+        let (g, _) = forward(32);
+        let params = g.parameter_count();
+        assert!(
+            (39_000_000..46_000_000).contains(&params),
+            "Inception-v4 params {params} outside expected range"
+        );
+    }
+
+    #[test]
+    fn stem_produces_35x35x384() {
+        let mut b = GraphBuilder::new("stem-test");
+        let (x, _) = b.input(4, 299, 299, 3);
+        let out = stem(&mut b, &x);
+        assert_eq!(out.shape().height(), 35);
+        assert_eq!(out.shape().channels(), 384);
+    }
+
+    #[test]
+    fn final_grid_is_8x8x1536() {
+        let (g, _) = forward(4);
+        let concats: Vec<_> =
+            g.nodes().iter().filter(|n| n.kind() == OpKind::ConcatV2).collect();
+        let last = concats.last().unwrap().output_shape();
+        assert_eq!((last.height(), last.channels()), (8, 1536));
+    }
+
+    #[test]
+    fn deeper_than_inception_v3() {
+        let (v4, _) = forward(4);
+        let (v3, _) = super::super::inception_v3::forward(4);
+        assert!(
+            v4.op_histogram()[&OpKind::Conv2D] > v3.op_histogram()[&OpKind::Conv2D],
+            "v4 should have more convolutions than v3"
+        );
+    }
+
+    #[test]
+    fn training_graph_valid() {
+        let (g, loss) = forward(2);
+        let t = crate::backward::training_graph(g, loss);
+        assert_eq!(t.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,144 @@
+//! The ResNet-v2 family (He et al., 2016) with bottleneck blocks.
+//!
+//! One parameterized builder covers ResNet-50/101/152/200, which differ
+//! only in how many bottleneck units each of the four stages repeats:
+//! `[3,4,6,3]`, `[3,4,23,3]`, `[3,8,36,3]` and `[3,24,36,3]`. ResNet-v2
+//! uses pre-activation (BN+ReLU before each convolution) and identity
+//! shortcuts, with 1×1 projections where the shape changes.
+
+use super::conv_bn_relu;
+use crate::builder::{GraphBuilder, Tensor};
+use crate::graph::{Graph, NodeId};
+use crate::op::Padding;
+
+use Padding::Same;
+
+/// Stage configuration: bottleneck width (the 3×3 conv's channels). Output
+/// channels are 4× the width.
+const STAGE_WIDTHS: [u64; 4] = [64, 128, 256, 512];
+
+/// One pre-activation bottleneck unit.
+///
+/// `stride` applies to the 3×3 convolution (2 at the first unit of stages
+/// 2–4 to downsample). A projection shortcut is used when shapes change.
+fn bottleneck(b: &mut GraphBuilder, x: &Tensor, width: u64, stride: u64) -> Tensor {
+    let out_channels = width * 4;
+    // Pre-activation, shared by the residual branch and (for projections)
+    // the shortcut.
+    let pre_bn = b.batch_norm(x);
+    let preact = b.relu(&pre_bn);
+
+    let needs_projection = stride != 1 || x.shape().channels() != out_channels;
+    let shortcut = if needs_projection {
+        b.conv2d(&preact, out_channels, (1, 1), (stride, stride), Same, false)
+    } else {
+        x.clone()
+    };
+
+    let c1 = conv_bn_relu(b, &preact, width, (1, 1), (1, 1), Same);
+    let c2 = conv_bn_relu(b, &c1, width, (3, 3), (stride, stride), Same);
+    let c3 = b.conv2d(&c2, out_channels, (1, 1), (1, 1), Same, false);
+    b.add(&shortcut, &c3)
+}
+
+/// Builds a ResNet-v2 forward graph with the given per-stage unit counts.
+pub(crate) fn forward(batch: u64, units: &[usize; 4], name: &str) -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new(name);
+    let (x, labels) = b.input(batch, 224, 224, 3);
+
+    b.push_scope("stem");
+    let c1 = b.conv2d(&x, 64, (7, 7), (2, 2), Same, false); // 112x112x64
+    let p1 = b.max_pool(&c1, (3, 3), (2, 2), Same); // 56x56x64
+    b.pop_scope();
+
+    let mut t = p1;
+    for (stage, (&count, &width)) in units.iter().zip(STAGE_WIDTHS.iter()).enumerate() {
+        b.push_scope(format!("stage{}", stage + 1));
+        for unit in 0..count {
+            // Downsample at the first unit of stages 2-4.
+            let stride = if stage > 0 && unit == 0 { 2 } else { 1 };
+            t = bottleneck(&mut b, &t, width, stride);
+        }
+        b.pop_scope();
+    }
+
+    b.push_scope("classifier");
+    // Final pre-activation before pooling (ResNet-v2).
+    let bn = b.batch_norm(&t);
+    let act = b.relu(&bn);
+    let gap = b.global_avg_pool(&act); // [batch, 2048]
+    let logits = b.dense(&gap, 1000, false);
+    b.pop_scope();
+
+    let loss = b.softmax_loss(&logits, &labels);
+    let loss_id = loss.id();
+    (b.finish(), loss_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn params(units: &[usize; 4]) -> u64 {
+        let (g, _) = forward(8, units, "test");
+        g.parameter_count()
+    }
+
+    #[test]
+    fn resnet50_parameter_count_close_to_25m() {
+        let p = params(&[3, 4, 6, 3]);
+        assert!((24_000_000..28_000_000).contains(&p), "ResNet-50 params {p}");
+    }
+
+    #[test]
+    fn resnet101_parameter_count_close_to_44m() {
+        let p = params(&[3, 4, 23, 3]);
+        assert!((42_000_000..48_000_000).contains(&p), "ResNet-101 params {p}");
+    }
+
+    #[test]
+    fn resnet152_parameter_count_close_to_60m() {
+        let p = params(&[3, 8, 36, 3]);
+        assert!((57_000_000..64_000_000).contains(&p), "ResNet-152 params {p}");
+    }
+
+    #[test]
+    fn resnet200_parameter_count_close_to_64m() {
+        let p = params(&[3, 24, 36, 3]);
+        assert!((61_000_000..69_000_000).contains(&p), "ResNet-200 params {p}");
+    }
+
+    #[test]
+    fn residual_add_count_matches_units() {
+        let (g, _) = forward(4, &[3, 4, 6, 3], "ResNet-50");
+        assert_eq!(g.op_histogram()[&OpKind::AddV2], 16);
+    }
+
+    #[test]
+    fn only_one_max_pool() {
+        // The paper notes ResNet-101 has "only a few pooling operations"
+        // (why G4 is its cost-optimal GPU in Fig. 9).
+        let (g, _) = forward(4, &[3, 4, 23, 3], "ResNet-101");
+        let h = g.op_histogram();
+        assert_eq!(h[&OpKind::MaxPool], 1);
+        assert!(!h.contains_key(&OpKind::AvgPool));
+    }
+
+    #[test]
+    fn final_features_are_2048() {
+        let (g, _) = forward(4, &[3, 4, 6, 3], "ResNet-50");
+        let adds: Vec<_> = g.nodes().iter().filter(|n| n.kind() == OpKind::AddV2).collect();
+        assert_eq!(adds.last().unwrap().output_shape().channels(), 2048);
+        assert_eq!(adds.last().unwrap().output_shape().height(), 7);
+    }
+
+    #[test]
+    fn training_graph_valid() {
+        let (g, loss) = forward(2, &[3, 4, 6, 3], "ResNet-50");
+        let t = crate::backward::training_graph(g, loss);
+        assert_eq!(t.validate(), Ok(()));
+        // Residual trunks fan out, so AddN accumulators must appear.
+        assert!(t.op_histogram()[&OpKind::AddN] >= 10);
+    }
+}

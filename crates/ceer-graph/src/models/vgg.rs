@@ -1,0 +1,113 @@
+//! The VGG family (Simonyan & Zisserman, 2014).
+//!
+//! A single parameterized builder covers VGG-11 (configuration A), VGG-16
+//! (D) and VGG-19 (E): five stages of 3×3 convolutions separated by max
+//! pools, then the famous 4096-4096-1000 classifier that accounts for
+//! ~124M of VGG-16's ~138M parameters.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::op::Padding;
+
+/// Channels per stage, common to all VGG variants.
+const STAGE_CHANNELS: [u64; 5] = [64, 128, 256, 512, 512];
+
+/// Builds a VGG forward graph.
+///
+/// `convs_per_stage` gives the number of 3×3 convolutions in each of the
+/// five stages: `[1,1,2,2,2]` for VGG-11, `[2,2,3,3,3]` for VGG-16,
+/// `[2,2,4,4,4]` for VGG-19.
+pub(crate) fn forward(batch: u64, convs_per_stage: &[usize; 5], name: &str) -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new(name);
+    let (mut x, labels) = b.input(batch, 224, 224, 3);
+
+    for (stage, (&convs, &channels)) in
+        convs_per_stage.iter().zip(STAGE_CHANNELS.iter()).enumerate()
+    {
+        b.push_scope(format!("stage{}", stage + 1));
+        for _ in 0..convs {
+            let c = b.conv2d(&x, channels, (3, 3), (1, 1), Padding::Same, true);
+            x = b.relu(&c);
+        }
+        x = b.max_pool(&x, (2, 2), (2, 2), Padding::Valid);
+        b.pop_scope();
+    }
+
+    b.push_scope("classifier");
+    let flat = b.flatten(&x); // 7*7*512 = 25088
+    let f1 = b.dense(&flat, 4096, true);
+    let d1 = b.dropout(&f1);
+    let f2 = b.dense(&d1, 4096, true);
+    let d2 = b.dropout(&f2);
+    let logits = b.dense(&d2, 1000, false);
+    b.pop_scope();
+
+    let loss = b.softmax_loss(&logits, &labels);
+    let loss_id = loss.id();
+    (b.finish(), loss_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    #[test]
+    fn vgg16_parameter_count_close_to_138m() {
+        let (g, _) = forward(32, &[2, 2, 3, 3, 3], "VGG-16");
+        let params = g.parameter_count();
+        assert!(
+            (136_000_000..141_000_000).contains(&params),
+            "VGG-16 params {params} outside expected range"
+        );
+    }
+
+    #[test]
+    fn vgg19_parameter_count_close_to_144m() {
+        let (g, _) = forward(32, &[2, 2, 4, 4, 4], "VGG-19");
+        let params = g.parameter_count();
+        assert!(
+            (141_000_000..147_000_000).contains(&params),
+            "VGG-19 params {params} outside expected range"
+        );
+    }
+
+    #[test]
+    fn vgg11_parameter_count_close_to_133m() {
+        let (g, _) = forward(32, &[1, 1, 2, 2, 2], "VGG-11");
+        let params = g.parameter_count();
+        assert!(
+            (130_000_000..136_000_000).contains(&params),
+            "VGG-11 params {params} outside expected range"
+        );
+    }
+
+    #[test]
+    fn conv_counts_match_variant() {
+        let counts = |cfg: &[usize; 5]| {
+            let (g, _) = forward(2, cfg, "x");
+            g.op_histogram()[&OpKind::Conv2D]
+        };
+        assert_eq!(counts(&[1, 1, 2, 2, 2]), 8); // VGG-11
+        assert_eq!(counts(&[2, 2, 3, 3, 3]), 13); // VGG-16
+        assert_eq!(counts(&[2, 2, 4, 4, 4]), 16); // VGG-19
+    }
+
+    #[test]
+    fn spatial_resolution_halves_each_stage() {
+        let (g, _) = forward(2, &[2, 2, 3, 3, 3], "VGG-16");
+        // Last stage pool output is 7x7x512.
+        let pools: Vec<_> =
+            g.nodes().iter().filter(|n| n.kind() == OpKind::MaxPool).collect();
+        assert_eq!(pools.len(), 5);
+        assert_eq!(pools.last().unwrap().output_shape().height(), 7);
+        assert_eq!(pools.last().unwrap().output_shape().channels(), 512);
+    }
+
+    #[test]
+    fn training_graph_valid_for_vgg19() {
+        let (g, loss) = forward(2, &[2, 2, 4, 4, 4], "VGG-19");
+        let t = crate::backward::training_graph(g, loss);
+        assert_eq!(t.validate(), Ok(()));
+    }
+}

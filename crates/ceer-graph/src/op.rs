@@ -1,0 +1,420 @@
+//! The operation vocabulary.
+//!
+//! Operation names follow TensorFlow r1.x so that profiles read like the
+//! paper's: the 20 heavy GPU operations of Figure 2, the light shape-juggling
+//! operations, and the handful of operations that only have CPU kernels
+//! (§IV-B: "some of the CNN DAG operations, e.g. SparseToDense, are executed
+//! on the CPU since they lack a GPU implementation").
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Where an operation's kernel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Runs on the GPU.
+    Gpu,
+    /// Only has a CPU kernel (e.g. `SparseToDense`).
+    Cpu,
+}
+
+/// Convolution/pooling padding scheme, as in TensorFlow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// Output spatial size = ceil(input / stride).
+    Same,
+    /// Output spatial size = ceil((input − window + 1) / stride).
+    Valid,
+}
+
+impl Padding {
+    /// Output spatial extent for one dimension.
+    pub fn output_extent(self, input: u64, window: u64, stride: u64) -> u64 {
+        assert!(stride > 0, "stride must be positive");
+        match self {
+            Padding::Same => input.div_ceil(stride),
+            Padding::Valid => (input.saturating_sub(window) + 1).div_ceil(stride),
+        }
+    }
+}
+
+/// Every operation kind the workspace can place in a graph.
+///
+/// The set covers the paper's three classes:
+///
+/// - **Heavy GPU** (the 20 operations of Figures 2–3): convolution family,
+///   pooling family, activation family, batch-norm family, arithmetic on
+///   large tensors, concat, mean, and the softmax loss.
+/// - **Light GPU**: shape bookkeeping and small element-wise work.
+/// - **CPU**: operations without GPU kernels in TF r1.14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are TensorFlow op names; documented as a group above
+#[non_exhaustive]
+pub enum OpKind {
+    // --- Heavy GPU: convolution / matmul family ---
+    Conv2D,
+    Conv2DBackpropFilter,
+    Conv2DBackpropInput,
+    MatMul,
+    // --- Heavy GPU: pooling family ---
+    MaxPool,
+    MaxPoolGrad,
+    AvgPool,
+    AvgPoolGrad,
+    // --- Heavy GPU: activation family ---
+    Relu,
+    ReluGrad,
+    // --- Heavy GPU: bias / batch-norm family ---
+    BiasAdd,
+    BiasAddGrad,
+    FusedBatchNormV3,
+    FusedBatchNormGradV3,
+    // --- Heavy GPU: large element-wise / reduction / structural ---
+    AddV2,
+    AddN,
+    Mul,
+    ConcatV2,
+    Mean,
+    SoftmaxCrossEntropyWithLogits,
+    // --- Light GPU ---
+    Shape,
+    Reshape,
+    Identity,
+    Cast,
+    Squeeze,
+    Pad,
+    Transpose,
+    Softmax,
+    ZerosLike,
+    Fill,
+    Slice,
+    Pack,
+    Sum,
+    Tile,
+    LRN,
+    LRNGrad,
+    // --- CPU-only ---
+    SparseToDense,
+    Range,
+    Prod,
+    ExpandDims,
+    DynamicStitch,
+    ConcatOffset,
+}
+
+impl OpKind {
+    /// All operation kinds, in a stable order.
+    pub fn all() -> &'static [OpKind] {
+        use OpKind::*;
+        &[
+            Conv2D,
+            Conv2DBackpropFilter,
+            Conv2DBackpropInput,
+            MatMul,
+            MaxPool,
+            MaxPoolGrad,
+            AvgPool,
+            AvgPoolGrad,
+            Relu,
+            ReluGrad,
+            BiasAdd,
+            BiasAddGrad,
+            FusedBatchNormV3,
+            FusedBatchNormGradV3,
+            AddV2,
+            AddN,
+            Mul,
+            ConcatV2,
+            Mean,
+            SoftmaxCrossEntropyWithLogits,
+            Shape,
+            Reshape,
+            Identity,
+            Cast,
+            Squeeze,
+            Pad,
+            Transpose,
+            Softmax,
+            ZerosLike,
+            Fill,
+            Slice,
+            Pack,
+            Sum,
+            Tile,
+            LRN,
+            LRNGrad,
+            SparseToDense,
+            Range,
+            Prod,
+            ExpandDims,
+            DynamicStitch,
+            ConcatOffset,
+        ]
+    }
+
+    /// The TensorFlow operation name.
+    pub fn name(self) -> &'static str {
+        use OpKind::*;
+        match self {
+            Conv2D => "Conv2D",
+            Conv2DBackpropFilter => "Conv2DBackpropFilter",
+            Conv2DBackpropInput => "Conv2DBackpropInput",
+            MatMul => "MatMul",
+            MaxPool => "MaxPool",
+            MaxPoolGrad => "MaxPoolGrad",
+            AvgPool => "AvgPool",
+            AvgPoolGrad => "AvgPoolGrad",
+            Relu => "Relu",
+            ReluGrad => "ReluGrad",
+            BiasAdd => "BiasAdd",
+            BiasAddGrad => "BiasAddGrad",
+            FusedBatchNormV3 => "FusedBatchNormV3",
+            FusedBatchNormGradV3 => "FusedBatchNormGradV3",
+            AddV2 => "AddV2",
+            AddN => "AddN",
+            Mul => "Mul",
+            ConcatV2 => "ConcatV2",
+            Mean => "Mean",
+            SoftmaxCrossEntropyWithLogits => "SoftmaxCrossEntropyWithLogits",
+            Shape => "Shape",
+            Reshape => "Reshape",
+            Identity => "Identity",
+            Cast => "Cast",
+            Squeeze => "Squeeze",
+            Pad => "Pad",
+            Transpose => "Transpose",
+            Softmax => "Softmax",
+            ZerosLike => "ZerosLike",
+            Fill => "Fill",
+            Slice => "Slice",
+            Pack => "Pack",
+            Sum => "Sum",
+            Tile => "Tile",
+            LRN => "LRN",
+            LRNGrad => "LRNGrad",
+            SparseToDense => "SparseToDense",
+            Range => "Range",
+            Prod => "Prod",
+            ExpandDims => "ExpandDims",
+            DynamicStitch => "DynamicStitch",
+            ConcatOffset => "ConcatOffset",
+        }
+    }
+
+    /// Where this operation's kernel runs.
+    pub fn device_class(self) -> DeviceClass {
+        use OpKind::*;
+        match self {
+            SparseToDense | Range | Prod | ExpandDims | DynamicStitch | ConcatOffset => {
+                DeviceClass::Cpu
+            }
+            _ => DeviceClass::Gpu,
+        }
+    }
+
+    /// The 20 operations the paper's Figure 2 calls *heavy*. Note that Ceer
+    /// itself classifies operations empirically (compute time >= 0.5 ms on
+    /// P2); this list is the paper's reference outcome, used by tests and
+    /// experiment regenerators to check that the empirical classification
+    /// lands where the paper's did.
+    pub fn reference_heavy_set() -> &'static [OpKind] {
+        use OpKind::*;
+        &[
+            Conv2D,
+            Conv2DBackpropFilter,
+            Conv2DBackpropInput,
+            MatMul,
+            MaxPool,
+            MaxPoolGrad,
+            AvgPool,
+            AvgPoolGrad,
+            Relu,
+            ReluGrad,
+            BiasAdd,
+            BiasAddGrad,
+            FusedBatchNormV3,
+            FusedBatchNormGradV3,
+            AddV2,
+            AddN,
+            Mul,
+            ConcatV2,
+            Mean,
+            SoftmaxCrossEntropyWithLogits,
+        ]
+    }
+
+    /// Whether this is one of the pooling operations the paper singles out as
+    /// memory-intensive (P3/V100 is the cost-efficient choice for these,
+    /// §III-B).
+    pub fn is_pooling(self) -> bool {
+        use OpKind::*;
+        matches!(self, MaxPool | MaxPoolGrad | AvgPool | AvgPoolGrad)
+    }
+
+    /// Whether this operation belongs to the convolution/matmul family whose
+    /// compute time depends on supplemental inputs (filters, strides,
+    /// padding) in addition to the input image size (§III-C).
+    pub fn is_conv_family(self) -> bool {
+        use OpKind::*;
+        matches!(self, Conv2D | Conv2DBackpropFilter | Conv2DBackpropInput | MatMul)
+    }
+
+    /// Whether this op is part of the backward (gradient) pass.
+    pub fn is_gradient(self) -> bool {
+        use OpKind::*;
+        matches!(
+            self,
+            Conv2DBackpropFilter
+                | Conv2DBackpropInput
+                | MaxPoolGrad
+                | AvgPoolGrad
+                | ReluGrad
+                | BiasAddGrad
+                | FusedBatchNormGradV3
+                | LRNGrad
+        )
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Supplemental attributes attached to operations whose semantics need them
+/// (convolutions and pooling windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum OpAttrs {
+    /// No supplemental attributes.
+    #[default]
+    None,
+    /// Convolution attributes.
+    Conv {
+        /// Filter height and width.
+        kernel: (u64, u64),
+        /// Stride along height and width.
+        stride: (u64, u64),
+        /// Padding scheme.
+        padding: Padding,
+    },
+    /// Pooling window attributes.
+    Pool {
+        /// Window height and width.
+        window: (u64, u64),
+        /// Stride along height and width.
+        stride: (u64, u64),
+        /// Padding scheme.
+        padding: Padding,
+    },
+}
+
+impl OpAttrs {
+    /// Convolution attribute constructor.
+    pub fn conv(kernel: (u64, u64), stride: (u64, u64), padding: Padding) -> Self {
+        OpAttrs::Conv { kernel, stride, padding }
+    }
+
+    /// Pooling attribute constructor.
+    pub fn pool(window: (u64, u64), stride: (u64, u64), padding: Padding) -> Self {
+        OpAttrs::Pool { window, stride, padding }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_heavy_set_has_twenty_ops() {
+        // Figure 2 of the paper shows exactly 20 heavy GPU operations.
+        assert_eq!(OpKind::reference_heavy_set().len(), 20);
+    }
+
+    #[test]
+    fn heavy_ops_are_all_gpu_ops() {
+        for &op in OpKind::reference_heavy_set() {
+            assert_eq!(op.device_class(), DeviceClass::Gpu, "{op} must be a GPU op");
+        }
+    }
+
+    #[test]
+    fn cpu_ops_are_disjoint_from_heavy_set() {
+        for &op in OpKind::all() {
+            if op.device_class() == DeviceClass::Cpu {
+                assert!(!OpKind::reference_heavy_set().contains(&op));
+            }
+        }
+    }
+
+    #[test]
+    fn all_contains_every_heavy_op() {
+        for &op in OpKind::reference_heavy_set() {
+            assert!(OpKind::all().contains(&op));
+        }
+    }
+
+    #[test]
+    fn all_has_no_duplicates() {
+        let all = OpKind::all();
+        let mut sorted: Vec<_> = all.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = OpKind::all().iter().map(|op| op.name()).collect();
+        assert!(names.iter().all(|n| !n.is_empty()));
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn pooling_family() {
+        assert!(OpKind::MaxPool.is_pooling());
+        assert!(OpKind::AvgPoolGrad.is_pooling());
+        assert!(!OpKind::Conv2D.is_pooling());
+        // Exactly 4 pooling ops: the paper says P3 wins cost on 4 of 20 ops.
+        let count = OpKind::reference_heavy_set().iter().filter(|op| op.is_pooling()).count();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn gradient_ops_flagged() {
+        assert!(OpKind::Conv2DBackpropFilter.is_gradient());
+        assert!(OpKind::MaxPoolGrad.is_gradient());
+        assert!(!OpKind::Conv2D.is_gradient());
+    }
+
+    #[test]
+    fn padding_same_preserves_extent_at_stride_one() {
+        assert_eq!(Padding::Same.output_extent(224, 3, 1), 224);
+        assert_eq!(Padding::Same.output_extent(224, 3, 2), 112);
+        assert_eq!(Padding::Same.output_extent(7, 3, 2), 4);
+    }
+
+    #[test]
+    fn padding_valid_shrinks_extent() {
+        assert_eq!(Padding::Valid.output_extent(224, 3, 1), 222);
+        assert_eq!(Padding::Valid.output_extent(227, 11, 4), 55); // AlexNet conv1
+        assert_eq!(Padding::Valid.output_extent(7, 7, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn padding_rejects_zero_stride() {
+        Padding::Same.output_extent(10, 2, 0);
+    }
+
+    #[test]
+    fn display_uses_tf_name() {
+        assert_eq!(OpKind::FusedBatchNormGradV3.to_string(), "FusedBatchNormGradV3");
+    }
+}

@@ -1,0 +1,212 @@
+//! Tensor shapes.
+//!
+//! CNN activations in TensorFlow's default layout are NHWC
+//! (batch, height, width, channels); weights and intermediate values can be
+//! 1-D, 2-D or 4-D. [`TensorShape`] represents all of these as a small
+//! dimension list and provides the element/byte accounting that the rest of
+//! the workspace (the GPU simulator, Ceer's input-size features) is built on.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per element; the whole workspace models single-precision training,
+/// matching the paper's TensorFlow r1.14 setup.
+pub const BYTES_PER_ELEMENT: u64 = 4;
+
+/// The shape of a tensor flowing along a graph edge.
+///
+/// ```
+/// use ceer_graph::TensorShape;
+///
+/// let activations = TensorShape::nhwc(32, 224, 224, 64);
+/// assert_eq!(activations.elements(), 32 * 224 * 224 * 64);
+/// assert_eq!(activations.bytes(), activations.elements() * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    dims: Vec<u64>,
+}
+
+impl TensorShape {
+    /// A scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        TensorShape { dims: Vec::new() }
+    }
+
+    /// A rank-1 shape (e.g. a bias vector or a label batch).
+    pub fn vector(len: u64) -> Self {
+        TensorShape { dims: vec![len] }
+    }
+
+    /// A rank-2 shape (e.g. a fully-connected weight matrix or logits).
+    pub fn matrix(rows: u64, cols: u64) -> Self {
+        TensorShape { dims: vec![rows, cols] }
+    }
+
+    /// A rank-4 activation shape in NHWC layout.
+    pub fn nhwc(batch: u64, height: u64, width: u64, channels: u64) -> Self {
+        TensorShape { dims: vec![batch, height, width, channels] }
+    }
+
+    /// A rank-4 convolution filter shape `[kh, kw, in_channels, out_channels]`.
+    pub fn filter(kh: u64, kw: u64, in_channels: u64, out_channels: u64) -> Self {
+        TensorShape { dims: vec![kh, kw, in_channels, out_channels] }
+    }
+
+    /// Builds a shape from an arbitrary dimension list.
+    pub fn from_dims(dims: Vec<u64>) -> Self {
+        TensorShape { dims }
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Tensor rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (1 for a scalar).
+    pub fn elements(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Total size in bytes at 4 bytes/element.
+    pub fn bytes(&self) -> u64 {
+        self.elements() * BYTES_PER_ELEMENT
+    }
+
+    /// Batch dimension for NHWC shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn batch(&self) -> u64 {
+        assert_eq!(self.rank(), 4, "batch() requires a rank-4 shape, got {self}");
+        self.dims[0]
+    }
+
+    /// Height dimension for NHWC shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn height(&self) -> u64 {
+        assert_eq!(self.rank(), 4, "height() requires a rank-4 shape, got {self}");
+        self.dims[1]
+    }
+
+    /// Width dimension for NHWC shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn width(&self) -> u64 {
+        assert_eq!(self.rank(), 4, "width() requires a rank-4 shape, got {self}");
+        self.dims[2]
+    }
+
+    /// Channel dimension (last dimension of any rank >= 1 shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics on scalars.
+    pub fn channels(&self) -> u64 {
+        assert!(self.rank() >= 1, "channels() requires rank >= 1");
+        *self.dims.last().expect("rank checked")
+    }
+
+    /// A copy of this NHWC shape with a different batch dimension. Used by
+    /// the data-parallel trainer, which splits the global batch across GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not rank 4.
+    pub fn with_batch(&self, batch: u64) -> Self {
+        assert_eq!(self.rank(), 4, "with_batch() requires a rank-4 shape, got {self}");
+        let mut dims = self.dims.clone();
+        dims[0] = batch;
+        TensorShape { dims }
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = TensorShape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.elements(), 1);
+        assert_eq!(s.bytes(), 4);
+    }
+
+    #[test]
+    fn vector_and_matrix() {
+        assert_eq!(TensorShape::vector(10).elements(), 10);
+        assert_eq!(TensorShape::matrix(3, 4).elements(), 12);
+        assert_eq!(TensorShape::matrix(3, 4).rank(), 2);
+    }
+
+    #[test]
+    fn nhwc_accessors() {
+        let s = TensorShape::nhwc(32, 56, 48, 256);
+        assert_eq!(s.batch(), 32);
+        assert_eq!(s.height(), 56);
+        assert_eq!(s.width(), 48);
+        assert_eq!(s.channels(), 256);
+    }
+
+    #[test]
+    fn filter_channels_is_out_channels() {
+        let f = TensorShape::filter(3, 3, 64, 128);
+        assert_eq!(f.channels(), 128);
+        assert_eq!(f.elements(), 3 * 3 * 64 * 128);
+    }
+
+    #[test]
+    fn with_batch_rewrites_only_batch() {
+        let s = TensorShape::nhwc(32, 7, 7, 2048);
+        let t = s.with_batch(8);
+        assert_eq!(t.batch(), 8);
+        assert_eq!(t.height(), 7);
+        assert_eq!(t.channels(), 2048);
+        // Original untouched.
+        assert_eq!(s.batch(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-4")]
+    fn batch_panics_for_matrix() {
+        TensorShape::matrix(2, 2).batch();
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(TensorShape::nhwc(1, 2, 3, 4).to_string(), "[1x2x3x4]");
+        assert_eq!(TensorShape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn bytes_is_four_per_element() {
+        let s = TensorShape::nhwc(32, 224, 224, 3);
+        assert_eq!(s.bytes(), 32 * 224 * 224 * 3 * 4);
+    }
+}

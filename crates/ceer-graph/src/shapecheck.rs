@@ -1,0 +1,363 @@
+//! Shape checking: structural validation beyond DAG well-formedness.
+//!
+//! [`Graph::validate`](crate::Graph::validate) guarantees the graph is a
+//! DAG with unique names; [`check_shapes`] additionally re-derives each
+//! operation's output shape from its inputs and attributes and flags
+//! mismatches. The model zoo and the backward expansion are both checked
+//! against it in tests, so a transcription slip in an architecture (wrong
+//! stride, wrong channel count) fails loudly instead of silently skewing
+//! every downstream number.
+
+use std::fmt;
+
+use crate::graph::{Graph, Node};
+use crate::op::{OpAttrs, OpKind};
+use crate::shape::TensorShape;
+
+/// A single shape inconsistency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeViolation {
+    /// Offending node's name.
+    pub node: String,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ShapeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.node, self.message)
+    }
+}
+
+fn expect(
+    violations: &mut Vec<ShapeViolation>,
+    node: &Node,
+    condition: bool,
+    message: impl FnOnce() -> String,
+) {
+    if !condition {
+        violations.push(ShapeViolation { node: node.name().to_string(), message: message() });
+    }
+}
+
+/// Re-derives output shapes where the operation semantics determine them and
+/// returns every mismatch. An empty result means the graph is
+/// shape-consistent.
+pub fn check_shapes(graph: &Graph) -> Vec<ShapeViolation> {
+    let mut violations = Vec::new();
+    for node in graph.nodes() {
+        let inputs = graph.input_shapes(node.id());
+        match node.kind() {
+            OpKind::Conv2D => check_conv(graph, node, &inputs, &mut violations),
+            OpKind::MaxPool | OpKind::AvgPool => check_pool(node, &inputs, &mut violations),
+            OpKind::Relu
+            | OpKind::LRN
+            | OpKind::FusedBatchNormV3
+            | OpKind::BiasAdd => {
+                // Shape-preserving unary ops (BiasAdd's bias is implicit).
+                if let Some(x) = inputs.first() {
+                    expect(&mut violations, node, node.output_shape() == *x, || {
+                        format!(
+                            "shape-preserving op changed shape: {} -> {}",
+                            x,
+                            node.output_shape()
+                        )
+                    });
+                }
+            }
+            OpKind::AddV2 => {
+                expect(&mut violations, node, inputs.len() == 2, || {
+                    format!("AddV2 needs 2 inputs, has {}", inputs.len())
+                });
+                for x in &inputs {
+                    expect(&mut violations, node, node.output_shape() == *x, || {
+                        format!("AddV2 operand {} != output {}", x, node.output_shape())
+                    });
+                }
+            }
+            OpKind::AddN => {
+                for x in &inputs {
+                    expect(&mut violations, node, node.output_shape() == *x, || {
+                        format!("AddN operand {} != output {}", x, node.output_shape())
+                    });
+                }
+            }
+            OpKind::ConcatV2
+                if inputs.iter().all(|s| s.rank() == 4) && !inputs.is_empty() => {
+                    let channels: u64 = inputs.iter().map(|s| s.channels()).sum();
+                    expect(&mut violations, node, node.output_shape().rank() == 4, || {
+                        "concat output must be rank 4".to_string()
+                    });
+                    if node.output_shape().rank() == 4 {
+                        expect(
+                            &mut violations,
+                            node,
+                            node.output_shape().channels() == channels,
+                            || {
+                                format!(
+                                    "concat channels {} != sum of inputs {}",
+                                    node.output_shape().channels(),
+                                    channels
+                                )
+                            },
+                        );
+                        let first = inputs[0];
+                        expect(
+                            &mut violations,
+                            node,
+                            node.output_shape().height() == first.height()
+                                && node.output_shape().width() == first.width(),
+                            || "concat spatial dims differ from inputs".to_string(),
+                        );
+                    }
+                }
+            OpKind::MatMul
+                if node.params() > 0 => {
+                    // Forward matmul: [B, F] x weights -> [B, U].
+                    if let Some(x) = inputs.first() {
+                        if x.rank() == 2 && node.output_shape().rank() == 2 {
+                            expect(
+                                &mut violations,
+                                node,
+                                x.dims()[0] == node.output_shape().dims()[0],
+                                || "MatMul batch dimension changed".to_string(),
+                            );
+                            let f = x.dims()[1];
+                            let u = node.output_shape().dims()[1];
+                            expect(&mut violations, node, node.params() == (f * u), || {
+                                format!(
+                                    "MatMul params {} != in*out = {}",
+                                    node.params(),
+                                    f * u
+                                )
+                            });
+                        }
+                    }
+                }
+            OpKind::Conv2DBackpropFilter => {
+                // Output must be a rank-4 filter consistent with the attrs.
+                if let OpAttrs::Conv { kernel, .. } = node.attrs() {
+                    let out = node.output_shape();
+                    expect(&mut violations, node, out.rank() == 4, || {
+                        "filter gradient must be rank 4".to_string()
+                    });
+                    if out.rank() == 4 {
+                        expect(
+                            &mut violations,
+                            node,
+                            out.dims()[0] == kernel.0 && out.dims()[1] == kernel.1,
+                            || {
+                                format!(
+                                    "filter gradient window {:?} != attrs {:?}",
+                                    (out.dims()[0], out.dims()[1]),
+                                    kernel
+                                )
+                            },
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    violations
+}
+
+fn check_conv(
+    _graph: &Graph,
+    node: &Node,
+    inputs: &[&TensorShape],
+    violations: &mut Vec<ShapeViolation>,
+) {
+    let OpAttrs::Conv { kernel, stride, padding } = node.attrs() else {
+        violations.push(ShapeViolation {
+            node: node.name().to_string(),
+            message: "Conv2D without Conv attrs".to_string(),
+        });
+        return;
+    };
+    let Some(x) = inputs.first() else {
+        violations.push(ShapeViolation {
+            node: node.name().to_string(),
+            message: "Conv2D without an input".to_string(),
+        });
+        return;
+    };
+    if x.rank() != 4 || node.output_shape().rank() != 4 {
+        violations.push(ShapeViolation {
+            node: node.name().to_string(),
+            message: "Conv2D tensors must be rank 4".to_string(),
+        });
+        return;
+    }
+    let expected_h = padding.output_extent(x.height(), kernel.0, stride.0);
+    let expected_w = padding.output_extent(x.width(), kernel.1, stride.1);
+    let out = node.output_shape();
+    expect(violations, node, out.batch() == x.batch(), || "batch dimension changed".to_string());
+    expect(violations, node, out.height() == expected_h && out.width() == expected_w, || {
+        format!(
+            "spatial {}x{} != expected {}x{}",
+            out.height(),
+            out.width(),
+            expected_h,
+            expected_w
+        )
+    });
+    // Filter parameters must equal kh*kw*cin*cout (when the conv owns them).
+    if node.params() > 0 {
+        let expected = kernel.0 * kernel.1 * x.channels() * out.channels();
+        expect(violations, node, node.params() == expected, || {
+            format!("filter params {} != kh*kw*cin*cout = {}", node.params(), expected)
+        });
+    }
+}
+
+fn check_pool(node: &Node, inputs: &[&TensorShape], violations: &mut Vec<ShapeViolation>) {
+    let OpAttrs::Pool { window, stride, padding } = node.attrs() else {
+        violations.push(ShapeViolation {
+            node: node.name().to_string(),
+            message: "pooling op without Pool attrs".to_string(),
+        });
+        return;
+    };
+    let Some(x) = inputs.first() else {
+        return;
+    };
+    if x.rank() != 4 || node.output_shape().rank() != 4 {
+        return;
+    }
+    let out = node.output_shape();
+    expect(violations, node, out.channels() == x.channels(), || {
+        "pooling changed channel count".to_string()
+    });
+    let expected_h = padding.output_extent(x.height(), window.0, stride.0);
+    let expected_w = padding.output_extent(x.width(), window.1, stride.1);
+    expect(violations, node, out.height() == expected_h && out.width() == expected_w, || {
+        format!(
+            "pool spatial {}x{} != expected {}x{}",
+            out.height(),
+            out.width(),
+            expected_h,
+            expected_w
+        )
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Cnn, CnnId};
+    use crate::{GraphBuilder, Padding};
+
+    #[test]
+    fn every_zoo_training_graph_is_shape_consistent() {
+        for &id in CnnId::all() {
+            let graph = Cnn::build(id, 16).training_graph();
+            let violations = check_shapes(&graph);
+            assert!(
+                violations.is_empty(),
+                "{id}: {} violations, first: {}",
+                violations.len(),
+                violations[0]
+            );
+        }
+    }
+
+    #[test]
+    fn builder_output_is_shape_consistent() {
+        let mut b = GraphBuilder::new("ok");
+        let (x, labels) = b.input(4, 32, 32, 3);
+        let c = b.conv2d(&x, 8, (3, 3), (2, 2), Padding::Same, true);
+        let r = b.relu(&c);
+        let p = b.max_pool(&r, (2, 2), (2, 2), Padding::Valid);
+        let g = b.global_avg_pool(&p);
+        let logits = b.dense(&g, 10, false);
+        let _ = b.softmax_loss(&logits, &labels);
+        assert!(check_shapes(&b.finish()).is_empty());
+    }
+
+    #[test]
+    fn detects_corrupted_conv_shape() {
+        use crate::{Graph, OpAttrs, OpKind, TensorShape};
+        let mut g = Graph::new("bad");
+        let x = g
+            .add_node(
+                "x",
+                OpKind::Identity,
+                OpAttrs::None,
+                vec![],
+                TensorShape::nhwc(2, 8, 8, 3),
+                0,
+            )
+            .unwrap();
+        // Claims stride 2 but keeps the full 8x8 extent.
+        g.add_node(
+            "conv",
+            OpKind::Conv2D,
+            OpAttrs::conv((3, 3), (2, 2), Padding::Same),
+            vec![x],
+            TensorShape::nhwc(2, 8, 8, 16),
+            3 * 3 * 3 * 16,
+        )
+        .unwrap();
+        let violations = check_shapes(&g);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].message.contains("spatial"));
+    }
+
+    #[test]
+    fn detects_wrong_parameter_count() {
+        use crate::{Graph, OpAttrs, OpKind, TensorShape};
+        let mut g = Graph::new("bad");
+        let x = g
+            .add_node(
+                "x",
+                OpKind::Identity,
+                OpAttrs::None,
+                vec![],
+                TensorShape::nhwc(2, 8, 8, 3),
+                0,
+            )
+            .unwrap();
+        g.add_node(
+            "conv",
+            OpKind::Conv2D,
+            OpAttrs::conv((3, 3), (1, 1), Padding::Same),
+            vec![x],
+            TensorShape::nhwc(2, 8, 8, 16),
+            999, // wrong
+        )
+        .unwrap();
+        let violations = check_shapes(&g);
+        assert!(violations.iter().any(|v| v.message.contains("filter params")));
+    }
+
+    #[test]
+    fn detects_mismatched_residual_add() {
+        use crate::{Graph, OpAttrs, OpKind, TensorShape};
+        let mut g = Graph::new("bad");
+        let a = g
+            .add_node("a", OpKind::Identity, OpAttrs::None, vec![], TensorShape::nhwc(1, 4, 4, 8), 0)
+            .unwrap();
+        let b = g
+            .add_node("b", OpKind::Identity, OpAttrs::None, vec![], TensorShape::nhwc(1, 4, 4, 16), 0)
+            .unwrap();
+        g.add_node(
+            "sum",
+            OpKind::AddV2,
+            OpAttrs::None,
+            vec![a, b],
+            TensorShape::nhwc(1, 4, 4, 8),
+            0,
+        )
+        .unwrap();
+        let violations = check_shapes(&g);
+        assert!(violations.iter().any(|v| v.message.contains("AddV2 operand")));
+    }
+
+    #[test]
+    fn violation_displays_node_and_message() {
+        let v = ShapeViolation { node: "conv1/Conv2D".into(), message: "boom".into() };
+        assert_eq!(v.to_string(), "conv1/Conv2D: boom");
+    }
+}

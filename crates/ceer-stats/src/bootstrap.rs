@@ -1,0 +1,172 @@
+//! Bootstrap resampling.
+//!
+//! The paper's median estimators are point estimates; bootstrap confidence
+//! intervals quantify how much faith to put in them given the (small,
+//! noisy) samples of light/CPU operation times they come from. Used by the
+//! cross-validation experiment to report error bars.
+
+use crate::rng::DeterministicRng;
+use crate::{summary, StatsError};
+
+/// A two-sided bootstrap percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub low: f64,
+    /// Upper percentile bound.
+    pub high: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+
+    /// Whether the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.low..=self.high).contains(&value)
+    }
+}
+
+/// Bootstrap percentile interval for an arbitrary statistic.
+///
+/// Draws `resamples` with-replacement resamples of `sample` using a
+/// deterministic RNG seeded with `seed`, applies `statistic` to each, and
+/// returns the percentile interval at `level`.
+///
+/// # Errors
+///
+/// Returns an error for an empty sample, non-finite values, a level outside
+/// (0, 1), or zero resamples.
+pub fn bootstrap_ci<F>(
+    sample: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval, StatsError>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if sample.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if sample.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteInput);
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter("confidence level must be in (0, 1)"));
+    }
+    if resamples == 0 {
+        return Err(StatsError::InvalidParameter("need at least one resample"));
+    }
+    let estimate = statistic(sample);
+    let mut rng = DeterministicRng::from_seed(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut scratch = vec![0.0; sample.len()];
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = sample[rng.index(sample.len())];
+        }
+        stats.push(statistic(&scratch));
+    }
+    let alpha = (1.0 - level) / 2.0;
+    let low = summary::quantile(&stats, alpha)?;
+    let high = summary::quantile(&stats, 1.0 - alpha)?;
+    Ok(ConfidenceInterval { estimate, low, high, level })
+}
+
+/// Bootstrap CI for the sample median — the estimator Ceer uses for light
+/// and CPU operations (§IV-B of the paper).
+///
+/// # Errors
+///
+/// Same conditions as [`bootstrap_ci`].
+pub fn median_ci(
+    sample: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval, StatsError> {
+    bootstrap_ci(
+        sample,
+        |s| summary::median(s).expect("bootstrap resamples are non-empty and finite"),
+        resamples,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DeterministicRng;
+
+    fn noisy_sample(n: usize, center: f64, spread: f64, seed: u64) -> Vec<f64> {
+        let mut rng = DeterministicRng::from_seed(seed);
+        (0..n).map(|_| rng.normal(center, spread)).collect()
+    }
+
+    #[test]
+    fn interval_brackets_the_true_median() {
+        let sample = noisy_sample(200, 50.0, 5.0, 1);
+        let ci = median_ci(&sample, 500, 0.95, 2).unwrap();
+        assert!(ci.contains(50.0), "CI [{}, {}] should contain 50", ci.low, ci.high);
+        assert!(ci.contains(ci.estimate));
+        assert!(ci.low < ci.high);
+    }
+
+    #[test]
+    fn interval_shrinks_with_sample_size() {
+        let small = median_ci(&noisy_sample(20, 10.0, 2.0, 3), 400, 0.95, 4).unwrap();
+        let large = median_ci(&noisy_sample(2000, 10.0, 2.0, 5), 400, 0.95, 6).unwrap();
+        assert!(large.width() < small.width());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sample = noisy_sample(50, 1.0, 0.5, 7);
+        let a = median_ci(&sample, 200, 0.9, 42).unwrap();
+        let b = median_ci(&sample, 200, 0.9, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arbitrary_statistics_work() {
+        let sample = noisy_sample(100, 5.0, 1.0, 8);
+        let ci = bootstrap_ci(
+            &sample,
+            |s| s.iter().sum::<f64>() / s.len() as f64,
+            300,
+            0.95,
+            9,
+        )
+        .unwrap();
+        assert!(ci.contains(5.0));
+    }
+
+    #[test]
+    fn degenerate_sample_gives_zero_width() {
+        let sample = vec![3.0; 30];
+        let ci = median_ci(&sample, 100, 0.95, 10).unwrap();
+        assert_eq!(ci.low, 3.0);
+        assert_eq!(ci.high, 3.0);
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert_eq!(median_ci(&[], 10, 0.95, 1).unwrap_err(), StatsError::EmptyInput);
+        assert!(median_ci(&[1.0], 10, 1.5, 1).is_err());
+        assert!(median_ci(&[1.0], 0, 0.95, 1).is_err());
+        assert_eq!(
+            median_ci(&[f64::NAN], 10, 0.95, 1).unwrap_err(),
+            StatsError::NonFiniteInput
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figure 5 of the paper plots the empirical CDF of the normalized standard
+//! deviation of heavy-operation compute times; [`EmpiricalCdf`] is the data
+//! structure behind that figure's regenerator.
+
+use crate::StatsError;
+
+/// An empirical CDF built from a finite sample.
+///
+/// ```
+/// use ceer_stats::cdf::EmpiricalCdf;
+///
+/// # fn main() -> Result<(), ceer_stats::StatsError> {
+/// let cdf = EmpiricalCdf::from_sample(&[1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+/// assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from `sample`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty sample and
+    /// [`StatsError::NonFiniteInput`] if any value is NaN or infinite.
+    pub fn from_sample(sample: &[f64]) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if sample.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFiniteInput);
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        Ok(EmpiricalCdf { sorted })
+    }
+
+    /// Number of observations underlying the CDF.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty. Always `false` for a constructed CDF, but
+    /// provided for API completeness alongside [`len`](Self::len).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of observations `<= x` (the CDF evaluated at `x`).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x because the
+        // slice is sorted ascending.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The value at the given CDF level `p` in `[0, 1]` (inverse CDF /
+    /// order-statistic lookup, rounding the index down).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `p` is outside `[0, 1]`.
+    pub fn value_at_fraction(&self, p: f64) -> Result<f64, StatsError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::InvalidParameter("CDF level must be in [0, 1]"));
+        }
+        let idx = ((p * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Ok(self.sorted[idx])
+    }
+
+    /// Iterates over the CDF's steps as `(value, cumulative_fraction)` pairs,
+    /// suitable for plotting (one point per observation).
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (v, (i + 1) as f64 / n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_sample() {
+        assert_eq!(EmpiricalCdf::from_sample(&[]).unwrap_err(), StatsError::EmptyInput);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert_eq!(
+            EmpiricalCdf::from_sample(&[1.0, f64::INFINITY]).unwrap_err(),
+            StatsError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn fraction_counts_ties() {
+        let cdf = EmpiricalCdf::from_sample(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+    }
+
+    #[test]
+    fn fraction_is_monotone() {
+        let cdf = EmpiricalCdf::from_sample(&[3.0, 1.0, 4.0, 1.0, 5.0]).unwrap();
+        let mut last = 0.0;
+        for x in [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            let f = cdf.fraction_at_or_below(x);
+            assert!(f >= last);
+            last = f;
+        }
+        assert_eq!(last, 1.0);
+    }
+
+    #[test]
+    fn value_at_fraction_recovers_percentiles() {
+        let sample: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let cdf = EmpiricalCdf::from_sample(&sample).unwrap();
+        assert_eq!(cdf.value_at_fraction(0.95).unwrap(), 95.0);
+        assert_eq!(cdf.value_at_fraction(1.0).unwrap(), 100.0);
+        assert_eq!(cdf.value_at_fraction(0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn value_at_fraction_rejects_out_of_range() {
+        let cdf = EmpiricalCdf::from_sample(&[1.0]).unwrap();
+        assert!(cdf.value_at_fraction(2.0).is_err());
+    }
+
+    #[test]
+    fn points_cover_unit_interval() {
+        let cdf = EmpiricalCdf::from_sample(&[2.0, 1.0]).unwrap();
+        let pts: Vec<_> = cdf.points().collect();
+        assert_eq!(pts, vec![(1.0, 0.5), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let cdf = EmpiricalCdf::from_sample(&[1.0, 2.0]).unwrap();
+        assert_eq!(cdf.len(), 2);
+        assert!(!cdf.is_empty());
+    }
+}

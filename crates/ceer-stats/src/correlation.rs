@@ -1,0 +1,151 @@
+//! Correlation coefficients.
+//!
+//! Used to quantify relationships the paper leans on implicitly — e.g. how
+//! strongly a CNN's compute time correlates with its parameter count across
+//! the zoo (the hidden assumption behind the CNN-oblivious communication
+//! model working as well as it does).
+
+use crate::StatsError;
+
+fn validate_pair(xs: &[f64], ys: &[f64]) -> Result<(), StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteInput);
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::InsufficientData { observations: xs.len(), coefficients: 2 });
+    }
+    Ok(())
+}
+
+/// Pearson product-moment correlation coefficient.
+///
+/// # Errors
+///
+/// Errors on malformed input or when either variable is constant (the
+/// coefficient is undefined).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    validate_pair(xs, ys)?;
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        syy += (y - mean_y) * (y - mean_y);
+        sxy += (x - mean_x) * (y - mean_y);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::SingularDesign);
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Average ranks, with ties sharing the mean of their positions.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average rank (1-based).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on the ranks, midranks for ties).
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
+    validate_pair(xs, ys)?;
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_is_robust_to_monotone_nonlinearity() {
+        // y = x^3 is monotone: Spearman 1, Pearson < 1.
+        let xs: Vec<f64> = (1..30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.powi(3)).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys).unwrap() < 0.95);
+    }
+
+    #[test]
+    fn near_zero_for_orthogonal_patterns() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin()).collect();
+        let ys: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).cos()).collect();
+        assert!(pearson(&xs, &ys).unwrap().abs() < 0.2);
+    }
+
+    #[test]
+    fn ties_get_midranks() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn constant_variable_is_rejected() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&xs, &ys).unwrap_err(), StatsError::SingularDesign);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(pearson(&[], &[]).unwrap_err(), StatsError::EmptyInput);
+        assert!(matches!(
+            pearson(&[1.0], &[1.0, 2.0]).unwrap_err(),
+            StatsError::LengthMismatch { .. }
+        ));
+        assert!(matches!(
+            pearson(&[1.0], &[2.0]).unwrap_err(),
+            StatsError::InsufficientData { .. }
+        ));
+    }
+
+    #[test]
+    fn correlation_is_symmetric() {
+        let xs = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let ys = [2.0, 3.0, 1.0, 9.0, 4.0];
+        assert!((pearson(&xs, &ys).unwrap() - pearson(&ys, &xs).unwrap()).abs() < 1e-12);
+        assert!((spearman(&xs, &ys).unwrap() - spearman(&ys, &xs).unwrap()).abs() < 1e-12);
+    }
+}

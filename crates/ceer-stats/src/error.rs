@@ -1,0 +1,53 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input sample was empty but the computation requires data.
+    EmptyInput,
+    /// Paired inputs (e.g. `x` and `y` in a regression) had different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The regression design matrix is singular (e.g. all `x` values equal),
+    /// so no unique least-squares solution exists.
+    SingularDesign,
+    /// Fewer observations than model coefficients.
+    InsufficientData {
+        /// Number of observations supplied.
+        observations: usize,
+        /// Number of coefficients the model needs to estimate.
+        coefficients: usize,
+    },
+    /// An input value was not finite (NaN or infinity).
+    NonFiniteInput,
+    /// A parameter was outside its valid domain (e.g. quantile not in [0, 1]).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input sample is empty"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired inputs have mismatched lengths {left} and {right}")
+            }
+            StatsError::SingularDesign => {
+                write!(f, "design matrix is singular; least-squares solution is not unique")
+            }
+            StatsError::InsufficientData { observations, coefficients } => write!(
+                f,
+                "{observations} observation(s) cannot determine {coefficients} coefficient(s)"
+            ),
+            StatsError::NonFiniteInput => write!(f, "input contains a non-finite value"),
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for StatsError {}

@@ -1,0 +1,132 @@
+//! Fixed-width histograms for terminal reporting.
+
+use crate::StatsError;
+
+/// A fixed-width binned histogram over a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Bins `sample` into `bins` equal-width buckets spanning its range.
+    ///
+    /// # Errors
+    ///
+    /// Errors for an empty sample, non-finite values, or zero bins.
+    pub fn new(sample: &[f64], bins: usize) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if sample.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFiniteInput);
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter("need at least one bin"));
+        }
+        let low = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let high = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut counts = vec![0usize; bins];
+        let width = (high - low).max(f64::MIN_POSITIVE);
+        for &v in sample {
+            let mut bin = ((v - low) / width * bins as f64) as usize;
+            if bin >= bins {
+                bin = bins - 1; // the maximum lands in the last bin
+            }
+            counts[bin] += 1;
+        }
+        Ok(Histogram { low, high, counts, total: sample.len() })
+    }
+
+    /// Bin counts, lowest bin first.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// The `(low, high)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin out of range");
+        let width = (self.high - self.low) / self.counts.len() as f64;
+        (self.low + i as f64 * width, self.low + (i + 1) as f64 * width)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Renders an ASCII bar chart, one line per bin.
+    pub fn render(&self, bar_width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (i, &count) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat(count * bar_width / max);
+            out.push_str(&format!("{lo:>10.3} - {hi:>10.3} | {bar} {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_sample() {
+        let sample: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::new(&sample, 10).unwrap();
+        assert_eq!(h.counts().iter().sum::<usize>(), 100);
+        assert_eq!(h.counts(), &[10; 10]);
+        assert_eq!(h.total(), 100);
+    }
+
+    #[test]
+    fn maximum_lands_in_last_bin() {
+        let h = Histogram::new(&[0.0, 1.0], 2).unwrap();
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn constant_sample_collapses_to_one_bin() {
+        let h = Histogram::new(&[5.0; 7], 4).unwrap();
+        assert_eq!(h.counts().iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn edges_are_contiguous() {
+        let sample: Vec<f64> = (0..50).map(|i| i as f64 * 0.5).collect();
+        let h = Histogram::new(&sample, 5).unwrap();
+        for i in 0..4 {
+            let (_, hi) = h.bin_edges(i);
+            let (lo, _) = h.bin_edges(i + 1);
+            assert!((hi - lo).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn render_produces_one_line_per_bin() {
+        let sample: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let h = Histogram::new(&sample, 4).unwrap();
+        let rendered = h.render(20);
+        assert_eq!(rendered.lines().count(), 4);
+        assert!(rendered.contains('#'));
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(Histogram::new(&[], 3).unwrap_err(), StatsError::EmptyInput);
+        assert!(Histogram::new(&[1.0], 0).is_err());
+        assert_eq!(
+            Histogram::new(&[f64::INFINITY], 3).unwrap_err(),
+            StatsError::NonFiniteInput
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Prediction-error metrics.
+//!
+//! The paper reports its accuracy as the *average prediction error* — the
+//! mean absolute percentage error (MAPE) between observed and predicted
+//! training times (e.g. "less than 5% average prediction error", §Abstract).
+
+use crate::StatsError;
+
+fn validate_pairs(observed: &[f64], predicted: &[f64]) -> Result<(), StatsError> {
+    if observed.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if observed.len() != predicted.len() {
+        return Err(StatsError::LengthMismatch { left: observed.len(), right: predicted.len() });
+    }
+    if observed.iter().chain(predicted).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteInput);
+    }
+    Ok(())
+}
+
+/// Relative error `|predicted − observed| / |observed|` of a single pair.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] when `observed` is zero and
+/// [`StatsError::NonFiniteInput`] for non-finite values.
+pub fn relative_error(observed: f64, predicted: f64) -> Result<f64, StatsError> {
+    if !observed.is_finite() || !predicted.is_finite() {
+        return Err(StatsError::NonFiniteInput);
+    }
+    if observed == 0.0 {
+        return Err(StatsError::InvalidParameter("relative error undefined for observed = 0"));
+    }
+    Ok((predicted - observed).abs() / observed.abs())
+}
+
+/// Mean absolute percentage error, as a fraction (0.05 = 5%).
+///
+/// # Errors
+///
+/// Propagates pair-validation errors; also errors when any observed value is
+/// zero.
+pub fn mape(observed: &[f64], predicted: &[f64]) -> Result<f64, StatsError> {
+    validate_pairs(observed, predicted)?;
+    let mut total = 0.0;
+    for (&o, &p) in observed.iter().zip(predicted) {
+        total += relative_error(o, p)?;
+    }
+    Ok(total / observed.len() as f64)
+}
+
+/// Mean absolute error.
+///
+/// # Errors
+///
+/// Same validation as [`mape`] except zero observations are allowed.
+pub fn mae(observed: &[f64], predicted: &[f64]) -> Result<f64, StatsError> {
+    validate_pairs(observed, predicted)?;
+    let total: f64 = observed.iter().zip(predicted).map(|(o, p)| (p - o).abs()).sum();
+    Ok(total / observed.len() as f64)
+}
+
+/// Root mean squared error.
+///
+/// # Errors
+///
+/// Same validation as [`mae`].
+pub fn rmse(observed: &[f64], predicted: &[f64]) -> Result<f64, StatsError> {
+    validate_pairs(observed, predicted)?;
+    let total: f64 = observed.iter().zip(predicted).map(|(o, p)| (p - o) * (p - o)).sum();
+    Ok((total / observed.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basic() {
+        assert!((relative_error(100.0, 105.0).unwrap() - 0.05).abs() < 1e-12);
+        assert!((relative_error(100.0, 95.0).unwrap() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_rejects_zero_observed() {
+        assert!(relative_error(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn mape_perfect_prediction_is_zero() {
+        let o = [1.0, 2.0, 3.0];
+        assert_eq!(mape(&o, &o).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mape_averages_pairwise_errors() {
+        let o = [100.0, 200.0];
+        let p = [110.0, 180.0];
+        // errors: 10% and 10% -> mean 10%.
+        assert!((mape(&o, &p).unwrap() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_rejects_length_mismatch() {
+        assert_eq!(
+            mape(&[1.0], &[1.0, 2.0]).unwrap_err(),
+            StatsError::LengthMismatch { left: 1, right: 2 }
+        );
+    }
+
+    #[test]
+    fn mae_and_rmse_basic() {
+        let o = [0.0, 0.0];
+        let p = [3.0, -4.0];
+        assert!((mae(&o, &p).unwrap() - 3.5).abs() < 1e-12);
+        assert!((rmse(&o, &p).unwrap() - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_dominates_mae() {
+        // RMSE >= MAE always (Cauchy-Schwarz).
+        let o = [1.0, 2.0, 3.0, 4.0];
+        let p = [1.5, 1.0, 4.0, 3.0];
+        assert!(rmse(&o, &p).unwrap() >= mae(&o, &p).unwrap());
+    }
+
+    #[test]
+    fn metrics_reject_empty() {
+        assert_eq!(mape(&[], &[]).unwrap_err(), StatsError::EmptyInput);
+    }
+
+    #[test]
+    fn metrics_reject_nan() {
+        assert_eq!(mae(&[f64::NAN], &[1.0]).unwrap_err(), StatsError::NonFiniteInput);
+    }
+}

@@ -1,0 +1,124 @@
+//! Ordinary least squares regression.
+//!
+//! Three flavours, all implemented from first principles:
+//!
+//! - [`SimpleOls`]: one predictor plus intercept — the paper's model for most
+//!   heavy operations and for the communication overhead (§IV-B, §IV-C).
+//! - [`MultipleOls`]: arbitrary feature vectors plus intercept, solved via the
+//!   normal equations with partially-pivoted Gaussian elimination — used for
+//!   heavy operations whose compute time depends on several input sizes
+//!   (e.g. `Conv2D` on image size *and* filter size).
+//! - [`PolynomialOls`]: degree-`d` polynomial in a single predictor — the
+//!   quadratic fits the paper needs for `Conv2DBackpropFilter`-style ops.
+//!
+//! [`select_polynomial_degree`] reproduces Ceer's linear-vs-quadratic model
+//! choice using adjusted R².
+
+mod multiple;
+mod poly;
+mod simple;
+
+pub use multiple::MultipleOls;
+pub use poly::{select_polynomial_degree, PolynomialOls};
+pub use simple::SimpleOls;
+
+use crate::StatsError;
+
+/// Coefficient of determination of predictions against observations.
+///
+/// `R² = 1 − SS_res / SS_tot`. When the observations are constant
+/// (`SS_tot = 0`), returns 1.0 for a perfect fit and 0.0 otherwise, matching
+/// the usual convention for degenerate targets.
+///
+/// # Errors
+///
+/// Returns an error for empty input, mismatched lengths, or non-finite
+/// values.
+pub fn r_squared(observed: &[f64], predicted: &[f64]) -> Result<f64, StatsError> {
+    if observed.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if observed.len() != predicted.len() {
+        return Err(StatsError::LengthMismatch { left: observed.len(), right: predicted.len() });
+    }
+    if observed.iter().chain(predicted).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteInput);
+    }
+    let mean_obs = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|&o| (o - mean_obs) * (o - mean_obs)).sum();
+    let ss_res: f64 =
+        observed.iter().zip(predicted).map(|(&o, &p)| (o - p) * (o - p)).sum();
+    if ss_tot == 0.0 {
+        return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Adjusted R² penalizing model complexity: used for linear-vs-quadratic
+/// model selection.
+///
+/// `R²_adj = 1 − (1 − R²) (n − 1) / (n − p − 1)` where `p` is the number of
+/// predictors (excluding the intercept).
+///
+/// # Errors
+///
+/// Propagates [`r_squared`] errors; also errors when `n <= p + 1` (no degrees
+/// of freedom left).
+pub fn adjusted_r_squared(
+    observed: &[f64],
+    predicted: &[f64],
+    predictors: usize,
+) -> Result<f64, StatsError> {
+    let n = observed.len();
+    if n <= predictors + 1 {
+        return Err(StatsError::InsufficientData { observations: n, coefficients: predictors + 1 });
+    }
+    let r2 = r_squared(observed, predicted)?;
+    Ok(1.0 - (1.0 - r2) * (n - 1) as f64 / (n - predictors - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_squared_perfect_fit_is_one() {
+        let o = [1.0, 2.0, 3.0];
+        assert_eq!(r_squared(&o, &o).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn r_squared_mean_prediction_is_zero() {
+        let o = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!((r_squared(&o, &p).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_constant_target_convention() {
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 5.0]).unwrap(), 1.0);
+        assert_eq!(r_squared(&[5.0, 5.0], &[4.0, 6.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn r_squared_can_be_negative_for_bad_fit() {
+        let o = [1.0, 2.0, 3.0];
+        let p = [10.0, -5.0, 30.0];
+        assert!(r_squared(&o, &p).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn adjusted_r_squared_penalizes_parameters() {
+        let o = [1.0, 2.0, 3.5, 3.9, 5.2, 6.0];
+        let p = [1.1, 2.1, 3.3, 4.0, 5.0, 6.1];
+        let a1 = adjusted_r_squared(&o, &p, 1).unwrap();
+        let a2 = adjusted_r_squared(&o, &p, 2).unwrap();
+        assert!(a1 > a2);
+    }
+
+    #[test]
+    fn adjusted_r_squared_requires_degrees_of_freedom() {
+        let o = [1.0, 2.0];
+        assert!(adjusted_r_squared(&o, &o, 1).is_err());
+    }
+}

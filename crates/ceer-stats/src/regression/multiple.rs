@@ -1,0 +1,281 @@
+//! Multiple linear regression via the normal equations.
+
+use serde::{Deserialize, Serialize};
+
+use super::r_squared;
+use crate::StatsError;
+
+/// A fitted multiple linear regression
+/// `y = b0 + b1·x1 + … + bk·xk`.
+///
+/// Several heavy operations in the paper take more than one size feature —
+/// `Conv2D`, for instance, depends on both the input-image volume and the
+/// filter volume (§IV-B: "input can be a vector"). `MultipleOls` fits those
+/// models. The system is solved with Gaussian elimination with partial
+/// pivoting on the `(k+1)×(k+1)` normal equations, which is numerically
+/// adequate for the handful of features Ceer uses.
+///
+/// ```
+/// use ceer_stats::regression::MultipleOls;
+///
+/// # fn main() -> Result<(), ceer_stats::StatsError> {
+/// // y = 1 + 2*a + 3*b
+/// let rows = vec![
+///     vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0],
+/// ];
+/// let ys = [1.0, 3.0, 4.0, 6.0, 8.0];
+/// let fit = MultipleOls::fit(&rows, &ys)?;
+/// assert!((fit.predict(&[2.0, 2.0]) - 11.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultipleOls {
+    /// `coefficients[0]` is the intercept; `coefficients[1..]` match features.
+    coefficients: Vec<f64>,
+    r_squared: f64,
+    observations: usize,
+    #[serde(default)]
+    residual_std: f64,
+}
+
+impl MultipleOls {
+    /// Fits the model on `rows` (one feature vector per observation) against
+    /// targets `ys`. All rows must share the same length.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::EmptyInput`] for no rows or zero-length feature rows,
+    /// - [`StatsError::LengthMismatch`] for ragged rows or `ys` mismatch,
+    /// - [`StatsError::InsufficientData`] when rows < features + 1,
+    /// - [`StatsError::SingularDesign`] for collinear features,
+    /// - [`StatsError::NonFiniteInput`] on NaN/infinite values.
+    pub fn fit(rows: &[Vec<f64>], ys: &[f64]) -> Result<Self, StatsError> {
+        if rows.is_empty() || ys.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if rows.len() != ys.len() {
+            return Err(StatsError::LengthMismatch { left: rows.len(), right: ys.len() });
+        }
+        let k = rows[0].len();
+        if k == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        for row in rows {
+            if row.len() != k {
+                return Err(StatsError::LengthMismatch { left: row.len(), right: k });
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(StatsError::NonFiniteInput);
+            }
+        }
+        if ys.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFiniteInput);
+        }
+        let p = k + 1; // coefficients including intercept
+        if rows.len() < p {
+            return Err(StatsError::InsufficientData {
+                observations: rows.len(),
+                coefficients: p,
+            });
+        }
+
+        // Build normal equations: (XᵀX) b = Xᵀy with X = [1 | features].
+        let mut xtx = vec![vec![0.0; p]; p];
+        let mut xty = vec![0.0; p];
+        for (row, &y) in rows.iter().zip(ys) {
+            // Augmented feature vector with leading 1 for the intercept.
+            let feat = |j: usize| if j == 0 { 1.0 } else { row[j - 1] };
+            for i in 0..p {
+                xty[i] += feat(i) * y;
+                for j in 0..p {
+                    xtx[i][j] += feat(i) * feat(j);
+                }
+            }
+        }
+
+        let coefficients = solve_linear_system(xtx, xty)?;
+        let predicted: Vec<f64> = rows
+            .iter()
+            .map(|row| {
+                coefficients[0]
+                    + row.iter().zip(&coefficients[1..]).map(|(x, b)| x * b).sum::<f64>()
+            })
+            .collect();
+        let r2 = r_squared(ys, &predicted)?;
+        let ss_res: f64 =
+            ys.iter().zip(&predicted).map(|(y, pr)| (y - pr) * (y - pr)).sum();
+        let dof = rows.len().saturating_sub(p);
+        let residual_std = if dof > 0 { (ss_res / dof as f64).sqrt() } else { 0.0 };
+        Ok(MultipleOls { coefficients, r_squared: r2, observations: rows.len(), residual_std })
+    }
+
+    /// Predicted `y` for a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the fitted feature count.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.coefficients.len() - 1,
+            "feature vector length must match fitted model"
+        );
+        self.coefficients[0]
+            + features.iter().zip(&self.coefficients[1..]).map(|(x, b)| x * b).sum::<f64>()
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.coefficients[0]
+    }
+
+    /// Fitted feature coefficients (excluding the intercept).
+    pub fn feature_coefficients(&self) -> &[f64] {
+        &self.coefficients[1..]
+    }
+
+    /// Number of features the model expects.
+    pub fn feature_count(&self) -> usize {
+        self.coefficients.len() - 1
+    }
+
+    /// In-sample coefficient of determination.
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Number of observations the model was fitted on.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Residual standard error `sqrt(SS_res / (n - p))` with `p` the
+    /// coefficient count.
+    pub fn residual_std(&self) -> f64 {
+        self.residual_std
+    }
+}
+
+/// Solves `A x = b` with Gaussian elimination and partial pivoting.
+fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, StatsError> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot: bring the largest-magnitude entry to the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite by construction")
+            })
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return Err(StatsError::SingularDesign);
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row][j] -= factor * a[col][j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for j in (row + 1)..n {
+            acc -= a[row][j] * x[j];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_plane() {
+        // y = 2 + 1*a - 4*b
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i % 4) as f64, (i / 4) as f64])
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 2.0 + r[0] - 4.0 * r[1]).collect();
+        let fit = MultipleOls::fit(&rows, &ys).unwrap();
+        assert!((fit.intercept() - 2.0).abs() < 1e-9);
+        assert!((fit.feature_coefficients()[0] - 1.0).abs() < 1e-9);
+        assert!((fit.feature_coefficients()[1] + 4.0).abs() < 1e-9);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_feature_matches_simple_ols() {
+        use crate::regression::SimpleOls;
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x + 3.0 + (x * 3.3).cos()).collect();
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let m = MultipleOls::fit(&rows, &ys).unwrap();
+        let s = SimpleOls::fit(&xs, &ys).unwrap();
+        assert!((m.intercept() - s.intercept()).abs() < 1e-8);
+        assert!((m.feature_coefficients()[0] - s.slope()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_collinear_features() {
+        // Second feature is exactly twice the first.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(MultipleOls::fit(&rows, &ys).unwrap_err(), StatsError::SingularDesign);
+    }
+
+    #[test]
+    fn rejects_too_few_observations() {
+        let rows = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let ys = [1.0, 2.0];
+        assert!(matches!(
+            MultipleOls::fit(&rows, &ys).unwrap_err(),
+            StatsError::InsufficientData { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![2.0]];
+        let ys = [1.0, 2.0];
+        assert!(matches!(
+            MultipleOls::fit(&rows, &ys).unwrap_err(),
+            StatsError::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature vector length")]
+    fn predict_panics_on_wrong_arity() {
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let fit = MultipleOls::fit(&rows, &ys).unwrap();
+        fit.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn solver_handles_permuted_system() {
+        // A system whose natural ordering requires pivoting.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let b = vec![3.0, 7.0];
+        let x = solve_linear_system(a, b).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solver_rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let b = vec![1.0, 2.0];
+        assert_eq!(solve_linear_system(a, b).unwrap_err(), StatsError::SingularDesign);
+    }
+}

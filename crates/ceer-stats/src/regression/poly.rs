@@ -1,0 +1,244 @@
+//! Polynomial regression in a single predictor, and Ceer's linear-vs-
+//! quadratic model selection.
+
+use serde::{Deserialize, Serialize};
+
+use super::{adjusted_r_squared, MultipleOls};
+use crate::StatsError;
+
+/// A fitted polynomial regression `y = c0 + c1·x + … + cd·x^d`.
+///
+/// The paper observes that most heavy operations are linear in input size but
+/// a few (e.g. `Conv2DBackpropFilter`) need a quadratic fit (§IV-B). This
+/// type covers both cases with `degree` 1 or 2 (higher degrees are supported
+/// but unused by Ceer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolynomialOls {
+    /// `coefficients[i]` multiplies `x^i`.
+    coefficients: Vec<f64>,
+    r_squared: f64,
+    observations: usize,
+}
+
+impl PolynomialOls {
+    /// Fits a degree-`degree` polynomial to `(xs[i], ys[i])`.
+    ///
+    /// To keep the normal equations well conditioned for the large input
+    /// sizes seen in CNN profiles (tens of MB), the predictor is internally
+    /// standardized before fitting and the coefficients are mapped back.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InvalidParameter`] for `degree == 0`,
+    /// - otherwise the same conditions as [`MultipleOls::fit`].
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Self, StatsError> {
+        if degree == 0 {
+            return Err(StatsError::InvalidParameter("polynomial degree must be >= 1"));
+        }
+        if xs.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+        }
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFiniteInput);
+        }
+        // Standardize x for conditioning: z = (x - mean) / scale.
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let scale = {
+            let var = xs.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            let sd = var.sqrt();
+            if sd > 0.0 {
+                sd
+            } else {
+                1.0
+            }
+        };
+        let rows: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|&x| {
+                let z = (x - mean) / scale;
+                (1..=degree).map(|d| z.powi(d as i32)).collect()
+            })
+            .collect();
+        let inner = MultipleOls::fit(&rows, ys)?;
+
+        // Convert standardized-space coefficients back to raw-x coefficients
+        // via binomial expansion of ((x - mean)/scale)^d.
+        let mut coefficients = vec![0.0; degree + 1];
+        coefficients[0] = inner.intercept();
+        for (d, &c) in inner.feature_coefficients().iter().enumerate() {
+            let d = d + 1; // power in standardized space
+            // c * (x - mean)^d / scale^d expanded into powers of x.
+            let inv_scale_d = scale.powi(d as i32).recip();
+            for j in 0..=d {
+                let binom = binomial(d, j) as f64;
+                let term = c * inv_scale_d * binom * (-mean).powi((d - j) as i32);
+                coefficients[j] += term;
+            }
+        }
+        let predicted: Vec<f64> = xs.iter().map(|&x| eval_poly(&coefficients, x)).collect();
+        let r2 = super::r_squared(ys, &predicted)?;
+        Ok(PolynomialOls { coefficients, r_squared: r2, observations: xs.len() })
+    }
+
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        eval_poly(&self.coefficients, x)
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coefficients.len() - 1
+    }
+
+    /// Raw-space coefficients, lowest power first.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// In-sample coefficient of determination.
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Number of observations the model was fitted on.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+}
+
+fn eval_poly(coefficients: &[f64], x: f64) -> f64 {
+    // Horner's method.
+    coefficients.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+fn binomial(n: usize, k: usize) -> u64 {
+    let k = k.min(n - k);
+    let mut result: u64 = 1;
+    for i in 0..k {
+        result = result * (n - i) as u64 / (i + 1) as u64;
+    }
+    result
+}
+
+/// Chooses the best polynomial degree in `1..=max_degree` by adjusted R²,
+/// mirroring Ceer's "linear works for most ops, quadratic for a few" model
+/// selection (§IV-B).
+///
+/// A higher degree is only selected when it improves adjusted R² by more than
+/// `min_gain`, preferring the simpler (linear) model on ties — this keeps the
+/// selection robust to the small noise advantages a quadratic always has.
+///
+/// # Errors
+///
+/// Propagates fitting errors; errors if no degree can be fitted.
+pub fn select_polynomial_degree(
+    xs: &[f64],
+    ys: &[f64],
+    max_degree: usize,
+    min_gain: f64,
+) -> Result<PolynomialOls, StatsError> {
+    if max_degree == 0 {
+        return Err(StatsError::InvalidParameter("max_degree must be >= 1"));
+    }
+    let mut best: Option<(f64, PolynomialOls)> = None;
+    for degree in 1..=max_degree {
+        let Ok(fit) = PolynomialOls::fit(xs, ys, degree) else {
+            continue; // not enough data for this degree; keep lower-degree fit
+        };
+        let predicted: Vec<f64> = xs.iter().map(|&x| fit.predict(x)).collect();
+        let Ok(adj) = adjusted_r_squared(ys, &predicted, degree) else {
+            continue;
+        };
+        match &best {
+            None => best = Some((adj, fit)),
+            Some((best_adj, _)) if adj > best_adj + min_gain => best = Some((adj, fit)),
+            _ => {}
+        }
+    }
+    best.map(|(_, fit)| fit).ok_or(StatsError::InsufficientData {
+        observations: xs.len(),
+        coefficients: 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_quadratic() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x * x - 3.0 * x + 7.0).collect();
+        let fit = PolynomialOls::fit(&xs, &ys, 2).unwrap();
+        assert!((fit.coefficients()[0] - 7.0).abs() < 1e-6);
+        assert!((fit.coefficients()[1] + 3.0).abs() < 1e-6);
+        assert!((fit.coefficients()[2] - 0.5).abs() < 1e-8);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_one_matches_simple_ols() {
+        use crate::regression::SimpleOls;
+        let xs: Vec<f64> = (1..30).map(|i| i as f64 * 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 * x + 100.0).collect();
+        let p = PolynomialOls::fit(&xs, &ys, 1).unwrap();
+        let s = SimpleOls::fit(&xs, &ys).unwrap();
+        assert!((p.coefficients()[0] - s.intercept()).abs() < 1e-6);
+        assert!((p.coefficients()[1] - s.slope()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditioning_survives_large_inputs() {
+        // Input sizes in bytes (tens of MB) — the regime Ceer operates in.
+        let xs: Vec<f64> = (1..40).map(|i| i as f64 * 3.0e6).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1e-6 * x + 250.0).collect();
+        let fit = PolynomialOls::fit(&xs, &ys, 2).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert!((fit.predict(x) - y).abs() < 1e-3, "poor conditioning at {x}");
+        }
+    }
+
+    #[test]
+    fn selection_prefers_linear_for_linear_data() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0 + (x * 9.7).sin() * 0.01).collect();
+        let fit = select_polynomial_degree(&xs, &ys, 2, 0.001).unwrap();
+        assert_eq!(fit.degree(), 1);
+    }
+
+    #[test]
+    fn selection_picks_quadratic_for_quadratic_data() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.1 * x * x + 2.0 * x + 1.0).collect();
+        let fit = select_polynomial_degree(&xs, &ys, 2, 0.001).unwrap();
+        assert_eq!(fit.degree(), 2);
+    }
+
+    #[test]
+    fn selection_rejects_zero_max_degree() {
+        assert!(select_polynomial_degree(&[1.0, 2.0], &[1.0, 2.0], 0, 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_degree_zero() {
+        assert!(PolynomialOls::fit(&[1.0, 2.0], &[1.0, 2.0], 0).is_err());
+    }
+
+    #[test]
+    fn binomial_coefficients() {
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(6, 3), 20);
+    }
+
+    #[test]
+    fn horner_evaluation() {
+        // 2 + 3x + x^2 at x = 4 -> 2 + 12 + 16 = 30.
+        assert_eq!(eval_poly(&[2.0, 3.0, 1.0], 4.0), 30.0);
+    }
+}

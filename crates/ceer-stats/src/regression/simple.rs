@@ -1,0 +1,189 @@
+//! Simple (single-predictor) ordinary least squares.
+
+use serde::{Deserialize, Serialize};
+
+use super::r_squared;
+use crate::StatsError;
+
+/// A fitted simple linear regression `y = intercept + slope·x`.
+///
+/// This is the workhorse model of the paper: most heavy operations' compute
+/// times are linear in their input size (Figure 4), and the communication
+/// overhead is linear in the number of model parameters (Figure 7).
+///
+/// ```
+/// use ceer_stats::regression::SimpleOls;
+///
+/// # fn main() -> Result<(), ceer_stats::StatsError> {
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 3.1, 4.9, 7.0];
+/// let fit = SimpleOls::fit(&xs, &ys)?;
+/// assert!(fit.r_squared() > 0.99);
+/// let y_hat = fit.predict(1.5);
+/// assert!((y_hat - 4.0).abs() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimpleOls {
+    intercept: f64,
+    slope: f64,
+    r_squared: f64,
+    observations: usize,
+    #[serde(default)]
+    residual_std: f64,
+}
+
+impl SimpleOls {
+    /// Fits the least-squares line through `(xs[i], ys[i])`.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::EmptyInput`] / [`StatsError::LengthMismatch`] on
+    ///   malformed input,
+    /// - [`StatsError::InsufficientData`] with fewer than 2 points,
+    /// - [`StatsError::SingularDesign`] when all `x` values are identical,
+    /// - [`StatsError::NonFiniteInput`] on NaN/infinite values.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self, StatsError> {
+        if xs.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+        }
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFiniteInput);
+        }
+        if xs.len() < 2 {
+            return Err(StatsError::InsufficientData { observations: xs.len(), coefficients: 2 });
+        }
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            sxx += (x - mean_x) * (x - mean_x);
+            sxy += (x - mean_x) * (y - mean_y);
+        }
+        if sxx == 0.0 {
+            return Err(StatsError::SingularDesign);
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let predicted: Vec<f64> = xs.iter().map(|&x| intercept + slope * x).collect();
+        let r2 = r_squared(ys, &predicted)?;
+        let ss_res: f64 =
+            ys.iter().zip(&predicted).map(|(y, p)| (y - p) * (y - p)).sum();
+        let dof = xs.len().saturating_sub(2);
+        let residual_std = if dof > 0 { (ss_res / dof as f64).sqrt() } else { 0.0 };
+        Ok(SimpleOls { intercept, slope, r_squared: r2, observations: xs.len(), residual_std })
+    }
+
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Fitted slope.
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// In-sample coefficient of determination.
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Number of observations the model was fitted on.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Residual standard error `sqrt(SS_res / (n - 2))` — the 1-sigma
+    /// scatter of observations around the fitted line.
+    pub fn residual_std(&self) -> f64 {
+        self.residual_std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let fit = SimpleOls::fit(&xs, &ys).unwrap();
+        assert!((fit.slope() - 3.0).abs() < 1e-12);
+        assert!((fit.intercept() + 2.0).abs() < 1e-12);
+        assert_eq!(fit.r_squared(), 1.0);
+        assert_eq!(fit.observations(), 10);
+    }
+
+    #[test]
+    fn noisy_line_has_high_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        // Deterministic pseudo-noise.
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0 + ((x * 7.13).sin() * 0.5)).collect();
+        let fit = SimpleOls::fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared() > 0.99);
+        assert!((fit.slope() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn rejects_constant_x() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(SimpleOls::fit(&xs, &ys).unwrap_err(), StatsError::SingularDesign);
+    }
+
+    #[test]
+    fn rejects_single_point() {
+        assert!(matches!(
+            SimpleOls::fit(&[1.0], &[1.0]).unwrap_err(),
+            StatsError::InsufficientData { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(matches!(
+            SimpleOls::fit(&[1.0, 2.0], &[1.0]).unwrap_err(),
+            StatsError::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert_eq!(
+            SimpleOls::fit(&[1.0, f64::NAN], &[1.0, 2.0]).unwrap_err(),
+            StatsError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn residual_std_is_zero_for_exact_fit_and_positive_for_noise() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let exact: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        assert!(SimpleOls::fit(&xs, &exact).unwrap().residual_std() < 1e-9);
+        let noisy: Vec<f64> = xs.iter().map(|x| 2.0 * x + (x * 5.0).sin()).collect();
+        let fit = SimpleOls::fit(&xs, &noisy).unwrap();
+        assert!(fit.residual_std() > 0.3, "got {}", fit.residual_std());
+        assert!(fit.residual_std() < 1.2);
+    }
+
+    #[test]
+    fn prediction_interpolates_and_extrapolates() {
+        let fit = SimpleOls::fit(&[0.0, 10.0], &[0.0, 20.0]).unwrap();
+        assert_eq!(fit.predict(5.0), 10.0);
+        assert_eq!(fit.predict(20.0), 40.0);
+        assert_eq!(fit.predict(-5.0), -10.0);
+    }
+}

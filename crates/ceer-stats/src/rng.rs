@@ -1,0 +1,224 @@
+//! Deterministic random-number utilities for reproducible simulation.
+//!
+//! The GPU simulator perturbs every operation's compute time with noise whose
+//! magnitude depends on the operation class (heavy GPU ops are stable, light
+//! GPU and CPU ops are volatile — §III-C of the paper). All experiments must
+//! be bit-reproducible, so everything is driven by a seedable ChaCha8 stream
+//! and the distributions are implemented here rather than pulled from
+//! `rand_distr`.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic RNG stream with named sub-streams.
+///
+/// Sub-streams let independent components (e.g. two GPUs in a data-parallel
+/// run) draw noise that does not depend on each other's draw order.
+///
+/// ```
+/// use ceer_stats::rng::DeterministicRng;
+///
+/// let mut a = DeterministicRng::from_seed(42);
+/// let mut b = DeterministicRng::from_seed(42);
+/// assert_eq!(a.standard_normal(), b.standard_normal());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    inner: ChaCha8Rng,
+}
+
+impl DeterministicRng {
+    /// Creates a stream from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        DeterministicRng { inner: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent sub-stream identified by `stream_id`.
+    ///
+    /// Two sub-streams with different ids produce unrelated sequences, and
+    /// the derivation is a pure function of `(parent seed, stream_id)`.
+    pub fn substream(&self, stream_id: u64) -> Self {
+        let mut derived = self.inner.clone();
+        derived.set_stream(stream_id);
+        DeterministicRng { inner: derived }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform_in requires lo < hi");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Standard normal draw via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0) by sampling u1 from (0, 1].
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// A multiplicative noise factor with expected value ~1 and coefficient
+    /// of variation `cv`, truncated to stay positive.
+    ///
+    /// Heavy GPU ops use a small `cv` (< 0.05) and light/CPU ops a large one
+    /// (0.3+), reproducing the variability split in Figure 5 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cv` is negative.
+    pub fn noise_factor(&mut self, cv: f64) -> f64 {
+        assert!(cv >= 0.0, "coefficient of variation must be non-negative");
+        if cv == 0.0 {
+            return 1.0;
+        }
+        // Truncate at 5% of the mean so durations stay strictly positive
+        // even for very large cv.
+        self.normal(1.0, cv).max(0.05)
+    }
+
+    /// Lognormal draw: `exp(N(mu, sigma))`.
+    ///
+    /// Used for the heavy-tailed durations of CPU operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Uniform integer draw in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw an index from an empty range");
+        self.inner.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DeterministicRng::from_seed(7);
+        let mut b = DeterministicRng::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DeterministicRng::from_seed(1);
+        let mut b = DeterministicRng::from_seed(2);
+        let same = (0..16).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn substreams_are_independent_of_draw_order() {
+        let root = DeterministicRng::from_seed(99);
+        let mut s1 = root.substream(1);
+        let first_draw = s1.uniform();
+        // Draw from another substream first; s1's sequence must not change.
+        let root2 = DeterministicRng::from_seed(99);
+        let mut other = root2.substream(2);
+        let _ = other.uniform();
+        let mut s1_again = root2.substream(1);
+        assert_eq!(s1_again.uniform(), first_draw);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = DeterministicRng::from_seed(1234);
+        let sample: Vec<f64> = (0..20_000).map(|_| rng.standard_normal()).collect();
+        let mean = summary::mean(&sample).unwrap();
+        let sd = summary::std_dev(&sample).unwrap();
+        assert!(mean.abs() < 0.03, "mean {mean} too far from 0");
+        assert!((sd - 1.0).abs() < 0.03, "std dev {sd} too far from 1");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = DeterministicRng::from_seed(5);
+        let sample: Vec<f64> = (0..20_000).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = summary::mean(&sample).unwrap();
+        let sd = summary::std_dev(&sample).unwrap();
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((sd - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn noise_factor_stays_positive() {
+        let mut rng = DeterministicRng::from_seed(6);
+        for _ in 0..10_000 {
+            let f = rng.noise_factor(0.5);
+            assert!(f > 0.0);
+        }
+    }
+
+    #[test]
+    fn noise_factor_zero_cv_is_identity() {
+        let mut rng = DeterministicRng::from_seed(6);
+        assert_eq!(rng.noise_factor(0.0), 1.0);
+    }
+
+    #[test]
+    fn noise_factor_cv_is_respected() {
+        let mut rng = DeterministicRng::from_seed(8);
+        let sample: Vec<f64> = (0..20_000).map(|_| rng.noise_factor(0.04)).collect();
+        let cv = summary::normalized_std_dev(&sample).unwrap();
+        assert!((cv - 0.04).abs() < 0.005, "cv {cv} too far from 0.04");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = DeterministicRng::from_seed(9);
+        let sample: Vec<f64> = (0..5_000).map(|_| rng.lognormal(0.0, 1.0)).collect();
+        assert!(sample.iter().all(|&v| v > 0.0));
+        let mean = summary::mean(&sample).unwrap();
+        let median = summary::median(&sample).unwrap();
+        assert!(mean > median, "lognormal should be right-skewed");
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut rng = DeterministicRng::from_seed(10);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn index_rejects_zero() {
+        DeterministicRng::from_seed(1).index(0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Summary statistics: mean, variance, median, quantiles, coefficient of
+//! variation.
+//!
+//! The paper leans on two of these heavily: the *sample median* (its
+//! estimator for light-GPU and CPU operations, chosen over the mean to resist
+//! outliers, §IV-B) and the *normalized standard deviation* (standard
+//! deviation divided by the mean, Figure 5) used to argue that heavy-op
+//! compute times are stable for a fixed input size.
+
+use crate::StatsError;
+
+/// Validates that a sample is non-empty and finite.
+fn validate(sample: &[f64]) -> Result<(), StatsError> {
+    if sample.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if sample.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteInput);
+    }
+    Ok(())
+}
+
+/// Arithmetic mean of a sample.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice and
+/// [`StatsError::NonFiniteInput`] if any value is NaN or infinite.
+///
+/// ```
+/// assert_eq!(ceer_stats::summary::mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+/// ```
+pub fn mean(sample: &[f64]) -> Result<f64, StatsError> {
+    validate(sample)?;
+    Ok(sample.iter().sum::<f64>() / sample.len() as f64)
+}
+
+/// Unbiased (n−1) sample variance. A single observation has variance 0.
+///
+/// # Errors
+///
+/// Same conditions as [`mean`].
+pub fn variance(sample: &[f64]) -> Result<f64, StatsError> {
+    validate(sample)?;
+    if sample.len() == 1 {
+        return Ok(0.0);
+    }
+    let m = mean(sample)?;
+    let ss: f64 = sample.iter().map(|v| (v - m) * (v - m)).sum();
+    Ok(ss / (sample.len() - 1) as f64)
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+///
+/// # Errors
+///
+/// Same conditions as [`mean`].
+pub fn std_dev(sample: &[f64]) -> Result<f64, StatsError> {
+    Ok(variance(sample)?.sqrt())
+}
+
+/// Normalized standard deviation (coefficient of variation): `std_dev / mean`.
+///
+/// This is the quantity plotted in Figure 5 of the paper. It is undefined for
+/// a zero mean, in which case [`StatsError::InvalidParameter`] is returned.
+///
+/// # Errors
+///
+/// Same conditions as [`mean`], plus an error when the mean is zero.
+pub fn normalized_std_dev(sample: &[f64]) -> Result<f64, StatsError> {
+    let m = mean(sample)?;
+    if m == 0.0 {
+        return Err(StatsError::InvalidParameter("mean is zero; CV undefined"));
+    }
+    Ok(std_dev(sample)? / m.abs())
+}
+
+/// Sample median. Uses the midpoint of the two central order statistics for
+/// even-sized samples.
+///
+/// # Errors
+///
+/// Same conditions as [`mean`].
+///
+/// ```
+/// assert_eq!(ceer_stats::summary::median(&[5.0, 1.0, 3.0]).unwrap(), 3.0);
+/// assert_eq!(ceer_stats::summary::median(&[4.0, 1.0, 3.0, 2.0]).unwrap(), 2.5);
+/// ```
+pub fn median(sample: &[f64]) -> Result<f64, StatsError> {
+    quantile(sample, 0.5)
+}
+
+/// Linear-interpolation quantile (type-7, the same convention as NumPy's
+/// default), with `q` in `[0, 1]`.
+///
+/// # Errors
+///
+/// Same conditions as [`mean`], plus [`StatsError::InvalidParameter`] when
+/// `q` is outside `[0, 1]`.
+pub fn quantile(sample: &[f64], q: f64) -> Result<f64, StatsError> {
+    validate(sample)?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter("quantile must be in [0, 1]"));
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = h - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// A one-pass bundle of the summary statistics this workspace reports for a
+/// sample of operation compute times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    std_dev: f64,
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Computes all summary statistics for `sample`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty or non-finite input.
+    ///
+    /// ```
+    /// let s = ceer_stats::Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+    /// assert_eq!(s.count(), 4);
+    /// assert_eq!(s.mean(), 2.5);
+    /// assert_eq!(s.min(), 1.0);
+    /// assert_eq!(s.max(), 4.0);
+    /// ```
+    pub fn of(sample: &[f64]) -> Result<Self, StatsError> {
+        validate(sample)?;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in sample {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Ok(Summary {
+            count: sample.len(),
+            mean: mean(sample)?,
+            std_dev: std_dev(sample)?,
+            median: median(sample)?,
+            min,
+            max,
+        })
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Sample median.
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Normalized standard deviation (`std_dev / |mean|`), or `None` when the
+    /// mean is zero.
+    pub fn normalized_std_dev(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.std_dev / self.mean.abs())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constant_sample() {
+        assert_eq!(mean(&[7.0; 10]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn mean_rejects_empty() {
+        assert_eq!(mean(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn mean_rejects_nan() {
+        assert_eq!(mean(&[1.0, f64::NAN]), Err(StatsError::NonFiniteInput));
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // Sample 2, 4, 4, 4, 5, 5, 7, 9: mean 5, sum of squares 32, n-1 = 7.
+        let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_single_observation_is_zero() {
+        assert_eq!(variance(&[42.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_of_variance() {
+        let s = [1.0, 2.0, 3.0, 10.0];
+        assert!((std_dev(&s).unwrap().powi(2) - variance(&s).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_std_dev_is_scale_invariant() {
+        let base = [1.0, 2.0, 3.0, 4.0];
+        let scaled: Vec<f64> = base.iter().map(|v| v * 1000.0).collect();
+        let a = normalized_std_dev(&base).unwrap();
+        let b = normalized_std_dev(&scaled).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_std_dev_rejects_zero_mean() {
+        assert!(normalized_std_dev(&[-1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn median_resists_outlier_unlike_mean() {
+        // The paper's reason for choosing the median (§IV-B).
+        let with_outlier = [1.0, 1.0, 1.0, 1.0, 1000.0];
+        assert_eq!(median(&with_outlier).unwrap(), 1.0);
+        assert!(mean(&with_outlier).unwrap() > 100.0);
+    }
+
+    #[test]
+    fn quantile_endpoints_are_min_and_max() {
+        let s = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(quantile(&s, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&s, 1.0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let s = [0.0, 10.0];
+        assert_eq!(quantile(&s, 0.25).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range() {
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn summary_bundles_everything() {
+        let s = Summary::of(&[2.0, 4.0, 6.0, 8.0]).unwrap();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.median(), 5.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 8.0);
+        assert!(s.normalized_std_dev().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn summary_cv_none_for_zero_mean() {
+        let s = Summary::of(&[-1.0, 1.0]).unwrap();
+        assert_eq!(s.normalized_std_dev(), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! Training-loop simulator and profiler.
+//!
+//! Plays the role TensorFlow r1.14 plays in the paper: executes a CNN
+//! training graph on a (simulated) GPU instance, iteration by iteration, and
+//! emits the operation-level profiles Ceer learns from. Supports single-GPU
+//! execution and data parallelism over `k` GPUs — each GPU runs a full model
+//! replica on its own batch partition, then the iteration pays the
+//! synchronization overhead (§III-D). The per-iteration time follows the
+//! paper's §IV additive model, with two sources of realism Ceer must cope
+//! with: per-operation stochastic noise and straggler effects (the iteration
+//! waits for the slowest replica).
+//!
+//! # Example
+//!
+//! ```
+//! use ceer_gpusim::GpuModel;
+//! use ceer_graph::models::{Cnn, CnnId};
+//! use ceer_trainer::Trainer;
+//!
+//! let cnn = Cnn::build(CnnId::InceptionV1, 32);
+//! let trainer = Trainer::new(GpuModel::V100, 1).with_seed(7);
+//! let profile = trainer.profile(&cnn, 50);
+//! assert!(profile.iteration_mean_us() > 0.0);
+//! assert_eq!(profile.iterations(), 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod sim;
+pub mod trace;
+
+pub use profile::{OpStat, TrainingProfile};
+pub use sim::Trainer;

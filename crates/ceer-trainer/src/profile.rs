@@ -1,0 +1,290 @@
+//! Profile data structures.
+//!
+//! A [`TrainingProfile`] is what the paper gets out of TensorFlow's GPU
+//! logs: per-operation compute-time statistics over many iterations, plus
+//! the per-iteration communication overhead. Ceer's models are fitted from
+//! these profiles and nothing else — the simulator's ground-truth formulas
+//! are never visible to the predictor.
+
+use ceer_gpusim::GpuModel;
+use ceer_graph::models::CnnId;
+use ceer_graph::{NodeId, OpKind};
+use ceer_stats::{summary, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Per-operation-instance compute-time statistics across iterations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpStat {
+    /// The node in the CNN's training graph this stat belongs to.
+    pub node: NodeId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Total bytes flowing into the operation (the paper's "input size").
+    pub input_bytes: u64,
+    /// Mean compute time over the profiled iterations, µs.
+    pub mean_us: f64,
+    /// Sample standard deviation, µs.
+    pub std_us: f64,
+    /// Sample median, µs.
+    pub median_us: f64,
+    /// Number of iterations profiled.
+    pub count: usize,
+}
+
+impl OpStat {
+    /// Normalized standard deviation (CV) of this op's compute time — the
+    /// quantity Figure 5 of the paper plots.
+    pub fn normalized_std_dev(&self) -> f64 {
+        if self.mean_us == 0.0 {
+            0.0
+        } else {
+            self.std_us / self.mean_us
+        }
+    }
+}
+
+/// The profile of one CNN trained on one instance configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingProfile {
+    cnn: CnnId,
+    gpu: GpuModel,
+    gpus: u32,
+    batch: u64,
+    iterations: usize,
+    op_stats: Vec<OpStat>,
+    sync_mean_us: f64,
+    sync_std_us: f64,
+    iteration_mean_us: f64,
+    iteration_std_us: f64,
+}
+
+impl TrainingProfile {
+    /// Assembles a profile from per-node duration series and the sync series.
+    ///
+    /// `op_durations` holds, for each profiled node, the node's identity and
+    /// its duration in every iteration; `sync_us` holds the per-iteration
+    /// synchronization overhead; `iteration_us` the end-to-end iteration
+    /// times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any series is empty or lengths disagree.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        cnn: CnnId,
+        gpu: GpuModel,
+        gpus: u32,
+        batch: u64,
+        op_durations: Vec<(NodeId, OpKind, u64, Vec<f64>)>,
+        sync_us: &[f64],
+        iteration_us: &[f64],
+    ) -> Self {
+        assert!(!iteration_us.is_empty(), "profile needs at least one iteration");
+        let iterations = iteration_us.len();
+        let op_stats = op_durations
+            .into_iter()
+            .map(|(node, kind, input_bytes, durations)| {
+                assert_eq!(durations.len(), iterations, "ragged duration series");
+                let s = Summary::of(&durations).expect("non-empty, finite durations");
+                OpStat {
+                    node,
+                    kind,
+                    input_bytes,
+                    mean_us: s.mean(),
+                    std_us: s.std_dev(),
+                    median_us: s.median(),
+                    count: durations.len(),
+                }
+            })
+            .collect();
+        let sync = Summary::of(sync_us).expect("non-empty sync series");
+        let iter = Summary::of(iteration_us).expect("non-empty iteration series");
+        TrainingProfile {
+            cnn,
+            gpu,
+            gpus,
+            batch,
+            iterations,
+            op_stats,
+            sync_mean_us: sync.mean(),
+            sync_std_us: sync.std_dev(),
+            iteration_mean_us: iter.mean(),
+            iteration_std_us: iter.std_dev(),
+        }
+    }
+
+    /// Which CNN was profiled.
+    pub fn cnn(&self) -> CnnId {
+        self.cnn
+    }
+
+    /// GPU model of the instance.
+    pub fn gpu(&self) -> GpuModel {
+        self.gpu
+    }
+
+    /// Number of GPUs used (data parallelism degree).
+    pub fn gpus(&self) -> u32 {
+        self.gpus
+    }
+
+    /// Per-GPU batch size.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// Iterations profiled.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Per-operation statistics, in graph topological order.
+    pub fn op_stats(&self) -> &[OpStat] {
+        &self.op_stats
+    }
+
+    /// Mean per-iteration synchronization/communication overhead, µs.
+    pub fn sync_mean_us(&self) -> f64 {
+        self.sync_mean_us
+    }
+
+    /// Standard deviation of the sync overhead, µs.
+    pub fn sync_std_us(&self) -> f64 {
+        self.sync_std_us
+    }
+
+    /// Mean end-to-end iteration time (compute + sync), µs.
+    pub fn iteration_mean_us(&self) -> f64 {
+        self.iteration_mean_us
+    }
+
+    /// Standard deviation of the iteration time, µs.
+    pub fn iteration_std_us(&self) -> f64 {
+        self.iteration_std_us
+    }
+
+    /// Mean compute-only iteration time (excluding sync), µs.
+    pub fn compute_mean_us(&self) -> f64 {
+        self.iteration_mean_us - self.sync_mean_us
+    }
+
+    /// Sum of the mean compute times of ops matching `filter` — used for the
+    /// paper's "heavy ops contribute 47–94% of training time" accounting.
+    pub fn total_op_time_us(&self, mut filter: impl FnMut(&OpStat) -> bool) -> f64 {
+        self.op_stats.iter().filter(|s| filter(s)).map(|s| s.mean_us).sum()
+    }
+
+    /// Mean compute times of all instances of one op kind.
+    pub fn times_of_kind(&self, kind: OpKind) -> Vec<f64> {
+        self.op_stats.iter().filter(|s| s.kind == kind).map(|s| s.mean_us).collect()
+    }
+
+    /// Estimated time for one epoch over `total_samples` training samples,
+    /// µs: iterations × mean iteration time, with the iteration count
+    /// reduced by the data-parallelism degree (Eq. 2 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_samples` is zero.
+    pub fn epoch_time_us(&self, total_samples: u64) -> f64 {
+        assert!(total_samples > 0, "epoch needs samples");
+        let global_batch = self.batch * self.gpus as u64;
+        let iterations = total_samples.div_ceil(global_batch);
+        self.iteration_mean_us * iterations as f64
+    }
+
+    /// Summary of per-op normalized standard deviations for ops matching
+    /// `filter` (Figure 5's raw data).
+    pub fn normalized_std_devs(&self, mut filter: impl FnMut(&OpStat) -> bool) -> Vec<f64> {
+        self.op_stats.iter().filter(|s| filter(s)).map(|s| s.normalized_std_dev()).collect()
+    }
+
+    /// The median of per-instance *median* compute times across the given
+    /// stats — the estimator Ceer uses for light and CPU operations.
+    ///
+    /// Returns `None` when no op matches.
+    pub fn median_op_time_us(&self, mut filter: impl FnMut(&OpStat) -> bool) -> Option<f64> {
+        let medians: Vec<f64> =
+            self.op_stats.iter().filter(|s| filter(s)).map(|s| s.median_us).collect();
+        if medians.is_empty() {
+            None
+        } else {
+            Some(summary::median(&medians).expect("non-empty medians"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> TrainingProfile {
+        TrainingProfile::assemble(
+            CnnId::AlexNet,
+            GpuModel::V100,
+            2,
+            32,
+            vec![
+                (NodeId::from_index(0), OpKind::Conv2D, 1000, vec![10.0, 12.0, 11.0]),
+                (NodeId::from_index(1), OpKind::Relu, 500, vec![1.0, 3.0, 2.0]),
+            ],
+            &[5.0, 5.0, 5.0],
+            &[18.0, 20.0, 19.0],
+        )
+    }
+
+    #[test]
+    fn aggregates_are_correct() {
+        let p = sample_profile();
+        assert_eq!(p.iterations(), 3);
+        let conv = &p.op_stats()[0];
+        assert!((conv.mean_us - 11.0).abs() < 1e-12);
+        assert!((conv.median_us - 11.0).abs() < 1e-12);
+        assert!((p.sync_mean_us() - 5.0).abs() < 1e-12);
+        assert!((p.iteration_mean_us() - 19.0).abs() < 1e-12);
+        assert!((p.compute_mean_us() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_time_scales_iterations_by_gpu_count() {
+        let p = sample_profile();
+        // global batch = 32 * 2 = 64; 640 samples -> 10 iterations.
+        assert!((p.epoch_time_us(640) - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_time_rounds_iterations_up() {
+        let p = sample_profile();
+        assert!((p.epoch_time_us(65) - 2.0 * 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filters_by_kind() {
+        let p = sample_profile();
+        assert_eq!(p.times_of_kind(OpKind::Conv2D).len(), 1);
+        assert_eq!(p.times_of_kind(OpKind::MaxPool).len(), 0);
+        let total = p.total_op_time_us(|s| s.kind == OpKind::Relu);
+        assert!((total - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_estimator() {
+        let p = sample_profile();
+        assert_eq!(p.median_op_time_us(|s| s.kind == OpKind::Relu), Some(2.0));
+        assert_eq!(p.median_op_time_us(|s| s.kind == OpKind::MaxPool), None);
+    }
+
+    #[test]
+    fn normalized_std_dev_zero_mean_is_zero() {
+        let stat = OpStat {
+            node: NodeId::from_index(0),
+            kind: OpKind::Shape,
+            input_bytes: 0,
+            mean_us: 0.0,
+            std_us: 0.0,
+            median_us: 0.0,
+            count: 1,
+        };
+        assert_eq!(stat.normalized_std_dev(), 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The training simulator.
+//!
+//! Executes a CNN's training graph on a simulated GPU instance and records
+//! the operation-level profile. One iteration consists of:
+//!
+//! 1. the CPU-side input pipeline (CPU ops, run once per iteration on the
+//!    host),
+//! 2. every GPU operation of the training graph, on each model replica
+//!    (one per GPU under data parallelism; per-GPU batch size is held
+//!    constant, as the paper does),
+//! 3. the synchronization phase — CPU↔GPU staging plus, for `k > 1`,
+//!    gradient exchange — sampled from the ground-truth [`SyncModel`].
+//!
+//! The iteration time is `cpu + max over replicas (gpu sum) + sync`,
+//! matching the paper's additive model (§IV-A) with a straggler-aware max.
+
+use ceer_gpusim::{GpuModel, OpTimer, SyncModel};
+use ceer_graph::models::Cnn;
+use ceer_graph::{DeviceClass, Graph};
+use ceer_stats::rng::DeterministicRng;
+
+use crate::profile::TrainingProfile;
+
+/// Simulates training runs of CNNs on a GPU instance configuration.
+///
+/// Construction is cheap; all state lives per-call so one `Trainer` can
+/// profile many CNNs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trainer {
+    gpu: GpuModel,
+    gpus: u32,
+    seed: u64,
+    overlap: f64,
+}
+
+impl Trainer {
+    /// Creates a trainer for `gpus` GPUs of the given model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is zero.
+    pub fn new(gpu: GpuModel, gpus: u32) -> Self {
+        assert!(gpus > 0, "at least one GPU required");
+        Trainer { gpu, gpus, seed: 0, overlap: 0.0 }
+    }
+
+    /// Sets the base RNG seed (default 0). Profiles are a pure function of
+    /// `(seed, gpu, gpus, cnn, iterations)`.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fraction of the synchronization phase that overlaps with
+    /// compute (default 0, the paper's data-parallel TensorFlow setup).
+    ///
+    /// With overlap, an iteration takes
+    /// `cpu + max(compute, overlap·sync) + (1 − overlap)·sync` — the
+    /// additive model of §IV underpins Ceer, and §VI warns it breaks under
+    /// parallelization strategies that overlap communication with
+    /// computation. This knob exists to probe that limitation (see the
+    /// `exp_overlap_limitation` experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= overlap <= 1.0`.
+    pub fn with_comm_overlap(mut self, overlap: f64) -> Self {
+        assert!((0.0..=1.0).contains(&overlap), "overlap must be in [0, 1]");
+        self.overlap = overlap;
+        self
+    }
+
+    /// The GPU model.
+    pub fn gpu(&self) -> GpuModel {
+        self.gpu
+    }
+
+    /// The data-parallelism degree.
+    pub fn gpus(&self) -> u32 {
+        self.gpus
+    }
+
+    /// Runs `iterations` training iterations of `cnn` and returns the
+    /// operation-level profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn profile(&self, cnn: &Cnn, iterations: usize) -> TrainingProfile {
+        assert!(iterations > 0, "need at least one iteration");
+        let graph = cnn.training_graph();
+        self.profile_graph(cnn, &graph, iterations)
+    }
+
+    /// Like [`profile`](Self::profile) but reuses an already-expanded
+    /// training graph (callers that profile the same CNN on many instance
+    /// configurations avoid re-expanding it).
+    pub fn profile_graph(
+        &self,
+        cnn: &Cnn,
+        graph: &Graph,
+        iterations: usize,
+    ) -> TrainingProfile {
+        assert!(iterations > 0, "need at least one iteration");
+        let timer = OpTimer::new(self.gpu);
+        let sync = SyncModel::new(self.gpu);
+        let params = graph.parameter_count();
+
+        // Stream layout: 0 = host + replica 0 (the profiled replica),
+        // 1..k = other replicas, u64::MAX = sync phase. Seed mixes in the
+        // instance configuration so different configurations see
+        // independent noise.
+        let root = DeterministicRng::from_seed(
+            self.seed ^ (self.gpu as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (self.gpus as u64) << 32,
+        );
+        let mut primary = root.substream(0);
+        let mut others: Vec<DeterministicRng> =
+            (1..self.gpus).map(|r| root.substream(r as u64)).collect();
+        let mut sync_rng = root.substream(u64::MAX);
+
+        // Precompute noise-free durations once; sampling then only draws
+        // multiplicative noise factors.
+        let expected: Vec<f64> =
+            graph.nodes().iter().map(|n| timer.expected_duration_us(n, graph)).collect();
+        let cvs: Vec<f64> = graph.nodes().iter().map(|n| OpTimer::noise_cv(n.kind())).collect();
+        let is_cpu: Vec<bool> = graph
+            .nodes()
+            .iter()
+            .map(|n| n.kind().device_class() == DeviceClass::Cpu)
+            .collect();
+
+        // Expected (noise-free) compute time of one replica, which the sync
+        // ground truth needs for its straggler term.
+        let replica_compute_us: f64 = expected
+            .iter()
+            .zip(&is_cpu)
+            .filter(|(_, &cpu)| !cpu)
+            .map(|(&e, _)| e)
+            .sum();
+
+        let mut durations: Vec<Vec<f64>> =
+            graph.nodes().iter().map(|_| Vec::with_capacity(iterations)).collect();
+        let mut sync_series = Vec::with_capacity(iterations);
+        let mut iter_series = Vec::with_capacity(iterations);
+
+        for _ in 0..iterations {
+            let mut cpu_us = 0.0;
+            let mut replica0_us = 0.0;
+            for (idx, node) in graph.nodes().iter().enumerate() {
+                let sample = if is_cpu[idx] {
+                    // Heavy-tailed host noise.
+                    expected[idx] * primary.lognormal(0.0, cvs[idx])
+                } else {
+                    expected[idx] * primary.noise_factor(cvs[idx])
+                };
+                let _ = node;
+                durations[idx].push(sample);
+                if is_cpu[idx] {
+                    cpu_us += sample;
+                } else {
+                    replica0_us += sample;
+                }
+            }
+            // Other replicas: independent noise over the same expectations;
+            // the iteration waits for the slowest one.
+            let mut slowest = replica0_us;
+            for rng in &mut others {
+                let mut replica_us = 0.0;
+                for idx in 0..expected.len() {
+                    if !is_cpu[idx] {
+                        replica_us += expected[idx] * rng.noise_factor(cvs[idx]);
+                    }
+                }
+                slowest = slowest.max(replica_us);
+            }
+            let sync_us =
+                sync.sample_overhead_us(self.gpus, params, replica_compute_us, &mut sync_rng);
+            sync_series.push(sync_us);
+            // overlap = 0 reduces to the paper's additive model.
+            let hidden = self.overlap * sync_us;
+            let blocking = sync_us - hidden;
+            iter_series.push(cpu_us + slowest.max(hidden) + blocking);
+        }
+
+        let op_durations = graph
+            .nodes()
+            .iter()
+            .zip(durations)
+            .map(|(node, series)| (node.id(), node.kind(), graph.input_bytes(node.id()), series))
+            .collect();
+        TrainingProfile::assemble(
+            cnn.id(),
+            self.gpu,
+            self.gpus,
+            cnn.batch(),
+            op_durations,
+            &sync_series,
+            &iter_series,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceer_graph::models::{Cnn, CnnId};
+    use ceer_graph::OpKind;
+
+    fn quick_profile(gpu: GpuModel, gpus: u32) -> TrainingProfile {
+        let cnn = Cnn::build(CnnId::AlexNet, 32);
+        Trainer::new(gpu, gpus).with_seed(42).profile(&cnn, 12)
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let a = quick_profile(GpuModel::T4, 2);
+        let b = quick_profile(GpuModel::T4, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_gpus_see_different_times() {
+        let fast = quick_profile(GpuModel::V100, 1);
+        let slow = quick_profile(GpuModel::K80, 1);
+        assert!(slow.iteration_mean_us() > 3.0 * fast.iteration_mean_us());
+    }
+
+    #[test]
+    fn iteration_time_decomposes() {
+        let p = quick_profile(GpuModel::V100, 1);
+        // compute mean + sync mean == iteration mean by construction
+        // (all three are means of per-iteration sums).
+        let total_ops = p.total_op_time_us(|_| true);
+        assert!(
+            (total_ops + p.sync_mean_us() - p.iteration_mean_us()).abs()
+                < 1e-6 * p.iteration_mean_us(),
+            "ops {total_ops} + sync {} != iter {}",
+            p.sync_mean_us(),
+            p.iteration_mean_us()
+        );
+    }
+
+    #[test]
+    fn multi_gpu_iteration_is_slower_per_iteration() {
+        // Same per-GPU batch: more GPUs process more data per iteration but
+        // pay more sync, so per-iteration time grows with k ...
+        let one = quick_profile(GpuModel::T4, 1);
+        let four = quick_profile(GpuModel::T4, 4);
+        assert!(four.iteration_mean_us() > one.iteration_mean_us());
+        // ... while the epoch time over a fixed dataset shrinks.
+        let d = 64_000;
+        assert!(four.epoch_time_us(d) < one.epoch_time_us(d));
+    }
+
+    #[test]
+    fn records_every_graph_node() {
+        let cnn = Cnn::build(CnnId::AlexNet, 32);
+        let graph = cnn.training_graph();
+        let p = Trainer::new(GpuModel::M60, 1).profile(&cnn, 5);
+        assert_eq!(p.op_stats().len(), graph.len());
+    }
+
+    #[test]
+    fn heavy_ops_dominate_training_time() {
+        let p = quick_profile(GpuModel::K80, 1);
+        let heavy = p.total_op_time_us(|s| OpKind::reference_heavy_set().contains(&s.kind));
+        let total = p.total_op_time_us(|_| true);
+        // §III-A: the 20 heavy ops contribute 47-94% of training time
+        // (AlexNet sits high in that range given its huge convs/matmuls).
+        let share = heavy / total;
+        assert!(share > 0.47, "heavy share {share} too low");
+    }
+
+    #[test]
+    fn sampled_iterations_have_noise() {
+        let p = quick_profile(GpuModel::V100, 1);
+        assert!(p.iteration_std_us() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn rejects_zero_gpus() {
+        Trainer::new(GpuModel::V100, 0);
+    }
+
+    #[test]
+    fn overlap_shortens_iterations_without_changing_sync() {
+        let cnn = Cnn::build(CnnId::AlexNet, 32);
+        let graph = cnn.training_graph();
+        let additive =
+            Trainer::new(GpuModel::T4, 4).with_seed(9).profile_graph(&cnn, &graph, 6);
+        let overlapped = Trainer::new(GpuModel::T4, 4)
+            .with_seed(9)
+            .with_comm_overlap(0.8)
+            .profile_graph(&cnn, &graph, 6);
+        // The comm still happens (same log-measured sync)...
+        assert_eq!(additive.sync_mean_us(), overlapped.sync_mean_us());
+        // ...but much of it hides under compute.
+        assert!(overlapped.iteration_mean_us() < additive.iteration_mean_us());
+    }
+
+    #[test]
+    fn full_overlap_bounds_iteration_by_max() {
+        let cnn = Cnn::build(CnnId::InceptionV1, 32);
+        let graph = cnn.training_graph();
+        let p = Trainer::new(GpuModel::V100, 2)
+            .with_seed(3)
+            .with_comm_overlap(1.0)
+            .profile_graph(&cnn, &graph, 6);
+        // iteration >= compute (sync fully hidden when smaller).
+        let ops = p.total_op_time_us(|_| true);
+        assert!(p.iteration_mean_us() >= ops * 0.99);
+        assert!(p.iteration_mean_us() < ops + p.sync_mean_us());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be in")]
+    fn rejects_out_of_range_overlap() {
+        Trainer::new(GpuModel::V100, 1).with_comm_overlap(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn rejects_zero_iterations() {
+        let cnn = Cnn::build(CnnId::AlexNet, 32);
+        Trainer::new(GpuModel::V100, 1).profile(&cnn, 0);
+    }
+}

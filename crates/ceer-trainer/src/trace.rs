@@ -1,0 +1,184 @@
+//! Iteration timeline export in Chrome trace-event format.
+//!
+//! `chrome://tracing` (or Perfetto) can open the JSON produced by
+//! [`chrome_trace`], giving the same op-level visibility into a simulated
+//! training iteration that the paper's authors got from TensorFlow's GPU
+//! logs. One track per GPU replica, one for the host's CPU operations, and
+//! one for the synchronization phase.
+
+use ceer_gpusim::{GpuModel, OpTimer, SyncModel};
+use ceer_graph::models::Cnn;
+use ceer_graph::{DeviceClass, Graph};
+use ceer_stats::rng::DeterministicRng;
+use serde::Serialize;
+
+/// One Chrome trace event (`ph = "X"`, complete event).
+#[derive(Debug, Clone, Serialize)]
+struct TraceEvent {
+    name: String,
+    cat: &'static str,
+    ph: &'static str,
+    /// Start, µs.
+    ts: f64,
+    /// Duration, µs.
+    dur: f64,
+    pid: u32,
+    tid: u32,
+}
+
+/// Renders one simulated training iteration of `cnn` on `gpus`×`gpu` as a
+/// Chrome trace-event JSON string.
+///
+/// Layout follows the simulator's additive model: the host input pipeline
+/// (tid 0) runs first, every GPU replica (tid 1..=k) then executes the full
+/// training graph with its own noise, and the synchronization phase
+/// (tid 100) closes the iteration after the slowest replica.
+///
+/// # Panics
+///
+/// Panics if `gpus` is zero.
+pub fn chrome_trace(cnn: &Cnn, graph: &Graph, gpu: GpuModel, gpus: u32, seed: u64) -> String {
+    assert!(gpus > 0, "at least one GPU required");
+    let timer = OpTimer::new(gpu);
+    let sync = SyncModel::new(gpu);
+    let root = DeterministicRng::from_seed(seed);
+    let mut events = Vec::new();
+
+    // Host pipeline.
+    let mut host_rng = root.substream(0);
+    let mut cursor = 0.0f64;
+    for node in graph.topological() {
+        if node.kind().device_class() == DeviceClass::Cpu {
+            let dur = timer.sample_duration_us(node, graph, &mut host_rng);
+            events.push(TraceEvent {
+                name: node.name().to_string(),
+                cat: "cpu",
+                ph: "X",
+                ts: cursor,
+                dur,
+                pid: 1,
+                tid: 0,
+            });
+            cursor += dur;
+        }
+    }
+    let gpu_start = cursor;
+
+    // Replicas.
+    let mut slowest_end = gpu_start;
+    let mut replica_compute = 0.0;
+    for replica in 0..gpus {
+        let mut rng = root.substream(replica as u64 + 1);
+        let mut t = gpu_start;
+        for node in graph.topological() {
+            if node.kind().device_class() == DeviceClass::Gpu {
+                let dur = timer.sample_duration_us(node, graph, &mut rng);
+                events.push(TraceEvent {
+                    name: node.name().to_string(),
+                    cat: if node.name().starts_with("gradients/") { "backward" } else { "forward" },
+                    ph: "X",
+                    ts: t,
+                    dur,
+                    pid: 1,
+                    tid: replica + 1,
+                });
+                t += dur;
+            }
+        }
+        if replica == 0 {
+            replica_compute = t - gpu_start;
+        }
+        slowest_end = slowest_end.max(t);
+    }
+
+    // Synchronization phase.
+    let mut sync_rng = root.substream(u64::MAX);
+    let sync_dur = sync.sample_overhead_us(
+        gpus,
+        graph.parameter_count(),
+        replica_compute,
+        &mut sync_rng,
+    );
+    events.push(TraceEvent {
+        name: format!("sync ({} params)", graph.parameter_count()),
+        cat: "sync",
+        ph: "X",
+        ts: slowest_end,
+        dur: sync_dur,
+        pid: 1,
+        tid: 100,
+    });
+
+    let _ = cnn;
+    serde_json::to_string(&events).expect("trace events serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceer_graph::models::CnnId;
+
+    fn trace_for(gpus: u32) -> Vec<serde_json::Value> {
+        let cnn = Cnn::build(CnnId::AlexNet, 8);
+        let graph = cnn.training_graph();
+        let json = chrome_trace(&cnn, &graph, GpuModel::V100, gpus, 3);
+        serde_json::from_str(&json).expect("valid JSON")
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_all_ops() {
+        let cnn = Cnn::build(CnnId::AlexNet, 8);
+        let graph = cnn.training_graph();
+        let events = trace_for(1);
+        // Every op once, plus the sync event.
+        assert_eq!(events.len(), graph.len() + 1);
+    }
+
+    #[test]
+    fn multi_gpu_traces_have_one_track_per_replica() {
+        let events = trace_for(3);
+        let mut tids: Vec<u64> =
+            events.iter().map(|e| e["tid"].as_u64().expect("tid")).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        // host(0) + replicas(1..=3) + sync(100).
+        assert_eq!(tids, vec![0, 1, 2, 3, 100]);
+    }
+
+    #[test]
+    fn events_are_non_overlapping_per_track() {
+        let events = trace_for(2);
+        use std::collections::HashMap;
+        let mut last_end: HashMap<u64, f64> = HashMap::new();
+        for e in &events {
+            let tid = e["tid"].as_u64().expect("tid");
+            let ts = e["ts"].as_f64().expect("ts");
+            let dur = e["dur"].as_f64().expect("dur");
+            let end = last_end.entry(tid).or_insert(0.0);
+            assert!(ts + 1e-9 >= *end, "overlap on track {tid}");
+            *end = ts + dur;
+        }
+    }
+
+    #[test]
+    fn sync_event_closes_the_iteration() {
+        let events = trace_for(4);
+        let sync = events.iter().find(|e| e["cat"] == "sync").expect("sync event");
+        let sync_ts = sync["ts"].as_f64().expect("ts");
+        for e in &events {
+            if e["cat"] != "sync" {
+                let end =
+                    e["ts"].as_f64().expect("ts") + e["dur"].as_f64().expect("dur");
+                assert!(end <= sync_ts + 1e-6, "op ends after sync starts");
+            }
+        }
+    }
+
+    #[test]
+    fn categories_split_forward_and_backward() {
+        let events = trace_for(1);
+        assert!(events.iter().any(|e| e["cat"] == "forward"));
+        assert!(events.iter().any(|e| e["cat"] == "backward"));
+        assert!(events.iter().any(|e| e["cat"] == "cpu"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Custom CNN: build your *own* architecture with the layer API and let
+//! Ceer pick an instance for it — the paper's core promise is that the
+//! operation-level models generalize to any CNN built from known operation
+//! types (§IV-D).
+//!
+//! ```text
+//! cargo run --release --example custom_cnn
+//! ```
+
+use ceer::cloud::{Catalog, Pricing};
+use ceer::graph::backward::training_graph;
+use ceer::graph::{GraphBuilder, Padding};
+use ceer::gpusim::GpuModel;
+use ceer::model::{Ceer, EstimateOptions, FitConfig};
+
+fn main() {
+    // A little residual network that exists in no paper: 96x96 inputs,
+    // three residual stages, global pooling.
+    let mut b = GraphBuilder::new("my-resnet-ish");
+    let (x, labels) = b.input(32, 96, 96, 3);
+
+    b.push_scope("stem");
+    let c = b.conv2d(&x, 32, (5, 5), (2, 2), Padding::Same, false);
+    let n = b.batch_norm(&c);
+    let mut t = b.relu(&n);
+    b.pop_scope();
+
+    for (stage, channels) in [(1u32, 64u64), (2, 128), (3, 256)] {
+        b.push_scope(format!("stage{stage}"));
+        // Downsample + widen.
+        let c = b.conv2d(&t, channels, (3, 3), (2, 2), Padding::Same, false);
+        let n = b.batch_norm(&c);
+        t = b.relu(&n);
+        // Two residual units.
+        for _ in 0..2 {
+            let c1 = b.conv2d(&t, channels, (3, 3), (1, 1), Padding::Same, false);
+            let n1 = b.batch_norm(&c1);
+            let r1 = b.relu(&n1);
+            let c2 = b.conv2d(&r1, channels, (3, 3), (1, 1), Padding::Same, false);
+            let n2 = b.batch_norm(&c2);
+            let sum = b.add(&t, &n2);
+            t = b.relu(&sum);
+        }
+        b.pop_scope();
+    }
+
+    b.push_scope("head");
+    let gap = b.global_avg_pool(&t);
+    let logits = b.dense(&gap, 1000, false);
+    b.pop_scope();
+    let loss = b.softmax_loss(&logits, &labels);
+    let loss_id = loss.id();
+
+    let forward = b.finish();
+    let graph = training_graph(forward, loss_id);
+    println!(
+        "custom CNN: {} training ops, {:.2}M parameters",
+        graph.len(),
+        graph.parameter_count() as f64 / 1e6
+    );
+
+    // Fit Ceer on the standard zoo and predict for the custom net.
+    let model = Ceer::fit(&FitConfig { iterations: 30, ..FitConfig::default() });
+    let options = EstimateOptions::default();
+    let catalog = Catalog::new(Pricing::OnDemand);
+
+    println!("\npredicted iteration time and epoch cost (100k samples):");
+    for &gpu in GpuModel::all() {
+        let est = model.predict_iteration(&graph, gpu, 1, &options);
+        let iterations = (100_000u64).div_ceil(32);
+        let instance = catalog.instance(gpu, 1);
+        let cost = est.total_us() * iterations as f64 * instance.usd_per_microsecond();
+        println!(
+            "  {:24} {:>8.1} ms/iter   ~${:.2} per epoch on {}",
+            gpu.to_string(),
+            est.total_us() / 1e3,
+            cost,
+            instance.name()
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Instance advisor: a small CLI over Ceer's recommender.
+//!
+//! ```text
+//! cargo run --release --example instance_advisor -- [model] [objective]
+//!
+//! model      alexnet | vgg16 | vgg19 | inception-v3 | resnet-50 | ... (default resnet-101)
+//! objective  cost | time | hourly:<usd> | budget:<usd>              (default cost)
+//! ```
+//!
+//! Prints the full ranked field of 16 candidate instances with predicted
+//! training time and cost for one ImageNet epoch.
+
+use ceer::cloud::{Catalog, Pricing};
+use ceer::graph::models::{Cnn, CnnId};
+use ceer::model::recommend::{Objective, Workload};
+use ceer::model::{Ceer, FitConfig};
+
+fn parse_model(name: &str) -> Option<CnnId> {
+    let normalized = name.to_lowercase().replace(['_', ' '], "-");
+    CnnId::all()
+        .iter()
+        .copied()
+        .find(|id| id.name().to_lowercase() == normalized)
+        .or(match normalized.as_str() {
+            "alexnet" => Some(CnnId::AlexNet),
+            "vgg11" => Some(CnnId::Vgg11),
+            "vgg16" => Some(CnnId::Vgg16),
+            "vgg19" => Some(CnnId::Vgg19),
+            "inception-v1" | "googlenet" => Some(CnnId::InceptionV1),
+            "inception-v3" => Some(CnnId::InceptionV3),
+            "inception-v4" => Some(CnnId::InceptionV4),
+            "resnet-50" | "resnet50" => Some(CnnId::ResNet50),
+            "resnet-101" | "resnet101" => Some(CnnId::ResNet101),
+            "resnet-152" | "resnet152" => Some(CnnId::ResNet152),
+            "resnet-200" | "resnet200" => Some(CnnId::ResNet200),
+            _ => None,
+        })
+}
+
+fn parse_objective(arg: &str) -> Option<Objective> {
+    if let Some(rest) = arg.strip_prefix("hourly:") {
+        return rest.parse().ok().map(|usd_per_hour| Objective::MinTimeUnderHourlyBudget {
+            usd_per_hour,
+        });
+    }
+    if let Some(rest) = arg.strip_prefix("budget:") {
+        return rest.parse().ok().map(|usd| Objective::MinTimeUnderTotalBudget { usd });
+    }
+    match arg {
+        "cost" => Some(Objective::MinimizeCost),
+        "time" => Some(Objective::MinimizeTime),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args
+        .first()
+        .map(|a| parse_model(a).unwrap_or_else(|| panic!("unknown model {a:?}")))
+        .unwrap_or(CnnId::ResNet101);
+    let objective = args
+        .get(1)
+        .map(|a| parse_objective(a).unwrap_or_else(|| panic!("unknown objective {a:?}")))
+        .unwrap_or(Objective::MinimizeCost);
+
+    println!("advising for {} under {objective:?} ...", id.name());
+    let model = Ceer::fit(&FitConfig { iterations: 40, ..FitConfig::default() });
+    let cnn = Cnn::build(id, 32);
+    let catalog = Catalog::new(Pricing::OnDemand);
+    let workload = Workload::new(1_200_000, 4);
+
+    match model.recommend(&cnn, &catalog, &workload, &objective) {
+        None => println!("no instance satisfies the budget — paper §V saw this too (Fig. 10)"),
+        Some(rec) => {
+            println!("\nrecommendation: {}\n", rec.instance());
+            println!("{:28} {:>9} {:>9}  feasible", "instance", "time (h)", "cost");
+            for candidate in rec.ranking() {
+                println!(
+                    "{:28} {:>9.2} {:>9} {:>9}",
+                    candidate.instance().name(),
+                    candidate.predicted_time_hours(),
+                    format!("${:.2}", candidate.predicted_cost_usd()),
+                    if candidate.is_feasible(&objective) { "yes" } else { "no" }
+                );
+            }
+        }
+    }
+}

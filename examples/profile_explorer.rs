@@ -1,0 +1,64 @@
+//! Profile explorer: run the training simulator on one CNN and inspect
+//! where the time goes — the operation-level view the whole paper is built
+//! on (§III).
+//!
+//! ```text
+//! cargo run --release --example profile_explorer -- [model]
+//! ```
+
+use std::collections::HashMap;
+
+use ceer::gpusim::GpuModel;
+use ceer::graph::models::{Cnn, CnnId};
+use ceer::graph::{DeviceClass, OpKind};
+use ceer::trainer::Trainer;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Inception-v3".into());
+    let id = CnnId::all()
+        .iter()
+        .copied()
+        .find(|m| m.name().eq_ignore_ascii_case(&name))
+        .unwrap_or(CnnId::InceptionV3);
+
+    let cnn = Cnn::build(id, 32);
+    let graph = cnn.training_graph();
+    println!(
+        "{}: {} ops ({} forward+backward), {:.1}M parameters\n",
+        id.name(),
+        graph.len(),
+        graph.count_device_class(DeviceClass::Gpu),
+        graph.parameter_count() as f64 / 1e6
+    );
+
+    for &gpu in GpuModel::all() {
+        let profile = Trainer::new(gpu, 1).with_seed(7).profile_graph(&cnn, &graph, 25);
+        println!(
+            "--- {} --- iteration {:.1} ms (compute {:.1} ms + sync {:.1} ms)",
+            gpu,
+            profile.iteration_mean_us() / 1e3,
+            profile.compute_mean_us() / 1e3,
+            profile.sync_mean_us() / 1e3
+        );
+
+        // Top op kinds by total time.
+        let mut by_kind: HashMap<OpKind, (f64, usize)> = HashMap::new();
+        for stat in profile.op_stats() {
+            let e = by_kind.entry(stat.kind).or_insert((0.0, 0));
+            e.0 += stat.mean_us;
+            e.1 += 1;
+        }
+        let total: f64 = by_kind.values().map(|(t, _)| t).sum();
+        let mut rows: Vec<_> = by_kind.into_iter().collect();
+        rows.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).expect("finite"));
+        for (kind, (time, count)) in rows.into_iter().take(8) {
+            println!(
+                "    {:28} {:>9.1} ms  {:>5.1}%  ({count} instances)",
+                kind.to_string(),
+                time / 1e3,
+                100.0 * time / total
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: fit Ceer on the paper's training CNNs, predict training time
+//! and cost for a CNN it has never seen, and ask for an instance
+//! recommendation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ceer::cloud::{Catalog, Pricing};
+use ceer::gpusim::GpuModel;
+use ceer::graph::models::{Cnn, CnnId};
+use ceer::model::recommend::{Objective, Workload};
+use ceer::model::{Ceer, EstimateOptions, FitConfig};
+
+fn main() {
+    // 1. Fit Ceer. `FitConfig::default()` reproduces the paper's
+    //    methodology: profile the 8 training CNNs on all four AWS GPU
+    //    models at 1-4 GPUs, then fit the regression/median/communication
+    //    models. (Fewer iterations than the paper's 1,000 keep this example
+    //    fast; accuracy is barely affected.)
+    let config = FitConfig { iterations: 40, ..FitConfig::default() };
+    println!("fitting Ceer on {} training CNNs ...", config.cnns.len());
+    let model = Ceer::fit(&config);
+
+    // 2. Predict for a test-set CNN (never seen during fitting).
+    let cnn = Cnn::build(CnnId::ResNet101, 32);
+    let graph = cnn.training_graph();
+    println!(
+        "\n{} — {:.1}M parameters, {} operations in the training graph",
+        cnn.id(),
+        graph.parameter_count() as f64 / 1e6,
+        graph.len()
+    );
+    let options = EstimateOptions::default();
+    println!("\npredicted per-iteration training time (batch 32/GPU):");
+    for &gpu in GpuModel::all() {
+        let est = model.predict_iteration(&graph, gpu, 1, &options);
+        println!(
+            "  {:24} {:>8.1} ms  (heavy {:>7.1} + light {:>5.1} + cpu {:>4.1} + comm {:>6.1})",
+            gpu.to_string(),
+            est.total_us() / 1e3,
+            est.heavy_us / 1e3,
+            est.light_us / 1e3,
+            est.cpu_us / 1e3,
+            est.comm_us / 1e3,
+        );
+    }
+
+    // 3. Recommend the cheapest instance for one ImageNet epoch.
+    let catalog = Catalog::new(Pricing::OnDemand);
+    let workload = Workload::new(1_200_000, 4);
+    let rec = model
+        .recommend(&cnn, &catalog, &workload, &Objective::MinimizeCost)
+        .expect("cost minimization is always feasible");
+    println!(
+        "\ncheapest way to train one ImageNet epoch: {}\n  predicted {:.2} h, ${:.2}",
+        rec.instance(),
+        rec.best().predicted_time_hours(),
+        rec.best().predicted_cost_usd()
+    );
+
+    // ... and the fastest one under a $4/hr budget.
+    let fast = model
+        .recommend(
+            &cnn,
+            &catalog,
+            &workload,
+            &Objective::MinTimeUnderHourlyBudget { usd_per_hour: 4.0 },
+        )
+        .expect("something fits a $4/hr budget");
+    println!(
+        "fastest under $4/hr: {}\n  predicted {:.2} h, ${:.2}",
+        fast.instance(),
+        fast.best().predicted_time_hours(),
+        fast.best().predicted_cost_usd()
+    );
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs every experiment regenerator and stores the outputs under results/.
+set -u
+cd "$(dirname "$0")/.."
+BINS="hw_catalog fig1_dag fig2_op_times fig3_op_costs fig4_relu_scaling fig5_variability_cdf \
+      fig6_data_parallel_scaling fig7_comm_overhead fig8_validation fig9_hourly_budget \
+      fig10_total_budget fig11_cost_min fig12_market_prices headline_numbers ablations \
+      exp_crossval exp_batch_sensitivity exp_gpu_count_extrapolation exp_overlap_limitation exp_seed_stability"
+mkdir -p results
+export CEER_RESULTS_DIR=results
+for bin in $BINS; do
+  echo "=== $bin ==="
+  cargo run --release -q -p ceer-experiments --bin "$bin" 2>&1 | tee "results/$bin.txt"
+  echo
+done
+echo "=== exp_summary ==="
+cargo run --release -q -p ceer-experiments --bin exp_summary 2>&1 | tee results/exp_summary.txt

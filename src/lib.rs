@@ -1,0 +1,21 @@
+//! Umbrella crate for the Ceer reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use ceer::...` uniformly. See the individual
+//! crates for the substance:
+//!
+//! - [`graph`]: CNN computation graphs and the 12-model zoo.
+//! - [`gpusim`]: the analytical GPU device simulator.
+//! - [`cloud`]: AWS GPU instance catalog and pricing.
+//! - [`trainer`]: the training-loop simulator and profiler.
+//! - [`model`]: Ceer itself — regression models, estimators, recommender.
+//! - [`stats`]: the statistics substrate.
+
+#![forbid(unsafe_code)]
+
+pub use ceer_cloud as cloud;
+pub use ceer_core as model;
+pub use ceer_gpusim as gpusim;
+pub use ceer_graph as graph;
+pub use ceer_stats as stats;
+pub use ceer_trainer as trainer;

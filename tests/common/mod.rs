@@ -1,0 +1,90 @@
+//! Shared random-CNN generators for the property-test suites.
+//!
+//! Not a test file itself: included via `mod common;` from each suite.
+
+#![allow(dead_code)]
+
+use ceer::graph::{Graph, GraphBuilder, NodeId, Padding};
+use proptest::prelude::*;
+
+/// A randomly shaped stage of a CNN.
+#[derive(Debug, Clone)]
+pub enum Stage {
+    Conv { channels: u64, kernel: u64, stride: u64, bias: bool, bn: bool },
+    MaxPool { window: u64, stride: u64 },
+    AvgPool { window: u64, stride: u64 },
+    Residual { channels: u64 },
+    InceptionSplit { a: u64, b: u64 },
+    Dropout,
+}
+
+pub fn stage_strategy() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        (prop_oneof![Just(8u64), Just(16), Just(32), Just(48)],
+         prop_oneof![Just(1u64), Just(3), Just(5)],
+         1u64..=2,
+         any::<bool>(),
+         any::<bool>())
+            .prop_map(|(channels, kernel, stride, bias, bn)| Stage::Conv {
+                channels,
+                kernel,
+                stride,
+                bias,
+                bn
+            }),
+        (2u64..=3, 1u64..=2).prop_map(|(window, stride)| Stage::MaxPool { window, stride }),
+        (2u64..=3, 1u64..=2).prop_map(|(window, stride)| Stage::AvgPool { window, stride }),
+        prop_oneof![Just(8u64), Just(16), Just(32)]
+            .prop_map(|channels| Stage::Residual { channels }),
+        (4u64..=16, 4u64..=16).prop_map(|(a, b)| Stage::InceptionSplit { a, b }),
+        Just(Stage::Dropout),
+    ]
+}
+
+/// Builds a forward graph from random stages; returns (graph, loss).
+pub fn build_cnn(batch: u64, stages: &[Stage]) -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new("prop-cnn");
+    let (mut t, labels) = b.input(batch, 32, 32, 3);
+    for stage in stages {
+        // Guard: keep spatial dims >= 4 so pooling never degenerates.
+        let spatial = t.shape().height().min(t.shape().width());
+        match stage {
+            Stage::Conv { channels, kernel, stride, bias, bn } => {
+                let stride = if spatial <= 4 { 1 } else { *stride };
+                let c = b.conv2d(&t, *channels, (*kernel, *kernel), (stride, stride),
+                                 Padding::Same, *bias);
+                let c = if *bn { b.batch_norm(&c) } else { c };
+                t = b.relu(&c);
+            }
+            Stage::MaxPool { window, stride } if spatial > 4 => {
+                t = b.max_pool(&t, (*window, *window), (*stride, *stride), Padding::Same);
+            }
+            Stage::AvgPool { window, stride } if spatial > 4 => {
+                t = b.avg_pool(&t, (*window, *window), (*stride, *stride), Padding::Same);
+            }
+            Stage::Residual { channels } => {
+                let c1 = b.conv2d(&t, *channels, (3, 3), (1, 1), Padding::Same, false);
+                let n1 = b.batch_norm(&c1);
+                let r1 = b.relu(&n1);
+                let c2 = b.conv2d(&r1, t.shape().channels(), (3, 3), (1, 1), Padding::Same, false);
+                let s = b.add(&t, &c2);
+                t = b.relu(&s);
+            }
+            Stage::InceptionSplit { a, b: bb } => {
+                let left = b.conv2d(&t, *a, (1, 1), (1, 1), Padding::Same, true);
+                let right = b.conv2d(&t, *bb, (3, 3), (1, 1), Padding::Same, true);
+                t = b.concat(&[&left, &right]);
+            }
+            Stage::Dropout => {
+                t = b.dropout(&t);
+            }
+            _ => {} // skipped pooling on tiny maps
+        }
+    }
+    let gap = b.global_avg_pool(&t);
+    let logits = b.dense(&gap, 100, false);
+    let loss = b.softmax_loss(&logits, &labels);
+    let loss_id = loss.id();
+    (b.finish(), loss_id)
+}
+

@@ -1,0 +1,59 @@
+//! Reproducibility: the whole stack is a pure function of its seeds.
+
+use ceer::gpusim::GpuModel;
+use ceer::graph::models::{Cnn, CnnId};
+use ceer::model::{Ceer, FitConfig};
+use ceer::trainer::Trainer;
+
+#[test]
+fn graphs_are_deterministic() {
+    let a = Cnn::build(CnnId::InceptionV3, 32);
+    let b = Cnn::build(CnnId::InceptionV3, 32);
+    assert_eq!(a.forward_graph(), b.forward_graph());
+    assert_eq!(a.training_graph(), b.training_graph());
+}
+
+#[test]
+fn profiles_are_deterministic_across_construction_order() {
+    let cnn = Cnn::build(CnnId::Vgg11, 32);
+    // Interleave other work between the two runs; nothing global may leak.
+    let p1 = Trainer::new(GpuModel::T4, 2).with_seed(5).profile(&cnn, 4);
+    let _noise = Trainer::new(GpuModel::K80, 3).with_seed(6).profile(&cnn, 2);
+    let p2 = Trainer::new(GpuModel::T4, 2).with_seed(5).profile(&cnn, 4);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn different_seeds_give_different_noise_but_same_expectation_scale() {
+    let cnn = Cnn::build(CnnId::AlexNet, 32);
+    let a = Trainer::new(GpuModel::V100, 1).with_seed(1).profile(&cnn, 6);
+    let b = Trainer::new(GpuModel::V100, 1).with_seed(2).profile(&cnn, 6);
+    assert_ne!(a.iteration_mean_us(), b.iteration_mean_us());
+    let ratio = a.iteration_mean_us() / b.iteration_mean_us();
+    assert!((0.9..1.1).contains(&ratio), "seeds change noise, not physics: {ratio}");
+}
+
+#[test]
+fn fitting_is_deterministic() {
+    let config = FitConfig {
+        cnns: vec![CnnId::Vgg11, CnnId::InceptionV1, CnnId::ResNet50],
+        iterations: 3,
+        parallel_degrees: vec![1, 2],
+        seed: 9,
+        ..FitConfig::default()
+    };
+    let a = Ceer::fit(&config);
+    let b = Ceer::fit(&config);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn gpu_and_degree_streams_are_independent() {
+    // Changing the GPU count must not perturb another configuration's
+    // profile (each has its own derived stream).
+    let cnn = Cnn::build(CnnId::InceptionV1, 32);
+    let solo = Trainer::new(GpuModel::M60, 1).with_seed(11).profile(&cnn, 3);
+    let _other = Trainer::new(GpuModel::M60, 4).with_seed(11).profile(&cnn, 3);
+    let solo_again = Trainer::new(GpuModel::M60, 1).with_seed(11).profile(&cnn, 3);
+    assert_eq!(solo, solo_again);
+}

@@ -1,0 +1,140 @@
+//! Cross-crate invariants behind the paper's findings (§III), checked
+//! end-to-end against the simulation substrate.
+
+use ceer::cloud::{Catalog, Pricing, OFFERINGS};
+use ceer::gpusim::{GpuModel, OpTimer, SyncModel};
+use ceer::graph::models::{Cnn, CnnId};
+use ceer::graph::OpKind;
+use ceer::stats::regression::SimpleOls;
+use ceer::trainer::Trainer;
+
+#[test]
+fn gpu_speed_ordering_holds_for_whole_networks() {
+    // P3 < G4 < G3 < P2 end-to-end, for structurally different CNNs.
+    for id in [CnnId::AlexNet, CnnId::InceptionV1, CnnId::ResNet50] {
+        let cnn = Cnn::build(id, 32);
+        let graph = cnn.training_graph();
+        let times: Vec<f64> = [GpuModel::V100, GpuModel::T4, GpuModel::M60, GpuModel::K80]
+            .iter()
+            .map(|&gpu| {
+                Trainer::new(gpu, 1).with_seed(3).profile_graph(&cnn, &graph, 3).compute_mean_us()
+            })
+            .collect();
+        for pair in times.windows(2) {
+            assert!(pair[0] < pair[1], "{id}: ordering violated: {times:?}");
+        }
+    }
+}
+
+#[test]
+fn data_parallel_scaling_shows_diminishing_returns() {
+    let cnn = Cnn::build(CnnId::InceptionV1, 32);
+    let graph = cnn.training_graph();
+    for &gpu in GpuModel::all() {
+        let epoch = |k: u32| {
+            Trainer::new(gpu, k)
+                .with_seed(7)
+                .profile_graph(&cnn, &graph, 4)
+                .epoch_time_us(6_400)
+        };
+        let t: Vec<f64> = (1..=4).map(epoch).collect();
+        // Monotone improvement...
+        for pair in t.windows(2) {
+            assert!(pair[1] < pair[0], "{gpu}: more GPUs should not slow the epoch");
+        }
+        // ...with shrinking gains.
+        let gain12 = t[0] - t[1];
+        let gain34 = t[2] - t[3];
+        assert!(gain12 > gain34, "{gpu}: diminishing returns expected");
+    }
+}
+
+#[test]
+fn sync_overhead_is_linear_in_params_across_the_zoo() {
+    // Figure 7's ground truth, measured through the trainer like the paper
+    // measures through TensorFlow.
+    for &gpu in GpuModel::all() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &id in CnnId::training_set() {
+            let cnn = Cnn::build(id, 32);
+            let graph = cnn.training_graph();
+            let p = Trainer::new(gpu, 1).with_seed(5).profile_graph(&cnn, &graph, 3);
+            xs.push(graph.parameter_count() as f64);
+            ys.push(p.sync_mean_us());
+        }
+        let fit = SimpleOls::fit(&xs, &ys).expect("8 points");
+        assert!(fit.r_squared() > 0.95, "{gpu}: sync-vs-params R² {}", fit.r_squared());
+        assert!(fit.slope() > 0.0);
+    }
+}
+
+#[test]
+fn heavy_ops_dominate_every_training_cnn() {
+    for &id in CnnId::training_set() {
+        let cnn = Cnn::build(id, 32);
+        let p = Trainer::new(GpuModel::K80, 1).with_seed(2).profile(&cnn, 3);
+        let total = p.total_op_time_us(|_| true);
+        let heavy =
+            p.total_op_time_us(|s| OpKind::reference_heavy_set().contains(&s.kind));
+        assert!(heavy / total > 0.47, "{id}: heavy share {:.2} below paper floor", heavy / total);
+    }
+}
+
+#[test]
+fn per_op_expected_times_sum_to_iteration_compute() {
+    // Insight 4 of §IV: the additive model is exact for a single GPU.
+    let cnn = Cnn::build(CnnId::ResNet50, 32);
+    let graph = cnn.training_graph();
+    let timer = OpTimer::new(GpuModel::T4);
+    let expected_sum: f64 =
+        graph.nodes().iter().map(|n| timer.expected_duration_us(n, &graph)).sum();
+    let profile = Trainer::new(GpuModel::T4, 1).with_seed(8).profile_graph(&cnn, &graph, 60);
+    let measured = profile.compute_mean_us();
+    let rel = (measured - expected_sum).abs() / expected_sum;
+    assert!(rel < 0.02, "additive model should hold: {rel:.4}");
+}
+
+#[test]
+fn multi_gpu_overhead_exceeds_single_gpu_overhead() {
+    let sync = SyncModel::new(GpuModel::T4);
+    for params in [5_000_000u64, 60_000_000, 140_000_000] {
+        let single = sync.expected_overhead_us(1, params, 100_000.0);
+        let quad = sync.expected_overhead_us(4, params, 100_000.0);
+        assert!(quad > single);
+    }
+}
+
+#[test]
+fn catalog_prices_match_the_paper_table() {
+    assert_eq!(OFFERINGS.len(), 8);
+    let catalog = Catalog::new(Pricing::OnDemand);
+    // Spot checks from §II and §V.
+    assert_eq!(catalog.instance(GpuModel::V100, 1).hourly_usd(), 3.06);
+    assert_eq!(catalog.instance(GpuModel::V100, 4).hourly_usd(), 12.24);
+    assert!((catalog.instance(GpuModel::K80, 3).hourly_usd() - 2.70).abs() < 1e-9);
+    assert!((catalog.instance(GpuModel::T4, 3).hourly_usd() - 2.934).abs() < 1e-9);
+}
+
+#[test]
+fn parameter_counts_match_published_architectures() {
+    // The communication model rides on parameter counts, so the zoo must
+    // get them right (±5% of the published numbers).
+    let published: &[(CnnId, f64)] = &[
+        (CnnId::AlexNet, 62.4e6),
+        (CnnId::Vgg11, 132.9e6),
+        (CnnId::Vgg16, 138.4e6),
+        (CnnId::Vgg19, 143.7e6),
+        (CnnId::InceptionV1, 6.8e6),
+        (CnnId::InceptionV3, 23.8e6),
+        (CnnId::InceptionV4, 42.7e6),
+        (CnnId::ResNet50, 25.6e6),
+        (CnnId::ResNet101, 44.5e6),
+        (CnnId::ResNet152, 60.2e6),
+    ];
+    for &(id, expected) in published {
+        let got = Cnn::build(id, 32).parameter_count() as f64;
+        let rel = (got - expected).abs() / expected;
+        assert!(rel < 0.06, "{id}: {got:.0} vs published {expected:.0} ({rel:.3})");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests over randomly generated CNN architectures: the
+//! graph builder, backward expansion, simulator and estimator must uphold
+//! their invariants for *any* CNN, not just the zoo.
+
+use ceer::graph::backward::training_graph;
+use ceer::graph::{DeviceClass, OpKind};
+use ceer::gpusim::{workload::workload, GpuModel, OpTimer};
+use proptest::prelude::*;
+
+mod common;
+use common::{build_cnn, stage_strategy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_cnns_build_valid_graphs(
+        batch in 1u64..=16,
+        stages in prop::collection::vec(stage_strategy(), 1..8)
+    ) {
+        let (forward, loss) = build_cnn(batch, &stages);
+        prop_assert!(forward.validate().is_ok());
+        let graph = training_graph(forward, loss);
+        prop_assert!(graph.validate().is_ok());
+    }
+
+    #[test]
+    fn backward_never_shrinks_and_never_adds_params(
+        batch in 1u64..=8,
+        stages in prop::collection::vec(stage_strategy(), 1..8)
+    ) {
+        let (forward, loss) = build_cnn(batch, &stages);
+        let fwd_len = forward.len();
+        let fwd_params = forward.parameter_count();
+        let graph = training_graph(forward, loss);
+        prop_assert!(graph.len() > fwd_len);
+        prop_assert_eq!(graph.parameter_count(), fwd_params);
+    }
+
+    #[test]
+    fn every_conv_gets_exactly_one_filter_gradient(
+        stages in prop::collection::vec(stage_strategy(), 1..8)
+    ) {
+        let (forward, loss) = build_cnn(4, &stages);
+        let convs = forward.op_histogram().get(&OpKind::Conv2D).copied().unwrap_or(0);
+        let graph = training_graph(forward, loss);
+        let grads =
+            graph.op_histogram().get(&OpKind::Conv2DBackpropFilter).copied().unwrap_or(0);
+        prop_assert_eq!(convs, grads);
+    }
+
+    #[test]
+    fn workloads_and_durations_are_finite_positive(
+        stages in prop::collection::vec(stage_strategy(), 1..6)
+    ) {
+        let (forward, loss) = build_cnn(4, &stages);
+        let graph = training_graph(forward, loss);
+        for &gpu in GpuModel::all() {
+            let timer = OpTimer::new(gpu);
+            for node in graph.topological() {
+                let w = workload(node, &graph);
+                prop_assert!(w.flops.is_finite() && w.flops >= 0.0);
+                prop_assert!(w.bytes.is_finite() && w.bytes >= 0.0);
+                let t = timer.expected_duration_us(node, &graph);
+                prop_assert!(t.is_finite() && t > 0.0, "{} took {t}", node.name());
+            }
+        }
+    }
+
+    #[test]
+    fn v100_is_never_slower_than_k80(
+        stages in prop::collection::vec(stage_strategy(), 1..6)
+    ) {
+        let (forward, loss) = build_cnn(4, &stages);
+        let graph = training_graph(forward, loss);
+        let fast = OpTimer::new(GpuModel::V100);
+        let slow = OpTimer::new(GpuModel::K80);
+        for node in graph.topological() {
+            if node.kind().device_class() == DeviceClass::Gpu {
+                prop_assert!(
+                    fast.expected_duration_us(node, &graph)
+                        <= slow.expected_duration_us(node, &graph),
+                    "{} faster on K80 than V100",
+                    node.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_batch_never_reduces_op_time(
+        stages in prop::collection::vec(stage_strategy(), 1..6)
+    ) {
+        let (f1, l1) = build_cnn(4, &stages);
+        let (f2, l2) = build_cnn(8, &stages);
+        let g1 = training_graph(f1, l1);
+        let g2 = training_graph(f2, l2);
+        prop_assert_eq!(g1.len(), g2.len());
+        let timer = OpTimer::new(GpuModel::T4);
+        let t1: f64 = g1.nodes().iter().map(|n| timer.expected_duration_us(n, &g1)).sum();
+        let t2: f64 = g2.nodes().iter().map(|n| timer.expected_duration_us(n, &g2)).sum();
+        prop_assert!(t2 >= t1, "bigger batch got faster: {t1} -> {t2}");
+        prop_assert_eq!(g1.parameter_count(), g2.parameter_count());
+    }
+}
