@@ -54,14 +54,7 @@ fn bench_recommend(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("full_catalog_16_candidates", |b| {
         b.iter(|| {
-            model
-                .recommend(
-                    black_box(&cnn),
-                    &catalog,
-                    &workload,
-                    &Objective::MinimizeCost,
-                )
-                .unwrap()
+            model.recommend(black_box(&cnn), &catalog, &workload, &Objective::MinimizeCost).unwrap()
         })
     });
     group.finish();

@@ -29,9 +29,7 @@ fn bench_training_expansion(c: &mut Criterion) {
 fn bench_graph_queries(c: &mut Criterion) {
     let cnn = Cnn::build(CnnId::InceptionV4, 32);
     let graph = cnn.training_graph();
-    c.bench_function("op_histogram_inception_v4", |b| {
-        b.iter(|| black_box(&graph).op_histogram())
-    });
+    c.bench_function("op_histogram_inception_v4", |b| b.iter(|| black_box(&graph).op_histogram()));
     c.bench_function("parameter_count_inception_v4", |b| {
         b.iter(|| black_box(&graph).parameter_count())
     });

@@ -30,9 +30,8 @@ fn bench_multiple_ols(c: &mut Criterion) {
     let mut group = c.benchmark_group("multiple_ols_fit");
     for features in [2usize, 4, 8] {
         let mut rng = DeterministicRng::from_seed(7);
-        let rows: Vec<Vec<f64>> = (0..500)
-            .map(|_| (0..features).map(|_| rng.uniform_in(0.0, 100.0)).collect())
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..500).map(|_| (0..features).map(|_| rng.uniform_in(0.0, 100.0)).collect()).collect();
         let ys: Vec<f64> = rows
             .iter()
             .map(|r| r.iter().enumerate().map(|(i, v)| (i + 1) as f64 * v).sum::<f64>() + 3.0)

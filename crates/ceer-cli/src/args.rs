@@ -71,9 +71,9 @@ impl Args {
     pub fn opt_parse<T: FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.opt(name)? {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("option {name} has invalid value {raw:?}")),
+            Some(raw) => {
+                raw.parse().map_err(|_| format!("option {name} has invalid value {raw:?}"))
+            }
         }
     }
 

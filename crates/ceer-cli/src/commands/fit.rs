@@ -64,8 +64,8 @@ pub fn run(args: Args) -> Result<(), String> {
     };
     eprintln!("fit done in {:.1?}", started.elapsed());
 
-    let json = serde_json::to_string_pretty(&model)
-        .map_err(|e| format!("cannot serialize model: {e}"))?;
+    let json =
+        serde_json::to_string_pretty(&model).map_err(|e| format!("cannot serialize model: {e}"))?;
     fs::write(&out, json).map_err(|e| format!("cannot write {out:?}: {e}"))?;
     println!(
         "wrote {out} ({} heavy kinds, light median {:.1} us, cpu median {:.1} us)",

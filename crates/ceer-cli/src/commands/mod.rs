@@ -8,6 +8,7 @@ pub mod predict;
 pub mod profile;
 pub mod recommend;
 pub mod roofline;
+pub mod serve;
 pub mod zoo;
 
 use std::fs;
@@ -17,8 +18,8 @@ use ceer_core::CeerModel;
 
 /// Loads a fitted model from a JSON file written by `ceer fit`.
 pub fn load_model(path: &str) -> Result<CeerModel, String> {
-    let bytes = fs::read(Path::new(path))
-        .map_err(|e| format!("cannot read model file {path:?}: {e}"))?;
+    let bytes =
+        fs::read(Path::new(path)).map_err(|e| format!("cannot read model file {path:?}: {e}"))?;
     serde_json::from_slice(&bytes)
         .map_err(|e| format!("{path:?} is not a valid Ceer model file: {e}"))
 }

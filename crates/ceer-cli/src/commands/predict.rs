@@ -1,10 +1,9 @@
 //! `ceer predict` — training time/cost prediction for one configuration.
 
-use ceer_cloud::{Catalog, Pricing};
 use ceer_core::EstimateOptions;
-use ceer_gpusim::GpuModel;
 use ceer_graph::models::Cnn;
 use ceer_graph::{DeviceClass, Graph};
+use ceer_serve::api::{self, PredictRequest};
 
 use crate::args::Args;
 use crate::commands::load_model;
@@ -22,7 +21,9 @@ OPTIONS:
     --gpus K         data-parallel GPU count (default 1)
     --batch B        per-GPU batch size (default 32; for --graph it is
                      inferred from the graph's input placeholder)
-    --samples N      also report one epoch over N samples (default 1200000)";
+    --samples N      also report one epoch over N samples (default 1200000)
+    --json           emit the prediction as JSON — byte-identical to the
+                     `POST /predict` body of `ceer serve`";
 
 pub fn run(args: Args) -> Result<(), String> {
     if args.wants_help() {
@@ -32,10 +33,14 @@ pub fn run(args: Args) -> Result<(), String> {
     let model = load_model(&args.require("--model")?)?;
     let cnn_arg = args.opt("--cnn")?;
     let graph_arg = args.opt("--graph")?;
-    let gpu_filter = args.opt("--gpu")?.map(|g| parse_gpu(&g)).transpose()?;
+    let gpu = args.opt("--gpu")?;
+    if let Some(name) = &gpu {
+        parse_gpu(name)?; // reject bad names before the (costlier) graph build
+    }
     let gpus = args.opt_parse("--gpus", 1u32)?;
     let mut batch = args.opt_parse("--batch", 32u64)?;
     let samples = args.opt_parse("--samples", 1_200_000u64)?;
+    let json = args.flag("--json");
     args.finish()?;
     if gpus == 0 || batch == 0 || samples == 0 {
         return Err("--gpus, --batch and --samples must be positive".into());
@@ -50,8 +55,8 @@ pub fn run(args: Args) -> Result<(), String> {
             (id.name().to_string(), Cnn::build(id, batch).training_graph())
         }
         (None, Some(path)) => {
-            let json = std::fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            let json =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
             let graph = Graph::from_json(&json)?;
             batch = infer_batch(&graph)
                 .ok_or("graph has no rank-4 input placeholder to infer the batch from")?;
@@ -68,33 +73,43 @@ pub fn run(args: Args) -> Result<(), String> {
         );
     }
 
+    // The same evaluation the HTTP service runs for `POST /predict`.
+    let request = PredictRequest {
+        cnn: name.clone(),
+        gpu,
+        gpus,
+        batch,
+        samples,
+        options: EstimateOptions::default(),
+    };
+    let response = api::predict_graph(&model, &name, &graph, &request)?;
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&response)
+                .map_err(|e| format!("serialization failed: {e}"))?
+        );
+        return Ok(());
+    }
+
     println!(
         "{name} — {:.1}M parameters, {} ops, batch {batch}/GPU, {gpus} GPU(s)\n",
-        graph.parameter_count() as f64 / 1e6,
-        graph.len()
+        response.parameters as f64 / 1e6,
+        response.ops
     );
-    let catalog = Catalog::new(Pricing::OnDemand);
-    let options = EstimateOptions::default();
-    let targets: Vec<GpuModel> = match gpu_filter {
-        Some(gpu) => vec![gpu],
-        None => GpuModel::all().to_vec(),
-    };
     println!(
         "{:24} {:>12} {:>10} {:>14} {:>12}",
         "GPU", "iteration", "+/-1sigma", "epoch", "epoch cost"
     );
-    for gpu in targets {
-        let est = model.predict_iteration(&graph, gpu, gpus, &options);
-        let iterations = samples.div_ceil(batch * gpus as u64);
-        let epoch_us = est.total_us() * iterations as f64;
-        let instance = catalog.instance(gpu, gpus);
+    for p in &response.predictions {
         println!(
             "{:24} {:>12} {:>10} {:>14} {:>11}",
-            gpu.to_string(),
-            fmt_duration_us(est.total_us()),
-            fmt_duration_us(est.std_us()),
-            fmt_duration_us(epoch_us),
-            format!("${:.2}", epoch_us * instance.usd_per_microsecond()),
+            p.gpu.to_string(),
+            fmt_duration_us(p.iteration_us),
+            fmt_duration_us(p.iteration_std_us),
+            fmt_duration_us(p.epoch_us),
+            format!("${:.2}", p.epoch_cost_usd),
         );
     }
     Ok(())

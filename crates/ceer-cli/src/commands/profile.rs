@@ -47,15 +47,9 @@ pub fn run(args: Args) -> Result<(), String> {
 
     let cnn = Cnn::build(id, batch);
     let graph = cnn.training_graph();
-    let profile =
-        Trainer::new(gpu, gpus).with_seed(seed).profile_graph(&cnn, &graph, iterations);
+    let profile = Trainer::new(gpu, gpus).with_seed(seed).profile_graph(&cnn, &graph, iterations);
 
-    println!(
-        "{} on {gpus}x {} — {} iterations, batch {batch}/GPU",
-        id.name(),
-        gpu,
-        iterations
-    );
+    println!("{} on {gpus}x {} — {} iterations, batch {batch}/GPU", id.name(), gpu, iterations);
     println!(
         "iteration {} (compute {} + sync {}), std {}\n",
         fmt_duration_us(profile.iteration_mean_us()),

@@ -21,12 +21,12 @@ OPTIONS:
     --epochs E         passes over the data (default 1)
     --market           use §V commodity market prices instead of AWS prices
     --memory-fit       reject instances whose GPU memory cannot hold training
-    --json             emit the evaluated candidates as JSON";
+    --json             emit the recommendation as JSON — byte-identical to
+                       the `POST /recommend` body of `ceer serve`";
 
 fn parse_objective(raw: &str) -> Result<Objective, String> {
     if let Some(rest) = raw.strip_prefix("hourly:") {
-        let usd_per_hour: f64 =
-            rest.parse().map_err(|_| format!("bad hourly budget {rest:?}"))?;
+        let usd_per_hour: f64 = rest.parse().map_err(|_| format!("bad hourly budget {rest:?}"))?;
         return Ok(Objective::MinTimeUnderHourlyBudget { usd_per_hour });
     }
     if let Some(rest) = raw.strip_prefix("budget:") {
@@ -61,22 +61,32 @@ pub fn run(args: Args) -> Result<(), String> {
         return Err("--samples, --batch, --max-gpus and --epochs must be positive".into());
     }
 
-    let cnn = Cnn::build(id, batch);
-    let catalog =
-        Catalog::new(if market { Pricing::MarketRatio } else { Pricing::OnDemand });
-    let mut workload = Workload::new(samples, max_gpus).with_epochs(epochs);
-    if memory_fit {
-        workload = workload.with_memory_fit();
-    }
-
     if json {
-        let candidates = model.evaluate_candidates(&cnn, &catalog, &workload);
+        // The same evaluation the HTTP service runs for `POST /recommend`.
+        let request = ceer_serve::api::RecommendRequest {
+            cnn: id.name().to_string(),
+            objective: Some(objective),
+            samples,
+            batch,
+            max_gpus,
+            epochs,
+            market,
+            memory_fit,
+        };
+        let response = ceer_serve::api::recommend(&model, &request)?;
         println!(
             "{}",
-            serde_json::to_string_pretty(&candidates)
+            serde_json::to_string_pretty(&response)
                 .map_err(|e| format!("serialization failed: {e}"))?
         );
         return Ok(());
+    }
+
+    let cnn = Cnn::build(id, batch);
+    let catalog = Catalog::new(if market { Pricing::MarketRatio } else { Pricing::OnDemand });
+    let mut workload = Workload::new(samples, max_gpus).with_epochs(epochs);
+    if memory_fit {
+        workload = workload.with_memory_fit();
     }
 
     match model.recommend(&cnn, &catalog, &workload, &objective) {

@@ -1,0 +1,55 @@
+//! `ceer serve` — run the concurrent prediction service.
+
+use ceer_serve::{ModelRegistry, Server, ServerConfig};
+
+use crate::args::Args;
+
+const HELP: &str = "\
+ceer serve — serve predictions from a fitted model over HTTP (JSON API)
+
+OPTIONS:
+    --model FILE        fitted model from `ceer fit` (required; re-read on
+                        POST /reload)
+    --host HOST         interface to bind (default 127.0.0.1)
+    --port PORT         port to bind (default 8100; 0 picks a free port)
+    --workers N         worker threads (default 4)
+    --cache-capacity N  LRU prediction-cache entries (default 256; 0 disables)
+
+ENDPOINTS:
+    GET  /healthz, /zoo, /catalog, /metrics
+    POST /predict, /recommend, /reload
+
+`POST /predict` and `POST /recommend` take the same parameters as the
+`predict`/`recommend` subcommands and answer with the exact bytes their
+--json modes print. One spelling difference: `objective` takes the library
+names (\"MinimizeCost\", \"MinimizeTime\", {\"MinTimeUnderHourlyBudget\":
+{\"usd_per_hour\": ...}}, ...), not the CLI shorthands cost/time.";
+
+pub fn run(args: Args) -> Result<(), String> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let model_path = args.require("--model")?;
+    let host = args.opt("--host")?.unwrap_or_else(|| "127.0.0.1".to_string());
+    let port = args.opt_parse("--port", 8100u16)?;
+    let workers = args.opt_parse("--workers", 4usize)?;
+    let cache_capacity = args.opt_parse("--cache-capacity", 256usize)?;
+    args.finish()?;
+    if workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+
+    let registry = ModelRegistry::load(&model_path)?;
+    let config = ServerConfig { host, port, workers, cache_capacity };
+    let server = Server::start(&config, registry)?;
+    println!(
+        "ceer-serve listening on http://{} ({} workers, cache capacity {}, model {model_path:?})",
+        server.addr(),
+        config.workers,
+        config.cache_capacity
+    );
+    println!("endpoints: GET /healthz /zoo /catalog /metrics — POST /predict /recommend /reload");
+    server.wait();
+    Ok(())
+}

@@ -91,10 +91,8 @@ pub fn run(args: Args) -> Result<(), String> {
                 println!("\nwrote DOT graph to {path}");
             }
             if let Some(path) = export {
-                let json =
-                    graph.to_json().map_err(|e| format!("cannot serialize graph: {e}"))?;
-                std::fs::write(&path, json)
-                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                let json = graph.to_json().map_err(|e| format!("cannot serialize graph: {e}"))?;
+                std::fs::write(&path, json).map_err(|e| format!("cannot write {path:?}: {e}"))?;
                 println!("wrote training graph JSON to {path}");
             }
         }

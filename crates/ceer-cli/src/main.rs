@@ -11,6 +11,7 @@
 //! ceer inspect    --model model.json [--cnn NAME]
 //! ceer zoo        [--cnn NAME]
 //! ceer catalog    [--market]
+//! ceer serve      --model model.json [--port P] [--workers N]
 //! ```
 //!
 //! Run `ceer help` (or any subcommand with `--help`) for details.
@@ -37,6 +38,7 @@ COMMANDS:
     inspect    print a fitted model's diagnostics and coverage
     zoo        list the CNN model zoo (or details of one CNN)
     catalog    list the AWS GPU instance catalog
+    serve      serve predictions from a fitted model over HTTP
     help       show this message
 
 Run `ceer <COMMAND> --help` for command options.";
@@ -73,6 +75,7 @@ fn main() -> ExitCode {
         "inspect" => commands::inspect::run(args),
         "zoo" => commands::zoo::run(args),
         "catalog" => commands::catalog::run(args),
+        "serve" => commands::serve::run(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -5,58 +5,26 @@ use ceer_graph::models::CnnId;
 
 /// Resolves a user-supplied CNN name (`vgg16`, `VGG-16`, `resnet101`, …).
 ///
+/// Delegates to [`ceer_serve::api::parse_cnn`] so the CLI and the HTTP
+/// service accept exactly the same spellings.
+///
 /// # Errors
 ///
 /// Errors with the list of valid names on failure.
 pub fn parse_cnn(name: &str) -> Result<CnnId, String> {
-    let normalized: String = name
-        .to_lowercase()
-        .chars()
-        .filter(|c| c.is_ascii_alphanumeric())
-        .collect();
-    for &id in CnnId::all() {
-        let canonical: String = id
-            .name()
-            .to_lowercase()
-            .chars()
-            .filter(|c| c.is_ascii_alphanumeric())
-            .collect();
-        if canonical == normalized {
-            return Ok(id);
-        }
-    }
-    // Aliases the canonical filter misses.
-    match normalized.as_str() {
-        "googlenet" => Ok(CnnId::InceptionV1),
-        "irv2" | "inceptionresnet" => Ok(CnnId::InceptionResNetV2),
-        _ => Err(format!(
-            "unknown CNN {name:?}; valid names: {}",
-            CnnId::all().iter().map(|m| m.name()).collect::<Vec<_>>().join(", ")
-        )),
-    }
+    ceer_serve::api::parse_cnn(name)
 }
 
 /// Resolves a GPU family/marketing name (`P3`, `v100`, `t4`, …).
+///
+/// Delegates to [`ceer_serve::api::parse_gpu`] so the CLI and the HTTP
+/// service accept exactly the same spellings.
 ///
 /// # Errors
 ///
 /// Errors with the list of valid names on failure.
 pub fn parse_gpu(name: &str) -> Result<GpuModel, String> {
-    let lower = name.to_lowercase();
-    for &gpu in GpuModel::all() {
-        if gpu.aws_family().to_lowercase() == lower
-            || gpu.name().to_lowercase().replace(' ', "") == lower.replace(' ', "")
-        {
-            return Ok(gpu);
-        }
-    }
-    match lower.as_str() {
-        "v100" => Ok(GpuModel::V100),
-        "k80" => Ok(GpuModel::K80),
-        "t4" => Ok(GpuModel::T4),
-        "m60" => Ok(GpuModel::M60),
-        _ => Err(format!("unknown GPU {name:?}; valid: P3/V100, P2/K80, G4/T4, G3/M60")),
-    }
+    ceer_serve::api::parse_gpu(name)
 }
 
 /// Formats microseconds adaptively (µs / ms / s / h).

@@ -255,11 +255,7 @@ impl Catalog {
 
     /// For each GPU model, the largest configuration within the hourly
     /// budget (the paper's Figure 9 selection rule), if any fits.
-    pub fn largest_within_budget_per_gpu(
-        &self,
-        max_gpus: u32,
-        usd_per_hour: f64,
-    ) -> Vec<Instance> {
+    pub fn largest_within_budget_per_gpu(&self, max_gpus: u32, usd_per_hour: f64) -> Vec<Instance> {
         GpuModel::all()
             .iter()
             .filter_map(|&gpu| {
@@ -369,9 +365,8 @@ mod tests {
         // Figure 9's selection at $3.42/hr: 3-GPU P2/G3/G4, 1-GPU P3.
         let picks = c.largest_within_budget_per_gpu(4, 3.42);
         assert_eq!(picks.len(), 4);
-        let count_of = |g: GpuModel| {
-            picks.iter().find(|i| i.gpu() == g).expect("present").gpu_count()
-        };
+        let count_of =
+            |g: GpuModel| picks.iter().find(|i| i.gpu() == g).expect("present").gpu_count();
         assert_eq!(count_of(GpuModel::V100), 1);
         assert_eq!(count_of(GpuModel::K80), 3);
         assert_eq!(count_of(GpuModel::T4), 3);

@@ -1,4 +1,4 @@
-use ceer_core::{Ceer, FitConfig, EstimateOptions};
+use ceer_core::{Ceer, EstimateOptions, FitConfig};
 use ceer_gpusim::GpuModel;
 use ceer_graph::models::{Cnn, CnnId};
 use ceer_trainer::Trainer;
@@ -14,11 +14,22 @@ fn main() {
         let graph = cnn.training_graph();
         for &gpu in GpuModel::all() {
             for k in [1u32, 4] {
-                let obs = Trainer::new(gpu, k).with_seed(777).profile_graph(&cnn, &graph, 10).iteration_mean_us();
-                let pred = model.predict_iteration(&graph, gpu, k, &EstimateOptions::default()).total_us();
+                let obs = Trainer::new(gpu, k)
+                    .with_seed(777)
+                    .profile_graph(&cnn, &graph, 10)
+                    .iteration_mean_us();
+                let pred =
+                    model.predict_iteration(&graph, gpu, k, &EstimateOptions::default()).total_us();
                 let e = (pred - obs).abs() / obs;
                 errs.push(e);
-                println!("{:22} {:4} k={k}  obs {:>9.0}  pred {:>9.0}  err {:5.1}%", id.to_string(), gpu.aws_family(), obs, pred, e*100.0);
+                println!(
+                    "{:22} {:4} k={k}  obs {:>9.0}  pred {:>9.0}  err {:5.1}%",
+                    id.to_string(),
+                    gpu.aws_family(),
+                    obs,
+                    pred,
+                    e * 100.0
+                );
             }
         }
     }

@@ -169,11 +169,7 @@ impl ProfileArchive {
                     .to_string(),
             ));
         }
-        let fit_config = FitConfig {
-            cnns: self.cnns(),
-            batch: self.batch,
-            ..config.clone()
-        };
+        let fit_config = FitConfig { cnns: self.cnns(), batch: self.batch, ..config.clone() };
         Ok(Ceer::fit_from_profiles(&fit_config, &runs))
     }
 }
@@ -226,10 +222,7 @@ mod tests {
 
     #[test]
     fn fit_requires_reference_gpu() {
-        let config = FitConfig {
-            gpus: vec![GpuModel::V100, GpuModel::K80],
-            ..tiny_config()
-        };
+        let config = FitConfig { gpus: vec![GpuModel::V100, GpuModel::K80], ..tiny_config() };
         let mut archive = ProfileArchive::collect(&config);
         // Strip the K80 profiles.
         for run in &mut archive.runs {

@@ -45,10 +45,7 @@ impl Classification {
     /// # Panics
     ///
     /// Panics if no profile in `profiles` was taken on `reference`.
-    pub fn from_profiles(
-        profiles: &[TrainingProfile],
-        reference: ceer_gpusim::GpuModel,
-    ) -> Self {
+    pub fn from_profiles(profiles: &[TrainingProfile], reference: ceer_gpusim::GpuModel) -> Self {
         let reference_profiles: Vec<&TrainingProfile> =
             profiles.iter().filter(|p| p.gpu() == reference).collect();
         assert!(
@@ -106,11 +103,7 @@ impl Classification {
 
     /// All kinds classified heavy, in stable order.
     pub fn heavy_kinds(&self) -> Vec<OpKind> {
-        self.classes
-            .iter()
-            .filter(|(_, &c)| c == OpClass::Heavy)
-            .map(|(&k, _)| k)
-            .collect()
+        self.classes.iter().filter(|(_, &c)| c == OpClass::Heavy).map(|(&k, _)| k).collect()
     }
 
     /// Mean compute time of `kind` on the reference GPU, if observed.

@@ -46,7 +46,7 @@ pub struct CommModel {
 /// (JSON maps require string keys).
 mod fits_serde {
     use super::*;
-    use serde::{Deserializer, Serializer};
+    use serde::{Deserialize, Error, Serialize, Value};
 
     #[derive(Serialize, Deserialize)]
     struct Entry {
@@ -55,19 +55,16 @@ mod fits_serde {
         ols: SimpleOls,
     }
 
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<(GpuModel, u32), SimpleOls>,
-        serializer: S,
-    ) -> Result<S::Ok, S::Error> {
-        serializer.collect_seq(
-            map.iter().map(|(&(gpu, gpus), ols)| Entry { gpu, gpus, ols: *ols }),
+    pub fn to_value(map: &BTreeMap<(GpuModel, u32), SimpleOls>) -> Value {
+        Value::Array(
+            map.iter()
+                .map(|(&(gpu, gpus), ols)| Entry { gpu, gpus, ols: *ols }.to_value())
+                .collect(),
         )
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        deserializer: D,
-    ) -> Result<BTreeMap<(GpuModel, u32), SimpleOls>, D::Error> {
-        let entries = Vec::<Entry>::deserialize(deserializer)?;
+    pub fn from_value(value: &Value) -> Result<BTreeMap<(GpuModel, u32), SimpleOls>, Error> {
+        let entries = Vec::<Entry>::from_value(value)?;
         Ok(entries.into_iter().map(|e| ((e.gpu, e.gpus), e.ols)).collect())
     }
 }
@@ -262,9 +259,13 @@ mod interpolation_tests {
         for &params in &[5_000_000u64, 50_000_000, 150_000_000] {
             let mp = params as f64 / 1e6;
             for k in [1u32, 2, 4] {
-                let overhead =
-                    if k == 1 { 100.0 + mp } else { (k - 1) as f64 * (40.0 + 2.0 * mp) };
-                samples.push(CommSample { gpu: GpuModel::V100, gpus: k, params, overhead_us: overhead });
+                let overhead = if k == 1 { 100.0 + mp } else { (k - 1) as f64 * (40.0 + 2.0 * mp) };
+                samples.push(CommSample {
+                    gpu: GpuModel::V100,
+                    gpus: k,
+                    params,
+                    overhead_us: overhead,
+                });
             }
         }
         let model = CommModel::fit(&samples);

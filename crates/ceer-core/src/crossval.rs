@@ -57,9 +57,7 @@ impl CrossValidation {
 
     /// The fold with the worst mean error.
     pub fn worst_fold(&self) -> Option<&FoldResult> {
-        self.folds
-            .iter()
-            .max_by(|a, b| a.mape().partial_cmp(&b.mape()).expect("finite"))
+        self.folds.iter().max_by(|a, b| a.mape().partial_cmp(&b.mape()).expect("finite"))
     }
 }
 
@@ -102,8 +100,7 @@ pub fn leave_one_out(config: &FitConfig, eval_degrees: &[u32]) -> CrossValidatio
                         .with_seed(config.seed ^ EVAL_SEED_OFFSET)
                         .profile_graph(cnn, graph, config.iterations.min(12))
                         .iteration_mean_us();
-                    let predicted =
-                        model.predict_iteration(graph, gpu, k, &options).total_us();
+                    let predicted = model.predict_iteration(graph, gpu, k, &options).total_us();
                     errors.push((gpu, k, (predicted - observed).abs() / observed));
                 }
             }
@@ -157,10 +154,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 3 CNNs")]
     fn rejects_tiny_configs() {
-        let config = FitConfig {
-            cnns: vec![CnnId::Vgg11, CnnId::InceptionV1],
-            ..quick_config()
-        };
+        let config = FitConfig { cnns: vec![CnnId::Vgg11, CnnId::InceptionV1], ..quick_config() };
         leave_one_out(&config, &[1]);
     }
 }

@@ -17,14 +17,22 @@ use crate::opmodel::OpModel;
 /// error of dropping each term (§IV-A/B: ignoring light + CPU ops costs
 /// 15–25%, ignoring communication 5–30%), and the ablation benches flip
 /// these to reproduce those numbers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EstimateOptions {
     /// Include light GPU operations via the sample-median estimator.
+    #[serde(default = "default_include")]
     pub include_light: bool,
     /// Include CPU operations via the sample-median estimator.
+    #[serde(default = "default_include")]
     pub include_cpu: bool,
     /// Include the communication overhead `S_GPU(CNN)`.
+    #[serde(default = "default_include")]
     pub include_comm: bool,
+}
+
+/// Estimator terms default to included, matching [`EstimateOptions::default`].
+fn default_include() -> bool {
+    true
 }
 
 impl Default for EstimateOptions {
@@ -96,19 +104,14 @@ pub struct CeerModel {
 /// `(kind, gpu)` metadata.
 mod op_models_serde {
     use super::*;
-    use serde::{Deserializer, Serializer};
+    use serde::{Deserialize, Error, Serialize, Value};
 
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<(OpKind, GpuModel), OpModel>,
-        serializer: S,
-    ) -> Result<S::Ok, S::Error> {
-        serializer.collect_seq(map.values())
+    pub fn to_value(map: &BTreeMap<(OpKind, GpuModel), OpModel>) -> Value {
+        Value::Array(map.values().map(Serialize::to_value).collect())
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        deserializer: D,
-    ) -> Result<BTreeMap<(OpKind, GpuModel), OpModel>, D::Error> {
-        let models = Vec::<OpModel>::deserialize(deserializer)?;
+    pub fn from_value(value: &Value) -> Result<BTreeMap<(OpKind, GpuModel), OpModel>, Error> {
+        let models = Vec::<OpModel>::from_value(value)?;
         Ok(models.into_iter().map(|m| ((m.kind(), m.gpu()), m)).collect())
     }
 }
@@ -194,10 +197,8 @@ impl CeerModel {
             }
         }
         if options.include_comm {
-            estimate.comm_us = self
-                .comm
-                .predict_us(gpu, gpus, graph.parameter_count())
-                .unwrap_or(0.0);
+            estimate.comm_us =
+                self.comm.predict_us(gpu, gpus, graph.parameter_count()).unwrap_or(0.0);
             let s = self.comm.residual_std_us(gpu, gpus);
             estimate.variance_us2 += s * s;
         }
@@ -302,8 +303,7 @@ mod tests {
         let cnn = Cnn::build(CnnId::AlexNet, 32);
         let graph = cnn.training_graph();
         let full = model.predict_iteration(&graph, GpuModel::T4, 1, &EstimateOptions::default());
-        let bare =
-            model.predict_iteration(&graph, GpuModel::T4, 1, &EstimateOptions::heavy_only());
+        let bare = model.predict_iteration(&graph, GpuModel::T4, 1, &EstimateOptions::heavy_only());
         assert_eq!(bare.light_us, 0.0);
         assert_eq!(bare.cpu_us, 0.0);
         assert_eq!(bare.comm_us, 0.0);

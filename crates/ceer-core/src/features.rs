@@ -119,19 +119,13 @@ pub fn extract(node: &Node, graph: &Graph) -> Features {
                 _ => 1.0,
             };
             let work = dy_mb * kernel * cin / WORK_SCALE;
-            Features {
-                linear: vec![input_mb, work],
-                quadratic_extra: vec![input_mb * work],
-            }
+            Features { linear: vec![input_mb, work], quadratic_extra: vec![input_mb * work] }
         }
         MatMul => {
             // Work scales with (rows × inner) × output columns.
             let out_cols = node.output_shape().channels() as f64;
-            let first_mb = graph
-                .input_shapes(node.id())
-                .first()
-                .map(|s| s.bytes() as f64 / MB)
-                .unwrap_or(0.0);
+            let first_mb =
+                graph.input_shapes(node.id()).first().map(|s| s.bytes() as f64 / MB).unwrap_or(0.0);
             Features {
                 linear: vec![input_mb, first_mb * out_cols],
                 quadratic_extra: vec![input_mb * input_mb],

@@ -103,17 +103,13 @@ impl Ceer {
         runs: &[(Cnn, Graph, Vec<TrainingProfile>)],
     ) -> CeerModel {
         Self::validate(config);
-        let single_gpu: Vec<&TrainingProfile> = runs
-            .iter()
-            .flat_map(|(_, _, ps)| ps.iter())
-            .filter(|p| p.gpus() == 1)
-            .collect();
+        let single_gpu: Vec<&TrainingProfile> =
+            runs.iter().flat_map(|(_, _, ps)| ps.iter()).filter(|p| p.gpus() == 1).collect();
 
         // 1. Classification on the reference GPU (P2 / K80).
         let reference_profiles: Vec<TrainingProfile> =
             single_gpu.iter().map(|&p| p.clone()).collect();
-        let classification =
-            Classification::from_profiles(&reference_profiles, GpuModel::K80);
+        let classification = Classification::from_profiles(&reference_profiles, GpuModel::K80);
 
         // 2. Per-(heavy kind, GPU) regressions from single-GPU profiles.
         let mut designs: BTreeMap<(ceer_graph::OpKind, GpuModel), Vec<(features::Features, f64)>> =
@@ -249,10 +245,7 @@ mod tests {
             }
         }
         assert!(total > 20, "expected many fitted models, got {total}");
-        assert!(
-            good as f64 / total as f64 > 0.8,
-            "only {good}/{total} op models reach R² > 0.8"
-        );
+        assert!(good as f64 / total as f64 > 0.8, "only {good}/{total} op models reach R² > 0.8");
     }
 
     #[test]

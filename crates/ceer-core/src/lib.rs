@@ -59,8 +59,8 @@ pub mod opmodel;
 pub mod recommend;
 pub mod report;
 
+pub use archive::ProfileArchive;
 pub use classify::{Classification, OpClass};
 pub use estimate::{CeerModel, EstimateOptions};
 pub use fit::{Ceer, FitConfig};
-pub use archive::ProfileArchive;
 pub use report::CoverageReport;

@@ -79,8 +79,7 @@ impl OpModel {
             0.0
         };
 
-        let linear_rows: Vec<Vec<f64>> =
-            samples.iter().map(|(f, _)| f.linear.clone()).collect();
+        let linear_rows: Vec<Vec<f64>> = samples.iter().map(|(f, _)| f.linear.clone()).collect();
         let quad_rows: Vec<Vec<f64>> = samples.iter().map(|(f, _)| f.quadratic()).collect();
 
         let evaluate = |ols: &MultipleOls, rows: &[Vec<f64>]| -> Option<f64> {
@@ -89,13 +88,10 @@ impl OpModel {
         };
 
         let linear_fit = MultipleOls::fit(&linear_rows, &ys).ok();
-        let quad_fit =
-            if allow_quadratic { MultipleOls::fit(&quad_rows, &ys).ok() } else { None };
-        let linear = linear_fit
-            .clone()
-            .and_then(|m| evaluate(&m, &linear_rows).map(|adj| (m, adj)));
-        let quadratic =
-            quad_fit.clone().and_then(|m| evaluate(&m, &quad_rows).map(|adj| (m, adj)));
+        let quad_fit = if allow_quadratic { MultipleOls::fit(&quad_rows, &ys).ok() } else { None };
+        let linear =
+            linear_fit.clone().and_then(|m| evaluate(&m, &linear_rows).map(|adj| (m, adj)));
+        let quadratic = quad_fit.clone().and_then(|m| evaluate(&m, &quad_rows).map(|adj| (m, adj)));
 
         let (form, ols, r_squared) = match (linear, quadratic) {
             (Some((lm, ladj)), Some((qm, qadj))) => {
@@ -250,8 +246,7 @@ mod tests {
 
     #[test]
     fn metadata_accessors() {
-        let samples: Vec<(Features, f64)> =
-            (1..20).map(|i| (feat(i as f64), i as f64)).collect();
+        let samples: Vec<(Features, f64)> = (1..20).map(|i| (feat(i as f64), i as f64)).collect();
         let m = OpModel::fit(OpKind::BiasAdd, GpuModel::T4, &samples);
         assert_eq!(m.kind(), OpKind::BiasAdd);
         assert_eq!(m.gpu(), GpuModel::T4);

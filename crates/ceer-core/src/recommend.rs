@@ -140,9 +140,7 @@ impl Candidate {
             return false;
         }
         match *objective {
-            Objective::MinimizeTime | Objective::MinimizeCost | Objective::Weighted { .. } => {
-                true
-            }
+            Objective::MinimizeTime | Objective::MinimizeCost | Objective::Weighted { .. } => true,
             Objective::MinTimeUnderHourlyBudget { usd_per_hour } => {
                 self.instance.hourly_usd() <= usd_per_hour + 1e-9
             }
@@ -246,9 +244,7 @@ impl CeerModel {
     ) -> Option<Recommendation> {
         let mut ranking = self.evaluate_candidates(cnn, catalog, workload);
         ranking.sort_by(|a, b| {
-            a.score(objective)
-                .partial_cmp(&b.score(objective))
-                .expect("scores are never NaN")
+            a.score(objective).partial_cmp(&b.score(objective)).expect("scores are never NaN")
         });
         let best = ranking.first()?.clone();
         if !best.is_feasible(objective) {
@@ -297,8 +293,7 @@ mod tests {
         let model = small_model();
         let cnn = Cnn::build(CnnId::InceptionV3, 32);
         let catalog = Catalog::new(Pricing::OnDemand);
-        let rec =
-            model.recommend(&cnn, &catalog, &workload(), &Objective::MinimizeTime).unwrap();
+        let rec = model.recommend(&cnn, &catalog, &workload(), &Objective::MinimizeTime).unwrap();
         assert_eq!(rec.instance().gpu(), GpuModel::V100);
         assert!(rec.instance().gpu_count() >= 2, "more GPUs should be faster");
     }
@@ -352,9 +347,8 @@ mod tests {
         let model = small_model();
         let cnn = Cnn::build(CnnId::ResNet101, 32);
         let catalog = Catalog::new(Pricing::OnDemand);
-        let time_best = model
-            .recommend(&cnn, &catalog, &workload(), &Objective::MinimizeTime)
-            .unwrap();
+        let time_best =
+            model.recommend(&cnn, &catalog, &workload(), &Objective::MinimizeTime).unwrap();
         let weighted = model
             .recommend(
                 &cnn,
@@ -428,8 +422,7 @@ mod tests {
         let model = small_model();
         let cnn = Cnn::build(CnnId::InceptionV3, 32);
         let market = Catalog::new(Pricing::MarketRatio);
-        let rec =
-            model.recommend(&cnn, &market, &workload(), &Objective::MinimizeCost).unwrap();
+        let rec = model.recommend(&cnn, &market, &workload(), &Objective::MinimizeCost).unwrap();
         assert_eq!(rec.instance().gpu(), GpuModel::K80, "market prices favour P2");
         assert_eq!(rec.instance().gpu_count(), 1);
     }

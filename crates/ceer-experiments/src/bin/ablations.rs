@@ -15,11 +15,7 @@ use ceer_experiments::{CheckList, ExperimentContext, Observatory, Table};
 use ceer_gpusim::GpuModel;
 use ceer_graph::models::CnnId;
 
-fn test_error(
-    model: &CeerModel,
-    obs: &mut Observatory,
-    options: &EstimateOptions,
-) -> f64 {
+fn test_error(model: &CeerModel, obs: &mut Observatory, options: &EstimateOptions) -> f64 {
     let mut errs = Vec::new();
     for &id in CnnId::test_set() {
         for &gpu in GpuModel::all() {
@@ -64,8 +60,7 @@ fn main() {
             }
         }
     }
-    let mean_model = baseline
-        .with_estimators(light_sum / light_n as f64, cpu_sum / cpu_n as f64);
+    let mean_model = baseline.with_estimators(light_sum / light_n as f64, cpu_sum / cpu_n as f64);
 
     // Linear-only variant.
     let linear_only = Ceer::fit_from_profiles(

@@ -35,8 +35,7 @@ fn main() {
                     .with_seed(ctx.observation_seed())
                     .profile_graph(&cnn, &graph, ctx.observe_iterations().min(12))
                     .iteration_mean_us();
-                let predicted =
-                    model.predict_iteration(&graph, gpu, 1, &options).total_us();
+                let predicted = model.predict_iteration(&graph, gpu, 1, &options).total_us();
                 errs.push((predicted - observed).abs() / observed);
                 obs_total += observed;
                 pred_total += predicted;
@@ -46,10 +45,7 @@ fn main() {
                 format!("{batch}"),
                 format!("{:.1}", obs_total / 4.0 / 1e3),
                 format!("{:.1}", pred_total / 4.0 / 1e3),
-                format!(
-                    "{:.1}%",
-                    (pred_total - obs_total).abs() / obs_total * 100.0
-                ),
+                format!("{:.1}%", (pred_total - obs_total).abs() / obs_total * 100.0),
             ]);
         }
     }

@@ -7,9 +7,9 @@
 //! (the hidden reason the CNN-oblivious communication model works) and a
 //! bootstrap confidence interval on the light-op median estimator.
 
+use ceer_core::classify::OpClass;
 use ceer_core::crossval::leave_one_out;
 use ceer_core::{Ceer, FitConfig};
-use ceer_core::classify::OpClass;
 use ceer_experiments::{CheckList, ExperimentContext, Table};
 use ceer_gpusim::GpuModel;
 use ceer_stats::bootstrap::median_ci;
@@ -18,10 +18,8 @@ use ceer_stats::correlation;
 fn main() {
     let ctx = ExperimentContext::from_env();
     // LOO fits 8 models; cap the profiling work.
-    let config = FitConfig {
-        iterations: ctx.fit_config().iterations.min(60),
-        ..ctx.fit_config().clone()
-    };
+    let config =
+        FitConfig { iterations: ctx.fit_config().iterations.min(60), ..ctx.fit_config().clone() };
 
     println!("== Extension: leave-one-out cross-validation ==\n");
     let cv = leave_one_out(&config, &[1, 4]);
@@ -48,8 +46,7 @@ fn main() {
         iterations: 6,
         ..config.clone()
     });
-    let params: Vec<f64> =
-        runs.iter().map(|(_, g, _)| g.parameter_count() as f64).collect();
+    let params: Vec<f64> = runs.iter().map(|(_, g, _)| g.parameter_count() as f64).collect();
     let compute: Vec<f64> = runs
         .iter()
         .map(|(_, _, ps)| {

@@ -29,8 +29,7 @@ fn main() {
                 .with_seed(ctx.observation_seed())
                 .profile_graph(&cnn, &graph, ctx.observe_iterations().min(10))
                 .iteration_mean_us();
-            let predicted =
-                model.predict_iteration(&graph, GpuModel::K80, k, &options).total_us();
+            let predicted = model.predict_iteration(&graph, GpuModel::K80, k, &options).total_us();
             let err = (predicted - observed).abs() / observed;
             extrap_errs.push(err);
             table.row(vec![
@@ -60,8 +59,7 @@ fn main() {
             .with_seed(ctx.observation_seed())
             .profile_graph(&cnn, &graph, ctx.observe_iterations().min(10))
             .iteration_mean_us();
-        let predicted =
-            gap_model.predict_iteration(&graph, GpuModel::T4, 3, &options).total_us();
+        let predicted = gap_model.predict_iteration(&graph, GpuModel::T4, 3, &options).total_us();
         let err = (predicted - observed).abs() / observed;
         gap_errs.push(err);
         println!(

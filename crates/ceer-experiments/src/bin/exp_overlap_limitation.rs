@@ -37,17 +37,14 @@ fn main() {
                     .with_comm_overlap(overlap)
                     .profile_graph(&cnn, &graph, ctx.observe_iterations().min(10))
                     .iteration_mean_us();
-                let predicted =
-                    model.predict_iteration(&graph, gpu, 4, &options).total_us();
+                let predicted = model.predict_iteration(&graph, gpu, 4, &options).total_us();
                 cnn_errs.push((predicted - observed).abs() / observed);
             }
             errs.push((id, cnn_errs.iter().sum::<f64>() / cnn_errs.len() as f64));
         }
         let mape = errs.iter().map(|(_, e)| e).sum::<f64>() / errs.len() as f64;
-        let worst = errs
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-            .expect("non-empty");
+        let worst =
+            errs.iter().max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("non-empty");
         mapes.push(mape);
         table.row(vec![
             format!("{overlap:.2}"),
@@ -68,10 +65,11 @@ fn main() {
         "error grows monotonically with overlap",
         "additive model 'may not be accurate' under overlap (§VI)",
         mapes
-                .iter()
-                .map(|m| format!("{:.1}%", m * 100.0))
-                .collect::<Vec<_>>()
-                .join(" -> ").to_string(),
+            .iter()
+            .map(|m| format!("{:.1}%", m * 100.0))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+            .to_string(),
         mapes.windows(2).all(|w| w[1] >= w[0] - 0.005),
     );
     checks.add(

@@ -37,9 +37,8 @@ fn main() {
         "== Figure 10: ResNet-101 training time under a ${budget_usd} total budget (paper: $10) ==\n"
     );
 
-    let mut table = Table::new(vec![
-        "GPU", "k", "obs (h)", "pred (h)", "obs cost", "pred cost", "feasible?",
-    ]);
+    let mut table =
+        Table::new(vec!["GPU", "k", "obs (h)", "pred (h)", "obs cost", "pred cost", "feasible?"]);
     let mut rows = Vec::new();
     for &gpu in GpuModel::all() {
         for k in 1..=4u32 {
@@ -95,14 +94,12 @@ fn main() {
     let rec = rec.expect("feasible configurations exist");
 
     // Feasibility agreement: does Ceer flag the same configs as infeasible?
-    let feasibility_agrees = rows
-        .iter()
-        .all(|(_, _, _, obs_cost, pred_cost)| {
-            // Agree when both sides are on the same side of the budget or
-            // within 10% of it (boundary cases).
-            (obs_cost <= &budget_usd) == (pred_cost <= &budget_usd)
-                || (obs_cost / budget_usd - 1.0).abs() < 0.10
-        });
+    let feasibility_agrees = rows.iter().all(|(_, _, _, obs_cost, pred_cost)| {
+        // Agree when both sides are on the same side of the budget or
+        // within 10% of it (boundary cases).
+        (obs_cost <= &budget_usd) == (pred_cost <= &budget_usd)
+            || (obs_cost / budget_usd - 1.0).abs() < 0.10
+    });
 
     println!(
         "\nobserved optimum: {}x {} ({:.2} h); Ceer recommends: {} ({:.2} h predicted)",

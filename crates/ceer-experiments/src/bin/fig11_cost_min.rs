@@ -31,8 +31,7 @@ fn main() {
     for &gpu in GpuModel::all() {
         for k in 1..=4u32 {
             let instance = catalog.instance(gpu, k);
-            let obs_cost =
-                obs.epoch_us(CNN, gpu, k, SAMPLES) * instance.usd_per_microsecond();
+            let obs_cost = obs.epoch_us(CNN, gpu, k, SAMPLES) * instance.usd_per_microsecond();
             let pred_cost = {
                 let (cnn, graph) = obs.cnn_and_graph(CNN);
                 model.predict_cost_usd(cnn, graph, &instance, SAMPLES, &options)
@@ -58,12 +57,7 @@ fn main() {
     let rec = {
         let (cnn, _) = obs.cnn_and_graph(CNN);
         model
-            .recommend(
-                cnn,
-                &catalog,
-                &Workload::new(SAMPLES, 4),
-                &Objective::MinimizeCost,
-            )
+            .recommend(cnn, &catalog, &Workload::new(SAMPLES, 4), &Objective::MinimizeCost)
             .expect("cost minimization always feasible")
     };
     let mape = errs.iter().sum::<f64>() / errs.len() as f64;
@@ -77,7 +71,12 @@ fn main() {
     );
 
     let mut checks = CheckList::new();
-    checks.add("cost prediction error", "2.1% average", format!("{:.1}%", mape * 100.0), mape < 0.06);
+    checks.add(
+        "cost prediction error",
+        "2.1% average",
+        format!("{:.1}%", mape * 100.0),
+        mape < 0.06,
+    );
     checks.add(
         "lowest-cost instance",
         "1-GPU G4",

@@ -15,10 +15,7 @@ use ceer_graph::models::CnnId;
 use ceer_graph::OpKind;
 
 /// Two-level mean per kind (within CNN, then across CNNs), as in §III-A.
-fn kind_means(
-    obs: &mut Observatory,
-    gpu: GpuModel,
-) -> HashMap<OpKind, f64> {
+fn kind_means(obs: &mut Observatory, gpu: GpuModel) -> HashMap<OpKind, f64> {
     let mut per_cnn: HashMap<OpKind, Vec<f64>> = HashMap::new();
     for &id in CnnId::training_set() {
         let profile = obs.profile(id, gpu, 1);
@@ -45,10 +42,8 @@ fn main() {
         GpuModel::all().iter().map(|&g| (g, kind_means(&mut obs, g))).collect();
 
     // The empirical heavy set, learned exactly as Ceer learns it.
-    let reference_profiles: Vec<_> = CnnId::training_set()
-        .iter()
-        .map(|&id| obs.profile(id, GpuModel::K80, 1).clone())
-        .collect();
+    let reference_profiles: Vec<_> =
+        CnnId::training_set().iter().map(|&id| obs.profile(id, GpuModel::K80, 1).clone()).collect();
     let classification = Classification::from_profiles(&reference_profiles, GpuModel::K80);
     let mut heavy = classification.heavy_kinds();
     heavy.sort_by(|a, b| {
@@ -82,8 +77,8 @@ fn main() {
     for &id in CnnId::training_set() {
         let profile = obs.profile(id, GpuModel::K80, 1);
         let total = profile.total_op_time_us(|_| true);
-        let heavy_time = profile
-            .total_op_time_us(|s| classification.class_of(s.kind) == OpClass::Heavy);
+        let heavy_time =
+            profile.total_op_time_us(|s| classification.class_of(s.kind) == OpClass::Heavy);
         let light_time =
             profile.total_op_time_us(|s| classification.class_of(s.kind) == OpClass::Light);
         heavy_shares.push(heavy_time / total);
@@ -101,14 +96,14 @@ fn main() {
         format!("{}", heavy.len()),
         (15..=22).contains(&heavy.len()),
     );
-    checks.add("P3 vs P2 mean speedup", "~10x", format!("{p2_p3:.1}x"), (7.0..13.0).contains(&p2_p3));
-    checks.add("P3 vs G4 mean speedup", "~4x", format!("{g4_p3:.1}x"), (3.0..5.0).contains(&g4_p3));
     checks.add(
-        "P2 vs G3 mean ratio",
-        "~1.5x",
-        format!("{p2_g3:.2}x"),
-        (1.2..1.8).contains(&p2_g3),
+        "P3 vs P2 mean speedup",
+        "~10x",
+        format!("{p2_p3:.1}x"),
+        (7.0..13.0).contains(&p2_p3),
     );
+    checks.add("P3 vs G4 mean speedup", "~4x", format!("{g4_p3:.1}x"), (3.0..5.0).contains(&g4_p3));
+    checks.add("P2 vs G3 mean ratio", "~1.5x", format!("{p2_g3:.2}x"), (1.2..1.8).contains(&p2_g3));
     checks.add(
         "heavy ops' share of training time",
         "47%-94%",

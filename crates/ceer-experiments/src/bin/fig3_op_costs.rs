@@ -48,10 +48,8 @@ fn main() {
     let means: HashMap<GpuModel, HashMap<OpKind, f64>> =
         GpuModel::all().iter().map(|&g| (g, kind_means(&mut obs, g))).collect();
 
-    let reference_profiles: Vec<_> = CnnId::training_set()
-        .iter()
-        .map(|&id| obs.profile(id, GpuModel::K80, 1).clone())
-        .collect();
+    let reference_profiles: Vec<_> =
+        CnnId::training_set().iter().map(|&id| obs.profile(id, GpuModel::K80, 1).clone()).collect();
     let classification = Classification::from_profiles(&reference_profiles, GpuModel::K80);
     let mut heavy = classification.heavy_kinds();
     heavy.sort_by(|a, b| {
@@ -80,8 +78,7 @@ fn main() {
             _ => {}
         }
         if kind.is_pooling() {
-            pooling_p3_reductions
-                .push(1.0 - cost(GpuModel::V100, kind) / cost(GpuModel::T4, kind));
+            pooling_p3_reductions.push(1.0 - cost(GpuModel::V100, kind) / cost(GpuModel::T4, kind));
         } else if cheapest == GpuModel::T4 {
             nonpooling_g4_reductions
                 .push(1.0 - cost(GpuModel::T4, kind) / cost(GpuModel::V100, kind));

@@ -85,10 +85,7 @@ fn main() {
     checks.add(
         "slope ordering across GPUs",
         "P3 < G4 < G3 < P2",
-        format!(
-            "{:.2} < {:.2} < {:.2} < {:.2}",
-            slopes[0], slopes[1], slopes[2], slopes[3]
-        ),
+        format!("{:.2} < {:.2} < {:.2} < {:.2}", slopes[0], slopes[1], slopes[2], slopes[3]),
         slopes.windows(2).all(|w| w[0] < w[1]),
     );
     checks.print();

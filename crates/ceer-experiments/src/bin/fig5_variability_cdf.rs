@@ -19,10 +19,8 @@ fn main() {
 
     println!("== Figure 5: CDF of normalized std dev of heavy-op compute times ==\n");
 
-    let reference_profiles: Vec<_> = CnnId::training_set()
-        .iter()
-        .map(|&id| obs.profile(id, GpuModel::K80, 1).clone())
-        .collect();
+    let reference_profiles: Vec<_> =
+        CnnId::training_set().iter().map(|&id| obs.profile(id, GpuModel::K80, 1).clone()).collect();
     let classification = Classification::from_profiles(&reference_profiles, GpuModel::K80);
 
     let mut checks = CheckList::new();
@@ -32,9 +30,9 @@ fn main() {
         let mut cvs = Vec::new();
         for &id in CnnId::training_set() {
             let profile = obs.profile(id, gpu, 1);
-            cvs.extend(profile.normalized_std_devs(|s| {
-                classification.class_of(s.kind) == OpClass::Heavy
-            }));
+            cvs.extend(
+                profile.normalized_std_devs(|s| classification.class_of(s.kind) == OpClass::Heavy),
+            );
         }
         let cdf = EmpiricalCdf::from_sample(&cvs).expect("heavy ops exist");
         let q = |p: f64| cdf.value_at_fraction(p).expect("valid level");
@@ -63,13 +61,10 @@ fn main() {
         for &id in CnnId::training_set() {
             let profile = obs.profile(id, gpu, 1);
             light_cvs.extend(
-                profile.normalized_std_devs(|s| {
-                    classification.class_of(s.kind) == OpClass::Light
-                }),
+                profile.normalized_std_devs(|s| classification.class_of(s.kind) == OpClass::Light),
             );
             cpu_cvs.extend(
-                profile
-                    .normalized_std_devs(|s| classification.class_of(s.kind) == OpClass::Cpu),
+                profile.normalized_std_devs(|s| classification.class_of(s.kind) == OpClass::Cpu),
             );
         }
     }

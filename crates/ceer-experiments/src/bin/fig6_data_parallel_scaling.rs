@@ -17,8 +17,7 @@ fn main() {
 
     println!("== Figure 6: Inception-v1 training time vs #GPUs (6,400 samples) ==\n");
 
-    let mut table =
-        Table::new(vec!["GPU", "1 GPU (s)", "2 GPUs (s)", "3 GPUs (s)", "4 GPUs (s)"]);
+    let mut table = Table::new(vec!["GPU", "1 GPU (s)", "2 GPUs (s)", "3 GPUs (s)", "4 GPUs (s)"]);
     // reductions[k-2][gpu index]
     let mut reductions = [[0.0f64; 4]; 3];
     for (gi, &gpu) in GpuModel::all().iter().enumerate() {
@@ -43,9 +42,24 @@ fn main() {
     );
 
     let mut checks = CheckList::new();
-    checks.add("reduction at 2 GPUs", "35.8%", format!("{:.1}%", r2 * 100.0), (r2 - 0.358).abs() < 0.04);
-    checks.add("reduction at 3 GPUs", "46.6%", format!("{:.1}%", r3 * 100.0), (r3 - 0.466).abs() < 0.04);
-    checks.add("reduction at 4 GPUs", "53.6%", format!("{:.1}%", r4 * 100.0), (r4 - 0.536).abs() < 0.04);
+    checks.add(
+        "reduction at 2 GPUs",
+        "35.8%",
+        format!("{:.1}%", r2 * 100.0),
+        (r2 - 0.358).abs() < 0.04,
+    );
+    checks.add(
+        "reduction at 3 GPUs",
+        "46.6%",
+        format!("{:.1}%", r3 * 100.0),
+        (r3 - 0.466).abs() < 0.04,
+    );
+    checks.add(
+        "reduction at 4 GPUs",
+        "53.6%",
+        format!("{:.1}%", r4 * 100.0),
+        (r4 - 0.536).abs() < 0.04,
+    );
     checks.add(
         "diminishing returns",
         "2->3 gain (16.9%) exceeds 3->4 gain (13.1%)",

@@ -19,8 +19,7 @@ fn main() {
     println!("== Figure 7: communication overhead vs model parameters ==\n");
 
     let mut checks = CheckList::new();
-    let mut table =
-        Table::new(vec!["GPU", "k", "slope (us/Mparam)", "intercept (ms)", "R^2"]);
+    let mut table = Table::new(vec!["GPU", "k", "slope (us/Mparam)", "intercept (ms)", "R^2"]);
 
     println!("scatter (k = 2):");
     for &gpu in GpuModel::all() {
@@ -29,8 +28,7 @@ fn main() {
                 let (_, graph) = obs.cnn_and_graph(id);
                 graph.parameter_count()
             };
-            let diff =
-                obs.iteration_us(id, gpu, 2) - obs.iteration_us(id, gpu, 1);
+            let diff = obs.iteration_us(id, gpu, 2) - obs.iteration_us(id, gpu, 1);
             println!(
                 "  {:4} {:22} {:>7.1} Mparams -> {:>9.1} ms",
                 gpu.aws_family(),

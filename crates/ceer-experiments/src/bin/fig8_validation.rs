@@ -25,9 +25,8 @@ fn main() {
 
     println!("== Figure 8: observed vs predicted training time/cost (4-GPU instances) ==\n");
 
-    let mut table = Table::new(vec![
-        "CNN", "GPU", "obs (h)", "pred (h)", "err", "obs cost", "pred cost",
-    ]);
+    let mut table =
+        Table::new(vec!["CNN", "GPU", "obs (h)", "pred (h)", "err", "obs cost", "pred cost"]);
     let mut errs = Vec::new();
     let mut ranking_matches = 0;
     let mut p3_reductions: Vec<(GpuModel, f64)> = Vec::new();
@@ -86,21 +85,14 @@ fn main() {
 
     let mape = errs.iter().sum::<f64>() / errs.len() as f64;
     let avg_reduction = |g: GpuModel| {
-        let v: Vec<f64> =
-            p3_reductions.iter().filter(|(m, _)| *m == g).map(|(_, r)| *r).collect();
+        let v: Vec<f64> = p3_reductions.iter().filter(|(m, _)| *m == g).map(|(_, r)| *r).collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
-    let g4_penalty =
-        g4_time_penalties.iter().sum::<f64>() / g4_time_penalties.len() as f64;
+    let g4_penalty = g4_time_penalties.iter().sum::<f64>() / g4_time_penalties.len() as f64;
 
     println!();
     let mut checks = CheckList::new();
-    checks.add(
-        "average prediction error",
-        "5.4%",
-        format!("{:.1}%", mape * 100.0),
-        mape < 0.10,
-    );
+    checks.add("average prediction error", "5.4%", format!("{:.1}%", mape * 100.0), mape < 0.10);
     checks.add(
         "predicted ranking matches observed (per CNN)",
         "4 of 4 in perfect agreement",

@@ -98,9 +98,7 @@ fn main() {
             v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
             v.into_iter().map(|(g, _)| g).collect()
         };
-        let obs_time = |g: GpuModel| {
-            observed.iter().find(|(m, _)| *m == g).expect("present").1
-        };
+        let obs_time = |g: GpuModel| observed.iter().find(|(m, _)| *m == g).expect("present").1;
         let obs_rank = rank(observed.clone());
         let pred_rank = rank(predicted);
         // Ceer's pick counts as correct when it is the observed optimum or

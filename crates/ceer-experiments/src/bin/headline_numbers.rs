@@ -40,9 +40,8 @@ fn main() {
                 let observed = obs.iteration_us(id, gpu, k);
                 let (cnn, graph) = obs.cnn_and_graph(id);
                 let _ = cnn;
-                let full = model
-                    .predict_iteration(graph, gpu, k, &EstimateOptions::default())
-                    .total_us();
+                let full =
+                    model.predict_iteration(graph, gpu, k, &EstimateOptions::default()).total_us();
                 errs.push((full - observed).abs() / observed);
                 // Ablations on the same prediction.
                 let no_comm = model
@@ -121,7 +120,9 @@ fn main() {
             }
         }
     }
-    println!("heavy-op regression R^2 range: {r2_lo:.2}-{r2_hi:.2}; quadratic kinds: {quad_kinds:?}");
+    println!(
+        "heavy-op regression R^2 range: {r2_lo:.2}-{r2_hi:.2}; quadratic kinds: {quad_kinds:?}"
+    );
     checks.add(
         "heavy-op regression R^2",
         "0.84-0.98",
@@ -144,12 +145,7 @@ fn main() {
             (pair.0.clone(), pair.1.clone())
         };
         let rec = model
-            .recommend(
-                &cnn,
-                &catalog,
-                &Workload::new(SAMPLES, 4),
-                &Objective::MinimizeCost,
-            )
+            .recommend(&cnn, &catalog, &Workload::new(SAMPLES, 4), &Objective::MinimizeCost)
             .expect("always feasible");
         let ceer_cost = {
             let inst = rec.instance();

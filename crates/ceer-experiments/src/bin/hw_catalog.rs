@@ -9,9 +9,8 @@ use ceer_gpusim::GpuModel;
 fn main() {
     println!("== AWS GPU instance catalog (paper §II / §V) ==\n");
 
-    let mut table = Table::new(vec![
-        "instance", "GPU", "GPUs", "$/hr (AWS)", "CUDA cores", "mem (GiB)",
-    ]);
+    let mut table =
+        Table::new(vec!["instance", "GPU", "GPUs", "$/hr (AWS)", "CUDA cores", "mem (GiB)"]);
     for o in &OFFERINGS {
         let spec = o.gpu.spec();
         table.row(vec![
@@ -46,12 +45,7 @@ fn main() {
     checks.add(
         "market price ratio P3:G4:G3:P2",
         "1 : 0.31 : 0.18 : 0.05",
-        format!(
-            "1 : {:.2} : {:.2} : {:.2}",
-            0.95 / 3.06,
-            0.55 / 3.06,
-            0.15 / 3.06
-        ),
+        format!("1 : {:.2} : {:.2} : {:.2}", 0.95 / 3.06, 0.55 / 3.06, 0.15 / 3.06),
         true,
     );
     checks.print();

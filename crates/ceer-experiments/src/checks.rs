@@ -84,9 +84,7 @@ impl CheckList {
             let name = std::env::args()
                 .next()
                 .and_then(|p| {
-                    std::path::Path::new(&p)
-                        .file_stem()
-                        .map(|s| s.to_string_lossy().into_owned())
+                    std::path::Path::new(&p).file_stem().map(|s| s.to_string_lossy().into_owned())
                 })
                 .unwrap_or_else(|| "unknown".to_string());
             let path = std::path::Path::new(&dir).join(format!("{name}.checks.json"));

@@ -165,10 +165,9 @@ mod tests {
         );
         let expected = sync.expected_overhead_us(3, p, COMPUTE_US);
         let mut rng = DeterministicRng::from_seed(4);
-        let mean: f64 = (0..2000)
-            .map(|_| sync.sample_overhead_us(3, p, COMPUTE_US, &mut rng))
-            .sum::<f64>()
-            / 2000.0;
+        let mean: f64 =
+            (0..2000).map(|_| sync.sample_overhead_us(3, p, COMPUTE_US, &mut rng)).sum::<f64>()
+                / 2000.0;
         assert!((mean / expected - 1.0).abs() < 0.02);
     }
 

@@ -144,7 +144,7 @@ static V100_SPEC: GpuSpec = GpuSpec {
     peer_sync_gbps: 25.0,
     sync_base_us: 3000.0,
     straggler_us: 11100.0,
-    windowed_reread_factor: 1.15
+    windowed_reread_factor: 1.15,
 };
 
 /// K80 (Kepler, one GK210 die at boost clocks as AWS exposes it): oldest
@@ -163,7 +163,7 @@ static K80_SPEC: GpuSpec = GpuSpec {
     peer_sync_gbps: 4.0,
     sync_base_us: 9000.0,
     straggler_us: 60000.0,
-    windowed_reread_factor: 3.5
+    windowed_reread_factor: 3.5,
 };
 
 /// T4 (Turing): modern architecture on a small power budget — decent compute
@@ -181,7 +181,7 @@ static T4_SPEC: GpuSpec = GpuSpec {
     peer_sync_gbps: 10.0,
     sync_base_us: 5000.0,
     straggler_us: 29000.0,
-    windowed_reread_factor: 2.5
+    windowed_reread_factor: 2.5,
 };
 
 /// Tesla M60 (Maxwell): sits between K80 and T4 on both resources. Its
@@ -200,7 +200,7 @@ static M60_SPEC: GpuSpec = GpuSpec {
     peer_sync_gbps: 6.0,
     sync_base_us: 7000.0,
     straggler_us: 47000.0,
-    windowed_reread_factor: 3.0
+    windowed_reread_factor: 3.0,
 };
 
 #[cfg(test)]
@@ -248,16 +248,12 @@ mod tests {
     fn m60_launch_overhead_exceeds_k80() {
         // Reproduces "for some operations, G3 has higher compute times than
         // P2": the smallest kernels pay more on the M60.
-        assert!(
-            GpuModel::M60.spec().launch_overhead_us > GpuModel::K80.spec().launch_overhead_us
-        );
+        assert!(GpuModel::M60.spec().launch_overhead_us > GpuModel::K80.spec().launch_overhead_us);
     }
 
     #[test]
     fn newer_gpus_have_lower_launch_overhead() {
-        assert!(
-            GpuModel::V100.spec().launch_overhead_us < GpuModel::K80.spec().launch_overhead_us
-        );
+        assert!(GpuModel::V100.spec().launch_overhead_us < GpuModel::K80.spec().launch_overhead_us);
     }
 
     #[test]

@@ -64,12 +64,8 @@ impl RooflineReport {
 
     /// Fraction of total time spent in memory-bound kinds.
     pub fn memory_bound_share(&self) -> f64 {
-        let memory: f64 = self
-            .kinds
-            .iter()
-            .filter(|k| k.bound == Bound::Memory)
-            .map(|k| k.total_us)
-            .sum();
+        let memory: f64 =
+            self.kinds.iter().filter(|k| k.bound == Bound::Memory).map(|k| k.total_us).sum();
         memory / self.total_us().max(f64::MIN_POSITIVE)
     }
 }
@@ -236,10 +232,7 @@ mod tests {
         // more of their time memory-bound.
         let inception = report(CnnId::InceptionV3, GpuModel::T4).memory_bound_share();
         let alexnet = report(CnnId::AlexNet, GpuModel::T4).memory_bound_share();
-        assert!(
-            inception > alexnet,
-            "inception {inception:.3} should exceed alexnet {alexnet:.3}"
-        );
+        assert!(inception > alexnet, "inception {inception:.3} should exceed alexnet {alexnet:.3}");
     }
 
     #[test]

@@ -191,9 +191,8 @@ mod tests {
         let spec = GpuModel::V100.spec();
         let w = workload(node, &g);
         let t = OpTimer::new(GpuModel::V100).expected_duration_us(node, &g);
-        let mem_us = w.bytes / spec.effective_bandwidth() * 1e6
-            * (spec.windowed_reread_factor + 1.0)
-            / 2.0;
+        let mem_us =
+            w.bytes / spec.effective_bandwidth() * 1e6 * (spec.windowed_reread_factor + 1.0) / 2.0;
         assert!((t - spec.launch_overhead_us - mem_us).abs() < 1e-6);
     }
 
@@ -298,11 +297,7 @@ mod tests {
             let loss = b.softmax_loss(&logits, &labels);
             let loss_id = loss.id();
             let g = training_graph(b.finish(), loss_id);
-            let node = g
-                .nodes()
-                .iter()
-                .find(|n| n.kind() == OpKind::Conv2DBackpropFilter)
-                .unwrap();
+            let node = g.nodes().iter().find(|n| n.kind() == OpKind::Conv2DBackpropFilter).unwrap();
             OpTimer::new(GpuModel::K80).expected_duration_us(node, &g)
         };
         let t1 = time_at_batch(16);

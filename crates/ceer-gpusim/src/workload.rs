@@ -229,18 +229,11 @@ mod tests {
         use ceer_graph::{OpAttrs, TensorShape};
         let mut g = ceer_graph::Graph::new("addn");
         let shape = TensorShape::nhwc(2, 4, 4, 8);
-        let a = g
-            .add_node("a", OpKind::Identity, OpAttrs::None, vec![], shape.clone(), 0)
-            .unwrap();
-        let b = g
-            .add_node("b", OpKind::Identity, OpAttrs::None, vec![], shape.clone(), 0)
-            .unwrap();
-        let c = g
-            .add_node("c", OpKind::Identity, OpAttrs::None, vec![], shape.clone(), 0)
-            .unwrap();
-        let s = g
-            .add_node("s", OpKind::AddN, OpAttrs::None, vec![a, b, c], shape.clone(), 0)
-            .unwrap();
+        let a = g.add_node("a", OpKind::Identity, OpAttrs::None, vec![], shape.clone(), 0).unwrap();
+        let b = g.add_node("b", OpKind::Identity, OpAttrs::None, vec![], shape.clone(), 0).unwrap();
+        let c = g.add_node("c", OpKind::Identity, OpAttrs::None, vec![], shape.clone(), 0).unwrap();
+        let s =
+            g.add_node("s", OpKind::AddN, OpAttrs::None, vec![a, b, c], shape.clone(), 0).unwrap();
         let w = workload(g.node(s), &g);
         assert_eq!(w.flops, 2.0 * shape.elements() as f64);
         assert_eq!(w.bytes, 4.0 * shape.bytes() as f64);

@@ -29,25 +29,14 @@ use crate::shape::TensorShape;
 /// Panics if `loss` is not a scalar produced by the graph, or if the graph
 /// contains an op kind with no gradient rule in a position that requires one.
 pub fn training_graph(mut forward: Graph, loss: NodeId) -> Graph {
-    assert_eq!(
-        forward.node(loss).output_shape(),
-        &TensorShape::scalar(),
-        "loss must be a scalar"
-    );
+    assert_eq!(forward.node(loss).output_shape(), &TensorShape::scalar(), "loss must be a scalar");
 
     // Pending gradient contributions per forward node.
     let mut pending: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
 
     // Seed: d(loss)/d(loss) = 1, emitted as a Fill, as TF does.
     let seed = forward
-        .add_node(
-            "gradients/Fill",
-            OpKind::Fill,
-            OpAttrs::None,
-            vec![],
-            TensorShape::scalar(),
-            0,
-        )
+        .add_node("gradients/Fill", OpKind::Fill, OpAttrs::None, vec![], TensorShape::scalar(), 0)
         .expect("unique seed name");
     pending.entry(loss).or_default().push(seed);
 
@@ -98,11 +87,11 @@ fn emit_rule(
     let inputs: Vec<NodeId> = node.inputs().to_vec();
     let attrs = node.attrs();
     let add = |graph: &mut Graph,
-                   suffix: &str,
-                   kind: OpKind,
-                   attrs: OpAttrs,
-                   op_inputs: Vec<NodeId>,
-                   shape: TensorShape|
+               suffix: &str,
+               kind: OpKind,
+               attrs: OpAttrs,
+               op_inputs: Vec<NodeId>,
+               shape: TensorShape|
      -> NodeId {
         graph
             .add_node(
@@ -127,14 +116,16 @@ fn emit_rule(
                 OpAttrs::Conv { kernel, .. } => kernel,
                 _ => unreachable!("Conv2D always carries Conv attrs"),
             };
-            let filter_shape = TensorShape::filter(
-                kh,
-                kw,
-                x_shape.channels(),
-                node.output_shape().channels(),
+            let filter_shape =
+                TensorShape::filter(kh, kw, x_shape.channels(), node.output_shape().channels());
+            let _dfilter = add(
+                graph,
+                "Conv2DBackpropFilter",
+                OpKind::Conv2DBackpropFilter,
+                attrs,
+                vec![x, grad],
+                filter_shape,
             );
-            let _dfilter =
-                add(graph, "Conv2DBackpropFilter", OpKind::Conv2DBackpropFilter, attrs, vec![x, grad], filter_shape);
             // TF skips the input gradient for the first convolution, whose
             // input is the (non-trainable) data placeholder.
             if !is_placeholder(graph, x) {
@@ -152,8 +143,7 @@ fn emit_rule(
         OpKind::MatMul => {
             let x = inputs[0];
             let x_shape = graph.node(x).output_shape().clone();
-            let (features, units) =
-                (x_shape.dims()[1], node.output_shape().dims()[1]);
+            let (features, units) = (x_shape.dims()[1], node.output_shape().dims()[1]);
             let _dw = add(
                 graph,
                 "MatMul_weights",
@@ -163,15 +153,22 @@ fn emit_rule(
                 TensorShape::matrix(features, units),
             );
             if !is_placeholder(graph, x) {
-                let dx = add(graph, "MatMul_input", OpKind::MatMul, OpAttrs::None, vec![grad], x_shape);
+                let dx =
+                    add(graph, "MatMul_input", OpKind::MatMul, OpAttrs::None, vec![grad], x_shape);
                 push(pending, x, dx);
             }
         }
         OpKind::BiasAdd => {
             let x = inputs[0];
             let c = node.output_shape().channels();
-            let _db =
-                add(graph, "BiasAddGrad", OpKind::BiasAddGrad, OpAttrs::None, vec![grad], TensorShape::vector(c));
+            let _db = add(
+                graph,
+                "BiasAddGrad",
+                OpKind::BiasAddGrad,
+                OpAttrs::None,
+                vec![grad],
+                TensorShape::vector(c),
+            );
             // d/dx of BiasAdd is the identity: reuse the gradient tensor.
             push(pending, x, grad);
         }

@@ -115,7 +115,13 @@ impl GraphBuilder {
     /// Adds the input pipeline: an image placeholder plus the label-handling
     /// CPU operations TensorFlow runs every iteration (`Range`,
     /// `SparseToDense`, `Cast`, …). Returns `(images, labels)`.
-    pub fn input(&mut self, batch: u64, height: u64, width: u64, channels: u64) -> (Tensor, Tensor) {
+    pub fn input(
+        &mut self,
+        batch: u64,
+        height: u64,
+        width: u64,
+        channels: u64,
+    ) -> (Tensor, Tensor) {
         self.push_scope("input_pipeline".to_string());
         let images = self.add_op(
             OpKind::Identity,
@@ -133,8 +139,13 @@ impl GraphBuilder {
             TensorShape::matrix(batch, 1000),
             0,
         );
-        let labels =
-            self.add_op(OpKind::Cast, OpAttrs::None, &[&dense], TensorShape::matrix(batch, 1000), 0);
+        let labels = self.add_op(
+            OpKind::Cast,
+            OpAttrs::None,
+            &[&dense],
+            TensorShape::matrix(batch, 1000),
+            0,
+        );
         // Shape bookkeeping ops that appear in every TF input pipeline.
         let shape_op =
             self.add_op(OpKind::Shape, OpAttrs::None, &[&images], TensorShape::vector(4), 0);
@@ -319,13 +330,7 @@ impl GraphBuilder {
         assert_eq!(s.rank(), 2, "dense expects flattened input, got {s}");
         let (batch, features) = (s.dims()[0], s.dims()[1]);
         let out = TensorShape::matrix(batch, units);
-        let mm = self.add_op(
-            OpKind::MatMul,
-            OpAttrs::None,
-            &[x],
-            out.clone(),
-            features * units,
-        );
+        let mm = self.add_op(OpKind::MatMul, OpAttrs::None, &[x], out.clone(), features * units);
         let biased = self.add_op(OpKind::BiasAdd, OpAttrs::None, &[&mm], out.clone(), units);
         if relu {
             self.add_op(OpKind::Relu, OpAttrs::None, &[&biased], out, 0)

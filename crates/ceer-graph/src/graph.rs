@@ -250,8 +250,7 @@ impl Graph {
     /// Rebuilds the name index after deserialization (the index is skipped
     /// by serde). Prefer [`Graph::from_json`], which does this for you.
     pub fn rebuild_index(&mut self) {
-        self.name_index =
-            self.nodes.iter().map(|n| (n.name.clone(), n.id)).collect();
+        self.name_index = self.nodes.iter().map(|n| (n.name.clone(), n.id)).collect();
     }
 
     /// Serializes the graph as JSON — the interchange format for defining
@@ -298,10 +297,7 @@ impl Graph {
             }
             for &input in &node.inputs {
                 if input.index() >= pos {
-                    return Err(GraphError::DanglingInput {
-                        node: node.name.clone(),
-                        input,
-                    });
+                    return Err(GraphError::DanglingInput { node: node.name.clone(), input });
                 }
             }
         }
@@ -316,7 +312,14 @@ mod tests {
     fn tiny_graph() -> Graph {
         let mut g = Graph::new("test");
         let a = g
-            .add_node("a", OpKind::Identity, OpAttrs::None, vec![], TensorShape::nhwc(1, 2, 2, 3), 0)
+            .add_node(
+                "a",
+                OpKind::Identity,
+                OpAttrs::None,
+                vec![],
+                TensorShape::nhwc(1, 2, 2, 3),
+                0,
+            )
             .unwrap();
         let b = g
             .add_node("b", OpKind::Relu, OpAttrs::None, vec![a], TensorShape::nhwc(1, 2, 2, 3), 0)
@@ -340,14 +343,7 @@ mod tests {
     fn rejects_forward_reference() {
         let mut g = Graph::new("test");
         let err = g
-            .add_node(
-                "x",
-                OpKind::Relu,
-                OpAttrs::None,
-                vec![NodeId(5)],
-                TensorShape::scalar(),
-                0,
-            )
+            .add_node("x", OpKind::Relu, OpAttrs::None, vec![NodeId(5)], TensorShape::scalar(), 0)
             .unwrap_err();
         assert!(matches!(err, GraphError::DanglingInput { .. }));
     }
@@ -355,8 +351,7 @@ mod tests {
     #[test]
     fn rejects_duplicate_name() {
         let mut g = Graph::new("test");
-        g.add_node("x", OpKind::Identity, OpAttrs::None, vec![], TensorShape::scalar(), 0)
-            .unwrap();
+        g.add_node("x", OpKind::Identity, OpAttrs::None, vec![], TensorShape::scalar(), 0).unwrap();
         let err = g
             .add_node("x", OpKind::Relu, OpAttrs::None, vec![], TensorShape::scalar(), 0)
             .unwrap_err();
@@ -408,15 +403,8 @@ mod tests {
     #[test]
     fn device_class_counting() {
         let mut g = tiny_graph();
-        g.add_node(
-            "cpu",
-            OpKind::SparseToDense,
-            OpAttrs::None,
-            vec![],
-            TensorShape::vector(32),
-            0,
-        )
-        .unwrap();
+        g.add_node("cpu", OpKind::SparseToDense, OpAttrs::None, vec![], TensorShape::vector(32), 0)
+            .unwrap();
         assert_eq!(g.count_device_class(DeviceClass::Cpu), 1);
         assert_eq!(g.count_device_class(DeviceClass::Gpu), 3);
     }

@@ -120,8 +120,7 @@ mod tests {
     #[test]
     fn final_block_has_1024_channels() {
         let (g, _) = forward(8);
-        let concats: Vec<_> =
-            g.nodes().iter().filter(|n| n.kind() == OpKind::ConcatV2).collect();
+        let concats: Vec<_> = g.nodes().iter().filter(|n| n.kind() == OpKind::ConcatV2).collect();
         assert_eq!(concats.last().unwrap().output_shape().channels(), 1024);
     }
 

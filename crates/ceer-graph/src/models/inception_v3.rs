@@ -179,8 +179,7 @@ mod tests {
         let (g, _) = forward(8);
         // 35x35x288 after mixed35, 17x17x768 after reduction-A,
         // 8x8x2048 at the end.
-        let concats: Vec<_> =
-            g.nodes().iter().filter(|n| n.kind() == OpKind::ConcatV2).collect();
+        let concats: Vec<_> = g.nodes().iter().filter(|n| n.kind() == OpKind::ConcatV2).collect();
         let last = concats.last().unwrap().output_shape();
         assert_eq!((last.height(), last.channels()), (8, 2048));
     }

@@ -210,8 +210,7 @@ mod tests {
     #[test]
     fn final_grid_is_8x8x1536() {
         let (g, _) = forward(4);
-        let concats: Vec<_> =
-            g.nodes().iter().filter(|n| n.kind() == OpKind::ConcatV2).collect();
+        let concats: Vec<_> = g.nodes().iter().filter(|n| n.kind() == OpKind::ConcatV2).collect();
         let last = concats.last().unwrap().output_shape();
         assert_eq!((last.height(), last.channels()), (8, 1536));
     }

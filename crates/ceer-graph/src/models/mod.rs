@@ -263,8 +263,7 @@ mod tests {
         ];
         for &(id, expected) in conv_counts {
             let cnn = Cnn::build(id, 2);
-            let got =
-                cnn.forward_graph().op_histogram().get(&OpKind::Conv2D).copied().unwrap_or(0);
+            let got = cnn.forward_graph().op_histogram().get(&OpKind::Conv2D).copied().unwrap_or(0);
             assert_eq!(got, expected, "{id}: conv count moved");
         }
     }

@@ -97,8 +97,7 @@ mod tests {
     fn spatial_resolution_halves_each_stage() {
         let (g, _) = forward(2, &[2, 2, 3, 3, 3], "VGG-16");
         // Last stage pool output is 7x7x512.
-        let pools: Vec<_> =
-            g.nodes().iter().filter(|n| n.kind() == OpKind::MaxPool).collect();
+        let pools: Vec<_> = g.nodes().iter().filter(|n| n.kind() == OpKind::MaxPool).collect();
         assert_eq!(pools.len(), 5);
         assert_eq!(pools.last().unwrap().output_shape().height(), 7);
         assert_eq!(pools.last().unwrap().output_shape().channels(), 512);

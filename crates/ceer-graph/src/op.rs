@@ -285,8 +285,7 @@ impl fmt::Display for OpKind {
 
 /// Supplemental attributes attached to operations whose semantics need them
 /// (convolutions and pooling windows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum OpAttrs {
     /// No supplemental attributes.
     #[default]
@@ -322,7 +321,6 @@ impl OpAttrs {
         OpAttrs::Pool { window, stride, padding }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

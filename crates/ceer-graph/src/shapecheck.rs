@@ -50,10 +50,7 @@ pub fn check_shapes(graph: &Graph) -> Vec<ShapeViolation> {
         match node.kind() {
             OpKind::Conv2D => check_conv(graph, node, &inputs, &mut violations),
             OpKind::MaxPool | OpKind::AvgPool => check_pool(node, &inputs, &mut violations),
-            OpKind::Relu
-            | OpKind::LRN
-            | OpKind::FusedBatchNormV3
-            | OpKind::BiasAdd => {
+            OpKind::Relu | OpKind::LRN | OpKind::FusedBatchNormV3 | OpKind::BiasAdd => {
                 // Shape-preserving unary ops (BiasAdd's bias is implicit).
                 if let Some(x) = inputs.first() {
                     expect(&mut violations, node, node.output_shape() == *x, || {
@@ -82,58 +79,52 @@ pub fn check_shapes(graph: &Graph) -> Vec<ShapeViolation> {
                     });
                 }
             }
-            OpKind::ConcatV2
-                if inputs.iter().all(|s| s.rank() == 4) && !inputs.is_empty() => {
-                    let channels: u64 = inputs.iter().map(|s| s.channels()).sum();
-                    expect(&mut violations, node, node.output_shape().rank() == 4, || {
-                        "concat output must be rank 4".to_string()
-                    });
-                    if node.output_shape().rank() == 4 {
+            OpKind::ConcatV2 if inputs.iter().all(|s| s.rank() == 4) && !inputs.is_empty() => {
+                let channels: u64 = inputs.iter().map(|s| s.channels()).sum();
+                expect(&mut violations, node, node.output_shape().rank() == 4, || {
+                    "concat output must be rank 4".to_string()
+                });
+                if node.output_shape().rank() == 4 {
+                    expect(
+                        &mut violations,
+                        node,
+                        node.output_shape().channels() == channels,
+                        || {
+                            format!(
+                                "concat channels {} != sum of inputs {}",
+                                node.output_shape().channels(),
+                                channels
+                            )
+                        },
+                    );
+                    let first = inputs[0];
+                    expect(
+                        &mut violations,
+                        node,
+                        node.output_shape().height() == first.height()
+                            && node.output_shape().width() == first.width(),
+                        || "concat spatial dims differ from inputs".to_string(),
+                    );
+                }
+            }
+            OpKind::MatMul if node.params() > 0 => {
+                // Forward matmul: [B, F] x weights -> [B, U].
+                if let Some(x) = inputs.first() {
+                    if x.rank() == 2 && node.output_shape().rank() == 2 {
                         expect(
                             &mut violations,
                             node,
-                            node.output_shape().channels() == channels,
-                            || {
-                                format!(
-                                    "concat channels {} != sum of inputs {}",
-                                    node.output_shape().channels(),
-                                    channels
-                                )
-                            },
+                            x.dims()[0] == node.output_shape().dims()[0],
+                            || "MatMul batch dimension changed".to_string(),
                         );
-                        let first = inputs[0];
-                        expect(
-                            &mut violations,
-                            node,
-                            node.output_shape().height() == first.height()
-                                && node.output_shape().width() == first.width(),
-                            || "concat spatial dims differ from inputs".to_string(),
-                        );
+                        let f = x.dims()[1];
+                        let u = node.output_shape().dims()[1];
+                        expect(&mut violations, node, node.params() == (f * u), || {
+                            format!("MatMul params {} != in*out = {}", node.params(), f * u)
+                        });
                     }
                 }
-            OpKind::MatMul
-                if node.params() > 0 => {
-                    // Forward matmul: [B, F] x weights -> [B, U].
-                    if let Some(x) = inputs.first() {
-                        if x.rank() == 2 && node.output_shape().rank() == 2 {
-                            expect(
-                                &mut violations,
-                                node,
-                                x.dims()[0] == node.output_shape().dims()[0],
-                                || "MatMul batch dimension changed".to_string(),
-                            );
-                            let f = x.dims()[1];
-                            let u = node.output_shape().dims()[1];
-                            expect(&mut violations, node, node.params() == (f * u), || {
-                                format!(
-                                    "MatMul params {} != in*out = {}",
-                                    node.params(),
-                                    f * u
-                                )
-                            });
-                        }
-                    }
-                }
+            }
             OpKind::Conv2DBackpropFilter => {
                 // Output must be a rank-4 filter consistent with the attrs.
                 if let OpAttrs::Conv { kernel, .. } = node.attrs() {
@@ -337,10 +328,24 @@ mod tests {
         use crate::{Graph, OpAttrs, OpKind, TensorShape};
         let mut g = Graph::new("bad");
         let a = g
-            .add_node("a", OpKind::Identity, OpAttrs::None, vec![], TensorShape::nhwc(1, 4, 4, 8), 0)
+            .add_node(
+                "a",
+                OpKind::Identity,
+                OpAttrs::None,
+                vec![],
+                TensorShape::nhwc(1, 4, 4, 8),
+                0,
+            )
             .unwrap();
         let b = g
-            .add_node("b", OpKind::Identity, OpAttrs::None, vec![], TensorShape::nhwc(1, 4, 4, 16), 0)
+            .add_node(
+                "b",
+                OpKind::Identity,
+                OpAttrs::None,
+                vec![],
+                TensorShape::nhwc(1, 4, 4, 16),
+                0,
+            )
             .unwrap();
         g.add_node(
             "sum",

@@ -1,0 +1,175 @@
+//! LRU cache of serialized prediction responses.
+//!
+//! Predictions are pure functions of `(model, request)`, so the service can
+//! answer repeated requests from cache. Keys are the *canonical* request —
+//! the parsed request re-serialized — so two syntactically different JSON
+//! bodies describing the same request share an entry. The whole cache is
+//! cleared on model reload.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss accounting for `GET /metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Configured capacity (0 disables caching).
+    pub capacity: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// `hits / (hits + misses)`, or 0 before any lookup.
+    pub hit_rate: f64,
+}
+
+/// A thread-safe LRU map from canonical request keys to response bodies.
+pub struct PredictionCache {
+    capacity: usize,
+    inner: Mutex<Lru>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Recency order is tracked in a deque (front = least recent); linear
+/// rescans on touch are fine at service cache sizes (hundreds of entries).
+#[derive(Default)]
+struct Lru {
+    map: HashMap<String, String>,
+    order: VecDeque<String>,
+}
+
+impl PredictionCache {
+    /// A cache holding at most `capacity` responses (0 disables caching:
+    /// every lookup misses and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        PredictionCache {
+            capacity,
+            inner: Mutex::new(Lru::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a response, marking the entry most-recently used.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        match inner.map.get(key).cloned() {
+            Some(value) => {
+                inner.order.retain(|k| k != key);
+                inner.order.push_back(key.to_string());
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a response, evicting the least-recently-used entry when full.
+    pub fn insert(&self, key: String, value: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if inner.map.insert(key.clone(), value).is_none() {
+            inner.order.push_back(key);
+        } else {
+            inner.order.retain(|k| k != &key);
+            inner.order.push_back(key);
+        }
+        while inner.map.len() > self.capacity {
+            if let Some(evicted) = inner.order.pop_front() {
+                inner.map.remove(&evicted);
+            }
+        }
+    }
+
+    /// Drops every entry (hit/miss counters are preserved).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().expect("cache lock poisoned").map.len() as u64;
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        CacheStats {
+            capacity: self.capacity as u64,
+            entries,
+            hits,
+            misses,
+            hit_rate: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_then_hits() {
+        let cache = PredictionCache::new(4);
+        assert_eq!(cache.get("a"), None);
+        cache.insert("a".into(), "1".into());
+        assert_eq!(cache.get("a"), Some("1".into()));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = PredictionCache::new(2);
+        cache.insert("a".into(), "1".into());
+        cache.insert("b".into(), "2".into());
+        assert!(cache.get("a").is_some()); // a is now more recent than b
+        cache.insert("c".into(), "3".into());
+        assert_eq!(cache.get("b"), None, "b was LRU and must be evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growth() {
+        let cache = PredictionCache::new(2);
+        cache.insert("a".into(), "1".into());
+        cache.insert("a".into(), "2".into());
+        assert_eq!(cache.get("a"), Some("2".into()));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = PredictionCache::new(0);
+        cache.insert("a".into(), "1".into());
+        assert_eq!(cache.get("a"), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = PredictionCache::new(4);
+        cache.insert("a".into(), "1".into());
+        assert!(cache.get("a").is_some());
+        cache.clear();
+        assert_eq!(cache.get("a"), None);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+}

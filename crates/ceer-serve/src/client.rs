@@ -1,0 +1,208 @@
+//! A minimal blocking client for the service, used by the integration
+//! tests and `examples/serve_client.rs`. One TCP connection per call
+//! (the server speaks `Connection: close`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use serde::{Deserialize, Serialize};
+
+use crate::api::{
+    CatalogEntry, ErrorResponse, PredictRequest, PredictResponse, RecommendRequest,
+    RecommendResponse, ZooEntry,
+};
+use crate::metrics::MetricsSnapshot;
+
+/// A raw HTTP exchange: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON for every endpoint).
+    pub body: String,
+}
+
+/// A blocking client bound to one server address.
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// A client for the server at `addr` (e.g. [`crate::Server::addr`]).
+    pub fn new(addr: SocketAddr) -> Self {
+        Client { addr }
+    }
+
+    /// `GET /healthz`; Ok when the server answers 200.
+    ///
+    /// # Errors
+    ///
+    /// Errors on connection failure or a non-200 answer.
+    pub fn health(&self) -> Result<(), String> {
+        let response = self.get("/healthz")?;
+        if response.status == 200 {
+            Ok(())
+        } else {
+            Err(format!("unhealthy: status {}", response.status))
+        }
+    }
+
+    /// `POST /predict`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure or when the server rejects the request.
+    pub fn predict(&self, request: &PredictRequest) -> Result<PredictResponse, String> {
+        self.post_json("/predict", request)
+    }
+
+    /// `POST /recommend`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure or when the server rejects the request.
+    pub fn recommend(&self, request: &RecommendRequest) -> Result<RecommendResponse, String> {
+        self.post_json("/recommend", request)
+    }
+
+    /// `GET /zoo`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure.
+    pub fn zoo(&self) -> Result<Vec<ZooEntry>, String> {
+        parse_body(self.get("/zoo")?)
+    }
+
+    /// `GET /catalog`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure.
+    pub fn catalog(&self) -> Result<Vec<CatalogEntry>, String> {
+        parse_body(self.get("/catalog")?)
+    }
+
+    /// `GET /metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure.
+    pub fn metrics(&self) -> Result<MetricsSnapshot, String> {
+        parse_body(self.get("/metrics")?)
+    }
+
+    /// `POST /reload`; returns the server's total successful reload count.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure or when the reload fails server-side.
+    pub fn reload(&self) -> Result<u64, String> {
+        let response = self.request("POST", "/reload", b"")?;
+        if response.status != 200 {
+            return Err(server_error(&response));
+        }
+        let value: serde_json::Value = serde_json::from_str(&response.body)
+            .map_err(|e| format!("unparseable reload response: {e}"))?;
+        value
+            .get("reloads")
+            .and_then(serde_json::Value::as_u64)
+            .ok_or_else(|| "reload response missing \"reloads\"".to_string())
+    }
+
+    /// A raw `GET`, exposed for tests probing error paths.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure only (HTTP error statuses are returned).
+    pub fn get(&self, path: &str) -> Result<RawResponse, String> {
+        self.request("GET", path, b"")
+    }
+
+    /// A raw request with an arbitrary body, exposed for tests probing
+    /// error paths.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure only (HTTP error statuses are returned).
+    pub fn request(&self, method: &str, path: &str, body: &[u8]) -> Result<RawResponse, String> {
+        let mut stream = TcpStream::connect(self.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        )
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+        read_response(&mut BufReader::new(stream))
+    }
+
+    fn post_json<Req, Resp>(&self, path: &str, request: &Req) -> Result<Resp, String>
+    where
+        Req: Serialize,
+        Resp: Deserialize,
+    {
+        let body = serde_json::to_string(request).map_err(|e| format!("bad request: {e}"))?;
+        let response = self.request("POST", path, body.as_bytes())?;
+        parse_body(response)
+    }
+}
+
+fn parse_body<Resp: Deserialize>(response: RawResponse) -> Result<Resp, String> {
+    if response.status != 200 {
+        return Err(server_error(&response));
+    }
+    serde_json::from_str(&response.body)
+        .map_err(|e| format!("unparseable response body: {e}\nbody: {}", response.body))
+}
+
+fn server_error(response: &RawResponse) -> String {
+    match serde_json::from_str::<ErrorResponse>(&response.body) {
+        Ok(err) => format!("server error {}: {}", response.status, err.error),
+        Err(_) => format!("server error {}: {}", response.status, response.body),
+    }
+}
+
+fn read_response(reader: &mut impl BufRead) -> Result<RawResponse, String> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).map_err(|e| format!("cannot read status line: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| format!("cannot read header: {e}"))?;
+        if n == 0 || line.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length =
+                    Some(value.trim().parse().map_err(|e| format!("bad Content-Length: {e}"))?);
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(len) => {
+            let mut buffer = vec![0u8; len];
+            reader.read_exact(&mut buffer).map_err(|e| format!("truncated body: {e}"))?;
+            buffer
+        }
+        None => {
+            let mut buffer = Vec::new();
+            reader.read_to_end(&mut buffer).map_err(|e| format!("cannot read body: {e}"))?;
+            buffer
+        }
+    };
+    let body = String::from_utf8(body).map_err(|e| format!("non-UTF-8 body: {e}"))?;
+    Ok(RawResponse { status, body })
+}

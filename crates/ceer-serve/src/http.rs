@@ -1,0 +1,207 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough for a JSON API:
+//! one request per connection (`Connection: close`), `Content-Length`
+//! bodies, no chunked encoding, no TLS.
+
+use std::io::{BufRead, Write};
+
+/// Largest accepted request body; bigger requests are rejected as malformed
+/// before buffering (the JSON requests this API takes are a few hundred
+/// bytes).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Largest accepted request-line/header line.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path (query strings are kept verbatim).
+    pub path: String,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request from `reader`.
+///
+/// Returns `Ok(None)` when the peer closed the connection before sending a
+/// request line (a clean no-request close, e.g. a health probe).
+///
+/// # Errors
+///
+/// Errors describe the malformation; the caller answers with `400`.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, String> {
+    let request_line = match read_line(reader)? {
+        None => return Ok(None),
+        Some(line) => line,
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || !path.starts_with('/') || !version.starts_with("HTTP/1.") {
+        return Err(format!("malformed request line {request_line:?}"));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader)?.ok_or_else(|| "connection closed mid-headers".to_string())?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header line {line:?}"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad Content-Length {:?}", value.trim()))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(format!(
+                    "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                ));
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| format!("connection closed mid-body: {e}"))?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Reads one CRLF- (or LF-) terminated line; `None` on immediate EOF.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(|e| format!("read error: {e}"))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if line.len() > MAX_LINE_BYTES {
+        return Err("header line too long".to_string());
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always JSON in this API).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status. The body is newline-terminated
+    /// so `POST /predict` answers with the exact bytes `ceer predict --json`
+    /// prints (which ends in `println!`'s newline).
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        let mut body = body.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Response { status, body }
+    }
+
+    /// Whether the status signals an error (4xx/5xx).
+    pub fn is_error(&self) -> bool {
+        self.status >= 400
+    }
+
+    /// Writes the response and flushes; the connection is then closed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying stream.
+    pub fn write_to(&self, writer: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            reason(self.status),
+            self.body.len(),
+            self.body
+        )?;
+        writer.flush()
+    }
+}
+
+/// The canonical reason phrase for the statuses this API emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, String> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let req = parse(
+            "POST /predict HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 15\r\n\r\n{\"cnn\": \"vgg\"}x",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body.len(), 15);
+    }
+
+    #[test]
+    fn empty_connection_is_a_clean_close() {
+        assert_eq!(parse("").unwrap(), None);
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        assert!(parse("not http at all\r\n\r\n").is_err());
+        assert!(parse("GET\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nContent-Length: huge\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_up_front() {
+        let raw = format!("POST /p HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(parse(&raw).unwrap_err().contains("limit"));
+    }
+
+    #[test]
+    fn truncated_body_errors() {
+        assert!(parse("POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn responses_serialize_with_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}\n"));
+    }
+}

@@ -1,0 +1,53 @@
+//! ceer-serve — a concurrent prediction service over a fitted Ceer model.
+//!
+//! The crate turns the library's offline estimator (`ceer-core`) into a
+//! long-running HTTP/1.1 JSON service, dependency-free on top of `std::net`:
+//!
+//! * [`ModelRegistry`] — the fitted [`ceer_core::CeerModel`] being served,
+//!   hot-swappable via `POST /reload` without dropping in-flight requests;
+//! * [`Server`] — an acceptor thread feeding a fixed worker pool over a
+//!   channel, with graceful [`Server::shutdown`];
+//! * [`PredictionCache`] — an LRU of serialized responses keyed by the
+//!   canonical request (predictions are pure in `(model, request)`);
+//! * [`Metrics`] — per-endpoint request/error counts and latency quantiles
+//!   (via `ceer-stats`), exposed at `GET /metrics`;
+//! * [`Client`] — a blocking client for tests and scripts.
+//!
+//! # Endpoints
+//!
+//! | Route | Payload |
+//! |---|---|
+//! | `GET /healthz` | `{"status": "ok"}` |
+//! | `GET /zoo` | [`api::ZooEntry`] list |
+//! | `GET /catalog` | [`api::CatalogEntry`] list |
+//! | `GET /metrics` | [`MetricsSnapshot`] |
+//! | `POST /predict` | [`api::PredictRequest`] → [`api::PredictResponse`] |
+//! | `POST /recommend` | [`api::RecommendRequest`] → [`api::RecommendResponse`] |
+//! | `POST /reload` | re-reads the model file, clears the cache |
+//!
+//! The CLI's `ceer predict --json` / `ceer recommend --json` share the
+//! [`api`] evaluation functions and serializer, so their stdout is
+//! byte-identical to the corresponding response body.
+//!
+//! ```no_run
+//! use ceer_serve::{ModelRegistry, Server, ServerConfig};
+//!
+//! let registry = ModelRegistry::load("model.json").unwrap();
+//! let server = Server::start(&ServerConfig::default(), registry).unwrap();
+//! println!("listening on http://{}", server.addr());
+//! server.wait();
+//! ```
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheStats, PredictionCache};
+pub use client::Client;
+pub use metrics::{EndpointSnapshot, LatencySummary, Metrics, MetricsSnapshot};
+pub use registry::ModelRegistry;
+pub use server::{Server, ServerConfig};

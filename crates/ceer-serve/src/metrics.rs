@@ -1,0 +1,181 @@
+//! Request metrics for `GET /metrics`: per-endpoint request/error counts
+//! and latency summaries, quantiles via [`ceer_stats::summary`] — the same
+//! estimator the paper's profiler uses for compute-time samples.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+
+/// Latency samples kept per endpoint (a sliding window: old samples fall
+/// off so the summary tracks recent behavior).
+const LATENCY_WINDOW: usize = 4096;
+
+/// A latency distribution summary, µs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Samples in the window.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_us: f64,
+    /// Median latency.
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Worst sample in the window.
+    pub max_us: f64,
+}
+
+/// One endpoint's counters and latency summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EndpointSnapshot {
+    /// Requests handled (including errors).
+    pub requests: u64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: u64,
+    /// Latency summary over the sample window; `None` before any request.
+    pub latency: Option<LatencySummary>,
+}
+
+/// The full `GET /metrics` payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Per-endpoint statistics, keyed by route (e.g. `"POST /predict"`).
+    pub endpoints: BTreeMap<String, EndpointSnapshot>,
+    /// Prediction-cache statistics.
+    pub cache: CacheStats,
+    /// Successful model reloads since startup.
+    pub model_reloads: u64,
+}
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: u64,
+    errors: u64,
+    latencies_us: VecDeque<f64>,
+}
+
+/// Thread-safe metrics accumulator shared by all workers.
+#[derive(Default)]
+pub struct Metrics {
+    endpoints: Mutex<BTreeMap<String, EndpointStats>>,
+}
+
+impl Metrics {
+    /// Records one handled request.
+    pub fn record(&self, route: &str, latency_us: f64, is_error: bool) {
+        let mut endpoints = self.endpoints.lock().expect("metrics lock poisoned");
+        let stats = endpoints.entry(route.to_string()).or_default();
+        stats.requests += 1;
+        if is_error {
+            stats.errors += 1;
+        }
+        stats.latencies_us.push_back(latency_us);
+        while stats.latencies_us.len() > LATENCY_WINDOW {
+            stats.latencies_us.pop_front();
+        }
+    }
+
+    /// A consistent snapshot for `GET /metrics`.
+    pub fn snapshot(&self, cache: CacheStats, model_reloads: u64) -> MetricsSnapshot {
+        let endpoints = self.endpoints.lock().expect("metrics lock poisoned");
+        let endpoints = endpoints
+            .iter()
+            .map(|(route, stats)| {
+                (
+                    route.clone(),
+                    EndpointSnapshot {
+                        requests: stats.requests,
+                        errors: stats.errors,
+                        latency: summarize(&stats.latencies_us),
+                    },
+                )
+            })
+            .collect();
+        MetricsSnapshot { endpoints, cache, model_reloads }
+    }
+}
+
+fn summarize(window: &VecDeque<f64>) -> Option<LatencySummary> {
+    if window.is_empty() {
+        return None;
+    }
+    let samples: Vec<f64> = window.iter().copied().collect();
+    let mean_us = ceer_stats::summary::mean(&samples).ok()?;
+    let quantile = |q| ceer_stats::summary::quantile(&samples, q).expect("non-empty");
+    Some(LatencySummary {
+        count: samples.len() as u64,
+        mean_us,
+        p50_us: quantile(0.5),
+        p90_us: quantile(0.9),
+        p99_us: quantile(0.99),
+        max_us: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_cache_stats() -> CacheStats {
+        CacheStats { capacity: 0, entries: 0, hits: 0, misses: 0, hit_rate: 0.0 }
+    }
+
+    #[test]
+    fn counts_requests_and_errors_per_route() {
+        let metrics = Metrics::default();
+        metrics.record("POST /predict", 100.0, false);
+        metrics.record("POST /predict", 300.0, true);
+        metrics.record("GET /healthz", 5.0, false);
+        let snap = metrics.snapshot(empty_cache_stats(), 0);
+        assert_eq!(snap.endpoints.len(), 2);
+        let predict = &snap.endpoints["POST /predict"];
+        assert_eq!((predict.requests, predict.errors), (2, 1));
+        assert_eq!(snap.endpoints["GET /healthz"].errors, 0);
+    }
+
+    #[test]
+    fn latency_summary_uses_quantiles() {
+        let metrics = Metrics::default();
+        for i in 1..=100 {
+            metrics.record("r", i as f64, false);
+        }
+        let latency = metrics.snapshot(empty_cache_stats(), 0).endpoints["r"].latency.unwrap();
+        assert_eq!(latency.count, 100);
+        assert!((latency.mean_us - 50.5).abs() < 1e-9);
+        assert!(latency.p50_us >= 50.0 && latency.p50_us <= 51.0);
+        assert!(latency.p90_us >= 90.0 && latency.p90_us <= 91.0);
+        assert!(latency.p99_us >= 99.0 && latency.p99_us <= 100.0);
+        assert_eq!(latency.max_us, 100.0);
+        assert!(latency.p50_us <= latency.p90_us && latency.p90_us <= latency.p99_us);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let metrics = Metrics::default();
+        for i in 0..(LATENCY_WINDOW + 500) {
+            metrics.record("r", i as f64, false);
+        }
+        let snap = metrics.snapshot(empty_cache_stats(), 0);
+        let latency = snap.endpoints["r"].latency.unwrap();
+        assert_eq!(latency.count, LATENCY_WINDOW as u64);
+        // Only the most recent samples remain, so the window minimum moved up.
+        assert!(latency.p50_us > 500.0);
+        assert_eq!(snap.endpoints["r"].requests, (LATENCY_WINDOW + 500) as u64);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let metrics = Metrics::default();
+        metrics.record("POST /predict", 123.0, false);
+        let snap = metrics.snapshot(empty_cache_stats(), 2);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -1,0 +1,150 @@
+//! The model registry: the fitted [`CeerModel`] the service predicts with,
+//! swappable at runtime via `POST /reload` without dropping in-flight
+//! requests.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use ceer_core::CeerModel;
+
+/// Holds the served model behind a read/write lock.
+///
+/// Handlers take an [`Arc`] snapshot ([`ModelRegistry::model`]) and keep
+/// predicting with it even while a reload swaps the registry to a new
+/// model — a reload never invalidates a request already being answered.
+pub struct ModelRegistry {
+    /// Where the model was loaded from (`None` for in-memory registries).
+    path: Option<PathBuf>,
+    model: RwLock<Arc<CeerModel>>,
+    reloads: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Loads a fitted model archive produced by `ceer fit --out`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the file cannot be read or is not a valid model.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref().to_path_buf();
+        let model = read_model(&path)?;
+        Ok(ModelRegistry {
+            path: Some(path),
+            model: RwLock::new(Arc::new(model)),
+            reloads: AtomicU64::new(0),
+        })
+    }
+
+    /// Wraps an already-fitted model (no backing file; reloads are
+    /// rejected). Used by tests and embedded servers.
+    pub fn from_model(model: CeerModel) -> Self {
+        ModelRegistry {
+            path: None,
+            model: RwLock::new(Arc::new(model)),
+            reloads: AtomicU64::new(0),
+        }
+    }
+
+    /// A snapshot of the current model.
+    pub fn model(&self) -> Arc<CeerModel> {
+        Arc::clone(&self.model.read().expect("registry lock poisoned"))
+    }
+
+    /// Re-reads the backing file and atomically swaps the served model.
+    ///
+    /// # Errors
+    ///
+    /// Errors when there is no backing file or it no longer parses; the
+    /// previous model keeps being served in that case.
+    pub fn reload(&self) -> Result<u64, String> {
+        let path = self
+            .path
+            .as_ref()
+            .ok_or_else(|| "registry has no backing file to reload from".to_string())?;
+        let fresh = read_model(path)?;
+        *self.model.write().expect("registry lock poisoned") = Arc::new(fresh);
+        Ok(self.reloads.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// How many reloads have succeeded.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+fn read_model(path: &Path) -> Result<CeerModel, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    serde_json::from_slice(&bytes).map_err(|e| format!("invalid model in {path:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceer_core::{Ceer, FitConfig};
+    use ceer_graph::models::CnnId;
+
+    fn tiny_model(seed: u64) -> CeerModel {
+        Ceer::fit(&FitConfig {
+            cnns: vec![CnnId::Vgg11],
+            iterations: 2,
+            parallel_degrees: vec![1],
+            seed,
+            ..FitConfig::default()
+        })
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ceer-serve-registry-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn loads_and_reloads_from_disk() {
+        let path = temp_path("roundtrip");
+        let first = tiny_model(1);
+        std::fs::write(&path, serde_json::to_vec(&first).unwrap()).unwrap();
+        let registry = ModelRegistry::load(&path).unwrap();
+        assert_eq!(*registry.model(), first);
+        assert_eq!(registry.reloads(), 0);
+
+        let second = tiny_model(2);
+        std::fs::write(&path, serde_json::to_vec(&second).unwrap()).unwrap();
+        assert_eq!(registry.reload().unwrap(), 1);
+        assert_eq!(*registry.model(), second);
+        assert_ne!(second, first);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_reload_keeps_the_old_model() {
+        let path = temp_path("badswap");
+        let first = tiny_model(3);
+        std::fs::write(&path, serde_json::to_vec(&first).unwrap()).unwrap();
+        let registry = ModelRegistry::load(&path).unwrap();
+        std::fs::write(&path, b"{ not json").unwrap();
+        assert!(registry.reload().is_err());
+        assert_eq!(*registry.model(), first, "old model must survive a bad reload");
+        assert_eq!(registry.reloads(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshots_survive_a_swap() {
+        let registry = ModelRegistry::from_model(tiny_model(4));
+        let snapshot = registry.model();
+        // No backing file: reload must refuse (and the snapshot stays valid).
+        assert!(registry.reload().is_err());
+        assert_eq!(*snapshot, *registry.model());
+        assert!(registry.path().is_none());
+    }
+
+    #[test]
+    fn missing_file_is_a_load_error() {
+        assert!(ModelRegistry::load("/nonexistent/model.json").is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! The concurrent prediction server: a `std::net` acceptor thread feeding a
+//! fixed pool of worker threads over a channel, with graceful shutdown.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::api::{self, ErrorResponse};
+use crate::cache::PredictionCache;
+use crate::http::{self, Request, Response};
+use crate::metrics::Metrics;
+use crate::registry::ModelRegistry;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Interface to bind.
+    pub host: String,
+    /// Port to bind (0 picks a free port; see [`Server::addr`]).
+    pub port: u16,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Prediction-cache capacity in responses (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { host: "127.0.0.1".to_string(), port: 8100, workers: 4, cache_capacity: 256 }
+    }
+}
+
+/// Shared state every worker sees.
+struct AppState {
+    registry: ModelRegistry,
+    cache: PredictionCache,
+    metrics: Metrics,
+}
+
+/// A running server; dropping it without [`Server::shutdown`] leaves the
+/// threads running until the process exits.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting connections with the given registry.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the address cannot be bound.
+    pub fn start(config: &ServerConfig, registry: ModelRegistry) -> Result<Self, String> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))
+            .map_err(|e| format!("cannot bind {}:{}: {e}", config.host, config.port))?;
+        let addr = listener.local_addr().map_err(|e| format!("no local address: {e}"))?;
+
+        let state = Arc::new(AppState {
+            registry,
+            cache: PredictionCache::new(config.cache_capacity),
+            metrics: Metrics::default(),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("ceer-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state))
+                    .map_err(|e| format!("cannot spawn worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ceer-serve-acceptor".to_string())
+                .spawn(move || {
+                    // `tx` is moved in and dropped on return, which closes the
+                    // channel and lets the workers drain and exit.
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .map_err(|e| format!("cannot spawn acceptor: {e}"))?
+        };
+
+        Ok(Server { addr, stop, acceptor, workers })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued connections, and joins every thread.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The acceptor is blocked in accept(); poke it awake so it observes
+        // the stop flag. The connection itself is discarded unanswered.
+        drop(TcpStream::connect(self.addr));
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Blocks until the acceptor thread exits (it never does on its own;
+    /// this is the foreground mode of `ceer serve`).
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &AppState) {
+    loop {
+        // Hold the lock only while receiving, not while handling.
+        let stream = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, state),
+            Err(_) => return, // channel closed: shutdown
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &AppState) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let request = match http::read_request(&mut reader) {
+        Ok(Some(request)) => request,
+        Ok(None) => return, // clean close before a request
+        Err(error) => {
+            let body = serde_json::to_string_pretty(&ErrorResponse { error }).expect("serializes");
+            let response = Response::json(400, body);
+            state.metrics.record("(malformed)", 0.0, true);
+            let _ = response.write_to(&mut BufWriter::new(stream));
+            return;
+        }
+    };
+
+    let started = Instant::now();
+    let response = route(&request, state);
+    let latency_us = started.elapsed().as_secs_f64() * 1e6;
+    let route_label = format!("{} {}", request.method, canonical_route(&request.path));
+    state.metrics.record(&route_label, latency_us, response.is_error());
+    let _ = response.write_to(&mut BufWriter::new(stream));
+}
+
+/// Collapses unknown paths so the metrics map cannot grow unboundedly from
+/// path scans.
+fn canonical_route(path: &str) -> &str {
+    match path {
+        "/healthz" | "/zoo" | "/catalog" | "/metrics" | "/predict" | "/recommend" | "/reload" => {
+            path
+        }
+        _ => "(unknown)",
+    }
+}
+
+fn route(request: &Request, state: &AppState) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\n  \"status\": \"ok\"\n}"),
+        ("GET", "/zoo") => ok(&api::zoo()),
+        ("GET", "/catalog") => ok(&api::catalog()),
+        ("GET", "/metrics") => {
+            ok(&state.metrics.snapshot(state.cache.stats(), state.registry.reloads()))
+        }
+        ("POST", "/predict") => cached(state, "/predict", &request.body, api::predict),
+        ("POST", "/recommend") => cached(state, "/recommend", &request.body, api::recommend),
+        ("POST", "/reload") => match state.registry.reload() {
+            Ok(reloads) => {
+                // The cache is keyed by request only, so entries computed
+                // with the old model are now stale.
+                state.cache.clear();
+                Response::json(
+                    200,
+                    format!("{{\n  \"status\": \"reloaded\",\n  \"reloads\": {reloads}\n}}"),
+                )
+            }
+            Err(error) => error_response(500, error),
+        },
+        (
+            _,
+            "/healthz" | "/zoo" | "/catalog" | "/metrics" | "/predict" | "/recommend" | "/reload",
+        ) => error_response(405, format!("{} does not accept {}", request.path, request.method)),
+        _ => error_response(404, format!("no such endpoint {:?}", request.path)),
+    }
+}
+
+/// Parses the body, answers from cache when possible, computes and caches
+/// otherwise. The cache key is the *canonical* request (parsed and
+/// re-serialized), so formatting differences and defaulted fields collapse
+/// onto one entry.
+fn cached<Req, Resp>(
+    state: &AppState,
+    endpoint: &str,
+    body: &[u8],
+    evaluate: impl Fn(&ceer_core::CeerModel, &Req) -> Result<Resp, String>,
+) -> Response
+where
+    Req: serde::Serialize + serde::Deserialize,
+    Resp: serde::Serialize,
+{
+    let request: Req = match serde_json::from_slice(body) {
+        Ok(request) => request,
+        Err(e) => return error_response(400, format!("invalid request body: {e}")),
+    };
+    let key = format!("{endpoint} {}", serde_json::to_string(&request).expect("serializes"));
+    if let Some(body) = state.cache.get(&key) {
+        return Response::json(200, body);
+    }
+    match evaluate(&state.registry.model(), &request) {
+        Ok(response) => {
+            let body = serde_json::to_string_pretty(&response).expect("serializes");
+            state.cache.insert(key, body.clone());
+            Response::json(200, body)
+        }
+        Err(error) => error_response(400, error),
+    }
+}
+
+fn ok(body: &impl serde::Serialize) -> Response {
+    Response::json(200, serde_json::to_string_pretty(body).expect("serializes"))
+}
+
+fn error_response(status: u16, error: String) -> Response {
+    Response::json(
+        status,
+        serde_json::to_string_pretty(&ErrorResponse { error }).expect("serializes"),
+    )
+}

@@ -139,14 +139,8 @@ mod tests {
     #[test]
     fn arbitrary_statistics_work() {
         let sample = noisy_sample(100, 5.0, 1.0, 8);
-        let ci = bootstrap_ci(
-            &sample,
-            |s| s.iter().sum::<f64>() / s.len() as f64,
-            300,
-            0.95,
-            9,
-        )
-        .unwrap();
+        let ci = bootstrap_ci(&sample, |s| s.iter().sum::<f64>() / s.len() as f64, 300, 0.95, 9)
+            .unwrap();
         assert!(ci.contains(5.0));
     }
 
@@ -164,9 +158,6 @@ mod tests {
         assert_eq!(median_ci(&[], 10, 0.95, 1).unwrap_err(), StatsError::EmptyInput);
         assert!(median_ci(&[1.0], 10, 1.5, 1).is_err());
         assert!(median_ci(&[1.0], 0, 0.95, 1).is_err());
-        assert_eq!(
-            median_ci(&[f64::NAN], 10, 0.95, 1).unwrap_err(),
-            StatsError::NonFiniteInput
-        );
+        assert_eq!(median_ci(&[f64::NAN], 10, 0.95, 1).unwrap_err(), StatsError::NonFiniteInput);
     }
 }

@@ -82,10 +82,7 @@ impl EmpiricalCdf {
     /// suitable for plotting (one point per observation).
     pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
         let n = self.sorted.len() as f64;
-        self.sorted
-            .iter()
-            .enumerate()
-            .map(move |(i, &v)| (v, (i + 1) as f64 / n))
+        self.sorted.iter().enumerate().map(move |(i, &v)| (v, (i + 1) as f64 / n))
     }
 }
 

@@ -124,9 +124,6 @@ mod tests {
     fn validation() {
         assert_eq!(Histogram::new(&[], 3).unwrap_err(), StatsError::EmptyInput);
         assert!(Histogram::new(&[1.0], 0).is_err());
-        assert_eq!(
-            Histogram::new(&[f64::INFINITY], 3).unwrap_err(),
-            StatsError::NonFiniteInput
-        );
+        assert_eq!(Histogram::new(&[f64::INFINITY], 3).unwrap_err(), StatsError::NonFiniteInput);
     }
 }

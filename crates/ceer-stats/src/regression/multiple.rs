@@ -74,10 +74,7 @@ impl MultipleOls {
         }
         let p = k + 1; // coefficients including intercept
         if rows.len() < p {
-            return Err(StatsError::InsufficientData {
-                observations: rows.len(),
-                coefficients: p,
-            });
+            return Err(StatsError::InsufficientData { observations: rows.len(), coefficients: p });
         }
 
         // Build normal equations: (XᵀX) b = Xᵀy with X = [1 | features].
@@ -87,9 +84,10 @@ impl MultipleOls {
             // Augmented feature vector with leading 1 for the intercept.
             let feat = |j: usize| if j == 0 { 1.0 } else { row[j - 1] };
             for i in 0..p {
-                xty[i] += feat(i) * y;
-                for j in 0..p {
-                    xtx[i][j] += feat(i) * feat(j);
+                let fi = feat(i);
+                xty[i] += fi * y;
+                for (j, cell) in xtx[i].iter_mut().enumerate() {
+                    *cell += fi * feat(j);
                 }
             }
         }
@@ -103,8 +101,7 @@ impl MultipleOls {
             })
             .collect();
         let r2 = r_squared(ys, &predicted)?;
-        let ss_res: f64 =
-            ys.iter().zip(&predicted).map(|(y, pr)| (y - pr) * (y - pr)).sum();
+        let ss_res: f64 = ys.iter().zip(&predicted).map(|(y, pr)| (y - pr) * (y - pr)).sum();
         let dof = rows.len().saturating_sub(p);
         let residual_std = if dof > 0 { (ss_res / dof as f64).sqrt() } else { 0.0 };
         Ok(MultipleOls { coefficients, r_squared: r2, observations: rows.len(), residual_std })
@@ -177,8 +174,11 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>
             if factor == 0.0 {
                 continue;
             }
-            for j in col..n {
-                a[row][j] -= factor * a[col][j];
+            // Two rows of `a` at once: pivot row (read) vs. target (write).
+            let (pivot_rows, target_rows) = a.split_at_mut(row);
+            let pivot = &pivot_rows[col][col..];
+            for (target, &p) in target_rows[0][col..].iter_mut().zip(pivot) {
+                *target -= factor * p;
             }
             b[row] -= factor * b[col];
         }
@@ -202,9 +202,7 @@ mod tests {
     #[test]
     fn recovers_exact_plane() {
         // y = 2 + 1*a - 4*b
-        let rows: Vec<Vec<f64>> = (0..12)
-            .map(|i| vec![(i % 4) as f64, (i / 4) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 4) as f64, (i / 4) as f64]).collect();
         let ys: Vec<f64> = rows.iter().map(|r| 2.0 + r[0] - 4.0 * r[1]).collect();
         let fit = MultipleOls::fit(&rows, &ys).unwrap();
         assert!((fit.intercept() - 2.0).abs() < 1e-9);

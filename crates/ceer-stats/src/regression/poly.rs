@@ -71,12 +71,11 @@ impl PolynomialOls {
         coefficients[0] = inner.intercept();
         for (d, &c) in inner.feature_coefficients().iter().enumerate() {
             let d = d + 1; // power in standardized space
-            // c * (x - mean)^d / scale^d expanded into powers of x.
+                           // c * (x - mean)^d / scale^d expanded into powers of x.
             let inv_scale_d = scale.powi(d as i32).recip();
-            for j in 0..=d {
+            for (j, coefficient) in coefficients.iter_mut().enumerate().take(d + 1) {
                 let binom = binomial(d, j) as f64;
-                let term = c * inv_scale_d * binom * (-mean).powi((d - j) as i32);
-                coefficients[j] += term;
+                *coefficient += c * inv_scale_d * binom * (-mean).powi((d - j) as i32);
             }
         }
         let predicted: Vec<f64> = xs.iter().map(|&x| eval_poly(&coefficients, x)).collect();
@@ -159,10 +158,8 @@ pub fn select_polynomial_degree(
             _ => {}
         }
     }
-    best.map(|(_, fit)| fit).ok_or(StatsError::InsufficientData {
-        observations: xs.len(),
-        coefficients: 2,
-    })
+    best.map(|(_, fit)| fit)
+        .ok_or(StatsError::InsufficientData { observations: xs.len(), coefficients: 2 })
 }
 
 #[cfg(test)]

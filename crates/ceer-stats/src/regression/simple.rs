@@ -73,8 +73,7 @@ impl SimpleOls {
         let intercept = mean_y - slope * mean_x;
         let predicted: Vec<f64> = xs.iter().map(|&x| intercept + slope * x).collect();
         let r2 = r_squared(ys, &predicted)?;
-        let ss_res: f64 =
-            ys.iter().zip(&predicted).map(|(y, p)| (y - p) * (y - p)).sum();
+        let ss_res: f64 = ys.iter().zip(&predicted).map(|(y, p)| (y - p) * (y - p)).sum();
         let dof = xs.len().saturating_sub(2);
         let residual_std = if dof > 0 { (ss_res / dof as f64).sqrt() } else { 0.0 };
         Ok(SimpleOls { intercept, slope, r_squared: r2, observations: xs.len(), residual_std })

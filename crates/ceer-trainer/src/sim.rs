@@ -95,12 +95,7 @@ impl Trainer {
     /// Like [`profile`](Self::profile) but reuses an already-expanded
     /// training graph (callers that profile the same CNN on many instance
     /// configurations avoid re-expanding it).
-    pub fn profile_graph(
-        &self,
-        cnn: &Cnn,
-        graph: &Graph,
-        iterations: usize,
-    ) -> TrainingProfile {
+    pub fn profile_graph(&self, cnn: &Cnn, graph: &Graph, iterations: usize) -> TrainingProfile {
         assert!(iterations > 0, "need at least one iteration");
         let timer = OpTimer::new(self.gpu);
         let sync = SyncModel::new(self.gpu);
@@ -111,7 +106,8 @@ impl Trainer {
         // instance configuration so different configurations see
         // independent noise.
         let root = DeterministicRng::from_seed(
-            self.seed ^ (self.gpu as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            self.seed
+                ^ (self.gpu as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ (self.gpus as u64) << 32,
         );
         let mut primary = root.substream(0);
@@ -124,20 +120,13 @@ impl Trainer {
         let expected: Vec<f64> =
             graph.nodes().iter().map(|n| timer.expected_duration_us(n, graph)).collect();
         let cvs: Vec<f64> = graph.nodes().iter().map(|n| OpTimer::noise_cv(n.kind())).collect();
-        let is_cpu: Vec<bool> = graph
-            .nodes()
-            .iter()
-            .map(|n| n.kind().device_class() == DeviceClass::Cpu)
-            .collect();
+        let is_cpu: Vec<bool> =
+            graph.nodes().iter().map(|n| n.kind().device_class() == DeviceClass::Cpu).collect();
 
         // Expected (noise-free) compute time of one replica, which the sync
         // ground truth needs for its straggler term.
-        let replica_compute_us: f64 = expected
-            .iter()
-            .zip(&is_cpu)
-            .filter(|(_, &cpu)| !cpu)
-            .map(|(&e, _)| e)
-            .sum();
+        let replica_compute_us: f64 =
+            expected.iter().zip(&is_cpu).filter(|(_, &cpu)| !cpu).map(|(&e, _)| e).sum();
 
         let mut durations: Vec<Vec<f64>> =
             graph.nodes().iter().map(|_| Vec::with_capacity(iterations)).collect();
@@ -288,8 +277,7 @@ mod tests {
     fn overlap_shortens_iterations_without_changing_sync() {
         let cnn = Cnn::build(CnnId::AlexNet, 32);
         let graph = cnn.training_graph();
-        let additive =
-            Trainer::new(GpuModel::T4, 4).with_seed(9).profile_graph(&cnn, &graph, 6);
+        let additive = Trainer::new(GpuModel::T4, 4).with_seed(9).profile_graph(&cnn, &graph, 6);
         let overlapped = Trainer::new(GpuModel::T4, 4)
             .with_seed(9)
             .with_comm_overlap(0.8)

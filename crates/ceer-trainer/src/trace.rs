@@ -93,12 +93,8 @@ pub fn chrome_trace(cnn: &Cnn, graph: &Graph, gpu: GpuModel, gpus: u32, seed: u6
 
     // Synchronization phase.
     let mut sync_rng = root.substream(u64::MAX);
-    let sync_dur = sync.sample_overhead_us(
-        gpus,
-        graph.parameter_count(),
-        replica_compute,
-        &mut sync_rng,
-    );
+    let sync_dur =
+        sync.sample_overhead_us(gpus, graph.parameter_count(), replica_compute, &mut sync_rng);
     events.push(TraceEvent {
         name: format!("sync ({} params)", graph.parameter_count()),
         cat: "sync",
@@ -137,8 +133,7 @@ mod tests {
     #[test]
     fn multi_gpu_traces_have_one_track_per_replica() {
         let events = trace_for(3);
-        let mut tids: Vec<u64> =
-            events.iter().map(|e| e["tid"].as_u64().expect("tid")).collect();
+        let mut tids: Vec<u64> = events.iter().map(|e| e["tid"].as_u64().expect("tid")).collect();
         tids.sort_unstable();
         tids.dedup();
         // host(0) + replicas(1..=3) + sync(100).
@@ -167,8 +162,7 @@ mod tests {
         let sync_ts = sync["ts"].as_f64().expect("ts");
         for e in &events {
             if e["cat"] != "sync" {
-                let end =
-                    e["ts"].as_f64().expect("ts") + e["dur"].as_f64().expect("dur");
+                let end = e["ts"].as_f64().expect("ts") + e["dur"].as_f64().expect("dur");
                 assert!(end <= sync_ts + 1e-6, "op ends after sync starts");
             }
         }

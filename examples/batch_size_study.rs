@@ -6,9 +6,9 @@
 //! cargo run --release --example batch_size_study -- [model] [gpu]
 //! ```
 
+use ceer::gpusim::GpuModel;
 use ceer::graph::analysis;
 use ceer::graph::models::{Cnn, CnnId};
-use ceer::gpusim::GpuModel;
 use ceer::model::{Ceer, EstimateOptions, FitConfig};
 use ceer::trainer::Trainer;
 

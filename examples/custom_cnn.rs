@@ -8,9 +8,9 @@
 //! ```
 
 use ceer::cloud::{Catalog, Pricing};
+use ceer::gpusim::GpuModel;
 use ceer::graph::backward::training_graph;
 use ceer::graph::{GraphBuilder, Padding};
-use ceer::gpusim::GpuModel;
 use ceer::model::{Ceer, EstimateOptions, FitConfig};
 
 fn main() {

@@ -17,11 +17,8 @@ use ceer::model::{Ceer, FitConfig};
 
 fn parse_model(name: &str) -> Option<CnnId> {
     let normalized = name.to_lowercase().replace(['_', ' '], "-");
-    CnnId::all()
-        .iter()
-        .copied()
-        .find(|id| id.name().to_lowercase() == normalized)
-        .or(match normalized.as_str() {
+    CnnId::all().iter().copied().find(|id| id.name().to_lowercase() == normalized).or(
+        match normalized.as_str() {
             "alexnet" => Some(CnnId::AlexNet),
             "vgg11" => Some(CnnId::Vgg11),
             "vgg16" => Some(CnnId::Vgg16),
@@ -34,14 +31,16 @@ fn parse_model(name: &str) -> Option<CnnId> {
             "resnet-152" | "resnet152" => Some(CnnId::ResNet152),
             "resnet-200" | "resnet200" => Some(CnnId::ResNet200),
             _ => None,
-        })
+        },
+    )
 }
 
 fn parse_objective(arg: &str) -> Option<Objective> {
     if let Some(rest) = arg.strip_prefix("hourly:") {
-        return rest.parse().ok().map(|usd_per_hour| Objective::MinTimeUnderHourlyBudget {
-            usd_per_hour,
-        });
+        return rest
+            .parse()
+            .ok()
+            .map(|usd_per_hour| Objective::MinTimeUnderHourlyBudget { usd_per_hour });
     }
     if let Some(rest) = arg.strip_prefix("budget:") {
         return rest.parse().ok().map(|usd| Objective::MinTimeUnderTotalBudget { usd });

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full CI gate: formatting, lints, release build, and the test suite.
+# Everything runs offline (the registry dependencies are vendored under
+# vendor/). Fails fast on the first broken step.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --check
+
+echo "=== cargo clippy (deny warnings) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo build --release ==="
+cargo build --release
+
+echo "=== cargo test ==="
+cargo test -q
+
+echo "CI gate passed."

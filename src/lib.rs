@@ -9,6 +9,7 @@
 //! - [`cloud`]: AWS GPU instance catalog and pricing.
 //! - [`trainer`]: the training-loop simulator and profiler.
 //! - [`model`]: Ceer itself — regression models, estimators, recommender.
+//! - [`serve`]: the HTTP prediction service over a fitted model.
 //! - [`stats`]: the statistics substrate.
 
 #![forbid(unsafe_code)]
@@ -17,5 +18,6 @@ pub use ceer_cloud as cloud;
 pub use ceer_core as model;
 pub use ceer_gpusim as gpusim;
 pub use ceer_graph as graph;
+pub use ceer_serve as serve;
 pub use ceer_stats as stats;
 pub use ceer_trainer as trainer;

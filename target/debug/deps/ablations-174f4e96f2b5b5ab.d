@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-174f4e96f2b5b5ab.d: crates/ceer-experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-174f4e96f2b5b5ab.rmeta: crates/ceer-experiments/src/bin/ablations.rs
+
+crates/ceer-experiments/src/bin/ablations.rs:

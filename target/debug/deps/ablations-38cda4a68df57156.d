@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-38cda4a68df57156.d: crates/ceer-experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-38cda4a68df57156.rmeta: crates/ceer-experiments/src/bin/ablations.rs
+
+crates/ceer-experiments/src/bin/ablations.rs:

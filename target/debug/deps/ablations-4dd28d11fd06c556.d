@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-4dd28d11fd06c556.d: crates/ceer-experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-4dd28d11fd06c556: crates/ceer-experiments/src/bin/ablations.rs
+
+crates/ceer-experiments/src/bin/ablations.rs:

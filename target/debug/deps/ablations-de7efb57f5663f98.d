@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-de7efb57f5663f98.d: crates/ceer-experiments/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-de7efb57f5663f98.rmeta: crates/ceer-experiments/src/bin/ablations.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

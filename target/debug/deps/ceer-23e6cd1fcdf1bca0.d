@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer-23e6cd1fcdf1bca0.d: crates/ceer-bench/benches/ceer.rs
+
+/root/repo/target/debug/deps/libceer-23e6cd1fcdf1bca0.rmeta: crates/ceer-bench/benches/ceer.rs
+
+crates/ceer-bench/benches/ceer.rs:

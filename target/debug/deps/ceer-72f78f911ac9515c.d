@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ceer-72f78f911ac9515c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libceer-72f78f911ac9515c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libceer-72f78f911ac9515c.rmeta: src/lib.rs
+
+src/lib.rs:

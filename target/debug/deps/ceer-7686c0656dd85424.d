@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer-7686c0656dd85424.d: src/lib.rs
+
+/root/repo/target/debug/deps/ceer-7686c0656dd85424: src/lib.rs
+
+src/lib.rs:

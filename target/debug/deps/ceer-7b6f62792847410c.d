@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ceer-7b6f62792847410c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libceer-7b6f62792847410c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libceer-7b6f62792847410c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer-8136e90c489a70a8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libceer-8136e90c489a70a8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer-944f364032d5118a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libceer-944f364032d5118a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ceer-a86e3c467f94fe7c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer-a86e3c467f94fe7c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

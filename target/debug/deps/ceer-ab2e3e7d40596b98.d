@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer-ab2e3e7d40596b98.d: src/lib.rs
+
+/root/repo/target/debug/deps/ceer-ab2e3e7d40596b98: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ceer_bench-0334d25200d9c41d.d: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_bench-0334d25200d9c41d.rlib: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_bench-0334d25200d9c41d.rmeta: crates/ceer-bench/src/lib.rs
+
+crates/ceer-bench/src/lib.rs:

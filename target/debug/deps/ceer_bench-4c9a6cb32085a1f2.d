@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer_bench-4c9a6cb32085a1f2.d: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/debug/deps/ceer_bench-4c9a6cb32085a1f2: crates/ceer-bench/src/lib.rs
+
+crates/ceer-bench/src/lib.rs:

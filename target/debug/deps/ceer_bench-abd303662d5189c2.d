@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer_bench-abd303662d5189c2.d: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_bench-abd303662d5189c2.rmeta: crates/ceer-bench/src/lib.rs
+
+crates/ceer-bench/src/lib.rs:

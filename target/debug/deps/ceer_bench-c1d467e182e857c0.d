@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer_bench-c1d467e182e857c0.d: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_bench-c1d467e182e857c0.rmeta: crates/ceer-bench/src/lib.rs
+
+crates/ceer-bench/src/lib.rs:

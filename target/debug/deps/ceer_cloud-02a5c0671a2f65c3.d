@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ceer_cloud-02a5c0671a2f65c3.d: crates/ceer-cloud/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer_cloud-02a5c0671a2f65c3.rmeta: crates/ceer-cloud/src/lib.rs Cargo.toml
+
+crates/ceer-cloud/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer_cloud-28bbfbf36fa616fe.d: crates/ceer-cloud/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_cloud-28bbfbf36fa616fe.rmeta: crates/ceer-cloud/src/lib.rs
+
+crates/ceer-cloud/src/lib.rs:

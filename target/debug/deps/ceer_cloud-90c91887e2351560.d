@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ceer_cloud-90c91887e2351560.d: crates/ceer-cloud/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer_cloud-90c91887e2351560.rmeta: crates/ceer-cloud/src/lib.rs Cargo.toml
+
+crates/ceer-cloud/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ceer_cloud-b04a7da515e90090.d: crates/ceer-cloud/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_cloud-b04a7da515e90090.rlib: crates/ceer-cloud/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_cloud-b04a7da515e90090.rmeta: crates/ceer-cloud/src/lib.rs
+
+crates/ceer-cloud/src/lib.rs:

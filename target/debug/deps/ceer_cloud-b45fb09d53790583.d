@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer_cloud-b45fb09d53790583.d: crates/ceer-cloud/src/lib.rs
+
+/root/repo/target/debug/deps/ceer_cloud-b45fb09d53790583: crates/ceer-cloud/src/lib.rs
+
+crates/ceer-cloud/src/lib.rs:

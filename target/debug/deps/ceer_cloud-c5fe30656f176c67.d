@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer_cloud-c5fe30656f176c67.d: crates/ceer-cloud/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_cloud-c5fe30656f176c67.rmeta: crates/ceer-cloud/src/lib.rs
+
+crates/ceer-cloud/src/lib.rs:

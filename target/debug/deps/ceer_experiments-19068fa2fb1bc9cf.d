@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ceer_experiments-19068fa2fb1bc9cf.d: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+/root/repo/target/debug/deps/libceer_experiments-19068fa2fb1bc9cf.rmeta: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+crates/ceer-experiments/src/lib.rs:
+crates/ceer-experiments/src/checks.rs:
+crates/ceer-experiments/src/context.rs:
+crates/ceer-experiments/src/observe.rs:
+crates/ceer-experiments/src/table.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ceer_experiments-2dcbd50f1f39be96.d: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+/root/repo/target/debug/deps/libceer_experiments-2dcbd50f1f39be96.rlib: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+/root/repo/target/debug/deps/libceer_experiments-2dcbd50f1f39be96.rmeta: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+crates/ceer-experiments/src/lib.rs:
+crates/ceer-experiments/src/checks.rs:
+crates/ceer-experiments/src/context.rs:
+crates/ceer-experiments/src/observe.rs:
+crates/ceer-experiments/src/table.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ceer_gpusim-4bc18a1db1f884a2.d: crates/ceer-gpusim/src/lib.rs crates/ceer-gpusim/src/comm.rs crates/ceer-gpusim/src/hardware.rs crates/ceer-gpusim/src/roofline.rs crates/ceer-gpusim/src/timing.rs crates/ceer-gpusim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer_gpusim-4bc18a1db1f884a2.rmeta: crates/ceer-gpusim/src/lib.rs crates/ceer-gpusim/src/comm.rs crates/ceer-gpusim/src/hardware.rs crates/ceer-gpusim/src/roofline.rs crates/ceer-gpusim/src/timing.rs crates/ceer-gpusim/src/workload.rs Cargo.toml
+
+crates/ceer-gpusim/src/lib.rs:
+crates/ceer-gpusim/src/comm.rs:
+crates/ceer-gpusim/src/hardware.rs:
+crates/ceer-gpusim/src/roofline.rs:
+crates/ceer-gpusim/src/timing.rs:
+crates/ceer-gpusim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ceer_gpusim-c6d1a331d3041b4d.d: crates/ceer-gpusim/src/lib.rs crates/ceer-gpusim/src/comm.rs crates/ceer-gpusim/src/hardware.rs crates/ceer-gpusim/src/roofline.rs crates/ceer-gpusim/src/timing.rs crates/ceer-gpusim/src/workload.rs
+
+/root/repo/target/debug/deps/libceer_gpusim-c6d1a331d3041b4d.rlib: crates/ceer-gpusim/src/lib.rs crates/ceer-gpusim/src/comm.rs crates/ceer-gpusim/src/hardware.rs crates/ceer-gpusim/src/roofline.rs crates/ceer-gpusim/src/timing.rs crates/ceer-gpusim/src/workload.rs
+
+/root/repo/target/debug/deps/libceer_gpusim-c6d1a331d3041b4d.rmeta: crates/ceer-gpusim/src/lib.rs crates/ceer-gpusim/src/comm.rs crates/ceer-gpusim/src/hardware.rs crates/ceer-gpusim/src/roofline.rs crates/ceer-gpusim/src/timing.rs crates/ceer-gpusim/src/workload.rs
+
+crates/ceer-gpusim/src/lib.rs:
+crates/ceer-gpusim/src/comm.rs:
+crates/ceer-gpusim/src/hardware.rs:
+crates/ceer-gpusim/src/roofline.rs:
+crates/ceer-gpusim/src/timing.rs:
+crates/ceer-gpusim/src/workload.rs:

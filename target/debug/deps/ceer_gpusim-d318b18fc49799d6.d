@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ceer_gpusim-d318b18fc49799d6.d: crates/ceer-gpusim/src/lib.rs crates/ceer-gpusim/src/comm.rs crates/ceer-gpusim/src/hardware.rs crates/ceer-gpusim/src/roofline.rs crates/ceer-gpusim/src/timing.rs crates/ceer-gpusim/src/workload.rs
+
+/root/repo/target/debug/deps/ceer_gpusim-d318b18fc49799d6: crates/ceer-gpusim/src/lib.rs crates/ceer-gpusim/src/comm.rs crates/ceer-gpusim/src/hardware.rs crates/ceer-gpusim/src/roofline.rs crates/ceer-gpusim/src/timing.rs crates/ceer-gpusim/src/workload.rs
+
+crates/ceer-gpusim/src/lib.rs:
+crates/ceer-gpusim/src/comm.rs:
+crates/ceer-gpusim/src/hardware.rs:
+crates/ceer-gpusim/src/roofline.rs:
+crates/ceer-gpusim/src/timing.rs:
+crates/ceer-gpusim/src/workload.rs:

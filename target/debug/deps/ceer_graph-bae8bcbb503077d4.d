@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ceer_graph-bae8bcbb503077d4.d: crates/ceer-graph/src/lib.rs crates/ceer-graph/src/analysis.rs crates/ceer-graph/src/backward.rs crates/ceer-graph/src/builder.rs crates/ceer-graph/src/graph.rs crates/ceer-graph/src/models/mod.rs crates/ceer-graph/src/models/alexnet.rs crates/ceer-graph/src/models/inception_resnet_v2.rs crates/ceer-graph/src/models/inception_v1.rs crates/ceer-graph/src/models/inception_v3.rs crates/ceer-graph/src/models/inception_v4.rs crates/ceer-graph/src/models/resnet.rs crates/ceer-graph/src/models/vgg.rs crates/ceer-graph/src/op.rs crates/ceer-graph/src/shape.rs crates/ceer-graph/src/shapecheck.rs
+
+/root/repo/target/debug/deps/libceer_graph-bae8bcbb503077d4.rmeta: crates/ceer-graph/src/lib.rs crates/ceer-graph/src/analysis.rs crates/ceer-graph/src/backward.rs crates/ceer-graph/src/builder.rs crates/ceer-graph/src/graph.rs crates/ceer-graph/src/models/mod.rs crates/ceer-graph/src/models/alexnet.rs crates/ceer-graph/src/models/inception_resnet_v2.rs crates/ceer-graph/src/models/inception_v1.rs crates/ceer-graph/src/models/inception_v3.rs crates/ceer-graph/src/models/inception_v4.rs crates/ceer-graph/src/models/resnet.rs crates/ceer-graph/src/models/vgg.rs crates/ceer-graph/src/op.rs crates/ceer-graph/src/shape.rs crates/ceer-graph/src/shapecheck.rs
+
+crates/ceer-graph/src/lib.rs:
+crates/ceer-graph/src/analysis.rs:
+crates/ceer-graph/src/backward.rs:
+crates/ceer-graph/src/builder.rs:
+crates/ceer-graph/src/graph.rs:
+crates/ceer-graph/src/models/mod.rs:
+crates/ceer-graph/src/models/alexnet.rs:
+crates/ceer-graph/src/models/inception_resnet_v2.rs:
+crates/ceer-graph/src/models/inception_v1.rs:
+crates/ceer-graph/src/models/inception_v3.rs:
+crates/ceer-graph/src/models/inception_v4.rs:
+crates/ceer-graph/src/models/resnet.rs:
+crates/ceer-graph/src/models/vgg.rs:
+crates/ceer-graph/src/op.rs:
+crates/ceer-graph/src/shape.rs:
+crates/ceer-graph/src/shapecheck.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ceer_stats-4b12f052f4052f98.d: crates/ceer-stats/src/lib.rs crates/ceer-stats/src/error.rs crates/ceer-stats/src/bootstrap.rs crates/ceer-stats/src/cdf.rs crates/ceer-stats/src/correlation.rs crates/ceer-stats/src/histogram.rs crates/ceer-stats/src/metrics.rs crates/ceer-stats/src/regression/mod.rs crates/ceer-stats/src/regression/multiple.rs crates/ceer-stats/src/regression/poly.rs crates/ceer-stats/src/regression/simple.rs crates/ceer-stats/src/rng.rs crates/ceer-stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer_stats-4b12f052f4052f98.rmeta: crates/ceer-stats/src/lib.rs crates/ceer-stats/src/error.rs crates/ceer-stats/src/bootstrap.rs crates/ceer-stats/src/cdf.rs crates/ceer-stats/src/correlation.rs crates/ceer-stats/src/histogram.rs crates/ceer-stats/src/metrics.rs crates/ceer-stats/src/regression/mod.rs crates/ceer-stats/src/regression/multiple.rs crates/ceer-stats/src/regression/poly.rs crates/ceer-stats/src/regression/simple.rs crates/ceer-stats/src/rng.rs crates/ceer-stats/src/summary.rs Cargo.toml
+
+crates/ceer-stats/src/lib.rs:
+crates/ceer-stats/src/error.rs:
+crates/ceer-stats/src/bootstrap.rs:
+crates/ceer-stats/src/cdf.rs:
+crates/ceer-stats/src/correlation.rs:
+crates/ceer-stats/src/histogram.rs:
+crates/ceer-stats/src/metrics.rs:
+crates/ceer-stats/src/regression/mod.rs:
+crates/ceer-stats/src/regression/multiple.rs:
+crates/ceer-stats/src/regression/poly.rs:
+crates/ceer-stats/src/regression/simple.rs:
+crates/ceer-stats/src/rng.rs:
+crates/ceer-stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ceer_stats-b88e3c10b290ebed.d: crates/ceer-stats/src/lib.rs crates/ceer-stats/src/error.rs crates/ceer-stats/src/bootstrap.rs crates/ceer-stats/src/cdf.rs crates/ceer-stats/src/correlation.rs crates/ceer-stats/src/histogram.rs crates/ceer-stats/src/metrics.rs crates/ceer-stats/src/regression/mod.rs crates/ceer-stats/src/regression/multiple.rs crates/ceer-stats/src/regression/poly.rs crates/ceer-stats/src/regression/simple.rs crates/ceer-stats/src/rng.rs crates/ceer-stats/src/summary.rs
+
+/root/repo/target/debug/deps/libceer_stats-b88e3c10b290ebed.rlib: crates/ceer-stats/src/lib.rs crates/ceer-stats/src/error.rs crates/ceer-stats/src/bootstrap.rs crates/ceer-stats/src/cdf.rs crates/ceer-stats/src/correlation.rs crates/ceer-stats/src/histogram.rs crates/ceer-stats/src/metrics.rs crates/ceer-stats/src/regression/mod.rs crates/ceer-stats/src/regression/multiple.rs crates/ceer-stats/src/regression/poly.rs crates/ceer-stats/src/regression/simple.rs crates/ceer-stats/src/rng.rs crates/ceer-stats/src/summary.rs
+
+/root/repo/target/debug/deps/libceer_stats-b88e3c10b290ebed.rmeta: crates/ceer-stats/src/lib.rs crates/ceer-stats/src/error.rs crates/ceer-stats/src/bootstrap.rs crates/ceer-stats/src/cdf.rs crates/ceer-stats/src/correlation.rs crates/ceer-stats/src/histogram.rs crates/ceer-stats/src/metrics.rs crates/ceer-stats/src/regression/mod.rs crates/ceer-stats/src/regression/multiple.rs crates/ceer-stats/src/regression/poly.rs crates/ceer-stats/src/regression/simple.rs crates/ceer-stats/src/rng.rs crates/ceer-stats/src/summary.rs
+
+crates/ceer-stats/src/lib.rs:
+crates/ceer-stats/src/error.rs:
+crates/ceer-stats/src/bootstrap.rs:
+crates/ceer-stats/src/cdf.rs:
+crates/ceer-stats/src/correlation.rs:
+crates/ceer-stats/src/histogram.rs:
+crates/ceer-stats/src/metrics.rs:
+crates/ceer-stats/src/regression/mod.rs:
+crates/ceer-stats/src/regression/multiple.rs:
+crates/ceer-stats/src/regression/poly.rs:
+crates/ceer-stats/src/regression/simple.rs:
+crates/ceer-stats/src/rng.rs:
+crates/ceer-stats/src/summary.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ceer_stats-efbb6a7b600cd800.d: crates/ceer-stats/src/lib.rs crates/ceer-stats/src/error.rs crates/ceer-stats/src/bootstrap.rs crates/ceer-stats/src/cdf.rs crates/ceer-stats/src/correlation.rs crates/ceer-stats/src/histogram.rs crates/ceer-stats/src/metrics.rs crates/ceer-stats/src/regression/mod.rs crates/ceer-stats/src/regression/multiple.rs crates/ceer-stats/src/regression/poly.rs crates/ceer-stats/src/regression/simple.rs crates/ceer-stats/src/rng.rs crates/ceer-stats/src/summary.rs
+
+/root/repo/target/debug/deps/libceer_stats-efbb6a7b600cd800.rmeta: crates/ceer-stats/src/lib.rs crates/ceer-stats/src/error.rs crates/ceer-stats/src/bootstrap.rs crates/ceer-stats/src/cdf.rs crates/ceer-stats/src/correlation.rs crates/ceer-stats/src/histogram.rs crates/ceer-stats/src/metrics.rs crates/ceer-stats/src/regression/mod.rs crates/ceer-stats/src/regression/multiple.rs crates/ceer-stats/src/regression/poly.rs crates/ceer-stats/src/regression/simple.rs crates/ceer-stats/src/rng.rs crates/ceer-stats/src/summary.rs
+
+crates/ceer-stats/src/lib.rs:
+crates/ceer-stats/src/error.rs:
+crates/ceer-stats/src/bootstrap.rs:
+crates/ceer-stats/src/cdf.rs:
+crates/ceer-stats/src/correlation.rs:
+crates/ceer-stats/src/histogram.rs:
+crates/ceer-stats/src/metrics.rs:
+crates/ceer-stats/src/regression/mod.rs:
+crates/ceer-stats/src/regression/multiple.rs:
+crates/ceer-stats/src/regression/poly.rs:
+crates/ceer-stats/src/regression/simple.rs:
+crates/ceer-stats/src/rng.rs:
+crates/ceer-stats/src/summary.rs:

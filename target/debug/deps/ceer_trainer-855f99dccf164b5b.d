@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ceer_trainer-855f99dccf164b5b.d: crates/ceer-trainer/src/lib.rs crates/ceer-trainer/src/profile.rs crates/ceer-trainer/src/sim.rs crates/ceer-trainer/src/trace.rs
+
+/root/repo/target/debug/deps/libceer_trainer-855f99dccf164b5b.rmeta: crates/ceer-trainer/src/lib.rs crates/ceer-trainer/src/profile.rs crates/ceer-trainer/src/sim.rs crates/ceer-trainer/src/trace.rs
+
+crates/ceer-trainer/src/lib.rs:
+crates/ceer-trainer/src/profile.rs:
+crates/ceer-trainer/src/sim.rs:
+crates/ceer-trainer/src/trace.rs:

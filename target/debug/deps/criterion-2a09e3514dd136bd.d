@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-2a09e3514dd136bd.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-2a09e3514dd136bd.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-977c1be82282dc34.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-977c1be82282dc34.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

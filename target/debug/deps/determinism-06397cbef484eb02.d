@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-06397cbef484eb02.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-06397cbef484eb02: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-8011bb8064045bf2.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-8011bb8064045bf2: tests/determinism.rs
+
+tests/determinism.rs:

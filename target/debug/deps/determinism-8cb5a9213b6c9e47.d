@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-8cb5a9213b6c9e47.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-8cb5a9213b6c9e47.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

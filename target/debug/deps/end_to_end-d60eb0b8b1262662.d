@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d60eb0b8b1262662.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d60eb0b8b1262662: tests/end_to_end.rs
+
+tests/end_to_end.rs:

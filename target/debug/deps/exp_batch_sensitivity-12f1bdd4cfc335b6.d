@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_batch_sensitivity-12f1bdd4cfc335b6.d: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+/root/repo/target/debug/deps/exp_batch_sensitivity-12f1bdd4cfc335b6: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs:

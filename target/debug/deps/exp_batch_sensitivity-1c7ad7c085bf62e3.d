@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_batch_sensitivity-1c7ad7c085bf62e3.d: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+/root/repo/target/debug/deps/libexp_batch_sensitivity-1c7ad7c085bf62e3.rmeta: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_batch_sensitivity-ce8136d6f21e0187.d: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+/root/repo/target/debug/deps/libexp_batch_sensitivity-ce8136d6f21e0187.rmeta: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_crossval-0c7dab15b3f9eae1.d: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+/root/repo/target/debug/deps/libexp_crossval-0c7dab15b3f9eae1.rmeta: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+crates/ceer-experiments/src/bin/exp_crossval.rs:

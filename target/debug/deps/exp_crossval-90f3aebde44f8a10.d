@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_crossval-90f3aebde44f8a10.d: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+/root/repo/target/debug/deps/exp_crossval-90f3aebde44f8a10: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+crates/ceer-experiments/src/bin/exp_crossval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_crossval-cd010aea0062e783.d: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+/root/repo/target/debug/deps/libexp_crossval-cd010aea0062e783.rmeta: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+crates/ceer-experiments/src/bin/exp_crossval.rs:

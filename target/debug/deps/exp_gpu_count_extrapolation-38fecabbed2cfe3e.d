@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_gpu_count_extrapolation-38fecabbed2cfe3e.d: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+/root/repo/target/debug/deps/exp_gpu_count_extrapolation-38fecabbed2cfe3e: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_gpu_count_extrapolation-6805f984a197fc64.d: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+/root/repo/target/debug/deps/libexp_gpu_count_extrapolation-6805f984a197fc64.rmeta: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs:

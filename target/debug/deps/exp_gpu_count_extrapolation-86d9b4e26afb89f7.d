@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_gpu_count_extrapolation-86d9b4e26afb89f7.d: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+/root/repo/target/debug/deps/libexp_gpu_count_extrapolation-86d9b4e26afb89f7.rmeta: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_overlap_limitation-226340603fe2a74f.d: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+/root/repo/target/debug/deps/exp_overlap_limitation-226340603fe2a74f: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+crates/ceer-experiments/src/bin/exp_overlap_limitation.rs:

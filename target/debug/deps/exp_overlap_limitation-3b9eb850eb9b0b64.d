@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_overlap_limitation-3b9eb850eb9b0b64.d: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+/root/repo/target/debug/deps/libexp_overlap_limitation-3b9eb850eb9b0b64.rmeta: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+crates/ceer-experiments/src/bin/exp_overlap_limitation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_overlap_limitation-69de6b4870028862.d: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+/root/repo/target/debug/deps/libexp_overlap_limitation-69de6b4870028862.rmeta: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+crates/ceer-experiments/src/bin/exp_overlap_limitation.rs:

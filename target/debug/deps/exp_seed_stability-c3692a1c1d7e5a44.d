@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_seed_stability-c3692a1c1d7e5a44.d: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+/root/repo/target/debug/deps/libexp_seed_stability-c3692a1c1d7e5a44.rmeta: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+crates/ceer-experiments/src/bin/exp_seed_stability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_seed_stability-f18ce2655b09976e.d: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+/root/repo/target/debug/deps/exp_seed_stability-f18ce2655b09976e: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+crates/ceer-experiments/src/bin/exp_seed_stability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_summary-48bcc41f9df9d146.d: crates/ceer-experiments/src/bin/exp_summary.rs
+
+/root/repo/target/debug/deps/libexp_summary-48bcc41f9df9d146.rmeta: crates/ceer-experiments/src/bin/exp_summary.rs
+
+crates/ceer-experiments/src/bin/exp_summary.rs:

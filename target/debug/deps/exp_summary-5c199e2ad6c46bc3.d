@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_summary-5c199e2ad6c46bc3.d: crates/ceer-experiments/src/bin/exp_summary.rs
+
+/root/repo/target/debug/deps/libexp_summary-5c199e2ad6c46bc3.rmeta: crates/ceer-experiments/src/bin/exp_summary.rs
+
+crates/ceer-experiments/src/bin/exp_summary.rs:

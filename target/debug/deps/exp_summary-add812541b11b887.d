@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_summary-add812541b11b887.d: crates/ceer-experiments/src/bin/exp_summary.rs
+
+/root/repo/target/debug/deps/exp_summary-add812541b11b887: crates/ceer-experiments/src/bin/exp_summary.rs
+
+crates/ceer-experiments/src/bin/exp_summary.rs:

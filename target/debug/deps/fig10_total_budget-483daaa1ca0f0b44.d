@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_total_budget-483daaa1ca0f0b44.d: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+/root/repo/target/debug/deps/fig10_total_budget-483daaa1ca0f0b44: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+crates/ceer-experiments/src/bin/fig10_total_budget.rs:

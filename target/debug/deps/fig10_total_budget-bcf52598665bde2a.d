@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_total_budget-bcf52598665bde2a.d: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+/root/repo/target/debug/deps/libfig10_total_budget-bcf52598665bde2a.rmeta: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+crates/ceer-experiments/src/bin/fig10_total_budget.rs:

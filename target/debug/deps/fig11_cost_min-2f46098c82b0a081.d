@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_cost_min-2f46098c82b0a081.d: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+/root/repo/target/debug/deps/fig11_cost_min-2f46098c82b0a081: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+crates/ceer-experiments/src/bin/fig11_cost_min.rs:

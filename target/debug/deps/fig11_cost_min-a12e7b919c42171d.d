@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_cost_min-a12e7b919c42171d.d: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+/root/repo/target/debug/deps/libfig11_cost_min-a12e7b919c42171d.rmeta: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+crates/ceer-experiments/src/bin/fig11_cost_min.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_cost_min-db9e4e4071ef6244.d: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+/root/repo/target/debug/deps/libfig11_cost_min-db9e4e4071ef6244.rmeta: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+crates/ceer-experiments/src/bin/fig11_cost_min.rs:

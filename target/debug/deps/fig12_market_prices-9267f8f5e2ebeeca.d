@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_market_prices-9267f8f5e2ebeeca.d: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+/root/repo/target/debug/deps/libfig12_market_prices-9267f8f5e2ebeeca.rmeta: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+crates/ceer-experiments/src/bin/fig12_market_prices.rs:

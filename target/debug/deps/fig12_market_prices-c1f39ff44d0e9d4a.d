@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_market_prices-c1f39ff44d0e9d4a.d: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+/root/repo/target/debug/deps/fig12_market_prices-c1f39ff44d0e9d4a: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+crates/ceer-experiments/src/bin/fig12_market_prices.rs:

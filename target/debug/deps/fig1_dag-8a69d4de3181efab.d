@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig1_dag-8a69d4de3181efab.d: crates/ceer-experiments/src/bin/fig1_dag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_dag-8a69d4de3181efab.rmeta: crates/ceer-experiments/src/bin/fig1_dag.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig1_dag.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_op_times-81efb364f32c0915.d: crates/ceer-experiments/src/bin/fig2_op_times.rs
+
+/root/repo/target/debug/deps/libfig2_op_times-81efb364f32c0915.rmeta: crates/ceer-experiments/src/bin/fig2_op_times.rs
+
+crates/ceer-experiments/src/bin/fig2_op_times.rs:

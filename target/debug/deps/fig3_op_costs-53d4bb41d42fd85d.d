@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_op_costs-53d4bb41d42fd85d.d: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+/root/repo/target/debug/deps/libfig3_op_costs-53d4bb41d42fd85d.rmeta: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+crates/ceer-experiments/src/bin/fig3_op_costs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_op_costs-d28d60c772dc63ae.d: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+/root/repo/target/debug/deps/libfig3_op_costs-d28d60c772dc63ae.rmeta: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+crates/ceer-experiments/src/bin/fig3_op_costs.rs:

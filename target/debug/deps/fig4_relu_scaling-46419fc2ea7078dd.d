@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_relu_scaling-46419fc2ea7078dd.d: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_relu_scaling-46419fc2ea7078dd.rmeta: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig4_relu_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

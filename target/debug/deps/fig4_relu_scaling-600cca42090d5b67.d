@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_relu_scaling-600cca42090d5b67.d: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+/root/repo/target/debug/deps/fig4_relu_scaling-600cca42090d5b67: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+crates/ceer-experiments/src/bin/fig4_relu_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_relu_scaling-6f09fecea04453ca.d: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+/root/repo/target/debug/deps/libfig4_relu_scaling-6f09fecea04453ca.rmeta: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+crates/ceer-experiments/src/bin/fig4_relu_scaling.rs:

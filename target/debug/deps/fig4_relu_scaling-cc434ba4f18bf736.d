@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_relu_scaling-cc434ba4f18bf736.d: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+/root/repo/target/debug/deps/libfig4_relu_scaling-cc434ba4f18bf736.rmeta: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+crates/ceer-experiments/src/bin/fig4_relu_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_variability_cdf-6f9072e0020c0ab8.d: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs
+
+/root/repo/target/debug/deps/libfig5_variability_cdf-6f9072e0020c0ab8.rmeta: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs
+
+crates/ceer-experiments/src/bin/fig5_variability_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_data_parallel_scaling-23390058b4022fd9.d: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+/root/repo/target/debug/deps/libfig6_data_parallel_scaling-23390058b4022fd9.rmeta: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_data_parallel_scaling-e0119baef4fdaaf5.d: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+/root/repo/target/debug/deps/fig6_data_parallel_scaling-e0119baef4fdaaf5: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs:

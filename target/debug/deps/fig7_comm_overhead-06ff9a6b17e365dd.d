@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_comm_overhead-06ff9a6b17e365dd.d: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+/root/repo/target/debug/deps/libfig7_comm_overhead-06ff9a6b17e365dd.rmeta: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+crates/ceer-experiments/src/bin/fig7_comm_overhead.rs:

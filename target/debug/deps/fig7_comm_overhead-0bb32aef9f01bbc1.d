@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_comm_overhead-0bb32aef9f01bbc1.d: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+/root/repo/target/debug/deps/fig7_comm_overhead-0bb32aef9f01bbc1: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+crates/ceer-experiments/src/bin/fig7_comm_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_comm_overhead-ffbaebf905b4d8e6.d: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+/root/repo/target/debug/deps/libfig7_comm_overhead-ffbaebf905b4d8e6.rmeta: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+crates/ceer-experiments/src/bin/fig7_comm_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_validation-4e88101ed3e118fd.d: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+/root/repo/target/debug/deps/fig8_validation-4e88101ed3e118fd: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+crates/ceer-experiments/src/bin/fig8_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_validation-c77a3d24848b0ffa.d: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+/root/repo/target/debug/deps/libfig8_validation-c77a3d24848b0ffa.rmeta: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+crates/ceer-experiments/src/bin/fig8_validation.rs:

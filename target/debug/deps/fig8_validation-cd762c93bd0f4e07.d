@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_validation-cd762c93bd0f4e07.d: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+/root/repo/target/debug/deps/libfig8_validation-cd762c93bd0f4e07.rmeta: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+crates/ceer-experiments/src/bin/fig8_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_hourly_budget-4017e83f9cdcf2eb.d: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+/root/repo/target/debug/deps/libfig9_hourly_budget-4017e83f9cdcf2eb.rmeta: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+crates/ceer-experiments/src/bin/fig9_hourly_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_hourly_budget-98c20f14c8746433.d: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+/root/repo/target/debug/deps/fig9_hourly_budget-98c20f14c8746433: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+crates/ceer-experiments/src/bin/fig9_hourly_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_hourly_budget-ac70a7006fc0e5ad.d: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+/root/repo/target/debug/deps/libfig9_hourly_budget-ac70a7006fc0e5ad.rmeta: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+crates/ceer-experiments/src/bin/fig9_hourly_budget.rs:

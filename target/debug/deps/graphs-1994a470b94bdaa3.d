@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graphs-1994a470b94bdaa3.d: crates/ceer-bench/benches/graphs.rs
+
+/root/repo/target/debug/deps/libgraphs-1994a470b94bdaa3.rmeta: crates/ceer-bench/benches/graphs.rs
+
+crates/ceer-bench/benches/graphs.rs:

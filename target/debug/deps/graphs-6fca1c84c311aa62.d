@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphs-6fca1c84c311aa62.d: crates/ceer-bench/benches/graphs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphs-6fca1c84c311aa62.rmeta: crates/ceer-bench/benches/graphs.rs Cargo.toml
+
+crates/ceer-bench/benches/graphs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline_numbers-15fb0ce0090151fb.d: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+/root/repo/target/debug/deps/libheadline_numbers-15fb0ce0090151fb.rmeta: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+crates/ceer-experiments/src/bin/headline_numbers.rs:

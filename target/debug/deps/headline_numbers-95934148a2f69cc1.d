@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline_numbers-95934148a2f69cc1.d: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+/root/repo/target/debug/deps/headline_numbers-95934148a2f69cc1: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+crates/ceer-experiments/src/bin/headline_numbers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline_numbers-9af6b8905bff2e58.d: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+/root/repo/target/debug/deps/libheadline_numbers-9af6b8905bff2e58.rmeta: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+crates/ceer-experiments/src/bin/headline_numbers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_catalog-3c66d72c9caab1e3.d: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+/root/repo/target/debug/deps/libhw_catalog-3c66d72c9caab1e3.rmeta: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+crates/ceer-experiments/src/bin/hw_catalog.rs:

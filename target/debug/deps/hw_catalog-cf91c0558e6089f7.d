@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_catalog-cf91c0558e6089f7.d: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+/root/repo/target/debug/deps/libhw_catalog-cf91c0558e6089f7.rmeta: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+crates/ceer-experiments/src/bin/hw_catalog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_catalog-f140106c2819bb40.d: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+/root/repo/target/debug/deps/hw_catalog-f140106c2819bb40: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+crates/ceer-experiments/src/bin/hw_catalog.rs:

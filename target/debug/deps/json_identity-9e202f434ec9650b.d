@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/json_identity-9e202f434ec9650b.d: crates/ceer-cli/tests/json_identity.rs
+
+/root/repo/target/debug/deps/json_identity-9e202f434ec9650b: crates/ceer-cli/tests/json_identity.rs
+
+crates/ceer-cli/tests/json_identity.rs:
+
+# env-dep:CARGO_BIN_EXE_ceer=/root/repo/target/debug/ceer

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_invariants-4f78414da5ac8c9e.d: tests/paper_invariants.rs
+
+/root/repo/target/debug/deps/paper_invariants-4f78414da5ac8c9e: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

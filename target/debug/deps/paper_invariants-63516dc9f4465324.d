@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_invariants-63516dc9f4465324.d: tests/paper_invariants.rs
+
+/root/repo/target/debug/deps/libpaper_invariants-63516dc9f4465324.rmeta: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_invariants-a3ca6dfffe1f5895.d: tests/paper_invariants.rs
+
+/root/repo/target/debug/deps/paper_invariants-a3ca6dfffe1f5895: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_invariants-f13cf8e1be2d9a15.d: tests/paper_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_invariants-f13cf8e1be2d9a15.rmeta: tests/paper_invariants.rs Cargo.toml
+
+tests/paper_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b8e3f7e05fcbbca7.d: crates/ceer-stats/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-b8e3f7e05fcbbca7.rmeta: crates/ceer-stats/tests/properties.rs
+
+crates/ceer-stats/tests/properties.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/properties-c8ee936ad196a1b3.d: tests/properties.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libproperties-c8ee936ad196a1b3.rmeta: tests/properties.rs tests/common/mod.rs
+
+tests/properties.rs:
+tests/common/mod.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d27a29787e69273a.d: crates/ceer-stats/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d27a29787e69273a.rmeta: crates/ceer-stats/tests/properties.rs Cargo.toml
+
+crates/ceer-stats/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

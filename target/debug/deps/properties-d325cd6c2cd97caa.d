@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/properties-d325cd6c2cd97caa.d: tests/properties.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/properties-d325cd6c2cd97caa: tests/properties.rs tests/common/mod.rs
+
+tests/properties.rs:
+tests/common/mod.rs:

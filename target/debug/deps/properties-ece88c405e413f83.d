@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/properties-ece88c405e413f83.d: tests/properties.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/properties-ece88c405e413f83: tests/properties.rs tests/common/mod.rs
+
+tests/properties.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f08a373074cd56c3.d: crates/ceer-stats/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f08a373074cd56c3: crates/ceer-stats/tests/properties.rs
+
+crates/ceer-stats/tests/properties.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/properties_model-2f6ed6db3fe8a6cc.d: tests/properties_model.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/properties_model-2f6ed6db3fe8a6cc: tests/properties_model.rs tests/common/mod.rs
+
+tests/properties_model.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/properties_model-3b1f73893da30454.d: tests/properties_model.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/properties_model-3b1f73893da30454: tests/properties_model.rs tests/common/mod.rs
+
+tests/properties_model.rs:
+tests/common/mod.rs:

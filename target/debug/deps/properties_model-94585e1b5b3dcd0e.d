@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/properties_model-94585e1b5b3dcd0e.d: tests/properties_model.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libproperties_model-94585e1b5b3dcd0e.rmeta: tests/properties_model.rs tests/common/mod.rs
+
+tests/properties_model.rs:
+tests/common/mod.rs:

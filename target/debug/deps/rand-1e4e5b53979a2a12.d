@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-1e4e5b53979a2a12.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1e4e5b53979a2a12.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-3c64cd6d0c079fa2.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3c64cd6d0c079fa2.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-a19b9120ee9ee0c1.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a19b9120ee9ee0c1.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a19b9120ee9ee0c1.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

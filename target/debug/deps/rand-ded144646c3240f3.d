@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ded144646c3240f3.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-ded144646c3240f3: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-74d71f82152a5889.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-74d71f82152a5889.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

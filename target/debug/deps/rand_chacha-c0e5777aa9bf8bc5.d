@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-c0e5777aa9bf8bc5.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c0e5777aa9bf8bc5.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c0e5777aa9bf8bc5.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-e5ffd324ce9c5c88.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-e5ffd324ce9c5c88: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-f262979ff952f8ee.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-f262979ff952f8ee.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

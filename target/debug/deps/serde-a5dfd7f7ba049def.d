@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a5dfd7f7ba049def.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-a5dfd7f7ba049def.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-48b2acff5b55b883.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-48b2acff5b55b883.rmeta: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-58ec2c75467889bf.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-58ec2c75467889bf.rmeta: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

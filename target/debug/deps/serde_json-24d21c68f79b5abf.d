@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-24d21c68f79b5abf.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-24d21c68f79b5abf.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-9f226cd41cf4cb14.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9f226cd41cf4cb14.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

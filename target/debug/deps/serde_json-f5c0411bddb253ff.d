@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-f5c0411bddb253ff.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-f5c0411bddb253ff: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-463db52dbb7e138e.d: tests/serve.rs
+
+/root/repo/target/debug/deps/serve-463db52dbb7e138e: tests/serve.rs
+
+tests/serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve-63983c57ac95800c.d: tests/serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve-63983c57ac95800c.rmeta: tests/serve.rs Cargo.toml
+
+tests/serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

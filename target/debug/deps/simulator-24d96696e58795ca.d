@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-24d96696e58795ca.d: crates/ceer-bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-24d96696e58795ca.rmeta: crates/ceer-bench/benches/simulator.rs Cargo.toml
+
+crates/ceer-bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

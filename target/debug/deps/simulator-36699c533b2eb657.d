@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-36699c533b2eb657.d: crates/ceer-bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/libsimulator-36699c533b2eb657.rmeta: crates/ceer-bench/benches/simulator.rs
+
+crates/ceer-bench/benches/simulator.rs:

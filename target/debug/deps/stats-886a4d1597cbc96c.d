@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats-886a4d1597cbc96c.d: crates/ceer-bench/benches/stats.rs
+
+/root/repo/target/debug/deps/libstats-886a4d1597cbc96c.rmeta: crates/ceer-bench/benches/stats.rs
+
+crates/ceer-bench/benches/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_size_study-12fa666e2241b558.d: examples/batch_size_study.rs
+
+/root/repo/target/debug/examples/batch_size_study-12fa666e2241b558: examples/batch_size_study.rs
+
+examples/batch_size_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_size_study-355a944e5a9f3302.d: examples/batch_size_study.rs
+
+/root/repo/target/debug/examples/batch_size_study-355a944e5a9f3302: examples/batch_size_study.rs
+
+examples/batch_size_study.rs:

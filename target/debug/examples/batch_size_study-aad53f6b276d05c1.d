@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_size_study-aad53f6b276d05c1.d: examples/batch_size_study.rs
+
+/root/repo/target/debug/examples/libbatch_size_study-aad53f6b276d05c1.rmeta: examples/batch_size_study.rs
+
+examples/batch_size_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_cnn-227c66738ee1424c.d: examples/custom_cnn.rs
+
+/root/repo/target/debug/examples/libcustom_cnn-227c66738ee1424c.rmeta: examples/custom_cnn.rs
+
+examples/custom_cnn.rs:

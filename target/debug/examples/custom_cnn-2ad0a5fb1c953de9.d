@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_cnn-2ad0a5fb1c953de9.d: examples/custom_cnn.rs
+
+/root/repo/target/debug/examples/custom_cnn-2ad0a5fb1c953de9: examples/custom_cnn.rs
+
+examples/custom_cnn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_cnn-35cc298cc5b24a8e.d: examples/custom_cnn.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_cnn-35cc298cc5b24a8e.rmeta: examples/custom_cnn.rs Cargo.toml
+
+examples/custom_cnn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

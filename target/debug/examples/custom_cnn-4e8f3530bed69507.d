@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_cnn-4e8f3530bed69507.d: examples/custom_cnn.rs
+
+/root/repo/target/debug/examples/custom_cnn-4e8f3530bed69507: examples/custom_cnn.rs
+
+examples/custom_cnn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/instance_advisor-0e565277a2f38e8b.d: examples/instance_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinstance_advisor-0e565277a2f38e8b.rmeta: examples/instance_advisor.rs Cargo.toml
+
+examples/instance_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/instance_advisor-46540b0313aee5b6.d: examples/instance_advisor.rs
+
+/root/repo/target/debug/examples/instance_advisor-46540b0313aee5b6: examples/instance_advisor.rs
+
+examples/instance_advisor.rs:

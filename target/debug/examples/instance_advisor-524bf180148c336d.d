@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/instance_advisor-524bf180148c336d.d: examples/instance_advisor.rs
+
+/root/repo/target/debug/examples/libinstance_advisor-524bf180148c336d.rmeta: examples/instance_advisor.rs
+
+examples/instance_advisor.rs:

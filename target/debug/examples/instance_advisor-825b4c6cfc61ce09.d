@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/instance_advisor-825b4c6cfc61ce09.d: examples/instance_advisor.rs
+
+/root/repo/target/debug/examples/instance_advisor-825b4c6cfc61ce09: examples/instance_advisor.rs
+
+examples/instance_advisor.rs:

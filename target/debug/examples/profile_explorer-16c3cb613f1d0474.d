@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_explorer-16c3cb613f1d0474.d: examples/profile_explorer.rs
+
+/root/repo/target/debug/examples/libprofile_explorer-16c3cb613f1d0474.rmeta: examples/profile_explorer.rs
+
+examples/profile_explorer.rs:

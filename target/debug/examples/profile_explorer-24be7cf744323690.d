@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_explorer-24be7cf744323690.d: examples/profile_explorer.rs
+
+/root/repo/target/debug/examples/profile_explorer-24be7cf744323690: examples/profile_explorer.rs
+
+examples/profile_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_explorer-d37a2c934ec4a702.d: examples/profile_explorer.rs
+
+/root/repo/target/debug/examples/profile_explorer-d37a2c934ec4a702: examples/profile_explorer.rs
+
+examples/profile_explorer.rs:

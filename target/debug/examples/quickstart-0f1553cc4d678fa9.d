@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0f1553cc4d678fa9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0f1553cc4d678fa9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1d0852bbd4e1cedd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-1d0852bbd4e1cedd.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c484ccd2010ea9d4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c484ccd2010ea9d4: examples/quickstart.rs
+
+examples/quickstart.rs:

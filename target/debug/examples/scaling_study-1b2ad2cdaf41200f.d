@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-1b2ad2cdaf41200f.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-1b2ad2cdaf41200f: examples/scaling_study.rs
+
+examples/scaling_study.rs:

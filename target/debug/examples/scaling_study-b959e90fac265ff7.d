@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-b959e90fac265ff7.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-b959e90fac265ff7: examples/scaling_study.rs
+
+examples/scaling_study.rs:

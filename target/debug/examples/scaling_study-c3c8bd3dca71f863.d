@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-c3c8bd3dca71f863.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/libscaling_study-c3c8bd3dca71f863.rmeta: examples/scaling_study.rs
+
+examples/scaling_study.rs:

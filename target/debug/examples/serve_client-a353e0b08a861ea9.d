@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serve_client-a353e0b08a861ea9.d: examples/serve_client.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserve_client-a353e0b08a861ea9.rmeta: examples/serve_client.rs Cargo.toml
+
+examples/serve_client.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_client-b300a0bc0ee5677d.d: examples/serve_client.rs
+
+/root/repo/target/debug/examples/serve_client-b300a0bc0ee5677d: examples/serve_client.rs
+
+examples/serve_client.rs:

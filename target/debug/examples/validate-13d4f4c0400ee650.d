@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/validate-13d4f4c0400ee650.d: crates/ceer-core/examples/validate.rs
+
+/root/repo/target/debug/examples/validate-13d4f4c0400ee650: crates/ceer-core/examples/validate.rs
+
+crates/ceer-core/examples/validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/validate-508c0838a6483fa8.d: crates/ceer-core/examples/validate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvalidate-508c0838a6483fa8.rmeta: crates/ceer-core/examples/validate.rs Cargo.toml
+
+crates/ceer-core/examples/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

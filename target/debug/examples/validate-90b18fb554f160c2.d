@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/validate-90b18fb554f160c2.d: crates/ceer-core/examples/validate.rs
+
+/root/repo/target/debug/examples/libvalidate-90b18fb554f160c2.rmeta: crates/ceer-core/examples/validate.rs
+
+crates/ceer-core/examples/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-f1f32468cd1cab17.d: crates/ceer-experiments/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-f1f32468cd1cab17: crates/ceer-experiments/src/bin/ablations.rs
+
+crates/ceer-experiments/src/bin/ablations.rs:

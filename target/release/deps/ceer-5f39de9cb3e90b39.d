@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ceer-5f39de9cb3e90b39.d: src/lib.rs
+
+/root/repo/target/release/deps/libceer-5f39de9cb3e90b39.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libceer-5f39de9cb3e90b39.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ceer-b20dd273a0a43fd4.d: src/lib.rs
+
+/root/repo/target/release/deps/libceer-b20dd273a0a43fd4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libceer-b20dd273a0a43fd4.rmeta: src/lib.rs
+
+src/lib.rs:

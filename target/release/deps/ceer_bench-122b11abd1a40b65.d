@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ceer_bench-122b11abd1a40b65.d: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/release/deps/libceer_bench-122b11abd1a40b65.rlib: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/release/deps/libceer_bench-122b11abd1a40b65.rmeta: crates/ceer-bench/src/lib.rs
+
+crates/ceer-bench/src/lib.rs:

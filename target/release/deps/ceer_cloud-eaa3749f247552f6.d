@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ceer_cloud-eaa3749f247552f6.d: crates/ceer-cloud/src/lib.rs
+
+/root/repo/target/release/deps/libceer_cloud-eaa3749f247552f6.rlib: crates/ceer-cloud/src/lib.rs
+
+/root/repo/target/release/deps/libceer_cloud-eaa3749f247552f6.rmeta: crates/ceer-cloud/src/lib.rs
+
+crates/ceer-cloud/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ceer_experiments-aa23e237377b7fa7.d: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+/root/repo/target/release/deps/libceer_experiments-aa23e237377b7fa7.rlib: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+/root/repo/target/release/deps/libceer_experiments-aa23e237377b7fa7.rmeta: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+crates/ceer-experiments/src/lib.rs:
+crates/ceer-experiments/src/checks.rs:
+crates/ceer-experiments/src/context.rs:
+crates/ceer-experiments/src/observe.rs:
+crates/ceer-experiments/src/table.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments

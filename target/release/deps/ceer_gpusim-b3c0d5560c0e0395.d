@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ceer_gpusim-b3c0d5560c0e0395.d: crates/ceer-gpusim/src/lib.rs crates/ceer-gpusim/src/comm.rs crates/ceer-gpusim/src/hardware.rs crates/ceer-gpusim/src/roofline.rs crates/ceer-gpusim/src/timing.rs crates/ceer-gpusim/src/workload.rs
+
+/root/repo/target/release/deps/libceer_gpusim-b3c0d5560c0e0395.rlib: crates/ceer-gpusim/src/lib.rs crates/ceer-gpusim/src/comm.rs crates/ceer-gpusim/src/hardware.rs crates/ceer-gpusim/src/roofline.rs crates/ceer-gpusim/src/timing.rs crates/ceer-gpusim/src/workload.rs
+
+/root/repo/target/release/deps/libceer_gpusim-b3c0d5560c0e0395.rmeta: crates/ceer-gpusim/src/lib.rs crates/ceer-gpusim/src/comm.rs crates/ceer-gpusim/src/hardware.rs crates/ceer-gpusim/src/roofline.rs crates/ceer-gpusim/src/timing.rs crates/ceer-gpusim/src/workload.rs
+
+crates/ceer-gpusim/src/lib.rs:
+crates/ceer-gpusim/src/comm.rs:
+crates/ceer-gpusim/src/hardware.rs:
+crates/ceer-gpusim/src/roofline.rs:
+crates/ceer-gpusim/src/timing.rs:
+crates/ceer-gpusim/src/workload.rs:

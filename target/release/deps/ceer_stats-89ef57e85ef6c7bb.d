@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ceer_stats-89ef57e85ef6c7bb.d: crates/ceer-stats/src/lib.rs crates/ceer-stats/src/error.rs crates/ceer-stats/src/bootstrap.rs crates/ceer-stats/src/cdf.rs crates/ceer-stats/src/correlation.rs crates/ceer-stats/src/histogram.rs crates/ceer-stats/src/metrics.rs crates/ceer-stats/src/regression/mod.rs crates/ceer-stats/src/regression/multiple.rs crates/ceer-stats/src/regression/poly.rs crates/ceer-stats/src/regression/simple.rs crates/ceer-stats/src/rng.rs crates/ceer-stats/src/summary.rs
+
+/root/repo/target/release/deps/libceer_stats-89ef57e85ef6c7bb.rlib: crates/ceer-stats/src/lib.rs crates/ceer-stats/src/error.rs crates/ceer-stats/src/bootstrap.rs crates/ceer-stats/src/cdf.rs crates/ceer-stats/src/correlation.rs crates/ceer-stats/src/histogram.rs crates/ceer-stats/src/metrics.rs crates/ceer-stats/src/regression/mod.rs crates/ceer-stats/src/regression/multiple.rs crates/ceer-stats/src/regression/poly.rs crates/ceer-stats/src/regression/simple.rs crates/ceer-stats/src/rng.rs crates/ceer-stats/src/summary.rs
+
+/root/repo/target/release/deps/libceer_stats-89ef57e85ef6c7bb.rmeta: crates/ceer-stats/src/lib.rs crates/ceer-stats/src/error.rs crates/ceer-stats/src/bootstrap.rs crates/ceer-stats/src/cdf.rs crates/ceer-stats/src/correlation.rs crates/ceer-stats/src/histogram.rs crates/ceer-stats/src/metrics.rs crates/ceer-stats/src/regression/mod.rs crates/ceer-stats/src/regression/multiple.rs crates/ceer-stats/src/regression/poly.rs crates/ceer-stats/src/regression/simple.rs crates/ceer-stats/src/rng.rs crates/ceer-stats/src/summary.rs
+
+crates/ceer-stats/src/lib.rs:
+crates/ceer-stats/src/error.rs:
+crates/ceer-stats/src/bootstrap.rs:
+crates/ceer-stats/src/cdf.rs:
+crates/ceer-stats/src/correlation.rs:
+crates/ceer-stats/src/histogram.rs:
+crates/ceer-stats/src/metrics.rs:
+crates/ceer-stats/src/regression/mod.rs:
+crates/ceer-stats/src/regression/multiple.rs:
+crates/ceer-stats/src/regression/poly.rs:
+crates/ceer-stats/src/regression/simple.rs:
+crates/ceer-stats/src/rng.rs:
+crates/ceer-stats/src/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_batch_sensitivity-29c78227fe794ea5.d: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+/root/repo/target/release/deps/exp_batch_sensitivity-29c78227fe794ea5: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_crossval-54c1df83141edf87.d: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+/root/repo/target/release/deps/exp_crossval-54c1df83141edf87: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+crates/ceer-experiments/src/bin/exp_crossval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_gpu_count_extrapolation-9e5d6c489fd5b096.d: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+/root/repo/target/release/deps/exp_gpu_count_extrapolation-9e5d6c489fd5b096: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_overlap_limitation-70d25da7669309e3.d: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+/root/repo/target/release/deps/exp_overlap_limitation-70d25da7669309e3: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+crates/ceer-experiments/src/bin/exp_overlap_limitation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_seed_stability-f7e808838f5e02ad.d: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+/root/repo/target/release/deps/exp_seed_stability-f7e808838f5e02ad: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+crates/ceer-experiments/src/bin/exp_seed_stability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_summary-4455af102b52678f.d: crates/ceer-experiments/src/bin/exp_summary.rs
+
+/root/repo/target/release/deps/exp_summary-4455af102b52678f: crates/ceer-experiments/src/bin/exp_summary.rs
+
+crates/ceer-experiments/src/bin/exp_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_total_budget-e7bf3ccb7bf2b89c.d: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+/root/repo/target/release/deps/fig10_total_budget-e7bf3ccb7bf2b89c: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+crates/ceer-experiments/src/bin/fig10_total_budget.rs:

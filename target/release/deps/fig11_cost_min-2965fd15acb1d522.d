@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_cost_min-2965fd15acb1d522.d: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+/root/repo/target/release/deps/fig11_cost_min-2965fd15acb1d522: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+crates/ceer-experiments/src/bin/fig11_cost_min.rs:

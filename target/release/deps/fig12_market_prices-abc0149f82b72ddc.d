@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_market_prices-abc0149f82b72ddc.d: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+/root/repo/target/release/deps/fig12_market_prices-abc0149f82b72ddc: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+crates/ceer-experiments/src/bin/fig12_market_prices.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fig1_dag-6ebf311d9d5e0a8e.d: crates/ceer-experiments/src/bin/fig1_dag.rs
+
+/root/repo/target/release/deps/fig1_dag-6ebf311d9d5e0a8e: crates/ceer-experiments/src/bin/fig1_dag.rs
+
+crates/ceer-experiments/src/bin/fig1_dag.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_op_times-bb69226c10fb4a54.d: crates/ceer-experiments/src/bin/fig2_op_times.rs
+
+/root/repo/target/release/deps/fig2_op_times-bb69226c10fb4a54: crates/ceer-experiments/src/bin/fig2_op_times.rs
+
+crates/ceer-experiments/src/bin/fig2_op_times.rs:

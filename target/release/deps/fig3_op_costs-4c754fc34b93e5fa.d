@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_op_costs-4c754fc34b93e5fa.d: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+/root/repo/target/release/deps/fig3_op_costs-4c754fc34b93e5fa: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+crates/ceer-experiments/src/bin/fig3_op_costs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_relu_scaling-2e9ce4d7785363d8.d: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+/root/repo/target/release/deps/fig4_relu_scaling-2e9ce4d7785363d8: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+crates/ceer-experiments/src/bin/fig4_relu_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_variability_cdf-d6e23e43790d2034.d: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs
+
+/root/repo/target/release/deps/fig5_variability_cdf-d6e23e43790d2034: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs
+
+crates/ceer-experiments/src/bin/fig5_variability_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_data_parallel_scaling-934679b1ded4a3a1.d: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+/root/repo/target/release/deps/fig6_data_parallel_scaling-934679b1ded4a3a1: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_comm_overhead-1e639b2f6dced4eb.d: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+/root/repo/target/release/deps/fig7_comm_overhead-1e639b2f6dced4eb: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+crates/ceer-experiments/src/bin/fig7_comm_overhead.rs:

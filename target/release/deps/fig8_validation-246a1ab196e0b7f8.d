@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_validation-246a1ab196e0b7f8.d: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+/root/repo/target/release/deps/fig8_validation-246a1ab196e0b7f8: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+crates/ceer-experiments/src/bin/fig8_validation.rs:

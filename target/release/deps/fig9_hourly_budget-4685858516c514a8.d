@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_hourly_budget-4685858516c514a8.d: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+/root/repo/target/release/deps/fig9_hourly_budget-4685858516c514a8: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+crates/ceer-experiments/src/bin/fig9_hourly_budget.rs:

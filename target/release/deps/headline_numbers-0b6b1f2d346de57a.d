@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline_numbers-0b6b1f2d346de57a.d: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+/root/repo/target/release/deps/headline_numbers-0b6b1f2d346de57a: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+crates/ceer-experiments/src/bin/headline_numbers.rs:

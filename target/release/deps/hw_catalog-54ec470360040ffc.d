@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hw_catalog-54ec470360040ffc.d: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+/root/repo/target/release/deps/hw_catalog-54ec470360040ffc: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+crates/ceer-experiments/src/bin/hw_catalog.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-02108c6a6b594cc0.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-02108c6a6b594cc0.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-02108c6a6b594cc0.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-d27275976955aa56.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d27275976955aa56.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-d27275976955aa56.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve_client-6d0f2f8961fccd44.d: examples/serve_client.rs
+
+/root/repo/target/release/examples/serve_client-6d0f2f8961fccd44: examples/serve_client.rs
+
+examples/serve_client.rs:

@@ -20,11 +20,13 @@ pub enum Stage {
 
 pub fn stage_strategy() -> impl Strategy<Value = Stage> {
     prop_oneof![
-        (prop_oneof![Just(8u64), Just(16), Just(32), Just(48)],
-         prop_oneof![Just(1u64), Just(3), Just(5)],
-         1u64..=2,
-         any::<bool>(),
-         any::<bool>())
+        (
+            prop_oneof![Just(8u64), Just(16), Just(32), Just(48)],
+            prop_oneof![Just(1u64), Just(3), Just(5)],
+            1u64..=2,
+            any::<bool>(),
+            any::<bool>()
+        )
             .prop_map(|(channels, kernel, stride, bias, bn)| Stage::Conv {
                 channels,
                 kernel,
@@ -51,8 +53,14 @@ pub fn build_cnn(batch: u64, stages: &[Stage]) -> (Graph, NodeId) {
         match stage {
             Stage::Conv { channels, kernel, stride, bias, bn } => {
                 let stride = if spatial <= 4 { 1 } else { *stride };
-                let c = b.conv2d(&t, *channels, (*kernel, *kernel), (stride, stride),
-                                 Padding::Same, *bias);
+                let c = b.conv2d(
+                    &t,
+                    *channels,
+                    (*kernel, *kernel),
+                    (stride, stride),
+                    Padding::Same,
+                    *bias,
+                );
                 let c = if *bn { b.batch_norm(&c) } else { c };
                 t = b.relu(&c);
             }
@@ -87,4 +95,3 @@ pub fn build_cnn(batch: u64, stages: &[Stage]) -> (Graph, NodeId) {
     let loss_id = loss.id();
     (b.finish(), loss_id)
 }
-

@@ -33,9 +33,8 @@ fn test_set_prediction_error_is_low() {
                 .with_seed(424242)
                 .profile_graph(&cnn, &graph, 6)
                 .iteration_mean_us();
-            let predicted = model
-                .predict_iteration(&graph, gpu, 1, &EstimateOptions::default())
-                .total_us();
+            let predicted =
+                model.predict_iteration(&graph, gpu, 1, &EstimateOptions::default()).total_us();
             errs.push((predicted - observed).abs() / observed);
         }
     }
@@ -90,9 +89,12 @@ fn recommendations_respect_budgets() {
     let workload = Workload::new(320_000, 4);
 
     let hourly = model
-        .recommend(&cnn, &catalog, &workload, &Objective::MinTimeUnderHourlyBudget {
-            usd_per_hour: 1.0,
-        })
+        .recommend(
+            &cnn,
+            &catalog,
+            &workload,
+            &Objective::MinTimeUnderHourlyBudget { usd_per_hour: 1.0 },
+        )
         .expect("sub-$1 instances exist");
     assert!(hourly.instance().hourly_usd() <= 1.0);
 
@@ -108,12 +110,10 @@ fn cost_and_time_objectives_bracket_the_field() {
     let cnn = Cnn::build(CnnId::ResNet101, 32);
     let catalog = Catalog::new(Pricing::OnDemand);
     let workload = Workload::new(320_000, 4);
-    let fastest = model
-        .recommend(&cnn, &catalog, &workload, &Objective::MinimizeTime)
-        .expect("feasible");
-    let cheapest = model
-        .recommend(&cnn, &catalog, &workload, &Objective::MinimizeCost)
-        .expect("feasible");
+    let fastest =
+        model.recommend(&cnn, &catalog, &workload, &Objective::MinimizeTime).expect("feasible");
+    let cheapest =
+        model.recommend(&cnn, &catalog, &workload, &Objective::MinimizeCost).expect("feasible");
     // The fastest candidate is at least as fast as the cheapest one, and
     // the cheapest at most as expensive as the fastest.
     assert!(fastest.best().predicted_time_us() <= cheapest.best().predicted_time_us());
@@ -130,12 +130,7 @@ fn market_prices_shift_the_cost_winner_to_p2() {
         .recommend(&cnn, &Catalog::new(Pricing::OnDemand), &workload, &Objective::MinimizeCost)
         .expect("feasible");
     let market = model
-        .recommend(
-            &cnn,
-            &Catalog::new(Pricing::MarketRatio),
-            &workload,
-            &Objective::MinimizeCost,
-        )
+        .recommend(&cnn, &Catalog::new(Pricing::MarketRatio), &workload, &Objective::MinimizeCost)
         .expect("feasible");
     assert_eq!(aws.instance().gpu(), GpuModel::T4);
     assert_eq!(market.instance().gpu(), GpuModel::K80);
@@ -152,9 +147,8 @@ fn ablations_degrade_accuracy_as_the_paper_reports() {
         .with_seed(31337)
         .profile_graph(&cnn, &graph, 8)
         .iteration_mean_us();
-    let full = model
-        .predict_iteration(&graph, GpuModel::V100, 1, &EstimateOptions::default())
-        .total_us();
+    let full =
+        model.predict_iteration(&graph, GpuModel::V100, 1, &EstimateOptions::default()).total_us();
     let no_comm = model
         .predict_iteration(
             &graph,
@@ -178,8 +172,7 @@ fn fitted_model_survives_json_persistence() {
     let graph = cnn.training_graph();
     for &gpu in GpuModel::all() {
         let a = model.predict_iteration(&graph, gpu, 3, &EstimateOptions::default()).total_us();
-        let b =
-            restored.predict_iteration(&graph, gpu, 3, &EstimateOptions::default()).total_us();
+        let b = restored.predict_iteration(&graph, gpu, 3, &EstimateOptions::default()).total_us();
         assert_eq!(a, b, "persisted model must predict identically");
     }
 }

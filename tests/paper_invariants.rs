@@ -32,10 +32,7 @@ fn data_parallel_scaling_shows_diminishing_returns() {
     let graph = cnn.training_graph();
     for &gpu in GpuModel::all() {
         let epoch = |k: u32| {
-            Trainer::new(gpu, k)
-                .with_seed(7)
-                .profile_graph(&cnn, &graph, 4)
-                .epoch_time_us(6_400)
+            Trainer::new(gpu, k).with_seed(7).profile_graph(&cnn, &graph, 4).epoch_time_us(6_400)
         };
         let t: Vec<f64> = (1..=4).map(epoch).collect();
         // Monotone improvement...
@@ -75,8 +72,7 @@ fn heavy_ops_dominate_every_training_cnn() {
         let cnn = Cnn::build(id, 32);
         let p = Trainer::new(GpuModel::K80, 1).with_seed(2).profile(&cnn, 3);
         let total = p.total_op_time_us(|_| true);
-        let heavy =
-            p.total_op_time_us(|s| OpKind::reference_heavy_set().contains(&s.kind));
+        let heavy = p.total_op_time_us(|s| OpKind::reference_heavy_set().contains(&s.kind));
         assert!(heavy / total > 0.47, "{id}: heavy share {:.2} below paper floor", heavy / total);
     }
 }

@@ -2,9 +2,9 @@
 //! graph builder, backward expansion, simulator and estimator must uphold
 //! their invariants for *any* CNN, not just the zoo.
 
+use ceer::gpusim::{workload::workload, GpuModel, OpTimer};
 use ceer::graph::backward::training_graph;
 use ceer::graph::{DeviceClass, OpKind};
-use ceer::gpusim::{workload::workload, GpuModel, OpTimer};
 use proptest::prelude::*;
 
 mod common;

@@ -5,9 +5,9 @@
 use std::sync::OnceLock;
 
 use ceer::cloud::{Catalog, Pricing};
+use ceer::gpusim::GpuModel;
 use ceer::graph::backward::training_graph;
 use ceer::graph::models::CnnId;
-use ceer::gpusim::GpuModel;
 use ceer::model::{Ceer, CeerModel, EstimateOptions, FitConfig};
 use proptest::prelude::*;
 

@@ -1,0 +1,262 @@
+//! Integration tests for the `ceer-serve` prediction service: a real server
+//! on an OS-assigned port, exercised through the blocking client.
+
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+use ceer::model::{Ceer, CeerModel, FitConfig};
+use ceer::serve::api::{self, PredictRequest, RecommendRequest};
+use ceer::serve::{Client, ModelRegistry, Server, ServerConfig};
+use ceer_graph::models::CnnId;
+
+use proptest::prelude::*;
+
+/// One tiny fitted model shared by every test in this file.
+fn model() -> &'static CeerModel {
+    static MODEL: OnceLock<CeerModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        Ceer::fit(&FitConfig {
+            cnns: vec![CnnId::Vgg11, CnnId::InceptionV1],
+            iterations: 3,
+            parallel_degrees: vec![1, 2],
+            seed: 77,
+            ..FitConfig::default()
+        })
+    })
+}
+
+fn start(cache_capacity: usize) -> Server {
+    let config =
+        ServerConfig { host: "127.0.0.1".to_string(), port: 0, workers: 4, cache_capacity };
+    Server::start(&config, ModelRegistry::from_model(model().clone())).expect("server starts")
+}
+
+fn predict_request(cnn: &str) -> PredictRequest {
+    PredictRequest {
+        cnn: cnn.to_string(),
+        gpu: None,
+        gpus: 2,
+        batch: 32,
+        samples: 64_000,
+        options: ceer::model::EstimateOptions::default(),
+    }
+}
+
+#[test]
+fn concurrent_predictions_are_byte_identical_and_hit_the_cache() {
+    let server = start(256);
+    let client = Client::new(server.addr());
+    let request = predict_request("vgg-11");
+    let expected_body =
+        serde_json::to_string_pretty(&api::predict(model(), &request).unwrap()).unwrap() + "\n";
+
+    // Four client threads issuing the same request concurrently; after the
+    // first computation the rest must come from cache — all byte-identical.
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let request = &request;
+                scope.spawn(move || {
+                    let mut bodies = Vec::new();
+                    for _ in 0..3 {
+                        let body = serde_json::to_string(request).unwrap();
+                        let raw = client.request("POST", "/predict", body.as_bytes()).unwrap();
+                        assert_eq!(raw.status, 200);
+                        bodies.push(raw.body);
+                    }
+                    bodies
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(bodies.len(), 12);
+    for body in &bodies {
+        assert_eq!(body, &expected_body, "every response must be byte-identical");
+    }
+
+    let metrics = client.metrics().unwrap();
+    let predict = &metrics.endpoints["POST /predict"];
+    assert_eq!(predict.requests, 12);
+    assert_eq!(predict.errors, 0);
+    assert!(predict.latency.unwrap().count > 0);
+    assert!(metrics.cache.hits >= 11, "12 identical requests → ≥11 cache hits");
+    assert!(metrics.cache.hit_rate > 0.0);
+    server.shutdown();
+}
+
+#[test]
+fn typed_client_round_trips_every_endpoint() {
+    let server = start(64);
+    let client = Client::new(server.addr());
+
+    client.health().unwrap();
+
+    let request = predict_request("inception-v1");
+    assert_eq!(client.predict(&request).unwrap(), api::predict(model(), &request).unwrap());
+
+    let recommend = RecommendRequest {
+        cnn: "vgg-11".to_string(),
+        objective: None,
+        samples: 64_000,
+        batch: 32,
+        max_gpus: 2,
+        epochs: 1,
+        market: false,
+        memory_fit: false,
+    };
+    assert_eq!(client.recommend(&recommend).unwrap(), api::recommend(model(), &recommend).unwrap());
+
+    assert_eq!(client.zoo().unwrap(), api::zoo());
+    assert_eq!(client.catalog().unwrap(), api::catalog());
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_unknown_requests_answer_http_errors() {
+    let server = start(64);
+    let client = Client::new(server.addr());
+
+    // Not JSON at all.
+    let raw = client.request("POST", "/predict", b"this is not json").unwrap();
+    assert_eq!(raw.status, 400);
+    assert!(raw.body.contains("error"));
+
+    // Valid JSON, invalid request.
+    let raw = client.request("POST", "/predict", br#"{"cnn": "mobilenet"}"#).unwrap();
+    assert_eq!(raw.status, 400);
+    assert!(raw.body.contains("mobilenet"));
+
+    let raw = client.request("POST", "/predict", br#"{"cnn": "vgg-11", "gpus": 0}"#).unwrap();
+    assert_eq!(raw.status, 400);
+
+    // Unknown path and wrong method.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.get("/predict").unwrap().status, 405);
+    assert_eq!(client.request("DELETE", "/zoo", b"").unwrap().status, 405);
+
+    // Reload without a backing file must fail without killing the model.
+    assert!(client.reload().unwrap_err().contains("500"));
+    client.health().unwrap();
+
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.endpoints["POST /predict"].errors >= 3);
+    assert_eq!(metrics.endpoints["GET (unknown)"].requests, 1);
+    server.shutdown();
+}
+
+#[test]
+fn reload_swaps_the_model_and_clears_the_cache() {
+    let path = std::env::temp_dir().join(format!("ceer-serve-it-{}.json", std::process::id()));
+    std::fs::write(&path, serde_json::to_vec(model()).unwrap()).unwrap();
+    let config =
+        ServerConfig { host: "127.0.0.1".to_string(), port: 0, workers: 2, cache_capacity: 64 };
+    let server = Server::start(&config, ModelRegistry::load(&path).unwrap()).unwrap();
+    let client = Client::new(server.addr());
+
+    let request = predict_request("vgg-11");
+    let first = client.predict(&request).unwrap();
+    client.predict(&request).unwrap(); // cache hit
+    assert_eq!(client.metrics().unwrap().cache.entries, 1);
+
+    assert_eq!(client.reload().unwrap(), 1);
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.cache.entries, 0, "reload must clear the cache");
+    assert_eq!(metrics.model_reloads, 1);
+
+    // Same file on disk → the re-read model predicts identically.
+    assert_eq!(client.predict(&request).unwrap(), first);
+    std::fs::remove_file(&path).ok();
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_joins_workers_and_stops_accepting() {
+    let server = start(64);
+    let addr = server.addr();
+    let client = Client::new(addr);
+    client.health().unwrap();
+
+    // Joins the acceptor and every worker; hangs the test if it cannot.
+    server.shutdown();
+
+    // The listener is gone: either the connection is refused outright or
+    // the accepted-then-dropped socket yields no response.
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(_) => client.health().is_err(),
+    };
+    assert!(refused, "server must not answer after shutdown");
+}
+
+fn cnn_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("vgg-11".to_string()),
+        Just("VGG11".to_string()),
+        Just("inception-v1".to_string()),
+        Just("googlenet".to_string()),
+        Just("resnet-50".to_string()),
+    ]
+}
+
+fn gpu_filter() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        Just(Some("t4".to_string())),
+        Just(Some("P3".to_string())),
+        Just(Some("k80".to_string())),
+    ]
+}
+
+/// Addresses of one cache-enabled and one cache-disabled server, started
+/// once and left running for the whole property suite.
+fn property_servers() -> (std::net::SocketAddr, std::net::SocketAddr) {
+    static SERVERS: OnceLock<(std::net::SocketAddr, std::net::SocketAddr)> = OnceLock::new();
+    *SERVERS.get_or_init(|| {
+        let cached = start(256);
+        let uncached = start(0);
+        let addrs = (cached.addr(), uncached.addr());
+        // Leak the handles: the servers serve until the test process exits.
+        std::mem::forget(cached);
+        std::mem::forget(uncached);
+        addrs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For arbitrary valid requests, the served prediction equals the
+    /// library estimate exactly — with the cache on and off.
+    #[test]
+    fn served_predictions_equal_library_estimates(
+        cnn in cnn_name(),
+        gpu in gpu_filter(),
+        gpus in 1u32..=4,
+        batch in prop_oneof![Just(16u64), Just(32u64)],
+        samples in 10_000u64..200_000,
+        include_comm in any::<bool>(),
+    ) {
+        let request = PredictRequest {
+            cnn,
+            gpu,
+            gpus,
+            batch,
+            samples,
+            options: ceer::model::EstimateOptions {
+                include_comm,
+                ..Default::default()
+            },
+        };
+        let expected = api::predict(model(), &request).unwrap();
+        let expected_body = serde_json::to_string_pretty(&expected).unwrap() + "\n";
+        let (cached, uncached) = property_servers();
+        for addr in [cached, uncached] {
+            let response = Client::new(addr).predict(&request).unwrap();
+            prop_assert_eq!(&response, &expected);
+            let body = serde_json::to_string(&request).unwrap();
+            let raw = Client::new(addr).request("POST", "/predict", body.as_bytes()).unwrap();
+            prop_assert_eq!(&raw.body, &expected_body);
+        }
+    }
+}

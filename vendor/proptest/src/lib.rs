@@ -1,0 +1,209 @@
+//! Offline stand-in for the [`proptest`] crate.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` header, range / tuple / `Just` /
+//! `prop_oneof!` / `any::<T>()` / `prop::collection::vec` strategies,
+//! `.prop_map`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from crates.io proptest, deliberate for an offline shim:
+//! inputs are sampled from a per-test deterministic ChaCha stream (the seed
+//! is a hash of the test name, the case index selects the substream), and
+//! failing cases are reported with their `Debug` rendering but are **not
+//! shrunk** to a minimal counterexample.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (`vec`).
+
+    use crate::strategy::{Strategy, TestRng};
+
+    /// A size specification: an exact length, `lo..hi`, or `lo..=hi`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length in `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len)` — vectors of random length.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.min, self.size.max_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    pub mod prop {
+        //! The `prop::` path alias (e.g. `prop::collection::vec`).
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the current
+/// case (not the whole process) fails with the rendered message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    left == right,
+                    "assertion failed: `{:?}` == `{:?}`",
+                    left,
+                    right
+                );
+            }
+        }
+    };
+}
+
+/// Uniformly picks one of several same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs through the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (@funcs ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let runner = $crate::test_runner::TestRunner::new(config);
+                runner.run(stringify!($name), ($($strat,)+), |($($arg,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..=9, b in 0.25f64..0.75, n in 1usize..5) {
+            prop_assert!((3..=9).contains(&a));
+            prop_assert!((0.25..0.75).contains(&b));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(xs in prop::collection::vec(-1.0f64..1.0, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            for x in &xs {
+                prop_assert!((-1.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            Just(1u64),
+            (2u64..=3, any::<bool>()).prop_map(|(x, flip)| if flip { x * 10 } else { x }),
+        ]) {
+            prop_assert!(matches!(v, 1 | 2 | 3 | 20 | 30), "unexpected {v}");
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::{Strategy, TestRng};
+        let strat = crate::collection::vec(0u64..100, 3..8);
+        let a = strat.sample(&mut TestRng::for_case(7, 0));
+        let b = strat.sample(&mut TestRng::for_case(7, 0));
+        assert_eq!(a, b);
+        let c = strat.sample(&mut TestRng::for_case(7, 1));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_input() {
+        let runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::ProptestConfig::with_cases(8));
+        runner.run("always_fails", (0u64..10,), |(x,)| {
+            prop_assert!(x > 100, "x was {x}");
+            Ok(())
+        });
+    }
+}

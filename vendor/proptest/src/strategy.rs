@@ -1,0 +1,193 @@
+//! Strategies: deterministic samplers of test inputs.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The deterministic generator handed to strategies.
+///
+/// Each test case owns one: the seed identifies the test, the ChaCha stream
+/// id identifies the case, so every case is reproducible in isolation.
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// Generator for case `case` of the test seeded with `seed`.
+    pub fn for_case(seed: u64, case: u64) -> Self {
+        let mut inner = ChaCha8Rng::seed_from_u64(seed);
+        inner.set_stream(case);
+        TestRng { inner }
+    }
+
+    /// Uniform `usize` in `[min, max_exclusive)`.
+    pub fn usize_in(&mut self, min: usize, max_exclusive: usize) -> usize {
+        assert!(min < max_exclusive, "empty range");
+        self.inner.gen_range(min..max_exclusive)
+    }
+}
+
+/// A source of random values of one type.
+///
+/// Object safe (only `sample` lands in the vtable), so `prop_oneof!` can mix
+/// differently-typed strategies behind [`BoxedStrategy`].
+pub trait Strategy {
+    /// The produced type; `Debug` so failing cases can be reported.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes drawn values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Uniform choice between several strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.usize_in(0, self.arms.len());
+        self.arms[idx].sample(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// The full domain of `T` (only what [`rand`]'s standard distribution
+/// covers: `bool`, `u32`, `u64`, `f32`, `f64`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()` — T's canonical whole-domain strategy.
+pub fn any<T: rand::Standard + fmt::Debug>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: rand::Standard + fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.inner.gen::<T>()
+    }
+}
+
+macro_rules! impl_uint_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_uint_range_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.inner.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident . $idx:tt),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+}

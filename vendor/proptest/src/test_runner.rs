@@ -1,0 +1,90 @@
+//! The case loop: sample inputs, run the body, report failures.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs through the property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed `prop_assert!` / `prop_assert_eq!` inside one case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+/// Drives every case of one property.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `test` against `config.cases` inputs sampled from `strategy`.
+    ///
+    /// The RNG seed is a hash of `name`, so a property's input sequence is
+    /// stable across runs and independent of sibling tests; a failure
+    /// panics with the case index and the `Debug` form of the input.
+    pub fn run<S, F>(&self, name: &str, strategy: S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let seed = fnv1a(name.as_bytes());
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::for_case(seed, case as u64);
+            let input = strategy.sample(&mut rng);
+            let rendered = format!("{input:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(input))) {
+                Ok(Ok(())) => {}
+                Ok(Err(TestCaseError(message))) => panic!(
+                    "proptest case {case}/{total} of `{name}` failed: {message}\n    \
+                     input: {rendered}",
+                    total = self.config.cases,
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "proptest case {case}/{total} of `{name}` panicked\n    \
+                         input: {rendered}",
+                        total = self.config.cases,
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a, enough to decorrelate per-test seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}

@@ -1,0 +1,555 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate re-implements the slice of serde the workspace actually uses:
+//! a self-describing value tree ([`Value`]), [`Serialize`]/[`Deserialize`]
+//! traits over it, impls for the primitives and std containers that appear
+//! in the codebase, and `#[derive(Serialize, Deserialize)]` macros (from the
+//! sibling `serde_derive` crate) supporting the `#[serde(skip)]`,
+//! `#[serde(default)]`, `#[serde(default = "path")]` and
+//! `#[serde(with = "module")]` field attributes.
+//!
+//! Unlike real serde there is no streaming serializer/deserializer pair:
+//! everything goes through [`Value`]. `serde_json` (the sibling stand-in)
+//! renders that tree to JSON text and parses it back. The simplification is
+//! invisible to this workspace, which only ever serializes finite-size
+//! models, profiles and API payloads.
+//!
+//! Custom `#[serde(with = "module")]` modules implement
+//!
+//! ```ignore
+//! fn to_value(field: &T) -> serde::Value;
+//! fn from_value(value: &serde::Value) -> Result<T, serde::Error>;
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the data model JSON maps onto).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Signed integer (only produced for negative numbers).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number (finite).
+    Float(f64),
+    /// String.
+    String(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key-value map (insertion order is preserved so that
+    /// serialization is deterministic and stable).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 (accepts non-negative signed values too).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::UInt(u) => Some(u as f64),
+            Value::Int(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object slice, if it is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A short human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Objects index by key; anything else (or a missing key) yields `null`,
+    /// matching `serde_json`'s behavior.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, container: &str) -> Self {
+        Error { message: format!("missing field `{field}` in {container}") }
+    }
+
+    /// A value had the wrong shape.
+    pub fn invalid_type(expected: &str, got: &Value) -> Self {
+        Error { message: format!("invalid type: expected {expected}, found {}", got.kind()) }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the tree does not have the expected shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64().ok_or_else(|| Error::invalid_type("unsigned integer", value))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom(format!(
+                    "integer {raw} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 { Value::Int(v) } else { Value::UInt(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_i64().ok_or_else(|| Error::invalid_type("integer", value))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom(format!(
+                    "integer {raw} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::invalid_type("bool", value))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::invalid_type("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().map(|f| f as f32).ok_or_else(|| Error::invalid_type("number", value))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_string).ok_or_else(|| Error::invalid_type("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::invalid_type("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($idx:tt $name:ident),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| Error::invalid_type("array", value))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected array of length {expected}, found {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Renders a map key. Keys must serialize to strings or integers (JSON
+/// objects require string keys), mirroring `serde_json`'s restriction.
+fn key_to_string(key: &Value) -> Result<String, Error> {
+    match key {
+        Value::String(s) => Ok(s.clone()),
+        Value::UInt(u) => Ok(u.to_string()),
+        Value::Int(i) => Ok(i.to_string()),
+        other => Err(Error::custom(format!("map key must be a string, got {}", other.kind()))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(&k.to_value())
+                        .expect("BTreeMap keys must serialize to strings");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let fields = value.as_object().ok_or_else(|| Error::invalid_type("object", value))?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialization is deterministic regardless of hasher.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key =
+                    key_to_string(&k.to_value()).expect("HashMap keys must serialize to strings");
+                (key, v.to_value())
+            })
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let fields = value.as_object().ok_or_else(|| Error::invalid_type("object", value))?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn f64_accepts_integral_values() {
+        assert_eq!(f64::from_value(&Value::UInt(3)).unwrap(), 3.0);
+        assert_eq!(f64::from_value(&Value::Int(-3)).unwrap(), -3.0);
+    }
+
+    #[test]
+    fn option_maps_null() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::UInt(1)).unwrap(), Some(1));
+        assert_eq!(None::<u64>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let v = (1u64, 2u64).to_value();
+        assert_eq!(v, Value::Array(vec![Value::UInt(1), Value::UInt(2)]));
+        assert_eq!(<(u64, u64)>::from_value(&v).unwrap(), (1, 2));
+        assert!(<(u64, u64)>::from_value(&Value::Array(vec![Value::UInt(1)])).is_err());
+    }
+
+    #[test]
+    fn btreemap_uses_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let v = m.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![("a".into(), Value::UInt(1)), ("b".into(), Value::UInt(2)),])
+        );
+        assert_eq!(BTreeMap::<String, u64>::from_value(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v = Value::Object(vec![("x".into(), Value::UInt(9))]);
+        assert_eq!(v["x"].as_u64(), Some(9));
+        assert!(v["missing"].is_null());
+        assert_eq!(Value::String("s".into()), "s");
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+}

@@ -1,0 +1,646 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stand-in.
+//!
+//! `syn` and `quote` are not available in this build environment, so the
+//! input item is parsed by walking `proc_macro::TokenTree`s directly and the
+//! generated impl is assembled as a string. The supported grammar covers
+//! what this workspace uses:
+//!
+//! - structs with named fields;
+//! - tuple structs (a single-field newtype serializes transparently as its
+//!   inner value, wider tuples as arrays);
+//! - enums with unit, newtype, tuple and struct variants (externally tagged
+//!   like real serde: unit variants as `"Name"`, data variants as
+//!   `{"Name": ...}`);
+//! - field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]` and `#[serde(with = "module")]`.
+//!
+//! Generic type parameters are intentionally unsupported (no type in the
+//! workspace needs them); the macro fails loudly if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree parsing).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().expect("error tokens")
+        }
+    };
+    let code = match (&item.body, direction) {
+        (Body::NamedStruct(fields), Direction::Serialize) => named_struct_ser(&item.name, fields),
+        (Body::NamedStruct(fields), Direction::Deserialize) => named_struct_de(&item.name, fields),
+        (Body::TupleStruct(types), Direction::Serialize) => tuple_struct_ser(&item.name, types),
+        (Body::TupleStruct(types), Direction::Deserialize) => tuple_struct_de(&item.name, types),
+        (Body::Enum(variants), Direction::Serialize) => enum_ser(&item.name, variants),
+        (Body::Enum(variants), Direction::Deserialize) => enum_de(&item.name, variants),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for `default = "path"`.
+    default: Option<Option<String>>,
+    with: Option<String>,
+}
+
+enum VariantBody {
+    Unit,
+    Newtype(String),
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes one outer attribute (`#[...]`) if present; returns its
+    /// serde payload when it is a `#[serde(...)]` attribute.
+    fn eat_attribute(&mut self) -> Option<Option<TokenStream>> {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+            _ => return None,
+        }
+        self.next(); // '#'
+        let group = match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            _ => return Some(None), // malformed; treat as consumed
+        };
+        let mut inner = group.stream().into_iter();
+        match inner.next() {
+            Some(TokenTree::Ident(name)) if name.to_string() == "serde" => {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    return Some(Some(args.stream()));
+                }
+                Some(None)
+            }
+            _ => Some(None),
+        }
+    }
+
+    /// Consumes every leading attribute, merging serde payloads.
+    fn eat_attributes(&mut self) -> SerdeAttrs {
+        let mut attrs = SerdeAttrs::default();
+        while let Some(serde_payload) = self.eat_attribute() {
+            if let Some(payload) = serde_payload {
+                parse_serde_attr(payload, &mut attrs);
+            }
+        }
+        attrs
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn eat_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects tokens until a comma outside any `<...>` nesting (or the
+    /// end), rendering them as source text. Used for field types.
+    fn collect_type(&mut self) -> String {
+        let mut out = String::new();
+        let mut angle_depth = 0usize;
+        while let Some(token) = self.peek() {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    ',' if angle_depth == 0 => break,
+                    '<' => angle_depth += 1,
+                    // `>>` arrives as two Puncts, so counting chars works.
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            let token = self.next().expect("peeked");
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&token.to_string());
+        }
+        out
+    }
+
+    /// Consumes a `,` if present.
+    fn eat_comma(&mut self) {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ',' {
+                self.next();
+            }
+        }
+    }
+}
+
+/// Parses the contents of one `#[serde(...)]` attribute into `attrs`.
+fn parse_serde_attr(payload: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut cursor = Cursor::new(payload);
+    while let Some(token) = cursor.next() {
+        let TokenTree::Ident(name) = token else { continue };
+        match name.to_string().as_str() {
+            "skip" => attrs.skip = true,
+            "default" => {
+                // Optional `= "path"`.
+                let mut path = None;
+                if let Some(TokenTree::Punct(p)) = cursor.peek() {
+                    if p.as_char() == '=' {
+                        cursor.next();
+                        if let Some(TokenTree::Literal(lit)) = cursor.next() {
+                            path = Some(unquote(&lit.to_string()));
+                        }
+                    }
+                }
+                attrs.default = Some(path);
+            }
+            "with" => {
+                if let Some(TokenTree::Punct(p)) = cursor.peek() {
+                    if p.as_char() == '=' {
+                        cursor.next();
+                        if let Some(TokenTree::Literal(lit)) = cursor.next() {
+                            attrs.with = Some(unquote(&lit.to_string()));
+                        }
+                    }
+                }
+            }
+            _ => {} // unsupported serde attributes are ignored
+        }
+        cursor.eat_comma();
+    }
+}
+
+/// Strips the quotes from a string literal's source text.
+fn unquote(literal: &str) -> String {
+    literal.trim_matches('"').to_string()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cursor = Cursor::new(input);
+    loop {
+        if cursor.eat_attribute().is_none() {
+            break;
+        }
+    }
+    cursor.eat_visibility();
+    let keyword = match cursor.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match cursor.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = cursor.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde stand-in derive does not support generics (on {name})"));
+        }
+    }
+    let body = match keyword.as_str() {
+        "struct" => match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            other => return Err(format!("unsupported struct body for {name}: {other:?}")),
+        },
+        "enum" => match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body for {name}, got {other:?}")),
+        },
+        other => return Err(format!("cannot derive serde traits for `{other}` items")),
+    };
+    Ok(Item { name, body })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cursor.at_end() {
+        let attrs = cursor.eat_attributes();
+        cursor.eat_visibility();
+        let name = match cursor.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field {name}, got {other:?}")),
+        }
+        let ty = cursor.collect_type();
+        cursor.eat_comma();
+        fields.push(Field { name, ty, attrs });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<String> {
+    let mut cursor = Cursor::new(stream);
+    let mut types = Vec::new();
+    while !cursor.at_end() {
+        let _ = cursor.eat_attributes();
+        cursor.eat_visibility();
+        let ty = cursor.collect_type();
+        cursor.eat_comma();
+        if !ty.is_empty() {
+            types.push(ty);
+        }
+    }
+    types
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cursor.at_end() {
+        let _ = cursor.eat_attributes();
+        let name = match cursor.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let body = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                cursor.next();
+                VariantBody::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.clone();
+                cursor.next();
+                let types = parse_tuple_fields(g.stream());
+                if types.len() == 1 {
+                    VariantBody::Newtype(types.into_iter().next().expect("one"))
+                } else {
+                    VariantBody::Tuple(types)
+                }
+            }
+            _ => VariantBody::Unit,
+        };
+        cursor.eat_comma();
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `field.to_value()` respecting `with`.
+fn field_ser_expr(field: &Field, access: &str) -> String {
+    match &field.attrs.with {
+        Some(module) => format!("{module}::to_value({access})"),
+        None => format!("serde::Serialize::to_value({access})"),
+    }
+}
+
+/// Deserialization expression for a field looked up as `__v` (an
+/// `Option<&serde::Value>`), respecting `skip`, `default` and `with`.
+fn field_de_expr(field: &Field, container: &str) -> String {
+    if field.attrs.skip {
+        return "::core::default::Default::default()".to_string();
+    }
+    let parse = match &field.attrs.with {
+        Some(module) => format!("{module}::from_value(__v)?"),
+        None => format!("<{} as serde::Deserialize>::from_value(__v)?", field.ty),
+    };
+    let missing = match &field.attrs.default {
+        Some(None) => "::core::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        None => {
+            // Real serde treats a missing field as `None` for Option<T>.
+            if field.ty.replace(' ', "").starts_with("Option<") {
+                "::core::option::Option::None".to_string()
+            } else {
+                format!(
+                    "return ::core::result::Result::Err(serde::Error::missing_field({:?}, {:?}))",
+                    field.name, container
+                )
+            }
+        }
+    };
+    format!(
+        "match __obj.iter().find(|(__k, _)| __k == {name:?}).map(|(_, __val)| __val) {{ \
+             ::core::option::Option::Some(__v) => {parse}, \
+             ::core::option::Option::None => {missing}, \
+         }}",
+        name = field.name,
+    )
+}
+
+fn named_struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for field in fields {
+        if field.attrs.skip {
+            continue;
+        }
+        let expr = field_ser_expr(field, &format!("&self.{}", field.name));
+        pushes.push_str(&format!("__fields.push(({:?}.to_string(), {expr}));\n", field.name));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(__fields)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn named_struct_de(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        inits.push_str(&format!("{}: {},\n", field.name, field_de_expr(field, name)));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &serde::Value) -> ::core::result::Result<Self, serde::Error> {{\n\
+                 let __obj = __value.as_object().ok_or_else(|| serde::Error::invalid_type(\"object\", __value))?;\n\
+                 ::core::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn tuple_struct_ser(name: &str, types: &[String]) -> String {
+    let body = if types.len() == 1 {
+        "serde::Serialize::to_value(&self.0)".to_string()
+    } else {
+        let items: Vec<String> =
+            (0..types.len()).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+        format!("serde::Value::Array(::std::vec![{}])", items.join(", "))
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn tuple_struct_de(name: &str, types: &[String]) -> String {
+    let body = if types.len() == 1 {
+        format!(
+            "::core::result::Result::Ok({name}(<{} as serde::Deserialize>::from_value(__value)?))",
+            types[0]
+        )
+    } else {
+        let mut items = String::new();
+        for (i, ty) in types.iter().enumerate() {
+            items.push_str(&format!("<{ty} as serde::Deserialize>::from_value(&__items[{i}])?, "));
+        }
+        format!(
+            "let __items = __value.as_array().ok_or_else(|| serde::Error::invalid_type(\"array\", __value))?;\n\
+             if __items.len() != {len} {{\n\
+                 return ::core::result::Result::Err(serde::Error::custom(format!(\n\
+                     \"expected array of length {len} for {name}, found {{}}\", __items.len())));\n\
+             }}\n\
+             ::core::result::Result::Ok({name}({items}))",
+            len = types.len(),
+        )
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &serde::Value) -> ::core::result::Result<Self, serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.body {
+            VariantBody::Unit => arms.push_str(&format!(
+                "{name}::{vname} => serde::Value::String({vname:?}.to_string()),\n"
+            )),
+            VariantBody::Newtype(_) => arms.push_str(&format!(
+                "{name}::{vname}(__inner) => serde::Value::Object(::std::vec![({vname:?}.to_string(), serde::Serialize::to_value(__inner))]),\n"
+            )),
+            VariantBody::Tuple(types) => {
+                let binders: Vec<String> = (0..types.len()).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => serde::Value::Object(::std::vec![({vname:?}.to_string(), serde::Value::Array(::std::vec![{items}]))]),\n",
+                    binds = binders.join(", "),
+                    items = items.join(", "),
+                ));
+            }
+            VariantBody::Struct(fields) => {
+                let binders: Vec<String> =
+                    fields.iter().map(|f| f.name.clone()).collect();
+                let mut pushes = String::new();
+                for field in fields {
+                    if field.attrs.skip {
+                        continue;
+                    }
+                    let expr = field_ser_expr(field, &field.name);
+                    pushes.push_str(&format!(
+                        "__fields.push(({:?}.to_string(), {expr}));\n",
+                        field.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Object(::std::vec![({vname:?}.to_string(), serde::Value::Object(__fields))])\n\
+                     }},\n",
+                    binds = binders.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 match self {{\n\
+                     {arms}\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_de(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as plain strings.
+    let mut unit_arms = String::new();
+    for variant in variants {
+        if matches!(variant.body, VariantBody::Unit) {
+            unit_arms.push_str(&format!(
+                "{:?} => return ::core::result::Result::Ok({name}::{vname}),\n",
+                variant.name,
+                vname = variant.name,
+            ));
+        }
+    }
+    // Data variants arrive as single-entry objects {"Name": payload}.
+    let mut tagged_arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.body {
+            VariantBody::Unit => {
+                // Also accept {"Name": null} for symmetry.
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantBody::Newtype(ty) => tagged_arms.push_str(&format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{vname}(<{ty} as serde::Deserialize>::from_value(__payload)?)),\n"
+            )),
+            VariantBody::Tuple(types) => {
+                let mut items = String::new();
+                for (i, ty) in types.iter().enumerate() {
+                    items.push_str(&format!(
+                        "<{ty} as serde::Deserialize>::from_value(&__items[{i}])?, "
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => {{\n\
+                         let __items = __payload.as_array().ok_or_else(|| serde::Error::invalid_type(\"array\", __payload))?;\n\
+                         if __items.len() != {len} {{\n\
+                             return ::core::result::Result::Err(serde::Error::custom(\"wrong tuple variant arity\"));\n\
+                         }}\n\
+                         ::core::result::Result::Ok({name}::{vname}({items}))\n\
+                     }},\n",
+                    len = types.len(),
+                ));
+            }
+            VariantBody::Struct(fields) => {
+                let mut inits = String::new();
+                for field in fields {
+                    inits.push_str(&format!(
+                        "{}: {},\n",
+                        field.name,
+                        field_de_expr(field, &format!("{name}::{vname}"))
+                    ));
+                }
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => {{\n\
+                         let __obj = __payload.as_object().ok_or_else(|| serde::Error::invalid_type(\"object\", __payload))?;\n\
+                         ::core::result::Result::Ok({name}::{vname} {{\n\
+                             {inits}\
+                         }})\n\
+                     }},\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &serde::Value) -> ::core::result::Result<Self, serde::Error> {{\n\
+                 if let ::core::option::Option::Some(__s) = __value.as_str() {{\n\
+                     match __s {{\n\
+                         {unit_arms}\
+                         __other => return ::core::result::Result::Err(serde::Error::custom(\n\
+                             format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 let __obj = __value.as_object().ok_or_else(|| serde::Error::invalid_type(\"string or object\", __value))?;\n\
+                 if __obj.len() != 1 {{\n\
+                     return ::core::result::Result::Err(serde::Error::custom(\n\
+                         format!(\"expected single-key variant object for {name}\")));\n\
+                 }}\n\
+                 let (__tag, __payload) = &__obj[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\
+                     __other => ::core::result::Result::Err(serde::Error::custom(\n\
+                         format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
