@@ -15,6 +15,8 @@ OPTIONS:
     --iterations N   profiling iterations per run (default 200)
     --seed S         base RNG seed (default 0)
     --batch B        per-GPU batch size (default 32)
+    --threads N      worker threads for profiling (default: the CEER_THREADS
+                     env var, then the host's CPU count)
     --out FILE       archive path (default ceer-profiles.json)";
 
 pub fn run(args: Args) -> Result<(), String> {
@@ -26,6 +28,7 @@ pub fn run(args: Args) -> Result<(), String> {
     let seed = args.opt_parse("--seed", 0u64)?;
     let batch = args.opt_parse("--batch", 32u64)?;
     let out = args.opt("--out")?.unwrap_or_else(|| "ceer-profiles.json".to_string());
+    crate::commands::apply_threads(&args)?;
     args.finish()?;
     if iterations == 0 || batch == 0 {
         return Err("--iterations and --batch must be positive".into());

@@ -16,6 +16,8 @@ OPTIONS:
     --linear-only    disable quadratic heavy-op models (ablation)
     --profiles FILE  fit from a saved archive (see `ceer collect`) instead of
                      profiling; --iterations/--seed/--batch are then ignored
+    --threads N      worker threads for profiling/fitting (default: the
+                     CEER_THREADS env var, then the host's CPU count)
     --out FILE       where to write the model JSON (default ceer-model.json)";
 
 pub fn run(args: Args) -> Result<(), String> {
@@ -29,6 +31,7 @@ pub fn run(args: Args) -> Result<(), String> {
     let linear_only = args.flag("--linear-only");
     let profiles = args.opt("--profiles")?;
     let out = args.opt("--out")?.unwrap_or_else(|| "ceer-model.json".to_string());
+    crate::commands::apply_threads(&args)?;
     args.finish()?;
     if iterations == 0 {
         return Err("--iterations must be at least 1".into());

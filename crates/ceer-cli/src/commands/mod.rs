@@ -16,6 +16,23 @@ use std::path::Path;
 
 use ceer_core::CeerModel;
 
+use crate::args::Args;
+
+/// Consumes `--threads N` and sizes the [`ceer_par`] worker pool with it.
+///
+/// Absent (or `0`), the automatic choice stays in effect: the
+/// `CEER_THREADS` environment variable when set, the host's available
+/// parallelism otherwise. Results are bit-identical at every setting; the
+/// flag only trades wall-clock time.
+///
+/// # Errors
+///
+/// Errors when the value does not parse as an unsigned integer.
+pub fn apply_threads(args: &Args) -> Result<(), String> {
+    ceer_par::set_threads(args.opt_parse("--threads", 0usize)?);
+    Ok(())
+}
+
 /// Loads a fitted model from a JSON file written by `ceer fit`.
 pub fn load_model(path: &str) -> Result<CeerModel, String> {
     let bytes =

@@ -22,6 +22,8 @@ OPTIONS:
     --iterations N    iterations to simulate (default 50)
     --seed S          RNG seed (default 0)
     --top N           rows in the per-kind table (default 12)
+    --threads N       worker threads for replica simulation (default: the
+                      CEER_THREADS env var, then the host's CPU count)
     --trace FILE      also write one iteration as a Chrome trace JSON";
 
 pub fn run(args: Args) -> Result<(), String> {
@@ -40,6 +42,7 @@ pub fn run(args: Args) -> Result<(), String> {
     let seed = args.opt_parse("--seed", 0u64)?;
     let top = args.opt_parse("--top", 12usize)?;
     let trace_out = args.opt("--trace")?;
+    crate::commands::apply_threads(&args)?;
     args.finish()?;
     if gpus == 0 || batch == 0 || iterations == 0 {
         return Err("--gpus, --batch and --iterations must be positive".into());

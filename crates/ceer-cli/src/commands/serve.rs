@@ -13,11 +13,14 @@ OPTIONS:
     --host HOST         interface to bind (default 127.0.0.1)
     --port PORT         port to bind (default 8100; 0 picks a free port)
     --workers N         worker threads (default 4)
+    --threads N         ceer-par pool size for /predict_batch fan-out
+                        (default: the CEER_THREADS env var, then the host's
+                        CPU count)
     --cache-capacity N  LRU prediction-cache entries (default 256; 0 disables)
 
 ENDPOINTS:
     GET  /healthz, /zoo, /catalog, /metrics
-    POST /predict, /recommend, /reload
+    POST /predict, /predict_batch, /recommend, /reload
 
 `POST /predict` and `POST /recommend` take the same parameters as the
 `predict`/`recommend` subcommands and answer with the exact bytes their
@@ -35,6 +38,7 @@ pub fn run(args: Args) -> Result<(), String> {
     let port = args.opt_parse("--port", 8100u16)?;
     let workers = args.opt_parse("--workers", 4usize)?;
     let cache_capacity = args.opt_parse("--cache-capacity", 256usize)?;
+    crate::commands::apply_threads(&args)?;
     args.finish()?;
     if workers == 0 {
         return Err("--workers must be positive".into());
@@ -49,7 +53,10 @@ pub fn run(args: Args) -> Result<(), String> {
         config.workers,
         config.cache_capacity
     );
-    println!("endpoints: GET /healthz /zoo /catalog /metrics — POST /predict /recommend /reload");
+    println!(
+        "endpoints: GET /healthz /zoo /catalog /metrics — POST /predict /predict_batch \
+         /recommend /reload"
+    );
     server.wait();
     Ok(())
 }

@@ -14,6 +14,11 @@
 //! ceer serve      --model model.json [--port P] [--workers N]
 //! ```
 //!
+//! `fit`, `collect`, `predict`, `recommend`, `profile` and `serve` also take
+//! `--threads N` to size the `ceer-par` worker pool (results are
+//! bit-identical at every thread count; the flag only changes wall-clock
+//! time).
+//!
 //! Run `ceer help` (or any subcommand with `--help`) for details.
 
 mod args;

@@ -67,6 +67,11 @@ impl CrossValidation {
 /// model on the others and scores it on fresh observations of the held-out
 /// CNN at every GPU model and each degree in `eval_degrees`.
 ///
+/// Folds are independent of each other, so they run on the [`ceer_par`]
+/// worker pool; each fold is a pure function of `(config, runs, held_out)`
+/// and the result vector keeps the configuration's CNN order, making the
+/// outcome bit-identical at every thread count.
+///
 /// # Panics
 ///
 /// Panics if `config` has fewer than three CNNs (a fold's fit needs at
@@ -77,36 +82,32 @@ pub fn leave_one_out(config: &FitConfig, eval_degrees: &[u32]) -> CrossValidatio
     let runs = Ceer::collect_profiles(config);
     let options = EstimateOptions::default();
 
-    let folds = config
-        .cnns
-        .iter()
-        .map(|&held_out| {
-            let fold_runs: Vec<_> =
-                runs.iter().filter(|(cnn, _, _)| cnn.id() != held_out).cloned().collect();
-            let fold_config = FitConfig {
-                cnns: config.cnns.iter().copied().filter(|&c| c != held_out).collect(),
-                ..config.clone()
-            };
-            let model = Ceer::fit_from_profiles(&fold_config, &fold_runs);
+    let folds = ceer_par::par_map(&config.cnns, |&held_out| {
+        let fold_runs: Vec<_> =
+            runs.iter().filter(|(cnn, _, _)| cnn.id() != held_out).cloned().collect();
+        let fold_config = FitConfig {
+            cnns: config.cnns.iter().copied().filter(|&c| c != held_out).collect(),
+            ..config.clone()
+        };
+        let model = Ceer::fit_from_profiles(&fold_config, &fold_runs);
 
-            let (cnn, graph, _) = runs
-                .iter()
-                .find(|(cnn, _, _)| cnn.id() == held_out)
-                .expect("held-out CNN was profiled");
-            let mut errors = Vec::new();
-            for &gpu in &config.gpus {
-                for &k in eval_degrees {
-                    let observed = Trainer::new(gpu, k)
-                        .with_seed(config.seed ^ EVAL_SEED_OFFSET)
-                        .profile_graph(cnn, graph, config.iterations.min(12))
-                        .iteration_mean_us();
-                    let predicted = model.predict_iteration(graph, gpu, k, &options).total_us();
-                    errors.push((gpu, k, (predicted - observed).abs() / observed));
-                }
+        let (cnn, graph, _) = runs
+            .iter()
+            .find(|(cnn, _, _)| cnn.id() == held_out)
+            .expect("held-out CNN was profiled");
+        let mut errors = Vec::new();
+        for &gpu in &config.gpus {
+            for &k in eval_degrees {
+                let observed = Trainer::new(gpu, k)
+                    .with_seed(config.seed ^ EVAL_SEED_OFFSET)
+                    .profile_graph(cnn, graph, config.iterations.min(12))
+                    .iteration_mean_us();
+                let predicted = model.predict_iteration(graph, gpu, k, &options).total_us();
+                errors.push((gpu, k, (predicted - observed).abs() / observed));
             }
-            FoldResult { held_out, errors }
-        })
-        .collect();
+        }
+        FoldResult { held_out, errors }
+    });
     CrossValidation { folds }
 }
 

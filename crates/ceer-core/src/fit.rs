@@ -6,6 +6,10 @@
 //! the per-(op, GPU) regressions and the median estimators from the
 //! single-GPU profiles, and fit the communication model from single- and
 //! multi-GPU profiles. The test-set CNNs are never touched.
+//!
+//! Profiling runs and per-(op, GPU) regressions execute on the [`ceer_par`]
+//! pool; both are pure per work item, so a fit is bit-identical at every
+//! thread count (see `tests/par_equivalence.rs`).
 
 use std::collections::BTreeMap;
 
@@ -76,22 +80,46 @@ impl Ceer {
 
     /// Runs the profiling phase only, returning every (graph, profile) pair.
     /// Exposed so experiments can reuse the raw profiles (Figures 2–7).
+    ///
+    /// Profiling runs — one per (CNN, GPU model, parallel degree) — execute
+    /// on the [`ceer_par`] worker pool. Every run is a pure function of the
+    /// configuration, so the result is bit-identical at any thread count.
     pub fn collect_profiles(config: &FitConfig) -> Vec<(Cnn, Graph, Vec<TrainingProfile>)> {
         Self::validate(config);
-        config
+        let built: Vec<(Cnn, Graph)> = config
             .cnns
             .iter()
             .map(|&id| {
                 let cnn = Cnn::build(id, config.batch);
                 let graph = cnn.training_graph();
-                let mut profiles = Vec::new();
-                for &gpu in &config.gpus {
-                    for &k in &config.parallel_degrees {
-                        let trainer = Trainer::new(gpu, k).with_seed(config.seed);
-                        profiles.push(trainer.profile_graph(&cnn, &graph, config.iterations));
-                    }
-                }
-                (cnn, graph, profiles)
+                (cnn, graph)
+            })
+            .collect();
+        let jobs: Vec<(usize, GpuModel, u32)> = built
+            .iter()
+            .enumerate()
+            .flat_map(|(index, _)| {
+                config.gpus.iter().flat_map(move |&gpu| {
+                    config.parallel_degrees.iter().map(move |&k| (index, gpu, k))
+                })
+            })
+            .collect();
+        let mut profiles: std::vec::IntoIter<TrainingProfile> =
+            ceer_par::par_map(&jobs, |&(index, gpu, k)| {
+                let (cnn, graph) = &built[index];
+                Trainer::new(gpu, k).with_seed(config.seed).profile_graph(
+                    cnn,
+                    graph,
+                    config.iterations,
+                )
+            })
+            .into_iter();
+        let per_cnn = config.gpus.len() * config.parallel_degrees.len();
+        built
+            .into_iter()
+            .map(|(cnn, graph)| {
+                let mine: Vec<TrainingProfile> = profiles.by_ref().take(per_cnn).collect();
+                (cnn, graph, mine)
             })
             .collect()
     }
@@ -126,12 +154,15 @@ impl Ceer {
                 }
             }
         }
-        let op_models: BTreeMap<_, _> = designs
-            .into_iter()
-            .map(|((kind, gpu), samples)| {
-                ((kind, gpu), OpModel::fit_with_forms(kind, gpu, &samples, config.allow_quadratic))
-            })
-            .collect();
+        // Each (kind, GPU) regression is independent; fit them across the
+        // pool and reassemble in the map's (already deterministic) order.
+        type Design = ((ceer_graph::OpKind, GpuModel), Vec<(features::Features, f64)>);
+        let entries: Vec<Design> = designs.into_iter().collect();
+        let fitted = ceer_par::par_map(&entries, |((kind, gpu), samples)| {
+            OpModel::fit_with_forms(*kind, *gpu, samples, config.allow_quadratic)
+        });
+        let op_models: BTreeMap<_, _> =
+            entries.into_iter().map(|(key, _)| key).zip(fitted).collect();
 
         // 3. Median estimators, pooled over CNNs and GPU types (§IV-B).
         let mut light_medians = Vec::new();

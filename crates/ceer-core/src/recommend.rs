@@ -193,6 +193,10 @@ impl Recommendation {
 impl CeerModel {
     /// Evaluates every candidate instance (all four GPU models ×
     /// 1..=`max_gpus` GPUs) for training `cnn` over the workload.
+    ///
+    /// Candidates are independent, so the sweep runs on the [`ceer_par`]
+    /// worker pool; the returned vector keeps the catalog's enumeration
+    /// order and is bit-identical at every thread count.
     pub fn evaluate_candidates(
         &self,
         cnn: &Cnn,
@@ -202,32 +206,29 @@ impl CeerModel {
         let graph = cnn.training_graph();
         let options = EstimateOptions::default();
         let memory = ceer_graph::analysis::estimate_memory(&graph);
-        catalog
-            .enumerate(workload.max_gpus)
-            .into_iter()
-            .map(|instance| {
-                let time_us = workload.epochs as f64
-                    * self.predict_epoch_us(
-                        cnn,
-                        &graph,
-                        instance.gpu(),
-                        instance.gpu_count(),
-                        workload.total_samples,
-                        &options,
-                    );
-                let cost = time_us * instance.usd_per_microsecond();
-                // Data parallelism replicates the full model on every GPU,
-                // so the per-GPU requirement does not shrink with the count.
-                let fits_memory = !workload.enforce_memory_fit
-                    || memory.fits_gib(instance.gpu().spec().memory_gib);
-                Candidate {
-                    instance,
-                    predicted_time_us: time_us,
-                    predicted_cost_usd: cost,
-                    fits_memory,
-                }
-            })
-            .collect()
+        let instances = catalog.enumerate(workload.max_gpus);
+        ceer_par::par_map(&instances, |instance| {
+            let time_us = workload.epochs as f64
+                * self.predict_epoch_us(
+                    cnn,
+                    &graph,
+                    instance.gpu(),
+                    instance.gpu_count(),
+                    workload.total_samples,
+                    &options,
+                );
+            let cost = time_us * instance.usd_per_microsecond();
+            // Data parallelism replicates the full model on every GPU,
+            // so the per-GPU requirement does not shrink with the count.
+            let fits_memory =
+                !workload.enforce_memory_fit || memory.fits_gib(instance.gpu().spec().memory_gib);
+            Candidate {
+                instance: instance.clone(),
+                predicted_time_us: time_us,
+                predicted_cost_usd: cost,
+                fits_memory,
+            }
+        })
     }
 
     /// Recommends the instance minimizing `objective` for training `cnn`.

@@ -80,6 +80,14 @@ impl CheckList {
     /// so `exp_summary` can aggregate them.
     pub fn print(&self) {
         print!("{}", self.render());
+        self.write_results_json();
+    }
+
+    /// Writes the checks as JSON into `CEER_RESULTS_DIR` (named after the
+    /// running binary) when that variable is set; does nothing otherwise.
+    /// Split from [`CheckList::print`] so tests can exercise rendering
+    /// without touching the filesystem.
+    pub fn write_results_json(&self) {
         if let Ok(dir) = std::env::var("CEER_RESULTS_DIR") {
             let name = std::env::args()
                 .next()

@@ -35,6 +35,13 @@ impl ExperimentContext {
         ExperimentContext { fit_config, observe_iterations: env_usize("CEER_OBS_ITERS", 40) }
     }
 
+    /// Builds a context with an explicit configuration, ignoring the
+    /// environment. Used by the golden-file regression tests, which need a
+    /// fixed (and small) configuration regardless of the caller's knobs.
+    pub fn with_config(fit_config: FitConfig, observe_iterations: usize) -> Self {
+        ExperimentContext { fit_config, observe_iterations }
+    }
+
     /// The fitting configuration (the paper's full methodology: 8 training
     /// CNNs × 4 GPU models × 1–4 GPUs).
     pub fn fit_config(&self) -> &FitConfig {

@@ -1,0 +1,229 @@
+//! Figure computations shared by the `src/bin/` regenerators and the
+//! golden-file regression tests.
+//!
+//! Each function returns the figure's report text (everything the binary
+//! prints before the verdict block) together with its [`CheckList`], so a
+//! binary prints them while a test snapshots
+//! `report + checks.render()` byte-for-byte. The output is a pure function
+//! of the [`ExperimentContext`] — independent of thread count, environment
+//! and host — which is exactly what the golden files assert.
+
+use std::collections::HashMap;
+use std::fmt::Write;
+
+use ceer_cloud::{Catalog, Pricing};
+use ceer_core::classify::{Classification, OpClass};
+use ceer_core::recommend::{Objective, Workload};
+use ceer_core::EstimateOptions;
+use ceer_gpusim::GpuModel;
+use ceer_graph::models::CnnId;
+use ceer_graph::OpKind;
+
+use crate::{CheckList, ExperimentContext, Observatory, Table};
+
+/// Two-level mean per kind (within CNN, then across CNNs), as in §III-A.
+fn kind_means(obs: &mut Observatory, gpu: GpuModel) -> HashMap<OpKind, f64> {
+    let mut per_cnn: HashMap<OpKind, Vec<f64>> = HashMap::new();
+    for &id in CnnId::training_set() {
+        let profile = obs.profile(id, gpu, 1);
+        let mut sums: HashMap<OpKind, (f64, usize)> = HashMap::new();
+        for stat in profile.op_stats() {
+            let e = sums.entry(stat.kind).or_insert((0.0, 0));
+            e.0 += stat.mean_us;
+            e.1 += 1;
+        }
+        for (kind, (total, count)) in sums {
+            per_cnn.entry(kind).or_default().push(total / count as f64);
+        }
+    }
+    per_cnn.into_iter().map(|(k, v)| (k, v.iter().sum::<f64>() / v.len() as f64)).collect()
+}
+
+/// Figure 2: mean compute time of the heavy GPU operations on all four AWS
+/// GPU models, averaged over the 8 training-set CNNs (§III-A).
+pub fn fig2_op_times(ctx: &ExperimentContext) -> (String, CheckList) {
+    let mut obs = Observatory::new(ctx);
+    let mut report = String::new();
+
+    writeln!(report, "== Figure 2: operation-level compute times (us) across GPU models ==\n")
+        .expect("write to string");
+
+    let means: HashMap<GpuModel, HashMap<OpKind, f64>> =
+        GpuModel::all().iter().map(|&g| (g, kind_means(&mut obs, g))).collect();
+
+    // The empirical heavy set, learned exactly as Ceer learns it.
+    let reference_profiles: Vec<_> =
+        CnnId::training_set().iter().map(|&id| obs.profile(id, GpuModel::K80, 1).clone()).collect();
+    let classification = Classification::from_profiles(&reference_profiles, GpuModel::K80);
+    let mut heavy = classification.heavy_kinds();
+    heavy.sort_by(|a, b| {
+        means[&GpuModel::K80][b].partial_cmp(&means[&GpuModel::K80][a]).expect("finite")
+    });
+
+    let mut table = Table::new(vec!["operation", "P3/V100", "P2/K80", "G4/T4", "G3/M60"]);
+    for &kind in &heavy {
+        table.row(vec![
+            kind.to_string(),
+            format!("{:.0}", means[&GpuModel::V100][&kind]),
+            format!("{:.0}", means[&GpuModel::K80][&kind]),
+            format!("{:.0}", means[&GpuModel::T4][&kind]),
+            format!("{:.0}", means[&GpuModel::M60][&kind]),
+        ]);
+    }
+    report.push_str(&table.render());
+
+    // Average ratios across heavy ops.
+    let avg_ratio = |num: GpuModel, den: GpuModel| -> f64 {
+        let r: f64 = heavy.iter().map(|k| means[&num][k] / means[&den][k]).sum();
+        r / heavy.len() as f64
+    };
+    let p2_p3 = avg_ratio(GpuModel::K80, GpuModel::V100);
+    let g4_p3 = avg_ratio(GpuModel::T4, GpuModel::V100);
+    let p2_g3 = avg_ratio(GpuModel::K80, GpuModel::M60);
+
+    // Coverage: heavy / light share of per-iteration op time per CNN.
+    let mut heavy_shares = Vec::new();
+    let mut light_shares = Vec::new();
+    for &id in CnnId::training_set() {
+        let profile = obs.profile(id, GpuModel::K80, 1);
+        let total = profile.total_op_time_us(|_| true);
+        let heavy_time =
+            profile.total_op_time_us(|s| classification.class_of(s.kind) == OpClass::Heavy);
+        let light_time =
+            profile.total_op_time_us(|s| classification.class_of(s.kind) == OpClass::Light);
+        heavy_shares.push(heavy_time / total);
+        light_shares.push(light_time / total);
+    }
+    let heavy_min = heavy_shares.iter().cloned().fold(f64::INFINITY, f64::min);
+    let heavy_max = heavy_shares.iter().cloned().fold(0.0, f64::max);
+    let light_max = light_shares.iter().cloned().fold(0.0, f64::max);
+
+    report.push('\n');
+    let mut checks = CheckList::new();
+    checks.add(
+        "heavy op kinds (Fig. 2 shows 20)",
+        "20",
+        format!("{}", heavy.len()),
+        (15..=22).contains(&heavy.len()),
+    );
+    checks.add(
+        "P3 vs P2 mean speedup",
+        "~10x",
+        format!("{p2_p3:.1}x"),
+        (7.0..13.0).contains(&p2_p3),
+    );
+    checks.add("P3 vs G4 mean speedup", "~4x", format!("{g4_p3:.1}x"), (3.0..5.0).contains(&g4_p3));
+    checks.add("P2 vs G3 mean ratio", "~1.5x", format!("{p2_g3:.2}x"), (1.2..1.8).contains(&p2_g3));
+    checks.add(
+        "heavy ops' share of training time",
+        "47%-94%",
+        format!("{:.0}%-{:.0}%", heavy_min * 100.0, heavy_max * 100.0),
+        heavy_min > 0.45 && heavy_max < 0.99,
+    );
+    checks.add(
+        "light ops' share of training time",
+        "< 7%",
+        format!("max {:.1}%", light_max * 100.0),
+        light_max < 0.10,
+    );
+    (report, checks)
+}
+
+/// Samples per ImageNet epoch in the Figure 11 experiment.
+const FIG11_SAMPLES: u64 = 1_200_000;
+/// The CNN Figure 11 trains.
+const FIG11_CNN: CnnId = CnnId::InceptionV3;
+
+/// Figure 11: minimum-cost training of Inception-v3 over one ImageNet epoch
+/// under AWS On-Demand prices (§V).
+pub fn fig11_cost_min(ctx: &ExperimentContext) -> (String, CheckList) {
+    let model = ctx.fitted_model();
+    let mut obs = Observatory::new(ctx);
+    let catalog = Catalog::new(Pricing::OnDemand);
+    let options = EstimateOptions::default();
+    let mut report = String::new();
+
+    writeln!(report, "== Figure 11: Inception-v3 training cost, AWS On-Demand prices ==\n")
+        .expect("write to string");
+
+    let mut table = Table::new(vec!["GPU", "k", "obs cost", "pred cost", "err"]);
+    let mut rows = Vec::new();
+    let mut errs = Vec::new();
+    for &gpu in GpuModel::all() {
+        for k in 1..=4u32 {
+            let instance = catalog.instance(gpu, k);
+            let obs_cost =
+                obs.epoch_us(FIG11_CNN, gpu, k, FIG11_SAMPLES) * instance.usd_per_microsecond();
+            let pred_cost = {
+                let (cnn, graph) = obs.cnn_and_graph(FIG11_CNN);
+                model.predict_cost_usd(cnn, graph, &instance, FIG11_SAMPLES, &options)
+            };
+            errs.push((pred_cost - obs_cost).abs() / obs_cost);
+            table.row(vec![
+                gpu.aws_family().to_string(),
+                format!("{k}"),
+                format!("${obs_cost:.2}"),
+                format!("${pred_cost:.2}"),
+                format!("{:.1}%", (pred_cost - obs_cost).abs() / obs_cost * 100.0),
+            ]);
+            rows.push((gpu, k, obs_cost));
+        }
+    }
+    report.push_str(&table.render());
+
+    let obs_best =
+        rows.iter().min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite")).expect("non-empty");
+    let cost_of = |g: GpuModel, k: u32| {
+        rows.iter().find(|(gg, kk, _)| *gg == g && *kk == k).expect("present").2
+    };
+    let rec = {
+        let (cnn, _) = obs.cnn_and_graph(FIG11_CNN);
+        model
+            .recommend(cnn, &catalog, &Workload::new(FIG11_SAMPLES, 4), &Objective::MinimizeCost)
+            .expect("cost minimization always feasible")
+    };
+    let mape = errs.iter().sum::<f64>() / errs.len() as f64;
+
+    writeln!(
+        report,
+        "\nobserved cheapest: {}x {} (${:.2}); Ceer recommends {}",
+        obs_best.1,
+        obs_best.0.aws_family(),
+        obs_best.2,
+        rec.instance()
+    )
+    .expect("write to string");
+
+    let mut checks = CheckList::new();
+    checks.add(
+        "cost prediction error",
+        "2.1% average",
+        format!("{:.1}%", mape * 100.0),
+        mape < 0.06,
+    );
+    checks.add(
+        "lowest-cost instance",
+        "1-GPU G4",
+        format!("{}x {}", obs_best.1, obs_best.0.aws_family()),
+        obs_best.0 == GpuModel::T4 && obs_best.1 == 1,
+    );
+    checks.add(
+        "Ceer recommends the observed optimum",
+        "1-GPU G4",
+        rec.instance().name().to_string(),
+        rec.instance().gpu() == obs_best.0 && rec.instance().gpu_count() == obs_best.1,
+    );
+    checks.add(
+        "cheapest-hourly strategy penalty (1-GPU G3)",
+        "1.6x higher cost",
+        format!("{:.1}x", cost_of(GpuModel::M60, 1) / obs_best.2),
+        cost_of(GpuModel::M60, 1) / obs_best.2 > 1.2,
+    );
+    checks.add(
+        "most-powerful strategy penalty (4-GPU P3)",
+        "1.8x higher cost",
+        format!("{:.1}x", cost_of(GpuModel::V100, 4) / obs_best.2),
+        cost_of(GpuModel::V100, 4) / obs_best.2 > 1.2,
+    );
+    (report, checks)
+}

@@ -22,6 +22,7 @@
 
 pub mod checks;
 pub mod context;
+pub mod figures;
 pub mod observe;
 pub mod table;
 

@@ -151,6 +151,47 @@ pub struct PredictResponse {
     pub predictions: Vec<GpuPrediction>,
 }
 
+/// A `POST /predict_batch` request: many predict requests answered in one
+/// round trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictBatchRequest {
+    /// The individual predictions to evaluate, answered in order.
+    pub requests: Vec<PredictRequest>,
+}
+
+/// One item of a [`PredictBatchResponse`]: exactly one of `response` /
+/// `error` is set, mirroring the 200/400 split of single `/predict` calls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictBatchItem {
+    /// The prediction, when the item's request was valid.
+    #[serde(default)]
+    pub response: Option<PredictResponse>,
+    /// The rejection reason, when it was not.
+    #[serde(default)]
+    pub error: Option<String>,
+}
+
+/// A `POST /predict_batch` response; `responses[i]` answers `requests[i]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictBatchResponse {
+    /// Per-item outcomes, in request order.
+    pub responses: Vec<PredictBatchItem>,
+}
+
+/// Evaluates a batch of predict requests on the [`ceer_par`] worker pool.
+///
+/// Items are independent, so they fan out across the pool; the response
+/// keeps request order and each item is byte-identical to what a single
+/// [`predict`] call for that request would return. Invalid items become
+/// per-item errors instead of failing the whole batch.
+pub fn predict_batch(model: &CeerModel, request: &PredictBatchRequest) -> PredictBatchResponse {
+    let responses = ceer_par::par_map(&request.requests, |item| match predict(model, item) {
+        Ok(response) => PredictBatchItem { response: Some(response), error: None },
+        Err(error) => PredictBatchItem { response: None, error: Some(error) },
+    });
+    PredictBatchResponse { responses }
+}
+
 /// A `POST /recommend` request (also what `ceer recommend --json`
 /// evaluates).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -8,8 +8,8 @@ use std::net::{SocketAddr, TcpStream};
 use serde::{Deserialize, Serialize};
 
 use crate::api::{
-    CatalogEntry, ErrorResponse, PredictRequest, PredictResponse, RecommendRequest,
-    RecommendResponse, ZooEntry,
+    CatalogEntry, ErrorResponse, PredictBatchRequest, PredictBatchResponse, PredictRequest,
+    PredictResponse, RecommendRequest, RecommendResponse, ZooEntry,
 };
 use crate::metrics::MetricsSnapshot;
 
@@ -55,6 +55,20 @@ impl Client {
     /// Errors on transport failure or when the server rejects the request.
     pub fn predict(&self, request: &PredictRequest) -> Result<PredictResponse, String> {
         self.post_json("/predict", request)
+    }
+
+    /// `POST /predict_batch`: many predictions in one round trip. The
+    /// response answers item-by-item; an invalid item errors inside its
+    /// slot, not at this level.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure or when the batch envelope is rejected.
+    pub fn predict_batch(
+        &self,
+        request: &PredictBatchRequest,
+    ) -> Result<PredictBatchResponse, String> {
+        self.post_json("/predict_batch", request)
     }
 
     /// `POST /recommend`.

@@ -22,6 +22,7 @@
 //! | `GET /catalog` | [`api::CatalogEntry`] list |
 //! | `GET /metrics` | [`MetricsSnapshot`] |
 //! | `POST /predict` | [`api::PredictRequest`] → [`api::PredictResponse`] |
+//! | `POST /predict_batch` | [`api::PredictBatchRequest`] → [`api::PredictBatchResponse`] |
 //! | `POST /recommend` | [`api::RecommendRequest`] → [`api::RecommendResponse`] |
 //! | `POST /reload` | re-reads the model file, clears the cache |
 //!

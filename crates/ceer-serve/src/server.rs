@@ -174,9 +174,8 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
 /// path scans.
 fn canonical_route(path: &str) -> &str {
     match path {
-        "/healthz" | "/zoo" | "/catalog" | "/metrics" | "/predict" | "/recommend" | "/reload" => {
-            path
-        }
+        "/healthz" | "/zoo" | "/catalog" | "/metrics" | "/predict" | "/predict_batch"
+        | "/recommend" | "/reload" => path,
         _ => "(unknown)",
     }
 }
@@ -190,6 +189,7 @@ fn route(request: &Request, state: &AppState) -> Response {
             ok(&state.metrics.snapshot(state.cache.stats(), state.registry.reloads()))
         }
         ("POST", "/predict") => cached(state, "/predict", &request.body, api::predict),
+        ("POST", "/predict_batch") => predict_batch(state, &request.body),
         ("POST", "/recommend") => cached(state, "/recommend", &request.body, api::recommend),
         ("POST", "/reload") => match state.registry.reload() {
             Ok(reloads) => {
@@ -205,7 +205,8 @@ fn route(request: &Request, state: &AppState) -> Response {
         },
         (
             _,
-            "/healthz" | "/zoo" | "/catalog" | "/metrics" | "/predict" | "/recommend" | "/reload",
+            "/healthz" | "/zoo" | "/catalog" | "/metrics" | "/predict" | "/predict_batch"
+            | "/recommend" | "/reload",
         ) => error_response(405, format!("{} does not accept {}", request.path, request.method)),
         _ => error_response(404, format!("no such endpoint {:?}", request.path)),
     }
@@ -241,6 +242,63 @@ where
         }
         Err(error) => error_response(400, error),
     }
+}
+
+/// Answers a `/predict_batch` request, sharing the single-`/predict` cache
+/// per item: each item's key lives in the `/predict` namespace, so a batch
+/// primes the cache for later single calls and vice versa. Hits are
+/// answered from the stored body; misses fan out on the [`ceer_par`] pool
+/// and are stored afterwards. Per-item errors are never cached.
+fn predict_batch(state: &AppState, body: &[u8]) -> Response {
+    let request: api::PredictBatchRequest = match serde_json::from_slice(body) {
+        Ok(request) => request,
+        Err(e) => return error_response(400, format!("invalid request body: {e}")),
+    };
+    let keys: Vec<String> = request
+        .requests
+        .iter()
+        .map(|item| format!("/predict {}", serde_json::to_string(item).expect("serializes")))
+        .collect();
+    // One serial cache pass up front, so concurrent duplicate items inside
+    // the batch don't race the pool for lock order.
+    let hits: Vec<Option<String>> = keys.iter().map(|key| state.cache.get(key)).collect();
+
+    let misses: Vec<usize> =
+        hits.iter().enumerate().filter(|(_, hit)| hit.is_none()).map(|(i, _)| i).collect();
+    let model = state.registry.model();
+    let computed =
+        ceer_par::par_map(&misses, |&i| match api::predict(&model, &request.requests[i]) {
+            Ok(response) => api::PredictBatchItem { response: Some(response), error: None },
+            Err(error) => api::PredictBatchItem { response: None, error: Some(error) },
+        });
+
+    let mut computed = computed.into_iter();
+    let mut responses = Vec::with_capacity(request.requests.len());
+    for (i, hit) in hits.into_iter().enumerate() {
+        let item = match hit {
+            // Stored bodies round-trip bit-exactly (serde_json preserves
+            // f64), so a cache hit equals the freshly computed response.
+            Some(body) => match serde_json::from_str::<api::PredictResponse>(&body) {
+                Ok(response) => api::PredictBatchItem { response: Some(response), error: None },
+                Err(e) => api::PredictBatchItem {
+                    response: None,
+                    error: Some(format!("corrupt cache entry: {e}")),
+                },
+            },
+            None => {
+                let item = computed.next().expect("one computed item per miss");
+                if let Some(response) = &item.response {
+                    state.cache.insert(
+                        keys[i].clone(),
+                        serde_json::to_string_pretty(response).expect("serializes"),
+                    );
+                }
+                item
+            }
+        };
+        responses.push(item);
+    }
+    ok(&api::PredictBatchResponse { responses })
 }
 
 fn ok(body: &impl serde::Serialize) -> Response {

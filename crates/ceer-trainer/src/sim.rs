@@ -13,6 +13,11 @@
 //!
 //! The iteration time is `cpu + max over replicas (gpu sum) + sync`,
 //! matching the paper's additive model (§IV-A) with a straggler-aware max.
+//!
+//! Replica simulation runs on the [`ceer_par`] worker pool: every replica
+//! draws from its own RNG substream in iteration order, so the profile is
+//! bit-identical at any thread count (`CEER_THREADS=1` recovers the plain
+//! serial loop).
 
 use ceer_gpusim::{GpuModel, OpTimer, SyncModel};
 use ceer_graph::models::Cnn;
@@ -111,8 +116,6 @@ impl Trainer {
                 ^ (self.gpus as u64) << 32,
         );
         let mut primary = root.substream(0);
-        let mut others: Vec<DeterministicRng> =
-            (1..self.gpus).map(|r| root.substream(r as u64)).collect();
         let mut sync_rng = root.substream(u64::MAX);
 
         // Precompute noise-free durations once; sampling then only draws
@@ -130,20 +133,19 @@ impl Trainer {
 
         let mut durations: Vec<Vec<f64>> =
             graph.nodes().iter().map(|_| Vec::with_capacity(iterations)).collect();
-        let mut sync_series = Vec::with_capacity(iterations);
-        let mut iter_series = Vec::with_capacity(iterations);
+        let mut cpu_series = Vec::with_capacity(iterations);
+        let mut replica0_series = Vec::with_capacity(iterations);
 
         for _ in 0..iterations {
             let mut cpu_us = 0.0;
             let mut replica0_us = 0.0;
-            for (idx, node) in graph.nodes().iter().enumerate() {
+            for idx in 0..graph.nodes().len() {
                 let sample = if is_cpu[idx] {
                     // Heavy-tailed host noise.
                     expected[idx] * primary.lognormal(0.0, cvs[idx])
                 } else {
                     expected[idx] * primary.noise_factor(cvs[idx])
                 };
-                let _ = node;
                 durations[idx].push(sample);
                 if is_cpu[idx] {
                     cpu_us += sample;
@@ -151,17 +153,37 @@ impl Trainer {
                     replica0_us += sample;
                 }
             }
-            // Other replicas: independent noise over the same expectations;
-            // the iteration waits for the slowest one.
-            let mut slowest = replica0_us;
-            for rng in &mut others {
-                let mut replica_us = 0.0;
-                for idx in 0..expected.len() {
-                    if !is_cpu[idx] {
-                        replica_us += expected[idx] * rng.noise_factor(cvs[idx]);
+            cpu_series.push(cpu_us);
+            replica0_series.push(replica0_us);
+        }
+
+        // Other replicas: independent noise over the same expectations; each
+        // replica owns one RNG substream, consumed in iteration order, so
+        // the per-replica series is a pure function of (root, replica) and
+        // the pool cannot perturb it. The iteration waits for the slowest
+        // replica.
+        let replica_ids: Vec<u64> = (1..self.gpus as u64).collect();
+        let other_series: Vec<Vec<f64>> = ceer_par::par_map(&replica_ids, |&r| {
+            let mut rng = root.substream(r);
+            (0..iterations)
+                .map(|_| {
+                    let mut replica_us = 0.0;
+                    for idx in 0..expected.len() {
+                        if !is_cpu[idx] {
+                            replica_us += expected[idx] * rng.noise_factor(cvs[idx]);
+                        }
                     }
-                }
-                slowest = slowest.max(replica_us);
+                    replica_us
+                })
+                .collect()
+        });
+
+        let mut sync_series = Vec::with_capacity(iterations);
+        let mut iter_series = Vec::with_capacity(iterations);
+        for iteration in 0..iterations {
+            let mut slowest = replica0_series[iteration];
+            for series in &other_series {
+                slowest = slowest.max(series[iteration]);
             }
             let sync_us =
                 sync.sample_overhead_us(self.gpus, params, replica_compute_us, &mut sync_rng);
@@ -169,7 +191,7 @@ impl Trainer {
             // overlap = 0 reduces to the paper's additive model.
             let hidden = self.overlap * sync_us;
             let blocking = sync_us - hidden;
-            iter_series.push(cpu_us + slowest.max(hidden) + blocking);
+            iter_series.push(cpu_series[iteration] + slowest.max(hidden) + blocking);
         }
 
         let op_durations = graph

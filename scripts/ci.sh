@@ -2,6 +2,12 @@
 # The full CI gate: formatting, lints, release build, and the test suite.
 # Everything runs offline (the registry dependencies are vendored under
 # vendor/). Fails fast on the first broken step.
+#
+# The test suite runs twice — with the ceer-par pool forced serial and
+# forced to 8 workers — because every result in this repository must be
+# bit-identical at any thread count; a pass at one width and a failure at
+# the other is a determinism bug, not flakiness. A stress loop then repeats
+# the serve concurrency tests to shake out scheduling-dependent races.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,7 +20,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "=== cargo build --release ==="
 cargo build --release
 
-echo "=== cargo test ==="
-cargo test -q
+echo "=== cargo test (CEER_THREADS=1) ==="
+CEER_THREADS=1 cargo test -q --workspace
+
+echo "=== cargo test (CEER_THREADS=8) ==="
+CEER_THREADS=8 cargo test -q --workspace
+
+echo "=== serve concurrency stress (20x) ==="
+for i in $(seq 1 20); do
+    cargo test -q --test serve concurrent \
+        > /dev/null || { echo "stress iteration $i failed"; exit 1; }
+done
+echo "stress loop passed (20 iterations)"
 
 echo "CI gate passed."

@@ -11,6 +11,7 @@
 //! - [`model`]: Ceer itself — regression models, estimators, recommender.
 //! - [`serve`]: the HTTP prediction service over a fitted model.
 //! - [`stats`]: the statistics substrate.
+//! - [`par`]: the deterministic worker pool underneath the hot paths.
 
 #![forbid(unsafe_code)]
 
@@ -18,6 +19,7 @@ pub use ceer_cloud as cloud;
 pub use ceer_core as model;
 pub use ceer_gpusim as gpusim;
 pub use ceer_graph as graph;
+pub use ceer_par as par;
 pub use ceer_serve as serve;
 pub use ceer_stats as stats;
 pub use ceer_trainer as trainer;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-36873aab51aeeeba.d: crates/ceer-experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-36873aab51aeeeba: crates/ceer-experiments/src/bin/ablations.rs
+
+crates/ceer-experiments/src/bin/ablations.rs:

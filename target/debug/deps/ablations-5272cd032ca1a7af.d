@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-5272cd032ca1a7af.d: crates/ceer-experiments/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-5272cd032ca1a7af.rmeta: crates/ceer-experiments/src/bin/ablations.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

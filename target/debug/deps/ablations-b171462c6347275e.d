@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-b171462c6347275e.d: crates/ceer-experiments/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-b171462c6347275e.rmeta: crates/ceer-experiments/src/bin/ablations.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-ffabb7852919323c.d: crates/ceer-experiments/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-ffabb7852919323c: crates/ceer-experiments/src/bin/ablations.rs
+
+crates/ceer-experiments/src/bin/ablations.rs:

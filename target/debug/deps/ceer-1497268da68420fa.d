@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/ceer-1497268da68420fa.d: crates/ceer-cli/src/main.rs crates/ceer-cli/src/args.rs crates/ceer-cli/src/commands/mod.rs crates/ceer-cli/src/commands/catalog.rs crates/ceer-cli/src/commands/collect.rs crates/ceer-cli/src/commands/fit.rs crates/ceer-cli/src/commands/inspect.rs crates/ceer-cli/src/commands/predict.rs crates/ceer-cli/src/commands/profile.rs crates/ceer-cli/src/commands/recommend.rs crates/ceer-cli/src/commands/roofline.rs crates/ceer-cli/src/commands/serve.rs crates/ceer-cli/src/commands/zoo.rs crates/ceer-cli/src/output.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer-1497268da68420fa.rmeta: crates/ceer-cli/src/main.rs crates/ceer-cli/src/args.rs crates/ceer-cli/src/commands/mod.rs crates/ceer-cli/src/commands/catalog.rs crates/ceer-cli/src/commands/collect.rs crates/ceer-cli/src/commands/fit.rs crates/ceer-cli/src/commands/inspect.rs crates/ceer-cli/src/commands/predict.rs crates/ceer-cli/src/commands/profile.rs crates/ceer-cli/src/commands/recommend.rs crates/ceer-cli/src/commands/roofline.rs crates/ceer-cli/src/commands/serve.rs crates/ceer-cli/src/commands/zoo.rs crates/ceer-cli/src/output.rs Cargo.toml
+
+crates/ceer-cli/src/main.rs:
+crates/ceer-cli/src/args.rs:
+crates/ceer-cli/src/commands/mod.rs:
+crates/ceer-cli/src/commands/catalog.rs:
+crates/ceer-cli/src/commands/collect.rs:
+crates/ceer-cli/src/commands/fit.rs:
+crates/ceer-cli/src/commands/inspect.rs:
+crates/ceer-cli/src/commands/predict.rs:
+crates/ceer-cli/src/commands/profile.rs:
+crates/ceer-cli/src/commands/recommend.rs:
+crates/ceer-cli/src/commands/roofline.rs:
+crates/ceer-cli/src/commands/serve.rs:
+crates/ceer-cli/src/commands/zoo.rs:
+crates/ceer-cli/src/output.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

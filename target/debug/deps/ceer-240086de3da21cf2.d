@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ceer-240086de3da21cf2.d: crates/ceer-bench/benches/ceer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer-240086de3da21cf2.rmeta: crates/ceer-bench/benches/ceer.rs Cargo.toml
+
+crates/ceer-bench/benches/ceer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ceer-97a25710d975f1a7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libceer-97a25710d975f1a7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libceer-97a25710d975f1a7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ceer-9fd06e2211db9ca5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer-9fd06e2211db9ca5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

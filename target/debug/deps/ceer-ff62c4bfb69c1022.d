@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer-ff62c4bfb69c1022.d: src/lib.rs
+
+/root/repo/target/debug/deps/ceer-ff62c4bfb69c1022: src/lib.rs
+
+src/lib.rs:

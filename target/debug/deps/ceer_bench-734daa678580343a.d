@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ceer_bench-734daa678580343a.d: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_bench-734daa678580343a.rlib: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_bench-734daa678580343a.rmeta: crates/ceer-bench/src/lib.rs
+
+crates/ceer-bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer_bench-b998e29cdf762b45.d: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/debug/deps/ceer_bench-b998e29cdf762b45: crates/ceer-bench/src/lib.rs
+
+crates/ceer-bench/src/lib.rs:

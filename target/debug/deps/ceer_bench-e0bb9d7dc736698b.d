@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ceer_bench-e0bb9d7dc736698b.d: crates/ceer-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer_bench-e0bb9d7dc736698b.rmeta: crates/ceer-bench/src/lib.rs Cargo.toml
+
+crates/ceer-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ceer_core-206f4f19ebe9dc75.d: crates/ceer-core/src/lib.rs crates/ceer-core/src/archive.rs crates/ceer-core/src/classify.rs crates/ceer-core/src/comm.rs crates/ceer-core/src/crossval.rs crates/ceer-core/src/estimate.rs crates/ceer-core/src/features.rs crates/ceer-core/src/fit.rs crates/ceer-core/src/opmodel.rs crates/ceer-core/src/recommend.rs crates/ceer-core/src/report.rs
+
+/root/repo/target/debug/deps/libceer_core-206f4f19ebe9dc75.rlib: crates/ceer-core/src/lib.rs crates/ceer-core/src/archive.rs crates/ceer-core/src/classify.rs crates/ceer-core/src/comm.rs crates/ceer-core/src/crossval.rs crates/ceer-core/src/estimate.rs crates/ceer-core/src/features.rs crates/ceer-core/src/fit.rs crates/ceer-core/src/opmodel.rs crates/ceer-core/src/recommend.rs crates/ceer-core/src/report.rs
+
+/root/repo/target/debug/deps/libceer_core-206f4f19ebe9dc75.rmeta: crates/ceer-core/src/lib.rs crates/ceer-core/src/archive.rs crates/ceer-core/src/classify.rs crates/ceer-core/src/comm.rs crates/ceer-core/src/crossval.rs crates/ceer-core/src/estimate.rs crates/ceer-core/src/features.rs crates/ceer-core/src/fit.rs crates/ceer-core/src/opmodel.rs crates/ceer-core/src/recommend.rs crates/ceer-core/src/report.rs
+
+crates/ceer-core/src/lib.rs:
+crates/ceer-core/src/archive.rs:
+crates/ceer-core/src/classify.rs:
+crates/ceer-core/src/comm.rs:
+crates/ceer-core/src/crossval.rs:
+crates/ceer-core/src/estimate.rs:
+crates/ceer-core/src/features.rs:
+crates/ceer-core/src/fit.rs:
+crates/ceer-core/src/opmodel.rs:
+crates/ceer-core/src/recommend.rs:
+crates/ceer-core/src/report.rs:

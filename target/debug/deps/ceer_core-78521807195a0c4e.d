@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ceer_core-78521807195a0c4e.d: crates/ceer-core/src/lib.rs crates/ceer-core/src/archive.rs crates/ceer-core/src/classify.rs crates/ceer-core/src/comm.rs crates/ceer-core/src/crossval.rs crates/ceer-core/src/estimate.rs crates/ceer-core/src/features.rs crates/ceer-core/src/fit.rs crates/ceer-core/src/opmodel.rs crates/ceer-core/src/recommend.rs crates/ceer-core/src/report.rs
+
+/root/repo/target/debug/deps/ceer_core-78521807195a0c4e: crates/ceer-core/src/lib.rs crates/ceer-core/src/archive.rs crates/ceer-core/src/classify.rs crates/ceer-core/src/comm.rs crates/ceer-core/src/crossval.rs crates/ceer-core/src/estimate.rs crates/ceer-core/src/features.rs crates/ceer-core/src/fit.rs crates/ceer-core/src/opmodel.rs crates/ceer-core/src/recommend.rs crates/ceer-core/src/report.rs
+
+crates/ceer-core/src/lib.rs:
+crates/ceer-core/src/archive.rs:
+crates/ceer-core/src/classify.rs:
+crates/ceer-core/src/comm.rs:
+crates/ceer-core/src/crossval.rs:
+crates/ceer-core/src/estimate.rs:
+crates/ceer-core/src/features.rs:
+crates/ceer-core/src/fit.rs:
+crates/ceer-core/src/opmodel.rs:
+crates/ceer-core/src/recommend.rs:
+crates/ceer-core/src/report.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ceer_core-fdbae80542739de5.d: crates/ceer-core/src/lib.rs crates/ceer-core/src/archive.rs crates/ceer-core/src/classify.rs crates/ceer-core/src/comm.rs crates/ceer-core/src/crossval.rs crates/ceer-core/src/estimate.rs crates/ceer-core/src/features.rs crates/ceer-core/src/fit.rs crates/ceer-core/src/opmodel.rs crates/ceer-core/src/recommend.rs crates/ceer-core/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer_core-fdbae80542739de5.rmeta: crates/ceer-core/src/lib.rs crates/ceer-core/src/archive.rs crates/ceer-core/src/classify.rs crates/ceer-core/src/comm.rs crates/ceer-core/src/crossval.rs crates/ceer-core/src/estimate.rs crates/ceer-core/src/features.rs crates/ceer-core/src/fit.rs crates/ceer-core/src/opmodel.rs crates/ceer-core/src/recommend.rs crates/ceer-core/src/report.rs Cargo.toml
+
+crates/ceer-core/src/lib.rs:
+crates/ceer-core/src/archive.rs:
+crates/ceer-core/src/classify.rs:
+crates/ceer-core/src/comm.rs:
+crates/ceer-core/src/crossval.rs:
+crates/ceer-core/src/estimate.rs:
+crates/ceer-core/src/features.rs:
+crates/ceer-core/src/fit.rs:
+crates/ceer-core/src/opmodel.rs:
+crates/ceer-core/src/recommend.rs:
+crates/ceer-core/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ceer_experiments-27483f4d18b0a008.d: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/figures.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+/root/repo/target/debug/deps/ceer_experiments-27483f4d18b0a008: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/figures.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+crates/ceer-experiments/src/lib.rs:
+crates/ceer-experiments/src/checks.rs:
+crates/ceer-experiments/src/context.rs:
+crates/ceer-experiments/src/figures.rs:
+crates/ceer-experiments/src/observe.rs:
+crates/ceer-experiments/src/table.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments

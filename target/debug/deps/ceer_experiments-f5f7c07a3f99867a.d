@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ceer_experiments-f5f7c07a3f99867a.d: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/figures.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer_experiments-f5f7c07a3f99867a.rmeta: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/figures.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs Cargo.toml
+
+crates/ceer-experiments/src/lib.rs:
+crates/ceer-experiments/src/checks.rs:
+crates/ceer-experiments/src/context.rs:
+crates/ceer-experiments/src/figures.rs:
+crates/ceer-experiments/src/observe.rs:
+crates/ceer-experiments/src/table.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

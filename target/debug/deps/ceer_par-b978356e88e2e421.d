@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ceer_par-b978356e88e2e421.d: crates/ceer-par/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_par-b978356e88e2e421.rlib: crates/ceer-par/src/lib.rs
+
+/root/repo/target/debug/deps/libceer_par-b978356e88e2e421.rmeta: crates/ceer-par/src/lib.rs
+
+crates/ceer-par/src/lib.rs:

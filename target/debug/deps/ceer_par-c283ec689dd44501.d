@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ceer_par-c283ec689dd44501.d: crates/ceer-par/src/lib.rs
+
+/root/repo/target/debug/deps/ceer_par-c283ec689dd44501: crates/ceer-par/src/lib.rs
+
+crates/ceer-par/src/lib.rs:

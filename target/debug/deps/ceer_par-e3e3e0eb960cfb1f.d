@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ceer_par-e3e3e0eb960cfb1f.d: crates/ceer-par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer_par-e3e3e0eb960cfb1f.rmeta: crates/ceer-par/src/lib.rs Cargo.toml
+
+crates/ceer-par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ceer_serve-9c34cf9cbb9ed4eb.d: crates/ceer-serve/src/lib.rs crates/ceer-serve/src/api.rs crates/ceer-serve/src/cache.rs crates/ceer-serve/src/client.rs crates/ceer-serve/src/http.rs crates/ceer-serve/src/metrics.rs crates/ceer-serve/src/registry.rs crates/ceer-serve/src/server.rs
+
+/root/repo/target/debug/deps/ceer_serve-9c34cf9cbb9ed4eb: crates/ceer-serve/src/lib.rs crates/ceer-serve/src/api.rs crates/ceer-serve/src/cache.rs crates/ceer-serve/src/client.rs crates/ceer-serve/src/http.rs crates/ceer-serve/src/metrics.rs crates/ceer-serve/src/registry.rs crates/ceer-serve/src/server.rs
+
+crates/ceer-serve/src/lib.rs:
+crates/ceer-serve/src/api.rs:
+crates/ceer-serve/src/cache.rs:
+crates/ceer-serve/src/client.rs:
+crates/ceer-serve/src/http.rs:
+crates/ceer-serve/src/metrics.rs:
+crates/ceer-serve/src/registry.rs:
+crates/ceer-serve/src/server.rs:

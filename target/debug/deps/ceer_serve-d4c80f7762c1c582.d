@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ceer_serve-d4c80f7762c1c582.d: crates/ceer-serve/src/lib.rs crates/ceer-serve/src/api.rs crates/ceer-serve/src/cache.rs crates/ceer-serve/src/client.rs crates/ceer-serve/src/http.rs crates/ceer-serve/src/metrics.rs crates/ceer-serve/src/registry.rs crates/ceer-serve/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer_serve-d4c80f7762c1c582.rmeta: crates/ceer-serve/src/lib.rs crates/ceer-serve/src/api.rs crates/ceer-serve/src/cache.rs crates/ceer-serve/src/client.rs crates/ceer-serve/src/http.rs crates/ceer-serve/src/metrics.rs crates/ceer-serve/src/registry.rs crates/ceer-serve/src/server.rs Cargo.toml
+
+crates/ceer-serve/src/lib.rs:
+crates/ceer-serve/src/api.rs:
+crates/ceer-serve/src/cache.rs:
+crates/ceer-serve/src/client.rs:
+crates/ceer-serve/src/http.rs:
+crates/ceer-serve/src/metrics.rs:
+crates/ceer-serve/src/registry.rs:
+crates/ceer-serve/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

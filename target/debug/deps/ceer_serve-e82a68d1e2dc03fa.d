@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ceer_serve-e82a68d1e2dc03fa.d: crates/ceer-serve/src/lib.rs crates/ceer-serve/src/api.rs crates/ceer-serve/src/cache.rs crates/ceer-serve/src/client.rs crates/ceer-serve/src/http.rs crates/ceer-serve/src/metrics.rs crates/ceer-serve/src/registry.rs crates/ceer-serve/src/server.rs
+
+/root/repo/target/debug/deps/libceer_serve-e82a68d1e2dc03fa.rlib: crates/ceer-serve/src/lib.rs crates/ceer-serve/src/api.rs crates/ceer-serve/src/cache.rs crates/ceer-serve/src/client.rs crates/ceer-serve/src/http.rs crates/ceer-serve/src/metrics.rs crates/ceer-serve/src/registry.rs crates/ceer-serve/src/server.rs
+
+/root/repo/target/debug/deps/libceer_serve-e82a68d1e2dc03fa.rmeta: crates/ceer-serve/src/lib.rs crates/ceer-serve/src/api.rs crates/ceer-serve/src/cache.rs crates/ceer-serve/src/client.rs crates/ceer-serve/src/http.rs crates/ceer-serve/src/metrics.rs crates/ceer-serve/src/registry.rs crates/ceer-serve/src/server.rs
+
+crates/ceer-serve/src/lib.rs:
+crates/ceer-serve/src/api.rs:
+crates/ceer-serve/src/cache.rs:
+crates/ceer-serve/src/client.rs:
+crates/ceer-serve/src/http.rs:
+crates/ceer-serve/src/metrics.rs:
+crates/ceer-serve/src/registry.rs:
+crates/ceer-serve/src/server.rs:

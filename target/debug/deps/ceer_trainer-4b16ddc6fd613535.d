@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ceer_trainer-4b16ddc6fd613535.d: crates/ceer-trainer/src/lib.rs crates/ceer-trainer/src/profile.rs crates/ceer-trainer/src/sim.rs crates/ceer-trainer/src/trace.rs
+
+/root/repo/target/debug/deps/libceer_trainer-4b16ddc6fd613535.rlib: crates/ceer-trainer/src/lib.rs crates/ceer-trainer/src/profile.rs crates/ceer-trainer/src/sim.rs crates/ceer-trainer/src/trace.rs
+
+/root/repo/target/debug/deps/libceer_trainer-4b16ddc6fd613535.rmeta: crates/ceer-trainer/src/lib.rs crates/ceer-trainer/src/profile.rs crates/ceer-trainer/src/sim.rs crates/ceer-trainer/src/trace.rs
+
+crates/ceer-trainer/src/lib.rs:
+crates/ceer-trainer/src/profile.rs:
+crates/ceer-trainer/src/sim.rs:
+crates/ceer-trainer/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ceer_trainer-56e705ea1de962ec.d: crates/ceer-trainer/src/lib.rs crates/ceer-trainer/src/profile.rs crates/ceer-trainer/src/sim.rs crates/ceer-trainer/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libceer_trainer-56e705ea1de962ec.rmeta: crates/ceer-trainer/src/lib.rs crates/ceer-trainer/src/profile.rs crates/ceer-trainer/src/sim.rs crates/ceer-trainer/src/trace.rs Cargo.toml
+
+crates/ceer-trainer/src/lib.rs:
+crates/ceer-trainer/src/profile.rs:
+crates/ceer-trainer/src/sim.rs:
+crates/ceer-trainer/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ceer_trainer-a937b0887226f256.d: crates/ceer-trainer/src/lib.rs crates/ceer-trainer/src/profile.rs crates/ceer-trainer/src/sim.rs crates/ceer-trainer/src/trace.rs
+
+/root/repo/target/debug/deps/ceer_trainer-a937b0887226f256: crates/ceer-trainer/src/lib.rs crates/ceer-trainer/src/profile.rs crates/ceer-trainer/src/sim.rs crates/ceer-trainer/src/trace.rs
+
+crates/ceer-trainer/src/lib.rs:
+crates/ceer-trainer/src/profile.rs:
+crates/ceer-trainer/src/sim.rs:
+crates/ceer-trainer/src/trace.rs:

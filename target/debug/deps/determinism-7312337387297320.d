@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-7312337387297320.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-7312337387297320: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_batch_sensitivity-313ebc2d06a220cf.d: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+/root/repo/target/debug/deps/exp_batch_sensitivity-313ebc2d06a220cf: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_batch_sensitivity-3ac39ed829396e31.d: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_batch_sensitivity-3ac39ed829396e31.rmeta: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

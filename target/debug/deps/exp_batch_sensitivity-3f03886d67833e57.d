@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_batch_sensitivity-3f03886d67833e57.d: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+/root/repo/target/debug/deps/exp_batch_sensitivity-3f03886d67833e57: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_batch_sensitivity-df6857bd9dc67682.d: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_batch_sensitivity-df6857bd9dc67682.rmeta: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_crossval-0d686f4d510783f3.d: crates/ceer-experiments/src/bin/exp_crossval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_crossval-0d686f4d510783f3.rmeta: crates/ceer-experiments/src/bin/exp_crossval.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/exp_crossval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_crossval-a56687c086cf4474.d: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+/root/repo/target/debug/deps/exp_crossval-a56687c086cf4474: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+crates/ceer-experiments/src/bin/exp_crossval.rs:

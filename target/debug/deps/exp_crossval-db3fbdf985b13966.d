@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_crossval-db3fbdf985b13966.d: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+/root/repo/target/debug/deps/exp_crossval-db3fbdf985b13966: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+crates/ceer-experiments/src/bin/exp_crossval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_crossval-efec1ec4ccc81eb0.d: crates/ceer-experiments/src/bin/exp_crossval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_crossval-efec1ec4ccc81eb0.rmeta: crates/ceer-experiments/src/bin/exp_crossval.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/exp_crossval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

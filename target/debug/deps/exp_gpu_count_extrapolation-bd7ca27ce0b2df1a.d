@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_gpu_count_extrapolation-bd7ca27ce0b2df1a.d: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+/root/repo/target/debug/deps/exp_gpu_count_extrapolation-bd7ca27ce0b2df1a: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_gpu_count_extrapolation-dcc257fc09fb439a.d: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_gpu_count_extrapolation-dcc257fc09fb439a.rmeta: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_gpu_count_extrapolation-ece4291f9efa19b1.d: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+/root/repo/target/debug/deps/exp_gpu_count_extrapolation-ece4291f9efa19b1: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_overlap_limitation-29c21648f3a68587.d: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+/root/repo/target/debug/deps/exp_overlap_limitation-29c21648f3a68587: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+crates/ceer-experiments/src/bin/exp_overlap_limitation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_overlap_limitation-4c2e13f38eff879c.d: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_overlap_limitation-4c2e13f38eff879c.rmeta: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/exp_overlap_limitation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_overlap_limitation-add7634a868ac5aa.d: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+/root/repo/target/debug/deps/exp_overlap_limitation-add7634a868ac5aa: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+crates/ceer-experiments/src/bin/exp_overlap_limitation.rs:

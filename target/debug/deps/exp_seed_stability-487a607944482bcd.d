@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_seed_stability-487a607944482bcd.d: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+/root/repo/target/debug/deps/exp_seed_stability-487a607944482bcd: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+crates/ceer-experiments/src/bin/exp_seed_stability.rs:

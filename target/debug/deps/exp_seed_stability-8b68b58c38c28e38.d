@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_seed_stability-8b68b58c38c28e38.d: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+/root/repo/target/debug/deps/exp_seed_stability-8b68b58c38c28e38: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+crates/ceer-experiments/src/bin/exp_seed_stability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_seed_stability-d7e79bdd809c5244.d: crates/ceer-experiments/src/bin/exp_seed_stability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_seed_stability-d7e79bdd809c5244.rmeta: crates/ceer-experiments/src/bin/exp_seed_stability.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/exp_seed_stability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_summary-1f478b6fff48c8ce.d: crates/ceer-experiments/src/bin/exp_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_summary-1f478b6fff48c8ce.rmeta: crates/ceer-experiments/src/bin/exp_summary.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/exp_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

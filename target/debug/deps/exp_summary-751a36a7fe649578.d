@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_summary-751a36a7fe649578.d: crates/ceer-experiments/src/bin/exp_summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_summary-751a36a7fe649578.rmeta: crates/ceer-experiments/src/bin/exp_summary.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/exp_summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_summary-db229c65ae48fe00.d: crates/ceer-experiments/src/bin/exp_summary.rs
+
+/root/repo/target/debug/deps/exp_summary-db229c65ae48fe00: crates/ceer-experiments/src/bin/exp_summary.rs
+
+crates/ceer-experiments/src/bin/exp_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_summary-eafbe99d0e7b2905.d: crates/ceer-experiments/src/bin/exp_summary.rs
+
+/root/repo/target/debug/deps/exp_summary-eafbe99d0e7b2905: crates/ceer-experiments/src/bin/exp_summary.rs
+
+crates/ceer-experiments/src/bin/exp_summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_total_budget-82dad8f210ae3f59.d: crates/ceer-experiments/src/bin/fig10_total_budget.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_total_budget-82dad8f210ae3f59.rmeta: crates/ceer-experiments/src/bin/fig10_total_budget.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig10_total_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

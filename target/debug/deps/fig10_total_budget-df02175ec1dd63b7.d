@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_total_budget-df02175ec1dd63b7.d: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+/root/repo/target/debug/deps/fig10_total_budget-df02175ec1dd63b7: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+crates/ceer-experiments/src/bin/fig10_total_budget.rs:

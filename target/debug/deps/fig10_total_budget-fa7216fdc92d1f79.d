@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_total_budget-fa7216fdc92d1f79.d: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+/root/repo/target/debug/deps/fig10_total_budget-fa7216fdc92d1f79: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+crates/ceer-experiments/src/bin/fig10_total_budget.rs:

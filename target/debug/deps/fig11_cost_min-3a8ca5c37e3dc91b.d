@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_cost_min-3a8ca5c37e3dc91b.d: crates/ceer-experiments/src/bin/fig11_cost_min.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_cost_min-3a8ca5c37e3dc91b.rmeta: crates/ceer-experiments/src/bin/fig11_cost_min.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig11_cost_min.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_cost_min-47e1e68e8db08122.d: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+/root/repo/target/debug/deps/fig11_cost_min-47e1e68e8db08122: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+crates/ceer-experiments/src/bin/fig11_cost_min.rs:

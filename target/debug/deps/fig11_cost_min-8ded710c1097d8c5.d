@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_cost_min-8ded710c1097d8c5.d: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+/root/repo/target/debug/deps/fig11_cost_min-8ded710c1097d8c5: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+crates/ceer-experiments/src/bin/fig11_cost_min.rs:

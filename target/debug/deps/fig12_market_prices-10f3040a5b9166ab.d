@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_market_prices-10f3040a5b9166ab.d: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+/root/repo/target/debug/deps/fig12_market_prices-10f3040a5b9166ab: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+crates/ceer-experiments/src/bin/fig12_market_prices.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_market_prices-3f7f42ed71507d88.d: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+/root/repo/target/debug/deps/fig12_market_prices-3f7f42ed71507d88: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+crates/ceer-experiments/src/bin/fig12_market_prices.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_market_prices-9f477ccbdb47ee1e.d: crates/ceer-experiments/src/bin/fig12_market_prices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_market_prices-9f477ccbdb47ee1e.rmeta: crates/ceer-experiments/src/bin/fig12_market_prices.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig12_market_prices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

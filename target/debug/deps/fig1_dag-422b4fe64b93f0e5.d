@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig1_dag-422b4fe64b93f0e5.d: crates/ceer-experiments/src/bin/fig1_dag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_dag-422b4fe64b93f0e5.rmeta: crates/ceer-experiments/src/bin/fig1_dag.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig1_dag.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig1_dag-c4a7ce5f6a81e798.d: crates/ceer-experiments/src/bin/fig1_dag.rs
+
+/root/repo/target/debug/deps/fig1_dag-c4a7ce5f6a81e798: crates/ceer-experiments/src/bin/fig1_dag.rs
+
+crates/ceer-experiments/src/bin/fig1_dag.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig1_dag-d7aa0fa27c609d24.d: crates/ceer-experiments/src/bin/fig1_dag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_dag-d7aa0fa27c609d24.rmeta: crates/ceer-experiments/src/bin/fig1_dag.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig1_dag.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_op_times-0218a6a8c771896f.d: crates/ceer-experiments/src/bin/fig2_op_times.rs
+
+/root/repo/target/debug/deps/fig2_op_times-0218a6a8c771896f: crates/ceer-experiments/src/bin/fig2_op_times.rs
+
+crates/ceer-experiments/src/bin/fig2_op_times.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_op_times-1f7add0148ea9fff.d: crates/ceer-experiments/src/bin/fig2_op_times.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_op_times-1f7add0148ea9fff.rmeta: crates/ceer-experiments/src/bin/fig2_op_times.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig2_op_times.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

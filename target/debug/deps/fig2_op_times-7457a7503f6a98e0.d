@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_op_times-7457a7503f6a98e0.d: crates/ceer-experiments/src/bin/fig2_op_times.rs
+
+/root/repo/target/debug/deps/fig2_op_times-7457a7503f6a98e0: crates/ceer-experiments/src/bin/fig2_op_times.rs
+
+crates/ceer-experiments/src/bin/fig2_op_times.rs:

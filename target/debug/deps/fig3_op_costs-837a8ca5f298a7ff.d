@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_op_costs-837a8ca5f298a7ff.d: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+/root/repo/target/debug/deps/fig3_op_costs-837a8ca5f298a7ff: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+crates/ceer-experiments/src/bin/fig3_op_costs.rs:

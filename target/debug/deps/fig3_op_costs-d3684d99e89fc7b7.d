@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_op_costs-d3684d99e89fc7b7.d: crates/ceer-experiments/src/bin/fig3_op_costs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_op_costs-d3684d99e89fc7b7.rmeta: crates/ceer-experiments/src/bin/fig3_op_costs.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig3_op_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_op_costs-eeef245c537064a1.d: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+/root/repo/target/debug/deps/fig3_op_costs-eeef245c537064a1: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+crates/ceer-experiments/src/bin/fig3_op_costs.rs:

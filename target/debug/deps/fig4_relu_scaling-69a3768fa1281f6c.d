@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_relu_scaling-69a3768fa1281f6c.d: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+/root/repo/target/debug/deps/fig4_relu_scaling-69a3768fa1281f6c: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+crates/ceer-experiments/src/bin/fig4_relu_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_relu_scaling-77a216493c5384ff.d: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+/root/repo/target/debug/deps/fig4_relu_scaling-77a216493c5384ff: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+crates/ceer-experiments/src/bin/fig4_relu_scaling.rs:

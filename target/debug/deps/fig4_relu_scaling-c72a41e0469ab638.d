@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_relu_scaling-c72a41e0469ab638.d: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_relu_scaling-c72a41e0469ab638.rmeta: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig4_relu_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

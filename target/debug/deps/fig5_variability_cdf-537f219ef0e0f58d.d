@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_variability_cdf-537f219ef0e0f58d.d: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_variability_cdf-537f219ef0e0f58d.rmeta: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig5_variability_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_variability_cdf-8ecf909a191ae163.d: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_variability_cdf-8ecf909a191ae163.rmeta: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig5_variability_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_variability_cdf-b3dcbc2341174042.d: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs
+
+/root/repo/target/debug/deps/fig5_variability_cdf-b3dcbc2341174042: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs
+
+crates/ceer-experiments/src/bin/fig5_variability_cdf.rs:

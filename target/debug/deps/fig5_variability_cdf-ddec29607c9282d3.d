@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_variability_cdf-ddec29607c9282d3.d: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs
+
+/root/repo/target/debug/deps/fig5_variability_cdf-ddec29607c9282d3: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs
+
+crates/ceer-experiments/src/bin/fig5_variability_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_data_parallel_scaling-97513d401ef15ec7.d: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+/root/repo/target/debug/deps/fig6_data_parallel_scaling-97513d401ef15ec7: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs:

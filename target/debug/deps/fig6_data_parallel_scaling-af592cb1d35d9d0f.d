@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_data_parallel_scaling-af592cb1d35d9d0f.d: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_data_parallel_scaling-af592cb1d35d9d0f.rmeta: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

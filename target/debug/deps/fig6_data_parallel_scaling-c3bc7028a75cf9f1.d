@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_data_parallel_scaling-c3bc7028a75cf9f1.d: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+/root/repo/target/debug/deps/fig6_data_parallel_scaling-c3bc7028a75cf9f1: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_comm_overhead-1104050f71ffa7d6.d: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_comm_overhead-1104050f71ffa7d6.rmeta: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig7_comm_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

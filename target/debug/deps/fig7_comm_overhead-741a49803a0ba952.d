@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_comm_overhead-741a49803a0ba952.d: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+/root/repo/target/debug/deps/fig7_comm_overhead-741a49803a0ba952: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+crates/ceer-experiments/src/bin/fig7_comm_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_comm_overhead-b8b612bb820b1519.d: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+/root/repo/target/debug/deps/fig7_comm_overhead-b8b612bb820b1519: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+crates/ceer-experiments/src/bin/fig7_comm_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_validation-435ea72faa2a49fd.d: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+/root/repo/target/debug/deps/fig8_validation-435ea72faa2a49fd: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+crates/ceer-experiments/src/bin/fig8_validation.rs:

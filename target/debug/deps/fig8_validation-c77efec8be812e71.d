@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_validation-c77efec8be812e71.d: crates/ceer-experiments/src/bin/fig8_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_validation-c77efec8be812e71.rmeta: crates/ceer-experiments/src/bin/fig8_validation.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig8_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

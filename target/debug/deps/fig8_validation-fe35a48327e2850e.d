@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_validation-fe35a48327e2850e.d: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+/root/repo/target/debug/deps/fig8_validation-fe35a48327e2850e: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+crates/ceer-experiments/src/bin/fig8_validation.rs:

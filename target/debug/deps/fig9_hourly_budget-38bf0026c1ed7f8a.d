@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_hourly_budget-38bf0026c1ed7f8a.d: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+/root/repo/target/debug/deps/fig9_hourly_budget-38bf0026c1ed7f8a: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+crates/ceer-experiments/src/bin/fig9_hourly_budget.rs:

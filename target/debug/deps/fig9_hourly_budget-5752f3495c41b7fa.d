@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_hourly_budget-5752f3495c41b7fa.d: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_hourly_budget-5752f3495c41b7fa.rmeta: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/fig9_hourly_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_hourly_budget-f8b6dfedd9775400.d: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+/root/repo/target/debug/deps/fig9_hourly_budget-f8b6dfedd9775400: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+crates/ceer-experiments/src/bin/fig9_hourly_budget.rs:

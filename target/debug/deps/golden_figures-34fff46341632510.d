@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_figures-34fff46341632510.d: tests/golden_figures.rs
+
+/root/repo/target/debug/deps/golden_figures-34fff46341632510: tests/golden_figures.rs
+
+tests/golden_figures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graphs-05ed8e4d1e27fd13.d: crates/ceer-bench/benches/graphs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphs-05ed8e4d1e27fd13.rmeta: crates/ceer-bench/benches/graphs.rs Cargo.toml
+
+crates/ceer-bench/benches/graphs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

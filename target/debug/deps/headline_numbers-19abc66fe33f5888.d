@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline_numbers-19abc66fe33f5888.d: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+/root/repo/target/debug/deps/headline_numbers-19abc66fe33f5888: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+crates/ceer-experiments/src/bin/headline_numbers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline_numbers-2753fe5e9ee00306.d: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+/root/repo/target/debug/deps/headline_numbers-2753fe5e9ee00306: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+crates/ceer-experiments/src/bin/headline_numbers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/headline_numbers-524da901ea8db2ec.d: crates/ceer-experiments/src/bin/headline_numbers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheadline_numbers-524da901ea8db2ec.rmeta: crates/ceer-experiments/src/bin/headline_numbers.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/headline_numbers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_catalog-35d07f6731b44ed1.d: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+/root/repo/target/debug/deps/hw_catalog-35d07f6731b44ed1: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+crates/ceer-experiments/src/bin/hw_catalog.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_catalog-45059cb38957e77d.d: crates/ceer-experiments/src/bin/hw_catalog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhw_catalog-45059cb38957e77d.rmeta: crates/ceer-experiments/src/bin/hw_catalog.rs Cargo.toml
+
+crates/ceer-experiments/src/bin/hw_catalog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

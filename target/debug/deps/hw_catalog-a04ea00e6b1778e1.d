@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_catalog-a04ea00e6b1778e1.d: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+/root/repo/target/debug/deps/hw_catalog-a04ea00e6b1778e1: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+crates/ceer-experiments/src/bin/hw_catalog.rs:

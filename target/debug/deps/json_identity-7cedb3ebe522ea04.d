@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/json_identity-7cedb3ebe522ea04.d: crates/ceer-cli/tests/json_identity.rs
+
+/root/repo/target/debug/deps/json_identity-7cedb3ebe522ea04: crates/ceer-cli/tests/json_identity.rs
+
+crates/ceer-cli/tests/json_identity.rs:
+
+# env-dep:CARGO_BIN_EXE_ceer=/root/repo/target/debug/ceer

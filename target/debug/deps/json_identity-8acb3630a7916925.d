@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/json_identity-8acb3630a7916925.d: crates/ceer-cli/tests/json_identity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjson_identity-8acb3630a7916925.rmeta: crates/ceer-cli/tests/json_identity.rs Cargo.toml
+
+crates/ceer-cli/tests/json_identity.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_ceer=placeholder:ceer
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_invariants-7fc4c720fc7dac29.d: tests/paper_invariants.rs
+
+/root/repo/target/debug/deps/paper_invariants-7fc4c720fc7dac29: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

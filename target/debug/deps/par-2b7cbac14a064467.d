@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/par-2b7cbac14a064467.d: crates/ceer-bench/benches/par.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpar-2b7cbac14a064467.rmeta: crates/ceer-bench/benches/par.rs Cargo.toml
+
+crates/ceer-bench/benches/par.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

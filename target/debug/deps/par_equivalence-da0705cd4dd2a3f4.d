@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_equivalence-da0705cd4dd2a3f4.d: tests/par_equivalence.rs
+
+/root/repo/target/debug/deps/par_equivalence-da0705cd4dd2a3f4: tests/par_equivalence.rs
+
+tests/par_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/par_equivalence-f1d97bf359c4fb00.d: tests/par_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpar_equivalence-f1d97bf359c4fb00.rmeta: tests/par_equivalence.rs Cargo.toml
+
+tests/par_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-9e742f809e93689e.d: tests/properties.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-9e742f809e93689e.rmeta: tests/properties.rs tests/common/mod.rs Cargo.toml
+
+tests/properties.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/properties-c7f5d07142ea32ed.d: tests/properties.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/properties-c7f5d07142ea32ed: tests/properties.rs tests/common/mod.rs
+
+tests/properties.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/properties_model-021316f5b21773f0.d: tests/properties_model.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/properties_model-021316f5b21773f0: tests/properties_model.rs tests/common/mod.rs
+
+tests/properties_model.rs:
+tests/common/mod.rs:

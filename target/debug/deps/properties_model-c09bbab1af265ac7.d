@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties_model-c09bbab1af265ac7.d: tests/properties_model.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties_model-c09bbab1af265ac7.rmeta: tests/properties_model.rs tests/common/mod.rs Cargo.toml
+
+tests/properties_model.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

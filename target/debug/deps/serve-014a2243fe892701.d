@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve-014a2243fe892701.d: tests/serve.rs
+
+/root/repo/target/debug/deps/serve-014a2243fe892701: tests/serve.rs
+
+tests/serve.rs:

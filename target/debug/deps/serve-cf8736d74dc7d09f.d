@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve-cf8736d74dc7d09f.d: tests/serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve-cf8736d74dc7d09f.rmeta: tests/serve.rs Cargo.toml
+
+tests/serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

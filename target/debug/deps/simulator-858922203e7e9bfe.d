@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-858922203e7e9bfe.d: crates/ceer-bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-858922203e7e9bfe.rmeta: crates/ceer-bench/benches/simulator.rs Cargo.toml
+
+crates/ceer-bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

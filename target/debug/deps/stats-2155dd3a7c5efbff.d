@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats-2155dd3a7c5efbff.d: crates/ceer-bench/benches/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats-2155dd3a7c5efbff.rmeta: crates/ceer-bench/benches/stats.rs Cargo.toml
+
+crates/ceer-bench/benches/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_size_study-4f256da58a70e9e3.d: examples/batch_size_study.rs
+
+/root/repo/target/debug/examples/batch_size_study-4f256da58a70e9e3: examples/batch_size_study.rs
+
+examples/batch_size_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_size_study-a87b6f181d157c67.d: examples/batch_size_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_size_study-a87b6f181d157c67.rmeta: examples/batch_size_study.rs Cargo.toml
+
+examples/batch_size_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

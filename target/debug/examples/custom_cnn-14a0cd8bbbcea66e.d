@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_cnn-14a0cd8bbbcea66e.d: examples/custom_cnn.rs
+
+/root/repo/target/debug/examples/custom_cnn-14a0cd8bbbcea66e: examples/custom_cnn.rs
+
+examples/custom_cnn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_cnn-a47a3e8de49afe36.d: examples/custom_cnn.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_cnn-a47a3e8de49afe36.rmeta: examples/custom_cnn.rs Cargo.toml
+
+examples/custom_cnn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

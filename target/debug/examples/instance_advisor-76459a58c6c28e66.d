@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/instance_advisor-76459a58c6c28e66.d: examples/instance_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinstance_advisor-76459a58c6c28e66.rmeta: examples/instance_advisor.rs Cargo.toml
+
+examples/instance_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

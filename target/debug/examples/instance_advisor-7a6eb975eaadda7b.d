@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/instance_advisor-7a6eb975eaadda7b.d: examples/instance_advisor.rs
+
+/root/repo/target/debug/examples/instance_advisor-7a6eb975eaadda7b: examples/instance_advisor.rs
+
+examples/instance_advisor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_explorer-8eaf91a401c3d7d0.d: examples/profile_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_explorer-8eaf91a401c3d7d0.rmeta: examples/profile_explorer.rs Cargo.toml
+
+examples/profile_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

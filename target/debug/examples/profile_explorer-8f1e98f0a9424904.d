@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_explorer-8f1e98f0a9424904.d: examples/profile_explorer.rs
+
+/root/repo/target/debug/examples/profile_explorer-8f1e98f0a9424904: examples/profile_explorer.rs
+
+examples/profile_explorer.rs:

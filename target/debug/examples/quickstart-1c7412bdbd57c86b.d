@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1c7412bdbd57c86b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1c7412bdbd57c86b: examples/quickstart.rs
+
+examples/quickstart.rs:

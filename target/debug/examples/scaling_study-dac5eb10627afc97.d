@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-dac5eb10627afc97.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-dac5eb10627afc97: examples/scaling_study.rs
+
+examples/scaling_study.rs:

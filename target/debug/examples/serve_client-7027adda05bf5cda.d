@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serve_client-7027adda05bf5cda.d: examples/serve_client.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserve_client-7027adda05bf5cda.rmeta: examples/serve_client.rs Cargo.toml
+
+examples/serve_client.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

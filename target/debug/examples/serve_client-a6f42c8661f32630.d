@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_client-a6f42c8661f32630.d: examples/serve_client.rs
+
+/root/repo/target/debug/examples/serve_client-a6f42c8661f32630: examples/serve_client.rs
+
+examples/serve_client.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/validate-3795e1e69d6b8300.d: crates/ceer-core/examples/validate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvalidate-3795e1e69d6b8300.rmeta: crates/ceer-core/examples/validate.rs Cargo.toml
+
+crates/ceer-core/examples/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

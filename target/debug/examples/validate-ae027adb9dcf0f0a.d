@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/validate-ae027adb9dcf0f0a.d: crates/ceer-core/examples/validate.rs
+
+/root/repo/target/debug/examples/validate-ae027adb9dcf0f0a: crates/ceer-core/examples/validate.rs
+
+crates/ceer-core/examples/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-dd39aa826bebca22.d: crates/ceer-experiments/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-dd39aa826bebca22: crates/ceer-experiments/src/bin/ablations.rs
+
+crates/ceer-experiments/src/bin/ablations.rs:

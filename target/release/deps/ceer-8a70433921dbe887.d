@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ceer-8a70433921dbe887.d: src/lib.rs
+
+/root/repo/target/release/deps/ceer-8a70433921dbe887: src/lib.rs
+
+src/lib.rs:

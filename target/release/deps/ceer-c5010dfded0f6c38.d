@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ceer-c5010dfded0f6c38.d: src/lib.rs
+
+/root/repo/target/release/deps/libceer-c5010dfded0f6c38.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libceer-c5010dfded0f6c38.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ceer-f06ece006add885c.d: crates/ceer-cli/src/main.rs crates/ceer-cli/src/args.rs crates/ceer-cli/src/commands/mod.rs crates/ceer-cli/src/commands/catalog.rs crates/ceer-cli/src/commands/collect.rs crates/ceer-cli/src/commands/fit.rs crates/ceer-cli/src/commands/inspect.rs crates/ceer-cli/src/commands/predict.rs crates/ceer-cli/src/commands/profile.rs crates/ceer-cli/src/commands/recommend.rs crates/ceer-cli/src/commands/roofline.rs crates/ceer-cli/src/commands/serve.rs crates/ceer-cli/src/commands/zoo.rs crates/ceer-cli/src/output.rs
+
+/root/repo/target/release/deps/ceer-f06ece006add885c: crates/ceer-cli/src/main.rs crates/ceer-cli/src/args.rs crates/ceer-cli/src/commands/mod.rs crates/ceer-cli/src/commands/catalog.rs crates/ceer-cli/src/commands/collect.rs crates/ceer-cli/src/commands/fit.rs crates/ceer-cli/src/commands/inspect.rs crates/ceer-cli/src/commands/predict.rs crates/ceer-cli/src/commands/profile.rs crates/ceer-cli/src/commands/recommend.rs crates/ceer-cli/src/commands/roofline.rs crates/ceer-cli/src/commands/serve.rs crates/ceer-cli/src/commands/zoo.rs crates/ceer-cli/src/output.rs
+
+crates/ceer-cli/src/main.rs:
+crates/ceer-cli/src/args.rs:
+crates/ceer-cli/src/commands/mod.rs:
+crates/ceer-cli/src/commands/catalog.rs:
+crates/ceer-cli/src/commands/collect.rs:
+crates/ceer-cli/src/commands/fit.rs:
+crates/ceer-cli/src/commands/inspect.rs:
+crates/ceer-cli/src/commands/predict.rs:
+crates/ceer-cli/src/commands/profile.rs:
+crates/ceer-cli/src/commands/recommend.rs:
+crates/ceer-cli/src/commands/roofline.rs:
+crates/ceer-cli/src/commands/serve.rs:
+crates/ceer-cli/src/commands/zoo.rs:
+crates/ceer-cli/src/output.rs:

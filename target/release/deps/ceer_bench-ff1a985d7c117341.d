@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ceer_bench-ff1a985d7c117341.d: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/release/deps/libceer_bench-ff1a985d7c117341.rlib: crates/ceer-bench/src/lib.rs
+
+/root/repo/target/release/deps/libceer_bench-ff1a985d7c117341.rmeta: crates/ceer-bench/src/lib.rs
+
+crates/ceer-bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ceer_core-844f7b942ddce09b.d: crates/ceer-core/src/lib.rs crates/ceer-core/src/archive.rs crates/ceer-core/src/classify.rs crates/ceer-core/src/comm.rs crates/ceer-core/src/crossval.rs crates/ceer-core/src/estimate.rs crates/ceer-core/src/features.rs crates/ceer-core/src/fit.rs crates/ceer-core/src/opmodel.rs crates/ceer-core/src/recommend.rs crates/ceer-core/src/report.rs
+
+/root/repo/target/release/deps/libceer_core-844f7b942ddce09b.rlib: crates/ceer-core/src/lib.rs crates/ceer-core/src/archive.rs crates/ceer-core/src/classify.rs crates/ceer-core/src/comm.rs crates/ceer-core/src/crossval.rs crates/ceer-core/src/estimate.rs crates/ceer-core/src/features.rs crates/ceer-core/src/fit.rs crates/ceer-core/src/opmodel.rs crates/ceer-core/src/recommend.rs crates/ceer-core/src/report.rs
+
+/root/repo/target/release/deps/libceer_core-844f7b942ddce09b.rmeta: crates/ceer-core/src/lib.rs crates/ceer-core/src/archive.rs crates/ceer-core/src/classify.rs crates/ceer-core/src/comm.rs crates/ceer-core/src/crossval.rs crates/ceer-core/src/estimate.rs crates/ceer-core/src/features.rs crates/ceer-core/src/fit.rs crates/ceer-core/src/opmodel.rs crates/ceer-core/src/recommend.rs crates/ceer-core/src/report.rs
+
+crates/ceer-core/src/lib.rs:
+crates/ceer-core/src/archive.rs:
+crates/ceer-core/src/classify.rs:
+crates/ceer-core/src/comm.rs:
+crates/ceer-core/src/crossval.rs:
+crates/ceer-core/src/estimate.rs:
+crates/ceer-core/src/features.rs:
+crates/ceer-core/src/fit.rs:
+crates/ceer-core/src/opmodel.rs:
+crates/ceer-core/src/recommend.rs:
+crates/ceer-core/src/report.rs:

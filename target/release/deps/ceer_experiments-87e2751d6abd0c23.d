@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ceer_experiments-87e2751d6abd0c23.d: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/figures.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+/root/repo/target/release/deps/libceer_experiments-87e2751d6abd0c23.rlib: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/figures.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+/root/repo/target/release/deps/libceer_experiments-87e2751d6abd0c23.rmeta: crates/ceer-experiments/src/lib.rs crates/ceer-experiments/src/checks.rs crates/ceer-experiments/src/context.rs crates/ceer-experiments/src/figures.rs crates/ceer-experiments/src/observe.rs crates/ceer-experiments/src/table.rs
+
+crates/ceer-experiments/src/lib.rs:
+crates/ceer-experiments/src/checks.rs:
+crates/ceer-experiments/src/context.rs:
+crates/ceer-experiments/src/figures.rs:
+crates/ceer-experiments/src/observe.rs:
+crates/ceer-experiments/src/table.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments

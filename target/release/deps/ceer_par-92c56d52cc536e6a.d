@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ceer_par-92c56d52cc536e6a.d: crates/ceer-par/src/lib.rs
+
+/root/repo/target/release/deps/libceer_par-92c56d52cc536e6a.rlib: crates/ceer-par/src/lib.rs
+
+/root/repo/target/release/deps/libceer_par-92c56d52cc536e6a.rmeta: crates/ceer-par/src/lib.rs
+
+crates/ceer-par/src/lib.rs:

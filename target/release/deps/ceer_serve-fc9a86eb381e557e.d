@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ceer_serve-fc9a86eb381e557e.d: crates/ceer-serve/src/lib.rs crates/ceer-serve/src/api.rs crates/ceer-serve/src/cache.rs crates/ceer-serve/src/client.rs crates/ceer-serve/src/http.rs crates/ceer-serve/src/metrics.rs crates/ceer-serve/src/registry.rs crates/ceer-serve/src/server.rs
+
+/root/repo/target/release/deps/libceer_serve-fc9a86eb381e557e.rlib: crates/ceer-serve/src/lib.rs crates/ceer-serve/src/api.rs crates/ceer-serve/src/cache.rs crates/ceer-serve/src/client.rs crates/ceer-serve/src/http.rs crates/ceer-serve/src/metrics.rs crates/ceer-serve/src/registry.rs crates/ceer-serve/src/server.rs
+
+/root/repo/target/release/deps/libceer_serve-fc9a86eb381e557e.rmeta: crates/ceer-serve/src/lib.rs crates/ceer-serve/src/api.rs crates/ceer-serve/src/cache.rs crates/ceer-serve/src/client.rs crates/ceer-serve/src/http.rs crates/ceer-serve/src/metrics.rs crates/ceer-serve/src/registry.rs crates/ceer-serve/src/server.rs
+
+crates/ceer-serve/src/lib.rs:
+crates/ceer-serve/src/api.rs:
+crates/ceer-serve/src/cache.rs:
+crates/ceer-serve/src/client.rs:
+crates/ceer-serve/src/http.rs:
+crates/ceer-serve/src/metrics.rs:
+crates/ceer-serve/src/registry.rs:
+crates/ceer-serve/src/server.rs:

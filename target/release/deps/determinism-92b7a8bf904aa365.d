@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-92b7a8bf904aa365.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-92b7a8bf904aa365: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-3b9af5d208525040.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-3b9af5d208525040: tests/end_to_end.rs
+
+tests/end_to_end.rs:

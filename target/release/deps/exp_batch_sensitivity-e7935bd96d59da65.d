@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_batch_sensitivity-e7935bd96d59da65.d: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+/root/repo/target/release/deps/exp_batch_sensitivity-e7935bd96d59da65: crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs
+
+crates/ceer-experiments/src/bin/exp_batch_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_crossval-dfa01df3c874671a.d: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+/root/repo/target/release/deps/exp_crossval-dfa01df3c874671a: crates/ceer-experiments/src/bin/exp_crossval.rs
+
+crates/ceer-experiments/src/bin/exp_crossval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_gpu_count_extrapolation-7b8555f4e319d0e5.d: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+/root/repo/target/release/deps/exp_gpu_count_extrapolation-7b8555f4e319d0e5: crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs
+
+crates/ceer-experiments/src/bin/exp_gpu_count_extrapolation.rs:

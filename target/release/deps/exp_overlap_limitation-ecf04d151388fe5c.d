@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_overlap_limitation-ecf04d151388fe5c.d: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+/root/repo/target/release/deps/exp_overlap_limitation-ecf04d151388fe5c: crates/ceer-experiments/src/bin/exp_overlap_limitation.rs
+
+crates/ceer-experiments/src/bin/exp_overlap_limitation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_seed_stability-db1c53f5953a3035.d: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+/root/repo/target/release/deps/exp_seed_stability-db1c53f5953a3035: crates/ceer-experiments/src/bin/exp_seed_stability.rs
+
+crates/ceer-experiments/src/bin/exp_seed_stability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_summary-da56f2d3c8be924d.d: crates/ceer-experiments/src/bin/exp_summary.rs
+
+/root/repo/target/release/deps/exp_summary-da56f2d3c8be924d: crates/ceer-experiments/src/bin/exp_summary.rs
+
+crates/ceer-experiments/src/bin/exp_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_total_budget-4c0a4a5768dc34b5.d: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+/root/repo/target/release/deps/fig10_total_budget-4c0a4a5768dc34b5: crates/ceer-experiments/src/bin/fig10_total_budget.rs
+
+crates/ceer-experiments/src/bin/fig10_total_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_cost_min-5b74f5eb6202e646.d: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+/root/repo/target/release/deps/fig11_cost_min-5b74f5eb6202e646: crates/ceer-experiments/src/bin/fig11_cost_min.rs
+
+crates/ceer-experiments/src/bin/fig11_cost_min.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_market_prices-473c1149139fb46b.d: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+/root/repo/target/release/deps/fig12_market_prices-473c1149139fb46b: crates/ceer-experiments/src/bin/fig12_market_prices.rs
+
+crates/ceer-experiments/src/bin/fig12_market_prices.rs:

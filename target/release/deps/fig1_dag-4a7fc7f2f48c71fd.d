@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fig1_dag-4a7fc7f2f48c71fd.d: crates/ceer-experiments/src/bin/fig1_dag.rs
+
+/root/repo/target/release/deps/fig1_dag-4a7fc7f2f48c71fd: crates/ceer-experiments/src/bin/fig1_dag.rs
+
+crates/ceer-experiments/src/bin/fig1_dag.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-experiments

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_op_times-748f91db0fb9e00e.d: crates/ceer-experiments/src/bin/fig2_op_times.rs
+
+/root/repo/target/release/deps/fig2_op_times-748f91db0fb9e00e: crates/ceer-experiments/src/bin/fig2_op_times.rs
+
+crates/ceer-experiments/src/bin/fig2_op_times.rs:

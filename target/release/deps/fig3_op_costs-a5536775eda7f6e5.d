@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_op_costs-a5536775eda7f6e5.d: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+/root/repo/target/release/deps/fig3_op_costs-a5536775eda7f6e5: crates/ceer-experiments/src/bin/fig3_op_costs.rs
+
+crates/ceer-experiments/src/bin/fig3_op_costs.rs:

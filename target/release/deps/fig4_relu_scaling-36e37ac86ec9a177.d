@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_relu_scaling-36e37ac86ec9a177.d: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+/root/repo/target/release/deps/fig4_relu_scaling-36e37ac86ec9a177: crates/ceer-experiments/src/bin/fig4_relu_scaling.rs
+
+crates/ceer-experiments/src/bin/fig4_relu_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_variability_cdf-5758f49ce221a7c2.d: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs
+
+/root/repo/target/release/deps/fig5_variability_cdf-5758f49ce221a7c2: crates/ceer-experiments/src/bin/fig5_variability_cdf.rs
+
+crates/ceer-experiments/src/bin/fig5_variability_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_data_parallel_scaling-02d5b6aee87a8eb9.d: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+/root/repo/target/release/deps/fig6_data_parallel_scaling-02d5b6aee87a8eb9: crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs
+
+crates/ceer-experiments/src/bin/fig6_data_parallel_scaling.rs:

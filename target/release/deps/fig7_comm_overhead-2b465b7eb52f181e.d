@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_comm_overhead-2b465b7eb52f181e.d: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+/root/repo/target/release/deps/fig7_comm_overhead-2b465b7eb52f181e: crates/ceer-experiments/src/bin/fig7_comm_overhead.rs
+
+crates/ceer-experiments/src/bin/fig7_comm_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_validation-2025c6050d282cbb.d: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+/root/repo/target/release/deps/fig8_validation-2025c6050d282cbb: crates/ceer-experiments/src/bin/fig8_validation.rs
+
+crates/ceer-experiments/src/bin/fig8_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_hourly_budget-3cfb87db00f15c56.d: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+/root/repo/target/release/deps/fig9_hourly_budget-3cfb87db00f15c56: crates/ceer-experiments/src/bin/fig9_hourly_budget.rs
+
+crates/ceer-experiments/src/bin/fig9_hourly_budget.rs:

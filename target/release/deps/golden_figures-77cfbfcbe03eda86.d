@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/golden_figures-77cfbfcbe03eda86.d: tests/golden_figures.rs
+
+/root/repo/target/release/deps/golden_figures-77cfbfcbe03eda86: tests/golden_figures.rs
+
+tests/golden_figures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline_numbers-6339059faa99def8.d: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+/root/repo/target/release/deps/headline_numbers-6339059faa99def8: crates/ceer-experiments/src/bin/headline_numbers.rs
+
+crates/ceer-experiments/src/bin/headline_numbers.rs:

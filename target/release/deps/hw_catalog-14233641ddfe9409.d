@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hw_catalog-14233641ddfe9409.d: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+/root/repo/target/release/deps/hw_catalog-14233641ddfe9409: crates/ceer-experiments/src/bin/hw_catalog.rs
+
+crates/ceer-experiments/src/bin/hw_catalog.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_invariants-a743286e10c79c95.d: tests/paper_invariants.rs
+
+/root/repo/target/release/deps/paper_invariants-a743286e10c79c95: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

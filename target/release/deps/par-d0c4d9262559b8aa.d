@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/par-d0c4d9262559b8aa.d: crates/ceer-bench/benches/par.rs
+
+/root/repo/target/release/deps/par-d0c4d9262559b8aa: crates/ceer-bench/benches/par.rs
+
+crates/ceer-bench/benches/par.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-bench

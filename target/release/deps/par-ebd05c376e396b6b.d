@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/par-ebd05c376e396b6b.d: crates/ceer-bench/benches/par.rs
+
+/root/repo/target/release/deps/par-ebd05c376e396b6b: crates/ceer-bench/benches/par.rs
+
+crates/ceer-bench/benches/par.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/ceer-bench

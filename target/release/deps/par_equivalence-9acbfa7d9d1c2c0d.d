@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/par_equivalence-9acbfa7d9d1c2c0d.d: tests/par_equivalence.rs
+
+/root/repo/target/release/deps/par_equivalence-9acbfa7d9d1c2c0d: tests/par_equivalence.rs
+
+tests/par_equivalence.rs:

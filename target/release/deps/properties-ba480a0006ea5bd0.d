@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/properties-ba480a0006ea5bd0.d: tests/properties.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/properties-ba480a0006ea5bd0: tests/properties.rs tests/common/mod.rs
+
+tests/properties.rs:
+tests/common/mod.rs:

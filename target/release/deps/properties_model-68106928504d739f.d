@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/properties_model-68106928504d739f.d: tests/properties_model.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/properties_model-68106928504d739f: tests/properties_model.rs tests/common/mod.rs
+
+tests/properties_model.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve-959babf03a1b5a75.d: tests/serve.rs
+
+/root/repo/target/release/deps/serve-959babf03a1b5a75: tests/serve.rs
+
+tests/serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/batch_size_study-64f5fdec489e31cf.d: examples/batch_size_study.rs
+
+/root/repo/target/release/examples/batch_size_study-64f5fdec489e31cf: examples/batch_size_study.rs
+
+examples/batch_size_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_cnn-132cf33ba3a7e6db.d: examples/custom_cnn.rs
+
+/root/repo/target/release/examples/custom_cnn-132cf33ba3a7e6db: examples/custom_cnn.rs
+
+examples/custom_cnn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/instance_advisor-a0b962b18ecabd6e.d: examples/instance_advisor.rs
+
+/root/repo/target/release/examples/instance_advisor-a0b962b18ecabd6e: examples/instance_advisor.rs
+
+examples/instance_advisor.rs:

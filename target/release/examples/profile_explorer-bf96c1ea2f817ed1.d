@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/profile_explorer-bf96c1ea2f817ed1.d: examples/profile_explorer.rs
+
+/root/repo/target/release/examples/profile_explorer-bf96c1ea2f817ed1: examples/profile_explorer.rs
+
+examples/profile_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-53d38e057ac54701.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-53d38e057ac54701: examples/quickstart.rs
+
+examples/quickstart.rs:

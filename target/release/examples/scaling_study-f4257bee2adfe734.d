@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling_study-f4257bee2adfe734.d: examples/scaling_study.rs
+
+/root/repo/target/release/examples/scaling_study-f4257bee2adfe734: examples/scaling_study.rs
+
+examples/scaling_study.rs:

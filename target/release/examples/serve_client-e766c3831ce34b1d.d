@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve_client-e766c3831ce34b1d.d: examples/serve_client.rs
+
+/root/repo/target/release/examples/serve_client-e766c3831ce34b1d: examples/serve_client.rs
+
+examples/serve_client.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libceer_par.rlib: /root/repo/crates/ceer-par/src/lib.rs

@@ -47,6 +47,49 @@ fn fitting_is_deterministic() {
     assert_eq!(a, b);
 }
 
+/// Runs the full pipeline — fit, predict, recommend — and renders every
+/// stage as the exact JSON the service would emit, at a given pool size.
+fn pipeline_report(threads: usize) -> String {
+    use ceer::serve::api::{self, PredictRequest, RecommendRequest};
+
+    let _guard = ceer::par::override_threads(threads);
+    let config = FitConfig {
+        cnns: vec![CnnId::Vgg11, CnnId::InceptionV1, CnnId::ResNet50],
+        iterations: 3,
+        parallel_degrees: vec![1, 2],
+        seed: 42,
+        ..FitConfig::default()
+    };
+    let model = Ceer::fit(&config);
+    let predict: PredictRequest =
+        serde_json::from_str(r#"{"cnn": "resnet-101", "gpus": 2}"#).expect("valid request");
+    let recommend: RecommendRequest =
+        serde_json::from_str(r#"{"cnn": "inception-v3", "max_gpus": 4}"#).expect("valid request");
+    format!(
+        "{}\n{}\n{}",
+        serde_json::to_string_pretty(&model).expect("serializes"),
+        serde_json::to_string_pretty(&api::predict(&model, &predict).expect("valid CNN"))
+            .expect("serializes"),
+        serde_json::to_string_pretty(&api::recommend(&model, &recommend).expect("valid CNN"))
+            .expect("serializes"),
+    )
+}
+
+#[test]
+fn pipeline_reports_are_byte_identical_across_thread_counts() {
+    // The worker pool must never change results, only wall-clock time: the
+    // whole fit → predict → recommend pipeline serializes to the same bytes
+    // whether the pool is serial, moderately parallel, or oversubscribed.
+    let serial = pipeline_report(1);
+    for threads in [4, 16] {
+        assert_eq!(
+            serial,
+            pipeline_report(threads),
+            "pipeline output changed at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn gpu_and_degree_streams_are_independent() {
     // Changing the GPU count must not perturb another configuration's

@@ -1,0 +1,101 @@
+//! Equivalence of the `ceer-par` substrate: parallel fit, cross-validation
+//! and recommendation are **bit-identical** to serial execution.
+//!
+//! The pool only restructures *when* independent work items run, never the
+//! arithmetic inside them or the order results are combined, so every
+//! `f64` must come out exactly equal at any thread count. These properties
+//! pin that contract across randomly sampled configurations.
+
+use ceer::cloud::{Catalog, Pricing};
+use ceer::graph::models::{Cnn, CnnId};
+use ceer::model::crossval::leave_one_out;
+use ceer::model::recommend::Workload;
+use ceer::model::{Ceer, CeerModel, FitConfig};
+
+use proptest::prelude::*;
+
+/// Thread counts the properties compare against serial execution. On a
+/// smaller host the pool still spawns this many workers; they just share
+/// cores, which is exactly the oversubscription worth testing.
+const THREADS: [usize; 2] = [2, 8];
+
+/// Three-CNN fitting sets (the cross-validation minimum), drawn from the
+/// training split so every fit is well-posed.
+const CNN_SETS: [[CnnId; 3]; 3] = [
+    [CnnId::Vgg11, CnnId::InceptionV1, CnnId::ResNet50],
+    [CnnId::Vgg16, CnnId::InceptionV4, CnnId::ResNet152],
+    [CnnId::InceptionResNetV2, CnnId::ResNet200, CnnId::Vgg11],
+];
+
+fn config(set: usize, seed: u64, iterations: usize, two_degrees: bool) -> FitConfig {
+    FitConfig {
+        cnns: CNN_SETS[set % CNN_SETS.len()].to_vec(),
+        iterations,
+        parallel_degrees: if two_degrees { vec![1, 2] } else { vec![1] },
+        seed,
+        ..FitConfig::default()
+    }
+}
+
+fn fit_with_threads(config: &FitConfig, threads: usize) -> CeerModel {
+    let _guard = ceer::par::override_threads(threads);
+    Ceer::fit(config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts(
+        set in 0usize..3,
+        seed in 0u64..1000,
+        iterations in 2usize..4,
+        two_degrees in any::<bool>(),
+    ) {
+        let config = config(set, seed, iterations, two_degrees);
+        let serial = fit_with_threads(&config, 1);
+        for threads in THREADS {
+            let parallel = fit_with_threads(&config, threads);
+            prop_assert_eq!(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn crossval_is_bit_identical_across_thread_counts(
+        set in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let config = config(set, seed, 2, false);
+        let serial = {
+            let _guard = ceer::par::override_threads(1);
+            leave_one_out(&config, &[1])
+        };
+        for threads in THREADS {
+            let _guard = ceer::par::override_threads(threads);
+            let parallel = leave_one_out(&config, &[1]);
+            prop_assert_eq!(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn recommend_is_bit_identical_across_thread_counts(
+        set in 0usize..3,
+        seed in 0u64..1000,
+        max_gpus in 1u32..5,
+    ) {
+        let config = config(set, seed, 2, false);
+        let model = fit_with_threads(&config, 1);
+        let cnn = Cnn::build(CnnId::InceptionV3, config.batch);
+        let catalog = Catalog::new(Pricing::OnDemand);
+        let workload = Workload::new(64_000, max_gpus);
+        let serial = {
+            let _guard = ceer::par::override_threads(1);
+            model.evaluate_candidates(&cnn, &catalog, &workload)
+        };
+        for threads in THREADS {
+            let _guard = ceer::par::override_threads(threads);
+            let parallel = model.evaluate_candidates(&cnn, &catalog, &workload);
+            prop_assert_eq!(&serial, &parallel);
+        }
+    }
+}

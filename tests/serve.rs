@@ -50,8 +50,17 @@ fn concurrent_predictions_are_byte_identical_and_hit_the_cache() {
     let expected_body =
         serde_json::to_string_pretty(&api::predict(model(), &request).unwrap()).unwrap() + "\n";
 
-    // Four client threads issuing the same request concurrently; after the
-    // first computation the rest must come from cache — all byte-identical.
+    // Warm the cache with one serial request: without it, up to `workers`
+    // concurrent cold requests can all miss before the first insert lands,
+    // making the hit count below timing-dependent.
+    let warmup = client
+        .request("POST", "/predict", serde_json::to_string(&request).unwrap().as_bytes())
+        .unwrap();
+    assert_eq!(warmup.status, 200);
+    assert_eq!(warmup.body, expected_body);
+
+    // Four client threads issuing the same request concurrently; every one
+    // must come from cache — all byte-identical.
     let bodies: Vec<String> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..4)
             .map(|_| {
@@ -77,10 +86,11 @@ fn concurrent_predictions_are_byte_identical_and_hit_the_cache() {
 
     let metrics = client.metrics().unwrap();
     let predict = &metrics.endpoints["POST /predict"];
-    assert_eq!(predict.requests, 12);
+    assert_eq!(predict.requests, 13);
     assert_eq!(predict.errors, 0);
     assert!(predict.latency.unwrap().count > 0);
-    assert!(metrics.cache.hits >= 11, "12 identical requests → ≥11 cache hits");
+    assert_eq!(metrics.cache.misses, 1, "only the warm-up computes");
+    assert_eq!(metrics.cache.hits, 12, "12 identical requests → 12 cache hits");
     assert!(metrics.cache.hit_rate > 0.0);
     server.shutdown();
 }
@@ -187,6 +197,119 @@ fn shutdown_joins_workers_and_stops_accepting() {
         Ok(_) => client.health().is_err(),
     };
     assert!(refused, "server must not answer after shutdown");
+}
+
+#[test]
+fn predict_batch_matches_individual_predicts_and_shares_the_cache() {
+    use ceer::serve::api::PredictBatchRequest;
+
+    let server = start(256);
+    let client = Client::new(server.addr());
+    let a = predict_request("vgg-11");
+    let b = predict_request("inception-v1");
+    let invalid = predict_request("mobilenet");
+    let batch =
+        PredictBatchRequest { requests: vec![a.clone(), b.clone(), a.clone(), invalid.clone()] };
+
+    // Every valid item answers exactly like a single /predict call; the
+    // invalid one errors inside its slot without failing the batch.
+    let response = client.predict_batch(&batch).unwrap();
+    assert_eq!(response.responses.len(), 4);
+    let expected_a = api::predict(model(), &a).unwrap();
+    let expected_b = api::predict(model(), &b).unwrap();
+    assert_eq!(response.responses[0].response.as_ref(), Some(&expected_a));
+    assert_eq!(response.responses[1].response.as_ref(), Some(&expected_b));
+    assert_eq!(response.responses[2].response.as_ref(), Some(&expected_a));
+    assert!(response.responses[0].error.is_none());
+    assert!(response.responses[3].response.is_none());
+    assert!(response.responses[3].error.as_ref().unwrap().contains("mobilenet"));
+
+    // The batch shares the single-predict cache: 4 lookups missed (errors
+    // are never stored, and the duplicate is looked up before either copy
+    // is computed), and only the two distinct valid items are resident.
+    let metrics = client.metrics().unwrap();
+    assert_eq!((metrics.cache.misses, metrics.cache.hits), (4, 0));
+    assert_eq!(metrics.cache.entries, 2);
+    assert_eq!(metrics.endpoints["POST /predict_batch"].requests, 1);
+    assert_eq!(metrics.endpoints["POST /predict_batch"].errors, 0);
+
+    // A later single /predict of a batched item is a byte-identical hit...
+    let body = serde_json::to_string(&a).unwrap();
+    let raw = client.request("POST", "/predict", body.as_bytes()).unwrap();
+    assert_eq!(raw.body, serde_json::to_string_pretty(&expected_a).unwrap() + "\n");
+    assert_eq!(client.metrics().unwrap().cache.hits, 1);
+
+    // ...and rerunning the batch hits for every valid item.
+    assert_eq!(client.predict_batch(&batch).unwrap(), response);
+    let metrics = client.metrics().unwrap();
+    assert_eq!((metrics.cache.misses, metrics.cache.hits), (5, 4));
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_batches_are_identical_and_error_free() {
+    use ceer::serve::api::PredictBatchRequest;
+
+    let server = start(256);
+    let client = Client::new(server.addr());
+    let batch = PredictBatchRequest {
+        requests: vec![
+            predict_request("vgg-11"),
+            predict_request("resnet-50"),
+            predict_request("inception-v1"),
+        ],
+    };
+    let expected = api::predict_batch(model(), &batch);
+
+    // Warm the cache with one serial batch so the concurrent storm below
+    // has a deterministic hit count (cold concurrent batches can all miss
+    // the same keys before the first insert lands).
+    assert_eq!(client.predict_batch(&batch).unwrap(), expected);
+
+    // Overlapping batches from several client threads: the pool fan-out
+    // and the shared cache must never change a byte of any response.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let batch = &batch;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        assert_eq!(&client.predict_batch(batch).unwrap(), expected);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    });
+
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.endpoints["POST /predict_batch"].requests, 13);
+    assert_eq!(metrics.endpoints["POST /predict_batch"].errors, 0);
+    assert_eq!(metrics.cache.misses, 3, "only the warm-up batch computes");
+    assert_eq!(metrics.cache.hits, 36, "12 batches x 3 items, all cached");
+    server.shutdown();
+}
+
+#[test]
+fn worker_pool_panics_propagate_instead_of_hanging() {
+    // If an item's evaluation panicked inside the pool, the panic must
+    // surface on the caller promptly (where the serve worker turns it into
+    // a dropped connection) rather than deadlocking the batch. The payload
+    // travels unchanged.
+    let result = std::panic::catch_unwind(|| {
+        ceer::par::par_map(&[1u32, 2, 3, 4], |&n| {
+            if n == 3 {
+                panic!("boom on {n}");
+            }
+            n * 2
+        })
+    });
+    let payload = result.expect_err("panic must propagate");
+    let message = payload.downcast_ref::<String>().expect("string payload");
+    assert_eq!(message, "boom on 3");
 }
 
 fn cnn_name() -> impl Strategy<Value = String> {
