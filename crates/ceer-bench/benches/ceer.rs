@@ -39,7 +39,7 @@ fn bench_predict(c: &mut Criterion) {
         let cnn = Cnn::build(id, 32);
         let graph = cnn.training_graph();
         group.bench_with_input(BenchmarkId::from_parameter(id.name()), &graph, |b, graph| {
-            b.iter(|| model.predict_iteration(black_box(graph), GpuModel::T4, 2, &options))
+            b.iter(|| model.predict_iteration(black_box(graph), GpuModel::T4, 2, &options));
         });
     }
     group.finish();
@@ -55,7 +55,7 @@ fn bench_recommend(c: &mut Criterion) {
     group.bench_function("full_catalog_16_candidates", |b| {
         b.iter(|| {
             model.recommend(black_box(&cnn), &catalog, &workload, &Objective::MinimizeCost).unwrap()
-        })
+        });
     });
     group.finish();
 }
@@ -64,10 +64,10 @@ fn bench_model_persistence(c: &mut Criterion) {
     let model = fitted();
     let json = serde_json::to_string(&model).unwrap();
     c.bench_function("model_to_json", |b| {
-        b.iter(|| serde_json::to_string(black_box(&model)).unwrap())
+        b.iter(|| serde_json::to_string(black_box(&model)).unwrap());
     });
     c.bench_function("model_from_json", |b| {
-        b.iter(|| serde_json::from_str::<CeerModel>(black_box(&json)).unwrap())
+        b.iter(|| serde_json::from_str::<CeerModel>(black_box(&json)).unwrap());
     });
 }
 

@@ -9,7 +9,7 @@ fn bench_forward_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("forward_build");
     for &id in &[CnnId::AlexNet, CnnId::Vgg19, CnnId::InceptionV3, CnnId::ResNet152] {
         group.bench_with_input(BenchmarkId::from_parameter(id.name()), &id, |b, &id| {
-            b.iter(|| Cnn::build(black_box(id), 32))
+            b.iter(|| Cnn::build(black_box(id), 32));
         });
     }
     group.finish();
@@ -20,7 +20,7 @@ fn bench_training_expansion(c: &mut Criterion) {
     for &id in &[CnnId::AlexNet, CnnId::InceptionV3, CnnId::ResNet152] {
         let cnn = Cnn::build(id, 32);
         group.bench_with_input(BenchmarkId::from_parameter(id.name()), &cnn, |b, cnn| {
-            b.iter(|| cnn.training_graph())
+            b.iter(|| cnn.training_graph());
         });
     }
     group.finish();
@@ -31,7 +31,7 @@ fn bench_graph_queries(c: &mut Criterion) {
     let graph = cnn.training_graph();
     c.bench_function("op_histogram_inception_v4", |b| b.iter(|| black_box(&graph).op_histogram()));
     c.bench_function("parameter_count_inception_v4", |b| {
-        b.iter(|| black_box(&graph).parameter_count())
+        b.iter(|| black_box(&graph).parameter_count());
     });
     c.bench_function("validate_inception_v4", |b| b.iter(|| black_box(&graph).validate()));
 }

@@ -130,7 +130,7 @@ fn bench_fit(c: &mut Criterion) {
     for threads in [1, PAR_THREADS] {
         group.bench_function(format!("{threads}_threads"), |b| {
             let _guard = ceer_par::override_threads(threads);
-            b.iter(|| Ceer::fit(black_box(&config)))
+            b.iter(|| Ceer::fit(black_box(&config)));
         });
     }
     group.finish();
@@ -143,7 +143,7 @@ fn bench_crossval(c: &mut Criterion) {
     for threads in [1, PAR_THREADS] {
         group.bench_function(format!("{threads}_threads"), |b| {
             let _guard = ceer_par::override_threads(threads);
-            b.iter(|| leave_one_out(black_box(&config), &[1]))
+            b.iter(|| leave_one_out(black_box(&config), &[1]));
         });
     }
     group.finish();
@@ -159,7 +159,7 @@ fn bench_recommend(c: &mut Criterion) {
     for threads in [1, PAR_THREADS] {
         group.bench_function(format!("{threads}_threads"), |b| {
             let _guard = ceer_par::override_threads(threads);
-            b.iter(|| model.evaluate_candidates(black_box(&cnn), &catalog, &workload))
+            b.iter(|| model.evaluate_candidates(black_box(&cnn), &catalog, &workload));
         });
     }
     group.finish();

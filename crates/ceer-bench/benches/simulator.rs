@@ -13,7 +13,7 @@ fn bench_workload_lowering(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload_lowering");
     group.throughput(Throughput::Elements(graph.len() as u64));
     group.bench_function("inception_v3_all_ops", |b| {
-        b.iter(|| graph.nodes().iter().map(|n| workload(black_box(n), &graph).flops).sum::<f64>())
+        b.iter(|| graph.nodes().iter().map(|n| workload(black_box(n), &graph).flops).sum::<f64>());
     });
     group.finish();
 }
@@ -31,7 +31,7 @@ fn bench_expected_durations(c: &mut Criterion) {
             |b, timer| {
                 b.iter(|| {
                     graph.nodes().iter().map(|n| timer.expected_duration_us(n, &graph)).sum::<f64>()
-                })
+                });
             },
         );
     }
@@ -47,7 +47,7 @@ fn bench_profiling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(id.name()), &cnn, |b, cnn| {
             b.iter(|| {
                 Trainer::new(GpuModel::T4, 1).with_seed(1).profile_graph(black_box(cnn), &graph, 10)
-            })
+            });
         });
     }
     group.finish();
@@ -60,7 +60,7 @@ fn bench_multi_gpu_profiling(c: &mut Criterion) {
     group.sample_size(10);
     for k in [1u32, 2, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| Trainer::new(GpuModel::V100, k).with_seed(2).profile_graph(&cnn, &graph, 10))
+            b.iter(|| Trainer::new(GpuModel::V100, k).with_seed(2).profile_graph(&cnn, &graph, 10));
         });
     }
     group.finish();

@@ -20,7 +20,7 @@ fn bench_simple_ols(c: &mut Criterion) {
     for n in [100usize, 1000, 10_000] {
         let (xs, ys) = synthetic_xy(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| SimpleOls::fit(black_box(&xs), black_box(&ys)).unwrap())
+            b.iter(|| SimpleOls::fit(black_box(&xs), black_box(&ys)).unwrap());
         });
     }
     group.finish();
@@ -37,7 +37,7 @@ fn bench_multiple_ols(c: &mut Criterion) {
             .map(|r| r.iter().enumerate().map(|(i, v)| (i + 1) as f64 * v).sum::<f64>() + 3.0)
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(features), &features, |b, _| {
-            b.iter(|| MultipleOls::fit(black_box(&rows), black_box(&ys)).unwrap())
+            b.iter(|| MultipleOls::fit(black_box(&rows), black_box(&ys)).unwrap());
         });
     }
     group.finish();
@@ -46,7 +46,7 @@ fn bench_multiple_ols(c: &mut Criterion) {
 fn bench_polynomial_selection(c: &mut Criterion) {
     let (xs, ys) = synthetic_xy(1000);
     c.bench_function("polynomial_fit_deg2", |b| {
-        b.iter(|| PolynomialOls::fit(black_box(&xs), black_box(&ys), 2).unwrap())
+        b.iter(|| PolynomialOls::fit(black_box(&xs), black_box(&ys), 2).unwrap());
     });
 }
 
@@ -54,7 +54,7 @@ fn bench_summary(c: &mut Criterion) {
     let (_, ys) = synthetic_xy(10_000);
     c.bench_function("median_10k", |b| b.iter(|| summary::median(black_box(&ys)).unwrap()));
     c.bench_function("summary_10k", |b| {
-        b.iter(|| ceer_stats::Summary::of(black_box(&ys)).unwrap())
+        b.iter(|| ceer_stats::Summary::of(black_box(&ys)).unwrap());
     });
 }
 
@@ -67,7 +67,7 @@ fn bench_rng(c: &mut Criterion) {
                 acc += rng.noise_factor(0.05);
             }
             acc
-        })
+        });
     });
 }
 

@@ -5,29 +5,29 @@
 //! fail loudly instead of being ignored.
 
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::str::FromStr;
 
 /// Parsed arguments for one subcommand.
 #[derive(Debug)]
-pub struct Args {
+pub(crate) struct Args {
     tokens: Vec<String>,
-    consumed: RefCell<HashSet<usize>>,
+    consumed: RefCell<BTreeSet<usize>>,
 }
 
 impl Args {
     /// Wraps raw argv tokens (without the program and subcommand names).
-    pub fn new(tokens: Vec<String>) -> Self {
-        Args { tokens, consumed: RefCell::new(HashSet::new()) }
+    pub(crate) fn new(tokens: Vec<String>) -> Self {
+        Args { tokens, consumed: RefCell::new(BTreeSet::new()) }
     }
 
     /// Whether `--help`/`-h` was requested.
-    pub fn wants_help(&self) -> bool {
+    pub(crate) fn wants_help(&self) -> bool {
         self.tokens.iter().any(|t| t == "--help" || t == "-h")
     }
 
     /// Consumes a boolean flag; returns whether it was present.
-    pub fn flag(&self, name: &str) -> bool {
+    pub(crate) fn flag(&self, name: &str) -> bool {
         for (i, token) in self.tokens.iter().enumerate() {
             if token == name {
                 self.consumed.borrow_mut().insert(i);
@@ -42,7 +42,7 @@ impl Args {
     /// # Errors
     ///
     /// Errors when the option is present but has no value.
-    pub fn opt(&self, name: &str) -> Result<Option<String>, String> {
+    pub(crate) fn opt(&self, name: &str) -> Result<Option<String>, String> {
         for (i, token) in self.tokens.iter().enumerate() {
             if let Some(value) = token.strip_prefix(&format!("{name}=")) {
                 self.consumed.borrow_mut().insert(i);
@@ -68,7 +68,7 @@ impl Args {
     /// # Errors
     ///
     /// Errors on a missing value or a parse failure.
-    pub fn opt_parse<T: FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub(crate) fn opt_parse<T: FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.opt(name)? {
             None => Ok(default),
             Some(raw) => {
@@ -82,7 +82,7 @@ impl Args {
     /// # Errors
     ///
     /// Errors when the option is absent, valueless, or unparsable.
-    pub fn require(&self, name: &str) -> Result<String, String> {
+    pub(crate) fn require(&self, name: &str) -> Result<String, String> {
         self.opt(name)?.ok_or_else(|| format!("missing required option {name}"))
     }
 
@@ -91,7 +91,7 @@ impl Args {
     /// # Errors
     ///
     /// Errors listing any unrecognized tokens.
-    pub fn finish(&self) -> Result<(), String> {
+    pub(crate) fn finish(&self) -> Result<(), String> {
         let consumed = self.consumed.borrow();
         let stray: Vec<&str> = self
             .tokens

@@ -12,7 +12,7 @@ OPTIONS:
     --market     show §V commodity market prices instead of AWS list prices
     --max-gpus K also show derived (proxy-priced) sizes up to K GPUs";
 
-pub fn run(args: Args) -> Result<(), String> {
+pub(crate) fn run(args: &Args) -> Result<(), String> {
     if args.wants_help() {
         println!("{HELP}");
         return Ok(());

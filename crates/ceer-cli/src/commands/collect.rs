@@ -19,7 +19,7 @@ OPTIONS:
                      env var, then the host's CPU count)
     --out FILE       archive path (default ceer-profiles.json)";
 
-pub fn run(args: Args) -> Result<(), String> {
+pub(crate) fn run(args: &Args) -> Result<(), String> {
     if args.wants_help() {
         println!("{HELP}");
         return Ok(());
@@ -28,7 +28,7 @@ pub fn run(args: Args) -> Result<(), String> {
     let seed = args.opt_parse("--seed", 0u64)?;
     let batch = args.opt_parse("--batch", 32u64)?;
     let out = args.opt("--out")?.unwrap_or_else(|| "ceer-profiles.json".to_string());
-    crate::commands::apply_threads(&args)?;
+    crate::commands::apply_threads(args)?;
     args.finish()?;
     if iterations == 0 || batch == 0 {
         return Err("--iterations and --batch must be positive".into());
@@ -42,6 +42,7 @@ pub fn run(args: Args) -> Result<(), String> {
         config.parallel_degrees,
         config.iterations
     );
+    // ceer-lint: allow(ambient-time) -- wall-clock progress line on stderr; never in results
     let started = std::time::Instant::now();
     let archive = ProfileArchive::collect(&config);
     eprintln!("collected {} profiles in {:.1?}", archive.profile_count(), started.elapsed());

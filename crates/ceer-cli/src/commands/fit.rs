@@ -20,7 +20,7 @@ OPTIONS:
                      CEER_THREADS env var, then the host's CPU count)
     --out FILE       where to write the model JSON (default ceer-model.json)";
 
-pub fn run(args: Args) -> Result<(), String> {
+pub(crate) fn run(args: &Args) -> Result<(), String> {
     if args.wants_help() {
         println!("{HELP}");
         return Ok(());
@@ -31,7 +31,7 @@ pub fn run(args: Args) -> Result<(), String> {
     let linear_only = args.flag("--linear-only");
     let profiles = args.opt("--profiles")?;
     let out = args.opt("--out")?.unwrap_or_else(|| "ceer-model.json".to_string());
-    crate::commands::apply_threads(&args)?;
+    crate::commands::apply_threads(args)?;
     args.finish()?;
     if iterations == 0 {
         return Err("--iterations must be at least 1".into());
@@ -47,6 +47,7 @@ pub fn run(args: Args) -> Result<(), String> {
         allow_quadratic: !linear_only,
         ..FitConfig::default()
     };
+    // ceer-lint: allow(ambient-time) -- wall-clock progress line on stderr; never in results
     let started = std::time::Instant::now();
     let model = match profiles {
         Some(path) => {
@@ -89,24 +90,24 @@ mod tests {
 
     #[test]
     fn rejects_zero_iterations_and_batch() {
-        assert!(run(args(&["--iterations", "0"])).unwrap_err().contains("--iterations"));
-        assert!(run(args(&["--batch", "0"])).unwrap_err().contains("--batch"));
+        assert!(run(&args(&["--iterations", "0"])).unwrap_err().contains("--iterations"));
+        assert!(run(&args(&["--batch", "0"])).unwrap_err().contains("--batch"));
     }
 
     #[test]
     fn rejects_unknown_flags() {
-        let err = run(args(&["--iteratoins", "5"])).unwrap_err();
+        let err = run(&args(&["--iteratoins", "5"])).unwrap_err();
         assert!(err.contains("--iteratoins"));
     }
 
     #[test]
     fn missing_profile_archive_is_reported() {
-        let err = run(args(&["--profiles", "/nonexistent/archive.json"])).unwrap_err();
+        let err = run(&args(&["--profiles", "/nonexistent/archive.json"])).unwrap_err();
         assert!(err.contains("archive"), "{err}");
     }
 
     #[test]
     fn help_short_circuits() {
-        assert!(run(args(&["--help"])).is_ok());
+        assert!(run(&args(&["--help"])).is_ok());
     }
 }

@@ -14,7 +14,7 @@ OPTIONS:
     --cnn NAME     also check operation coverage for this CNN
     --batch B      batch size for the coverage check (default 32)";
 
-pub fn run(args: Args) -> Result<(), String> {
+pub(crate) fn run(args: &Args) -> Result<(), String> {
     if args.wants_help() {
         println!("{HELP}");
         return Ok(());

@@ -1,0 +1,67 @@
+//! `ceer lint` — the workspace static-analysis pass.
+
+use std::path::PathBuf;
+
+use ceer_lint::{find_workspace_root, lint_workspace, render_json, render_text, Config};
+
+use crate::args::Args;
+
+const HELP: &str = "\
+ceer lint — statically enforce the determinism, numeric-safety and
+panic-hygiene invariants across the workspace
+
+Walks every first-party src/ tree (the root crate and crates/*) and
+reports rule violations with file:line:col positions. Suppress a
+legitimate site inline with
+    // ceer-lint: allow(rule-name) -- reason
+(a reasonless or stale allow is itself a diagnostic).
+
+OPTIONS:
+    --json        machine-readable output: a JSON array of diagnostics
+                  ([] when the tree is clean)
+    --root PATH   workspace root to lint (default: found by walking up
+                  from the current directory)
+    --rules       list every rule with its group and rationale
+
+Exits non-zero when any diagnostic is reported.";
+
+pub(crate) fn run(args: &Args) -> Result<(), String> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let json = args.flag("--json");
+    let list_rules = args.flag("--rules");
+    let root = args.opt("--root")?;
+    args.finish()?;
+
+    if list_rules {
+        for rule in ceer_lint::rules::RULES {
+            println!("{:16} {:14} {}", rule.name, rule.group.name(), rule.summary);
+        }
+        return Ok(());
+    }
+
+    let root = match root {
+        Some(path) => PathBuf::from(path),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("no working directory: {e}"))?;
+            find_workspace_root(&cwd)?
+        }
+    };
+    let report = lint_workspace(&root, &Config::ceer())?;
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_text(&report));
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} lint diagnostic{} (see above)",
+            report.diagnostics.len(),
+            if report.diagnostics.len() == 1 { "" } else { "s" }
+        ))
+    }
+}

@@ -1,15 +1,16 @@
 //! CLI subcommands.
 
-pub mod catalog;
-pub mod collect;
-pub mod fit;
-pub mod inspect;
-pub mod predict;
-pub mod profile;
-pub mod recommend;
-pub mod roofline;
-pub mod serve;
-pub mod zoo;
+pub(crate) mod catalog;
+pub(crate) mod collect;
+pub(crate) mod fit;
+pub(crate) mod inspect;
+pub(crate) mod lint;
+pub(crate) mod predict;
+pub(crate) mod profile;
+pub(crate) mod recommend;
+pub(crate) mod roofline;
+pub(crate) mod serve;
+pub(crate) mod zoo;
 
 use std::fs;
 use std::path::Path;
@@ -28,13 +29,13 @@ use crate::args::Args;
 /// # Errors
 ///
 /// Errors when the value does not parse as an unsigned integer.
-pub fn apply_threads(args: &Args) -> Result<(), String> {
+pub(crate) fn apply_threads(args: &Args) -> Result<(), String> {
     ceer_par::set_threads(args.opt_parse("--threads", 0usize)?);
     Ok(())
 }
 
 /// Loads a fitted model from a JSON file written by `ceer fit`.
-pub fn load_model(path: &str) -> Result<CeerModel, String> {
+pub(crate) fn load_model(path: &str) -> Result<CeerModel, String> {
     let bytes =
         fs::read(Path::new(path)).map_err(|e| format!("cannot read model file {path:?}: {e}"))?;
     serde_json::from_slice(&bytes)

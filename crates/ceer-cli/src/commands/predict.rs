@@ -27,7 +27,7 @@ OPTIONS:
     --json           emit the prediction as JSON — byte-identical to the
                      `POST /predict` body of `ceer serve`";
 
-pub fn run(args: Args) -> Result<(), String> {
+pub(crate) fn run(args: &Args) -> Result<(), String> {
     if args.wants_help() {
         println!("{HELP}");
         return Ok(());
@@ -43,7 +43,7 @@ pub fn run(args: Args) -> Result<(), String> {
     let mut batch = args.opt_parse("--batch", 32u64)?;
     let samples = args.opt_parse("--samples", 1_200_000u64)?;
     let json = args.flag("--json");
-    crate::commands::apply_threads(&args)?;
+    crate::commands::apply_threads(args)?;
     args.finish()?;
     if gpus == 0 || batch == 0 || samples == 0 {
         return Err("--gpus, --batch and --samples must be positive".into());
@@ -153,6 +153,6 @@ mod tests {
     fn requires_cnn_or_graph() {
         let args = Args::new(vec!["--model".into(), "/nonexistent.json".into()]);
         // Fails at model loading first; drop the model to reach the check.
-        assert!(run(args).is_err());
+        assert!(run(&args).is_err());
     }
 }

@@ -1,6 +1,6 @@
 //! `ceer profile` — run the training simulator and show where time goes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs;
 
 use ceer_gpusim::GpuModel;
@@ -26,7 +26,7 @@ OPTIONS:
                       CEER_THREADS env var, then the host's CPU count)
     --trace FILE      also write one iteration as a Chrome trace JSON";
 
-pub fn run(args: Args) -> Result<(), String> {
+pub(crate) fn run(args: &Args) -> Result<(), String> {
     if args.wants_help() {
         println!("{HELP}");
         return Ok(());
@@ -42,7 +42,7 @@ pub fn run(args: Args) -> Result<(), String> {
     let seed = args.opt_parse("--seed", 0u64)?;
     let top = args.opt_parse("--top", 12usize)?;
     let trace_out = args.opt("--trace")?;
-    crate::commands::apply_threads(&args)?;
+    crate::commands::apply_threads(args)?;
     args.finish()?;
     if gpus == 0 || batch == 0 || iterations == 0 {
         return Err("--gpus, --batch and --iterations must be positive".into());
@@ -61,7 +61,7 @@ pub fn run(args: Args) -> Result<(), String> {
         fmt_duration_us(profile.iteration_std_us()),
     );
 
-    let mut by_kind: HashMap<OpKind, (f64, usize)> = HashMap::new();
+    let mut by_kind: BTreeMap<OpKind, (f64, usize)> = BTreeMap::new();
     for stat in profile.op_stats() {
         let e = by_kind.entry(stat.kind).or_insert((0.0, 0));
         e.0 += stat.mean_us;
@@ -69,7 +69,7 @@ pub fn run(args: Args) -> Result<(), String> {
     }
     let total: f64 = by_kind.values().map(|(t, _)| t).sum();
     let mut rows: Vec<_> = by_kind.into_iter().collect();
-    rows.sort_by(|a, b| b.1 .0.partial_cmp(&a.1 .0).expect("finite"));
+    ceer_stats::total::sort_by_f64_key_desc(&mut rows, |r| r.1 .0);
     println!("{:30} {:>12} {:>7} {:>10}", "operation kind", "total", "share", "instances");
     for (kind, (time, count)) in rows.into_iter().take(top) {
         println!(

@@ -42,7 +42,7 @@ fn parse_objective(raw: &str) -> Result<Objective, String> {
     }
 }
 
-pub fn run(args: Args) -> Result<(), String> {
+pub(crate) fn run(args: &Args) -> Result<(), String> {
     if args.wants_help() {
         println!("{HELP}");
         return Ok(());
@@ -58,7 +58,7 @@ pub fn run(args: Args) -> Result<(), String> {
     let market = args.flag("--market");
     let memory_fit = args.flag("--memory-fit");
     let json = args.flag("--json");
-    crate::commands::apply_threads(&args)?;
+    crate::commands::apply_threads(args)?;
     args.finish()?;
     if samples == 0 || batch == 0 || max_gpus == 0 || epochs == 0 {
         return Err("--samples, --batch, --max-gpus and --epochs must be positive".into());
@@ -131,7 +131,7 @@ mod tests {
         assert!(matches!(parse_objective("time"), Ok(Objective::MinimizeTime)));
         match parse_objective("hourly:3.42") {
             Ok(Objective::MinTimeUnderHourlyBudget { usd_per_hour }) => {
-                assert!((usd_per_hour - 3.42).abs() < 1e-12)
+                assert!((usd_per_hour - 3.42).abs() < 1e-12);
             }
             other => panic!("unexpected {other:?}"),
         }

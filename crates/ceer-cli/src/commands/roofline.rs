@@ -17,7 +17,7 @@ OPTIONS:
     --batch B     per-GPU batch size (default 32)
     --top N       rows to print (default 14)";
 
-pub fn run(args: Args) -> Result<(), String> {
+pub(crate) fn run(args: &Args) -> Result<(), String> {
     if args.wants_help() {
         println!("{HELP}");
         return Ok(());

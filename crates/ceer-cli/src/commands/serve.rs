@@ -28,7 +28,7 @@ ENDPOINTS:
 names (\"MinimizeCost\", \"MinimizeTime\", {\"MinTimeUnderHourlyBudget\":
 {\"usd_per_hour\": ...}}, ...), not the CLI shorthands cost/time.";
 
-pub fn run(args: Args) -> Result<(), String> {
+pub(crate) fn run(args: &Args) -> Result<(), String> {
     if args.wants_help() {
         println!("{HELP}");
         return Ok(());
@@ -38,7 +38,7 @@ pub fn run(args: Args) -> Result<(), String> {
     let port = args.opt_parse("--port", 8100u16)?;
     let workers = args.opt_parse("--workers", 4usize)?;
     let cache_capacity = args.opt_parse("--cache-capacity", 256usize)?;
-    crate::commands::apply_threads(&args)?;
+    crate::commands::apply_threads(args)?;
     args.finish()?;
     if workers == 0 {
         return Err("--workers must be positive".into());

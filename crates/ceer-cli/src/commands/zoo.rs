@@ -15,7 +15,7 @@ OPTIONS:
     --dot FILE   write the (forward+backward) graph in Graphviz DOT format
     --export FILE  write the training graph as JSON (see `ceer predict --graph`)";
 
-pub fn run(args: Args) -> Result<(), String> {
+pub(crate) fn run(args: &Args) -> Result<(), String> {
     if args.wants_help() {
         println!("{HELP}");
         return Ok(());

@@ -41,6 +41,7 @@ COMMANDS:
     profile    run the training simulator and show where the time goes
     roofline   show which resource bounds each operation kind on a GPU
     inspect    print a fitted model's diagnostics and coverage
+    lint       statically check the workspace's determinism/safety invariants
     zoo        list the CNN model zoo (or details of one CNN)
     catalog    list the AWS GPU instance catalog
     serve      serve predictions from a fitted model over HTTP
@@ -71,16 +72,17 @@ fn main() -> ExitCode {
     };
     let args = args::Args::new(rest.to_vec());
     let result = match command.as_str() {
-        "fit" => commands::fit::run(args),
-        "collect" => commands::collect::run(args),
-        "predict" => commands::predict::run(args),
-        "recommend" => commands::recommend::run(args),
-        "profile" => commands::profile::run(args),
-        "roofline" => commands::roofline::run(args),
-        "inspect" => commands::inspect::run(args),
-        "zoo" => commands::zoo::run(args),
-        "catalog" => commands::catalog::run(args),
-        "serve" => commands::serve::run(args),
+        "fit" => commands::fit::run(&args),
+        "collect" => commands::collect::run(&args),
+        "predict" => commands::predict::run(&args),
+        "recommend" => commands::recommend::run(&args),
+        "profile" => commands::profile::run(&args),
+        "roofline" => commands::roofline::run(&args),
+        "inspect" => commands::inspect::run(&args),
+        "lint" => commands::lint::run(&args),
+        "zoo" => commands::zoo::run(&args),
+        "catalog" => commands::catalog::run(&args),
+        "serve" => commands::serve::run(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

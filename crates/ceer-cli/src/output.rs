@@ -11,7 +11,7 @@ use ceer_graph::models::CnnId;
 /// # Errors
 ///
 /// Errors with the list of valid names on failure.
-pub fn parse_cnn(name: &str) -> Result<CnnId, String> {
+pub(crate) fn parse_cnn(name: &str) -> Result<CnnId, String> {
     ceer_serve::api::parse_cnn(name)
 }
 
@@ -23,12 +23,12 @@ pub fn parse_cnn(name: &str) -> Result<CnnId, String> {
 /// # Errors
 ///
 /// Errors with the list of valid names on failure.
-pub fn parse_gpu(name: &str) -> Result<GpuModel, String> {
+pub(crate) fn parse_gpu(name: &str) -> Result<GpuModel, String> {
     ceer_serve::api::parse_gpu(name)
 }
 
 /// Formats microseconds adaptively (µs / ms / s / h).
-pub fn fmt_duration_us(us: f64) -> String {
+pub(crate) fn fmt_duration_us(us: f64) -> String {
     if us < 1e3 {
         format!("{us:.0} us")
     } else if us < 1e6 {
@@ -41,7 +41,7 @@ pub fn fmt_duration_us(us: f64) -> String {
 }
 
 /// Formats a byte count adaptively (B / KiB / MiB / GiB).
-pub fn fmt_bytes(bytes: u64) -> String {
+pub(crate) fn fmt_bytes(bytes: u64) -> String {
     const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
     let mut value = bytes as f64;
     let mut unit = 0;

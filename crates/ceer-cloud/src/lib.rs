@@ -249,7 +249,7 @@ impl Catalog {
             .into_iter()
             .filter(|i| i.hourly_usd() <= usd_per_hour + 1e-9)
             .collect();
-        out.sort_by(|a, b| a.hourly_usd().partial_cmp(&b.hourly_usd()).expect("finite"));
+        out.sort_by(|a, b| a.hourly_usd().total_cmp(&b.hourly_usd()));
         out
     }
 

@@ -7,7 +7,7 @@
 //! [`Classification::from_profiles`] reproduces the paper's procedure and
 //! its Figure 2 outcome (20 heavy op kinds) emerges from the data.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use ceer_graph::{DeviceClass, OpKind};
 use ceer_trainer::TrainingProfile;
@@ -58,9 +58,9 @@ impl Classification {
         // The two-level average keeps one inception model's hundreds of
         // small 1x1-branch instances from outvoting another CNN's few huge
         // instances of the same kind.
-        let mut per_cnn: HashMap<OpKind, Vec<f64>> = HashMap::new();
+        let mut per_cnn: BTreeMap<OpKind, Vec<f64>> = BTreeMap::new();
         for profile in &reference_profiles {
-            let mut sums: HashMap<OpKind, (f64, usize)> = HashMap::new();
+            let mut sums: BTreeMap<OpKind, (f64, usize)> = BTreeMap::new();
             for stat in profile.op_stats() {
                 let entry = sums.entry(stat.kind).or_insert((0.0, 0));
                 entry.0 += stat.mean_us;

@@ -55,7 +55,7 @@ mod fits_serde {
         ols: SimpleOls,
     }
 
-    pub fn to_value(map: &BTreeMap<(GpuModel, u32), SimpleOls>) -> Value {
+    pub(super) fn to_value(map: &BTreeMap<(GpuModel, u32), SimpleOls>) -> Value {
         Value::Array(
             map.iter()
                 .map(|(&(gpu, gpus), ols)| Entry { gpu, gpus, ols: *ols }.to_value())
@@ -63,7 +63,7 @@ mod fits_serde {
         )
     }
 
-    pub fn from_value(value: &Value) -> Result<BTreeMap<(GpuModel, u32), SimpleOls>, Error> {
+    pub(super) fn from_value(value: &Value) -> Result<BTreeMap<(GpuModel, u32), SimpleOls>, Error> {
         let entries = Vec::<Entry>::from_value(value)?;
         Ok(entries.into_iter().map(|e| ((e.gpu, e.gpus), e.ols)).collect())
     }

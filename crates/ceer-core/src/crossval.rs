@@ -57,7 +57,7 @@ impl CrossValidation {
 
     /// The fold with the worst mean error.
     pub fn worst_fold(&self) -> Option<&FoldResult> {
-        self.folds.iter().max_by(|a, b| a.mape().partial_cmp(&b.mape()).expect("finite"))
+        self.folds.iter().max_by(|a, b| a.mape().total_cmp(&b.mape()))
     }
 }
 

@@ -106,11 +106,13 @@ mod op_models_serde {
     use super::*;
     use serde::{Deserialize, Error, Serialize, Value};
 
-    pub fn to_value(map: &BTreeMap<(OpKind, GpuModel), OpModel>) -> Value {
+    pub(super) fn to_value(map: &BTreeMap<(OpKind, GpuModel), OpModel>) -> Value {
         Value::Array(map.values().map(Serialize::to_value).collect())
     }
 
-    pub fn from_value(value: &Value) -> Result<BTreeMap<(OpKind, GpuModel), OpModel>, Error> {
+    pub(super) fn from_value(
+        value: &Value,
+    ) -> Result<BTreeMap<(OpKind, GpuModel), OpModel>, Error> {
         let models = Vec::<OpModel>::from_value(value)?;
         Ok(models.into_iter().map(|m| ((m.kind(), m.gpu()), m)).collect())
     }

@@ -91,7 +91,7 @@ impl OpModel {
         let quad_fit = if allow_quadratic { MultipleOls::fit(&quad_rows, &ys).ok() } else { None };
         let linear =
             linear_fit.clone().and_then(|m| evaluate(&m, &linear_rows).map(|adj| (m, adj)));
-        let quadratic = quad_fit.clone().and_then(|m| evaluate(&m, &quad_rows).map(|adj| (m, adj)));
+        let quadratic = quad_fit.and_then(|m| evaluate(&m, &quad_rows).map(|adj| (m, adj)));
 
         let (form, ols, r_squared) = match (linear, quadratic) {
             (Some((lm, ladj)), Some((qm, qadj))) => {

@@ -244,9 +244,7 @@ impl CeerModel {
         objective: &Objective,
     ) -> Option<Recommendation> {
         let mut ranking = self.evaluate_candidates(cnn, catalog, workload);
-        ranking.sort_by(|a, b| {
-            a.score(objective).partial_cmp(&b.score(objective)).expect("scores are never NaN")
-        });
+        ceer_stats::total::sort_by_f64_key(&mut ranking, |c| c.score(objective));
         let best = ranking.first()?.clone();
         if !best.is_feasible(objective) {
             return None;

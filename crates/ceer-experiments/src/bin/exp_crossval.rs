@@ -26,11 +26,7 @@ fn main() {
 
     let mut table = Table::new(vec!["held-out CNN", "MAPE", "worst config"]);
     for fold in &cv.folds {
-        let worst = fold
-            .errors
-            .iter()
-            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
-            .expect("non-empty");
+        let worst = fold.errors.iter().max_by(|a, b| a.2.total_cmp(&b.2)).expect("non-empty");
         table.row(vec![
             fold.held_out.to_string(),
             format!("{:.1}%", fold.mape() * 100.0),
@@ -61,21 +57,18 @@ fn main() {
 
     // Bootstrap CI on the light-op median estimator.
     let model = Ceer::fit_from_profiles(&config, &Ceer::collect_profiles(&config));
-    let light_samples: Vec<f64> = Ceer::collect_profiles(&FitConfig {
-        parallel_degrees: vec![1],
-        iterations: 6,
-        ..config.clone()
-    })
-    .iter()
-    .flat_map(|(_, _, ps)| ps.iter())
-    .flat_map(|p| {
-        p.op_stats()
+    let light_samples: Vec<f64> =
+        Ceer::collect_profiles(&FitConfig { parallel_degrees: vec![1], iterations: 6, ..config })
             .iter()
-            .filter(|s| model.classification().class_of(s.kind) == OpClass::Light)
-            .map(|s| s.median_us)
-            .collect::<Vec<_>>()
-    })
-    .collect();
+            .flat_map(|(_, _, ps)| ps.iter())
+            .flat_map(|p| {
+                p.op_stats()
+                    .iter()
+                    .filter(|s| model.classification().class_of(s.kind) == OpClass::Light)
+                    .map(|s| s.median_us)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
     let ci = median_ci(&light_samples, 400, 0.95, 7).expect("light ops exist");
     println!(
         "light-op median t̃_l = {:.1} us, 95% bootstrap CI [{:.1}, {:.1}]",

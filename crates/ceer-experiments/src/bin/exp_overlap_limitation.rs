@@ -43,8 +43,7 @@ fn main() {
             errs.push((id, cnn_errs.iter().sum::<f64>() / cnn_errs.len() as f64));
         }
         let mape = errs.iter().map(|(_, e)| e).sum::<f64>() / errs.len() as f64;
-        let worst =
-            errs.iter().max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("non-empty");
+        let worst = errs.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
         mapes.push(mape);
         table.row(vec![
             format!("{overlap:.2}"),
@@ -64,12 +63,7 @@ fn main() {
     checks.add(
         "error grows monotonically with overlap",
         "additive model 'may not be accurate' under overlap (§VI)",
-        mapes
-            .iter()
-            .map(|m| format!("{:.1}%", m * 100.0))
-            .collect::<Vec<_>>()
-            .join(" -> ")
-            .to_string(),
+        mapes.iter().map(|m| format!("{:.1}%", m * 100.0)).collect::<Vec<_>>().join(" -> "),
         mapes.windows(2).all(|w| w[1] >= w[0] - 0.005),
     );
     checks.add(

@@ -66,17 +66,15 @@ fn main() {
 
     // Observed feasibility and optimum.
     let feasible: Vec<_> = rows.iter().filter(|r| r.3 <= budget_usd).collect();
-    let obs_best = feasible
-        .iter()
-        .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
-        .expect("something is feasible");
+    let obs_best =
+        feasible.iter().min_by(|a, b| a.2.total_cmp(&b.2)).expect("something is feasible");
     // "Cheapest" as the paper means it: lowest hourly price among feasible.
     let cheapest_feasible = feasible
         .iter()
         .min_by(|a, b| {
             let pa = catalog.instance(a.0, a.1).hourly_usd();
             let pb = catalog.instance(b.0, b.1).hourly_usd();
-            pa.partial_cmp(&pb).expect("finite")
+            pa.total_cmp(&pb)
         })
         .expect("something is feasible");
     let slowdown = cheapest_feasible.2 / obs_best.2;

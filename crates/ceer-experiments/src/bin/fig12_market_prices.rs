@@ -50,8 +50,7 @@ fn main() {
     }
     table.print();
 
-    let obs_best =
-        rows.iter().min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite")).expect("non-empty");
+    let obs_best = rows.iter().min_by(|a, b| a.2.total_cmp(&b.2)).expect("non-empty");
     let cost_of = |g: GpuModel, k: u32| {
         rows.iter().find(|(gg, kk, _)| *gg == g && *kk == k).expect("present").2
     };

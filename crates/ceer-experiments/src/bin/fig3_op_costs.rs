@@ -7,7 +7,7 @@
 //! average reduction over G4); the 10× time advantage of P3 over P2 shrinks
 //! to ~3× in cost.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ceer_cloud::{Catalog, Pricing};
 use ceer_core::classify::Classification;
@@ -16,11 +16,11 @@ use ceer_gpusim::GpuModel;
 use ceer_graph::models::CnnId;
 use ceer_graph::OpKind;
 
-fn kind_means(obs: &mut Observatory, gpu: GpuModel) -> HashMap<OpKind, f64> {
-    let mut per_cnn: HashMap<OpKind, Vec<f64>> = HashMap::new();
+fn kind_means(obs: &mut Observatory, gpu: GpuModel) -> BTreeMap<OpKind, f64> {
+    let mut per_cnn: BTreeMap<OpKind, Vec<f64>> = BTreeMap::new();
     for &id in CnnId::training_set() {
         let profile = obs.profile(id, gpu, 1);
-        let mut sums: HashMap<OpKind, (f64, usize)> = HashMap::new();
+        let mut sums: BTreeMap<OpKind, (f64, usize)> = BTreeMap::new();
         for stat in profile.op_stats() {
             let e = sums.entry(stat.kind).or_insert((0.0, 0));
             e.0 += stat.mean_us;
@@ -41,20 +41,18 @@ fn main() {
     println!("== Figure 3: operation-level compute costs (nano-USD) across GPU models ==\n");
 
     // Cost per op = mean time x usd/us of the basic 1-GPU instance.
-    let cost_rate: HashMap<GpuModel, f64> = GpuModel::all()
+    let cost_rate: BTreeMap<GpuModel, f64> = GpuModel::all()
         .iter()
         .map(|&g| (g, catalog.instance(g, 1).usd_per_microsecond()))
         .collect();
-    let means: HashMap<GpuModel, HashMap<OpKind, f64>> =
+    let means: BTreeMap<GpuModel, BTreeMap<OpKind, f64>> =
         GpuModel::all().iter().map(|&g| (g, kind_means(&mut obs, g))).collect();
 
     let reference_profiles: Vec<_> =
         CnnId::training_set().iter().map(|&id| obs.profile(id, GpuModel::K80, 1).clone()).collect();
     let classification = Classification::from_profiles(&reference_profiles, GpuModel::K80);
     let mut heavy = classification.heavy_kinds();
-    heavy.sort_by(|a, b| {
-        means[&GpuModel::K80][b].partial_cmp(&means[&GpuModel::K80][a]).expect("finite")
-    });
+    heavy.sort_by(|a, b| means[&GpuModel::K80][b].total_cmp(&means[&GpuModel::K80][a]));
 
     let cost = |gpu: GpuModel, kind: OpKind| means[&gpu][&kind] * cost_rate[&gpu] * 1e9;
 
@@ -67,11 +65,7 @@ fn main() {
     for &kind in &heavy {
         let costs: Vec<(GpuModel, f64)> =
             GpuModel::all().iter().map(|&g| (g, cost(g, kind))).collect();
-        let cheapest = costs
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-            .expect("non-empty")
-            .0;
+        let cheapest = costs.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty").0;
         match cheapest {
             GpuModel::T4 => g4_wins += 1,
             GpuModel::V100 => p3_wins += 1,

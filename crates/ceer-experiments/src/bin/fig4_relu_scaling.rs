@@ -58,7 +58,7 @@ fn main() {
         .filter(|s| s.kind == OpKind::Relu)
         .map(|s| (s.input_bytes as f64 / 1e6, s.mean_us))
         .collect();
-    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
     for (mb, us) in pts {
         println!("  {mb:>8.1} MB -> {us:>10.0} us");
     }

@@ -59,7 +59,7 @@ fn main() {
         }
         // Ranking agreement per CNN.
         let rank = |mut v: Vec<(GpuModel, f64)>| -> Vec<GpuModel> {
-            v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            v.sort_by(|a, b| a.1.total_cmp(&b.1));
             v.into_iter().map(|(g, _)| g).collect()
         };
         if rank(observed.clone()) == rank(predicted.clone()) {
@@ -75,7 +75,7 @@ fn main() {
         let cost = |g: GpuModel| t(g) * catalog.instance(g, GPUS).usd_per_microsecond();
         let cheapest = GpuModel::all()
             .iter()
-            .min_by(|a, b| cost(**a).partial_cmp(&cost(**b)).expect("finite"))
+            .min_by(|a, b| cost(**a).total_cmp(&cost(**b)))
             .expect("non-empty");
         if *cheapest == GpuModel::T4 {
             g4_cost_wins += 1;

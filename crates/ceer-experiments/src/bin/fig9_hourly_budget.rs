@@ -95,7 +95,7 @@ fn main() {
             predicted.push((gpu, pred_us));
         }
         let rank = |mut v: Vec<(GpuModel, f64)>| -> Vec<GpuModel> {
-            v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            v.sort_by(|a, b| a.1.total_cmp(&b.1));
             v.into_iter().map(|(g, _)| g).collect()
         };
         let obs_time = |g: GpuModel| observed.iter().find(|(m, _)| *m == g).expect("present").1;

@@ -8,7 +8,7 @@
 //! of the [`ExperimentContext`] — independent of thread count, environment
 //! and host — which is exactly what the golden files assert.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write;
 
 use ceer_cloud::{Catalog, Pricing};
@@ -22,11 +22,11 @@ use ceer_graph::OpKind;
 use crate::{CheckList, ExperimentContext, Observatory, Table};
 
 /// Two-level mean per kind (within CNN, then across CNNs), as in §III-A.
-fn kind_means(obs: &mut Observatory, gpu: GpuModel) -> HashMap<OpKind, f64> {
-    let mut per_cnn: HashMap<OpKind, Vec<f64>> = HashMap::new();
+fn kind_means(obs: &mut Observatory, gpu: GpuModel) -> BTreeMap<OpKind, f64> {
+    let mut per_cnn: BTreeMap<OpKind, Vec<f64>> = BTreeMap::new();
     for &id in CnnId::training_set() {
         let profile = obs.profile(id, gpu, 1);
-        let mut sums: HashMap<OpKind, (f64, usize)> = HashMap::new();
+        let mut sums: BTreeMap<OpKind, (f64, usize)> = BTreeMap::new();
         for stat in profile.op_stats() {
             let e = sums.entry(stat.kind).or_insert((0.0, 0));
             e.0 += stat.mean_us;
@@ -48,7 +48,7 @@ pub fn fig2_op_times(ctx: &ExperimentContext) -> (String, CheckList) {
     writeln!(report, "== Figure 2: operation-level compute times (us) across GPU models ==\n")
         .expect("write to string");
 
-    let means: HashMap<GpuModel, HashMap<OpKind, f64>> =
+    let means: BTreeMap<GpuModel, BTreeMap<OpKind, f64>> =
         GpuModel::all().iter().map(|&g| (g, kind_means(&mut obs, g))).collect();
 
     // The empirical heavy set, learned exactly as Ceer learns it.
@@ -56,9 +56,7 @@ pub fn fig2_op_times(ctx: &ExperimentContext) -> (String, CheckList) {
         CnnId::training_set().iter().map(|&id| obs.profile(id, GpuModel::K80, 1).clone()).collect();
     let classification = Classification::from_profiles(&reference_profiles, GpuModel::K80);
     let mut heavy = classification.heavy_kinds();
-    heavy.sort_by(|a, b| {
-        means[&GpuModel::K80][b].partial_cmp(&means[&GpuModel::K80][a]).expect("finite")
-    });
+    heavy.sort_by(|a, b| means[&GpuModel::K80][b].total_cmp(&means[&GpuModel::K80][a]));
 
     let mut table = Table::new(vec!["operation", "P3/V100", "P2/K80", "G4/T4", "G3/M60"]);
     for &kind in &heavy {
@@ -171,8 +169,7 @@ pub fn fig11_cost_min(ctx: &ExperimentContext) -> (String, CheckList) {
     }
     report.push_str(&table.render());
 
-    let obs_best =
-        rows.iter().min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite")).expect("non-empty");
+    let obs_best = rows.iter().min_by(|a, b| a.2.total_cmp(&b.2)).expect("non-empty");
     let cost_of = |g: GpuModel, k: u32| {
         rows.iter().find(|(gg, kk, _)| *gg == g && *kk == k).expect("present").2
     };

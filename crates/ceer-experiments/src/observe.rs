@@ -4,7 +4,7 @@
 //! simulator with a seed independent of the one Ceer was fitted on, exactly
 //! as the paper measures real runs on EC2.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ceer_gpusim::GpuModel;
 use ceer_graph::models::{Cnn, CnnId};
@@ -18,8 +18,8 @@ pub struct Observatory {
     seed: u64,
     iterations: usize,
     batch: u64,
-    graphs: HashMap<CnnId, (Cnn, Graph)>,
-    profiles: HashMap<(CnnId, GpuModel, u32), TrainingProfile>,
+    graphs: BTreeMap<CnnId, (Cnn, Graph)>,
+    profiles: BTreeMap<(CnnId, GpuModel, u32), TrainingProfile>,
 }
 
 impl Observatory {
@@ -29,8 +29,8 @@ impl Observatory {
             seed: ctx.observation_seed(),
             iterations: ctx.observe_iterations(),
             batch: ctx.fit_config().batch,
-            graphs: HashMap::new(),
-            profiles: HashMap::new(),
+            graphs: BTreeMap::new(),
+            profiles: BTreeMap::new(),
         }
     }
 

@@ -138,7 +138,7 @@ pub fn analyze(graph: &Graph, gpu: GpuModel) -> RooflineReport {
             let dominant = acc
                 .bound_us
                 .iter()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(&b, _)| b)
                 .unwrap_or(Bound::Launch as u8);
             let bound = match dominant {
@@ -157,7 +157,7 @@ pub fn analyze(graph: &Graph, gpu: GpuModel) -> RooflineReport {
             }
         })
         .collect();
-    kinds.sort_by(|a, b| b.total_us.partial_cmp(&a.total_us).expect("finite"));
+    kinds.sort_by(|a, b| b.total_us.total_cmp(&a.total_us));
     RooflineReport { gpu, ridge_intensity, kinds }
 }
 

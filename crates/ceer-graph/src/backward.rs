@@ -14,7 +14,7 @@
 //! per-iteration communication overhead `S_GPU(CNN)` (§IV-C), and the
 //! trainer crate accounts for them the same way.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::graph::{Graph, NodeId};
 use crate::op::{OpAttrs, OpKind};
@@ -32,7 +32,7 @@ pub fn training_graph(mut forward: Graph, loss: NodeId) -> Graph {
     assert_eq!(forward.node(loss).output_shape(), &TensorShape::scalar(), "loss must be a scalar");
 
     // Pending gradient contributions per forward node.
-    let mut pending: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut pending: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
 
     // Seed: d(loss)/d(loss) = 1, emitted as a Fill, as TF does.
     let seed = forward
@@ -80,7 +80,7 @@ fn emit_rule(
     graph: &mut Graph,
     id: NodeId,
     grad: NodeId,
-    pending: &mut HashMap<NodeId, Vec<NodeId>>,
+    pending: &mut BTreeMap<NodeId, Vec<NodeId>>,
 ) {
     let node = graph.node(id).clone();
     let fwd_name = node.name().to_string();
@@ -104,7 +104,7 @@ fn emit_rule(
             )
             .expect("forward names are unique, so gradient names are too")
     };
-    let push = |pending: &mut HashMap<NodeId, Vec<NodeId>>, to: NodeId, g: NodeId| {
+    let push = |pending: &mut BTreeMap<NodeId, Vec<NodeId>>, to: NodeId, g: NodeId| {
         pending.entry(to).or_default().push(g);
     };
 

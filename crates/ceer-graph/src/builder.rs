@@ -6,7 +6,7 @@
 //! [`crate::models`] is written against this API and never touches raw
 //! [`OpKind`]s.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::graph::{Graph, NodeId};
 use crate::op::{OpAttrs, OpKind, Padding};
@@ -55,13 +55,17 @@ impl Tensor {
 pub struct GraphBuilder {
     graph: Graph,
     scopes: Vec<String>,
-    counters: HashMap<String, usize>,
+    counters: BTreeMap<String, usize>,
 }
 
 impl GraphBuilder {
     /// Creates a builder for a model with the given name.
     pub fn new(model_name: impl Into<String>) -> Self {
-        GraphBuilder { graph: Graph::new(model_name), scopes: Vec::new(), counters: HashMap::new() }
+        GraphBuilder {
+            graph: Graph::new(model_name),
+            scopes: Vec::new(),
+            counters: BTreeMap::new(),
+        }
     }
 
     /// Enters a named scope; nodes added until [`pop_scope`](Self::pop_scope)

@@ -1,6 +1,6 @@
 //! The computation DAG.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -137,13 +137,13 @@ pub struct Graph {
     name: String,
     nodes: Vec<Node>,
     #[serde(skip)]
-    name_index: HashMap<String, NodeId>,
+    name_index: BTreeMap<String, NodeId>,
 }
 
 impl Graph {
     /// Creates an empty graph with a model name.
     pub fn new(name: impl Into<String>) -> Self {
-        Graph { name: name.into(), nodes: Vec::new(), name_index: HashMap::new() }
+        Graph { name: name.into(), nodes: Vec::new(), name_index: BTreeMap::new() }
     }
 
     /// Model name.
@@ -234,8 +234,8 @@ impl Graph {
     }
 
     /// Number of operations per kind.
-    pub fn op_histogram(&self) -> HashMap<OpKind, usize> {
-        let mut histogram = HashMap::new();
+    pub fn op_histogram(&self) -> BTreeMap<OpKind, usize> {
+        let mut histogram = BTreeMap::new();
         for node in &self.nodes {
             *histogram.entry(node.kind).or_insert(0) += 1;
         }
@@ -287,7 +287,7 @@ impl Graph {
     ///
     /// Returns the first inconsistency found.
     pub fn validate(&self) -> Result<(), GraphError> {
-        let mut seen = HashMap::new();
+        let mut seen = BTreeMap::new();
         for (pos, node) in self.nodes.iter().enumerate() {
             if node.id.index() != pos {
                 return Err(GraphError::DanglingInput { node: node.name.clone(), input: node.id });

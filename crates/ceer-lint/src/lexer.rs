@@ -1,0 +1,534 @@
+//! A hand-rolled Rust lexer — just enough syntax awareness for the lint
+//! rules: it distinguishes identifiers, punctuation and literals from the
+//! *contents* of comments and strings, so `"HashMap"` in a string or
+//! `// unwrap` in a comment can never trip a rule.
+//!
+//! Like `ceer-par`, this crate takes the dependency-free road: no `syn`,
+//! no proc-macro machinery. The token stream is intentionally lossy (no
+//! spans into the source, no keyword table beyond what the rules need),
+//! but it is exact about the hard parts of the grammar:
+//!
+//! * line comments and *nested* block comments;
+//! * string, byte-string and char literals with escapes;
+//! * raw strings `r"…"` / `r#"…"#` with any number of hashes (and their
+//!   byte variants), which nest quotes freely;
+//! * lifetimes (`'a`) versus char literals (`'a'`);
+//! * float literals versus integer literals and range punctuation
+//!   (`1.0` vs `1..2` vs `x.0`).
+//!
+//! Line comments are preserved (with position and trailing-ness) because
+//! the suppression syntax lives in them.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `let`, `unwrap`, …).
+    Ident,
+    /// A lifetime (`'a`); the text excludes the quote.
+    Lifetime,
+    /// An integer literal (`42`, `0xfe`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `2e9`, `1_000.5f32`).
+    Float,
+    /// A string, byte-string, raw-string or char literal (text is the
+    /// *raw slice* including quotes; rules never look inside).
+    Literal,
+    /// One punctuation token. Multi-character operators the rules care
+    /// about (`==`, `!=`, `::`, `->`, `=>`, `..`) are merged; everything
+    /// else is a single character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// The token's text as written.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+}
+
+/// A `//` comment, kept for suppression parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// Comment text *after* the `//`, untrimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based column of the first `/`.
+    pub col: usize,
+    /// Whether any token precedes the comment on its line (a trailing
+    /// comment suppresses its own line; a standalone one the next).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexes `source`. Unterminated constructs (a string or block comment
+/// running to EOF) terminate the token stream quietly — the compiler is
+/// the authority on malformed source, not the linter.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    line_has_token: bool,
+    out: Lexed,
+    source: std::marker::PhantomData<&'a str>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            line_has_token: false,
+            out: Lexed::default(),
+            source: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, maintaining line/col.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.line_has_token = false;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: usize, col: usize) {
+        self.line_has_token = true;
+        self.out.tokens.push(Token { kind, text, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                'r' | 'b' if self.raw_or_byte_string(line, col) => {}
+                '"' => self.string_literal(line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize, col: usize) {
+        let trailing = self.line_has_token;
+        self.bump();
+        self.bump(); // the two slashes
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(LineComment { text, line, col, trailing });
+    }
+
+    /// Block comments nest in Rust: `/* /* */ */` is one comment.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return, // unterminated: stop quietly
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'…'`; returns
+    /// `false` (consuming nothing) when the `r`/`b` starts a plain ident.
+    fn raw_or_byte_string(&mut self, line: usize, col: usize) -> bool {
+        let mut ahead = 1;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
+            // Byte char literal b'x'.
+            let mut text = String::new();
+            text.push(self.bump().expect("peeked"));
+            self.consume_char_literal(&mut text);
+            self.push_token(TokenKind::Literal, text, line, col);
+            return true;
+        }
+        let raw = self.peek(0) == Some('r') || ahead == 2;
+        let mut hashes = 0;
+        while raw && self.peek(ahead) == Some('#') {
+            ahead += 1;
+            hashes += 1;
+        }
+        if self.peek(ahead) != Some('"') {
+            return false; // an ident like `radius` or `bytes`
+        }
+        // Commit: consume prefix, hashes and the opening quote.
+        let mut text = String::new();
+        for _ in 0..=ahead {
+            text.push(self.bump().expect("peeked"));
+        }
+        if raw {
+            // A raw string ends at `"` followed by `hashes` hashes.
+            loop {
+                match self.bump() {
+                    None => break,
+                    Some('"') => {
+                        text.push('"');
+                        let mut seen = 0;
+                        while seen < hashes && self.peek(0) == Some('#') {
+                            text.push(self.bump().expect("peeked"));
+                            seen += 1;
+                        }
+                        if seen == hashes {
+                            break;
+                        }
+                    }
+                    Some(c) => text.push(c),
+                }
+            }
+        } else {
+            self.consume_escaped_until(&mut text, '"');
+        }
+        self.push_token(TokenKind::Literal, text, line, col);
+        true
+    }
+
+    fn string_literal(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        text.push(self.bump().expect("peeked")); // opening quote
+        self.consume_escaped_until(&mut text, '"');
+        self.push_token(TokenKind::Literal, text, line, col);
+    }
+
+    /// Consumes until an unescaped `terminator`, honoring `\\` escapes.
+    fn consume_escaped_until(&mut self, text: &mut String, terminator: char) {
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            } else if c == terminator {
+                break;
+            }
+        }
+    }
+
+    /// `'a'` and `'\n'` are char literals; `'a` (no closing quote within
+    /// two characters) is a lifetime.
+    fn char_or_lifetime(&mut self, line: usize, col: usize) {
+        // A char literal closes after one (possibly escaped) character; a
+        // lifetime never closes. Look ahead without consuming.
+        let is_char = match self.peek(1) {
+            Some('\\') => true, // '\n', '\'', '\u{..}' — always a char
+            Some(_) => self.peek(2) == Some('\''),
+            None => false,
+        };
+        if is_char {
+            let mut text = String::new();
+            self.consume_char_literal(&mut text);
+            self.push_token(TokenKind::Literal, text, line, col);
+        } else {
+            self.bump(); // the quote
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_token(TokenKind::Lifetime, name, line, col);
+        }
+    }
+
+    /// Consumes a `'…'` literal starting at the opening quote.
+    fn consume_char_literal(&mut self, text: &mut String) {
+        text.push(self.bump().expect("peeked")); // opening quote
+        self.consume_escaped_until(text, '\'');
+    }
+
+    fn number(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        let mut float = false;
+        // Integer part (with radix prefixes and `_` separators).
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                // `1e9` / `2E-5` exponents make it a float — but only in
+                // decimal (0x1e9 is an integer; hex has no exponent).
+                if (c == 'e' || c == 'E')
+                    && !text.starts_with("0x")
+                    && !text.starts_with("0b")
+                    && !text.starts_with("0o")
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit() || d == '-' || d == '+')
+                {
+                    float = true;
+                    text.push(c);
+                    self.bump();
+                    text.push(self.bump().expect("peeked"));
+                    continue;
+                }
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // `1.5` continues the number; `1..n` and `1.method()` do not.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        float = true;
+                        text.push(c);
+                        self.bump();
+                    }
+                    Some('.') => break,
+                    Some(a) if a == '_' || a.is_alphabetic() => break,
+                    // Trailing-dot float like `1.` (rare but legal).
+                    _ => {
+                        float = true;
+                        text.push(c);
+                        self.bump();
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        // `0x1f32` is a hex integer, not a suffixed float — only decimal
+        // literals can carry the f32/f64 suffix.
+        let suffixed = !text.starts_with("0x")
+            && (text.ends_with("f32") || text.ends_with("f64"))
+            && text.chars().next().is_some_and(|c| c.is_ascii_digit());
+        let kind = if float || suffixed { TokenKind::Float } else { TokenKind::Int };
+        self.push_token(kind, text, line, col);
+    }
+
+    fn ident(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Ident, text, line, col);
+    }
+
+    fn punct(&mut self, line: usize, col: usize) {
+        let first = self.bump().expect("peeked");
+        let merged = match (first, self.peek(0)) {
+            ('=', Some('=')) => Some("=="),
+            ('!', Some('=')) => Some("!="),
+            (':', Some(':')) => Some("::"),
+            ('-', Some('>')) => Some("->"),
+            ('=', Some('>')) => Some("=>"),
+            ('.', Some('.')) => Some(".."),
+            _ => None,
+        };
+        match merged {
+            Some(op) => {
+                self.bump();
+                self.push_token(TokenKind::Punct, op.to_string(), line, col);
+            }
+            None => self.push_token(TokenKind::Punct, first.to_string(), line, col),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        lex(source).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn texts(source: &str) -> Vec<String> {
+        lex(source).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_with_positions() {
+        let lexed = lex("let x = a::b(y);\n  z.sort();");
+        let t = &lexed.tokens;
+        assert_eq!(t[0].text, "let");
+        assert_eq!((t[0].line, t[0].col), (1, 1));
+        assert!(t.iter().any(|t| t.text == "::" && t.kind == TokenKind::Punct));
+        let z = t.iter().find(|t| t.text == "z").expect("z token");
+        assert_eq!((z.line, z.col), (2, 3));
+    }
+
+    #[test]
+    fn string_contents_are_not_tokens() {
+        let toks = texts(r#"let s = "HashMap :: unwrap() 1.0 == 2.0";"#);
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(!toks.contains(&"unwrap".to_string()));
+        // The string is one Literal token.
+        let lexed = lex(r#"let s = "HashMap";"#);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "\"HashMap\""));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = texts(r#"let s = "a\"HashMap\"b"; let t = 1;"#);
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(toks.contains(&"t".to_string()), "lexing must resume after the string");
+    }
+
+    #[test]
+    fn line_comments_are_captured_not_tokenized() {
+        let lexed = lex("let a = 1; // trailing unwrap() text\n// standalone HashMap\nlet b = 2;");
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap" || t.text == "HashMap"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = texts("a /* outer /* inner unwrap() */ still comment */ b");
+        assert_eq!(toks, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = texts(r###"let s = r#"quote " inside, HashMap"#; done"###);
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(toks.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn nested_raw_string_hashes() {
+        // r##"…"# …"## — a single-hash close does not terminate a
+        // double-hash raw string.
+        let source = "let s = r##\"has \"# inside HashMap\"##; after";
+        let toks = texts(source);
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(toks.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = texts(r##"let s = b"unwrap"; let c = b'x'; let r = br#"HashMap"#; tail"##);
+        assert!(!toks.contains(&"unwrap".to_string()));
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(toks.contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn idents_starting_with_r_and_b_still_lex() {
+        assert_eq!(
+            texts("radius + bytes + r + b"),
+            vec!["radius", "+", "bytes", "+", "r", "+", "b"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_versus_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; }");
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        let chars: Vec<_> = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Literal).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn float_versus_int_versus_range() {
+        assert_eq!(
+            kinds("1.5 2 0xff 1e9 1_000.25 3..4 x.0"),
+            vec![
+                (TokenKind::Float, "1.5".into()),
+                (TokenKind::Int, "2".into()),
+                (TokenKind::Int, "0xff".into()),
+                (TokenKind::Float, "1e9".into()),
+                (TokenKind::Float, "1_000.25".into()),
+                (TokenKind::Int, "3".into()),
+                (TokenKind::Punct, "..".into()),
+                (TokenKind::Int, "4".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, ".".into()),
+                (TokenKind::Int, "0".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float() {
+        // `pair.0.cmp(...)` — the `.0` is a field access, not `0.cmp`.
+        let toks = kinds("pair.0.cmp(x)");
+        assert_eq!(toks[2], (TokenKind::Int, "0".into()));
+        assert_eq!(toks[4], (TokenKind::Ident, "cmp".into()));
+    }
+
+    #[test]
+    fn merged_operators() {
+        assert_eq!(
+            texts("a == b != c -> d => e"),
+            vec!["a", "==", "b", "!=", "c", "->", "d", "=>", "e"]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_stops_quietly() {
+        let lexed = lex("let s = \"never closed");
+        assert!(lexed.tokens.iter().any(|t| t.text == "s"));
+    }
+}

@@ -1,0 +1,572 @@
+//! Workspace-aware static analysis for the Ceer invariants.
+//!
+//! Ceer's value is reproducible numbers: Eq. (2) estimates, the fig2/fig11
+//! golden snapshots, and the "thread count changes wall clock, never
+//! results" guarantee are all bit-identical-or-bust. This crate *enforces*
+//! the coding discipline behind that statically, in the same
+//! dependency-free spirit as `ceer-par`: a hand-rolled lexer
+//! ([`lexer`]) feeds syntactic rules ([`rules`]) grouped into three
+//! invariant families —
+//!
+//! * **determinism** — no `HashMap`/`HashSet` (iteration order varies per
+//!   process), no ambient clock reads or entropy, no threads outside the
+//!   `ceer-par` pool;
+//! * **numeric safety** — no float `==`/`!=`, no
+//!   `partial_cmp().unwrap()` NaN landmines (the `ceer_stats::total`
+//!   helpers exist instead);
+//! * **panic hygiene** — no `unwrap`/`expect`/`panic!`/direct indexing in
+//!   the configured panic-free paths (request handling in `ceer-serve`,
+//!   the `ceer-core` public API).
+//!
+//! Legitimate exceptions are spelled at the site:
+//!
+//! ```text
+//! // ceer-lint: allow(rule-name) -- why this site is exempt
+//! ```
+//!
+//! and policed by meta rules: a reasonless allow and an allow that no
+//! longer matches anything are diagnostics themselves ([`suppress`]).
+//!
+//! Entry points: [`lint_source`] for one file (unit tests, fixtures),
+//! [`lint_workspace`] for the whole tree (the `ceer lint` subcommand and
+//! the CI gate). Output is rustc-style text ([`render_text`]) or
+//! machine-readable JSON ([`render_json`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lexer::{lex, Token, TokenKind};
+use rules::FileScope;
+use suppress::Suppressions;
+
+/// What the engine lints and where the scoped rule families apply.
+///
+/// Paths are workspace-relative with `/` separators; a trailing `/` makes
+/// a prefix match (a directory), otherwise the match is exact.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Files where the panic-hygiene rules apply.
+    pub panic_free_paths: Vec<String>,
+    /// Files exempt from `thread-spawn` (the blessed pool implementation).
+    pub spawn_allowed_paths: Vec<String>,
+}
+
+impl Config {
+    /// The Ceer workspace policy.
+    ///
+    /// Panic-free paths are the serving stack (every request must be
+    /// answered, never abandoned by a worker panic) and the `ceer-core`
+    /// modules whose functions back `/predict` and `/recommend`.
+    /// `ceer-par` is the one place allowed to create threads — that is
+    /// its whole job; `ceer-serve`'s accept/worker loops take inline
+    /// suppressions instead so the exemption stays visible in the code.
+    pub fn ceer() -> Self {
+        Config {
+            panic_free_paths: vec![
+                "crates/ceer-serve/src/".to_string(),
+                "crates/ceer-core/src/estimate.rs".to_string(),
+                "crates/ceer-core/src/recommend.rs".to_string(),
+                "crates/ceer-core/src/report.rs".to_string(),
+            ],
+            spawn_allowed_paths: vec!["crates/ceer-par/src/".to_string()],
+        }
+    }
+
+    fn matches(paths: &[String], file: &str) -> bool {
+        paths.iter().any(
+            |p| {
+                if p.ends_with('/') {
+                    file.starts_with(p.as_str())
+                } else {
+                    file == p
+                }
+            },
+        )
+    }
+
+    /// The per-file rule switches for `file` (workspace-relative path).
+    pub fn scope(&self, file: &str) -> FileScope {
+        FileScope {
+            panic_free: Self::matches(&self.panic_free_paths, file),
+            spawn_allowed: Self::matches(&self.spawn_allowed_paths, file),
+        }
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (kebab-case, suppressible via `allow(<rule>)`).
+    pub rule: String,
+    /// Rule group name (`determinism`, `numeric-safety`, …).
+    pub group: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Site-specific explanation.
+    pub message: String,
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed diagnostics, sorted by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files lexed and checked.
+    pub files_scanned: usize,
+    /// Suppressions that matched a diagnostic.
+    pub suppressions_used: usize,
+}
+
+impl LintReport {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lints one file's source text. `file` is the workspace-relative path
+/// used in diagnostics and for [`Config`] scoping.
+pub fn lint_source(file: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
+    lint_file(file, source, config).0
+}
+
+/// Like [`lint_source`], also returning how many suppressions were
+/// honoured (directives that silenced at least one finding).
+pub fn lint_file(file: &str, source: &str, config: &Config) -> (Vec<Diagnostic>, usize) {
+    let lexed = lex(source);
+    let suppressions = Suppressions::parse(&lexed.comments);
+    let tokens = strip_test_code(&lexed.tokens);
+    let mut findings = rules::check(&tokens, config.scope(file));
+
+    // One diagnostic per (rule, line): `HashMap<K, V>` appearing three
+    // times on a line is one decision, not three.
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+
+    let mut diagnostics: Vec<Diagnostic> = findings
+        .into_iter()
+        .filter(|f| !suppressions.covers(f.rule, f.line))
+        .map(|f| Diagnostic {
+            rule: f.rule.to_string(),
+            group: group_of(f.rule),
+            file: file.to_string(),
+            line: f.line,
+            col: f.col,
+            message: f.message,
+        })
+        .collect();
+
+    for m in &suppressions.malformed {
+        diagnostics.push(Diagnostic {
+            rule: "malformed-directive".to_string(),
+            group: "meta".to_string(),
+            file: file.to_string(),
+            line: m.line,
+            col: m.col,
+            message: m.message.clone(),
+        });
+    }
+    for entry in &suppressions.entries {
+        for rule in &entry.rules {
+            if rules::rule_info(rule).is_none() {
+                diagnostics.push(Diagnostic {
+                    rule: "malformed-directive".to_string(),
+                    group: "meta".to_string(),
+                    file: file.to_string(),
+                    line: entry.line,
+                    col: entry.col,
+                    message: format!("allow({rule}) names no known rule"),
+                });
+            }
+        }
+        if entry.reason.is_none() {
+            diagnostics.push(Diagnostic {
+                rule: "missing-reason".to_string(),
+                group: "meta".to_string(),
+                file: file.to_string(),
+                line: entry.line,
+                col: entry.col,
+                message: format!(
+                    "allow({}) has no `-- reason`; say why this site is exempt",
+                    entry.rules.join(", ")
+                ),
+            });
+        }
+        if !entry.used.get() {
+            diagnostics.push(Diagnostic {
+                rule: "unused-suppression".to_string(),
+                group: "meta".to_string(),
+                file: file.to_string(),
+                line: entry.line,
+                col: entry.col,
+                message: format!(
+                    "allow({}) matched no diagnostic on line {}; delete the stale suppression",
+                    entry.rules.join(", "),
+                    entry.applies_to_line
+                ),
+            });
+        }
+    }
+
+    diagnostics
+        .sort_by(|a, b| (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str())));
+    let honoured = suppressions.entries.iter().filter(|e| e.used.get()).count();
+    (diagnostics, honoured)
+}
+
+fn group_of(rule: &str) -> String {
+    rules::rule_info(rule).map_or("unknown", |r| r.group.name()).to_string()
+}
+
+/// Removes `#[cfg(test)]` items from the token stream: test modules
+/// legitimately use `unwrap`, exact float comparisons (golden asserts) and
+/// scratch threads, and a test failure already fails CI.
+fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && tokens.get(i + 1).is_some_and(|t| t.text == "[") {
+            // Scan the balanced attribute and look for cfg(..test..).
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut is_cfg = false;
+            let mut has_test = false;
+            let mut has_not = false;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "cfg" if j == i + 2 => is_cfg = true,
+                    "test" if tokens[j].kind == TokenKind::Ident => has_test = true,
+                    // `#[cfg(not(test))]` guards *production* code; never
+                    // strip it (conservative: any `not` disables stripping).
+                    "not" if tokens[j].kind == TokenKind::Ident => has_not = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_cfg && has_test && !has_not {
+                // Skip the attribute and the item it configures: through
+                // the matching `}` of the item's first brace block, or a
+                // `;` reached before any brace (e.g. `#[cfg(test)] use…`).
+                i = j + 1;
+                let mut braces = 0usize;
+                while i < tokens.len() {
+                    match tokens[i].text.as_str() {
+                        "{" => braces += 1,
+                        "}" => {
+                            braces -= 1;
+                            if braces == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        ";" if braces == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+///
+/// # Errors
+///
+/// Errors when no ancestor is a workspace root.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)
+                .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace root (Cargo.toml with [workspace]) above {}",
+                start.display()
+            ));
+        }
+    }
+}
+
+/// Lints every first-party source file under `root`.
+///
+/// Scope: `src/` of the root package and of each `crates/*` member —
+/// the code that produces results. `vendor/` (third-party stand-ins),
+/// `target/`, `tests/`, `benches/` and `examples/` are out of scope:
+/// test and bench code legitimately uses wall clocks and unwraps, and a
+/// broken test already fails CI on its own.
+///
+/// # Errors
+///
+/// Errors on unreadable directories or files (not on diagnostics —
+/// callers decide what a dirty tree means).
+pub fn lint_workspace(root: &Path, config: &Config) -> Result<LintReport, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut report = LintReport::default();
+    for path in files {
+        let source = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let (diagnostics, honoured) = lint_file(&rel, &source, config);
+        report.suppressions_used += honoured;
+        report.diagnostics.extend(diagnostics);
+        report.files_scanned += 1;
+    }
+    report.diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.col,
+            b.rule.as_str(),
+        ))
+    });
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders rustc-style diagnostics plus a summary line.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&format!(
+            "error[{}/{}]: {}\n  --> {}:{}:{}\n",
+            d.group, d.rule, d.message, d.file, d.line, d.col
+        ));
+    }
+    out.push_str(&format!(
+        "ceer-lint: {} diagnostic{} in {} file{} ({} suppression{} honoured)\n",
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 { "" } else { "s" },
+        report.files_scanned,
+        if report.files_scanned == 1 { "" } else { "s" },
+        report.suppressions_used,
+        if report.suppressions_used == 1 { "" } else { "s" },
+    ));
+    out
+}
+
+/// Renders the diagnostics as a JSON array (`[]` when clean — the CI
+/// baseline), newline-terminated, keys in a fixed order.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::from("[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"group\": \"{}\", \"file\": \"{}\", \
+             \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            json_escape(&d.rule),
+            json_escape(&d.group),
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            json_escape(&d.message)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(source: &str, config: &Config) -> Vec<String> {
+        lint_source("crates/x/src/lib.rs", source, config).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn suppressed_diagnostics_disappear() {
+        let src = "use std::collections::HashMap; // ceer-lint: allow(hash-iteration) -- keyed lookup only\n";
+        assert!(rules_of(src, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn standalone_suppression_covers_next_line() {
+        let src = "// ceer-lint: allow(hash-iteration) -- keyed lookup only\n\
+                   use std::collections::HashMap;\n";
+        assert!(rules_of(src, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn unused_suppression_is_a_diagnostic() {
+        let src = "// ceer-lint: allow(hash-iteration) -- nothing here\nlet x = 1;\n";
+        assert_eq!(rules_of(src, &Config::default()), vec!["unused-suppression"]);
+    }
+
+    #[test]
+    fn reasonless_suppression_is_a_diagnostic_even_when_used() {
+        let src = "use std::collections::HashMap; // ceer-lint: allow(hash-iteration)\n";
+        assert_eq!(rules_of(src, &Config::default()), vec!["missing-reason"]);
+    }
+
+    #[test]
+    fn unknown_rule_names_are_malformed() {
+        let src = "use std::collections::HashMap; // ceer-lint: allow(hash-iteraton) -- typo\n";
+        let rules = rules_of(src, &Config::default());
+        assert!(rules.contains(&"malformed-directive".to_string()));
+        assert!(rules.contains(&"hash-iteration".to_string()), "typo'd allow must not suppress");
+    }
+
+    #[test]
+    fn one_diagnostic_per_rule_per_line() {
+        let src = "fn f(m: HashMap<u32, HashMap<u32, u32>>) {}\n";
+        assert_eq!(rules_of(src, &Config::default()).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashMap;\n\
+                       fn t() { x.unwrap(); let i = Instant::now(); }\n\
+                   }\n";
+        assert!(rules_of(src, &Config::default()).is_empty());
+        // …but code after the test module is still linted.
+        let src = format!("{src}\nuse std::collections::HashSet;\n");
+        assert_eq!(rules_of(&src, &Config::default()), vec!["hash-iteration"]);
+    }
+
+    #[test]
+    fn panic_scope_is_path_driven() {
+        let config = Config {
+            panic_free_paths: vec!["crates/ceer-serve/src/".to_string()],
+            spawn_allowed_paths: vec![],
+        };
+        let src = "fn f() { x.unwrap(); }";
+        assert!(lint_source("crates/ceer-core/src/fit.rs", src, &config).is_empty());
+        let diags = lint_source("crates/ceer-serve/src/api.rs", src, &config);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "panic-unwrap");
+        assert_eq!(diags[0].group, "panic-hygiene");
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_escaped() {
+        let report = LintReport {
+            diagnostics: vec![Diagnostic {
+                rule: "float-eq".into(),
+                group: "numeric-safety".into(),
+                file: "src/a.rs".into(),
+                line: 3,
+                col: 7,
+                message: "a \"quoted\" message".into(),
+            }],
+            files_scanned: 1,
+            suppressions_used: 0,
+        };
+        let json = render_json(&report);
+        assert!(json.contains(r#""rule": "float-eq""#));
+        assert!(json.contains(r#"a \"quoted\" message"#));
+        let clean = render_json(&LintReport::default());
+        assert_eq!(clean, "[]\n");
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_style() {
+        let src = "let t = Instant::now();\n";
+        let report = LintReport {
+            diagnostics: lint_source("src/lib.rs", src, &Config::default()),
+            files_scanned: 1,
+            ..LintReport::default()
+        };
+        let text = render_text(&report);
+        assert!(text.contains("error[determinism/ambient-time]"));
+        assert!(text.contains("--> src/lib.rs:1:9"));
+        assert!(text.contains("1 diagnostic in 1 file"));
+    }
+}

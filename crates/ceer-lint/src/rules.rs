@@ -1,0 +1,504 @@
+//! The lint rules. Each rule is a pure function from a token stream (with
+//! `#[cfg(test)]` regions already stripped) to raw findings; the engine in
+//! [`crate::lint_source`] applies suppressions and meta rules on top.
+//!
+//! Rules are deliberately *syntactic*: a hand-rolled lexer cannot do type
+//! inference, so each rule pins down a token shape that is cheap to match
+//! and overwhelmingly means the thing it looks like. The escape hatch for
+//! the residue of legitimate sites is an inline
+//! `// ceer-lint: allow(rule) -- reason`, which [`crate::lint_source`]
+//! forces to stay accurate via unused-suppression detection.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Which invariant family a rule protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Group {
+    /// Bit-identical results at any thread count, schedule, or rerun.
+    Determinism,
+    /// NaN- and float-comparison safety.
+    NumericSafety,
+    /// No panics reachable from serving or public-API code paths.
+    PanicHygiene,
+    /// Rules about the suppression syntax itself.
+    Meta,
+}
+
+impl Group {
+    /// The group name used in diagnostics (`error[determinism/...]`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Group::Determinism => "determinism",
+            Group::NumericSafety => "numeric-safety",
+            Group::PanicHygiene => "panic-hygiene",
+            Group::Meta => "meta",
+        }
+    }
+}
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Kebab-case rule name (what `allow(...)` takes).
+    pub name: &'static str,
+    /// Invariant family.
+    pub group: Group,
+    /// One-line description for `ceer lint --rules`.
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in diagnostic-priority order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "hash-iteration",
+        group: Group::Determinism,
+        summary: "HashMap/HashSet have nondeterministic iteration order; \
+                  use BTreeMap/BTreeSet (or sort before emitting)",
+    },
+    RuleInfo {
+        name: "ambient-time",
+        group: Group::Determinism,
+        summary: "Instant::now/SystemTime::now read ambient wall-clock state; \
+                  keep them out of result-producing code",
+    },
+    RuleInfo {
+        name: "ambient-rng",
+        group: Group::Determinism,
+        summary: "thread_rng/from_entropy/OsRng seed from the environment; \
+                  use the seeded ceer_stats::rng generators",
+    },
+    RuleInfo {
+        name: "thread-spawn",
+        group: Group::Determinism,
+        summary: "ad-hoc threads bypass the deterministic ceer-par pool; \
+                  only ceer-par (and the ceer-serve accept/worker loops) may spawn",
+    },
+    RuleInfo {
+        name: "float-eq",
+        group: Group::NumericSafety,
+        summary: "== / != on floats is exact bit comparison; \
+                  compare against a tolerance or use f64::total_cmp",
+    },
+    RuleInfo {
+        name: "partial-cmp-unwrap",
+        group: Group::NumericSafety,
+        summary: "partial_cmp(..).unwrap()/expect() panics on NaN; \
+                  use the ceer_stats::total total-order helpers",
+    },
+    RuleInfo {
+        name: "panic-unwrap",
+        group: Group::PanicHygiene,
+        summary: "unwrap/expect/panic!/unreachable!/todo!/unimplemented! in a \
+                  panic-free path; return an error instead",
+    },
+    RuleInfo {
+        name: "panic-index",
+        group: Group::PanicHygiene,
+        summary: "direct [index] in a panic-free path can panic out of bounds; \
+                  use .get(..) and handle None",
+    },
+    RuleInfo {
+        name: "unused-suppression",
+        group: Group::Meta,
+        summary: "a ceer-lint allow(..) that matched no diagnostic; delete it",
+    },
+    RuleInfo {
+        name: "missing-reason",
+        group: Group::Meta,
+        summary: "a ceer-lint allow(..) without `-- reason`; justify or delete it",
+    },
+    RuleInfo {
+        name: "malformed-directive",
+        group: Group::Meta,
+        summary: "a ceer-lint comment that does not parse; fix the syntax",
+    },
+];
+
+/// Looks up a rule's metadata by name.
+pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// A raw rule hit before suppression filtering.
+#[derive(Debug)]
+pub struct Finding {
+    /// The violated rule's name.
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Site-specific message.
+    pub message: String,
+}
+
+/// Per-file switches derived from the engine [`crate::Config`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileScope {
+    /// Panic-hygiene rules apply to this file.
+    pub panic_free: bool,
+    /// `thread-spawn` is exempt here (the blessed pool implementation).
+    pub spawn_allowed: bool,
+}
+
+/// Runs every applicable rule over a test-stripped token stream.
+pub fn check(tokens: &[Token], scope: FileScope) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    hash_iteration(tokens, &mut findings);
+    ambient_time(tokens, &mut findings);
+    ambient_rng(tokens, &mut findings);
+    if !scope.spawn_allowed {
+        thread_spawn(tokens, &mut findings);
+    }
+    float_eq(tokens, &mut findings);
+    partial_cmp_unwrap(tokens, &mut findings);
+    if scope.panic_free {
+        panic_unwrap(tokens, &mut findings);
+        panic_index(tokens, &mut findings);
+    }
+    findings
+}
+
+fn ident_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+fn punct_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+fn hash_iteration(tokens: &[Token], out: &mut Vec<Finding>) {
+    for t in tokens {
+        if t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(Finding {
+                rule: "hash-iteration",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` iterates in nondeterministic order; use `BTree{}` \
+                     (or sort before any order-observing use)",
+                    t.text,
+                    t.text.trim_start_matches("Hash"),
+                ),
+            });
+        }
+    }
+}
+
+fn ambient_time(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
+            && punct_at(tokens, i + 1, "::")
+            && ident_at(tokens, i + 2, "now")
+        {
+            out.push(Finding {
+                rule: "ambient-time",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}::now()` reads the ambient clock; results must not \
+                     depend on wall-clock time",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn ambient_rng(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let ambient = matches!(t.text.as_str(), "thread_rng" | "from_entropy" | "OsRng")
+            || (t.text == "rand"
+                && punct_at(tokens, i + 1, "::")
+                && ident_at(tokens, i + 2, "random"));
+        if ambient {
+            out.push(Finding {
+                rule: "ambient-rng",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` draws entropy from the environment; use an explicitly \
+                     seeded generator (ceer_stats::rng)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn thread_spawn(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        // `thread::Builder` chains are caught at their terminal `.spawn(`
+        // call, so only bare `thread::spawn` needs the qualified form.
+        let qualified = t.kind == TokenKind::Ident
+            && t.text == "thread"
+            && punct_at(tokens, i + 1, "::")
+            && ident_at(tokens, i + 2, "spawn");
+        let method = t.kind == TokenKind::Punct
+            && t.text == "."
+            && ident_at(tokens, i + 1, "spawn")
+            && punct_at(tokens, i + 2, "(");
+        if qualified || method {
+            out.push(Finding {
+                rule: "thread-spawn",
+                line: t.line,
+                col: t.col,
+                message: "ad-hoc thread creation outside ceer-par; route parallel \
+                          work through the deterministic pool"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Float-typed operand shapes on either side of `==`/`!=`: a float
+/// literal, or an `f32`/`f64`-path constant like `f64::NAN`.
+fn float_eq(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let prev_float = i > 0
+            && (tokens[i - 1].kind == TokenKind::Float
+                || (tokens[i - 1].kind == TokenKind::Ident
+                    && matches!(tokens[i - 1].text.as_str(), "NAN" | "INFINITY" | "NEG_INFINITY")));
+        let next_float = tokens.get(i + 1).is_some_and(|n| n.kind == TokenKind::Float)
+            || (tokens.get(i + 1).is_some_and(|n| {
+                n.kind == TokenKind::Ident && (n.text == "f64" || n.text == "f32")
+            }) && punct_at(tokens, i + 2, "::"));
+        if prev_float || next_float {
+            out.push(Finding {
+                rule: "float-eq",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` on a float compares exact bits (and is always false \
+                     for NaN); compare within a tolerance or use total_cmp",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn partial_cmp_unwrap(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "partial_cmp" || !punct_at(tokens, i + 1, "(") {
+            continue;
+        }
+        // Skip the balanced argument list.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if punct_at(tokens, j + 1, ".")
+            && (ident_at(tokens, j + 2, "unwrap") || ident_at(tokens, j + 2, "expect"))
+        {
+            out.push(Finding {
+                rule: "partial-cmp-unwrap",
+                line: t.line,
+                col: t.col,
+                message: "partial_cmp(..).unwrap() panics the moment a NaN reaches \
+                          this comparison; use ceer_stats::total (total_cmp, \
+                          sort_total, sort_by_f64_key)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+fn panic_unwrap(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let method_call = punct_at(tokens, i.wrapping_sub(1), ".")
+            && i > 0
+            && (t.text == "unwrap" || t.text == "expect")
+            && punct_at(tokens, i + 1, "(");
+        let macro_call =
+            matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                && punct_at(tokens, i + 1, "!");
+        if method_call || macro_call {
+            out.push(Finding {
+                rule: "panic-unwrap",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` can panic in a panic-free path; return an error \
+                     (or recover) instead",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without it being an index
+/// expression (slice patterns, array types/literals after `mut`, …).
+const NON_INDEX_PREDECESSORS: &[&str] = &[
+    "let", "in", "mut", "ref", "return", "else", "match", "move", "if", "while", "loop", "for",
+    "break", "continue", "dyn", "impl", "where", "as", "unsafe", "async", "await", "const",
+    "static", "box", "yield",
+];
+
+fn panic_index(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct || t.text != "[" || i == 0 {
+            continue;
+        }
+        let prev = &tokens[i - 1];
+        let indexes = match prev.kind {
+            TokenKind::Ident => !NON_INDEX_PREDECESSORS.contains(&prev.text.as_str()),
+            TokenKind::Punct => prev.text == ")" || prev.text == "]" || prev.text == "?",
+            _ => false,
+        };
+        if indexes {
+            out.push(Finding {
+                rule: "panic-index",
+                line: t.line,
+                col: t.col,
+                message: "direct indexing can panic out of bounds in a panic-free \
+                          path; use .get(..)/.get_mut(..) and handle None"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(source: &str, scope: FileScope) -> Vec<(String, usize)> {
+        check(&lex(source).tokens, scope)
+            .into_iter()
+            .map(|f| (f.rule.to_string(), f.line))
+            .collect()
+    }
+
+    fn rules(source: &str, scope: FileScope) -> Vec<String> {
+        findings(source, scope).into_iter().map(|(r, _)| r).collect()
+    }
+
+    #[test]
+    fn hash_collections_fire_btree_does_not() {
+        assert_eq!(
+            rules("use std::collections::HashMap; let s: HashSet<u32>;", FileScope::default()),
+            vec!["hash-iteration", "hash-iteration"]
+        );
+        assert!(rules("use std::collections::BTreeMap;", FileScope::default()).is_empty());
+    }
+
+    #[test]
+    fn ambient_time_fires_on_now_only() {
+        assert_eq!(
+            rules("let t = Instant::now(); let s = SystemTime::now();", FileScope::default()),
+            vec!["ambient-time", "ambient-time"]
+        );
+        // Mentioning the types without reading the clock is fine.
+        assert!(rules("fn f(t: Instant) -> Instant { t }", FileScope::default()).is_empty());
+    }
+
+    #[test]
+    fn ambient_rng_variants() {
+        assert_eq!(
+            rules("let r = thread_rng(); let s = StdRng::from_entropy();", FileScope::default()),
+            vec!["ambient-rng", "ambient-rng"]
+        );
+        assert_eq!(rules("let x: u8 = rand::random();", FileScope::default()), vec!["ambient-rng"]);
+        assert!(rules("let rng = seeded_rng(42);", FileScope::default()).is_empty());
+    }
+
+    #[test]
+    fn spawns_fire_unless_allowed() {
+        let src = "std::thread::spawn(|| {}); scope.spawn(work); \
+                   thread::Builder::new().name(n).spawn(f)";
+        assert_eq!(
+            rules(src, FileScope::default()).iter().filter(|r| *r == "thread-spawn").count(),
+            3
+        );
+        let allowed = FileScope { spawn_allowed: true, ..FileScope::default() };
+        assert!(rules(src, allowed).is_empty());
+    }
+
+    #[test]
+    fn float_eq_shapes() {
+        assert_eq!(rules("if x == 1.0 {}", FileScope::default()), vec!["float-eq"]);
+        assert_eq!(rules("if 0.5 != y {}", FileScope::default()), vec!["float-eq"]);
+        assert_eq!(rules("if x == f64::INFINITY {}", FileScope::default()), vec!["float-eq"]);
+        assert_eq!(rules("if f64::NAN == x {}", FileScope::default()), vec!["float-eq"]);
+        // Integer comparisons and float arithmetic don't fire.
+        assert!(rules("if n == 0 { x + 1.0; }", FileScope::default()).is_empty());
+        assert!(rules("let eq = (a - b).abs() < 1e-9;", FileScope::default()).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_and_expect() {
+        assert_eq!(
+            rules("v.sort_by(|a, b| a.partial_cmp(b).unwrap());", FileScope::default()),
+            vec!["partial-cmp-unwrap"]
+        );
+        assert_eq!(
+            rules("x.partial_cmp(&y).expect(\"finite\")", FileScope::default()),
+            vec!["partial-cmp-unwrap"]
+        );
+        // Handled partial_cmp is allowed.
+        assert!(rules(
+            "a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)",
+            FileScope::default()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_rules_only_in_scope() {
+        let src = "x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); unreachable!();";
+        assert!(rules(src, FileScope::default()).is_empty());
+        let scoped = FileScope { panic_free: true, ..FileScope::default() };
+        assert_eq!(rules(src, scoped).len(), 4);
+        // unwrap_or / expect_err are different idents and don't fire.
+        assert!(rules("x.unwrap_or(0); e.expect_err(\"m\");", scoped).is_empty());
+        // std::panic::set_hook is the panic *module*, not the macro.
+        assert!(rules("std::panic::set_hook(Box::new(|_| {}));", scoped).is_empty());
+    }
+
+    #[test]
+    fn indexing_heuristics() {
+        let scoped = FileScope { panic_free: true, ..FileScope::default() };
+        assert_eq!(rules("let x = items[i];", scoped), vec!["panic-index"]);
+        assert_eq!(rules("f(a)[0]", scoped), vec!["panic-index"]);
+        // Array literals, slice patterns, attributes and vec! do not fire.
+        assert!(rules("let a = [0u8; 4];", scoped).is_empty());
+        assert!(rules("#[derive(Debug)] struct S;", scoped).is_empty());
+        assert!(rules("let v = vec![1, 2];", scoped).is_empty());
+        assert!(rules("if let [a, b] = pair {}", scoped).is_empty());
+        assert!(rules("fn f(x: &mut [u8]) {}", scoped).is_empty());
+    }
+
+    #[test]
+    fn every_finding_names_a_registered_rule() {
+        let scoped = FileScope { panic_free: true, ..FileScope::default() };
+        let src = "use std::collections::HashMap; Instant::now(); thread_rng(); \
+                   scope.spawn(f); x == 1.0; a.partial_cmp(b).unwrap(); y.unwrap(); z[0];";
+        for f in check(&lex(src).tokens, scoped) {
+            assert!(rule_info(f.rule).is_some(), "unregistered rule {}", f.rule);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The inline suppression syntax:
+//!
+//! ```text
+//! // ceer-lint: allow(rule-name) -- why this site is exempt
+//! // ceer-lint: allow(rule-a, rule-b) -- one reason covering both
+//! ```
+//!
+//! A *trailing* suppression exempts its own line; a *standalone* one
+//! exempts the next line. Every allow must carry a `-- reason`, and every
+//! allow must actually hit a diagnostic — a suppression that fires on
+//! nothing becomes an `unused-suppression` diagnostic itself, so stale
+//! allows cannot rot in the tree. Neither meta rule can be suppressed.
+
+use std::cell::Cell;
+
+use crate::lexer::LineComment;
+
+/// Rule name for the stale-allow meta diagnostic.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
+/// Rule name for the reasonless-allow meta diagnostic.
+pub const MISSING_REASON: &str = "missing-reason";
+
+/// One parsed `ceer-lint: allow(...)` comment.
+#[derive(Debug)]
+pub struct Suppression {
+    /// The rule names inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// The text after `--`, if any.
+    pub reason: Option<String>,
+    /// The source line the suppression *exempts* (its own line when
+    /// trailing, the following line otherwise).
+    pub applies_to_line: usize,
+    /// Where the comment itself sits (for meta diagnostics).
+    pub line: usize,
+    /// Column of the comment's `//`.
+    pub col: usize,
+    /// Set when the suppression matched at least one diagnostic.
+    pub used: Cell<bool>,
+}
+
+/// A malformed `ceer-lint:` comment — reported instead of ignored, so a
+/// typo'd suppression fails CI rather than silently not suppressing.
+#[derive(Debug)]
+pub struct Malformed {
+    /// What was wrong.
+    pub message: String,
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// 1-based column of the comment.
+    pub col: usize,
+}
+
+/// Everything suppression-related found in one file.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    /// Well-formed suppressions.
+    pub entries: Vec<Suppression>,
+    /// Malformed `ceer-lint:` comments.
+    pub malformed: Vec<Malformed>,
+}
+
+impl Suppressions {
+    /// Parses every `ceer-lint:` marker out of a file's line comments.
+    pub fn parse(comments: &[LineComment]) -> Self {
+        let mut out = Suppressions::default();
+        for comment in comments {
+            let trimmed = comment.text.trim_start();
+            let Some(directive) = trimmed.strip_prefix("ceer-lint:") else {
+                continue;
+            };
+            match parse_directive(directive) {
+                Ok((rules, reason)) => out.entries.push(Suppression {
+                    rules,
+                    reason,
+                    applies_to_line: if comment.trailing { comment.line } else { comment.line + 1 },
+                    line: comment.line,
+                    col: comment.col,
+                    used: Cell::new(false),
+                }),
+                Err(message) => {
+                    out.malformed.push(Malformed { message, line: comment.line, col: comment.col });
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `rule` is suppressed on `line`; marks the matching entry
+    /// used. Meta rules are never suppressible.
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        if rule == UNUSED_SUPPRESSION || rule == MISSING_REASON {
+            return false;
+        }
+        for entry in &self.entries {
+            if entry.applies_to_line == line && entry.rules.iter().any(|r| r == rule) {
+                entry.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Parses the text after `ceer-lint:`; returns `(rules, reason)`.
+fn parse_directive(directive: &str) -> Result<(Vec<String>, Option<String>), String> {
+    let directive = directive.trim();
+    let Some(rest) = directive.strip_prefix("allow") else {
+        return Err(format!(
+            "unknown ceer-lint directive {directive:?}; expected `allow(rule) -- reason`"
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("`allow` must be followed by a parenthesized rule list".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(` rule list".to_string());
+    };
+    let rules: Vec<String> =
+        rest[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return Err("`allow()` names no rules".to_string());
+    }
+    for rule in &rules {
+        if !rule.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-') {
+            return Err(format!("{rule:?} is not a kebab-case rule name"));
+        }
+    }
+    let tail = rest[close + 1..].trim();
+    let reason = match tail.strip_prefix("--") {
+        Some(reason) if !reason.trim().is_empty() => Some(reason.trim().to_string()),
+        Some(_) => None, // `--` with nothing after it: still reasonless
+        None if tail.is_empty() => None,
+        None => {
+            return Err(format!("unexpected text {tail:?} after allow(); reasons start with `--`"))
+        }
+    };
+    Ok((rules, reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(source: &str) -> Suppressions {
+        Suppressions::parse(&lex(source).comments)
+    }
+
+    #[test]
+    fn trailing_covers_own_line_standalone_covers_next() {
+        let s = parsed(
+            "let a = 1; // ceer-lint: allow(float-eq) -- test tolerance\n\
+             // ceer-lint: allow(hash-iteration) -- lookup only\n\
+             let b = 2;",
+        );
+        assert_eq!(s.entries.len(), 2);
+        assert_eq!(s.entries[0].applies_to_line, 1);
+        assert_eq!(s.entries[1].applies_to_line, 3);
+        assert!(s.covers("float-eq", 1));
+        assert!(s.covers("hash-iteration", 3));
+        assert!(!s.covers("float-eq", 2));
+        assert!(s.entries.iter().all(|e| e.used.get()));
+    }
+
+    #[test]
+    fn multi_rule_allow_and_reasons() {
+        let s = parsed("// ceer-lint: allow(float-eq, panic-unwrap) -- both fine here\nx();");
+        assert_eq!(s.entries[0].rules, vec!["float-eq", "panic-unwrap"]);
+        assert_eq!(s.entries[0].reason.as_deref(), Some("both fine here"));
+        assert!(s.covers("panic-unwrap", 2));
+    }
+
+    #[test]
+    fn missing_reason_is_detected_not_fatal() {
+        let s = parsed("// ceer-lint: allow(float-eq)\nx();");
+        assert_eq!(s.entries.len(), 1);
+        assert!(s.entries[0].reason.is_none());
+        let s = parsed("// ceer-lint: allow(float-eq) --   \nx();");
+        assert!(s.entries[0].reason.is_none());
+    }
+
+    #[test]
+    fn malformed_directives_are_reported() {
+        assert_eq!(parsed("// ceer-lint: alow(float-eq)").malformed.len(), 1);
+        assert_eq!(parsed("// ceer-lint: allow float-eq").malformed.len(), 1);
+        assert_eq!(parsed("// ceer-lint: allow(").malformed.len(), 1);
+        assert_eq!(parsed("// ceer-lint: allow()").malformed.len(), 1);
+        assert_eq!(parsed("// ceer-lint: allow(Float_EQ)").malformed.len(), 1);
+        assert_eq!(parsed("// ceer-lint: allow(float-eq) because reasons").malformed.len(), 1);
+    }
+
+    #[test]
+    fn meta_rules_are_never_suppressible() {
+        let s = parsed(&format!("// ceer-lint: allow({UNUSED_SUPPRESSION}) -- nope\nx();"));
+        assert!(!s.covers(UNUSED_SUPPRESSION, 2));
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let s = parsed("// just a comment mentioning allow(float-eq)\nlet x = 1;");
+        assert!(s.entries.is_empty() && s.malformed.is_empty());
+    }
+}

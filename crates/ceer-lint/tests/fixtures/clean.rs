@@ -1,0 +1,43 @@
+//! The compliant mirror of `violations.rs`: the same jobs done inside the
+//! workspace invariants. The pass must stay completely silent here, even
+//! with the fixture directory marked panic-free.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+fn deterministic(seed: u64) {
+    let counts: BTreeMap<String, u32> = BTreeMap::new();
+    let seen: BTreeSet<u64> = BTreeSet::new();
+    let rng = DeterministicRng::from_seed(seed);
+    ceer_par::par_map(&[1, 2, 3], |x| x * 2);
+}
+
+fn numerically_safe(a: f64, b: f64, xs: &mut [f64]) {
+    if (a - 0.5).abs() < 1e-12 {
+        return;
+    }
+    let degenerate = b.is_nan();
+    xs.sort_by(f64::total_cmp);
+    let order = a.total_cmp(&b);
+}
+
+fn panic_free(xs: &[u64], maybe: Option<u64>) -> Result<u64, String> {
+    let first = xs.first().copied().ok_or("empty input")?;
+    let forced = maybe.unwrap_or(first);
+    match maybe {
+        Some(value) => Ok(value),
+        None => Err("missing value".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from the panic-hygiene rules: unwraps and direct
+    // indexing in #[cfg(test)] regions are stripped before rule evaluation.
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(xs[0], 1);
+        assert_eq!(Some(5u64).unwrap(), 5);
+    }
+}

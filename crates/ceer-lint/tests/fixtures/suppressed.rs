@@ -1,0 +1,29 @@
+//! Suppression behavior: reasons are honoured, stale or reasonless allows
+//! are themselves diagnostics, and malformed directives never silence
+//! anything.
+
+// A correctly used suppression with a reason: silent.
+// ceer-lint: allow(hash-iteration) -- keyed O(1) lookup only; order never observed
+use std::collections::HashMap;
+
+fn trailing_form() {
+    let t = std::time::Instant::now(); // ceer-lint: allow(ambient-time) -- progress line on stderr only
+}
+
+// A suppression covering a line with no such finding: unused-suppression.
+// ceer-lint: allow(float-eq) -- stale; nothing on the next line compares floats
+fn stale_allow() {}
+
+// A reasonless suppression: it still silences its rule, but missing-reason
+// fires in its place.
+fn reasonless(a: f64) -> bool {
+    // ceer-lint: allow(float-eq)
+    a == 0.25
+}
+
+// Unknown rule names and mangled syntax are malformed-directive.
+// ceer-lint: allow(no-such-rule) -- the registry has no rule by this name
+fn unknown_rule() {}
+
+// ceer-lint: allow missing parentheses entirely
+fn mangled() {}

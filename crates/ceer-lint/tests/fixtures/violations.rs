@@ -1,0 +1,36 @@
+//! Seeded violations: every rule in the registry fires at least once here.
+//!
+//! This file is lint fodder, not compiled code — the golden test feeds it
+//! through `lint_source` with the fixture directory marked panic-free and
+//! compares the rendered diagnostics against `violations.golden`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+fn nondeterministic() {
+    let counts: HashMap<String, u32> = HashMap::new();
+    let seen: HashSet<u64> = HashSet::new();
+    let started = Instant::now();
+    let wall = SystemTime::now();
+    let noise: f64 = rand::random();
+    std::thread::spawn(|| {});
+    let pool = std::thread::Builder::new().name("w".into()).spawn(work);
+}
+
+fn numerically_unsafe(a: f64, b: f64, xs: &mut [f64]) {
+    if a == 0.5 {
+        return;
+    }
+    let degenerate = b != f64::NAN;
+    xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+    let order = a.partial_cmp(&b).expect("finite");
+}
+
+fn panicky(xs: &[u64], maybe: Option<u64>) -> u64 {
+    let first = xs[0];
+    let forced = maybe.unwrap();
+    let described = maybe.expect("present");
+    panic!("unreachable by construction");
+}

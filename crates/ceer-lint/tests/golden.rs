@@ -1,0 +1,101 @@
+//! Golden-file tests for the lint pass itself.
+//!
+//! Each fixture under `tests/fixtures/` runs through [`lint_source`] with
+//! the fixture directory marked panic-free (and no spawn exemption), and
+//! the rendered rustc-style output is compared byte-for-byte against the
+//! checked-in `.golden` snapshot. To bless intentional changes:
+//!
+//! ```text
+//! CEER_UPDATE_GOLDEN=1 cargo test -p ceer-lint --test golden
+//! ```
+//!
+//! The goldens are the proof obligations of the pass: `violations.golden`
+//! shows every rule firing, `clean.golden` shows the pass staying silent on
+//! compliant code, and `suppressed.golden` shows the suppression meta-rules
+//! (unused allows and missing reasons are diagnostics; real allows are
+//! honoured and counted).
+
+use std::fs;
+use std::path::PathBuf;
+
+use ceer_lint::{lint_file, render_json, render_text, Config, LintReport};
+
+fn fixture_config() -> Config {
+    Config { panic_free_paths: vec!["fixtures/".to_string()], spawn_allowed_paths: vec![] }
+}
+
+fn lint_fixture(name: &str) -> LintReport {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let source = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
+    let (diagnostics, suppressions_used) =
+        lint_file(&format!("fixtures/{name}"), &source, &fixture_config());
+    LintReport { diagnostics, files_scanned: 1, suppressions_used }
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    if std::env::var("CEER_UPDATE_GOLDEN").is_ok() {
+        fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if the change is intended, \
+         rerun with CEER_UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn violations_fixture_fires_every_rule() {
+    let report = lint_fixture("violations.rs");
+    let fired: std::collections::BTreeSet<&str> =
+        report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    for rule in [
+        "hash-iteration",
+        "ambient-time",
+        "ambient-rng",
+        "thread-spawn",
+        "float-eq",
+        "partial-cmp-unwrap",
+        "panic-unwrap",
+        "panic-index",
+    ] {
+        assert!(fired.contains(rule), "rule {rule} did not fire on the violations fixture");
+    }
+    assert_matches_golden("violations.golden", &render_text(&report));
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let report = lint_fixture("clean.rs");
+    assert!(
+        report.is_clean(),
+        "the clean fixture must produce zero diagnostics, got:\n{}",
+        render_text(&report)
+    );
+    assert_matches_golden("clean.golden", &render_text(&report));
+}
+
+#[test]
+fn suppressed_fixture_polices_directives() {
+    let report = lint_fixture("suppressed.rs");
+    let fired: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    assert!(fired.contains(&"unused-suppression"), "stale allow must be reported");
+    assert!(fired.contains(&"missing-reason"), "reasonless allow must be reported");
+    assert!(fired.contains(&"malformed-directive"), "mangled directive must be reported");
+    // The honoured allows (HashMap import, Instant::now, float-eq body) are
+    // counted, and the rules they cover stay silent.
+    assert!(report.suppressions_used >= 3, "expected >=3 honoured suppressions");
+    assert!(!fired.contains(&"hash-iteration"));
+    assert!(!fired.contains(&"ambient-time"));
+    assert_matches_golden("suppressed.golden", &render_text(&report));
+}
+
+#[test]
+fn json_rendering_of_violations_is_stable() {
+    let report = lint_fixture("violations.rs");
+    assert_matches_golden("violations.json.golden", &render_json(&report));
+}

@@ -1,0 +1,29 @@
+//! The lint pass eating its own dogfood: run `ceer lint` semantics over
+//! the actual workspace and require a clean report. This is the same
+//! invariant `scripts/ci.sh` enforces via `ceer lint --json` against an
+//! empty baseline, but it runs on every `cargo test`, so a violation
+//! fails fast locally instead of at the CI gate.
+
+use std::path::PathBuf;
+
+use ceer_lint::{lint_workspace, render_text, Config};
+
+#[test]
+fn workspace_has_zero_unsuppressed_diagnostics() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = lint_workspace(&root, &Config::ceer()).expect("workspace lint runs");
+    assert!(
+        report.files_scanned > 50,
+        "self-check scanned only {} files; the workspace walk looks broken",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean; fix the findings or add a \
+         `ceer-lint: allow(rule) -- reason` with justification:\n{}",
+        render_text(&report)
+    );
+}

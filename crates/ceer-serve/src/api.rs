@@ -408,9 +408,7 @@ pub fn recommend(
             // No feasible candidate: still report the evaluated field so the
             // caller sees how far over budget everything is.
             let mut ranking = model.evaluate_candidates(&cnn, &catalog, &workload);
-            ranking.sort_by(|a, b| {
-                a.score(&objective).partial_cmp(&b.score(&objective)).expect("scores are never NaN")
-            });
+            ceer_stats::total::sort_by_f64_key(&mut ranking, |c| c.score(&objective));
             (None, ranking)
         }
     };

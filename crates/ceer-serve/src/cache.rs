@@ -6,10 +6,13 @@
 //! bodies describing the same request share an entry. The whole cache is
 //! cleared on model reload.
 
+// ceer-lint: allow(hash-iteration) -- keyed O(1) lookup only; iteration order is never observed
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use crate::sync::recover;
 
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +43,7 @@ pub struct PredictionCache {
 /// rescans on touch are fine at service cache sizes (hundreds of entries).
 #[derive(Default)]
 struct Lru {
+    // ceer-lint: allow(hash-iteration) -- keyed O(1) lookup only; recency lives in `order`
     map: HashMap<String, String>,
     order: VecDeque<String>,
 }
@@ -58,7 +62,7 @@ impl PredictionCache {
 
     /// Looks up a response, marking the entry most-recently used.
     pub fn get(&self, key: &str) -> Option<String> {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = recover(self.inner.lock());
         match inner.map.get(key).cloned() {
             Some(value) => {
                 inner.order.retain(|k| k != key);
@@ -78,7 +82,7 @@ impl PredictionCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = recover(self.inner.lock());
         if inner.map.insert(key.clone(), value).is_none() {
             inner.order.push_back(key);
         } else {
@@ -86,22 +90,21 @@ impl PredictionCache {
             inner.order.push_back(key);
         }
         while inner.map.len() > self.capacity {
-            if let Some(evicted) = inner.order.pop_front() {
-                inner.map.remove(&evicted);
-            }
+            let Some(evicted) = inner.order.pop_front() else { break };
+            inner.map.remove(&evicted);
         }
     }
 
     /// Drops every entry (hit/miss counters are preserved).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = recover(self.inner.lock());
         inner.map.clear();
         inner.order.clear();
     }
 
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
-        let entries = self.inner.lock().expect("cache lock poisoned").map.len() as u64;
+        let entries = recover(self.inner.lock()).map.len() as u64;
         let hits = self.hits.load(Ordering::Relaxed);
         let misses = self.misses.load(Ordering::Relaxed);
         let lookups = hits + misses;

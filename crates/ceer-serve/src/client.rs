@@ -86,7 +86,7 @@ impl Client {
     ///
     /// Errors on transport failure.
     pub fn zoo(&self) -> Result<Vec<ZooEntry>, String> {
-        parse_body(self.get("/zoo")?)
+        parse_body(&self.get("/zoo")?)
     }
 
     /// `GET /catalog`.
@@ -95,7 +95,7 @@ impl Client {
     ///
     /// Errors on transport failure.
     pub fn catalog(&self) -> Result<Vec<CatalogEntry>, String> {
-        parse_body(self.get("/catalog")?)
+        parse_body(&self.get("/catalog")?)
     }
 
     /// `GET /metrics`.
@@ -104,7 +104,7 @@ impl Client {
     ///
     /// Errors on transport failure.
     pub fn metrics(&self) -> Result<MetricsSnapshot, String> {
-        parse_body(self.get("/metrics")?)
+        parse_body(&self.get("/metrics")?)
     }
 
     /// `POST /reload`; returns the server's total successful reload count.
@@ -162,13 +162,13 @@ impl Client {
     {
         let body = serde_json::to_string(request).map_err(|e| format!("bad request: {e}"))?;
         let response = self.request("POST", path, body.as_bytes())?;
-        parse_body(response)
+        parse_body(&response)
     }
 }
 
-fn parse_body<Resp: Deserialize>(response: RawResponse) -> Result<Resp, String> {
+fn parse_body<Resp: Deserialize>(response: &RawResponse) -> Result<Resp, String> {
     if response.status != 200 {
-        return Err(server_error(&response));
+        return Err(server_error(response));
     }
     serde_json::from_str(&response.body)
         .map_err(|e| format!("unparseable response body: {e}\nbody: {}", response.body))

@@ -46,6 +46,7 @@ pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+mod sync;
 
 pub use cache::{CacheStats, PredictionCache};
 pub use client::Client;

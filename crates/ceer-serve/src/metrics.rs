@@ -9,6 +9,7 @@ use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
+use crate::sync::recover;
 
 /// Latency samples kept per endpoint (a sliding window: old samples fall
 /// off so the summary tracks recent behavior).
@@ -69,7 +70,7 @@ pub struct Metrics {
 impl Metrics {
     /// Records one handled request.
     pub fn record(&self, route: &str, latency_us: f64, is_error: bool) {
-        let mut endpoints = self.endpoints.lock().expect("metrics lock poisoned");
+        let mut endpoints = recover(self.endpoints.lock());
         let stats = endpoints.entry(route.to_string()).or_default();
         stats.requests += 1;
         if is_error {
@@ -83,7 +84,7 @@ impl Metrics {
 
     /// A consistent snapshot for `GET /metrics`.
     pub fn snapshot(&self, cache: CacheStats, model_reloads: u64) -> MetricsSnapshot {
-        let endpoints = self.endpoints.lock().expect("metrics lock poisoned");
+        let endpoints = recover(self.endpoints.lock());
         let endpoints = endpoints
             .iter()
             .map(|(route, stats)| {
@@ -107,13 +108,13 @@ fn summarize(window: &VecDeque<f64>) -> Option<LatencySummary> {
     }
     let samples: Vec<f64> = window.iter().copied().collect();
     let mean_us = ceer_stats::summary::mean(&samples).ok()?;
-    let quantile = |q| ceer_stats::summary::quantile(&samples, q).expect("non-empty");
+    let quantile = |q| ceer_stats::summary::quantile(&samples, q).ok();
     Some(LatencySummary {
         count: samples.len() as u64,
         mean_us,
-        p50_us: quantile(0.5),
-        p90_us: quantile(0.9),
-        p99_us: quantile(0.99),
+        p50_us: quantile(0.5)?,
+        p90_us: quantile(0.9)?,
+        p99_us: quantile(0.99)?,
         max_us: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
     })
 }

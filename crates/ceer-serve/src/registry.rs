@@ -8,6 +8,8 @@ use std::sync::{Arc, RwLock};
 
 use ceer_core::CeerModel;
 
+use crate::sync::recover;
+
 /// Holds the served model behind a read/write lock.
 ///
 /// Handlers take an [`Arc`] snapshot ([`ModelRegistry::model`]) and keep
@@ -48,7 +50,8 @@ impl ModelRegistry {
 
     /// A snapshot of the current model.
     pub fn model(&self) -> Arc<CeerModel> {
-        Arc::clone(&self.model.read().expect("registry lock poisoned"))
+        let guard = recover(self.model.read());
+        Arc::clone(&guard)
     }
 
     /// Re-reads the backing file and atomically swaps the served model.
@@ -63,7 +66,7 @@ impl ModelRegistry {
             .as_ref()
             .ok_or_else(|| "registry has no backing file to reload from".to_string())?;
         let fresh = read_model(path)?;
-        *self.model.write().expect("registry lock poisoned") = Arc::new(fresh);
+        *recover(self.model.write()) = Arc::new(fresh);
         Ok(self.reloads.fetch_add(1, Ordering::Relaxed) + 1)
     }
 

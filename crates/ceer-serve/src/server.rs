@@ -76,6 +76,7 @@ impl Server {
                 let state = Arc::clone(&state);
                 std::thread::Builder::new()
                     .name(format!("ceer-serve-worker-{i}"))
+                    // ceer-lint: allow(thread-spawn) -- fixed pool created once at server start; per-request parallelism still goes through ceer-par
                     .spawn(move || worker_loop(&rx, &state))
                     .map_err(|e| format!("cannot spawn worker: {e}"))
             })
@@ -85,6 +86,7 @@ impl Server {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("ceer-serve-acceptor".to_string())
+                // ceer-lint: allow(thread-spawn) -- the accept loop must block in accept(); it does no result-producing work
                 .spawn(move || {
                     // `tx` is moved in and dropped on return, which closes the
                     // channel and lets the workers drain and exit.
@@ -154,14 +156,14 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
         Ok(Some(request)) => request,
         Ok(None) => return, // clean close before a request
         Err(error) => {
-            let body = serde_json::to_string_pretty(&ErrorResponse { error }).expect("serializes");
-            let response = Response::json(400, body);
+            let response = error_response(400, error);
             state.metrics.record("(malformed)", 0.0, true);
             let _ = response.write_to(&mut BufWriter::new(stream));
             return;
         }
     };
 
+    // ceer-lint: allow(ambient-time) -- latency measurement feeds /metrics only, never a prediction
     let started = Instant::now();
     let response = route(&request, state);
     let latency_us = started.elapsed().as_secs_f64() * 1e6;
@@ -230,16 +232,24 @@ where
         Ok(request) => request,
         Err(e) => return error_response(400, format!("invalid request body: {e}")),
     };
-    let key = format!("{endpoint} {}", serde_json::to_string(&request).expect("serializes"));
-    if let Some(body) = state.cache.get(&key) {
-        return Response::json(200, body);
+    // A request that cannot re-serialize has no canonical key; answer it
+    // uncached rather than fail it.
+    let key = serde_json::to_string(&request).ok().map(|c| format!("{endpoint} {c}"));
+    if let Some(key) = &key {
+        if let Some(body) = state.cache.get(key) {
+            return Response::json(200, body);
+        }
     }
     match evaluate(&state.registry.model(), &request) {
-        Ok(response) => {
-            let body = serde_json::to_string_pretty(&response).expect("serializes");
-            state.cache.insert(key, body.clone());
-            Response::json(200, body)
-        }
+        Ok(response) => match serde_json::to_string_pretty(&response) {
+            Ok(body) => {
+                if let Some(key) = key {
+                    state.cache.insert(key, body.clone());
+                }
+                Response::json(200, body)
+            }
+            Err(e) => error_response(500, format!("response serialization failed: {e}")),
+        },
         Err(error) => error_response(400, error),
     }
 }
@@ -254,23 +264,30 @@ fn predict_batch(state: &AppState, body: &[u8]) -> Response {
         Ok(request) => request,
         Err(e) => return error_response(400, format!("invalid request body: {e}")),
     };
-    let keys: Vec<String> = request
+    // Items that cannot re-serialize get no canonical key and skip the
+    // cache on both read and write.
+    let keys: Vec<Option<String>> = request
         .requests
         .iter()
-        .map(|item| format!("/predict {}", serde_json::to_string(item).expect("serializes")))
+        .map(|item| serde_json::to_string(item).ok().map(|c| format!("/predict {c}")))
         .collect();
     // One serial cache pass up front, so concurrent duplicate items inside
     // the batch don't race the pool for lock order.
-    let hits: Vec<Option<String>> = keys.iter().map(|key| state.cache.get(key)).collect();
+    let hits: Vec<Option<String>> =
+        keys.iter().map(|key| key.as_deref().and_then(|k| state.cache.get(k))).collect();
 
-    let misses: Vec<usize> =
-        hits.iter().enumerate().filter(|(_, hit)| hit.is_none()).map(|(i, _)| i).collect();
+    let misses: Vec<(usize, &api::PredictRequest)> = hits
+        .iter()
+        .zip(&request.requests)
+        .enumerate()
+        .filter(|(_, (hit, _))| hit.is_none())
+        .map(|(i, (_, item))| (i, item))
+        .collect();
     let model = state.registry.model();
-    let computed =
-        ceer_par::par_map(&misses, |&i| match api::predict(&model, &request.requests[i]) {
-            Ok(response) => api::PredictBatchItem { response: Some(response), error: None },
-            Err(error) => api::PredictBatchItem { response: None, error: Some(error) },
-        });
+    let computed = ceer_par::par_map(&misses, |&(_, item)| match api::predict(&model, item) {
+        Ok(response) => api::PredictBatchItem { response: Some(response), error: None },
+        Err(error) => api::PredictBatchItem { response: None, error: Some(error) },
+    });
 
     let mut computed = computed.into_iter();
     let mut responses = Vec::with_capacity(request.requests.len());
@@ -285,16 +302,22 @@ fn predict_batch(state: &AppState, body: &[u8]) -> Response {
                     error: Some(format!("corrupt cache entry: {e}")),
                 },
             },
-            None => {
-                let item = computed.next().expect("one computed item per miss");
-                if let Some(response) = &item.response {
-                    state.cache.insert(
-                        keys[i].clone(),
-                        serde_json::to_string_pretty(response).expect("serializes"),
-                    );
+            None => match computed.next() {
+                Some(item) => {
+                    if let (Some(response), Some(Some(key))) = (&item.response, keys.get(i)) {
+                        if let Ok(body) = serde_json::to_string_pretty(response) {
+                            state.cache.insert(key.clone(), body);
+                        }
+                    }
+                    item
                 }
-                item
-            }
+                // Unreachable by construction (one computed item per miss),
+                // but a handler answers rather than panics.
+                None => api::PredictBatchItem {
+                    response: None,
+                    error: Some("internal error: fewer computed items than misses".to_string()),
+                },
+            },
         };
         responses.push(item);
     }
@@ -302,12 +325,17 @@ fn predict_batch(state: &AppState, body: &[u8]) -> Response {
 }
 
 fn ok(body: &impl serde::Serialize) -> Response {
-    Response::json(200, serde_json::to_string_pretty(body).expect("serializes"))
+    match serde_json::to_string_pretty(body) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => error_response(500, format!("response serialization failed: {e}")),
+    }
 }
 
 fn error_response(status: u16, error: String) -> Response {
-    Response::json(
-        status,
-        serde_json::to_string_pretty(&ErrorResponse { error }).expect("serializes"),
-    )
+    // `ErrorResponse` is one string field, so serialization cannot really
+    // fail — but an error path must never panic, so fall back to a
+    // hand-built body instead of unwrapping.
+    let body = serde_json::to_string_pretty(&ErrorResponse { error })
+        .unwrap_or_else(|_| "{\n  \"error\": \"error serialization failed\"\n}".to_string());
+    Response::json(status, body)
 }

@@ -1,0 +1,15 @@
+//! Lock-poisoning recovery for the service's shared state.
+
+use std::sync::PoisonError;
+
+/// Recovers the guarded state from a poisoned lock instead of panicking.
+///
+/// A lock poisons when a holder panics. Every critical section in this
+/// crate keeps its state usable across a mid-section unwind (counters may
+/// undercount one request, the cache's recency order may go approximate),
+/// so the service keeps answering requests rather than cascading the panic
+/// into every thread that touches the lock — the same policy `ceer-par`
+/// uses for its queue.
+pub(crate) fn recover<T>(result: Result<T, PoisonError<T>>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}

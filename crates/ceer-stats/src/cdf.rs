@@ -39,7 +39,7 @@ impl EmpiricalCdf {
             return Err(StatsError::NonFiniteInput);
         }
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        crate::total::sort_total(&mut sorted);
         Ok(EmpiricalCdf { sorted })
     }
 

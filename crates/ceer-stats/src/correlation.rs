@@ -42,6 +42,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
         syy += (y - mean_y) * (y - mean_y);
         sxy += (x - mean_x) * (y - mean_y);
     }
+    // ceer-lint: allow(float-eq) -- exact zero-variance guard before division, not a tolerance
     if sxx == 0.0 || syy == 0.0 {
         return Err(StatsError::SingularDesign);
     }
@@ -51,7 +52,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, StatsError> {
 /// Average ranks, with ties sharing the mean of their positions.
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite"));
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
     while i < order.len() {

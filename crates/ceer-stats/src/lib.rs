@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod regression;
 pub mod rng;
 pub mod summary;
+pub mod total;
 
 pub use error::StatsError;
 pub use summary::Summary;

@@ -29,6 +29,7 @@ pub fn relative_error(observed: f64, predicted: f64) -> Result<f64, StatsError> 
     if !observed.is_finite() || !predicted.is_finite() {
         return Err(StatsError::NonFiniteInput);
     }
+    // ceer-lint: allow(float-eq) -- exact-zero guard before division, not a tolerance comparison
     if observed == 0.0 {
         return Err(StatsError::InvalidParameter("relative error undefined for observed = 0"));
     }

@@ -160,9 +160,7 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>
     for col in 0..n {
         // Partial pivot: bring the largest-magnitude entry to the diagonal.
         let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite by construction")
-            })
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
             .expect("non-empty range");
         if a[pivot_row][col].abs() < 1e-12 {
             return Err(StatsError::SingularDesign);
@@ -171,6 +169,7 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>
         b.swap(col, pivot_row);
         for row in (col + 1)..n {
             let factor = a[row][col] / a[col][col];
+            // ceer-lint: allow(float-eq) -- exact-zero row skip; any nonzero factor must eliminate
             if factor == 0.0 {
                 continue;
             }

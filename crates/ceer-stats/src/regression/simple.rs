@@ -66,6 +66,7 @@ impl SimpleOls {
             sxx += (x - mean_x) * (x - mean_x);
             sxy += (x - mean_x) * (y - mean_y);
         }
+        // ceer-lint: allow(float-eq) -- exact zero-variance guard before division, not a tolerance
         if sxx == 0.0 {
             return Err(StatsError::SingularDesign);
         }

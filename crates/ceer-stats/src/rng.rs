@@ -87,6 +87,7 @@ impl DeterministicRng {
     /// Panics if `cv` is negative.
     pub fn noise_factor(&mut self, cv: f64) -> f64 {
         assert!(cv >= 0.0, "coefficient of variation must be non-negative");
+        // ceer-lint: allow(float-eq) -- exact cv=0 means "no noise"; a tolerance would skew tiny cvs
         if cv == 0.0 {
             return 1.0;
         }

@@ -69,6 +69,7 @@ pub fn std_dev(sample: &[f64]) -> Result<f64, StatsError> {
 /// Same conditions as [`mean`], plus an error when the mean is zero.
 pub fn normalized_std_dev(sample: &[f64]) -> Result<f64, StatsError> {
     let m = mean(sample)?;
+    // ceer-lint: allow(float-eq) -- exact-zero guard before division, not a tolerance comparison
     if m == 0.0 {
         return Err(StatsError::InvalidParameter("mean is zero; CV undefined"));
     }
@@ -103,7 +104,7 @@ pub fn quantile(sample: &[f64], q: f64) -> Result<f64, StatsError> {
         return Err(StatsError::InvalidParameter("quantile must be in [0, 1]"));
     }
     let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    crate::total::sort_total(&mut sorted);
     let h = q * (sorted.len() - 1) as f64;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
@@ -192,6 +193,7 @@ impl Summary {
     /// Normalized standard deviation (`std_dev / |mean|`), or `None` when the
     /// mean is zero.
     pub fn normalized_std_dev(&self) -> Option<f64> {
+        // ceer-lint: allow(float-eq) -- exact-zero guard before division, not a tolerance comparison
         if self.mean == 0.0 {
             None
         } else {

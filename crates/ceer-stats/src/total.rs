@@ -1,0 +1,144 @@
+//! Total-order comparison helpers for `f64`.
+//!
+//! `f64` is only partially ordered: `partial_cmp` returns `None` as soon as
+//! a NaN reaches the comparison, so the common
+//! `sort_by(|a, b| a.partial_cmp(b).unwrap())` idiom turns a single bad
+//! sample into a panic (or, with `sort_by` and a comparator that silently
+//! reports `Equal`, into an inconsistent order and a nondeterministic
+//! result). These helpers use [`f64::total_cmp`] — IEEE 754 `totalOrder`,
+//! which agrees with the partial order on all finite values and sorts NaN
+//! after `+inf` — so sorts stay deterministic and panic-free no matter what
+//! reaches them.
+//!
+//! The workspace lint (`ceer lint`) flags every `partial_cmp(..).unwrap()`
+//! site and points here.
+
+use std::cmp::Ordering;
+
+/// Total-order comparison of two floats (IEEE 754 `totalOrder`).
+///
+/// Identical to the partial order for all finite values; additionally
+/// `-NaN < -inf` and `+NaN > +inf`, so NaNs order deterministically
+/// instead of poisoning the comparison.
+#[must_use]
+pub fn total_cmp(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// Sorts a slice of floats ascending in the total order.
+pub fn sort_total(values: &mut [f64]) {
+    values.sort_by(f64::total_cmp);
+}
+
+/// Sorts a slice ascending by an `f64` key, NaN-safe and deterministic.
+///
+/// ```
+/// let mut rows = vec![("b", 2.0), ("a", 1.0), ("n", f64::NAN)];
+/// ceer_stats::total::sort_by_f64_key(&mut rows, |r| r.1);
+/// assert_eq!(rows[0].0, "a");
+/// assert_eq!(rows[2].0, "n"); // NaN sorts last, not panics
+/// ```
+pub fn sort_by_f64_key<T, F: FnMut(&T) -> f64>(items: &mut [T], mut key: F) {
+    items.sort_by(|a, b| key(a).total_cmp(&key(b)));
+}
+
+/// Sorts a slice descending by an `f64` key, NaN-safe and deterministic.
+///
+/// NaN keys sort first (they exceed `+inf` in the total order).
+pub fn sort_by_f64_key_desc<T, F: FnMut(&T) -> f64>(items: &mut [T], mut key: F) {
+    items.sort_by(|a, b| key(b).total_cmp(&key(a)));
+}
+
+/// Returns the element with the smallest `f64` key, or `None` when empty.
+///
+/// Deterministic replacement for
+/// `iter.min_by(|a, b| key(a).partial_cmp(&key(b)).unwrap())`: ties keep
+/// the first occurrence, and NaN keys lose to every finite key.
+pub fn min_by_f64_key<T, I, F>(items: I, mut key: F) -> Option<T>
+where
+    I: IntoIterator<Item = T>,
+    F: FnMut(&T) -> f64,
+{
+    let mut best: Option<(T, f64)> = None;
+    for item in items {
+        let k = key(&item);
+        match &best {
+            Some((_, b)) if k.total_cmp(b) != Ordering::Less => {}
+            _ => best = Some((item, k)),
+        }
+    }
+    best.map(|(item, _)| item)
+}
+
+/// Returns the element with the largest `f64` key, or `None` when empty.
+///
+/// Ties keep the first occurrence; finite keys beat NaN keys only when the
+/// NaN is negative (total order) — callers that may see NaN keys should
+/// filter them first if "largest finite" is meant.
+pub fn max_by_f64_key<T, I, F>(items: I, mut key: F) -> Option<T>
+where
+    I: IntoIterator<Item = T>,
+    F: FnMut(&T) -> f64,
+{
+    let mut best: Option<(T, f64)> = None;
+    for item in items {
+        let k = key(&item);
+        match &best {
+            Some((_, b)) if k.total_cmp(b) != Ordering::Greater => {}
+            _ => best = Some((item, k)),
+        }
+    }
+    best.map(|(item, _)| item)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_matches_partial_for_finite() {
+        let values = [-3.5, -0.0, 0.0, 1.0, 2.5, f64::MAX, f64::MIN];
+        for &a in &values {
+            for &b in &values {
+                if a == 0.0 && b == 0.0 {
+                    continue; // total order distinguishes -0.0 from 0.0
+                }
+                assert_eq!(Some(total_cmp(a, b)), a.partial_cmp(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn sort_total_handles_nan() {
+        let mut v = [f64::NAN, 1.0, -1.0, f64::INFINITY];
+        sort_total(&mut v);
+        assert_eq!(v[0], -1.0);
+        assert_eq!(v[1], 1.0);
+        assert_eq!(v[2], f64::INFINITY);
+        assert!(v[3].is_nan());
+    }
+
+    #[test]
+    fn key_sorts_are_stable_on_ties() {
+        let mut rows = vec![("first", 1.0), ("second", 1.0), ("zero", 0.0)];
+        sort_by_f64_key(&mut rows, |r| r.1);
+        assert_eq!(rows.iter().map(|r| r.0).collect::<Vec<_>>(), ["zero", "first", "second"]);
+        sort_by_f64_key_desc(&mut rows, |r| r.1);
+        assert_eq!(rows.iter().map(|r| r.0).collect::<Vec<_>>(), ["first", "second", "zero"]);
+    }
+
+    #[test]
+    fn min_max_by_key() {
+        let rows = [("a", 2.0), ("b", 1.0), ("c", 1.0), ("d", 3.0)];
+        assert_eq!(min_by_f64_key(rows.iter(), |r| r.1).map(|r| r.0), Some("b"));
+        assert_eq!(max_by_f64_key(rows.iter(), |r| r.1).map(|r| r.0), Some("d"));
+        let empty: [(&str, f64); 0] = [];
+        assert!(min_by_f64_key(empty.iter(), |r| r.1).is_none());
+    }
+
+    #[test]
+    fn min_by_key_ignores_nan_when_finite_exists() {
+        let rows = [("nan", f64::NAN), ("one", 1.0)];
+        assert_eq!(min_by_f64_key(rows.iter(), |r| r.1).map(|r| r.0), Some("one"));
+    }
+}

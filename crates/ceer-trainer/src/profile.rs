@@ -35,6 +35,7 @@ impl OpStat {
     /// Normalized standard deviation (CV) of this op's compute time — the
     /// quantity Figure 5 of the paper plots.
     pub fn normalized_std_dev(&self) -> f64 {
+        // ceer-lint: allow(float-eq) -- exact-zero guard before division, not a tolerance comparison
         if self.mean_us == 0.0 {
             0.0
         } else {

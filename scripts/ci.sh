@@ -18,7 +18,21 @@ echo "=== cargo clippy (deny warnings) ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "=== cargo build --release ==="
-cargo build --release
+# --workspace: the root manifest is a package, so a bare build would skip
+# the other crates (including the `ceer` binary the lint gate runs).
+cargo build --release --workspace
+
+echo "=== ceer lint (empty baseline) ==="
+# The workspace static-analysis pass must report nothing: `--json` prints
+# `[]` exactly when there are zero unsuppressed diagnostics. Any finding
+# either gets fixed or gets an inline `ceer-lint: allow(rule) -- reason`.
+lint_out="$(./target/release/ceer lint --json || true)"
+if [ "$lint_out" != "[]" ]; then
+    echo "ceer lint found unsuppressed diagnostics:"
+    ./target/release/ceer lint || true
+    exit 1
+fi
+echo "ceer lint clean"
 
 echo "=== cargo test (CEER_THREADS=1) ==="
 CEER_THREADS=1 cargo test -q --workspace

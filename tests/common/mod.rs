@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 /// A randomly shaped stage of a CNN.
 #[derive(Debug, Clone)]
-pub enum Stage {
+pub(crate) enum Stage {
     Conv { channels: u64, kernel: u64, stride: u64, bias: bool, bn: bool },
     MaxPool { window: u64, stride: u64 },
     AvgPool { window: u64, stride: u64 },
@@ -18,7 +18,7 @@ pub enum Stage {
     Dropout,
 }
 
-pub fn stage_strategy() -> impl Strategy<Value = Stage> {
+pub(crate) fn stage_strategy() -> impl Strategy<Value = Stage> {
     prop_oneof![
         (
             prop_oneof![Just(8u64), Just(16), Just(32), Just(48)],
@@ -44,7 +44,7 @@ pub fn stage_strategy() -> impl Strategy<Value = Stage> {
 }
 
 /// Builds a forward graph from random stages; returns (graph, loss).
-pub fn build_cnn(batch: u64, stages: &[Stage]) -> (Graph, NodeId) {
+pub(crate) fn build_cnn(batch: u64, stages: &[Stage]) -> (Graph, NodeId) {
     let mut b = GraphBuilder::new("prop-cnn");
     let (mut t, labels) = b.input(batch, 32, 32, 3);
     for stage in stages {

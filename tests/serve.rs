@@ -208,8 +208,7 @@ fn predict_batch_matches_individual_predicts_and_shares_the_cache() {
     let a = predict_request("vgg-11");
     let b = predict_request("inception-v1");
     let invalid = predict_request("mobilenet");
-    let batch =
-        PredictBatchRequest { requests: vec![a.clone(), b.clone(), a.clone(), invalid.clone()] };
+    let batch = PredictBatchRequest { requests: vec![a.clone(), b.clone(), a.clone(), invalid] };
 
     // Every valid item answers exactly like a single /predict call; the
     // invalid one errors inside its slot without failing the batch.
