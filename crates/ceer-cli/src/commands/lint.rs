@@ -7,8 +7,8 @@ use ceer_lint::{find_workspace_root, lint_workspace, render_json, render_text, C
 use crate::args::Args;
 
 const HELP: &str = "\
-ceer lint — statically enforce the determinism, numeric-safety and
-panic-hygiene invariants across the workspace
+ceer lint — statically enforce the determinism, numeric-safety,
+panic-hygiene and resource-safety invariants across the workspace
 
 Walks every first-party src/ tree (the root crate and crates/*) and
 reports rule violations with file:line:col positions. Suppress a

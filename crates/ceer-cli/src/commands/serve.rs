@@ -18,8 +18,24 @@ OPTIONS:
                         CPU count)
     --cache-capacity N  LRU prediction-cache entries (default 256; 0 disables)
 
+ROBUSTNESS:
+    --read-timeout-ms N     per-read socket timeout (default 5000; 0 disables)
+    --write-timeout-ms N    per-write socket timeout (default 5000; 0 disables)
+    --request-timeout-ms N  total deadline for reading one request
+                            (default 10000; 0 disables)
+    --max-body-bytes N      largest accepted request body; bigger answers 413
+                            (default 1048576)
+    --max-pending N         pending-connection queue depth; beyond it the
+                            server sheds with 429 + Retry-After (default 128)
+
+FAULT INJECTION (chaos testing):
+    CEER_FAULT_PLAN     seeded fault plan, e.g.
+                        \"serve.http.read=err@0.01;serve.dispatch=delay:5@0.1\"
+    CEER_FAULT_SEED     seed for probabilistic triggers (default 0); the
+                        same plan + seed replays the same fault schedule
+
 ENDPOINTS:
-    GET  /healthz, /zoo, /catalog, /metrics
+    GET  /healthz, /readyz, /zoo, /catalog, /metrics
     POST /predict, /predict_batch, /recommend, /reload
 
 `POST /predict` and `POST /recommend` take the same parameters as the
@@ -38,14 +54,36 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
     let port = args.opt_parse("--port", 8100u16)?;
     let workers = args.opt_parse("--workers", 4usize)?;
     let cache_capacity = args.opt_parse("--cache-capacity", 256usize)?;
+    let defaults = ServerConfig::default();
+    let read_timeout_ms = args.opt_parse("--read-timeout-ms", defaults.read_timeout_ms)?;
+    let write_timeout_ms = args.opt_parse("--write-timeout-ms", defaults.write_timeout_ms)?;
+    let request_timeout_ms = args.opt_parse("--request-timeout-ms", defaults.request_timeout_ms)?;
+    let max_body_bytes = args.opt_parse("--max-body-bytes", defaults.max_body_bytes)?;
+    let max_pending = args.opt_parse("--max-pending", defaults.max_pending)?;
     crate::commands::apply_threads(args)?;
     args.finish()?;
     if workers == 0 {
         return Err("--workers must be positive".into());
     }
+    // A typo'd fault plan must refuse to start, not silently inject nothing.
+    let faults = ceer_faults::FaultPlan::from_env()?;
+    if let Some(plan) = &faults {
+        eprintln!("ceer-serve: fault injection active (seed {}): {plan}", plan.seed);
+    }
 
     let registry = ModelRegistry::load(&model_path)?;
-    let config = ServerConfig { host, port, workers, cache_capacity };
+    let config = ServerConfig {
+        host,
+        port,
+        workers,
+        cache_capacity,
+        read_timeout_ms,
+        write_timeout_ms,
+        request_timeout_ms,
+        max_body_bytes,
+        max_pending,
+        faults,
+    };
     let server = Server::start(&config, registry)?;
     println!(
         "ceer-serve listening on http://{} ({} workers, cache capacity {}, model {model_path:?})",
@@ -54,7 +92,7 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
         config.cache_capacity
     );
     println!(
-        "endpoints: GET /healthz /zoo /catalog /metrics — POST /predict /predict_batch \
+        "endpoints: GET /healthz /readyz /zoo /catalog /metrics — POST /predict /predict_batch \
          /recommend /reload"
     );
     server.wait();

@@ -44,8 +44,13 @@ fn cli_stdout(args: &[&str]) -> String {
 }
 
 fn serve_body(path: &str, request_json: &str) -> String {
-    let config =
-        ServerConfig { host: "127.0.0.1".to_string(), port: 0, workers: 2, cache_capacity: 16 };
+    let config = ServerConfig {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        workers: 2,
+        cache_capacity: 16,
+        ..ServerConfig::default()
+    };
     let server = Server::start(&config, ModelRegistry::load(model_file()).unwrap()).unwrap();
     let raw = Client::new(server.addr()).request("POST", path, request_json.as_bytes()).unwrap();
     server.shutdown();

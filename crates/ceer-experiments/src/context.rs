@@ -71,11 +71,25 @@ impl ExperimentContext {
     /// Fits Ceer on the paper's training set, reusing a cached model when
     /// one exists for this configuration (the cache lives under `target/`).
     pub fn fitted_model(&self) -> CeerModel {
+        self.fitted_model_with_faults(&ceer_faults::none())
+    }
+
+    /// [`fitted_model`](Self::fitted_model) under fault injection. The
+    /// model cache is an *optional* optimization, so injected faults
+    /// degrade rather than fail: an error at `experiments.cache.read`
+    /// skips the cache and re-fits; one at `experiments.cache.write`
+    /// skips persisting. Either way the returned model is identical to a
+    /// cache-free fit.
+    pub fn fitted_model_with_faults(&self, faults: &ceer_faults::Faults) -> CeerModel {
         let path = self.cache_path();
-        if let Ok(bytes) = fs::read(&path) {
-            if let Ok(model) = serde_json::from_slice::<CeerModel>(&bytes) {
-                eprintln!("[ceer] reusing cached model: {}", path.display());
-                return model;
+        let cache_readable =
+            faults.as_ref().is_none_or(|f| f.fail_io("experiments.cache.read").is_ok());
+        if cache_readable {
+            if let Ok(bytes) = fs::read(&path) {
+                if let Ok(model) = serde_json::from_slice::<CeerModel>(&bytes) {
+                    eprintln!("[ceer] reusing cached model: {}", path.display());
+                    return model;
+                }
             }
         }
         eprintln!(
@@ -88,11 +102,15 @@ impl ExperimentContext {
         let started = std::time::Instant::now();
         let model = Ceer::fit(&self.fit_config);
         eprintln!("[ceer] fit done in {:.1?}", started.elapsed());
-        if let Some(dir) = path.parent() {
-            let _ = fs::create_dir_all(dir);
-        }
-        if let Ok(json) = serde_json::to_vec(&model) {
-            let _ = fs::write(&path, json);
+        let cache_writable =
+            faults.as_ref().is_none_or(|f| f.fail_io("experiments.cache.write").is_ok());
+        if cache_writable {
+            if let Some(dir) = path.parent() {
+                let _ = fs::create_dir_all(dir);
+            }
+            if let Ok(json) = serde_json::to_vec(&model) {
+                let _ = fs::write(&path, json);
+            }
         }
         model
     }
@@ -125,5 +143,33 @@ mod tests {
         let ctx = ExperimentContext::from_env();
         let path = ctx.cache_path();
         assert!(path.to_string_lossy().contains("model-iters"));
+    }
+
+    #[test]
+    fn cache_faults_degrade_to_refitting() {
+        use ceer_graph::models::CnnId;
+
+        let config = FitConfig {
+            cnns: vec![CnnId::Vgg11],
+            iterations: 2,
+            parallel_degrees: vec![1],
+            seed: 91,
+            ..FitConfig::default()
+        };
+        let ctx = ExperimentContext::with_config(config.clone(), 4);
+        // Both cache sites fail: the fit must proceed as if uncached and
+        // produce the exact same model.
+        let faults = ceer_faults::injector(
+            ceer_faults::FaultPlan::parse(
+                0,
+                "experiments.cache.read=err@1;experiments.cache.write=err@1",
+            )
+            .unwrap(),
+        );
+        let model = ctx.fitted_model_with_faults(&faults);
+        assert_eq!(model, Ceer::fit(&config));
+        let injector = faults.as_ref().unwrap();
+        assert_eq!(injector.injected("experiments.cache.read"), 1);
+        assert_eq!(injector.injected("experiments.cache.write"), 1);
     }
 }

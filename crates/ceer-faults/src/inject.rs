@@ -1,0 +1,370 @@
+//! The runtime injector: evaluates a [`FaultPlan`] at named sites.
+//!
+//! Two decision modes share one pure schedule function:
+//!
+//! * **counter mode** ([`FaultInjector::check`]) — each evaluation at a
+//!   site takes the next call index (1-based). The decision for call `n`
+//!   is a pure function of `(seed, site, n)`, so replaying the same call
+//!   pattern under the same seed replays the same faults byte for byte,
+//!   however the calls interleave across threads.
+//! * **keyed mode** ([`FaultInjector::check_keyed`]) — the caller supplies
+//!   the index (e.g. `(replica, iteration)` folded into a `u64`). Used by
+//!   the deterministic pipelines (trainer), where the decision must not
+//!   depend on scheduling order at all.
+//!
+//! Every injected fault is recorded in a log ([`FaultInjector::events`])
+//! so tests can assert the exact schedule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ceer_stats::rng::DeterministicRng;
+
+use crate::plan::{FaultKind, FaultPlan, SiteRule, Trigger};
+
+/// One injected fault, as recorded in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Site name.
+    pub site: String,
+    /// 1-based call index (counter mode) or caller-supplied key + 1
+    /// (keyed mode).
+    pub call: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+#[derive(Debug)]
+struct SiteState {
+    calls: AtomicU64,
+    injected: AtomicU64,
+}
+
+/// A shared, thread-safe fault injector. Cheap to consult: sites absent
+/// from the plan return in two map probes with no locking.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    states: std::collections::BTreeMap<String, SiteState>,
+    log: Mutex<Vec<FaultEvent>>,
+}
+
+/// The way fault handles travel through the stack: absent means "no
+/// chaos" and costs one `Option` check per site.
+pub type Faults = Option<std::sync::Arc<FaultInjector>>;
+
+/// A `Faults` handle that injects nothing.
+pub fn none() -> Faults {
+    None
+}
+
+/// Wraps a plan into a shareable handle (`None` for an empty plan, so the
+/// hot paths skip even the site lookup).
+pub fn injector(plan: FaultPlan) -> Faults {
+    if plan.is_empty() {
+        None
+    } else {
+        Some(std::sync::Arc::new(FaultInjector::new(plan)))
+    }
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let states = plan
+            .sites
+            .keys()
+            .map(|site| {
+                (site.clone(), SiteState { calls: AtomicU64::new(0), injected: AtomicU64::new(0) })
+            })
+            .collect();
+        FaultInjector { plan, states, log: Mutex::new(Vec::new()) }
+    }
+
+    /// The plan this injector evaluates.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counter-mode check: takes the site's next call index and returns
+    /// the fault to inject, if any.
+    pub fn check(&self, site: &str) -> Option<FaultKind> {
+        let state = self.states.get(site)?;
+        let call = state.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        self.evaluate(site, state, call)
+    }
+
+    /// Keyed-mode check: the decision depends only on `(seed, site, key)`,
+    /// never on call order. `key` is 0-based; it maps to call `key + 1`.
+    pub fn check_keyed(&self, site: &str, key: u64) -> Option<FaultKind> {
+        let state = self.states.get(site)?;
+        self.evaluate(site, state, key.saturating_add(1))
+    }
+
+    fn evaluate(&self, site: &str, state: &SiteState, call: u64) -> Option<FaultKind> {
+        let rule = self.plan.sites.get(site)?;
+        if !fires(&self.plan, site, rule, call) {
+            return None;
+        }
+        if rule.max > 0 {
+            // CAS loop so `injected` counts exactly the faults that fired,
+            // never the scheduled-but-capped ones.
+            let mut current = state.injected.load(Ordering::Relaxed);
+            loop {
+                if current >= rule.max {
+                    return None;
+                }
+                match state.injected.compare_exchange(
+                    current,
+                    current + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(observed) => current = observed,
+                }
+            }
+        } else {
+            state.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        let kind = rule.kind.clone();
+        if let Ok(mut log) = self.log.lock() {
+            log.push(FaultEvent { site: site.to_string(), call, kind: kind.clone() });
+        }
+        Some(kind)
+    }
+
+    /// The pure fault schedule for a site over its first `calls`
+    /// evaluations, ignoring the injection cap: entry `(n, kind)` means
+    /// call `n` would fire. This is what determinism tests compare.
+    pub fn schedule(&self, site: &str, calls: u64) -> Vec<(u64, FaultKind)> {
+        let Some(rule) = self.plan.sites.get(site) else {
+            return Vec::new();
+        };
+        (1..=calls)
+            .filter(|&n| fires(&self.plan, site, rule, n))
+            .map(|n| (n, rule.kind.clone()))
+            .collect()
+    }
+
+    /// Every fault injected so far, sorted by `(site, call)` so the digest
+    /// is independent of thread interleaving.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut events = self.log.lock().map(|log| log.clone()).unwrap_or_default();
+        events.sort_by(|a, b| (a.site.as_str(), a.call).cmp(&(b.site.as_str(), b.call)));
+        events
+    }
+
+    /// A stable one-line-per-event rendering of [`FaultInjector::events`],
+    /// for byte-identical replay assertions.
+    pub fn digest(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&format!("{}#{}:{}\n", e.site, e.call, e.kind));
+        }
+        out
+    }
+
+    /// How many faults the site has injected.
+    pub fn injected(&self, site: &str) -> u64 {
+        self.states.get(site).map_or(0, |s| s.injected.load(Ordering::Relaxed))
+    }
+
+    /// Convenience for plain I/O sites: `Err` on an injected
+    /// [`FaultKind::Error`], sleeps on [`FaultKind::Delay`], panics on
+    /// [`FaultKind::Poison`], ignores the short-I/O kinds (those only make
+    /// sense inside the stream wrappers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan injects `poison` at this site — that is the
+    /// point: the unwind poisons whatever lock the caller holds.
+    pub fn fail_io(&self, site: &str) -> std::io::Result<()> {
+        match self.check(site) {
+            Some(FaultKind::Error) => Err(injected_error(site)),
+            Some(FaultKind::Delay(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(())
+            }
+            Some(FaultKind::Poison) => poison_panic(site),
+            _ => Ok(()),
+        }
+    }
+
+    /// [`FaultInjector::fail_io`] with a `String` error, for the
+    /// `Result<_, String>` layers (registry reload, CLI).
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected error message.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan injects `poison` at this site.
+    pub fn fail_str(&self, site: &str) -> Result<(), String> {
+        self.fail_io(site).map_err(|e| e.to_string())
+    }
+
+    /// Panics iff the plan injects `poison` here; sleeps on `delay`;
+    /// every other kind is ignored. Call inside a critical section to
+    /// poison its lock on purpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan injects `poison` at this site.
+    pub fn maybe_panic(&self, site: &str) {
+        match self.check(site) {
+            Some(FaultKind::Poison) => poison_panic(site),
+            Some(FaultKind::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+    }
+}
+
+/// Pure decision: does call `n` (1-based) at `site` fire under `rule`?
+fn fires(plan: &FaultPlan, site: &str, rule: &SiteRule, call: u64) -> bool {
+    match &rule.trigger {
+        Trigger::Nth(ns) => ns.contains(&call),
+        Trigger::Probability(p) => {
+            if *p <= 0.0 {
+                return false;
+            }
+            if *p >= 1.0 {
+                return true;
+            }
+            // One ChaCha stream per (seed, site); the call index selects
+            // the substream so the draw is pure in (seed, site, call) and
+            // needs no sequential state.
+            let mut rng = DeterministicRng::from_seed(plan.seed ^ fnv1a(site)).substream(call);
+            rng.uniform() < *p
+        }
+    }
+}
+
+/// The injected error every faulted I/O site returns.
+pub fn injected_error(site: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault at {site}"))
+}
+
+fn poison_panic(site: &str) -> ! {
+    panic!("injected poison at {site}")
+}
+
+/// FNV-1a over the site name: stable across runs and platforms.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(spec: &str) -> FaultPlan {
+        FaultPlan::parse(42, spec).unwrap()
+    }
+
+    #[test]
+    fn unknown_sites_never_fire() {
+        let inj = FaultInjector::new(plan("a=err@1"));
+        assert_eq!(inj.check("b"), None);
+        assert!(inj.events().is_empty());
+    }
+
+    #[test]
+    fn nth_triggers_fire_exactly_there() {
+        let inj = FaultInjector::new(plan("s=err@#2,4"));
+        let fired: Vec<bool> = (0..5).map(|_| inj.check("s").is_some()).collect();
+        assert_eq!(fired, vec![false, true, false, true, false]);
+        assert_eq!(inj.injected("s"), 2);
+    }
+
+    #[test]
+    fn caps_bound_injection_counts() {
+        let inj = FaultInjector::new(plan("s=err@1x3"));
+        let fired = (0..10).filter(|_| inj.check("s").is_some()).count();
+        assert_eq!(fired, 3);
+        assert_eq!(inj.injected("s"), 3);
+    }
+
+    #[test]
+    fn probability_schedules_replay_identically() {
+        let a = FaultInjector::new(plan("s=err@0.3"));
+        let b = FaultInjector::new(plan("s=err@0.3"));
+        let fa: Vec<bool> = (0..200).map(|_| a.check("s").is_some()).collect();
+        let fb: Vec<bool> = (0..200).map(|_| b.check("s").is_some()).collect();
+        assert_eq!(fa, fb);
+        assert_eq!(a.digest(), b.digest());
+        let fired = fa.iter().filter(|&&f| f).count();
+        assert!(fired > 20 && fired < 120, "p=0.3 fired {fired}/200");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultInjector::new(FaultPlan::parse(1, "s=err@0.5").unwrap());
+        let b = FaultInjector::new(FaultPlan::parse(2, "s=err@0.5").unwrap());
+        assert_ne!(a.schedule("s", 64), b.schedule("s", 64));
+    }
+
+    #[test]
+    fn keyed_checks_are_order_independent() {
+        let a = FaultInjector::new(plan("s=err@0.5"));
+        let b = FaultInjector::new(plan("s=err@0.5"));
+        let keys: Vec<u64> = (0..50).collect();
+        let forward: Vec<bool> = keys.iter().map(|&k| a.check_keyed("s", k).is_some()).collect();
+        let backward: Vec<bool> =
+            keys.iter().rev().map(|&k| b.check_keyed("s", k).is_some()).collect();
+        let backward_reversed: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward_reversed);
+    }
+
+    #[test]
+    fn schedule_matches_counter_checks() {
+        let inj = FaultInjector::new(plan("s=err@0.4"));
+        let fired: Vec<u64> = (1..=100u64).filter(|_| inj.check("s").is_some()).collect();
+        let scheduled: Vec<u64> = inj.schedule("s", 100).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(fired, scheduled);
+    }
+
+    #[test]
+    fn fail_io_maps_kinds() {
+        let inj = FaultInjector::new(plan("e=err@1;d=delay:1@1"));
+        assert!(inj.fail_io("e").is_err());
+        assert!(inj.fail_io("d").is_ok()); // sleeps 1ms, then succeeds
+        assert!(inj.fail_io("absent").is_ok());
+    }
+
+    #[test]
+    fn poison_panics_with_the_site_name() {
+        let inj = FaultInjector::new(plan("p=poison@#1"));
+        let err = std::panic::catch_unwind(|| inj.maybe_panic("p")).unwrap_err();
+        let message = err.downcast_ref::<String>().unwrap();
+        assert!(message.contains("injected poison at p"));
+        // The cap list was #1 only: the second call is quiet.
+        inj.maybe_panic("p");
+    }
+
+    #[test]
+    fn empty_plans_collapse_to_none() {
+        assert!(injector(FaultPlan::default()).is_none());
+        assert!(injector(plan("s=err@1")).is_some());
+    }
+
+    #[test]
+    fn digest_is_sorted_and_stable() {
+        let inj = FaultInjector::new(plan("b=err@#1;a=delay:5@#2"));
+        inj.check("b");
+        inj.check("a");
+        inj.check("a");
+        assert_eq!(inj.digest(), "a#2:delay:5\nb#1:err\n");
+    }
+}

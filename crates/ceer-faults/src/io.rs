@@ -1,0 +1,180 @@
+//! Faulty stream wrappers: `Read`/`Write` adapters that consult the
+//! injector on every call.
+//!
+//! Wrap the raw stream *before* any buffering so short reads and writes
+//! exercise the caller's partial-progress handling, exactly like a
+//! congested or dying socket would:
+//!
+//! ```
+//! use ceer_faults::{injector, FaultPlan, FaultyRead};
+//! use std::io::Read;
+//!
+//! let faults = injector(FaultPlan::parse(7, "test.read=short-read:2@1").unwrap());
+//! let mut reader = FaultyRead::new(&b"abcdef"[..], faults, "test.read");
+//! let mut buf = [0u8; 6];
+//! let n = reader.read(&mut buf).unwrap();
+//! assert_eq!(n, 2, "short-read caps each read at 2 bytes");
+//! ```
+
+use std::io::{Read, Write};
+
+use crate::inject::Faults;
+use crate::plan::FaultKind;
+
+/// A reader that injects errors, delays, and short reads at a named site.
+#[derive(Debug)]
+pub struct FaultyRead<R> {
+    inner: R,
+    faults: Faults,
+    site: &'static str,
+}
+
+impl<R: Read> FaultyRead<R> {
+    /// Wraps `inner`; every `read` consults `site` in the plan.
+    pub fn new(inner: R, faults: Faults, site: &'static str) -> Self {
+        FaultyRead { inner, faults, site }
+    }
+
+    /// The wrapped reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for FaultyRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.faults.as_ref().and_then(|f| f.check(self.site)) {
+            Some(FaultKind::Error) => Err(crate::inject::injected_error(self.site)),
+            Some(FaultKind::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                self.inner.read(buf)
+            }
+            Some(FaultKind::ShortRead(cap)) => {
+                let cap = cap.min(buf.len()).max(1);
+                self.inner.read(&mut buf[..cap])
+            }
+            Some(FaultKind::Poison) => panic!("injected poison at {}", self.site),
+            Some(FaultKind::ShortWrite(_)) | None => self.inner.read(buf),
+        }
+    }
+}
+
+/// A writer that injects errors, delays, and short writes at a named site.
+#[derive(Debug)]
+pub struct FaultyWrite<W> {
+    inner: W,
+    faults: Faults,
+    site: &'static str,
+}
+
+impl<W: Write> FaultyWrite<W> {
+    /// Wraps `inner`; every `write` consults `site` in the plan.
+    pub fn new(inner: W, faults: Faults, site: &'static str) -> Self {
+        FaultyWrite { inner, faults, site }
+    }
+
+    /// The wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self.faults.as_ref().and_then(|f| f.check(self.site)) {
+            Some(FaultKind::Error) => Err(crate::inject::injected_error(self.site)),
+            Some(FaultKind::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                self.inner.write(buf)
+            }
+            Some(FaultKind::ShortWrite(cap)) => {
+                let cap = cap.min(buf.len()).max(1);
+                self.inner.write(&buf[..cap])
+            }
+            Some(FaultKind::Poison) => panic!("injected poison at {}", self.site),
+            Some(FaultKind::ShortRead(_)) | None => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::injector;
+    use crate::plan::FaultPlan;
+
+    fn faults(spec: &str) -> Faults {
+        injector(FaultPlan::parse(11, spec).unwrap())
+    }
+
+    #[test]
+    fn error_faults_fail_the_read() {
+        let mut r = FaultyRead::new(&b"data"[..], faults("r=err@#1"), "r");
+        let mut buf = [0u8; 4];
+        assert!(r.read(&mut buf).is_err());
+        // Second read is past the fault and succeeds.
+        assert_eq!(r.read(&mut buf).unwrap(), 4);
+    }
+
+    #[test]
+    fn short_reads_still_make_progress() {
+        let mut r = FaultyRead::new(&b"abcdef"[..], faults("r=short-read:2@1"), "r");
+        let mut out = Vec::new();
+        let mut buf = [0u8; 16];
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            assert!(n <= 2, "reads are capped at 2 bytes");
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(out, b"abcdef", "all bytes arrive despite the short reads");
+    }
+
+    #[test]
+    fn short_writes_still_make_progress() {
+        let mut sink = Vec::new();
+        {
+            let mut w = FaultyWrite::new(&mut sink, faults("w=short-write:1@1"), "w");
+            let mut written = 0;
+            while written < 5 {
+                written += w.write(&b"hello"[written..]).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        assert_eq!(sink, b"hello");
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let mut r = FaultyRead::new(&b"xyz"[..], None, "r");
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 8];
+        loop {
+            let n = r.read(&mut chunk).unwrap();
+            if n == 0 {
+                break;
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        assert_eq!(buf, b"xyz");
+
+        let mut sink = Vec::new();
+        let mut w = FaultyWrite::new(&mut sink, None, "w");
+        w.write_all(b"xyz").unwrap();
+        assert_eq!(sink, b"xyz");
+    }
+
+    #[test]
+    fn write_error_faults_fail_once() {
+        let mut sink = Vec::new();
+        let mut w = FaultyWrite::new(&mut sink, faults("w=err@#1"), "w");
+        assert!(w.write(b"a").is_err());
+        assert_eq!(w.write(b"a").unwrap(), 1);
+    }
+}

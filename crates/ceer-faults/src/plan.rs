@@ -1,0 +1,302 @@
+//! The fault plan: what to inject, where, and how often.
+//!
+//! A plan is a set of *sites* (stable string names like
+//! `serve.http.read`), each carrying one rule: a fault kind plus a
+//! trigger. Plans round-trip through a compact one-line spec so they can
+//! travel in the `CEER_FAULT_PLAN` environment variable:
+//!
+//! ```text
+//! serve.http.read=err@0.25;serve.reload.read=err@#1,3;serve.dispatch=delay:20@1x5
+//! ```
+//!
+//! reads as: fail reads with probability 0.25; fail the 1st and 3rd
+//! reload file reads; delay dispatch by 20 ms on every call, at most 5
+//! times. The grammar per site is
+//!
+//! ```text
+//! <site>=<kind>@<trigger>[x<max>]
+//! kind    := err | delay:<ms> | short-read:<bytes> | short-write:<bytes> | poison
+//! trigger := <probability in [0,1]> | #<n>[,<n>...]   (1-based call numbers)
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// What a firing fault does at its site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Inject an I/O error (`io::ErrorKind::Other`, message names the site).
+    Error,
+    /// Sleep this many milliseconds before the operation (in simulated
+    /// pipelines: add this much virtual time instead of sleeping).
+    Delay(u64),
+    /// Cap one read at this many bytes (progress stays possible).
+    ShortRead(usize),
+    /// Cap one write at this many bytes (progress stays possible).
+    ShortWrite(usize),
+    /// Panic at the site — poisons any lock held across it and exercises
+    /// the unwind-recovery paths.
+    Poison,
+}
+
+impl FaultKind {
+    /// The spec spelling of this kind (`err`, `delay:20`, ...).
+    fn spec(&self) -> String {
+        match self {
+            FaultKind::Error => "err".to_string(),
+            FaultKind::Delay(ms) => format!("delay:{ms}"),
+            FaultKind::ShortRead(n) => format!("short-read:{n}"),
+            FaultKind::ShortWrite(n) => format!("short-write:{n}"),
+            FaultKind::Poison => "poison".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+/// When a site's fault fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trigger {
+    /// Fire each evaluation independently with this probability, decided
+    /// by the seeded ChaCha stream (pure in `(seed, site, call index)`).
+    Probability(f64),
+    /// Fire exactly on these 1-based call numbers.
+    Nth(BTreeSet<u64>),
+}
+
+/// One site's rule: kind, trigger, and an optional injection cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteRule {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// When to inject it.
+    pub trigger: Trigger,
+    /// Most injections allowed at this site (0 = unlimited).
+    pub max: u64,
+}
+
+/// A complete, seedable fault plan.
+///
+/// Equality and the [`fmt::Display`] spec ignore nothing: two plans that
+/// render the same inject the same schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed driving every probabilistic trigger.
+    pub seed: u64,
+    /// Rules keyed by site name (sorted, so rendering is stable).
+    pub sites: BTreeMap<String, SiteRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed (add sites with [`FaultPlan::with`]).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, sites: BTreeMap::new() }
+    }
+
+    /// Adds one site rule (builder style).
+    #[must_use]
+    pub fn with(mut self, site: &str, rule: SiteRule) -> Self {
+        self.sites.insert(site.to_string(), rule);
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Parses the compact spec format (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Errors with a message naming the offending clause.
+    pub fn parse(seed: u64, spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::seeded(seed);
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let (site, rule_spec) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause {clause:?} is missing `=`"))?;
+            let site = site.trim();
+            if site.is_empty() {
+                return Err(format!("fault clause {clause:?} has an empty site name"));
+            }
+            let (kind_spec, trigger_spec) = rule_spec
+                .split_once('@')
+                .ok_or_else(|| format!("fault clause {clause:?} is missing `@<trigger>`"))?;
+            let kind = parse_kind(kind_spec.trim())?;
+            let (trigger_spec, max) = match trigger_spec.rsplit_once('x') {
+                Some((t, m)) if !m.is_empty() && m.chars().all(|c| c.is_ascii_digit()) => {
+                    (t, m.parse::<u64>().map_err(|e| format!("bad max in {clause:?}: {e}"))?)
+                }
+                _ => (trigger_spec, 0),
+            };
+            let trigger = parse_trigger(trigger_spec.trim())?;
+            plan.sites.insert(site.to_string(), SiteRule { kind, trigger, max });
+        }
+        Ok(plan)
+    }
+
+    /// Builds a plan from `CEER_FAULT_PLAN` (spec) and `CEER_FAULT_SEED`
+    /// (u64, default 0). `None` when `CEER_FAULT_PLAN` is unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the spec or the seed does not parse — a typo'd plan must
+    /// fail loudly, not silently run without chaos.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        let spec = match std::env::var("CEER_FAULT_PLAN") {
+            Ok(spec) if !spec.trim().is_empty() => spec,
+            _ => return Ok(None),
+        };
+        let seed = match std::env::var("CEER_FAULT_SEED") {
+            Ok(raw) => raw
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| format!("CEER_FAULT_SEED {raw:?} is not a u64: {e}"))?,
+            Err(_) => 0,
+        };
+        Self::parse(seed, &spec).map(Some)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (site, rule) in &self.sites {
+            if !first {
+                f.write_str(";")?;
+            }
+            first = false;
+            write!(f, "{site}={}@", rule.kind.spec())?;
+            match &rule.trigger {
+                Trigger::Probability(p) => write!(f, "{p}")?,
+                Trigger::Nth(ns) => {
+                    f.write_str("#")?;
+                    for (i, n) in ns.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write!(f, "{n}")?;
+                    }
+                }
+            }
+            if rule.max > 0 {
+                write!(f, "x{}", rule.max)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_kind(spec: &str) -> Result<FaultKind, String> {
+    if spec == "err" {
+        return Ok(FaultKind::Error);
+    }
+    if spec == "poison" {
+        return Ok(FaultKind::Poison);
+    }
+    if let Some(ms) = spec.strip_prefix("delay:") {
+        return ms
+            .parse()
+            .map(FaultKind::Delay)
+            .map_err(|e| format!("bad delay milliseconds {ms:?}: {e}"));
+    }
+    if let Some(n) = spec.strip_prefix("short-read:") {
+        return n
+            .parse()
+            .map(FaultKind::ShortRead)
+            .map_err(|e| format!("bad short-read byte count {n:?}: {e}"));
+    }
+    if let Some(n) = spec.strip_prefix("short-write:") {
+        return n
+            .parse()
+            .map(FaultKind::ShortWrite)
+            .map_err(|e| format!("bad short-write byte count {n:?}: {e}"));
+    }
+    Err(format!(
+        "unknown fault kind {spec:?} (expected err, delay:<ms>, short-read:<n>, \
+         short-write:<n>, or poison)"
+    ))
+}
+
+fn parse_trigger(spec: &str) -> Result<Trigger, String> {
+    if let Some(list) = spec.strip_prefix('#') {
+        let mut ns = BTreeSet::new();
+        for part in list.split(',') {
+            let n: u64 =
+                part.trim().parse().map_err(|e| format!("bad call number {part:?}: {e}"))?;
+            if n == 0 {
+                return Err("call numbers are 1-based; 0 never fires".to_string());
+            }
+            ns.insert(n);
+        }
+        if ns.is_empty() {
+            return Err("empty call-number list after `#`".to_string());
+        }
+        return Ok(Trigger::Nth(ns));
+    }
+    let p: f64 = spec.parse().map_err(|e| format!("bad probability {spec:?}: {e}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("probability {p} outside [0, 1]"));
+    }
+    Ok(Trigger::Probability(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind_and_trigger() {
+        let plan = FaultPlan::parse(
+            7,
+            "a=err@0.25; b=delay:20@1x5; c=short-read:3@#1,4; d=short-write:1@0; e=poison@#2",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.sites.len(), 5);
+        assert_eq!(
+            plan.sites["a"],
+            SiteRule { kind: FaultKind::Error, trigger: Trigger::Probability(0.25), max: 0 }
+        );
+        assert_eq!(plan.sites["b"].kind, FaultKind::Delay(20));
+        assert_eq!(plan.sites["b"].max, 5);
+        assert_eq!(plan.sites["c"].trigger, Trigger::Nth([1, 4].into_iter().collect()));
+        assert_eq!(plan.sites["e"].kind, FaultKind::Poison);
+    }
+
+    #[test]
+    fn spec_round_trips_through_display() {
+        let spec = "a=delay:20@1x5;b=err@0.25;c=short-read:3@#1,4;e=poison@#2";
+        let plan = FaultPlan::parse(3, spec).unwrap();
+        assert_eq!(plan.to_string(), spec);
+        assert_eq!(FaultPlan::parse(3, &plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn rejects_malformed_clauses() {
+        for bad in [
+            "no-equals",
+            "s=err",       // no trigger
+            "s=warp@0.5",  // unknown kind
+            "s=err@1.5",   // probability out of range
+            "s=err@#",     // empty list
+            "s=err@#0",    // 0 never fires
+            "s=delay:x@1", // bad ms
+            "=err@1",      // empty site
+        ] {
+            assert!(FaultPlan::parse(0, bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_an_empty_plan() {
+        let plan = FaultPlan::parse(1, "  ;; ").unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.to_string(), "");
+    }
+}

@@ -5,7 +5,7 @@
 //! results" guarantee are all bit-identical-or-bust. This crate *enforces*
 //! the coding discipline behind that statically, in the same
 //! dependency-free spirit as `ceer-par`: a hand-rolled lexer
-//! ([`lexer`]) feeds syntactic rules ([`rules`]) grouped into three
+//! ([`lexer`]) feeds syntactic rules ([`rules`]) grouped into four
 //! invariant families —
 //!
 //! * **determinism** — no `HashMap`/`HashSet` (iteration order varies per
@@ -16,7 +16,10 @@
 //!   helpers exist instead);
 //! * **panic hygiene** — no `unwrap`/`expect`/`panic!`/direct indexing in
 //!   the configured panic-free paths (request handling in `ceer-serve`,
-//!   the `ceer-core` public API).
+//!   the `ceer-core` public API);
+//! * **resource safety** — no unbounded `read_to_end`/`read_to_string`
+//!   in the serving stack, where the bytes come from a network peer
+//!   (`http::read_to_limit` is the bounded replacement).
 //!
 //! Legitimate exceptions are spelled at the site:
 //!
@@ -56,6 +59,8 @@ pub struct Config {
     pub panic_free_paths: Vec<String>,
     /// Files exempt from `thread-spawn` (the blessed pool implementation).
     pub spawn_allowed_paths: Vec<String>,
+    /// Files where `unbounded-io` applies (code reading from peers).
+    pub bounded_io_paths: Vec<String>,
 }
 
 impl Config {
@@ -67,6 +72,9 @@ impl Config {
     /// `ceer-par` is the one place allowed to create threads — that is
     /// its whole job; `ceer-serve`'s accept/worker loops take inline
     /// suppressions instead so the exemption stays visible in the code.
+    /// `ceer-serve` is also the bounded-io scope: it is the only crate
+    /// whose reads are fed by network peers, so `read_to_end`-style
+    /// unbounded buffering there is a slowloris/memory-pinning hazard.
     pub fn ceer() -> Self {
         Config {
             panic_free_paths: vec![
@@ -76,6 +84,7 @@ impl Config {
                 "crates/ceer-core/src/report.rs".to_string(),
             ],
             spawn_allowed_paths: vec!["crates/ceer-par/src/".to_string()],
+            bounded_io_paths: vec!["crates/ceer-serve/src/".to_string()],
         }
     }
 
@@ -96,6 +105,7 @@ impl Config {
         FileScope {
             panic_free: Self::matches(&self.panic_free_paths, file),
             spawn_allowed: Self::matches(&self.spawn_allowed_paths, file),
+            bounded_io: Self::matches(&self.bounded_io_paths, file),
         }
     }
 }
@@ -525,7 +535,7 @@ mod tests {
     fn panic_scope_is_path_driven() {
         let config = Config {
             panic_free_paths: vec!["crates/ceer-serve/src/".to_string()],
-            spawn_allowed_paths: vec![],
+            ..Config::default()
         };
         let src = "fn f() { x.unwrap(); }";
         assert!(lint_source("crates/ceer-core/src/fit.rs", src, &config).is_empty());
@@ -533,6 +543,19 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "panic-unwrap");
         assert_eq!(diags[0].group, "panic-hygiene");
+    }
+
+    #[test]
+    fn bounded_io_scope_is_path_driven() {
+        let config = Config::ceer();
+        let src = "fn f(s: &mut TcpStream) { s.read_to_string(&mut body); }";
+        // Outside the serving stack (local files, CLI) the rule is silent…
+        assert!(lint_source("crates/ceer-cli/src/main.rs", src, &config).is_empty());
+        // …inside it, unbounded reads are resource-safety diagnostics.
+        let diags = lint_source("crates/ceer-serve/src/http.rs", src, &config);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unbounded-io");
+        assert_eq!(diags[0].group, "resource-safety");
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub enum Group {
     NumericSafety,
     /// No panics reachable from serving or public-API code paths.
     PanicHygiene,
+    /// Bounded use of unbounded-by-default std APIs (network reads).
+    ResourceSafety,
     /// Rules about the suppression syntax itself.
     Meta,
 }
@@ -31,6 +33,7 @@ impl Group {
             Group::Determinism => "determinism",
             Group::NumericSafety => "numeric-safety",
             Group::PanicHygiene => "panic-hygiene",
+            Group::ResourceSafety => "resource-safety",
             Group::Meta => "meta",
         }
     }
@@ -98,6 +101,13 @@ pub const RULES: &[RuleInfo] = &[
                   use .get(..) and handle None",
     },
     RuleInfo {
+        name: "unbounded-io",
+        group: Group::ResourceSafety,
+        summary: "read_to_end/read_to_string buffer until EOF, so a peer that \
+                  never closes (or never stops sending) pins memory; in the \
+                  serving stack use http::read_to_limit or a bounded loop",
+    },
+    RuleInfo {
         name: "unused-suppression",
         group: Group::Meta,
         summary: "a ceer-lint allow(..) that matched no diagnostic; delete it",
@@ -139,6 +149,8 @@ pub struct FileScope {
     pub panic_free: bool,
     /// `thread-spawn` is exempt here (the blessed pool implementation).
     pub spawn_allowed: bool,
+    /// `unbounded-io` applies to this file (code that reads from peers).
+    pub bounded_io: bool,
 }
 
 /// Runs every applicable rule over a test-stripped token stream.
@@ -155,6 +167,9 @@ pub fn check(tokens: &[Token], scope: FileScope) -> Vec<Finding> {
     if scope.panic_free {
         panic_unwrap(tokens, &mut findings);
         panic_index(tokens, &mut findings);
+    }
+    if scope.bounded_io {
+        unbounded_io(tokens, &mut findings);
     }
     findings
 }
@@ -381,6 +396,36 @@ fn panic_index(tokens: &[Token], out: &mut Vec<Finding>) {
     }
 }
 
+/// Method calls that read until EOF into an unbounded buffer. On a socket
+/// this hands the peer control over the allocation (a slowloris that never
+/// closes, or a firehose that never stops). The bounded replacements —
+/// `http::read_to_limit` and explicit chunked loops — cap both bytes and,
+/// with a socket read timeout, time. Matching only the method-call shape
+/// (`.read_to_end(` / `.read_to_string(`) leaves `fs::read_to_string(path)`
+/// on local files alone.
+fn unbounded_io(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Punct
+            && t.text == "."
+            && (ident_at(tokens, i + 1, "read_to_end") || ident_at(tokens, i + 1, "read_to_string"))
+            && punct_at(tokens, i + 2, "(")
+        {
+            let method = &tokens[i + 1];
+            out.push(Finding {
+                rule: "unbounded-io",
+                line: method.line,
+                col: method.col,
+                message: format!(
+                    "`.{}(..)` reads until EOF with no size bound, letting a \
+                     peer pin memory; use http::read_to_limit (or a chunked \
+                     loop with an explicit cap)",
+                    method.text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,10 +538,30 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_io_only_in_scope() {
+        let src = "stream.read_to_end(&mut buf); reader.read_to_string(&mut s);";
+        assert!(rules(src, FileScope::default()).is_empty());
+        let scoped = FileScope { bounded_io: true, ..FileScope::default() };
+        assert_eq!(rules(src, scoped), vec!["unbounded-io", "unbounded-io"]);
+    }
+
+    #[test]
+    fn unbounded_io_ignores_path_calls_and_bounded_reads() {
+        let scoped = FileScope { bounded_io: true, ..FileScope::default() };
+        // `fs::read_to_string(path)` is a local-file convenience, not a
+        // peer-controlled stream: the path-call shape does not fire.
+        assert!(rules("let s = fs::read_to_string(path)?;", scoped).is_empty());
+        // The bounded replacements are silent.
+        assert!(rules("let body = http::read_to_limit(&mut reader, limit)?;", scoped).is_empty());
+        assert!(rules("let n = stream.read(&mut chunk)?;", scoped).is_empty());
+    }
+
+    #[test]
     fn every_finding_names_a_registered_rule() {
-        let scoped = FileScope { panic_free: true, ..FileScope::default() };
+        let scoped = FileScope { panic_free: true, bounded_io: true, ..FileScope::default() };
         let src = "use std::collections::HashMap; Instant::now(); thread_rng(); \
-                   scope.spawn(f); x == 1.0; a.partial_cmp(b).unwrap(); y.unwrap(); z[0];";
+                   scope.spawn(f); x == 1.0; a.partial_cmp(b).unwrap(); y.unwrap(); z[0]; \
+                   s.read_to_end(&mut b);";
         for f in check(&lex(src).tokens, scoped) {
             assert!(rule_info(f.rule).is_some(), "unregistered rule {}", f.rule);
         }

@@ -30,6 +30,11 @@ fn panic_free(xs: &[u64], maybe: Option<u64>) -> Result<u64, String> {
     }
 }
 
+fn bounded(reader: &mut impl std::io::BufRead) -> Result<Vec<u8>, String> {
+    // The compliant read: an explicit cap instead of buffering to EOF.
+    http::read_to_limit(reader, 1 << 20).map_err(|e| e.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     // Test code is exempt from the panic-hygiene rules: unwraps and direct

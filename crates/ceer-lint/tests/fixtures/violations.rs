@@ -34,3 +34,10 @@ fn panicky(xs: &[u64], maybe: Option<u64>) -> u64 {
     let described = maybe.expect("present");
     panic!("unreachable by construction");
 }
+
+fn unbounded(stream: &mut TcpStream) {
+    let mut body = Vec::new();
+    stream.read_to_end(&mut body);
+    let mut text = String::new();
+    stream.read_to_string(&mut text);
+}

@@ -21,7 +21,11 @@ use std::path::PathBuf;
 use ceer_lint::{lint_file, render_json, render_text, Config, LintReport};
 
 fn fixture_config() -> Config {
-    Config { panic_free_paths: vec!["fixtures/".to_string()], spawn_allowed_paths: vec![] }
+    Config {
+        panic_free_paths: vec!["fixtures/".to_string()],
+        spawn_allowed_paths: vec![],
+        bounded_io_paths: vec!["fixtures/".to_string()],
+    }
 }
 
 fn lint_fixture(name: &str) -> LintReport {
@@ -62,6 +66,7 @@ fn violations_fixture_fires_every_rule() {
         "partial-cmp-unwrap",
         "panic-unwrap",
         "panic-index",
+        "unbounded-io",
     ] {
         assert!(fired.contains(rule), "rule {rule} did not fire on the violations fixture");
     }

@@ -1,17 +1,79 @@
 //! A minimal blocking client for the service, used by the integration
 //! tests and `examples/serve_client.rs`. One TCP connection per call
 //! (the server speaks `Connection: close`).
+//!
+//! The client can retry with capped exponential backoff and *seeded*
+//! jitter ([`RetryPolicy`]): transport failures are retried only for
+//! idempotent (`GET`) requests, while `429` sheds are retried for any
+//! method (a shed request was never processed, so replaying it is safe).
+//! Retried attempts carry an `X-Ceer-Attempt` header so the server's
+//! metrics count them.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
+use ceer_stats::rng::DeterministicRng;
 use serde::{Deserialize, Serialize};
 
 use crate::api::{
     CatalogEntry, ErrorResponse, PredictBatchRequest, PredictBatchResponse, PredictRequest,
     PredictResponse, RecommendRequest, RecommendResponse, ZooEntry,
 };
+use crate::http;
 use crate::metrics::MetricsSnapshot;
+
+/// Largest response body the client will buffer (the service's responses
+/// are all far smaller; this only bounds damage from a corrupted length).
+const MAX_RESPONSE_BYTES: usize = 1 << 24;
+
+/// Client-side retry policy: capped exponential backoff with seeded
+/// jitter, so chaos tests replay the exact same retry timing from a seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` starts at `base_delay_ms * 2^(n-1)`…
+    pub base_delay_ms: u64,
+    /// …and is capped here.
+    pub max_delay_ms: u64,
+    /// Seed for the jitter draw (pure in `(seed, attempt)`).
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries at all — the default for [`Client::new`], keeping its
+    /// behavior identical to the pre-retry client.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, base_delay_ms: 0, max_delay_ms: 0, jitter_seed: 0 }
+    }
+
+    /// `attempts` tries with 10ms base / 500ms cap, jittered from `seed`.
+    pub fn retries(attempts: u32, seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base_delay_ms: 10,
+            max_delay_ms: 500,
+            jitter_seed: seed,
+        }
+    }
+
+    /// The jittered backoff before attempt `attempt` (1-based retry
+    /// index): exponential, capped, then scaled into `[cap/2, cap)` by a
+    /// seeded draw so synchronized clients fan out deterministically.
+    fn delay(&self, attempt: u32) -> Duration {
+        let exponent = attempt.saturating_sub(1).min(16);
+        let raw = self.base_delay_ms.saturating_mul(1u64 << exponent);
+        let capped = raw.min(self.max_delay_ms);
+        if capped == 0 {
+            return Duration::ZERO;
+        }
+        let mut rng = DeterministicRng::from_seed(self.jitter_seed).substream(u64::from(attempt));
+        let draw = rng.uniform();
+        let jittered = (capped as f64 / 2.0) * (1.0 + draw);
+        Duration::from_millis(jittered as u64)
+    }
+}
 
 /// A raw HTTP exchange: status code and body text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,12 +88,21 @@ pub struct RawResponse {
 #[derive(Debug, Clone, Copy)]
 pub struct Client {
     addr: SocketAddr,
+    retry: RetryPolicy,
 }
 
 impl Client {
     /// A client for the server at `addr` (e.g. [`crate::Server::addr`]).
+    /// Retries are off by default; opt in with [`Client::with_retry`].
     pub fn new(addr: SocketAddr) -> Self {
-        Client { addr }
+        Client { addr, retry: RetryPolicy::none() }
+    }
+
+    /// The same client with a retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// `GET /healthz`; Ok when the server answers 200.
@@ -135,17 +206,45 @@ impl Client {
     }
 
     /// A raw request with an arbitrary body, exposed for tests probing
-    /// error paths.
+    /// error paths. Applies the client's [`RetryPolicy`]: transport
+    /// failures retry only for `GET` (idempotent); `429` sheds retry for
+    /// any method (a shed request was never processed).
     ///
     /// # Errors
     ///
     /// Errors on transport failure only (HTTP error statuses are returned).
     pub fn request(&self, method: &str, path: &str, body: &[u8]) -> Result<RawResponse, String> {
+        let idempotent = method == "GET";
+        let mut attempt: u32 = 0;
+        loop {
+            let can_retry = attempt + 1 < self.retry.max_attempts;
+            match self.request_once(method, path, body, attempt) {
+                Ok(response) if response.status == 429 && can_retry => {}
+                Ok(response) => return Ok(response),
+                Err(_) if idempotent && can_retry => {}
+                Err(error) => return Err(error),
+            }
+            attempt += 1;
+            std::thread::sleep(self.retry.delay(attempt));
+        }
+    }
+
+    /// One wire exchange; `attempt > 0` adds the `X-Ceer-Attempt` marker
+    /// so the server can count retried requests.
+    fn request_once(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        attempt: u32,
+    ) -> Result<RawResponse, String> {
         let mut stream = TcpStream::connect(self.addr)
             .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        let attempt_header =
+            if attempt > 0 { format!("X-Ceer-Attempt: {attempt}\r\n") } else { String::new() };
         write!(
             stream,
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{attempt_header}Connection: close\r\n\r\n",
             self.addr,
             body.len()
         )
@@ -206,17 +305,66 @@ fn read_response(reader: &mut impl BufRead) -> Result<RawResponse, String> {
     }
 
     let body = match content_length {
+        Some(len) if len > MAX_RESPONSE_BYTES => {
+            return Err(format!("response Content-Length {len} exceeds the client cap"));
+        }
         Some(len) => {
             let mut buffer = vec![0u8; len];
             reader.read_exact(&mut buffer).map_err(|e| format!("truncated body: {e}"))?;
             buffer
         }
-        None => {
-            let mut buffer = Vec::new();
-            reader.read_to_end(&mut buffer).map_err(|e| format!("cannot read body: {e}"))?;
-            buffer
-        }
+        // No Content-Length: drain to EOF, bounded (never `read_to_end`
+        // on a network stream — see the `unbounded-io` lint rule).
+        None => http::read_to_limit(reader, MAX_RESPONSE_BYTES)
+            .map_err(|e| format!("cannot read body: {e}"))?,
     };
     let body = String::from_utf8(body).map_err(|e| format!("non-UTF-8 body: {e}"))?;
     Ok(RawResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delays_are_seeded_and_capped() {
+        let policy = RetryPolicy::retries(5, 42);
+        let delays: Vec<Duration> = (1..=6).map(|n| policy.delay(n)).collect();
+        let replay: Vec<Duration> = (1..=6).map(|n| policy.delay(n)).collect();
+        assert_eq!(delays, replay, "same seed must replay the same backoff");
+        for delay in &delays {
+            assert!(delay.as_millis() < 500 + 1, "cap violated: {delay:?}");
+        }
+        // The exponential ramp is visible before the cap bites: the raw
+        // (pre-jitter) base doubles, so late delays sit near the cap.
+        assert!(delays[5] >= Duration::from_millis(250));
+        let other = RetryPolicy::retries(5, 43);
+        assert_ne!(
+            (1..=6).map(|n| other.delay(n)).collect::<Vec<_>>(),
+            delays,
+            "different seeds should jitter differently"
+        );
+    }
+
+    #[test]
+    fn none_policy_never_sleeps() {
+        let policy = RetryPolicy::none();
+        assert_eq!(policy.max_attempts, 1);
+        assert_eq!(policy.delay(1), Duration::ZERO);
+        assert_eq!(policy.delay(10), Duration::ZERO);
+    }
+
+    #[test]
+    fn bounded_body_read_replaces_read_to_end() {
+        let raw = b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n{\"ok\": true}";
+        let response = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "{\"ok\": true}");
+    }
+
+    #[test]
+    fn absurd_content_length_is_rejected() {
+        let raw = format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", MAX_RESPONSE_BYTES + 1);
+        assert!(read_response(&mut BufReader::new(raw.as_bytes())).is_err());
+    }
 }

@@ -10,14 +10,29 @@
 //! * [`PredictionCache`] — an LRU of serialized responses keyed by the
 //!   canonical request (predictions are pure in `(model, request)`);
 //! * [`Metrics`] — per-endpoint request/error counts and latency quantiles
-//!   (via `ceer-stats`), exposed at `GET /metrics`;
-//! * [`Client`] — a blocking client for tests and scripts.
+//!   (via `ceer-stats`), exposed at `GET /metrics`, plus
+//!   [`RobustnessCounters`] accounting every shed, timed-out, rejected,
+//!   or panic-recovered request;
+//! * [`Client`] — a blocking client for tests and scripts, with an
+//!   optional seeded [`RetryPolicy`] (idempotent-only retries, capped
+//!   exponential backoff).
+//!
+//! # Robustness
+//!
+//! The server reads requests under per-read socket timeouts, a total
+//! request deadline, and a body-size limit; sheds load with `429` +
+//! `Retry-After` when the bounded pending queue fills; recovers worker
+//! panics; and keeps the previous model serving when a `/reload` fails.
+//! All hot paths carry [`ceer_faults`] injection sites so chaos tests can
+//! replay failures deterministically from a seed
+//! ([`ServerConfig::faults`]).
 //!
 //! # Endpoints
 //!
 //! | Route | Payload |
 //! |---|---|
 //! | `GET /healthz` | `{"status": "ok"}` |
+//! | `GET /readyz` | `{"status": "ready"}`, or 503 while draining |
 //! | `GET /zoo` | [`api::ZooEntry`] list |
 //! | `GET /catalog` | [`api::CatalogEntry`] list |
 //! | `GET /metrics` | [`MetricsSnapshot`] |
@@ -49,7 +64,9 @@ pub mod server;
 mod sync;
 
 pub use cache::{CacheStats, PredictionCache};
-pub use client::Client;
-pub use metrics::{EndpointSnapshot, LatencySummary, Metrics, MetricsSnapshot};
+pub use client::{Client, RetryPolicy};
+pub use metrics::{
+    EndpointSnapshot, LatencySummary, Metrics, MetricsSnapshot, RobustnessCounters, ServerEvent,
+};
 pub use registry::ModelRegistry;
 pub use server::{Server, ServerConfig};

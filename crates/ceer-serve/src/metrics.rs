@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
@@ -43,6 +44,29 @@ pub struct EndpointSnapshot {
     pub latency: Option<LatencySummary>,
 }
 
+/// Degradation accounting: every shed, timed-out, rejected, or recovered
+/// request lands in exactly one of these counters, so chaos tests can
+/// reconcile injected faults against served outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RobustnessCounters {
+    /// Connections shed with 429 because the pending queue was full.
+    pub shed: u64,
+    /// Requests that hit a read deadline (per-read or total) — 408/close.
+    pub timeouts: u64,
+    /// Requests rejected with 413 for exceeding the body limit.
+    pub body_limit_rejections: u64,
+    /// Syntactically broken requests answered with 400.
+    pub malformed: u64,
+    /// Connections that failed mid-request or mid-response (closed).
+    pub io_errors: u64,
+    /// Requests carrying a client retry marker (`X-Ceer-Attempt` > 0).
+    pub retried_requests: u64,
+    /// `POST /reload` attempts that failed (old model kept serving).
+    pub reload_failures: u64,
+    /// Worker panics caught and recovered without losing the worker.
+    pub panics_recovered: u64,
+}
+
 /// The full `GET /metrics` payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -52,6 +76,30 @@ pub struct MetricsSnapshot {
     pub cache: CacheStats,
     /// Successful model reloads since startup.
     pub model_reloads: u64,
+    /// Degradation counters (absent in pre-robustness payloads).
+    #[serde(default)]
+    pub robustness: RobustnessCounters,
+}
+
+/// One countable degradation event (see [`RobustnessCounters`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// Queue-full shed (429).
+    Shed,
+    /// Read deadline expired (408/close).
+    Timeout,
+    /// Body over the configured limit (413).
+    BodyLimit,
+    /// Unparsable request (400).
+    Malformed,
+    /// Transport failure mid-request/response.
+    IoError,
+    /// Request arrived with a retry marker.
+    RetriedRequest,
+    /// Model reload failed; previous model kept serving.
+    ReloadFailure,
+    /// A worker panic was caught and the worker kept serving.
+    PanicRecovered,
 }
 
 #[derive(Default)]
@@ -65,12 +113,37 @@ struct EndpointStats {
 #[derive(Default)]
 pub struct Metrics {
     endpoints: Mutex<BTreeMap<String, EndpointStats>>,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    body_limit_rejections: AtomicU64,
+    malformed: AtomicU64,
+    io_errors: AtomicU64,
+    retried_requests: AtomicU64,
+    reload_failures: AtomicU64,
+    panics_recovered: AtomicU64,
 }
 
 impl Metrics {
     /// Records one handled request.
     pub fn record(&self, route: &str, latency_us: f64, is_error: bool) {
+        self.record_with(route, latency_us, is_error, &ceer_faults::none());
+    }
+
+    /// [`Metrics::record`] with a fault hook evaluated *inside* the
+    /// endpoint critical section (`serve.metrics.lock`): an injected
+    /// poison there unwinds while the lock is held, exercising the
+    /// poisoning-recovery path that `recover` provides.
+    pub fn record_with(
+        &self,
+        route: &str,
+        latency_us: f64,
+        is_error: bool,
+        faults: &ceer_faults::Faults,
+    ) {
         let mut endpoints = recover(self.endpoints.lock());
+        if let Some(injector) = faults {
+            injector.maybe_panic("serve.metrics.lock");
+        }
         let stats = endpoints.entry(route.to_string()).or_default();
         stats.requests += 1;
         if is_error {
@@ -79,6 +152,37 @@ impl Metrics {
         stats.latencies_us.push_back(latency_us);
         while stats.latencies_us.len() > LATENCY_WINDOW {
             stats.latencies_us.pop_front();
+        }
+    }
+
+    /// Counts one degradation event. Lock-free: safe from the acceptor
+    /// thread and from panic-recovery paths where the endpoint lock may
+    /// be poisoned.
+    pub fn bump(&self, event: ServerEvent) {
+        let counter = match event {
+            ServerEvent::Shed => &self.shed,
+            ServerEvent::Timeout => &self.timeouts,
+            ServerEvent::BodyLimit => &self.body_limit_rejections,
+            ServerEvent::Malformed => &self.malformed,
+            ServerEvent::IoError => &self.io_errors,
+            ServerEvent::RetriedRequest => &self.retried_requests,
+            ServerEvent::ReloadFailure => &self.reload_failures,
+            ServerEvent::PanicRecovered => &self.panics_recovered,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current degradation counters.
+    pub fn robustness(&self) -> RobustnessCounters {
+        RobustnessCounters {
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            body_limit_rejections: self.body_limit_rejections.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            retried_requests: self.retried_requests.load(Ordering::Relaxed),
+            reload_failures: self.reload_failures.load(Ordering::Relaxed),
+            panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
         }
     }
 
@@ -98,7 +202,7 @@ impl Metrics {
                 )
             })
             .collect();
-        MetricsSnapshot { endpoints, cache, model_reloads }
+        MetricsSnapshot { endpoints, cache, model_reloads, robustness: self.robustness() }
     }
 }
 
@@ -174,9 +278,54 @@ mod tests {
     fn snapshot_round_trips_through_json() {
         let metrics = Metrics::default();
         metrics.record("POST /predict", 123.0, false);
+        metrics.bump(ServerEvent::Shed);
+        metrics.bump(ServerEvent::ReloadFailure);
         let snap = metrics.snapshot(empty_cache_stats(), 2);
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn bump_routes_each_event_to_its_counter() {
+        let metrics = Metrics::default();
+        metrics.bump(ServerEvent::Shed);
+        metrics.bump(ServerEvent::Shed);
+        metrics.bump(ServerEvent::Timeout);
+        metrics.bump(ServerEvent::BodyLimit);
+        metrics.bump(ServerEvent::Malformed);
+        metrics.bump(ServerEvent::IoError);
+        metrics.bump(ServerEvent::RetriedRequest);
+        metrics.bump(ServerEvent::ReloadFailure);
+        metrics.bump(ServerEvent::PanicRecovered);
+        let robustness = metrics.robustness();
+        assert_eq!(
+            robustness,
+            RobustnessCounters {
+                shed: 2,
+                timeouts: 1,
+                body_limit_rejections: 1,
+                malformed: 1,
+                io_errors: 1,
+                retried_requests: 1,
+                reload_failures: 1,
+                panics_recovered: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn pre_robustness_snapshot_json_still_deserializes() {
+        // Old payloads have no "robustness" key; serde(default) fills zeros.
+        let metrics = Metrics::default();
+        let snap = metrics.snapshot(empty_cache_stats(), 0);
+        let serde_json::Value::Object(fields) = serde_json::to_value(&snap) else {
+            panic!("snapshot must serialize to an object");
+        };
+        let stripped: Vec<(String, serde_json::Value)> =
+            fields.into_iter().filter(|(key, _)| key != "robustness").collect();
+        let back: MetricsSnapshot =
+            serde_json::from_value(&serde_json::Value::Object(stripped)).unwrap();
+        assert_eq!(back.robustness, RobustnessCounters::default());
     }
 }

@@ -56,15 +56,35 @@ impl ModelRegistry {
 
     /// Re-reads the backing file and atomically swaps the served model.
     ///
+    /// The swap is transactional: the file is read and parsed *fully*
+    /// before the write lock is taken, so a corrupt, truncated, or
+    /// wrong-schema file can never leave the registry holding a partial
+    /// model — the error is reported and the previous model keeps serving.
+    ///
     /// # Errors
     ///
     /// Errors when there is no backing file or it no longer parses; the
     /// previous model keeps being served in that case.
     pub fn reload(&self) -> Result<u64, String> {
+        self.reload_with(&ceer_faults::none())
+    }
+
+    /// [`ModelRegistry::reload`] under fault injection: the
+    /// `serve.reload.read` site fires before the file read, so chaos runs
+    /// can fail reloads deterministically and assert the old model
+    /// survives.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::reload`], plus injected faults.
+    pub fn reload_with(&self, faults: &ceer_faults::Faults) -> Result<u64, String> {
         let path = self
             .path
             .as_ref()
             .ok_or_else(|| "registry has no backing file to reload from".to_string())?;
+        if let Some(injector) = faults {
+            injector.fail_str("serve.reload.read").map_err(|e| format!("reload failed: {e}"))?;
+        }
         let fresh = read_model(path)?;
         *recover(self.model.write()) = Arc::new(fresh);
         Ok(self.reloads.fetch_add(1, Ordering::Relaxed) + 1)

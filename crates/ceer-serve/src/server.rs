@@ -1,19 +1,47 @@
 //! The concurrent prediction server: a `std::net` acceptor thread feeding a
-//! fixed pool of worker threads over a channel, with graceful shutdown.
+//! fixed pool of worker threads over a *bounded* channel, with graceful
+//! shutdown, per-request deadlines, load shedding, and panic recovery.
+//!
+//! Robustness policy (every branch is counted in
+//! [`crate::metrics::RobustnessCounters`]):
+//!
+//! * the pending-connection queue is bounded ([`ServerConfig::max_pending`]);
+//!   when full, the acceptor sheds the connection with `429` +
+//!   `Retry-After` instead of queueing unboundedly;
+//! * each request read runs under per-read socket timeouts and a total
+//!   request deadline ([`ServerConfig::request_timeout_ms`]) — a stalled
+//!   peer (slowloris) costs a worker at most the deadline;
+//! * bodies over [`ServerConfig::max_body_bytes`] are rejected with `413`
+//!   before any buffering;
+//! * a worker that panics mid-request (e.g. under injected poison) is
+//!   caught and keeps serving — poisoned locks heal on next access via
+//!   [`crate::sync::recover`];
+//! * `GET /readyz` answers `200` while accepting and `503` once shutdown
+//!   has begun, so load balancers drain before the listener closes.
+//!
+//! Every I/O hot path is threaded with [`ceer_faults`] injection sites
+//! (`serve.accept`, `serve.dispatch`, `serve.http.read`,
+//! `serve.http.write`, `serve.metrics.lock`, `serve.reload.read`), driven
+//! by the seeded plan in [`ServerConfig::faults`]; `None` injects nothing
+//! and costs one `Option` check per site.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use ceer_faults::{FaultEvent, FaultKind, FaultPlan, Faults, FaultyRead, FaultyWrite};
 
 use crate::api::{self, ErrorResponse};
 use crate::cache::PredictionCache;
-use crate::http::{self, Request, Response};
-use crate::metrics::Metrics;
+use crate::http::{self, ReadBudget, ReadError, Request, Response};
+use crate::metrics::{Metrics, ServerEvent};
 use crate::registry::ModelRegistry;
+use crate::sync::recover;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -26,11 +54,36 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Prediction-cache capacity in responses (0 disables caching).
     pub cache_capacity: usize,
+    /// Per-read socket timeout, ms (0 disables; a stalled peer then only
+    /// hits the total request deadline).
+    pub read_timeout_ms: u64,
+    /// Per-write socket timeout, ms (0 disables).
+    pub write_timeout_ms: u64,
+    /// Total deadline for reading one request, ms (0 disables).
+    pub request_timeout_ms: u64,
+    /// Largest accepted request body in bytes; bigger requests get `413`.
+    pub max_body_bytes: usize,
+    /// Pending-connection queue depth; connections beyond it are shed
+    /// with `429` + `Retry-After`.
+    pub max_pending: usize,
+    /// Seeded fault plan for chaos runs (`None` = no injection).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { host: "127.0.0.1".to_string(), port: 8100, workers: 4, cache_capacity: 256 }
+        ServerConfig {
+            host: "127.0.0.1".to_string(),
+            port: 8100,
+            workers: 4,
+            cache_capacity: 256,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            request_timeout_ms: 10_000,
+            max_body_bytes: http::MAX_BODY_BYTES,
+            max_pending: 128,
+            faults: None,
+        }
     }
 }
 
@@ -39,6 +92,14 @@ struct AppState {
     registry: ModelRegistry,
     cache: PredictionCache,
     metrics: Metrics,
+    faults: Faults,
+    /// `true` while accepting; cleared at the start of shutdown so
+    /// `GET /readyz` flips to 503 before the listener closes.
+    ready: AtomicBool,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    request_timeout: Option<Duration>,
+    max_body_bytes: usize,
 }
 
 /// A running server; dropping it without [`Server::shutdown`] leaves the
@@ -48,6 +109,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    state: Arc<AppState>,
 }
 
 impl Server {
@@ -65,9 +127,18 @@ impl Server {
             registry,
             cache: PredictionCache::new(config.cache_capacity),
             metrics: Metrics::default(),
+            faults: config.faults.clone().map_or_else(ceer_faults::none, ceer_faults::injector),
+            ready: AtomicBool::new(true),
+            read_timeout: nonzero_ms(config.read_timeout_ms),
+            write_timeout: nonzero_ms(config.write_timeout_ms),
+            request_timeout: nonzero_ms(config.request_timeout_ms),
+            max_body_bytes: config.max_body_bytes,
         });
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+        // Bounded: when `max_pending` connections are already queued, the
+        // acceptor sheds instead of letting the queue (and every queued
+        // socket's kernel buffers) grow without limit.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.max_pending.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
         let workers = (0..config.workers.max(1))
@@ -84,6 +155,7 @@ impl Server {
 
         let acceptor = {
             let stop = Arc::clone(&stop);
+            let state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name("ceer-serve-acceptor".to_string())
                 // ceer-lint: allow(thread-spawn) -- the accept loop must block in accept(); it does no result-producing work
@@ -95,15 +167,31 @@ impl Server {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
-                        if tx.send(stream).is_err() {
-                            break;
+                        if let Some(injector) = &state.faults {
+                            match injector.check("serve.accept") {
+                                Some(FaultKind::Delay(ms)) => {
+                                    std::thread::sleep(Duration::from_millis(ms));
+                                }
+                                Some(_) => {
+                                    // Injected accept failure: the connection
+                                    // is lost before dispatch.
+                                    state.metrics.bump(ServerEvent::IoError);
+                                    continue;
+                                }
+                                None => {}
+                            }
+                        }
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(stream)) => shed(stream, &state),
+                            Err(TrySendError::Disconnected(_)) => break,
                         }
                     }
                 })
                 .map_err(|e| format!("cannot spawn acceptor: {e}"))?
         };
 
-        Ok(Server { addr, stop, acceptor, workers })
+        Ok(Server { addr, stop, acceptor, workers, state })
     }
 
     /// The bound address (useful with port 0).
@@ -111,8 +199,26 @@ impl Server {
         self.addr
     }
 
+    /// Every fault the server's injector has fired so far, sorted by
+    /// `(site, call)` — empty without a fault plan. Chaos tests compare
+    /// this across runs to prove schedules replay.
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        self.state.faults.as_ref().map(|f| f.events()).unwrap_or_default()
+    }
+
+    /// A stable one-line-per-event rendering of [`Server::fault_events`],
+    /// for byte-identical replay assertions.
+    pub fn fault_digest(&self) -> String {
+        self.state.faults.as_ref().map(|f| f.digest()).unwrap_or_default()
+    }
+
     /// Stops accepting, drains queued connections, and joins every thread.
+    ///
+    /// Readiness flips first (`GET /readyz` → 503), then the acceptor
+    /// stops; connections already queued are still answered before the
+    /// workers exit.
     pub fn shutdown(self) {
+        self.state.ready.store(false, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
         // The acceptor is blocked in accept(); poke it awake so it observes
         // the stop flag. The connection itself is discarded unanswered.
@@ -133,51 +239,147 @@ impl Server {
     }
 }
 
+fn nonzero_ms(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+/// Sheds one connection with `429` + `Retry-After` (queue full). Runs on
+/// the acceptor thread, so it must never block long: the write happens
+/// under the configured write timeout.
+fn shed(stream: TcpStream, state: &AppState) {
+    state.metrics.bump(ServerEvent::Shed);
+    state.metrics.record("(shed)", 0.0, true);
+    let _ = stream.set_write_timeout(state.write_timeout);
+    let response =
+        error_response(429, "server overloaded, please retry".to_string()).with_retry_after(1);
+    let _ = response.write_to(&mut BufWriter::new(stream));
+}
+
 fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &AppState) {
     loop {
         // Hold the lock only while receiving, not while handling.
-        let stream = match rx.lock() {
-            Ok(rx) => rx.recv(),
-            Err(_) => return,
-        };
+        let stream = recover(rx.lock()).recv();
         match stream {
-            Ok(stream) => handle_connection(stream, state),
+            Ok(stream) => {
+                // A panic inside one request (a bug, or injected poison)
+                // must not kill the worker: catch it, count it, and keep
+                // serving. Locks poisoned by the unwind heal on next
+                // access via `sync::recover`.
+                let outcome =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| handle_connection(stream, state)));
+                if outcome.is_err() {
+                    state.metrics.bump(ServerEvent::PanicRecovered);
+                }
+            }
             Err(_) => return, // channel closed: shutdown
         }
     }
 }
 
 fn handle_connection(stream: TcpStream, state: &AppState) {
-    let mut reader = BufReader::new(match stream.try_clone() {
+    // Socket timeouts bound each syscall; the ReadBudget deadline bounds
+    // the whole request. Setting them can only fail on a dead socket,
+    // which the reads below will surface anyway.
+    let _ = stream.set_read_timeout(state.read_timeout);
+    let _ = stream.set_write_timeout(state.write_timeout);
+
+    if let Some(injector) = &state.faults {
+        match injector.check("serve.dispatch") {
+            Some(FaultKind::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            // ceer-lint: allow(panic-unwrap) -- injected poison, contained by the worker's catch_unwind
+            Some(FaultKind::Poison) => panic!("injected poison at serve.dispatch"),
+            Some(_) => {
+                // Injected dispatch failure: the connection drops before
+                // a request is read.
+                state.metrics.bump(ServerEvent::IoError);
+                return;
+            }
+            None => {}
+        }
+    }
+
+    let clone = match stream.try_clone() {
         Ok(clone) => clone,
-        Err(_) => return,
-    });
-    let request = match http::read_request(&mut reader) {
-        Ok(Some(request)) => request,
-        Ok(None) => return, // clean close before a request
-        Err(error) => {
-            let response = error_response(400, error);
-            state.metrics.record("(malformed)", 0.0, true);
-            let _ = response.write_to(&mut BufWriter::new(stream));
+        Err(_) => {
+            state.metrics.bump(ServerEvent::IoError);
             return;
         }
     };
+    let mut reader =
+        BufReader::new(FaultyRead::new(clone, state.faults.clone(), "serve.http.read"));
+    // ceer-lint: allow(ambient-time) -- request deadline anchor; never feeds a prediction
+    let deadline = state.request_timeout.map(|t| Instant::now() + t);
+    let budget = ReadBudget { max_body_bytes: state.max_body_bytes, deadline };
+
+    let request = match http::read_request(&mut reader, &budget) {
+        Ok(Some(request)) => request,
+        Ok(None) => return, // clean close before a request
+        Err(error) => {
+            respond_read_error(stream, state, &error);
+            return;
+        }
+    };
+    if request.retry_attempt > 0 {
+        state.metrics.bump(ServerEvent::RetriedRequest);
+    }
 
     // ceer-lint: allow(ambient-time) -- latency measurement feeds /metrics only, never a prediction
     let started = Instant::now();
     let response = route(&request, state);
     let latency_us = started.elapsed().as_secs_f64() * 1e6;
     let route_label = format!("{} {}", request.method, canonical_route(&request.path));
-    state.metrics.record(&route_label, latency_us, response.is_error());
-    let _ = response.write_to(&mut BufWriter::new(stream));
+    state.metrics.record_with(&route_label, latency_us, response.is_error(), &state.faults);
+    let mut writer =
+        BufWriter::new(FaultyWrite::new(stream, state.faults.clone(), "serve.http.write"));
+    if response.write_to(&mut writer).is_err() {
+        state.metrics.bump(ServerEvent::IoError);
+    }
+}
+
+/// Maps a classified read failure onto a response (or a silent close) and
+/// its metrics counter: 400 malformed, 413 over the body limit, 408 on a
+/// deadline, silent close on transport errors.
+fn respond_read_error(stream: TcpStream, state: &AppState, error: &ReadError) {
+    let response = match error {
+        ReadError::Malformed(message) => {
+            state.metrics.bump(ServerEvent::Malformed);
+            state.metrics.record("(malformed)", 0.0, true);
+            Some(error_response(400, message.clone()))
+        }
+        ReadError::BodyTooLarge { declared, limit } => {
+            state.metrics.bump(ServerEvent::BodyLimit);
+            state.metrics.record("(body-too-large)", 0.0, true);
+            Some(error_response(
+                413,
+                format!("request body of {declared} bytes exceeds the {limit}-byte limit"),
+            ))
+        }
+        ReadError::TimedOut => {
+            state.metrics.bump(ServerEvent::Timeout);
+            state.metrics.record("(timeout)", 0.0, true);
+            // Best effort: the peer may be stalled or gone; either way the
+            // connection closes right after.
+            Some(error_response(408, "request read timed out".to_string()))
+        }
+        ReadError::Io(_) => {
+            // The transport failed mid-request; there is nobody to answer.
+            state.metrics.bump(ServerEvent::IoError);
+            None
+        }
+    };
+    if let Some(response) = response {
+        let mut writer =
+            BufWriter::new(FaultyWrite::new(stream, state.faults.clone(), "serve.http.write"));
+        let _ = response.write_to(&mut writer);
+    }
 }
 
 /// Collapses unknown paths so the metrics map cannot grow unboundedly from
 /// path scans.
 fn canonical_route(path: &str) -> &str {
     match path {
-        "/healthz" | "/zoo" | "/catalog" | "/metrics" | "/predict" | "/predict_batch"
-        | "/recommend" | "/reload" => path,
+        "/healthz" | "/readyz" | "/zoo" | "/catalog" | "/metrics" | "/predict"
+        | "/predict_batch" | "/recommend" | "/reload" => path,
         _ => "(unknown)",
     }
 }
@@ -185,6 +387,14 @@ fn canonical_route(path: &str) -> &str {
 fn route(request: &Request, state: &AppState) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, "{\n  \"status\": \"ok\"\n}"),
+        ("GET", "/readyz") => {
+            if state.ready.load(Ordering::SeqCst) {
+                Response::json(200, "{\n  \"status\": \"ready\"\n}")
+            } else {
+                error_response(503, "draining: server is shutting down".to_string())
+                    .with_retry_after(1)
+            }
+        }
         ("GET", "/zoo") => ok(&api::zoo()),
         ("GET", "/catalog") => ok(&api::catalog()),
         ("GET", "/metrics") => {
@@ -193,7 +403,7 @@ fn route(request: &Request, state: &AppState) -> Response {
         ("POST", "/predict") => cached(state, "/predict", &request.body, api::predict),
         ("POST", "/predict_batch") => predict_batch(state, &request.body),
         ("POST", "/recommend") => cached(state, "/recommend", &request.body, api::recommend),
-        ("POST", "/reload") => match state.registry.reload() {
+        ("POST", "/reload") => match state.registry.reload_with(&state.faults) {
             Ok(reloads) => {
                 // The cache is keyed by request only, so entries computed
                 // with the old model are now stale.
@@ -203,12 +413,17 @@ fn route(request: &Request, state: &AppState) -> Response {
                     format!("{{\n  \"status\": \"reloaded\",\n  \"reloads\": {reloads}\n}}"),
                 )
             }
-            Err(error) => error_response(500, error),
+            Err(error) => {
+                // The previous model keeps serving; the failure is counted
+                // and reported as a structured error body.
+                state.metrics.bump(ServerEvent::ReloadFailure);
+                error_response(500, error)
+            }
         },
         (
             _,
-            "/healthz" | "/zoo" | "/catalog" | "/metrics" | "/predict" | "/predict_batch"
-            | "/recommend" | "/reload",
+            "/healthz" | "/readyz" | "/zoo" | "/catalog" | "/metrics" | "/predict"
+            | "/predict_batch" | "/recommend" | "/reload",
         ) => error_response(405, format!("{} does not accept {}", request.path, request.method)),
         _ => error_response(404, format!("no such endpoint {:?}", request.path)),
     }

@@ -101,6 +101,32 @@ impl Trainer {
     /// training graph (callers that profile the same CNN on many instance
     /// configurations avoid re-expanding it).
     pub fn profile_graph(&self, cnn: &Cnn, graph: &Graph, iterations: usize) -> TrainingProfile {
+        self.profile_graph_with_faults(cnn, graph, iterations, &ceer_faults::none())
+            .expect("fault-free profiling cannot fail")
+    }
+
+    /// [`profile_graph`](Self::profile_graph) under fault injection: the
+    /// `trainer.replica` site is checked in *keyed* mode with key
+    /// `(replica << 32) | iteration`, so the fault schedule is a pure
+    /// function of `(plan seed, replica, iteration)` and cannot depend on
+    /// how the [`ceer_par`] pool interleaves replicas. An injected delay
+    /// adds *virtual* straggler time (milliseconds → simulated µs) instead
+    /// of sleeping; an injected error aborts the profile.
+    ///
+    /// # Errors
+    ///
+    /// Errors only when the plan injects `err` at `trainer.replica`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero, or when the plan injects `poison`.
+    pub fn profile_graph_with_faults(
+        &self,
+        cnn: &Cnn,
+        graph: &Graph,
+        iterations: usize,
+        faults: &ceer_faults::Faults,
+    ) -> Result<TrainingProfile, String> {
         assert!(iterations > 0, "need at least one iteration");
         let timer = OpTimer::new(self.gpu);
         let sync = SyncModel::new(self.gpu);
@@ -136,7 +162,7 @@ impl Trainer {
         let mut cpu_series = Vec::with_capacity(iterations);
         let mut replica0_series = Vec::with_capacity(iterations);
 
-        for _ in 0..iterations {
+        for iteration in 0..iterations {
             let mut cpu_us = 0.0;
             let mut replica0_us = 0.0;
             for idx in 0..graph.nodes().len() {
@@ -153,6 +179,7 @@ impl Trainer {
                     replica0_us += sample;
                 }
             }
+            replica0_us += replica_fault_us(faults, 0, iteration)?;
             cpu_series.push(cpu_us);
             replica0_series.push(replica0_us);
         }
@@ -163,20 +190,22 @@ impl Trainer {
         // the pool cannot perturb it. The iteration waits for the slowest
         // replica.
         let replica_ids: Vec<u64> = (1..self.gpus as u64).collect();
-        let other_series: Vec<Vec<f64>> = ceer_par::par_map(&replica_ids, |&r| {
+        let other_series: Vec<Result<Vec<f64>, String>> = ceer_par::par_map(&replica_ids, |&r| {
             let mut rng = root.substream(r);
             (0..iterations)
-                .map(|_| {
+                .map(|iteration| {
                     let mut replica_us = 0.0;
                     for idx in 0..expected.len() {
                         if !is_cpu[idx] {
                             replica_us += expected[idx] * rng.noise_factor(cvs[idx]);
                         }
                     }
-                    replica_us
+                    replica_us += replica_fault_us(faults, r, iteration)?;
+                    Ok(replica_us)
                 })
                 .collect()
         });
+        let other_series: Vec<Vec<f64>> = other_series.into_iter().collect::<Result<_, _>>()?;
 
         let mut sync_series = Vec::with_capacity(iterations);
         let mut iter_series = Vec::with_capacity(iterations);
@@ -200,7 +229,7 @@ impl Trainer {
             .zip(durations)
             .map(|(node, series)| (node.id(), node.kind(), graph.input_bytes(node.id()), series))
             .collect();
-        TrainingProfile::assemble(
+        Ok(TrainingProfile::assemble(
             cnn.id(),
             self.gpu,
             self.gpus,
@@ -208,7 +237,33 @@ impl Trainer {
             op_durations,
             &sync_series,
             &iter_series,
-        )
+        ))
+    }
+}
+
+/// Evaluates the `trainer.replica` fault site for `(replica, iteration)`
+/// and returns the virtual straggler time to add (µs). Keyed mode keeps
+/// the decision independent of pool scheduling.
+///
+/// # Errors
+///
+/// Errors on an injected `err`.
+fn replica_fault_us(
+    faults: &ceer_faults::Faults,
+    replica: u64,
+    iteration: usize,
+) -> Result<f64, String> {
+    let Some(injector) = faults else { return Ok(0.0) };
+    let key = (replica << 32) | iteration as u64;
+    match injector.check_keyed("trainer.replica", key) {
+        Some(ceer_faults::FaultKind::Delay(ms)) => Ok(ms as f64 * 1000.0),
+        Some(ceer_faults::FaultKind::Error) => Err(format!(
+            "injected fault at trainer.replica (replica {replica}, iteration {iteration})"
+        )),
+        Some(ceer_faults::FaultKind::Poison) => {
+            panic!("injected poison at trainer.replica")
+        }
+        _ => Ok(0.0),
     }
 }
 
@@ -335,5 +390,41 @@ mod tests {
     fn rejects_zero_iterations() {
         let cnn = Cnn::build(CnnId::AlexNet, 32);
         Trainer::new(GpuModel::V100, 1).profile(&cnn, 0);
+    }
+
+    #[test]
+    fn injected_stragglers_are_deterministic_and_slow_iterations() {
+        let cnn = Cnn::build(CnnId::AlexNet, 32);
+        let graph = cnn.training_graph();
+        let trainer = Trainer::new(GpuModel::T4, 4).with_seed(42);
+        let baseline = trainer.profile_graph(&cnn, &graph, 8);
+
+        // A 50ms virtual straggler on half the (replica, iteration) keys.
+        let plan = ceer_faults::FaultPlan::parse(7, "trainer.replica=delay:50@0.5").unwrap();
+        let run = |plan: &ceer_faults::FaultPlan| {
+            trainer
+                .profile_graph_with_faults(&cnn, &graph, 8, &ceer_faults::injector(plan.clone()))
+                .unwrap()
+        };
+        let faulted = run(&plan);
+        assert_eq!(faulted, run(&plan), "keyed faults must replay bit-identically");
+        assert!(
+            faulted.iteration_mean_us() > baseline.iteration_mean_us(),
+            "virtual stragglers must lengthen iterations"
+        );
+    }
+
+    #[test]
+    fn injected_replica_errors_abort_profiling() {
+        let cnn = Cnn::build(CnnId::AlexNet, 32);
+        let graph = cnn.training_graph();
+        let faults = ceer_faults::injector(
+            ceer_faults::FaultPlan::parse(0, "trainer.replica=err@#3").unwrap(),
+        );
+        let result = Trainer::new(GpuModel::T4, 2)
+            .with_seed(1)
+            .profile_graph_with_faults(&cnn, &graph, 8, &faults);
+        let error = result.unwrap_err();
+        assert!(error.contains("injected fault at trainer.replica"), "{error}");
     }
 }

@@ -6,8 +6,10 @@
 # The test suite runs twice — with the ceer-par pool forced serial and
 # forced to 8 workers — because every result in this repository must be
 # bit-identical at any thread count; a pass at one width and a failure at
-# the other is a determinism bug, not flakiness. A stress loop then repeats
-# the serve concurrency tests to shake out scheduling-dependent races.
+# the other is a determinism bug, not flakiness. The chaos suite then
+# replays seeded fault plans against a live server under two fixed seeds,
+# and a stress loop repeats the serve concurrency tests — under a nonzero
+# delay-only fault plan — to shake out scheduling-dependent races.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -40,9 +42,21 @@ CEER_THREADS=1 cargo test -q --workspace
 echo "=== cargo test (CEER_THREADS=8) ==="
 CEER_THREADS=8 cargo test -q --workspace
 
-echo "=== serve concurrency stress (20x) ==="
+echo "=== chaos suite (seeded fault injection) ==="
+# Each seed must pass with its own reproducible fault schedule; the suite
+# itself asserts byte-identical fault digests across reruns of a scenario.
+for seed in 7 1234; do
+    CEER_FAULT_SEED="$seed" cargo test -q --test chaos \
+        > /dev/null || { echo "chaos suite failed under CEER_FAULT_SEED=$seed"; exit 1; }
+done
+echo "chaos suite passed (seeds 7, 1234)"
+
+echo "=== serve concurrency stress (20x, delay-fault plan) ==="
+# Delay-only injection perturbs worker scheduling without failing any
+# request, so the byte-identity assertions must keep holding under it.
 for i in $(seq 1 20); do
-    cargo test -q --test serve concurrent \
+    CEER_FAULT_PLAN="serve.dispatch=delay:2@0.2;serve.http.read=delay:1@0.1" \
+    CEER_FAULT_SEED="$i" cargo test -q --test serve concurrent \
         > /dev/null || { echo "stress iteration $i failed"; exit 1; }
 done
 echo "stress loop passed (20 iterations)"

@@ -12,11 +12,13 @@
 //! - [`serve`]: the HTTP prediction service over a fitted model.
 //! - [`stats`]: the statistics substrate.
 //! - [`par`]: the deterministic worker pool underneath the hot paths.
+//! - [`faults`]: seeded fault injection for reproducible chaos runs.
 
 #![forbid(unsafe_code)]
 
 pub use ceer_cloud as cloud;
 pub use ceer_core as model;
+pub use ceer_faults as faults;
 pub use ceer_gpusim as gpusim;
 pub use ceer_graph as graph;
 pub use ceer_par as par;

@@ -1,0 +1,392 @@
+//! Chaos suite: a real `ceer-serve` server on an OS-assigned port, killed
+//! on purpose through seeded fault plans.
+//!
+//! Every plan here is parsed with [`chaos_seed`] (CEER_FAULT_SEED, default
+//! 7), so CI can replay the whole suite under several fixed seeds: the
+//! injected schedule is a pure function of `(seed, site, call)`, and the
+//! determinism test below asserts a byte-identical fault digest across two
+//! runs of the same scenario. The scenarios are the classic server
+//! killers — slowloris stalls, truncated requests, mid-response
+//! disconnects, reload races against a failing disk, poisoned locks, and
+//! floods past the queue bound — and the assertions are always the same
+//! shape: the server answers (or closes) within its deadlines, keeps
+//! serving afterwards, and its robustness counters account for every
+//! shed, timed-out, and errored request.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use ceer::faults::{injector, FaultPlan};
+use ceer::model::{Ceer, CeerModel, EstimateOptions, FitConfig};
+use ceer::serve::api::{self, PredictRequest};
+use ceer::serve::{Client, ModelRegistry, RetryPolicy, Server, ServerConfig};
+use ceer_graph::models::CnnId;
+
+/// One tiny fitted model shared by every test in this file.
+fn model() -> &'static CeerModel {
+    static MODEL: OnceLock<CeerModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        Ceer::fit(&FitConfig {
+            cnns: vec![CnnId::Vgg11],
+            iterations: 2,
+            parallel_degrees: vec![1, 2],
+            seed: 77,
+            ..FitConfig::default()
+        })
+    })
+}
+
+/// The seed behind every plan in this suite. CI sweeps it (7, 1234, …);
+/// each value must produce a passing run with its own reproducible
+/// schedule.
+fn chaos_seed() -> u64 {
+    std::env::var("CEER_FAULT_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7)
+}
+
+fn plan(spec: &str) -> FaultPlan {
+    FaultPlan::parse(chaos_seed(), spec).expect("valid chaos plan spec")
+}
+
+fn start(faults: Option<FaultPlan>, tweak: impl FnOnce(&mut ServerConfig)) -> Server {
+    let mut config = ServerConfig {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        workers: 2,
+        cache_capacity: 16,
+        faults,
+        ..ServerConfig::default()
+    };
+    tweak(&mut config);
+    Server::start(&config, ModelRegistry::from_model(model().clone())).expect("server starts")
+}
+
+/// Opens a raw socket to the server with a generous client-side read
+/// timeout, so a server that wrongly hangs fails the test instead of
+/// wedging it.
+fn raw_socket(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+}
+
+/// Reads until EOF (or client-side timeout) and returns what arrived.
+fn drain(stream: &mut TcpStream) -> String {
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[test]
+fn slowloris_requests_time_out_and_are_counted() {
+    let server = start(None, |c| {
+        c.read_timeout_ms = 200;
+        c.request_timeout_ms = 1_000;
+    });
+
+    // Half a request, then silence: headers promise a body that never comes.
+    let mut stream = raw_socket(&server);
+    stream.write_all(b"POST /predict HTTP/1.1\r\ncontent-length: 64\r\n\r\n").unwrap();
+    let started = Instant::now();
+    let response = drain(&mut stream);
+    let elapsed = started.elapsed();
+
+    assert!(
+        response.starts_with("HTTP/1.1 408"),
+        "a stalled request must be answered with 408, got: {response:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "the 408 must arrive within the server deadlines, took {elapsed:?}"
+    );
+
+    // The server is still healthy and the timeout is accounted for.
+    let client = Client::new(server.addr());
+    client.health().expect("server healthy after slowloris");
+    let snapshot = client.metrics().expect("metrics after slowloris");
+    assert_eq!(snapshot.robustness.timeouts, 1, "exactly one timed-out request");
+    server.shutdown();
+}
+
+#[test]
+fn truncated_requests_close_cleanly_and_are_counted() {
+    let server = start(None, |c| c.read_timeout_ms = 500);
+
+    // A body cut off mid-stream: the peer half-closes after 4 of 64 bytes.
+    let mut stream = raw_socket(&server);
+    stream.write_all(b"POST /predict HTTP/1.1\r\ncontent-length: 64\r\n\r\nhalf").unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let response = drain(&mut stream);
+    assert!(
+        response.is_empty(),
+        "a truncated request has no valid reply; the connection just closes, got: {response:?}"
+    );
+
+    let client = Client::new(server.addr());
+    client.health().expect("server healthy after truncated request");
+    let snapshot = client.metrics().expect("metrics after truncated request");
+    assert_eq!(snapshot.robustness.io_errors, 1, "the truncation is accounted as an I/O error");
+    server.shutdown();
+}
+
+#[test]
+fn mid_response_disconnects_leave_the_server_healthy() {
+    let server = start(None, |c| c.workers = 2);
+
+    // Eight clients that send a full request and vanish without reading
+    // the answer; the write side may or may not error depending on how
+    // much the kernel buffered, so only server health is asserted.
+    for _ in 0..8 {
+        let mut stream = raw_socket(&server);
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        drop(stream);
+    }
+
+    let client = Client::new(server.addr());
+    client.health().expect("server healthy after disconnect storm");
+    client.metrics().expect("metrics endpoint healthy after disconnect storm");
+    server.shutdown();
+}
+
+#[test]
+fn injected_write_faults_error_deterministically_and_are_counted() {
+    // Both write calls of response 1 fail — the explicit flush and the
+    // BufWriter drop's retry — so the first client genuinely gets nothing;
+    // later responses write cleanly.
+    let server = start(Some(plan("serve.http.write=err@#1,2")), |c| c.workers = 1);
+    let client = Client::new(server.addr());
+
+    let first = client.health();
+    assert!(first.is_err(), "response 1's write is injected to fail");
+    client.health().expect("later responses write cleanly again");
+
+    let snapshot = client.metrics().expect("metrics");
+    assert_eq!(snapshot.robustness.io_errors, 1, "the injected write failure is accounted");
+    assert_eq!(server.fault_digest(), "serve.http.write#1:err\nserve.http.write#2:err\n");
+    server.shutdown();
+}
+
+#[test]
+fn fault_schedules_replay_byte_identically() {
+    // The full-stack flavour of determinism: run the same scenario twice
+    // and require the same injected schedule, byte for byte. The sites are
+    // connection-granular (accept, dispatch) so the call sequence is exactly
+    // the request sequence, independent of scheduling or packetization.
+    let spec = "serve.dispatch=err@0.4;serve.accept=delay:1@0.25";
+    let run = || {
+        let server = start(Some(plan(spec)), |c| c.workers = 1);
+        let client = Client::new(server.addr());
+        for _ in 0..12 {
+            // Dropped connections surface as client errors; they are the
+            // point, not a failure.
+            let _ = client.health();
+        }
+        let digest = server.fault_digest();
+        server.shutdown();
+        digest
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed, same scenario, same schedule");
+    assert!(!first.is_empty(), "p=0.4 over 12 calls injects at least once for any seed we sweep");
+
+    // And the pure-function flavour: two injectors built from the same
+    // plan agree on the whole schedule without any server at all.
+    let a = injector(plan(spec)).expect("non-empty plan");
+    let b = injector(plan(spec)).expect("non-empty plan");
+    assert_eq!(a.schedule("serve.dispatch", 1_000), b.schedule("serve.dispatch", 1_000));
+    assert_eq!(a.schedule("serve.accept", 1_000), b.schedule("serve.accept", 1_000));
+}
+
+#[test]
+fn reload_races_with_a_failing_disk_never_corrupt_the_served_model() {
+    // The model file is valid the whole time; the *reads* of it fail with
+    // p=0.5. A failed reload must leave the old model serving, so every
+    // prediction stays byte-identical throughout the race.
+    let path = std::env::temp_dir().join(format!("ceer-chaos-reload-{}.json", std::process::id()));
+    std::fs::write(&path, serde_json::to_vec(model()).unwrap()).unwrap();
+    let config = ServerConfig {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        workers: 3,
+        cache_capacity: 16,
+        faults: Some(plan("serve.reload.read=err@0.5")),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(&config, ModelRegistry::load(&path).unwrap()).unwrap();
+
+    let request = PredictRequest {
+        cnn: "vgg-11".to_string(),
+        gpu: None,
+        gpus: 2,
+        batch: 32,
+        samples: 64_000,
+        options: EstimateOptions::default(),
+    };
+    let expected =
+        serde_json::to_string_pretty(&api::predict(model(), &request).unwrap()).unwrap() + "\n";
+
+    let (reload_ok, reload_failed) = std::thread::scope(|scope| {
+        let predictors: Vec<_> = (0..2)
+            .map(|_| {
+                let request = &request;
+                let expected = &expected;
+                let client = Client::new(server.addr());
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let body = serde_json::to_string(request).unwrap();
+                        let raw = client.request("POST", "/predict", body.as_bytes()).unwrap();
+                        assert_eq!(raw.status, 200, "predictions never degrade mid-reload");
+                        assert_eq!(&raw.body, expected, "never a partially-loaded model");
+                    }
+                })
+            })
+            .collect();
+
+        let reloader = {
+            let client = Client::new(server.addr());
+            scope.spawn(move || {
+                let (mut ok, mut failed) = (0u64, 0u64);
+                for _ in 0..8 {
+                    let raw = client.request("POST", "/reload", b"").unwrap();
+                    match raw.status {
+                        200 => ok += 1,
+                        500 => {
+                            assert!(
+                                raw.body.contains("error"),
+                                "reload failures are structured, got: {}",
+                                raw.body
+                            );
+                            failed += 1;
+                        }
+                        other => panic!("unexpected /reload status {other}: {}", raw.body),
+                    }
+                }
+                (ok, failed)
+            })
+        };
+
+        for p in predictors {
+            p.join().unwrap();
+        }
+        reloader.join().unwrap()
+    });
+
+    assert_eq!(reload_ok + reload_failed, 8);
+    assert!(reload_failed > 0, "p=0.5 over 8 reloads injects at least once for swept seeds");
+    let client = Client::new(server.addr());
+    let snapshot = client.metrics().unwrap();
+    assert_eq!(snapshot.robustness.reload_failures, reload_failed);
+    assert_eq!(snapshot.model_reloads, reload_ok);
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn poisoned_metrics_lock_recovers_without_losing_the_server() {
+    // The second metrics-record call panics while holding the endpoints
+    // lock. The worker's catch_unwind contains it; every later lock access
+    // heals the poison, so the server keeps answering and keeps counting.
+    let server = start(Some(plan("serve.metrics.lock=poison@#2")), |c| c.workers = 2);
+    let client = Client::new(server.addr());
+
+    client.health().expect("call 1 records cleanly");
+    // Call 2 panics after the handler ran but before the response write,
+    // so the client sees a dropped connection.
+    let poisoned = client.health();
+    assert!(poisoned.is_err(), "the poisoned request dies before its response");
+
+    client.health().expect("the server answers after the poison");
+    // The client sees the dropped connection while the worker is still
+    // unwinding; the PanicRecovered bump lands when catch_unwind returns,
+    // so give it a bounded moment.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let recovered = loop {
+        let snapshot = client.metrics().expect("the poisoned lock heals for readers");
+        if snapshot.robustness.panics_recovered > 0 || Instant::now() > deadline {
+            break snapshot.robustness.panics_recovered;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(recovered, 1, "the contained panic is accounted exactly once");
+    server.shutdown();
+}
+
+#[test]
+fn floods_past_the_queue_bound_shed_429_and_every_request_is_accounted() {
+    // One worker, queue of one, and every dispatch delayed 50ms: a burst
+    // of 12 must split cleanly into served (200) and shed (429) with
+    // nothing lost, and the shed counter must match the 429s observed.
+    let server = start(Some(plan("serve.dispatch=delay:50@1")), |c| {
+        c.workers = 1;
+        c.max_pending = 1;
+    });
+
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let client = Client::new(server.addr());
+                scope.spawn(move || client.get("/healthz").expect("every request gets an answer"))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap().status).collect()
+    });
+
+    let served = statuses.iter().filter(|s| **s == 200).count() as u64;
+    let shed = statuses.iter().filter(|s| **s == 429).count() as u64;
+    assert_eq!(served + shed, 12, "only 200 or 429, nothing dropped: {statuses:?}");
+    assert!(served > 0, "the worker drains the queue");
+
+    let client = Client::new(server.addr());
+    let snapshot = client.metrics().unwrap();
+    assert_eq!(snapshot.robustness.shed, shed, "every 429 is accounted as shed");
+    server.shutdown();
+}
+
+#[test]
+fn retry_client_recovers_from_an_injected_drop_and_is_counted() {
+    // The very first dispatched connection is dropped; a GET through the
+    // retrying client must transparently recover on attempt 2, and the
+    // server must see (and count) the retry marker.
+    let server = start(Some(plan("serve.dispatch=err@#1")), |c| c.workers = 1);
+    let client = Client::new(server.addr()).with_retry(RetryPolicy::retries(3, chaos_seed()));
+
+    let response = client.get("/healthz").expect("retry recovers the dropped connection");
+    assert_eq!(response.status, 200);
+
+    let snapshot = Client::new(server.addr()).metrics().unwrap();
+    assert_eq!(snapshot.robustness.retried_requests, 1, "attempt 2 carried the retry marker");
+    assert_eq!(snapshot.robustness.io_errors, 1, "the injected drop is accounted");
+    assert_eq!(server.fault_digest(), "serve.dispatch#1:err\n");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_refuses_new_work() {
+    let server = start(None, |c| c.workers = 2);
+    let addr = server.addr();
+    let client = Client::new(addr);
+    client.health().expect("serving before shutdown");
+    assert_eq!(client.get("/readyz").unwrap().status, 200);
+
+    server.shutdown();
+
+    // After the drain completes the listener is gone: either the connect
+    // is refused or the socket closes without an answer.
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut stream) => {
+            stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            drain(&mut stream).is_empty()
+        }
+    };
+    assert!(refused, "a shut-down server accepts no new work");
+}

@@ -26,8 +26,18 @@ fn model() -> &'static CeerModel {
 }
 
 fn start(cache_capacity: usize) -> Server {
-    let config =
-        ServerConfig { host: "127.0.0.1".to_string(), port: 0, workers: 4, cache_capacity };
+    // Honour CEER_FAULT_PLAN/CEER_FAULT_SEED so the CI stress loop can run
+    // this whole suite under a (delay-only) fault plan; a typo'd plan fails
+    // loudly here instead of silently injecting nothing.
+    let faults = ceer::faults::FaultPlan::from_env().expect("valid CEER_FAULT_PLAN");
+    let config = ServerConfig {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        workers: 4,
+        cache_capacity,
+        faults,
+        ..ServerConfig::default()
+    };
     Server::start(&config, ModelRegistry::from_model(model().clone())).expect("server starts")
 }
 
@@ -159,8 +169,13 @@ fn malformed_and_unknown_requests_answer_http_errors() {
 fn reload_swaps_the_model_and_clears_the_cache() {
     let path = std::env::temp_dir().join(format!("ceer-serve-it-{}.json", std::process::id()));
     std::fs::write(&path, serde_json::to_vec(model()).unwrap()).unwrap();
-    let config =
-        ServerConfig { host: "127.0.0.1".to_string(), port: 0, workers: 2, cache_capacity: 64 };
+    let config = ServerConfig {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        workers: 2,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    };
     let server = Server::start(&config, ModelRegistry::load(&path).unwrap()).unwrap();
     let client = Client::new(server.addr());
 
@@ -176,6 +191,117 @@ fn reload_swaps_the_model_and_clears_the_cache() {
 
     // Same file on disk → the re-read model predicts identically.
     assert_eq!(client.predict(&request).unwrap(), first);
+    std::fs::remove_file(&path).ok();
+    server.shutdown();
+}
+
+#[test]
+fn readyz_reports_ready_while_serving() {
+    let server = start(16);
+    let client = Client::new(server.addr());
+    let raw = client.get("/readyz").unwrap();
+    assert_eq!(raw.status, 200);
+    assert!(raw.body.contains("ready"));
+    // Wrong method is 405, not 404: the route exists.
+    assert_eq!(client.request("POST", "/readyz", b"").unwrap().status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_bodies_answer_413_and_are_counted() {
+    let config = ServerConfig {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        workers: 2,
+        cache_capacity: 16,
+        max_body_bytes: 64,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(&config, ModelRegistry::from_model(model().clone())).expect("server starts");
+    let client = Client::new(server.addr());
+
+    let huge = vec![b'x'; 65];
+    let raw = client.request("POST", "/predict", &huge).unwrap();
+    assert_eq!(raw.status, 413);
+    assert!(raw.body.contains("65"), "body names the declared size: {}", raw.body);
+    assert!(raw.body.contains("64"), "body names the limit: {}", raw.body);
+
+    // The server is fully alive afterwards, and the rejection is counted.
+    client.health().unwrap();
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.robustness.body_limit_rejections, 1);
+    assert_eq!(metrics.endpoints["(body-too-large)"].errors, 1);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_are_counted() {
+    let server = start(16);
+    let client = Client::new(server.addr());
+    // A raw, non-HTTP payload: the reader classifies it as malformed.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    use std::io::{Read, Write};
+    stream.write_all(b"this is not http\r\n\r\n").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 400 "), "got {out:?}");
+
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.robustness.malformed, 1);
+    server.shutdown();
+}
+
+/// `POST /reload` failure paths: a corrupt, truncated, or wrong-schema
+/// model file must leave the previous model serving, answer a structured
+/// error, and increment the reload-failure counter — for every flavor of
+/// broken file.
+#[test]
+fn failed_reloads_keep_the_old_model_serving() {
+    let path =
+        std::env::temp_dir().join(format!("ceer-serve-badreload-{}.json", std::process::id()));
+    let good = serde_json::to_vec(model()).unwrap();
+    std::fs::write(&path, &good).unwrap();
+    let config = ServerConfig {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        workers: 2,
+        cache_capacity: 16,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(&config, ModelRegistry::load(&path).unwrap()).unwrap();
+    let client = Client::new(server.addr());
+
+    let request = predict_request("vgg-11");
+    let before = client.predict(&request).unwrap();
+
+    let broken: Vec<(&str, Vec<u8>)> = vec![
+        ("corrupt", b"{ this is not json".to_vec()),
+        ("truncated", good[..good.len() / 2].to_vec()),
+        ("wrong-schema", br#"{"valid": "json", "wrong": "shape"}"#.to_vec()),
+    ];
+    for (i, (label, bytes)) in broken.iter().enumerate() {
+        std::fs::write(&path, bytes).unwrap();
+        let raw = client.request("POST", "/reload", b"").unwrap();
+        assert_eq!(raw.status, 500, "{label}: reload must fail");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&raw.body).expect("structured JSON error body");
+        assert!(
+            parsed.get("error").and_then(serde_json::Value::as_str).is_some(),
+            "{label}: error body must carry an \"error\" field: {}",
+            raw.body
+        );
+        // The old model keeps serving, bit-identically.
+        assert_eq!(client.predict(&request).unwrap(), before, "{label}");
+        let metrics = client.metrics().unwrap();
+        assert_eq!(metrics.robustness.reload_failures, (i + 1) as u64, "{label}");
+        assert_eq!(metrics.model_reloads, 0, "{label}: no successful reload");
+    }
+
+    // Restoring a good file heals reload completely.
+    std::fs::write(&path, &good).unwrap();
+    assert_eq!(client.reload().unwrap(), 1);
+    assert_eq!(client.predict(&request).unwrap(), before);
     std::fs::remove_file(&path).ok();
     server.shutdown();
 }
