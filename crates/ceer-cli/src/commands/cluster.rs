@@ -1,0 +1,103 @@
+//! `ceer cluster` — run a sharded, replicated serving cluster.
+
+use ceer_cluster::{Cluster, ClusterConfig};
+
+use crate::args::Args;
+
+const HELP: &str = "\
+ceer cluster — sharded, replicated prediction serving over HTTP
+
+Runs N shard nodes plus a router speaking the `ceer serve` JSON API,
+all in one process on loopback TCP. Each shard owns a slice of the
+(model-version, cache-key) space via rendezvous hashing; requests
+replicate across --replicas owners with failover, overloaded shards
+shed with Retry-After pacing, and POST /reload re-reads the model file
+and installs it cluster-wide (stragglers are healed from heartbeats).
+
+The same router/shard state machines run deterministically under
+`ceer-sim` in the chaos suite (`cargo test -p ceer-cluster`).
+
+OPTIONS:
+    --model FILE     fitted model from `ceer fit` (required; re-read on
+                     POST /reload)
+    --host HOST      interface for the HTTP gateway (default 127.0.0.1)
+    --port PORT      gateway port (default 8200; 0 picks a free port)
+    --shards N       shard nodes (default 3)
+    --replicas R     owners per key (default 2, capped at --shards)
+
+TUNING:
+    --service-ms N        modeled per-prediction service time (default 0)
+    --max-backlog-ms N    shard queue depth before shedding (default 200)
+    --heartbeat-ms N      shard heartbeat period (default 250)
+    --suspicion-ms N      unheard-for shards are routed around (default 1500)
+    --request-timeout-ms N  per-item failover timeout (default 2000)
+    --cache-capacity N    per-shard prediction-cache entries (default 256)
+
+FAULT INJECTION (chaos testing):
+    CEER_FAULT_PLAN   seeded fault plan; site cluster.shard.reload.<label>
+                      fails that shard's installs, e.g.
+                      \"cluster.shard.reload.shard-0=err@#1\"
+    CEER_FAULT_SEED   seed for probabilistic triggers (default 0)
+
+ENDPOINTS:
+    GET  /healthz, /metrics (aggregated across shards)
+    POST /predict, /predict_batch, /reload
+
+`POST /predict` answers byte-for-byte what `ceer serve` and
+`ceer predict --json` produce for the same request.";
+
+pub(crate) fn run(args: &Args) -> Result<(), String> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let model_path = args.require("--model")?;
+    let defaults = ClusterConfig::default();
+    let host = args.opt("--host")?.unwrap_or_else(|| defaults.host.clone());
+    let port = args.opt_parse("--port", 8200u16)?;
+    let shards = args.opt_parse("--shards", defaults.shards)?;
+    let replicas = args.opt_parse("--replicas", defaults.replicas)?;
+    let service_ms = args.opt_parse("--service-ms", defaults.service_ms)?;
+    let max_backlog_ms = args.opt_parse("--max-backlog-ms", defaults.max_backlog_ms)?;
+    let heartbeat_ms = args.opt_parse("--heartbeat-ms", defaults.heartbeat_ms)?;
+    let suspicion_ms = args.opt_parse("--suspicion-ms", defaults.suspicion_ms)?;
+    let request_timeout_ms = args.opt_parse("--request-timeout-ms", defaults.request_timeout_ms)?;
+    let cache_capacity = args.opt_parse("--cache-capacity", defaults.cache_capacity)?;
+    args.finish()?;
+    if shards == 0 {
+        return Err("--shards must be positive".into());
+    }
+    if replicas == 0 {
+        return Err("--replicas must be positive".into());
+    }
+    let faults = ceer_faults::FaultPlan::from_env()?;
+    if let Some(plan) = &faults {
+        eprintln!("ceer-cluster: fault injection active (seed {}): {plan}", plan.seed);
+    }
+
+    let config = ClusterConfig {
+        host,
+        port,
+        shards,
+        replicas: replicas.min(shards as usize),
+        model_path: model_path.clone().into(),
+        service_ms,
+        max_backlog_ms,
+        heartbeat_ms,
+        suspicion_ms,
+        request_timeout_ms,
+        cache_capacity,
+        faults: faults.and_then(ceer_faults::injector),
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::start(&config)?;
+    println!(
+        "ceer-cluster listening on http://{} ({} shards, {} replicas, model {model_path:?})",
+        cluster.http_addr(),
+        config.shards,
+        config.replicas
+    );
+    println!("endpoints: GET /healthz /metrics — POST /predict /predict_batch /reload");
+    cluster.wait();
+    Ok(())
+}

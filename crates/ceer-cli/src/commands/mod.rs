@@ -1,6 +1,7 @@
 //! CLI subcommands.
 
 pub(crate) mod catalog;
+pub(crate) mod cluster;
 pub(crate) mod collect;
 pub(crate) mod fit;
 pub(crate) mod inspect;

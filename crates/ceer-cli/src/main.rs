@@ -12,6 +12,7 @@
 //! ceer zoo        [--cnn NAME]
 //! ceer catalog    [--market]
 //! ceer serve      --model model.json [--port P] [--workers N]
+//! ceer cluster    --model model.json [--port P] [--shards N] [--replicas R]
 //! ```
 //!
 //! `fit`, `collect`, `predict`, `recommend`, `profile` and `serve` also take
@@ -45,6 +46,7 @@ COMMANDS:
     zoo        list the CNN model zoo (or details of one CNN)
     catalog    list the AWS GPU instance catalog
     serve      serve predictions from a fitted model over HTTP
+    cluster    serve predictions from a sharded, replicated cluster
     help       show this message
 
 Run `ceer <COMMAND> --help` for command options.";
@@ -83,6 +85,7 @@ fn main() -> ExitCode {
         "zoo" => commands::zoo::run(&args),
         "catalog" => commands::catalog::run(&args),
         "serve" => commands::serve::run(&args),
+        "cluster" => commands::cluster::run(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,130 @@
+//! Test harness pieces for driving a simulated cluster: a scripted
+//! client node that fires HTTP-shaped requests at the router on a
+//! virtual-time schedule and records every answer.
+//!
+//! Lives in the crate (not `tests/`) so the chaos suite, doc examples,
+//! and the bench can share one client implementation.
+
+use ceer_sim::{Event, Net, Node, NodeId};
+
+use crate::proto::{self, Msg, ReqId};
+
+/// One scripted request: fire at `at_ms`, method/path/body as given.
+#[derive(Debug, Clone)]
+pub struct ScriptEntry {
+    /// Virtual time to send at.
+    pub at_ms: u64,
+    /// HTTP method.
+    pub method: String,
+    /// HTTP path.
+    pub path: String,
+    /// Request body.
+    pub body: String,
+}
+
+impl ScriptEntry {
+    /// A scripted `POST` carrying `body`.
+    pub fn post(at_ms: u64, path: impl Into<String>, body: impl Into<String>) -> Self {
+        ScriptEntry { at_ms, method: "POST".into(), path: path.into(), body: body.into() }
+    }
+
+    /// A scripted `GET`.
+    pub fn get(at_ms: u64, path: impl Into<String>) -> Self {
+        ScriptEntry { at_ms, method: "GET".into(), path: path.into(), body: String::new() }
+    }
+}
+
+/// One recorded answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    /// Which script entry this answers (its index).
+    pub id: ReqId,
+    /// HTTP status.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+    /// `Retry-After` seconds, when the router sent one.
+    pub retry_after: Option<u64>,
+    /// Virtual time the answer arrived.
+    pub at_ms: u64,
+}
+
+/// A scripted client node: sends each [`ScriptEntry`] at its time,
+/// collects [`Answer`]s for post-run assertions.
+pub struct SimClient {
+    router: NodeId,
+    script: Vec<ScriptEntry>,
+    /// Answers in arrival order.
+    pub answers: Vec<Answer>,
+}
+
+impl SimClient {
+    /// A client that will fire `script` at `router`.
+    pub fn new(router: NodeId, script: Vec<ScriptEntry>) -> Self {
+        SimClient { router, script, answers: Vec::new() }
+    }
+
+    /// Answers sorted by request id (arrival order varies with network
+    /// jitter; id order is what assertions usually want).
+    pub fn answers_by_id(&self) -> Vec<Answer> {
+        let mut sorted = self.answers.clone();
+        sorted.sort_by_key(|a| a.id);
+        sorted
+    }
+
+    /// A compact deterministic rendering: one line per answer, id order.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for answer in self.answers_by_id() {
+            out.push_str(&format!(
+                "#{} {} len={} retry_after={:?}\n",
+                answer.id,
+                answer.status,
+                answer.body.len(),
+                answer.retry_after
+            ));
+        }
+        out
+    }
+}
+
+impl Node for SimClient {
+    fn on_event(&mut self, net: &mut dyn Net, event: Event) {
+        match event {
+            Event::Start => {
+                for (index, entry) in self.script.iter().enumerate() {
+                    net.set_timer(entry.at_ms, index as u64);
+                }
+            }
+            Event::Timer { tag } => {
+                if let Some(entry) = self.script.get(tag as usize) {
+                    let msg = Msg::ClientRequest {
+                        id: tag,
+                        method: entry.method.clone(),
+                        path: entry.path.clone(),
+                        body: entry.body.clone(),
+                    };
+                    let router = self.router;
+                    net.send(router, proto::encode(&msg));
+                }
+            }
+            Event::Message { bytes, .. } => {
+                if let Ok(Msg::ClientResponse { id, status, body, retry_after }) =
+                    proto::decode(&bytes)
+                {
+                    self.answers.push(Answer {
+                        id,
+                        status,
+                        body,
+                        retry_after,
+                        at_ms: net.now_ms(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,37 @@
+//! ceer-cluster — sharded, replicated serving of CEER models over an
+//! abstract network.
+//!
+//! The cluster is a set of [`ceer_sim::Node`] state machines: one
+//! [`RouterNode`] speaking the ceer-serve HTTP API at the edge, and N
+//! [`ShardNode`]s each owning a slice of the (model-version, cache-key)
+//! space assigned by a rendezvous-hash [`Ring`]. Requests replicate
+//! R-ways with failover; shards gossip liveness heartbeats; reloads
+//! broadcast transactionally and divergent shards are healed.
+//!
+//! Because every node is transport-blind, the *same* cluster code runs
+//! two ways:
+//!
+//! - under [`ceer_sim::Sim`] — deterministic virtual time, seeded
+//!   jitter/drops/partitions, byte-identical replay for the chaos suite
+//!   (`tests/sim_cluster.rs`);
+//! - over real loopback TCP via [`Cluster`] (`ceer cluster` in the CLI),
+//!   the only code in the crate allowed to touch `std::net` — the
+//!   `direct-net` lint rule keeps it that way.
+//!
+//! Predictions are byte-identical to single-process `ceer-serve` output:
+//! shards evaluate through the same `ceer_serve::api` functions and the
+//! router assembles the same response bodies.
+
+pub mod harness;
+pub mod proto;
+pub mod ring;
+pub mod router;
+pub mod shard;
+pub mod tcp;
+
+pub use harness::{Answer, ScriptEntry, SimClient};
+pub use proto::{ClusterMetrics, Msg, ReqId, RouterStats, ShardStats};
+pub use ring::Ring;
+pub use router::{ReloadSource, RouterConfig, RouterNode};
+pub use shard::{ShardConfig, ShardNode};
+pub use tcp::{Cluster, ClusterConfig};

@@ -1,0 +1,304 @@
+//! The cluster wire protocol: serde-encoded messages over opaque
+//! [`ceer_sim::Net`] frames, plus the stats types `/metrics` aggregates.
+//!
+//! Payload bodies are carried as *canonical JSON strings* (the parsed
+//! request re-serialized), so a shard's cache key and a router's routing
+//! key agree byte for byte with what `ceer-serve` would compute, and a
+//! cluster `/predict` answer is byte-identical to a single-process one.
+
+use std::collections::BTreeMap;
+
+use ceer_serve::ModelVersion;
+use serde::{Deserialize, Serialize};
+
+/// Correlates a request with its response across the cluster.
+pub type ReqId = u64;
+
+/// Every message the cluster speaks. One enum so decode is total: a frame
+/// either parses into a known message or counts as a decode error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    /// Gateway/client → router: one HTTP request.
+    ClientRequest {
+        /// Correlation id, chosen by the sender.
+        id: ReqId,
+        /// HTTP method.
+        method: String,
+        /// HTTP path.
+        path: String,
+        /// Request body (UTF-8 JSON).
+        body: String,
+    },
+    /// Router → gateway/client: the answer to a [`Msg::ClientRequest`].
+    ClientResponse {
+        /// Correlation id of the request.
+        id: ReqId,
+        /// HTTP status.
+        status: u16,
+        /// Response body (JSON).
+        body: String,
+        /// `Retry-After` seconds to emit (429/503).
+        retry_after: Option<u64>,
+    },
+    /// Router → shard: evaluate one canonical predict request.
+    Predict {
+        /// Correlation id (router-internal item id + attempt).
+        id: ReqId,
+        /// The cluster version the router expects the shard to serve.
+        version: ModelVersion,
+        /// Canonical [`ceer_serve::api::PredictRequest`] JSON.
+        body: String,
+    },
+    /// Shard → router: prediction succeeded.
+    PredictOk {
+        /// Correlation id of the [`Msg::Predict`].
+        id: ReqId,
+        /// The model version that answered.
+        version: ModelVersion,
+        /// [`ceer_serve::api::PredictResponse`] JSON (pretty, byte-equal
+        /// to single-process serving).
+        body: String,
+        /// Whether the shard's cache answered.
+        cached: bool,
+    },
+    /// Shard → router: the request itself was invalid (a 400, final).
+    PredictBad {
+        /// Correlation id of the [`Msg::Predict`].
+        id: ReqId,
+        /// Rejection reason.
+        error: String,
+    },
+    /// Shard → router: overloaded, retry later (maps to the serve stack's
+    /// 429 + `Retry-After` shedding).
+    PredictShed {
+        /// Correlation id of the [`Msg::Predict`].
+        id: ReqId,
+        /// How long the shard asks the router to back off.
+        retry_after_ms: u64,
+    },
+    /// Router → shard: install a new model version.
+    Reload {
+        /// The version being pushed.
+        version: ModelVersion,
+        /// Serialized [`ceer_core::CeerModel`] JSON.
+        model: String,
+    },
+    /// Shard → router: outcome of a [`Msg::Reload`].
+    ReloadAck {
+        /// The version the push was for.
+        version: ModelVersion,
+        /// Whether the shard installed it.
+        ok: bool,
+        /// Failure reason when `ok` is false.
+        error: String,
+    },
+    /// Router → shard: report your stats.
+    MetricsReq {
+        /// Correlation id of the aggregation round.
+        id: ReqId,
+    },
+    /// Shard → router: stats snapshot.
+    MetricsResp {
+        /// Correlation id of the aggregation round.
+        id: ReqId,
+        /// The shard's counters.
+        stats: ShardStats,
+    },
+    /// Shard → router and shard → shard: liveness + gossip.
+    Heartbeat {
+        /// The model version the sender currently serves.
+        version: ModelVersion,
+        /// Gossip: `(node id, latest virtual-ms heard)` pairs, sorted by
+        /// node id (built from a `BTreeMap`, so deterministic). Receivers
+        /// merge by max, so liveness survives links the router itself has
+        /// lost. Pairs, not a map: JSON object keys are strings, and the
+        /// wire stays faithful to the in-memory `u32` ids.
+        view: Vec<(u32, u64)>,
+    },
+}
+
+impl Msg {
+    /// A short stable name for trace lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::ClientRequest { .. } => "client-req",
+            Msg::ClientResponse { .. } => "client-resp",
+            Msg::Predict { .. } => "predict",
+            Msg::PredictOk { .. } => "predict-ok",
+            Msg::PredictBad { .. } => "predict-bad",
+            Msg::PredictShed { .. } => "predict-shed",
+            Msg::Reload { .. } => "reload",
+            Msg::ReloadAck { .. } => "reload-ack",
+            Msg::MetricsReq { .. } => "metrics-req",
+            Msg::MetricsResp { .. } => "metrics-resp",
+            Msg::Heartbeat { .. } => "heartbeat",
+        }
+    }
+}
+
+/// Encodes a message for the wire.
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    serde_json::to_vec(msg).unwrap_or_default()
+}
+
+/// Decodes a frame; a failure is the receiver's to count, never a panic.
+///
+/// # Errors
+///
+/// Errors when the bytes are not a known message.
+pub fn decode(bytes: &[u8]) -> Result<Msg, String> {
+    serde_json::from_slice(bytes).map_err(|e| format!("undecodable frame: {e}"))
+}
+
+/// Timer-tag namespacing: the kind lives in the top byte, the payload id
+/// in the low 48 bits, and an 8-bit attempt epoch in between so a stale
+/// timeout from attempt N can never misfire against attempt N+1.
+pub mod tag {
+    /// Periodic heartbeat (id unused).
+    pub const HEARTBEAT: u64 = 1 << 56;
+    /// Shard work-queue completion; id = work item.
+    pub const WORK: u64 = 2 << 56;
+    /// Router per-item response timeout; id = (item, attempt).
+    pub const ITEM_TIMEOUT: u64 = 3 << 56;
+    /// Router shed-retry wakeup; id = (item, attempt).
+    pub const ITEM_RETRY: u64 = 4 << 56;
+    /// Router reload-collection deadline; id = wait.
+    pub const RELOAD_WAIT: u64 = 5 << 56;
+    /// Router metrics-collection deadline; id = wait.
+    pub const METRICS_WAIT: u64 = 6 << 56;
+
+    const KIND_MASK: u64 = 0xff << 56;
+
+    /// Builds a tag from a kind constant and an id.
+    pub fn make(kind: u64, id: u64) -> u64 {
+        kind | (id & !KIND_MASK)
+    }
+
+    /// Builds an item tag carrying an attempt epoch.
+    pub fn item(kind: u64, item: u64, attempt: u32) -> u64 {
+        make(kind, (item << 8) | u64::from(attempt & 0xff))
+    }
+
+    /// The kind constant of a tag.
+    pub fn kind(tag: u64) -> u64 {
+        tag & KIND_MASK
+    }
+
+    /// The id of a plain tag.
+    pub fn id(tag: u64) -> u64 {
+        tag & !KIND_MASK
+    }
+
+    /// Splits an item tag back into `(item, attempt)`.
+    pub fn split_item(tag: u64) -> (u64, u32) {
+        let id = id(tag);
+        (id >> 8, (id & 0xff) as u32)
+    }
+}
+
+/// Per-shard counters, reported through `MetricsResp` and aggregated into
+/// [`ClusterMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ShardStats {
+    /// The shard's label.
+    pub label: String,
+    /// Model version currently served.
+    pub version: ModelVersion,
+    /// Predict requests accepted (including cache hits).
+    pub requests: u64,
+    /// Predict requests shed for backlog.
+    pub shed: u64,
+    /// Predict requests rejected as invalid.
+    pub bad_requests: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses (computed predictions).
+    pub cache_misses: u64,
+    /// Successful reloads installed.
+    pub reloads: u64,
+    /// Reload pushes that failed (parse error or injected fault).
+    pub reload_failures: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+}
+
+/// Router-side counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RouterStats {
+    /// Client requests accepted.
+    pub requests: u64,
+    /// Client responses answered 2xx.
+    pub ok: u64,
+    /// Client responses answered 4xx.
+    pub client_errors: u64,
+    /// Client responses answered 5xx.
+    pub server_errors: u64,
+    /// Predict items forwarded to shards (first attempts and retries).
+    pub forwards: u64,
+    /// Items re-routed to another replica after a timeout or stale answer.
+    pub failovers: u64,
+    /// Per-item response timeouts observed.
+    pub timeouts: u64,
+    /// Shed responses honored via their `retry_after_ms` hint.
+    pub retries_after_hint: u64,
+    /// Answers carrying a version other than the cluster's current one.
+    pub stale_answers: u64,
+    /// Reload broadcasts initiated.
+    pub reloads_pushed: u64,
+    /// Divergence heals: stale shards re-pushed the current model.
+    pub heals: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+}
+
+/// The aggregated `/metrics` answer for a cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterMetrics {
+    /// The cluster model version the router is routing for.
+    pub version: ModelVersion,
+    /// Router counters.
+    pub router: RouterStats,
+    /// Per-shard counters, keyed by shard label. Shards that missed the
+    /// collection deadline are absent here but present in `health`.
+    pub shards: BTreeMap<String, ShardStats>,
+    /// Router's health view: shard label → considered alive.
+    pub health: BTreeMap<String, bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_roundtrip() {
+        let msgs = vec![
+            Msg::ClientRequest {
+                id: 1,
+                method: "POST".into(),
+                path: "/predict".into(),
+                body: "{}".into(),
+            },
+            Msg::PredictShed { id: 2, retry_after_ms: 40 },
+            Msg::Heartbeat { version: ModelVersion(2), view: vec![(1, 100), (2, 250)] },
+        ];
+        for msg in msgs {
+            let decoded = decode(&encode(&msg)).unwrap();
+            assert_eq!(decoded, msg);
+        }
+        assert!(decode(b"not json").is_err());
+        assert!(decode(b"{\"Unknown\":{}}").is_err());
+    }
+
+    #[test]
+    fn tags_namespace_and_split() {
+        let t = tag::item(tag::ITEM_TIMEOUT, 77, 3);
+        assert_eq!(tag::kind(t), tag::ITEM_TIMEOUT);
+        assert_eq!(tag::split_item(t), (77, 3));
+        let h = tag::make(tag::HEARTBEAT, 0);
+        assert_eq!(tag::kind(h), tag::HEARTBEAT);
+        assert_ne!(tag::kind(t), tag::kind(h));
+        // Attempt epochs wrap at 8 bits but never bleed into the item id.
+        let wrapped = tag::item(tag::ITEM_RETRY, 5, 260);
+        assert_eq!(tag::split_item(wrapped), (5, 4));
+    }
+}

@@ -1,0 +1,141 @@
+//! Rendezvous (highest-random-weight) hashing: which shards own a key.
+//!
+//! Every `(node, key)` pair gets a pseudo-random score from an FNV-1a
+//! hash; a key's owners are the R highest-scoring live nodes. The
+//! property that makes this the right tool for a serving cluster: when a
+//! node joins or leaves, the only keys that change hands are the ones the
+//! node itself wins or held — everything else keeps its owner, so a
+//! membership change invalidates the minimal slice of cache state
+//! (`tests/ring.rs` proves this under proptest and pins the layout with a
+//! golden snapshot).
+
+use std::collections::BTreeSet;
+
+/// The rendezvous score of `(node, key)`: FNV-1a over the key bytes,
+/// the node id folded in, then a splitmix64-style avalanche finalizer.
+/// Pure and platform-stable, so ring layouts replay across runs and
+/// machines.
+///
+/// The finalizer is load-bearing: raw FNV-1a state differences between
+/// two nodes evolve *affinely* under a shared key suffix (difference ×
+/// prime per byte), so without it one node wins nearly every key of a
+/// given length and the "load spreads" property fails badly.
+pub fn score(node: u32, key: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in key.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut mixed = hash ^ u64::from(node).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    mixed ^= mixed >> 30;
+    mixed = mixed.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    mixed ^= mixed >> 27;
+    mixed = mixed.wrapping_mul(0x94d0_49bb_1331_11eb);
+    mixed ^= mixed >> 31;
+    mixed
+}
+
+/// A membership set with rendezvous-hash ownership lookups.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ring {
+    nodes: BTreeSet<u32>,
+}
+
+impl Ring {
+    /// A ring over `nodes` (duplicates collapse).
+    pub fn new(nodes: impl IntoIterator<Item = u32>) -> Self {
+        Ring { nodes: nodes.into_iter().collect() }
+    }
+
+    /// Adds a node (idempotent).
+    pub fn add(&mut self, node: u32) {
+        self.nodes.insert(node);
+    }
+
+    /// Removes a node (idempotent).
+    pub fn remove(&mut self, node: u32) {
+        self.nodes.remove(&node);
+    }
+
+    /// Current membership, ascending.
+    pub fn nodes(&self) -> Vec<u32> {
+        self.nodes.iter().copied().collect()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The `replicas` owners of `key`, best score first (fewer when the
+    /// ring is smaller than `replicas`). Ties break toward the lower node
+    /// id, so the order is total and deterministic.
+    pub fn owners(&self, key: &str, replicas: usize) -> Vec<u32> {
+        let mut scored: Vec<(u64, u32)> = self.nodes.iter().map(|&n| (score(n, key), n)).collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().take(replicas).map(|(_, n)| n).collect()
+    }
+
+    /// The primary owner of `key`, `None` on an empty ring.
+    pub fn primary(&self, key: &str) -> Option<u32> {
+        self.owners(key, 1).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owners_are_distinct_ordered_and_capped() {
+        let ring = Ring::new([1, 2, 3, 4, 5]);
+        let owners = ring.owners("v1/some-key", 3);
+        assert_eq!(owners.len(), 3);
+        let unique: BTreeSet<u32> = owners.iter().copied().collect();
+        assert_eq!(unique.len(), 3, "owners must be distinct: {owners:?}");
+        assert_eq!(ring.owners("v1/some-key", 10).len(), 5, "capped at ring size");
+        assert_eq!(ring.owners("v1/some-key", 3), owners, "lookup is pure");
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = Ring::default();
+        assert!(ring.owners("k", 2).is_empty());
+        assert_eq!(ring.primary("k"), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn removal_only_moves_the_removed_nodes_keys() {
+        let mut ring = Ring::new([1, 2, 3, 4, 5]);
+        let keys: Vec<String> = (0..64).map(|i| format!("v1/key-{i}")).collect();
+        let before: Vec<Option<u32>> = keys.iter().map(|k| ring.primary(k)).collect();
+        ring.remove(3);
+        for (key, owner) in keys.iter().zip(before) {
+            if owner != Some(3) {
+                assert_eq!(ring.primary(key), owner, "unaffected key {key} moved");
+            } else {
+                assert_ne!(ring.primary(key), Some(3));
+            }
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_nodes() {
+        let ring = Ring::new([1, 2, 3, 4, 5]);
+        let mut counts = std::collections::BTreeMap::new();
+        for i in 0..500 {
+            let owner = ring.primary(&format!("v1/key-{i}")).unwrap();
+            *counts.entry(owner).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 5, "every node should win something: {counts:?}");
+        for (&node, &count) in &counts {
+            assert!(count > 40, "node {node} owns only {count}/500 keys: {counts:?}");
+        }
+    }
+}

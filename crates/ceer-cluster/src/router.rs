@@ -1,0 +1,716 @@
+//! The router node: speaks the ceer-serve HTTP API on one side, the
+//! cluster protocol on the other.
+//!
+//! Responsibilities:
+//!
+//! * **Routing** — each predict item is keyed by `(model version,
+//!   canonical request)` and sent to the first of its R rendezvous-hash
+//!   owners ([`crate::ring`]) among the shards currently considered
+//!   alive;
+//! * **Failover** — a per-item timeout re-routes to the next replica;
+//!   attempt epochs in the timer tags make stale timeouts inert;
+//! * **Backpressure** — a shard's `PredictShed { retry_after_ms }` is
+//!   honored with a capped sleep on the virtual clock (the cluster-level
+//!   twin of the client's `Retry-After` handling);
+//! * **Health** — shards heartbeat the router and gossip among
+//!   themselves; a shard unheard (directly or transitively) for
+//!   `suspicion_ms` is routed around;
+//! * **Reloads** — `/reload` parses the new model once, bumps the
+//!   cluster [`ModelVersion`], broadcasts to live shards, and collects
+//!   acks under a deadline. Shards that miss the push (crashed,
+//!   partitioned, or failed mid-install) are *healed*: their next
+//!   heartbeat advertises the stale version and the router re-pushes the
+//!   current model, once per (shard, version);
+//! * **Aggregation** — `/metrics` fans out, collects under a deadline,
+//!   and answers one [`ClusterMetrics`] document.
+//!
+//! Pure state machine: no sockets, no clocks, no threads (`direct-net`
+//! lint rule); the same code runs under simulation and over real TCP.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ceer_serve::api::{
+    ErrorResponse, PredictBatchItem, PredictBatchRequest, PredictBatchResponse, PredictRequest,
+    PredictResponse,
+};
+use ceer_serve::ModelVersion;
+use ceer_sim::{Event, Net, Node, NodeId};
+
+use crate::proto::{self, tag, ClusterMetrics, Msg, ReqId, RouterStats, ShardStats};
+use crate::ring::Ring;
+
+/// Where `/reload` gets the next model from: a file read in production, a
+/// scripted closure under simulation.
+pub type ReloadSource = Box<dyn FnMut() -> Result<String, String> + Send>;
+
+/// Router tunables.
+pub struct RouterConfig {
+    /// The shard fleet: address and label per shard.
+    pub shards: Vec<(NodeId, String)>,
+    /// Replication degree R: how many owners each key has.
+    pub replicas: usize,
+    /// Per-item response timeout before failover.
+    pub request_timeout_ms: u64,
+    /// Cap on honoring a shard's `retry_after_ms` hint.
+    pub retry_after_cap_ms: u64,
+    /// Attempts per item (first try + failovers/retries).
+    pub max_attempts: u32,
+    /// A shard unheard for this long is routed around.
+    pub suspicion_ms: u64,
+    /// How long `/metrics` waits for shard responses.
+    pub metrics_wait_ms: u64,
+    /// How long `/reload` waits for acks.
+    pub reload_wait_ms: u64,
+}
+
+impl RouterConfig {
+    /// Defaults tuned for the simulation's millisecond scale; the TCP
+    /// runtime passes real-time values.
+    pub fn new(shards: Vec<(NodeId, String)>, replicas: usize) -> Self {
+        RouterConfig {
+            shards,
+            replicas: replicas.max(1),
+            request_timeout_ms: 100,
+            retry_after_cap_ms: 200,
+            max_attempts: 4,
+            suspicion_ms: 350,
+            metrics_wait_ms: 50,
+            reload_wait_ms: 200,
+        }
+    }
+}
+
+enum RequestKind {
+    Single,
+    Batch { slots: Vec<Option<PredictBatchItem>>, remaining: usize },
+}
+
+struct ClientReq {
+    from: NodeId,
+    id: ReqId,
+    kind: RequestKind,
+}
+
+struct Item {
+    client: u64,
+    slot: usize,
+    body: String,
+    attempt: u32,
+    tried: BTreeSet<u32>,
+    waiting_on: Option<u32>,
+}
+
+struct MetricsWait {
+    client: u64,
+    expected: usize,
+    collected: BTreeMap<String, ShardStats>,
+}
+
+struct ReloadWait {
+    client: u64,
+    acks: u64,
+    failures: u64,
+    expected: u64,
+    responded: bool,
+}
+
+/// The router state machine.
+pub struct RouterNode {
+    config: RouterConfig,
+    reload_source: ReloadSource,
+    version: ModelVersion,
+    /// The model JSON at `version`, kept for divergence heals.
+    current_model: Option<String>,
+    last_heard: BTreeMap<u32, u64>,
+    shard_versions: BTreeMap<u32, ModelVersion>,
+    /// Last heal per shard: `(version pushed, virtual ms)`. Heals are
+    /// rate-limited, not once-only: a shard that crashes *after* a heal
+    /// was pushed but *before* installing it still diverges, so the push
+    /// must repeat — just no more often than `reload_wait_ms`.
+    healed: BTreeMap<u32, (u64, u64)>,
+    clients: BTreeMap<u64, ClientReq>,
+    items: BTreeMap<u64, Item>,
+    metrics_waits: BTreeMap<u64, MetricsWait>,
+    reload_waits: BTreeMap<u64, ReloadWait>,
+    next_id: u64,
+    stats: RouterStats,
+}
+
+impl RouterNode {
+    /// A router for the given fleet. `reload_source` feeds `/reload`.
+    pub fn new(config: RouterConfig, reload_source: ReloadSource) -> Self {
+        RouterNode {
+            config,
+            reload_source,
+            version: ModelVersion::INITIAL,
+            current_model: None,
+            last_heard: BTreeMap::new(),
+            shard_versions: BTreeMap::new(),
+            healed: BTreeMap::new(),
+            clients: BTreeMap::new(),
+            items: BTreeMap::new(),
+            metrics_waits: BTreeMap::new(),
+            reload_waits: BTreeMap::new(),
+            next_id: 0,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Router counters (post-run inspection in sim tests).
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// The cluster version currently being routed for.
+    pub fn version(&self) -> ModelVersion {
+        self.version
+    }
+
+    fn label_of(&self, shard: u32) -> String {
+        self.config
+            .shards
+            .iter()
+            .find(|(id, _)| id.0 == shard)
+            .map_or_else(|| format!("n{shard}"), |(_, label)| label.clone())
+    }
+
+    fn alive(&self, shard: u32, now: u64) -> bool {
+        self.last_heard
+            .get(&shard)
+            .is_some_and(|&heard| now.saturating_sub(heard) <= self.config.suspicion_ms)
+    }
+
+    fn alive_shards(&self, now: u64) -> Vec<u32> {
+        self.config.shards.iter().map(|(id, _)| id.0).filter(|&s| self.alive(s, now)).collect()
+    }
+
+    fn next_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn respond(&mut self, net: &mut dyn Net, client: u64, status: u16, body: String) {
+        let Some(req) = self.clients.remove(&client) else {
+            return;
+        };
+        match status {
+            200..=299 => self.stats.ok += 1,
+            400..=499 => self.stats.client_errors += 1,
+            _ => self.stats.server_errors += 1,
+        }
+        let retry_after = if status == 429 || status == 503 { Some(1) } else { None };
+        let msg = Msg::ClientResponse { id: req.id, status, body, retry_after };
+        net.send(req.from, proto::encode(&msg));
+    }
+
+    fn respond_error(&mut self, net: &mut dyn Net, client: u64, status: u16, error: &str) {
+        let body = serde_json::to_string_pretty(&ErrorResponse { error: error.to_string() })
+            .unwrap_or_default();
+        self.respond(net, client, status, body);
+    }
+
+    fn on_client_request(
+        &mut self,
+        net: &mut dyn Net,
+        from: NodeId,
+        id: ReqId,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) {
+        self.stats.requests += 1;
+        let client = self.next_id();
+        self.clients.insert(client, ClientReq { from, id, kind: RequestKind::Single });
+        match (method, path) {
+            ("GET", "/healthz") => self.respond(net, client, 200, "{\"status\": \"ok\"}".into()),
+            ("GET", "/metrics") => self.start_metrics(net, client),
+            ("POST", "/reload") => self.start_reload(net, client),
+            ("POST", "/predict") => match serde_json::from_str::<PredictRequest>(body) {
+                Ok(request) => match serde_json::to_string(&request) {
+                    Ok(canonical) => self.start_item(net, client, 0, canonical),
+                    Err(e) => self.respond_error(net, client, 400, &e.to_string()),
+                },
+                Err(e) => {
+                    self.respond_error(net, client, 400, &format!("invalid request: {e}"));
+                }
+            },
+            ("POST", "/predict_batch") => match serde_json::from_str::<PredictBatchRequest>(body) {
+                Ok(request) => self.start_batch(net, client, &request),
+                Err(e) => {
+                    self.respond_error(net, client, 400, &format!("invalid request: {e}"));
+                }
+            },
+            _ => self.respond_error(net, client, 404, "not found"),
+        }
+    }
+
+    fn start_batch(&mut self, net: &mut dyn Net, client: u64, request: &PredictBatchRequest) {
+        let n = request.requests.len();
+        if n == 0 {
+            let body = serde_json::to_string_pretty(&PredictBatchResponse { responses: vec![] })
+                .unwrap_or_default();
+            self.respond(net, client, 200, body);
+            return;
+        }
+        if let Some(req) = self.clients.get_mut(&client) {
+            req.kind = RequestKind::Batch { slots: vec![None; n], remaining: n };
+        }
+        for (slot, item) in request.requests.iter().enumerate() {
+            match serde_json::to_string(item) {
+                Ok(canonical) => self.start_item(net, client, slot, canonical),
+                Err(e) => self.finish_item_slot(
+                    net,
+                    client,
+                    slot,
+                    PredictBatchItem { response: None, error: Some(e.to_string()) },
+                ),
+            }
+        }
+    }
+
+    fn start_item(&mut self, net: &mut dyn Net, client: u64, slot: usize, body: String) {
+        let item_id = self.next_id();
+        self.items.insert(
+            item_id,
+            Item { client, slot, body, attempt: 0, tried: BTreeSet::new(), waiting_on: None },
+        );
+        self.send_item(net, item_id);
+    }
+
+    /// Picks the best untried live owner for the item and forwards it.
+    fn send_item(&mut self, net: &mut dyn Net, item_id: u64) {
+        let now = net.now_ms();
+        let ring = Ring::new(self.alive_shards(now));
+        let Some(item) = self.items.get_mut(&item_id) else {
+            return;
+        };
+        let key = format!("{}/{}", self.version, item.body);
+        let target = ring
+            .owners(&key, self.config.replicas)
+            .into_iter()
+            .find(|owner| !item.tried.contains(owner));
+        let Some(shard) = target else {
+            let failed = self.fail_item(item_id);
+            if let Some((client, slot)) = failed {
+                self.item_error(net, client, slot, 503, "no shard available");
+            }
+            return;
+        };
+        item.waiting_on = Some(shard);
+        item.attempt += 1;
+        let attempt = item.attempt;
+        let msg = Msg::Predict { id: item_id, version: self.version, body: item.body.clone() };
+        self.stats.forwards += 1;
+        net.send(NodeId(shard), proto::encode(&msg));
+        net.set_timer(
+            self.config.request_timeout_ms,
+            tag::item(tag::ITEM_TIMEOUT, item_id, attempt),
+        );
+    }
+
+    fn fail_item(&mut self, item_id: u64) -> Option<(u64, usize)> {
+        self.items.remove(&item_id).map(|item| (item.client, item.slot))
+    }
+
+    fn item_error(
+        &mut self,
+        net: &mut dyn Net,
+        client: u64,
+        slot: usize,
+        status: u16,
+        error: &str,
+    ) {
+        match self.clients.get(&client).map(|c| matches!(c.kind, RequestKind::Single)) {
+            Some(true) => self.respond_error(net, client, status, error),
+            Some(false) => self.finish_item_slot(
+                net,
+                client,
+                slot,
+                PredictBatchItem { response: None, error: Some(error.to_string()) },
+            ),
+            None => {}
+        }
+    }
+
+    fn finish_item_slot(
+        &mut self,
+        net: &mut dyn Net,
+        client: u64,
+        slot: usize,
+        outcome: PredictBatchItem,
+    ) {
+        let done = match self.clients.get_mut(&client).map(|c| &mut c.kind) {
+            Some(RequestKind::Batch { slots, remaining }) => {
+                if let Some(entry) = slots.get_mut(slot) {
+                    if entry.is_none() {
+                        *entry = Some(outcome);
+                        *remaining -= 1;
+                    }
+                }
+                *remaining == 0
+            }
+            _ => false,
+        };
+        if done {
+            let body = match self.clients.get_mut(&client).map(|c| &mut c.kind) {
+                Some(RequestKind::Batch { slots, .. }) => {
+                    let responses: Vec<PredictBatchItem> = slots
+                        .iter_mut()
+                        .map(|s| {
+                            s.take().unwrap_or(PredictBatchItem {
+                                response: None,
+                                error: Some("item lost".to_string()),
+                            })
+                        })
+                        .collect();
+                    serde_json::to_string_pretty(&PredictBatchResponse { responses })
+                        .unwrap_or_default()
+                }
+                _ => String::new(),
+            };
+            self.respond(net, client, 200, body);
+        }
+    }
+
+    fn on_predict_ok(
+        &mut self,
+        net: &mut dyn Net,
+        item_id: u64,
+        version: ModelVersion,
+        body: String,
+    ) {
+        if version != self.version {
+            // An answer computed against a version we no longer route
+            // for: route the item again rather than serve stale numbers.
+            self.stats.stale_answers += 1;
+            if let Some(item) = self.items.get_mut(&item_id) {
+                if let Some(shard) = item.waiting_on.take() {
+                    item.tried.insert(shard);
+                }
+                self.stats.failovers += 1;
+                self.retry_or_fail(net, item_id, 502, "no up-to-date replica");
+            }
+            return;
+        }
+        let Some(item) = self.items.remove(&item_id) else {
+            return; // duplicate or post-failover answer — already done
+        };
+        let client = item.client;
+        match self.clients.get(&client).map(|c| matches!(c.kind, RequestKind::Single)) {
+            Some(true) => self.respond(net, client, 200, body),
+            Some(false) => {
+                let parsed: Option<PredictResponse> = serde_json::from_str(&body).ok();
+                let outcome = match parsed {
+                    Some(response) => PredictBatchItem { response: Some(response), error: None },
+                    None => PredictBatchItem {
+                        response: None,
+                        error: Some("undecodable shard answer".to_string()),
+                    },
+                };
+                self.finish_item_slot(net, client, item.slot, outcome);
+            }
+            None => {}
+        }
+    }
+
+    fn retry_or_fail(&mut self, net: &mut dyn Net, item_id: u64, status: u16, error: &str) {
+        let exhausted =
+            self.items.get(&item_id).is_some_and(|item| item.attempt >= self.config.max_attempts);
+        if exhausted {
+            if let Some((client, slot)) = self.fail_item(item_id) {
+                self.item_error(net, client, slot, status, error);
+            }
+        } else {
+            self.send_item(net, item_id);
+        }
+    }
+
+    fn on_shed(&mut self, net: &mut dyn Net, item_id: u64, retry_after_ms: u64) {
+        let Some(item) = self.items.get_mut(&item_id) else {
+            return;
+        };
+        // Honor the shard's pacing hint, capped: a confused shard must
+        // not park a client request for a whole suspicion window.
+        let delay = retry_after_ms.min(self.config.retry_after_cap_ms);
+        item.waiting_on = None;
+        item.attempt += 1; // invalidates the outstanding timeout
+        let attempt = item.attempt;
+        self.stats.retries_after_hint += 1;
+        if attempt >= self.config.max_attempts {
+            if let Some((client, slot)) = self.fail_item(item_id) {
+                self.item_error(net, client, slot, 503, "all replicas busy");
+            }
+            return;
+        }
+        net.set_timer(delay, tag::item(tag::ITEM_RETRY, item_id, attempt));
+    }
+
+    fn on_item_timeout(&mut self, net: &mut dyn Net, item_id: u64, attempt: u32) {
+        let live = self.items.get_mut(&item_id).filter(|item| item.attempt == attempt);
+        let Some(item) = live else {
+            return; // answered, shed, or failed over since — stale timer
+        };
+        if let Some(shard) = item.waiting_on.take() {
+            item.tried.insert(shard);
+        }
+        self.stats.timeouts += 1;
+        self.stats.failovers += 1;
+        self.retry_or_fail(net, item_id, 504, "no replica answered");
+    }
+
+    fn on_item_retry(&mut self, net: &mut dyn Net, item_id: u64, attempt: u32) {
+        let due = self.items.get(&item_id).is_some_and(|item| item.attempt == attempt);
+        if due {
+            // send_item bumps the attempt again for the fresh forward.
+            self.send_item(net, item_id);
+        }
+    }
+
+    fn start_metrics(&mut self, net: &mut dyn Net, client: u64) {
+        let now = net.now_ms();
+        let wait_id = self.next_id();
+        let targets = self.alive_shards(now);
+        self.metrics_waits.insert(
+            wait_id,
+            MetricsWait { client, expected: targets.len(), collected: BTreeMap::new() },
+        );
+        for shard in &targets {
+            net.send(NodeId(*shard), proto::encode(&Msg::MetricsReq { id: wait_id }));
+        }
+        if targets.is_empty() {
+            self.finish_metrics(net, wait_id);
+        } else {
+            net.set_timer(self.config.metrics_wait_ms, tag::make(tag::METRICS_WAIT, wait_id));
+        }
+    }
+
+    fn finish_metrics(&mut self, net: &mut dyn Net, wait_id: u64) {
+        let now = net.now_ms();
+        let Some(wait) = self.metrics_waits.remove(&wait_id) else {
+            return;
+        };
+        let health: BTreeMap<String, bool> = self
+            .config
+            .shards
+            .iter()
+            .map(|(id, label)| (label.clone(), self.alive(id.0, now)))
+            .collect();
+        let metrics = ClusterMetrics {
+            version: self.version,
+            router: self.stats.clone(),
+            shards: wait.collected,
+            health,
+        };
+        let body = serde_json::to_string_pretty(&metrics).unwrap_or_default();
+        self.respond(net, wait.client, 200, body);
+    }
+
+    fn on_metrics_resp(&mut self, net: &mut dyn Net, wait_id: u64, stats: ShardStats) {
+        let complete = match self.metrics_waits.get_mut(&wait_id) {
+            Some(wait) => {
+                wait.collected.insert(stats.label.clone(), stats);
+                wait.collected.len() >= wait.expected
+            }
+            None => false, // deadline already answered — late report dropped
+        };
+        if complete {
+            self.finish_metrics(net, wait_id);
+        }
+    }
+
+    fn start_reload(&mut self, net: &mut dyn Net, client: u64) {
+        let model = match (self.reload_source)() {
+            Ok(model) => model,
+            Err(e) => {
+                self.respond_error(net, client, 500, &format!("reload failed: {e}"));
+                return;
+            }
+        };
+        // Validate before broadcasting: a corrupt source must not push
+        // garbage at every shard (they would each reject it anyway, but
+        // the router should fail fast and keep its heal model sound).
+        if let Err(e) = serde_json::from_str::<ceer_core::CeerModel>(&model) {
+            self.respond_error(net, client, 500, &format!("reload failed: invalid model: {e}"));
+            return;
+        }
+        let now = net.now_ms();
+        self.version = self.version.next();
+        self.current_model = Some(model.clone());
+        let targets = self.alive_shards(now);
+        self.stats.reloads_pushed += 1;
+        let wait_id = self.next_id();
+        self.reload_waits.insert(
+            wait_id,
+            ReloadWait {
+                client,
+                acks: 0,
+                failures: 0,
+                expected: targets.len() as u64,
+                responded: false,
+            },
+        );
+        for shard in &targets {
+            let msg = Msg::Reload { version: self.version, model: model.clone() };
+            net.send(NodeId(*shard), proto::encode(&msg));
+        }
+        if targets.is_empty() {
+            self.finish_reload(net, wait_id);
+        } else {
+            net.set_timer(self.config.reload_wait_ms, tag::make(tag::RELOAD_WAIT, wait_id));
+        }
+    }
+
+    fn finish_reload(&mut self, net: &mut dyn Net, wait_id: u64) {
+        let Some(wait) = self.reload_waits.get_mut(&wait_id) else {
+            return;
+        };
+        if wait.responded {
+            self.reload_waits.remove(&wait_id);
+            return;
+        }
+        wait.responded = true;
+        let (client, acks, failures, expected) =
+            (wait.client, wait.acks, wait.failures, wait.expected);
+        let pending = expected.saturating_sub(acks + failures);
+        let complete = acks == expected;
+        let status = if complete { 200 } else { 500 };
+        let body = format!(
+            "{{\"status\": \"{}\", \"version\": {}, \"acks\": {acks}, \"failures\": {failures}, \"pending\": {pending}}}",
+            if complete { "ok" } else { "partial" },
+            self.version.0,
+        );
+        self.respond(net, client, status, body);
+        self.reload_waits.remove(&wait_id);
+    }
+
+    fn on_reload_ack(&mut self, net: &mut dyn Net, from: NodeId, version: ModelVersion, ok: bool) {
+        if ok {
+            self.shard_versions.insert(from.0, version);
+        }
+        if version != self.version {
+            return; // ack for an older push — heal bookkeeping only
+        }
+        let ready = match self.reload_waits.iter_mut().next_back() {
+            Some((_, wait)) if !wait.responded => {
+                if ok {
+                    wait.acks += 1;
+                } else {
+                    wait.failures += 1;
+                }
+                (wait.acks + wait.failures >= wait.expected).then_some(())
+            }
+            _ => None,
+        };
+        if ready.is_some() {
+            if let Some((&wait_id, _)) = self.reload_waits.iter().next_back() {
+                self.finish_reload(net, wait_id);
+            }
+        }
+    }
+
+    /// Divergence heal: a heartbeat advertising an older version than the
+    /// cluster's gets the current model re-pushed, once per (shard,
+    /// version) — covers crashes mid-reload, partitions during the
+    /// broadcast, and failed installs.
+    fn on_heartbeat(
+        &mut self,
+        net: &mut dyn Net,
+        from: NodeId,
+        version: ModelVersion,
+        view: &[(u32, u64)],
+    ) {
+        let now = net.now_ms();
+        let shard_ids: BTreeSet<u32> = self.config.shards.iter().map(|(id, _)| id.0).collect();
+        if !shard_ids.contains(&from.0) {
+            return;
+        }
+        self.last_heard.insert(from.0, now);
+        self.shard_versions.insert(from.0, version);
+        for &(node, heard) in view {
+            if shard_ids.contains(&node) {
+                let entry = self.last_heard.entry(node).or_insert(0);
+                *entry = (*entry).max(heard);
+            }
+        }
+        if version < self.version {
+            if let Some(model) = self.current_model.clone() {
+                let due = match self.healed.get(&from.0) {
+                    Some(&(pushed, at)) => {
+                        pushed != self.version.0
+                            || now.saturating_sub(at) >= self.config.reload_wait_ms
+                    }
+                    None => true,
+                };
+                if due {
+                    self.healed.insert(from.0, (self.version.0, now));
+                    self.stats.heals += 1;
+                    net.log(&format!(
+                        "healing {} from {version} to {}",
+                        self.label_of(from.0),
+                        self.version
+                    ));
+                    let msg = Msg::Reload { version: self.version, model };
+                    net.send(from, proto::encode(&msg));
+                }
+            }
+        }
+    }
+}
+
+impl Node for RouterNode {
+    fn on_event(&mut self, net: &mut dyn Net, event: Event) {
+        match event {
+            Event::Start => {
+                // Benefit of the doubt: every shard starts "alive" and
+                // has one suspicion window to prove it.
+                let now = net.now_ms();
+                let shards: Vec<u32> = self.config.shards.iter().map(|(id, _)| id.0).collect();
+                for shard in shards {
+                    self.last_heard.insert(shard, now);
+                }
+            }
+            Event::Timer { tag: t } => match tag::kind(t) {
+                tag::ITEM_TIMEOUT => {
+                    let (item, attempt) = tag::split_item(t);
+                    self.on_item_timeout(net, item, attempt);
+                }
+                tag::ITEM_RETRY => {
+                    let (item, attempt) = tag::split_item(t);
+                    self.on_item_retry(net, item, attempt);
+                }
+                tag::METRICS_WAIT => self.finish_metrics(net, tag::id(t)),
+                tag::RELOAD_WAIT => self.finish_reload(net, tag::id(t)),
+                _ => {}
+            },
+            Event::Message { from, bytes } => match proto::decode(&bytes) {
+                Ok(Msg::ClientRequest { id, method, path, body }) => {
+                    self.on_client_request(net, from, id, &method, &path, &body);
+                }
+                Ok(Msg::PredictOk { id, version, body, .. }) => {
+                    self.on_predict_ok(net, id, version, body);
+                }
+                Ok(Msg::PredictBad { id, error }) => {
+                    if let Some((client, slot)) = self.fail_item(id) {
+                        self.item_error(net, client, slot, 400, &error);
+                    }
+                }
+                Ok(Msg::PredictShed { id, retry_after_ms }) => {
+                    self.on_shed(net, id, retry_after_ms);
+                }
+                Ok(Msg::ReloadAck { version, ok, .. }) => {
+                    self.on_reload_ack(net, from, version, ok);
+                }
+                Ok(Msg::MetricsResp { id, stats }) => self.on_metrics_resp(net, id, stats),
+                Ok(Msg::Heartbeat { version, view }) => {
+                    self.on_heartbeat(net, from, version, &view);
+                }
+                Ok(_) => {}
+                Err(_) => self.stats.decode_errors += 1,
+            },
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,247 @@
+//! A shard node: owns a model replica, answers predictions for its slice
+//! of the key space, sheds when its backlog grows, and installs reloads
+//! transactionally.
+//!
+//! Pure [`ceer_sim::Node`] state machine — no sockets, no clocks, no
+//! threads (the `direct-net` lint rule enforces this). Service time is
+//! modeled explicitly: each uncached prediction occupies the shard for
+//! `service_ms` of virtual time, tracked as a `busy_until` watermark.
+//! When the backlog behind that watermark exceeds `max_backlog_ms` the
+//! shard sheds with a `retry_after_ms` hint — the cluster-level analogue
+//! of ceer-serve's 429 + `Retry-After` path, and what the router's
+//! capped-backoff retry honors.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ceer_core::CeerModel;
+use ceer_faults::{FaultKind, Faults};
+use ceer_serve::api::{self, PredictRequest};
+use ceer_serve::{ModelVersion, PredictionCache};
+use ceer_sim::{Event, Net, Node, NodeId};
+
+use crate::proto::{self, tag, Msg, ShardStats};
+
+/// Tunables for one shard.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Display label (also the metrics key).
+    pub label: String,
+    /// The router's address.
+    pub router: NodeId,
+    /// Peer shards to gossip with (round-robin, one per heartbeat).
+    pub peers: Vec<NodeId>,
+    /// Modeled virtual-time cost of one uncached prediction.
+    pub service_ms: u64,
+    /// Shed when the work backlog exceeds this.
+    pub max_backlog_ms: u64,
+    /// Heartbeat period.
+    pub heartbeat_ms: u64,
+    /// Prediction-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl ShardConfig {
+    /// A config with the default serving knobs.
+    pub fn new(label: impl Into<String>, router: NodeId) -> Self {
+        ShardConfig {
+            label: label.into(),
+            router,
+            peers: Vec::new(),
+            service_ms: 5,
+            max_backlog_ms: 50,
+            heartbeat_ms: 100,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// The shard state machine.
+pub struct ShardNode {
+    config: ShardConfig,
+    model: Arc<CeerModel>,
+    version: ModelVersion,
+    cache: PredictionCache,
+    /// Virtual time until which the shard is busy with queued work.
+    busy_until_ms: u64,
+    /// Work items in flight: work id → (reply-to, request id, body).
+    queued: BTreeMap<u64, (NodeId, proto::ReqId, String)>,
+    next_work: u64,
+    /// Gossip view: node id → latest virtual-ms heard from it.
+    view: BTreeMap<u32, u64>,
+    gossip_round: u64,
+    stats: ShardStats,
+    faults: Faults,
+}
+
+impl ShardNode {
+    /// A shard serving `model` at [`ModelVersion::INITIAL`]. `faults`
+    /// drives deterministic reload failures via the per-shard site
+    /// `cluster.shard.reload.<label>`.
+    pub fn new(config: ShardConfig, model: Arc<CeerModel>, faults: Faults) -> Self {
+        let cache = PredictionCache::new(config.cache_capacity);
+        let stats = ShardStats { label: config.label.clone(), ..ShardStats::default() };
+        ShardNode {
+            config,
+            model,
+            version: ModelVersion::INITIAL,
+            cache,
+            busy_until_ms: 0,
+            queued: BTreeMap::new(),
+            next_work: 0,
+            view: BTreeMap::new(),
+            gossip_round: 0,
+            stats,
+            faults,
+        }
+    }
+
+    /// The shard's counters (post-run inspection in sim tests).
+    pub fn stats(&self) -> ShardStats {
+        let mut stats = self.stats.clone();
+        stats.version = self.version;
+        stats
+    }
+
+    /// The version currently served.
+    pub fn version(&self) -> ModelVersion {
+        self.version
+    }
+
+    fn heartbeat(&mut self, net: &mut dyn Net) {
+        let me = net.id().0;
+        self.view.insert(me, net.now_ms());
+        let view: Vec<(u32, u64)> = self.view.iter().map(|(&node, &at)| (node, at)).collect();
+        let msg = Msg::Heartbeat { version: self.version, view: view.clone() };
+        net.send(self.config.router, proto::encode(&msg));
+        if !self.config.peers.is_empty() {
+            let peer = self.config.peers
+                [usize::try_from(self.gossip_round).unwrap_or(0) % self.config.peers.len()];
+            self.gossip_round += 1;
+            if peer != net.id() {
+                let msg = Msg::Heartbeat { version: self.version, view };
+                net.send(peer, proto::encode(&msg));
+            }
+        }
+        net.set_timer(self.config.heartbeat_ms, tag::make(tag::HEARTBEAT, 0));
+    }
+
+    fn on_predict(&mut self, net: &mut dyn Net, from: NodeId, id: proto::ReqId, body: String) {
+        let now = net.now_ms();
+        let backlog = self.busy_until_ms.saturating_sub(now);
+        if backlog > self.config.max_backlog_ms {
+            self.stats.shed += 1;
+            net.send(from, proto::encode(&Msg::PredictShed { id, retry_after_ms: backlog }));
+            return;
+        }
+        self.stats.requests += 1;
+        self.busy_until_ms = self.busy_until_ms.max(now) + self.config.service_ms;
+        let work = self.next_work;
+        self.next_work += 1;
+        self.queued.insert(work, (from, id, body));
+        net.set_timer(self.busy_until_ms - now, tag::make(tag::WORK, work));
+    }
+
+    fn run_work(&mut self, net: &mut dyn Net, work: u64) {
+        let Some((reply_to, id, body)) = self.queued.remove(&work) else {
+            return;
+        };
+        let key = format!("{} {}", self.version, body);
+        if let Some(hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            let msg = Msg::PredictOk { id, version: self.version, body: hit, cached: true };
+            net.send(reply_to, proto::encode(&msg));
+            return;
+        }
+        self.stats.cache_misses += 1;
+        let parsed: Result<PredictRequest, _> = serde_json::from_str(&body);
+        let outcome = match parsed {
+            Ok(request) => api::predict(&self.model, &request),
+            Err(e) => Err(format!("unparseable request: {e}")),
+        };
+        match outcome
+            .and_then(|response| serde_json::to_string_pretty(&response).map_err(|e| e.to_string()))
+        {
+            Ok(rendered) => {
+                self.cache.insert(key, rendered.clone());
+                let msg =
+                    Msg::PredictOk { id, version: self.version, body: rendered, cached: false };
+                net.send(reply_to, proto::encode(&msg));
+            }
+            Err(error) => {
+                self.stats.bad_requests += 1;
+                net.send(reply_to, proto::encode(&Msg::PredictBad { id, error }));
+            }
+        }
+    }
+
+    /// Transactional install: the pushed model is parsed *fully* before
+    /// anything is swapped; on failure the old version keeps serving —
+    /// same contract as [`ceer_serve::ModelRegistry::reload`].
+    fn on_reload(&mut self, net: &mut dyn Net, version: ModelVersion, model: &str) {
+        let site = format!("cluster.shard.reload.{}", self.config.label);
+        let injected =
+            self.faults.as_deref().and_then(|f| f.check(&site)).and_then(|kind| match kind {
+                FaultKind::Error | FaultKind::Poison => Some(format!("injected fault at {site}")),
+                _ => None,
+            });
+        let parsed = match injected {
+            Some(error) => Err(error),
+            None => serde_json::from_str::<CeerModel>(model).map_err(|e| e.to_string()),
+        };
+        match parsed {
+            Ok(fresh) => {
+                self.model = Arc::new(fresh);
+                self.version = version;
+                self.cache.clear();
+                self.stats.reloads += 1;
+                net.log(&format!("installed {version}"));
+                let msg = Msg::ReloadAck { version, ok: true, error: String::new() };
+                net.send(self.config.router, proto::encode(&msg));
+            }
+            Err(error) => {
+                self.stats.reload_failures += 1;
+                net.log(&format!("reload to {version} failed: {error}"));
+                let msg = Msg::ReloadAck { version, ok: false, error };
+                net.send(self.config.router, proto::encode(&msg));
+            }
+        }
+    }
+}
+
+impl Node for ShardNode {
+    fn on_event(&mut self, net: &mut dyn Net, event: Event) {
+        match event {
+            Event::Start => self.heartbeat(net),
+            Event::Timer { tag: t } => match tag::kind(t) {
+                tag::HEARTBEAT => self.heartbeat(net),
+                tag::WORK => self.run_work(net, tag::id(t)),
+                _ => {}
+            },
+            Event::Message { from, bytes } => match proto::decode(&bytes) {
+                Ok(Msg::Predict { id, body, .. }) => self.on_predict(net, from, id, body),
+                Ok(Msg::Reload { version, model }) => self.on_reload(net, version, &model),
+                Ok(Msg::MetricsReq { id }) => {
+                    let msg = Msg::MetricsResp { id, stats: self.stats() };
+                    net.send(from, proto::encode(&msg));
+                }
+                Ok(Msg::Heartbeat { view, .. }) => {
+                    self.view.entry(from.0).or_insert(0);
+                    if let Some(at) = self.view.get_mut(&from.0) {
+                        *at = (*at).max(net.now_ms());
+                    }
+                    for (node, heard) in view {
+                        let entry = self.view.entry(node).or_insert(0);
+                        *entry = (*entry).max(heard);
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => self.stats.decode_errors += 1,
+            },
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}

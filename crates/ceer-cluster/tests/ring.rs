@@ -1,0 +1,138 @@
+//! Properties and a golden snapshot of the rendezvous-hash ring.
+//!
+//! The property rendezvous hashing is *for* — minimal movement — is
+//! proved under proptest: across an arbitrary join or leave, the only
+//! keys whose ownership changes are the ones the affected node wins or
+//! held. The concrete layout (which shard owns which key) is pinned by a
+//! golden snapshot so an accidental change to the score function — which
+//! would silently invalidate every shard's cache placement on upgrade —
+//! shows up as a reviewable diff. Bless intentional changes with:
+//!
+//! ```text
+//! CEER_UPDATE_GOLDEN=1 cargo test -p ceer-cluster --test ring
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use ceer_cluster::Ring;
+use proptest::prelude::*;
+
+fn keys(count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("v1/{{\"cnn\": \"vgg11\", \"batch\": {i}}}")).collect()
+}
+
+fn node_set() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(1u32..64, 2..10).prop_map(|raw| {
+        let mut set: std::collections::BTreeSet<u32> = raw.into_iter().collect();
+        set.insert(62); // at least two distinct members survive dedup
+        set.insert(63);
+        set.into_iter().collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A join moves only the keys the new node wins: everything it does
+    /// not win keeps its exact owner list.
+    #[test]
+    fn join_moves_only_what_the_new_node_wins(
+        nodes in node_set(),
+        joiner in 64u32..96,
+        replicas in 1usize..4,
+    ) {
+        let mut ring = Ring::new(nodes);
+        let keys = keys(48);
+        let before: BTreeMap<&String, Vec<u32>> =
+            keys.iter().map(|k| (k, ring.owners(k, replicas))).collect();
+        ring.add(joiner);
+        for key in &keys {
+            let after = ring.owners(key, replicas);
+            if after.contains(&joiner) {
+                // The survivors keep their relative order — the joiner
+                // displaced at most the lowest-scoring owner.
+                let survivors: Vec<u32> =
+                    after.iter().copied().filter(|&n| n != joiner).collect();
+                let expected: Vec<u32> = before[key]
+                    .iter()
+                    .copied()
+                    .take(survivors.len())
+                    .collect();
+                prop_assert_eq!(survivors, expected);
+            } else {
+                prop_assert_eq!(&after, &before[key]);
+            }
+        }
+    }
+
+    /// A leave moves only the departed node's keys, and each affected key
+    /// keeps its surviving owners in order, gaining exactly one new
+    /// replica at the tail.
+    #[test]
+    fn leave_moves_only_the_departed_nodes_keys(
+        nodes in node_set(),
+        victim_index in 0usize..10,
+        replicas in 1usize..4,
+    ) {
+        let mut ring = Ring::new(nodes.clone());
+        let victim = nodes[victim_index % nodes.len()];
+        let keys = keys(48);
+        let before: BTreeMap<&String, Vec<u32>> =
+            keys.iter().map(|k| (k, ring.owners(k, replicas))).collect();
+        ring.remove(victim);
+        for key in &keys {
+            let after = ring.owners(key, replicas);
+            prop_assert!(!after.contains(&victim));
+            if before[key].contains(&victim) {
+                let expected: Vec<u32> = before[key]
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != victim)
+                    .collect();
+                prop_assert_eq!(&after[..expected.len()], &expected[..]);
+            } else {
+                prop_assert_eq!(&after, &before[key]);
+            }
+        }
+    }
+
+    /// Ownership is a pure function of (membership, key): insertion order
+    /// and intermediate churn cannot change the layout.
+    #[test]
+    fn layout_is_membership_pure(nodes in node_set(), churn in 64u32..96) {
+        let ring_direct = Ring::new(nodes.clone());
+        let mut ring_churned = Ring::new(nodes.iter().rev().copied());
+        ring_churned.add(churn);
+        ring_churned.remove(churn);
+        for key in keys(16) {
+            prop_assert_eq!(ring_direct.owners(&key, 3), ring_churned.owners(&key, 3));
+        }
+    }
+}
+
+/// The concrete ring layout for a 5-shard fleet, pinned byte-for-byte.
+/// A diff here means the score function changed — every deployed
+/// cluster's cache placement would shuffle on upgrade.
+#[test]
+fn ring_layout_matches_golden_snapshot() {
+    let ring = Ring::new([1, 2, 3, 4, 5]);
+    let mut out = String::from("# owners(key, replicas=2) over shards {1..5}\n");
+    for key in keys(24) {
+        let owners = ring.owners(&key, 2);
+        out.push_str(&format!("{key} -> {owners:?}\n"));
+    }
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/ring_layout.golden");
+    if std::env::var("CEER_UPDATE_GOLDEN").is_ok() {
+        fs::write(&path, &out).expect("write golden file");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden file {}: {e}", path.display()));
+    assert_eq!(
+        out, expected,
+        "ring layout drifted from its golden snapshot; if the score function \
+         change is intended, rerun with CEER_UPDATE_GOLDEN=1 and review the diff"
+    );
+}

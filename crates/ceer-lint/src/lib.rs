@@ -10,7 +10,9 @@
 //!
 //! * **determinism** — no `HashMap`/`HashSet` (iteration order varies per
 //!   process), no ambient clock reads or entropy, no threads outside the
-//!   `ceer-par` pool;
+//!   `ceer-par` pool, and no raw `std::net` sockets in the
+//!   simulation-pure cluster code (everything but the transport layer
+//!   must run unchanged under `ceer-sim`);
 //! * **numeric safety** — no float `==`/`!=`, no
 //!   `partial_cmp().unwrap()` NaN landmines (the `ceer_stats::total`
 //!   helpers exist instead);
@@ -61,6 +63,8 @@ pub struct Config {
     pub spawn_allowed_paths: Vec<String>,
     /// Files where `unbounded-io` applies (code reading from peers).
     pub bounded_io_paths: Vec<String>,
+    /// Files where `direct-net` applies (simulation-pure cluster code).
+    pub net_free_paths: Vec<String>,
 }
 
 impl Config {
@@ -72,9 +76,12 @@ impl Config {
     /// `ceer-par` is the one place allowed to create threads — that is
     /// its whole job; `ceer-serve`'s accept/worker loops take inline
     /// suppressions instead so the exemption stays visible in the code.
-    /// `ceer-serve` is also the bounded-io scope: it is the only crate
-    /// whose reads are fed by network peers, so `read_to_end`-style
-    /// unbounded buffering there is a slowloris/memory-pinning hazard.
+    /// `ceer-serve` and the cluster transport are the bounded-io scope:
+    /// they are the only code whose reads are fed by network peers, so
+    /// `read_to_end`-style unbounded buffering there is a
+    /// slowloris/memory-pinning hazard. The net-free scope keeps the
+    /// cluster state machines and `ceer-sim` itself off raw sockets and
+    /// wall clocks so they stay byte-identical under simulation.
     pub fn ceer() -> Self {
         Config {
             panic_free_paths: vec![
@@ -84,7 +91,25 @@ impl Config {
                 "crates/ceer-core/src/report.rs".to_string(),
             ],
             spawn_allowed_paths: vec!["crates/ceer-par/src/".to_string()],
-            bounded_io_paths: vec!["crates/ceer-serve/src/".to_string()],
+            bounded_io_paths: vec![
+                "crates/ceer-serve/src/".to_string(),
+                "crates/ceer-cluster/src/tcp.rs".to_string(),
+            ],
+            // The cluster state machines and the simulator substrate must
+            // run identically under `ceer-sim`: no raw sockets, no
+            // wall-clock reads. `crates/ceer-cluster/src/tcp.rs` is the
+            // one deliberate omission — it IS the real transport, listed
+            // file-by-file here so adding a new core module defaults to
+            // the strict scope.
+            net_free_paths: vec![
+                "crates/ceer-sim/src/".to_string(),
+                "crates/ceer-cluster/src/harness.rs".to_string(),
+                "crates/ceer-cluster/src/lib.rs".to_string(),
+                "crates/ceer-cluster/src/proto.rs".to_string(),
+                "crates/ceer-cluster/src/ring.rs".to_string(),
+                "crates/ceer-cluster/src/router.rs".to_string(),
+                "crates/ceer-cluster/src/shard.rs".to_string(),
+            ],
         }
     }
 
@@ -106,6 +131,7 @@ impl Config {
             panic_free: Self::matches(&self.panic_free_paths, file),
             spawn_allowed: Self::matches(&self.spawn_allowed_paths, file),
             bounded_io: Self::matches(&self.bounded_io_paths, file),
+            net_free: Self::matches(&self.net_free_paths, file),
         }
     }
 }
@@ -556,6 +582,21 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "unbounded-io");
         assert_eq!(diags[0].group, "resource-safety");
+    }
+
+    #[test]
+    fn net_free_scope_is_path_driven() {
+        let config = Config::ceer();
+        let src = "fn f() { let l = TcpListener::bind(addr); }";
+        // The transport layer owns real sockets…
+        assert!(lint_source("crates/ceer-cluster/src/tcp.rs", src, &config).is_empty());
+        // …the state machines and the simulator never touch them.
+        for file in ["crates/ceer-cluster/src/router.rs", "crates/ceer-sim/src/net.rs"] {
+            let diags = lint_source(file, src, &config);
+            assert_eq!(diags.len(), 1, "{file}");
+            assert_eq!(diags[0].rule, "direct-net");
+            assert_eq!(diags[0].group, "determinism");
+        }
     }
 
     #[test]

@@ -41,3 +41,8 @@ fn unbounded(stream: &mut TcpStream) {
     let mut text = String::new();
     stream.read_to_string(&mut text);
 }
+
+fn undeterministic_transport() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0");
+    let socket = UdpSocket::bind("127.0.0.1:0");
+}

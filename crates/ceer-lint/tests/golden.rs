@@ -25,6 +25,7 @@ fn fixture_config() -> Config {
         panic_free_paths: vec!["fixtures/".to_string()],
         spawn_allowed_paths: vec![],
         bounded_io_paths: vec!["fixtures/".to_string()],
+        net_free_paths: vec!["fixtures/".to_string()],
     }
 }
 
@@ -62,6 +63,7 @@ fn violations_fixture_fires_every_rule() {
         "ambient-time",
         "ambient-rng",
         "thread-spawn",
+        "direct-net",
         "float-eq",
         "partial-cmp-unwrap",
         "panic-unwrap",

@@ -6,10 +6,11 @@
 //! jitter ([`RetryPolicy`]): transport failures are retried only for
 //! idempotent (`GET`) requests, while `429` sheds are retried for any
 //! method (a shed request was never processed, so replaying it is safe).
-//! Retried attempts carry an `X-Ceer-Attempt` header so the server's
-//! metrics count them.
+//! When the shed carries a `Retry-After` header the client honors it,
+//! capped at the policy's `max_delay_ms`. Retried attempts carry an
+//! `X-Ceer-Attempt` header so the server's metrics count them.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -20,12 +21,9 @@ use crate::api::{
     CatalogEntry, ErrorResponse, PredictBatchRequest, PredictBatchResponse, PredictRequest,
     PredictResponse, RecommendRequest, RecommendResponse, ZooEntry,
 };
-use crate::http;
+use crate::http::read_response;
+pub use crate::http::RawResponse;
 use crate::metrics::MetricsSnapshot;
-
-/// Largest response body the client will buffer (the service's responses
-/// are all far smaller; this only bounds damage from a corrupted length).
-const MAX_RESPONSE_BYTES: usize = 1 << 24;
 
 /// Client-side retry policy: capped exponential backoff with seeded
 /// jitter, so chaos tests replay the exact same retry timing from a seed.
@@ -73,15 +71,21 @@ impl RetryPolicy {
         let jittered = (capped as f64 / 2.0) * (1.0 + draw);
         Duration::from_millis(jittered as u64)
     }
-}
 
-/// A raw HTTP exchange: status code and body text.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RawResponse {
-    /// HTTP status code.
-    pub status: u16,
-    /// Response body (JSON for every endpoint).
-    pub body: String,
+    /// The sleep before attempt `attempt`, honoring a server-supplied
+    /// `Retry-After` (seconds) when present: the server's ask wins over
+    /// the client's own backoff, but is still capped at `max_delay_ms` —
+    /// a confused (or hostile) server must not park the client for an
+    /// hour.
+    fn pacing(&self, attempt: u32, retry_after_secs: Option<u64>) -> Duration {
+        match retry_after_secs {
+            Some(secs) => {
+                let asked_ms = secs.saturating_mul(1000);
+                Duration::from_millis(asked_ms.min(self.max_delay_ms))
+            }
+            None => self.delay(attempt),
+        }
+    }
 }
 
 /// A blocking client bound to one server address.
@@ -208,7 +212,10 @@ impl Client {
     /// A raw request with an arbitrary body, exposed for tests probing
     /// error paths. Applies the client's [`RetryPolicy`]: transport
     /// failures retry only for `GET` (idempotent); `429` sheds retry for
-    /// any method (a shed request was never processed).
+    /// any method (a shed request was never processed). When the shed
+    /// response carries a `Retry-After` header, the client honors it —
+    /// capped at the policy's `max_delay_ms` — instead of its own
+    /// backoff, so a loaded server paces its clients.
     ///
     /// # Errors
     ///
@@ -218,14 +225,17 @@ impl Client {
         let mut attempt: u32 = 0;
         loop {
             let can_retry = attempt + 1 < self.retry.max_attempts;
+            let mut server_pacing: Option<u64> = None;
             match self.request_once(method, path, body, attempt) {
-                Ok(response) if response.status == 429 && can_retry => {}
+                Ok(response) if response.status == 429 && can_retry => {
+                    server_pacing = response.retry_after;
+                }
                 Ok(response) => return Ok(response),
                 Err(_) if idempotent && can_retry => {}
                 Err(error) => return Err(error),
             }
             attempt += 1;
-            std::thread::sleep(self.retry.delay(attempt));
+            std::thread::sleep(self.retry.pacing(attempt, server_pacing));
         }
     }
 
@@ -280,48 +290,6 @@ fn server_error(response: &RawResponse) -> String {
     }
 }
 
-fn read_response(reader: &mut impl BufRead) -> Result<RawResponse, String> {
-    let mut status_line = String::new();
-    reader.read_line(&mut status_line).map_err(|e| format!("cannot read status line: {e}"))?;
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|code| code.parse().ok())
-        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
-
-    let mut content_length: Option<usize> = None;
-    loop {
-        let mut line = String::new();
-        let n = reader.read_line(&mut line).map_err(|e| format!("cannot read header: {e}"))?;
-        if n == 0 || line.trim().is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length =
-                    Some(value.trim().parse().map_err(|e| format!("bad Content-Length: {e}"))?);
-            }
-        }
-    }
-
-    let body = match content_length {
-        Some(len) if len > MAX_RESPONSE_BYTES => {
-            return Err(format!("response Content-Length {len} exceeds the client cap"));
-        }
-        Some(len) => {
-            let mut buffer = vec![0u8; len];
-            reader.read_exact(&mut buffer).map_err(|e| format!("truncated body: {e}"))?;
-            buffer
-        }
-        // No Content-Length: drain to EOF, bounded (never `read_to_end`
-        // on a network stream — see the `unbounded-io` lint rule).
-        None => http::read_to_limit(reader, MAX_RESPONSE_BYTES)
-            .map_err(|e| format!("cannot read body: {e}"))?,
-    };
-    let body = String::from_utf8(body).map_err(|e| format!("non-UTF-8 body: {e}"))?;
-    Ok(RawResponse { status, body })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,16 +323,14 @@ mod tests {
     }
 
     #[test]
-    fn bounded_body_read_replaces_read_to_end() {
-        let raw = b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n{\"ok\": true}";
-        let response = read_response(&mut BufReader::new(&raw[..])).unwrap();
-        assert_eq!(response.status, 200);
-        assert_eq!(response.body, "{\"ok\": true}");
-    }
-
-    #[test]
-    fn absurd_content_length_is_rejected() {
-        let raw = format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", MAX_RESPONSE_BYTES + 1);
-        assert!(read_response(&mut BufReader::new(raw.as_bytes())).is_err());
+    fn retry_after_overrides_backoff_but_is_capped() {
+        let policy = RetryPolicy::retries(3, 1);
+        // The server's ask wins over the jittered backoff…
+        assert_eq!(policy.pacing(1, Some(0)), Duration::ZERO);
+        // …but never exceeds the policy cap (500ms for `retries`).
+        assert_eq!(policy.pacing(1, Some(1)), Duration::from_millis(500));
+        assert_eq!(policy.pacing(1, Some(3600)), Duration::from_millis(500));
+        // Without the header, the seeded backoff applies unchanged.
+        assert_eq!(policy.pacing(2, None), policy.delay(2));
     }
 }

@@ -266,6 +266,80 @@ impl Response {
     }
 }
 
+/// Largest response body a client will buffer (the service's responses
+/// are all far smaller; this only bounds damage from a corrupted length).
+pub const MAX_RESPONSE_BYTES: usize = 1 << 24;
+
+/// A raw HTTP exchange as seen by a client: status code, body text, and
+/// the parsed `Retry-After` header (seconds) when the server sent one.
+///
+/// Shared by [`crate::Client`] and the `ceer-cluster` router so both
+/// sides of the wire agree on one parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON for every endpoint).
+    pub body: String,
+    /// Parsed `Retry-After` header, seconds (emitted on 429/503 sheds).
+    pub retry_after: Option<u64>,
+}
+
+/// Reads one HTTP/1.1 response: status line, headers (`Content-Length`,
+/// `Retry-After`), then a bounded body read.
+///
+/// # Errors
+///
+/// Errors on transport failure, malformed framing, or a declared body
+/// larger than [`MAX_RESPONSE_BYTES`].
+pub fn read_response(reader: &mut impl BufRead) -> Result<RawResponse, String> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).map_err(|e| format!("cannot read status line: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut retry_after: Option<u64> = None;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| format!("cannot read header: {e}"))?;
+        if n == 0 || line.trim().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    Some(value.trim().parse().map_err(|e| format!("bad Content-Length: {e}"))?);
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                // Unparsable values (e.g. an HTTP-date) read as absent —
+                // the client then falls back to its own backoff.
+                retry_after = value.trim().parse().ok();
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(len) if len > MAX_RESPONSE_BYTES => {
+            return Err(format!("response Content-Length {len} exceeds the client cap"));
+        }
+        Some(len) => {
+            let mut buffer = vec![0u8; len];
+            reader.read_exact(&mut buffer).map_err(|e| format!("truncated body: {e}"))?;
+            buffer
+        }
+        // No Content-Length: drain to EOF, bounded (never `read_to_end`
+        // on a network stream — see the `unbounded-io` lint rule).
+        None => read_to_limit(reader, MAX_RESPONSE_BYTES)
+            .map_err(|e| format!("cannot read body: {e}"))?,
+    };
+    let body = String::from_utf8(body).map_err(|e| format!("non-UTF-8 body: {e}"))?;
+    Ok(RawResponse { status, body, retry_after })
+}
+
 /// The canonical reason phrase for the statuses this API emits.
 fn reason(status: u16) -> &'static str {
     match status {
@@ -408,6 +482,47 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
+    }
+
+    #[test]
+    fn response_parse_handles_missing_content_length() {
+        let raw = b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n{\"ok\": true}";
+        let response = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "{\"ok\": true}");
+        assert_eq!(response.retry_after, None);
+    }
+
+    #[test]
+    fn response_parse_reads_retry_after() {
+        let raw =
+            b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\nRetry-After: 3\r\n\r\n{}";
+        let response = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(response.status, 429);
+        assert_eq!(response.retry_after, Some(3));
+        // An HTTP-date (or garbage) falls back to None, not an error.
+        let raw = b"HTTP/1.1 429 X\r\nContent-Length: 2\r\nRetry-After: Wed, 21 Oct\r\n\r\n{}";
+        let response = read_response(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(response.retry_after, None);
+    }
+
+    #[test]
+    fn response_roundtrips_through_its_own_writer() {
+        let mut wire = Vec::new();
+        Response::json(429, "{\"error\": \"shed\"}")
+            .with_retry_after(2)
+            .write_to(&mut wire)
+            .unwrap();
+        let parsed = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(parsed.status, 429);
+        assert_eq!(parsed.retry_after, Some(2));
+        assert_eq!(parsed.body, "{\"error\": \"shed\"}\n");
+    }
+
+    #[test]
+    fn absurd_response_length_is_rejected() {
+        let raw = format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", MAX_RESPONSE_BYTES + 1);
+        assert!(read_response(&mut BufReader::new(raw.as_bytes())).is_err());
     }
 
     #[test]

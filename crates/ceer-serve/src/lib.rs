@@ -65,8 +65,9 @@ mod sync;
 
 pub use cache::{CacheStats, PredictionCache};
 pub use client::{Client, RetryPolicy};
+pub use http::RawResponse;
 pub use metrics::{
     EndpointSnapshot, LatencySummary, Metrics, MetricsSnapshot, RobustnessCounters, ServerEvent,
 };
-pub use registry::ModelRegistry;
+pub use registry::{ModelRegistry, ModelVersion};
 pub use server::{Server, ServerConfig};

@@ -7,8 +7,33 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use ceer_core::CeerModel;
+use serde::{Deserialize, Serialize};
 
 use crate::sync::recover;
+
+/// A monotonically increasing model version: 1 for the initially loaded
+/// model, +1 per successful reload. Shared with `ceer-cluster`, where the
+/// router stamps every reload broadcast with the version it is pushing
+/// and heals shards that heartbeat an older one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct ModelVersion(pub u64);
+
+impl ModelVersion {
+    /// The version of a freshly loaded model.
+    pub const INITIAL: ModelVersion = ModelVersion(1);
+
+    /// The version after one more successful reload.
+    #[must_use]
+    pub fn next(self) -> ModelVersion {
+        ModelVersion(self.0.saturating_add(1))
+    }
+}
+
+impl std::fmt::Display for ModelVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
 
 /// Holds the served model behind a read/write lock.
 ///
@@ -95,6 +120,12 @@ impl ModelRegistry {
         self.reloads.load(Ordering::Relaxed)
     }
 
+    /// The version of the model currently being served:
+    /// [`ModelVersion::INITIAL`] plus one per successful reload.
+    pub fn version(&self) -> ModelVersion {
+        ModelVersion(self.reloads().saturating_add(1))
+    }
+
     /// The backing file, if any.
     pub fn path(&self) -> Option<&Path> {
         self.path.as_deref()
@@ -169,5 +200,18 @@ mod tests {
     #[test]
     fn missing_file_is_a_load_error() {
         assert!(ModelRegistry::load("/nonexistent/model.json").is_err());
+    }
+
+    #[test]
+    fn versions_start_at_one_and_follow_reloads() {
+        let path = temp_path("version");
+        let model = tiny_model(5);
+        std::fs::write(&path, serde_json::to_vec(&model).unwrap()).unwrap();
+        let registry = ModelRegistry::load(&path).unwrap();
+        assert_eq!(registry.version(), ModelVersion::INITIAL);
+        registry.reload().unwrap();
+        assert_eq!(registry.version(), ModelVersion::INITIAL.next());
+        assert_eq!(registry.version().to_string(), "v2");
+        std::fs::remove_file(&path).ok();
     }
 }

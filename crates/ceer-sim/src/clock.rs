@@ -1,0 +1,97 @@
+//! The clock abstraction: simulated code never reads ambient time.
+//!
+//! Inside the simulator, time is [`VirtualClock`] — an integer the event
+//! loop advances as it pops the queue, so a three-second suspicion
+//! timeout costs nothing to test. The real runtime uses [`SystemClock`],
+//! a monotonic millisecond counter anchored at process start. Both sit
+//! behind [`Clock`] so cluster code is generic over which world it is in.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Milliseconds since an arbitrary origin. Monotone, never wall-clock.
+pub trait Clock: Send + Sync {
+    /// Current time in milliseconds.
+    fn now_ms(&self) -> u64;
+}
+
+/// The simulator's clock: advanced explicitly by the event loop.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ms: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Moves time forward (or to the same instant); never backward.
+    pub fn advance_to(&self, now_ms: u64) {
+        self.now_ms.fetch_max(now_ms, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::Relaxed)
+    }
+}
+
+/// Real time for the TCP runtime: monotonic milliseconds since the clock
+/// was created. This is the single sanctioned wall-time read in the
+/// cluster stack; everything downstream sees only `now_ms`.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl SystemClock {
+    /// A clock anchored at "now".
+    pub fn new() -> Self {
+        // This is the one sanctioned wall-clock anchor; all other code
+        // reads time through `Clock`.
+        // ceer-lint: allow(ambient-time) -- the sanctioned anchor read
+        SystemClock { origin: Instant::now() }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        // ceer-lint: allow(ambient-time) -- the Clock impl itself.
+        let elapsed = Instant::now().saturating_duration_since(self.origin);
+        u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_monotonically() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        clock.advance_to(50);
+        assert_eq!(clock.now_ms(), 50);
+        clock.advance_to(10); // backward writes are ignored
+        assert_eq!(clock.now_ms(), 50);
+        clock.advance_to(50);
+        assert_eq!(clock.now_ms(), 50);
+    }
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let clock = SystemClock::new();
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,79 @@
+//! The node model: a state machine that only talks to the world through
+//! [`Net`].
+//!
+//! A [`Node`] owns no sockets, spawns no threads, and reads no clocks; it
+//! reacts to [`Event`]s and issues sends/timers through the `Net` handle
+//! it is given. That inversion is the whole trick: under test the handle
+//! is the simulator's seeded in-memory network, in production it is a
+//! real TCP transport, and the node code cannot tell the difference.
+
+use std::any::Any;
+
+/// A node address. `EXTERNAL` (id 0) is reserved for traffic entering or
+/// leaving the cluster — simulated external clients, or the real
+/// transport's HTTP gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// The reserved address for outside-world traffic.
+pub const EXTERNAL: NodeId = NodeId(0);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node can observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The node has (re)started. Arm initial timers here.
+    Start,
+    /// A message arrived. The payload is opaque bytes; the cluster layer
+    /// speaks serde-encoded frames over it.
+    Message {
+        /// Sender address.
+        from: NodeId,
+        /// Payload.
+        bytes: Vec<u8>,
+    },
+    /// A timer armed with [`Net::set_timer`] fired.
+    Timer {
+        /// The tag passed to `set_timer`.
+        tag: u64,
+    },
+}
+
+/// A node's only window on the world: time, sends, timers, and a trace
+/// log. Implemented by the simulator here and by the TCP transport in
+/// `ceer-cluster`.
+pub trait Net {
+    /// This node's own address.
+    fn id(&self) -> NodeId;
+    /// Current time in milliseconds (virtual under simulation).
+    fn now_ms(&self) -> u64;
+    /// Sends `bytes` to `to`. Fire-and-forget: delivery may be delayed,
+    /// reordered, or dropped; the node must tolerate all three.
+    fn send(&mut self, to: NodeId, bytes: Vec<u8>);
+    /// Arms a one-shot timer: an [`Event::Timer`] with `tag` fires after
+    /// `delay_ms`. Timers from a previous incarnation of a crashed node
+    /// never fire in the next one.
+    fn set_timer(&mut self, delay_ms: u64, tag: u64);
+    /// Appends a line to the run trace (part of the replay digest under
+    /// simulation; best-effort logging in production).
+    fn log(&mut self, line: &str);
+}
+
+/// A deterministic state machine: all behavior must be a pure function
+/// of the event sequence (no ambient time, randomness, or I/O — the
+/// `direct-net` and `ambient-time` lint rules police this in cluster
+/// core).
+pub trait Node: Send {
+    /// Handles one event. Everything the node wants to do back to the
+    /// world goes through `net`.
+    fn on_event(&mut self, net: &mut dyn Net, event: Event);
+
+    /// Downcast hook so tests and the simulator can inspect node state
+    /// after a run (`sim.node::<ShardNode>(id)`).
+    fn as_any(&self) -> &dyn Any;
+}

@@ -1,0 +1,634 @@
+//! The single-threaded event loop: one ordered queue of deliveries and
+//! timers on a virtual clock.
+//!
+//! Determinism contract: a run is a pure function of `(seed, scenario)`,
+//! where the scenario is the sequence of [`Sim`] calls the test makes
+//! (nodes added, messages injected, partitions, crashes). Message latency
+//! jitter is drawn from a ChaCha substream keyed by the message sequence
+//! number; drops and extra delays come from an optional
+//! [`ceer_faults::FaultPlan`] evaluated in keyed mode at the sites
+//! `sim.net.drop` and `sim.net.delay` (key = message sequence number), so
+//! the fault schedule is independent of any incidental ordering. The
+//! queue is a `BTreeMap` keyed by `(time, seq)` — ties break by insertion
+//! order, never by hash or pointer identity.
+//!
+//! Crash realism: [`Sim::crash`] bumps the node's *generation*. Messages
+//! and timers carry the generation of their target at send time; anything
+//! addressed to a previous incarnation is traced as `lost`/`stale`, never
+//! delivered — exactly how in-flight TCP traffic dies with its socket.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ceer_faults::{FaultKind, Faults};
+use ceer_stats::rng::DeterministicRng;
+
+use crate::node::{Event, Net, Node, NodeId, EXTERNAL};
+
+/// Baseline latency model for every link, before fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetProfile {
+    /// Fixed one-way latency floor, ms.
+    pub base_delay_ms: u64,
+    /// Seeded jitter added on top, in `[0, jitter_ms)`. Jitter is what
+    /// makes reordering happen: two messages on the same link may swap.
+    pub jitter_ms: u64,
+}
+
+impl Default for NetProfile {
+    fn default() -> Self {
+        NetProfile { base_delay_ms: 1, jitter_ms: 4 }
+    }
+}
+
+/// Fault-plan site consulted (keyed by message seq) for message drops.
+pub const SITE_NET_DROP: &str = "sim.net.drop";
+/// Fault-plan site consulted (keyed by message seq) for extra delay.
+pub const SITE_NET_DELAY: &str = "sim.net.delay";
+
+enum Pending {
+    Start { node: NodeId, generation: u64 },
+    Timer { node: NodeId, tag: u64, generation: u64 },
+    Deliver { from: NodeId, to: NodeId, bytes: Vec<u8>, generation: u64 },
+}
+
+struct Slot {
+    label: String,
+    node: Option<Box<dyn Node>>,
+    up: bool,
+    generation: u64,
+}
+
+/// The simulator. See the module docs for the determinism contract.
+pub struct Sim {
+    seed: u64,
+    now: u64,
+    seq: u64,
+    msg_seq: u64,
+    queue: BTreeMap<(u64, u64), Pending>,
+    slots: Vec<Slot>,
+    partitions: BTreeSet<(u32, u32)>,
+    profile: NetProfile,
+    faults: Faults,
+    trace: Vec<String>,
+    external: Vec<(NodeId, Vec<u8>)>,
+}
+
+impl Sim {
+    /// A simulator with the default latency profile and no fault plan.
+    pub fn new(seed: u64) -> Self {
+        Sim::with(seed, NetProfile::default(), None)
+    }
+
+    /// Full control over the latency profile and fault injection.
+    pub fn with(seed: u64, profile: NetProfile, faults: Faults) -> Self {
+        Sim {
+            seed,
+            now: 0,
+            seq: 0,
+            msg_seq: 0,
+            queue: BTreeMap::new(),
+            slots: Vec::new(),
+            partitions: BTreeSet::new(),
+            profile,
+            faults,
+            trace: Vec::new(),
+            external: Vec::new(),
+        }
+    }
+
+    /// Registers a node and schedules its [`Event::Start`] at the current
+    /// virtual time. Ids are assigned densely starting at 1 (0 is
+    /// [`EXTERNAL`]).
+    pub fn add_node(&mut self, label: &str, node: Box<dyn Node>) -> NodeId {
+        self.slots.push(Slot {
+            label: label.to_string(),
+            node: Some(node),
+            up: true,
+            generation: 0,
+        });
+        let count = u32::try_from(self.slots.len()).unwrap_or(u32::MAX);
+        let id = NodeId(count);
+        self.push(self.now, Pending::Start { node: id, generation: 0 });
+        self.record(&format!("start {label}"));
+        id
+    }
+
+    /// Current virtual time, ms.
+    pub fn now_ms(&self) -> u64 {
+        self.now
+    }
+
+    /// Runs every event scheduled at or before `deadline_ms`, then
+    /// advances the clock to exactly `deadline_ms`.
+    pub fn run_until(&mut self, deadline_ms: u64) {
+        while let Some((&(at, _), _)) = self.queue.first_key_value() {
+            if at > deadline_ms {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline_ms);
+    }
+
+    /// Runs until the queue drains completely (every message delivered or
+    /// dropped, every timer fired, and nothing re-armed).
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> bool {
+        let mut budget = max_events;
+        while !self.queue.is_empty() {
+            if budget == 0 {
+                return false;
+            }
+            budget -= 1;
+            self.step();
+        }
+        true
+    }
+
+    /// Pops and executes the next event. No-op on an empty queue.
+    pub fn step(&mut self) {
+        let Some((&key, _)) = self.queue.first_key_value() else {
+            return;
+        };
+        let Some(pending) = self.queue.remove(&key) else {
+            return;
+        };
+        self.now = self.now.max(key.0);
+        match pending {
+            Pending::Start { node, generation } => {
+                if self.live(node, generation) {
+                    self.dispatch(node, Event::Start);
+                }
+            }
+            Pending::Timer { node, tag, generation } => {
+                if self.live(node, generation) {
+                    self.record(&format!("timer {} tag={tag}", self.label(node)));
+                    self.dispatch(node, Event::Timer { tag });
+                }
+            }
+            Pending::Deliver { from, to, bytes, generation } => {
+                if self.live(to, generation) {
+                    self.record(&format!(
+                        "deliver {}->{} len={}",
+                        self.label(from),
+                        self.label(to),
+                        bytes.len()
+                    ));
+                    self.dispatch(to, Event::Message { from, bytes });
+                } else {
+                    self.record(&format!(
+                        "lost {}->{} len={} (down)",
+                        self.label(from),
+                        self.label(to),
+                        bytes.len()
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Injects a message from the outside world (`from` = [`EXTERNAL`]).
+    pub fn send_external(&mut self, to: NodeId, bytes: Vec<u8>) {
+        self.route(EXTERNAL, to, bytes);
+    }
+
+    /// Messages nodes sent to [`EXTERNAL`] so far, drained.
+    pub fn take_external(&mut self) -> Vec<(NodeId, Vec<u8>)> {
+        std::mem::take(&mut self.external)
+    }
+
+    /// Severs the link between `a` and `b` in both directions.
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.insert((a.0, b.0));
+        self.partitions.insert((b.0, a.0));
+        self.record(&format!("partition {}|{}", self.label(a), self.label(b)));
+    }
+
+    /// Restores the link between `a` and `b`.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.partitions.remove(&(a.0, b.0));
+        self.partitions.remove(&(b.0, a.0));
+        self.record(&format!("heal {}|{}", self.label(a), self.label(b)));
+    }
+
+    /// Severs `a` from every other node (not from [`EXTERNAL`]).
+    pub fn isolate(&mut self, a: NodeId) {
+        for i in 1..=self.slots.len() {
+            let other = NodeId(u32::try_from(i).unwrap_or(u32::MAX));
+            if other != a {
+                self.partitions.insert((a.0, other.0));
+                self.partitions.insert((other.0, a.0));
+            }
+        }
+        self.record(&format!("isolate {}", self.label(a)));
+    }
+
+    /// Removes every partition.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+        self.record("heal-all");
+    }
+
+    /// Kills a node: in-flight messages and pending timers addressed to
+    /// this incarnation will be traced as lost, never delivered.
+    pub fn crash(&mut self, id: NodeId) {
+        self.record(&format!("crash {}", self.label(id)));
+        if let Some(slot) = self.slot_mut(id) {
+            slot.up = false;
+            slot.generation += 1;
+        }
+    }
+
+    /// Restarts a crashed node with fresh state: a new incarnation that
+    /// receives [`Event::Start`] and remembers nothing.
+    pub fn restart(&mut self, id: NodeId, node: Box<dyn Node>) {
+        self.record(&format!("restart {}", self.label(id)));
+        let mut generation = 0;
+        if let Some(slot) = self.slot_mut(id) {
+            slot.up = true;
+            slot.generation += 1;
+            slot.node = Some(node);
+            generation = slot.generation;
+        }
+        self.push(self.now, Pending::Start { node: id, generation });
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.slot(id).is_some_and(|s| s.up)
+    }
+
+    /// Downcasts a node for post-run inspection.
+    pub fn node<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.slot(id)?.node.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// The whole-run trace: one line per lifecycle change, delivery,
+    /// drop, timer, and node log. Byte-identical across replays of the
+    /// same `(seed, scenario)`.
+    pub fn digest(&self) -> String {
+        let mut out = self.trace.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Number of messages routed so far (delivered or not).
+    pub fn messages_routed(&self) -> u64 {
+        self.msg_seq
+    }
+
+    fn live(&self, id: NodeId, generation: u64) -> bool {
+        self.slot(id).is_some_and(|s| s.up && s.generation == generation)
+    }
+
+    fn slot(&self, id: NodeId) -> Option<&Slot> {
+        if id.0 == 0 {
+            return None;
+        }
+        self.slots.get(id.0 as usize - 1)
+    }
+
+    fn slot_mut(&mut self, id: NodeId) -> Option<&mut Slot> {
+        if id.0 == 0 {
+            return None;
+        }
+        self.slots.get_mut(id.0 as usize - 1)
+    }
+
+    fn label(&self, id: NodeId) -> String {
+        if id == EXTERNAL {
+            return "ext".to_string();
+        }
+        self.slot(id).map_or_else(|| format!("{id}"), |s| s.label.clone())
+    }
+
+    fn record(&mut self, what: &str) {
+        self.trace.push(format!("{}ms {what}", self.now));
+    }
+
+    fn push(&mut self, at: u64, pending: Pending) {
+        self.seq += 1;
+        self.queue.insert((at, self.seq), pending);
+    }
+
+    /// Routes one message: partition check, fault-plan drop/delay, seeded
+    /// jitter, then enqueue. All decisions are keyed by the message
+    /// sequence number, so they replay regardless of interleaving.
+    fn route(&mut self, from: NodeId, to: NodeId, bytes: Vec<u8>) {
+        self.msg_seq += 1;
+        let m = self.msg_seq;
+        if to == EXTERNAL {
+            self.record(&format!("extern {}->ext len={}", self.label(from), bytes.len()));
+            self.external.push((from, bytes));
+            return;
+        }
+        let Some(generation) = self.slot(to).filter(|s| s.up).map(|s| s.generation) else {
+            self.record(&format!(
+                "drop {}->{} len={} (down)",
+                self.label(from),
+                self.label(to),
+                bytes.len()
+            ));
+            return;
+        };
+        if self.partitions.contains(&(from.0, to.0)) {
+            self.record(&format!(
+                "drop {}->{} len={} (partition)",
+                self.label(from),
+                self.label(to),
+                bytes.len()
+            ));
+            return;
+        }
+        let mut extra = 0u64;
+        if let Some(faults) = self.faults.as_deref() {
+            if matches!(faults.check_keyed(SITE_NET_DROP, m), Some(FaultKind::Error)) {
+                self.record(&format!(
+                    "drop {}->{} len={} (fault)",
+                    self.label(from),
+                    self.label(to),
+                    bytes.len()
+                ));
+                return;
+            }
+            if let Some(FaultKind::Delay(ms)) = faults.check_keyed(SITE_NET_DELAY, m) {
+                extra = ms;
+            }
+        }
+        let jitter = self.jitter(m);
+        let at = self.now + self.profile.base_delay_ms + jitter + extra;
+        self.record(&format!(
+            "send {}->{} len={} deliver@{at}ms",
+            self.label(from),
+            self.label(to),
+            bytes.len()
+        ));
+        self.push(at, Pending::Deliver { from, to, bytes, generation });
+    }
+
+    /// Jitter for message `m`: pure in `(seed, m)`.
+    fn jitter(&self, m: u64) -> u64 {
+        if self.profile.jitter_ms == 0 {
+            return 0;
+        }
+        let mut rng = DeterministicRng::from_seed(self.seed).substream(m);
+        let draw = rng.uniform();
+        (draw * self.profile.jitter_ms as f64) as u64
+    }
+
+    fn dispatch(&mut self, id: NodeId, event: Event) {
+        let Some(mut node) = self.slot_mut(id).and_then(|s| s.node.take()) else {
+            return;
+        };
+        let mut net = SimNet { sim: self, id };
+        node.on_event(&mut net, event);
+        if let Some(slot) = self.slot_mut(id) {
+            // A crash issued from inside the handler bumps the
+            // generation; the returning state machine is then stale and
+            // must not be reinstalled over a restart's fresh one.
+            if slot.node.is_none() {
+                slot.node = Some(node);
+            }
+        }
+    }
+}
+
+/// The simulated [`Net`] handed to a node while it handles one event.
+struct SimNet<'a> {
+    sim: &'a mut Sim,
+    id: NodeId,
+}
+
+impl Net for SimNet<'_> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.sim.now
+    }
+
+    fn send(&mut self, to: NodeId, bytes: Vec<u8>) {
+        self.sim.route(self.id, to, bytes);
+    }
+
+    fn set_timer(&mut self, delay_ms: u64, tag: u64) {
+        let at = self.sim.now + delay_ms;
+        let generation = self.sim.slot(self.id).map_or(0, |s| s.generation);
+        self.sim.push(at, Pending::Timer { node: self.id, tag, generation });
+    }
+
+    fn log(&mut self, line: &str) {
+        let label = self.sim.label(self.id);
+        self.sim.record(&format!("{label}: {line}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceer_faults::FaultPlan;
+
+    /// Echoes every message back to its sender, once per message.
+    struct Echo;
+    impl Node for Echo {
+        fn on_event(&mut self, net: &mut dyn Net, event: Event) {
+            if let Event::Message { from, bytes } = event {
+                net.send(from, bytes);
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Sends `count` pings to a target at start, counts replies.
+    struct Pinger {
+        target: NodeId,
+        count: u32,
+        replies: u32,
+    }
+    impl Node for Pinger {
+        fn on_event(&mut self, net: &mut dyn Net, event: Event) {
+            match event {
+                Event::Start => {
+                    for i in 0..self.count {
+                        net.send(self.target, vec![i as u8]);
+                    }
+                }
+                Event::Message { .. } => self.replies += 1,
+                Event::Timer { .. } => {}
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Arms timers at start and logs the order they fire in.
+    struct Timers;
+    impl Node for Timers {
+        fn on_event(&mut self, net: &mut dyn Net, event: Event) {
+            match event {
+                Event::Start => {
+                    net.set_timer(30, 3);
+                    net.set_timer(10, 1);
+                    net.set_timer(20, 2);
+                    net.set_timer(10, 4); // same instant as tag 1: FIFO
+                }
+                Event::Timer { tag } => net.log(&format!("fired {tag}")),
+                Event::Message { .. } => {}
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    fn ping_scenario(seed: u64) -> (String, u32) {
+        let mut sim = Sim::new(seed);
+        let echo = sim.add_node("echo", Box::new(Echo));
+        let pinger =
+            sim.add_node("pinger", Box::new(Pinger { target: echo, count: 8, replies: 0 }));
+        sim.run_until(1_000);
+        let replies = sim.node::<Pinger>(pinger).map_or(0, |p| p.replies);
+        (sim.digest(), replies)
+    }
+
+    #[test]
+    fn same_seed_replays_byte_identically() {
+        let (a, ra) = ping_scenario(7);
+        let (b, rb) = ping_scenario(7);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        assert_eq!(ra, 8, "all pings echoed");
+    }
+
+    #[test]
+    fn different_seeds_diverge_in_timing() {
+        let (a, _) = ping_scenario(7);
+        let (b, _) = ping_scenario(8);
+        assert_ne!(a, b, "jitter must depend on the seed");
+    }
+
+    #[test]
+    fn timers_fire_in_time_then_fifo_order() {
+        let mut sim = Sim::new(1);
+        sim.add_node("t", Box::new(Timers));
+        sim.run_until(100);
+        let digest = sim.digest();
+        let fired: Vec<&str> = digest.lines().filter(|l| l.contains("fired")).collect();
+        assert_eq!(fired.len(), 4);
+        assert!(fired[0].ends_with("fired 1"));
+        assert!(fired[1].ends_with("fired 4"), "tie broken by arm order: {fired:?}");
+        assert!(fired[2].ends_with("fired 2"));
+        assert!(fired[3].ends_with("fired 3"));
+    }
+
+    #[test]
+    fn partitions_drop_and_heal_restores() {
+        let mut sim = Sim::new(3);
+        let echo = sim.add_node("echo", Box::new(Echo));
+        let pinger =
+            sim.add_node("pinger", Box::new(Pinger { target: echo, count: 4, replies: 0 }));
+        sim.partition(echo, pinger);
+        sim.run_until(100);
+        assert_eq!(sim.node::<Pinger>(pinger).map_or(99, |p| p.replies), 0);
+        sim.heal(echo, pinger);
+        sim.send_external(pinger, vec![0]); // a reply counts as a message
+        sim.run_until(200);
+        assert!(sim.digest().contains("(partition)"));
+    }
+
+    #[test]
+    fn crash_loses_inflight_messages_and_restart_is_fresh() {
+        let mut sim = Sim::new(5);
+        let echo = sim.add_node("echo", Box::new(Echo));
+        let pinger =
+            sim.add_node("pinger", Box::new(Pinger { target: echo, count: 4, replies: 0 }));
+        // Pings are in flight the instant the run starts; crash the echo
+        // node before any can arrive.
+        sim.crash(echo);
+        sim.run_until(50);
+        assert_eq!(sim.node::<Pinger>(pinger).map_or(99, |p| p.replies), 0);
+        let digest = sim.digest();
+        assert!(
+            digest.contains("(down)"),
+            "in-flight messages to a crashed node are lost: {digest}"
+        );
+        sim.restart(echo, Box::new(Echo));
+        sim.send_external(echo, vec![7]); // fresh incarnation echoes to ext
+        sim.run_until(100);
+        let external = sim.take_external();
+        assert_eq!(external.len(), 1);
+        assert_eq!(external[0].1, vec![7]);
+    }
+
+    #[test]
+    fn fault_plan_drops_messages_deterministically() {
+        let run = || {
+            let plan = FaultPlan::parse(11, "sim.net.drop=err@0.5").unwrap();
+            let mut sim = Sim::with(11, NetProfile::default(), ceer_faults::injector(plan));
+            let echo = sim.add_node("echo", Box::new(Echo));
+            let pinger =
+                sim.add_node("pinger", Box::new(Pinger { target: echo, count: 32, replies: 0 }));
+            sim.run_until(1_000);
+            (sim.digest(), sim.node::<Pinger>(pinger).map_or(0, |p| p.replies))
+        };
+        let (da, ra) = run();
+        let (db, rb) = run();
+        assert_eq!(da, db);
+        assert_eq!(ra, rb);
+        assert!(ra < 32, "p=0.5 over 64 hops should drop something");
+        assert!(da.contains("(fault)"));
+    }
+
+    #[test]
+    fn stale_timers_never_cross_a_restart() {
+        struct Bomb;
+        impl Node for Bomb {
+            fn on_event(&mut self, net: &mut dyn Net, event: Event) {
+                match event {
+                    Event::Start => net.set_timer(50, 9),
+                    Event::Timer { .. } => net.log("boom"),
+                    Event::Message { .. } => {}
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        struct Quiet;
+        impl Node for Quiet {
+            fn on_event(&mut self, _net: &mut dyn Net, _event: Event) {}
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(2);
+        let id = sim.add_node("bomb", Box::new(Bomb));
+        sim.run_until(10);
+        sim.crash(id);
+        sim.restart(id, Box::new(Quiet));
+        sim.run_until(200);
+        assert!(!sim.digest().contains("boom"), "old incarnation's timer leaked through");
+    }
+
+    #[test]
+    fn run_to_quiescence_reports_livelock() {
+        struct Forever;
+        impl Node for Forever {
+            fn on_event(&mut self, net: &mut dyn Net, _event: Event) {
+                net.set_timer(10, 0);
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let mut sim = Sim::new(1);
+        sim.add_node("f", Box::new(Forever));
+        assert!(!sim.run_to_quiescence(100), "self-rearming timer never quiesces");
+        let mut sim = Sim::new(1);
+        sim.add_node("t", Box::new(Timers));
+        assert!(sim.run_to_quiescence(100));
+    }
+}

@@ -8,7 +8,9 @@
 # bit-identical at any thread count; a pass at one width and a failure at
 # the other is a determinism bug, not flakiness. The chaos suite then
 # replays seeded fault plans against a live server under two fixed seeds,
-# and a stress loop repeats the serve concurrency tests — under a nonzero
+# the cluster chaos suite replays a sharded deployment under deterministic
+# simulation (two fixed seeds plus one randomized, printed seed), and a
+# stress loop repeats the serve concurrency tests — under a nonzero
 # delay-only fault plan — to shake out scheduling-dependent races.
 set -eu
 cd "$(dirname "$0")/.."
@@ -50,6 +52,18 @@ for seed in 7 1234; do
         > /dev/null || { echo "chaos suite failed under CEER_FAULT_SEED=$seed"; exit 1; }
 done
 echo "chaos suite passed (seeds 7, 1234)"
+
+echo "=== cluster chaos suite (deterministic simulation) ==="
+# The simulated cluster must replay byte-identically and satisfy the
+# serving invariants under two fixed seeds plus one randomized seed. The
+# random seed is printed so a failure is replayable verbatim:
+#   CEER_SIM_SEED=<seed> cargo test -p ceer-cluster --test sim_cluster
+rand_seed="$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')"
+for seed in 7 1234 "$rand_seed"; do
+    CEER_SIM_SEED="$seed" cargo test -q -p ceer-cluster --test sim_cluster \
+        > /dev/null || { echo "cluster chaos suite failed under CEER_SIM_SEED=$seed"; exit 1; }
+done
+echo "cluster chaos suite passed (seeds 7, 1234, $rand_seed)"
 
 echo "=== serve concurrency stress (20x, delay-fault plan) ==="
 # Delay-only injection perturbs worker scheduling without failing any

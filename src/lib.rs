@@ -13,15 +13,21 @@
 //! - [`stats`]: the statistics substrate.
 //! - [`par`]: the deterministic worker pool underneath the hot paths.
 //! - [`faults`]: seeded fault injection for reproducible chaos runs.
+//! - [`sim`]: the deterministic-simulation substrate (virtual time,
+//!   seeded lossy network, single-threaded event loop).
+//! - [`cluster`]: sharded, replicated serving — the same state machines
+//!   run under [`sim`] in tests and on real TCP via `ceer cluster`.
 
 #![forbid(unsafe_code)]
 
 pub use ceer_cloud as cloud;
+pub use ceer_cluster as cluster;
 pub use ceer_core as model;
 pub use ceer_faults as faults;
 pub use ceer_gpusim as gpusim;
 pub use ceer_graph as graph;
 pub use ceer_par as par;
 pub use ceer_serve as serve;
+pub use ceer_sim as sim;
 pub use ceer_stats as stats;
 pub use ceer_trainer as trainer;
