@@ -1,0 +1,194 @@
+//! Transport cost of one HTTP round trip: the blocking
+//! thread-per-connection server against the evented epoll loop, same
+//! model, same loopback host. Besides the criterion timings this bench
+//! writes `BENCH_serve.json` at the repository root with p50/p99
+//! latency and requests-per-second for each arm.
+//!
+//! Honest 1-core note: client and servers time-slice the same CPU here,
+//! so absolute latencies are inflated by scheduler handoffs and req/s is
+//! a lower bound; read the arms *relative to each other*. The evented
+//! loop's headline win — thousands of concurrent connections on one
+//! core — is not measurable with a loopback echo client at all; it is
+//! asserted by `tests/chaos.rs::sim_accept_storm_10k_connections_on_one_core`
+//! under the simulated readiness driver.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ceer_core::{Ceer, CeerModel, FitConfig};
+use ceer_graph::models::CnnId;
+use ceer_serve::api::PredictRequest;
+use ceer_serve::{Client, ClientConn, EventedServer, ModelRegistry, Server, ServerConfig};
+use criterion::Criterion;
+
+/// Round trips behind each latency distribution.
+const REQUESTS: usize = 300;
+
+const BODY: &str = "{\"cnn\": \"vgg11\", \"batch\": 32}";
+
+fn tiny_model() -> CeerModel {
+    Ceer::fit(&FitConfig {
+        cnns: vec![CnnId::Vgg11],
+        iterations: 2,
+        parallel_degrees: vec![1],
+        seed: 11,
+        ..FitConfig::default()
+    })
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        host: "127.0.0.1".to_string(),
+        port: 0,
+        workers: 2,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    }
+}
+
+/// Runs `one` `REQUESTS` times; returns per-call latencies (µs, sorted)
+/// and the total wall-clock seconds.
+fn sample(mut one: impl FnMut()) -> (Vec<f64>, f64) {
+    let started = Instant::now();
+    let mut samples: Vec<f64> = (0..REQUESTS)
+        .map(|_| {
+            let t = Instant::now();
+            one();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    let total = started.elapsed().as_secs_f64();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (samples, total)
+}
+
+/// Nearest-rank percentile of an already sorted sample set.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[derive(serde::Serialize)]
+struct BenchEntry {
+    name: String,
+    p50_us: f64,
+    p99_us: f64,
+    req_per_s: f64,
+    requests: usize,
+}
+
+#[derive(serde::Serialize)]
+struct Snapshot {
+    host_threads: usize,
+    requests_per_arm: usize,
+    note: String,
+    benches: Vec<BenchEntry>,
+}
+
+fn entry(name: &str, mut one: impl FnMut()) -> BenchEntry {
+    // One warm-up call primes caches (prediction LRU, connection pools)
+    // so the distribution measures the steady state.
+    one();
+    let (sorted, total) = sample(&mut one);
+    let p50 = percentile(&sorted, 50.0);
+    let p99 = percentile(&sorted, 99.0);
+    let rps = REQUESTS as f64 / total;
+    println!("{name:44} p50 {p50:>9.1} us   p99 {p99:>9.1} us   {rps:>8.0} req/s");
+    BenchEntry {
+        name: name.to_string(),
+        p50_us: p50,
+        p99_us: p99,
+        req_per_s: rps,
+        requests: REQUESTS,
+    }
+}
+
+fn write_snapshot(model: &CeerModel) {
+    let host_threads =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let request: PredictRequest = serde_json::from_str(BODY).expect("parses");
+    let body = serde_json::to_vec(&request).expect("serializes");
+
+    let blocking = Server::start(&config(), ModelRegistry::from_model(model.clone()))
+        .expect("blocking server starts");
+    let evented = EventedServer::start(&config(), ModelRegistry::from_model(model.clone()))
+        .expect("evented server starts");
+
+    let blocking_client = Client::new(blocking.addr());
+    let evented_client = Client::new(evented.addr());
+    let mut conn = ClientConn::new(evented.addr());
+
+    println!("\n== BENCH_serve.json snapshot (host_threads = {host_threads}) ==");
+    let benches = vec![
+        entry("blocking/healthz_connect_per_request", || {
+            black_box(blocking_client.get("/healthz").expect("healthz"));
+        }),
+        entry("evented/healthz_connect_per_request", || {
+            black_box(evented_client.get("/healthz").expect("healthz"));
+        }),
+        entry("evented/healthz_keep_alive", || {
+            black_box(conn.request("GET", "/healthz", b"").expect("healthz"));
+        }),
+        entry("blocking/predict_cached_connect_per_request", || {
+            black_box(blocking_client.request("POST", "/predict", &body).expect("predict"));
+        }),
+        entry("evented/predict_cached_keep_alive", || {
+            black_box(conn.request("POST", "/predict", &body).expect("predict"));
+        }),
+    ];
+    let snapshot = Snapshot {
+        host_threads,
+        requests_per_arm: REQUESTS,
+        note: "sequential loopback round trips; client and servers time-slice the \
+               same CPU on a 1-core host, so absolute latencies are inflated and \
+               req/s is a lower bound — compare arms relative to each other. The \
+               evented transport's concurrency headroom (10k connections on one \
+               core) is asserted separately under the simulated readiness driver \
+               in tests/chaos.rs."
+            .to_string(),
+        benches,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let body = serde_json::to_string_pretty(&snapshot).expect("serializes");
+    std::fs::write(path, body + "\n").expect("write BENCH_serve.json");
+    println!("wrote {path}");
+
+    blocking.shutdown();
+    evented.shutdown();
+}
+
+fn bench_round_trips(c: &mut Criterion, model: &CeerModel) {
+    let blocking = Server::start(&config(), ModelRegistry::from_model(model.clone()))
+        .expect("blocking server starts");
+    let evented = EventedServer::start(&config(), ModelRegistry::from_model(model.clone()))
+        .expect("evented server starts");
+    let blocking_client = Client::new(blocking.addr());
+    let evented_client = Client::new(evented.addr());
+    let mut conn = ClientConn::new(evented.addr());
+
+    let mut group = c.benchmark_group("serve_round_trip");
+    group.sample_size(20);
+    group.bench_function("blocking_healthz", |b| {
+        b.iter(|| blocking_client.get("/healthz").expect("healthz"));
+    });
+    group.bench_function("evented_healthz", |b| {
+        b.iter(|| evented_client.get("/healthz").expect("healthz"));
+    });
+    group.bench_function("evented_healthz_keep_alive", |b| {
+        b.iter(|| conn.request("GET", "/healthz", b"").expect("healthz"));
+    });
+    group.finish();
+
+    blocking.shutdown();
+    evented.shutdown();
+}
+
+fn main() {
+    let model = tiny_model();
+    let mut criterion = Criterion::default();
+    bench_round_trips(&mut criterion, &model);
+    write_snapshot(&model);
+}

@@ -1,6 +1,6 @@
 //! `ceer serve` — run the concurrent prediction service.
 
-use ceer_serve::{ModelRegistry, Server, ServerConfig};
+use ceer_serve::{EventedServer, ModelRegistry, Server, ServerConfig};
 
 use crate::args::Args;
 
@@ -27,6 +27,16 @@ ROBUSTNESS:
                             (default 1048576)
     --max-pending N         pending-connection queue depth; beyond it the
                             server sheds with 429 + Retry-After (default 128)
+
+TRANSPORT:
+    --evented               serve on the readiness-driven epoll event loop
+                            (Linux): one thread, nonblocking sockets,
+                            keep-alive connections, micro-batched /predict.
+                            Default is the blocking thread-per-connection
+                            transport.
+    --batch-window-ms N     evented only: hold a /predict cache miss up to
+                            N ms to coalesce concurrent misses into one
+                            batched fan-out (default 0 = no extra latency)
 
 FAULT INJECTION (chaos testing):
     CEER_FAULT_PLAN     seeded fault plan, e.g.
@@ -60,6 +70,8 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
     let request_timeout_ms = args.opt_parse("--request-timeout-ms", defaults.request_timeout_ms)?;
     let max_body_bytes = args.opt_parse("--max-body-bytes", defaults.max_body_bytes)?;
     let max_pending = args.opt_parse("--max-pending", defaults.max_pending)?;
+    let evented = args.flag("--evented");
+    let batch_window_ms = args.opt_parse("--batch-window-ms", defaults.batch_window_ms)?;
     crate::commands::apply_threads(args)?;
     args.finish()?;
     if workers == 0 {
@@ -82,8 +94,22 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
         request_timeout_ms,
         max_body_bytes,
         max_pending,
+        batch_window_ms,
         faults,
     };
+    if evented {
+        let server = EventedServer::start(&config, registry)?;
+        println!(
+            "ceer-serve listening on http://{} (evented, 1 loop thread, batch window {}ms, \
+             cache capacity {}, model {model_path:?})",
+            server.addr(),
+            config.batch_window_ms,
+            config.cache_capacity
+        );
+        print_endpoints();
+        server.wait();
+        return Ok(());
+    }
     let server = Server::start(&config, registry)?;
     println!(
         "ceer-serve listening on http://{} ({} workers, cache capacity {}, model {model_path:?})",
@@ -91,10 +117,14 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
         config.workers,
         config.cache_capacity
     );
+    print_endpoints();
+    server.wait();
+    Ok(())
+}
+
+fn print_endpoints() {
     println!(
         "endpoints: GET /healthz /readyz /zoo /catalog /metrics — POST /predict /predict_batch \
          /recommend /reload"
     );
-    server.wait();
-    Ok(())
 }

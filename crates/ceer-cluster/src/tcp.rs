@@ -15,7 +15,7 @@
 //! each with a frame listener and a driver thread.
 
 use std::collections::BTreeMap;
-use std::io::{BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -25,6 +25,7 @@ use std::time::Duration;
 
 use ceer_faults::Faults;
 use ceer_serve::http::{self, ReadBudget, Response};
+use ceer_serve::parser::parse_head;
 use ceer_sim::{Clock, Event, Net, Node, NodeId, SystemClock, EXTERNAL};
 
 use crate::proto::{self, Msg};
@@ -183,10 +184,68 @@ fn run_frame_listener(
     }
 }
 
-/// Accepts HTTP clients, parses requests with the serve stack's bounded
-/// reader, and forwards them to the router as [`Msg::ClientRequest`]
-/// frames from [`EXTERNAL`]. The response travels back through the
-/// stream parked in `streams` until the router answers.
+/// One owned HTTP request as the gateway hands it to the router.
+struct GatewayRequest {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Reads one request with the serve stack's zero-copy head parser — the
+/// same incremental state machine the evented transport runs — over a
+/// growing buffer: read a chunk, re-scan, until the head and declared
+/// body are complete. The socket's `SO_RCVTIMEO` bounds every read, so
+/// a stalled peer surfaces as [`http::ReadError::TimedOut`].
+fn read_gateway_request(
+    stream: &mut TcpStream,
+    budget: &ReadBudget,
+) -> Result<Option<GatewayRequest>, http::ReadError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_head(&buf, budget.max_body_bytes) {
+            Err(error) => return Err(error.into()),
+            Ok(Some(head)) => {
+                if let Some(req) = head.request(&buf) {
+                    return Ok(Some(GatewayRequest {
+                        method: req.method.to_string(),
+                        path: req.path.to_string(),
+                        body: req.body.to_vec(),
+                    }));
+                }
+                // Head complete, body still arriving: keep reading.
+            }
+            Ok(None) => {}
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(None) // clean close before any bytes
+                } else {
+                    Err(http::ReadError::Io(format!(
+                        "connection closed mid-request ({} bytes buffered)",
+                        buf.len()
+                    )))
+                };
+            }
+            Ok(n) => buf.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(http::ReadError::TimedOut)
+            }
+            Err(e) => return Err(http::ReadError::Io(format!("read failed: {e}"))),
+        }
+    }
+}
+
+/// Accepts HTTP clients, parses requests with the serve stack's
+/// zero-copy head parser, and forwards them to the router as
+/// [`Msg::ClientRequest`] frames from [`EXTERNAL`]. The response travels
+/// back through the stream parked in `streams` until the router answers.
 fn run_gateway(
     listener: &TcpListener,
     router_tx: &Sender<(u32, Vec<u8>)>,
@@ -199,13 +258,11 @@ fn run_gateway(
         if stop.load(Ordering::Relaxed) {
             break;
         }
-        let Ok(stream) = conn else { continue };
+        let Ok(mut stream) = conn else { continue };
         stream.set_read_timeout(Some(io_timeout)).ok();
         stream.set_write_timeout(Some(io_timeout)).ok();
-        let Ok(reader_stream) = stream.try_clone() else { continue };
         let budget = ReadBudget::default();
-        let request = http::read_request(&mut BufReader::new(reader_stream), &budget);
-        let mut stream = stream;
+        let request = read_gateway_request(&mut stream, &budget);
         match request {
             Ok(Some(req)) => match String::from_utf8(req.body) {
                 Ok(body) => {

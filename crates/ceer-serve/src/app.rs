@@ -1,0 +1,340 @@
+//! The transport-independent application core: routing, caching,
+//! metrics, readiness — everything about serving predictions that does
+//! not care whether bytes arrive via a blocking worker pool
+//! ([`crate::Server`]) or the evented loop ([`crate::EventedServer`]).
+//! Both transports hold one [`App`] and answer every request through
+//! [`App::route`], so the two produce byte-identical bodies by
+//! construction.
+//!
+//! `/predict` is special-cased through [`App::parse_predict`] /
+//! [`App::predict_hit`] / [`App::predict_compute`] so the evented
+//! server's micro-batching can split the endpoint at its natural seams —
+//! parse, cache probe, compute — while single requests take the exact
+//! same code path with a batch of one.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use ceer_faults::Faults;
+
+use crate::api::{self, ErrorResponse};
+use crate::cache::PredictionCache;
+use crate::http::{ReadError, Response};
+use crate::metrics::{Metrics, ServerEvent};
+use crate::parser::RequestRef;
+use crate::registry::ModelRegistry;
+
+/// Shared serving state: one per server, seen by every connection.
+pub struct App {
+    /// The fitted model being served, hot-swappable via `POST /reload`.
+    pub registry: ModelRegistry,
+    /// LRU of serialized response bodies keyed by canonical request.
+    pub cache: PredictionCache,
+    /// Per-endpoint latencies and robustness counters.
+    pub metrics: Metrics,
+    /// Seeded fault injector for chaos runs (`None` = no injection).
+    pub faults: Faults,
+    /// `true` while accepting; cleared at the start of shutdown so
+    /// `GET /readyz` flips to 503 before the listener closes.
+    pub ready: AtomicBool,
+}
+
+impl App {
+    /// A fresh core around a registry.
+    pub fn new(registry: ModelRegistry, cache_capacity: usize, faults: Faults) -> Self {
+        App {
+            registry,
+            cache: PredictionCache::new(cache_capacity),
+            metrics: Metrics::default(),
+            faults,
+            ready: AtomicBool::new(true),
+        }
+    }
+
+    /// Answers one parsed request. Pure in `(model, request, cache)` —
+    /// no I/O, no ambient time.
+    pub fn route(&self, request: RequestRef<'_>) -> Response {
+        match (request.method, request.path) {
+            ("GET", "/healthz") => Response::json(200, "{\n  \"status\": \"ok\"\n}"),
+            ("GET", "/readyz") => {
+                if self.ready.load(Ordering::SeqCst) {
+                    Response::json(200, "{\n  \"status\": \"ready\"\n}")
+                } else {
+                    error_response(503, "draining: server is shutting down".to_string())
+                        .with_retry_after(1)
+                }
+            }
+            ("GET", "/zoo") => ok(&api::zoo()),
+            ("GET", "/catalog") => ok(&api::catalog()),
+            ("GET", "/metrics") => {
+                ok(&self.metrics.snapshot(self.cache.stats(), self.registry.reloads()))
+            }
+            ("POST", "/predict") => match self.parse_predict(request.body) {
+                Err(response) => response,
+                Ok((item, key)) => match self.predict_hit(key.as_deref()) {
+                    Some(response) => response,
+                    None => self
+                        .predict_compute(&[(item, key)])
+                        .pop()
+                        .unwrap_or_else(|| error_response(500, "empty compute batch".to_string())),
+                },
+            },
+            ("POST", "/predict_batch") => self.predict_batch(request.body),
+            ("POST", "/recommend") => self.cached("/recommend", request.body, api::recommend),
+            ("POST", "/reload") => match self.registry.reload_with(&self.faults) {
+                Ok(reloads) => {
+                    // The cache is keyed by request only, so entries computed
+                    // with the old model are now stale.
+                    self.cache.clear();
+                    Response::json(
+                        200,
+                        format!("{{\n  \"status\": \"reloaded\",\n  \"reloads\": {reloads}\n}}"),
+                    )
+                }
+                Err(error) => {
+                    // The previous model keeps serving; the failure is counted
+                    // and reported as a structured error body.
+                    self.metrics.bump(ServerEvent::ReloadFailure);
+                    error_response(500, error)
+                }
+            },
+            (
+                _,
+                "/healthz" | "/readyz" | "/zoo" | "/catalog" | "/metrics" | "/predict"
+                | "/predict_batch" | "/recommend" | "/reload",
+            ) => {
+                error_response(405, format!("{} does not accept {}", request.path, request.method))
+            }
+            _ => error_response(404, format!("no such endpoint {:?}", request.path)),
+        }
+    }
+
+    /// Parses a `/predict` body into the request plus its canonical
+    /// cache key (`None` when the request cannot re-serialize — such
+    /// requests are answered uncached). `Err` is the ready-made 400.
+    ///
+    /// # Errors
+    ///
+    /// The 400 response for an unparsable body.
+    pub fn parse_predict(
+        &self,
+        body: &[u8],
+    ) -> Result<(api::PredictRequest, Option<String>), Response> {
+        let request: api::PredictRequest = serde_json::from_slice(body)
+            .map_err(|e| error_response(400, format!("invalid request body: {e}")))?;
+        let key = serde_json::to_string(&request).ok().map(|c| format!("/predict {c}"));
+        Ok((request, key))
+    }
+
+    /// Cache probe for one `/predict` request.
+    pub fn predict_hit(&self, key: Option<&str>) -> Option<Response> {
+        key.and_then(|k| self.cache.get(k)).map(|body| Response::json(200, body))
+    }
+
+    /// Computes a batch of cache-missed `/predict` requests: one model
+    /// snapshot, fan-out over the [`ceer_par`] pool, then serialize and
+    /// cache each in order. A batch of one is exactly the single-request
+    /// path, so batched and sequential answers are byte-identical.
+    pub fn predict_compute(
+        &self,
+        items: &[(api::PredictRequest, Option<String>)],
+    ) -> Vec<Response> {
+        let model = self.registry.model();
+        let results = ceer_par::par_map(items, |(item, _)| api::predict(&model, item));
+        items
+            .iter()
+            .zip(results)
+            .map(|((_, key), result)| match result {
+                Ok(response) => match serde_json::to_string_pretty(&response) {
+                    Ok(body) => {
+                        if let Some(key) = key {
+                            self.cache.insert(key.clone(), body.clone());
+                        }
+                        Response::json(200, body)
+                    }
+                    Err(e) => error_response(500, format!("response serialization failed: {e}")),
+                },
+                Err(error) => error_response(400, error),
+            })
+            .collect()
+    }
+
+    /// Parses the body, answers from cache when possible, computes and
+    /// caches otherwise. The cache key is the *canonical* request
+    /// (parsed and re-serialized), so formatting differences and
+    /// defaulted fields collapse onto one entry.
+    fn cached<Req, Resp>(
+        &self,
+        endpoint: &str,
+        body: &[u8],
+        evaluate: impl Fn(&ceer_core::CeerModel, &Req) -> Result<Resp, String>,
+    ) -> Response
+    where
+        Req: serde::Serialize + serde::Deserialize,
+        Resp: serde::Serialize,
+    {
+        let request: Req = match serde_json::from_slice(body) {
+            Ok(request) => request,
+            Err(e) => return error_response(400, format!("invalid request body: {e}")),
+        };
+        // A request that cannot re-serialize has no canonical key; answer it
+        // uncached rather than fail it.
+        let key = serde_json::to_string(&request).ok().map(|c| format!("{endpoint} {c}"));
+        if let Some(key) = &key {
+            if let Some(body) = self.cache.get(key) {
+                return Response::json(200, body);
+            }
+        }
+        match evaluate(&self.registry.model(), &request) {
+            Ok(response) => match serde_json::to_string_pretty(&response) {
+                Ok(body) => {
+                    if let Some(key) = key {
+                        self.cache.insert(key, body.clone());
+                    }
+                    Response::json(200, body)
+                }
+                Err(e) => error_response(500, format!("response serialization failed: {e}")),
+            },
+            Err(error) => error_response(400, error),
+        }
+    }
+
+    /// Answers a `/predict_batch` request, sharing the single-`/predict`
+    /// cache per item: each item's key lives in the `/predict` namespace,
+    /// so a batch primes the cache for later single calls and vice versa.
+    /// Hits are answered from the stored body; misses fan out on the
+    /// [`ceer_par`] pool and are stored afterwards. Per-item errors are
+    /// never cached.
+    fn predict_batch(&self, body: &[u8]) -> Response {
+        let request: api::PredictBatchRequest = match serde_json::from_slice(body) {
+            Ok(request) => request,
+            Err(e) => return error_response(400, format!("invalid request body: {e}")),
+        };
+        // Items that cannot re-serialize get no canonical key and skip the
+        // cache on both read and write.
+        let keys: Vec<Option<String>> = request
+            .requests
+            .iter()
+            .map(|item| serde_json::to_string(item).ok().map(|c| format!("/predict {c}")))
+            .collect();
+        // One serial cache pass up front, so concurrent duplicate items inside
+        // the batch don't race the pool for lock order.
+        let hits: Vec<Option<String>> =
+            keys.iter().map(|key| key.as_deref().and_then(|k| self.cache.get(k))).collect();
+
+        let misses: Vec<(usize, &api::PredictRequest)> = hits
+            .iter()
+            .zip(&request.requests)
+            .enumerate()
+            .filter(|(_, (hit, _))| hit.is_none())
+            .map(|(i, (_, item))| (i, item))
+            .collect();
+        let model = self.registry.model();
+        let computed = ceer_par::par_map(&misses, |&(_, item)| match api::predict(&model, item) {
+            Ok(response) => api::PredictBatchItem { response: Some(response), error: None },
+            Err(error) => api::PredictBatchItem { response: None, error: Some(error) },
+        });
+
+        let mut computed = computed.into_iter();
+        let mut responses = Vec::with_capacity(request.requests.len());
+        for (i, hit) in hits.into_iter().enumerate() {
+            let item = match hit {
+                // Stored bodies round-trip bit-exactly (serde_json preserves
+                // f64), so a cache hit equals the freshly computed response.
+                Some(body) => match serde_json::from_str::<api::PredictResponse>(&body) {
+                    Ok(response) => api::PredictBatchItem { response: Some(response), error: None },
+                    Err(e) => api::PredictBatchItem {
+                        response: None,
+                        error: Some(format!("corrupt cache entry: {e}")),
+                    },
+                },
+                None => match computed.next() {
+                    Some(item) => {
+                        if let (Some(response), Some(Some(key))) = (&item.response, keys.get(i)) {
+                            if let Ok(body) = serde_json::to_string_pretty(response) {
+                                self.cache.insert(key.clone(), body);
+                            }
+                        }
+                        item
+                    }
+                    // Unreachable by construction (one computed item per miss),
+                    // but a handler answers rather than panics.
+                    None => api::PredictBatchItem {
+                        response: None,
+                        error: Some("internal error: fewer computed items than misses".to_string()),
+                    },
+                },
+            };
+            responses.push(item);
+        }
+        ok(&api::PredictBatchResponse { responses })
+    }
+
+    /// Maps a classified read failure onto its response (`None` = close
+    /// silently) and bumps the matching counter: 400 malformed, 413 over
+    /// the body limit, 408 on a deadline, silent close on transport
+    /// errors. Shared so both transports classify identically.
+    pub fn read_error_response(&self, error: &ReadError) -> Option<Response> {
+        match error {
+            ReadError::Malformed(message) => {
+                self.metrics.bump(ServerEvent::Malformed);
+                self.metrics.record("(malformed)", 0.0, true);
+                Some(error_response(400, message.clone()))
+            }
+            ReadError::BodyTooLarge { declared, limit } => {
+                self.metrics.bump(ServerEvent::BodyLimit);
+                self.metrics.record("(body-too-large)", 0.0, true);
+                Some(error_response(
+                    413,
+                    format!("request body of {declared} bytes exceeds the {limit}-byte limit"),
+                ))
+            }
+            ReadError::TimedOut => {
+                self.metrics.bump(ServerEvent::Timeout);
+                self.metrics.record("(timeout)", 0.0, true);
+                // Best effort: the peer may be stalled or gone; either way
+                // the connection closes right after.
+                Some(error_response(408, "request read timed out".to_string()))
+            }
+            ReadError::Io(_) => {
+                // The transport failed mid-request; there is nobody to
+                // answer.
+                self.metrics.bump(ServerEvent::IoError);
+                None
+            }
+        }
+    }
+
+    /// The `429` + `Retry-After` shed response, with its counters.
+    pub fn shed_response(&self) -> Response {
+        self.metrics.bump(ServerEvent::Shed);
+        self.metrics.record("(shed)", 0.0, true);
+        error_response(429, "server overloaded, please retry".to_string()).with_retry_after(1)
+    }
+}
+
+/// Collapses unknown paths so the metrics map cannot grow unboundedly
+/// from path scans.
+pub fn canonical_route(path: &str) -> &str {
+    match path {
+        "/healthz" | "/readyz" | "/zoo" | "/catalog" | "/metrics" | "/predict"
+        | "/predict_batch" | "/recommend" | "/reload" => path,
+        _ => "(unknown)",
+    }
+}
+
+/// A structured JSON error body.
+pub fn error_response(status: u16, error: String) -> Response {
+    // `ErrorResponse` is one string field, so serialization cannot really
+    // fail — but an error path must never panic, so fall back to a
+    // hand-built body instead of unwrapping.
+    let body = serde_json::to_string_pretty(&ErrorResponse { error })
+        .unwrap_or_else(|_| "{\n  \"error\": \"error serialization failed\"\n}".to_string());
+    Response::json(status, body)
+}
+
+fn ok(body: &impl serde::Serialize) -> Response {
+    match serde_json::to_string_pretty(body) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => error_response(500, format!("response serialization failed: {e}")),
+    }
+}

@@ -275,6 +275,178 @@ impl Client {
     }
 }
 
+/// A keep-alive client connection: one TCP stream, many exchanges.
+///
+/// The blocking [`crate::Server`] answers `Connection: close`, so this
+/// type earns its keep against [`crate::EventedServer`], which keeps
+/// successful connections open. A connection the server has since closed
+/// is re-established transparently — but only when the *send* failed
+/// (the request never reached the server); a failed *receive* surfaces
+/// as an error so [`ClientConn::request_with_retry`] can apply the
+/// idempotency rules.
+///
+/// Headers set with [`ClientConn::set_header`] persist across requests
+/// on the connection — that is the point of reusing it — which is
+/// exactly why per-attempt markers like `X-Ceer-Attempt` must *replace*
+/// their previous value rather than append: the retry loop once pushed a
+/// fresh copy per attempt, and a request retried twice on a reused
+/// connection went out with two contradictory attempt headers.
+/// `set_header` now dedupes by name; the regression is pinned in this
+/// module's tests.
+#[derive(Debug)]
+pub struct ClientConn {
+    addr: SocketAddr,
+    stream: Option<BufReader<TcpStream>>,
+    headers: Vec<(String, String)>,
+}
+
+enum ExchangeError {
+    /// The request could not be written — the server never saw it.
+    Send(String),
+    /// The request went out but the response could not be read.
+    Recv(String),
+}
+
+impl ClientConn {
+    /// A connection to the server at `addr`, established lazily on the
+    /// first request.
+    pub fn new(addr: SocketAddr) -> Self {
+        ClientConn { addr, stream: None, headers: Vec::new() }
+    }
+
+    /// Whether a TCP stream is currently held open for reuse.
+    pub fn connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Sets a header sent with every subsequent request on this
+    /// connection, *replacing* any previous value under the same
+    /// (case-insensitive) name — never duplicating it.
+    pub fn set_header(&mut self, name: &str, value: impl Into<String>) {
+        self.remove_header(name);
+        self.headers.push((name.to_string(), value.into()));
+    }
+
+    /// Removes a header previously set with [`ClientConn::set_header`].
+    pub fn remove_header(&mut self, name: &str) {
+        self.headers.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+    }
+
+    /// Marks the next requests as retry attempt `attempt`; 0 clears the
+    /// marker (first tries carry no header, matching [`Client`]).
+    pub fn set_attempt(&mut self, attempt: u32) {
+        if attempt == 0 {
+            self.remove_header("X-Ceer-Attempt");
+        } else {
+            self.set_header("X-Ceer-Attempt", attempt.to_string());
+        }
+    }
+
+    /// The wire bytes of one request, including the persistent headers.
+    /// No `Connection: close`: the server decides whether to keep the
+    /// connection (the evented transport does, on success).
+    fn render(&self, method: &str, path: &str, body: &[u8]) -> Vec<u8> {
+        let mut wire = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+            self.addr,
+            body.len()
+        );
+        for (name, value) in &self.headers {
+            wire.push_str(&format!("{name}: {value}\r\n"));
+        }
+        wire.push_str("\r\n");
+        let mut bytes = wire.into_bytes();
+        bytes.extend_from_slice(body);
+        bytes
+    }
+
+    fn exchange(
+        reader: &mut BufReader<TcpStream>,
+        wire: &[u8],
+    ) -> Result<RawResponse, ExchangeError> {
+        reader
+            .get_mut()
+            .write_all(wire)
+            .and_then(|()| reader.get_mut().flush())
+            .map_err(|e| ExchangeError::Send(format!("cannot send request: {e}")))?;
+        read_response(reader).map_err(ExchangeError::Recv)
+    }
+
+    /// One request over the kept-alive connection.
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure only (HTTP error statuses are
+    /// returned). A stale kept-alive stream whose *send* fails is
+    /// reconnected once, transparently.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<RawResponse, String> {
+        let wire = self.render(method, path, body);
+        if let Some(reader) = self.stream.as_mut() {
+            match Self::exchange(reader, &wire) {
+                Ok(response) => return Ok(response),
+                Err(ExchangeError::Send(_)) => self.stream = None, // stale: reconnect below
+                Err(ExchangeError::Recv(error)) => {
+                    self.stream = None;
+                    return Err(error);
+                }
+            }
+        }
+        let stream = TcpStream::connect(self.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        let mut reader = BufReader::new(stream);
+        match Self::exchange(&mut reader, &wire) {
+            Ok(response) => {
+                self.stream = Some(reader);
+                Ok(response)
+            }
+            Err(ExchangeError::Send(error) | ExchangeError::Recv(error)) => Err(error),
+        }
+    }
+
+    /// [`ClientConn::request`] under a [`RetryPolicy`], mirroring
+    /// [`Client::request`]'s rules: transport failures retry only `GET`,
+    /// `429` sheds retry any method and honor `Retry-After`. Each retry
+    /// *replaces* the connection's `X-Ceer-Attempt` marker via
+    /// [`ClientConn::set_attempt`].
+    ///
+    /// # Errors
+    ///
+    /// Errors on transport failure once retries are exhausted.
+    pub fn request_with_retry(
+        &mut self,
+        retry: &RetryPolicy,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<RawResponse, String> {
+        let idempotent = method == "GET";
+        let mut attempt: u32 = 0;
+        loop {
+            self.set_attempt(attempt);
+            let can_retry = attempt + 1 < retry.max_attempts;
+            let mut server_pacing: Option<u64> = None;
+            match self.request(method, path, body) {
+                Ok(response) if response.status == 429 && can_retry => {
+                    server_pacing = response.retry_after;
+                }
+                Ok(response) => {
+                    self.set_attempt(0);
+                    return Ok(response);
+                }
+                Err(_) if idempotent && can_retry => {}
+                Err(error) => return Err(error),
+            }
+            attempt += 1;
+            std::thread::sleep(retry.pacing(attempt, server_pacing));
+        }
+    }
+}
+
 fn parse_body<Resp: Deserialize>(response: &RawResponse) -> Result<Resp, String> {
     if response.status != 200 {
         return Err(server_error(response));
@@ -320,6 +492,62 @@ mod tests {
         assert_eq!(policy.max_attempts, 1);
         assert_eq!(policy.delay(1), Duration::ZERO);
         assert_eq!(policy.delay(10), Duration::ZERO);
+    }
+
+    fn conn() -> ClientConn {
+        ClientConn::new("127.0.0.1:9".parse().unwrap())
+    }
+
+    fn wire_text(conn: &ClientConn) -> String {
+        String::from_utf8(conn.render("GET", "/healthz", b"")).unwrap()
+    }
+
+    /// Regression: the retry loop used to push a fresh `X-Ceer-Attempt`
+    /// per attempt into the connection's persistent header scratch, so a
+    /// request retried on a reused connection carried every previous
+    /// attempt value at once. Replacing, not appending, is the contract.
+    #[test]
+    fn reused_connection_never_duplicates_the_attempt_header() {
+        let mut conn = conn();
+        conn.set_attempt(1);
+        assert_eq!(wire_text(&conn).matches("X-Ceer-Attempt").count(), 1);
+        conn.set_attempt(2);
+        let wire = wire_text(&conn);
+        assert_eq!(
+            wire.matches("X-Ceer-Attempt").count(),
+            1,
+            "one marker after two attempts, got:\n{wire}"
+        );
+        assert!(wire.contains("X-Ceer-Attempt: 2\r\n"), "the marker is the latest attempt");
+        conn.set_attempt(0);
+        assert_eq!(
+            wire_text(&conn).matches("X-Ceer-Attempt").count(),
+            0,
+            "a successful exchange clears the marker for the next request"
+        );
+    }
+
+    #[test]
+    fn set_header_replaces_case_insensitively() {
+        let mut conn = conn();
+        conn.set_header("X-Trace", "a");
+        conn.set_header("x-trace", "b");
+        let wire = wire_text(&conn);
+        assert_eq!(wire.to_ascii_lowercase().matches("x-trace").count(), 1);
+        assert!(wire.contains("x-trace: b\r\n"));
+        conn.remove_header("X-TRACE");
+        assert_eq!(wire_text(&conn).to_ascii_lowercase().matches("x-trace").count(), 0);
+    }
+
+    #[test]
+    fn keep_alive_requests_omit_connection_close() {
+        let conn = conn();
+        let wire = wire_text(&conn);
+        assert!(
+            !wire.to_ascii_lowercase().contains("connection:"),
+            "the server owns the keep-alive decision, got:\n{wire}"
+        );
+        assert!(wire.ends_with("\r\n\r\n"), "head terminates cleanly");
     }
 
     #[test]

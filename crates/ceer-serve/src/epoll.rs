@@ -1,0 +1,246 @@
+//! The real-TCP event source: Linux `epoll` over nonblocking sockets,
+//! called directly via FFI (the crate stays dependency-free). This is
+//! the production implementation of [`ceer_sim::ready::EventSource`];
+//! the event loop in [`crate::evented`] never knows which one it got.
+//!
+//! Level-triggered: a socket with unread bytes (or writable space, when
+//! subscribed) reports readiness on every `epoll_wait` until the loop
+//! drains it, which matches the loop's read-until-`WouldBlock`
+//! discipline and is the semantics the sim source replicates.
+
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+
+use ceer_sim::ready::{EventSource, IoOutcome, Token, Wake};
+
+const EPOLL_CLOEXEC: i32 = 0x8_0000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLLIN: u32 = 0x1;
+const EPOLLOUT: u32 = 0x4;
+const EPOLLERR: u32 = 0x8;
+const EPOLLHUP: u32 = 0x10;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs it
+/// (no padding between `events` and `data`); other architectures use
+/// natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// The listener's reserved token; connection tokens start at 1.
+const LISTENER_TOKEN: u64 = 0;
+
+/// An epoll-backed event source owning the listener and every accepted
+/// stream.
+pub(crate) struct EpollSource {
+    epfd: i32,
+    listener: Option<TcpListener>,
+    conns: BTreeMap<Token, TcpStream>,
+    next_token: Token,
+    events: Vec<EpollEvent>,
+}
+
+impl EpollSource {
+    /// Takes ownership of a bound listener and registers it for
+    /// readiness.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the epoll instance cannot be created or the listener
+    /// cannot be made nonblocking/registered.
+    pub(crate) fn new(listener: TcpListener) -> Result<Self, String> {
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set listener nonblocking: {e}"))?;
+        // SAFETY: plain syscall; the returned fd is owned by this struct
+        // and closed in Drop.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(format!("epoll_create1 failed: {}", std::io::Error::last_os_error()));
+        }
+        let source = EpollSource {
+            epfd,
+            listener: Some(listener),
+            conns: BTreeMap::new(),
+            next_token: 1,
+            events: vec![EpollEvent { events: 0, data: 0 }; 1024],
+        };
+        if let Some(listener) = &source.listener {
+            source.ctl(EPOLL_CTL_ADD, listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)?;
+        }
+        Ok(source)
+    }
+
+    fn ctl(&self, op: i32, fd: i32, events: u32, data: u64) -> Result<(), String> {
+        let mut event = EpollEvent { events, data };
+        // SAFETY: epfd is our open epoll fd, fd is an open descriptor we
+        // own, and `event` outlives the call.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut event) };
+        if rc < 0 {
+            Err(format!("epoll_ctl({op}) failed: {}", std::io::Error::last_os_error()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Drop for EpollSource {
+    fn drop(&mut self) {
+        // SAFETY: epfd was returned by epoll_create1 and is closed
+        // exactly once, here.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+impl EventSource for EpollSource {
+    fn wait(&mut self, timeout_ms: Option<u64>, out: &mut Vec<Wake>) -> Result<(), String> {
+        out.clear();
+        let timeout = timeout_ms.map_or(-1i32, |t| t.min(i32::MAX as u64) as i32);
+        let capacity = self.events.len() as i32;
+        // SAFETY: the events buffer is a live allocation of `capacity`
+        // properly initialized entries; the kernel writes at most
+        // `capacity` of them.
+        let n = unsafe { epoll_wait(self.epfd, self.events.as_mut_ptr(), capacity, timeout) };
+        if n < 0 {
+            let err = std::io::Error::last_os_error();
+            if err.kind() == ErrorKind::Interrupted {
+                return Ok(()); // EINTR: surface an empty round
+            }
+            return Err(format!("epoll_wait failed: {err}"));
+        }
+        for event in self.events.get(..n as usize).unwrap_or(&[]) {
+            let flags = event.events;
+            let data = event.data;
+            if data == LISTENER_TOKEN {
+                out.push(Wake::Accept);
+            } else {
+                out.push(Wake::Io {
+                    token: data,
+                    // ERR/HUP surface as readable so the loop's next read
+                    // observes the close/reset and cleans up.
+                    readable: flags & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: flags & EPOLLOUT != 0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn accept(&mut self) -> Result<Option<Token>, String> {
+        loop {
+            let Some(listener) = &self.listener else { return Ok(None) };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream
+                        .set_nonblocking(true)
+                        .map_err(|e| format!("cannot set stream nonblocking: {e}"))?;
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.ctl(EPOLL_CTL_ADD, stream.as_raw_fd(), EPOLLIN, token)?;
+                    self.conns.insert(token, stream);
+                    return Ok(Some(token));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                // The peer hung up while queued (ECONNABORTED & co):
+                // skip it and keep draining the backlog.
+                Err(e) if e.kind() == ErrorKind::ConnectionAborted => {}
+                Err(e) if e.kind() == ErrorKind::ConnectionReset => {}
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+        }
+    }
+
+    fn read(&mut self, token: Token, buf: &mut [u8]) -> IoOutcome {
+        let Some(stream) = self.conns.get_mut(&token) else {
+            return IoOutcome::Closed;
+        };
+        loop {
+            match stream.read(buf) {
+                Ok(0) => return IoOutcome::Closed,
+                Ok(n) => return IoOutcome::Data(n),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return IoOutcome::WouldBlock,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::ConnectionReset
+                            | ErrorKind::ConnectionAborted
+                            | ErrorKind::BrokenPipe
+                    ) =>
+                {
+                    return IoOutcome::Closed
+                }
+                Err(e) => return IoOutcome::Err(format!("read failed: {e}")),
+            }
+        }
+    }
+
+    fn write(&mut self, token: Token, buf: &[u8]) -> IoOutcome {
+        let Some(stream) = self.conns.get_mut(&token) else {
+            return IoOutcome::Closed;
+        };
+        loop {
+            match stream.write(buf) {
+                Ok(0) => return IoOutcome::WouldBlock,
+                Ok(n) => return IoOutcome::Data(n),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return IoOutcome::WouldBlock,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::ConnectionReset
+                            | ErrorKind::ConnectionAborted
+                            | ErrorKind::BrokenPipe
+                    ) =>
+                {
+                    return IoOutcome::Closed
+                }
+                Err(e) => return IoOutcome::Err(format!("write failed: {e}")),
+            }
+        }
+    }
+
+    fn want_write(&mut self, token: Token, on: bool) {
+        if let Some(stream) = self.conns.get(&token) {
+            let events = if on { EPOLLIN | EPOLLOUT } else { EPOLLIN };
+            let _ = self.ctl(EPOLL_CTL_MOD, stream.as_raw_fd(), events, token);
+        }
+    }
+
+    fn close(&mut self, token: Token) {
+        if let Some(stream) = self.conns.remove(&token) {
+            let _ = self.ctl(EPOLL_CTL_DEL, stream.as_raw_fd(), 0, token);
+            // Dropping the stream closes the fd.
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.ctl(EPOLL_CTL_DEL, listener.as_raw_fd(), 0, LISTENER_TOKEN);
+            // Dropping the listener closes the socket: queued and new
+            // connection attempts are refused by the kernel.
+        }
+    }
+
+    fn pause(&mut self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}

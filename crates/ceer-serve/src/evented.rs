@@ -1,0 +1,887 @@
+//! The evented transport: every connection served from one thread by a
+//! readiness-driven loop over nonblocking sockets — accept, read, parse
+//! in place, dispatch, write — with a timer wheel for deadlines and
+//! automatic micro-batching of concurrent `/predict` requests.
+//!
+//! The loop ([`EventedCore`]) is written against
+//! [`ceer_sim::ready::EventSource`] + [`ceer_sim::Clock`] and never
+//! touches a socket or the wall clock directly. Under real TCP
+//! ([`EventedServer`]) those traits are epoll + nonblocking streams and
+//! a monotonic clock; under test they are
+//! [`ceer_sim::SimSource`] + a virtual clock, and a whole
+//! slowloris-plus-flood chaos run becomes a pure function of
+//! `(seed, scenario)` — replayable byte for byte.
+//!
+//! Semantics match the blocking transport ([`crate::Server`]) wherever
+//! both can express them — same routes and bodies (shared [`App`]), same
+//! fault sites (`serve.accept`, `serve.dispatch`, `serve.http.read`,
+//! `serve.http.write`), same 4xx classification and robustness counters
+//! — plus what only an event loop can offer: HTTP keep-alive with
+//! pipelining, 10k+ concurrent connections on one core, and `/predict`
+//! coalescing ([`ServerConfig::batch_window_ms`]) that turns N
+//! concurrent cache misses into one `predict_batch`-style fan-out over
+//! the `ceer-par` pool with byte-identical per-request answers.
+//!
+//! Timeout semantics: [`ServerConfig::read_timeout_ms`] bounds the gap
+//! between bytes (a stalled mid-request peer gets `408`; an idle
+//! keep-alive connection between requests is closed silently — a state
+//! the blocking one-request transport never had), and
+//! [`ServerConfig::request_timeout_ms`] bounds a whole request read.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ceer_faults::{FaultEvent, FaultKind};
+use ceer_sim::ready::{EventSource, IoOutcome, Token, Wake};
+use ceer_sim::Clock;
+
+use crate::api;
+use crate::app::{canonical_route, App};
+use crate::conn::{Conn, ConnState};
+use crate::http::ReadError;
+use crate::metrics::ServerEvent;
+use crate::parser::{parse_head, Head};
+use crate::registry::ModelRegistry;
+use crate::server::ServerConfig;
+use crate::wheel::{TimerKind, TimerWheel};
+
+/// The knobs the event loop reads (a transport-neutral slice of
+/// [`ServerConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct EventedConfig {
+    /// Longest tolerated gap between received bytes, ms (0 disables):
+    /// `408` mid-request, silent close for an idle keep-alive connection.
+    pub read_timeout_ms: u64,
+    /// Total deadline for reading one request, ms (0 disables).
+    pub request_timeout_ms: u64,
+    /// Largest accepted request body in bytes.
+    pub max_body_bytes: usize,
+    /// Max open connections; beyond it, accepts are shed with `429`.
+    pub max_conns: usize,
+    /// How long a `/predict` cache miss waits for company before the
+    /// batch dispatches, ms (0 = dispatch in the same loop iteration).
+    pub batch_window_ms: u64,
+}
+
+impl From<&ServerConfig> for EventedConfig {
+    fn from(config: &ServerConfig) -> Self {
+        EventedConfig {
+            read_timeout_ms: config.read_timeout_ms,
+            request_timeout_ms: config.request_timeout_ms,
+            max_body_bytes: config.max_body_bytes,
+            max_conns: config.max_pending.max(1),
+            batch_window_ms: config.batch_window_ms,
+        }
+    }
+}
+
+/// A `/predict` cache miss parked in the micro-batch.
+struct PendingPredict {
+    token: Token,
+    item: api::PredictRequest,
+    key: Option<String>,
+    started_us: u64,
+    keep_alive: bool,
+}
+
+/// What the buffer examiner decided about a connection.
+enum Step {
+    /// Nothing dispatchable yet; wait for more bytes.
+    Wait,
+    /// Peer closed cleanly between requests.
+    CloseClean,
+    /// Peer closed mid-request: counted as an I/O error, closed silently.
+    CloseIo,
+    /// The head cannot parse: answer the mapped 4xx and close.
+    Fail(ReadError),
+    /// A full request is buffered.
+    Dispatch(Head),
+}
+
+/// The readiness-driven serve loop, generic over its event source.
+/// Drive it with [`EventedCore::tick`] (or [`EventedCore::run_until`]
+/// under the sim driver).
+pub struct EventedCore<S: EventSource> {
+    app: Arc<App>,
+    source: S,
+    clock: Arc<dyn Clock>,
+    cfg: EventedConfig,
+    conns: BTreeMap<Token, Conn>,
+    wheel: TimerWheel,
+    batch: Vec<PendingPredict>,
+    batch_armed: bool,
+    draining: bool,
+}
+
+impl<S: EventSource> EventedCore<S> {
+    /// A loop over `source`, reading time from `clock`.
+    pub fn new(app: Arc<App>, source: S, clock: Arc<dyn Clock>, cfg: EventedConfig) -> Self {
+        EventedCore {
+            app,
+            source,
+            clock,
+            cfg,
+            conns: BTreeMap::new(),
+            wheel: TimerWheel::new(),
+            batch: Vec::new(),
+            batch_armed: false,
+            draining: false,
+        }
+    }
+
+    /// The shared serving core.
+    pub fn app(&self) -> &Arc<App> {
+        &self.app
+    }
+
+    /// The event source (sim tests inspect scripted client state here).
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Mutable access to the event source (sim tests schedule more
+    /// scripted traffic mid-run).
+    pub fn source_mut(&mut self) -> &mut S {
+        &mut self.source
+    }
+
+    /// Open connections (includes those still draining a response).
+    pub fn open_conns(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Whether a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether nothing is in flight (drain complete).
+    pub fn is_idle(&self) -> bool {
+        self.conns.is_empty() && self.batch.is_empty()
+    }
+
+    /// Stops accepting and flips `/readyz` to 503; open connections keep
+    /// being served until they finish or time out.
+    pub fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.app.ready.store(false, Ordering::SeqCst);
+        self.source.stop_accepting();
+    }
+
+    /// One loop iteration: wait (bounded by the nearest timer deadline
+    /// and `cap_ms`), handle readiness, fire due timers, flush writes.
+    /// Returns how many wakes + timers were handled.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the event source itself fails (listener death).
+    pub fn tick(&mut self, cap_ms: Option<u64>, wakes: &mut Vec<Wake>) -> Result<usize, String> {
+        let now = self.clock.now_ms();
+        let wheel_delta = self.wheel.next_deadline().map(|d| d.saturating_sub(now));
+        let timeout = match (wheel_delta, cap_ms) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.source.wait(timeout, wakes)?;
+        let mut handled = wakes.len();
+        for i in 0..wakes.len() {
+            match wakes.get(i).cloned() {
+                Some(Wake::Accept) => self.drain_accepts()?,
+                Some(Wake::Io { token, readable, writable }) => {
+                    if writable {
+                        self.guarded(token, Self::on_writable);
+                    }
+                    if readable {
+                        self.guarded(token, Self::on_readable);
+                    }
+                }
+                None => {}
+            }
+        }
+        let due = self.wheel.advance(self.clock.now_ms());
+        handled += due.len();
+        for timer in due {
+            match timer.kind {
+                TimerKind::Conn(token) => self.guarded(token, Self::on_conn_timer),
+                TimerKind::BatchFlush => self.flush_batch(),
+            }
+        }
+        self.flush_writes();
+        Ok(handled)
+    }
+
+    /// Ticks until the clock reaches `deadline_ms`, the loop goes fully
+    /// quiescent, or `max_iters` safety cap. The sim harness's main
+    /// entry point; under a virtual clock this runs a whole scenario in
+    /// microseconds of real time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EventedCore::tick`] errors.
+    pub fn run_until(&mut self, deadline_ms: u64, max_iters: usize) -> Result<(), String> {
+        let mut wakes = Vec::new();
+        for _ in 0..max_iters {
+            let now = self.clock.now_ms();
+            if now >= deadline_ms {
+                break;
+            }
+            let handled = self.tick(Some(deadline_ms - now), &mut wakes)?;
+            if handled == 0 && self.clock.now_ms() == now {
+                break; // quiescent: no events, no timers, time cannot move
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `f(self, token)` with panic containment: a panic anywhere in
+    /// one connection's handling (injected poison, a routing bug) closes
+    /// that connection and bumps `panics_recovered` — the loop itself
+    /// must never die. The evented analogue of the blocking worker's
+    /// `catch_unwind`.
+    fn guarded(&mut self, token: Token, f: fn(&mut Self, Token)) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(self, token)));
+        if outcome.is_err() {
+            self.app.metrics.bump(ServerEvent::PanicRecovered);
+            self.close_token(token);
+        }
+    }
+
+    fn close_token(&mut self, token: Token) {
+        if self.conns.remove(&token).is_some() {
+            self.source.close(token);
+        }
+    }
+
+    fn drain_accepts(&mut self) -> Result<(), String> {
+        while let Some(token) = self.source.accept()? {
+            let now = self.clock.now_ms();
+            match self.app.faults.as_deref().and_then(|f| f.check("serve.accept")) {
+                Some(FaultKind::Delay(ms)) => self.source.pause(ms),
+                Some(_) => {
+                    // Injected accept failure: the connection is lost
+                    // before dispatch.
+                    self.app.metrics.bump(ServerEvent::IoError);
+                    self.source.close(token);
+                    continue;
+                }
+                None => {}
+            }
+            if self.draining {
+                self.source.close(token);
+                continue;
+            }
+            if self.conns.len() >= self.cfg.max_conns {
+                // At capacity: shed with 429 + Retry-After, like the
+                // blocking acceptor when its queue is full.
+                let response = self.app.shed_response();
+                let mut conn = Conn::new(now);
+                conn.silent_write_errors = true;
+                conn.queue_response(&response, false);
+                self.conns.insert(token, conn);
+            } else {
+                self.conns.insert(token, Conn::new(now));
+            }
+            self.arm_conn_timer(token);
+        }
+        Ok(())
+    }
+
+    /// The earliest deadline this connection can hit, or `None` while it
+    /// is parked in the batch (the flush answers it) or timeouts are off.
+    fn conn_deadline(&self, conn: &Conn) -> Option<u64> {
+        if conn.state == ConnState::AwaitBatch {
+            return None;
+        }
+        let read = (self.cfg.read_timeout_ms > 0)
+            .then(|| conn.last_activity_ms.saturating_add(self.cfg.read_timeout_ms));
+        let request = conn
+            .head_started_ms
+            .filter(|_| self.cfg.request_timeout_ms > 0)
+            .map(|start| start.saturating_add(self.cfg.request_timeout_ms));
+        match (read, request) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn arm_conn_timer(&mut self, token: Token) {
+        if let Some(at) = self.conns.get(&token).and_then(|c| self.conn_deadline(c)) {
+            self.wheel.schedule(at, TimerKind::Conn(token));
+        }
+    }
+
+    /// A connection timer fired. Deadlines are lazy: recompute from
+    /// current state, re-arm if the connection made progress since the
+    /// timer was set, act if genuinely expired.
+    fn on_conn_timer(&mut self, token: Token) {
+        let now = self.clock.now_ms();
+        enum Act {
+            Rearm(u64),
+            Close,
+            Timeout,
+            Nothing,
+        }
+        let act = {
+            let Some(conn) = self.conns.get(&token) else { return };
+            match self.conn_deadline(conn) {
+                None => Act::Nothing,
+                Some(deadline) if deadline > now => Act::Rearm(deadline),
+                Some(_) => {
+                    if conn.close_after_write && conn.has_output() {
+                        // A final response the peer never drained.
+                        Act::Close
+                    } else if conn.requests_served > 0
+                        && conn.head_started_ms.is_none()
+                        && conn.buf.is_empty()
+                    {
+                        // Idle keep-alive connection between requests.
+                        Act::Close
+                    } else {
+                        Act::Timeout
+                    }
+                }
+            }
+        };
+        match act {
+            Act::Nothing => {}
+            Act::Rearm(at) => self.wheel.schedule(at, TimerKind::Conn(token)),
+            Act::Close => self.close_token(token),
+            Act::Timeout => {
+                // Stalled mid-request (slowloris): 408, count, close —
+                // the same classification as the blocking reader's
+                // deadline.
+                if let Some(response) = self.app.read_error_response(&ReadError::TimedOut) {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.silent_write_errors = true;
+                        conn.queue_response(&response, false);
+                    }
+                }
+                // Bound the close-out write too.
+                let grace = match (self.cfg.read_timeout_ms, self.cfg.request_timeout_ms) {
+                    (0, 0) => None,
+                    (0, r) => Some(r),
+                    (r, _) => Some(r),
+                };
+                if let Some(grace) = grace {
+                    self.wheel.schedule(now.saturating_add(grace), TimerKind::Conn(token));
+                }
+            }
+        }
+    }
+
+    fn on_writable(&mut self, token: Token) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.write_blocked = false;
+        }
+        self.write_conn(token);
+    }
+
+    fn on_readable(&mut self, token: Token) {
+        let mut scratch = [0u8; 8192];
+        loop {
+            let Some(conn) = self.conns.get(&token) else { return };
+            if conn.eof {
+                // Nothing more can arrive; don't re-read the EOF.
+                break;
+            }
+            // A connection parked on the batch (or condemned) still
+            // drains its socket so readiness quiesces; parked bytes are
+            // buffered for later (bounded by the batch window), condemned
+            // ones discarded.
+            let discard = conn.close_after_write;
+            let mut cap = scratch.len();
+            match self.app.faults.as_deref().and_then(|f| f.check("serve.http.read")) {
+                Some(FaultKind::Error) => {
+                    self.app.metrics.bump(ServerEvent::IoError);
+                    self.close_token(token);
+                    return;
+                }
+                Some(FaultKind::Delay(ms)) => self.source.pause(ms),
+                Some(FaultKind::ShortRead(n)) => cap = n.min(cap).max(1),
+                // ceer-lint: allow(panic-unwrap) -- injected poison, contained by the loop's guarded() catch_unwind
+                Some(FaultKind::Poison) => panic!("injected poison at serve.http.read"),
+                Some(FaultKind::ShortWrite(_)) | None => {}
+            }
+            let end = cap.min(scratch.len());
+            let Some(buf) = scratch.get_mut(..end) else { break };
+            match self.source.read(token, buf) {
+                IoOutcome::Data(n) => {
+                    let now = self.clock.now_ms();
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        if !discard {
+                            conn.buf.extend_from_slice(scratch.get(..n).unwrap_or(&scratch));
+                        }
+                        conn.last_activity_ms = now;
+                    }
+                }
+                IoOutcome::WouldBlock => break,
+                IoOutcome::Closed => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.eof = true;
+                    }
+                    break;
+                }
+                IoOutcome::Err(_) => {
+                    self.app.metrics.bump(ServerEvent::IoError);
+                    self.close_token(token);
+                    return;
+                }
+            }
+        }
+        self.process_buffer(token);
+    }
+
+    /// Advances the parse/dispatch machine over whatever is buffered,
+    /// looping across pipelined requests until the connection blocks.
+    fn process_buffer(&mut self, token: Token) {
+        loop {
+            let now = self.clock.now_ms();
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.close_after_write || conn.state == ConnState::AwaitBatch {
+                return;
+            }
+            let had_start = conn.head_started_ms.is_some();
+            let step = examine(conn, self.cfg.max_body_bytes, now);
+            let started_request =
+                !had_start && self.conns.get(&token).is_some_and(|c| c.head_started_ms.is_some());
+            if started_request && self.cfg.read_timeout_ms == 0 && self.cfg.request_timeout_ms > 0 {
+                // With no read timeout there is no standing timer; the
+                // request deadline needs one of its own.
+                self.wheel.schedule(
+                    now.saturating_add(self.cfg.request_timeout_ms),
+                    TimerKind::Conn(token),
+                );
+            }
+            match step {
+                Step::Wait => return,
+                Step::CloseClean => {
+                    self.close_token(token);
+                    return;
+                }
+                Step::CloseIo => {
+                    // EOF mid-request: same silent close + io_errors
+                    // count as the blocking reader.
+                    let _ = self.app.read_error_response(&ReadError::Io(
+                        "connection closed mid-request".to_string(),
+                    ));
+                    self.close_token(token);
+                    return;
+                }
+                Step::Fail(error) => {
+                    if let Some(response) = self.app.read_error_response(&error) {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.silent_write_errors = true;
+                            conn.queue_response(&response, false);
+                        }
+                    } else {
+                        self.close_token(token);
+                    }
+                    return;
+                }
+                Step::Dispatch(head) => {
+                    if !self.dispatch(token, &head) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dispatches one fully buffered request. Returns whether the loop
+    /// may continue onto pipelined requests behind it.
+    fn dispatch(&mut self, token: Token, head: &Head) -> bool {
+        match self.app.faults.as_deref().and_then(|f| f.check("serve.dispatch")) {
+            Some(FaultKind::Delay(ms)) => self.source.pause(ms),
+            // ceer-lint: allow(panic-unwrap) -- injected poison, contained by the loop's guarded() catch_unwind
+            Some(FaultKind::Poison) => panic!("injected poison at serve.dispatch"),
+            Some(_) => {
+                // Injected dispatch failure: the connection drops before
+                // the request is handled.
+                self.app.metrics.bump(ServerEvent::IoError);
+                self.close_token(token);
+                return false;
+            }
+            None => {}
+        }
+        if head.retry_attempt > 0 {
+            self.app.metrics.bump(ServerEvent::RetriedRequest);
+        }
+
+        enum Outcome {
+            Respond(crate::http::Response),
+            Park(api::PredictRequest, Option<String>),
+        }
+        let started_us = self.clock.now_us();
+        let outcome = {
+            let Some(conn) = self.conns.get(&token) else { return false };
+            let Some(request) = head.request(&conn.buf) else { return false };
+            if request.method == "POST" && request.path == "/predict" {
+                // Split at the /predict seams so misses can coalesce.
+                match self.app.parse_predict(request.body) {
+                    Err(response) => {
+                        let latency = self.clock.now_us().saturating_sub(started_us) as f64;
+                        self.app.metrics.record_with(
+                            "POST /predict",
+                            latency,
+                            true,
+                            &self.app.faults,
+                        );
+                        Outcome::Respond(response)
+                    }
+                    Ok((item, key)) => match self.app.predict_hit(key.as_deref()) {
+                        Some(response) => {
+                            let latency = self.clock.now_us().saturating_sub(started_us) as f64;
+                            self.app.metrics.record_with(
+                                "POST /predict",
+                                latency,
+                                false,
+                                &self.app.faults,
+                            );
+                            Outcome::Respond(response)
+                        }
+                        None => Outcome::Park(item, key),
+                    },
+                }
+            } else {
+                let response = self.app.route(request);
+                let latency = self.clock.now_us().saturating_sub(started_us) as f64;
+                let label = format!("{} {}", request.method, canonical_route(request.path));
+                self.app.metrics.record_with(
+                    &label,
+                    latency,
+                    response.is_error(),
+                    &self.app.faults,
+                );
+                Outcome::Respond(response)
+            }
+        };
+        match outcome {
+            Outcome::Respond(response) => {
+                // Success keeps the connection alive (unless the request
+                // said close); every error response closes, like the
+                // blocking transport.
+                let keep = head.keep_alive && !response.is_error();
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.silent_write_errors = false;
+                    conn.consume_request(head.total_len());
+                    conn.queue_response(&response, keep);
+                }
+                keep
+            }
+            Outcome::Park(item, key) => {
+                let at = self.clock.now_ms().saturating_add(self.cfg.batch_window_ms);
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.consume_request(head.total_len());
+                    conn.state = ConnState::AwaitBatch;
+                }
+                self.batch.push(PendingPredict {
+                    token,
+                    item,
+                    key,
+                    started_us,
+                    keep_alive: head.keep_alive,
+                });
+                if !self.batch_armed {
+                    self.wheel.schedule(at, TimerKind::BatchFlush);
+                    self.batch_armed = true;
+                }
+                false
+            }
+        }
+    }
+
+    /// Dispatches the parked `/predict` batch: one model snapshot, one
+    /// fan-out over the `ceer-par` pool, answers queued back in arrival
+    /// order. A window of 0 means the flush timer fires in the same tick
+    /// the first miss parked.
+    fn flush_batch(&mut self) {
+        self.batch_armed = false;
+        if self.batch.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.batch);
+        let items: Vec<(api::PredictRequest, Option<String>)> =
+            batch.iter().map(|p| (p.item.clone(), p.key.clone())).collect();
+        let app = Arc::clone(&self.app);
+        let clock = Arc::clone(&self.clock);
+        let computed = catch_unwind(AssertUnwindSafe(|| {
+            let responses = app.predict_compute(&items);
+            let done_us = clock.now_us();
+            for (pending, response) in batch.iter().zip(&responses) {
+                let latency = done_us.saturating_sub(pending.started_us) as f64;
+                app.metrics.record_with("POST /predict", latency, response.is_error(), &app.faults);
+            }
+            responses
+        }));
+        match computed {
+            Ok(responses) => {
+                for (pending, response) in batch.iter().zip(responses) {
+                    let keep = pending.keep_alive && !response.is_error();
+                    if let Some(conn) = self.conns.get_mut(&pending.token) {
+                        conn.state = ConnState::Write;
+                        conn.silent_write_errors = false;
+                        conn.queue_response(&response, keep);
+                    }
+                    // Out of AwaitBatch: deadlines apply again.
+                    self.arm_conn_timer(pending.token);
+                    if keep {
+                        self.process_buffer(pending.token);
+                    }
+                }
+            }
+            Err(_) => {
+                // A panic inside the batched compute (injected poison in
+                // the metrics lock, a model bug): recover the loop, drop
+                // every parked connection.
+                self.app.metrics.bump(ServerEvent::PanicRecovered);
+                for pending in &batch {
+                    self.close_token(pending.token);
+                }
+            }
+        }
+    }
+
+    /// Drives every connection with queued output until each is drained
+    /// or blocked on the socket.
+    fn flush_writes(&mut self) {
+        loop {
+            let tokens: Vec<Token> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.has_output() && !c.write_blocked)
+                .map(|(&t, _)| t)
+                .collect();
+            if tokens.is_empty() {
+                return;
+            }
+            for token in tokens {
+                self.guarded(token, Self::write_conn);
+            }
+        }
+    }
+
+    fn write_conn(&mut self, token: Token) {
+        loop {
+            let Some(conn) = self.conns.get(&token) else { return };
+            if !conn.has_output() {
+                return;
+            }
+            let mut cap = conn.pending_output().len();
+            match self.app.faults.as_deref().and_then(|f| f.check("serve.http.write")) {
+                Some(FaultKind::Error) => {
+                    let silent = self.conns.get(&token).is_some_and(|c| c.silent_write_errors);
+                    if !silent {
+                        self.app.metrics.bump(ServerEvent::IoError);
+                    }
+                    self.close_token(token);
+                    return;
+                }
+                Some(FaultKind::Delay(ms)) => self.source.pause(ms),
+                Some(FaultKind::ShortWrite(n)) => cap = n.min(cap).max(1),
+                // ceer-lint: allow(panic-unwrap) -- injected poison, contained by the loop's guarded() catch_unwind
+                Some(FaultKind::Poison) => panic!("injected poison at serve.http.write"),
+                Some(FaultKind::ShortRead(_)) | None => {}
+            }
+            let outcome = {
+                let Some(conn) = self.conns.get(&token) else { return };
+                let data = conn.pending_output();
+                let data = data.get(..cap).unwrap_or(data);
+                self.source.write(token, data)
+            };
+            match outcome {
+                IoOutcome::Data(n) => {
+                    let now = self.clock.now_ms();
+                    let mut drained = false;
+                    let mut close = false;
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.advance_output(n);
+                        // Write progress counts as liveness for the
+                        // stuck-response check in `on_conn_timer`.
+                        conn.last_activity_ms = now;
+                        if !conn.has_output() {
+                            drained = true;
+                            close = conn.close_after_write;
+                            if conn.state == ConnState::Write {
+                                conn.state = ConnState::ReadHead;
+                            }
+                        }
+                    }
+                    if drained {
+                        self.source.want_write(token, false);
+                        if close {
+                            self.close_token(token);
+                        } else {
+                            // Pipelined bytes may already be buffered.
+                            self.process_buffer(token);
+                        }
+                        return;
+                    }
+                }
+                IoOutcome::WouldBlock => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.write_blocked = true;
+                    }
+                    self.source.want_write(token, true);
+                    return;
+                }
+                IoOutcome::Closed | IoOutcome::Err(_) => {
+                    let silent = self.conns.get(&token).is_some_and(|c| c.silent_write_errors);
+                    if !silent {
+                        self.app.metrics.bump(ServerEvent::IoError);
+                    }
+                    self.close_token(token);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Looks at a connection's buffer and decides the next step, updating
+/// the per-request anchors (`head_started_ms`, cached head, state) as a
+/// side effect. Free function so the caller keeps disjoint borrows.
+fn examine(conn: &mut Conn, max_body_bytes: usize, now_ms: u64) -> Step {
+    // Never close while a response is still draining: the write path
+    // calls back in here once the output is flushed (or the deadline
+    // timer gives up on the peer).
+    if conn.eof && conn.has_output() {
+        return Step::Wait;
+    }
+    if conn.buf.is_empty() {
+        return if conn.eof { Step::CloseClean } else { Step::Wait };
+    }
+    if conn.head_started_ms.is_none() {
+        conn.head_started_ms = Some(now_ms);
+    }
+    let head = match &conn.head {
+        Some(head) => head.clone(),
+        None => match parse_head(&conn.buf, max_body_bytes) {
+            Ok(Some(head)) => {
+                conn.head = Some(head.clone());
+                head
+            }
+            Ok(None) => {
+                return if conn.eof {
+                    Step::CloseIo
+                } else {
+                    conn.state = ConnState::ReadHead;
+                    Step::Wait
+                };
+            }
+            Err(error) => return Step::Fail(error.into()),
+        },
+    };
+    if conn.buf.len() < head.total_len() {
+        if conn.eof {
+            return Step::CloseIo;
+        }
+        conn.state = ConnState::ReadBody;
+        return Step::Wait;
+    }
+    Step::Dispatch(head)
+}
+
+/// The evented server over real TCP: one loop thread on epoll (Linux).
+/// Same [`ServerConfig`], same [`App`], same endpoints as
+/// [`crate::Server`] — different transport.
+pub struct EventedServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+    app: Arc<App>,
+}
+
+impl EventedServer {
+    /// Binds and starts the loop thread with the given registry.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the address cannot be bound (or on non-Linux hosts,
+    /// where no epoll backend exists).
+    #[cfg(target_os = "linux")]
+    pub fn start(config: &ServerConfig, registry: ModelRegistry) -> Result<Self, String> {
+        let listener = std::net::TcpListener::bind((config.host.as_str(), config.port))
+            .map_err(|e| format!("cannot bind {}:{}: {e}", config.host, config.port))?;
+        let addr = listener.local_addr().map_err(|e| format!("no local address: {e}"))?;
+        let faults = config.faults.clone().map_or_else(ceer_faults::none, ceer_faults::injector);
+        let app = Arc::new(App::new(registry, config.cache_capacity, faults));
+        let clock: Arc<dyn Clock> = Arc::new(ceer_sim::SystemClock::new());
+        let source = crate::epoll::EpollSource::new(listener)?;
+        let cfg = EventedConfig::from(config);
+        let drain_ms = if config.request_timeout_ms > 0 { config.request_timeout_ms } else { 250 };
+        let mut core = EventedCore::new(Arc::clone(&app), source, clock, cfg);
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ceer-serve-evented".to_string())
+                // ceer-lint: allow(thread-spawn) -- the single loop thread created once at server start; per-request parallelism still goes through ceer-par
+                .spawn(move || {
+                    let mut wakes = Vec::new();
+                    let mut drain_deadline = u64::MAX;
+                    loop {
+                        if stop.load(Ordering::SeqCst) && !core.draining() {
+                            core.begin_drain();
+                            drain_deadline = core.clock.now_ms().saturating_add(drain_ms);
+                        }
+                        if core.draining()
+                            && (core.is_idle() || core.clock.now_ms() >= drain_deadline)
+                        {
+                            return;
+                        }
+                        // 25ms cap so the stop flag is observed promptly
+                        // even on an idle listener.
+                        if core.tick(Some(25), &mut wakes).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .map_err(|e| format!("cannot spawn evented loop: {e}"))?
+        };
+        Ok(EventedServer { addr, stop, handle, app })
+    }
+
+    /// Non-Linux hosts have no epoll backend; the sim driver still works
+    /// everywhere.
+    #[cfg(not(target_os = "linux"))]
+    pub fn start(_config: &ServerConfig, _registry: ModelRegistry) -> Result<Self, String> {
+        Err("the evented transport requires Linux (epoll); use Server or the sim driver"
+            .to_string())
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Every fault the injector has fired so far, sorted by
+    /// `(site, call)` — empty without a fault plan.
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        self.app.faults.as_ref().map(|f| f.events()).unwrap_or_default()
+    }
+
+    /// A stable one-line-per-event rendering of
+    /// [`EventedServer::fault_events`], for byte-identical replay
+    /// assertions.
+    pub fn fault_digest(&self) -> String {
+        self.app.faults.as_ref().map(|f| f.digest()).unwrap_or_default()
+    }
+
+    /// Flips `/readyz` to 503, stops accepting, drains in-flight
+    /// requests (bounded by the request timeout), and joins the loop.
+    pub fn shutdown(self) {
+        self.app.ready.store(false, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.handle.join();
+    }
+
+    /// Blocks until the loop thread exits (foreground mode).
+    pub fn wait(self) {
+        let _ = self.handle.join();
+    }
+}

@@ -245,23 +245,34 @@ impl Response {
         self.status >= 400
     }
 
+    /// Serializes the full response. `keep_alive` picks the `Connection`
+    /// header: the blocking server always closes (`false`), the evented
+    /// server keeps successful connections open. Everything else is
+    /// byte-identical between the two.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len(),
+        )
+        .into_bytes();
+        if let Some(secs) = self.retry_after {
+            out.extend_from_slice(format!("Retry-After: {secs}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+
     /// Writes the response and flushes; the connection is then closed.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the underlying stream.
     pub fn write_to(&self, writer: &mut impl Write) -> std::io::Result<()> {
-        write!(
-            writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
-            self.status,
-            reason(self.status),
-            self.body.len(),
-        )?;
-        if let Some(secs) = self.retry_after {
-            write!(writer, "Retry-After: {secs}\r\n")?;
-        }
-        write!(writer, "\r\n{}", self.body)?;
+        writer.write_all(&self.to_bytes(false))?;
         writer.flush()
     }
 }

@@ -55,19 +55,29 @@
 //! ```
 
 pub mod api;
+pub mod app;
 pub mod cache;
 pub mod client;
+pub mod conn;
+#[cfg(target_os = "linux")]
+mod epoll;
+pub mod evented;
 pub mod http;
 pub mod metrics;
+pub mod parser;
 pub mod registry;
 pub mod server;
 mod sync;
+pub mod wheel;
 
+pub use app::App;
 pub use cache::{CacheStats, PredictionCache};
-pub use client::{Client, RetryPolicy};
+pub use client::{Client, ClientConn, RetryPolicy};
+pub use evented::EventedServer;
 pub use http::RawResponse;
 pub use metrics::{
     EndpointSnapshot, LatencySummary, Metrics, MetricsSnapshot, RobustnessCounters, ServerEvent,
 };
+pub use parser::{Head, ParseError, RequestRef};
 pub use registry::{ModelRegistry, ModelVersion};
 pub use server::{Server, ServerConfig};

@@ -1,6 +1,9 @@
-//! The concurrent prediction server: a `std::net` acceptor thread feeding a
+//! The blocking prediction server: a `std::net` acceptor thread feeding a
 //! fixed pool of worker threads over a *bounded* channel, with graceful
 //! shutdown, per-request deadlines, load shedding, and panic recovery.
+//! (The single-threaded evented transport lives in [`crate::evented`];
+//! both answer through the same [`App`] core, so their bodies are
+//! byte-identical.)
 //!
 //! Robustness policy (every branch is counted in
 //! [`crate::metrics::RobustnessCounters`]):
@@ -34,28 +37,30 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ceer_faults::{FaultEvent, FaultKind, FaultPlan, Faults, FaultyRead, FaultyWrite};
+use ceer_faults::{FaultEvent, FaultKind, FaultPlan, FaultyRead, FaultyWrite};
 
-use crate::api::{self, ErrorResponse};
-use crate::cache::PredictionCache;
-use crate::http::{self, ReadBudget, ReadError, Request, Response};
-use crate::metrics::{Metrics, ServerEvent};
+use crate::app::{canonical_route, App};
+use crate::http::{self, ReadBudget};
+use crate::metrics::ServerEvent;
+use crate::parser::RequestRef;
 use crate::registry::ModelRegistry;
 use crate::sync::recover;
 
-/// Server configuration.
+/// Server configuration (shared by the blocking and evented transports).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Interface to bind.
     pub host: String,
     /// Port to bind (0 picks a free port; see [`Server::addr`]).
     pub port: u16,
-    /// Worker threads handling requests.
+    /// Worker threads handling requests (blocking transport only; the
+    /// evented transport serves every connection from one thread).
     pub workers: usize,
     /// Prediction-cache capacity in responses (0 disables caching).
     pub cache_capacity: usize,
     /// Per-read socket timeout, ms (0 disables; a stalled peer then only
-    /// hits the total request deadline).
+    /// hits the total request deadline). The evented transport reads this
+    /// as the idle-read timeout between a connection's requests.
     pub read_timeout_ms: u64,
     /// Per-write socket timeout, ms (0 disables).
     pub write_timeout_ms: u64,
@@ -63,9 +68,14 @@ pub struct ServerConfig {
     pub request_timeout_ms: u64,
     /// Largest accepted request body in bytes; bigger requests get `413`.
     pub max_body_bytes: usize,
-    /// Pending-connection queue depth; connections beyond it are shed
-    /// with `429` + `Retry-After`.
+    /// Pending-connection queue depth (blocking) or max open connections
+    /// (evented); connections beyond it are shed with `429` +
+    /// `Retry-After`.
     pub max_pending: usize,
+    /// Evented transport only: how long to hold a `/predict` cache miss
+    /// waiting for more to coalesce into one batched fan-out (0 = every
+    /// request dispatches in its own arrival iteration).
+    pub batch_window_ms: u64,
     /// Seeded fault plan for chaos runs (`None` = no injection).
     pub faults: Option<FaultPlan>,
 }
@@ -82,20 +92,16 @@ impl Default for ServerConfig {
             request_timeout_ms: 10_000,
             max_body_bytes: http::MAX_BODY_BYTES,
             max_pending: 128,
+            batch_window_ms: 0,
             faults: None,
         }
     }
 }
 
-/// Shared state every worker sees.
+/// The blocking transport's per-server state: the shared [`App`] core
+/// plus the socket-level knobs only this transport needs.
 struct AppState {
-    registry: ModelRegistry,
-    cache: PredictionCache,
-    metrics: Metrics,
-    faults: Faults,
-    /// `true` while accepting; cleared at the start of shutdown so
-    /// `GET /readyz` flips to 503 before the listener closes.
-    ready: AtomicBool,
+    app: App,
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
     request_timeout: Option<Duration>,
@@ -123,12 +129,9 @@ impl Server {
             .map_err(|e| format!("cannot bind {}:{}: {e}", config.host, config.port))?;
         let addr = listener.local_addr().map_err(|e| format!("no local address: {e}"))?;
 
+        let faults = config.faults.clone().map_or_else(ceer_faults::none, ceer_faults::injector);
         let state = Arc::new(AppState {
-            registry,
-            cache: PredictionCache::new(config.cache_capacity),
-            metrics: Metrics::default(),
-            faults: config.faults.clone().map_or_else(ceer_faults::none, ceer_faults::injector),
-            ready: AtomicBool::new(true),
+            app: App::new(registry, config.cache_capacity, faults),
             read_timeout: nonzero_ms(config.read_timeout_ms),
             write_timeout: nonzero_ms(config.write_timeout_ms),
             request_timeout: nonzero_ms(config.request_timeout_ms),
@@ -167,7 +170,7 @@ impl Server {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
-                        if let Some(injector) = &state.faults {
+                        if let Some(injector) = &state.app.faults {
                             match injector.check("serve.accept") {
                                 Some(FaultKind::Delay(ms)) => {
                                     std::thread::sleep(Duration::from_millis(ms));
@@ -175,7 +178,7 @@ impl Server {
                                 Some(_) => {
                                     // Injected accept failure: the connection
                                     // is lost before dispatch.
-                                    state.metrics.bump(ServerEvent::IoError);
+                                    state.app.metrics.bump(ServerEvent::IoError);
                                     continue;
                                 }
                                 None => {}
@@ -203,13 +206,13 @@ impl Server {
     /// `(site, call)` — empty without a fault plan. Chaos tests compare
     /// this across runs to prove schedules replay.
     pub fn fault_events(&self) -> Vec<FaultEvent> {
-        self.state.faults.as_ref().map(|f| f.events()).unwrap_or_default()
+        self.state.app.faults.as_ref().map(|f| f.events()).unwrap_or_default()
     }
 
     /// A stable one-line-per-event rendering of [`Server::fault_events`],
     /// for byte-identical replay assertions.
     pub fn fault_digest(&self) -> String {
-        self.state.faults.as_ref().map(|f| f.digest()).unwrap_or_default()
+        self.state.app.faults.as_ref().map(|f| f.digest()).unwrap_or_default()
     }
 
     /// Stops accepting, drains queued connections, and joins every thread.
@@ -218,7 +221,7 @@ impl Server {
     /// stops; connections already queued are still answered before the
     /// workers exit.
     pub fn shutdown(self) {
-        self.state.ready.store(false, Ordering::SeqCst);
+        self.state.app.ready.store(false, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
         // The acceptor is blocked in accept(); poke it awake so it observes
         // the stop flag. The connection itself is discarded unanswered.
@@ -247,11 +250,8 @@ fn nonzero_ms(ms: u64) -> Option<Duration> {
 /// the acceptor thread, so it must never block long: the write happens
 /// under the configured write timeout.
 fn shed(stream: TcpStream, state: &AppState) {
-    state.metrics.bump(ServerEvent::Shed);
-    state.metrics.record("(shed)", 0.0, true);
+    let response = state.app.shed_response();
     let _ = stream.set_write_timeout(state.write_timeout);
-    let response =
-        error_response(429, "server overloaded, please retry".to_string()).with_retry_after(1);
     let _ = response.write_to(&mut BufWriter::new(stream));
 }
 
@@ -268,7 +268,7 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &AppState) {
                 let outcome =
                     std::panic::catch_unwind(AssertUnwindSafe(|| handle_connection(stream, state)));
                 if outcome.is_err() {
-                    state.metrics.bump(ServerEvent::PanicRecovered);
+                    state.app.metrics.bump(ServerEvent::PanicRecovered);
                 }
             }
             Err(_) => return, // channel closed: shutdown
@@ -283,7 +283,7 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
     let _ = stream.set_read_timeout(state.read_timeout);
     let _ = stream.set_write_timeout(state.write_timeout);
 
-    if let Some(injector) = &state.faults {
+    if let Some(injector) = &state.app.faults {
         match injector.check("serve.dispatch") {
             Some(FaultKind::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
             // ceer-lint: allow(panic-unwrap) -- injected poison, contained by the worker's catch_unwind
@@ -291,7 +291,7 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
             Some(_) => {
                 // Injected dispatch failure: the connection drops before
                 // a request is read.
-                state.metrics.bump(ServerEvent::IoError);
+                state.app.metrics.bump(ServerEvent::IoError);
                 return;
             }
             None => {}
@@ -301,12 +301,12 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
     let clone = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => {
-            state.metrics.bump(ServerEvent::IoError);
+            state.app.metrics.bump(ServerEvent::IoError);
             return;
         }
     };
     let mut reader =
-        BufReader::new(FaultyRead::new(clone, state.faults.clone(), "serve.http.read"));
+        BufReader::new(FaultyRead::new(clone, state.app.faults.clone(), "serve.http.read"));
     // ceer-lint: allow(ambient-time) -- request deadline anchor; never feeds a prediction
     let deadline = state.request_timeout.map(|t| Instant::now() + t);
     let budget = ReadBudget { max_body_bytes: state.max_body_bytes, deadline };
@@ -315,242 +315,38 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
         Ok(Some(request)) => request,
         Ok(None) => return, // clean close before a request
         Err(error) => {
-            respond_read_error(stream, state, &error);
+            // Best effort: the peer may already be gone, so a failed
+            // error-response write is not itself counted.
+            if let Some(response) = state.app.read_error_response(&error) {
+                let mut writer = BufWriter::new(FaultyWrite::new(
+                    stream,
+                    state.app.faults.clone(),
+                    "serve.http.write",
+                ));
+                let _ = response.write_to(&mut writer);
+            }
             return;
         }
     };
     if request.retry_attempt > 0 {
-        state.metrics.bump(ServerEvent::RetriedRequest);
+        state.app.metrics.bump(ServerEvent::RetriedRequest);
     }
 
     // ceer-lint: allow(ambient-time) -- latency measurement feeds /metrics only, never a prediction
     let started = Instant::now();
-    let response = route(&request, state);
+    let view = RequestRef {
+        method: &request.method,
+        path: &request.path,
+        body: &request.body,
+        retry_attempt: request.retry_attempt,
+    };
+    let response = state.app.route(view);
     let latency_us = started.elapsed().as_secs_f64() * 1e6;
     let route_label = format!("{} {}", request.method, canonical_route(&request.path));
-    state.metrics.record_with(&route_label, latency_us, response.is_error(), &state.faults);
+    state.app.metrics.record_with(&route_label, latency_us, response.is_error(), &state.app.faults);
     let mut writer =
-        BufWriter::new(FaultyWrite::new(stream, state.faults.clone(), "serve.http.write"));
+        BufWriter::new(FaultyWrite::new(stream, state.app.faults.clone(), "serve.http.write"));
     if response.write_to(&mut writer).is_err() {
-        state.metrics.bump(ServerEvent::IoError);
+        state.app.metrics.bump(ServerEvent::IoError);
     }
-}
-
-/// Maps a classified read failure onto a response (or a silent close) and
-/// its metrics counter: 400 malformed, 413 over the body limit, 408 on a
-/// deadline, silent close on transport errors.
-fn respond_read_error(stream: TcpStream, state: &AppState, error: &ReadError) {
-    let response = match error {
-        ReadError::Malformed(message) => {
-            state.metrics.bump(ServerEvent::Malformed);
-            state.metrics.record("(malformed)", 0.0, true);
-            Some(error_response(400, message.clone()))
-        }
-        ReadError::BodyTooLarge { declared, limit } => {
-            state.metrics.bump(ServerEvent::BodyLimit);
-            state.metrics.record("(body-too-large)", 0.0, true);
-            Some(error_response(
-                413,
-                format!("request body of {declared} bytes exceeds the {limit}-byte limit"),
-            ))
-        }
-        ReadError::TimedOut => {
-            state.metrics.bump(ServerEvent::Timeout);
-            state.metrics.record("(timeout)", 0.0, true);
-            // Best effort: the peer may be stalled or gone; either way the
-            // connection closes right after.
-            Some(error_response(408, "request read timed out".to_string()))
-        }
-        ReadError::Io(_) => {
-            // The transport failed mid-request; there is nobody to answer.
-            state.metrics.bump(ServerEvent::IoError);
-            None
-        }
-    };
-    if let Some(response) = response {
-        let mut writer =
-            BufWriter::new(FaultyWrite::new(stream, state.faults.clone(), "serve.http.write"));
-        let _ = response.write_to(&mut writer);
-    }
-}
-
-/// Collapses unknown paths so the metrics map cannot grow unboundedly from
-/// path scans.
-fn canonical_route(path: &str) -> &str {
-    match path {
-        "/healthz" | "/readyz" | "/zoo" | "/catalog" | "/metrics" | "/predict"
-        | "/predict_batch" | "/recommend" | "/reload" => path,
-        _ => "(unknown)",
-    }
-}
-
-fn route(request: &Request, state: &AppState) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Response::json(200, "{\n  \"status\": \"ok\"\n}"),
-        ("GET", "/readyz") => {
-            if state.ready.load(Ordering::SeqCst) {
-                Response::json(200, "{\n  \"status\": \"ready\"\n}")
-            } else {
-                error_response(503, "draining: server is shutting down".to_string())
-                    .with_retry_after(1)
-            }
-        }
-        ("GET", "/zoo") => ok(&api::zoo()),
-        ("GET", "/catalog") => ok(&api::catalog()),
-        ("GET", "/metrics") => {
-            ok(&state.metrics.snapshot(state.cache.stats(), state.registry.reloads()))
-        }
-        ("POST", "/predict") => cached(state, "/predict", &request.body, api::predict),
-        ("POST", "/predict_batch") => predict_batch(state, &request.body),
-        ("POST", "/recommend") => cached(state, "/recommend", &request.body, api::recommend),
-        ("POST", "/reload") => match state.registry.reload_with(&state.faults) {
-            Ok(reloads) => {
-                // The cache is keyed by request only, so entries computed
-                // with the old model are now stale.
-                state.cache.clear();
-                Response::json(
-                    200,
-                    format!("{{\n  \"status\": \"reloaded\",\n  \"reloads\": {reloads}\n}}"),
-                )
-            }
-            Err(error) => {
-                // The previous model keeps serving; the failure is counted
-                // and reported as a structured error body.
-                state.metrics.bump(ServerEvent::ReloadFailure);
-                error_response(500, error)
-            }
-        },
-        (
-            _,
-            "/healthz" | "/readyz" | "/zoo" | "/catalog" | "/metrics" | "/predict"
-            | "/predict_batch" | "/recommend" | "/reload",
-        ) => error_response(405, format!("{} does not accept {}", request.path, request.method)),
-        _ => error_response(404, format!("no such endpoint {:?}", request.path)),
-    }
-}
-
-/// Parses the body, answers from cache when possible, computes and caches
-/// otherwise. The cache key is the *canonical* request (parsed and
-/// re-serialized), so formatting differences and defaulted fields collapse
-/// onto one entry.
-fn cached<Req, Resp>(
-    state: &AppState,
-    endpoint: &str,
-    body: &[u8],
-    evaluate: impl Fn(&ceer_core::CeerModel, &Req) -> Result<Resp, String>,
-) -> Response
-where
-    Req: serde::Serialize + serde::Deserialize,
-    Resp: serde::Serialize,
-{
-    let request: Req = match serde_json::from_slice(body) {
-        Ok(request) => request,
-        Err(e) => return error_response(400, format!("invalid request body: {e}")),
-    };
-    // A request that cannot re-serialize has no canonical key; answer it
-    // uncached rather than fail it.
-    let key = serde_json::to_string(&request).ok().map(|c| format!("{endpoint} {c}"));
-    if let Some(key) = &key {
-        if let Some(body) = state.cache.get(key) {
-            return Response::json(200, body);
-        }
-    }
-    match evaluate(&state.registry.model(), &request) {
-        Ok(response) => match serde_json::to_string_pretty(&response) {
-            Ok(body) => {
-                if let Some(key) = key {
-                    state.cache.insert(key, body.clone());
-                }
-                Response::json(200, body)
-            }
-            Err(e) => error_response(500, format!("response serialization failed: {e}")),
-        },
-        Err(error) => error_response(400, error),
-    }
-}
-
-/// Answers a `/predict_batch` request, sharing the single-`/predict` cache
-/// per item: each item's key lives in the `/predict` namespace, so a batch
-/// primes the cache for later single calls and vice versa. Hits are
-/// answered from the stored body; misses fan out on the [`ceer_par`] pool
-/// and are stored afterwards. Per-item errors are never cached.
-fn predict_batch(state: &AppState, body: &[u8]) -> Response {
-    let request: api::PredictBatchRequest = match serde_json::from_slice(body) {
-        Ok(request) => request,
-        Err(e) => return error_response(400, format!("invalid request body: {e}")),
-    };
-    // Items that cannot re-serialize get no canonical key and skip the
-    // cache on both read and write.
-    let keys: Vec<Option<String>> = request
-        .requests
-        .iter()
-        .map(|item| serde_json::to_string(item).ok().map(|c| format!("/predict {c}")))
-        .collect();
-    // One serial cache pass up front, so concurrent duplicate items inside
-    // the batch don't race the pool for lock order.
-    let hits: Vec<Option<String>> =
-        keys.iter().map(|key| key.as_deref().and_then(|k| state.cache.get(k))).collect();
-
-    let misses: Vec<(usize, &api::PredictRequest)> = hits
-        .iter()
-        .zip(&request.requests)
-        .enumerate()
-        .filter(|(_, (hit, _))| hit.is_none())
-        .map(|(i, (_, item))| (i, item))
-        .collect();
-    let model = state.registry.model();
-    let computed = ceer_par::par_map(&misses, |&(_, item)| match api::predict(&model, item) {
-        Ok(response) => api::PredictBatchItem { response: Some(response), error: None },
-        Err(error) => api::PredictBatchItem { response: None, error: Some(error) },
-    });
-
-    let mut computed = computed.into_iter();
-    let mut responses = Vec::with_capacity(request.requests.len());
-    for (i, hit) in hits.into_iter().enumerate() {
-        let item = match hit {
-            // Stored bodies round-trip bit-exactly (serde_json preserves
-            // f64), so a cache hit equals the freshly computed response.
-            Some(body) => match serde_json::from_str::<api::PredictResponse>(&body) {
-                Ok(response) => api::PredictBatchItem { response: Some(response), error: None },
-                Err(e) => api::PredictBatchItem {
-                    response: None,
-                    error: Some(format!("corrupt cache entry: {e}")),
-                },
-            },
-            None => match computed.next() {
-                Some(item) => {
-                    if let (Some(response), Some(Some(key))) = (&item.response, keys.get(i)) {
-                        if let Ok(body) = serde_json::to_string_pretty(response) {
-                            state.cache.insert(key.clone(), body);
-                        }
-                    }
-                    item
-                }
-                // Unreachable by construction (one computed item per miss),
-                // but a handler answers rather than panics.
-                None => api::PredictBatchItem {
-                    response: None,
-                    error: Some("internal error: fewer computed items than misses".to_string()),
-                },
-            },
-        };
-        responses.push(item);
-    }
-    ok(&api::PredictBatchResponse { responses })
-}
-
-fn ok(body: &impl serde::Serialize) -> Response {
-    match serde_json::to_string_pretty(body) {
-        Ok(body) => Response::json(200, body),
-        Err(e) => error_response(500, format!("response serialization failed: {e}")),
-    }
-}
-
-fn error_response(status: u16, error: String) -> Response {
-    // `ErrorResponse` is one string field, so serialization cannot really
-    // fail — but an error path must never panic, so fall back to a
-    // hand-built body instead of unwrapping.
-    let body = serde_json::to_string_pretty(&ErrorResponse { error })
-        .unwrap_or_else(|_| "{\n  \"error\": \"error serialization failed\"\n}".to_string());
-    Response::json(status, body)
 }

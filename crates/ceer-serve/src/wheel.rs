@@ -1,0 +1,156 @@
+//! A hashed timer wheel for the evented server: request deadlines,
+//! idle-read timeouts, and batch-flush timers at millisecond
+//! granularity, all driven by whichever [`ceer_sim::Clock`] the event
+//! loop runs on.
+//!
+//! 256 slots, hashed by `deadline % 256`. [`TimerWheel::advance`] drains
+//! everything due at or before `now` and returns it ordered by
+//! `(deadline, insertion)`, so firing order is deterministic however the
+//! timers hashed. Cancellation is lazy: the wheel never removes entries
+//! early — callers ignore timers for connections that no longer exist
+//! (entries are a few machine words, and every entry pops at its
+//! deadline at the latest).
+
+use ceer_sim::ready::Token;
+
+/// Number of wheel slots (one ms of deadlines per slot per rotation).
+const SLOTS: usize = 256;
+
+/// What a timer means to the event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TimerKind {
+    /// Re-examine a connection's deadlines (idle read timeout or
+    /// whole-request deadline); the loop recomputes the actual deadline
+    /// from connection state and either acts or re-arms.
+    Conn(Token),
+    /// Dispatch the pending `/predict` micro-batch.
+    BatchFlush,
+}
+
+/// One due timer, as returned by [`TimerWheel::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Due {
+    /// The deadline it was scheduled for (may be earlier than `now`).
+    pub at: u64,
+    /// What to do.
+    pub kind: TimerKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    at: u64,
+    seq: u64,
+    kind: TimerKind,
+}
+
+/// The wheel. All times are absolute clock milliseconds.
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    seq: u64,
+    len: usize,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel { slots: (0..SLOTS).map(|_| Vec::new()).collect(), seq: 0, len: 0 }
+    }
+
+    /// Arms a timer for absolute time `at` (ms).
+    pub fn schedule(&mut self, at: u64, kind: TimerKind) {
+        self.seq += 1;
+        let seq = self.seq;
+        // ceer-lint: allow(panic-index) -- slot index is `% SLOTS`, always in range
+        self.slots[(at as usize) % SLOTS].push(Entry { at, seq, kind });
+        self.len += 1;
+    }
+
+    /// Pending timers (including lazily cancelled ones).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no timers are armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The earliest armed deadline, if any. A full scan — the wheel holds
+    /// one entry per open connection plus at most one batch timer, and
+    /// the loop asks once per iteration.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.slots.iter().flatten().map(|e| e.at).min()
+    }
+
+    /// Drains every timer with `deadline <= now`, ordered by
+    /// `(deadline, insertion order)`.
+    pub fn advance(&mut self, now: u64) -> Vec<Due> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        let mut due: Vec<Entry> = Vec::new();
+        for slot in &mut self.slots {
+            let mut i = 0;
+            while i < slot.len() {
+                if slot.get(i).is_some_and(|e| e.at <= now) {
+                    due.push(slot.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.len -= due.len();
+        due.sort_by_key(|e| (e.at, e.seq));
+        due.into_iter().map(|e| Due { at: e.at, kind: e.kind }).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_then_insertion_order() {
+        let mut wheel = TimerWheel::new();
+        wheel.schedule(30, TimerKind::Conn(3));
+        wheel.schedule(10, TimerKind::Conn(1));
+        wheel.schedule(10, TimerKind::BatchFlush);
+        wheel.schedule(20, TimerKind::Conn(2));
+        assert_eq!(wheel.next_deadline(), Some(10));
+
+        let due = wheel.advance(20);
+        let kinds: Vec<TimerKind> = due.iter().map(|d| d.kind).collect();
+        assert_eq!(kinds, vec![TimerKind::Conn(1), TimerKind::BatchFlush, TimerKind::Conn(2)]);
+        assert_eq!(wheel.len(), 1);
+        assert_eq!(wheel.next_deadline(), Some(30));
+        assert_eq!(wheel.advance(19), vec![]);
+        assert_eq!(wheel.advance(30), vec![Due { at: 30, kind: TimerKind::Conn(3) }]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn same_slot_different_rotations_do_not_collide() {
+        let mut wheel = TimerWheel::new();
+        // 5 and 5+256 hash to the same slot; only the first is due at 5.
+        wheel.schedule(5, TimerKind::Conn(1));
+        wheel.schedule(5 + 256, TimerKind::Conn(2));
+        let due = wheel.advance(5);
+        assert_eq!(due, vec![Due { at: 5, kind: TimerKind::Conn(1) }]);
+        assert_eq!(wheel.next_deadline(), Some(261));
+        let due = wheel.advance(400);
+        assert_eq!(due, vec![Due { at: 261, kind: TimerKind::Conn(2) }]);
+    }
+
+    #[test]
+    fn zero_delay_timers_fire_immediately() {
+        let mut wheel = TimerWheel::new();
+        wheel.schedule(7, TimerKind::BatchFlush);
+        assert_eq!(wheel.advance(7).len(), 1);
+    }
+}

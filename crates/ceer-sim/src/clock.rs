@@ -13,6 +13,12 @@ use std::time::Instant;
 pub trait Clock: Send + Sync {
     /// Current time in milliseconds.
     fn now_ms(&self) -> u64;
+
+    /// Current time in microseconds, for latency metrics. Defaults to
+    /// millisecond resolution; real clocks override with a finer read.
+    fn now_us(&self) -> u64 {
+        self.now_ms().saturating_mul(1000)
+    }
 }
 
 /// The simulator's clock: advanced explicitly by the event loop.
@@ -68,6 +74,12 @@ impl Clock for SystemClock {
         // ceer-lint: allow(ambient-time) -- the Clock impl itself.
         let elapsed = Instant::now().saturating_duration_since(self.origin);
         u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn now_us(&self) -> u64 {
+        // ceer-lint: allow(ambient-time) -- the Clock impl itself.
+        let elapsed = Instant::now().saturating_duration_since(self.origin);
+        u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
     }
 }
 

@@ -48,8 +48,10 @@
 
 pub mod clock;
 pub mod node;
+pub mod ready;
 pub mod sim;
 
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use node::{Event, Net, Node, NodeId, EXTERNAL};
+pub use ready::{ClientId, EventSource, IoOutcome, SimSource, Token, Wake};
 pub use sim::{NetProfile, Sim};

@@ -1,0 +1,619 @@
+//! The readiness abstraction: an epoll-shaped window on connections, with
+//! a deterministic in-memory implementation for serve-simulation tests.
+//!
+//! `ceer-serve`'s evented transport is written against [`EventSource`] +
+//! [`crate::Clock`] instead of raw epoll and `Instant`: the event loop
+//! asks "which connections are ready?", reads and writes nonblockingly,
+//! and sleeps until its next timer deadline — and it genuinely cannot
+//! tell whether those answers come from the kernel or from [`SimSource`],
+//! this module's seeded, single-threaded driver. That inversion is what
+//! makes the serve chaos suite replayable: a whole slowloris-plus-flood
+//! run is a pure function of `(seed, scenario)`.
+//!
+//! Determinism contract for [`SimSource`]: scripted client events
+//! (connects, byte arrivals, half-closes) live on a `(time, seq)`-ordered
+//! queue over a [`crate::VirtualClock`]; readiness scans walk connections
+//! in token order; spurious wakeups are drawn from a
+//! [`ceer_faults`] plan at [`SITE_LOOP_SPURIOUS`] keyed by the wakeup
+//! sequence number. The whole run is traced and exposed as
+//! [`SimSource::digest`] for byte-identical replay assertions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ceer_faults::Faults;
+
+use crate::clock::{Clock, VirtualClock};
+
+/// Identifies one accepted connection within an [`EventSource`].
+pub type Token = u64;
+
+/// Fault-plan site consulted (keyed by wakeup seq) for spurious wakeups:
+/// any injected kind makes [`SimSource::wait`] report one connection
+/// readable that has nothing to read. A correct event loop treats the
+/// resulting `WouldBlock` as a no-op — exactly the contract real epoll
+/// gives you.
+pub const SITE_LOOP_SPURIOUS: &str = "serve.loop.spurious";
+
+/// Outcome of one nonblocking read or write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoOutcome {
+    /// This many bytes were transferred (never zero).
+    Data(usize),
+    /// Nothing transferable right now; wait for the next readiness event.
+    WouldBlock,
+    /// The peer closed (EOF on read, broken pipe on write).
+    Closed,
+    /// The transport failed.
+    Err(String),
+}
+
+/// One readiness event from [`EventSource::wait`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Wake {
+    /// The listener has pending connections; drain with
+    /// [`EventSource::accept`].
+    Accept,
+    /// A connection is (possibly spuriously) ready.
+    Io {
+        /// Which connection.
+        token: Token,
+        /// Reads may make progress (or may spuriously `WouldBlock`).
+        readable: bool,
+        /// Writes may make progress again after a `WouldBlock`.
+        writable: bool,
+    },
+}
+
+/// The event loop's only window on the transport: readiness waits,
+/// accepts, nonblocking reads/writes, write-interest toggling, closes.
+///
+/// Implemented over epoll + nonblocking sockets in `ceer-serve` and by
+/// [`SimSource`] here; the serve state machines run unchanged on both.
+pub trait EventSource {
+    /// Blocks until readiness or `timeout_ms` (`None` = until the next
+    /// event, returning immediately when none is ever coming). `out` is
+    /// cleared and refilled; spurious wakeups are allowed.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the underlying wait mechanism fails.
+    fn wait(&mut self, timeout_ms: Option<u64>, out: &mut Vec<Wake>) -> Result<(), String>;
+
+    /// Accepts one pending connection; `Ok(None)` when the backlog is
+    /// drained.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the listener itself has failed.
+    fn accept(&mut self) -> Result<Option<Token>, String>;
+
+    /// Nonblocking read into `buf`.
+    fn read(&mut self, token: Token, buf: &mut [u8]) -> IoOutcome;
+
+    /// Nonblocking write from `buf`.
+    fn write(&mut self, token: Token, buf: &[u8]) -> IoOutcome;
+
+    /// Declares interest in writability events for `token` (after a
+    /// write returned [`IoOutcome::WouldBlock`]) or withdraws it.
+    fn want_write(&mut self, token: Token, on: bool);
+
+    /// Closes and forgets a connection.
+    fn close(&mut self, token: Token);
+
+    /// Stops accepting new connections (graceful drain).
+    fn stop_accepting(&mut self);
+
+    /// An injected delay: real transports sleep the loop thread, the
+    /// simulated one advances virtual time.
+    fn pause(&mut self, ms: u64);
+}
+
+/// Handle to one scripted client in a [`SimSource`] scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ClientId(pub u64);
+
+enum Scripted {
+    Connect { client: ClientId },
+    Bytes { client: ClientId, bytes: Vec<u8> },
+    HalfClose { client: ClientId },
+}
+
+#[derive(Default)]
+struct ClientState {
+    /// Bytes that arrived before the server accepted the connection.
+    prebuf: Vec<u8>,
+    /// Pre-accept EOF (client half-closed before the accept).
+    pre_eof: bool,
+    /// Server-side token once accepted.
+    token: Option<Token>,
+    /// Everything the server has written to this client.
+    received: Vec<u8>,
+    /// The server closed its side.
+    closed_by_server: bool,
+    /// The connect was refused (listener already draining).
+    refused: bool,
+}
+
+struct SimConn {
+    client: ClientId,
+    inbox: Vec<u8>,
+    eof: bool,
+    /// The server has read the EOF (a read returned `Closed`). Readiness
+    /// stops re-reporting a drained-and-EOF connection readable, so an
+    /// event loop that parks such a connection (e.g. awaiting a batch)
+    /// can still let virtual time advance instead of live-spinning.
+    eof_seen: bool,
+    want_write: bool,
+    /// Bytes written during the current wait round (write-window cap).
+    wrote_this_round: usize,
+    /// The previous round hit the write window, so the next round must
+    /// report writability (edge back to writable, like EPOLLOUT).
+    write_blocked: bool,
+}
+
+/// The deterministic readiness driver: scripted clients over virtual
+/// time. See the module docs for the determinism contract.
+pub struct SimSource {
+    clock: Arc<VirtualClock>,
+    faults: Faults,
+    schedule: BTreeMap<(u64, u64), Scripted>,
+    sched_seq: u64,
+    wake_seq: u64,
+    next_client: u64,
+    next_token: Token,
+    pending_accepts: Vec<ClientId>,
+    conns: BTreeMap<Token, SimConn>,
+    clients: BTreeMap<ClientId, ClientState>,
+    accepting: bool,
+    /// Per-round cap on bytes accepted by one connection's writes
+    /// (`None` = unlimited): forces partial writes at the readiness
+    /// boundary.
+    write_window: Option<usize>,
+    /// Cap on bytes returned by one read call (`None` = caller's buffer):
+    /// forces requests to arrive split across reads.
+    read_chunk: Option<usize>,
+    trace: Vec<String>,
+}
+
+impl SimSource {
+    /// A driver at virtual time zero with no fault plan.
+    pub fn new() -> Self {
+        SimSource::with(None)
+    }
+
+    /// A driver with a fault plan (consulted at [`SITE_LOOP_SPURIOUS`]).
+    pub fn with(faults: Faults) -> Self {
+        SimSource {
+            clock: Arc::new(VirtualClock::new()),
+            faults,
+            schedule: BTreeMap::new(),
+            sched_seq: 0,
+            wake_seq: 0,
+            next_client: 1,
+            next_token: 1,
+            pending_accepts: Vec::new(),
+            conns: BTreeMap::new(),
+            clients: BTreeMap::new(),
+            accepting: true,
+            write_window: None,
+            read_chunk: None,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Caps how many bytes each connection's writes may transfer per wait
+    /// round, forcing the server through its partial-write path.
+    #[must_use]
+    pub fn with_write_window(mut self, bytes: usize) -> Self {
+        self.write_window = Some(bytes.max(1));
+        self
+    }
+
+    /// Caps how many bytes a single read call returns, forcing requests
+    /// to arrive split across reads.
+    #[must_use]
+    pub fn with_read_chunk(mut self, bytes: usize) -> Self {
+        self.read_chunk = Some(bytes.max(1));
+        self
+    }
+
+    /// The virtual clock this driver advances; hand it to the event loop
+    /// as its [`crate::Clock`].
+    pub fn clock(&self) -> Arc<VirtualClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Schedules a client connect at virtual `at_ms`.
+    pub fn connect_at(&mut self, at_ms: u64) -> ClientId {
+        let client = ClientId(self.next_client);
+        self.next_client += 1;
+        self.clients.insert(client, ClientState::default());
+        self.push(at_ms, Scripted::Connect { client });
+        client
+    }
+
+    /// Schedules request bytes from `client` at virtual `at_ms` (they
+    /// queue before the accept, like kernel socket buffers).
+    pub fn send_at(&mut self, client: ClientId, at_ms: u64, bytes: &[u8]) {
+        self.push(at_ms, Scripted::Bytes { client, bytes: bytes.to_vec() });
+    }
+
+    /// Schedules a client half-close (EOF after everything sent).
+    pub fn half_close_at(&mut self, client: ClientId, at_ms: u64) {
+        self.push(at_ms, Scripted::HalfClose { client });
+    }
+
+    /// Everything the server has written to `client` so far.
+    pub fn received(&self, client: ClientId) -> &[u8] {
+        self.clients.get(&client).map_or(&[], |c| c.received.as_slice())
+    }
+
+    /// Whether the server has closed its side of `client`'s connection.
+    pub fn server_closed(&self, client: ClientId) -> bool {
+        self.clients.get(&client).is_some_and(|c| c.closed_by_server)
+    }
+
+    /// Whether the connect was refused (scheduled after a drain began).
+    pub fn refused(&self, client: ClientId) -> bool {
+        self.clients.get(&client).is_some_and(|c| c.refused)
+    }
+
+    /// Connections currently accepted and open on the server side.
+    pub fn open_conns(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// The whole-run trace, one line per accept/read/write/close/spurious
+    /// event with virtual timestamps. Byte-identical across replays of
+    /// the same `(seed, scenario)`.
+    pub fn digest(&self) -> String {
+        let mut out = self.trace.join("\n");
+        out.push('\n');
+        out
+    }
+
+    fn push(&mut self, at_ms: u64, event: Scripted) {
+        self.sched_seq += 1;
+        self.schedule.insert((at_ms, self.sched_seq), event);
+    }
+
+    fn record(&mut self, what: &str) {
+        self.trace.push(format!("{}ms {what}", self.clock.now_ms()));
+    }
+
+    /// Applies every scripted event due at or before the current virtual
+    /// time. Returns whether any connect arrived.
+    fn apply_due(&mut self) -> bool {
+        let now = self.clock.now_ms();
+        let mut accepted_any = false;
+        while let Some((&(at, _), _)) = self.schedule.first_key_value() {
+            if at > now {
+                break;
+            }
+            let Some(((_, _), event)) = self.schedule.pop_first() else { break };
+            match event {
+                Scripted::Connect { client } => {
+                    if self.accepting {
+                        self.pending_accepts.push(client);
+                        self.record(&format!("connect c{}", client.0));
+                        accepted_any = true;
+                    } else {
+                        if let Some(state) = self.clients.get_mut(&client) {
+                            state.refused = true;
+                        }
+                        self.record(&format!("refuse c{}", client.0));
+                    }
+                }
+                Scripted::Bytes { client, bytes } => {
+                    let len = bytes.len();
+                    let token = self.clients.get(&client).and_then(|c| c.token);
+                    let line = match token.and_then(|t| self.conns.get_mut(&t)) {
+                        Some(conn) if !conn.eof => {
+                            conn.inbox.extend_from_slice(&bytes);
+                            format!("arrive c{} len={len}", client.0)
+                        }
+                        _ => {
+                            // Not yet accepted (or already torn down):
+                            // stash like a kernel socket buffer.
+                            match self.clients.get_mut(&client) {
+                                Some(state) if state.token.is_none() && !state.refused => {
+                                    state.prebuf.extend_from_slice(&bytes);
+                                    format!("arrive c{} len={len} (pre-accept)", client.0)
+                                }
+                                _ => format!("discard c{} len={len}", client.0),
+                            }
+                        }
+                    };
+                    self.record(&line);
+                }
+                Scripted::HalfClose { client } => {
+                    self.record(&format!("eof c{}", client.0));
+                    let token = self.clients.get(&client).and_then(|c| c.token);
+                    if let Some(conn) = token.and_then(|t| self.conns.get_mut(&t)) {
+                        conn.eof = true;
+                    } else if let Some(state) = self.clients.get_mut(&client) {
+                        state.pre_eof = true;
+                    }
+                }
+            }
+        }
+        accepted_any
+    }
+
+    /// Level-triggered readiness scan in token order.
+    fn scan(&mut self, out: &mut Vec<Wake>) {
+        if !self.pending_accepts.is_empty() {
+            out.push(Wake::Accept);
+        }
+        for (&token, conn) in &mut self.conns {
+            let readable = !conn.inbox.is_empty() || (conn.eof && !conn.eof_seen);
+            let writable = conn.want_write && conn.write_blocked;
+            conn.wrote_this_round = 0;
+            conn.write_blocked = false;
+            if readable || writable {
+                out.push(Wake::Io { token, readable, writable });
+            }
+        }
+    }
+
+    /// Seeded spurious wakeup: reports the lowest open connection
+    /// readable even though nothing arrived.
+    fn maybe_spurious(&mut self, out: &mut Vec<Wake>) {
+        self.wake_seq += 1;
+        let Some(injector) = self.faults.as_deref() else { return };
+        if injector.check_keyed(SITE_LOOP_SPURIOUS, self.wake_seq).is_none() {
+            return;
+        }
+        let Some((&token, _)) = self.conns.iter().next() else { return };
+        self.record(&format!("spurious t{token}"));
+        out.push(Wake::Io { token, readable: true, writable: false });
+    }
+}
+
+impl Default for SimSource {
+    fn default() -> Self {
+        SimSource::new()
+    }
+}
+
+impl EventSource for SimSource {
+    fn wait(&mut self, timeout_ms: Option<u64>, out: &mut Vec<Wake>) -> Result<(), String> {
+        out.clear();
+        self.apply_due();
+        self.scan(out);
+        if out.is_empty() {
+            // Nothing ready now: advance virtual time to the next scripted
+            // event within the timeout (or to the timeout itself).
+            let next = self.schedule.first_key_value().map(|((at, _), _)| *at);
+            let deadline = timeout_ms.map(|t| self.clock.now_ms() + t);
+            let target = match (next, deadline) {
+                (Some(n), Some(d)) => Some(n.min(d)),
+                (Some(n), None) => Some(n),
+                (None, Some(d)) => Some(d),
+                (None, None) => None,
+            };
+            let Some(target) = target else { return Ok(()) };
+            self.clock.advance_to(target);
+            self.apply_due();
+            self.scan(out);
+        }
+        self.maybe_spurious(out);
+        Ok(())
+    }
+
+    fn accept(&mut self) -> Result<Option<Token>, String> {
+        let Some(client) =
+            (!self.pending_accepts.is_empty()).then(|| self.pending_accepts.remove(0))
+        else {
+            return Ok(None);
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        let (prebuf, pre_eof) = match self.clients.get_mut(&client) {
+            Some(state) => {
+                state.token = Some(token);
+                (std::mem::take(&mut state.prebuf), state.pre_eof)
+            }
+            None => (Vec::new(), false),
+        };
+        self.record(&format!("accept c{} -> t{token}", client.0));
+        self.conns.insert(
+            token,
+            SimConn {
+                client,
+                inbox: prebuf,
+                eof: pre_eof,
+                eof_seen: false,
+                want_write: false,
+                wrote_this_round: 0,
+                write_blocked: false,
+            },
+        );
+        Ok(Some(token))
+    }
+
+    fn read(&mut self, token: Token, buf: &mut [u8]) -> IoOutcome {
+        let chunk = self.read_chunk;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return IoOutcome::Err(format!("read on unknown token {token}"));
+        };
+        if conn.inbox.is_empty() {
+            return if conn.eof {
+                conn.eof_seen = true;
+                IoOutcome::Closed
+            } else {
+                IoOutcome::WouldBlock
+            };
+        }
+        let mut n = buf.len().min(conn.inbox.len());
+        if let Some(cap) = chunk {
+            n = n.min(cap);
+        }
+        if n == 0 {
+            return IoOutcome::WouldBlock;
+        }
+        let taken: Vec<u8> = conn.inbox.drain(..n).collect();
+        if let Some(slot) = buf.get_mut(..n) {
+            slot.copy_from_slice(&taken);
+        }
+        let client = conn.client;
+        self.record(&format!("read t{token} c{} len={n}", client.0));
+        IoOutcome::Data(n)
+    }
+
+    fn write(&mut self, token: Token, buf: &[u8]) -> IoOutcome {
+        let window = self.write_window;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return IoOutcome::Err(format!("write on unknown token {token}"));
+        };
+        let room = window.map_or(usize::MAX, |w| w.saturating_sub(conn.wrote_this_round));
+        let n = buf.len().min(room);
+        if n == 0 {
+            conn.write_blocked = true;
+            return IoOutcome::WouldBlock;
+        }
+        conn.wrote_this_round += n;
+        let client = conn.client;
+        let chunk = buf.get(..n).unwrap_or(buf);
+        if let Some(state) = self.clients.get_mut(&client) {
+            state.received.extend_from_slice(chunk);
+        }
+        self.record(&format!("write t{token} c{} len={n}", client.0));
+        IoOutcome::Data(n)
+    }
+
+    fn want_write(&mut self, token: Token, on: bool) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.want_write = on;
+            if on {
+                conn.write_blocked = true;
+            }
+        }
+    }
+
+    fn close(&mut self, token: Token) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.record(&format!("close t{token} c{}", conn.client.0));
+            if let Some(state) = self.clients.get_mut(&conn.client) {
+                state.closed_by_server = true;
+            }
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        self.accepting = false;
+        self.record("stop-accepting");
+    }
+
+    fn pause(&mut self, ms: u64) {
+        let target = self.clock.now_ms() + ms;
+        self.clock.advance_to(target);
+        self.record(&format!("pause {ms}ms"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connects_bytes_and_eof_flow_through_readiness() {
+        let mut src = SimSource::new();
+        let c = src.connect_at(5);
+        src.send_at(c, 10, b"hello");
+        src.half_close_at(c, 20);
+
+        let mut wakes = Vec::new();
+        src.wait(None, &mut wakes).unwrap();
+        assert_eq!(wakes, vec![Wake::Accept]);
+        assert_eq!(src.clock().now_ms(), 5);
+        let token = src.accept().unwrap().unwrap();
+        assert!(src.accept().unwrap().is_none());
+
+        wakes.clear();
+        src.wait(None, &mut wakes).unwrap();
+        assert_eq!(wakes, vec![Wake::Io { token, readable: true, writable: false }]);
+        let mut buf = [0u8; 16];
+        assert_eq!(src.read(token, &mut buf), IoOutcome::Data(5));
+        assert_eq!(&buf[..5], b"hello");
+        assert_eq!(src.read(token, &mut buf), IoOutcome::WouldBlock);
+
+        wakes.clear();
+        src.wait(None, &mut wakes).unwrap();
+        assert_eq!(src.clock().now_ms(), 20);
+        assert_eq!(src.read(token, &mut buf), IoOutcome::Closed);
+    }
+
+    #[test]
+    fn pre_accept_bytes_are_buffered_like_a_kernel_socket() {
+        let mut src = SimSource::new();
+        let c = src.connect_at(0);
+        src.send_at(c, 0, b"early");
+        let mut wakes = Vec::new();
+        src.wait(None, &mut wakes).unwrap();
+        let token = src.accept().unwrap().unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(src.read(token, &mut buf), IoOutcome::Data(5));
+        assert_eq!(&buf[..5], b"early");
+    }
+
+    #[test]
+    fn write_window_forces_partial_writes_then_writable_wakes() {
+        let mut src = SimSource::new().with_write_window(3);
+        let c = src.connect_at(0);
+        let mut wakes = Vec::new();
+        src.wait(None, &mut wakes).unwrap();
+        let token = src.accept().unwrap().unwrap();
+
+        assert_eq!(src.write(token, b"abcdef"), IoOutcome::Data(3));
+        assert_eq!(src.write(token, b"def"), IoOutcome::WouldBlock);
+        src.want_write(token, true);
+        wakes.clear();
+        src.wait(Some(10), &mut wakes).unwrap();
+        assert!(
+            wakes.iter().any(|w| matches!(
+                w,
+                Wake::Io { token: t, writable: true, .. } if *t == token
+            )),
+            "write window must re-arm writability: {wakes:?}"
+        );
+        assert_eq!(src.write(token, b"def"), IoOutcome::Data(3));
+        assert_eq!(src.received(c), b"abcdef");
+    }
+
+    #[test]
+    fn refused_after_stop_accepting() {
+        let mut src = SimSource::new();
+        src.stop_accepting();
+        let c = src.connect_at(1);
+        let mut wakes = Vec::new();
+        src.wait(None, &mut wakes).unwrap();
+        assert!(wakes.is_empty());
+        assert!(src.refused(c));
+    }
+
+    #[test]
+    fn same_scenario_replays_byte_identically() {
+        let run = || {
+            let mut src = SimSource::new().with_write_window(4);
+            let a = src.connect_at(1);
+            let b = src.connect_at(2);
+            src.send_at(a, 3, b"GET /x");
+            src.send_at(b, 3, b"GET /y");
+            let mut wakes = Vec::new();
+            src.wait(None, &mut wakes).unwrap();
+            let ta = src.accept().unwrap().unwrap();
+            src.wait(None, &mut wakes).unwrap();
+            let tb = src.accept().unwrap().unwrap();
+            let mut buf = [0u8; 8];
+            while let IoOutcome::Data(_) = src.read(ta, &mut buf) {}
+            while let IoOutcome::Data(_) = src.read(tb, &mut buf) {}
+            let _ = src.write(ta, b"HTTP/1.1 200 OK");
+            src.close(ta);
+            src.close(tb);
+            src.digest()
+        };
+        assert_eq!(run(), run());
+    }
+}

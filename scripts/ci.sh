@@ -8,7 +8,9 @@
 # bit-identical at any thread count; a pass at one width and a failure at
 # the other is a determinism bug, not flakiness. The chaos suite then
 # replays seeded fault plans against a live server under two fixed seeds,
-# the cluster chaos suite replays a sharded deployment under deterministic
+# the serve sim scenarios replay the evented transport's state machines
+# under the readiness driver (two fixed seeds plus one randomized,
+# printed seed), the cluster chaos suite replays a sharded deployment under deterministic
 # simulation (two fixed seeds plus one randomized, printed seed), and a
 # stress loop repeats the serve concurrency tests — under a nonzero
 # delay-only fault plan — to shake out scheduling-dependent races.
@@ -52,6 +54,19 @@ for seed in 7 1234; do
         > /dev/null || { echo "chaos suite failed under CEER_FAULT_SEED=$seed"; exit 1; }
 done
 echo "chaos suite passed (seeds 7, 1234)"
+
+echo "=== serve sim chaos (evented loop under the readiness driver) ==="
+# The sim_ scenarios drive the evented state machines through ceer-sim's
+# readiness driver over a virtual clock: a whole run is a pure function
+# of (seed, scenario), so besides the fixed seeds they must hold under a
+# randomized one. The seed is printed so a failure replays verbatim:
+#   CEER_FAULT_SEED=<seed> cargo test --test chaos sim_
+serve_rand_seed="$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')"
+for seed in 7 1234 "$serve_rand_seed"; do
+    CEER_FAULT_SEED="$seed" cargo test -q --test chaos sim_ \
+        > /dev/null || { echo "serve sim chaos failed under CEER_FAULT_SEED=$seed"; exit 1; }
+done
+echo "serve sim chaos passed (seeds 7, 1234, $serve_rand_seed)"
 
 echo "=== cluster chaos suite (deterministic simulation) ==="
 # The simulated cluster must replay byte-identically and satisfy the
