@@ -42,7 +42,7 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
         config.parallel_degrees,
         config.iterations
     );
-    // ceer-lint: allow(ambient-time) -- wall-clock progress line on stderr; never in results
+    // Wall-clock progress line on stderr; never in results.
     let started = std::time::Instant::now();
     let archive = ProfileArchive::collect(&config);
     eprintln!("collected {} profiles in {:.1?}", archive.profile_count(), started.elapsed());

@@ -47,7 +47,7 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
         allow_quadratic: !linear_only,
         ..FitConfig::default()
     };
-    // ceer-lint: allow(ambient-time) -- wall-clock progress line on stderr; never in results
+    // Wall-clock progress line on stderr; never in results.
     let started = std::time::Instant::now();
     let model = match profiles {
         Some(path) => {

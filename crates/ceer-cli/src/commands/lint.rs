@@ -2,26 +2,41 @@
 
 use std::path::PathBuf;
 
-use ceer_lint::{find_workspace_root, lint_workspace, render_json, render_text, Config};
+use ceer_lint::{
+    build_graph, find_workspace_root, graph::render_graph_json, lint_files, render_json,
+    render_text, render_timings, sarif::render_sarif, workspace_sources, Config,
+};
 
 use crate::args::Args;
 
 const HELP: &str = "\
 ceer lint — statically enforce the determinism, numeric-safety,
-panic-hygiene and resource-safety invariants across the workspace
+panic-hygiene, resource-safety and concurrency invariants across the
+workspace
 
-Walks every first-party src/ tree (the root crate and crates/*) and
-reports rule violations with file:line:col positions. Suppress a
-legitimate site inline with
+Walks every first-party src/ tree (the root crate and crates/*), builds
+the cross-crate call graph, and reports rule violations with
+file:line:col positions. Token rules check local shapes; graph rules
+(nondeterminism-taint, panic-reachability, lock-order,
+blocking-in-reactor) follow call chains from configured entry points.
+Suppress a legitimate site inline with
     // ceer-lint: allow(rule-name) -- reason
-(a reasonless or stale allow is itself a diagnostic).
+for graph rules either at the sink line or on the root fn's declaration
+line (a reasonless or stale allow is itself a diagnostic).
 
 OPTIONS:
-    --json        machine-readable output: a JSON array of diagnostics
-                  ([] when the tree is clean)
-    --root PATH   workspace root to lint (default: found by walking up
-                  from the current directory)
-    --rules       list every rule with its group and rationale
+    --json            machine-readable output: a JSON array of
+                      diagnostics ([] when the tree is clean)
+    --sarif           SARIF 2.1.0 output (for CI annotation upload)
+    --graph-json      dump the workspace call graph as JSON and exit
+                      (no linting)
+    --timings         after the diagnostics, print per-rule wall time
+                      and the call-graph size on stderr
+    --bench-out PATH  write {\"lint_wall_ms\": ..., rules: {...}} JSON
+                      to PATH (the CI lint-budget artifact)
+    --root PATH       workspace root to lint (default: found by walking
+                      up from the current directory)
+    --rules           list every rule with its group and rationale
 
 Exits non-zero when any diagnostic is reported.";
 
@@ -31,13 +46,18 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
         return Ok(());
     }
     let json = args.flag("--json");
+    let sarif = args.flag("--sarif");
+    let graph_json = args.flag("--graph-json");
+    let timings = args.flag("--timings");
+    let bench_out = args.opt("--bench-out")?;
     let list_rules = args.flag("--rules");
     let root = args.opt("--root")?;
     args.finish()?;
 
     if list_rules {
         for rule in ceer_lint::rules::RULES {
-            println!("{:16} {:14} {}", rule.name, rule.group.name(), rule.summary);
+            let kind = if rule.graph { "graph" } else { "token" };
+            println!("{:22} {:16} {:5} {}", rule.name, rule.group.name(), kind, rule.summary);
         }
         return Ok(());
     }
@@ -49,11 +69,27 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
             find_workspace_root(&cwd)?
         }
     };
-    let report = lint_workspace(&root, &Config::ceer())?;
+    let sources = workspace_sources(&root)?;
+
+    if graph_json {
+        print!("{}", render_graph_json(&build_graph(&sources)));
+        return Ok(());
+    }
+
+    let report = lint_files(&sources, &Config::ceer());
     if json {
         print!("{}", render_json(&report));
+    } else if sarif {
+        print!("{}", render_sarif(&report));
     } else {
         print!("{}", render_text(&report));
+    }
+    if timings {
+        eprint!("{}", render_timings(&report));
+    }
+    if let Some(path) = bench_out {
+        std::fs::write(&path, bench_json(&report))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if report.is_clean() {
         Ok(())
@@ -64,4 +100,25 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
             if report.diagnostics.len() == 1 { "" } else { "s" }
         ))
     }
+}
+
+/// The `--bench-out` artifact: total wall time plus the per-label split,
+/// in milliseconds.
+fn bench_json(report: &ceer_lint::LintReport) -> String {
+    let total: f64 = report.timings.iter().map(|(_, ms)| ms).sum();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"lint_wall_ms\": {total:.3},\n"));
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    if let Some((fns, edges)) = report.graph_size {
+        out.push_str(&format!("  \"graph_fns\": {fns},\n  \"graph_edges\": {edges},\n"));
+    }
+    out.push_str("  \"rules\": {");
+    for (i, (label, ms)) in report.timings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{label}\": {ms:.3}"));
+    }
+    out.push_str("\n  }\n}\n");
+    out
 }

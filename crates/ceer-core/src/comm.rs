@@ -128,9 +128,9 @@ impl CommModel {
                 // counts (below for interior gaps, the top two otherwise).
                 let below = ks.iter().rev().find(|&&k| k < gpus).copied();
                 let (ka, kb) = match below {
-                    Some(b) if b != *ks.last().expect("non-empty") => {
+                    Some(b) if b != ks[ks.len() - 1] => {
                         let above = ks.iter().find(|&&k| k > gpus).copied();
-                        (b, above.unwrap_or(*ks.last().expect("non-empty")))
+                        (b, above.unwrap_or(ks[ks.len() - 1]))
                     }
                     _ => (ks[ks.len() - 2], ks[ks.len() - 1]),
                 };

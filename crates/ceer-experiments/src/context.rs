@@ -98,7 +98,7 @@ impl ExperimentContext {
             self.fit_config.gpus.len(),
             self.fit_config.iterations
         );
-        // ceer-lint: allow(ambient-time) -- wall-clock progress line on stderr; never in results
+        // Wall-clock progress line on stderr; never in results.
         let started = std::time::Instant::now();
         let model = Ceer::fit(&self.fit_config);
         eprintln!("[ceer] fit done in {:.1?}", started.elapsed());

@@ -129,6 +129,7 @@ impl FaultInjector {
             state.injected.fetch_add(1, Ordering::Relaxed);
         }
         let kind = rule.kind.clone();
+        // ceer-lint: allow(blocking-in-reactor) -- the guard spans a single push; the if-let scope ends immediately
         if let Ok(mut log) = self.log.lock() {
             log.push(FaultEvent { site: site.to_string(), call, kind: kind.clone() });
         }
@@ -188,6 +189,7 @@ impl FaultInjector {
         match self.check(site) {
             Some(FaultKind::Error) => Err(injected_error(site)),
             Some(FaultKind::Delay(ms)) => {
+                // ceer-lint: allow(blocking-in-reactor) -- the injected delay IS the fault being simulated
                 std::thread::sleep(Duration::from_millis(ms));
                 Ok(())
             }
@@ -220,6 +222,7 @@ impl FaultInjector {
     pub fn maybe_panic(&self, site: &str) {
         match self.check(site) {
             Some(FaultKind::Poison) => poison_panic(site),
+            // ceer-lint: allow(blocking-in-reactor) -- the injected delay IS the fault being simulated
             Some(FaultKind::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
             _ => {}
         }
@@ -252,6 +255,7 @@ pub fn injected_error(site: &str) -> std::io::Error {
 }
 
 fn poison_panic(site: &str) -> ! {
+    // ceer-lint: allow(panic-reachability) -- injected poison is the crate's product; callers contain it with catch_unwind
     panic!("injected poison at {site}")
 }
 

@@ -37,6 +37,7 @@ pub fn training_graph(mut forward: Graph, loss: NodeId) -> Graph {
     // Seed: d(loss)/d(loss) = 1, emitted as a Fill, as TF does.
     let seed = forward
         .add_node("gradients/Fill", OpKind::Fill, OpAttrs::None, vec![], TensorShape::scalar(), 0)
+        // ceer-lint: allow(panic-reachability) -- builder-name invariant on a freshly built graph
         .expect("unique seed name");
     pending.entry(loss).or_default().push(seed);
 
@@ -65,6 +66,7 @@ pub fn training_graph(mut forward: Graph, loss: NodeId) -> Graph {
                     shape,
                     0,
                 )
+                // ceer-lint: allow(panic-reachability) -- builder-name invariant on a freshly built graph
                 .expect("unique AddN name")
         };
 
@@ -102,6 +104,7 @@ fn emit_rule(
                 shape,
                 0,
             )
+            // ceer-lint: allow(panic-reachability) -- builder-name invariant on a freshly built graph
             .expect("forward names are unique, so gradient names are too")
     };
     let push = |pending: &mut BTreeMap<NodeId, Vec<NodeId>>, to: NodeId, g: NodeId| {
@@ -114,6 +117,7 @@ fn emit_rule(
             let x_shape = graph.node(x).output_shape().clone();
             let (kh, kw) = match attrs {
                 OpAttrs::Conv { kernel, .. } => kernel,
+                // ceer-lint: allow(panic-reachability) -- OpKind/OpAttrs pairing is a construction invariant
                 _ => unreachable!("Conv2D always carries Conv attrs"),
             };
             let filter_shape =
@@ -340,6 +344,7 @@ fn emit_rule(
         }
         other => {
             // Ops without gradient rules must never sit on the loss path.
+            // ceer-lint: allow(panic-reachability) -- compiled-in architectures only reach ops with gradient rules
             panic!("no gradient rule for {other} (node {fwd_name}) on the loss path")
         }
     }

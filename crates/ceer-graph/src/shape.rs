@@ -116,6 +116,7 @@ impl TensorShape {
     /// Panics on scalars.
     pub fn channels(&self) -> u64 {
         assert!(self.rank() >= 1, "channels() requires rank >= 1");
+        // ceer-lint: allow(panic-reachability) -- rank asserted on the line above
         *self.dims.last().expect("rank checked")
     }
 

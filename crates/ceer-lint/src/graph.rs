@@ -1,0 +1,766 @@
+//! The workspace call graph: a per-crate symbol table over every parsed
+//! file plus a conservative edge-resolution pass.
+//!
+//! Resolution is tiered, from precise to conservative:
+//!
+//! 1. **Path calls** `Type::m(..)` / `module::f(..)` resolve through the
+//!    symbol table: a workspace type's method, a workspace crate/module's
+//!    free function, or — when the path head is a known trait — every
+//!    workspace implementation of that method. Paths that leave the
+//!    workspace (`std::`, `serde_json::`, …) produce **no** edge.
+//! 2. **Bare calls** `f(..)` resolve within the calling file, then via
+//!    the file's `use` aliases, then within the calling crate. Bare
+//!    names cannot cross crates without an import, so no workspace-wide
+//!    fallback is applied.
+//! 3. **Method calls** `recv.m(..)` resolve the receiver's type where
+//!    the parser could name it (`self`, `self.field` chains through
+//!    struct field types, typed locals and parameters, smart-pointer
+//!    deref through `Arc`/`Rc`/`Box`). A *resolved* receiver type that
+//!    has no workspace method `m` yields **no** edge — the call is into
+//!    `std` (this is what keeps `.get(..)` on a `BTreeMap` from edging
+//!    into every workspace `get`). A receiver the parser could *not*
+//!    type falls back to **every** workspace method named `m` — the
+//!    conservative over-approximation that keeps reachability sound for
+//!    chained calls, closures and trait objects.
+//!
+//! What the graph cannot see (documented conservatism, DESIGN.md §12):
+//! calls made *by macros themselves* (macro argument tokens are scanned,
+//! expansion output is not), function pointers / closures passed as
+//! values and invoked elsewhere (the *creation* site has no edge; an
+//! invocation through an untyped receiver falls back by name), and
+//! `dyn Trait` dispatch (resolved to all implementations — an
+//! over-approximation, never an omission).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::{Callee, ParsedFile, Receiver};
+
+/// One function node in the workspace graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Crate name (underscored: `ceer_serve`; the root package is `ceer`).
+    pub krate: String,
+    /// Function name.
+    pub name: String,
+    /// Enclosing impl type or trait, if any.
+    pub self_type: Option<String>,
+    /// Trait name for `impl Trait for Type` methods.
+    pub trait_impl: Option<String>,
+    /// Whether the fn is `pub`.
+    pub is_pub: bool,
+    /// 1-based line of the fn name.
+    pub line: usize,
+    /// 1-based column of the fn name.
+    pub col: usize,
+    /// Index of the owning [`ParsedFile`] in the build input.
+    pub file_idx: usize,
+    /// Index of the item within its file's `fns`.
+    pub item_idx: usize,
+}
+
+impl FnNode {
+    /// `crate::Type::name` / `crate::name` — the stable display id.
+    pub fn qual(&self) -> String {
+        match &self.self_type {
+            Some(ty) => format!("{}::{}::{}", self.krate, ty, self.name),
+            None => format!("{}::{}", self.krate, self.name),
+        }
+    }
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// All function nodes, in deterministic (file, item) order.
+    pub fns: Vec<FnNode>,
+    /// Adjacency: `edges[caller]` = sorted, deduped callee indices.
+    pub edges: Vec<Vec<usize>>,
+    /// Per-caller resolved call sites as `(callee, line, col)`, sorted,
+    /// deduplicated by `(callee, line)`. Same information as [`edges`]
+    /// but keeping *where* in the caller each edge originates — the
+    /// lock-order rule uses this to scope callees to a guard's extent.
+    ///
+    /// [`edges`]: Graph::edges
+    pub sited_edges: Vec<Vec<(usize, usize, usize)>>,
+    /// How many call sites fell back to name-based resolution.
+    pub fallback_sites: usize,
+    /// How many call sites resolved precisely (typed or path).
+    pub resolved_sites: usize,
+}
+
+/// Derives the crate name from a workspace-relative path:
+/// `crates/ceer-serve/src/app.rs` → `ceer_serve`; anything under the
+/// root `src/` is the root package.
+pub fn crate_of(file: &str) -> String {
+    let mut parts = file.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("").replace('-', "_"),
+        _ => "ceer".to_string(),
+    }
+}
+
+/// The file stem (`app` for `crates/ceer-serve/src/app.rs`), used to
+/// resolve `module::f()` path calls against sibling files.
+fn stem_of(file: &str) -> String {
+    file.rsplit('/').next().unwrap_or("").trim_end_matches(".rs").to_string()
+}
+
+impl Graph {
+    /// Builds the graph over `(path, parsed)` pairs.
+    pub fn build(files: &[(String, ParsedFile)]) -> Graph {
+        let mut g = Graph::default();
+
+        // ---- symbol table ----------------------------------------------
+        // Flatten nodes in input order (files are pre-sorted by the walk).
+        for (file_idx, (path, parsed)) in files.iter().enumerate() {
+            for (item_idx, f) in parsed.fns.iter().enumerate() {
+                g.fns.push(FnNode {
+                    file: path.clone(),
+                    krate: crate_of(path),
+                    name: f.name.clone(),
+                    self_type: f.self_type.clone(),
+                    trait_impl: f.trait_impl.clone(),
+                    is_pub: f.is_pub,
+                    line: f.line,
+                    col: f.col,
+                    file_idx,
+                    item_idx,
+                });
+            }
+        }
+
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_by_crate: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_by_file: BTreeMap<(usize, &str), Vec<usize>> = BTreeMap::new();
+        for (id, node) in g.fns.iter().enumerate() {
+            match &node.self_type {
+                Some(ty) => {
+                    methods_by_name.entry(&node.name).or_default().push(id);
+                    by_type_method.entry((ty, &node.name)).or_default().push(id);
+                }
+                None => {
+                    free_by_crate.entry((&node.krate, &node.name)).or_default().push(id);
+                    free_by_file.entry((node.file_idx, &node.name)).or_default().push(id);
+                }
+            }
+        }
+        // Struct fields, traits, impl inventories — merged workspace-wide.
+        // Name collisions merge conservatively (extra candidate edges).
+        let mut fields: BTreeMap<&str, &BTreeMap<String, String>> = BTreeMap::new();
+        let mut trait_methods: BTreeMap<&str, &Vec<String>> = BTreeMap::new();
+        for (_, parsed) in files {
+            for (name, fs) in &parsed.structs {
+                fields.entry(name).or_insert(fs);
+            }
+            for (name, ms) in &parsed.traits {
+                trait_methods.entry(name).or_insert(ms);
+            }
+        }
+        // Which types are known workspace types (have impls or struct defs)?
+        let workspace_types: BTreeSet<&str> =
+            by_type_method.keys().map(|(ty, _)| *ty).chain(fields.keys().copied()).collect();
+        // traits implemented per type: Type -> [Trait]
+        let mut traits_of: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for node in &g.fns {
+            if let (Some(ty), Some(tr)) = (&node.self_type, &node.trait_impl) {
+                traits_of.entry(ty).or_default().insert(tr);
+            }
+        }
+        let crate_names: BTreeSet<&str> = g.fns.iter().map(|n| n.krate.as_str()).collect();
+        // fn return types: (type-or-"", name) -> set of return heads.
+        let mut ret_of: BTreeMap<(&str, &str), BTreeSet<&str>> = BTreeMap::new();
+        for (file_idx, (_, parsed)) in files.iter().enumerate() {
+            let _ = file_idx;
+            for f in &parsed.fns {
+                if let Some(ret) = &f.ret {
+                    let ty = f.self_type.as_deref().unwrap_or("");
+                    ret_of.entry((ty, &f.name)).or_default().insert(ret);
+                }
+            }
+        }
+
+        // ---- edge resolution -------------------------------------------
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); g.fns.len()];
+        let mut sited_edges: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); g.fns.len()];
+        let mut fallback_sites = 0usize;
+        let mut resolved_sites = 0usize;
+        for caller in 0..g.fns.len() {
+            let node = &g.fns[caller];
+            let (path, parsed) = &files[node.file_idx];
+            let item = &parsed.fns[node.item_idx];
+            let stem = stem_of(path);
+            let _ = stem;
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+            let mut sited: Vec<(usize, usize, usize)> = Vec::new();
+            for call in &item.calls {
+                let mut tset: BTreeSet<usize> = BTreeSet::new();
+                match &call.callee {
+                    Callee::Path(segs) => {
+                        let mut segs = segs.clone();
+                        // Resolve a leading use-alias: `est::fit` where
+                        // `use ceer_core::estimate as est`.
+                        if let Some(expansion) = parsed.uses.get(&segs[0]) {
+                            let tail = segs.split_off(1);
+                            segs = expansion.clone();
+                            segs.extend(tail);
+                        }
+                        let last = segs.last().cloned().unwrap_or_default();
+                        let pen = if segs.len() >= 2 {
+                            segs[segs.len() - 2].clone()
+                        } else {
+                            String::new()
+                        };
+                        let pen_n = pen.replace('-', "_");
+                        let mut hit = false;
+                        if workspace_types.contains(pen.as_str()) {
+                            if let Some(ids) = by_type_method.get(&(pen.as_str(), last.as_str())) {
+                                tset.extend(ids);
+                                hit = true;
+                            } else if let Some(trs) = traits_of.get(pen.as_str()) {
+                                // Inherited default trait methods.
+                                for tr in trs {
+                                    if let Some(ids) = by_type_method.get(&(*tr, last.as_str())) {
+                                        tset.extend(ids);
+                                        hit = true;
+                                    }
+                                }
+                            }
+                            // A workspace type without this method: a
+                            // derive/std method — no edge, and precise.
+                            resolved_sites += 1;
+                            let _ = hit;
+                        } else if trait_methods.contains_key(pen.as_str()) {
+                            // `Trait::m(x)` — all implementations.
+                            if let Some(ids) = methods_by_name.get(last.as_str()) {
+                                for &id in ids {
+                                    let target = &g.fns[id];
+                                    let implements =
+                                        target.self_type.as_deref().is_some_and(|ty| {
+                                            ty == pen
+                                                || traits_of
+                                                    .get(ty)
+                                                    .is_some_and(|trs| trs.contains(pen.as_str()))
+                                        });
+                                    if implements {
+                                        tset.insert(id);
+                                    }
+                                }
+                            }
+                            resolved_sites += 1;
+                        } else if matches!(pen.as_str(), "self" | "crate" | "super")
+                            || pen_n == node.krate
+                        {
+                            if let Some(ids) =
+                                free_by_crate.get(&(node.krate.as_str(), last.as_str()))
+                            {
+                                tset.extend(ids);
+                            }
+                            resolved_sites += 1;
+                        } else if crate_names.contains(pen_n.as_str()) {
+                            if let Some(ids) = free_by_crate.get(&(pen_n.as_str(), last.as_str())) {
+                                tset.extend(ids);
+                            }
+                            resolved_sites += 1;
+                        } else if segs.len() >= 2
+                            && crate_names.contains(segs[0].replace('-', "_").as_str())
+                        {
+                            // `ceer_core::estimate::predict` — a module
+                            // path into a workspace crate: match free fns
+                            // of that crate by name.
+                            let krate = segs[0].replace('-', "_");
+                            if let Some(ids) = free_by_crate.get(&(krate.as_str(), last.as_str())) {
+                                tset.extend(ids);
+                            }
+                            resolved_sites += 1;
+                        } else if !pen.is_empty() {
+                            // A path out of the workspace (std, vendored
+                            // deps): precise no-edge.
+                            resolved_sites += 1;
+                        }
+                    }
+                    Callee::Bare(name) => {
+                        if let Some(ids) = free_by_file.get(&(node.file_idx, name.as_str())) {
+                            tset.extend(ids);
+                            resolved_sites += 1;
+                        } else if let Some(expansion) = parsed.uses.get(name.as_str()) {
+                            // Imported: resolve like a path call.
+                            let last = expansion.last().cloned().unwrap_or_default();
+                            let head = expansion[0].replace('-', "_");
+                            let krate =
+                                if matches!(expansion[0].as_str(), "crate" | "self" | "super") {
+                                    node.krate.clone()
+                                } else {
+                                    head
+                                };
+                            if let Some(ids) = free_by_crate.get(&(krate.as_str(), last.as_str())) {
+                                tset.extend(ids);
+                            }
+                            resolved_sites += 1;
+                        } else if let Some(ids) =
+                            free_by_crate.get(&(node.krate.as_str(), name.as_str()))
+                        {
+                            tset.extend(ids);
+                            resolved_sites += 1;
+                        }
+                        // An unresolved bare name (a closure variable, a
+                        // std prelude fn like `drop`) gets no edge: bare
+                        // calls cannot leave the crate without a `use`.
+                    }
+                    Callee::Method { name, receiver } => {
+                        let recv_type = resolve_receiver_type(
+                            receiver,
+                            item,
+                            &fields,
+                            &workspace_types,
+                            &trait_methods,
+                            &ret_of,
+                        );
+                        match recv_type {
+                            ReceiverType::Known(ty) => {
+                                resolved_sites += 1;
+                                let mut found = false;
+                                if let Some(ids) = by_type_method.get(&(ty.as_str(), name.as_str()))
+                                {
+                                    tset.extend(ids);
+                                    found = true;
+                                }
+                                if !found {
+                                    if let Some(trs) = traits_of.get(ty.as_str()) {
+                                        for tr in trs {
+                                            if let Some(ids) =
+                                                by_type_method.get(&(*tr, name.as_str()))
+                                            {
+                                                tset.extend(ids);
+                                            }
+                                        }
+                                    }
+                                }
+                                // Known type, no workspace method: a std
+                                // or derived method — no edge.
+                            }
+                            ReceiverType::Trait(tr) => {
+                                resolved_sites += 1;
+                                // All implementations + default methods.
+                                if let Some(ids) = methods_by_name.get(name.as_str()) {
+                                    for &id in ids {
+                                        let target = &g.fns[id];
+                                        let hits = target.self_type.as_deref().is_some_and(|ty| {
+                                            ty == tr
+                                                || traits_of
+                                                    .get(ty)
+                                                    .is_some_and(|trs| trs.contains(tr.as_str()))
+                                        });
+                                        if hits {
+                                            tset.insert(id);
+                                        }
+                                    }
+                                }
+                            }
+                            ReceiverType::Unknown => {
+                                // Conservative fallback: every workspace
+                                // method with this name — except names
+                                // shared with the std prelude, where the
+                                // overwhelming majority of untyped calls
+                                // are iterator/collection calls and the
+                                // fallback would wire every `.collect()`
+                                // in the workspace into any type that
+                                // happens to define a `collect` method.
+                                if STD_METHOD_NAMES.contains(&name.as_str()) {
+                                    resolved_sites += 1;
+                                } else if let Some(ids) = methods_by_name.get(name.as_str()) {
+                                    tset.extend(ids);
+                                    fallback_sites += 1;
+                                } else {
+                                    // No workspace method of this name at
+                                    // all: std call, precise no-edge.
+                                    resolved_sites += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                for &t in &tset {
+                    sited.push((t, call.line, call.col));
+                }
+                out.extend(tset);
+            }
+            sited.sort_unstable();
+            sited.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+            edges[caller] = out.into_iter().collect();
+            sited_edges[caller] = sited;
+        }
+        g.edges = edges;
+        g.sited_edges = sited_edges;
+        g.fallback_sites = fallback_sites;
+        g.resolved_sites = resolved_sites;
+        g
+    }
+
+    /// Forward closure from `roots` (fn indices), returning for each
+    /// reached fn the BFS parent (roots map to themselves). Deterministic:
+    /// roots are processed in sorted order, adjacency is sorted.
+    pub fn reach_with_parents(&self, roots: &BTreeSet<usize>) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in roots {
+            parent.insert(r, r);
+            queue.push_back(r);
+        }
+        while let Some(f) = queue.pop_front() {
+            for &callee in &self.edges[f] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(callee) {
+                    e.insert(f);
+                    queue.push_back(callee);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The chain `root → … → target` as display quals, from a parent map.
+    pub fn chain(&self, parents: &BTreeMap<usize, usize>, target: usize) -> Vec<String> {
+        let mut chain = vec![target];
+        let mut cur = target;
+        while let Some(&p) = parents.get(&cur) {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain.into_iter().map(|id| self.fns[id].qual()).collect()
+    }
+}
+
+/// Method names the untyped-receiver fallback never resolves by name:
+/// iterator adapters and collection accessors from the std prelude.
+/// Untyped `.collect()` / `.get(..)` / `.flatten()` calls are almost
+/// always std calls on a chained expression; wiring them into every
+/// workspace method that shares the name would put spurious cross-crate
+/// paths under every reachability rule. The cost is the dual blind
+/// spot: a *workspace* method with one of these names, called through a
+/// receiver the parser cannot type, gets no edge (DESIGN.md §12) —
+/// typed, path and trait resolution still reach it.
+const STD_METHOD_NAMES: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "append",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "chain",
+    "clear",
+    "cloned",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "drain",
+    "entry",
+    "enumerate",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "first",
+    "flat_map",
+    "flatten",
+    "fold",
+    "get",
+    "get_mut",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "last",
+    "len",
+    "load",
+    "map",
+    "max",
+    "min",
+    "next",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "pop",
+    "position",
+    "push",
+    "remove",
+    "retain",
+    "rev",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "split",
+    "starts_with",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "trim",
+    "truncate",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "windows",
+    "zip",
+];
+
+enum ReceiverType {
+    Known(String),
+    Trait(String),
+    Unknown,
+}
+
+/// Resolves a receiver shape to a type name where the parser recorded
+/// enough (params, typed locals, struct fields); `Unknown` triggers the
+/// conservative fallback.
+fn resolve_receiver_type(
+    receiver: &Receiver,
+    item: &crate::parse::FnItem,
+    fields: &BTreeMap<&str, &BTreeMap<String, String>>,
+    workspace_types: &BTreeSet<&str>,
+    trait_methods: &BTreeMap<&str, &Vec<String>>,
+    _ret_of: &BTreeMap<(&str, &str), BTreeSet<&str>>,
+) -> ReceiverType {
+    let classify = |ty: &str| -> ReceiverType {
+        if trait_methods.contains_key(ty) {
+            ReceiverType::Trait(ty.to_string())
+        } else {
+            ReceiverType::Known(ty.to_string())
+        }
+    };
+    let walk_fields = |mut ty: String, chain: &[String]| -> Option<String> {
+        for field in chain {
+            let fs = fields.get(ty.as_str())?;
+            ty = fs.get(field)?.clone();
+        }
+        Some(ty)
+    };
+    match receiver {
+        Receiver::SelfValue => match &item.self_type {
+            Some(ty) => classify(ty),
+            None => ReceiverType::Unknown,
+        },
+        Receiver::SelfFields(chain) => {
+            let Some(ty) = &item.self_type else { return ReceiverType::Unknown };
+            match walk_fields(ty.clone(), chain) {
+                Some(t) => classify(&t),
+                None => ReceiverType::Unknown,
+            }
+        }
+        Receiver::Local { name, fields: chain } => {
+            let base = item
+                .locals
+                .iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .or_else(|| item.params.iter().find(|(n, _)| n == name))
+                .map(|(_, t)| t.clone());
+            let Some(base) = base.filter(|t| !t.is_empty()) else {
+                return ReceiverType::Unknown;
+            };
+            // A primitive or std receiver type is precise: no workspace
+            // methods will match, and that is the right answer.
+            match walk_fields(base, chain) {
+                Some(t) => {
+                    // Unknown generics (single uppercase letter) stay
+                    // conservative.
+                    if t.len() <= 2 && t.chars().all(|c| c.is_ascii_uppercase()) {
+                        ReceiverType::Unknown
+                    } else {
+                        let _ = workspace_types;
+                        classify(&t)
+                    }
+                }
+                None => ReceiverType::Unknown,
+            }
+        }
+        Receiver::Expr => ReceiverType::Unknown,
+    }
+}
+
+/// Renders the call graph as a deterministic JSON artifact: sorted nodes
+/// (qualified name, file, line) and sorted qual-pair edges.
+pub fn render_graph_json(graph: &Graph) -> String {
+    let mut nodes: Vec<(String, &FnNode)> = graph.fns.iter().map(|n| (n.qual(), n)).collect();
+    nodes.sort_by(|a, b| {
+        (a.0.as_str(), a.1.file.as_str(), a.1.line).cmp(&(
+            b.0.as_str(),
+            b.1.file.as_str(),
+            b.1.line,
+        ))
+    });
+    let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+    for (caller, callees) in graph.edges.iter().enumerate() {
+        let from = graph.fns[caller].qual();
+        for &callee in callees {
+            edges.insert((from.clone(), graph.fns[callee].qual()));
+        }
+    }
+    let mut out = String::from("{\n  \"nodes\": [\n");
+    for (i, (qual, node)) in nodes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"file\": \"{}\", \"line\": {}}}{}\n",
+            qual,
+            node.file,
+            node.line,
+            if i + 1 < nodes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"edges\": [\n");
+    let n_edges = edges.len();
+    for (i, (from, to)) in edges.iter().enumerate() {
+        out.push_str(&format!(
+            "    [\"{from}\", \"{to}\"]{}\n",
+            if i + 1 < n_edges { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+
+    fn build(files: &[(&str, &str)]) -> (Graph, Vec<(String, ParsedFile)>) {
+        let parsed: Vec<(String, ParsedFile)> = files
+            .iter()
+            .map(|(path, src)| ((*path).to_string(), parse_file(&lex(src).tokens)))
+            .collect();
+        (Graph::build(&parsed), parsed)
+    }
+
+    fn edge(g: &Graph, from: &str, to: &str) -> bool {
+        let find = |q: &str| g.fns.iter().position(|n| n.qual() == q);
+        let (Some(f), Some(t)) = (find(from), find(to)) else {
+            panic!("missing node: {from} or {to}");
+        };
+        g.edges[f].contains(&t)
+    }
+
+    #[test]
+    fn bare_calls_resolve_within_crate_only() {
+        let (g, _) = build(&[
+            ("crates/a/src/lib.rs", "fn top() { helper(); } fn helper() {}"),
+            ("crates/b/src/lib.rs", "fn helper() {}"),
+        ]);
+        assert!(edge(&g, "a::top", "a::helper"));
+        assert!(!edge(&g, "a::top", "b::helper"));
+    }
+
+    #[test]
+    fn path_calls_resolve_across_crates() {
+        let (g, _) = build(&[
+            ("crates/a/src/lib.rs", "fn top() { b::helper(); std::mem::drop(x); }"),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        assert!(edge(&g, "a::top", "b::helper"));
+        // std paths create no edges.
+        let top = g.fns.iter().position(|n| n.qual() == "a::top").unwrap();
+        assert_eq!(g.edges[top].len(), 1);
+    }
+
+    #[test]
+    fn use_imported_bare_calls_cross_crates() {
+        let (g, _) = build(&[
+            ("crates/a/src/lib.rs", "use b::helper;\nfn top() { helper(); }"),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        assert!(edge(&g, "a::top", "b::helper"));
+    }
+
+    #[test]
+    fn typed_method_calls_resolve_precisely() {
+        let (g, _) = build(&[(
+            "crates/a/src/lib.rs",
+            "struct App { cache: Cache }\n\
+             struct Cache;\n\
+             impl Cache { fn get(&self) {} }\n\
+             struct Other;\n\
+             impl Other { fn get(&self) {} }\n\
+             impl App { fn route(&self) { self.cache.get(); } }",
+        )]);
+        assert!(edge(&g, "a::App::route", "a::Cache::get"));
+        assert!(!edge(&g, "a::App::route", "a::Other::get"));
+    }
+
+    #[test]
+    fn known_receiver_without_workspace_method_has_no_edge() {
+        let (g, _) = build(&[(
+            "crates/a/src/lib.rs",
+            "struct M; impl M { fn other(&self) {} }\n\
+             fn f(map: BTreeMap) { map.get(1); }",
+        )]);
+        let f = g.fns.iter().position(|n| n.qual() == "a::f").unwrap();
+        assert!(g.edges[f].is_empty(), "BTreeMap.get must not edge into workspace");
+    }
+
+    #[test]
+    fn unknown_receiver_falls_back_to_all_methods() {
+        let (g, _) = build(&[(
+            "crates/a/src/lib.rs",
+            "struct M; impl M { fn tick(&self) {} }\n\
+             struct N; impl N { fn tick(&self) {} }\n\
+             fn f() { chain().tick(); }",
+        )]);
+        assert!(edge(&g, "a::f", "a::M::tick"));
+        assert!(edge(&g, "a::f", "a::N::tick"));
+        assert!(g.fallback_sites >= 1);
+    }
+
+    #[test]
+    fn trait_receivers_resolve_to_all_impls() {
+        let (g, _) = build(&[(
+            "crates/a/src/lib.rs",
+            "trait Clock { fn now(&self) -> u64; }\n\
+             struct Sim; impl Clock for Sim { fn now(&self) -> u64 { 0 } }\n\
+             struct Real; impl Clock for Real { fn now(&self) -> u64 { 1 } }\n\
+             fn f(clock: &dyn Clock) { clock.now(); }",
+        )]);
+        assert!(edge(&g, "a::f", "a::Sim::now"));
+        assert!(edge(&g, "a::f", "a::Real::now"));
+    }
+
+    #[test]
+    fn reachability_and_chains() {
+        let (g, _) = build(&[(
+            "crates/a/src/lib.rs",
+            "fn root() { mid(); } fn mid() { leaf(); } fn leaf() {} fn island() {}",
+        )]);
+        let root = g.fns.iter().position(|n| n.name == "root").unwrap();
+        let leaf = g.fns.iter().position(|n| n.name == "leaf").unwrap();
+        let island = g.fns.iter().position(|n| n.name == "island").unwrap();
+        let parents = g.reach_with_parents(&BTreeSet::from([root]));
+        assert!(parents.contains_key(&leaf));
+        assert!(!parents.contains_key(&island));
+        assert_eq!(g.chain(&parents, leaf), vec!["a::root", "a::mid", "a::leaf"]);
+    }
+
+    #[test]
+    fn graph_json_is_deterministic() {
+        let files = [
+            ("crates/a/src/lib.rs", "fn top() { helper(); } fn helper() {}"),
+            ("crates/b/src/lib.rs", "pub fn other() {}"),
+        ];
+        let (g1, _) = build(&files);
+        let (g2, _) = build(&files);
+        let j1 = render_graph_json(&g1);
+        assert_eq!(j1, render_graph_json(&g2));
+        assert!(j1.contains("\"id\": \"a::helper\""));
+        assert!(j1.contains("[\"a::top\", \"a::helper\"]"));
+    }
+}

@@ -1,0 +1,1105 @@
+//! A lightweight item parser on top of [`crate::lexer`] — just enough
+//! structure for workspace-graph analysis: function items with their
+//! spans, parameter/return types, `impl` context, `use` aliases, struct
+//! field types and trait method inventories, plus every call site inside
+//! each function body with a classified receiver shape.
+//!
+//! Like the lexer, this is deliberately *not* a Rust front end. It is a
+//! single forward scan with brace tracking that recovers the item
+//! skeleton and the call expressions; everything it cannot classify it
+//! records conservatively (an [`Receiver::Expr`] receiver, an untyped
+//! local) so the call-graph layer in [`crate::graph`] can fall back to
+//! name-based over-approximation instead of silently dropping an edge.
+//! Macro bodies are scanned as part of the enclosing function (their
+//! token stream is visible), `macro_rules!` definitions are skipped
+//! wholesale, and `#[cfg(test)]` items never reach this parser — the
+//! engine strips them first.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Token, TokenKind};
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `a::b::f(...)` — the path segments as written (`Self` already
+    /// rewritten to the enclosing impl type).
+    Path(Vec<String>),
+    /// `f(...)` — an unqualified call.
+    Bare(String),
+    /// `recv.m(...)` — a method call with a classified receiver.
+    Method {
+        /// The method name.
+        name: String,
+        /// What the receiver looked like.
+        receiver: Receiver,
+    },
+}
+
+/// The receiver shape of a method call, used for type resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `self.m(...)`.
+    SelfValue,
+    /// `self.a.b.m(...)` — the field chain after `self`.
+    SelfFields(Vec<String>),
+    /// `x.m(...)` or `x.a.m(...)` — a named local/param plus field chain.
+    Local {
+        /// The local or parameter name.
+        name: String,
+        /// Any field accesses between the name and the method.
+        fields: Vec<String>,
+    },
+    /// Anything else (`f().m(...)`, `(a + b).m(...)`, literals, `?`
+    /// chains) — resolved conservatively by name.
+    Expr,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The callee classification.
+    pub callee: Callee,
+    /// 1-based line of the callee name.
+    pub line: usize,
+    /// 1-based column of the callee name.
+    pub col: usize,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// The enclosing `impl` type (or trait, for default trait methods).
+    pub self_type: Option<String>,
+    /// The trait name when the enclosing impl is `impl Trait for Type`.
+    pub trait_impl: Option<String>,
+    /// The in-file module path (names of enclosing `mod` blocks).
+    pub module: Vec<String>,
+    /// Whether the item is `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` name (entry-side suppressions anchor here).
+    pub line: usize,
+    /// 1-based column of the `fn` name.
+    pub col: usize,
+    /// `(name, type)` for parameters whose pattern is a plain identifier;
+    /// the type is the *resolved head* (see [`type_head`]) or `""`.
+    pub params: Vec<(String, String)>,
+    /// The return type head, when present and nameable.
+    pub ret: Option<String>,
+    /// Locals with inferable types: `let x: T`, `let x = T::ctor(..)`.
+    pub locals: Vec<(String, String)>,
+    /// Every call site in the body (innermost-function attribution).
+    pub calls: Vec<CallSite>,
+    /// Token index range `[start, end)` of the body including braces
+    /// (empty range for bodyless trait signatures).
+    pub body: (usize, usize),
+}
+
+/// Everything parsed out of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All function items (free fns, methods, default trait methods).
+    pub fns: Vec<FnItem>,
+    /// Struct name → field name → field type head.
+    pub structs: BTreeMap<String, BTreeMap<String, String>>,
+    /// Trait name → declared method names.
+    pub traits: BTreeMap<String, Vec<String>>,
+    /// `use` alias → full path segments (`HashMap` → `std::collections::HashMap`).
+    pub uses: BTreeMap<String, Vec<String>>,
+}
+
+/// Smart-pointer wrappers that method calls transparently deref through;
+/// the *inner* type is what resolution wants.
+const DEREF_WRAPPERS: &[&str] = &["Arc", "Rc", "Box"];
+
+/// Extracts the "head" type name from a type token slice: strips `&`,
+/// `mut`, `dyn`, `impl` and lifetimes, derefs through `Arc`/`Rc`/`Box`,
+/// and returns the last path segment before any generic arguments
+/// (`&mut Arc<registry::ModelRegistry>` → `ModelRegistry`). Returns `""`
+/// when no plain type name emerges (tuples, fn pointers, slices).
+pub fn type_head(tokens: &[Token]) -> String {
+    let mut i = 0;
+    // Strip leading modifiers.
+    while i < tokens.len() {
+        match (&tokens[i].kind, tokens[i].text.as_str()) {
+            (TokenKind::Punct, "&") | (TokenKind::Lifetime, _) => i += 1,
+            (TokenKind::Ident, "mut" | "dyn" | "impl") => i += 1,
+            _ => break,
+        }
+    }
+    // Read a path `A::B::C`, keeping the last segment.
+    let mut last = String::new();
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident {
+            last = tokens[i].text.clone();
+            i += 1;
+            if i < tokens.len() && tokens[i].text == "::" {
+                i += 1;
+                continue;
+            }
+        }
+        break;
+    }
+    if last.is_empty() {
+        return String::new();
+    }
+    // Deref through one or more wrapper layers: `Arc<Mutex<T>>` → `Mutex`.
+    if DEREF_WRAPPERS.contains(&last.as_str()) && i < tokens.len() && tokens[i].text == "<" {
+        return type_head(&tokens[i + 1..]);
+    }
+    last
+}
+
+/// Parses one file's (test-stripped) token stream.
+pub fn parse_file(tokens: &[Token]) -> ParsedFile {
+    let mut p = Parser { tokens, out: ParsedFile::default() };
+    let end = tokens.len();
+    let mut ctx = Ctx { module: Vec::new(), self_type: None, trait_impl: None };
+    p.items(0, end, &mut ctx);
+    p.out
+}
+
+struct Ctx {
+    module: Vec<String>,
+    self_type: Option<String>,
+    trait_impl: Option<String>,
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    out: ParsedFile,
+}
+
+impl Parser<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.tokens.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident)
+    }
+
+    /// Index just past the token matching the opener at `i` (`{`/`(`/`[`),
+    /// bounded by `end`.
+    fn skip_balanced(&self, i: usize, end: usize) -> usize {
+        let open = self.text(i);
+        let close = match open {
+            "{" => "}",
+            "(" => ")",
+            "[" => "]",
+            _ => return i + 1,
+        };
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < end {
+            let t = self.text(j);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Index just past a balanced `<...>` generic list starting at `i`.
+    fn skip_angles(&self, i: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < end {
+            match self.text(j) {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                // A `;` or `{` at angle depth means the source was not a
+                // generic list after all; bail rather than overrun.
+                ";" | "{" => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Parses items in `[i, end)` under `ctx`.
+    fn items(&mut self, mut i: usize, end: usize, ctx: &mut Ctx) {
+        let mut is_pub = false;
+        while i < end {
+            match self.text(i) {
+                "#" if self.text(i + 1) == "[" => {
+                    i = self.skip_balanced(i + 1, end);
+                }
+                "pub" => {
+                    is_pub = true;
+                    i += 1;
+                    if self.text(i) == "(" {
+                        i = self.skip_balanced(i, end); // pub(crate) etc.
+                    }
+                }
+                "mod" if self.is_ident(i + 1) => {
+                    let name = self.text(i + 1).to_string();
+                    i += 2;
+                    if self.text(i) == "{" {
+                        let close = self.skip_balanced(i, end);
+                        ctx.module.push(name);
+                        self.items(i + 1, close - 1, ctx);
+                        ctx.module.pop();
+                        i = close;
+                    } else {
+                        i += 1; // `mod name;`
+                    }
+                    is_pub = false;
+                }
+                "impl" => {
+                    i = self.impl_block(i, end, ctx);
+                    is_pub = false;
+                }
+                "trait" if self.is_ident(i + 1) => {
+                    i = self.trait_block(i, end, ctx);
+                    is_pub = false;
+                }
+                "fn" if self.is_ident(i + 1) => {
+                    i = self.fn_item(i, end, ctx, is_pub);
+                    is_pub = false;
+                }
+                "struct" if self.is_ident(i + 1) => {
+                    i = self.struct_item(i, end);
+                    is_pub = false;
+                }
+                "enum" | "union" if self.is_ident(i + 1) => {
+                    i += 2;
+                    while i < end && self.text(i) != "{" && self.text(i) != ";" {
+                        i += 1;
+                    }
+                    if self.text(i) == "{" {
+                        i = self.skip_balanced(i, end);
+                    } else {
+                        i += 1;
+                    }
+                    is_pub = false;
+                }
+                "use" => {
+                    i = self.use_decl(i, end);
+                    is_pub = false;
+                }
+                "macro_rules" => {
+                    // `macro_rules! name { ... }` — skip the definition.
+                    i += 1;
+                    while i < end && self.text(i) != "{" {
+                        i += 1;
+                    }
+                    i = self.skip_balanced(i, end);
+                    is_pub = false;
+                }
+                "static" | "const" | "type" | "extern" => {
+                    // Skip to the terminating `;`, ballancing any braces
+                    // (a const with a block initializer).
+                    i += 1;
+                    while i < end {
+                        match self.text(i) {
+                            ";" => {
+                                i += 1;
+                                break;
+                            }
+                            "{" | "(" | "[" => i = self.skip_balanced(i, end),
+                            _ => i += 1,
+                        }
+                    }
+                    is_pub = false;
+                }
+                "{" => i = self.skip_balanced(i, end),
+                _ => {
+                    i += 1;
+                    is_pub = false;
+                }
+            }
+        }
+    }
+
+    /// Parses `impl<...> Type {..}` / `impl<...> Trait for Type {..}`.
+    fn impl_block(&mut self, mut i: usize, end: usize, ctx: &mut Ctx) -> usize {
+        i += 1; // `impl`
+        if self.text(i) == "<" {
+            i = self.skip_angles(i, end);
+        }
+        let (first, after) = self.read_type_path(i, end);
+        i = after;
+        let (ty, trait_name) = if self.text(i) == "for" {
+            let (second, after) = self.read_type_path(i + 1, end);
+            i = after;
+            (second, first)
+        } else {
+            (first, String::new())
+        };
+        while i < end && self.text(i) != "{" && self.text(i) != ";" {
+            i += 1; // where clause
+        }
+        if self.text(i) != "{" {
+            return i + 1;
+        }
+        let close = self.skip_balanced(i, end);
+        let saved_ty = ctx.self_type.replace(ty);
+        let saved_tr = std::mem::replace(
+            &mut ctx.trait_impl,
+            if trait_name.is_empty() { None } else { Some(trait_name) },
+        );
+        self.items(i + 1, close - 1, ctx);
+        ctx.self_type = saved_ty;
+        ctx.trait_impl = saved_tr;
+        close
+    }
+
+    /// Reads a type path at `i` (skipping generic args), returning its
+    /// head name and the index after it.
+    fn read_type_path(&self, mut i: usize, end: usize) -> (String, usize) {
+        // Strip `&`, lifetimes, `mut`, `dyn`.
+        while i < end {
+            match (&self.tokens[i].kind, self.text(i)) {
+                (TokenKind::Punct, "&") | (TokenKind::Lifetime, _) => i += 1,
+                (TokenKind::Ident, "mut" | "dyn") => i += 1,
+                _ => break,
+            }
+        }
+        let mut last = String::new();
+        while i < end && self.is_ident(i) {
+            last = self.text(i).to_string();
+            i += 1;
+            if self.text(i) == "<" {
+                i = self.skip_angles(i, end);
+            }
+            if self.text(i) == "::" {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        (last, i)
+    }
+
+    /// Parses `trait Name {..}`, collecting method names and parsing
+    /// default-bodied methods as items with `self_type = trait`.
+    fn trait_block(&mut self, mut i: usize, end: usize, ctx: &mut Ctx) -> usize {
+        let name = self.text(i + 1).to_string();
+        i += 2;
+        while i < end && self.text(i) != "{" && self.text(i) != ";" {
+            if self.text(i) == "<" {
+                i = self.skip_angles(i, end);
+            } else {
+                i += 1;
+            }
+        }
+        if self.text(i) != "{" {
+            return i + 1;
+        }
+        let close = self.skip_balanced(i, end);
+        // Collect method names (every `fn x` directly inside, any depth-1).
+        let mut methods = Vec::new();
+        let mut j = i + 1;
+        while j < close - 1 {
+            match self.text(j) {
+                "fn" if self.is_ident(j + 1) => {
+                    methods.push(self.text(j + 1).to_string());
+                    j += 2;
+                }
+                "{" => j = self.skip_balanced(j, close - 1),
+                _ => j += 1,
+            }
+        }
+        self.out.traits.insert(name.clone(), methods);
+        let saved_ty = ctx.self_type.replace(name);
+        let saved_tr = ctx.trait_impl.take();
+        self.items(i + 1, close - 1, ctx);
+        ctx.self_type = saved_ty;
+        ctx.trait_impl = saved_tr;
+        close
+    }
+
+    /// Parses `struct Name { field: Type, .. }` (tuple/unit structs are
+    /// recorded with no fields).
+    fn struct_item(&mut self, mut i: usize, end: usize) -> usize {
+        let name = self.text(i + 1).to_string();
+        i += 2;
+        if self.text(i) == "<" {
+            i = self.skip_angles(i, end);
+        }
+        while i < end && !matches!(self.text(i), "{" | "(" | ";") {
+            i += 1; // where clause
+        }
+        let mut fields = BTreeMap::new();
+        match self.text(i) {
+            "{" => {
+                let close = self.skip_balanced(i, end);
+                let mut j = i + 1;
+                while j < close - 1 {
+                    // `name :` at depth 1 introduces a field; its type runs
+                    // to the next depth-1 comma.
+                    if self.is_ident(j) && self.text(j + 1) == ":" && self.text(j) != "pub" {
+                        let fname = self.text(j).to_string();
+                        let ty_start = j + 2;
+                        let mut k = ty_start;
+                        let mut depth = 0i32;
+                        while k < close - 1 {
+                            match self.text(k) {
+                                "<" | "(" | "[" => depth += 1,
+                                ">" | ")" | "]" => depth -= 1,
+                                "," if depth == 0 => break,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        let head = type_head(&self.tokens[ty_start..k]);
+                        if !head.is_empty() {
+                            fields.insert(fname, head);
+                        }
+                        j = k + 1;
+                    } else if matches!(self.text(j), "{" | "(" | "[") {
+                        j = self.skip_balanced(j, close - 1);
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = close;
+            }
+            "(" => {
+                i = self.skip_balanced(i, end);
+                if self.text(i) == ";" {
+                    i += 1;
+                }
+            }
+            ";" => i += 1,
+            _ => {}
+        }
+        self.out.structs.insert(name, fields);
+        i
+    }
+
+    /// Parses a `use` declaration into alias → path entries.
+    fn use_decl(&mut self, mut i: usize, end: usize) -> usize {
+        i += 1; // `use`
+        let mut prefix: Vec<String> = Vec::new();
+        let start = i;
+        // Walk the path; on `{` expand the group (one nesting level of
+        // groups covers the workspace's usage).
+        while i < end {
+            match self.text(i) {
+                ";" => {
+                    i += 1;
+                    break;
+                }
+                "::" | "," => i += 1,
+                "{" => {
+                    let close = self.skip_balanced(i, end);
+                    let mut j = i + 1;
+                    let mut sub: Vec<String> = Vec::new();
+                    while j < close - 1 {
+                        match self.text(j) {
+                            "," => {
+                                self.finish_use(&prefix, &mut sub);
+                                j += 1;
+                            }
+                            "::" => j += 1,
+                            "as" => {
+                                let alias = self.text(j + 1).to_string();
+                                let mut full = prefix.clone();
+                                full.append(&mut sub);
+                                self.out.uses.insert(alias, full);
+                                j += 2;
+                            }
+                            "{" => j = self.skip_balanced(j, close - 1), // nested group: skip
+                            _ => {
+                                if self.is_ident(j) {
+                                    sub.push(self.text(j).to_string());
+                                }
+                                j += 1;
+                            }
+                        }
+                    }
+                    self.finish_use(&prefix, &mut sub);
+                    i = close;
+                }
+                "as" => {
+                    let alias = self.text(i + 1).to_string();
+                    self.out.uses.insert(alias, prefix.clone());
+                    prefix.clear();
+                    i += 2;
+                }
+                "*" => i += 1, // glob: only `use super::*` in tests, ignored
+                _ => {
+                    if self.is_ident(i) {
+                        prefix.push(self.text(i).to_string());
+                    }
+                    i += 1;
+                }
+            }
+            if i > start && self.text(i - 1) == ";" {
+                break;
+            }
+        }
+        if let Some(last) = prefix.last().cloned() {
+            if prefix.len() > 1 {
+                self.out.uses.insert(last, prefix);
+            }
+        }
+        i
+    }
+
+    fn finish_use(&mut self, prefix: &[String], sub: &mut Vec<String>) {
+        if let Some(last) = sub.last().cloned() {
+            let mut full = prefix.to_vec();
+            full.append(sub);
+            if last == "self" {
+                // `use a::b::{self, c}` — `b` itself.
+                full.pop();
+                if let Some(name) = full.last().cloned() {
+                    self.out.uses.insert(name, full);
+                }
+            } else {
+                self.out.uses.insert(last, full);
+            }
+        }
+        sub.clear();
+    }
+
+    /// Parses a `fn` item starting at the `fn` keyword.
+    fn fn_item(&mut self, mut i: usize, end: usize, ctx: &mut Ctx, is_pub: bool) -> usize {
+        let name_tok = &self.tokens[i + 1];
+        let name = name_tok.text.clone();
+        let (line, col) = (name_tok.line, name_tok.col);
+        i += 2;
+        if self.text(i) == "<" {
+            i = self.skip_angles(i, end);
+        }
+        // Parameters.
+        let mut params = Vec::new();
+        if self.text(i) == "(" {
+            let close = self.skip_balanced(i, end);
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            // At depth 0 inside the parens, `ident :` starts a parameter.
+            while j < close - 1 {
+                match self.text(j) {
+                    "(" | "[" | "{" | "<" => {
+                        depth += 1;
+                        j += 1;
+                    }
+                    ")" | "]" | "}" | ">" => {
+                        depth -= 1;
+                        j += 1;
+                    }
+                    ":" if depth == 0 && j > i + 1 && self.is_ident(j - 1) => {
+                        let pname = self.text(j - 1).to_string();
+                        // Type runs to the next depth-0 comma.
+                        let ty_start = j + 1;
+                        let mut k = ty_start;
+                        let mut d = 0i32;
+                        while k < close - 1 {
+                            match self.text(k) {
+                                "(" | "[" | "{" | "<" => d += 1,
+                                ")" | "]" | "}" | ">" => d -= 1,
+                                "," if d == 0 => break,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        if pname != "self" {
+                            let head = type_head(&self.tokens[ty_start..k]);
+                            params.push((pname, head));
+                        }
+                        j = k;
+                    }
+                    _ => j += 1,
+                }
+            }
+            i = close;
+        }
+        // Return type.
+        let mut ret = None;
+        if self.text(i) == "->" {
+            let ty_start = i + 1;
+            let mut k = ty_start;
+            let mut depth = 0i32;
+            while k < end {
+                match self.text(k) {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => depth -= 1,
+                    "{" | ";" if depth == 0 => break,
+                    "where" if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let head = type_head(&self.tokens[ty_start..k]);
+            if !head.is_empty() {
+                ret = Some(head);
+            }
+            i = k;
+        }
+        while i < end && self.text(i) != "{" && self.text(i) != ";" {
+            i += 1; // where clause
+        }
+        let mut item = FnItem {
+            name,
+            self_type: ctx.self_type.clone(),
+            trait_impl: ctx.trait_impl.clone(),
+            module: ctx.module.clone(),
+            is_pub,
+            line,
+            col,
+            params,
+            ret,
+            locals: Vec::new(),
+            calls: Vec::new(),
+            body: (0, 0),
+        };
+        if self.text(i) == "{" {
+            let close = self.skip_balanced(i, end);
+            item.body = (i, close);
+            self.scan_body(i + 1, close - 1, ctx, &mut item);
+            i = close;
+        } else {
+            i += 1; // trait signature `fn f(..);`
+        }
+        self.out.fns.push(item);
+        i
+    }
+
+    /// Scans a function body for calls, typed locals, and nested items.
+    fn scan_body(&mut self, mut i: usize, end: usize, ctx: &mut Ctx, item: &mut FnItem) {
+        while i < end {
+            match self.text(i) {
+                // Nested items get their own FnItem; their tokens do not
+                // contribute calls to the enclosing function.
+                "fn" if self.is_ident(i + 1) && self.text(i + 2) != ":" => {
+                    i = self.fn_item(i, end, ctx, false);
+                }
+                "impl" if self.is_ident(i + 1) && self.text(i - 1) != ":" => {
+                    // `impl Trait` in type position is preceded by `:`/`->`
+                    // (handled by read_type paths); a statement-position
+                    // `impl` opens a nested impl block.
+                    if self.text(i - 1) == "->" || self.text(i - 1) == "&" {
+                        i += 1;
+                    } else {
+                        i = self.impl_block(i, end, ctx);
+                    }
+                }
+                "macro_rules" => {
+                    i += 1;
+                    while i < end && self.text(i) != "{" {
+                        i += 1;
+                    }
+                    i = self.skip_balanced(i, end);
+                }
+                "let" => {
+                    i = self.let_binding(i, end, item);
+                }
+                _ => {
+                    self.maybe_call(i, item);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Records a typed local from `let [mut] name [: T] [= T2::ctor(..)]`
+    /// and returns the index after the pattern head (the rest of the
+    /// statement is scanned normally for calls).
+    fn let_binding(&mut self, i: usize, end: usize, item: &mut FnItem) -> usize {
+        let mut j = i + 1;
+        if self.text(j) == "mut" {
+            j += 1;
+        }
+        if !self.is_ident(j) {
+            return i + 1; // destructuring pattern: no type to record
+        }
+        let name = self.text(j).to_string();
+        let after_name = j + 1;
+        if self.text(after_name) == ":" {
+            // Explicit annotation: type runs to `=` or `;` at depth 0.
+            let ty_start = after_name + 1;
+            let mut k = ty_start;
+            let mut depth = 0i32;
+            while k < end {
+                match self.text(k) {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => depth -= 1,
+                    "=" | ";" if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let head = type_head(&self.tokens[ty_start..k]);
+            if !head.is_empty() {
+                item.locals.push((name, head));
+            }
+            return after_name;
+        }
+        if self.text(after_name) == "=" {
+            // `let x = Type::ctor(...)` — infer from a capitalized path head.
+            let rhs = after_name + 1;
+            if self.is_ident(rhs)
+                && self.text(rhs + 1) == "::"
+                && self.tokens[rhs].text.chars().next().is_some_and(char::is_uppercase)
+            {
+                let head = self.text(rhs).to_string();
+                let resolved =
+                    if head == "Self" { item.self_type.clone().unwrap_or_default() } else { head };
+                if !resolved.is_empty() {
+                    item.locals.push((name, resolved));
+                }
+            }
+            return after_name;
+        }
+        after_name
+    }
+
+    /// Classifies a call site when the token at `i` is an identifier
+    /// directly followed by `(`.
+    fn maybe_call(&mut self, i: usize, item: &mut FnItem) {
+        let t = &self.tokens[i];
+        if t.kind != TokenKind::Ident || self.text(i + 1) != "(" {
+            return;
+        }
+        // Keywords and macros are not calls. (Macro *arguments* are still
+        // scanned; the macro name itself is skipped via the `!` check —
+        // it is the following-`(` shape that brought us here, so a macro
+        // looks like `name ! (` and never matches.)
+        if matches!(
+            t.text.as_str(),
+            "if" | "while"
+                | "match"
+                | "for"
+                | "return"
+                | "break"
+                | "continue"
+                | "loop"
+                | "as"
+                | "in"
+                | "move"
+                | "else"
+                | "unsafe"
+                | "async"
+                | "await"
+                | "where"
+                | "fn"
+                | "let"
+                | "mut"
+                | "ref"
+                | "box"
+                | "yield"
+                | "dyn"
+                | "impl"
+                | "use"
+        ) {
+            return;
+        }
+        let callee = if self.text(i.wrapping_sub(1)) == "." && i > 0 {
+            // Method call: classify the receiver by walking back.
+            Callee::Method { name: t.text.clone(), receiver: self.receiver_of(i - 1) }
+        } else if self.text(i.wrapping_sub(1)) == "::" && i > 0 {
+            // Path call: collect segments backwards.
+            let mut segs = vec![t.text.clone()];
+            let mut j = i - 1;
+            while j >= 1 && self.text(j) == "::" && self.is_ident(j - 1) {
+                segs.push(self.text(j - 1).to_string());
+                if j < 2 {
+                    break;
+                }
+                j -= 2;
+            }
+            segs.reverse();
+            if segs.first().is_some_and(|s| s == "Self") {
+                if let Some(ty) = &item.self_type {
+                    segs[0] = ty.clone();
+                }
+            }
+            Callee::Path(segs)
+        } else {
+            Callee::Bare(t.text.clone())
+        };
+        item.calls.push(CallSite { callee, line: t.line, col: t.col });
+    }
+
+    /// Classifies the receiver ending at the `.` at index `dot`.
+    fn receiver_of(&self, dot: usize) -> Receiver {
+        // Walk back over `ident (. ident)*`; anything else is Expr.
+        let mut names: Vec<String> = Vec::new();
+        let mut j = dot;
+        loop {
+            if j == 0 {
+                return Receiver::Expr;
+            }
+            let prev = &self.tokens[j - 1];
+            if prev.kind != TokenKind::Ident {
+                return Receiver::Expr;
+            }
+            names.push(prev.text.clone());
+            if j >= 2 && self.text(j - 2) == "." {
+                j -= 2;
+                continue;
+            }
+            // The chain head must not itself be a path segment or a
+            // method-call result (`f().x.m()` has `)` before the head —
+            // caught above; `a::b.m()` head preceded by `::` is a path).
+            if j >= 2 && self.text(j - 2) == "::" {
+                return Receiver::Expr;
+            }
+            break;
+        }
+        names.reverse();
+        let head = names.remove(0);
+        if head == "self" {
+            if names.is_empty() {
+                Receiver::SelfValue
+            } else {
+                Receiver::SelfFields(names)
+            }
+        } else {
+            Receiver::Local { name: head, fields: names }
+        }
+    }
+}
+
+/// Renders a deterministic, human-diffable snapshot of a parsed file —
+/// the golden-test surface for the parser.
+pub fn render_items(parsed: &ParsedFile) -> String {
+    let mut out = String::new();
+    for (alias, path) in &parsed.uses {
+        out.push_str(&format!("use {} = {}\n", alias, path.join("::")));
+    }
+    for (name, fields) in &parsed.structs {
+        out.push_str(&format!("struct {name}"));
+        if !fields.is_empty() {
+            let rendered: Vec<String> = fields.iter().map(|(f, t)| format!("{f}: {t}")).collect();
+            out.push_str(&format!(" {{ {} }}", rendered.join(", ")));
+        }
+        out.push('\n');
+    }
+    for (name, methods) in &parsed.traits {
+        out.push_str(&format!("trait {name} {{ {} }}\n", methods.join(", ")));
+    }
+    for f in &parsed.fns {
+        let vis = if f.is_pub { "pub " } else { "" };
+        let ctx = match (&f.self_type, &f.trait_impl) {
+            (Some(ty), Some(tr)) => format!("<{tr} for {ty}>::"),
+            (Some(ty), None) => format!("{ty}::"),
+            _ => String::new(),
+        };
+        let module =
+            if f.module.is_empty() { String::new() } else { format!("{}::", f.module.join("::")) };
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|(n, t)| if t.is_empty() { n.clone() } else { format!("{n}: {t}") })
+            .collect();
+        let ret = f.ret.as_deref().map(|r| format!(" -> {r}")).unwrap_or_default();
+        out.push_str(&format!(
+            "{vis}fn {module}{ctx}{}({}){ret} @{}:{}\n",
+            f.name,
+            params.join(", "),
+            f.line,
+            f.col
+        ));
+        for (n, t) in &f.locals {
+            out.push_str(&format!("  let {n}: {t}\n"));
+        }
+        for c in &f.calls {
+            let rendered = match &c.callee {
+                Callee::Path(segs) => format!("call {}", segs.join("::")),
+                Callee::Bare(n) => format!("call {n}"),
+                Callee::Method { name, receiver } => match receiver {
+                    Receiver::SelfValue => format!("method self.{name}"),
+                    Receiver::SelfFields(fs) => {
+                        format!("method self.{}.{name}", fs.join("."))
+                    }
+                    Receiver::Local { name: l, fields } if fields.is_empty() => {
+                        format!("method {l}.{name}")
+                    }
+                    Receiver::Local { name: l, fields } => {
+                        format!("method {l}.{}.{name}", fields.join("."))
+                    }
+                    Receiver::Expr => format!("method <expr>.{name}"),
+                },
+            };
+            out.push_str(&format!("  {rendered} @{}:{}\n", c.line, c.col));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(source: &str) -> ParsedFile {
+        parse_file(&lex(source).tokens)
+    }
+
+    #[test]
+    fn free_fn_with_params_and_ret() {
+        let p = parsed("pub fn fit(xs: &[f64], model: &mut OpModel) -> FitReport { xs.len(); }");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "fit");
+        assert!(f.is_pub);
+        assert_eq!(
+            f.params,
+            vec![("xs".into(), String::new()), ("model".into(), "OpModel".into())]
+        );
+        assert_eq!(f.ret.as_deref(), Some("FitReport"));
+    }
+
+    #[test]
+    fn impl_methods_carry_self_type_and_trait() {
+        let p = parsed(
+            "impl Cache { fn get(&self) {} }\n\
+             impl Clock for SimClock { fn now_ms(&self) -> u64 { 0 } }",
+        );
+        assert_eq!(p.fns[0].self_type.as_deref(), Some("Cache"));
+        assert!(p.fns[0].trait_impl.is_none());
+        assert_eq!(p.fns[1].self_type.as_deref(), Some("SimClock"));
+        assert_eq!(p.fns[1].trait_impl.as_deref(), Some("Clock"));
+    }
+
+    #[test]
+    fn struct_fields_resolve_heads_through_wrappers() {
+        let p =
+            parsed("struct App { registry: Arc<ModelRegistry>, cache: PredictionCache, n: usize }");
+        let fields = &p.structs["App"];
+        assert_eq!(fields["registry"], "ModelRegistry");
+        assert_eq!(fields["cache"], "PredictionCache");
+        assert_eq!(fields["n"], "usize");
+    }
+
+    #[test]
+    fn call_receivers_are_classified() {
+        let p = parsed(
+            "impl App { fn route(&self, req: Request) { \
+                self.check(); self.cache.get(1); req.body(); helper(); \
+                api::predict(2); Wheel::insert(3); self.a.b.deep(); f().chain(); } }",
+        );
+        let calls = &p.fns[0].calls;
+        let shapes: Vec<String> = calls
+            .iter()
+            .map(|c| match &c.callee {
+                Callee::Path(s) => format!("P:{}", s.join("::")),
+                Callee::Bare(n) => format!("B:{n}"),
+                Callee::Method { name, receiver } => match receiver {
+                    Receiver::SelfValue => format!("MS:{name}"),
+                    Receiver::SelfFields(fs) => format!("MF:{}:{name}", fs.join(".")),
+                    Receiver::Local { name: l, .. } => format!("ML:{l}:{name}"),
+                    Receiver::Expr => format!("ME:{name}"),
+                },
+            })
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![
+                "MS:check",
+                "MF:cache:get",
+                "ML:req:body",
+                "B:helper",
+                "P:api::predict",
+                "P:Wheel::insert",
+                "MF:a.b:deep",
+                "B:f",
+                "ME:chain",
+            ]
+        );
+    }
+
+    #[test]
+    fn locals_with_inferable_types_are_recorded() {
+        let p = parsed(
+            "fn f() { let a: Wheel = make(); let b = Registry::new(); \
+             let mut c = compute(); let (d, e) = pair(); }",
+        );
+        assert_eq!(
+            p.fns[0].locals,
+            vec![("a".to_string(), "Wheel".to_string()), ("b".to_string(), "Registry".to_string())]
+        );
+    }
+
+    #[test]
+    fn use_aliases_including_groups() {
+        let p = parsed(
+            "use std::collections::BTreeMap;\n\
+             use crate::registry::{ModelRegistry, recover};\n\
+             use ceer_core::estimate as est;\n",
+        );
+        assert_eq!(p.uses["BTreeMap"], vec!["std", "collections", "BTreeMap"]);
+        assert_eq!(p.uses["ModelRegistry"], vec!["crate", "registry", "ModelRegistry"]);
+        assert_eq!(p.uses["recover"], vec!["crate", "registry", "recover"]);
+        assert_eq!(p.uses["est"], vec!["ceer_core", "estimate"]);
+    }
+
+    #[test]
+    fn traits_collect_method_names_and_default_bodies() {
+        let p =
+            parsed("trait Clock { fn now_ms(&self) -> u64; fn tick(&self) { self.now_ms(); } }");
+        assert_eq!(p.traits["Clock"], vec!["now_ms", "tick"]);
+        // The default method parses as a fn with the trait as self type.
+        let tick = p.fns.iter().find(|f| f.name == "tick").expect("default method parsed");
+        assert_eq!(tick.self_type.as_deref(), Some("Clock"));
+        assert_eq!(p.fns.iter().filter(|f| f.name == "now_ms").count(), 1);
+    }
+
+    #[test]
+    fn nested_fns_get_their_own_items() {
+        let p = parsed("fn outer() { inner_call(); fn inner() { deep(); } tail(); }");
+        let outer = p.fns.iter().find(|f| f.name == "outer").expect("outer");
+        let inner = p.fns.iter().find(|f| f.name == "inner").expect("inner");
+        let outer_calls: Vec<&str> = outer
+            .calls
+            .iter()
+            .filter_map(|c| match &c.callee {
+                Callee::Bare(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outer_calls, vec!["inner_call", "tail"]);
+        assert_eq!(inner.calls.len(), 1);
+    }
+
+    #[test]
+    fn modules_scope_items() {
+        let p = parsed("mod a { mod b { fn deep() {} } fn shallow() {} } fn top() {}");
+        let deep = p.fns.iter().find(|f| f.name == "deep").expect("deep");
+        assert_eq!(deep.module, vec!["a", "b"]);
+        let top = p.fns.iter().find(|f| f.name == "top").expect("top");
+        assert!(top.module.is_empty());
+    }
+
+    #[test]
+    fn self_path_calls_rewrite_to_impl_type() {
+        let p = parsed("impl Wheel { fn a() { Self::b(); } fn b() {} }");
+        match &p.fns[0].calls[0].callee {
+            Callee::Path(segs) => assert_eq!(segs, &["Wheel", "b"]),
+            other => panic!("expected path call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn macro_names_are_not_calls_but_args_are_scanned() {
+        let p = parsed("fn f() { format!(\"{}\", compute(x)); }");
+        let calls: Vec<&str> = p.fns[0]
+            .calls
+            .iter()
+            .filter_map(|c| match &c.callee {
+                Callee::Bare(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(calls, vec!["compute"]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Token rules in the determinism group.
+//!
+//! Most determinism enforcement moved to the graph rule
+//! `nondeterminism-taint` ([`crate::taint`]), which flags ambient
+//! time/RNG/hash/net *sinks* only when a sim-pure or serve entry point
+//! can actually reach them. `thread-spawn` stays token-level: thread
+//! creation is a structural discipline (all parallelism goes through
+//! `ceer-par`) rather than a reachability question — a scratch thread
+//! is a schedule hazard wherever it lives.
+
+use super::{ident_at, punct_at, Finding};
+use crate::lexer::{Token, TokenKind};
+
+/// Flags `thread::spawn(..)` and terminal `.spawn(..)` calls.
+pub(super) fn thread_spawn(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        // `thread::Builder` chains are caught at their terminal `.spawn(`
+        // call, so only bare `thread::spawn` needs the qualified form.
+        let qualified = t.kind == TokenKind::Ident
+            && t.text == "thread"
+            && punct_at(tokens, i + 1, "::")
+            && ident_at(tokens, i + 2, "spawn");
+        let method = t.kind == TokenKind::Punct
+            && t.text == "."
+            && ident_at(tokens, i + 1, "spawn")
+            && punct_at(tokens, i + 2, "(");
+        if qualified || method {
+            out.push(Finding {
+                rule: "thread-spawn",
+                line: t.line,
+                col: t.col,
+                message: "ad-hoc thread creation outside ceer-par; route parallel \
+                          work through the deterministic pool"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lexer::lex;
+    use crate::rules::{check, FileScope};
+
+    fn rules(source: &str, scope: FileScope) -> Vec<String> {
+        check(&lex(source).tokens, scope).into_iter().map(|f| f.rule.to_string()).collect()
+    }
+
+    #[test]
+    fn spawns_fire_unless_allowed() {
+        let src = "std::thread::spawn(|| {}); scope.spawn(work); \
+                   thread::Builder::new().name(n).spawn(f)";
+        assert_eq!(
+            rules(src, FileScope::default()).iter().filter(|r| *r == "thread-spawn").count(),
+            3
+        );
+        let allowed = FileScope { spawn_allowed: true, ..FileScope::default() };
+        assert!(rules(src, allowed).is_empty());
+    }
+}

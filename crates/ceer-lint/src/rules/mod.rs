@@ -1,0 +1,262 @@
+//! The rule registry and the token-level rules. Each token rule is a
+//! pure function from a token stream (with `#[cfg(test)]` regions
+//! already stripped) to raw findings; the graph rules live in
+//! [`crate::taint`] and run over the workspace call graph instead. The
+//! engine in [`crate::lint_files`] applies suppressions and meta rules
+//! on top of both.
+//!
+//! Token rules are deliberately *syntactic*: a hand-rolled lexer cannot
+//! do type inference, so each rule pins down a token shape that is
+//! cheap to match and overwhelmingly means the thing it looks like. The
+//! escape hatch for the residue of legitimate sites is an inline
+//! `// ceer-lint: allow(rule) -- reason`, which the engine forces to
+//! stay accurate via unused-suppression detection.
+
+pub mod determinism;
+pub mod numeric;
+pub mod resource;
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::lexer::{Token, TokenKind};
+
+/// Which invariant family a rule protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Group {
+    /// Bit-identical results at any thread count, schedule, or rerun.
+    Determinism,
+    /// NaN- and float-comparison safety.
+    NumericSafety,
+    /// No panics reachable from serving or public-API code paths.
+    PanicHygiene,
+    /// Bounded use of unbounded-by-default std APIs (network reads).
+    ResourceSafety,
+    /// Lock ordering and reactor-blocking discipline.
+    Concurrency,
+    /// Rules about the suppression syntax itself.
+    Meta,
+}
+
+impl Group {
+    /// The group name used in diagnostics (`error[determinism/...]`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Group::Determinism => "determinism",
+            Group::NumericSafety => "numeric-safety",
+            Group::PanicHygiene => "panic-hygiene",
+            Group::ResourceSafety => "resource-safety",
+            Group::Concurrency => "concurrency",
+            Group::Meta => "meta",
+        }
+    }
+}
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Kebab-case rule name (what `allow(...)` takes).
+    pub name: &'static str,
+    /// Invariant family.
+    pub group: Group,
+    /// Whether the rule needs the workspace call graph (vs per-token).
+    pub graph: bool,
+    /// One-line description for `ceer lint --rules`.
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in diagnostic-priority order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "nondeterminism-taint",
+        group: Group::Determinism,
+        graph: true,
+        summary: "call chains from sim-pure or serve entry points into ambient \
+                  time/RNG, HashMap/HashSet, or std::net sinks; results must \
+                  replay bit-identically under ceer-sim",
+    },
+    RuleInfo {
+        name: "thread-spawn",
+        group: Group::Determinism,
+        graph: false,
+        summary: "ad-hoc threads bypass the deterministic ceer-par pool; \
+                  only ceer-par (and the ceer-serve accept/worker loops) may spawn",
+    },
+    RuleInfo {
+        name: "float-eq",
+        group: Group::NumericSafety,
+        graph: false,
+        summary: "== / != on floats is exact bit comparison; \
+                  compare against a tolerance or use f64::total_cmp",
+    },
+    RuleInfo {
+        name: "partial-cmp-unwrap",
+        group: Group::NumericSafety,
+        graph: false,
+        summary: "partial_cmp(..).unwrap()/expect() panics on NaN; \
+                  use the ceer_stats::total total-order helpers",
+    },
+    RuleInfo {
+        name: "panic-reachability",
+        group: Group::PanicHygiene,
+        graph: true,
+        summary: "unwrap/expect/panic!/indexing transitively reachable from the \
+                  declared panic-free roots (serve request path, ceer-core \
+                  API); return an error instead",
+    },
+    RuleInfo {
+        name: "unbounded-io",
+        group: Group::ResourceSafety,
+        graph: false,
+        summary: "read_to_end/read_to_string buffer until EOF, so a peer that \
+                  never closes (or never stops sending) pins memory; in the \
+                  serving stack use http::read_to_limit or a bounded loop",
+    },
+    RuleInfo {
+        name: "lock-order",
+        group: Group::Concurrency,
+        graph: true,
+        summary: "cyclic lock-acquisition order across functions (A held while \
+                  acquiring B, B held while acquiring A) deadlocks under \
+                  contention; acquire in one global order",
+    },
+    RuleInfo {
+        name: "blocking-in-reactor",
+        group: Group::Concurrency,
+        graph: true,
+        summary: "call chains from the evented state machines into blocking IO, \
+                  thread::sleep, or lock guards held to scope end stall every \
+                  connection on the reactor",
+    },
+    RuleInfo {
+        name: "unused-suppression",
+        group: Group::Meta,
+        graph: false,
+        summary: "a ceer-lint allow(..) that matched no diagnostic; delete it",
+    },
+    RuleInfo {
+        name: "missing-reason",
+        group: Group::Meta,
+        graph: false,
+        summary: "a ceer-lint allow(..) without `-- reason`; justify or delete it",
+    },
+    RuleInfo {
+        name: "malformed-directive",
+        group: Group::Meta,
+        graph: false,
+        summary: "a ceer-lint comment that does not parse; fix the syntax",
+    },
+];
+
+/// Looks up a rule's metadata by name.
+pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+/// A raw rule hit before suppression filtering.
+#[derive(Debug)]
+pub struct Finding {
+    /// The violated rule's name.
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Site-specific message.
+    pub message: String,
+}
+
+/// Per-file switches derived from the engine [`crate::Config`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileScope {
+    /// `thread-spawn` is exempt here (the blessed pool implementation).
+    pub spawn_allowed: bool,
+    /// `unbounded-io` applies to this file (code that reads from peers).
+    pub bounded_io: bool,
+}
+
+/// Runs every applicable token rule over a test-stripped token stream.
+pub fn check(tokens: &[Token], scope: FileScope) -> Vec<Finding> {
+    let mut sink = BTreeMap::new();
+    check_timed(tokens, scope, &mut sink)
+}
+
+/// Like [`check`], accumulating per-rule wall time (milliseconds) into
+/// `timings` — the `ceer lint --timings` / `BENCH_lint.json` surface.
+pub fn check_timed(
+    tokens: &[Token],
+    scope: FileScope,
+    timings: &mut BTreeMap<&'static str, f64>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut timed = |name: &'static str, f: &dyn Fn(&[Token], &mut Vec<Finding>)| {
+        let start = Instant::now();
+        f(tokens, &mut findings);
+        *timings.entry(name).or_insert(0.0) += start.elapsed().as_secs_f64() * 1e3;
+    };
+    if !scope.spawn_allowed {
+        timed("thread-spawn", &determinism::thread_spawn);
+    }
+    timed("float-eq", &numeric::float_eq);
+    timed("partial-cmp-unwrap", &numeric::partial_cmp_unwrap);
+    if scope.bounded_io {
+        timed("unbounded-io", &resource::unbounded_io);
+    }
+    findings
+}
+
+pub(crate) fn ident_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+pub(crate) fn punct_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Identifier tokens before `[` that mean "this bracket is not an
+/// index expression" (slice patterns, type positions, keywords).
+pub(crate) const NON_INDEX_PREDECESSORS: &[&str] = &[
+    "let", "in", "mut", "ref", "return", "else", "match", "move", "if", "while", "loop", "for",
+    "break", "continue", "dyn", "impl", "where", "as", "unsafe", "async", "await", "const",
+    "static", "box", "yield",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn every_finding_names_a_registered_rule() {
+        let scope = FileScope { bounded_io: true, ..FileScope::default() };
+        let src = "scope.spawn(f); x == 1.0; a.partial_cmp(b).unwrap(); \
+                   s.read_to_end(&mut b);";
+        let findings = check(&lex(src).tokens, scope);
+        assert_eq!(findings.len(), 4);
+        for f in findings {
+            assert!(rule_info(f.rule).is_some(), "unregistered rule {}", f.rule);
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_kebab() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in RULES {
+            assert!(seen.insert(r.name), "duplicate rule {}", r.name);
+            assert!(
+                r.name.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "non-kebab rule name {}",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn timings_cover_the_token_rules_that_ran() {
+        let mut timings = BTreeMap::new();
+        let scope = FileScope { bounded_io: true, ..FileScope::default() };
+        check_timed(&lex("let x = 1;").tokens, scope, &mut timings);
+        let names: Vec<&str> = timings.keys().copied().collect();
+        assert_eq!(names, vec!["float-eq", "partial-cmp-unwrap", "thread-spawn", "unbounded-io"]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Token rules in the numeric-safety group: float comparison and NaN
+//! landmines. These stay token-level because the hazardous shape is
+//! local — no call chain makes `x == 1.0` safer or worse.
+
+use super::{ident_at, punct_at, Finding};
+use crate::lexer::{Token, TokenKind};
+
+/// Float-typed operand shapes on either side of `==`/`!=`: a float
+/// literal, or an `f32`/`f64`-path constant like `f64::NAN`.
+pub(super) fn float_eq(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let prev_float = i > 0
+            && (tokens[i - 1].kind == TokenKind::Float
+                || (tokens[i - 1].kind == TokenKind::Ident
+                    && matches!(tokens[i - 1].text.as_str(), "NAN" | "INFINITY" | "NEG_INFINITY")));
+        let next_float = tokens.get(i + 1).is_some_and(|n| n.kind == TokenKind::Float)
+            || (tokens.get(i + 1).is_some_and(|n| {
+                n.kind == TokenKind::Ident && (n.text == "f64" || n.text == "f32")
+            }) && punct_at(tokens, i + 2, "::"));
+        if prev_float || next_float {
+            out.push(Finding {
+                rule: "float-eq",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` on a float compares exact bits (and is always false \
+                     for NaN); compare within a tolerance or use total_cmp",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// `partial_cmp(..).unwrap()` / `.expect(..)` — panics on NaN.
+pub(super) fn partial_cmp_unwrap(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "partial_cmp" || !punct_at(tokens, i + 1, "(") {
+            continue;
+        }
+        // Skip the balanced argument list.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if punct_at(tokens, j + 1, ".")
+            && (ident_at(tokens, j + 2, "unwrap") || ident_at(tokens, j + 2, "expect"))
+        {
+            out.push(Finding {
+                rule: "partial-cmp-unwrap",
+                line: t.line,
+                col: t.col,
+                message: "partial_cmp(..).unwrap() panics the moment a NaN reaches \
+                          this comparison; use ceer_stats::total (total_cmp, \
+                          sort_total, sort_by_f64_key)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lexer::lex;
+    use crate::rules::{check, FileScope};
+
+    fn rules(source: &str, scope: FileScope) -> Vec<String> {
+        check(&lex(source).tokens, scope).into_iter().map(|f| f.rule.to_string()).collect()
+    }
+
+    #[test]
+    fn float_eq_shapes() {
+        assert_eq!(rules("if x == 1.0 {}", FileScope::default()), vec!["float-eq"]);
+        assert_eq!(rules("if 0.5 != y {}", FileScope::default()), vec!["float-eq"]);
+        assert_eq!(rules("if x == f64::INFINITY {}", FileScope::default()), vec!["float-eq"]);
+        assert_eq!(rules("if f64::NAN == x {}", FileScope::default()), vec!["float-eq"]);
+        // Integer comparisons and float arithmetic don't fire.
+        assert!(rules("if n == 0 { x + 1.0; }", FileScope::default()).is_empty());
+        assert!(rules("let eq = (a - b).abs() < 1e-9;", FileScope::default()).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_and_expect() {
+        assert_eq!(
+            rules("v.sort_by(|a, b| a.partial_cmp(b).unwrap());", FileScope::default()),
+            vec!["partial-cmp-unwrap"]
+        );
+        assert_eq!(
+            rules("x.partial_cmp(&y).expect(\"finite\")", FileScope::default()),
+            vec!["partial-cmp-unwrap"]
+        );
+        // Handled partial_cmp is allowed.
+        assert!(rules(
+            "a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)",
+            FileScope::default()
+        )
+        .is_empty());
+    }
+}

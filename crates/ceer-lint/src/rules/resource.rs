@@ -1,0 +1,63 @@
+//! Token rules in the resource-safety group.
+
+use super::{ident_at, punct_at, Finding};
+use crate::lexer::{Token, TokenKind};
+
+/// Method calls that read until EOF into an unbounded buffer. On a socket
+/// this hands the peer control over the allocation (a slowloris that never
+/// closes, or a firehose that never stops). The bounded replacements —
+/// `http::read_to_limit` and explicit chunked loops — cap both bytes and,
+/// with a socket read timeout, time. Matching only the method-call shape
+/// (`.read_to_end(` / `.read_to_string(`) leaves `fs::read_to_string(path)`
+/// on local files alone.
+pub(super) fn unbounded_io(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind == TokenKind::Punct
+            && t.text == "."
+            && (ident_at(tokens, i + 1, "read_to_end") || ident_at(tokens, i + 1, "read_to_string"))
+            && punct_at(tokens, i + 2, "(")
+        {
+            let method = &tokens[i + 1];
+            out.push(Finding {
+                rule: "unbounded-io",
+                line: method.line,
+                col: method.col,
+                message: format!(
+                    "`.{}(..)` reads until EOF with no size bound, letting a \
+                     peer pin memory; use http::read_to_limit (or a chunked \
+                     loop with an explicit cap)",
+                    method.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lexer::lex;
+    use crate::rules::{check, FileScope};
+
+    fn rules(source: &str, scope: FileScope) -> Vec<String> {
+        check(&lex(source).tokens, scope).into_iter().map(|f| f.rule.to_string()).collect()
+    }
+
+    #[test]
+    fn unbounded_io_only_in_scope() {
+        let src = "stream.read_to_end(&mut buf); reader.read_to_string(&mut s);";
+        assert!(rules(src, FileScope::default()).is_empty());
+        let scoped = FileScope { bounded_io: true, ..FileScope::default() };
+        assert_eq!(rules(src, scoped), vec!["unbounded-io", "unbounded-io"]);
+    }
+
+    #[test]
+    fn unbounded_io_ignores_path_calls_and_bounded_reads() {
+        let scoped = FileScope { bounded_io: true, ..FileScope::default() };
+        // `fs::read_to_string(path)` is a local-file convenience, not a
+        // peer-controlled stream: the path-call shape does not fire.
+        assert!(rules("let s = fs::read_to_string(path)?;", scoped).is_empty());
+        // The bounded replacements are silent.
+        assert!(rules("let body = http::read_to_limit(&mut reader, limit)?;", scoped).is_empty());
+        assert!(rules("let n = stream.read(&mut chunk)?;", scoped).is_empty());
+    }
+}

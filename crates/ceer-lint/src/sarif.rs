@@ -1,0 +1,109 @@
+//! SARIF 2.1.0 rendering — the interchange format CI systems and code
+//! hosts ingest for inline annotations. Hand-rolled like the rest of the
+//! crate's JSON: the document shape is fixed, keys are emitted in a
+//! fixed order, and the diagnostics arrive pre-sorted from
+//! [`crate::lint_files`], so the output is byte-identical across runs on
+//! the same input.
+
+use crate::json_escape;
+use crate::rules;
+use crate::LintReport;
+
+/// Renders the report as a single-run SARIF 2.1.0 log, newline-terminated.
+///
+/// The driver advertises the full rule registry (so viewers can show
+/// rule metadata even for rules with no hits this run); each diagnostic
+/// becomes one `result` at level `error` with a physical location.
+pub fn render_sarif(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"ceer-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/ceer/ceer\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"properties\": {{\"group\": \"{}\", \"graph\": {}}}}}",
+            json_escape(rule.name),
+            json_escape(&normalize_ws(rule.summary)),
+            json_escape(rule.group.name()),
+            rule.graph
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+             \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            json_escape(&d.rule),
+            json_escape(&d.message),
+            json_escape(&d.file),
+            d.line,
+            d.col
+        ));
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Collapses the multi-line summary literals (whose continuation lines
+/// carry source indentation) to single-spaced text.
+fn normalize_ws(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diagnostic;
+
+    fn sample() -> LintReport {
+        LintReport {
+            diagnostics: vec![Diagnostic {
+                rule: "float-eq".into(),
+                group: "numeric-safety".into(),
+                file: "crates/ceer-stats/src/lib.rs".into(),
+                line: 12,
+                col: 9,
+                message: "a \"quoted\" message".into(),
+            }],
+            files_scanned: 1,
+            ..LintReport::default()
+        }
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let sarif = render_sarif(&sample());
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("sarif-2.1.0.json"));
+        assert!(sarif.contains("\"name\": \"ceer-lint\""));
+        // Every registered rule is advertised.
+        for rule in rules::RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", rule.name)), "{}", rule.name);
+        }
+        assert!(sarif.contains("\"ruleId\": \"float-eq\""));
+        assert!(sarif.contains("\"startLine\": 12, \"startColumn\": 9"));
+        assert!(sarif.contains(r#"a \"quoted\" message"#));
+    }
+
+    #[test]
+    fn sarif_is_deterministic() {
+        assert_eq!(render_sarif(&sample()), render_sarif(&sample()));
+        let clean = render_sarif(&LintReport::default());
+        assert!(clean.contains("\"results\": [\n\n      ]"));
+    }
+}

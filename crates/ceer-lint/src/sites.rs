@@ -1,0 +1,430 @@
+//! Site extractors: the token shapes the graph rules treat as *sinks*
+//! (nondeterminism sources, panic sites, blocking operations) and as
+//! *lock acquisitions*. These run over one function's body tokens; the
+//! interprocedural logic that decides whether a sink matters lives in
+//! [`crate::taint`].
+
+use crate::lexer::{Token, TokenKind};
+
+/// One extracted site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Human-readable description of what was matched (backtick-quoted).
+    pub what: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+fn ident_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+fn punct_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+/// Nondeterminism sinks: ambient clock reads, ambient entropy,
+/// hash-ordered collections, raw `std::net` sockets and `SystemTime`
+/// plumbing. Any function containing one of these taints every
+/// entry point that can reach it.
+pub fn determinism_sinks(tokens: &[Token]) -> Vec<Site> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "Instant" | "SystemTime"
+                if punct_at(tokens, i + 1, "::") && ident_at(tokens, i + 2, "now") =>
+            {
+                Some(format!("{}::now()", t.text))
+            }
+            // `SystemTime` mentioned at all (types, params) is wall-clock
+            // plumbing; `Instant` alone is allowed (opaque, often stored).
+            "SystemTime" => Some("SystemTime".to_string()),
+            "thread_rng" | "from_entropy" | "OsRng" => Some(t.text.clone()),
+            "rand" if punct_at(tokens, i + 1, "::") && ident_at(tokens, i + 2, "random") => {
+                Some("rand::random".to_string())
+            }
+            "HashMap" | "HashSet" => Some(t.text.clone()),
+            "TcpStream" | "TcpListener" | "UdpSocket" | "UnixStream" | "UnixListener" => {
+                Some(t.text.clone())
+            }
+            "std" if punct_at(tokens, i + 1, "::") && ident_at(tokens, i + 2, "net") => {
+                Some("std::net".to_string())
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            out.push(Site { what, line: t.line, col: t.col });
+        }
+    }
+    dedup_by_line(out)
+}
+
+/// Panic sites: `unwrap`/`expect` method calls, the panic macro family,
+/// and (when `include_index` is set for the file) direct `[..]` indexing.
+pub fn panic_sinks(tokens: &[Token], include_index: bool) -> Vec<Site> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Ident => {
+                let method_call = i > 0
+                    && punct_at(tokens, i - 1, ".")
+                    && (t.text == "unwrap" || t.text == "expect")
+                    && punct_at(tokens, i + 1, "(");
+                let macro_call =
+                    matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                        && punct_at(tokens, i + 1, "!");
+                if method_call {
+                    out.push(Site { what: format!(".{}()", t.text), line: t.line, col: t.col });
+                } else if macro_call {
+                    out.push(Site { what: format!("{}!", t.text), line: t.line, col: t.col });
+                }
+            }
+            TokenKind::Punct if include_index && t.text == "[" && i > 0 => {
+                let prev = &tokens[i - 1];
+                let indexes = match prev.kind {
+                    TokenKind::Ident => {
+                        !crate::rules::NON_INDEX_PREDECESSORS.contains(&prev.text.as_str())
+                    }
+                    TokenKind::Punct => prev.text == ")" || prev.text == "]" || prev.text == "?",
+                    _ => false,
+                };
+                if indexes {
+                    out.push(Site { what: "[..] indexing".to_string(), line: t.line, col: t.col });
+                }
+            }
+            _ => {}
+        }
+    }
+    dedup_by_line(out)
+}
+
+/// Blocking operations that stall a single-threaded reactor: sleeps,
+/// blocking channel receives, thread joins/waits, filesystem IO,
+/// blocking connects, and unbounded reads. Held lock guards are
+/// extracted separately by [`lock_sites`] and folded in by the rule.
+pub fn blocking_sinks(tokens: &[Token]) -> Vec<Site> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let method = |name: &str| -> bool {
+            i > 0 && punct_at(tokens, i - 1, ".") && t.text == name && punct_at(tokens, i + 1, "(")
+        };
+        let path_tail = |head: &str, name: &str| -> bool {
+            t.text == head && punct_at(tokens, i + 1, "::") && ident_at(tokens, i + 2, name)
+        };
+        let what = if path_tail("thread", "sleep") {
+            Some("thread::sleep".to_string())
+        } else if method("recv") || method("recv_timeout") {
+            Some(format!(".{}() on a blocking channel", t.text))
+        } else if method("join") && !punct_at(tokens, i + 2, "\"") {
+            // `.join()` — thread join; string-slice `.join(", ")` takes a
+            // separator argument, thread join takes none.
+            if punct_at(tokens, i + 2, ")") {
+                Some(".join() on a thread".to_string())
+            } else {
+                None
+            }
+        } else if method("wait") || method("wait_timeout") {
+            Some(format!(".{}() on a condvar", t.text))
+        } else if t.text == "fs" && punct_at(tokens, i + 1, "::") {
+            Some("std::fs IO".to_string())
+        } else if path_tail("File", "open") || path_tail("File", "create") {
+            Some(format!("File::{}", tokens[i + 2].text))
+        } else if path_tail("TcpStream", "connect") {
+            Some("TcpStream::connect".to_string())
+        } else if method("read_to_end") || method("read_to_string") {
+            Some(format!(".{}()", t.text))
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            out.push(Site { what, line: t.line, col: t.col });
+        }
+    }
+    dedup_by_line(out)
+}
+
+/// One lock acquisition.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Stable lock identity: `Type.field` for `self.field.lock()`,
+    /// otherwise the receiver path as written (`OVERRIDE_LOCK`, `rx`).
+    pub id: String,
+    /// `lock` / `read` / `write`.
+    pub op: String,
+    /// Whether the guard outlives the statement (bound by `let`, or the
+    /// scrutinee of `if let`/`while let`/`match`).
+    pub held: bool,
+    /// The `let`-bound guard variable, when there is a single one.
+    pub var: Option<String>,
+    /// Line of an explicit `drop(var)` after the acquisition, if any —
+    /// the guard's extent ends there instead of at scope end.
+    pub drop_line: Option<usize>,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Extracts `recv.lock()` / `recv.read()` / `recv.write()` acquisitions
+/// (no-argument shape only — `.read(buf)` and `.write(buf)` are IO, not
+/// locks). `self_type` qualifies `self.field` receivers.
+pub fn lock_sites(tokens: &[Token], self_type: Option<&str>) -> Vec<LockSite> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !matches!(t.text.as_str(), "lock" | "read" | "write")
+            || i == 0
+            || !punct_at(tokens, i - 1, ".")
+            || !punct_at(tokens, i + 1, "(")
+            || !punct_at(tokens, i + 2, ")")
+        {
+            continue;
+        }
+        // Receiver: walk the dotted ident chain backwards from the `.`.
+        let mut names: Vec<String> = Vec::new();
+        let mut j = i - 1;
+        loop {
+            if j == 0 || tokens[j - 1].kind != TokenKind::Ident {
+                break;
+            }
+            names.push(tokens[j - 1].text.clone());
+            if j >= 2 && punct_at(tokens, j - 2, ".") {
+                j -= 2;
+            } else {
+                break;
+            }
+        }
+        names.reverse();
+        let id = match names.first().map(String::as_str) {
+            Some("self") if names.len() > 1 => match self_type {
+                Some(ty) => format!("{ty}.{}", names[1..].join(".")),
+                None => names[1..].join("."),
+            },
+            Some(_) => names.join("."),
+            None => "<expr>".to_string(),
+        };
+        let (held, var) = guard_binding(tokens, i);
+        let drop_line = var.as_deref().and_then(|v| {
+            tokens.windows(4).skip(i).find_map(|w| {
+                (w[0].text == "drop" && w[1].text == "(" && w[2].text == v && w[3].text == ")")
+                    .then_some(w[0].line)
+            })
+        });
+        out.push(LockSite {
+            id,
+            op: t.text.clone(),
+            held,
+            var,
+            drop_line,
+            line: t.line,
+            col: t.col,
+        });
+    }
+    out
+}
+
+/// Classifies the guard produced by the `.lock()`-family call at `i`:
+/// whether it outlives its statement, and the `let`-bound variable name
+/// when there is one. Held detection: scan back to the statement head for
+/// `let` / `if let` / `while let` / `match`, and scan forward to check
+/// the statement *ends* with the guard expression (a trailing `.method()`
+/// chain after the guard that yields a non-guard value — e.g.
+/// `recover(m.lock()).map.len()` — drops the guard at the semicolon).
+fn guard_binding(tokens: &[Token], i: usize) -> (bool, Option<String>) {
+    // Statement head: walk back to the nearest `;`, `{` or `}`.
+    let mut head = None;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match tokens[j].text.as_str() {
+            ";" | "{" | "}" => {
+                head = Some(j + 1);
+                break;
+            }
+            _ => {}
+        }
+        if j == 0 {
+            head = Some(0);
+        }
+    }
+    let Some(head) = head else { return (false, None) };
+    let mut var = None;
+    let binds = match tokens.get(head).map(|t| t.text.as_str()) {
+        Some("let") => {
+            // `let [mut] name = …` — capture the single bound guard name
+            // (destructuring patterns leave `var` unset).
+            let mut k = head + 1;
+            if tokens.get(k).is_some_and(|t| t.text == "mut") {
+                k += 1;
+            }
+            if tokens.get(k).is_some_and(|t| t.kind == TokenKind::Ident)
+                && tokens.get(k + 1).is_some_and(|t| t.text == "=" || t.text == ":")
+            {
+                var = Some(tokens[k].text.clone());
+            }
+            true
+        }
+        Some("if" | "while") => tokens.get(head + 1).is_some_and(|t| t.text == "let"),
+        Some("match") => true,
+        _ => false,
+    };
+    if !binds {
+        return (false, None);
+    }
+    // Forward: after `lock ( )`, wrapper-closing parens and
+    // guard-preserving adapters keep the guard; a field access or any
+    // further method call yields a borrowed value instead, so the guard
+    // itself is a dropped temporary.
+    let mut k = i + 3; // past `lock ( )`
+    loop {
+        match tokens.get(k).map(|t| t.text.as_str()) {
+            Some(")") => k += 1, // closing a wrapper like `recover(...)`
+            Some(".") => {
+                let name = tokens.get(k + 1).map(|t| t.text.as_str()).unwrap_or("");
+                if matches!(name, "unwrap" | "expect" | "unwrap_or_else") {
+                    // Adapter returning the guard: skip `.name(...)`.
+                    k += 2;
+                    if tokens.get(k).is_some_and(|t| t.text == "(") {
+                        let mut depth = 0usize;
+                        while k < tokens.len() {
+                            match tokens[k].text.as_str() {
+                                "(" => depth += 1,
+                                ")" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        k += 1;
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                } else {
+                    return (false, None); // projection off the guard: temporary
+                }
+            }
+            Some(";" | "{" | "=") | None => return (true, var),
+            Some(_) => return (false, None),
+        }
+    }
+}
+
+fn dedup_by_line(mut sites: Vec<Site>) -> Vec<Site> {
+    sites.sort_by_key(|a| (a.line, a.col));
+    sites.dedup_by(|a, b| a.what == b.what && a.line == b.line);
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn det(src: &str) -> Vec<String> {
+        determinism_sinks(&lex(src).tokens).into_iter().map(|s| s.what).collect()
+    }
+
+    fn blocking(src: &str) -> Vec<String> {
+        blocking_sinks(&lex(src).tokens).into_iter().map(|s| s.what).collect()
+    }
+
+    #[test]
+    fn determinism_sink_shapes() {
+        assert_eq!(det("let t = Instant::now();"), vec!["Instant::now()"]);
+        assert_eq!(det("fn f(t: SystemTime) {}"), vec!["SystemTime"]);
+        assert_eq!(det("let m: HashMap<u32, u32>;"), vec!["HashMap"]);
+        assert_eq!(det("TcpListener::bind(addr)"), vec!["TcpListener"]);
+        assert_eq!(det("use std::net::SocketAddr;"), vec!["std::net"]);
+        assert!(det("let d = std::time::Duration::from_secs(1);").is_empty());
+        assert!(det("let t: Instant = saved;").is_empty());
+    }
+
+    #[test]
+    fn panic_sink_shapes() {
+        let sinks = panic_sinks(&lex("x.unwrap(); y.expect(\"m\"); panic!(); v[0];").tokens, true);
+        let whats: Vec<&str> = sinks.iter().map(|s| s.what.as_str()).collect();
+        assert_eq!(whats, vec![".unwrap()", ".expect()", "panic!", "[..] indexing"]);
+        let no_index = panic_sinks(&lex("x.unwrap(); v[0];").tokens, false);
+        assert_eq!(no_index.len(), 1);
+    }
+
+    #[test]
+    fn blocking_sink_shapes() {
+        assert_eq!(blocking("std::thread::sleep(d);"), vec!["thread::sleep"]);
+        assert_eq!(blocking("let x = rx.recv();"), vec![".recv() on a blocking channel"]);
+        assert_eq!(blocking("handle.join();"), vec![".join() on a thread"]);
+        assert!(blocking("let s = parts.join(\", \");").is_empty());
+        assert_eq!(blocking("fs::read_to_string(path)"), vec!["std::fs IO"]);
+        assert_eq!(blocking("File::open(path)"), vec!["File::open"]);
+        assert!(blocking("stream.read(&mut buf)").is_empty());
+    }
+
+    #[test]
+    fn lock_sites_and_identity() {
+        let toks = lex("impl Cache { fn f(&self) { let g = recover(self.inner.lock()); } }").tokens;
+        let sites = lock_sites(&toks, Some("Cache"));
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].id, "Cache.inner");
+        assert_eq!(sites[0].op, "lock");
+        assert!(sites[0].held);
+    }
+
+    #[test]
+    fn read_write_locks_are_no_arg_only() {
+        let toks = lex("let g = self.model.read(); s.read(&mut buf); w.write(data);").tokens;
+        let sites = lock_sites(&toks, Some("Registry"));
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].id, "Registry.model");
+        assert_eq!(sites[0].op, "read");
+    }
+
+    #[test]
+    fn inline_temporary_guards_are_not_held() {
+        let toks = lex("let n = recover(self.inner.lock()).map.len();").tokens;
+        let sites = lock_sites(&toks, Some("Cache"));
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].held, "projection off the guard drops it at the semicolon");
+        // Expression-statement locks are temporaries too.
+        let toks = lex("self.inner.lock();").tokens;
+        assert!(!lock_sites(&toks, None)[0].held);
+    }
+
+    #[test]
+    fn if_let_and_match_guards_are_held() {
+        let toks = lex("if let Ok(mut log) = self.log.lock() { log.push(e); }").tokens;
+        assert!(lock_sites(&toks, Some("Injector"))[0].held);
+        let toks = lex("match m.lock() { Ok(g) => use_it(g), Err(_) => {} }").tokens;
+        assert!(lock_sites(&toks, None)[0].held);
+    }
+
+    #[test]
+    fn explicit_drop_bounds_the_guard() {
+        let toks =
+            lex("fn f(&self) { let mut g = self.inner.lock(); g.insert(k, v); drop(g); slow(); }")
+                .tokens;
+        let sites = lock_sites(&toks, Some("Cache"));
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].held);
+        assert_eq!(sites[0].var.as_deref(), Some("g"));
+        assert!(sites[0].drop_line.is_some());
+    }
+
+    #[test]
+    fn unwrap_adapters_preserve_heldness() {
+        let toks =
+            lex("let g = OVERRIDE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);").tokens;
+        let sites = lock_sites(&toks, None);
+        assert_eq!(sites[0].id, "OVERRIDE_LOCK");
+        assert!(sites[0].held);
+    }
+}

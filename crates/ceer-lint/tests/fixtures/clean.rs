@@ -1,6 +1,6 @@
 //! The compliant mirror of `violations.rs`: the same jobs done inside the
 //! workspace invariants. The pass must stay completely silent here, even
-//! with the fixture directory marked panic-free.
+//! with every fn rooted for the taint and panic-reachability graph rules.
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;

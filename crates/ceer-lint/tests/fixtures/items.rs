@@ -1,0 +1,63 @@
+//! Item-parser fodder: the structural shapes the call-graph builder
+//! depends on, in one file. The golden snapshot (`items.golden`) is the
+//! parser's contract — uses with aliases, struct fields, trait methods,
+//! inherent and trait impls, nested modules, generics, and call sites in
+//! method-chain, path, and bare form.
+
+use std::collections::BTreeMap;
+use ceer_core::estimate as est;
+use crate::wheel::TimerWheel;
+
+pub struct Server {
+    registry: ModelRegistry,
+    wheel: TimerWheel,
+    port: u16,
+}
+
+struct Counter(u64);
+
+pub trait Clock {
+    fn now_ms(&self) -> u64;
+    fn now_us(&self) -> u64;
+}
+
+impl Server {
+    pub fn new(registry: ModelRegistry, port: u16) -> Self {
+        let wheel = TimerWheel::with_capacity(64);
+        Server { registry, wheel, port }
+    }
+
+    fn tick(&mut self, budget: Option<u64>) -> Result<usize, String> {
+        let model = self.registry.model();
+        let deadline = self.wheel.next_deadline();
+        est::fit(&model);
+        helper(deadline)
+    }
+}
+
+impl Clock for Server {
+    fn now_ms(&self) -> u64 {
+        self.wheel.origin_ms()
+    }
+
+    fn now_us(&self) -> u64 {
+        self.now_ms() * 1000
+    }
+}
+
+fn helper(deadline: Option<u64>) -> Result<usize, String> {
+    Ok(deadline.unwrap_or(0) as usize)
+}
+
+pub mod inner {
+    pub fn nested<T: Clone>(items: &[T], scale: f64) -> Vec<T> {
+        items.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn invisible_to_the_parser() {
+        helper(None);
+    }
+}

@@ -2,12 +2,14 @@
 //! are themselves diagnostics, and malformed directives never silence
 //! anything.
 
-// A correctly used suppression with a reason: silent.
-// ceer-lint: allow(hash-iteration) -- keyed O(1) lookup only; order never observed
-use std::collections::HashMap;
+fn seeded_scratch() {
+    // A correctly used suppression with a reason: silent.
+    // ceer-lint: allow(nondeterminism-taint) -- keyed O(1) scratch; order never observed
+    let scratch: HashMap<u64, u64> = HashMap::new();
+}
 
 fn trailing_form() {
-    let t = std::time::Instant::now(); // ceer-lint: allow(ambient-time) -- progress line on stderr only
+    let t = Instant::now(); // ceer-lint: allow(nondeterminism-taint) -- progress line on stderr only
 }
 
 // A suppression covering a line with no such finding: unused-suppression.

@@ -1,22 +1,21 @@
-//! Seeded violations: every rule in the registry fires at least once here.
+//! Seeded violations: every token rule and the two reachability graph
+//! rules fire at least once here (lock-order and blocking-in-reactor get
+//! their own multi-file fixtures in `graph_golden.rs`).
 //!
 //! This file is lint fodder, not compiled code — the golden test feeds it
-//! through `lint_source` with the fixture directory marked panic-free and
-//! compares the rendered diagnostics against `violations.golden`.
+//! through `lint_files` with the fixture directory rooted for taint and
+//! panic analysis and compares the rendered diagnostics against
+//! `violations.golden`.
 
 use std::collections::HashMap;
-use std::collections::HashSet;
 use std::time::Instant;
-use std::time::SystemTime;
 
-fn nondeterministic() {
-    let counts: HashMap<String, u32> = HashMap::new();
-    let seen: HashSet<u64> = HashSet::new();
+fn tainted_entry() -> u64 {
     let started = Instant::now();
-    let wall = SystemTime::now();
+    let counts: HashMap<String, u32> = HashMap::new();
     let noise: f64 = rand::random();
     std::thread::spawn(|| {});
-    let pool = std::thread::Builder::new().name("w".into()).spawn(work);
+    counts.len() as u64
 }
 
 fn numerically_unsafe(a: f64, b: f64, xs: &mut [f64]) {
@@ -31,7 +30,6 @@ fn numerically_unsafe(a: f64, b: f64, xs: &mut [f64]) {
 fn panicky(xs: &[u64], maybe: Option<u64>) -> u64 {
     let first = xs[0];
     let forced = maybe.unwrap();
-    let described = maybe.expect("present");
     panic!("unreachable by construction");
 }
 
@@ -40,9 +38,4 @@ fn unbounded(stream: &mut TcpStream) {
     stream.read_to_end(&mut body);
     let mut text = String::new();
     stream.read_to_string(&mut text);
-}
-
-fn undeterministic_transport() {
-    let listener = std::net::TcpListener::bind("127.0.0.1:0");
-    let socket = UdpSocket::bind("127.0.0.1:0");
 }

@@ -1,31 +1,39 @@
 //! Golden-file tests for the lint pass itself.
 //!
-//! Each fixture under `tests/fixtures/` runs through [`lint_source`] with
-//! the fixture directory marked panic-free (and no spawn exemption), and
-//! the rendered rustc-style output is compared byte-for-byte against the
-//! checked-in `.golden` snapshot. To bless intentional changes:
+//! Each fixture under `tests/fixtures/` runs through [`lint_files`] with
+//! the fixture directory rooted for the graph rules (every fn is a taint
+//! entry and a panic root, and `[..]` indexing counts as a panic sink),
+//! and the rendered rustc-style output is compared byte-for-byte against
+//! the checked-in `.golden` snapshot. To bless intentional changes:
 //!
 //! ```text
 //! CEER_UPDATE_GOLDEN=1 cargo test -p ceer-lint --test golden
 //! ```
 //!
 //! The goldens are the proof obligations of the pass: `violations.golden`
-//! shows every rule firing, `clean.golden` shows the pass staying silent on
-//! compliant code, and `suppressed.golden` shows the suppression meta-rules
-//! (unused allows and missing reasons are diagnostics; real allows are
-//! honoured and counted).
+//! shows the token rules and the reachability graph rules firing,
+//! `clean.golden` shows the pass staying silent on compliant code, and
+//! `suppressed.golden` shows the suppression meta-rules (unused allows
+//! and missing reasons are diagnostics; real allows are honoured and
+//! counted). The multi-file graph-rule scenarios live in
+//! `graph_golden.rs`.
 
 use std::fs;
 use std::path::PathBuf;
 
-use ceer_lint::{lint_file, render_json, render_text, Config, LintReport};
+use ceer_lint::taint::Roots;
+use ceer_lint::{lint_files, render_json, render_text, Config, LintReport};
 
 fn fixture_config() -> Config {
     Config {
-        panic_free_paths: vec!["fixtures/".to_string()],
         spawn_allowed_paths: vec![],
         bounded_io_paths: vec!["fixtures/".to_string()],
-        net_free_paths: vec!["fixtures/".to_string()],
+        graph: Roots {
+            taint_entries: vec!["fixtures/".to_string()],
+            panic_roots: vec!["fixtures/".to_string()],
+            panic_index_sinks: vec!["fixtures/".to_string()],
+            ..Roots::default()
+        },
     }
 }
 
@@ -33,9 +41,7 @@ fn lint_fixture(name: &str) -> LintReport {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
     let source = fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()));
-    let (diagnostics, suppressions_used) =
-        lint_file(&format!("fixtures/{name}"), &source, &fixture_config());
-    LintReport { diagnostics, files_scanned: 1, suppressions_used }
+    lint_files(&[(format!("fixtures/{name}"), source)], &fixture_config())
 }
 
 fn assert_matches_golden(name: &str, actual: &str) {
@@ -54,24 +60,22 @@ fn assert_matches_golden(name: &str, actual: &str) {
 }
 
 #[test]
-fn violations_fixture_fires_every_rule() {
+fn violations_fixture_fires_every_single_file_rule() {
     let report = lint_fixture("violations.rs");
     let fired: std::collections::BTreeSet<&str> =
         report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
     for rule in [
-        "hash-iteration",
-        "ambient-time",
-        "ambient-rng",
+        "nondeterminism-taint",
         "thread-spawn",
-        "direct-net",
         "float-eq",
         "partial-cmp-unwrap",
-        "panic-unwrap",
-        "panic-index",
+        "panic-reachability",
         "unbounded-io",
     ] {
         assert!(fired.contains(rule), "rule {rule} did not fire on the violations fixture");
     }
+    // (Interprocedural chains collapse here — every fixture fn is its own
+    // root — so the cross-function scenarios live in graph_golden.rs.)
     assert_matches_golden("violations.golden", &render_text(&report));
 }
 
@@ -93,11 +97,11 @@ fn suppressed_fixture_polices_directives() {
     assert!(fired.contains(&"unused-suppression"), "stale allow must be reported");
     assert!(fired.contains(&"missing-reason"), "reasonless allow must be reported");
     assert!(fired.contains(&"malformed-directive"), "mangled directive must be reported");
-    // The honoured allows (HashMap import, Instant::now, float-eq body) are
-    // counted, and the rules they cover stay silent.
+    // The honoured allows (scratch HashMap, Instant::now, float-eq body)
+    // are counted, and the rules they cover stay silent.
     assert!(report.suppressions_used >= 3, "expected >=3 honoured suppressions");
-    assert!(!fired.contains(&"hash-iteration"));
-    assert!(!fired.contains(&"ambient-time"));
+    assert!(!fired.contains(&"nondeterminism-taint"));
+    assert!(!fired.contains(&"float-eq"));
     assert_matches_golden("suppressed.golden", &render_text(&report));
 }
 

@@ -1,0 +1,174 @@
+//! Golden scenarios for the four call-graph rules, one test per rule.
+//!
+//! Each scenario is a small in-memory multi-file workspace holding both a
+//! true positive (the violation the rule exists to catch) and a
+//! false-positive-avoided twin (the same sink placed where the rule must
+//! stay silent: unreachable from the roots, exempt, consistently ordered,
+//! or dropped early). The rendered report is snapshotted so both halves
+//! are pinned: the golden must show exactly the true-positive findings
+//! and nothing from the twins. Bless with
+//! `CEER_UPDATE_GOLDEN=1 cargo test -p ceer-lint --test graph_golden`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ceer_lint::taint::Roots;
+use ceer_lint::{lint_files, render_text, Config, LintReport};
+
+fn run(srcs: &[(&str, &str)], graph: Roots) -> LintReport {
+    let files: Vec<(String, String)> =
+        srcs.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+    let config = Config { spawn_allowed_paths: vec![], bounded_io_paths: vec![], graph };
+    lint_files(&files, &config)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    if std::env::var("CEER_UPDATE_GOLDEN").is_ok() {
+        fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if the change is intended, \
+         rerun with CEER_UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+/// Taint flows from an entry file through a cross-crate call into a
+/// wall-clock read; the identical sink in a fn nobody calls from an
+/// entry, and in the exempt transport file, must stay silent.
+#[test]
+fn nondeterminism_taint_scenario() {
+    let report = run(
+        &[
+            ("crates/ceer-app/src/handler.rs", "pub fn handle() -> u64 { ceer_util::stamp() }\n"),
+            (
+                "crates/ceer-util/src/lib.rs",
+                "pub fn stamp() -> u64 { Instant::now().elapsed().as_micros() as u64 }\n\
+                 pub fn orphan() -> u64 { Instant::now().elapsed().as_micros() as u64 }\n",
+            ),
+            (
+                "crates/ceer-app/src/tcp.rs",
+                "pub fn transport() { let s = TcpStream::connect(addr); }\n",
+            ),
+        ],
+        Roots {
+            taint_entries: vec!["crates/ceer-app/src/".to_string()],
+            taint_exempt: vec!["crates/ceer-app/src/tcp.rs".to_string()],
+            ..Roots::default()
+        },
+    );
+    let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    assert_eq!(rules, ["nondeterminism-taint"], "{}", render_text(&report));
+    assert_eq!(report.diagnostics[0].line, 1, "orphan's sink on line 2 must stay silent");
+    assert!(report.diagnostics[0].message.contains("ceer_app::handle → ceer_util::stamp"));
+    assert_matches_golden("graph-taint.golden", &render_text(&report));
+}
+
+/// A panic sink two hops below a root fires once, with the chain in the
+/// message; the same sink in a fn unreachable from any root is silent.
+#[test]
+fn panic_reachability_scenario() {
+    let report = run(
+        &[
+            (
+                "crates/ceer-app/src/handler.rs",
+                "pub fn handle(raw: &str) -> u64 { parse_step(raw) }\n",
+            ),
+            (
+                "crates/ceer-app/src/parse.rs",
+                "pub fn parse_step(raw: &str) -> u64 { ceer_util::force(raw) }\n",
+            ),
+            (
+                "crates/ceer-util/src/lib.rs",
+                "pub fn force(raw: &str) -> u64 { raw.parse().unwrap() }\n\
+                 pub fn dead_code(raw: &str) -> u64 { raw.parse().unwrap() }\n",
+            ),
+        ],
+        Roots {
+            // Only the handler file roots the analysis: parse_step is an
+            // interior hop, so the chain below is genuinely two edges.
+            panic_roots: vec!["crates/ceer-app/src/handler.rs".to_string()],
+            ..Roots::default()
+        },
+    );
+    let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    assert_eq!(rules, ["panic-reachability"], "{}", render_text(&report));
+    assert_eq!(report.diagnostics[0].line, 1, "dead_code's unwrap on line 2 must stay silent");
+    assert!(report.diagnostics[0]
+        .message
+        .contains("ceer_app::handle → ceer_app::parse_step → ceer_util::force"));
+    assert_matches_golden("graph-panic.golden", &render_text(&report));
+}
+
+/// Two lock-order cycles: a reentrant self-deadlock and an A/B inversion
+/// split across functions; a third pair of fns taking the same two locks
+/// in a consistent order, and an inversion defused by an early `drop`,
+/// must stay silent.
+#[test]
+fn lock_order_scenario() {
+    let report = run(
+        &[(
+            "crates/ceer-app/src/state.rs",
+            "impl S {\n\
+             fn ab(&self) { let g = self.a.lock(); self.take_b(); }\n\
+             fn take_b(&self) { let g = self.b.lock(); }\n\
+             fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); }\n\
+             fn consistent(&self) { let g = self.c.lock(); let h = self.d.lock(); }\n\
+             fn consistent2(&self) { let g = self.c.lock(); let h = self.d.lock(); }\n\
+             fn defused(&self) {\n\
+                 let g = self.d.lock();\n\
+                 drop(g);\n\
+                 let h = self.c.lock();\n\
+             }\n\
+             fn reentrant(&self) { let g = self.e.lock(); let h = self.e.lock(); }\n\
+             }\n",
+        )],
+        Roots::default(),
+    );
+    let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    assert_eq!(rules, ["lock-order", "lock-order"], "{}", render_text(&report));
+    let text = render_text(&report);
+    assert!(text.contains("cycle among {S.a, S.b}"), "{text}");
+    assert!(text.contains("self-deadlock"), "{text}");
+    assert!(!text.contains("S.c"), "consistent/defused order must stay silent:\n{text}");
+    assert_matches_golden("graph-lock.golden", &render_text(&report));
+}
+
+/// A reactor tick reaching `thread::sleep` through a helper crate fires;
+/// the same sleep reachable only from a non-reactor file is silent, as is
+/// a lock guard the reactor drops before doing real work.
+#[test]
+fn blocking_in_reactor_scenario() {
+    let report = run(
+        &[
+            (
+                "crates/ceer-app/src/evented.rs",
+                "impl Reactor {\n\
+                 fn tick(&self) { let g = self.state.lock(); drop(g); ceer_util::pace(); }\n\
+                 }\n",
+            ),
+            (
+                "crates/ceer-util/src/lib.rs",
+                "pub fn pace() { thread::sleep(Duration::from_millis(1)); }\n",
+            ),
+            ("crates/ceer-app/src/admin.rs", "pub fn maintenance() { ceer_util::pace(); }\n"),
+        ],
+        Roots { reactor: vec!["crates/ceer-app/src/evented.rs".to_string()], ..Roots::default() },
+    );
+    let rules: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+    assert_eq!(rules, ["blocking-in-reactor"], "{}", render_text(&report));
+    assert_eq!(
+        report.diagnostics[0].file, "crates/ceer-util/src/lib.rs",
+        "the sleep is reported where it happens, with the reactor chain"
+    );
+    assert!(
+        report.diagnostics[0].message.contains("Reactor::tick → ceer_util::pace"),
+        "{}",
+        report.diagnostics[0].message
+    );
+    assert_matches_golden("graph-reactor.golden", &render_text(&report));
+}

@@ -1,0 +1,39 @@
+//! Golden snapshot of the item parser over `fixtures/items.rs`,
+//! mirroring the engine's pipeline (lex → strip `#[cfg(test)]` → parse).
+//! The rendered item table is the parser's public contract: if a change
+//! moves a function, drops a field type, or re-resolves a call, the diff
+//! shows up here first. Bless intentional changes with
+//! `CEER_UPDATE_GOLDEN=1 cargo test -p ceer-lint --test items`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ceer_lint::lexer::lex;
+use ceer_lint::parse::{parse_file, render_items};
+use ceer_lint::strip_test_code;
+
+#[test]
+fn item_parse_matches_golden() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let source = fs::read_to_string(dir.join("items.rs")).expect("read items fixture");
+    let tokens = strip_test_code(&lex(&source).tokens);
+    let parsed = parse_file(&tokens);
+    assert!(
+        !parsed.fns.iter().any(|f| f.name == "invisible_to_the_parser"),
+        "cfg(test) items must be stripped before parsing"
+    );
+    let actual = render_items(&parsed);
+
+    let golden = dir.join("items.golden");
+    if std::env::var("CEER_UPDATE_GOLDEN").is_ok() {
+        fs::write(&golden, &actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", golden.display()));
+    assert_eq!(
+        actual, expected,
+        "item parse drifted from its golden snapshot; if intended, rerun \
+         with CEER_UPDATE_GOLDEN=1 and review the diff"
+    );
+}

@@ -1,0 +1,168 @@
+//! Property and regression tests for the hand-rolled lexer.
+//!
+//! The core property is a render → relex round trip: any token stream
+//! drawn from the grammar's vocabulary, rendered with single spaces
+//! between tokens, must lex back to exactly the same `(kind, text)`
+//! sequence. Spaces block the only context-sensitive behaviors (operator
+//! merging, number/`..` adjacency), so this pins down every per-token
+//! decision the lexer makes. The targeted tests cover the corners the
+//! property cannot reach by construction: comment-vs-string ambiguity,
+//! nesting, and adjacency.
+
+use ceer_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// One vocabulary token as `(kind, text)`, with `Lifetime` text stored
+/// without its leading quote (as the lexer reports it).
+type Tok = (TokenKind, &'static str);
+
+fn vocabulary() -> impl Strategy<Value = Tok> {
+    let ident = prop_oneof![
+        Just("foo"),
+        Just("bar_2"),
+        Just("r"),
+        Just("b"),
+        Just("_tmp"),
+        Just("HashMap"),
+        Just("matches"),
+    ]
+    .prop_map(|t| (TokenKind::Ident, t));
+    let lifetime =
+        prop_oneof![Just("a"), Just("static"), Just("buf")].prop_map(|t| (TokenKind::Lifetime, t));
+    let int = prop_oneof![Just("0"), Just("42"), Just("1_000")].prop_map(|t| (TokenKind::Int, t));
+    let float = prop_oneof![Just("1.5"), Just("0.25"), Just("2.0"), Just("7f64")]
+        .prop_map(|t| (TokenKind::Float, t));
+    let literal = prop_oneof![
+        Just("\"plain\""),
+        Just("\"has // slashes\""),
+        Just("\"esc \\\" quote\""),
+        Just("r#\"raw // with /* markers */\"#"),
+        Just("r\"raw\""),
+        Just("b\"bytes\""),
+        Just("'z'"),
+        Just("'\\n'"),
+    ]
+    .prop_map(|t| (TokenKind::Literal, t));
+    let punct = prop_oneof![
+        Just("::"),
+        Just(".."),
+        Just("=="),
+        Just("!="),
+        Just("->"),
+        Just("=>"),
+        Just("."),
+        Just("="),
+        Just("("),
+        Just(")"),
+        Just("{"),
+        Just("}"),
+        Just(";"),
+        Just(","),
+        Just("<"),
+        Just(">"),
+        Just("&"),
+        Just("#"),
+        Just("["),
+        Just("]"),
+    ]
+    .prop_map(|t| (TokenKind::Punct, t));
+    prop_oneof![ident, lifetime, int, float, literal, punct]
+}
+
+/// Renders a vocabulary stream the way the lexer would report it back:
+/// single spaces between tokens, lifetimes with their quote restored.
+fn render(tokens: &[Tok]) -> String {
+    tokens
+        .iter()
+        .map(
+            |(kind, text)| {
+                if *kind == TokenKind::Lifetime {
+                    format!("'{text}")
+                } else {
+                    (*text).to_string()
+                }
+            },
+        )
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn render_relex_round_trip(stream in prop::collection::vec(vocabulary(), 0..40)) {
+        let source = render(&stream);
+        let lexed = lex(&source);
+        let got: Vec<(TokenKind, &str)> =
+            lexed.tokens.iter().map(|t| (t.kind, t.text.as_str())).collect();
+        let want: Vec<(TokenKind, &str)> = stream.iter().map(|(k, t)| (*k, *t)).collect();
+        prop_assert_eq!(got, want);
+        prop_assert!(lexed.comments.is_empty(), "no comments were rendered");
+    }
+
+    #[test]
+    fn columns_are_monotone_within_a_line(stream in prop::collection::vec(vocabulary(), 1..40)) {
+        let lexed = lex(&render(&stream));
+        for pair in lexed.tokens.windows(2) {
+            prop_assert!(pair[1].line == pair[0].line, "single-space render stays on one line");
+            prop_assert!(pair[1].col > pair[0].col);
+        }
+    }
+}
+
+#[test]
+fn raw_strings_swallow_comment_markers() {
+    let lexed = lex("let s = r#\"// not a comment\"#; // real comment");
+    assert!(lexed
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Literal && t.text.contains("// not a comment")));
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("real comment"));
+}
+
+#[test]
+fn nested_block_comments_close_at_the_matching_depth() {
+    let lexed = lex("/* outer /* inner */ still outer */ let x = 1;");
+    let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+    assert_eq!(texts, vec!["let", "x", "=", "1", ";"]);
+}
+
+#[test]
+fn int_range_is_not_a_float() {
+    // `1..=2` must lex as Int, `..`, `=`, Int — never as the float `1.`.
+    let kinds: Vec<(TokenKind, String)> =
+        lex("1..=2").tokens.into_iter().map(|t| (t.kind, t.text)).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            (TokenKind::Int, "1".to_string()),
+            (TokenKind::Punct, "..".to_string()),
+            (TokenKind::Punct, "=".to_string()),
+            (TokenKind::Int, "2".to_string()),
+        ]
+    );
+    // …while a genuine fractional literal stays one Float token.
+    let kinds: Vec<TokenKind> = lex("1.5").tokens.into_iter().map(|t| t.kind).collect();
+    assert_eq!(kinds, vec![TokenKind::Float]);
+}
+
+#[test]
+fn lifetimes_and_char_literals_disambiguate() {
+    let lexed = lex("fn f<'a>(x: &'a str) { let c = 'a'; }");
+    let lifetimes = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+    let chars =
+        lexed.tokens.iter().filter(|t| t.kind == TokenKind::Literal && t.text == "'a'").count();
+    assert_eq!((lifetimes, chars), (2, 1));
+}
+
+#[test]
+fn trailing_and_standalone_comments_carry_position() {
+    let lexed = lex("let x = 1; // trailing\n// standalone\nlet y = 2;");
+    assert_eq!(lexed.comments.len(), 2);
+    assert!(lexed.comments[0].trailing);
+    assert_eq!(lexed.comments[0].line, 1);
+    assert!(!lexed.comments[1].trailing);
+    assert_eq!(lexed.comments[1].line, 2);
+}

@@ -20,6 +20,12 @@ fn workspace_has_zero_unsuppressed_diagnostics() {
         "self-check scanned only {} files; the workspace walk looks broken",
         report.files_scanned
     );
+    let (fns, edges) = report.graph_size.expect("the graph phase ran");
+    assert!(
+        fns > 500 && edges > 1000,
+        "call graph looks degenerate ({fns} fns, {edges} edges); \
+         the parser or resolver regressed"
+    );
     assert!(
         report.is_clean(),
         "the workspace must lint clean; fix the findings or add a \

@@ -170,6 +170,7 @@ where
         let mut pieces: Vec<(usize, Vec<R>)> = Vec::with_capacity(chunks);
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         for handle in handles {
+            // ceer-lint: allow(blocking-in-reactor) -- par_map is synchronous by contract; the join is the barrier its callers opt into
             match handle.join() {
                 Ok(mut chunks) => pieces.append(&mut chunks),
                 // Keep joining the remaining workers before re-raising so

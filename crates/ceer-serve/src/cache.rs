@@ -6,7 +6,6 @@
 //! bodies describing the same request share an entry. The whole cache is
 //! cleared on model reload.
 
-// ceer-lint: allow(hash-iteration) -- keyed O(1) lookup only; iteration order is never observed
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,7 +42,8 @@ pub struct PredictionCache {
 /// rescans on touch are fine at service cache sizes (hundreds of entries).
 #[derive(Default)]
 struct Lru {
-    // ceer-lint: allow(hash-iteration) -- keyed O(1) lookup only; recency lives in `order`
+    // Keyed O(1) lookup only; iteration order is never observed (recency
+    // lives in `order`), so the hash map cannot leak nondeterminism.
     map: HashMap<String, String>,
     order: VecDeque<String>,
 }
@@ -63,18 +63,21 @@ impl PredictionCache {
     /// Looks up a response, marking the entry most-recently used.
     pub fn get(&self, key: &str) -> Option<String> {
         let mut inner = recover(self.inner.lock());
-        match inner.map.get(key).cloned() {
-            Some(value) => {
-                inner.order.retain(|k| k != key);
-                inner.order.push_back(key.to_string());
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(value)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        let value = inner.map.get(key).cloned();
+        if value.is_some() {
+            inner.order.retain(|k| k != key);
+            inner.order.push_back(key.to_string());
         }
+        // The counters are atomics: bump them outside the critical
+        // section so the reactor never holds the guard longer than the
+        // map touch itself.
+        drop(inner);
+        if value.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        value
     }
 
     /// Stores a response, evicting the least-recently-used entry when full.
@@ -93,6 +96,7 @@ impl PredictionCache {
             let Some(evicted) = inner.order.pop_front() else { break };
             inner.map.remove(&evicted);
         }
+        drop(inner);
     }
 
     /// Drops every entry (hit/miss counters are preserved).
@@ -100,6 +104,7 @@ impl PredictionCache {
         let mut inner = recover(self.inner.lock());
         inner.map.clear();
         inner.order.clear();
+        drop(inner);
     }
 
     /// Current statistics.

@@ -187,6 +187,7 @@ impl<S: EventSource> EventedCore<S> {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        // ceer-lint: allow(blocking-in-reactor) -- the event-source poll is the reactor's one intentional block
         self.source.wait(timeout, wakes)?;
         let mut handled = wakes.len();
         for i in 0..wakes.len() {
@@ -403,7 +404,7 @@ impl<S: EventSource> EventedCore<S> {
                 }
                 Some(FaultKind::Delay(ms)) => self.source.pause(ms),
                 Some(FaultKind::ShortRead(n)) => cap = n.min(cap).max(1),
-                // ceer-lint: allow(panic-unwrap) -- injected poison, contained by the loop's guarded() catch_unwind
+                // ceer-lint: allow(panic-reachability) -- injected poison, contained by the loop's guarded() catch_unwind
                 Some(FaultKind::Poison) => panic!("injected poison at serve.http.read"),
                 Some(FaultKind::ShortWrite(_)) | None => {}
             }
@@ -497,7 +498,7 @@ impl<S: EventSource> EventedCore<S> {
     fn dispatch(&mut self, token: Token, head: &Head) -> bool {
         match self.app.faults.as_deref().and_then(|f| f.check("serve.dispatch")) {
             Some(FaultKind::Delay(ms)) => self.source.pause(ms),
-            // ceer-lint: allow(panic-unwrap) -- injected poison, contained by the loop's guarded() catch_unwind
+            // ceer-lint: allow(panic-reachability) -- injected poison, contained by the loop's guarded() catch_unwind
             Some(FaultKind::Poison) => panic!("injected poison at serve.dispatch"),
             Some(_) => {
                 // Injected dispatch failure: the connection drops before
@@ -683,7 +684,7 @@ impl<S: EventSource> EventedCore<S> {
                 }
                 Some(FaultKind::Delay(ms)) => self.source.pause(ms),
                 Some(FaultKind::ShortWrite(n)) => cap = n.min(cap).max(1),
-                // ceer-lint: allow(panic-unwrap) -- injected poison, contained by the loop's guarded() catch_unwind
+                // ceer-lint: allow(panic-reachability) -- injected poison, contained by the loop's guarded() catch_unwind
                 Some(FaultKind::Poison) => panic!("injected poison at serve.http.write"),
                 Some(FaultKind::ShortRead(_)) | None => {}
             }
@@ -805,6 +806,7 @@ impl EventedServer {
     /// where no epoll backend exists).
     #[cfg(target_os = "linux")]
     pub fn start(config: &ServerConfig, registry: ModelRegistry) -> Result<Self, String> {
+        // ceer-lint: allow(nondeterminism-taint) -- real-transport bootstrap; deterministic tests drive tick() through a SimSource instead
         let listener = std::net::TcpListener::bind((config.host.as_str(), config.port))
             .map_err(|e| format!("cannot bind {}:{}: {e}", config.host, config.port))?;
         let addr = listener.local_addr().map_err(|e| format!("no local address: {e}"))?;
@@ -877,11 +879,13 @@ impl EventedServer {
     pub fn shutdown(self) {
         self.app.ready.store(false, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
+        // ceer-lint: allow(blocking-in-reactor) -- joins the reactor from the controlling thread; the loop itself never calls this
         let _ = self.handle.join();
     }
 
     /// Blocks until the loop thread exits (foreground mode).
     pub fn wait(self) {
+        // ceer-lint: allow(blocking-in-reactor) -- foreground join from the controlling thread; the loop itself never calls this
         let _ = self.handle.join();
     }
 }

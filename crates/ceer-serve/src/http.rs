@@ -74,7 +74,7 @@ impl Default for ReadBudget {
 
 impl ReadBudget {
     fn expired(&self) -> bool {
-        // ceer-lint: allow(ambient-time) -- deadline enforcement for request reads; never feeds a prediction
+        // Deadline enforcement for request reads; never feeds a prediction.
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
@@ -137,7 +137,7 @@ pub fn read_request(
         if budget.expired() {
             return Err(ReadError::TimedOut);
         }
-        // ceer-lint: allow(panic-index) -- filled < content_length == body.len(); slice stays in range
+        // `filled < content_length == body.len()`: the slice stays in range.
         match reader.read(&mut body[filled..]) {
             Ok(0) => {
                 return Err(ReadError::Io(format!(
@@ -164,7 +164,7 @@ pub fn read_to_limit(reader: &mut impl Read, limit: usize) -> std::io::Result<Ve
     let mut chunk = [0u8; 4096];
     while out.len() < limit {
         let want = chunk.len().min(limit - out.len());
-        // ceer-lint: allow(panic-index) -- want <= chunk.len() by the min above
+        // ceer-lint: allow(panic-reachability) -- want <= chunk.len() by the min above
         let n = match reader.read(&mut chunk[..want]) {
             Ok(n) => n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -173,7 +173,7 @@ pub fn read_to_limit(reader: &mut impl Read, limit: usize) -> std::io::Result<Ve
         if n == 0 {
             break;
         }
-        // ceer-lint: allow(panic-index) -- read() returns n <= the buffer it filled
+        // ceer-lint: allow(panic-reachability) -- read() returns n <= the buffer it filled
         out.extend_from_slice(&chunk[..n]);
     }
     Ok(out)

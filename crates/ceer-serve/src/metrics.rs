@@ -153,6 +153,7 @@ impl Metrics {
         while stats.latencies_us.len() > LATENCY_WINDOW {
             stats.latencies_us.pop_front();
         }
+        drop(endpoints);
     }
 
     /// Counts one degradation event. Lock-free: safe from the acceptor
@@ -188,8 +189,8 @@ impl Metrics {
 
     /// A consistent snapshot for `GET /metrics`.
     pub fn snapshot(&self, cache: CacheStats, model_reloads: u64) -> MetricsSnapshot {
-        let endpoints = recover(self.endpoints.lock());
-        let endpoints = endpoints
+        let guard = recover(self.endpoints.lock());
+        let endpoints = guard
             .iter()
             .map(|(route, stats)| {
                 (
@@ -202,6 +203,9 @@ impl Metrics {
                 )
             })
             .collect();
+        // Release before assembling the rest: `robustness()` only reads
+        // atomics and must not run under the endpoint lock.
+        drop(guard);
         MetricsSnapshot { endpoints, cache, model_reloads, robustness: self.robustness() }
     }
 }

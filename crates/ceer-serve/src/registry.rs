@@ -76,7 +76,9 @@ impl ModelRegistry {
     /// A snapshot of the current model.
     pub fn model(&self) -> Arc<CeerModel> {
         let guard = recover(self.model.read());
-        Arc::clone(&guard)
+        let model = Arc::clone(&guard);
+        drop(guard);
+        model
     }
 
     /// Re-reads the backing file and atomically swaps the served model.
@@ -133,6 +135,7 @@ impl ModelRegistry {
 }
 
 fn read_model(path: &Path) -> Result<CeerModel, String> {
+    // ceer-lint: allow(blocking-in-reactor) -- reload is an explicit admin request; the file is read before the write lock so serving never waits on disk
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     serde_json::from_slice(&bytes).map_err(|e| format!("invalid model in {path:?}: {e}"))
 }

@@ -286,7 +286,7 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
     if let Some(injector) = &state.app.faults {
         match injector.check("serve.dispatch") {
             Some(FaultKind::Delay(ms)) => std::thread::sleep(Duration::from_millis(ms)),
-            // ceer-lint: allow(panic-unwrap) -- injected poison, contained by the worker's catch_unwind
+            // ceer-lint: allow(panic-reachability) -- injected poison, contained by the worker's catch_unwind
             Some(FaultKind::Poison) => panic!("injected poison at serve.dispatch"),
             Some(_) => {
                 // Injected dispatch failure: the connection drops before
@@ -307,7 +307,7 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
     };
     let mut reader =
         BufReader::new(FaultyRead::new(clone, state.app.faults.clone(), "serve.http.read"));
-    // ceer-lint: allow(ambient-time) -- request deadline anchor; never feeds a prediction
+    // Request deadline anchor; never feeds a prediction.
     let deadline = state.request_timeout.map(|t| Instant::now() + t);
     let budget = ReadBudget { max_body_bytes: state.max_body_bytes, deadline };
 
@@ -332,7 +332,7 @@ fn handle_connection(stream: TcpStream, state: &AppState) {
         state.app.metrics.bump(ServerEvent::RetriedRequest);
     }
 
-    // ceer-lint: allow(ambient-time) -- latency measurement feeds /metrics only, never a prediction
+    // Latency measurement feeds /metrics only, never a prediction.
     let started = Instant::now();
     let view = RequestRef {
         method: &request.method,

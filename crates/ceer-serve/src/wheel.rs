@@ -66,7 +66,7 @@ impl TimerWheel {
     pub fn schedule(&mut self, at: u64, kind: TimerKind) {
         self.seq += 1;
         let seq = self.seq;
-        // ceer-lint: allow(panic-index) -- slot index is `% SLOTS`, always in range
+        // ceer-lint: allow(panic-reachability) -- slot index is `% SLOTS`, always in range
         self.slots[(at as usize) % SLOTS].push(Entry { at, seq, kind });
         self.len += 1;
     }

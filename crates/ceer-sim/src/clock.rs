@@ -64,20 +64,20 @@ impl SystemClock {
     pub fn new() -> Self {
         // This is the one sanctioned wall-clock anchor; all other code
         // reads time through `Clock`.
-        // ceer-lint: allow(ambient-time) -- the sanctioned anchor read
+        // ceer-lint: allow(nondeterminism-taint) -- the sanctioned wall-clock anchor; everything else reads time through Clock
         SystemClock { origin: Instant::now() }
     }
 }
 
 impl Clock for SystemClock {
     fn now_ms(&self) -> u64 {
-        // ceer-lint: allow(ambient-time) -- the Clock impl itself.
+        // ceer-lint: allow(nondeterminism-taint) -- the real-time Clock impl itself
         let elapsed = Instant::now().saturating_duration_since(self.origin);
         u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX)
     }
 
     fn now_us(&self) -> u64 {
-        // ceer-lint: allow(ambient-time) -- the Clock impl itself.
+        // ceer-lint: allow(nondeterminism-taint) -- the real-time Clock impl itself
         let elapsed = Instant::now().saturating_duration_since(self.origin);
         u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)
     }

@@ -28,17 +28,32 @@ echo "=== cargo build --release ==="
 # the other crates (including the `ceer` binary the lint gate runs).
 cargo build --release --workspace
 
-echo "=== ceer lint (empty baseline) ==="
+echo "=== ceer lint (empty baseline, SARIF artifact, 10s budget) ==="
 # The workspace static-analysis pass must report nothing: `--json` prints
 # `[]` exactly when there are zero unsuppressed diagnostics. Any finding
 # either gets fixed or gets an inline `ceer-lint: allow(rule) -- reason`.
-lint_out="$(./target/release/ceer lint --json || true)"
+# The same run records its per-rule wall time to BENCH_lint.json.
+lint_out="$(./target/release/ceer lint --json --bench-out BENCH_lint.json || true)"
 if [ "$lint_out" != "[]" ]; then
     echo "ceer lint found unsuppressed diagnostics:"
     ./target/release/ceer lint || true
     exit 1
 fi
-echo "ceer lint clean"
+# The SARIF artifact for CI annotation upload (same diagnostics, so it is
+# an empty run — the artifact proves the rules that ran, not findings).
+./target/release/ceer lint --sarif > target/ceer-lint.sarif
+# The lint pass is a per-commit gate, so it gets a hard latency budget:
+# the full workspace walk + call-graph build + every rule must finish in
+# 10s on a 1-core CI host. Today it runs in well under one second; if it
+# ever crosses the budget the pass has regressed algorithmically (the
+# graph build is near-linear in tokens) and must be fixed, not waited on.
+lint_ms="$(awk -F': ' '/"lint_wall_ms"/ { sub(/,$/, "", $2); print $2 }' BENCH_lint.json)"
+over_budget="$(awk "BEGIN { print ($lint_ms > 10000) ? 1 : 0 }")"
+if [ "$over_budget" = "1" ]; then
+    echo "ceer lint exceeded its 10s budget: ${lint_ms}ms (see BENCH_lint.json)"
+    exit 1
+fi
+echo "ceer lint clean (${lint_ms}ms, SARIF at target/ceer-lint.sarif)"
 
 echo "=== cargo test (CEER_THREADS=1) ==="
 CEER_THREADS=1 cargo test -q --workspace
