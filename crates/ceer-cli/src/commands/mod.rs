@@ -6,6 +6,7 @@ pub(crate) mod collect;
 pub(crate) mod fit;
 pub(crate) mod inspect;
 pub(crate) mod lint;
+pub(crate) mod online;
 pub(crate) mod predict;
 pub(crate) mod profile;
 pub(crate) mod recommend;

@@ -1,0 +1,157 @@
+//! `ceer online` — seeded replay of the closed online-learning loop.
+
+use ceer_online::{Action, OnlineConfig};
+use ceer_serve::{replay, ReplayConfig};
+
+use crate::args::Args;
+
+const HELP: &str = "\
+ceer online — the closed online-learning loop (observe → drift-detect →
+refit → A/B promote), replayed under a seed
+
+SUBCOMMANDS:
+    replay    run the whole loop end to end, transport-free: fit a model,
+              serve a seeded /predict stream, drift the simulated world
+              mid-stream, and let the online engine observe residuals,
+              incrementally refit, and promote (or abort) candidate
+              versions. Two runs with the same options are byte-identical
+              — the same determinism contract `tests/sim_online.rs` gates.
+
+OPTIONS (replay):
+    --seed N               seeds the model fit, the world, and the traffic
+                           shape (default 7)
+    --requests N           /predict requests to serve (default 260)
+    --drift-at N           request index at which the world drifts
+                           (default 120)
+    --no-drift             never drift: a calm-world run (decisions should
+                           stay empty)
+    --drift-scale X        ground-truth slowdown factor applied at
+                           --drift-at (default 1.6)
+    --tick-every N         drain the observation ring after every N
+                           requests (default 8)
+    --min-refit-samples N  per-(op, GPU) samples required before a refit
+                           (default 24)
+    --eval-observations N  observations each A/B arm serves before a
+                           verdict (default 6)
+    --candidate-percent P  traffic share (0-100) routed to a candidate
+                           during evaluation (default 50)
+    --fault-spec SPEC      seeded fault plan for the online.* sites, e.g.
+                           \"online.candidate=err@#1\" corrupts the first
+                           candidate build (same syntax as CEER_FAULT_PLAN)
+    --threads N            worker threads (default: the CEER_THREADS env
+                           var, then the host's CPU count)
+    --json                 emit the full replay report as JSON (decision
+                           log, final /metrics body, final version)
+
+EXAMPLES:
+    ceer online replay
+    ceer online replay --seed 1234 --no-drift
+    ceer online replay --fault-spec \"online.candidate=err@#1\"";
+
+pub(crate) fn run(args: &Args) -> Result<(), String> {
+    if args.wants_help() {
+        println!("{HELP}");
+        return Ok(());
+    }
+    if !args.flag("replay") {
+        return Err("usage: ceer online replay [OPTIONS] — see `ceer online --help`".into());
+    }
+    let defaults = ReplayConfig::default();
+    let seed = args.opt_parse("--seed", defaults.seed)?;
+    let requests = args.opt_parse("--requests", defaults.requests)?;
+    let mut drift_at = args.opt_parse("--drift-at", defaults.drift_at)?;
+    if args.flag("--no-drift") {
+        drift_at = usize::MAX;
+    }
+    let drift_scale = args.opt_parse("--drift-scale", defaults.drift_scale)?;
+    let tick_every = args.opt_parse("--tick-every", defaults.tick_every)?;
+    let min_refit_samples =
+        args.opt_parse("--min-refit-samples", defaults.online.min_refit_samples)?;
+    let eval_observations =
+        args.opt_parse("--eval-observations", defaults.online.eval_observations)?;
+    let candidate_percent =
+        args.opt_parse("--candidate-percent", defaults.online.candidate_percent)?;
+    let fault_spec = args.opt("--fault-spec")?;
+    let json = args.flag("--json");
+    crate::commands::apply_threads(args)?;
+    args.finish()?;
+    if requests == 0 || tick_every == 0 {
+        return Err("--requests and --tick-every must be positive".into());
+    }
+    if candidate_percent > 100 {
+        return Err("--candidate-percent must be between 0 and 100".into());
+    }
+    if let Some(spec) = &fault_spec {
+        // Fail on a bad spec here, with the CLI's error path, rather than
+        // letting the replay harness panic on it mid-run.
+        ceer_faults::FaultPlan::parse(seed, spec)?;
+    }
+
+    let config = ReplayConfig {
+        seed,
+        requests,
+        drift_at,
+        drift_scale,
+        tick_every,
+        online: OnlineConfig {
+            min_refit_samples,
+            eval_observations,
+            candidate_percent,
+            ..OnlineConfig::default()
+        },
+        fault_spec,
+    };
+    let report = replay(&config);
+
+    if json {
+        let rendered = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("cannot serialize replay report: {e}"))?;
+        println!("{rendered}");
+        return Ok(());
+    }
+
+    println!(
+        "replayed {} requests (seed {}, drift {} at request {})",
+        config.requests,
+        config.seed,
+        if config.drift_at >= config.requests {
+            "never".to_string()
+        } else {
+            format!("{}x", config.drift_scale)
+        },
+        if config.drift_at >= config.requests {
+            "-".to_string()
+        } else {
+            config.drift_at.to_string()
+        },
+    );
+    if report.decisions.is_empty() {
+        println!("decisions: none (calm world, incumbent kept serving)");
+    } else {
+        println!("decisions:");
+        for (i, action) in report.decisions.iter().enumerate() {
+            match action {
+                Action::BuildCandidate { pairs } => {
+                    let shown: Vec<String> =
+                        pairs.iter().map(|(kind, gpu)| format!("{kind:?}/{gpu:?}")).collect();
+                    println!(
+                        "  {:>2}. build candidate — refit {} pair(s): {}",
+                        i + 1,
+                        pairs.len(),
+                        shown.join(", ")
+                    );
+                }
+                Action::Promote { candidate } => {
+                    println!("  {:>2}. promote v{candidate} (candidate won the A/B split)", i + 1);
+                }
+                Action::Abort { candidate } => {
+                    println!("  {:>2}. abort v{candidate} (incumbent held)", i + 1);
+                }
+            }
+        }
+    }
+    println!("final version: v{}", report.final_version);
+    println!("request errors: {}", report.request_errors);
+    println!("(full counters: re-run with --json for the /metrics body)");
+    Ok(())
+}

@@ -13,6 +13,7 @@
 //! ceer catalog    [--market]
 //! ceer serve      --model model.json [--port P] [--workers N]
 //! ceer cluster    --model model.json [--port P] [--shards N] [--replicas R]
+//! ceer online     replay [--seed S] [--requests N] [--fault-spec SPEC] [--json]
 //! ```
 //!
 //! `fit`, `collect`, `predict`, `recommend`, `profile` and `serve` also take
@@ -43,6 +44,7 @@ COMMANDS:
     roofline   show which resource bounds each operation kind on a GPU
     inspect    print a fitted model's diagnostics and coverage
     lint       statically check the workspace's determinism/safety invariants
+    online     replay the closed online-learning loop under a seed
     zoo        list the CNN model zoo (or details of one CNN)
     catalog    list the AWS GPU instance catalog
     serve      serve predictions from a fitted model over HTTP
@@ -82,6 +84,7 @@ fn main() -> ExitCode {
         "roofline" => commands::roofline::run(&args),
         "inspect" => commands::inspect::run(&args),
         "lint" => commands::lint::run(&args),
+        "online" => commands::online::run(&args),
         "zoo" => commands::zoo::run(&args),
         "catalog" => commands::catalog::run(&args),
         "serve" => commands::serve::run(&args),

@@ -220,6 +220,14 @@ pub struct ShardStats {
     pub reload_failures: u64,
     /// Frames that failed to decode.
     pub decode_errors: u64,
+    /// Observation samples pushed into the shard's observation ring (one
+    /// per GPU model in every computed prediction).
+    #[serde(default)]
+    pub observations: u64,
+    /// Observation samples dropped because the ring was full; reconciles
+    /// against the ring's own shed counter so no loss is silent.
+    #[serde(default)]
+    pub observations_shed: u64,
 }
 
 /// Router-side counters.

@@ -16,7 +16,8 @@ use std::sync::Arc;
 
 use ceer_core::CeerModel;
 use ceer_faults::{FaultKind, Faults};
-use ceer_serve::api::{self, PredictRequest};
+use ceer_online::{ObservationRing, PredictSample, Sample};
+use ceer_serve::api::{self, PredictRequest, PredictResponse};
 use ceer_serve::{ModelVersion, PredictionCache};
 use ceer_sim::{Event, Net, Node, NodeId};
 
@@ -72,6 +73,9 @@ pub struct ShardNode {
     gossip_round: u64,
     stats: ShardStats,
     faults: Faults,
+    /// Observation tap: every computed prediction lands here (one sample
+    /// per GPU model), for an external online-learning drain.
+    ring: Option<Arc<ObservationRing>>,
 }
 
 impl ShardNode {
@@ -93,6 +97,37 @@ impl ShardNode {
             gossip_round: 0,
             stats,
             faults,
+            ring: None,
+        }
+    }
+
+    /// Attaches an observation ring; every computed prediction is tapped
+    /// into it. Rings are typically shared across a cluster's shards so
+    /// one online worker drains the fleet's whole stream.
+    pub fn with_observation_ring(mut self, ring: Arc<ObservationRing>) -> Self {
+        self.ring = Some(ring);
+        self
+    }
+
+    /// Pushes one sample per GPU model of a computed prediction, counting
+    /// ring-full drops so the loss is visible in [`ShardStats`].
+    fn observe_prediction(&mut self, response: &PredictResponse) {
+        let Some(ring) = &self.ring else { return };
+        let Ok(cnn) = api::parse_cnn(&response.cnn) else { return };
+        for prediction in &response.predictions {
+            let accepted = ring.push(Sample::Predict(PredictSample {
+                version: self.version.0,
+                cnn,
+                gpu: prediction.gpu,
+                gpus: response.gpus,
+                batch: response.batch,
+                predicted_us: prediction.iteration_us,
+            }));
+            if accepted {
+                self.stats.observations += 1;
+            } else {
+                self.stats.observations_shed += 1;
+            }
         }
     }
 
@@ -159,6 +194,9 @@ impl ShardNode {
             Ok(request) => api::predict(&self.model, &request),
             Err(e) => Err(format!("unparseable request: {e}")),
         };
+        if let Ok(response) = &outcome {
+            self.observe_prediction(response);
+        }
         match outcome
             .and_then(|response| serde_json::to_string_pretty(&response).map_err(|e| e.to_string()))
         {

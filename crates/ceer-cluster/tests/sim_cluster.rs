@@ -416,3 +416,87 @@ fn repeated_requests_hit_the_shard_cache() {
         .sum();
     assert_eq!(hits, 1, "the second identical request is answered from cache");
 }
+
+/// The observation tap: every computed prediction lands in the shared
+/// ring (one sample per GPU model), ring-full drops are counted on the
+/// shard, and the whole accounting replays deterministically — including
+/// under a ring sized to overflow.
+#[test]
+fn shard_observation_tap_reconciles_and_replays() {
+    use ceer_online::{ObservationRing, RingStats, Sample};
+
+    fn run(seed: u64, capacity: usize) -> (Vec<(u64, u64)>, RingStats, Vec<Sample>) {
+        let model = tiny_model(1);
+        let ring = Arc::new(ObservationRing::new(capacity));
+        let mut sim = Sim::with(seed, NetProfile::default(), ceer_faults::none());
+        let router_id = NodeId(1);
+        let shard_ids: Vec<NodeId> = (0..2).map(|i| NodeId(2 + i)).collect();
+        let shard_list: Vec<(NodeId, String)> =
+            shard_ids.iter().enumerate().map(|(i, &id)| (id, format!("shard-{i}"))).collect();
+        let reload_json = serde_json::to_string(&model).unwrap();
+        let reload_source = Box::new(move || Ok(reload_json.clone()));
+        let router = sim.add_node(
+            "router",
+            Box::new(RouterNode::new(RouterConfig::new(shard_list, 1), reload_source)),
+        );
+        assert_eq!(router, router_id);
+        let shared = Arc::new(model);
+        for (i, &id) in shard_ids.iter().enumerate() {
+            let config = ShardConfig::new(format!("shard-{i}"), router_id);
+            let node = ShardNode::new(config, Arc::clone(&shared), ceer_faults::none())
+                .with_observation_ring(Arc::clone(&ring));
+            assert_eq!(sim.add_node(&format!("shard-{i}"), Box::new(node)), id);
+        }
+        let script = vec![
+            ScriptEntry::post(30, "/predict", BODY_B16),
+            ScriptEntry::post(60, "/predict", BODY_B32),
+            ScriptEntry::post(90, "/predict", BODY_B64),
+            // A repeat: served from the shard cache, so it must NOT tap.
+            ScriptEntry::post(300, "/predict", BODY_B32),
+        ];
+        sim.add_node("client", Box::new(SimClient::new(router_id, script)));
+        sim.run_until(2_000);
+
+        let per_shard: Vec<(u64, u64)> = shard_ids
+            .iter()
+            .map(|&id| {
+                let stats = sim.node::<ShardNode>(id).unwrap().stats();
+                (stats.observations, stats.observations_shed)
+            })
+            .collect();
+        let stats = ring.stats();
+        let drained = ring.drain(usize::MAX);
+        (per_shard, stats, drained)
+    }
+
+    let (per_shard, stats, drained) = run(7, 4096);
+    let pushed: u64 = per_shard.iter().map(|&(obs, _)| obs).sum();
+    let shed: u64 = per_shard.iter().map(|&(_, s)| s).sum();
+    assert!(pushed > 0, "computed predictions must tap the ring");
+    assert_eq!(shed, 0, "a roomy ring sheds nothing");
+    assert_eq!(stats.pushed, pushed + shed, "shard counters reconcile with the ring");
+    assert_eq!(stats.depth, pushed, "untapped ring holds every accepted sample");
+    // Three uncached predicts; the cached repeat adds nothing.
+    let expected_kinds =
+        drained.iter().filter(|s| matches!(s, Sample::Predict(p) if p.version == 1)).count();
+    assert_eq!(expected_kinds as u64, pushed, "every sample is a v1 prediction");
+    assert_eq!(pushed % 3, 0, "three computed predicts tap equally many samples each");
+
+    // Byte-identical replay, roomy and overflowing.
+    for capacity in [4096usize, 3] {
+        let a = run(7, capacity);
+        let b = run(7, capacity);
+        assert_eq!(a, b, "tap accounting must replay (capacity {capacity})");
+        let (per_shard, stats, _) = a;
+        let shed: u64 = per_shard.iter().map(|&(_, s)| s).sum();
+        assert_eq!(
+            stats.pushed,
+            per_shard.iter().map(|&(obs, _)| obs).sum::<u64>() + shed,
+            "reconciliation holds under overflow too (capacity {capacity})"
+        );
+        if capacity == 3 {
+            assert!(shed > 0, "a 3-deep ring must overflow under 3 multi-GPU predicts");
+            assert_eq!(stats.shed, shed, "ring and shard agree on every drop");
+        }
+    }
+}

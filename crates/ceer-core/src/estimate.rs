@@ -126,6 +126,16 @@ impl CeerModel {
         CeerModel { light_median_us: light_us, cpu_median_us: cpu_us, ..self.clone() }
     }
 
+    /// Returns a copy of this model with the regression for one
+    /// (kind, GPU) pair replaced — the hook the online-learning loop uses to
+    /// build a candidate model from an incrementally refitted [`OpModel`]
+    /// without disturbing the incumbent.
+    pub fn with_op_model(&self, refitted: OpModel) -> CeerModel {
+        let mut next = self.clone();
+        next.op_models.insert((refitted.kind(), refitted.gpu()), refitted);
+        next
+    }
+
     /// The learned operation classification.
     pub fn classification(&self) -> &Classification {
         &self.classification

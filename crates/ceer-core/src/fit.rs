@@ -177,7 +177,9 @@ impl Ceer {
             }
         }
         let light_median_us =
+            // ceer-lint: allow(panic-reachability) -- every training CNN carries light ops by construction of the zoo
             summary::median(&light_medians).expect("training CNNs contain light ops");
+        // ceer-lint: allow(panic-reachability) -- every training CNN carries CPU ops by construction of the zoo
         let cpu_median_us = summary::median(&cpu_medians).expect("training CNNs contain CPU ops");
 
         // 4. Communication model: k=1 from sync logs, k>1 from iteration-
@@ -197,6 +199,7 @@ impl Ceer {
                     let baseline = profiles
                         .iter()
                         .find(|p| p.gpu() == profile.gpu() && p.gpus() == 1)
+                        // ceer-lint: allow(panic-reachability) -- the profiling plan always includes k=1, validated on entry
                         .expect("k=1 profile exists for every GPU (validated)");
                     let diff = profile.iteration_mean_us() - baseline.iteration_mean_us();
                     comm_samples.push(CommSample {

@@ -63,4 +63,5 @@ pub use archive::ProfileArchive;
 pub use classify::{Classification, OpClass};
 pub use estimate::{CeerModel, EstimateOptions};
 pub use fit::{Ceer, FitConfig};
+pub use opmodel::{ModelForm, OpModel, OpModelAccumulator};
 pub use report::CoverageReport;

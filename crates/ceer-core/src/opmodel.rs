@@ -9,7 +9,7 @@
 
 use ceer_gpusim::GpuModel;
 use ceer_graph::OpKind;
-use ceer_stats::regression::{adjusted_r_squared, MultipleOls};
+use ceer_stats::regression::{adjusted_r_squared, MultipleOls, NormalAccumulator};
 use serde::{Deserialize, Serialize};
 
 use crate::features::Features;
@@ -70,52 +70,12 @@ impl OpModel {
         allow_quadratic: bool,
     ) -> Self {
         assert!(!samples.is_empty(), "cannot fit an op model without samples");
-        let ys: Vec<f64> = samples.iter().map(|(_, y)| *y).collect();
-        let mean_us = ys.iter().sum::<f64>() / ys.len() as f64;
-        let sample_std_us = if ys.len() > 1 {
-            let ss: f64 = ys.iter().map(|y| (y - mean_us) * (y - mean_us)).sum();
-            (ss / (ys.len() - 1) as f64).sqrt()
-        } else {
-            0.0
-        };
-
-        let linear_rows: Vec<Vec<f64>> = samples.iter().map(|(f, _)| f.linear.clone()).collect();
-        let quad_rows: Vec<Vec<f64>> = samples.iter().map(|(f, _)| f.quadratic()).collect();
-
-        let evaluate = |ols: &MultipleOls, rows: &[Vec<f64>]| -> Option<f64> {
-            let predicted: Vec<f64> = rows.iter().map(|r| ols.predict(r)).collect();
-            adjusted_r_squared(&ys, &predicted, ols.feature_count()).ok()
-        };
-
-        let linear_fit = MultipleOls::fit(&linear_rows, &ys).ok();
-        let quad_fit = if allow_quadratic { MultipleOls::fit(&quad_rows, &ys).ok() } else { None };
-        let linear =
-            linear_fit.clone().and_then(|m| evaluate(&m, &linear_rows).map(|adj| (m, adj)));
-        let quadratic = quad_fit.and_then(|m| evaluate(&m, &quad_rows).map(|adj| (m, adj)));
-
-        let (form, ols, r_squared) = match (linear, quadratic) {
-            (Some((lm, ladj)), Some((qm, qadj))) => {
-                if qadj > ladj + QUADRATIC_GAIN {
-                    (ModelForm::Quadratic, Some(qm), qadj)
-                } else {
-                    (ModelForm::Linear, Some(lm), ladj)
-                }
-            }
-            (Some((lm, ladj)), None) => (ModelForm::Linear, Some(lm), ladj),
-            (None, Some((qm, qadj))) => (ModelForm::Quadratic, Some(qm), qadj),
-            // Too few samples for adjusted R² (e.g. an op kind with only a
-            // couple of instances in the training CNNs): still prefer an
-            // exact/interpolating linear fit over the mean — extrapolating
-            // along input size beats ignoring input size entirely.
-            (None, None) => match linear_fit {
-                Some(lm) => {
-                    let r2 = lm.r_squared();
-                    (ModelForm::Linear, Some(lm), r2)
-                }
-                None => (ModelForm::MeanFallback, None, 0.0),
-            },
-        };
-        OpModel { kind, gpu, form, ols, mean_us, r_squared, samples: samples.len(), sample_std_us }
+        let mut acc = OpModelAccumulator::new(kind, gpu, allow_quadratic);
+        for (features, y) in samples {
+            acc.push(features, *y);
+        }
+        // ceer-lint: allow(panic-reachability) -- guarded by the non-empty assert above
+        acc.fit().expect("accumulator fed at least one sample")
     }
 
     /// Predicted compute time (µs) for an instance with `features`. Never
@@ -167,6 +127,176 @@ impl OpModel {
             (ModelForm::MeanFallback, _) | (_, None) => self.sample_std_us,
             (_, Some(ols)) => ols.residual_std(),
         }
+    }
+}
+
+/// One functional form's sufficient statistics. A push that the batch fit
+/// would have rejected (ragged arity, non-finite value) poisons the form —
+/// [`MultipleOls::fit`] on the full batch would have errored out for the
+/// whole design, so the incremental path must discard the form too, not just
+/// the offending row, to stay bit-identical to the batch result.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct FormAccumulator {
+    acc: Option<NormalAccumulator>,
+    poisoned: bool,
+}
+
+impl FormAccumulator {
+    fn push(&mut self, row: &[f64], y: f64) {
+        if self.poisoned {
+            return;
+        }
+        if self.acc.is_none() {
+            match NormalAccumulator::new(row.len()) {
+                Ok(acc) => self.acc = Some(acc),
+                Err(_) => {
+                    self.poisoned = true;
+                    return;
+                }
+            }
+        }
+        // ceer-lint: allow(panic-reachability) -- the accumulator is installed by the branch directly above
+        let acc = self.acc.as_mut().expect("accumulator installed above");
+        if acc.push(row, y).is_err() {
+            self.poisoned = true;
+        }
+    }
+
+    fn solve(&self) -> Option<MultipleOls> {
+        if self.poisoned {
+            return None;
+        }
+        self.acc.as_ref()?.solve().ok()
+    }
+
+    fn rows(&self) -> &[Vec<f64>] {
+        self.acc.as_ref().map_or(&[], NormalAccumulator::rows)
+    }
+}
+
+/// Streaming fit state for one (operation kind, GPU model) pair.
+///
+/// [`OpModel::fit_with_forms`] is implemented as "push every sample, then
+/// [`fit`](Self::fit)", so folding a sample stream incrementally — the
+/// online-learning loop's refit path — produces an [`OpModel`] that is
+/// **bit-identical** to batch-refitting the same stream from scratch, at
+/// every prefix. New observations extend the `XᵀX`/`Xᵀy` sufficient
+/// statistics (see [`NormalAccumulator`]) instead of rebuilding them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpModelAccumulator {
+    kind: OpKind,
+    gpu: GpuModel,
+    allow_quadratic: bool,
+    ys: Vec<f64>,
+    linear: FormAccumulator,
+    quad: FormAccumulator,
+}
+
+impl OpModelAccumulator {
+    /// Creates an empty accumulator for `(kind, gpu)` samples.
+    pub fn new(kind: OpKind, gpu: GpuModel, allow_quadratic: bool) -> Self {
+        OpModelAccumulator {
+            kind,
+            gpu,
+            allow_quadratic,
+            ys: Vec::new(),
+            linear: FormAccumulator::default(),
+            quad: FormAccumulator::default(),
+        }
+    }
+
+    /// Folds one `(features, mean compute time µs)` sample into the
+    /// sufficient statistics. Every sample counts toward the mean/std
+    /// fallback; a sample the regression cannot accept additionally poisons
+    /// the affected functional form, exactly as it would have failed the
+    /// batch fit.
+    pub fn push(&mut self, features: &Features, y: f64) {
+        self.linear.push(&features.linear, y);
+        if self.allow_quadratic {
+            self.quad.push(&features.quadratic(), y);
+        }
+        self.ys.push(y);
+    }
+
+    /// Number of samples folded so far.
+    pub fn len(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Whether no samples have been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+
+    /// Operation kind this accumulator covers.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// GPU model this accumulator covers.
+    pub fn gpu(&self) -> GpuModel {
+        self.gpu
+    }
+
+    /// Fits an [`OpModel`] from the samples folded so far, or `None` when
+    /// the accumulator is still empty. The accumulator is untouched and can
+    /// keep folding samples for the next refit.
+    pub fn fit(&self) -> Option<OpModel> {
+        if self.ys.is_empty() {
+            return None;
+        }
+        let ys = &self.ys;
+        let mean_us = ys.iter().sum::<f64>() / ys.len() as f64;
+        let sample_std_us = if ys.len() > 1 {
+            let ss: f64 = ys.iter().map(|y| (y - mean_us) * (y - mean_us)).sum();
+            (ss / (ys.len() - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+
+        let evaluate = |ols: &MultipleOls, rows: &[Vec<f64>]| -> Option<f64> {
+            let predicted: Vec<f64> = rows.iter().map(|r| ols.predict(r)).collect();
+            adjusted_r_squared(ys, &predicted, ols.feature_count()).ok()
+        };
+
+        let linear_fit = self.linear.solve();
+        let quad_fit = if self.allow_quadratic { self.quad.solve() } else { None };
+        let linear =
+            linear_fit.clone().and_then(|m| evaluate(&m, self.linear.rows()).map(|adj| (m, adj)));
+        let quadratic = quad_fit.and_then(|m| evaluate(&m, self.quad.rows()).map(|adj| (m, adj)));
+
+        let (form, ols, r_squared) = match (linear, quadratic) {
+            (Some((lm, ladj)), Some((qm, qadj))) => {
+                if qadj > ladj + QUADRATIC_GAIN {
+                    (ModelForm::Quadratic, Some(qm), qadj)
+                } else {
+                    (ModelForm::Linear, Some(lm), ladj)
+                }
+            }
+            (Some((lm, ladj)), None) => (ModelForm::Linear, Some(lm), ladj),
+            (None, Some((qm, qadj))) => (ModelForm::Quadratic, Some(qm), qadj),
+            // Too few samples for adjusted R² (e.g. an op kind with only a
+            // couple of instances in the training CNNs): still prefer an
+            // exact/interpolating linear fit over the mean — extrapolating
+            // along input size beats ignoring input size entirely.
+            (None, None) => match linear_fit {
+                Some(lm) => {
+                    let r2 = lm.r_squared();
+                    (ModelForm::Linear, Some(lm), r2)
+                }
+                None => (ModelForm::MeanFallback, None, 0.0),
+            },
+        };
+        Some(OpModel {
+            kind: self.kind,
+            gpu: self.gpu,
+            form,
+            ols,
+            mean_us,
+            r_squared,
+            samples: self.ys.len(),
+            sample_std_us,
+        })
     }
 }
 
@@ -242,6 +372,73 @@ mod tests {
     #[should_panic(expected = "without samples")]
     fn rejects_empty_samples() {
         OpModel::fit(OpKind::Relu, GpuModel::V100, &[]);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_fit_at_every_prefix() {
+        // Mildly noisy near-linear data: exercises linear-vs-quadratic
+        // selection and the small-prefix fallbacks alike.
+        let samples: Vec<(Features, f64)> = (1..30)
+            .map(|i| {
+                let x = i as f64;
+                (feat(x), 4.0 * x + 25.0 + (x * 1.3).sin() * 2.0)
+            })
+            .collect();
+        let mut acc = OpModelAccumulator::new(OpKind::Conv2D, GpuModel::V100, true);
+        assert!(acc.is_empty());
+        for n in 0..samples.len() {
+            let (f, y) = &samples[n];
+            acc.push(f, *y);
+            let incremental = acc.fit().expect("non-empty accumulator");
+            let batch = OpModel::fit(OpKind::Conv2D, GpuModel::V100, &samples[..=n]);
+            // PartialEq on every f64 field: bit-for-bit, no tolerance.
+            assert_eq!(incremental, batch, "prefix {} diverged", n + 1);
+        }
+        assert_eq!(acc.len(), samples.len());
+        assert_eq!(acc.kind(), OpKind::Conv2D);
+        assert_eq!(acc.gpu(), GpuModel::V100);
+    }
+
+    #[test]
+    fn accumulator_matches_linear_only_ablation() {
+        let samples: Vec<(Features, f64)> = (1..25)
+            .map(|i| {
+                let x = i as f64;
+                (feat(x), 0.3 * x * x + x)
+            })
+            .collect();
+        let mut acc = OpModelAccumulator::new(OpKind::Conv2DBackpropFilter, GpuModel::K80, false);
+        for (f, y) in &samples {
+            acc.push(f, *y);
+        }
+        let batch =
+            OpModel::fit_with_forms(OpKind::Conv2DBackpropFilter, GpuModel::K80, &samples, false);
+        assert_eq!(acc.fit().unwrap(), batch);
+        assert_eq!(batch.form(), ModelForm::Linear);
+    }
+
+    #[test]
+    fn accumulator_poisons_on_non_finite_like_batch() {
+        // A NaN target fails the whole batch regression (the design is
+        // validated as a unit), leaving the mean fallback — whose mean is
+        // itself NaN-free only if the samples are. The incremental path must
+        // agree: poisoned regression, same fallback arithmetic.
+        let mut samples: Vec<(Features, f64)> =
+            (1..10).map(|i| (feat(i as f64), 2.0 * i as f64)).collect();
+        samples.push((feat(f64::NAN), 3.0));
+        let mut acc = OpModelAccumulator::new(OpKind::Relu, GpuModel::T4, true);
+        for (f, y) in &samples {
+            acc.push(f, *y);
+        }
+        let batch = OpModel::fit(OpKind::Relu, GpuModel::T4, &samples);
+        assert_eq!(acc.fit().unwrap(), batch);
+        assert_eq!(batch.form(), ModelForm::MeanFallback);
+    }
+
+    #[test]
+    fn empty_accumulator_fits_none() {
+        let acc = OpModelAccumulator::new(OpKind::Relu, GpuModel::V100, true);
+        assert!(acc.fit().is_none());
     }
 
     #[test]

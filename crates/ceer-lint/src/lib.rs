@@ -94,17 +94,21 @@ impl Config {
     /// Graph-rule roots:
     ///
     /// * `nondeterminism-taint` entries are the simulator substrate
-    ///   (`ceer-sim`), the cluster state machines, and the serve request
-    ///   path (`app.rs`, `conn.rs`, `evented.rs`) — everything that must
-    ///   replay bit-identically under `ceer-sim`. The real transport
-    ///   boundary (`tcp.rs`, the blocking `server.rs`/`client.rs`/
-    ///   `http.rs` stack) is sink-exempt: owning sockets and wall clocks
-    ///   is its job, but taint still *flows through* it.
+    ///   (`ceer-sim`), the cluster state machines, the online-learning
+    ///   decision loop (`ceer-online`, whose whole contract is seeded
+    ///   replay), and the serve request path (`app.rs`, `conn.rs`,
+    ///   `evented.rs`) — everything that must replay bit-identically
+    ///   under `ceer-sim`. The real transport boundary (`tcp.rs`, the
+    ///   blocking `server.rs`/`client.rs`/`http.rs` stack) is
+    ///   sink-exempt: owning sockets and wall clocks is its job, but
+    ///   taint still *flows through* it.
     /// * `panic-reachability` roots are every fn in the serve request
     ///   path plus the `pub` API of the `ceer-core` estimate/recommend/
-    ///   report modules; `[..]`-indexing counts as a sink only inside
-    ///   the serving stack and that API (numeric kernels index slices
-    ///   behind explicit length checks).
+    ///   report modules and of `ceer-online` (its engine runs on the
+    ///   serving drain thread, where a panic would kill the loop);
+    ///   `[..]`-indexing counts as a sink only inside the serving stack
+    ///   and those APIs (numeric kernels index slices behind explicit
+    ///   length checks).
     /// * `blocking-in-reactor` roots are the evented state machines.
     pub fn ceer() -> Self {
         let serve_request_path = vec![
@@ -128,6 +132,7 @@ impl Config {
                         "crates/ceer-cluster/src/ring.rs".to_string(),
                         "crates/ceer-cluster/src/router.rs".to_string(),
                         "crates/ceer-cluster/src/shard.rs".to_string(),
+                        "crates/ceer-online/src/".to_string(),
                     ];
                     v.extend(serve_request_path.iter().cloned());
                     v
@@ -147,12 +152,14 @@ impl Config {
                     "crates/ceer-core/src/estimate.rs".to_string(),
                     "crates/ceer-core/src/recommend.rs".to_string(),
                     "crates/ceer-core/src/report.rs".to_string(),
+                    "crates/ceer-online/src/".to_string(),
                 ],
                 panic_index_sinks: vec![
                     "crates/ceer-serve/src/".to_string(),
                     "crates/ceer-core/src/estimate.rs".to_string(),
                     "crates/ceer-core/src/recommend.rs".to_string(),
                     "crates/ceer-core/src/report.rs".to_string(),
+                    "crates/ceer-online/src/".to_string(),
                 ],
                 reactor: serve_request_path,
             },

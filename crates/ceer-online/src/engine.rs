@@ -1,0 +1,611 @@
+//! The online-learning state machine: ingest observations, detect drift,
+//! request refits, and judge candidate models over a seeded A/B split.
+//!
+//! The engine is transport-agnostic and purely deterministic: it never
+//! reads clocks or RNGs, and every map it iterates is ordered. The serving
+//! side (ceer-serve) owns the registry, the traffic split, and the fault
+//! sites; the engine owns the decisions. Feeding two engines the same
+//! record stream yields identical [`Action`] logs and identical
+//! [`EngineStatus`] snapshots.
+
+use std::collections::BTreeMap;
+
+use ceer_core::features::Features;
+use ceer_core::CeerModel;
+use ceer_gpusim::GpuModel;
+use ceer_graph::OpKind;
+use serde::{Deserialize, Serialize};
+
+use crate::drift::{DriftDetector, DriftPolicy};
+use crate::refit::RefitPool;
+
+/// Tuning for the closed loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Drift policy applied to every (op kind, GPU) pair.
+    pub policy: DriftPolicy,
+    /// Minimum accumulated samples before a pair participates in a refit.
+    pub min_refit_samples: usize,
+    /// Observations each A/B arm must serve before a verdict.
+    pub eval_observations: u64,
+    /// Percent of traffic (0–100) routed to a candidate during evaluation.
+    /// Consumed by the serving registry, carried here so one config drives
+    /// the whole loop.
+    pub candidate_percent: u8,
+    /// Whether refits may select the quadratic form (mirrors offline fit).
+    pub allow_quadratic: bool,
+    /// Observations to ignore drift for after an aborted or failed
+    /// candidate, preventing an abort → immediate-refire loop while the
+    /// world is still drifted but the pool has nothing new to offer.
+    pub abort_cooldown: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            policy: DriftPolicy::default(),
+            min_refit_samples: 12,
+            eval_observations: 8,
+            candidate_percent: 50,
+            allow_quadratic: true,
+            abort_cooldown: 32,
+        }
+    }
+}
+
+/// One operation inside a [`Record`]: the ground truth next to what the
+/// serving model would predict for the same instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpObservation {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Regression features of the instance.
+    pub features: Features,
+    /// Observed (simulated) compute time, µs.
+    pub true_us: f64,
+    /// The serving model's prediction for the same instance, µs.
+    pub predicted_us: f64,
+}
+
+/// One reconciled observation: a served prediction joined with its ground
+/// truth, attributed to the model version that answered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Registry version that served the prediction.
+    pub version: u64,
+    /// GPU model of the configuration.
+    pub gpu: GpuModel,
+    /// Served iteration-time prediction, µs.
+    pub predicted_iteration_us: f64,
+    /// Observed iteration time, µs.
+    pub true_iteration_us: f64,
+    /// Per-operation observations.
+    pub ops: Vec<OpObservation>,
+}
+
+/// A decision emitted by [`OnlineEngine::ingest`]. The serving controller
+/// executes it (builds/installs/promotes/drops) and reports back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Drift confirmed: refit the listed pairs and install the result as a
+    /// candidate version.
+    BuildCandidate {
+        /// Pairs with enough accumulated samples to refit.
+        pairs: Vec<(OpKind, GpuModel)>,
+    },
+    /// The candidate out-predicted the incumbent over the A/B split.
+    Promote {
+        /// Registry version of the winning candidate.
+        candidate: u64,
+    },
+    /// The incumbent held; drop the candidate and keep serving.
+    Abort {
+        /// Registry version of the losing candidate.
+        candidate: u64,
+    },
+}
+
+/// Per-version prediction-accuracy accounting, surfaced in `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct VersionAccuracy {
+    /// Reconciled observations attributed to this version.
+    pub observations: u64,
+    /// Sum of absolute relative iteration-time errors.
+    pub abs_rel_err_sum: f64,
+}
+
+impl VersionAccuracy {
+    /// Mean absolute relative error, or 0 when unobserved.
+    pub fn mean_abs_rel_err(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.abs_rel_err_sum / self.observations as f64
+        }
+    }
+}
+
+/// A serializable snapshot of the loop, embedded in `/metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineStatus {
+    /// `"observing"`, `"collecting"`, `"refitting"`, or `"evaluating"`.
+    pub phase: String,
+    /// Reconciled observations ingested.
+    pub observations: u64,
+    /// Latency samples drained from the observation ring.
+    pub latency_records: u64,
+    /// Drift declarations that led to a refit request.
+    pub drift_events: u64,
+    /// Candidates successfully built and installed.
+    pub refits: u64,
+    /// Candidates promoted to incumbent.
+    pub promotions: u64,
+    /// Candidates aborted after losing the A/B evaluation.
+    pub aborts: u64,
+    /// Refits that failed to produce a usable candidate.
+    pub refit_failures: u64,
+    /// Per-version accuracy, ordered by registry version.
+    pub versions: Vec<(u64, VersionAccuracy)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    /// Watching residuals, waiting for drift.
+    Observing,
+    /// Drift declared; the refit pool was cleared at the change-point and
+    /// is accumulating post-drift observations until enough pairs qualify.
+    Collecting,
+    /// A `BuildCandidate` was emitted; waiting for the controller to report
+    /// `candidate_built` or `refit_failed`.
+    Refitting,
+    /// Incumbent and candidate are splitting traffic.
+    Evaluating { incumbent: u64, candidate: u64, incumbent_arm: ArmScore, candidate_arm: ArmScore },
+}
+
+/// One A/B arm's accumulated evidence. The op-level residual is the
+/// sharp signal (the refit directly targets it); the iteration-level
+/// residual carries a structural floor (sync/load components the op
+/// models do not predict) but is the end-to-end guardrail — a candidate
+/// whose op models improved while its iteration predictions collapsed
+/// (e.g. corrupted additive estimators) must still lose.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct ArmScore {
+    observations: u64,
+    op_err_sum: f64,
+    iter_err_sum: f64,
+}
+
+impl ArmScore {
+    fn mean_op_err(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.op_err_sum / self.observations as f64
+        }
+    }
+
+    fn mean_iter_err(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.iter_err_sum / self.observations as f64
+        }
+    }
+}
+
+/// How much worse than the incumbent's a candidate's iteration-level
+/// error may run and still be promoted: the op-level comparison decides,
+/// and this bound only vetoes end-to-end collapses (small-sample noise in
+/// the structural floor must not flip verdicts).
+const ITER_REGRESSION_TOLERANCE: f64 = 1.2;
+
+/// The closed-loop decision engine. See the crate docs for the protocol.
+#[derive(Debug)]
+pub struct OnlineEngine {
+    config: OnlineConfig,
+    pool: RefitPool,
+    detectors: BTreeMap<(OpKind, GpuModel), DriftDetector>,
+    phase: Phase,
+    accuracy: BTreeMap<u64, VersionAccuracy>,
+    decisions: Vec<Action>,
+    cooldown: u64,
+    observations: u64,
+    latency_records: u64,
+    drift_events: u64,
+    refits: u64,
+    promotions: u64,
+    aborts: u64,
+    refit_failures: u64,
+}
+
+impl OnlineEngine {
+    /// A fresh engine in the observing phase.
+    pub fn new(config: OnlineConfig) -> Self {
+        OnlineEngine {
+            pool: RefitPool::new(config.allow_quadratic),
+            config,
+            detectors: BTreeMap::new(),
+            phase: Phase::Observing,
+            accuracy: BTreeMap::new(),
+            decisions: Vec::new(),
+            cooldown: 0,
+            observations: 0,
+            latency_records: 0,
+            drift_events: 0,
+            refits: 0,
+            promotions: 0,
+            aborts: 0,
+            refit_failures: 0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Ingests one reconciled observation; returns a decision when the
+    /// record tips the state machine.
+    pub fn ingest(&mut self, record: &Record) -> Option<Action> {
+        self.observations += 1;
+        let iter_err = rel_residual(record.true_iteration_us, record.predicted_iteration_us);
+        let acc = self.accuracy.entry(record.version).or_default();
+        acc.observations += 1;
+        acc.abs_rel_err_sum += iter_err.abs();
+        for op in &record.ops {
+            self.pool.fold(op.kind, record.gpu, &op.features, op.true_us);
+        }
+        match &mut self.phase {
+            Phase::Observing => {
+                // One detector observation per (kind, GPU) per *record*: the
+                // mean residual across that kind's instances. Per-instance
+                // feeding would let the window's batch composition wander
+                // (residual magnitude varies with batch size), firing on
+                // traffic mix instead of drift; per-record aggregation keeps
+                // every window spanning the same number of requests.
+                let mut per_kind: BTreeMap<OpKind, (f64, u32)> = BTreeMap::new();
+                for op in &record.ops {
+                    let entry = per_kind.entry(op.kind).or_insert((0.0, 0));
+                    entry.0 += rel_residual(op.true_us, op.predicted_us);
+                    entry.1 += 1;
+                }
+                let mut fired = false;
+                for (kind, (sum, n)) in per_kind {
+                    let detector = self
+                        .detectors
+                        .entry((kind, record.gpu))
+                        .or_insert_with(|| DriftDetector::new(self.config.policy));
+                    let hit = detector.observe(sum / n as f64);
+                    fired |= hit;
+                }
+                if self.cooldown > 0 {
+                    self.cooldown -= 1;
+                    return None;
+                }
+                if !fired {
+                    return None;
+                }
+                // The change-point splits the stream: everything accumulated
+                // before it describes the world the incumbent was fit on, so
+                // refitting from it would blend two regimes. Start the pool
+                // over and gather post-drift observations only.
+                self.drift_events += 1;
+                self.pool = RefitPool::new(self.config.allow_quadratic);
+                self.phase = Phase::Collecting;
+                None
+            }
+            Phase::Collecting => {
+                let coverage = self.pool.coverage();
+                let min = self.config.min_refit_samples;
+                let qualified: Vec<(OpKind, GpuModel)> =
+                    coverage.iter().filter(|&&(_, n)| n >= min).map(|&(pair, _)| pair).collect();
+                if qualified.is_empty() {
+                    // Data-starved: the pool fills a little on every record.
+                    return None;
+                }
+                // Refitting the moment the *first* pair qualifies would ship
+                // a candidate that fixes only the most frequent op; once
+                // promoted, the detectors re-baseline over the still-stale
+                // pairs and the drift goes unfixable. Wait for every pair
+                // the post-drift traffic has touched — bounded by a
+                // saturation valve so one rare op cannot stall the refit
+                // forever.
+                let all_ready = qualified.len() == coverage.len();
+                let saturated = coverage.iter().any(|&(_, n)| n >= min.saturating_mul(8));
+                if !all_ready && !saturated {
+                    return None;
+                }
+                self.phase = Phase::Refitting;
+                let action = Action::BuildCandidate { pairs: qualified };
+                self.decisions.push(action.clone());
+                Some(action)
+            }
+            Phase::Refitting => None,
+            Phase::Evaluating { incumbent, candidate, incumbent_arm, candidate_arm } => {
+                let op_err = mean_abs_op_residual(record)?;
+                let arm = if record.version == *candidate {
+                    &mut *candidate_arm
+                } else if record.version == *incumbent {
+                    &mut *incumbent_arm
+                } else {
+                    return None;
+                };
+                // The guardrail normalizes by *truth*, not prediction: an
+                // error relative to the prediction saturates at 1 for any
+                // gross overprediction, letting a collapsed candidate hide
+                // behind a drifted incumbent's inflated error level.
+                arm.observations += 1;
+                arm.op_err_sum += op_err;
+                arm.iter_err_sum += (record.predicted_iteration_us - record.true_iteration_us)
+                    .abs()
+                    / record.true_iteration_us.max(1.0);
+                if incumbent_arm.observations < self.config.eval_observations
+                    || candidate_arm.observations < self.config.eval_observations
+                {
+                    return None;
+                }
+                let candidate = *candidate;
+                let wins = candidate_arm.mean_op_err() < incumbent_arm.mean_op_err()
+                    && candidate_arm.mean_iter_err()
+                        <= incumbent_arm.mean_iter_err() * ITER_REGRESSION_TOLERANCE;
+                self.phase = Phase::Observing;
+                let action = if wins {
+                    // The promoted model is the new baseline: start the
+                    // detectors over against it.
+                    for detector in self.detectors.values_mut() {
+                        detector.reset();
+                    }
+                    self.promotions += 1;
+                    Action::Promote { candidate }
+                } else {
+                    // The incumbent keeps serving a world that is still
+                    // drifted — keep the detectors' accumulated state so the
+                    // drift refires once the cooldown expires (a reset would
+                    // re-baseline them to the drifted residuals and go
+                    // permanently quiet).
+                    self.aborts += 1;
+                    self.cooldown = self.config.abort_cooldown;
+                    Action::Abort { candidate }
+                };
+                self.decisions.push(action.clone());
+                Some(action)
+            }
+        }
+    }
+
+    /// Counts one latency sample drained from the observation ring.
+    pub fn note_latency(&mut self) {
+        self.latency_records += 1;
+    }
+
+    /// Builds the candidate model a [`Action::BuildCandidate`] asked for:
+    /// `base` with each listed pair refitted from the accumulated
+    /// observations.
+    pub fn build_candidate(
+        &self,
+        base: &CeerModel,
+        pairs: &[(OpKind, GpuModel)],
+    ) -> Option<CeerModel> {
+        self.pool.candidate(base, pairs, self.config.min_refit_samples)
+    }
+
+    /// Reports that the candidate was installed under `candidate`, splitting
+    /// traffic with `incumbent`; the engine moves to the evaluating phase.
+    pub fn candidate_built(&mut self, incumbent: u64, candidate: u64) {
+        debug_assert!(matches!(self.phase, Phase::Refitting));
+        self.refits += 1;
+        self.phase = Phase::Evaluating {
+            incumbent,
+            candidate,
+            incumbent_arm: ArmScore::default(),
+            candidate_arm: ArmScore::default(),
+        };
+    }
+
+    /// Reports that the requested refit produced no usable candidate; the
+    /// engine returns to observing under cooldown.
+    pub fn refit_failed(&mut self) {
+        self.refit_failures += 1;
+        self.phase = Phase::Observing;
+        self.cooldown = self.config.abort_cooldown;
+    }
+
+    /// The ordered decision log since construction.
+    pub fn decisions(&self) -> &[Action] {
+        &self.decisions
+    }
+
+    /// A serializable snapshot for `/metrics` and replay assertions.
+    pub fn status(&self) -> EngineStatus {
+        let phase = match self.phase {
+            Phase::Observing => "observing",
+            Phase::Collecting => "collecting",
+            Phase::Refitting => "refitting",
+            Phase::Evaluating { .. } => "evaluating",
+        };
+        EngineStatus {
+            phase: phase.to_string(),
+            observations: self.observations,
+            latency_records: self.latency_records,
+            drift_events: self.drift_events,
+            refits: self.refits,
+            promotions: self.promotions,
+            aborts: self.aborts,
+            refit_failures: self.refit_failures,
+            versions: self.accuracy.iter().map(|(&v, &a)| (v, a)).collect(),
+        }
+    }
+}
+
+/// Signed relative residual; the 1 µs floor keeps tiny predictions from
+/// exploding the ratio.
+fn rel_residual(true_us: f64, predicted_us: f64) -> f64 {
+    (true_us - predicted_us) / predicted_us.max(1.0)
+}
+
+/// Mean absolute op-level relative residual of one record, or `None` for a
+/// record with no attributable ops (it cannot score an A/B arm).
+fn mean_abs_op_residual(record: &Record) -> Option<f64> {
+    if record.ops.is_empty() {
+        return None;
+    }
+    let sum: f64 =
+        record.ops.iter().map(|op| rel_residual(op.true_us, op.predicted_us).abs()).sum();
+    Some(sum / record.ops.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(x: f64) -> Features {
+        Features { linear: vec![x], quadratic_extra: vec![x * x] }
+    }
+
+    /// A record whose ops (and iteration) run `err` relative to prediction.
+    fn record(version: u64, i: u64, err: f64) -> Record {
+        let x = (i % 17) as f64 + 1.0;
+        let predicted = 50.0 + 3.0 * x;
+        Record {
+            version,
+            gpu: GpuModel::V100,
+            predicted_iteration_us: predicted,
+            true_iteration_us: predicted * (1.0 + err),
+            ops: vec![OpObservation {
+                kind: OpKind::Conv2D,
+                features: feat(x),
+                true_us: predicted * (1.0 + err),
+                predicted_us: predicted,
+            }],
+        }
+    }
+
+    fn quick_config() -> OnlineConfig {
+        OnlineConfig { eval_observations: 3, abort_cooldown: 5, ..OnlineConfig::default() }
+    }
+
+    #[test]
+    fn calm_traffic_never_decides() {
+        let mut engine = OnlineEngine::new(quick_config());
+        for i in 0..300 {
+            let calm = ((i % 7) as f64 - 3.0) * 0.01;
+            assert_eq!(engine.ingest(&record(1, i, calm)), None, "spurious action at {i}");
+        }
+        let status = engine.status();
+        assert_eq!(status.phase, "observing");
+        assert_eq!(status.drift_events, 0);
+        assert_eq!(status.observations, 300);
+        assert!(engine.decisions().is_empty());
+    }
+
+    /// Drives an engine through calm baseline then drift until it requests
+    /// a candidate; returns the observation index it fired at.
+    fn drive_to_build(engine: &mut OnlineEngine) -> u64 {
+        for i in 0..100 {
+            assert_eq!(engine.ingest(&record(1, i, 0.0)), None);
+        }
+        for i in 100..200 {
+            if let Some(action) = engine.ingest(&record(1, i, 0.3)) {
+                match action {
+                    Action::BuildCandidate { pairs } => {
+                        assert_eq!(pairs, vec![(OpKind::Conv2D, GpuModel::V100)]);
+                        return i;
+                    }
+                    other => panic!("expected BuildCandidate, got {other:?}"),
+                }
+            }
+        }
+        panic!("drift never fired");
+    }
+
+    #[test]
+    fn drift_then_winning_candidate_promotes() {
+        let mut engine = OnlineEngine::new(quick_config());
+        drive_to_build(&mut engine);
+        assert_eq!(engine.status().phase, "refitting");
+        engine.candidate_built(1, 2);
+        assert_eq!(engine.status().phase, "evaluating");
+        // Candidate predicts the drifted world well; incumbent is 30% off.
+        let mut verdict = None;
+        for i in 0..10 {
+            let (version, err) = if i % 2 == 0 { (2, 0.01) } else { (1, 0.3) };
+            if let Some(action) = engine.ingest(&record(version, i, err)) {
+                verdict = Some(action);
+                break;
+            }
+        }
+        assert_eq!(verdict, Some(Action::Promote { candidate: 2 }));
+        let status = engine.status();
+        assert_eq!((status.promotions, status.aborts), (1, 0));
+        assert_eq!(status.phase, "observing");
+    }
+
+    #[test]
+    fn losing_candidate_aborts_and_cooldown_holds() {
+        let mut engine = OnlineEngine::new(quick_config());
+        let fired_at = drive_to_build(&mut engine);
+        engine.candidate_built(1, 2);
+        // Candidate is corrupted: wildly worse than the drifted incumbent.
+        let mut verdict = None;
+        for i in 0..10 {
+            let (version, err) = if i % 2 == 0 { (2, 5.0) } else { (1, 0.3) };
+            if let Some(action) = engine.ingest(&record(version, i, err)) {
+                verdict = Some(action);
+                break;
+            }
+        }
+        assert_eq!(verdict, Some(Action::Abort { candidate: 2 }));
+        assert_eq!(engine.status().aborts, 1);
+        // Cooldown: the still-drifted world must not refire immediately...
+        for i in 0..engine.config().abort_cooldown {
+            assert_eq!(engine.ingest(&record(1, fired_at + i, 0.3)), None);
+        }
+        // ...but does refire once the cooldown expires and drift persists.
+        let refired = (0..200).any(|i| engine.ingest(&record(1, i, 0.3)).is_some());
+        assert!(refired, "persistent drift must eventually refire after cooldown");
+        assert_eq!(engine.status().drift_events, 2);
+    }
+
+    #[test]
+    fn failed_refit_backs_off() {
+        let mut engine = OnlineEngine::new(quick_config());
+        drive_to_build(&mut engine);
+        engine.refit_failed();
+        let status = engine.status();
+        assert_eq!(status.phase, "observing");
+        assert_eq!(status.refit_failures, 1);
+        assert_eq!(status.refits, 0);
+    }
+
+    #[test]
+    fn per_version_accuracy_attributes_by_version() {
+        let mut engine = OnlineEngine::new(quick_config());
+        for i in 0..10 {
+            engine.ingest(&record(1, i, 0.1));
+        }
+        for i in 0..5 {
+            engine.ingest(&record(2, i, 0.02));
+        }
+        let status = engine.status();
+        let arm = |v: u64| status.versions.iter().find(|(ver, _)| *ver == v).unwrap().1;
+        assert_eq!(arm(1).observations, 10);
+        assert_eq!(arm(2).observations, 5);
+        assert!((arm(1).mean_abs_rel_err() - 0.1).abs() < 1e-9);
+        assert!((arm(2).mean_abs_rel_err() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_streams_yield_identical_engines() {
+        let mut a = OnlineEngine::new(quick_config());
+        let mut b = OnlineEngine::new(quick_config());
+        for i in 0..150 {
+            let err = if i < 100 { 0.0 } else { 0.3 };
+            assert_eq!(a.ingest(&record(1, i, err)), b.ingest(&record(1, i, err)));
+        }
+        assert_eq!(a.decisions(), b.decisions());
+        assert_eq!(a.status(), b.status());
+        let json = serde_json::to_string(&a.status()).unwrap();
+        let back: EngineStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a.status());
+    }
+}

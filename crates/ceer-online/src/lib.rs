@@ -1,0 +1,46 @@
+//! Closed-loop online learning for the Ceer serving stack.
+//!
+//! The paper fits its operation-time models offline from profiled records,
+//! but a serving deployment keeps generating fresh runtime observations on
+//! every `/predict`. This crate closes the loop the Habitat/PROFET line of
+//! work motivates (runtime records are the strongest predictor signal, and
+//! models must stay current as the fleet shifts):
+//!
+//! 1. **Observe** — serving transports tap every prediction (and every
+//!    request latency) into a bounded [`ObservationRing`]; drops are counted
+//!    as shed, never silent.
+//! 2. **Ground truth** — a deterministic [`World`] replays the "real"
+//!    runtime for each observed configuration through the `ceer-trainer`
+//!    simulator; its `time_scale` knob injects fleet drift.
+//! 3. **Drift-detect** — per-(op kind, GPU) [`DriftDetector`]s (Page–
+//!    Hinkley or a windowed error ratio) watch prediction residuals.
+//! 4. **Refit incrementally** — a [`RefitPool`] folds observations into
+//!    per-(op kind, GPU) sufficient-statistics accumulators
+//!    ([`ceer_core::OpModelAccumulator`]); a refit solves the accumulated
+//!    normal equations instead of refitting from scratch, bit-identical to
+//!    the batch fit by construction.
+//! 5. **Promote via A/B** — the [`OnlineEngine`] state machine installs the
+//!    refreshed model as a *candidate*, compares per-version accuracy over a
+//!    seeded traffic split, and emits a promote-or-abort decision. The
+//!    registry side (version pinning, seeded routing) lives in `ceer-serve`.
+//!
+//! Everything here is deterministic: no ambient time, no ambient RNG, all
+//! maps ordered. Driven from a seeded replay, the entire decision log and
+//! every counter are a pure function of the seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drift;
+mod engine;
+mod refit;
+mod ring;
+mod truth;
+
+pub use drift::{DriftDetector, DriftPolicy};
+pub use engine::{
+    Action, EngineStatus, OnlineConfig, OnlineEngine, OpObservation, Record, VersionAccuracy,
+};
+pub use refit::{corrupt_candidate, RefitPool};
+pub use ring::{LatencySample, ObservationRing, PredictSample, RingStats, Sample};
+pub use truth::{OpTruth, Truth, World};

@@ -1,0 +1,173 @@
+//! The incremental refitter: per-(op kind, GPU) sufficient-statistics
+//! accumulators and candidate-model assembly.
+
+use std::collections::BTreeMap;
+
+use ceer_core::features::Features;
+use ceer_core::{CeerModel, OpModelAccumulator};
+use ceer_gpusim::GpuModel;
+use ceer_graph::OpKind;
+
+/// Estimator scale applied by [`corrupt_candidate`]: large enough that a
+/// corrupted candidate loses any A/B comparison decisively.
+const CORRUPTION_SCALE: f64 = 64.0;
+
+/// Accumulated online observations, one [`OpModelAccumulator`] per
+/// (op kind, GPU) pair.
+///
+/// Folding is O(p²) per sample (extending the normal equations); a refit
+/// solves the accumulated system without revisiting old samples, and is
+/// bit-identical to batch-fitting the same sample stream from scratch
+/// (guaranteed by construction — see `ceer_core::opmodel`).
+#[derive(Debug, Clone)]
+pub struct RefitPool {
+    allow_quadratic: bool,
+    accumulators: BTreeMap<(OpKind, GpuModel), OpModelAccumulator>,
+}
+
+impl RefitPool {
+    /// An empty pool. `allow_quadratic` mirrors the offline fit's form
+    /// selection switch.
+    pub fn new(allow_quadratic: bool) -> Self {
+        RefitPool { allow_quadratic, accumulators: BTreeMap::new() }
+    }
+
+    /// Folds one observed `(features, true compute time µs)` sample.
+    pub fn fold(&mut self, kind: OpKind, gpu: GpuModel, features: &Features, true_us: f64) {
+        self.accumulators
+            .entry((kind, gpu))
+            .or_insert_with(|| OpModelAccumulator::new(kind, gpu, self.allow_quadratic))
+            .push(features, true_us);
+    }
+
+    /// Samples accumulated for one pair.
+    pub fn samples(&self, kind: OpKind, gpu: GpuModel) -> usize {
+        self.accumulators.get(&(kind, gpu)).map_or(0, OpModelAccumulator::len)
+    }
+
+    /// Number of pairs with at least one sample.
+    pub fn pairs(&self) -> usize {
+        self.accumulators.len()
+    }
+
+    /// Every pair with at least one sample, with its sample count, in
+    /// deterministic (ordered) pair order.
+    pub fn coverage(&self) -> Vec<((OpKind, GpuModel), usize)> {
+        self.accumulators.iter().map(|(&pair, acc)| (pair, acc.len())).collect()
+    }
+
+    /// Builds a candidate model: `base` with every listed pair's regression
+    /// replaced by a refit from the accumulated online observations. Pairs
+    /// with fewer than `min_samples` observations are skipped (their
+    /// incumbent regression is kept). Returns `None` when no pair could be
+    /// refitted — there is nothing to promote.
+    pub fn candidate(
+        &self,
+        base: &CeerModel,
+        pairs: &[(OpKind, GpuModel)],
+        min_samples: usize,
+    ) -> Option<CeerModel> {
+        let mut refitted = 0usize;
+        let mut model = base.clone();
+        for &(kind, gpu) in pairs {
+            let Some(acc) = self.accumulators.get(&(kind, gpu)) else { continue };
+            if acc.len() < min_samples {
+                continue;
+            }
+            let Some(op_model) = acc.fit() else { continue };
+            model = model.with_op_model(op_model);
+            refitted += 1;
+        }
+        (refitted > 0).then_some(model)
+    }
+}
+
+/// Deterministically corrupts a candidate model, simulating a refit that
+/// went numerically wrong in flight (the `online.candidate` fault site):
+/// the light/CPU estimator terms are scaled by [`CORRUPTION_SCALE`], so the
+/// candidate grossly overpredicts every iteration and must lose the A/B
+/// evaluation — the promotion protocol's safety property under test.
+pub fn corrupt_candidate(candidate: &CeerModel) -> CeerModel {
+    candidate.with_estimators(
+        candidate.light_median_us() * CORRUPTION_SCALE,
+        candidate.cpu_median_us() * CORRUPTION_SCALE,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceer_core::{Ceer, FitConfig, OpModel};
+    use ceer_graph::models::CnnId;
+
+    fn tiny_model() -> CeerModel {
+        Ceer::fit(&FitConfig {
+            cnns: vec![CnnId::Vgg11],
+            iterations: 3,
+            parallel_degrees: vec![1],
+            seed: 5,
+            ..FitConfig::default()
+        })
+    }
+
+    fn feat(primary: f64) -> Features {
+        Features { linear: vec![primary], quadratic_extra: vec![primary * primary] }
+    }
+
+    #[test]
+    fn candidate_replaces_only_refitted_pairs() {
+        let base = tiny_model();
+        let mut pool = RefitPool::new(true);
+        for i in 1..20 {
+            pool.fold(OpKind::Relu, GpuModel::V100, &feat(i as f64), 7.0 * i as f64);
+        }
+        let candidate = pool
+            .candidate(&base, &[(OpKind::Relu, GpuModel::V100)], 8)
+            .expect("enough samples to refit");
+        let refit = candidate.op_model(OpKind::Relu, GpuModel::V100).unwrap();
+        assert_eq!(refit.samples(), 19);
+        // An untouched pair keeps the incumbent regression.
+        assert_eq!(
+            candidate.op_model(OpKind::Conv2D, GpuModel::V100),
+            base.op_model(OpKind::Conv2D, GpuModel::V100)
+        );
+    }
+
+    #[test]
+    fn refit_is_bit_identical_to_batch() {
+        let samples: Vec<(Features, f64)> =
+            (1..30).map(|i| (feat(i as f64), 3.0 * i as f64 + 2.0)).collect();
+        let mut pool = RefitPool::new(true);
+        for (f, y) in &samples {
+            pool.fold(OpKind::MatMul, GpuModel::T4, f, *y);
+        }
+        let base = tiny_model();
+        let candidate = pool.candidate(&base, &[(OpKind::MatMul, GpuModel::T4)], 1).unwrap();
+        let batch = OpModel::fit(OpKind::MatMul, GpuModel::T4, &samples);
+        assert_eq!(candidate.op_model(OpKind::MatMul, GpuModel::T4).unwrap(), &batch);
+    }
+
+    #[test]
+    fn underfed_pairs_yield_no_candidate() {
+        let base = tiny_model();
+        let mut pool = RefitPool::new(true);
+        pool.fold(OpKind::Relu, GpuModel::V100, &feat(1.0), 5.0);
+        assert!(pool.candidate(&base, &[(OpKind::Relu, GpuModel::V100)], 8).is_none());
+        assert!(pool.candidate(&base, &[(OpKind::MatMul, GpuModel::K80)], 1).is_none());
+        assert_eq!(pool.samples(OpKind::Relu, GpuModel::V100), 1);
+        assert_eq!(pool.pairs(), 1);
+    }
+
+    #[test]
+    fn corruption_scales_estimators() {
+        let base = tiny_model();
+        let bad = corrupt_candidate(&base);
+        assert!(bad.light_median_us() > base.light_median_us() * 10.0);
+        assert!(bad.cpu_median_us() > base.cpu_median_us() * 10.0);
+        // Op regressions are untouched; only the additive terms blow up.
+        assert_eq!(
+            bad.op_model(OpKind::Conv2D, GpuModel::K80),
+            base.op_model(OpKind::Conv2D, GpuModel::K80)
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! The bounded observation ring connecting serving transports to the
+//! online-learning worker.
+//!
+//! Producers (request handlers, cluster shards) push one [`Sample`] per
+//! served prediction and per recorded request latency; the online worker
+//! drains in push order. The ring is bounded: when full, the *incoming*
+//! sample is shed and counted, so the request path never blocks on the
+//! learner and no loss is silent — at any quiescent point
+//! `pushed == shed + drained + depth` ([`RingStats`]).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use ceer_gpusim::GpuModel;
+use ceer_graph::models::CnnId;
+use serde::{Deserialize, Serialize};
+
+/// One observed `/predict` outcome for a single GPU model: what the served
+/// model claimed, and enough of the request to reconstruct the simulated
+/// ground truth deterministically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictSample {
+    /// Registry version of the model that answered.
+    pub version: u64,
+    /// The CNN predicted for.
+    pub cnn: CnnId,
+    /// The GPU model predicted for.
+    pub gpu: GpuModel,
+    /// Data-parallel GPU count.
+    pub gpus: u32,
+    /// Per-GPU batch size.
+    pub batch: u64,
+    /// Predicted iteration time, µs.
+    pub predicted_us: f64,
+}
+
+/// One recorded request latency. Retained beyond the metrics quantile
+/// window so downstream consumers see every sample the sketch saw.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySample {
+    /// The metrics route label (e.g. `"POST /predict"`).
+    pub route: String,
+    /// Observed handling latency, µs.
+    pub latency_us: f64,
+}
+
+/// An entry in the observation ring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Sample {
+    /// A served prediction (one per GPU model in the response).
+    Predict(PredictSample),
+    /// A request latency record.
+    Latency(LatencySample),
+}
+
+/// Ring accounting, surfaced in `/metrics`. The invariant
+/// `pushed == shed + drained + depth` reconciles every sample ever offered:
+/// nothing is lost without being counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RingStats {
+    /// Configured capacity.
+    pub capacity: u64,
+    /// Samples ever offered via [`ObservationRing::push`].
+    pub pushed: u64,
+    /// Samples dropped because the ring was full.
+    pub shed: u64,
+    /// Samples handed to the online worker.
+    pub drained: u64,
+    /// Samples currently buffered.
+    pub depth: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queue: VecDeque<Sample>,
+    pushed: u64,
+    shed: u64,
+    drained: u64,
+}
+
+/// A bounded, mutex-guarded MPMC ring of observations.
+///
+/// The critical section is a queue push or drain plus counter bumps —
+/// short enough for the request path — and the counters live *inside* the
+/// lock so [`stats`](Self::stats) is an exact snapshot, making the
+/// reconciliation invariant checkable at any instant.
+#[derive(Debug)]
+pub struct ObservationRing {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ObservationRing {
+    /// Creates a ring holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "observation ring needs a nonzero capacity");
+        ObservationRing { capacity, inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Offers one sample. Returns `false` (and counts a shed) when the ring
+    /// is full — the caller's request path proceeds regardless.
+    pub fn push(&self, sample: Sample) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.pushed += 1;
+        if inner.queue.len() >= self.capacity {
+            inner.shed += 1;
+            return false;
+        }
+        inner.queue.push_back(sample);
+        true
+    }
+
+    /// Removes and returns up to `max` samples in push order.
+    pub fn drain(&self, max: usize) -> Vec<Sample> {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let take = max.min(inner.queue.len());
+        let drained: Vec<Sample> = inner.queue.drain(..take).collect();
+        inner.drained += drained.len() as u64;
+        drop(inner);
+        drained
+    }
+
+    /// An exact accounting snapshot.
+    pub fn stats(&self) -> RingStats {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let stats = RingStats {
+            capacity: self.capacity as u64,
+            pushed: inner.pushed,
+            shed: inner.shed,
+            drained: inner.drained,
+            depth: inner.queue.len() as u64,
+        };
+        drop(inner);
+        stats
+    }
+
+    /// Buffered sample count.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency(route: &str, us: f64) -> Sample {
+        Sample::Latency(LatencySample { route: route.to_string(), latency_us: us })
+    }
+
+    #[test]
+    fn push_drain_preserves_order() {
+        let ring = ObservationRing::new(8);
+        for i in 0..5 {
+            assert!(ring.push(latency("r", i as f64)));
+        }
+        let drained = ring.drain(3);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[0], latency("r", 0.0));
+        assert_eq!(drained[2], latency("r", 2.0));
+        assert_eq!(ring.depth(), 2);
+    }
+
+    #[test]
+    fn full_ring_sheds_incoming_and_counts_it() {
+        let ring = ObservationRing::new(2);
+        assert!(ring.push(latency("a", 1.0)));
+        assert!(ring.push(latency("b", 2.0)));
+        assert!(!ring.push(latency("c", 3.0)), "third push must shed");
+        let stats = ring.stats();
+        assert_eq!((stats.pushed, stats.shed, stats.depth), (3, 1, 2));
+        // The buffered samples are the two oldest (drop-newest policy).
+        assert_eq!(ring.drain(10), vec![latency("a", 1.0), latency("b", 2.0)]);
+    }
+
+    #[test]
+    fn accounting_reconciles_at_every_step() {
+        let ring = ObservationRing::new(4);
+        for i in 0..10 {
+            ring.push(latency("r", i as f64));
+            if i % 3 == 0 {
+                ring.drain(2);
+            }
+            let s = ring.stats();
+            assert_eq!(s.pushed, s.shed + s.drained + s.depth, "lost samples at step {i}: {s:?}");
+        }
+        ring.drain(usize::MAX);
+        let s = ring.stats();
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.pushed, s.shed + s.drained);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero capacity")]
+    fn rejects_zero_capacity() {
+        ObservationRing::new(0);
+    }
+
+    #[test]
+    fn stats_serialize_for_metrics() {
+        let ring = ObservationRing::new(4);
+        ring.push(latency("r", 1.0));
+        let json = serde_json::to_string(&ring.stats()).unwrap();
+        let back: RingStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ring.stats());
+    }
+}

@@ -1,0 +1,182 @@
+//! Simulated ground truth for observed predictions.
+//!
+//! In a real deployment the "true" runtime of a configuration arrives from
+//! telemetry; in this reproduction it comes from the same `ceer-trainer`
+//! simulator the offline fit profiles with — run at the [`World`]'s current
+//! `time_scale`, which is how tests inject fleet drift (the served model
+//! was fitted at scale 1.0; the world has moved on).
+//!
+//! Determinism contract: a truth draw is a pure function of
+//! `(world seed, cnn, gpu, gpus, batch, draw index)` — repeated
+//! observations of the same configuration see fresh but reproducible noise,
+//! and the drain order fixes the draw indices, so a seeded replay
+//! reconstructs the identical truth stream.
+
+use std::collections::BTreeMap;
+
+use ceer_core::features::{self, Features};
+use ceer_gpusim::GpuModel;
+use ceer_graph::models::{Cnn, CnnId};
+use ceer_graph::{Graph, OpKind};
+use ceer_trainer::Trainer;
+
+/// Iterations per truth draw: enough to average transient noise without
+/// making the online worker's drain loop expensive.
+const TRUTH_ITERATIONS: usize = 3;
+
+/// One operation's observed ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTruth {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// The instance's regression features (from the graph alone).
+    pub features: Features,
+    /// Observed mean compute time over the draw's iterations, µs.
+    pub mean_us: f64,
+}
+
+/// The ground truth for one observed configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Truth {
+    /// Observed mean iteration time, µs.
+    pub iteration_us: f64,
+    /// Per-operation observations (every node of the training graph).
+    pub ops: Vec<OpTruth>,
+}
+
+/// The deterministic "real world" the online loop observes.
+///
+/// Holds the drift knob and caches built training graphs (building one is
+/// far more expensive than profiling a few iterations of it).
+#[derive(Debug)]
+pub struct World {
+    seed: u64,
+    time_scale: f64,
+    graphs: BTreeMap<(CnnId, u64), (Cnn, Graph)>,
+    draws: BTreeMap<(CnnId, GpuModel, u32, u64), u64>,
+}
+
+impl World {
+    /// A world in its fitted state (`time_scale` 1.0).
+    pub fn new(seed: u64) -> Self {
+        World { seed, time_scale: 1.0, graphs: BTreeMap::new(), draws: BTreeMap::new() }
+    }
+
+    /// Sets the fleet drift factor for subsequent observations (see
+    /// [`Trainer::with_time_scale`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is finite and positive (enforced by the
+    /// trainer on the next observation).
+    pub fn set_time_scale(&mut self, scale: f64) {
+        self.time_scale = scale;
+    }
+
+    /// The current drift factor.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale
+    }
+
+    /// The world seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws the ground truth for one configuration. Each call for the
+    /// same configuration advances its draw index, so repeats see fresh,
+    /// reproducible noise.
+    pub fn draw_truth(&mut self, cnn: CnnId, gpu: GpuModel, gpus: u32, batch: u64) -> Truth {
+        let draw = {
+            let counter = self.draws.entry((cnn, gpu, gpus, batch)).or_insert(0);
+            let current = *counter;
+            *counter += 1;
+            current
+        };
+        let (built, graph) = self.graphs.entry((cnn, batch)).or_insert_with(|| {
+            let built = Cnn::build(cnn, batch);
+            let graph = built.training_graph();
+            (built, graph)
+        });
+        let seed = mix(self.seed, &[cnn as u64, gpu as u64, gpus as u64, batch, draw]);
+        let profile = Trainer::new(gpu, gpus)
+            .with_seed(seed)
+            .with_time_scale(self.time_scale)
+            .profile_graph(built, graph, TRUTH_ITERATIONS);
+        let ops = profile
+            .op_stats()
+            .iter()
+            .map(|stat| OpTruth {
+                kind: stat.kind,
+                features: features::extract(graph.node(stat.node), graph),
+                mean_us: stat.mean_us,
+            })
+            .collect();
+        Truth { iteration_us: profile.iteration_mean_us(), ops }
+    }
+}
+
+/// FNV-1a-style seed mixing: cheap, stable, and spreads small integer
+/// inputs across the u64 space.
+fn mix(seed: u64, parts: &[u64]) -> u64 {
+    let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+    for &part in parts {
+        h ^= part.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_is_deterministic_per_draw_index() {
+        let mut a = World::new(7);
+        let mut b = World::new(7);
+        let ta = a.draw_truth(CnnId::AlexNet, GpuModel::V100, 1, 32);
+        let tb = b.draw_truth(CnnId::AlexNet, GpuModel::V100, 1, 32);
+        assert_eq!(ta, tb, "same seed + same draw index must match exactly");
+        // The second draw differs from the first (fresh noise) ...
+        let ta2 = a.draw_truth(CnnId::AlexNet, GpuModel::V100, 1, 32);
+        assert_ne!(ta.iteration_us, ta2.iteration_us);
+        // ... but replays identically on the other world.
+        assert_eq!(ta2, b.draw_truth(CnnId::AlexNet, GpuModel::V100, 1, 32));
+    }
+
+    #[test]
+    fn different_seeds_see_different_noise() {
+        let mut a = World::new(1);
+        let mut b = World::new(2);
+        let ta = a.draw_truth(CnnId::AlexNet, GpuModel::T4, 1, 32);
+        let tb = b.draw_truth(CnnId::AlexNet, GpuModel::T4, 1, 32);
+        assert_ne!(ta.iteration_us, tb.iteration_us);
+    }
+
+    #[test]
+    fn time_scale_slows_the_observed_world() {
+        let mut base = World::new(3);
+        let mut slow = World::new(3);
+        slow.set_time_scale(1.5);
+        assert_eq!(slow.time_scale(), 1.5);
+        let tb = base.draw_truth(CnnId::AlexNet, GpuModel::K80, 1, 32);
+        let ts = slow.draw_truth(CnnId::AlexNet, GpuModel::K80, 1, 32);
+        assert!(
+            ts.iteration_us > tb.iteration_us * 1.3,
+            "scaled world must be visibly slower: {} vs {}",
+            ts.iteration_us,
+            tb.iteration_us
+        );
+    }
+
+    #[test]
+    fn truth_covers_every_graph_node_with_features() {
+        let mut world = World::new(0);
+        let truth = world.draw_truth(CnnId::AlexNet, GpuModel::M60, 1, 16);
+        assert!(!truth.ops.is_empty());
+        assert!(truth.ops.iter().all(|op| !op.features.linear.is_empty()));
+        assert!(truth.ops.iter().all(|op| op.mean_us >= 0.0));
+    }
+}

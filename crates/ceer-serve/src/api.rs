@@ -151,6 +151,16 @@ pub struct PredictResponse {
     pub predictions: Vec<GpuPrediction>,
 }
 
+/// A `POST /reload` body. An empty request body (the original form)
+/// re-reads the model file; `{"version": N}` pins the incumbent to a
+/// retained registry version instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReloadRequest {
+    /// The retained version to pin to; `None` re-reads the backing file.
+    #[serde(default)]
+    pub version: Option<u64>,
+}
+
 /// A `POST /predict_batch` request: many predict requests answered in one
 /// round trip.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -13,15 +13,18 @@
 //! same code path with a batch of one.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use ceer_faults::Faults;
+use ceer_online::{OnlineConfig, PredictSample, Sample};
 
 use crate::api::{self, ErrorResponse};
 use crate::cache::PredictionCache;
 use crate::http::{ReadError, Response};
 use crate::metrics::{Metrics, ServerEvent};
+use crate::online::OnlineState;
 use crate::parser::RequestRef;
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, ModelVersion};
 
 /// Shared serving state: one per server, seen by every connection.
 pub struct App {
@@ -36,6 +39,9 @@ pub struct App {
     /// `true` while accepting; cleared at the start of shutdown so
     /// `GET /readyz` flips to 503 before the listener closes.
     pub ready: AtomicBool,
+    /// The closed online-learning loop, when enabled (see
+    /// [`App::enable_online`]).
+    pub online: OnceLock<OnlineState>,
 }
 
 impl App {
@@ -47,7 +53,18 @@ impl App {
             metrics: Metrics::default(),
             faults,
             ready: AtomicBool::new(true),
+            online: OnceLock::new(),
         }
+    }
+
+    /// Turns on the closed online-learning loop: every computed `/predict`
+    /// (and every recorded latency) is offered to the observation ring,
+    /// which [`OnlineState::tick`] drains. One-shot; later calls are
+    /// ignored.
+    pub fn enable_online(&self, seed: u64, config: OnlineConfig, ring_capacity: usize) {
+        let state = OnlineState::new(seed, config, ring_capacity);
+        self.metrics.set_observation_ring(Arc::clone(state.ring()));
+        let _ = self.online.set(state);
     }
 
     /// Answers one parsed request. Pure in `(model, request, cache)` —
@@ -66,7 +83,8 @@ impl App {
             ("GET", "/zoo") => ok(&api::zoo()),
             ("GET", "/catalog") => ok(&api::catalog()),
             ("GET", "/metrics") => {
-                ok(&self.metrics.snapshot(self.cache.stats(), self.registry.reloads()))
+                let online = self.online.get().map(|state| state.online_metrics(&self.registry));
+                ok(&self.metrics.snapshot(self.cache.stats(), self.registry.reloads(), online))
             }
             ("POST", "/predict") => match self.parse_predict(request.body) {
                 Err(response) => response,
@@ -80,23 +98,7 @@ impl App {
             },
             ("POST", "/predict_batch") => self.predict_batch(request.body),
             ("POST", "/recommend") => self.cached("/recommend", request.body, api::recommend),
-            ("POST", "/reload") => match self.registry.reload_with(&self.faults) {
-                Ok(reloads) => {
-                    // The cache is keyed by request only, so entries computed
-                    // with the old model are now stale.
-                    self.cache.clear();
-                    Response::json(
-                        200,
-                        format!("{{\n  \"status\": \"reloaded\",\n  \"reloads\": {reloads}\n}}"),
-                    )
-                }
-                Err(error) => {
-                    // The previous model keeps serving; the failure is counted
-                    // and reported as a structured error body.
-                    self.metrics.bump(ServerEvent::ReloadFailure);
-                    error_response(500, error)
-                }
-            },
+            ("POST", "/reload") => self.reload(request.body),
             (
                 _,
                 "/healthz" | "/readyz" | "/zoo" | "/catalog" | "/metrics" | "/predict"
@@ -125,28 +127,94 @@ impl App {
         Ok((request, key))
     }
 
-    /// Cache probe for one `/predict` request.
+    /// Handles `POST /reload`. An empty body re-reads the backing file; a
+    /// `{"version": N}` body pins the incumbent to a retained version
+    /// instead (no file I/O). Both clear the cache: its entries were
+    /// computed with the previous model.
+    fn reload(&self, body: &[u8]) -> Response {
+        if body.iter().any(|b| !b.is_ascii_whitespace()) {
+            let request: api::ReloadRequest = match serde_json::from_slice(body) {
+                Ok(request) => request,
+                Err(e) => return error_response(400, format!("invalid request body: {e}")),
+            };
+            if let Some(version) = request.version {
+                return match self.registry.pin(ModelVersion(version)) {
+                    Ok(()) => {
+                        self.cache.clear();
+                        Response::json(
+                            200,
+                            format!("{{\n  \"status\": \"pinned\",\n  \"version\": {version}\n}}"),
+                        )
+                    }
+                    Err(error) => {
+                        self.metrics.bump(ServerEvent::ReloadFailure);
+                        error_response(404, error)
+                    }
+                };
+            }
+        }
+        match self.registry.reload_with(&self.faults) {
+            Ok(reloads) => {
+                // The cache is keyed by request only, so entries computed
+                // with the old model are now stale.
+                self.cache.clear();
+                Response::json(
+                    200,
+                    format!("{{\n  \"status\": \"reloaded\",\n  \"reloads\": {reloads}\n}}"),
+                )
+            }
+            Err(error) => {
+                // The previous model keeps serving; the failure is counted
+                // and reported as a structured error body.
+                self.metrics.bump(ServerEvent::ReloadFailure);
+                error_response(500, error)
+            }
+        }
+    }
+
+    /// Cache probe for one `/predict` request. Disabled while an A/B
+    /// candidate is active: a cached body carries no version attribution,
+    /// so serving it would starve the evaluation's observation stream.
     pub fn predict_hit(&self, key: Option<&str>) -> Option<Response> {
+        if self.registry.candidate().is_some() {
+            return None;
+        }
         key.and_then(|k| self.cache.get(k)).map(|body| Response::json(200, body))
     }
 
-    /// Computes a batch of cache-missed `/predict` requests: one model
-    /// snapshot, fan-out over the [`ceer_par`] pool, then serialize and
-    /// cache each in order. A batch of one is exactly the single-request
-    /// path, so batched and sequential answers are byte-identical.
+    /// Computes a batch of cache-missed `/predict` requests: per-item
+    /// version selection (seeded A/B when a candidate is active), fan-out
+    /// over the [`ceer_par`] pool, then serialize and cache each in order.
+    /// A batch of one is exactly the single-request path, so batched and
+    /// sequential answers are byte-identical.
     pub fn predict_compute(
         &self,
         items: &[(api::PredictRequest, Option<String>)],
     ) -> Vec<Response> {
-        let model = self.registry.model();
-        let results = ceer_par::par_map(items, |(item, _)| api::predict(&model, item));
+        let arms: Vec<(ModelVersion, std::sync::Arc<ceer_core::CeerModel>)> = items
+            .iter()
+            .map(|(_, key)| match key {
+                Some(key) => self.registry.select(key),
+                // No canonical key → nothing to split on; the incumbent
+                // answers.
+                None => (self.registry.version(), self.registry.model()),
+            })
+            .collect();
+        let work: Vec<(&api::PredictRequest, &std::sync::Arc<ceer_core::CeerModel>)> =
+            items.iter().zip(&arms).map(|((item, _), (_, model))| (item, model)).collect();
+        let results = ceer_par::par_map(&work, |&(item, model)| api::predict(model, item));
+        // Cache writes are paused during an A/B evaluation so neither
+        // arm's bodies outlive the verdict.
+        let cache_writable = self.registry.candidate().is_none();
         items
             .iter()
+            .zip(&arms)
             .zip(results)
-            .map(|((_, key), result)| match result {
+            .map(|(((item, key), (version, _)), result)| match result {
                 Ok(response) => match serde_json::to_string_pretty(&response) {
                     Ok(body) => {
-                        if let Some(key) = key {
+                        self.observe_prediction(item, &response, *version);
+                        if let (Some(key), true) = (key, cache_writable) {
                             self.cache.insert(key.clone(), body.clone());
                         }
                         Response::json(200, body)
@@ -156,6 +224,29 @@ impl App {
                 Err(error) => error_response(400, error),
             })
             .collect()
+    }
+
+    /// Offers one computed prediction to the observation ring (one sample
+    /// per GPU model in the response). No-op while online learning is off.
+    fn observe_prediction(
+        &self,
+        item: &api::PredictRequest,
+        response: &api::PredictResponse,
+        version: ModelVersion,
+    ) {
+        let Some(state) = self.online.get() else { return };
+        // The request already evaluated, so its CNN name resolves.
+        let Ok(cnn) = api::parse_cnn(&item.cnn) else { return };
+        for prediction in &response.predictions {
+            state.ring().push(Sample::Predict(PredictSample {
+                version: version.0,
+                cnn,
+                gpu: prediction.gpu,
+                gpus: response.gpus,
+                batch: response.batch,
+                predicted_us: prediction.iteration_us,
+            }));
+        }
     }
 
     /// Parses the body, answers from cache when possible, computes and
@@ -216,10 +307,16 @@ impl App {
             .iter()
             .map(|item| serde_json::to_string(item).ok().map(|c| format!("/predict {c}")))
             .collect();
+        // The cache is disabled (reads and writes) while an A/B candidate
+        // is active — see `predict_hit`.
+        let cache_usable = self.registry.candidate().is_none();
         // One serial cache pass up front, so concurrent duplicate items inside
         // the batch don't race the pool for lock order.
-        let hits: Vec<Option<String>> =
-            keys.iter().map(|key| key.as_deref().and_then(|k| self.cache.get(k))).collect();
+        let hits: Vec<Option<String>> = if cache_usable {
+            keys.iter().map(|key| key.as_deref().and_then(|k| self.cache.get(k))).collect()
+        } else {
+            vec![None; keys.len()]
+        };
 
         let misses: Vec<(usize, &api::PredictRequest)> = hits
             .iter()
@@ -228,13 +325,22 @@ impl App {
             .filter(|(_, (hit, _))| hit.is_none())
             .map(|(i, (_, item))| (i, item))
             .collect();
-        let model = self.registry.model();
-        let computed = ceer_par::par_map(&misses, |&(_, item)| match api::predict(&model, item) {
+        // Per-miss version selection, same routing as single `/predict`.
+        let arms: Vec<(ModelVersion, std::sync::Arc<ceer_core::CeerModel>)> = misses
+            .iter()
+            .map(|&(i, _)| match keys.get(i).and_then(Option::as_deref) {
+                Some(key) => self.registry.select(key),
+                None => (self.registry.version(), self.registry.model()),
+            })
+            .collect();
+        let work: Vec<(&api::PredictRequest, &std::sync::Arc<ceer_core::CeerModel>)> =
+            misses.iter().zip(&arms).map(|(&(_, item), (_, model))| (item, model)).collect();
+        let computed = ceer_par::par_map(&work, |&(item, model)| match api::predict(model, item) {
             Ok(response) => api::PredictBatchItem { response: Some(response), error: None },
             Err(error) => api::PredictBatchItem { response: None, error: Some(error) },
         });
 
-        let mut computed = computed.into_iter();
+        let mut computed = computed.into_iter().zip(arms);
         let mut responses = Vec::with_capacity(request.requests.len());
         for (i, hit) in hits.into_iter().enumerate() {
             let item = match hit {
@@ -248,10 +354,15 @@ impl App {
                     },
                 },
                 None => match computed.next() {
-                    Some(item) => {
-                        if let (Some(response), Some(Some(key))) = (&item.response, keys.get(i)) {
-                            if let Ok(body) = serde_json::to_string_pretty(response) {
-                                self.cache.insert(key.clone(), body);
+                    Some((item, (version, _))) => {
+                        if let (Some(response), Some(request_item)) =
+                            (&item.response, request.requests.get(i))
+                        {
+                            self.observe_prediction(request_item, response, version);
+                            if let (Some(Some(key)), true) = (keys.get(i), cache_usable) {
+                                if let Ok(body) = serde_json::to_string_pretty(response) {
+                                    self.cache.insert(key.clone(), body);
+                                }
                             }
                         }
                         item

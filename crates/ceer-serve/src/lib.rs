@@ -64,6 +64,7 @@ mod epoll;
 pub mod evented;
 pub mod http;
 pub mod metrics;
+pub mod online;
 pub mod parser;
 pub mod registry;
 pub mod server;
@@ -76,8 +77,10 @@ pub use client::{Client, ClientConn, RetryPolicy};
 pub use evented::EventedServer;
 pub use http::RawResponse;
 pub use metrics::{
-    EndpointSnapshot, LatencySummary, Metrics, MetricsSnapshot, RobustnessCounters, ServerEvent,
+    EndpointSnapshot, LatencySummary, Metrics, MetricsSnapshot, OnlineMetrics, RobustnessCounters,
+    ServerEvent,
 };
+pub use online::{replay, OnlineState, OnlineWorker, ReplayConfig, ReplayReport};
 pub use parser::{Head, ParseError, RequestRef};
 pub use registry::{ModelRegistry, ModelVersion};
 pub use server::{Server, ServerConfig};

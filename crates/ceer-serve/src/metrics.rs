@@ -5,8 +5,9 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
+use ceer_online::{EngineStatus, LatencySample, ObservationRing, RingStats, Sample};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheStats;
@@ -67,6 +68,23 @@ pub struct RobustnessCounters {
     pub panics_recovered: u64,
 }
 
+/// Online-learning accounting inside a [`MetricsSnapshot`]: the
+/// observation ring's reconciled counters, the loop's state machine, and
+/// per-version serving/accuracy figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineMetrics {
+    /// Observation-ring accounting (`pushed == shed + drained + depth`).
+    pub ring: RingStats,
+    /// The online engine's phase, counters, and per-version accuracy.
+    pub engine: EngineStatus,
+    /// The incumbent model version.
+    pub incumbent: u64,
+    /// The candidate version under A/B evaluation, if any.
+    pub candidate: Option<u64>,
+    /// Predictions computed per version, ordered by version id.
+    pub versions_served: Vec<(u64, u64)>,
+}
+
 /// The full `GET /metrics` payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -79,6 +97,10 @@ pub struct MetricsSnapshot {
     /// Degradation counters (absent in pre-robustness payloads).
     #[serde(default)]
     pub robustness: RobustnessCounters,
+    /// Online-learning state; `None` (and absent in older payloads) when
+    /// the closed loop is not enabled.
+    #[serde(default)]
+    pub online: Option<OnlineMetrics>,
 }
 
 /// One countable degradation event (see [`RobustnessCounters`]).
@@ -113,6 +135,11 @@ struct EndpointStats {
 #[derive(Default)]
 pub struct Metrics {
     endpoints: Mutex<BTreeMap<String, EndpointStats>>,
+    /// When online learning is enabled, every recorded latency is also
+    /// offered to the observation ring, so samples survive beyond the
+    /// bounded quantile window (drops are counted as ring shed, never
+    /// silent).
+    tap: OnceLock<Arc<ObservationRing>>,
     shed: AtomicU64,
     timeouts: AtomicU64,
     body_limit_rejections: AtomicU64,
@@ -154,6 +181,17 @@ impl Metrics {
             stats.latencies_us.pop_front();
         }
         drop(endpoints);
+        // Outside the endpoint lock: the ring has its own (short) critical
+        // section and must not nest under this one.
+        if let Some(ring) = self.tap.get() {
+            ring.push(Sample::Latency(LatencySample { route: route.to_string(), latency_us }));
+        }
+    }
+
+    /// Wires the observation ring that [`Metrics::record`] feeds. One-shot:
+    /// later calls are ignored.
+    pub fn set_observation_ring(&self, ring: Arc<ObservationRing>) {
+        let _ = self.tap.set(ring);
     }
 
     /// Counts one degradation event. Lock-free: safe from the acceptor
@@ -188,7 +226,12 @@ impl Metrics {
     }
 
     /// A consistent snapshot for `GET /metrics`.
-    pub fn snapshot(&self, cache: CacheStats, model_reloads: u64) -> MetricsSnapshot {
+    pub fn snapshot(
+        &self,
+        cache: CacheStats,
+        model_reloads: u64,
+        online: Option<OnlineMetrics>,
+    ) -> MetricsSnapshot {
         let guard = recover(self.endpoints.lock());
         let endpoints = guard
             .iter()
@@ -206,7 +249,7 @@ impl Metrics {
         // Release before assembling the rest: `robustness()` only reads
         // atomics and must not run under the endpoint lock.
         drop(guard);
-        MetricsSnapshot { endpoints, cache, model_reloads, robustness: self.robustness() }
+        MetricsSnapshot { endpoints, cache, model_reloads, robustness: self.robustness(), online }
     }
 }
 
@@ -241,7 +284,7 @@ mod tests {
         metrics.record("POST /predict", 100.0, false);
         metrics.record("POST /predict", 300.0, true);
         metrics.record("GET /healthz", 5.0, false);
-        let snap = metrics.snapshot(empty_cache_stats(), 0);
+        let snap = metrics.snapshot(empty_cache_stats(), 0, None);
         assert_eq!(snap.endpoints.len(), 2);
         let predict = &snap.endpoints["POST /predict"];
         assert_eq!((predict.requests, predict.errors), (2, 1));
@@ -254,7 +297,8 @@ mod tests {
         for i in 1..=100 {
             metrics.record("r", i as f64, false);
         }
-        let latency = metrics.snapshot(empty_cache_stats(), 0).endpoints["r"].latency.unwrap();
+        let latency =
+            metrics.snapshot(empty_cache_stats(), 0, None).endpoints["r"].latency.unwrap();
         assert_eq!(latency.count, 100);
         assert!((latency.mean_us - 50.5).abs() < 1e-9);
         assert!(latency.p50_us >= 50.0 && latency.p50_us <= 51.0);
@@ -270,7 +314,7 @@ mod tests {
         for i in 0..(LATENCY_WINDOW + 500) {
             metrics.record("r", i as f64, false);
         }
-        let snap = metrics.snapshot(empty_cache_stats(), 0);
+        let snap = metrics.snapshot(empty_cache_stats(), 0, None);
         let latency = snap.endpoints["r"].latency.unwrap();
         assert_eq!(latency.count, LATENCY_WINDOW as u64);
         // Only the most recent samples remain, so the window minimum moved up.
@@ -284,7 +328,7 @@ mod tests {
         metrics.record("POST /predict", 123.0, false);
         metrics.bump(ServerEvent::Shed);
         metrics.bump(ServerEvent::ReloadFailure);
-        let snap = metrics.snapshot(empty_cache_stats(), 2);
+        let snap = metrics.snapshot(empty_cache_stats(), 2, None);
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snap, back);
@@ -322,7 +366,7 @@ mod tests {
     fn pre_robustness_snapshot_json_still_deserializes() {
         // Old payloads have no "robustness" key; serde(default) fills zeros.
         let metrics = Metrics::default();
-        let snap = metrics.snapshot(empty_cache_stats(), 0);
+        let snap = metrics.snapshot(empty_cache_stats(), 0, None);
         let serde_json::Value::Object(fields) = serde_json::to_value(&snap) else {
             panic!("snapshot must serialize to an object");
         };

@@ -1,15 +1,21 @@
-//! The model registry: the fitted [`CeerModel`] the service predicts with,
-//! swappable at runtime via `POST /reload` without dropping in-flight
-//! requests.
+//! The model registry: the fitted [`CeerModel`]s the service predicts
+//! with — an *incumbent* that answers by default, an optional *candidate*
+//! taking a seeded slice of traffic during online A/B evaluation, and a
+//! short history of retained versions that `POST /reload` can pin back to.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use ceer_core::CeerModel;
 use serde::{Deserialize, Serialize};
 
 use crate::sync::recover;
+
+/// Non-active versions kept around for pinning after the incumbent moves
+/// on. Bounds registry memory: promotions and reloads prune beyond this.
+const RETAINED_HISTORY: usize = 3;
 
 /// A monotonically increasing model version: 1 for the initially loaded
 /// model, +1 per successful reload. Shared with `ceer-cluster`, where the
@@ -35,16 +41,68 @@ impl std::fmt::Display for ModelVersion {
     }
 }
 
-/// Holds the served model behind a read/write lock.
+/// The versioned store behind the registry lock: which version answers by
+/// default, which (if any) is under A/B evaluation, and the retained
+/// models themselves.
+struct VersionStore {
+    incumbent: u64,
+    candidate: Option<u64>,
+    /// Percent of keyed traffic (0–100) the candidate receives.
+    candidate_percent: u8,
+    retained: BTreeMap<u64, Arc<CeerModel>>,
+    next_id: u64,
+}
+
+impl VersionStore {
+    fn new(model: CeerModel) -> Self {
+        let mut retained = BTreeMap::new();
+        retained.insert(ModelVersion::INITIAL.0, Arc::new(model));
+        VersionStore {
+            incumbent: ModelVersion::INITIAL.0,
+            candidate: None,
+            candidate_percent: 0,
+            retained,
+            next_id: ModelVersion::INITIAL.0 + 1,
+        }
+    }
+
+    fn allocate(&mut self, model: CeerModel) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.retained.insert(id, Arc::new(model));
+        id
+    }
+
+    /// Drops retained versions that are neither active nor among the
+    /// [`RETAINED_HISTORY`] most recent inactive ones.
+    fn prune(&mut self) {
+        let mut inactive: Vec<u64> = self
+            .retained
+            .keys()
+            .copied()
+            .filter(|&id| id != self.incumbent && Some(id) != self.candidate)
+            .collect();
+        // Newest first; everything past the history window goes.
+        inactive.reverse();
+        for id in inactive.into_iter().skip(RETAINED_HISTORY) {
+            self.retained.remove(&id);
+        }
+    }
+}
+
+/// Holds the served models behind a read/write lock.
 ///
-/// Handlers take an [`Arc`] snapshot ([`ModelRegistry::model`]) and keep
-/// predicting with it even while a reload swaps the registry to a new
-/// model — a reload never invalidates a request already being answered.
+/// Handlers take an [`Arc`] snapshot ([`ModelRegistry::model`] /
+/// [`ModelRegistry::select`]) and keep predicting with it even while a
+/// reload or promotion swaps the registry to a new model — a swap never
+/// invalidates a request already being answered.
 pub struct ModelRegistry {
     /// Where the model was loaded from (`None` for in-memory registries).
     path: Option<PathBuf>,
-    model: RwLock<Arc<CeerModel>>,
+    store: RwLock<VersionStore>,
     reloads: AtomicU64,
+    /// Predictions computed per version (cache hits are not re-counted).
+    served: Mutex<BTreeMap<u64, u64>>,
 }
 
 impl ModelRegistry {
@@ -58,27 +116,145 @@ impl ModelRegistry {
         let model = read_model(&path)?;
         Ok(ModelRegistry {
             path: Some(path),
-            model: RwLock::new(Arc::new(model)),
+            store: RwLock::new(VersionStore::new(model)),
             reloads: AtomicU64::new(0),
+            served: Mutex::new(BTreeMap::new()),
         })
     }
 
-    /// Wraps an already-fitted model (no backing file; reloads are
+    /// Wraps an already-fitted model (no backing file; file reloads are
     /// rejected). Used by tests and embedded servers.
     pub fn from_model(model: CeerModel) -> Self {
         ModelRegistry {
             path: None,
-            model: RwLock::new(Arc::new(model)),
+            store: RwLock::new(VersionStore::new(model)),
             reloads: AtomicU64::new(0),
+            served: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// A snapshot of the current model.
+    /// A snapshot of the incumbent model.
     pub fn model(&self) -> Arc<CeerModel> {
-        let guard = recover(self.model.read());
-        let model = Arc::clone(&guard);
+        let guard = recover(self.store.read());
+        // ceer-lint: allow(panic-reachability) -- VersionStore invariant: the incumbent id is always retained
+        let model = Arc::clone(&guard.retained[&guard.incumbent]);
         drop(guard);
         model
+    }
+
+    /// Routes one keyed request: the candidate answers when one is active
+    /// and the key's hash falls inside its traffic share, the incumbent
+    /// otherwise. Routing is a pure function of `(key, registry state)`,
+    /// so replays with the same keys split identically. Bumps the chosen
+    /// version's served counter.
+    pub fn select(&self, key: &str) -> (ModelVersion, Arc<CeerModel>) {
+        let guard = recover(self.store.read());
+        let id = match guard.candidate {
+            Some(candidate) if fnv1a64(key) % 100 < u64::from(guard.candidate_percent) => candidate,
+            _ => guard.incumbent,
+        };
+        // ceer-lint: allow(panic-reachability) -- VersionStore invariant: incumbent and candidate ids are always retained
+        let model = Arc::clone(&guard.retained[&id]);
+        drop(guard);
+        *recover(self.served.lock()).entry(id).or_insert(0) += 1;
+        (ModelVersion(id), model)
+    }
+
+    /// Installs `model` as the A/B candidate receiving `percent` (0–100)
+    /// of keyed traffic; replaces any previous candidate. Returns the new
+    /// version.
+    pub fn install_candidate(&self, model: CeerModel, percent: u8) -> ModelVersion {
+        let mut guard = recover(self.store.write());
+        if let Some(old) = guard.candidate.take() {
+            guard.retained.remove(&old);
+        }
+        let id = guard.allocate(model);
+        guard.candidate = Some(id);
+        guard.candidate_percent = percent.min(100);
+        guard.prune();
+        drop(guard);
+        ModelVersion(id)
+    }
+
+    /// The active candidate version, if an A/B evaluation is running.
+    pub fn candidate(&self) -> Option<ModelVersion> {
+        recover(self.store.read()).candidate.map(ModelVersion)
+    }
+
+    /// Makes the candidate the incumbent (it won its evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Errors when `version` is not the active candidate — promotion must
+    /// name the exact version it evaluated.
+    pub fn promote(&self, version: ModelVersion) -> Result<(), String> {
+        let mut guard = recover(self.store.write());
+        if guard.candidate != Some(version.0) {
+            drop(guard);
+            return Err(format!("{version} is not the active candidate"));
+        }
+        guard.candidate = None;
+        guard.incumbent = version.0;
+        guard.prune();
+        drop(guard);
+        Ok(())
+    }
+
+    /// Discards the candidate (it lost its evaluation); the incumbent
+    /// keeps serving unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Errors when `version` is not the active candidate.
+    pub fn drop_candidate(&self, version: ModelVersion) -> Result<(), String> {
+        let mut guard = recover(self.store.write());
+        if guard.candidate != Some(version.0) {
+            drop(guard);
+            return Err(format!("{version} is not the active candidate"));
+        }
+        guard.candidate = None;
+        guard.retained.remove(&version.0);
+        drop(guard);
+        Ok(())
+    }
+
+    /// Pins the incumbent to a retained `version` (the `POST /reload`
+    /// body form `{"version": N}`). Pinning to the active candidate
+    /// promotes it.
+    ///
+    /// # Errors
+    ///
+    /// Errors when `version` is no longer retained.
+    pub fn pin(&self, version: ModelVersion) -> Result<(), String> {
+        let mut guard = recover(self.store.write());
+        if !guard.retained.contains_key(&version.0) {
+            let kept: Vec<String> =
+                guard.retained.keys().map(|id| ModelVersion(*id).to_string()).collect();
+            drop(guard);
+            return Err(format!("{version} is not retained (available: {})", kept.join(", ")));
+        }
+        if guard.candidate == Some(version.0) {
+            guard.candidate = None;
+        }
+        guard.incumbent = version.0;
+        guard.prune();
+        drop(guard);
+        Ok(())
+    }
+
+    /// The model stored under `version`, while it stays retained.
+    pub fn model_of(&self, version: ModelVersion) -> Option<Arc<CeerModel>> {
+        recover(self.store.read()).retained.get(&version.0).map(Arc::clone)
+    }
+
+    /// Retained version ids, oldest first.
+    pub fn retained_versions(&self) -> Vec<u64> {
+        recover(self.store.read()).retained.keys().copied().collect()
+    }
+
+    /// Predictions computed per version, ordered by version id.
+    pub fn served_counts(&self) -> Vec<(u64, u64)> {
+        recover(self.served.lock()).iter().map(|(&v, &n)| (v, n)).collect()
     }
 
     /// Re-reads the backing file and atomically swaps the served model.
@@ -113,25 +289,47 @@ impl ModelRegistry {
             injector.fail_str("serve.reload.read").map_err(|e| format!("reload failed: {e}"))?;
         }
         let fresh = read_model(path)?;
-        *recover(self.model.write()) = Arc::new(fresh);
+        let mut guard = recover(self.store.write());
+        // The world the candidate was being judged against just changed
+        // from under it; any running A/B evaluation is void.
+        if let Some(old) = guard.candidate.take() {
+            guard.retained.remove(&old);
+        }
+        let id = guard.allocate(fresh);
+        guard.incumbent = id;
+        guard.prune();
+        drop(guard);
         Ok(self.reloads.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
-    /// How many reloads have succeeded.
+    /// How many file reloads have succeeded (pins and promotions are not
+    /// file reloads and do not count here).
     pub fn reloads(&self) -> u64 {
         self.reloads.load(Ordering::Relaxed)
     }
 
-    /// The version of the model currently being served:
-    /// [`ModelVersion::INITIAL`] plus one per successful reload.
+    /// The version of the incumbent model: [`ModelVersion::INITIAL`] for
+    /// the initially loaded model, advancing with every reload, promotion,
+    /// or pin.
     pub fn version(&self) -> ModelVersion {
-        ModelVersion(self.reloads().saturating_add(1))
+        ModelVersion(recover(self.store.read()).incumbent)
     }
 
     /// The backing file, if any.
     pub fn path(&self) -> Option<&Path> {
         self.path.as_deref()
     }
+}
+
+/// FNV-1a over the canonical request key: stable across platforms and
+/// runs, so the A/B split is replayable from the request stream alone.
+fn fnv1a64(key: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 fn read_model(path: &Path) -> Result<CeerModel, String> {
@@ -203,6 +401,83 @@ mod tests {
     #[test]
     fn missing_file_is_a_load_error() {
         assert!(ModelRegistry::load("/nonexistent/model.json").is_err());
+    }
+
+    #[test]
+    fn candidate_splits_then_promotes() {
+        let registry = ModelRegistry::from_model(tiny_model(6));
+        assert_eq!(registry.candidate(), None);
+        let candidate_model = tiny_model(7);
+        let candidate = registry.install_candidate(candidate_model.clone(), 50);
+        assert_eq!(candidate, ModelVersion(2));
+        assert_eq!(registry.candidate(), Some(candidate));
+        // The incumbent still answers model(); select splits by key.
+        assert_eq!(*registry.model(), tiny_model(6));
+        let (mut saw_incumbent, mut saw_candidate) = (false, false);
+        for i in 0..64 {
+            let (version, model) = registry.select(&format!("key-{i}"));
+            if version == candidate {
+                saw_candidate = true;
+                assert_eq!(*model, candidate_model);
+            } else {
+                saw_incumbent = true;
+                assert_eq!(version, ModelVersion::INITIAL);
+            }
+        }
+        assert!(saw_incumbent && saw_candidate, "a 50% split must route both arms");
+        // Same key always routes the same way.
+        assert_eq!(registry.select("stable-key").0, registry.select("stable-key").0);
+
+        registry.promote(candidate).unwrap();
+        assert_eq!(registry.version(), candidate);
+        assert_eq!(registry.candidate(), None);
+        assert_eq!(*registry.model(), candidate_model);
+        // Served counters saw both versions.
+        let counts = registry.served_counts();
+        assert!(counts.iter().any(|&(v, n)| v == 1 && n > 0));
+        assert!(counts.iter().any(|&(v, n)| v == 2 && n > 0));
+    }
+
+    #[test]
+    fn dropped_candidate_leaves_incumbent_serving() {
+        let registry = ModelRegistry::from_model(tiny_model(8));
+        let candidate = registry.install_candidate(tiny_model(9), 100);
+        // 100%: every keyed request routes to the candidate.
+        assert_eq!(registry.select("any").0, candidate);
+        registry.drop_candidate(candidate).unwrap();
+        assert_eq!(registry.candidate(), None);
+        assert_eq!(*registry.model(), tiny_model(8));
+        assert_eq!(registry.select("any").0, ModelVersion::INITIAL);
+        // The dropped version is gone: promotion and pinning both refuse.
+        assert!(registry.promote(candidate).is_err());
+        assert!(registry.pin(candidate).is_err());
+        assert!(registry.model_of(candidate).is_none());
+    }
+
+    #[test]
+    fn pin_restores_a_retained_version() {
+        let registry = ModelRegistry::from_model(tiny_model(10));
+        let candidate = registry.install_candidate(tiny_model(11), 50);
+        registry.promote(candidate).unwrap();
+        assert_eq!(*registry.model(), tiny_model(11));
+        // The old incumbent is retained; pin back to it.
+        registry.pin(ModelVersion::INITIAL).unwrap();
+        assert_eq!(registry.version(), ModelVersion::INITIAL);
+        assert_eq!(*registry.model(), tiny_model(10));
+        assert!(registry.pin(ModelVersion(99)).is_err());
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let registry = ModelRegistry::from_model(tiny_model(12));
+        for i in 0..10 {
+            let candidate = registry.install_candidate(tiny_model(20 + i), 50);
+            registry.promote(candidate).unwrap();
+        }
+        let retained = registry.retained_versions();
+        // Incumbent plus at most RETAINED_HISTORY inactive versions.
+        assert!(retained.len() <= 1 + RETAINED_HISTORY, "unbounded retention: {retained:?}");
+        assert!(retained.contains(&registry.version().0));
     }
 
     #[test]

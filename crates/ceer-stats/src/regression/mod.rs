@@ -18,7 +18,7 @@ mod multiple;
 mod poly;
 mod simple;
 
-pub use multiple::MultipleOls;
+pub use multiple::{MultipleOls, NormalAccumulator};
 pub use poly::{select_polynomial_degree, PolynomialOls};
 pub use simple::SimpleOls;
 

@@ -72,39 +72,15 @@ impl MultipleOls {
         if ys.iter().any(|v| !v.is_finite()) {
             return Err(StatsError::NonFiniteInput);
         }
-        let p = k + 1; // coefficients including intercept
-        if rows.len() < p {
-            return Err(StatsError::InsufficientData { observations: rows.len(), coefficients: p });
-        }
-
-        // Build normal equations: (XᵀX) b = Xᵀy with X = [1 | features].
-        let mut xtx = vec![vec![0.0; p]; p];
-        let mut xty = vec![0.0; p];
+        // Fold every observation through the shared sufficient-statistics
+        // accumulator so the batch path and the incremental path are the same
+        // arithmetic by construction (identical accumulation order bit for
+        // bit), then solve once.
+        let mut acc = NormalAccumulator::new(k)?;
         for (row, &y) in rows.iter().zip(ys) {
-            // Augmented feature vector with leading 1 for the intercept.
-            let feat = |j: usize| if j == 0 { 1.0 } else { row[j - 1] };
-            for i in 0..p {
-                let fi = feat(i);
-                xty[i] += fi * y;
-                for (j, cell) in xtx[i].iter_mut().enumerate() {
-                    *cell += fi * feat(j);
-                }
-            }
+            acc.fold(row, y);
         }
-
-        let coefficients = solve_linear_system(xtx, xty)?;
-        let predicted: Vec<f64> = rows
-            .iter()
-            .map(|row| {
-                coefficients[0]
-                    + row.iter().zip(&coefficients[1..]).map(|(x, b)| x * b).sum::<f64>()
-            })
-            .collect();
-        let r2 = r_squared(ys, &predicted)?;
-        let ss_res: f64 = ys.iter().zip(&predicted).map(|(y, pr)| (y - pr) * (y - pr)).sum();
-        let dof = rows.len().saturating_sub(p);
-        let residual_std = if dof > 0 { (ss_res / dof as f64).sqrt() } else { 0.0 };
-        Ok(MultipleOls { coefficients, r_squared: r2, observations: rows.len(), residual_std })
+        acc.solve()
     }
 
     /// Predicted `y` for a feature vector.
@@ -154,6 +130,157 @@ impl MultipleOls {
     }
 }
 
+/// Streaming sufficient statistics for [`MultipleOls`]: the normal-equation
+/// accumulators `XᵀX` and `Xᵀy` with `X = [1 | features]`, folded one
+/// observation at a time in a fixed order.
+///
+/// [`MultipleOls::fit`] is implemented on top of this type, so folding a
+/// record stream incrementally and solving is **bit-identical** to batching
+/// the same stream and fitting from scratch — the floating-point additions
+/// happen in the same order either way. That property is what lets the
+/// online-learning loop refresh a model per new observation batch without a
+/// full refit while still matching the offline fit exactly.
+///
+/// The accumulator retains the raw rows and targets as well: the `O(n·p)`
+/// residual passes (R², residual standard error) still need them at solve
+/// time, and they are exactly what the batch fit would have held anyway.
+/// Only the `O(n·p²)` Gram-matrix accumulation is saved on re-solve.
+///
+/// ```
+/// use ceer_stats::regression::{MultipleOls, NormalAccumulator};
+///
+/// # fn main() -> Result<(), ceer_stats::StatsError> {
+/// let rows = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+/// let ys = [1.0, 3.0, 5.0, 7.0];
+/// let mut acc = NormalAccumulator::new(1)?;
+/// for (row, &y) in rows.iter().zip(&ys) {
+///     acc.push(row, y)?;
+/// }
+/// assert_eq!(acc.solve()?, MultipleOls::fit(&rows, &ys)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormalAccumulator {
+    k: usize,
+    xtx: Vec<Vec<f64>>,
+    xty: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+}
+
+impl NormalAccumulator {
+    /// Creates an empty accumulator for feature vectors of length `k`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::EmptyInput`] when `k` is zero.
+    pub fn new(k: usize) -> Result<Self, StatsError> {
+        if k == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        let p = k + 1;
+        Ok(NormalAccumulator {
+            k,
+            xtx: vec![vec![0.0; p]; p],
+            xty: vec![0.0; p],
+            rows: Vec::new(),
+            ys: Vec::new(),
+        })
+    }
+
+    /// Folds one observation into the sufficient statistics.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::LengthMismatch`] when `row` has the wrong arity,
+    /// - [`StatsError::NonFiniteInput`] on NaN/infinite values (the
+    ///   observation is rejected without touching the accumulators).
+    pub fn push(&mut self, row: &[f64], y: f64) -> Result<(), StatsError> {
+        if row.len() != self.k {
+            return Err(StatsError::LengthMismatch { left: row.len(), right: self.k });
+        }
+        if row.iter().any(|v| !v.is_finite()) || !y.is_finite() {
+            return Err(StatsError::NonFiniteInput);
+        }
+        self.fold(row, y);
+        Ok(())
+    }
+
+    /// Accumulates one pre-validated observation. This is the single place
+    /// the normal equations are built — batch and incremental fits share it.
+    fn fold(&mut self, row: &[f64], y: f64) {
+        let p = self.k + 1;
+        // Augmented feature vector with leading 1 for the intercept.
+        let feat = |j: usize| if j == 0 { 1.0 } else { row[j - 1] };
+        for i in 0..p {
+            let fi = feat(i);
+            self.xty[i] += fi * y;
+            for (j, cell) in self.xtx[i].iter_mut().enumerate() {
+                *cell += fi * feat(j);
+            }
+        }
+        self.rows.push(row.to_vec());
+        self.ys.push(y);
+    }
+
+    /// Number of observations folded so far.
+    pub fn len(&self) -> usize {
+        self.ys.len()
+    }
+
+    /// Whether no observations have been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ys.is_empty()
+    }
+
+    /// Feature-vector arity this accumulator expects.
+    pub fn feature_count(&self) -> usize {
+        self.k
+    }
+
+    /// The observation rows folded so far, in push order.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// The observation targets folded so far, in push order.
+    pub fn targets(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Solves the accumulated normal equations into a fitted model. The
+    /// accumulator is untouched and can keep folding observations.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::InsufficientData`] when observations < features + 1,
+    /// - [`StatsError::SingularDesign`] for collinear features.
+    pub fn solve(&self) -> Result<MultipleOls, StatsError> {
+        let p = self.k + 1;
+        if self.ys.len() < p {
+            return Err(StatsError::InsufficientData {
+                observations: self.ys.len(),
+                coefficients: p,
+            });
+        }
+        let coefficients = solve_linear_system(self.xtx.clone(), self.xty.clone())?;
+        let predicted: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|row| {
+                coefficients[0]
+                    + row.iter().zip(&coefficients[1..]).map(|(x, b)| x * b).sum::<f64>()
+            })
+            .collect();
+        let r2 = r_squared(&self.ys, &predicted)?;
+        let ss_res: f64 = self.ys.iter().zip(&predicted).map(|(y, pr)| (y - pr) * (y - pr)).sum();
+        let dof = self.ys.len().saturating_sub(p);
+        let residual_std = if dof > 0 { (ss_res / dof as f64).sqrt() } else { 0.0 };
+        Ok(MultipleOls { coefficients, r_squared: r2, observations: self.ys.len(), residual_std })
+    }
+}
+
 /// Solves `A x = b` with Gaussian elimination and partial pivoting.
 fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, StatsError> {
     let n = b.len();
@@ -161,6 +288,7 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>
         // Partial pivot: bring the largest-magnitude entry to the diagonal.
         let pivot_row = (col..n)
             .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            // ceer-lint: allow(panic-reachability) -- `col < n` inside the loop, so the range is never empty
             .expect("non-empty range");
         if a[pivot_row][col].abs() < 1e-12 {
             return Err(StatsError::SingularDesign);
@@ -274,5 +402,86 @@ mod tests {
         let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
         let b = vec![1.0, 2.0];
         assert_eq!(solve_linear_system(a, b).unwrap_err(), StatsError::SingularDesign);
+    }
+
+    /// A deterministic pseudo-random but irregular stream: enough structure
+    /// to be fittable, enough noise that float ordering matters.
+    fn irregular_stream(n: usize, k: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..k)
+                    .map(|j| ((i * (37 + j * 17) + 5) % 101) as f64 * 0.731 + (i as f64).sin())
+                    .collect()
+            })
+            .collect();
+        let ys: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 3.0 + r.iter().sum::<f64>() * 1.7 + ((i * 13 % 7) as f64) * 0.01)
+            .collect();
+        (rows, ys)
+    }
+
+    #[test]
+    fn accumulator_matches_batch_bitwise_at_every_prefix() {
+        let (rows, ys) = irregular_stream(40, 3);
+        let mut acc = NormalAccumulator::new(3).unwrap();
+        for n in 0..rows.len() {
+            acc.push(&rows[n], ys[n]).unwrap();
+            let batch = MultipleOls::fit(&rows[..=n], &ys[..=n]);
+            match batch {
+                Ok(b) => {
+                    let inc = acc.solve().unwrap();
+                    // PartialEq on f64 fields: bit-for-bit (no tolerance).
+                    assert_eq!(inc, b, "prefix {} diverged", n + 1);
+                }
+                Err(e) => assert_eq!(acc.solve().unwrap_err(), e),
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_rejects_bad_pushes_without_corrupting_state() {
+        let mut acc = NormalAccumulator::new(2).unwrap();
+        acc.push(&[1.0, 2.0], 3.0).unwrap();
+        assert!(matches!(acc.push(&[1.0], 1.0).unwrap_err(), StatsError::LengthMismatch { .. }));
+        assert_eq!(acc.push(&[f64::NAN, 1.0], 1.0).unwrap_err(), StatsError::NonFiniteInput);
+        assert_eq!(acc.push(&[1.0, 1.0], f64::INFINITY).unwrap_err(), StatsError::NonFiniteInput);
+        // Only the one valid observation was folded.
+        assert_eq!(acc.len(), 1);
+        assert_eq!(acc.rows(), &[vec![1.0, 2.0]]);
+        assert_eq!(acc.targets(), &[3.0]);
+    }
+
+    #[test]
+    fn accumulator_reports_insufficient_data_then_solves() {
+        let (rows, ys) = irregular_stream(6, 2);
+        let mut acc = NormalAccumulator::new(2).unwrap();
+        assert!(acc.is_empty());
+        acc.push(&rows[0], ys[0]).unwrap();
+        acc.push(&rows[1], ys[1]).unwrap();
+        assert!(matches!(acc.solve().unwrap_err(), StatsError::InsufficientData { .. }));
+        acc.push(&rows[2], ys[2]).unwrap();
+        let fit = acc.solve().unwrap();
+        assert_eq!(fit.observations(), 3);
+        assert_eq!(acc.feature_count(), 2);
+    }
+
+    #[test]
+    fn accumulator_rejects_zero_arity() {
+        assert_eq!(NormalAccumulator::new(0).unwrap_err(), StatsError::EmptyInput);
+    }
+
+    #[test]
+    fn accumulator_roundtrips_through_serde() {
+        let (rows, ys) = irregular_stream(10, 2);
+        let mut acc = NormalAccumulator::new(2).unwrap();
+        for (row, &y) in rows.iter().zip(&ys) {
+            acc.push(row, y).unwrap();
+        }
+        let json = serde_json::to_string(&acc).unwrap();
+        let back: NormalAccumulator = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, acc);
+        assert_eq!(back.solve().unwrap(), acc.solve().unwrap());
     }
 }

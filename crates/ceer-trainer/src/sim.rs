@@ -36,6 +36,7 @@ pub struct Trainer {
     gpus: u32,
     seed: u64,
     overlap: f64,
+    time_scale: f64,
 }
 
 impl Trainer {
@@ -46,7 +47,7 @@ impl Trainer {
     /// Panics if `gpus` is zero.
     pub fn new(gpu: GpuModel, gpus: u32) -> Self {
         assert!(gpus > 0, "at least one GPU required");
-        Trainer { gpu, gpus, seed: 0, overlap: 0.0 }
+        Trainer { gpu, gpus, seed: 0, overlap: 0.0, time_scale: 1.0 }
     }
 
     /// Sets the base RNG seed (default 0). Profiles are a pure function of
@@ -72,6 +73,24 @@ impl Trainer {
     pub fn with_comm_overlap(mut self, overlap: f64) -> Self {
         assert!((0.0..=1.0).contains(&overlap), "overlap must be in [0, 1]");
         self.overlap = overlap;
+        self
+    }
+
+    /// Scales every operation's expected compute time by `scale`
+    /// (default 1.0). This is the world-drift knob of the online-learning
+    /// loop: a fleet-wide slowdown (contended hosts, thermal throttling, a
+    /// driver regression) is simulated by profiling the "true" runtime at
+    /// `scale > 1` while the served model was fitted at `scale = 1`. The
+    /// synchronization phase is affected only through its compute-dependent
+    /// straggler term — drift is injected into *compute*, which is what the
+    /// per-(op, GPU) regressions model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is finite and positive.
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "time scale must be finite and positive");
+        self.time_scale = scale;
         self
     }
 
@@ -102,6 +121,7 @@ impl Trainer {
     /// configurations avoid re-expanding it).
     pub fn profile_graph(&self, cnn: &Cnn, graph: &Graph, iterations: usize) -> TrainingProfile {
         self.profile_graph_with_faults(cnn, graph, iterations, &ceer_faults::none())
+            // ceer-lint: allow(panic-reachability) -- errors only arise from injected faults, and none are injected here
             .expect("fault-free profiling cannot fail")
     }
 
@@ -146,8 +166,13 @@ impl Trainer {
 
         // Precompute noise-free durations once; sampling then only draws
         // multiplicative noise factors.
-        let expected: Vec<f64> =
-            graph.nodes().iter().map(|n| timer.expected_duration_us(n, graph)).collect();
+        // `time_scale` is 1.0 by default and `x * 1.0` is exact in IEEE 754,
+        // so unscaled profiles are bit-identical to pre-knob ones.
+        let expected: Vec<f64> = graph
+            .nodes()
+            .iter()
+            .map(|n| timer.expected_duration_us(n, graph) * self.time_scale)
+            .collect();
         let cvs: Vec<f64> = graph.nodes().iter().map(|n| OpTimer::noise_cv(n.kind())).collect();
         let is_cpu: Vec<bool> =
             graph.nodes().iter().map(|n| n.kind().device_class() == DeviceClass::Cpu).collect();
@@ -261,6 +286,7 @@ fn replica_fault_us(
             "injected fault at trainer.replica (replica {replica}, iteration {iteration})"
         )),
         Some(ceer_faults::FaultKind::Poison) => {
+            // ceer-lint: allow(panic-reachability) -- injected poison: panicking is this fault kind's contract
             panic!("injected poison at trainer.replica")
         }
         _ => Ok(0.0),
@@ -383,6 +409,40 @@ mod tests {
     #[should_panic(expected = "overlap must be in")]
     fn rejects_out_of_range_overlap() {
         Trainer::new(GpuModel::V100, 1).with_comm_overlap(1.5);
+    }
+
+    #[test]
+    fn time_scale_slows_compute_but_not_sync() {
+        let cnn = Cnn::build(CnnId::AlexNet, 32);
+        let graph = cnn.training_graph();
+        let base = Trainer::new(GpuModel::T4, 2).with_seed(11).profile_graph(&cnn, &graph, 6);
+        let slow = Trainer::new(GpuModel::T4, 2)
+            .with_seed(11)
+            .with_time_scale(1.5)
+            .profile_graph(&cnn, &graph, 6);
+        let base_ops = base.total_op_time_us(|_| true);
+        let slow_ops = slow.total_op_time_us(|_| true);
+        // Identical noise draws, scaled expectations: op time scales exactly.
+        assert!((slow_ops / base_ops - 1.5).abs() < 1e-9, "ops {slow_ops} vs {base_ops}");
+        assert!(slow.iteration_mean_us() > base.iteration_mean_us());
+    }
+
+    #[test]
+    fn default_time_scale_is_identity() {
+        let cnn = Cnn::build(CnnId::AlexNet, 32);
+        let graph = cnn.training_graph();
+        let implicit = Trainer::new(GpuModel::V100, 1).with_seed(5).profile_graph(&cnn, &graph, 4);
+        let explicit = Trainer::new(GpuModel::V100, 1)
+            .with_seed(5)
+            .with_time_scale(1.0)
+            .profile_graph(&cnn, &graph, 4);
+        assert_eq!(implicit, explicit);
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale must be finite")]
+    fn rejects_non_positive_time_scale() {
+        Trainer::new(GpuModel::V100, 1).with_time_scale(0.0);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 # the serve sim scenarios replay the evented transport's state machines
 # under the readiness driver (two fixed seeds plus one randomized,
 # printed seed), the cluster chaos suite replays a sharded deployment under deterministic
-# simulation (two fixed seeds plus one randomized, printed seed), and a
-# stress loop repeats the serve concurrency tests — under a nonzero
-# delay-only fault plan — to shake out scheduling-dependent races.
+# simulation (two fixed seeds plus one randomized, printed seed), the
+# online replay drives the closed observe/drift/refit/promote loop to
+# byte-identical decisions (same seed policy), and a stress loop repeats
+# the serve concurrency tests — under a nonzero delay-only fault plan —
+# to shake out scheduling-dependent races.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -94,6 +96,20 @@ for seed in 7 1234 "$rand_seed"; do
         > /dev/null || { echo "cluster chaos suite failed under CEER_SIM_SEED=$seed"; exit 1; }
 done
 echo "cluster chaos suite passed (seeds 7, 1234, $rand_seed)"
+
+echo "=== online learning replay (closed loop, seeded) ==="
+# The whole observe -> drift-detect -> refit -> promote loop is a pure
+# function of the replay seed: drift decisions, the promotion sequence,
+# and the final /metrics must come out byte-identical. Besides the fixed
+# seeds it must hold under a randomized one, printed so a failure
+# replays verbatim:
+#   CEER_ONLINE_SEED=<seed> cargo test --test sim_online
+online_rand_seed="$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')"
+for seed in 7 1234 "$online_rand_seed"; do
+    CEER_ONLINE_SEED="$seed" cargo test -q --test sim_online \
+        > /dev/null || { echo "online replay failed under CEER_ONLINE_SEED=$seed"; exit 1; }
+done
+echo "online replay passed (seeds 7, 1234, $online_rand_seed)"
 
 echo "=== serve concurrency stress (20x, delay-fault plan) ==="
 # Delay-only injection perturbs worker scheduling without failing any

@@ -17,6 +17,8 @@
 //!   seeded lossy network, single-threaded event loop).
 //! - [`cluster`]: sharded, replicated serving — the same state machines
 //!   run under [`sim`] in tests and on real TCP via `ceer cluster`.
+//! - [`online`]: closed-loop online learning — observation rings, drift
+//!   detection, incremental refitting, A/B promotion decisions.
 
 #![forbid(unsafe_code)]
 
@@ -26,6 +28,7 @@ pub use ceer_core as model;
 pub use ceer_faults as faults;
 pub use ceer_gpusim as gpusim;
 pub use ceer_graph as graph;
+pub use ceer_online as online;
 pub use ceer_par as par;
 pub use ceer_serve as serve;
 pub use ceer_sim as sim;

@@ -657,7 +657,10 @@ fn sim_timer_deadline_fires_during_batched_dispatch() {
 
         let timeouts = {
             let app = core.app();
-            app.metrics.snapshot(app.cache.stats(), app.registry.reloads()).robustness.timeouts
+            app.metrics
+                .snapshot(app.cache.stats(), app.registry.reloads(), None)
+                .robustness
+                .timeouts
         };
         (
             core.source().received(miss_a).to_vec(),

@@ -1,0 +1,121 @@
+//! Equivalence of the online incremental refitter: folding a record stream
+//! into sufficient-statistics accumulators and solving is **bit-identical**
+//! to batch-fitting the same stream from scratch — at every prefix, and at
+//! every thread count.
+//!
+//! This is the property that makes online refitting trustworthy: a model
+//! refreshed from accumulated `XᵀX`/`Xᵀy` statistics is not an
+//! approximation of the offline fit, it *is* the offline fit. The fold
+//! order is fixed (push order), so the comparison is exact `f64` equality,
+//! never a tolerance.
+
+use ceer::gpusim::GpuModel;
+use ceer::graph::OpKind;
+use ceer::model::features::Features;
+use ceer::model::{Ceer, FitConfig, OpModel, OpModelAccumulator};
+use ceer::online::RefitPool;
+
+use proptest::prelude::*;
+
+/// Thread counts compared against serial execution. The accumulator fold
+/// itself is sequential by design; the surrounding fit machinery must not
+/// let a worker pool change a single bit.
+const THREADS: [usize; 2] = [1, 8];
+
+/// The pairs random streams are attributed to (kind shapes the feature
+/// layout downstream consumers expect; the regression itself is generic).
+const PAIRS: [(OpKind, GpuModel); 3] = [
+    (OpKind::Conv2D, GpuModel::V100),
+    (OpKind::MatMul, GpuModel::T4),
+    (OpKind::LRN, GpuModel::K80),
+];
+
+/// Builds the feature vector for one raw sample: two linear regressors and
+/// the quadratic extra the quadratic form adds on top.
+fn features(primary: f64, secondary: f64) -> Features {
+    Features { linear: vec![primary, secondary], quadratic_extra: vec![primary * primary] }
+}
+
+/// One random sample: `(features, observed time µs)`.
+fn sample(raw: &(f64, f64, f64)) -> (Features, f64) {
+    let (primary, secondary, noise) = *raw;
+    let true_us = 5.0 + 3.0 * primary + 0.7 * secondary + noise;
+    (features(primary, secondary), true_us)
+}
+
+/// A random record stream: 2–40 samples with bounded positive regressors
+/// and bounded noise, so fits stay well-posed without being degenerate.
+fn stream() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    prop::collection::vec((1.0f64..100.0, 1.0f64..50.0, -4.0f64..4.0), 2..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The core contract: one long-lived accumulator, fed sample by
+    /// sample, fits bit-identically to a fresh batch fit of the same
+    /// prefix — at *every* prefix of the stream, at every thread count.
+    #[test]
+    fn incremental_refit_matches_batch_at_every_prefix(
+        raw in stream(),
+        pair in 0usize..PAIRS.len(),
+        allow_quadratic in any::<bool>(),
+    ) {
+        let (kind, gpu) = PAIRS[pair];
+        let samples: Vec<(Features, f64)> = raw.iter().map(sample).collect();
+        for threads in THREADS {
+            let _guard = ceer::par::override_threads(threads);
+            let mut acc = OpModelAccumulator::new(kind, gpu, allow_quadratic);
+            prop_assert!(acc.fit().is_none(), "an empty accumulator must not fit");
+            for (i, (f, y)) in samples.iter().enumerate() {
+                acc.push(f, *y);
+                let incremental = acc.fit().expect("non-empty accumulator fits");
+                let batch =
+                    OpModel::fit_with_forms(kind, gpu, &samples[..=i], allow_quadratic);
+                prop_assert!(
+                    incremental == batch,
+                    "prefix {} diverged at {} thread(s)", i + 1, threads
+                );
+            }
+        }
+    }
+
+    /// The same contract one level up: a [`RefitPool`] fed interleaved
+    /// multi-pair traffic assembles a candidate whose refitted regressions
+    /// are bit-identical to batch fits of each pair's own subsequence.
+    #[test]
+    fn pool_candidate_matches_per_pair_batch_fits(
+        raw in stream(),
+        seed in 0u64..1000,
+    ) {
+        let base = Ceer::fit(&FitConfig {
+            cnns: vec![ceer::graph::models::CnnId::Vgg11],
+            iterations: 2,
+            parallel_degrees: vec![1],
+            seed,
+            ..FitConfig::default()
+        });
+        let mut pool = RefitPool::new(true);
+        let mut per_pair: Vec<Vec<(Features, f64)>> = vec![Vec::new(); PAIRS.len()];
+        // Interleave: sample i goes to pair i mod 3, mimicking mixed
+        // serving traffic landing in one shared pool.
+        for (i, r) in raw.iter().enumerate() {
+            let (kind, gpu) = PAIRS[i % PAIRS.len()];
+            let (f, y) = sample(r);
+            pool.fold(kind, gpu, &f, y);
+            per_pair[i % PAIRS.len()].push((f, y));
+        }
+        let candidate = pool.candidate(&base, &PAIRS, 1);
+        let fed: Vec<usize> = (0..PAIRS.len()).filter(|&p| !per_pair[p].is_empty()).collect();
+        prop_assert!(!fed.is_empty());
+        let candidate = candidate.expect("at least one pair was fed");
+        for p in fed {
+            let (kind, gpu) = PAIRS[p];
+            let batch = OpModel::fit(kind, gpu, &per_pair[p]);
+            prop_assert!(
+                candidate.op_model(kind, gpu).expect("refitted pair present") == &batch,
+                "pair {:?} diverged from its batch fit", PAIRS[p]
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end determinism of the closed online-learning loop under
+//! seeded traffic replay (`ceer_serve::replay`).
+//!
+//! The contract these tests pin down:
+//!
+//! * same seed ⇒ byte-identical [`ReplayReport`]s — decision log, final
+//!   `/metrics` body, promotion outcome — including under injected
+//!   faults;
+//! * a calm world produces no drift events and no version churn;
+//! * a drifted world walks the full observe → detect → refit → A/B →
+//!   promote sequence;
+//! * a corrupted candidate (the `online.candidate` fault site) loses its
+//!   A/B evaluation and is aborted while the incumbent keeps serving.
+//!
+//! The replay seed can be overridden with `CEER_ONLINE_SEED` so CI can
+//! probe a randomized seed on top of the pinned ones (the seed is
+//! printed; a failure is reproducible by exporting it).
+
+use ceer_serve::{replay, ReplayConfig, ReplayReport};
+
+/// Runs the same config twice and asserts byte-identity of everything in
+/// the report, then hands one copy back for scenario assertions.
+fn replay_twice(config: &ReplayConfig) -> ReplayReport {
+    let first = replay(config);
+    let second = replay(config);
+    assert_eq!(
+        first.decisions, second.decisions,
+        "decision log diverged between identical replays (seed {})",
+        config.seed
+    );
+    assert_eq!(
+        first.metrics_body, second.metrics_body,
+        "/metrics body diverged between identical replays (seed {})",
+        config.seed
+    );
+    assert_eq!(first, second, "replay report not byte-identical (seed {})", config.seed);
+    assert_eq!(first.request_errors, 0, "replay served non-200 responses");
+    first
+}
+
+fn kind_of(action: &ceer_online::Action) -> &'static str {
+    match action {
+        ceer_online::Action::BuildCandidate { .. } => "build",
+        ceer_online::Action::Promote { .. } => "promote",
+        ceer_online::Action::Abort { .. } => "abort",
+    }
+}
+
+#[test]
+fn calm_world_stays_quiet_and_deterministic() {
+    let config = ReplayConfig { requests: 160, drift_at: usize::MAX, ..ReplayConfig::default() };
+    let report = replay_twice(&config);
+    assert!(
+        report.decisions.is_empty(),
+        "calm world must not trigger refits, got {:?}",
+        report.decisions
+    );
+    assert_eq!(report.final_version, 1, "calm world must keep serving version 1");
+    assert!(
+        report.metrics_body.contains("\"drift_events\": 0"),
+        "calm world must report zero drift events: {}",
+        report.metrics_body
+    );
+}
+
+#[test]
+fn drift_is_detected_refit_and_promoted() {
+    let report = replay_twice(&ReplayConfig::default());
+    let kinds: Vec<&str> = report.decisions.iter().map(kind_of).collect();
+    assert!(
+        kinds.contains(&"build") && kinds.contains(&"promote"),
+        "drifted world must build and promote a candidate, got {kinds:?}\nmetrics: {}",
+        report.metrics_body
+    );
+    assert!(
+        !kinds.contains(&"abort"),
+        "a clean refit against the drifted world must win its A/B, got {kinds:?}"
+    );
+    assert!(
+        report.final_version > 1,
+        "promotion must advance the incumbent past version 1, got {}",
+        report.final_version
+    );
+}
+
+#[test]
+fn corrupted_candidate_is_aborted_and_incumbent_survives() {
+    let config = ReplayConfig {
+        fault_spec: Some("online.candidate=err@#1".to_string()),
+        ..ReplayConfig::default()
+    };
+    let report = replay_twice(&config);
+    let kinds: Vec<&str> = report.decisions.iter().map(kind_of).collect();
+    assert_eq!(
+        kinds.first(),
+        Some(&"build"),
+        "drift must still trigger a refit under the candidate fault, got {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&"abort"),
+        "the corrupted candidate must lose its A/B evaluation, got {kinds:?}\nmetrics: {}",
+        report.metrics_body
+    );
+    let first_verdict = kinds.iter().find(|k| **k == "promote" || **k == "abort");
+    assert_eq!(
+        first_verdict,
+        Some(&"abort"),
+        "the first A/B verdict must reject the corrupted candidate, got {kinds:?}"
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_streams() {
+    let a = replay(&ReplayConfig { requests: 80, drift_at: usize::MAX, ..ReplayConfig::default() });
+    let b = replay(&ReplayConfig {
+        seed: 1234,
+        requests: 80,
+        drift_at: usize::MAX,
+        ..ReplayConfig::default()
+    });
+    // Byte-identity above is only meaningful if seeds actually steer the
+    // run: different worlds must produce different metrics.
+    assert_ne!(a.metrics_body, b.metrics_body, "distinct seeds produced identical /metrics bodies");
+}
+
+#[test]
+fn seeded_replay_from_env_is_deterministic() {
+    let seed =
+        std::env::var("CEER_ONLINE_SEED").ok().and_then(|s| s.parse::<u64>().ok()).unwrap_or(1234);
+    println!("sim_online: replaying under CEER_ONLINE_SEED={seed}");
+    let config = ReplayConfig { seed, ..ReplayConfig::default() };
+    let report = replay_twice(&config);
+    // Whatever this seed's world decides, the decision log must be a
+    // well-formed walk: every verdict references the candidate built by
+    // the preceding build (no promote/abort out of thin air).
+    let mut pending: Option<()> = None;
+    for action in &report.decisions {
+        match action {
+            ceer_online::Action::BuildCandidate { pairs } => {
+                assert!(!pairs.is_empty(), "refit triggered with no qualifying pairs");
+                pending = Some(());
+            }
+            ceer_online::Action::Promote { .. } | ceer_online::Action::Abort { .. } => {
+                assert!(
+                    pending.take().is_some(),
+                    "verdict without a preceding candidate build: {:?}",
+                    report.decisions
+                );
+            }
+        }
+    }
+}
