@@ -32,6 +32,10 @@ TUNING:
     --suspicion-ms N      unheard-for shards are routed around (default 1500)
     --request-timeout-ms N  per-item failover timeout (default 2000)
     --cache-capacity N    per-shard prediction-cache entries (default 256)
+    --data-dir DIR        persist each shard's installed model to
+                          DIR/shard-N (checksummed WAL + atomic snapshots);
+                          restarted shards recover their last installed
+                          version. Inspect offline with `ceer durable`.
 
 FAULT INJECTION (chaos testing):
     CEER_FAULT_PLAN   seeded fault plan; site cluster.shard.reload.<label>
@@ -63,6 +67,7 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
     let suspicion_ms = args.opt_parse("--suspicion-ms", defaults.suspicion_ms)?;
     let request_timeout_ms = args.opt_parse("--request-timeout-ms", defaults.request_timeout_ms)?;
     let cache_capacity = args.opt_parse("--cache-capacity", defaults.cache_capacity)?;
+    let data_dir = args.opt("--data-dir")?.map(std::path::PathBuf::from);
     args.finish()?;
     if shards == 0 {
         return Err("--shards must be positive".into());
@@ -87,6 +92,7 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
         suspicion_ms,
         request_timeout_ms,
         cache_capacity,
+        data_dir,
         faults: faults.and_then(ceer_faults::injector),
         ..ClusterConfig::default()
     };

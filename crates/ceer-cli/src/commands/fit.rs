@@ -1,8 +1,7 @@
 //! `ceer fit` — profile the paper's training CNNs and fit a Ceer model.
 
-use std::fs;
-
 use ceer_core::{Ceer, FitConfig, ProfileArchive};
+use ceer_durable::write_atomic;
 
 use crate::args::Args;
 
@@ -70,7 +69,7 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
 
     let json =
         serde_json::to_string_pretty(&model).map_err(|e| format!("cannot serialize model: {e}"))?;
-    fs::write(&out, json).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+    write_atomic(&out, json.as_bytes()).map_err(|e| format!("cannot write {out:?}: {e}"))?;
     println!(
         "wrote {out} ({} heavy kinds, light median {:.1} us, cpu median {:.1} us)",
         model.classification().heavy_kinds().len(),

@@ -88,7 +88,7 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
         eprint!("{}", render_timings(&report));
     }
     if let Some(path) = bench_out {
-        std::fs::write(&path, bench_json(&report))
+        ceer_durable::write_atomic(&path, bench_json(&report).as_bytes())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if report.is_clean() {

@@ -3,6 +3,7 @@
 pub(crate) mod catalog;
 pub(crate) mod cluster;
 pub(crate) mod collect;
+pub(crate) mod durable;
 pub(crate) mod fit;
 pub(crate) mod inspect;
 pub(crate) mod lint;

@@ -1,7 +1,6 @@
 //! `ceer profile` — run the training simulator and show where time goes.
 
 use std::collections::BTreeMap;
-use std::fs;
 
 use ceer_gpusim::GpuModel;
 use ceer_graph::models::Cnn;
@@ -83,7 +82,8 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
 
     if let Some(path) = trace_out {
         let json = trace::chrome_trace(&cnn, &graph, gpu, gpus, seed);
-        fs::write(&path, json).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        ceer_durable::write_atomic(&path, json.as_bytes())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
         println!("\nwrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
     }
     Ok(())

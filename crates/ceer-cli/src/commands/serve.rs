@@ -17,6 +17,11 @@ OPTIONS:
                         (default: the CEER_THREADS env var, then the host's
                         CPU count)
     --cache-capacity N  LRU prediction-cache entries (default 256; 0 disables)
+    --data-dir DIR      persist reloads, pins, and online-learning state to
+                        DIR (checksummed WAL + atomic snapshots); on start
+                        the server recovers the newest valid snapshot plus
+                        the WAL suffix, and GET /healthz reports what was
+                        recovered. Inspect offline with `ceer durable`.
 
 ROBUSTNESS:
     --read-timeout-ms N     per-read socket timeout (default 5000; 0 disables)
@@ -72,6 +77,7 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
     let max_pending = args.opt_parse("--max-pending", defaults.max_pending)?;
     let evented = args.flag("--evented");
     let batch_window_ms = args.opt_parse("--batch-window-ms", defaults.batch_window_ms)?;
+    let data_dir = args.opt("--data-dir")?.map(std::path::PathBuf::from);
     crate::commands::apply_threads(args)?;
     args.finish()?;
     if workers == 0 {
@@ -95,6 +101,7 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
         max_body_bytes,
         max_pending,
         batch_window_ms,
+        data_dir,
         faults,
     };
     if evented {

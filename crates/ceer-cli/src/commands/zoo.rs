@@ -86,13 +86,14 @@ pub(crate) fn run(args: &Args) -> Result<(), String> {
                 );
             }
             if let Some(path) = dot {
-                std::fs::write(&path, analysis::to_dot(&graph, 0))
+                ceer_durable::write_atomic(&path, analysis::to_dot(&graph, 0).as_bytes())
                     .map_err(|e| format!("cannot write {path:?}: {e}"))?;
                 println!("\nwrote DOT graph to {path}");
             }
             if let Some(path) = export {
                 let json = graph.to_json().map_err(|e| format!("cannot serialize graph: {e}"))?;
-                std::fs::write(&path, json).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                ceer_durable::write_atomic(&path, json.as_bytes())
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
                 println!("wrote training graph JSON to {path}");
             }
         }

@@ -9,6 +9,7 @@
 //! ceer profile    --cnn NAME [--gpu P3] [--gpus K] [--iterations N] [--top N]
 //!                 [--trace out.json]
 //! ceer inspect    --model model.json [--cnn NAME]
+//! ceer durable    inspect|verify --dir DIR [--json]
 //! ceer zoo        [--cnn NAME]
 //! ceer catalog    [--market]
 //! ceer serve      --model model.json [--port P] [--workers N]
@@ -43,6 +44,7 @@ COMMANDS:
     profile    run the training simulator and show where the time goes
     roofline   show which resource bounds each operation kind on a GPU
     inspect    print a fitted model's diagnostics and coverage
+    durable    inspect or verify a serve/cluster durability directory
     lint       statically check the workspace's determinism/safety invariants
     online     replay the closed online-learning loop under a seed
     zoo        list the CNN model zoo (or details of one CNN)
@@ -83,6 +85,7 @@ fn main() -> ExitCode {
         "profile" => commands::profile::run(&args),
         "roofline" => commands::roofline::run(&args),
         "inspect" => commands::inspect::run(&args),
+        "durable" => commands::durable::run(&args),
         "lint" => commands::lint::run(&args),
         "online" => commands::online::run(&args),
         "zoo" => commands::zoo::run(&args),

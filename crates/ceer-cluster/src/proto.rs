@@ -228,6 +228,10 @@ pub struct ShardStats {
     /// against the ring's own shed counter so no loss is silent.
     #[serde(default)]
     pub observations_shed: u64,
+    /// Durable-log writes that failed and were swallowed (the shard kept
+    /// serving from memory; those installs will not survive a crash).
+    #[serde(default)]
+    pub wal_failures: u64,
 }
 
 /// Router-side counters.

@@ -15,11 +15,13 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ceer_core::CeerModel;
+use ceer_durable::{DurableRecord, DurableStore, Storage};
 use ceer_faults::{FaultKind, Faults};
 use ceer_online::{ObservationRing, PredictSample, Sample};
 use ceer_serve::api::{self, PredictRequest, PredictResponse};
 use ceer_serve::{ModelVersion, PredictionCache};
 use ceer_sim::{Event, Net, Node, NodeId};
+use serde::{Deserialize, Serialize};
 
 use crate::proto::{self, tag, Msg, ShardStats};
 
@@ -76,7 +78,25 @@ pub struct ShardNode {
     /// Observation tap: every computed prediction lands here (one sample
     /// per GPU model), for an external online-learning drain.
     ring: Option<Arc<ObservationRing>>,
+    /// Crash-safe persistence of installed versions, when attached (see
+    /// [`ShardNode::with_durability`]).
+    durable: Option<DurableStore>,
 }
+
+/// The durable image of one shard: the version it serves and the model
+/// behind it. Reload installs between snapshots live in the WAL as
+/// [`DurableRecord::Reloaded`] records (which carry the model JSON, so a
+/// durable install can never lose its model).
+#[derive(Serialize, Deserialize)]
+struct ShardPayload {
+    version: u64,
+    model: CeerModel,
+}
+
+/// Committed reload records that trigger a shard snapshot rotation. Low:
+/// every record carries a full model, so compaction pays for itself
+/// quickly.
+const SHARD_SNAPSHOT_EVERY: u64 = 4;
 
 impl ShardNode {
     /// A shard serving `model` at [`ModelVersion::INITIAL`]. `faults`
@@ -98,6 +118,66 @@ impl ShardNode {
             stats,
             faults,
             ring: None,
+            durable: None,
+        }
+    }
+
+    /// Attaches crash-safe persistence backed by `storage` and runs
+    /// recovery: a shard that had durably installed a newer version
+    /// resumes serving it (the router's heartbeat healing then treats
+    /// the recovered version as this shard's truth). An empty directory
+    /// is initialized with the current model as the boot image.
+    ///
+    /// # Errors
+    ///
+    /// Errors when recovery fails — corrupt state a restart cannot trust
+    /// must keep the shard from rejoining, not rejoin it diverged.
+    pub fn with_durability(mut self, storage: Arc<dyn Storage>) -> Result<Self, String> {
+        let boot = ShardPayload { version: self.version.0, model: (*self.model).clone() };
+        let boot = serde_json::to_string(&boot)
+            .map_err(|e| format!("cannot encode shard payload: {e}"))?;
+        let (store, recovered) = DurableStore::open(storage, self.faults.clone(), &boot)?;
+        if !recovered.fresh {
+            let mut payload: ShardPayload = serde_json::from_str(&recovered.payload)
+                .map_err(|e| format!("cannot decode shard payload: {e}"))?;
+            for record in &recovered.replayed {
+                let DurableRecord::Reloaded { version, model_json } = record else { continue };
+                if *version <= payload.version {
+                    return Err(format!(
+                        "non-monotone install replay: v{version} after v{}",
+                        payload.version
+                    ));
+                }
+                payload.model = serde_json::from_str(model_json)
+                    .map_err(|e| format!("replayed model v{version} no longer parses: {e}"))?;
+                payload.version = *version;
+            }
+            self.model = Arc::new(payload.model);
+            self.version = ModelVersion(payload.version);
+        }
+        self.durable = Some(store);
+        Ok(self)
+    }
+
+    /// Logs one durable install and rotates a snapshot when due. Runtime
+    /// failures are counted ([`ShardStats::wal_failures`]) and swallowed:
+    /// the shard keeps serving from memory.
+    fn log_install(&mut self, version: ModelVersion, model_json: &str) {
+        let Some(store) = &self.durable else { return };
+        let record =
+            DurableRecord::Reloaded { version: version.0, model_json: model_json.to_string() };
+        if store.log_all(std::slice::from_ref(&record)).is_err() {
+            self.stats.wal_failures += 1;
+            return;
+        }
+        if store.records_since_snapshot() >= SHARD_SNAPSHOT_EVERY {
+            let payload = ShardPayload { version: version.0, model: (*self.model).clone() };
+            let outcome = serde_json::to_string(&payload)
+                .map_err(|e| e.to_string())
+                .and_then(|text| store.snapshot(&text));
+            if outcome.is_err() {
+                self.stats.wal_failures += 1;
+            }
         }
     }
 
@@ -233,6 +313,7 @@ impl ShardNode {
                 self.version = version;
                 self.cache.clear();
                 self.stats.reloads += 1;
+                self.log_install(version, model);
                 net.log(&format!("installed {version}"));
                 let msg = Msg::ReloadAck { version, ok: true, error: String::new() };
                 net.send(self.config.router, proto::encode(&msg));

@@ -327,6 +327,9 @@ pub struct ClusterConfig {
     pub io_timeout_ms: u64,
     /// Fault injection handle (e.g. [`ceer_faults::FaultPlan::from_env`]).
     pub faults: Faults,
+    /// Root directory for per-shard crash-safe persistence; each shard
+    /// gets `<data_dir>/shard-<index>`. `None` serves purely from memory.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -347,6 +350,7 @@ impl Default for ClusterConfig {
             cache_capacity: 256,
             io_timeout_ms: 2_000,
             faults: None,
+            data_dir: None,
         }
     }
 }
@@ -474,8 +478,16 @@ impl Cluster {
             shard_config.max_backlog_ms = config.max_backlog_ms;
             shard_config.heartbeat_ms = config.heartbeat_ms;
             shard_config.cache_capacity = config.cache_capacity;
-            let node =
-                Box::new(ShardNode::new(shard_config, Arc::clone(&model), config.faults.clone()));
+            let mut shard = ShardNode::new(shard_config, Arc::clone(&model), config.faults.clone());
+            if let Some(data_dir) = &config.data_dir {
+                // Boot-time recovery failure is fatal for the whole
+                // cluster: a shard that cannot trust its directory must
+                // not rejoin diverged.
+                let storage =
+                    ceer_durable::FsStorage::open(data_dir.join(format!("shard-{index}")))?;
+                shard = shard.with_durability(Arc::new(storage))?;
+            }
+            let node = Box::new(shard);
             let net = TcpNet {
                 id,
                 clock: Arc::clone(&clock),

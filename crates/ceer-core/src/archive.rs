@@ -106,7 +106,9 @@ impl ProfileArchive {
     /// Propagates filesystem and serialization failures.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArchiveError> {
         let json = serde_json::to_vec(self).map_err(ArchiveError::Format)?;
-        fs::write(path, json).map_err(ArchiveError::Io)
+        // Atomic (temp + fsync + rename): a crash mid-save can never leave a
+        // half-written archive where a previous good one stood.
+        ceer_durable::write_atomic(path, &json).map_err(ArchiveError::Io)
     }
 
     /// Reads an archive from JSON.

@@ -1,0 +1,87 @@
+//! [`write_atomic`] — the temp-then-rename file writer everything in the
+//! workspace that persists JSON artifacts goes through (`ceer fit --out`,
+//! the profile archive, the experiment caches). A plain `fs::write` torn
+//! by a crash leaves a half-document that poisons every later read; the
+//! atomic protocol degrades to the old file (or a clean miss) instead.
+//! The `non-atomic-write` ceer-lint rule bans bare `fs::write` /
+//! `File::create` in the paths that persist durable artifacts.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: write `<path>.tmp-<pid>`, fsync
+/// it, rename over `path`, then fsync the parent directory. A crash at
+/// any point leaves either the previous contents or the new — never a
+/// torn mixture (the stale temp file a pre-rename crash leaves behind is
+/// overwritten by the next write).
+///
+/// # Errors
+///
+/// Errors when any step fails; on failure the temp file is removed
+/// best-effort and `path` is untouched.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut temp = path.as_os_str().to_owned();
+    temp.push(format!(".tmp-{}", std::process::id()));
+    let temp = std::path::PathBuf::from(temp);
+
+    let result = (|| {
+        // ceer-lint: allow(non-atomic-write) -- this IS the atomic helper; the raw create targets the temp name, and the rename below is the atomic step
+        let mut file = File::create(&temp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&temp, path)?;
+        // Make the rename itself durable. Some filesystems cannot fsync
+        // a directory handle; the rename already happened, so degrade
+        // silently rather than fail a write that took effect.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&temp).ok();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ceer-atomic-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = temp_dir("writes");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\":1}");
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\":2}");
+        // No temp litter after a successful write.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_leaves_the_old_file_untouched() {
+        let dir = temp_dir("failure");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"old").unwrap();
+        // Writing into a missing directory fails before any rename.
+        let bad = dir.join("missing").join("artifact.json");
+        assert!(write_atomic(&bad, b"new").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"old");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,103 @@
+//! ceer-durable — crash-safe persistence for learned state.
+//!
+//! The paper's per-(op, GPU) models are distilled from hours of paid
+//! profiling, and the online loop's sufficient statistics embody every
+//! observation the fleet has produced since — losing either to a crash
+//! forces the exact re-convergence cost the whole system exists to avoid.
+//! This crate is the persistence substrate the serving stack stores that
+//! state in:
+//!
+//! * [`Storage`] — the narrow file-system surface everything goes
+//!   through: read/append/write/sync/rename/sync-dir over one flat
+//!   directory. [`FsStorage`] is the real backend; `ceer-sim` provides
+//!   `SimStorage`, an in-memory backend that models torn writes, dropped
+//!   fsyncs, and crash points so recovery is testable deterministically.
+//! * [`wal`] — an append-only log of length-prefixed, CRC-32-checksummed
+//!   records with strictly increasing sequence numbers. Appends are
+//!   staged and group-committed: one `append` + one `fsync` per batch.
+//! * [`snapshot`] — periodic whole-state images written atomically
+//!   (write temp → fsync → rename → fsync dir) with their own checksums.
+//! * [`DurableStore`] — the recovery protocol tying the two together: on
+//!   boot, load the newest *valid* snapshot (skipping corrupt ones),
+//!   replay the WAL suffix in LSN order, and truncate any torn tail at
+//!   the first bad checksum. A record is guaranteed to survive crashes
+//!   from the moment its commit returns; nothing later than the tear is
+//!   ever resurrected.
+//! * [`write_atomic`] — the temp-then-rename helper the CLI and caches
+//!   use so a crash mid-write degrades to the old file (or a clean
+//!   miss), never a torn JSON document.
+//!
+//! Fault sites `durable.wal.write`, `durable.snapshot.fsync`, and
+//! `durable.dir.rename` thread through [`ceer_faults`], so chaos runs
+//! can fail any stage of the protocol deterministically from a seed.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ceer_durable::{DurableRecord, DurableStore, FsStorage};
+//!
+//! let dir = std::env::temp_dir().join(format!("ceer-durable-doc-{}", std::process::id()));
+//! let storage = Arc::new(FsStorage::open(&dir).unwrap());
+//! let (store, recovered) = DurableStore::open(storage, ceer_faults::none(), "{}").unwrap();
+//! assert!(recovered.fresh);
+//! store.log(&DurableRecord::Promoted { version: 2 }).unwrap();
+//! store.commit().unwrap(); // durable from here on
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod record;
+pub mod snapshot;
+pub mod storage;
+pub mod store;
+pub mod wal;
+
+pub use atomic::write_atomic;
+pub use record::DurableRecord;
+pub use snapshot::SnapshotEnvelope;
+pub use storage::{FsStorage, Storage, StorageError, StorageResult};
+pub use store::{inspect, verify, DurableStore, InspectReport, Recovered, SegmentReport};
+pub use wal::{WalEntry, WalScan};
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the checksum guarding
+/// every WAL frame and snapshot payload. Implemented bitwise (no lookup
+/// table): the inputs are small and the function must be dependency-free
+/// and identical on every platform.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vectors for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let clean = b"durable record payload".to_vec();
+        let reference = crc32(&clean);
+        for i in 0..clean.len() * 8 {
+            let mut flipped = clean.clone();
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), reference, "bit flip {i} went undetected");
+        }
+    }
+}

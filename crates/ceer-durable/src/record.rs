@@ -1,0 +1,146 @@
+//! The record vocabulary the serving stack logs. See `CONTRIBUTING.md`
+//! ("Adding a durable record type") before extending it.
+
+use serde::{Deserialize, Serialize};
+
+/// One durable event. Registry records (`Reloaded`, `CandidateInstalled`,
+/// `Promoted`, `CandidateDropped`, `Pinned`) are **authoritative**:
+/// recovery replays them against the snapshot to rebuild the exact
+/// registry state, which is why the install/reload records carry the
+/// full model JSON — a promotion whose WAL record is durable can never
+/// lose its model. Online-engine records (`ChangePoint`,
+/// `RefitRequested`, `RefitFailed`) are **advisory**: the engine's state
+/// recovers from its snapshot, and these document the decision history
+/// for `ceer durable inspect` and the recovery counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DurableRecord {
+    /// A file reload installed `version` as the incumbent.
+    Reloaded {
+        /// The allocated registry version.
+        version: u64,
+        /// The loaded model, serialized (`serde_json` of `CeerModel`).
+        model_json: String,
+    },
+    /// An A/B candidate was installed under `version`.
+    CandidateInstalled {
+        /// The allocated registry version.
+        version: u64,
+        /// Percent of keyed traffic routed to the candidate.
+        percent: u8,
+        /// The candidate model, serialized.
+        model_json: String,
+    },
+    /// The candidate `version` won its evaluation and became incumbent.
+    Promoted {
+        /// The promoted registry version.
+        version: u64,
+    },
+    /// The candidate `version` lost its evaluation and was dropped.
+    CandidateDropped {
+        /// The dropped registry version.
+        version: u64,
+    },
+    /// The incumbent was pinned back to retained `version`.
+    Pinned {
+        /// The pinned registry version.
+        version: u64,
+    },
+    /// The drift detector declared a change-point.
+    ChangePoint {
+        /// Engine observations ingested when the change-point fired.
+        observations: u64,
+    },
+    /// The engine requested a refit over `pairs` (rendered as
+    /// `"<op-kind>/<gpu>"` strings so this crate stays model-agnostic).
+    RefitRequested {
+        /// The (op kind, GPU) pairs, rendered.
+        pairs: Vec<String>,
+    },
+    /// A requested refit produced no usable candidate.
+    RefitFailed,
+}
+
+impl DurableRecord {
+    /// The registry version this record allocates or refers to, if any.
+    #[must_use]
+    pub fn version(&self) -> Option<u64> {
+        match self {
+            DurableRecord::Reloaded { version, .. }
+            | DurableRecord::CandidateInstalled { version, .. }
+            | DurableRecord::Promoted { version }
+            | DurableRecord::CandidateDropped { version }
+            | DurableRecord::Pinned { version } => Some(*version),
+            DurableRecord::ChangePoint { .. }
+            | DurableRecord::RefitRequested { .. }
+            | DurableRecord::RefitFailed => None,
+        }
+    }
+
+    /// Whether this record *allocates* a new registry version (as opposed
+    /// to referring to an existing one). Allocating records must carry
+    /// strictly increasing versions — the monotonicity invariant recovery
+    /// proves.
+    #[must_use]
+    pub fn allocates_version(&self) -> bool {
+        matches!(self, DurableRecord::Reloaded { .. } | DurableRecord::CandidateInstalled { .. })
+    }
+
+    /// A short stable tag for rendering (`ceer durable inspect`).
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DurableRecord::Reloaded { .. } => "reloaded",
+            DurableRecord::CandidateInstalled { .. } => "candidate-installed",
+            DurableRecord::Promoted { .. } => "promoted",
+            DurableRecord::CandidateDropped { .. } => "candidate-dropped",
+            DurableRecord::Pinned { .. } => "pinned",
+            DurableRecord::ChangePoint { .. } => "change-point",
+            DurableRecord::RefitRequested { .. } => "refit-requested",
+            DurableRecord::RefitFailed => "refit-failed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let records = vec![
+            DurableRecord::Reloaded { version: 2, model_json: "{}".to_string() },
+            DurableRecord::CandidateInstalled {
+                version: 3,
+                percent: 50,
+                model_json: "{}".to_string(),
+            },
+            DurableRecord::Promoted { version: 3 },
+            DurableRecord::CandidateDropped { version: 4 },
+            DurableRecord::Pinned { version: 2 },
+            DurableRecord::ChangePoint { observations: 120 },
+            DurableRecord::RefitRequested { pairs: vec!["Conv2D/V100".to_string()] },
+            DurableRecord::RefitFailed,
+        ];
+        for record in records {
+            let json = serde_json::to_string(&record).unwrap();
+            let back: DurableRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn version_and_allocation_classification() {
+        let install = DurableRecord::CandidateInstalled {
+            version: 5,
+            percent: 50,
+            model_json: String::new(),
+        };
+        assert_eq!(install.version(), Some(5));
+        assert!(install.allocates_version());
+        let promote = DurableRecord::Promoted { version: 5 };
+        assert_eq!(promote.version(), Some(5));
+        assert!(!promote.allocates_version());
+        assert_eq!(DurableRecord::RefitFailed.version(), None);
+        assert_eq!(DurableRecord::RefitFailed.tag(), "refit-failed");
+    }
+}

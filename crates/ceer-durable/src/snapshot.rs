@@ -1,0 +1,131 @@
+//! Snapshot envelopes: checksummed whole-state images with the WAL
+//! position they capture, written atomically through a [`Storage`].
+
+use crate::crc32;
+use crate::storage::{Storage, StorageResult};
+use serde::{Deserialize, Serialize};
+
+/// One snapshot file's contents: an opaque payload (the owning layer's
+/// serialized state) plus the WAL position it captures and a checksum
+/// guarding the payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotEnvelope {
+    /// Snapshot sequence number (0 for the boot image, +1 per snapshot).
+    pub seq: u64,
+    /// LSN of the last WAL record folded into this image; replay resumes
+    /// at `last_lsn + 1`.
+    pub last_lsn: u64,
+    /// CRC-32 of the payload string's UTF-8 bytes.
+    pub crc: u32,
+    /// The owning layer's serialized state, opaque to this crate.
+    pub payload: String,
+}
+
+impl SnapshotEnvelope {
+    /// Wraps `payload` with its checksum.
+    #[must_use]
+    pub fn new(seq: u64, last_lsn: u64, payload: String) -> Self {
+        let crc = crc32(payload.as_bytes());
+        SnapshotEnvelope { seq, last_lsn, crc, payload }
+    }
+
+    /// Serializes the envelope.
+    ///
+    /// # Errors
+    ///
+    /// Errors when serialization fails (practically unreachable).
+    pub fn encode(&self) -> Result<Vec<u8>, String> {
+        serde_json::to_vec(self).map_err(|e| format!("cannot serialize snapshot: {e}"))
+    }
+
+    /// Parses and checksum-verifies a snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the bytes do not parse or the checksum mismatches.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let envelope: SnapshotEnvelope =
+            serde_json::from_slice(bytes).map_err(|e| format!("unparsable snapshot: {e}"))?;
+        let actual = crc32(envelope.payload.as_bytes());
+        if actual != envelope.crc {
+            return Err(format!(
+                "snapshot checksum mismatch: stored {:#010x}, computed {actual:#010x}",
+                envelope.crc
+            ));
+        }
+        Ok(envelope)
+    }
+}
+
+/// The snapshot file name for `seq`.
+#[must_use]
+pub fn snapshot_name(seq: u64) -> String {
+    format!("snapshot-{seq:010}.json")
+}
+
+/// The WAL segment name holding records logged *after* snapshot `seq`.
+#[must_use]
+pub fn wal_name(seq: u64) -> String {
+    format!("wal-{seq:010}.log")
+}
+
+/// Parses a snapshot file name back to its sequence number.
+#[must_use]
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot-")?.strip_suffix(".json")?.parse().ok()
+}
+
+/// Parses a WAL segment name back to its sequence number.
+#[must_use]
+pub fn parse_wal_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// Writes `bytes` under `name` with the full atomic protocol: write a
+/// temp file, fsync it, rename over `name`, fsync the directory. After
+/// this returns, a crash observes either the old `name` or the new one,
+/// never a mixture. The two closures are the fault hooks the store
+/// threads `durable.snapshot.fsync` / `durable.dir.rename` through.
+pub(crate) fn write_file_atomic(
+    storage: &dyn Storage,
+    name: &str,
+    bytes: &[u8],
+    before_sync: &mut dyn FnMut() -> StorageResult<()>,
+    before_rename: &mut dyn FnMut() -> StorageResult<()>,
+) -> StorageResult<()> {
+    let temp = format!("{name}.tmp");
+    storage.write(&temp, bytes)?;
+    before_sync()?;
+    storage.sync(&temp)?;
+    before_rename()?;
+    storage.rename(&temp, name)?;
+    storage.sync_dir()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrip_and_tamper_detection() {
+        let envelope = SnapshotEnvelope::new(3, 17, "{\"state\":42}".to_string());
+        let bytes = envelope.encode().unwrap();
+        assert_eq!(SnapshotEnvelope::decode(&bytes).unwrap(), envelope);
+
+        let mut tampered = SnapshotEnvelope::decode(&bytes).unwrap();
+        tampered.payload.push(' ');
+        let bytes = tampered.encode().unwrap();
+        assert!(SnapshotEnvelope::decode(&bytes).unwrap_err().contains("checksum"));
+    }
+
+    #[test]
+    fn names_roundtrip_and_sort_numerically() {
+        assert_eq!(parse_snapshot_name(&snapshot_name(7)), Some(7));
+        assert_eq!(parse_wal_name(&wal_name(12)), Some(12));
+        assert_eq!(parse_snapshot_name("snapshot-x.json"), None);
+        assert_eq!(parse_wal_name("wal-3.json"), None);
+        // Zero padding keeps lexicographic order equal to numeric order.
+        assert!(snapshot_name(9) < snapshot_name(10));
+        assert!(wal_name(99) < wal_name(100));
+    }
+}

@@ -1,0 +1,240 @@
+//! The [`Storage`] trait — the only file-system surface the durability
+//! layer touches — and [`FsStorage`], its real-filesystem backend.
+//!
+//! The surface is deliberately narrow: flat names inside one directory,
+//! append/write/rename/remove plus explicit `sync`/`sync_dir` barriers.
+//! Everything crash-safety depends on is visible in the call sequence,
+//! which is what lets `ceer_sim::SimStorage` replay the same sequence
+//! against an in-memory model of torn writes and dropped fsyncs and
+//! crash it after any k-th operation.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Why a storage operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The (simulated) process crashed at this operation; every
+    /// subsequent operation on the same storage fails the same way until
+    /// the harness recovers it.
+    Crashed,
+    /// A real I/O error, an injected fault, or an invalid name.
+    Failed(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Crashed => write!(f, "storage crashed"),
+            StorageError::Failed(why) => write!(f, "storage operation failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias for [`Storage`] operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// A flat, single-directory file store with explicit durability
+/// barriers. All names are plain file names (no separators); callers own
+/// the naming scheme.
+///
+/// Durability contract:
+///
+/// * data written via [`Storage::append`] or [`Storage::write`] may be
+///   lost — or survive **partially** (a torn tail) — until
+///   [`Storage::sync`] on that name returns;
+/// * namespace changes ([`Storage::rename`], [`Storage::remove`]) may be
+///   lost until [`Storage::sync_dir`] returns;
+/// * after the respective barrier returns, the data/namespace change
+///   survives any crash.
+pub trait Storage: Send + Sync {
+    /// The file's current contents, or `None` when it does not exist.
+    fn read(&self, name: &str) -> StorageResult<Option<Vec<u8>>>;
+
+    /// Appends `bytes` to the file, creating it when missing.
+    fn append(&self, name: &str, bytes: &[u8]) -> StorageResult<()>;
+
+    /// Creates or truncates the file with `bytes` as its contents.
+    fn write(&self, name: &str, bytes: &[u8]) -> StorageResult<()>;
+
+    /// Durability barrier for one file's contents (fsync).
+    fn sync(&self, name: &str) -> StorageResult<()>;
+
+    /// Renames `from` onto `to` (replacing `to` if it exists). Atomic
+    /// with respect to crashes: observers see the old file or the new,
+    /// never a mixture — but the rename itself is not durable until
+    /// [`Storage::sync_dir`].
+    fn rename(&self, from: &str, to: &str) -> StorageResult<()>;
+
+    /// Durability barrier for namespace changes (fsync of the directory).
+    fn sync_dir(&self) -> StorageResult<()>;
+
+    /// Every existing file name, sorted.
+    fn list(&self) -> StorageResult<Vec<String>>;
+
+    /// Removes the file; succeeds when it does not exist.
+    fn remove(&self, name: &str) -> StorageResult<()>;
+}
+
+/// Rejects names that would escape the flat directory namespace.
+pub(crate) fn validate_name(name: &str) -> StorageResult<()> {
+    if name.is_empty()
+        || name == "."
+        || name == ".."
+        || name.contains('/')
+        || name.contains('\\')
+        || name.contains('\0')
+    {
+        return Err(StorageError::Failed(format!("invalid storage name {name:?}")));
+    }
+    Ok(())
+}
+
+/// The real-filesystem backend: one directory, created on open.
+pub struct FsStorage {
+    dir: PathBuf,
+}
+
+impl FsStorage {
+    /// Opens (creating if needed) `dir` as a storage root.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, String> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        Ok(FsStorage { dir })
+    }
+
+    /// The directory this storage lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> StorageResult<PathBuf> {
+        validate_name(name)?;
+        Ok(self.dir.join(name))
+    }
+}
+
+fn io_failed(op: &str, path: &Path, error: &std::io::Error) -> StorageError {
+    StorageError::Failed(format!("{op} {path:?}: {error}"))
+}
+
+impl Storage for FsStorage {
+    fn read(&self, name: &str) -> StorageResult<Option<Vec<u8>>> {
+        let path = self.path(name)?;
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_failed("read", &path, &e)),
+        }
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> StorageResult<()> {
+        let path = self.path(name)?;
+        let mut file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| io_failed("open for append", &path, &e))?;
+        file.write_all(bytes).map_err(|e| io_failed("append to", &path, &e))
+    }
+
+    fn write(&self, name: &str, bytes: &[u8]) -> StorageResult<()> {
+        let path = self.path(name)?;
+        // ceer-lint: allow(non-atomic-write) -- this IS the raw primitive the atomic protocol is built from; DurableStore only writes temp names through it
+        let mut file = File::create(&path).map_err(|e| io_failed("create", &path, &e))?;
+        file.write_all(bytes).map_err(|e| io_failed("write", &path, &e))
+    }
+
+    fn sync(&self, name: &str) -> StorageResult<()> {
+        let path = self.path(name)?;
+        let file = File::open(&path).map_err(|e| io_failed("open for sync", &path, &e))?;
+        file.sync_all().map_err(|e| io_failed("sync", &path, &e))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> StorageResult<()> {
+        let from_path = self.path(from)?;
+        let to_path = self.path(to)?;
+        std::fs::rename(&from_path, &to_path).map_err(|e| io_failed("rename", &from_path, &e))
+    }
+
+    fn sync_dir(&self) -> StorageResult<()> {
+        // Directory fsync is how a rename becomes durable on Linux; on
+        // filesystems where directories cannot be opened this degrades
+        // to an error the caller surfaces.
+        let dir = File::open(&self.dir).map_err(|e| io_failed("open dir", &self.dir, &e))?;
+        dir.sync_all().map_err(|e| io_failed("sync dir", &self.dir, &e))
+    }
+
+    fn list(&self) -> StorageResult<Vec<String>> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| io_failed("list", &self.dir, &e))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_failed("list", &self.dir, &e))?;
+            let is_file = entry.file_type().map(|t| t.is_file()).unwrap_or(false);
+            if let (true, Ok(name)) = (is_file, entry.file_name().into_string()) {
+                names.push(name);
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove(&self, name: &str) -> StorageResult<()> {
+        let path = self.path(name)?;
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_failed("remove", &path, &e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_storage(name: &str) -> (FsStorage, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("ceer-fsstorage-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        (FsStorage::open(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn roundtrip_append_write_list_remove() {
+        let (storage, dir) = temp_storage("roundtrip");
+        assert_eq!(storage.read("a").unwrap(), None);
+        storage.append("a", b"one").unwrap();
+        storage.append("a", b"two").unwrap();
+        assert_eq!(storage.read("a").unwrap().unwrap(), b"onetwo");
+        storage.write("a", b"fresh").unwrap();
+        assert_eq!(storage.read("a").unwrap().unwrap(), b"fresh");
+        storage.sync("a").unwrap();
+        storage.write("b.tmp", b"x").unwrap();
+        storage.rename("b.tmp", "b").unwrap();
+        storage.sync_dir().unwrap();
+        assert_eq!(storage.list().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        storage.remove("a").unwrap();
+        storage.remove("a").unwrap(); // idempotent
+        assert_eq!(storage.list().unwrap(), vec!["b".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn names_cannot_escape_the_directory() {
+        let (storage, dir) = temp_storage("names");
+        for bad in ["", ".", "..", "a/b", "a\\b", "a\0b"] {
+            assert!(storage.read(bad).is_err(), "name {bad:?} must be rejected");
+            assert!(storage.write(bad, b"x").is_err());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

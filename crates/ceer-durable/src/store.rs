@@ -1,0 +1,868 @@
+//! [`DurableStore`] — the recovery protocol and the runtime logging
+//! surface, tied together over one [`Storage`] directory.
+//!
+//! On-disk layout (flat names inside the storage directory):
+//!
+//! ```text
+//! snapshot-0000000000.json   boot image (seq 0, last_lsn 0)
+//! wal-0000000000.log         records logged after snapshot 0
+//! snapshot-0000000001.json   first rotated snapshot
+//! wal-0000000001.log         records logged after snapshot 1
+//! ...
+//! ```
+//!
+//! Recovery loads the **newest snapshot that decodes and checksums
+//! clean** (corrupt ones are skipped, counted, and fallback goes one
+//! generation back), then replays every WAL segment in ascending
+//! sequence order, keeping entries past the snapshot's `last_lsn` and
+//! demanding a contiguous LSN chain. A torn tail in the *newest* segment
+//! is truncated with the full atomic protocol before the store accepts
+//! new appends; a tear anywhere else means external corruption and
+//! recovery refuses to open (use [`inspect`] to see what is left).
+//!
+//! Runtime writes are group-committed: [`DurableStore::log`] stages
+//! frames in memory, [`DurableStore::commit`] appends the whole batch
+//! with one `append` + one `sync`. A record is durable — guaranteed to
+//! survive recovery — exactly when the `commit` covering it returns.
+
+use crate::record::DurableRecord;
+use crate::snapshot::{
+    parse_snapshot_name, parse_wal_name, snapshot_name, wal_name, write_file_atomic,
+    SnapshotEnvelope,
+};
+use crate::storage::{Storage, StorageError, StorageResult};
+use crate::wal::{self, WalEntry};
+use ceer_faults::Faults;
+use serde::Serialize;
+use std::sync::{Arc, Mutex};
+
+/// Snapshot generations kept on disk after a rotation: the newest plus
+/// one fallback (with the WAL segments needed to replay past either).
+const RETAINED_GENERATIONS: u64 = 2;
+
+/// What recovery found. `payload` is the state the caller should restore
+/// (newest valid snapshot), `replayed` the durable records logged after
+/// it, in LSN order — apply them on top.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// True when the directory was empty and the store wrote its boot
+    /// snapshot from the caller's initial payload — nothing to restore.
+    pub fresh: bool,
+    /// Sequence of the snapshot recovery loaded.
+    pub snapshot_seq: u64,
+    /// WAL position the snapshot captured; replay resumed after it.
+    pub snapshot_lsn: u64,
+    /// Last LSN applied after replay (`snapshot_lsn` when no suffix).
+    pub last_lsn: u64,
+    /// The loaded snapshot payload (the caller's own serialization).
+    pub payload: String,
+    /// WAL records logged after the snapshot, in LSN order.
+    pub replayed: Vec<DurableRecord>,
+    /// Why replay stopped early, when it did: the torn tail that was
+    /// truncated, or (had recovery refused) the corruption found.
+    pub torn: Option<String>,
+    /// Newer snapshot files that failed their checksum and were skipped.
+    pub skipped_snapshots: u64,
+}
+
+struct Inner {
+    /// LSN the next logged record receives.
+    next_lsn: u64,
+    /// Segment file receiving appends.
+    active_wal: String,
+    /// Sequence the next snapshot receives.
+    next_seq: u64,
+    /// Encoded frames staged since the last commit.
+    staged: Vec<u8>,
+    /// How many records those frames hold.
+    staged_records: u64,
+    /// Committed records since the last snapshot (drives rotation).
+    records_since_snapshot: u64,
+    /// Whether the active segment's *directory entry* is known durable.
+    /// A freshly rotated segment is created lazily by the first commit,
+    /// which must then `sync_dir` — a synced file whose name was never
+    /// synced vanishes whole on power loss.
+    wal_named: bool,
+    /// Set when an append/sync failed mid-protocol, leaving the segment
+    /// tail in an unknowable state; every later write fails fast until
+    /// the process restarts and recovery truncates whatever stuck.
+    wedged: Option<String>,
+}
+
+/// The durability store: one WAL + snapshot directory, shared behind
+/// `Arc` by whoever logs into it.
+pub struct DurableStore {
+    storage: Arc<dyn Storage>,
+    faults: Faults,
+    inner: Mutex<Inner>,
+}
+
+/// Raw directory contents, decoded: the common substrate of recovery,
+/// [`inspect`], and [`verify`].
+struct RawState {
+    /// `(seq, name, decode result)` for every snapshot file, by seq.
+    snapshots: Vec<(u64, String, Result<SnapshotEnvelope, String>)>,
+    /// `(seq, name, bytes)` for every WAL segment, by seq.
+    wals: Vec<(u64, String, Vec<u8>)>,
+}
+
+fn load_raw(storage: &dyn Storage) -> Result<RawState, String> {
+    let names = storage.list().map_err(|e| format!("cannot list storage: {e}"))?;
+    let mut snapshots = Vec::new();
+    let mut wals = Vec::new();
+    for name in names {
+        if let Some(seq) = parse_snapshot_name(&name) {
+            let decoded = match storage.read(&name) {
+                Ok(Some(bytes)) => SnapshotEnvelope::decode(&bytes),
+                Ok(None) => Err("file vanished between list and read".to_string()),
+                Err(e) => return Err(format!("cannot read {name}: {e}")),
+            };
+            snapshots.push((seq, name, decoded));
+        } else if let Some(seq) = parse_wal_name(&name) {
+            match storage.read(&name) {
+                Ok(Some(bytes)) => wals.push((seq, name, bytes)),
+                Ok(None) => {}
+                Err(e) => return Err(format!("cannot read {name}: {e}")),
+            }
+        }
+        // Anything else (temp files from interrupted atomic writes) is
+        // ignored; the next snapshot rotation overwrites or strands it
+        // harmlessly.
+    }
+    snapshots.sort_by_key(|(seq, _, _)| *seq);
+    wals.sort_by_key(|(seq, _, _)| *seq);
+    Ok(RawState { snapshots, wals })
+}
+
+/// The outcome of replaying the segment chain on top of a snapshot.
+struct Replay {
+    entries: Vec<WalEntry>,
+    last_lsn: u64,
+    /// Why replay stopped before consuming everything, when it did.
+    torn: Option<String>,
+    /// `(name, valid_len)` of the newest segment's torn tail, when the
+    /// tear is recoverable by truncation.
+    truncate: Option<(String, usize)>,
+    /// A tear/gap *not* in the newest segment: external corruption that
+    /// truncation cannot repair without losing durable records.
+    fatal: bool,
+}
+
+fn replay_chain(wals: &[(u64, String, Vec<u8>)], base_lsn: u64) -> Replay {
+    let mut entries = Vec::new();
+    let mut last_lsn = base_lsn;
+    let mut torn = None;
+    let mut truncate = None;
+    let mut fatal = false;
+    'segments: for (i, (_, name, bytes)) in wals.iter().enumerate() {
+        let newest = i + 1 == wals.len();
+        let scan = wal::scan(bytes, None);
+        for entry in scan.entries {
+            if entry.lsn <= last_lsn {
+                continue; // already captured by the snapshot
+            }
+            if entry.lsn != last_lsn + 1 {
+                torn = Some(format!(
+                    "LSN gap entering {name}: expected {}, segment continues at {}",
+                    last_lsn + 1,
+                    entry.lsn
+                ));
+                fatal = true;
+                break 'segments;
+            }
+            last_lsn = entry.lsn;
+            entries.push(entry);
+        }
+        if let Some(reason) = scan.torn {
+            if newest {
+                torn = Some(reason);
+                truncate = Some((name.clone(), scan.valid_len));
+            } else {
+                torn = Some(format!("non-active segment {name} torn: {reason}"));
+                fatal = true;
+            }
+            break;
+        }
+    }
+    Replay { entries, last_lsn, torn, truncate, fatal }
+}
+
+impl DurableStore {
+    /// Opens the store, running recovery. An empty directory is
+    /// initialized with a boot snapshot of `initial_payload` (made
+    /// durable before this returns); otherwise the newest valid snapshot
+    /// is loaded, the WAL suffix replayed, and any torn tail of the
+    /// active segment truncated atomically.
+    ///
+    /// # Errors
+    ///
+    /// Errors when storage fails, when no snapshot survives its
+    /// checksum, or when corruption sits anywhere truncation cannot
+    /// repair (a tear or LSN gap outside the newest segment).
+    pub fn open(
+        storage: Arc<dyn Storage>,
+        faults: Faults,
+        initial_payload: &str,
+    ) -> Result<(Self, Recovered), String> {
+        let raw = load_raw(storage.as_ref())?;
+
+        if raw.snapshots.is_empty() {
+            if let Some((_, name, _)) = raw.wals.first() {
+                return Err(format!(
+                    "WAL segment {name} present without any snapshot; refusing to guess a base state"
+                ));
+            }
+            let envelope = SnapshotEnvelope::new(0, 0, initial_payload.to_string());
+            let bytes = envelope.encode()?;
+            write_file_atomic(
+                storage.as_ref(),
+                &snapshot_name(0),
+                &bytes,
+                &mut || Ok(()),
+                &mut || Ok(()),
+            )
+            .map_err(|e| format!("cannot write boot snapshot: {e}"))?;
+            let store = DurableStore {
+                storage,
+                faults,
+                inner: Mutex::new(Inner {
+                    next_lsn: 1,
+                    active_wal: wal_name(0),
+                    next_seq: 1,
+                    staged: Vec::new(),
+                    staged_records: 0,
+                    records_since_snapshot: 0,
+                    wal_named: false,
+                    wedged: None,
+                }),
+            };
+            let recovered = Recovered {
+                fresh: true,
+                snapshot_seq: 0,
+                snapshot_lsn: 0,
+                last_lsn: 0,
+                payload: initial_payload.to_string(),
+                replayed: Vec::new(),
+                torn: None,
+                skipped_snapshots: 0,
+            };
+            return Ok((store, recovered));
+        }
+
+        // Newest snapshot that decodes clean; count the skipped ones.
+        let mut skipped = 0u64;
+        let mut chosen: Option<(u64, &SnapshotEnvelope)> = None;
+        for (seq, _, decoded) in raw.snapshots.iter().rev() {
+            match decoded {
+                Ok(envelope) => {
+                    chosen = Some((*seq, envelope));
+                    break;
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        let Some((seq, envelope)) = chosen else {
+            let detail: Vec<String> = raw
+                .snapshots
+                .iter()
+                .map(|(_, name, decoded)| {
+                    format!("{name}: {}", decoded.as_ref().err().map_or("ok", |e| e.as_str()))
+                })
+                .collect();
+            return Err(format!("no valid snapshot: {}", detail.join("; ")));
+        };
+
+        let replay = replay_chain(&raw.wals, envelope.last_lsn);
+        if replay.fatal {
+            return Err(format!(
+                "unrecoverable WAL corruption: {}",
+                replay.torn.as_deref().unwrap_or("unknown")
+            ));
+        }
+        if let Some((name, valid_len)) = &replay.truncate {
+            // Rewrite the torn segment down to its valid prefix with the
+            // full atomic protocol, so the tail is gone *durably* before
+            // any new append lands after it.
+            let Some((_, _, bytes)) = raw.wals.iter().find(|(_, n, _)| n == name) else {
+                return Err(format!("recovery asked to truncate unscanned segment {name}"));
+            };
+            write_file_atomic(
+                storage.as_ref(),
+                name,
+                &bytes[..*valid_len],
+                &mut || Ok(()),
+                &mut || Ok(()),
+            )
+            .map_err(|e| format!("cannot truncate torn tail of {name}: {e}"))?;
+        }
+
+        let max_seq = raw
+            .snapshots
+            .iter()
+            .map(|(s, _, _)| *s)
+            .chain(raw.wals.iter().map(|(s, _, _)| *s))
+            .max()
+            .unwrap_or(seq);
+        let next_seq = raw.snapshots.last().map_or(seq, |(s, _, _)| *s) + 1;
+        let records_since_snapshot = replay.entries.len() as u64;
+        let recovered = Recovered {
+            fresh: false,
+            snapshot_seq: seq,
+            snapshot_lsn: envelope.last_lsn,
+            last_lsn: replay.last_lsn,
+            payload: envelope.payload.clone(),
+            replayed: replay.entries.into_iter().map(|e| e.record).collect(),
+            torn: replay.torn,
+            skipped_snapshots: skipped,
+        };
+        let store = DurableStore {
+            storage,
+            faults,
+            inner: Mutex::new(Inner {
+                next_lsn: replay.last_lsn + 1,
+                active_wal: wal_name(max_seq),
+                next_seq,
+                staged: Vec::new(),
+                staged_records: 0,
+                records_since_snapshot,
+                // The active segment's name is durable iff the segment
+                // file was actually found on disk (a snapshot may have
+                // rotated without a commit ever creating its wal).
+                wal_named: raw.wals.iter().any(|(s, _, _)| *s == max_seq),
+                wedged: None,
+            }),
+        };
+        Ok((store, recovered))
+    }
+
+    /// Stages one record for the next [`DurableStore::commit`]. The
+    /// record is **not durable yet**.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the store is wedged by an earlier write failure or
+    /// the record cannot be encoded.
+    pub fn log(&self, record: &DurableRecord) -> Result<u64, String> {
+        let mut inner = self.lock();
+        if let Some(why) = &inner.wedged {
+            return Err(format!("store wedged: {why}"));
+        }
+        let lsn = inner.next_lsn;
+        let frame = wal::encode_frame(&WalEntry { lsn, record: record.clone() })?;
+        inner.staged.extend_from_slice(&frame);
+        inner.staged_records += 1;
+        inner.next_lsn += 1;
+        Ok(lsn)
+    }
+
+    /// Appends every staged frame with one `append` + one `sync` (group
+    /// commit). When this returns `Ok`, every staged record is durable.
+    ///
+    /// # Errors
+    ///
+    /// Errors on injected faults (site `durable.wal.write`, fired before
+    /// any byte is written — the staged batch is rolled back and can be
+    /// re-logged) and on real append/sync failures (which wedge the
+    /// store: the segment tail is in an unknowable state and only a
+    /// restart + recovery can re-establish it).
+    pub fn commit(&self) -> Result<u64, String> {
+        let mut inner = self.lock();
+        if let Some(why) = &inner.wedged {
+            return Err(format!("store wedged: {why}"));
+        }
+        if inner.staged.is_empty() {
+            return Ok(0);
+        }
+        if let Some(injector) = &self.faults {
+            if let Err(e) = injector.fail_str("durable.wal.write") {
+                // Nothing was written: roll the staged batch back so the
+                // LSN chain stays contiguous for the next log().
+                inner.next_lsn -= inner.staged_records;
+                inner.staged.clear();
+                inner.staged_records = 0;
+                return Err(format!("wal write fault: {e}"));
+            }
+        }
+        let staged = std::mem::take(&mut inner.staged);
+        let records = std::mem::replace(&mut inner.staged_records, 0);
+        let wedge = |inner: &mut Inner, stage: &str, e: &StorageError| {
+            let why = format!("{stage} {} failed: {e}", inner.active_wal);
+            inner.wedged = Some(why.clone());
+            why
+        };
+        if let Err(e) = self.storage.append(&inner.active_wal, &staged) {
+            return Err(wedge(&mut inner, "append to", &e));
+        }
+        if let Err(e) = self.storage.sync(&inner.active_wal) {
+            return Err(wedge(&mut inner, "sync of", &e));
+        }
+        if !inner.wal_named {
+            // First commit into a fresh segment created the file; its
+            // directory entry must be durable too, or power loss drops
+            // the whole segment regardless of the data sync above.
+            if let Err(e) = self.storage.sync_dir() {
+                return Err(wedge(&mut inner, "directory sync for", &e));
+            }
+            inner.wal_named = true;
+        }
+        inner.records_since_snapshot += records;
+        Ok(records)
+    }
+
+    /// [`DurableStore::log`] each record, then [`DurableStore::commit`]
+    /// the batch.
+    ///
+    /// # Errors
+    ///
+    /// As for `log` and `commit`.
+    pub fn log_all(&self, records: &[DurableRecord]) -> Result<u64, String> {
+        for record in records {
+            self.log(record)?;
+        }
+        self.commit()
+    }
+
+    /// Writes a new snapshot of `payload` atomically, rotates the WAL to
+    /// a fresh segment, and removes generations older than the fallback.
+    /// Staged-but-uncommitted records are committed first so the
+    /// snapshot's `last_lsn` covers them.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the commit or any step of the atomic write protocol
+    /// fails (fault sites `durable.snapshot.fsync`,
+    /// `durable.dir.rename`). On error no state is rotated; the next
+    /// attempt reuses the same sequence number and converges.
+    pub fn snapshot(&self, payload: &str) -> Result<u64, String> {
+        self.commit()?;
+        let mut inner = self.lock();
+        if let Some(why) = &inner.wedged {
+            return Err(format!("store wedged: {why}"));
+        }
+        let seq = inner.next_seq;
+        let last_lsn = inner.next_lsn - 1;
+        let envelope = SnapshotEnvelope::new(seq, last_lsn, payload.to_string());
+        let bytes = envelope.encode()?;
+        let faults = &self.faults;
+        write_file_atomic(
+            self.storage.as_ref(),
+            &snapshot_name(seq),
+            &bytes,
+            &mut || fault_hook(faults, "durable.snapshot.fsync"),
+            &mut || fault_hook(faults, "durable.dir.rename"),
+        )
+        .map_err(|e| format!("cannot write snapshot {seq}: {e}"))?;
+        inner.next_seq = seq + 1;
+        inner.active_wal = wal_name(seq);
+        inner.records_since_snapshot = 0;
+        // The rotated segment does not exist yet; its first commit must
+        // make the name durable.
+        inner.wal_named = false;
+        drop(inner);
+
+        // Retention is best-effort: the snapshot is already durable, so
+        // a failure here only leaves extra files for the next rotation.
+        if let Ok(names) = self.storage.list() {
+            let keep_from = seq.saturating_sub(RETAINED_GENERATIONS - 1);
+            for name in names {
+                let stale = parse_snapshot_name(&name)
+                    .or_else(|| parse_wal_name(&name))
+                    .is_some_and(|s| s < keep_from);
+                if stale {
+                    let _ = self.storage.remove(&name);
+                }
+            }
+            let _ = self.storage.sync_dir();
+        }
+        Ok(seq)
+    }
+
+    /// Committed records since the last snapshot (the rotation trigger
+    /// callers poll).
+    #[must_use]
+    pub fn records_since_snapshot(&self) -> u64 {
+        self.lock().records_since_snapshot
+    }
+
+    /// The last LSN allocated (committed or staged); 0 when none.
+    #[must_use]
+    pub fn last_lsn(&self) -> u64 {
+        self.lock().next_lsn - 1
+    }
+
+    /// The storage this store writes through (for harnesses that need to
+    /// crash or inspect it).
+    #[must_use]
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned durability lock means a logging thread panicked
+        // mid-stage; recovering the guard and letting the wedge flag (set
+        // before any risky step) decide is strictly safer than poisoning
+        // every later caller.
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+fn fault_hook(faults: &Faults, site: &str) -> StorageResult<()> {
+    match faults {
+        Some(injector) => {
+            injector.fail_str(site).map_err(|e| StorageError::Failed(format!("{site}: {e}")))
+        }
+        None => Ok(()),
+    }
+}
+
+/// One file's health in an [`InspectReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SegmentReport {
+    /// The file name.
+    pub name: String,
+    /// Whether the file is fully valid.
+    pub ok: bool,
+    /// Human summary: position captured / records held / failure reason.
+    pub detail: String,
+    /// Records held (WAL segments; 0 for snapshots).
+    pub records: u64,
+}
+
+/// What [`inspect`] found: per-file health plus the recovery outcome a
+/// [`DurableStore::open`] would reach.
+#[derive(Debug, Clone, Serialize)]
+pub struct InspectReport {
+    /// Every snapshot and WAL file, in name order.
+    pub segments: Vec<SegmentReport>,
+    /// Sequence of the snapshot recovery would load, if any decodes.
+    pub recovered_seq: Option<u64>,
+    /// Last LSN recovery would reach after replay.
+    pub recovered_lsn: u64,
+    /// WAL records recovery would replay on top of the snapshot.
+    pub replayable_records: u64,
+    /// Everything wrong: corrupt snapshots, torn tails, LSN gaps.
+    pub errors: Vec<String>,
+}
+
+impl InspectReport {
+    /// True when every file is valid and recovery loses nothing.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Read-only health scan of a durability directory: decodes every
+/// snapshot, scans every WAL segment, and reports what recovery would
+/// do — without writing anything.
+///
+/// # Errors
+///
+/// Errors only when storage itself fails; corruption is *reported*, not
+/// an error.
+pub fn inspect(storage: &dyn Storage) -> Result<InspectReport, String> {
+    let raw = load_raw(storage)?;
+    let mut segments = Vec::new();
+    let mut errors = Vec::new();
+
+    for (_, name, decoded) in &raw.snapshots {
+        match decoded {
+            Ok(envelope) => segments.push(SegmentReport {
+                name: name.clone(),
+                ok: true,
+                detail: format!(
+                    "seq {}, last_lsn {}, payload {} bytes",
+                    envelope.seq,
+                    envelope.last_lsn,
+                    envelope.payload.len()
+                ),
+                records: 0,
+            }),
+            Err(why) => {
+                errors.push(format!("{name}: {why}"));
+                segments.push(SegmentReport {
+                    name: name.clone(),
+                    ok: false,
+                    detail: why.clone(),
+                    records: 0,
+                });
+            }
+        }
+    }
+
+    let newest_wal = raw.wals.last().map(|(_, name, _)| name.clone());
+    for (_, name, bytes) in &raw.wals {
+        let scan = wal::scan(bytes, None);
+        let records = scan.entries.len() as u64;
+        match scan.torn {
+            None => segments.push(SegmentReport {
+                name: name.clone(),
+                ok: true,
+                detail: format!("{records} records, {} bytes", bytes.len()),
+                records,
+            }),
+            Some(why) => {
+                let active = newest_wal.as_deref() == Some(name.as_str());
+                let fate = if active {
+                    "recovery would truncate the tail"
+                } else {
+                    "recovery would refuse to open"
+                };
+                errors.push(format!("{name}: {why} ({fate})"));
+                segments.push(SegmentReport {
+                    name: name.clone(),
+                    ok: false,
+                    detail: format!("{why}; {records} valid records before the tear"),
+                    records,
+                });
+            }
+        }
+    }
+    segments.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let chosen = raw.snapshots.iter().rev().find_map(|(seq, _, decoded)| {
+        decoded.as_ref().ok().map(|envelope| (*seq, envelope.last_lsn))
+    });
+    let (recovered_seq, recovered_lsn, replayable_records) = match chosen {
+        Some((seq, base_lsn)) => {
+            let replay = replay_chain(&raw.wals, base_lsn);
+            if replay.fatal {
+                if let Some(why) = &replay.torn {
+                    errors.push(format!("replay from snapshot {seq}: {why}"));
+                }
+            }
+            (Some(seq), replay.last_lsn, replay.entries.len() as u64)
+        }
+        None => {
+            if !raw.snapshots.is_empty() {
+                errors.push("no snapshot decodes; recovery would refuse to open".to_string());
+            }
+            (None, 0, 0)
+        }
+    };
+
+    Ok(InspectReport { segments, recovered_seq, recovered_lsn, replayable_records, errors })
+}
+
+/// Strict health check: like [`inspect`], but any corruption — including
+/// a torn tail recovery would silently truncate — is an error. This is
+/// what `ceer durable verify` exits non-zero on.
+///
+/// # Errors
+///
+/// Errors when storage fails or the directory is not fully clean; the
+/// message joins every finding.
+pub fn verify(storage: &dyn Storage) -> Result<InspectReport, String> {
+    let report = inspect(storage)?;
+    if report.is_clean() {
+        Ok(report)
+    } else {
+        Err(report.errors.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::FsStorage;
+
+    fn temp_storage(name: &str) -> (Arc<dyn Storage>, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("ceer-durable-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let storage: Arc<dyn Storage> = Arc::new(FsStorage::open(&dir).unwrap());
+        (storage, dir)
+    }
+
+    fn open(storage: &Arc<dyn Storage>) -> (DurableStore, Recovered) {
+        DurableStore::open(Arc::clone(storage), ceer_faults::none(), "{\"boot\":true}").unwrap()
+    }
+
+    #[test]
+    fn fresh_open_then_reopen_replays_committed_records() {
+        let (storage, dir) = temp_storage("fresh");
+        let (store, recovered) = open(&storage);
+        assert!(recovered.fresh);
+        assert_eq!(recovered.last_lsn, 0);
+        store.log(&DurableRecord::Promoted { version: 1 }).unwrap();
+        store.log(&DurableRecord::Pinned { version: 1 }).unwrap();
+        assert_eq!(store.commit().unwrap(), 2);
+        // Staged-but-uncommitted records must NOT survive.
+        store.log(&DurableRecord::Promoted { version: 9 }).unwrap();
+        drop(store);
+
+        let (store, recovered) = open(&storage);
+        assert!(!recovered.fresh);
+        assert_eq!(recovered.payload, "{\"boot\":true}");
+        assert_eq!(
+            recovered.replayed,
+            vec![DurableRecord::Promoted { version: 1 }, DurableRecord::Pinned { version: 1 }]
+        );
+        assert_eq!(recovered.last_lsn, 2);
+        assert_eq!(store.last_lsn(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_rotates_and_reopen_prefers_it() {
+        let (storage, dir) = temp_storage("rotate");
+        let (store, _) = open(&storage);
+        for version in 1..=5 {
+            store.log(&DurableRecord::Promoted { version }).unwrap();
+        }
+        store.commit().unwrap();
+        assert_eq!(store.records_since_snapshot(), 5);
+        assert_eq!(store.snapshot("{\"state\":5}").unwrap(), 1);
+        assert_eq!(store.records_since_snapshot(), 0);
+        store.log_all(&[DurableRecord::Pinned { version: 5 }]).unwrap();
+        drop(store);
+
+        let (store, recovered) = open(&storage);
+        assert_eq!(recovered.snapshot_seq, 1);
+        assert_eq!(recovered.payload, "{\"state\":5}");
+        assert_eq!(recovered.replayed, vec![DurableRecord::Pinned { version: 5 }]);
+        assert_eq!(recovered.last_lsn, 6);
+
+        // Two rotations later, generation 0 is gone but the newest two
+        // snapshot generations survive.
+        store.snapshot("{\"state\":6}").unwrap();
+        store.snapshot("{\"state\":7}").unwrap();
+        let names = storage.list().unwrap();
+        assert!(!names.contains(&snapshot_name(0)), "names: {names:?}");
+        assert!(!names.contains(&snapshot_name(1)), "names: {names:?}");
+        assert!(names.contains(&snapshot_name(2)));
+        assert!(names.contains(&snapshot_name(3)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_once_and_reopen_is_stable() {
+        let (storage, dir) = temp_storage("torn");
+        let (store, _) = open(&storage);
+        store
+            .log_all(&[
+                DurableRecord::Promoted { version: 1 },
+                DurableRecord::Promoted { version: 2 },
+            ])
+            .unwrap();
+        drop(store);
+
+        // Tear the last frame in half.
+        let wal = storage.read(&wal_name(0)).unwrap().unwrap();
+        storage.write(&wal_name(0), &wal[..wal.len() - 3]).unwrap();
+
+        let (store, recovered) = open(&storage);
+        assert_eq!(recovered.replayed, vec![DurableRecord::Promoted { version: 1 }]);
+        assert!(recovered.torn.is_some());
+        assert_eq!(recovered.last_lsn, 1);
+        // The tear was truncated durably: appending reuses LSN 2.
+        assert_eq!(store.log(&DurableRecord::Promoted { version: 3 }).unwrap(), 2);
+        store.commit().unwrap();
+        drop(store);
+
+        let (_, recovered) = open(&storage);
+        assert!(recovered.torn.is_none());
+        assert_eq!(
+            recovered.replayed,
+            vec![DurableRecord::Promoted { version: 1 }, DurableRecord::Promoted { version: 3 }]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_a_generation() {
+        let (storage, dir) = temp_storage("fallback");
+        let (store, _) = open(&storage);
+        store.log_all(&[DurableRecord::Promoted { version: 1 }]).unwrap();
+        store.snapshot("{\"state\":1}").unwrap();
+        store.log_all(&[DurableRecord::Promoted { version: 2 }]).unwrap();
+        drop(store);
+
+        // Corrupt snapshot 1; recovery must fall back to snapshot 0 and
+        // still replay the full record chain out of both WAL segments.
+        let mut bytes = storage.read(&snapshot_name(1)).unwrap().unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0xFF;
+        storage.write(&snapshot_name(1), &bytes).unwrap();
+
+        let (_, recovered) = open(&storage);
+        assert_eq!(recovered.snapshot_seq, 0);
+        assert_eq!(recovered.skipped_snapshots, 1);
+        assert_eq!(
+            recovered.replayed,
+            vec![DurableRecord::Promoted { version: 1 }, DurableRecord::Promoted { version: 2 }]
+        );
+        assert_eq!(recovered.last_lsn, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_is_strict_and_inspect_is_lenient() {
+        let (storage, dir) = temp_storage("verify");
+        let (store, _) = open(&storage);
+        store.log_all(&[DurableRecord::Promoted { version: 1 }]).unwrap();
+        drop(store);
+
+        let report = verify(storage.as_ref()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.recovered_seq, Some(0));
+        assert_eq!(report.replayable_records, 1);
+
+        // Tear the WAL: inspect reports, verify errors.
+        let wal = storage.read(&wal_name(0)).unwrap().unwrap();
+        storage.write(&wal_name(0), &wal[..wal.len() - 1]).unwrap();
+        let report = inspect(storage.as_ref()).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.errors[0].contains("truncate"));
+        assert!(verify(storage.as_ref()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_without_snapshot_refuses_to_open() {
+        let (storage, dir) = temp_storage("orphan");
+        storage.write(&wal_name(0), b"junk").unwrap();
+        let err = DurableStore::open(Arc::clone(&storage), ceer_faults::none(), "{}")
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("without any snapshot"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_wal_fault_rolls_back_the_batch() {
+        let (storage, dir) = temp_storage("fault");
+        let plan = ceer_faults::FaultPlan::parse(7, "durable.wal.write=err@#1").unwrap();
+        let faults = ceer_faults::injector(plan);
+        let (store, _) =
+            DurableStore::open(Arc::clone(&storage), faults, "{\"boot\":true}").unwrap();
+        store.log(&DurableRecord::Promoted { version: 1 }).unwrap();
+        assert!(store.commit().unwrap_err().contains("wal write fault"));
+        // The batch rolled back: the same record re-logs at LSN 1 and the
+        // second commit (fault fired once) succeeds.
+        assert_eq!(store.log(&DurableRecord::Promoted { version: 1 }).unwrap(), 1);
+        assert_eq!(store.commit().unwrap(), 1);
+        drop(store);
+        let (_, recovered) = open(&storage);
+        assert_eq!(recovered.replayed, vec![DurableRecord::Promoted { version: 1 }]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_fault_leaves_the_store_usable() {
+        let (storage, dir) = temp_storage("snapfault");
+        let plan = ceer_faults::FaultPlan::parse(7, "durable.snapshot.fsync=err@#1").unwrap();
+        let faults = ceer_faults::injector(plan);
+        let (store, _) =
+            DurableStore::open(Arc::clone(&storage), faults, "{\"boot\":true}").unwrap();
+        store.log_all(&[DurableRecord::Promoted { version: 1 }]).unwrap();
+        assert!(store.snapshot("{\"state\":1}").unwrap_err().contains("durable.snapshot.fsync"));
+        // Same sequence number is reused on retry and the store rotates.
+        assert_eq!(store.snapshot("{\"state\":1}").unwrap(), 1);
+        drop(store);
+        let (_, recovered) = open(&storage);
+        assert_eq!(recovered.snapshot_seq, 1);
+        assert_eq!(recovered.payload, "{\"state\":1}");
+        assert!(recovered.replayed.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -41,7 +41,7 @@ fn main() {
     if let Some(dir) = std::path::Path::new(&out).parent() {
         let _ = fs::create_dir_all(dir);
     }
-    match fs::write(&out, analysis::to_dot(forward, 0)) {
+    match ceer_durable::write_atomic(&out, analysis::to_dot(forward, 0).as_bytes()) {
         Ok(()) => println!("\nwrote the forward DAG to {out} (render with `dot -Tsvg`)"),
         Err(e) => println!("\ncould not write {out}: {e}"),
     }

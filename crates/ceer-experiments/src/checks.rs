@@ -98,7 +98,7 @@ impl CheckList {
             let path = std::path::Path::new(&dir).join(format!("{name}.checks.json"));
             let _ = std::fs::create_dir_all(&dir);
             if let Ok(json) = serde_json::to_vec_pretty(&self.checks) {
-                if let Err(e) = std::fs::write(&path, json) {
+                if let Err(e) = ceer_durable::write_atomic(&path, &json) {
                     eprintln!("[ceer] could not write {}: {e}", path.display());
                 }
             }

@@ -109,7 +109,8 @@ impl ExperimentContext {
                 let _ = fs::create_dir_all(dir);
             }
             if let Ok(json) = serde_json::to_vec(&model) {
-                let _ = fs::write(&path, json);
+                // Atomic: a crashed run must not poison the cache for the next.
+                let _ = ceer_durable::write_atomic(&path, &json);
             }
         }
         model

@@ -76,6 +76,9 @@ pub struct Config {
     pub spawn_allowed_paths: Vec<String>,
     /// Files where `unbounded-io` applies (code reading from peers).
     pub bounded_io_paths: Vec<String>,
+    /// Files where `non-atomic-write` applies (code writing artifacts
+    /// that are read back later).
+    pub atomic_write_paths: Vec<String>,
     /// Root and scope sets for the four graph rules.
     pub graph: taint::Roots,
 }
@@ -89,7 +92,13 @@ impl Config {
     /// `ceer-serve` and the cluster transport are the bounded-io scope:
     /// they are the only code whose reads are fed by network peers, so
     /// `read_to_end`-style unbounded buffering there is a
-    /// slowloris/memory-pinning hazard.
+    /// slowloris/memory-pinning hazard. The atomic-write scope is every
+    /// crate that writes artifacts read back later (CLI outputs, profile
+    /// archives, experiment caches, the serving/durability stack):
+    /// in-place `fs::write`/`File::create` there can destroy the previous
+    /// good copy on a crash, so those paths must go through
+    /// `ceer_durable::write_atomic` (the two raw primitives inside
+    /// `ceer-durable` itself carry inline allows).
     ///
     /// Graph-rule roots:
     ///
@@ -121,6 +130,13 @@ impl Config {
             bounded_io_paths: vec![
                 "crates/ceer-serve/src/".to_string(),
                 "crates/ceer-cluster/src/tcp.rs".to_string(),
+            ],
+            atomic_write_paths: vec![
+                "crates/ceer-cli/src/".to_string(),
+                "crates/ceer-core/src/archive.rs".to_string(),
+                "crates/ceer-durable/src/".to_string(),
+                "crates/ceer-experiments/src/".to_string(),
+                "crates/ceer-serve/src/".to_string(),
             ],
             graph: taint::Roots {
                 taint_entries: {
@@ -162,6 +178,14 @@ impl Config {
                     "crates/ceer-online/src/".to_string(),
                 ],
                 reactor: serve_request_path,
+                // The durability layer blocks by design (append+fsync);
+                // it is reached only through App::reload (admin) and
+                // App::drain_online (worker thread), both of which carry
+                // declaration-line allows explaining why.
+                reactor_exempt: vec![
+                    "crates/ceer-durable/src/".to_string(),
+                    "crates/ceer-sim/src/storage.rs".to_string(),
+                ],
             },
         }
     }
@@ -183,6 +207,7 @@ impl Config {
         FileScope {
             spawn_allowed: Self::matches(&self.spawn_allowed_paths, file),
             bounded_io: Self::matches(&self.bounded_io_paths, file),
+            atomic_write: Self::matches(&self.atomic_write_paths, file),
         }
     }
 }

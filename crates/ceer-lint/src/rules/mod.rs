@@ -113,6 +113,14 @@ pub const RULES: &[RuleInfo] = &[
                   serving stack use http::read_to_limit or a bounded loop",
     },
     RuleInfo {
+        name: "non-atomic-write",
+        group: Group::ResourceSafety,
+        graph: false,
+        summary: "fs::write/File::create truncate the target before the new \
+                  bytes are durable, so a crash destroys the previous good \
+                  copy; artifact writers use ceer_durable::write_atomic",
+    },
+    RuleInfo {
         name: "lock-order",
         group: Group::Concurrency,
         graph: true,
@@ -173,6 +181,9 @@ pub struct FileScope {
     pub spawn_allowed: bool,
     /// `unbounded-io` applies to this file (code that reads from peers).
     pub bounded_io: bool,
+    /// `non-atomic-write` applies to this file (code that writes
+    /// artifacts read back later: models, caches, durability state).
+    pub atomic_write: bool,
 }
 
 /// Runs every applicable token rule over a test-stripped token stream.
@@ -202,6 +213,9 @@ pub fn check_timed(
     if scope.bounded_io {
         timed("unbounded-io", &resource::unbounded_io);
     }
+    if scope.atomic_write {
+        timed("non-atomic-write", &resource::non_atomic_write);
+    }
     findings
 }
 
@@ -228,11 +242,11 @@ mod tests {
 
     #[test]
     fn every_finding_names_a_registered_rule() {
-        let scope = FileScope { bounded_io: true, ..FileScope::default() };
+        let scope = FileScope { bounded_io: true, atomic_write: true, ..FileScope::default() };
         let src = "scope.spawn(f); x == 1.0; a.partial_cmp(b).unwrap(); \
-                   s.read_to_end(&mut b);";
+                   s.read_to_end(&mut b); fs::write(p, b);";
         let findings = check(&lex(src).tokens, scope);
-        assert_eq!(findings.len(), 4);
+        assert_eq!(findings.len(), 5);
         for f in findings {
             assert!(rule_info(f.rule).is_some(), "unregistered rule {}", f.rule);
         }
@@ -254,9 +268,18 @@ mod tests {
     #[test]
     fn timings_cover_the_token_rules_that_ran() {
         let mut timings = BTreeMap::new();
-        let scope = FileScope { bounded_io: true, ..FileScope::default() };
+        let scope = FileScope { bounded_io: true, atomic_write: true, ..FileScope::default() };
         check_timed(&lex("let x = 1;").tokens, scope, &mut timings);
         let names: Vec<&str> = timings.keys().copied().collect();
-        assert_eq!(names, vec!["float-eq", "partial-cmp-unwrap", "thread-spawn", "unbounded-io"]);
+        assert_eq!(
+            names,
+            vec![
+                "float-eq",
+                "non-atomic-write",
+                "partial-cmp-unwrap",
+                "thread-spawn",
+                "unbounded-io"
+            ]
+        );
     }
 }

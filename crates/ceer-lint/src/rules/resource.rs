@@ -33,6 +33,41 @@ pub(super) fn unbounded_io(tokens: &[Token], out: &mut Vec<Finding>) {
     }
 }
 
+/// In-place file writes (`fs::write`, `File::create`) truncate the target
+/// before the new bytes are durable, so a crash mid-write destroys the
+/// previous good copy. Where the workspace writes artifacts it later
+/// reads back (fitted models, caches, durability state), the
+/// `ceer_durable::write_atomic` temp + fsync + rename protocol is the
+/// blessed shape; the two raw sites inside `ceer-durable` itself (the
+/// primitive the protocol is built from) carry inline allows.
+pub(super) fn non_atomic_write(tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let (callee, what) = match t.text.as_str() {
+            "fs" if ident_at(tokens, i + 2, "write") => ("fs::write", "truncates in place"),
+            "File" if ident_at(tokens, i + 2, "create") => {
+                ("File::create", "truncates the target on open")
+            }
+            _ => continue,
+        };
+        if punct_at(tokens, i + 1, "::") && punct_at(tokens, i + 3, "(") {
+            let method = &tokens[i + 2];
+            out.push(Finding {
+                rule: "non-atomic-write",
+                line: method.line,
+                col: method.col,
+                message: format!(
+                    "`{callee}(..)` {what}, so a crash mid-write destroys the \
+                     previous good copy; use ceer_durable::write_atomic \
+                     (temp + fsync + rename)"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::lexer::lex;
@@ -59,5 +94,26 @@ mod tests {
         // The bounded replacements are silent.
         assert!(rules("let body = http::read_to_limit(&mut reader, limit)?;", scoped).is_empty());
         assert!(rules("let n = stream.read(&mut chunk)?;", scoped).is_empty());
+    }
+
+    #[test]
+    fn non_atomic_write_only_in_scope() {
+        let src = "fs::write(&path, json)?; let f = File::create(&path)?;";
+        assert!(rules(src, FileScope::default()).is_empty());
+        let scoped = FileScope { atomic_write: true, ..FileScope::default() };
+        assert_eq!(rules(src, scoped), vec!["non-atomic-write", "non-atomic-write"]);
+        // `std::fs::write` is the same call through its full path.
+        assert_eq!(rules("std::fs::write(p, b)?;", scoped), vec!["non-atomic-write"]);
+    }
+
+    #[test]
+    fn non_atomic_write_ignores_reads_and_the_atomic_helper() {
+        let scoped = FileScope { atomic_write: true, ..FileScope::default() };
+        assert!(rules("let s = fs::read_to_string(&path)?;", scoped).is_empty());
+        assert!(rules("let f = File::open(&path)?;", scoped).is_empty());
+        assert!(rules("ceer_durable::write_atomic(&path, json.as_bytes())?;", scoped).is_empty());
+        // A local named `fs` calling some other `write` method is a
+        // different shape (`.write(`), untouched.
+        assert!(rules("fs.write(name, bytes)?;", scoped).is_empty());
     }
 }

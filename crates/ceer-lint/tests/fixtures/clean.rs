@@ -35,6 +35,14 @@ fn bounded(reader: &mut impl std::io::BufRead) -> Result<Vec<u8>, String> {
     http::read_to_limit(reader, 1 << 20).map_err(|e| e.to_string())
 }
 
+fn crash_safe(path: &Path, json: &[u8]) -> Result<(), String> {
+    // The compliant write: temp + fsync + rename, so a crash mid-write
+    // never destroys the previous good copy. Reads stay plain.
+    ceer_durable::write_atomic(path, json).map_err(|e| e.to_string())?;
+    let _bytes = fs::read(path).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     // Test code is exempt from the panic-hygiene rules: unwraps and direct

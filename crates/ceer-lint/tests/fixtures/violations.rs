@@ -39,3 +39,8 @@ fn unbounded(stream: &mut TcpStream) {
     let mut text = String::new();
     stream.read_to_string(&mut text);
 }
+
+fn clobbering(path: &Path, json: &[u8]) {
+    std::fs::write(path, json);
+    let mut file = File::create(path);
+}

@@ -28,6 +28,7 @@ fn fixture_config() -> Config {
     Config {
         spawn_allowed_paths: vec![],
         bounded_io_paths: vec!["fixtures/".to_string()],
+        atomic_write_paths: vec!["fixtures/".to_string()],
         graph: Roots {
             taint_entries: vec!["fixtures/".to_string()],
             panic_roots: vec!["fixtures/".to_string()],
@@ -71,6 +72,7 @@ fn violations_fixture_fires_every_single_file_rule() {
         "partial-cmp-unwrap",
         "panic-reachability",
         "unbounded-io",
+        "non-atomic-write",
     ] {
         assert!(fired.contains(rule), "rule {rule} did not fire on the violations fixture");
     }

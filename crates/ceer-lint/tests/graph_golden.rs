@@ -18,7 +18,12 @@ use ceer_lint::{lint_files, render_text, Config, LintReport};
 fn run(srcs: &[(&str, &str)], graph: Roots) -> LintReport {
     let files: Vec<(String, String)> =
         srcs.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
-    let config = Config { spawn_allowed_paths: vec![], bounded_io_paths: vec![], graph };
+    let config = Config {
+        spawn_allowed_paths: vec![],
+        bounded_io_paths: vec![],
+        atomic_write_paths: vec![],
+        graph,
+    };
     lint_files(&files, &config)
 }
 

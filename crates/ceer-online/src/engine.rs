@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use ceer_core::features::Features;
-use ceer_core::CeerModel;
+use ceer_core::{CeerModel, OpModelAccumulator};
 use ceer_gpusim::GpuModel;
 use ceer_graph::OpKind;
 use serde::{Deserialize, Serialize};
@@ -148,7 +148,59 @@ pub struct EngineStatus {
     pub versions: Vec<(u64, VersionAccuracy)>,
 }
 
-#[derive(Debug, Clone, PartialEq)]
+/// A complete serializable image of an [`OnlineEngine`], produced by
+/// [`OnlineEngine::snapshot`] and consumed by
+/// [`OnlineEngine::from_snapshot`]. The fields are private — the image is
+/// a persistence format, not an API — but the few facts recovery
+/// invariant checks need are exposed as accessors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    config: OnlineConfig,
+    pool: Vec<OpModelAccumulator>,
+    detectors: Vec<((OpKind, GpuModel), DriftDetector)>,
+    phase: Phase,
+    accuracy: Vec<(u64, VersionAccuracy)>,
+    decisions: Vec<Action>,
+    cooldown: u64,
+    observations: u64,
+    latency_records: u64,
+    drift_events: u64,
+    refits: u64,
+    promotions: u64,
+    aborts: u64,
+    refit_failures: u64,
+}
+
+impl EngineSnapshot {
+    /// The phase name this image captured (`"observing"`, `"collecting"`,
+    /// `"refitting"`, or `"evaluating"`).
+    #[must_use]
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Observing => "observing",
+            Phase::Collecting => "collecting",
+            Phase::Refitting => "refitting",
+            Phase::Evaluating { .. } => "evaluating",
+        }
+    }
+
+    /// The `(incumbent, candidate)` under evaluation, when mid-evaluation.
+    #[must_use]
+    pub fn evaluating(&self) -> Option<(u64, u64)> {
+        match self.phase {
+            Phase::Evaluating { incumbent, candidate, .. } => Some((incumbent, candidate)),
+            _ => None,
+        }
+    }
+
+    /// Total reconciled observations the image captured.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Phase {
     /// Watching residuals, waiting for drift.
     Observing,
@@ -168,7 +220,7 @@ enum Phase {
 /// models do not predict) but is the end-to-end guardrail — a candidate
 /// whose op models improved while its iteration predictions collapsed
 /// (e.g. corrupted additive estimators) must still lose.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 struct ArmScore {
     observations: u64,
     op_err_sum: f64,
@@ -415,6 +467,91 @@ impl OnlineEngine {
         &self.decisions
     }
 
+    /// A full serializable image of the engine for durable persistence:
+    /// phase (including mid-evaluation arm scores), drift detectors,
+    /// refit-pool sufficient statistics, accuracy accounting, decision
+    /// log, and every counter. [`OnlineEngine::from_snapshot`] rebuilds
+    /// an engine that continues bit-identically to this one on the same
+    /// record stream.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            config: self.config,
+            pool: self.pool.accumulators(),
+            detectors: self.detectors.iter().map(|(&pair, d)| (pair, d.clone())).collect(),
+            phase: self.phase.clone(),
+            accuracy: self.accuracy.iter().map(|(&v, &a)| (v, a)).collect(),
+            decisions: self.decisions.clone(),
+            cooldown: self.cooldown,
+            observations: self.observations,
+            latency_records: self.latency_records,
+            drift_events: self.drift_events,
+            refits: self.refits,
+            promotions: self.promotions,
+            aborts: self.aborts,
+            refit_failures: self.refit_failures,
+        }
+    }
+
+    /// Rebuilds an engine from a [`snapshot`](OnlineEngine::snapshot).
+    pub fn from_snapshot(snapshot: EngineSnapshot) -> Self {
+        OnlineEngine {
+            pool: RefitPool::from_accumulators(snapshot.config.allow_quadratic, snapshot.pool),
+            config: snapshot.config,
+            detectors: snapshot.detectors.into_iter().collect(),
+            phase: snapshot.phase,
+            accuracy: snapshot.accuracy.into_iter().collect(),
+            decisions: snapshot.decisions,
+            cooldown: snapshot.cooldown,
+            observations: snapshot.observations,
+            latency_records: snapshot.latency_records,
+            drift_events: snapshot.drift_events,
+            refits: snapshot.refits,
+            promotions: snapshot.promotions,
+            aborts: snapshot.aborts,
+            refit_failures: snapshot.refit_failures,
+        }
+    }
+
+    /// Reconciles a recovered engine with the recovered registry. The two
+    /// are snapshotted together but the WAL may carry registry records
+    /// newer than the engine image (registry records are authoritative,
+    /// engine records advisory), so the phases can disagree after replay.
+    /// `live` is the registry's `(incumbent, candidate)` when a candidate
+    /// is installed, `None` otherwise.
+    pub fn reconcile(&mut self, live: Option<(u64, u64)>) {
+        match (&self.phase, live) {
+            // Agreement: mid-evaluation of exactly the installed candidate.
+            (Phase::Evaluating { candidate, .. }, Some((_, live_candidate)))
+                if *candidate == live_candidate => {}
+            // The candidate this evaluation was scoring is gone (promoted
+            // or dropped durably after the engine image): back to
+            // observing, under cooldown so a still-drifted world does not
+            // refire before the new baseline settles.
+            (Phase::Evaluating { .. }, _) => {
+                self.phase = Phase::Observing;
+                self.cooldown = self.config.abort_cooldown;
+            }
+            // The registry has a candidate the engine image predates:
+            // resume the evaluation with fresh arms.
+            (_, Some((incumbent, candidate))) => {
+                self.phase = Phase::Evaluating {
+                    incumbent,
+                    candidate,
+                    incumbent_arm: ArmScore::default(),
+                    candidate_arm: ArmScore::default(),
+                };
+            }
+            // A refit was requested but no candidate ever became durable:
+            // the controller that would have reported back died with the
+            // crash. Return to collecting — the pool is intact, so the
+            // build re-fires as soon as a record tips it again.
+            (Phase::Refitting, None) => {
+                self.phase = Phase::Collecting;
+            }
+            (Phase::Observing | Phase::Collecting, None) => {}
+        }
+    }
+
     /// A serializable snapshot for `/metrics` and replay assertions.
     pub fn status(&self) -> EngineStatus {
         let phase = match self.phase {
@@ -592,6 +729,77 @@ mod tests {
         assert_eq!(arm(2).observations, 5);
         assert!((arm(1).mean_abs_rel_err() - 0.1).abs() < 1e-9);
         assert!((arm(2).mean_abs_rel_err() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        // Snapshot at several interesting points — mid-baseline,
+        // mid-drift, mid-evaluation — and check the restored engine
+        // tracks the original action-for-action on the remaining stream.
+        for snapshot_at in [50u64, 120, 160] {
+            let mut original = OnlineEngine::new(quick_config());
+            let mut restored: Option<OnlineEngine> = None;
+            for i in 0..200 {
+                let err = if i < 100 { 0.0 } else { 0.3 };
+                let rec = record(1, i, err);
+                let a = original.ingest(&rec);
+                if let Some(engine) = restored.as_mut() {
+                    assert_eq!(
+                        engine.ingest(&rec),
+                        a,
+                        "diverged at {i} (snapshot at {snapshot_at})"
+                    );
+                }
+                if matches!(&a, Some(Action::BuildCandidate { .. })) {
+                    original.candidate_built(1, 2);
+                    if let Some(engine) = restored.as_mut() {
+                        engine.candidate_built(1, 2);
+                    }
+                }
+                if i + 1 == snapshot_at {
+                    let json = serde_json::to_string(&original.snapshot()).unwrap();
+                    let image: EngineSnapshot = serde_json::from_str(&json).unwrap();
+                    restored = Some(OnlineEngine::from_snapshot(image));
+                }
+            }
+            let restored = restored.unwrap();
+            assert_eq!(restored.status(), original.status(), "snapshot at {snapshot_at}");
+            assert_eq!(restored.decisions(), original.decisions());
+        }
+    }
+
+    #[test]
+    fn reconcile_aligns_engine_with_registry() {
+        // Mid-evaluation of candidate 2, but the registry replay says the
+        // candidate is gone (its promote record was durable): back to
+        // observing, under cooldown.
+        let mut engine = OnlineEngine::new(quick_config());
+        drive_to_build(&mut engine);
+        engine.candidate_built(1, 2);
+        engine.reconcile(None);
+        assert_eq!(engine.status().phase, "observing");
+
+        // Mid-evaluation of the candidate the registry still has: no-op.
+        let mut engine = OnlineEngine::new(quick_config());
+        drive_to_build(&mut engine);
+        engine.candidate_built(1, 2);
+        engine.reconcile(Some((1, 2)));
+        assert_eq!(engine.status().phase, "evaluating");
+
+        // Refit requested but nothing durable came of it: back to
+        // collecting (the pool survives, the build can refire).
+        let mut engine = OnlineEngine::new(quick_config());
+        drive_to_build(&mut engine);
+        engine.reconcile(None);
+        assert_eq!(engine.status().phase, "collecting");
+
+        // Engine image predates a durable candidate install: resume the
+        // evaluation the registry is already splitting traffic for.
+        let mut engine = OnlineEngine::new(quick_config());
+        engine.reconcile(Some((3, 4)));
+        assert_eq!(engine.status().phase, "evaluating");
+        let snapshot = engine.snapshot();
+        assert_eq!(snapshot.evaluating(), Some((3, 4)));
     }
 
     #[test]

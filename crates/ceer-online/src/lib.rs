@@ -39,7 +39,8 @@ mod truth;
 
 pub use drift::{DriftDetector, DriftPolicy};
 pub use engine::{
-    Action, EngineStatus, OnlineConfig, OnlineEngine, OpObservation, Record, VersionAccuracy,
+    Action, EngineSnapshot, EngineStatus, OnlineConfig, OnlineEngine, OpObservation, Record,
+    VersionAccuracy,
 };
 pub use refit::{corrupt_candidate, RefitPool};
 pub use ring::{LatencySample, ObservationRing, PredictSample, RingStats, Sample};

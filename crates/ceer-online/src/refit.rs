@@ -56,6 +56,28 @@ impl RefitPool {
         self.accumulators.iter().map(|(&pair, acc)| (pair, acc.len())).collect()
     }
 
+    /// The accumulators, in pair order — the pool's serializable content
+    /// (the engine snapshot stores them as a list; JSON cannot key a map
+    /// by a tuple).
+    pub(crate) fn accumulators(&self) -> Vec<OpModelAccumulator> {
+        self.accumulators.values().cloned().collect()
+    }
+
+    /// Rebuilds a pool from snapshotted accumulators (each carries its
+    /// own (kind, GPU) identity).
+    pub(crate) fn from_accumulators(
+        allow_quadratic: bool,
+        accumulators: Vec<OpModelAccumulator>,
+    ) -> Self {
+        RefitPool {
+            allow_quadratic,
+            accumulators: accumulators
+                .into_iter()
+                .map(|acc| ((acc.kind(), acc.gpu()), acc))
+                .collect(),
+        }
+    }
+
     /// Builds a candidate model: `base` with every listed pair's regression
     /// replaced by a refit from the accumulated online observations. Pairs
     /// with fewer than `min_samples` observations are skipped (their

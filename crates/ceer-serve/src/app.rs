@@ -15,11 +15,13 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use ceer_durable::DurableRecord;
 use ceer_faults::Faults;
 use ceer_online::{OnlineConfig, PredictSample, Sample};
 
 use crate::api::{self, ErrorResponse};
 use crate::cache::PredictionCache;
+use crate::durable::{ServeDurability, ServePayload};
 use crate::http::{ReadError, Response};
 use crate::metrics::{Metrics, ServerEvent};
 use crate::online::OnlineState;
@@ -42,6 +44,9 @@ pub struct App {
     /// The closed online-learning loop, when enabled (see
     /// [`App::enable_online`]).
     pub online: OnceLock<OnlineState>,
+    /// Crash-safe persistence, when the server runs with a data
+    /// directory (see [`App::attach_durability`]).
+    pub durable: OnceLock<ServeDurability>,
 }
 
 impl App {
@@ -54,6 +59,7 @@ impl App {
             faults,
             ready: AtomicBool::new(true),
             online: OnceLock::new(),
+            durable: OnceLock::new(),
         }
     }
 
@@ -61,17 +67,70 @@ impl App {
     /// (and every recorded latency) is offered to the observation ring,
     /// which [`OnlineState::tick`] drains. One-shot; later calls are
     /// ignored.
+    ///
+    /// When durability is attached and recovery found an engine image,
+    /// the loop resumes from it — `config` seeds only a fresh engine; a
+    /// recovered one keeps the config it was snapshotted with, then
+    /// reconciles its phase against the recovered registry (a candidate
+    /// the registry no longer knows aborts the evaluation).
     pub fn enable_online(&self, seed: u64, config: OnlineConfig, ring_capacity: usize) {
         let state = OnlineState::new(seed, config, ring_capacity);
+        if let Some(snapshot) = self.durable.get().and_then(ServeDurability::take_recovered_engine)
+        {
+            let live = self.registry.candidate().map(|c| (self.registry.version().0, c.0));
+            state.restore_engine(snapshot, live);
+        }
         self.metrics.set_observation_ring(Arc::clone(state.ring()));
         let _ = self.online.set(state);
+    }
+
+    /// Attaches crash-safe persistence (opened and recovered by the
+    /// transport before serving starts). One-shot; later calls are
+    /// ignored. Attach *before* [`App::enable_online`] so a recovered
+    /// engine image reaches the loop.
+    pub fn attach_durability(&self, durable: ServeDurability) {
+        let _ = self.durable.set(durable);
+    }
+
+    /// A consistent durable image of the current serving state.
+    pub fn durable_payload(&self) -> ServePayload {
+        ServePayload {
+            registry: self.registry.snapshot(),
+            engine: self.online.get().map(OnlineState::engine_snapshot),
+        }
+    }
+
+    /// Logs one admin-path record (reload, pin) through the durability
+    /// layer, rotating a snapshot when due. No-op without durability.
+    // ceer-lint: allow(blocking-in-reactor) -- durable logging runs on the admin reload path and the drain thread, never per-predict; a WAL commit is one append+fsync
+    fn log_durable(&self, record: &DurableRecord) {
+        let Some(durable) = self.durable.get() else { return };
+        durable.record(record);
+        durable.maybe_snapshot(|| self.durable_payload());
+    }
+
+    /// Drains the online loop once, with durability wired through when
+    /// attached — the entry point the background worker uses.
+    // ceer-lint: allow(blocking-in-reactor) -- only the dedicated online worker thread drains; the reactor never calls this
+    pub fn drain_online(&self) -> usize {
+        match self.online.get() {
+            Some(state) => {
+                state.tick_with(&self.registry, &self.cache, &self.faults, self.durable.get())
+            }
+            None => 0,
+        }
     }
 
     /// Answers one parsed request. Pure in `(model, request, cache)` —
     /// no I/O, no ambient time.
     pub fn route(&self, request: RequestRef<'_>) -> Response {
         match (request.method, request.path) {
-            ("GET", "/healthz") => Response::json(200, "{\n  \"status\": \"ok\"\n}"),
+            ("GET", "/healthz") => match self.durable.get() {
+                // With persistence on, health reports what recovery found
+                // and whether any runtime durability write was swallowed.
+                Some(durable) => ok(&durable.health_report()),
+                None => Response::json(200, "{\n  \"status\": \"ok\"\n}"),
+            },
             ("GET", "/readyz") => {
                 if self.ready.load(Ordering::SeqCst) {
                     Response::json(200, "{\n  \"status\": \"ready\"\n}")
@@ -131,6 +190,7 @@ impl App {
     /// `{"version": N}` body pins the incumbent to a retained version
     /// instead (no file I/O). Both clear the cache: its entries were
     /// computed with the previous model.
+    // ceer-lint: allow(blocking-in-reactor) -- reload is an explicit admin request; its durable log commit (one append+fsync) happens after the new model is installed
     fn reload(&self, body: &[u8]) -> Response {
         if body.iter().any(|b| !b.is_ascii_whitespace()) {
             let request: api::ReloadRequest = match serde_json::from_slice(body) {
@@ -141,6 +201,7 @@ impl App {
                 return match self.registry.pin(ModelVersion(version)) {
                     Ok(()) => {
                         self.cache.clear();
+                        self.log_durable(&DurableRecord::Pinned { version });
                         Response::json(
                             200,
                             format!("{{\n  \"status\": \"pinned\",\n  \"version\": {version}\n}}"),
@@ -158,6 +219,14 @@ impl App {
                 // The cache is keyed by request only, so entries computed
                 // with the old model are now stale.
                 self.cache.clear();
+                // The record carries the model itself: a reload from a
+                // file that later vanishes must still recover.
+                if let Ok(model_json) = serde_json::to_string(&*self.registry.model()) {
+                    self.log_durable(&DurableRecord::Reloaded {
+                        version: self.registry.version().0,
+                        model_json,
+                    });
+                }
                 Response::json(
                     200,
                     format!("{{\n  \"status\": \"reloaded\",\n  \"reloads\": {reloads}\n}}"),

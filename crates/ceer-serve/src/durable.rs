@@ -1,0 +1,441 @@
+//! The serving stack's durability layer: what survives a crash, and how
+//! the server gets it back.
+//!
+//! `ceer-durable` provides the mechanism (checksummed WAL segments,
+//! atomic snapshots, recovery); this module decides the *policy* for a
+//! serving process:
+//!
+//! * the snapshot payload is a [`ServePayload`] — the registry's full
+//!   version state ([`RegistrySnapshot`]) plus the online engine's image
+//!   ([`EngineSnapshot`]) when the loop is enabled;
+//! * between snapshots, every state-changing decision (reload, pin,
+//!   candidate install, promote, abort, drift change-point, refit
+//!   request/failure) is a [`DurableRecord`] in the WAL, group-committed
+//!   per drain tick;
+//! * recovery folds the replayed records into the snapshot's registry
+//!   image with [`RegistrySnapshot::apply`] — **registry records are
+//!   authoritative** (install/reload records carry the model JSON, so a
+//!   promotion whose WAL record was durable can never lose its model) —
+//!   and hands the engine image back for
+//!   [`crate::App::enable_online`] to reconcile against the recovered
+//!   registry.
+//!
+//! Durability failures at runtime never take the serving path down: a
+//! failed append or snapshot is counted (visible in `GET /healthz`) and
+//! the server keeps answering from memory. Only *recovery* failures are
+//! fatal — a process that cannot trust its directory refuses to start.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ceer_durable::{DurableRecord, DurableStore, FsStorage, Storage};
+use ceer_faults::Faults;
+use ceer_online::EngineSnapshot;
+use serde::{Deserialize, Serialize};
+
+use crate::registry::RegistrySnapshot;
+use crate::sync::recover;
+
+/// Committed WAL records that trigger a snapshot rotation. Small enough
+/// that recovery replay stays short, large enough that steady-state
+/// serving is one `append`+`sync` per drain tick, not a snapshot.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 64;
+
+/// The unit the serving stack snapshots: everything needed to resume
+/// serving (and learning) exactly where the process left off.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServePayload {
+    /// The registry's version state: retained models, incumbent,
+    /// candidate, served counters.
+    pub registry: RegistrySnapshot,
+    /// The online engine's image, when the loop was enabled.
+    pub engine: Option<EngineSnapshot>,
+}
+
+impl ServePayload {
+    /// Serializes the payload for a snapshot envelope.
+    ///
+    /// # Errors
+    ///
+    /// Errors when serialization fails (practically unreachable: every
+    /// field is plain data).
+    pub fn encode(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| format!("cannot encode serve payload: {e}"))
+    }
+
+    /// Parses a payload back from a recovered snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the text is not a valid payload (the snapshot
+    /// checksum passed, so this means a version-skewed or foreign file).
+    pub fn decode(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("cannot decode serve payload: {e}"))
+    }
+}
+
+/// What recovery found at boot, frozen for `GET /healthz`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryInfo {
+    /// True when the data directory was empty and this boot initialized it.
+    pub fresh: bool,
+    /// Sequence of the snapshot recovery loaded.
+    pub snapshot_seq: u64,
+    /// Last LSN applied after WAL replay.
+    pub last_lsn: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: u64,
+    /// True when a torn WAL tail was found (and truncated).
+    pub truncated_tail: bool,
+    /// Corrupt newer snapshots skipped before a valid one was found.
+    pub skipped_snapshots: u64,
+}
+
+/// The durability block of the `/healthz` body when persistence is on.
+#[derive(Debug, Clone, Serialize)]
+pub struct DurabilityStatus {
+    /// What recovery found at boot.
+    pub recovered: RecoveryInfo,
+    /// Last LSN allocated since (staged or committed).
+    pub last_lsn: u64,
+    /// Records whose WAL append failed and was swallowed (the server
+    /// kept serving from memory; those decisions will not survive a
+    /// crash).
+    pub log_failures: u64,
+    /// Snapshot rotations that failed and were swallowed.
+    pub snapshot_failures: u64,
+}
+
+/// The full `/healthz` body when persistence is on.
+#[derive(Debug, Clone, Serialize)]
+pub struct HealthReport {
+    /// Always `"ok"` — a process that recovered badly never got here.
+    pub status: &'static str,
+    /// The durability block.
+    pub durability: DurabilityStatus,
+}
+
+/// A [`DurableStore`] wrapped in serving policy: swallowed-and-counted
+/// runtime failures, a snapshot-rotation threshold, and the recovered
+/// engine image stashed for [`crate::App::enable_online`].
+pub struct ServeDurability {
+    store: DurableStore,
+    snapshot_every: u64,
+    log_failures: AtomicU64,
+    snapshot_failures: AtomicU64,
+    recovery: RecoveryInfo,
+    recovered_engine: Mutex<Option<EngineSnapshot>>,
+}
+
+impl ServeDurability {
+    /// Opens (or initializes) a durability directory and runs recovery.
+    /// Returns the recovered [`ServePayload`] — the snapshot image with
+    /// every replayed WAL record already folded in — or `None` when the
+    /// directory was fresh and `initial` was written as the boot image.
+    ///
+    /// # Errors
+    ///
+    /// Errors when recovery fails: storage errors, no valid snapshot,
+    /// irreparable WAL corruption, a payload that no longer decodes, or
+    /// a replayed record that contradicts the snapshot image.
+    pub fn open(
+        storage: Arc<dyn Storage>,
+        faults: Faults,
+        initial: &ServePayload,
+        snapshot_every: u64,
+    ) -> Result<(Self, Option<ServePayload>), String> {
+        let boot = initial.encode()?;
+        let (store, recovered) = DurableStore::open(storage, faults, &boot)?;
+        let recovery = RecoveryInfo {
+            fresh: recovered.fresh,
+            snapshot_seq: recovered.snapshot_seq,
+            last_lsn: recovered.last_lsn,
+            replayed: recovered.replayed.len() as u64,
+            truncated_tail: recovered.torn.is_some(),
+            skipped_snapshots: recovered.skipped_snapshots,
+        };
+        let payload = if recovered.fresh {
+            None
+        } else {
+            let mut payload = ServePayload::decode(&recovered.payload)?;
+            for record in &recovered.replayed {
+                payload
+                    .registry
+                    .apply(record)
+                    .map_err(|e| format!("WAL replay rejected {}: {e}", record.tag()))?;
+            }
+            Some(payload)
+        };
+        let durability = ServeDurability {
+            store,
+            snapshot_every: snapshot_every.max(1),
+            log_failures: AtomicU64::new(0),
+            snapshot_failures: AtomicU64::new(0),
+            recovery,
+            recovered_engine: Mutex::new(payload.as_ref().and_then(|p| p.engine.clone())),
+        };
+        Ok((durability, payload))
+    }
+
+    /// Logs and commits a batch of records in one group commit. Runtime
+    /// failures are swallowed into [`DurabilityStatus::log_failures`]:
+    /// serving from memory beats refusing to serve.
+    pub fn append(&self, records: &[DurableRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        if self.store.log_all(records).is_err() {
+            self.log_failures.fetch_add(records.len() as u64, Ordering::SeqCst);
+        }
+    }
+
+    /// Logs and commits one record ([`Self::append`] of one).
+    pub fn record(&self, record: &DurableRecord) {
+        self.append(std::slice::from_ref(record));
+    }
+
+    /// True when enough records accumulated since the last snapshot that
+    /// the next [`Self::maybe_snapshot`] will rotate.
+    #[must_use]
+    pub fn wants_snapshot(&self) -> bool {
+        self.store.records_since_snapshot() >= self.snapshot_every
+    }
+
+    /// Rotates a snapshot when the threshold is reached. `build` runs
+    /// only in that case (taking a consistent [`ServePayload`] costs a
+    /// full registry clone). Failures are swallowed into
+    /// [`DurabilityStatus::snapshot_failures`]; the WAL keeps growing
+    /// and the next tick retries.
+    pub fn maybe_snapshot(&self, build: impl FnOnce() -> ServePayload) {
+        if !self.wants_snapshot() {
+            return;
+        }
+        let outcome = build().encode().and_then(|text| self.store.snapshot(&text));
+        if outcome.is_err() {
+            self.snapshot_failures.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Forces a snapshot of `payload` now, regardless of the threshold.
+    ///
+    /// # Errors
+    ///
+    /// Errors when encoding or the snapshot protocol fails (unlike the
+    /// swallowing runtime paths, explicit snapshots surface the error).
+    pub fn snapshot_now(&self, payload: &ServePayload) -> Result<u64, String> {
+        self.store.snapshot(&payload.encode()?)
+    }
+
+    /// Takes the engine image recovery found, if any — consumed once by
+    /// [`crate::App::enable_online`].
+    pub fn take_recovered_engine(&self) -> Option<EngineSnapshot> {
+        recover(self.recovered_engine.lock()).take()
+    }
+
+    /// What recovery found at boot.
+    #[must_use]
+    pub fn recovery(&self) -> &RecoveryInfo {
+        &self.recovery
+    }
+
+    /// The `/healthz` body for a persistent server.
+    #[must_use]
+    pub fn health_report(&self) -> HealthReport {
+        HealthReport {
+            status: "ok",
+            durability: DurabilityStatus {
+                recovered: self.recovery.clone(),
+                last_lsn: self.store.last_lsn(),
+                log_failures: self.log_failures.load(Ordering::SeqCst),
+                snapshot_failures: self.snapshot_failures.load(Ordering::SeqCst),
+            },
+        }
+    }
+
+    /// Records whose append failed and was swallowed.
+    #[must_use]
+    pub fn log_failures(&self) -> u64 {
+        self.log_failures.load(Ordering::SeqCst)
+    }
+
+    /// The underlying store (for harnesses that inspect or crash it).
+    #[must_use]
+    pub fn store(&self) -> &DurableStore {
+        &self.store
+    }
+}
+
+/// Opens (creating if needed) `data_dir` as a filesystem-backed
+/// durability directory, runs recovery, restores the recovered registry
+/// state into `app`, and attaches the layer. Transports call this once,
+/// after building the [`crate::App`] and before serving (and before
+/// [`crate::App::enable_online`], so a recovered engine image reaches
+/// the loop).
+///
+/// # Errors
+///
+/// Errors when the directory cannot be opened, recovery fails, or the
+/// recovered image is rejected by the registry — all fatal at boot: a
+/// process that cannot trust its durable state must not serve from it.
+pub fn attach_fs_durability(app: &crate::App, data_dir: &Path) -> Result<(), String> {
+    let storage = Arc::new(FsStorage::open(data_dir)?);
+    let initial = app.durable_payload();
+    let (durability, recovered) =
+        ServeDurability::open(storage, app.faults.clone(), &initial, DEFAULT_SNAPSHOT_EVERY)?;
+    if let Some(payload) = recovered {
+        app.registry
+            .restore(payload.registry)
+            .map_err(|e| format!("recovered registry image from {data_dir:?} was rejected: {e}"))?;
+    }
+    app.attach_durability(durability);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use ceer_core::{Ceer, FitConfig};
+    use ceer_graph::models::CnnId;
+    use ceer_sim::SimStorage;
+
+    fn tiny_model(seed: u64) -> ceer_core::CeerModel {
+        Ceer::fit(&FitConfig {
+            cnns: vec![CnnId::Vgg11],
+            iterations: 2,
+            parallel_degrees: vec![1],
+            seed,
+            ..FitConfig::default()
+        })
+    }
+
+    fn payload_of(registry: &ModelRegistry) -> ServePayload {
+        ServePayload { registry: registry.snapshot(), engine: None }
+    }
+
+    #[test]
+    fn fresh_directory_boots_and_reopens() {
+        let storage = SimStorage::new();
+        let registry = ModelRegistry::from_model(tiny_model(1));
+        let (durability, recovered) = ServeDurability::open(
+            Arc::new(storage.clone()),
+            ceer_faults::none(),
+            &payload_of(&registry),
+            DEFAULT_SNAPSHOT_EVERY,
+        )
+        .unwrap();
+        assert!(recovered.is_none());
+        assert!(durability.recovery().fresh);
+        drop(durability);
+
+        // Reopen: the boot snapshot is the recovered state.
+        let (durability, recovered) = ServeDurability::open(
+            Arc::new(storage),
+            ceer_faults::none(),
+            &payload_of(&registry),
+            DEFAULT_SNAPSHOT_EVERY,
+        )
+        .unwrap();
+        let recovered = recovered.expect("second boot recovers");
+        assert!(!durability.recovery().fresh);
+        assert_eq!(recovered.registry.incumbent, 1);
+        assert_eq!(recovered.registry.retained.len(), 1);
+    }
+
+    #[test]
+    fn replayed_records_rebuild_the_registry() {
+        let storage = SimStorage::new();
+        let registry = ModelRegistry::from_model(tiny_model(2));
+        let (durability, _) = ServeDurability::open(
+            Arc::new(storage.clone()),
+            ceer_faults::none(),
+            &payload_of(&registry),
+            DEFAULT_SNAPSHOT_EVERY,
+        )
+        .unwrap();
+        // Mirror a candidate install + promote through the WAL alone.
+        let candidate = tiny_model(3);
+        let version = registry.install_candidate(candidate.clone(), 25);
+        durability.record(&DurableRecord::CandidateInstalled {
+            version: version.0,
+            percent: 25,
+            model_json: serde_json::to_string(&candidate).unwrap(),
+        });
+        registry.promote(version).unwrap();
+        durability.record(&DurableRecord::Promoted { version: version.0 });
+        drop(durability);
+
+        let boot = ModelRegistry::from_model(tiny_model(2));
+        let (durability, recovered) = ServeDurability::open(
+            Arc::new(storage),
+            ceer_faults::none(),
+            &payload_of(&boot),
+            DEFAULT_SNAPSHOT_EVERY,
+        )
+        .unwrap();
+        assert_eq!(durability.recovery().replayed, 2);
+        let recovered = recovered.unwrap();
+        assert_eq!(recovered.registry.incumbent, version.0);
+        assert_eq!(recovered.registry.candidate, None);
+        // The restored registry serves the promoted model.
+        boot.restore(recovered.registry).unwrap();
+        assert_eq!(*boot.model(), candidate);
+    }
+
+    #[test]
+    fn snapshot_threshold_rotates_and_resets() {
+        let storage = SimStorage::new();
+        let registry = ModelRegistry::from_model(tiny_model(4));
+        let (durability, _) = ServeDurability::open(
+            Arc::new(storage),
+            ceer_faults::none(),
+            &payload_of(&registry),
+            2,
+        )
+        .unwrap();
+        durability.record(&DurableRecord::RefitFailed);
+        assert!(!durability.wants_snapshot());
+        durability.record(&DurableRecord::RefitFailed);
+        assert!(durability.wants_snapshot());
+        let mut built = 0;
+        durability.maybe_snapshot(|| {
+            built += 1;
+            payload_of(&registry)
+        });
+        assert_eq!(built, 1);
+        assert!(!durability.wants_snapshot());
+        // Below the threshold the builder must not even run.
+        durability.maybe_snapshot(|| {
+            built += 1;
+            payload_of(&registry)
+        });
+        assert_eq!(built, 1);
+    }
+
+    #[test]
+    fn contradictory_replay_fails_recovery() {
+        let storage = SimStorage::new();
+        let registry = ModelRegistry::from_model(tiny_model(5));
+        let (durability, _) = ServeDurability::open(
+            Arc::new(storage.clone()),
+            ceer_faults::none(),
+            &payload_of(&registry),
+            DEFAULT_SNAPSHOT_EVERY,
+        )
+        .unwrap();
+        // Promoting a version that was never a candidate contradicts the
+        // snapshot image.
+        durability.record(&DurableRecord::Promoted { version: 9 });
+        drop(durability);
+        let err = ServeDurability::open(
+            Arc::new(storage),
+            ceer_faults::none(),
+            &payload_of(&registry),
+            DEFAULT_SNAPSHOT_EVERY,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(err.contains("promoted"), "unexpected error: {err}");
+    }
+}

@@ -812,6 +812,11 @@ impl EventedServer {
         let addr = listener.local_addr().map_err(|e| format!("no local address: {e}"))?;
         let faults = config.faults.clone().map_or_else(ceer_faults::none, ceer_faults::injector);
         let app = Arc::new(App::new(registry, config.cache_capacity, faults));
+        if let Some(data_dir) = &config.data_dir {
+            // Same boot policy as the blocking transport: recovery
+            // failure is fatal before the first connection is accepted.
+            crate::durable::attach_fs_durability(&app, data_dir)?;
+        }
         let clock: Arc<dyn Clock> = Arc::new(ceer_sim::SystemClock::new());
         let source = crate::epoll::EpollSource::new(listener)?;
         let cfg = EventedConfig::from(config);

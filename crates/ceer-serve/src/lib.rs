@@ -59,6 +59,7 @@ pub mod app;
 pub mod cache;
 pub mod client;
 pub mod conn;
+pub mod durable;
 #[cfg(target_os = "linux")]
 mod epoll;
 pub mod evented;
@@ -74,6 +75,10 @@ pub mod wheel;
 pub use app::App;
 pub use cache::{CacheStats, PredictionCache};
 pub use client::{Client, ClientConn, RetryPolicy};
+pub use durable::{
+    attach_fs_durability, DurabilityStatus, HealthReport, RecoveryInfo, ServeDurability,
+    ServePayload, DEFAULT_SNAPSHOT_EVERY,
+};
 pub use evented::EventedServer;
 pub use http::RawResponse;
 pub use metrics::{
@@ -82,5 +87,5 @@ pub use metrics::{
 };
 pub use online::{replay, OnlineState, OnlineWorker, ReplayConfig, ReplayReport};
 pub use parser::{Head, ParseError, RequestRef};
-pub use registry::{ModelRegistry, ModelVersion};
+pub use registry::{ModelRegistry, ModelVersion, RegistrySnapshot};
 pub use server::{Server, ServerConfig};

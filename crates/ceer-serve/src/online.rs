@@ -21,14 +21,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use ceer_durable::DurableRecord;
 use ceer_faults::Faults;
 use ceer_online::{
-    corrupt_candidate, Action, ObservationRing, OnlineConfig, OnlineEngine, OpObservation, Record,
-    Sample, World,
+    corrupt_candidate, Action, EngineSnapshot, ObservationRing, OnlineConfig, OnlineEngine,
+    OpObservation, Record, Sample, World,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::app::App;
+use crate::durable::{ServeDurability, ServePayload};
 use crate::metrics::OnlineMetrics;
 use crate::parser::RequestRef;
 use crate::registry::{ModelRegistry, ModelVersion};
@@ -78,6 +80,21 @@ impl OnlineState {
         recover(self.world.lock()).set_time_scale(scale);
     }
 
+    /// Replaces the engine with one resumed from a durable image,
+    /// reconciled against the registry's live `(incumbent, candidate)`
+    /// state (see [`OnlineEngine::reconcile`]). Called once at boot,
+    /// before the drain worker starts.
+    pub fn restore_engine(&self, snapshot: EngineSnapshot, live: Option<(u64, u64)>) {
+        let mut restored = OnlineEngine::from_snapshot(snapshot);
+        restored.reconcile(live);
+        *recover(self.engine.lock()) = restored;
+    }
+
+    /// A durable image of the engine, for snapshot payloads.
+    pub fn engine_snapshot(&self) -> EngineSnapshot {
+        recover(self.engine.lock()).snapshot()
+    }
+
     /// Drains up to [`DRAIN_BATCH`] observations, reconciles each against
     /// simulated ground truth, and executes any decision the engine
     /// reaches. Returns the number of samples processed.
@@ -86,6 +103,23 @@ impl OnlineState {
         registry: &ModelRegistry,
         cache: &crate::cache::PredictionCache,
         faults: &Faults,
+    ) -> usize {
+        self.tick_with(registry, cache, faults, None)
+    }
+
+    /// [`OnlineState::tick`] with persistence: the decisions one drain
+    /// executes are group-committed as one WAL batch after both locks
+    /// drop, and a snapshot rotates when the record threshold is due.
+    /// The commit is *post-hoc* — a crash between execution and commit
+    /// loses at most one tick's decisions, which recovery's
+    /// [`OnlineEngine::reconcile`] absorbs (the replayed registry is
+    /// authoritative, the engine realigns to it).
+    pub fn tick_with(
+        &self,
+        registry: &ModelRegistry,
+        cache: &crate::cache::PredictionCache,
+        faults: &Faults,
+        durable: Option<&ServeDurability>,
     ) -> usize {
         let samples = self.ring.drain(DRAIN_BATCH);
         let processed = samples.len();
@@ -135,18 +169,32 @@ impl OnlineState {
         // Phase 2 — feed the engine under its lock alone; the two locks
         // are never held together, so no ordering can deadlock.
         let mut engine = recover(self.engine.lock());
+        let drift_before = engine.status().drift_events;
+        let mut log: Vec<DurableRecord> = Vec::new();
         for entry in &reconciled {
             match entry {
                 Reconciled::Latency => engine.note_latency(),
                 Reconciled::Unattributable => {}
                 Reconciled::Observed(record) => {
                     if let Some(action) = engine.ingest(record) {
-                        execute(&mut engine, action, registry, cache, faults);
+                        execute(&mut engine, action, registry, cache, faults, &mut log);
                     }
                 }
             }
         }
+        let status = engine.status();
+        if status.drift_events > drift_before {
+            // The change-point precedes whatever refit it triggered.
+            log.insert(0, DurableRecord::ChangePoint { observations: status.observations });
+        }
         drop(engine);
+        if let Some(durable) = durable {
+            durable.append(&log);
+            durable.maybe_snapshot(|| ServePayload {
+                registry: registry.snapshot(),
+                engine: Some(self.engine_snapshot()),
+            });
+        }
         processed
     }
 
@@ -167,28 +215,39 @@ impl OnlineState {
     }
 }
 
-/// Executes one engine decision against the registry.
+/// Executes one engine decision against the registry, appending the
+/// durable records that mirror what actually happened (`log` entries are
+/// committed by the caller; registry records carry the model JSON so
+/// replay is self-contained).
 fn execute(
     engine: &mut OnlineEngine,
     action: Action,
     registry: &ModelRegistry,
     cache: &crate::cache::PredictionCache,
     faults: &Faults,
+    log: &mut Vec<DurableRecord>,
 ) {
     match action {
         Action::BuildCandidate { pairs } => {
+            log.push(DurableRecord::RefitRequested {
+                pairs: pairs.iter().map(|(kind, gpu)| format!("{kind:?}/{gpu:?}")).collect(),
+            });
             // The `online.refit` site models the refit solve failing
             // outright (e.g. a singular accumulated system).
             if let Some(injector) = faults.as_deref() {
                 if injector.fail_str("online.refit").is_err() {
                     engine.refit_failed();
+                    log.push(DurableRecord::RefitFailed);
                     return;
                 }
             }
             let incumbent = registry.version();
             let base = registry.model();
             match engine.build_candidate(&base, &pairs) {
-                None => engine.refit_failed(),
+                None => {
+                    engine.refit_failed();
+                    log.push(DurableRecord::RefitFailed);
+                }
                 Some(mut candidate) => {
                     // The `online.candidate` site models a refit that went
                     // numerically wrong *silently*: the candidate installs,
@@ -199,20 +258,32 @@ fn execute(
                         }
                     }
                     let percent = engine.config().candidate_percent;
+                    let model_json = serde_json::to_string(&candidate).unwrap_or_default();
                     let version = registry.install_candidate(candidate, percent);
                     engine.candidate_built(incumbent.0, version.0);
+                    if !model_json.is_empty() {
+                        log.push(DurableRecord::CandidateInstalled {
+                            version: version.0,
+                            percent,
+                            model_json,
+                        });
+                    }
                 }
             }
         }
         Action::Promote { candidate } => {
             // Refusal means a concurrent reload voided the evaluation; the
             // registry is already serving something newer.
-            let _ = registry.promote(ModelVersion(candidate));
+            if registry.promote(ModelVersion(candidate)).is_ok() {
+                log.push(DurableRecord::Promoted { version: candidate });
+            }
             // Every cached body was computed by the dethroned incumbent.
             cache.clear();
         }
         Action::Abort { candidate } => {
-            let _ = registry.drop_candidate(ModelVersion(candidate));
+            if registry.drop_candidate(ModelVersion(candidate)).is_ok() {
+                log.push(DurableRecord::CandidateDropped { version: candidate });
+            }
         }
     }
 }
@@ -235,16 +306,12 @@ impl OnlineWorker {
             // ceer-lint: allow(thread-spawn) -- the single drain thread created once at server start; per-request parallelism still goes through ceer-par
             .spawn(move || {
                 while !thread_stop.load(Ordering::SeqCst) {
-                    if let Some(state) = app.online.get() {
-                        state.tick(&app.registry, &app.cache, &app.faults);
-                    }
+                    app.drain_online();
                     std::thread::park_timeout(interval);
                 }
                 // Final drain so observations pushed right before shutdown
                 // still land in the engine's counters.
-                if let Some(state) = app.online.get() {
-                    while state.tick(&app.registry, &app.cache, &app.faults) > 0 {}
-                }
+                while app.drain_online() > 0 {}
             })
             .expect("spawn online worker");
         OnlineWorker { stop, handle: Some(handle) }
@@ -446,6 +513,7 @@ mod tests {
         let state = app.online.get().unwrap();
         let faults =
             ceer_faults::injector(ceer_faults::FaultPlan::parse(1, "online.refit=err@1").unwrap());
+        let mut log = Vec::new();
         let mut engine = recover(state.engine.lock());
         execute(
             &mut engine,
@@ -453,9 +521,15 @@ mod tests {
             &app.registry,
             &app.cache,
             &faults,
+            &mut log,
         );
         assert_eq!(engine.status().refit_failures, 1);
         assert_eq!(app.registry.candidate(), None);
+        // The durable trail mirrors the failure: request, then failure.
+        assert_eq!(
+            log.iter().map(ceer_durable::DurableRecord::tag).collect::<Vec<_>>(),
+            vec!["refit-requested", "refit-failed"]
+        );
     }
 
     #[test]
@@ -471,6 +545,7 @@ mod tests {
         app.enable_online(3, OnlineConfig::default(), 128);
         let state = app.online.get().unwrap();
         let version = app.registry.install_candidate(candidate_model.clone(), 50);
+        let mut log = Vec::new();
         {
             let mut engine = recover(state.engine.lock());
             execute(
@@ -479,12 +554,15 @@ mod tests {
                 &app.registry,
                 &app.cache,
                 &ceer_faults::none(),
+                &mut log,
             );
         }
         assert_eq!(app.registry.version(), version);
         assert_eq!(*app.registry.model(), candidate_model);
+        assert_eq!(log, vec![ceer_durable::DurableRecord::Promoted { version: version.0 }]);
 
         let second = app.registry.install_candidate(candidate_model, 50);
+        log.clear();
         {
             let mut engine = recover(state.engine.lock());
             execute(
@@ -493,9 +571,11 @@ mod tests {
                 &app.registry,
                 &app.cache,
                 &ceer_faults::none(),
+                &mut log,
             );
         }
         assert_eq!(app.registry.candidate(), None);
         assert_eq!(app.registry.version(), version);
+        assert_eq!(log, vec![ceer_durable::DurableRecord::CandidateDropped { version: second.0 }]);
     }
 }

@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use ceer_core::CeerModel;
+use ceer_durable::DurableRecord;
 use serde::{Deserialize, Serialize};
 
 use crate::sync::recover;
@@ -318,6 +319,180 @@ impl ModelRegistry {
     /// The backing file, if any.
     pub fn path(&self) -> Option<&Path> {
         self.path.as_deref()
+    }
+
+    /// A serializable image of the full version state (for durable
+    /// snapshots). Consistent: taken under the store lock, with the
+    /// served counters read immediately after.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let guard = recover(self.store.read());
+        let snapshot = RegistrySnapshot {
+            incumbent: guard.incumbent,
+            candidate: guard.candidate,
+            candidate_percent: guard.candidate_percent,
+            next_id: guard.next_id,
+            retained: guard.retained.iter().map(|(&id, m)| (id, (**m).clone())).collect(),
+            served: Vec::new(),
+        };
+        drop(guard);
+        let mut snapshot = snapshot;
+        snapshot.served = self.served_counts();
+        snapshot
+    }
+
+    /// Transactionally replaces the version state with a recovered image.
+    /// The image is validated *fully* before the write lock is taken: a
+    /// corrupt image leaves the registry serving what it was serving.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the image is inconsistent (incumbent or candidate not
+    /// retained, non-monotone ids).
+    pub fn restore(&self, snapshot: RegistrySnapshot) -> Result<(), String> {
+        let retained: BTreeMap<u64, Arc<CeerModel>> =
+            snapshot.retained.into_iter().map(|(id, m)| (id, Arc::new(m))).collect();
+        if !retained.contains_key(&snapshot.incumbent) {
+            return Err(format!("restored incumbent v{} is not retained", snapshot.incumbent));
+        }
+        if let Some(candidate) = snapshot.candidate {
+            if !retained.contains_key(&candidate) {
+                return Err(format!("restored candidate v{candidate} is not retained"));
+            }
+        }
+        if let Some(&max) = retained.keys().next_back() {
+            if snapshot.next_id <= max {
+                return Err(format!(
+                    "restored next id {} does not clear retained v{max}",
+                    snapshot.next_id
+                ));
+            }
+        }
+        let mut guard = recover(self.store.write());
+        guard.incumbent = snapshot.incumbent;
+        guard.candidate = snapshot.candidate;
+        guard.candidate_percent = snapshot.candidate_percent;
+        guard.next_id = snapshot.next_id;
+        guard.retained = retained;
+        drop(guard);
+        *recover(self.served.lock()) = snapshot.served.into_iter().collect();
+        Ok(())
+    }
+}
+
+/// A serializable image of the registry's version state, the unit the
+/// durability layer snapshots and replays WAL records against. Replay is
+/// **pure data transformation** — [`RegistrySnapshot::apply`] folds one
+/// [`DurableRecord`] into the image — so recovery rebuilds the exact
+/// post-crash state before a single lock is taken, then installs it with
+/// one transactional [`ModelRegistry::restore`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// The incumbent version id.
+    pub incumbent: u64,
+    /// The A/B candidate version id, when an evaluation is running.
+    pub candidate: Option<u64>,
+    /// Percent of keyed traffic (0–100) the candidate receives.
+    pub candidate_percent: u8,
+    /// The next version id to allocate (strictly above every retained id).
+    pub next_id: u64,
+    /// Retained `(version, model)` pairs, oldest first.
+    pub retained: Vec<(u64, CeerModel)>,
+    /// Predictions computed per version at snapshot time.
+    pub served: Vec<(u64, u64)>,
+}
+
+impl RegistrySnapshot {
+    /// Folds one durable record into the image. Registry records are
+    /// authoritative: install/reload records carry the full model JSON,
+    /// so a promotion whose WAL record was durable can never lose its
+    /// model. Engine records (`ChangePoint`, `RefitRequested`,
+    /// `RefitFailed`) are advisory and fold to a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the record contradicts the image (promoting a version
+    /// that is not the candidate, pinning an unretained version, a
+    /// non-monotone allocation) or its model JSON no longer parses —
+    /// recovery surfaces these as corruption rather than guessing.
+    pub fn apply(&mut self, record: &DurableRecord) -> Result<(), String> {
+        if record.allocates_version() {
+            let version = record.version().unwrap_or(0);
+            if version < self.next_id {
+                return Err(format!(
+                    "non-monotone version allocation: record allocates v{version}, next id is {}",
+                    self.next_id
+                ));
+            }
+        }
+        match record {
+            DurableRecord::Reloaded { version, model_json } => {
+                let model: CeerModel = serde_json::from_str(model_json)
+                    .map_err(|e| format!("reloaded model v{version} no longer parses: {e}"))?;
+                self.drop_candidate_entry();
+                self.retained.push((*version, model));
+                self.incumbent = *version;
+                self.next_id = *version + 1;
+                self.prune();
+            }
+            DurableRecord::CandidateInstalled { version, percent, model_json } => {
+                let model: CeerModel = serde_json::from_str(model_json)
+                    .map_err(|e| format!("candidate model v{version} no longer parses: {e}"))?;
+                self.drop_candidate_entry();
+                self.retained.push((*version, model));
+                self.candidate = Some(*version);
+                self.candidate_percent = (*percent).min(100);
+                self.next_id = *version + 1;
+                self.prune();
+            }
+            DurableRecord::Promoted { version } => {
+                if self.candidate != Some(*version) {
+                    return Err(format!("promoted v{version} is not the candidate"));
+                }
+                self.candidate = None;
+                self.incumbent = *version;
+                self.prune();
+            }
+            DurableRecord::CandidateDropped { version } => {
+                if self.candidate != Some(*version) {
+                    return Err(format!("dropped v{version} is not the candidate"));
+                }
+                self.candidate = None;
+                self.retained.retain(|(id, _)| id != version);
+            }
+            DurableRecord::Pinned { version } => {
+                if !self.retained.iter().any(|(id, _)| id == version) {
+                    return Err(format!("pinned v{version} is not retained"));
+                }
+                if self.candidate == Some(*version) {
+                    self.candidate = None;
+                }
+                self.incumbent = *version;
+                self.prune();
+            }
+            DurableRecord::ChangePoint { .. }
+            | DurableRecord::RefitRequested { .. }
+            | DurableRecord::RefitFailed => {}
+        }
+        Ok(())
+    }
+
+    fn drop_candidate_entry(&mut self) {
+        if let Some(old) = self.candidate.take() {
+            self.retained.retain(|(id, _)| *id != old);
+        }
+    }
+
+    /// Mirrors [`VersionStore::prune`] on the image.
+    fn prune(&mut self) {
+        let mut inactive: Vec<u64> = self
+            .retained
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|&id| id != self.incumbent && Some(id) != self.candidate)
+            .collect();
+        inactive.reverse();
+        let drop: Vec<u64> = inactive.into_iter().skip(RETAINED_HISTORY).collect();
+        self.retained.retain(|(id, _)| !drop.contains(id));
     }
 }
 

@@ -78,6 +78,11 @@ pub struct ServerConfig {
     pub batch_window_ms: u64,
     /// Seeded fault plan for chaos runs (`None` = no injection).
     pub faults: Option<FaultPlan>,
+    /// Directory for crash-safe persistence (WAL + snapshots). `None`
+    /// serves purely from memory; `Some` recovers the registry and
+    /// online-engine state at boot and logs every state-changing
+    /// decision (see [`crate::durable`]).
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +99,7 @@ impl Default for ServerConfig {
             max_pending: 128,
             batch_window_ms: 0,
             faults: None,
+            data_dir: None,
         }
     }
 }
@@ -130,8 +136,14 @@ impl Server {
         let addr = listener.local_addr().map_err(|e| format!("no local address: {e}"))?;
 
         let faults = config.faults.clone().map_or_else(ceer_faults::none, ceer_faults::injector);
+        let app = App::new(registry, config.cache_capacity, faults);
+        if let Some(data_dir) = &config.data_dir {
+            // Recovery failure is fatal at boot: refusing to serve beats
+            // serving from state the directory contradicts.
+            crate::durable::attach_fs_durability(&app, data_dir)?;
+        }
         let state = Arc::new(AppState {
-            app: App::new(registry, config.cache_capacity, faults),
+            app,
             read_timeout: nonzero_ms(config.read_timeout_ms),
             write_timeout: nonzero_ms(config.write_timeout_ms),
             request_timeout: nonzero_ms(config.request_timeout_ms),

@@ -21,7 +21,11 @@
 //!   keyed by message sequence number), named partitions, crash/restart
 //!   with incarnation generations (stale messages and timers from a
 //!   previous life never reach the new one), and a whole-run trace
-//!   exposed as [`Sim::digest`] for replay assertions.
+//!   exposed as [`Sim::digest`] for replay assertions;
+//! * [`SimStorage`] — an in-memory `ceer_durable::Storage` backend
+//!   modeling torn writes, dropped fsyncs, and deterministic crash
+//!   points, so WAL/snapshot recovery is tested under simulated power
+//!   loss the same way the cluster is tested under simulated networks.
 //!
 //! ```
 //! use ceer_sim::{Event, Net, Node, Sim};
@@ -50,8 +54,10 @@ pub mod clock;
 pub mod node;
 pub mod ready;
 pub mod sim;
+pub mod storage;
 
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use node::{Event, Net, Node, NodeId, EXTERNAL};
 pub use ready::{ClientId, EventSource, IoOutcome, SimSource, Token, Wake};
 pub use sim::{NetProfile, Sim};
+pub use storage::SimStorage;

@@ -1,0 +1,394 @@
+//! [`SimStorage`] — the in-memory [`ceer_durable::Storage`] backend that
+//! makes crash-safety testable deterministically.
+//!
+//! The model mirrors what a real filesystem guarantees (and, more
+//! importantly, what it does *not*):
+//!
+//! * every file has **visible** contents (what reads observe now) and
+//!   **durable** contents (what survives a crash: the state at its last
+//!   `sync`);
+//! * the directory namespace likewise: creates, renames, and removes are
+//!   visible immediately but survive a crash only after `sync_dir`;
+//! * a crash keeps each file's durable contents plus a *seeded torn
+//!   prefix* of any unsynced appended suffix — the torn-tail case WAL
+//!   recovery must truncate;
+//! * `drop_syncs` models a lying disk: `sync`/`sync_dir` report success
+//!   without making anything durable;
+//! * `set_crash_after(k)` kills the storage after its k-th mutating
+//!   operation — every later call returns [`StorageError::Crashed`] —
+//!   which is how the crash-point sweep walks a whole protocol run.
+//!
+//! [`SimStorage::crash`] transitions the state the way power loss would,
+//! and [`SimStorage::fork`] clones the post-crash image so one crash can
+//! be recovered twice independently (the determinism assertion: both
+//! recoveries must behave byte-identically).
+
+use ceer_durable::{Storage, StorageError, StorageResult};
+use ceer_stats::rng::DeterministicRng;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+#[derive(Debug, Clone, Default)]
+struct SimFile {
+    /// What reads observe.
+    visible: Vec<u8>,
+    /// What the last `sync` captured; `None` for a never-synced file.
+    durable: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct State {
+    /// The visible namespace.
+    files: BTreeMap<String, SimFile>,
+    /// The namespace as of the last `sync_dir` (name → durable contents
+    /// at crash time is resolved against `files` via these names).
+    durable_names: Vec<String>,
+    /// Mutating operations performed so far.
+    ops: u64,
+    /// Crash after this many mutating operations, when set.
+    crash_after: Option<u64>,
+    /// Set once crashed (scheduled or explicit): every call fails.
+    crashed: bool,
+    /// When true, `sync`/`sync_dir` succeed without making state durable.
+    drop_syncs: bool,
+}
+
+/// In-memory storage with an explicit durability model. Cheap to clone
+/// (`Clone` shares the state — clones are the *same* storage; use
+/// [`SimStorage::fork`] for an independent copy).
+#[derive(Clone, Default)]
+pub struct SimStorage {
+    state: Arc<Mutex<State>>,
+}
+
+impl SimStorage {
+    /// An empty storage.
+    #[must_use]
+    pub fn new() -> Self {
+        SimStorage::default()
+    }
+
+    /// Arms the crash point: the `k`-th mutating operation from now
+    /// (1-based, counting `append`/`write`/`sync`/`rename`/`sync_dir`/
+    /// `remove`) completes the crash instead of the operation — it and
+    /// every later call return [`StorageError::Crashed`].
+    pub fn set_crash_after(&self, k: u64) {
+        let mut state = self.lock();
+        let at = state.ops + k;
+        state.crash_after = Some(at);
+    }
+
+    /// When enabled, `sync` and `sync_dir` lie: they return `Ok` without
+    /// making anything durable.
+    pub fn set_drop_syncs(&self, drop: bool) {
+        self.lock().drop_syncs = drop;
+    }
+
+    /// Mutating operations performed so far (for sizing crash sweeps).
+    #[must_use]
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Whether the storage has crashed (scheduled or explicit).
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// Simulates power loss and recovery of the medium: the visible
+    /// state collapses to what was durable — the `sync_dir`-captured
+    /// namespace, each file at its last-synced contents plus a seeded
+    /// torn prefix of any unsynced appended suffix. The storage is
+    /// usable again afterwards (the crash flag clears, as if a new
+    /// process reopened the directory).
+    pub fn crash(&self, seed: u64) {
+        let mut state = self.lock();
+        let mut survivors = BTreeMap::new();
+        let rng = DeterministicRng::from_seed(seed);
+        for (index, name) in state.durable_names.iter().enumerate() {
+            let Some(file) = state.files.get(name) else {
+                // Removed after the last sync_dir: the remove was not
+                // durable, but the contents are unrecoverable in this
+                // model — surface the name with its durable bytes only.
+                continue;
+            };
+            let contents = match &file.durable {
+                Some(durable) if file.visible.starts_with(durable) => {
+                    // Unsynced appended suffix: a seeded torn prefix of
+                    // it survives (0..=len), modeling a tail the disk
+                    // wrote partially.
+                    let suffix = &file.visible[durable.len()..];
+                    let mut rng = rng.substream(index as u64);
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let keep = (rng.uniform() * (suffix.len() + 1) as f64) as usize;
+                    let keep = keep.min(suffix.len());
+                    let mut bytes = durable.clone();
+                    bytes.extend_from_slice(&suffix[..keep]);
+                    bytes
+                }
+                // Rewritten without sync: the old durable bytes survive.
+                Some(durable) => durable.clone(),
+                // Never synced at all: a seeded torn prefix of whatever
+                // was visible.
+                None => {
+                    let mut rng = rng.substream(index as u64);
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let keep = (rng.uniform() * (file.visible.len() + 1) as f64) as usize;
+                    file.visible[..keep.min(file.visible.len())].to_vec()
+                }
+            };
+            survivors.insert(
+                name.clone(),
+                SimFile { visible: contents.clone(), durable: Some(contents) },
+            );
+        }
+        state.durable_names = survivors.keys().cloned().collect();
+        state.files = survivors;
+        state.crashed = false;
+        state.crash_after = None;
+    }
+
+    /// An independent deep copy (unlike `Clone`, which shares state).
+    /// Fork a crashed image to recover it twice and compare.
+    #[must_use]
+    pub fn fork(&self) -> Self {
+        let state = self.lock().clone();
+        SimStorage { state: Arc::new(Mutex::new(state)) }
+    }
+
+    /// Direct peek at a file's visible contents (test corruption setup).
+    #[must_use]
+    pub fn peek(&self, name: &str) -> Option<Vec<u8>> {
+        self.lock().files.get(name).map(|f| f.visible.clone())
+    }
+
+    /// Directly overwrite a file's contents, visible *and* durable —
+    /// models external corruption of at-rest data, bypassing the
+    /// crash/sync model.
+    pub fn corrupt(&self, name: &str, bytes: Vec<u8>) {
+        let mut state = self.lock();
+        let had = state.files.contains_key(name);
+        state
+            .files
+            .insert(name.to_string(), SimFile { visible: bytes.clone(), durable: Some(bytes) });
+        if !had {
+            state.durable_names.push(name.to_string());
+            state.durable_names.sort();
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A poisoned sim-storage lock can only come from a panicking
+        // test thread; recover the guard and carry on.
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Counts one mutating operation, firing the scheduled crash when it
+    /// is due. Returns `Err(Crashed)` from the crashing op onward.
+    fn mutate(state: &mut State) -> StorageResult<()> {
+        if state.crashed {
+            return Err(StorageError::Crashed);
+        }
+        state.ops += 1;
+        if state.crash_after.is_some_and(|at| state.ops >= at) {
+            state.crashed = true;
+            return Err(StorageError::Crashed);
+        }
+        Ok(())
+    }
+
+    fn check_read(state: &State) -> StorageResult<()> {
+        if state.crashed {
+            Err(StorageError::Crashed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn validate(name: &str) -> StorageResult<()> {
+    if name.is_empty()
+        || name == "."
+        || name == ".."
+        || name.contains('/')
+        || name.contains('\\')
+        || name.contains('\0')
+    {
+        return Err(StorageError::Failed(format!("invalid storage name {name:?}")));
+    }
+    Ok(())
+}
+
+impl Storage for SimStorage {
+    fn read(&self, name: &str) -> StorageResult<Option<Vec<u8>>> {
+        validate(name)?;
+        let state = self.lock();
+        Self::check_read(&state)?;
+        Ok(state.files.get(name).map(|f| f.visible.clone()))
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> StorageResult<()> {
+        validate(name)?;
+        let mut state = self.lock();
+        Self::mutate(&mut state)?;
+        state.files.entry(name.to_string()).or_default().visible.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn write(&self, name: &str, bytes: &[u8]) -> StorageResult<()> {
+        validate(name)?;
+        let mut state = self.lock();
+        Self::mutate(&mut state)?;
+        let file = state.files.entry(name.to_string()).or_default();
+        file.visible = bytes.to_vec();
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> StorageResult<()> {
+        validate(name)?;
+        let mut state = self.lock();
+        Self::mutate(&mut state)?;
+        if state.drop_syncs {
+            return Ok(());
+        }
+        let Some(file) = state.files.get_mut(name) else {
+            return Err(StorageError::Failed(format!("sync of missing file {name:?}")));
+        };
+        file.durable = Some(file.visible.clone());
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> StorageResult<()> {
+        validate(from)?;
+        validate(to)?;
+        let mut state = self.lock();
+        Self::mutate(&mut state)?;
+        let Some(file) = state.files.remove(from) else {
+            return Err(StorageError::Failed(format!("rename of missing file {from:?}")));
+        };
+        state.files.insert(to.to_string(), file);
+        Ok(())
+    }
+
+    fn sync_dir(&self) -> StorageResult<()> {
+        let mut state = self.lock();
+        Self::mutate(&mut state)?;
+        if state.drop_syncs {
+            return Ok(());
+        }
+        state.durable_names = state.files.keys().cloned().collect();
+        Ok(())
+    }
+
+    fn list(&self) -> StorageResult<Vec<String>> {
+        let state = self.lock();
+        Self::check_read(&state)?;
+        Ok(state.files.keys().cloned().collect())
+    }
+
+    fn remove(&self, name: &str) -> StorageResult<()> {
+        validate(name)?;
+        let mut state = self.lock();
+        Self::mutate(&mut state)?;
+        state.files.remove(name);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visible_vs_durable_contents() {
+        let storage = SimStorage::new();
+        storage.write("a", b"hello").unwrap();
+        storage.sync("a").unwrap();
+        storage.sync_dir().unwrap();
+        storage.append("a", b" world").unwrap();
+        assert_eq!(storage.read("a").unwrap().unwrap(), b"hello world");
+
+        // Crash with seed 0: the synced prefix always survives; the
+        // unsynced suffix survives only as a (possibly empty) torn
+        // prefix.
+        storage.crash(0);
+        let after = storage.read("a").unwrap().unwrap();
+        assert!(after.starts_with(b"hello"), "after: {after:?}");
+        assert!(after.len() <= b"hello world".len());
+        assert!(b"hello world".starts_with(after.as_slice()));
+    }
+
+    #[test]
+    fn unsynced_namespace_changes_do_not_survive() {
+        let storage = SimStorage::new();
+        storage.write("keep", b"k").unwrap();
+        storage.sync("keep").unwrap();
+        storage.sync_dir().unwrap();
+
+        // Rename + remove, no sync_dir: crash restores the old names.
+        storage.write("new.tmp", b"n").unwrap();
+        storage.sync("new.tmp").unwrap();
+        storage.rename("new.tmp", "new").unwrap();
+        storage.crash(7);
+        assert_eq!(storage.list().unwrap(), vec!["keep".to_string()]);
+
+        // Same sequence with the sync_dir: the rename is durable.
+        storage.write("new.tmp", b"n").unwrap();
+        storage.sync("new.tmp").unwrap();
+        storage.rename("new.tmp", "new").unwrap();
+        storage.sync_dir().unwrap();
+        storage.crash(7);
+        assert_eq!(storage.list().unwrap(), vec!["keep".to_string(), "new".to_string()]);
+        assert_eq!(storage.read("new").unwrap().unwrap(), b"n");
+    }
+
+    #[test]
+    fn dropped_syncs_make_nothing_durable() {
+        let storage = SimStorage::new();
+        storage.set_drop_syncs(true);
+        storage.write("a", b"data").unwrap();
+        storage.sync("a").unwrap();
+        storage.sync_dir().unwrap();
+        storage.crash(3);
+        assert_eq!(storage.list().unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn scheduled_crash_fires_on_the_kth_mutation_and_sticks() {
+        let storage = SimStorage::new();
+        storage.set_crash_after(3);
+        storage.write("a", b"1").unwrap();
+        storage.append("a", b"2").unwrap();
+        assert_eq!(storage.write("a", b"3").unwrap_err(), StorageError::Crashed);
+        assert_eq!(storage.read("a").unwrap_err(), StorageError::Crashed);
+        assert_eq!(storage.sync("a").unwrap_err(), StorageError::Crashed);
+        assert!(storage.crashed());
+        // Power-cycle: usable again, with only durable state (nothing
+        // was ever synced here).
+        storage.crash(0);
+        assert!(!storage.crashed());
+        assert_eq!(storage.list().unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn same_seed_crashes_identically_and_forks_are_independent() {
+        let build = || {
+            let storage = SimStorage::new();
+            storage.write("wal", b"synced").unwrap();
+            storage.sync("wal").unwrap();
+            storage.sync_dir().unwrap();
+            storage.append("wal", b"-unsynced-tail").unwrap();
+            storage
+        };
+        let a = build();
+        let b = build();
+        a.crash(42);
+        b.crash(42);
+        assert_eq!(a.read("wal").unwrap(), b.read("wal").unwrap());
+
+        let fork = a.fork();
+        fork.append("wal", b"x").unwrap();
+        assert_ne!(a.read("wal").unwrap(), fork.read("wal").unwrap());
+    }
+}

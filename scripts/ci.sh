@@ -13,7 +13,9 @@
 # printed seed), the cluster chaos suite replays a sharded deployment under deterministic
 # simulation (two fixed seeds plus one randomized, printed seed), the
 # online replay drives the closed observe/drift/refit/promote loop to
-# byte-identical decisions (same seed policy), and a stress loop repeats
+# byte-identical decisions (same seed policy), the durable crash sweep
+# power-cycles the persistence layer at every storage operation (fixed
+# seeds plus one randomized, printed seed), and a stress loop repeats
 # the serve concurrency tests — under a nonzero delay-only fault plan —
 # to shake out scheduling-dependent races.
 set -eu
@@ -110,6 +112,19 @@ for seed in 7 1234 "$online_rand_seed"; do
         > /dev/null || { echo "online replay failed under CEER_ONLINE_SEED=$seed"; exit 1; }
 done
 echo "online replay passed (seeds 7, 1234, $online_rand_seed)"
+
+echo "=== durable crash-point sweep (power loss at every storage op) ==="
+# The crash sweep re-runs a scripted registry workload once per storage
+# operation, injecting a power loss at that operation and checking the
+# recovery invariants (recovery opens, the recovered state is a committed
+# prefix, a durable promotion is never lost, two same-seed recoveries end
+# byte-identical). The fixed seeds 7 and 1234 run inside the plain test;
+# the randomized torn-tail seed is printed so a failure replays verbatim:
+#   CEER_DURABLE_SEED=<seed> cargo test --test durable_recovery
+durable_rand_seed="$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')"
+CEER_DURABLE_SEED="$durable_rand_seed" cargo test -q --test durable_recovery \
+    > /dev/null || { echo "durable crash sweep failed under CEER_DURABLE_SEED=$durable_rand_seed"; exit 1; }
+echo "durable crash sweep passed (seeds 7, 1234, $durable_rand_seed)"
 
 echo "=== serve concurrency stress (20x, delay-fault plan) ==="
 # Delay-only injection perturbs worker scheduling without failing any

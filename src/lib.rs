@@ -19,12 +19,17 @@
 //!   run under [`sim`] in tests and on real TCP via `ceer cluster`.
 //! - [`online`]: closed-loop online learning — observation rings, drift
 //!   detection, incremental refitting, A/B promotion decisions.
+//! - [`durable`]: crash-safe persistence — checksummed WAL, atomic
+//!   snapshots, and recovery, behind a storage trait that runs on the
+//!   real filesystem in production and on [`sim`]'s crash-injecting
+//!   storage in tests.
 
 #![forbid(unsafe_code)]
 
 pub use ceer_cloud as cloud;
 pub use ceer_cluster as cluster;
 pub use ceer_core as model;
+pub use ceer_durable as durable;
 pub use ceer_faults as faults;
 pub use ceer_gpusim as gpusim;
 pub use ceer_graph as graph;

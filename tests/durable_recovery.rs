@@ -1,0 +1,257 @@
+//! Deterministic crash-point sweep over the serve durability layer.
+//!
+//! A scripted registry workload (installs, promotions, reloads, pins,
+//! engine events, periodic snapshot rotations) runs over [`SimStorage`].
+//! The golden run counts every storage operation; the sweep then re-runs
+//! the workload once per operation index `k`, injecting a hard crash at
+//! the k-th operation, power-cycling the storage (`crash(seed)` keeps
+//! only durable bytes plus a seeded torn prefix of the unsynced tail),
+//! and checking the recovery invariants at *every* crash point:
+//!
+//! 1. Recovery always opens — no crash point wedges the directory.
+//! 2. The recovered registry equals the state after some *prefix* of the
+//!    scripted records, and that prefix covers at least every record
+//!    whose group commit returned success before the crash. In
+//!    particular a promotion, once durable, is never lost.
+//! 3. Recovery repairs: after reopening, `verify` finds the directory
+//!    clean again (the torn tail was truncated, not left behind).
+//! 4. Recovery + an identical continuation is deterministic: two forks
+//!    of the same crashed storage, recovered and driven with the same
+//!    follow-up records, end byte-identical file for file.
+//!
+//! Seeds default to 7 and 1234; set `CEER_DURABLE_SEED` to sweep one
+//! extra seed (the CI gate passes a randomized one and prints it).
+
+use std::sync::{Arc, OnceLock};
+
+use ceer::durable::{verify, DurableRecord, Storage};
+use ceer::model::{Ceer, CeerModel, FitConfig};
+use ceer::serve::{ModelRegistry, RegistrySnapshot, ServeDurability, ServePayload};
+use ceer::sim::SimStorage;
+use ceer_graph::models::CnnId;
+
+/// Rotate snapshots every 3 records so a short script still crosses
+/// several segment boundaries (rotation is where the subtle durability
+/// bugs live: fresh segments whose directory entry was never synced).
+const SNAPSHOT_EVERY: u64 = 3;
+
+/// One tiny fitted model shared by every sweep run.
+fn model() -> &'static CeerModel {
+    static MODEL: OnceLock<CeerModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        Ceer::fit(&FitConfig {
+            cnns: vec![CnnId::Vgg11],
+            iterations: 2,
+            parallel_degrees: vec![1],
+            seed: 77,
+            ..FitConfig::default()
+        })
+    })
+}
+
+fn model_json() -> &'static str {
+    static JSON: OnceLock<String> = OnceLock::new();
+    JSON.get_or_init(|| serde_json::to_string(model()).expect("model serializes"))
+}
+
+fn initial_payload() -> ServePayload {
+    ServePayload { registry: ModelRegistry::from_model(model().clone()).snapshot(), engine: None }
+}
+
+/// The scripted workload: every record kind the registry replays, with
+/// versions allocated above the initial registry's `next_id`.
+fn script(base: u64) -> Vec<DurableRecord> {
+    let json = model_json().to_string();
+    vec![
+        DurableRecord::CandidateInstalled { version: base, percent: 30, model_json: json.clone() },
+        DurableRecord::ChangePoint { observations: 8 },
+        DurableRecord::Promoted { version: base },
+        DurableRecord::Reloaded { version: base + 1, model_json: json.clone() },
+        DurableRecord::CandidateInstalled {
+            version: base + 2,
+            percent: 50,
+            model_json: json.clone(),
+        },
+        DurableRecord::CandidateDropped { version: base + 2 },
+        DurableRecord::RefitRequested { pairs: vec!["conv2d/v100".to_string()] },
+        DurableRecord::Pinned { version: base },
+        DurableRecord::CandidateInstalled { version: base + 3, percent: 10, model_json: json },
+        DurableRecord::Promoted { version: base + 3 },
+    ]
+}
+
+/// Runs the scripted workload over `storage`, swallowing crash-induced
+/// failures exactly as a serving process would. Returns the number of
+/// records whose group commit succeeded (durable for sure), or `None`
+/// when the crash hit during boot before durability even opened.
+fn run_workload(storage: &SimStorage, records: &[DurableRecord]) -> Option<u64> {
+    let arc: Arc<dyn Storage> = Arc::new(storage.clone());
+    let opened =
+        ServeDurability::open(arc, ceer::faults::none(), &initial_payload(), SNAPSHOT_EVERY);
+    let Ok((durability, recovered)) = opened else {
+        return None;
+    };
+    let mut state = recovered.map_or_else(|| initial_payload().registry, |p| p.registry);
+    for record in records {
+        state.apply(record).expect("scripted records always apply in order");
+        durability.record(record);
+        durability.maybe_snapshot(|| ServePayload { registry: state.clone(), engine: None });
+    }
+    Some(records.len() as u64 - durability.log_failures())
+}
+
+/// Registry states after each script prefix: `states[i]` is the
+/// serialized registry once records `0..i` are applied.
+fn prefix_states(records: &[DurableRecord]) -> Vec<String> {
+    let mut state = initial_payload().registry;
+    let mut states = vec![serde_json::to_string(&state).expect("registry snapshot serializes")];
+    for record in records {
+        state.apply(record).expect("scripted records always apply in order");
+        states.push(serde_json::to_string(&state).expect("registry snapshot serializes"));
+    }
+    states
+}
+
+/// Recovers a crashed fork and returns the durability handle plus the
+/// serialized recovered registry.
+fn recover(storage: &SimStorage) -> (ServeDurability, RegistrySnapshot) {
+    let arc: Arc<dyn Storage> = Arc::new(storage.clone());
+    let (durability, payload) =
+        ServeDurability::open(arc, ceer::faults::none(), &initial_payload(), SNAPSHOT_EVERY)
+            .expect("recovery opens at every crash point");
+    let registry = payload.map_or_else(|| initial_payload().registry, |p| p.registry);
+    (durability, registry)
+}
+
+/// Deterministic continuation derived from the recovered state alone, so
+/// two forks of the same crash produce identical follow-up records.
+fn continuation(registry: &RegistrySnapshot) -> Vec<DurableRecord> {
+    let json = model_json().to_string();
+    let next = registry.next_id;
+    vec![
+        DurableRecord::Reloaded { version: next, model_json: json.clone() },
+        DurableRecord::ChangePoint { observations: 3 },
+        DurableRecord::CandidateInstalled { version: next + 1, percent: 25, model_json: json },
+        DurableRecord::Promoted { version: next + 1 },
+    ]
+}
+
+/// Every file the storage holds, contents included, sorted by name.
+fn fingerprint(storage: &SimStorage) -> Vec<(String, Vec<u8>)> {
+    let mut names = storage.list().expect("sim storage lists");
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            let bytes = storage.peek(&name).expect("listed file has contents");
+            (name, bytes)
+        })
+        .collect()
+}
+
+/// Recovers `fork`, runs the continuation, snapshots, and returns the
+/// final fingerprint plus the recovered registry serialization.
+fn resume(fork: &SimStorage) -> (Vec<(String, Vec<u8>)>, String, u64) {
+    let (durability, mut registry) = recover(fork);
+    let recovered_json = serde_json::to_string(&registry).expect("registry serializes");
+    let replayed = durability.recovery().replayed;
+    for record in continuation(&registry) {
+        registry.apply(&record).expect("continuation applies to the recovered state");
+        durability.record(&record);
+    }
+    assert_eq!(durability.log_failures(), 0, "resumed appends must all commit");
+    durability
+        .snapshot_now(&ServePayload { registry, engine: None })
+        .expect("resumed snapshot commits");
+    (fingerprint(fork), recovered_json, replayed)
+}
+
+fn sweep(seed: u64) {
+    let base = initial_payload().registry.next_id;
+    let records = script(base);
+    let states = prefix_states(&records);
+    let promoted_at = 3; // records[2] is Promoted { base }: durable once 3 commits succeeded
+
+    // Golden run: no crash. Counts the ops the sweep must cover and
+    // pins down the final state.
+    let golden = SimStorage::new();
+    let ok = run_workload(&golden, &records).expect("golden run opens");
+    assert_eq!(ok, records.len() as u64, "golden run commits everything");
+    let total_ops = golden.op_count();
+    assert!(total_ops > 20, "workload too small to be a meaningful sweep ({total_ops} ops)");
+    {
+        let (_, registry) = recover(&golden);
+        let last = states.last().expect("states is never empty");
+        assert_eq!(
+            &serde_json::to_string(&registry).expect("registry serializes"),
+            last,
+            "golden recovery must land on the full-script state"
+        );
+    }
+
+    for k in 1..=total_ops {
+        let storage = SimStorage::new();
+        storage.set_crash_after(k);
+        let committed = run_workload(&storage, &records).unwrap_or(0);
+        storage.crash(seed);
+
+        // Two forks of the same crashed disk, recovered independently.
+        let (fork_a, fork_b) = (storage.fork(), storage.fork());
+
+        // Invariants 1 + 2: recovery opens and lands on a scripted
+        // prefix that covers every known-durable commit.
+        let (_, registry) = recover(&fork_a);
+        let recovered_json = serde_json::to_string(&registry).expect("registry serializes");
+        // `rposition`: engine records are registry no-ops, so adjacent
+        // prefix states can collide — credit the longest match.
+        let prefix = states.iter().rposition(|s| s == &recovered_json).unwrap_or_else(|| {
+            panic!("seed {seed} crash at op {k}: recovered state matches no script prefix")
+        });
+        assert!(
+            prefix as u64 >= committed,
+            "seed {seed} crash at op {k}: {committed} records committed but only {prefix} recovered"
+        );
+        if committed >= promoted_at {
+            assert!(
+                registry.incumbent >= base,
+                "seed {seed} crash at op {k}: durable promotion of v{base} was lost"
+            );
+        }
+
+        // Invariant 3: recovery left the directory clean (torn tail
+        // truncated), so a cold `ceer durable verify` passes.
+        let report = verify(&fork_a).unwrap_or_else(|e| {
+            panic!("seed {seed} crash at op {k}: post-recovery verify failed: {e}")
+        });
+        assert!(report.is_clean(), "seed {seed} crash at op {k}: directory dirty after recovery");
+
+        // Invariant 4: same seed, same crash, same continuation —
+        // byte-identical disks.
+        let (fp_a, json_a, replayed_a) = resume(&fork_a);
+        let (fp_b, json_b, replayed_b) = resume(&fork_b);
+        assert_eq!(json_a, json_b, "seed {seed} crash at op {k}: forks recovered different states");
+        assert_eq!(
+            replayed_a, replayed_b,
+            "seed {seed} crash at op {k}: forks replayed differently"
+        );
+        assert_eq!(fp_a, fp_b, "seed {seed} crash at op {k}: resumed forks diverged on disk");
+    }
+}
+
+#[test]
+fn crash_point_sweep_holds_at_every_operation() {
+    for seed in [7, 1234] {
+        sweep(seed);
+    }
+}
+
+/// The CI gate's randomized extra seed: `CEER_DURABLE_SEED=<u64>` sweeps
+/// one more seed beyond the fixed pair (a no-op when unset).
+#[test]
+fn crash_point_sweep_holds_for_the_env_seed() {
+    let Ok(raw) = std::env::var("CEER_DURABLE_SEED") else {
+        return;
+    };
+    let seed: u64 = raw.parse().unwrap_or_else(|e| panic!("CEER_DURABLE_SEED={raw}: {e}"));
+    sweep(seed);
+}
